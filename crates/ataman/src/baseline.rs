@@ -1,0 +1,99 @@
+//! Exact-baseline measurement (CMSIS-NN and X-CUBE-AI columns of Tables
+//! I/II).
+
+use cifar10sim::Dataset;
+use cmsisnn::CmsisEngine;
+use mcusim::{Board, FlashLayout, RamEstimate};
+use quantize::QuantModel;
+use serde::{Deserialize, Serialize};
+use xcubeai::XCubeEngine;
+
+/// Measured exact-engine metrics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BaselineReport {
+    /// Engine label (`CMSIS-NN` / `X-CUBE-AI`).
+    pub engine: String,
+    /// Model name.
+    pub model: String,
+    /// Top-1 accuracy on the provided dataset.
+    pub accuracy: f32,
+    /// MACs per inference.
+    pub macs: u64,
+    /// Cycles per inference.
+    pub cycles: u64,
+    /// Latency, ms.
+    pub latency_ms: f64,
+    /// Energy, mJ.
+    pub energy_mj: f64,
+    /// Flash layout.
+    pub flash: FlashLayout,
+    /// RAM estimate.
+    pub ram: RamEstimate,
+}
+
+/// Measure the CMSIS-NN exact baseline on a board.
+pub fn baseline_cmsis(qmodel: &QuantModel, test: &Dataset, board: &Board) -> BaselineReport {
+    let engine = CmsisEngine::new(qmodel);
+    let zero = vec![0.5f32; qmodel.input_shape.item_len()];
+    let (_, stats) = engine.infer(&zero);
+    let cost = engine.cost_model();
+    BaselineReport {
+        engine: "CMSIS-NN".into(),
+        model: qmodel.name.clone(),
+        accuracy: qmodel.accuracy(test, None),
+        macs: stats.macs,
+        cycles: stats.cycles(cost),
+        latency_ms: stats.latency_ms(cost, board),
+        energy_mj: stats.energy_mj(cost, board),
+        flash: cmsisnn::flash_layout(qmodel),
+        ram: cmsisnn::ram_estimate(qmodel),
+    }
+}
+
+/// Measure the simulated X-CUBE-AI comparator on a board.
+pub fn baseline_xcube(qmodel: &QuantModel, test: &Dataset, board: &Board) -> BaselineReport {
+    let engine = XCubeEngine::new(qmodel);
+    let stats = engine.stats();
+    let cost = engine.cost_model();
+    BaselineReport {
+        engine: "X-CUBE-AI".into(),
+        model: qmodel.name.clone(),
+        accuracy: qmodel.accuracy(test, None),
+        macs: stats.macs,
+        cycles: stats.cycles(cost),
+        latency_ms: stats.latency_ms(cost, board),
+        energy_mj: stats.energy_mj(cost, board),
+        flash: engine.flash_layout(),
+        ram: engine.ram_estimate(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cifar10sim::DatasetConfig;
+    use quantize::{calibrate_ranges, quantize_model};
+    use tinynn::{SgdConfig, Trainer};
+
+    #[test]
+    fn baselines_share_accuracy_but_not_latency() {
+        let data = cifar10sim::generate(DatasetConfig::tiny(161));
+        let mut m = tinynn::zoo::mini_cifar(37);
+        let mut t = Trainer::new(SgdConfig { epochs: 3, ..Default::default() });
+        t.train(&mut m, &data.train);
+        let ranges = calibrate_ranges(&m, &data.train.take(8));
+        let q = quantize_model(&m, &ranges);
+        let board = Board::stm32u575();
+        let cmsis = baseline_cmsis(&q, &data.test, &board);
+        let xcube = baseline_xcube(&q, &data.test, &board);
+        assert_eq!(cmsis.accuracy, xcube.accuracy);
+        assert_eq!(cmsis.macs, xcube.macs);
+        assert!(xcube.latency_ms < cmsis.latency_ms);
+        assert!(xcube.flash.total() < cmsis.flash.total());
+        // energy proportional to latency at fixed power for both
+        for r in [&cmsis, &xcube] {
+            let expect = r.latency_ms * 1e-3 * board.active_power_mw;
+            assert!((r.energy_mj - expect).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Step ⑤: approximate CNN deployment on the simulated board.
+
+use crate::Framework;
+use mcusim::{FlashLayout, FlashOverflow, RamEstimate};
+use serde::{Deserialize, Serialize};
+use signif::TauAssignment;
+use unpackgen::{codegen, unpacked_flash_layout, unpacked_ram_estimate, UnpackedEngine};
+
+/// Why a deployment was refused.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeploymentError {
+    /// No Pareto design meets the accuracy-loss bound.
+    NoFeasibleDesign {
+        /// The requested bound.
+        max_loss: f32,
+    },
+    /// The selected design does not fit the board's flash.
+    Flash(FlashOverflow),
+}
+
+impl std::fmt::Display for DeploymentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeploymentError::NoFeasibleDesign { max_loss } => {
+                write!(f, "no Pareto design within {:.1}% accuracy loss", max_loss * 100.0)
+            }
+            DeploymentError::Flash(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for DeploymentError {}
+
+/// A deployed approximate design with its measured board-level metrics —
+/// one column of Table II.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Deployment {
+    /// Model name.
+    pub model: String,
+    /// Selected τ assignment.
+    pub taus: TauAssignment,
+    /// DSE-simulated accuracy of the design (evaluation subset).
+    pub dse_accuracy: f32,
+    /// Final measured accuracy (test set), when requested.
+    pub test_accuracy: Option<f32>,
+    /// Retained MACs per inference (Table II "#MAC Ops.").
+    pub macs: u64,
+    /// Measured cycles on the unpacked engine.
+    pub cycles: u64,
+    /// Latency on the target board, ms.
+    pub latency_ms: f64,
+    /// Energy per inference, mJ.
+    pub energy_mj: f64,
+    /// Flash layout.
+    pub flash: FlashLayout,
+    /// RAM estimate.
+    pub ram: RamEstimate,
+    /// Generated C source of the approximate kernels.
+    pub c_code: String,
+}
+
+/// Select, codegen, budget-check and measure.
+pub(crate) fn deploy(
+    fw: &Framework,
+    max_loss: f32,
+    test: Option<&cifar10sim::Dataset>,
+) -> Result<Deployment, DeploymentError> {
+    let report = fw.dse_report();
+    let design =
+        report.select(max_loss).ok_or(DeploymentError::NoFeasibleDesign { max_loss })?;
+    let qmodel = fw.quant_model();
+    let masks = fw.significance().masks_for_tau(qmodel, &design.taus);
+
+    // Build the real engine (materializes the op streams).
+    let engine = UnpackedEngine::new(qmodel, Some(&masks), fw.config().unpack);
+
+    // Flash budget enforcement against the board.
+    let flash = unpacked_flash_layout(qmodel, engine.convs());
+    flash.check(&fw.config().board).map_err(DeploymentError::Flash)?;
+    let ram = unpacked_ram_estimate(qmodel);
+
+    // Measure on a canonical input (exact engines are input-independent).
+    let zero_input = vec![0.5f32; qmodel.input_shape.item_len()];
+    let (_, stats) = engine.infer(&zero_input);
+    let cost = engine.cost_model();
+    let board = &fw.config().board;
+
+    let test_accuracy = test.map(|d| qmodel.accuracy(d, Some(&masks)));
+
+    Ok(Deployment {
+        model: fw.model_name().to_string(),
+        taus: design.taus.clone(),
+        dse_accuracy: design.accuracy,
+        test_accuracy,
+        macs: engine.retained_macs(),
+        cycles: stats.cycles(cost),
+        latency_ms: stats.latency_ms(cost, board),
+        energy_mj: stats.energy_mj(cost, board),
+        flash,
+        ram,
+        c_code: codegen::generate_model_c(engine.convs(), fw.model_name()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{AtamanConfig, Framework};
+    use cifar10sim::DatasetConfig;
+    use mcusim::Board;
+    use tinynn::{SgdConfig, Trainer};
+
+    fn framework(board: Board) -> Framework {
+        let data = cifar10sim::generate(DatasetConfig::tiny(151));
+        let mut m = tinynn::zoo::mini_cifar(31);
+        let mut t = Trainer::new(SgdConfig { epochs: 4, lr: 0.08, ..Default::default() });
+        t.train(&mut m, &data.train);
+        Framework::analyze(&m, &data, AtamanConfig { board, ..AtamanConfig::quick() })
+    }
+
+    #[test]
+    fn deployment_carries_c_code_and_metrics() {
+        let fw = framework(Board::stm32u575());
+        let dep = fw.deploy(0.05).expect("deploys");
+        assert!(dep.c_code.contains("__SMLAD"));
+        assert!(dep.c_code.contains("_conv0"));
+        assert!(dep.flash.total() > 0);
+        assert!(dep.ram.total() > 0);
+        assert!(dep.energy_mj > 0.0);
+        // energy model consistency: E = P * t
+        let expect = dep.latency_ms * 1e-3 * fw.config().board.active_power_mw;
+        assert!((dep.energy_mj - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn infeasible_loss_bound_is_reported() {
+        let fw = framework(Board::stm32u575());
+        // A negative loss bound above every achievable accuracy.
+        let err = fw.deploy(-1.0).unwrap_err();
+        assert!(matches!(err, crate::DeploymentError::NoFeasibleDesign { .. }));
+    }
+
+    #[test]
+    fn test_accuracy_measured_when_requested() {
+        let data = cifar10sim::generate(DatasetConfig::tiny(151));
+        let fw = framework(Board::stm32u575());
+        let dep = fw.deploy_with_accuracy(0.10, &data.test).expect("deploys");
+        let acc = dep.test_accuracy.expect("accuracy measured");
+        assert!((0.0..=1.0).contains(&acc));
+    }
+}

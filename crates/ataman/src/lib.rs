@@ -1,0 +1,253 @@
+//! # ataman
+//!
+//! The paper's contribution: an automated **cooperative approximation
+//! framework** for accelerating CNN inference on microcontrollers
+//! (ATAMAN — "AuTo-driven Approximation and Microcontroller AcceleratioN").
+//!
+//! The pipeline follows Fig. 1 of the paper:
+//!
+//! 1. **Layer-based code unpacking** — every convolution becomes
+//!    straight-line fixed-weight code ([`unpackgen`]);
+//! 2. **Input distribution capture** — `E[a_i]` from a small calibration
+//!    subset ([`signif::capture_mean_inputs`]);
+//! 3. **Significance calculation** — Eq. (2) per product
+//!    ([`signif::SignificanceMap`]);
+//! 4. **S-aware computation skipping + DSE** — τ sweep × layer subsets,
+//!    accuracy simulation, Pareto analysis ([`dse`]);
+//! 5. **Approximate CNN deployment** — the user picks an accuracy-loss
+//!    budget; the framework selects the latency-optimal Pareto design,
+//!    emits its C code, checks the flash budget and reports
+//!    latency/energy/memory on the target board ([`deploy`]).
+//!
+//! ```no_run
+//! use ataman::{AtamanConfig, Framework};
+//! use cifar10sim::DatasetConfig;
+//!
+//! let data = cifar10sim::generate(DatasetConfig::paper_default());
+//! let mut model = tinynn::zoo::lenet(42);
+//! tinynn::Trainer::new(Default::default()).train(&mut model, &data.train);
+//!
+//! let fw = Framework::analyze(&model, &data, AtamanConfig::default());
+//! let deployment = fw.deploy(0.05).expect("fits the board");
+//! println!("{}: {:.1} ms, {:.2} mJ", fw.model_name(), deployment.latency_ms, deployment.energy_mj);
+//! ```
+
+pub mod baseline;
+pub mod deploy;
+
+pub use baseline::{baseline_cmsis, baseline_xcube, BaselineReport};
+pub use deploy::{Deployment, DeploymentError};
+
+use cifar10sim::SyntheticCifar;
+use dse::{DseReport, DseSpace, ExploreOptions};
+use mcusim::Board;
+use quantize::{calibrate_ranges, quantize_model, QuantModel};
+use signif::{capture_mean_inputs, SignificanceMap};
+use tinynn::Sequential;
+use unpackgen::UnpackOptions;
+
+/// Framework configuration (step parameters of the Fig. 1 pipeline).
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct AtamanConfig {
+    /// Calibration images for PTQ ranges and distribution capture.
+    pub calib_images: usize,
+    /// Evaluation images per DSE configuration.
+    pub eval_images: usize,
+    /// τ sweep step (paper: 0.001 LeNet / 0.01 AlexNet).
+    pub tau_step: f64,
+    /// Cap on explored configurations (0 = no cap). The paper evaluates
+    /// >10,000 designs per model in ~2 h; quick runs thin the grid.
+    pub max_configs: usize,
+    /// Unpacking options.
+    pub unpack: UnpackOptions,
+    /// Target board.
+    pub board: Board,
+}
+
+impl Default for AtamanConfig {
+    fn default() -> Self {
+        Self {
+            calib_images: 64,
+            eval_images: 512,
+            tau_step: 0.005,
+            max_configs: 600,
+            unpack: UnpackOptions::default(),
+            board: Board::stm32u575(),
+        }
+    }
+}
+
+impl AtamanConfig {
+    /// A fast configuration for tests/examples.
+    pub fn quick() -> Self {
+        Self { calib_images: 16, eval_images: 64, tau_step: 0.02, max_configs: 60, ..Self::default() }
+    }
+}
+
+/// The analyzed framework state: quantized model, significance scores and
+/// the explored design space.
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct Framework {
+    qmodel: QuantModel,
+    significance: SignificanceMap,
+    report: DseReport,
+    config: AtamanConfig,
+}
+
+impl Framework {
+    /// Run pipeline steps 1–4 on a trained f32 model.
+    pub fn analyze(model: &Sequential, data: &SyntheticCifar, config: AtamanConfig) -> Self {
+        assert!(config.calib_images > 0, "need at least one calibration image");
+        let calib = data.train.take(config.calib_images);
+
+        // 8-bit PTQ (Section II-A setup).
+        let ranges = calibrate_ranges(model, &calib);
+        let qmodel = quantize_model(model, &ranges);
+
+        // ② input distribution capture + ③ significance.
+        let means = capture_mean_inputs(&qmodel, &calib);
+        let significance = SignificanceMap::compute(&qmodel, &means);
+
+        // ④ DSE + Pareto.
+        let n_convs = qmodel.conv_indices().len();
+        let mut space = DseSpace::paper(n_convs, config.tau_step);
+        if config.max_configs > 0 {
+            space = space.thin(config.max_configs);
+        }
+        let opts = ExploreOptions {
+            eval_images: config.eval_images,
+            unpack: config.unpack,
+            cost: mcusim::CostModel::cortex_m33(),
+        };
+        let eval_set = data.test.take(config.eval_images);
+        let baseline_accuracy = qmodel.accuracy(&eval_set, None);
+        let designs = dse::explore(&qmodel, &significance, &data.test, &space.configs(), &opts);
+        let report = DseReport::new(model.name.clone(), baseline_accuracy, qmodel.macs(), designs);
+
+        Self { qmodel, significance, report, config }
+    }
+
+    /// Analyze a model that is already quantized (skips PTQ; used when the
+    /// caller caches the quantized artifact).
+    pub fn analyze_quantized(
+        qmodel: QuantModel,
+        data: &SyntheticCifar,
+        config: AtamanConfig,
+    ) -> Self {
+        let calib = data.train.take(config.calib_images);
+        let means = capture_mean_inputs(&qmodel, &calib);
+        let significance = SignificanceMap::compute(&qmodel, &means);
+        let n_convs = qmodel.conv_indices().len();
+        let mut space = DseSpace::paper(n_convs, config.tau_step);
+        if config.max_configs > 0 {
+            space = space.thin(config.max_configs);
+        }
+        let opts = ExploreOptions {
+            eval_images: config.eval_images,
+            unpack: config.unpack,
+            cost: mcusim::CostModel::cortex_m33(),
+        };
+        let eval_set = data.test.take(config.eval_images);
+        let baseline_accuracy = qmodel.accuracy(&eval_set, None);
+        let designs = dse::explore(&qmodel, &significance, &data.test, &space.configs(), &opts);
+        let report =
+            DseReport::new(qmodel.name.clone(), baseline_accuracy, qmodel.macs(), designs);
+        Self { qmodel, significance, report, config }
+    }
+
+    /// Model name.
+    pub fn model_name(&self) -> &str {
+        &self.report.model
+    }
+
+    /// The quantized model.
+    pub fn quant_model(&self) -> &QuantModel {
+        &self.qmodel
+    }
+
+    /// The significance scores (Eq. 2).
+    pub fn significance(&self) -> &SignificanceMap {
+        &self.significance
+    }
+
+    /// The DSE report (Fig. 2 data).
+    pub fn dse_report(&self) -> &DseReport {
+        &self.report
+    }
+
+    /// The framework configuration.
+    pub fn config(&self) -> &AtamanConfig {
+        &self.config
+    }
+
+    /// ⑤ Deploy the latency-optimal design within an accuracy-loss budget
+    /// (fractional, e.g. 0.05) onto the configured board.
+    pub fn deploy(&self, max_loss: f32) -> Result<Deployment, DeploymentError> {
+        deploy::deploy(self, max_loss, None)
+    }
+
+    /// Deploy and evaluate final accuracy on the given dataset (Table II
+    /// reports test accuracy of the deployed design).
+    pub fn deploy_with_accuracy(
+        &self,
+        max_loss: f32,
+        test: &cifar10sim::Dataset,
+    ) -> Result<Deployment, DeploymentError> {
+        deploy::deploy(self, max_loss, Some(test))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cifar10sim::DatasetConfig;
+    use tinynn::{SgdConfig, Trainer};
+
+    fn trained() -> (Sequential, SyntheticCifar) {
+        let data = cifar10sim::generate(DatasetConfig::tiny(141));
+        let mut m = tinynn::zoo::mini_cifar(29);
+        let mut t = Trainer::new(SgdConfig { epochs: 6, lr: 0.08, ..Default::default() });
+        t.train(&mut m, &data.train);
+        (m, data)
+    }
+
+    #[test]
+    fn full_pipeline_produces_pareto_and_deploys() {
+        let (m, data) = trained();
+        let fw = Framework::analyze(&m, &data, AtamanConfig::quick());
+        let report = fw.dse_report();
+        assert!(!report.designs.is_empty());
+        assert!(!report.pareto.is_empty());
+        // Pareto front accuracies are monotonically non-increasing in
+        // reduction (by construction) — spot-check the invariant.
+        let front = report.front();
+        for w in front.windows(2) {
+            assert!(w[0].accuracy >= w[1].accuracy);
+            assert!(w[0].conv_mac_reduction <= w[1].conv_mac_reduction);
+        }
+        let dep = fw.deploy(0.10).expect("deploys");
+        assert!(dep.latency_ms > 0.0);
+        assert!(dep.macs <= fw.quant_model().macs());
+    }
+
+    #[test]
+    fn tighter_loss_budget_never_faster() {
+        let (m, data) = trained();
+        let fw = Framework::analyze(&m, &data, AtamanConfig::quick());
+        let d0 = fw.deploy(0.0).expect("0% deploys");
+        let d10 = fw.deploy(0.10).expect("10% deploys");
+        assert!(d10.latency_ms <= d0.latency_ms + 1e-9);
+        assert!(d10.macs <= d0.macs);
+    }
+
+    #[test]
+    fn deterministic_pipeline() {
+        let (m, data) = trained();
+        let a = Framework::analyze(&m, &data, AtamanConfig::quick());
+        let b = Framework::analyze(&m, &data, AtamanConfig::quick());
+        assert_eq!(a.dse_report().baseline_accuracy, b.dse_report().baseline_accuracy);
+        let (da, db) = (a.deploy(0.05).unwrap(), b.deploy(0.05).unwrap());
+        assert_eq!(da.cycles, db.cycles);
+        assert_eq!(da.taus, db.taus);
+    }
+}

@@ -1,0 +1,86 @@
+//! Criterion benchmarks of the DSE machinery (E2's engine): significance
+//! capture, masked-accuracy evaluation throughput, Pareto extraction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dse::{pareto_front, EvaluatedDesign, ExploreOptions};
+use quantize::{calibrate_ranges, quantize_model};
+use signif::{capture_mean_inputs, SignificanceMap, TauAssignment};
+use std::hint::black_box;
+
+fn bench_significance(c: &mut Criterion) {
+    let data = cifar10sim::generate(cifar10sim::DatasetConfig::tiny(902));
+    let m = tinynn::zoo::mini_cifar(902);
+    let ranges = calibrate_ranges(&m, &data.train.take(8));
+    let q = quantize_model(&m, &ranges);
+    let calib = data.train.take(16);
+
+    let mut group = c.benchmark_group("significance");
+    group.sample_size(10);
+    group.bench_function("capture_16_images", |b| {
+        b.iter(|| black_box(capture_mean_inputs(&q, &calib)))
+    });
+    let means = capture_mean_inputs(&q, &calib);
+    group.bench_function("score_compute", |b| {
+        b.iter(|| black_box(SignificanceMap::compute(&q, &means)))
+    });
+    let sig = SignificanceMap::compute(&q, &means);
+    group.bench_function("mask_materialize", |b| {
+        b.iter(|| black_box(sig.masks_for_tau(&q, &TauAssignment::global(0.02))))
+    });
+    group.finish();
+}
+
+fn bench_design_eval(c: &mut Criterion) {
+    let data = cifar10sim::generate(cifar10sim::DatasetConfig::tiny(903));
+    let m = tinynn::zoo::mini_cifar(903);
+    let ranges = calibrate_ranges(&m, &data.train.take(8));
+    let q = quantize_model(&m, &ranges);
+    let means = capture_mean_inputs(&q, &data.train.take(8));
+    let sig = SignificanceMap::compute(&q, &means);
+    let opts = ExploreOptions { eval_images: 32, ..Default::default() };
+    let eval = data.test.take(32);
+
+    let mut group = c.benchmark_group("dse_eval");
+    group.sample_size(10);
+    for tau in [0.0f64, 0.05] {
+        group.bench_with_input(BenchmarkId::new("one_design", tau), &tau, |b, &tau| {
+            b.iter(|| {
+                black_box(dse::evaluate_design(
+                    &q,
+                    &sig,
+                    &eval,
+                    &TauAssignment::global(tau),
+                    &opts,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_pareto(c: &mut Criterion) {
+    // Synthetic design cloud: deterministic pseudo-random points.
+    let designs: Vec<EvaluatedDesign> = (0..5000u64)
+        .map(|i| {
+            let x = ((i.wrapping_mul(2654435761) >> 7) % 10000) as f64 / 10000.0;
+            let y = ((i.wrapping_mul(40503) >> 3) % 10000) as f32 / 10000.0;
+            EvaluatedDesign {
+                taus: TauAssignment::global(x),
+                accuracy: y,
+                retained_macs: 0,
+                conv_mac_reduction: x,
+                est_cycles: 1,
+                est_flash: 1,
+                skipped_products: 0,
+            }
+        })
+        .collect();
+    let mut group = c.benchmark_group("pareto");
+    group.bench_function("front_5000_designs", |b| {
+        b.iter(|| black_box(pareto_front(black_box(&designs))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_significance, bench_design_eval, bench_pareto);
+criterion_main!(benches);

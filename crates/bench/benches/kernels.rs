@@ -1,0 +1,74 @@
+//! Criterion micro-benchmarks of the convolution kernel variants — the
+//! wall-clock companion to E1/E3's cycle-model numbers (who is faster on
+//! the *simulator* is criterion-visible too, since the unpacked executor
+//! does strictly less work per output).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use quantize::{calibrate_ranges, quantize_model, QuantModel, SkipMaskSet};
+use signif::{capture_mean_inputs, SignificanceMap, TauAssignment};
+use std::hint::black_box;
+use unpackgen::{UnpackOptions, UnpackedEngine};
+
+fn setup() -> (QuantModel, Vec<f32>, SkipMaskSet) {
+    let data = cifar10sim::generate(cifar10sim::DatasetConfig::tiny(901));
+    let m = tinynn::zoo::mini_cifar(901);
+    let ranges = calibrate_ranges(&m, &data.train.take(8));
+    let q = quantize_model(&m, &ranges);
+    let means = capture_mean_inputs(&q, &data.train.take(8));
+    let sig = SignificanceMap::compute(&q, &means);
+    let masks = sig.masks_for_tau(&q, &TauAssignment::global(0.03));
+    let img = data.test.image(0).to_vec();
+    (q, img, masks)
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let (q, img, masks) = setup();
+    let mut group = c.benchmark_group("conv_engines");
+    group.sample_size(20);
+
+    group.bench_function("reference_forward", |b| {
+        b.iter(|| black_box(q.forward(black_box(&img))))
+    });
+    group.bench_function("cmsis_exact", |b| {
+        let engine = cmsisnn::CmsisEngine::new(&q);
+        b.iter(|| black_box(engine.infer(black_box(&img))))
+    });
+    group.bench_function("unpacked_exact", |b| {
+        let engine = UnpackedEngine::new(&q, None, UnpackOptions::default());
+        b.iter(|| black_box(engine.infer(black_box(&img))))
+    });
+    group.bench_function("unpacked_skipped", |b| {
+        let engine = UnpackedEngine::new(&q, Some(&masks), UnpackOptions::default());
+        b.iter(|| black_box(engine.infer(black_box(&img))))
+    });
+    group.finish();
+}
+
+fn bench_masked_reference(c: &mut Criterion) {
+    let (q, img, masks) = setup();
+    let qin = q.quantize_input(&img);
+    let mut group = c.benchmark_group("dse_hot_path");
+    group.sample_size(30);
+    for (label, m) in [("unmasked", None), ("masked", Some(&masks))] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &m, |b, m| {
+            b.iter(|| black_box(q.forward_quantized(black_box(&qin), *m)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_stream_build(c: &mut Criterion) {
+    let (q, _, masks) = setup();
+    let mut group = c.benchmark_group("unpack_build");
+    group.sample_size(30);
+    group.bench_function("build_streams", |b| {
+        b.iter(|| black_box(UnpackedEngine::new(&q, Some(&masks), UnpackOptions::default())))
+    });
+    group.bench_function("analytic_estimate", |b| {
+        b.iter(|| black_box(dse::estimate_stats(&q, Some(&masks), UnpackOptions::default())))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines, bench_masked_reference, bench_stream_build);
+criterion_main!(benches);

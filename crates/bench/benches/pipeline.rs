@@ -1,0 +1,75 @@
+//! Criterion benchmarks of the substrate stages: dataset generation,
+//! training step, quantization, and the per-table harness in miniature
+//! (every experiment's regeneration path is exercised end-to-end).
+
+use ataman::{AtamanConfig, Framework};
+use criterion::{criterion_group, criterion_main, Criterion};
+use quantize::calibrate_ranges;
+use std::hint::black_box;
+use tinynn::{SgdConfig, Trainer};
+
+fn bench_substrate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate");
+    group.sample_size(10);
+
+    group.bench_function("dataset_generate_280", |b| {
+        b.iter(|| black_box(cifar10sim::generate(cifar10sim::DatasetConfig::tiny(904))))
+    });
+
+    let data = cifar10sim::generate(cifar10sim::DatasetConfig::tiny(905));
+    group.bench_function("train_one_epoch_mini", |b| {
+        b.iter(|| {
+            let mut m = tinynn::zoo::mini_cifar(905);
+            let mut t = Trainer::new(SgdConfig { epochs: 1, ..Default::default() });
+            black_box(t.train(&mut m, &data.train.take(64)));
+        })
+    });
+
+    let m = tinynn::zoo::mini_cifar(906);
+    group.bench_function("calibrate_and_quantize", |b| {
+        b.iter(|| {
+            let ranges = calibrate_ranges(&m, &data.train.take(8));
+            black_box(quantize::quantize_model(&m, &ranges))
+        })
+    });
+    group.finish();
+}
+
+fn bench_framework_pipeline(c: &mut Criterion) {
+    // The full Fig. 1 pipeline (analyze + deploy) on the micro scale used
+    // by the integration tests — tracks regressions in the end-to-end path
+    // behind table2/fig2.
+    let data = cifar10sim::generate(cifar10sim::DatasetConfig::tiny(907));
+    let mut m = tinynn::zoo::mini_cifar(907);
+    Trainer::new(SgdConfig { epochs: 2, ..Default::default() }).train(&mut m, &data.train);
+
+    let mut group = c.benchmark_group("framework");
+    group.sample_size(10);
+    group.bench_function("analyze_quick", |b| {
+        b.iter(|| {
+            black_box(Framework::analyze(
+                &m,
+                &data,
+                AtamanConfig {
+                    calib_images: 8,
+                    eval_images: 24,
+                    tau_step: 0.05,
+                    max_configs: 12,
+                    ..Default::default()
+                },
+            ))
+        })
+    });
+    let fw = Framework::analyze(
+        &m,
+        &data,
+        AtamanConfig { calib_images: 8, eval_images: 24, tau_step: 0.05, max_configs: 12, ..Default::default() },
+    );
+    group.bench_function("deploy_and_codegen", |b| {
+        b.iter(|| black_box(fw.deploy(0.10).expect("deploys")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_substrate, bench_framework_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Dataset-difficulty calibration helper (not a paper experiment).
+//!
+//! Sweeps the synthetic dataset's difficulty knobs and reports trained int8
+//! accuracy, to pin `DatasetConfig::paper_default` into the paper's ~72%
+//! Top-1 regime. Usage:
+//!
+//! ```sh
+//! cargo run -p ataman-bench --release --bin calibrate -- [sep] [noise] [n_train] [epochs] [model]
+//! ```
+
+use quantize::{calibrate_ranges, quantize_model};
+use tinynn::{SgdConfig, Trainer};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let sep: f32 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(0.55);
+    let noise: f32 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(0.16);
+    let n_train: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(4000);
+    let epochs: usize = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(6);
+    let model_name = args.get(5).cloned().unwrap_or_else(|| "lenet".into());
+    let deform: f32 = args.get(6).and_then(|s| s.parse().ok()).unwrap_or(0.85);
+
+    let mut cfg = cifar10sim::DatasetConfig::paper_default();
+    cfg.class_separation = sep;
+    cfg.noise_sigma = noise;
+    cfg.n_train = n_train;
+    cfg.deformation = deform;
+    cfg.n_test = 1000;
+    println!("config: sep={sep} noise={noise} deform={deform} n_train={n_train} epochs={epochs} model={model_name}");
+
+    let t0 = std::time::Instant::now();
+    let data = cifar10sim::generate(cfg);
+    println!("dataset generated in {:.1}s", t0.elapsed().as_secs_f64());
+
+    let mut model = ataman_bench::artifacts::fresh_model(&model_name);
+    let t0 = std::time::Instant::now();
+    let mut trainer = Trainer::new(SgdConfig {
+        epochs,
+        lr: args.get(7).and_then(|s| s.parse().ok()).unwrap_or(0.02),
+        ..Default::default()
+    });
+    let report = trainer.train(&mut model, &data.train);
+    println!(
+        "trained in {:.1}s; losses {:?}",
+        t0.elapsed().as_secs_f64(),
+        report
+            .epoch_loss
+            .iter()
+            .map(|l| (l * 1000.0).round() / 1000.0)
+            .collect::<Vec<_>>()
+    );
+    let f32_acc = tinynn::evaluate_accuracy(&model, &data.test);
+    let ranges = calibrate_ranges(&model, &data.train.take(64));
+    let q = quantize_model(&model, &ranges);
+    let q_acc = q.accuracy(&data.test, None);
+    println!("f32 accuracy {:.3}  int8 accuracy {:.3}", f32_acc, q_acc);
+}

@@ -1,0 +1,108 @@
+//! **Fig. 2**: Pareto space between accuracy and normalized MAC-unit
+//! reduction for the computation-skipping approach within all convolution
+//! layers — AlexNet (a) and LeNet (b).
+//!
+//! Prints the Pareto front series (the paper's green triangles), scatter
+//! statistics and the in-text aggregate claims (44% MAC reduction at
+//! iso-accuracy, 57% at 5% loss), and writes the full scatter to
+//! `artifacts/fig2_<model>.json` + `.csv` for plotting.
+//!
+//! ```sh
+//! cargo run -p ataman-bench --release --bin fig2 [-- --fast]
+//! ```
+
+use ataman_bench::{artifacts, mode_from_args, paper::PaperNumbers, tables};
+
+fn main() {
+    let mode = mode_from_args();
+    let mut reductions0 = Vec::new();
+    let mut reductions5 = Vec::new();
+
+    for name in ["alexnet", "lenet"] {
+        let t0 = std::time::Instant::now();
+        let (fw, _data, _f32acc) = artifacts::load_or_analyze(name, mode);
+        let report = fw.dse_report();
+        println!(
+            "\n== Fig. 2 ({}) — {} designs explored in {:.1}s, {} Pareto-optimal ==",
+            report.model,
+            report.designs.len(),
+            t0.elapsed().as_secs_f64(),
+            report.pareto.len()
+        );
+        println!("baseline int8 accuracy: {:.3}", report.baseline_accuracy);
+
+        // Pareto front series (x = normalized conv MAC reduction, y = acc).
+        let mut rows = Vec::new();
+        for d in report.front() {
+            rows.push(vec![
+                format!("{:.3}", d.conv_mac_reduction),
+                format!("{:.3}", d.accuracy),
+                format!("{:.2}M", d.retained_macs as f64 / 1e6),
+                format!(
+                    "[{}]",
+                    d.taus
+                        .per_conv
+                        .iter()
+                        .map(|t| t.map(|v| format!("{v:.3}")).unwrap_or_else(|| "-".into()))
+                        .collect::<Vec<_>>()
+                        .join(",")
+                ),
+            ]);
+        }
+        println!(
+            "{}",
+            tables::render(&["MAC red.", "Accuracy", "#MACs", "tau per conv layer"], &rows)
+        );
+
+        // In-text aggregates.
+        let r0 = report.mac_reduction_at_loss(0.0);
+        let r5 = report.mac_reduction_at_loss(0.05);
+        println!(
+            "conv-MAC reduction at 0% loss: {}   (paper avg over both models: {:.0}%)",
+            r0.map(|r| format!("{:.1}%", r * 100.0)).unwrap_or_else(|| "n/a".into()),
+            PaperNumbers::AVG_MAC_REDUCTION_ISO_ACCURACY * 100.0
+        );
+        println!(
+            "conv-MAC reduction at 5% loss: {}   (paper avg over both models: {:.0}%)",
+            r5.map(|r| format!("{:.1}%", r * 100.0)).unwrap_or_else(|| "n/a".into()),
+            PaperNumbers::AVG_MAC_REDUCTION_5PCT * 100.0
+        );
+        if let Some(r) = r0 {
+            reductions0.push(r);
+        }
+        if let Some(r) = r5 {
+            reductions5.push(r);
+        }
+
+        // Export scatter for plotting.
+        let dir = artifacts::artifacts_dir();
+        let _ = std::fs::create_dir_all(&dir);
+        let json_path = dir.join(format!("fig2_{name}.json"));
+        let _ = std::fs::write(&json_path, report.to_json());
+        let csv_path = dir.join(format!("fig2_{name}.csv"));
+        let mut csv = String::from("mac_reduction,accuracy,pareto\n");
+        for (i, d) in report.designs.iter().enumerate() {
+            csv.push_str(&format!(
+                "{:.6},{:.6},{}\n",
+                d.conv_mac_reduction,
+                d.accuracy,
+                u8::from(report.pareto.contains(&i))
+            ));
+        }
+        let _ = std::fs::write(&csv_path, csv);
+        println!("wrote {} and {}", json_path.display(), csv_path.display());
+    }
+
+    if !reductions0.is_empty() {
+        let avg0 = reductions0.iter().sum::<f64>() / reductions0.len() as f64;
+        let avg5 = reductions5.iter().sum::<f64>() / reductions5.len().max(1) as f64;
+        println!("\n== in-text aggregate (avg of both models) ==");
+        println!(
+            "measured: {:.0}% @ iso-accuracy, {:.0}% @ 5% loss   |   paper: {:.0}% / {:.0}%",
+            avg0 * 100.0,
+            avg5 * 100.0,
+            PaperNumbers::AVG_MAC_REDUCTION_ISO_ACCURACY * 100.0,
+            PaperNumbers::AVG_MAC_REDUCTION_5PCT * 100.0
+        );
+    }
+}

@@ -1,0 +1,56 @@
+//! **Table I**: baseline CIFAR-10 LeNet and AlexNet on the STM32-Nucleo
+//! (2000 KB ROM, 768 KB RAM): accuracy, topology, #MAC ops, latency, flash
+//! usage %, RAM.
+//!
+//! ```sh
+//! cargo run -p ataman-bench --release --bin table1 [-- --fast]
+//! ```
+
+use ataman_bench::{load_or_train, mode_from_args, paper::PaperNumbers, tables};
+use mcusim::Board;
+use quantize::{calibrate_ranges, quantize_model};
+
+fn main() {
+    let mode = mode_from_args();
+    let board = Board::stm32u575();
+    println!("== Table I: baseline models on {} ==\n", board.name);
+
+    let mut rows = Vec::new();
+    for name in ["lenet", "alexnet"] {
+        let trained = load_or_train(name, mode);
+        let ranges = calibrate_ranges(&trained.model, &trained.data.train.take(64));
+        let q = quantize_model(&trained.model, &ranges);
+        let baseline = ataman::baseline_cmsis(&q, &trained.data.test, &board);
+        let paper = PaperNumbers::cmsis(&q.name);
+        let paper_ram = PaperNumbers::ram_kb(&q.name);
+
+        rows.push(vec![
+            q.name.clone(),
+            format!("{:.1}", baseline.accuracy * 100.0),
+            trained.model.topology(),
+            format!("{:.1}M", baseline.macs as f64 / 1e6),
+            format!("{:.1}", baseline.latency_ms),
+            format!("{:.0}", baseline.flash.utilization(&board) * 100.0),
+            format!("{:.1}", baseline.ram.total_kb()),
+        ]);
+        rows.push(vec![
+            format!("  (paper)"),
+            format!("{:.1}", paper.accuracy),
+            trained.model.topology(),
+            format!("{:.1}M", paper.macs_m),
+            format!("{:.1}", paper.latency_ms),
+            format!("{:.0}", paper.flash_kb / (board.flash_bytes as f64 / 1024.0) * 100.0),
+            format!("{paper_ram:.1}"),
+        ]);
+    }
+
+    println!(
+        "{}",
+        tables::render(
+            &["CNN", "Acc %", "Topol.", "#MACs", "Latency ms", "Flash %", "RAM KB"],
+            &rows
+        )
+    );
+    println!("(paper rows from Table I of arXiv:2409.16815; our substrate is a");
+    println!(" calibrated cycle model — shape, not absolute ms, is the target.)");
+}

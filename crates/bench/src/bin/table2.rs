@@ -1,0 +1,122 @@
+//! **Table II**: comparison with CMSIS-NN and X-CUBE-AI for the two CNNs on
+//! the STM32U575ZI-Q (2 MB flash / 768 KB RAM), at three accuracy-loss
+//! thresholds (0%, 5%, 10%): Top-1 accuracy, latency, flash, #MAC ops,
+//! energy.
+//!
+//! ```sh
+//! cargo run -p ataman-bench --release --bin table2 [-- --fast]
+//! ```
+
+use ataman_bench::{artifacts, mode_from_args, paper::PaperNumbers, tables};
+use mcusim::Board;
+
+fn main() {
+    let mode = mode_from_args();
+    let board = Board::stm32u575();
+    println!("== Table II: CMSIS-NN vs X-CUBE-AI vs proposed on {} ==", board.name);
+
+    let mut speedups0 = Vec::new();
+    let mut speedups10 = Vec::new();
+
+    for name in ["lenet", "alexnet"] {
+        let (fw, data, _f32acc) = artifacts::load_or_analyze(name, mode);
+        let trained_data = data;
+        let q = fw.quant_model();
+        let cmsis = ataman::baseline_cmsis(q, &trained_data.test, &board);
+        let xcube = ataman::baseline_xcube(q, &trained_data.test, &board);
+
+        println!("\n--- {} ---", q.name);
+        let mut rows: Vec<Vec<String>> = Vec::new();
+        fn row(
+            rows: &mut Vec<Vec<String>>,
+            label: &str,
+            acc: f64,
+            lat: f64,
+            flash_kb: f64,
+            macs_m: f64,
+            mj: f64,
+        ) {
+            rows.push(vec![
+                label.to_string(),
+                format!("{acc:.1}"),
+                format!("{lat:.1}"),
+                format!("{flash_kb:.0}"),
+                format!("{macs_m:.1}M"),
+                format!("{mj:.2}"),
+            ]);
+        }
+
+        row(
+            &mut rows,
+            "CMSIS-NN",
+            cmsis.accuracy as f64 * 100.0,
+            cmsis.latency_ms,
+            cmsis.flash.total() as f64 / 1024.0,
+            cmsis.macs as f64 / 1e6,
+            cmsis.energy_mj,
+        );
+        let p = PaperNumbers::cmsis(&q.name);
+        row(&mut rows, "  (paper)", p.accuracy, p.latency_ms, p.flash_kb, p.macs_m, p.energy_mj);
+        row(
+            &mut rows,
+            "X-CUBE-AI (simulated)",
+            xcube.accuracy as f64 * 100.0,
+            xcube.latency_ms,
+            xcube.flash.total() as f64 / 1024.0,
+            xcube.macs as f64 / 1e6,
+            xcube.energy_mj,
+        );
+        let p = PaperNumbers::xcube(&q.name);
+        row(&mut rows, "  (paper)", p.accuracy, p.latency_ms, p.flash_kb, p.macs_m, p.energy_mj);
+
+        for loss_pct in [0u32, 5, 10] {
+            match fw.deploy_with_accuracy(loss_pct as f32 / 100.0, &trained_data.test) {
+                Ok(dep) => {
+                    row(
+                        &mut rows,
+                        &format!("Proposed ({loss_pct}%)"),
+                        dep.test_accuracy.unwrap() as f64 * 100.0,
+                        dep.latency_ms,
+                        dep.flash.total() as f64 / 1024.0,
+                        dep.macs as f64 / 1e6,
+                        dep.energy_mj,
+                    );
+                    let speedup = 1.0 - dep.latency_ms / cmsis.latency_ms;
+                    if loss_pct == 0 {
+                        speedups0.push(speedup);
+                    }
+                    if loss_pct == 10 {
+                        speedups10.push(speedup);
+                    }
+                }
+                Err(e) => rows.push(vec![format!("Proposed ({loss_pct}%)"), format!("{e}")]),
+            }
+            let p = PaperNumbers::proposed(&q.name, loss_pct);
+            row(&mut rows, "  (paper)", p.accuracy, p.latency_ms, p.flash_kb, p.macs_m, p.energy_mj);
+        }
+
+        println!(
+            "{}",
+            tables::render(
+                &["Design", "Top-1 %", "Latency ms", "Flash KB", "#MACs", "Energy mJ"],
+                &rows
+            )
+        );
+    }
+
+    if !speedups0.is_empty() {
+        println!("\n== headline claims ==");
+        println!(
+            "avg speedup vs CMSIS at 0% loss : measured {:.0}%  |  paper {:.0}%",
+            speedups0.iter().sum::<f64>() / speedups0.len() as f64 * 100.0,
+            PaperNumbers::AVG_SPEEDUP_0PCT * 100.0
+        );
+        if !speedups10.is_empty() {
+            println!(
+                "avg speedup vs CMSIS at 10% loss: measured {:.0}%  |  paper {:.0}%",
+                speedups10.iter().sum::<f64>() / speedups10.len() as f64 * 100.0,
+                PaperNumbers::AVG_SPEEDUP_10PCT * 100.0
+            );
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! # ataman-bench
+//!
+//! Experiment harness regenerating every table and figure of the paper.
+//!
+//! | Binary        | Paper artifact |
+//! |---------------|----------------|
+//! | `table1`      | Table I — baseline CNN characteristics on the board |
+//! | `fig2`        | Fig. 2 — accuracy vs normalized MAC-reduction Pareto spaces |
+//! | `table2`      | Table II — CMSIS-NN vs X-CUBE-AI vs ours at 0/5/10% loss |
+//! | `qualitative` | Section III — CMix-NN and µTVM comparison points |
+//! | `ablation`    | design-choice ablations (unpack-only / skip-only / blocking) |
+//!
+//! All binaries accept `--fast` (or env `ATAMAN_FAST=1`) to shrink dataset,
+//! training and DSE sizes for smoke runs; full runs regenerate the numbers
+//! recorded in `EXPERIMENTS.md`. Trained models are cached under
+//! `artifacts/` (delete to retrain).
+
+pub mod artifacts;
+pub mod paper;
+pub mod tables;
+
+pub use artifacts::{load_or_train, ExperimentMode, TrainedModel};
+pub use paper::PaperNumbers;
+
+/// Parse the common CLI flags of the harness binaries.
+pub fn mode_from_args() -> ExperimentMode {
+    let fast_flag = std::env::args().any(|a| a == "--fast");
+    let fast_env = std::env::var("ATAMAN_FAST").map(|v| v == "1").unwrap_or(false);
+    ExperimentMode { fast: fast_flag || fast_env }
+}

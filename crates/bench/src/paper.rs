@@ -1,0 +1,183 @@
+//! The paper's published numbers, used for paper-vs-measured reporting.
+//!
+//! Sources: Table I, Table II and Section III of arXiv:2409.16815. These
+//! constants are *reference values printed next to our measurements* — no
+//! measured result is derived from them.
+
+/// One Table II column.
+#[derive(Debug, Clone, Copy)]
+pub struct PaperDesign {
+    /// Top-1 accuracy (%).
+    pub accuracy: f64,
+    /// Latency (ms).
+    pub latency_ms: f64,
+    /// Flash (KB).
+    pub flash_kb: f64,
+    /// MAC operations (millions).
+    pub macs_m: f64,
+    /// Energy (mJ).
+    pub energy_mj: f64,
+}
+
+/// All published numbers.
+pub struct PaperNumbers;
+
+impl PaperNumbers {
+    /// Table I + Table II, CMSIS-NN baseline.
+    pub fn cmsis(model: &str) -> PaperDesign {
+        match model {
+            "LeNet" => PaperDesign {
+                accuracy: 71.6,
+                latency_ms: 82.8,
+                flash_kb: 239.0,
+                macs_m: 4.5,
+                energy_mj: 2.73,
+            },
+            "AlexNet" => PaperDesign {
+                accuracy: 71.9,
+                latency_ms: 179.9,
+                flash_kb: 267.0,
+                macs_m: 16.1,
+                energy_mj: 5.94,
+            },
+            _ => panic!("paper reports LeNet/AlexNet only"),
+        }
+    }
+
+    /// Table II, X-CUBE-AI columns.
+    pub fn xcube(model: &str) -> PaperDesign {
+        match model {
+            "LeNet" => PaperDesign {
+                accuracy: 71.6,
+                latency_ms: 63.5,
+                flash_kb: 154.0,
+                macs_m: 4.5,
+                energy_mj: 2.10,
+            },
+            "AlexNet" => PaperDesign {
+                accuracy: 71.9,
+                latency_ms: 150.7,
+                flash_kb: 178.0,
+                macs_m: 16.1,
+                energy_mj: 4.97,
+            },
+            _ => panic!("paper reports LeNet/AlexNet only"),
+        }
+    }
+
+    /// Table II, proposed designs at 0/5/10% accuracy-loss thresholds.
+    pub fn proposed(model: &str, loss_pct: u32) -> PaperDesign {
+        match (model, loss_pct) {
+            ("LeNet", 0) => PaperDesign {
+                accuracy: 71.6,
+                latency_ms: 72.7,
+                flash_kb: 761.0,
+                macs_m: 3.3,
+                energy_mj: 2.40,
+            },
+            ("LeNet", 5) => PaperDesign {
+                accuracy: 66.7,
+                latency_ms: 66.8,
+                flash_kb: 704.0,
+                macs_m: 2.9,
+                energy_mj: 2.20,
+            },
+            ("LeNet", 10) => PaperDesign {
+                accuracy: 61.6,
+                latency_ms: 59.8,
+                flash_kb: 681.0,
+                macs_m: 2.4,
+                energy_mj: 1.98,
+            },
+            ("AlexNet", 0) => PaperDesign {
+                accuracy: 72.4,
+                latency_ms: 124.8,
+                flash_kb: 1080.0,
+                macs_m: 7.5,
+                energy_mj: 4.12,
+            },
+            ("AlexNet", 5) => PaperDesign {
+                accuracy: 67.1,
+                latency_ms: 111.3,
+                flash_kb: 954.0,
+                macs_m: 6.2,
+                energy_mj: 3.67,
+            },
+            ("AlexNet", 10) => PaperDesign {
+                accuracy: 62.1,
+                latency_ms: 101.5,
+                flash_kb: 891.0,
+                macs_m: 5.5,
+                energy_mj: 3.35,
+            },
+            _ => panic!("paper reports 0/5/10% for LeNet/AlexNet"),
+        }
+    }
+
+    /// Table I RAM column (KB).
+    pub fn ram_kb(model: &str) -> f64 {
+        match model {
+            "LeNet" => 183.5,
+            "AlexNet" => 212.16,
+            _ => panic!("paper reports LeNet/AlexNet only"),
+        }
+    }
+
+    /// Section III qualitative constants.
+    /// CMix-NN [9]: model with 13.8M MACs; the paper's framework runs a
+    /// comparable model at 124 ms, a "62% reduction in latency" — implying
+    /// CMix-NN ≈ 326 ms at 160 MHz.
+    pub const CMIX_NN_MACS_M: f64 = 13.8;
+    /// Implied CMix-NN latency (ms) at 160 MHz.
+    pub const CMIX_NN_LATENCY_MS: f64 = 326.0;
+    /// µTVM [10] reports +13% latency vs CMSIS-NN on a similar LeNet.
+    pub const UTVM_OVERHEAD_VS_CMSIS: f64 = 0.13;
+    /// The paper's speedup vs µTVM at <5% accuracy loss.
+    pub const PAPER_SPEEDUP_VS_UTVM: f64 = 0.32;
+
+    /// In-text aggregate claims (Section III).
+    pub const AVG_MAC_REDUCTION_ISO_ACCURACY: f64 = 0.44;
+    /// Average MAC reduction at 5% accuracy loss.
+    pub const AVG_MAC_REDUCTION_5PCT: f64 = 0.57;
+    /// Average latency reduction at 0% loss (vs CMSIS).
+    pub const AVG_SPEEDUP_0PCT: f64 = 0.21;
+    /// Average latency reduction at ~10% loss.
+    pub const AVG_SPEEDUP_10PCT: f64 = 0.36;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn published_energy_is_latency_times_33mw() {
+        // The constant-power observation our energy model rests on.
+        for model in ["LeNet", "AlexNet"] {
+            for d in [PaperNumbers::cmsis(model), PaperNumbers::xcube(model)] {
+                let implied_mw = d.energy_mj / (d.latency_ms * 1e-3);
+                assert!(
+                    (implied_mw - 33.0).abs() < 1.5,
+                    "{model}: implied power {implied_mw} mW"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn proposed_latency_improves_with_loss_budget() {
+        for model in ["LeNet", "AlexNet"] {
+            let l0 = PaperNumbers::proposed(model, 0);
+            let l5 = PaperNumbers::proposed(model, 5);
+            let l10 = PaperNumbers::proposed(model, 10);
+            assert!(l0.latency_ms > l5.latency_ms && l5.latency_ms > l10.latency_ms);
+            assert!(l0.flash_kb > l5.flash_kb && l5.flash_kb > l10.flash_kb);
+        }
+    }
+
+    #[test]
+    fn paper_crossover_vs_xcube() {
+        // X-CUBE-AI wins on exact LeNet; ours wins on AlexNet at 0% loss.
+        assert!(PaperNumbers::xcube("LeNet").latency_ms < PaperNumbers::proposed("LeNet", 0).latency_ms);
+        assert!(PaperNumbers::proposed("AlexNet", 0).latency_ms < PaperNumbers::xcube("AlexNet").latency_ms);
+    }
+}

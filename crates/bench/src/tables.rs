@@ -1,0 +1,67 @@
+//! Plain-text table rendering for the harness binaries.
+
+/// Render a fixed-width table: header row + data rows.
+pub fn render(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let line = |out: &mut String, cells: &[String]| {
+        for (i, c) in cells.iter().enumerate() {
+            out.push_str(&format!("{:<w$}  ", c, w = widths[i]));
+        }
+        out.push('\n');
+    };
+    line(&mut out, &headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    line(
+        &mut out,
+        &widths.iter().map(|&w| "-".repeat(w)).collect::<Vec<_>>(),
+    );
+    for row in rows {
+        line(&mut out, row);
+    }
+    out
+}
+
+/// Format a ratio as `+x.x%` / `-x.x%` relative delta.
+pub fn delta_pct(measured: f64, reference: f64) -> String {
+    if reference == 0.0 {
+        return "n/a".into();
+    }
+    let d = (measured - reference) / reference * 100.0;
+    format!("{d:+.1}%")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let t = render(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer".into(), "22".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].starts_with("a"));
+        // all rows same rendered width
+        assert_eq!(lines[2].trim_end().len() <= lines[0].len() + 8, true);
+    }
+
+    #[test]
+    fn delta_formatting() {
+        assert_eq!(delta_pct(110.0, 100.0), "+10.0%");
+        assert_eq!(delta_pct(90.0, 100.0), "-10.0%");
+        assert_eq!(delta_pct(1.0, 0.0), "n/a");
+    }
+}

@@ -1,0 +1,326 @@
+//! The exact CMSIS-style inference engine.
+
+use mcusim::{CostModel, Event, ExecStats};
+use quantize::{QConv, QDense, QLayer, QuantModel};
+use tinytensor::im2col::fill_im2col_i8;
+use tinytensor::quant::requantize_to_i8;
+use tinytensor::simd::{pack_i16x2, smlad};
+
+/// Per-layer profiling record (the paper's per-operator cycle counters).
+#[derive(Debug, Clone)]
+pub struct LayerProfile {
+    /// Layer label, e.g. `conv0 (32@5x5)`.
+    pub label: String,
+    /// Stats attributed to this layer.
+    pub stats: ExecStats,
+}
+
+/// CMSIS-NN-style exact engine over a quantized model.
+pub struct CmsisEngine<'m> {
+    model: &'m QuantModel,
+    cost: CostModel,
+}
+
+impl<'m> CmsisEngine<'m> {
+    /// Engine with the calibrated Cortex-M33 cost model.
+    pub fn new(model: &'m QuantModel) -> Self {
+        Self { model, cost: CostModel::cortex_m33() }
+    }
+
+    /// Engine with a custom cost model (ablations, comparator reuse).
+    pub fn with_cost_model(model: &'m QuantModel, cost: CostModel) -> Self {
+        Self { model, cost }
+    }
+
+    /// The model this engine runs.
+    pub fn model(&self) -> &QuantModel {
+        self.model
+    }
+
+    /// The engine's cost model.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Run one inference from an f32 image; returns int8 logits + stats.
+    pub fn infer(&self, image: &[f32]) -> (Vec<i8>, ExecStats) {
+        let q = self.model.quantize_input(image);
+        self.infer_quantized(&q)
+    }
+
+    /// Run one inference on a pre-quantized input.
+    pub fn infer_quantized(&self, qinput: &[i8]) -> (Vec<i8>, ExecStats) {
+        let profiles = self.run(qinput);
+        let mut total = ExecStats::new();
+        for p in &profiles.1 {
+            total.merge(&p.stats);
+        }
+        (profiles.0, total)
+    }
+
+    /// Per-layer profiling (Section II-A cycle counters).
+    pub fn profile(&self, image: &[f32]) -> Vec<LayerProfile> {
+        let q = self.model.quantize_input(image);
+        self.run(&q).1
+    }
+
+    /// Predicted class (convenience).
+    pub fn predict(&self, image: &[f32]) -> usize {
+        let (logits, _) = self.infer(image);
+        quantize::forward::argmax_i8(&logits)
+    }
+
+    fn run(&self, qinput: &[i8]) -> (Vec<i8>, Vec<LayerProfile>) {
+        assert_eq!(qinput.len(), self.model.input_shape.item_len());
+        let mut act = qinput.to_vec();
+        let mut profiles = Vec::with_capacity(self.model.layers.len());
+        for (li, layer) in self.model.layers.iter().enumerate() {
+            let mut stats = ExecStats::new();
+            // Generic-interpreter overhead: decode dims/strides/quant params
+            // from the model blob at runtime (removed by the framework's
+            // compile-time specialization, Section II-A).
+            stats.charge(Event::ParamDecode, 1);
+            stats.charge(Event::CallOverhead, 1);
+            let (label, out) = match layer {
+                QLayer::Conv(c) => (
+                    format!("conv{li} ({}@{}x{})", c.geom.out_c, c.geom.kernel_h, c.geom.kernel_w),
+                    conv_s8(c, &act, &mut stats),
+                ),
+                QLayer::Pool(p) => (
+                    format!("maxpool{li} ({}x{})", p.in_h, p.in_w),
+                    pool_s8(p.in_h, p.in_w, p.c, &act, &mut stats),
+                ),
+                QLayer::Dense(d) => {
+                    (format!("fc{li} ({}->{})", d.in_dim, d.out_dim), dense_s8(d, &act, &mut stats))
+                }
+            };
+            act = out;
+            profiles.push(LayerProfile { label, stats });
+        }
+        // Final softmax (cost only; argmax unchanged).
+        let mut sm = ExecStats::new();
+        sm.charge(Event::SoftmaxOp, act.len() as u64);
+        sm.charge(Event::CallOverhead, 1);
+        profiles.push(LayerProfile { label: "softmax".into(), stats: sm });
+        (act, profiles)
+    }
+}
+
+/// `arm_convolve_s8`: im2col into a q15 buffer (with offset), then the
+/// 2×2-blocked `mat_mult` kernel over SMLAD pairs.
+fn conv_s8(c: &QConv, input: &[i8], stats: &mut ExecStats) -> Vec<i8> {
+    let geom = &c.geom;
+    let patch = geom.patch_len();
+    let positions = geom.out_positions();
+    let out_c = geom.out_c;
+    let zp = c.in_qp.zero_point;
+    let pad = zp.clamp(-128, 127) as i8;
+
+    // --- im2col gather + q7→q15 widening with offset -------------------
+    let mut cols_i8 = vec![pad; positions * patch];
+    fill_im2col_i8(input, geom, pad, &mut cols_i8);
+    let centered: Vec<i16> = cols_i8.iter().map(|&v| v as i16 - zp as i16).collect();
+    stats.charge(Event::Im2colCopy, (positions * patch) as u64);
+    stats.charge(Event::InputPack, (positions * patch) as u64);
+
+    // --- mat_mult kernel ------------------------------------------------
+    let pairs = patch / 2;
+    let odd = patch % 2 == 1;
+    let (lo, hi) = c.act_bounds();
+    let out_zp = c.out_qp.zero_point;
+    let mut out = vec![0i8; positions * out_c];
+
+    for p in 0..positions {
+        let col = &centered[p * patch..(p + 1) * patch];
+        for o in 0..out_c {
+            let w = &c.weights[o * patch..(o + 1) * patch];
+            let mut acc = c.bias[o];
+            for k in 0..pairs {
+                let x = pack_i16x2(col[2 * k + 1], col[2 * k]);
+                let y = pack_i16x2(w[2 * k + 1] as i16, w[2 * k] as i16);
+                acc = smlad(x, y, acc);
+            }
+            if odd {
+                acc += col[patch - 1] as i32 * w[patch - 1] as i32;
+            }
+            let v = requantize_to_i8(acc, c.mult, out_zp) as i32;
+            out[p * out_c + o] = v.clamp(lo, hi) as i8;
+        }
+    }
+
+    // --- event accounting for the blocked kernel ------------------------
+    let smlads = (positions * out_c * pairs) as u64;
+    stats.add_macs((positions * out_c * patch) as u64);
+    stats.charge(Event::Smlad, smlads);
+    // One q15-pair word load per SMLAD, shared across the 2 filter rows.
+    stats.charge(Event::InputLoad, smlads / 2);
+    // One weight word (4 × i8) per 2 rows × 1 pair, shared across 2 columns.
+    stats.charge(Event::WeightLoad, smlads / 4);
+    // Runtime weight packing: one SXTB16 pair per 2 SMLADs.
+    stats.charge(Event::WeightPack, smlads / 2);
+    // Unrolled inner loop: bookkeeping per pair per 2×2 block (= 4 SMLADs).
+    stats.charge(Event::LoopOverhead, smlads / 4);
+    if odd {
+        stats.charge(Event::MacSingle, (positions * out_c) as u64);
+    }
+    stats.charge(Event::BiasInit, (positions * out_c) as u64);
+    stats.charge(Event::Requant, (positions * out_c) as u64);
+    // mat_mult is invoked once per two columns.
+    stats.charge(Event::CallOverhead, positions.div_ceil(2) as u64);
+    out
+}
+
+/// `arm_max_pool_s8`.
+fn pool_s8(in_h: usize, in_w: usize, ch: usize, input: &[i8], stats: &mut ExecStats) -> Vec<i8> {
+    let (oh, ow) = (in_h / 2, in_w / 2);
+    let mut out = vec![0i8; oh * ow * ch];
+    for oy in 0..oh {
+        for ox in 0..ow {
+            for c in 0..ch {
+                let i00 = ((oy * 2) * in_w + ox * 2) * ch + c;
+                let i01 = i00 + ch;
+                let i10 = i00 + in_w * ch;
+                let i11 = i10 + ch;
+                let m = input[i00].max(input[i01]).max(input[i10]).max(input[i11]);
+                out[(oy * ow + ox) * ch + c] = m;
+            }
+        }
+    }
+    // 4 candidate loads/compares per output element + store.
+    stats.charge(Event::PoolCompare, (oh * ow * ch * 4) as u64);
+    stats.charge(Event::Elementwise, (oh * ow * ch) as u64);
+    out
+}
+
+/// `arm_fully_connected_s8`: the input vector is widened once, weights are
+/// streamed (no reuse across outputs).
+fn dense_s8(d: &QDense, input: &[i8], stats: &mut ExecStats) -> Vec<i8> {
+    let zp = d.in_qp.zero_point;
+    let centered: Vec<i16> = input.iter().map(|&v| v as i16 - zp as i16).collect();
+    stats.charge(Event::InputPack, d.in_dim as u64);
+    let pairs = d.in_dim / 2;
+    let odd = d.in_dim % 2 == 1;
+    let (lo, hi) = d.act_bounds();
+    let out_zp = d.out_qp.zero_point;
+    let mut out = vec![0i8; d.out_dim];
+    for o in 0..d.out_dim {
+        let w = &d.weights[o * d.in_dim..(o + 1) * d.in_dim];
+        let mut acc = d.bias[o];
+        for k in 0..pairs {
+            let x = pack_i16x2(centered[2 * k + 1], centered[2 * k]);
+            let y = pack_i16x2(w[2 * k + 1] as i16, w[2 * k] as i16);
+            acc = smlad(x, y, acc);
+        }
+        if odd {
+            acc += centered[d.in_dim - 1] as i32 * w[d.in_dim - 1] as i32;
+        }
+        let v = requantize_to_i8(acc, d.mult, out_zp) as i32;
+        out[o] = v.clamp(lo, hi) as i8;
+    }
+    let smlads = (d.out_dim * pairs) as u64;
+    stats.add_macs((d.out_dim * d.in_dim) as u64);
+    stats.charge(Event::Smlad, smlads);
+    stats.charge(Event::InputLoad, smlads / 2);
+    // No column reuse in FC: every weight word is loaded for one output.
+    stats.charge(Event::WeightLoad, smlads / 2);
+    stats.charge(Event::WeightPack, smlads / 2);
+    stats.charge(Event::LoopOverhead, smlads / 4);
+    if odd {
+        stats.charge(Event::MacSingle, d.out_dim as u64);
+    }
+    stats.charge(Event::BiasInit, d.out_dim as u64);
+    stats.charge(Event::Requant, d.out_dim as u64);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cifar10sim::DatasetConfig;
+    use mcusim::Board;
+    use quantize::{calibrate_ranges, quantize_model};
+    use tinynn::{SgdConfig, Trainer};
+
+    fn setup() -> (QuantModel, cifar10sim::SyntheticCifar) {
+        let data = cifar10sim::generate(DatasetConfig::tiny(41));
+        let mut m = tinynn::zoo::mini_cifar(7);
+        let mut t = Trainer::new(SgdConfig { epochs: 3, ..Default::default() });
+        t.train(&mut m, &data.train);
+        let ranges = calibrate_ranges(&m, &data.train.take(16));
+        (quantize_model(&m, &ranges), data)
+    }
+
+    #[test]
+    fn bit_exact_with_reference_forward() {
+        let (q, data) = setup();
+        let engine = CmsisEngine::new(&q);
+        for i in 0..20 {
+            let img = data.test.image(i);
+            let (logits, _) = engine.infer(img);
+            assert_eq!(logits, q.forward(img), "image {i}");
+        }
+    }
+
+    #[test]
+    fn mac_count_matches_model() {
+        let (q, data) = setup();
+        let engine = CmsisEngine::new(&q);
+        let (_, stats) = engine.infer(data.test.image(0));
+        assert_eq!(stats.macs, q.macs());
+    }
+
+    #[test]
+    fn stats_deterministic_and_input_independent() {
+        // Exact inference executes the same instruction mix for any input.
+        let (q, data) = setup();
+        let engine = CmsisEngine::new(&q);
+        let (_, a) = engine.infer(data.test.image(0));
+        let (_, b) = engine.infer(data.test.image(1));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn profile_covers_all_layers_plus_softmax() {
+        let (q, data) = setup();
+        let engine = CmsisEngine::new(&q);
+        let prof = engine.profile(data.test.image(0));
+        assert_eq!(prof.len(), q.layers.len() + 1);
+        assert!(prof.last().unwrap().label.contains("softmax"));
+        // conv layers dominate the cycle budget ([5]: "most cycles in CNN
+        // models are consumed by these operations")
+        let cost = engine.cost_model();
+        let conv_cycles: u64 = prof
+            .iter()
+            .filter(|p| p.label.starts_with("conv"))
+            .map(|p| p.stats.cycles(cost))
+            .sum();
+        let total: u64 = prof.iter().map(|p| p.stats.cycles(cost)).sum();
+        assert!(conv_cycles * 10 > total * 8, "convs only {conv_cycles}/{total} cycles");
+    }
+
+    #[test]
+    fn latency_in_plausible_mcu_range() {
+        let (q, data) = setup();
+        let engine = CmsisEngine::new(&q);
+        let board = Board::stm32u575();
+        let (_, stats) = engine.infer(data.test.image(0));
+        let ms = stats.latency_ms(engine.cost_model(), &board);
+        // mini_cifar is ~1.9M MACs; expect single-digit-to-tens of ms.
+        assert!(ms > 1.0 && ms < 100.0, "latency {ms} ms implausible");
+    }
+
+    #[test]
+    fn smlad_path_handles_odd_patch() {
+        // 5x5x3 = 75-long patches exercise the odd trailing MAC.
+        let data = cifar10sim::generate(DatasetConfig::tiny(42));
+        let mut rng_model = tinynn::zoo::lenet(3);
+        // do not train: quantization of random weights still must be exact
+        let ranges = calibrate_ranges(&rng_model, &data.train.take(4));
+        let q = quantize_model(&mut rng_model, &ranges);
+        let engine = CmsisEngine::new(&q);
+        let img = data.test.image(0);
+        let (logits, stats) = engine.infer(img);
+        assert_eq!(logits, q.forward(img));
+        assert!(stats.count(Event::MacSingle) > 0, "odd patch must use single MACs");
+    }
+}

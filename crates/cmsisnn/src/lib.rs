@@ -1,0 +1,32 @@
+//! # cmsisnn
+//!
+//! CMSIS-NN-equivalent **exact** int8 inference engine — the paper's
+//! baseline (reference [2], `arm_convolve_s8` / `arm_nn_mat_mult_kernel_s8_s16`
+//! path) rebuilt in Rust on top of the [`mcusim`] cost model.
+//!
+//! Faithfulness properties:
+//!
+//! * **Bit-exact arithmetic.** Outputs equal [`quantize::QuantModel`]'s
+//!   reference forward bit-for-bit (enforced by tests). The convolution
+//!   really runs im2col → `q7_to_q15_with_offset` widening → SMLAD pairs,
+//!   using the [`tinytensor::simd`] instruction emulation.
+//! * **Instruction-mix accounting.** Events are charged with the
+//!   multiplicities of the 2-column × 2-row register-blocked CMSIS kernel:
+//!   one SMLAD per weight pair per output, input word-loads shared across
+//!   the two filter rows, weight word-loads shared across the two columns,
+//!   runtime weight packing (`SXTB16`), loop bookkeeping per unrolled
+//!   iteration, per-output bias init + requantization, and per-layer
+//!   runtime parameter decoding (the overhead the paper's compile-time
+//!   specialization removes).
+//! * **Memory model.** [`flash::flash_layout`] and [`flash::ram_estimate`]
+//!   account library code, weights, runtime metadata, static activation
+//!   buffers and kernel scratch against the board budget.
+//!
+//! The per-operator profiling of Section II-A ("we extend these kernels with
+//! cycle counters") is [`engine::CmsisEngine::profile`].
+
+pub mod engine;
+pub mod flash;
+
+pub use engine::{CmsisEngine, LayerProfile};
+pub use flash::{flash_layout, ram_estimate, CMSIS_LIBRARY_CODE_BYTES};

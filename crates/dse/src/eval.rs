@@ -1,0 +1,343 @@
+//! Configuration evaluation: simulated accuracy + analytic cost estimation.
+
+use cifar10sim::Dataset;
+use mcusim::{CostModel, Event, ExecStats};
+use quantize::{QLayer, QuantModel, SkipMaskSet};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use signif::{SignificanceMap, TauAssignment};
+use unpackgen::UnpackOptions;
+
+/// One evaluated approximate design (a blue dot of Fig. 2).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EvaluatedDesign {
+    /// The τ assignment that produced it.
+    pub taus: TauAssignment,
+    /// Simulated Top-1 accuracy on the evaluation subset.
+    pub accuracy: f32,
+    /// Model MACs after skipping (conv retained + dense).
+    pub retained_macs: u64,
+    /// Normalized MAC reduction **within the convolution layers only**
+    /// (Fig. 2's x-axis: "MAC reduction concerns only the convolution
+    /// layers").
+    pub conv_mac_reduction: f64,
+    /// Estimated inference cycles on the unpacked engine.
+    pub est_cycles: u64,
+    /// Estimated flash bytes of the deployment.
+    pub est_flash: u64,
+    /// Number of skipped products (over all channels; code-size proxy).
+    pub skipped_products: u64,
+}
+
+/// Exploration options.
+#[derive(Debug, Clone)]
+pub struct ExploreOptions {
+    /// Evaluate accuracy on the first `eval_images` of the evaluation set.
+    pub eval_images: usize,
+    /// Unpacking options for cost estimation.
+    pub unpack: UnpackOptions,
+    /// Cost model for cycle estimation.
+    pub cost: CostModel,
+}
+
+impl Default for ExploreOptions {
+    fn default() -> Self {
+        Self {
+            eval_images: 512,
+            unpack: UnpackOptions::default(),
+            cost: CostModel::cortex_m33(),
+        }
+    }
+}
+
+/// Evaluate one configuration.
+pub fn evaluate_design(
+    model: &QuantModel,
+    sig: &SignificanceMap,
+    eval_set: &Dataset,
+    taus: &TauAssignment,
+    opts: &ExploreOptions,
+) -> EvaluatedDesign {
+    let masks = sig.masks_for_tau(model, taus);
+    let accuracy = model.accuracy(eval_set, Some(&masks));
+    let stats = estimate_stats(model, Some(&masks), opts.unpack);
+    let est_cycles = stats.cycles(&opts.cost);
+    let est_flash = estimate_flash(model, Some(&masks), opts.unpack);
+    let conv_dense: u64 = conv_macs_dense(model);
+    let conv_retained = conv_macs_retained(model, &masks);
+    let skipped = masks.skipped_macs(model);
+    debug_assert_eq!(conv_dense - conv_retained, skipped);
+    EvaluatedDesign {
+        taus: taus.clone(),
+        accuracy,
+        retained_macs: stats.macs,
+        conv_mac_reduction: 1.0 - conv_retained as f64 / conv_dense as f64,
+        est_cycles,
+        est_flash,
+        skipped_products: count_skipped_products(&masks),
+    }
+}
+
+/// Explore a list of configurations in parallel (stable output order).
+pub fn explore(
+    model: &QuantModel,
+    sig: &SignificanceMap,
+    eval_set: &Dataset,
+    configs: &[TauAssignment],
+    opts: &ExploreOptions,
+) -> Vec<EvaluatedDesign> {
+    let eval = eval_set.take(opts.eval_images);
+    configs
+        .par_iter()
+        .map(|taus| evaluate_design(model, sig, &eval, taus, opts))
+        .collect()
+}
+
+fn count_skipped_products(masks: &SkipMaskSet) -> u64 {
+    masks
+        .per_conv
+        .iter()
+        .flatten()
+        .map(|m| m.iter().filter(|&&s| s).count() as u64)
+        .sum()
+}
+
+fn conv_macs_dense(model: &QuantModel) -> u64 {
+    model
+        .layers
+        .iter()
+        .map(|l| match l {
+            QLayer::Conv(c) => c.geom.macs(),
+            _ => 0,
+        })
+        .sum()
+}
+
+fn conv_macs_retained(model: &QuantModel, masks: &SkipMaskSet) -> u64 {
+    conv_macs_dense(model) - masks.skipped_macs(model)
+}
+
+/// Analytic replica of [`unpackgen::UnpackedEngine`]'s event accounting —
+/// no op-stream materialization, no arithmetic, O(products) per call.
+///
+/// Unit tests assert exact equality with the engine's measured stats.
+pub fn estimate_stats(
+    model: &QuantModel,
+    masks: Option<&SkipMaskSet>,
+    options: UnpackOptions,
+) -> ExecStats {
+    let mut stats = ExecStats::new();
+    let mut ordinal = 0usize;
+    let block = options.col_block as u64;
+    for layer in &model.layers {
+        match layer {
+            QLayer::Conv(c) => {
+                let patch = c.geom.patch_len();
+                let out_c = c.geom.out_c;
+                let p64 = c.geom.out_positions() as u64;
+                let mask = masks.and_then(|m| m.per_conv[ordinal].as_deref());
+                let mut total_ops = 0u64;
+                let mut tails = 0u64;
+                let mut retained_products = 0u64;
+                for o in 0..out_c {
+                    let retained = match mask {
+                        Some(m) => {
+                            let mm = &m[o * patch..(o + 1) * patch];
+                            let kept = mm.iter().filter(|&&s| !s).count();
+                            if options.drop_zero_weights {
+                                let w = &c.weights[o * patch..(o + 1) * patch];
+                                mm.iter()
+                                    .zip(w.iter())
+                                    .filter(|(&s, &w)| !s && w != 0)
+                                    .count()
+                            } else {
+                                kept
+                            }
+                        }
+                        None => {
+                            if options.drop_zero_weights {
+                                c.weights[o * patch..(o + 1) * patch]
+                                    .iter()
+                                    .filter(|&&w| w != 0)
+                                    .count()
+                            } else {
+                                patch
+                            }
+                        }
+                    } as u64;
+                    total_ops += retained / 2;
+                    tails += retained % 2;
+                    retained_products += retained;
+                }
+                stats.add_macs(retained_products * p64);
+                stats.charge(Event::Smlad, total_ops * p64);
+                stats.charge(Event::InputLoad, total_ops * p64 / 2);
+                stats.charge(Event::InputPack, total_ops * p64);
+                stats.charge(Event::WeightImm, total_ops * p64 / block);
+                stats.charge(Event::MacSingle, tails * p64);
+                stats.charge(Event::LoopOverhead, out_c as u64 * p64 / block);
+                stats.charge(Event::BiasInit, out_c as u64 * p64);
+                stats.charge(Event::Requant, out_c as u64 * p64);
+                ordinal += 1;
+            }
+            QLayer::Pool(p) => {
+                let out = p.out_len() as u64;
+                stats.charge(Event::PoolCompare, out * 4);
+                stats.charge(Event::Elementwise, out);
+            }
+            QLayer::Dense(d) => {
+                let smlads = (d.out_dim * (d.in_dim / 2)) as u64;
+                stats.charge(Event::InputPack, d.in_dim as u64);
+                stats.add_macs((d.out_dim * d.in_dim) as u64);
+                stats.charge(Event::Smlad, smlads);
+                stats.charge(Event::InputLoad, smlads / 2);
+                stats.charge(Event::WeightLoad, smlads / 2);
+                stats.charge(Event::WeightPack, smlads / 2);
+                stats.charge(Event::LoopOverhead, smlads / 4);
+                if d.in_dim % 2 == 1 {
+                    stats.charge(Event::MacSingle, d.out_dim as u64);
+                }
+                stats.charge(Event::BiasInit, d.out_dim as u64);
+                stats.charge(Event::Requant, d.out_dim as u64);
+            }
+        }
+        stats.charge(Event::CallOverhead, 1);
+    }
+    let last = model.layers.last().map(|l| l.out_len()).unwrap_or(0) as u64;
+    stats.charge(Event::SoftmaxOp, last);
+    stats
+}
+
+/// Analytic flash estimate of the unpacked deployment under masks.
+pub fn estimate_flash(
+    model: &QuantModel,
+    masks: Option<&SkipMaskSet>,
+    options: UnpackOptions,
+) -> u64 {
+    use unpackgen::flash::{
+        bytes_per_op, BYTES_PER_CHANNEL, BYTES_PER_LAYER, BYTES_PER_TAIL,
+        SPECIALIZED_LIBRARY_CODE_BYTES,
+    };
+    let mut total = SPECIALIZED_LIBRARY_CODE_BYTES;
+    let mut ordinal = 0usize;
+    for layer in &model.layers {
+        match layer {
+            QLayer::Conv(c) => {
+                let patch = c.geom.patch_len();
+                let mask = masks.and_then(|m| m.per_conv[ordinal].as_deref());
+                let mut code = BYTES_PER_LAYER;
+                for o in 0..c.geom.out_c {
+                    let retained = match mask {
+                        Some(m) => {
+                            m[o * patch..(o + 1) * patch].iter().filter(|&&s| !s).count()
+                        }
+                        None => patch,
+                    } as u64;
+                    code += (retained / 2) * bytes_per_op(options.col_block)
+                        + (retained % 2) * BYTES_PER_TAIL
+                        + BYTES_PER_CHANNEL;
+                }
+                total += code;
+                ordinal += 1;
+            }
+            QLayer::Dense(d) => {
+                total += (d.weights.len() + 4 * d.bias.len()) as u64;
+            }
+            QLayer::Pool(_) => {}
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cifar10sim::DatasetConfig;
+    use quantize::{calibrate_ranges, quantize_model};
+    use signif::capture_mean_inputs;
+    use tinynn::{SgdConfig, Trainer};
+    use unpackgen::UnpackedEngine;
+
+    fn setup() -> (QuantModel, SignificanceMap, cifar10sim::SyntheticCifar) {
+        let data = cifar10sim::generate(DatasetConfig::tiny(121));
+        let mut m = tinynn::zoo::mini_cifar(19);
+        let mut t = Trainer::new(SgdConfig { epochs: 5, lr: 0.08, ..Default::default() });
+        t.train(&mut m, &data.train);
+        let ranges = calibrate_ranges(&m, &data.train.take(16));
+        let q = quantize_model(&m, &ranges);
+        let means = capture_mean_inputs(&q, &data.train.take(16));
+        let sig = SignificanceMap::compute(&q, &means);
+        (q, sig, data)
+    }
+
+    #[test]
+    fn analytic_estimator_matches_engine_exactly() {
+        let (q, sig, data) = setup();
+        for tau in [0.0, 0.005, 0.05] {
+            let masks = sig.masks_for_tau(&q, &TauAssignment::global(tau));
+            let opts = UnpackOptions::default();
+            let engine = UnpackedEngine::new(&q, Some(&masks), opts);
+            let (_, measured) = engine.infer(data.test.image(0));
+            let estimated = estimate_stats(&q, Some(&masks), opts);
+            assert_eq!(estimated, measured, "tau {tau}");
+        }
+    }
+
+    #[test]
+    fn analytic_flash_matches_layout_exactly() {
+        let (q, sig, _) = setup();
+        let masks = sig.masks_for_tau(&q, &TauAssignment::global(0.01));
+        let opts = UnpackOptions::default();
+        let engine = UnpackedEngine::new(&q, Some(&masks), opts);
+        let layout = unpackgen::unpacked_flash_layout(&q, engine.convs());
+        assert_eq!(estimate_flash(&q, Some(&masks), opts), layout.total());
+    }
+
+    #[test]
+    fn evaluate_design_fields_consistent() {
+        let (q, sig, data) = setup();
+        let opts = ExploreOptions { eval_images: 40, ..Default::default() };
+        let d = evaluate_design(
+            &q,
+            &sig,
+            &data.test.take(40),
+            &TauAssignment::global(0.02),
+            &opts,
+        );
+        assert!((0.0..=1.0).contains(&(d.accuracy as f64)));
+        assert!((0.0..=1.0).contains(&d.conv_mac_reduction));
+        assert!(d.retained_macs <= q.macs());
+        assert!(d.est_cycles > 0);
+        // tau = 0 design reduces nothing or nearly nothing
+        let d0 =
+            evaluate_design(&q, &sig, &data.test.take(40), &TauAssignment::global(0.0), &opts);
+        assert!(d0.conv_mac_reduction <= d.conv_mac_reduction + 1e-12);
+    }
+
+    #[test]
+    fn explore_parallel_is_order_stable() {
+        let (q, sig, data) = setup();
+        let configs: Vec<TauAssignment> =
+            [0.0, 0.01, 0.03, 0.08].iter().map(|&t| TauAssignment::global(t)).collect();
+        let opts = ExploreOptions { eval_images: 30, ..Default::default() };
+        let a = explore(&q, &sig, &data.test, &configs, &opts);
+        let b = explore(&q, &sig, &data.test, &configs, &opts);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.accuracy, y.accuracy);
+            assert_eq!(x.est_cycles, y.est_cycles);
+            assert_eq!(x.taus, y.taus);
+        }
+    }
+
+    #[test]
+    fn more_skipping_cheaper_flash_and_cycles() {
+        let (q, sig, data) = setup();
+        let opts = ExploreOptions { eval_images: 20, ..Default::default() };
+        let eval = data.test.take(20);
+        let lo = evaluate_design(&q, &sig, &eval, &TauAssignment::global(0.001), &opts);
+        let hi = evaluate_design(&q, &sig, &eval, &TauAssignment::global(0.09), &opts);
+        assert!(hi.conv_mac_reduction >= lo.conv_mac_reduction);
+        assert!(hi.est_cycles <= lo.est_cycles);
+        assert!(hi.est_flash <= lo.est_flash);
+    }
+}

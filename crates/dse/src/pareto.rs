@@ -1,0 +1,143 @@
+//! Pareto-front extraction and accuracy-loss-bounded selection.
+
+use crate::eval::EvaluatedDesign;
+
+/// Indices of the Pareto-optimal designs over (accuracy ↑, conv MAC
+/// reduction ↑) — the green triangles of Fig. 2.
+///
+/// A design is dominated when another has ≥ accuracy **and** ≥ reduction
+/// with at least one strict. Output indices are sorted by increasing
+/// reduction.
+pub fn pareto_front(designs: &[EvaluatedDesign]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..designs.len()).collect();
+    // Sort by reduction descending, accuracy descending as tiebreak.
+    order.sort_by(|&a, &b| {
+        designs[b]
+            .conv_mac_reduction
+            .partial_cmp(&designs[a].conv_mac_reduction)
+            .unwrap()
+            .then(designs[b].accuracy.partial_cmp(&designs[a].accuracy).unwrap())
+            .then(a.cmp(&b))
+    });
+    let mut front = Vec::new();
+    let mut best_acc = f32::NEG_INFINITY;
+    let mut last_red = f64::INFINITY;
+    for &i in &order {
+        let d = &designs[i];
+        if d.accuracy > best_acc {
+            // strictly better accuracy than anything with >= reduction
+            // (duplicates on both axes keep only the first in sort order)
+            if !(d.accuracy == best_acc && d.conv_mac_reduction == last_red) {
+                front.push(i);
+            }
+            best_acc = d.accuracy;
+            last_red = d.conv_mac_reduction;
+        }
+    }
+    front.reverse(); // increasing reduction
+    front
+}
+
+/// From a Pareto front, pick the design with the largest MAC reduction whose
+/// accuracy satisfies `accuracy ≥ baseline_accuracy − max_loss` (Table II's
+/// "latency-optimized approximate design" per loss threshold).
+///
+/// Returns `None` when nothing on the front meets the bound.
+pub fn select_for_accuracy_loss<'d>(
+    designs: &'d [EvaluatedDesign],
+    front: &[usize],
+    baseline_accuracy: f32,
+    max_loss: f32,
+) -> Option<&'d EvaluatedDesign> {
+    let bound = baseline_accuracy - max_loss;
+    front
+        .iter()
+        .map(|&i| &designs[i])
+        .filter(|d| d.accuracy >= bound)
+        .max_by(|a, b| {
+            a.conv_mac_reduction
+                .partial_cmp(&b.conv_mac_reduction)
+                .unwrap()
+                .then(b.est_cycles.cmp(&a.est_cycles).reverse())
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use signif::TauAssignment;
+
+    fn d(accuracy: f32, red: f64) -> EvaluatedDesign {
+        EvaluatedDesign {
+            taus: TauAssignment::global(0.0),
+            accuracy,
+            retained_macs: ((1.0 - red) * 1e6) as u64,
+            conv_mac_reduction: red,
+            est_cycles: ((1.0 - red) * 2e6) as u64 + 100_000,
+            est_flash: 1000,
+            skipped_products: 0,
+        }
+    }
+
+    #[test]
+    fn front_is_non_dominated_and_sorted() {
+        let designs = vec![
+            d(0.70, 0.10),
+            d(0.69, 0.30), // on front
+            d(0.68, 0.20), // dominated by (0.69, 0.30)
+            d(0.71, 0.05), // on front (best accuracy)
+            d(0.60, 0.60), // on front (best reduction)
+            d(0.60, 0.50), // dominated
+        ];
+        let front = pareto_front(&designs);
+        let pts: Vec<(f32, f64)> =
+            front.iter().map(|&i| (designs[i].accuracy, designs[i].conv_mac_reduction)).collect();
+        assert_eq!(pts, vec![(0.71, 0.05), (0.70, 0.10), (0.69, 0.30), (0.60, 0.60)]);
+        // non-domination check
+        for (i, &a) in front.iter().enumerate() {
+            for &b in &front[i + 1..] {
+                let (pa, pb) = (&designs[a], &designs[b]);
+                assert!(pa.accuracy > pb.accuracy);
+                assert!(pa.conv_mac_reduction < pb.conv_mac_reduction);
+            }
+        }
+    }
+
+    #[test]
+    fn front_of_empty_and_singleton() {
+        assert!(pareto_front(&[]).is_empty());
+        let one = vec![d(0.5, 0.5)];
+        assert_eq!(pareto_front(&one), vec![0]);
+    }
+
+    #[test]
+    fn duplicates_collapse() {
+        let designs = vec![d(0.7, 0.2), d(0.7, 0.2), d(0.7, 0.2)];
+        assert_eq!(pareto_front(&designs).len(), 1);
+    }
+
+    #[test]
+    fn selection_respects_loss_bound() {
+        let designs = vec![d(0.72, 0.05), d(0.70, 0.30), d(0.66, 0.55), d(0.61, 0.70)];
+        let front = pareto_front(&designs);
+        // 0% loss vs baseline 0.70: picks the most-reduced design with
+        // accuracy >= 0.70
+        let zero = select_for_accuracy_loss(&designs, &front, 0.70, 0.0).unwrap();
+        assert_eq!(zero.conv_mac_reduction, 0.30);
+        // 5% loss: accuracy >= 0.65
+        let five = select_for_accuracy_loss(&designs, &front, 0.70, 0.05).unwrap();
+        assert_eq!(five.conv_mac_reduction, 0.55);
+        // impossible bound
+        assert!(select_for_accuracy_loss(&designs, &front, 0.99, 0.0).is_none());
+    }
+
+    #[test]
+    fn selection_can_exceed_baseline_accuracy() {
+        // Table II AlexNet(0%): the selected approximate design is *more*
+        // accurate than the exact baseline (72.4 vs 71.9).
+        let designs = vec![d(0.724, 0.50), d(0.719, 0.10)];
+        let front = pareto_front(&designs);
+        let pick = select_for_accuracy_loss(&designs, &front, 0.719, 0.0).unwrap();
+        assert_eq!(pick.accuracy, 0.724);
+    }
+}

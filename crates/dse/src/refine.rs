@@ -1,0 +1,212 @@
+//! Greedy per-layer τ refinement.
+//!
+//! The paper's exhaustive DSE sweeps a *global* τ across layer subsets;
+//! that leaves per-layer headroom on the table (early conv layers usually
+//! tolerate far less skipping than late ones). This module adds a
+//! coordinate-descent refinement pass on top of any starting assignment:
+//! repeatedly try to *raise* one layer's τ by one grid step (more skipping,
+//! more speedup) and keep the move iff the accuracy floor still holds;
+//! try to *lower* a layer's τ when the floor is violated.
+//!
+//! Deterministic: layers are visited in fixed order and ties resolve to the
+//! lowest layer index.
+
+use crate::eval::{evaluate_design, EvaluatedDesign, ExploreOptions};
+use cifar10sim::Dataset;
+use quantize::QuantModel;
+use signif::{SignificanceMap, TauAssignment};
+
+/// Options for the refinement search.
+#[derive(Debug, Clone)]
+pub struct RefineOptions {
+    /// τ grid step used for coordinate moves.
+    pub tau_step: f64,
+    /// Largest τ considered.
+    pub tau_max: f64,
+    /// Accuracy floor the refined design must satisfy.
+    pub accuracy_floor: f32,
+    /// Maximum number of design evaluations.
+    pub eval_budget: usize,
+}
+
+impl Default for RefineOptions {
+    fn default() -> Self {
+        Self { tau_step: 0.005, tau_max: 0.1, accuracy_floor: 0.0, eval_budget: 64 }
+    }
+}
+
+/// Result of a refinement run.
+#[derive(Debug, Clone)]
+pub struct RefineResult {
+    /// The best design found (meets the floor if the start did).
+    pub best: EvaluatedDesign,
+    /// Number of design evaluations spent.
+    pub evals: usize,
+    /// Whether any move improved on the start.
+    pub improved: bool,
+}
+
+/// Coordinate-descent refinement from `start`.
+pub fn greedy_refine(
+    model: &QuantModel,
+    sig: &SignificanceMap,
+    eval_set: &Dataset,
+    start: &TauAssignment,
+    explore: &ExploreOptions,
+    opts: &RefineOptions,
+) -> RefineResult {
+    let n = model.conv_indices().len();
+    let mut current = normalize(start, n);
+    let mut best = evaluate_design(model, sig, eval_set, &current, explore);
+    let mut evals = 1usize;
+    let mut improved = false;
+
+    // Better = meets floor AND more conv-MAC reduction (accuracy breaks ties).
+    let meets = |d: &EvaluatedDesign| d.accuracy >= opts.accuracy_floor;
+    let better = |cand: &EvaluatedDesign, inc: &EvaluatedDesign| -> bool {
+        match (meets(cand), meets(inc)) {
+            (true, false) => true,
+            (false, true) => false,
+            _ => {
+                cand.conv_mac_reduction > inc.conv_mac_reduction + 1e-12
+                    || (cand.conv_mac_reduction >= inc.conv_mac_reduction - 1e-12
+                        && cand.accuracy > inc.accuracy)
+            }
+        }
+    };
+
+    let mut made_progress = true;
+    while made_progress && evals < opts.eval_budget {
+        made_progress = false;
+        for k in 0..n {
+            if evals >= opts.eval_budget {
+                break;
+            }
+            let cur_tau = current.per_conv[k];
+            // Candidate moves: raise (skip more) and, if the floor is
+            // broken, lower (skip less).
+            let mut moves = Vec::with_capacity(2);
+            let raised = cur_tau.map_or(0.0, |t| t + opts.tau_step);
+            if raised <= opts.tau_max + 1e-12 {
+                moves.push(Some(raised));
+            }
+            if !meets(&best) {
+                let lowered = cur_tau.map_or(0.0, |t| (t - opts.tau_step).max(0.0));
+                moves.push(Some(lowered));
+            }
+            for m in moves {
+                if evals >= opts.eval_budget {
+                    break;
+                }
+                let mut cand_taus = current.clone();
+                cand_taus.per_conv[k] = m;
+                let cand = evaluate_design(model, sig, eval_set, &cand_taus, explore);
+                evals += 1;
+                if better(&cand, &best) {
+                    best = cand;
+                    current = cand_taus;
+                    made_progress = true;
+                    improved = true;
+                    break; // re-scan layers from the new point
+                }
+            }
+        }
+    }
+    RefineResult { best, evals, improved }
+}
+
+fn normalize(start: &TauAssignment, n: usize) -> TauAssignment {
+    if start.per_conv.len() == n {
+        start.clone()
+    } else if start.per_conv.len() == 1 {
+        TauAssignment::per_layer(vec![start.per_conv[0]; n])
+    } else {
+        panic!("start assignment arity {} vs {n} conv layers", start.per_conv.len());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cifar10sim::DatasetConfig;
+    use quantize::{calibrate_ranges, quantize_model};
+    use signif::capture_mean_inputs;
+    use tinynn::{SgdConfig, Trainer};
+
+    fn setup() -> (QuantModel, SignificanceMap, cifar10sim::SyntheticCifar) {
+        let data = cifar10sim::generate(DatasetConfig::tiny(171));
+        let mut m = tinynn::zoo::mini_cifar(171);
+        let mut t = Trainer::new(SgdConfig { epochs: 5, lr: 0.05, ..Default::default() });
+        t.train(&mut m, &data.train);
+        let ranges = calibrate_ranges(&m, &data.train.take(16));
+        let q = quantize_model(&m, &ranges);
+        let means = capture_mean_inputs(&q, &data.train.take(16));
+        let sig = SignificanceMap::compute(&q, &means);
+        (q, sig, data)
+    }
+
+    #[test]
+    fn refine_respects_eval_budget_and_floor() {
+        let (q, sig, data) = setup();
+        let explore = ExploreOptions { eval_images: 24, ..Default::default() };
+        let eval = data.test.take(24);
+        let base_acc = q.accuracy(&eval, None);
+        let opts = RefineOptions {
+            accuracy_floor: base_acc - 0.10,
+            eval_budget: 20,
+            ..Default::default()
+        };
+        let r = greedy_refine(&q, &sig, &eval, &TauAssignment::global(0.0), &explore, &opts);
+        assert!(r.evals <= 20);
+        assert!(
+            r.best.accuracy >= opts.accuracy_floor,
+            "refined design {} below floor {}",
+            r.best.accuracy,
+            opts.accuracy_floor
+        );
+    }
+
+    #[test]
+    fn refine_improves_or_equals_start_reduction() {
+        let (q, sig, data) = setup();
+        let explore = ExploreOptions { eval_images: 24, ..Default::default() };
+        let eval = data.test.take(24);
+        let start = TauAssignment::global(0.005);
+        let start_design = evaluate_design(&q, &sig, &eval, &start, &explore);
+        let opts = RefineOptions {
+            accuracy_floor: start_design.accuracy - 0.15,
+            eval_budget: 30,
+            ..Default::default()
+        };
+        let r = greedy_refine(&q, &sig, &eval, &start, &explore, &opts);
+        assert!(r.best.conv_mac_reduction >= start_design.conv_mac_reduction - 1e-12);
+    }
+
+    #[test]
+    fn refine_is_deterministic() {
+        let (q, sig, data) = setup();
+        let explore = ExploreOptions { eval_images: 16, ..Default::default() };
+        let eval = data.test.take(16);
+        let opts = RefineOptions { accuracy_floor: 0.0, eval_budget: 15, ..Default::default() };
+        let a = greedy_refine(&q, &sig, &eval, &TauAssignment::global(0.0), &explore, &opts);
+        let b = greedy_refine(&q, &sig, &eval, &TauAssignment::global(0.0), &explore, &opts);
+        assert_eq!(a.best.taus, b.best.taus);
+        assert_eq!(a.evals, b.evals);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn refine_rejects_bad_arity() {
+        let (q, sig, data) = setup();
+        let explore = ExploreOptions { eval_images: 8, ..Default::default() };
+        let eval = data.test.take(8);
+        greedy_refine(
+            &q,
+            &sig,
+            &eval,
+            &TauAssignment::per_layer(vec![Some(0.1); 17]),
+            &explore,
+            &RefineOptions::default(),
+        );
+    }
+}

@@ -1,0 +1,109 @@
+//! Serializable DSE reports (the data behind Fig. 2 and the in-text
+//! aggregate claims).
+
+use crate::eval::EvaluatedDesign;
+use crate::pareto::{pareto_front, select_for_accuracy_loss};
+use serde::{Deserialize, Serialize};
+
+/// A complete DSE run over one model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DseReport {
+    /// Model name.
+    pub model: String,
+    /// Exact-baseline accuracy on the same evaluation subset.
+    pub baseline_accuracy: f32,
+    /// Dense (exact) model MACs.
+    pub baseline_macs: u64,
+    /// Every evaluated design.
+    pub designs: Vec<EvaluatedDesign>,
+    /// Indices of the Pareto front (increasing MAC reduction).
+    pub pareto: Vec<usize>,
+}
+
+impl DseReport {
+    /// Assemble a report (computes the front).
+    pub fn new(
+        model: impl Into<String>,
+        baseline_accuracy: f32,
+        baseline_macs: u64,
+        designs: Vec<EvaluatedDesign>,
+    ) -> Self {
+        let pareto = pareto_front(&designs);
+        Self { model: model.into(), baseline_accuracy, baseline_macs, designs, pareto }
+    }
+
+    /// The Pareto-front designs.
+    pub fn front(&self) -> Vec<&EvaluatedDesign> {
+        self.pareto.iter().map(|&i| &self.designs[i]).collect()
+    }
+
+    /// Latency-optimized pick at an accuracy-loss bound (fractional, e.g.
+    /// 0.05 for the paper's "5%").
+    pub fn select(&self, max_loss: f32) -> Option<&EvaluatedDesign> {
+        select_for_accuracy_loss(&self.designs, &self.pareto, self.baseline_accuracy, max_loss)
+    }
+
+    /// Conv-layer MAC reduction of the selected design at a loss bound —
+    /// the paper's "44% MAC reduction ... with identical accuracy" / "57%
+    /// when compromising 5% accuracy loss" statistics.
+    pub fn mac_reduction_at_loss(&self, max_loss: f32) -> Option<f64> {
+        self.select(max_loss).map(|d| d.conv_mac_reduction)
+    }
+
+    /// Fig. 2 series: `(mac_reduction, accuracy)` for all designs.
+    pub fn scatter(&self) -> Vec<(f64, f32)> {
+        self.designs.iter().map(|d| (d.conv_mac_reduction, d.accuracy)).collect()
+    }
+
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialization")
+    }
+
+    /// Deserialize from JSON.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use signif::TauAssignment;
+
+    fn d(accuracy: f32, red: f64) -> EvaluatedDesign {
+        EvaluatedDesign {
+            taus: TauAssignment::global(red),
+            accuracy,
+            retained_macs: 0,
+            conv_mac_reduction: red,
+            est_cycles: 1,
+            est_flash: 1,
+            skipped_products: 0,
+        }
+    }
+
+    #[test]
+    fn report_roundtrips_json() {
+        let r = DseReport::new("LeNet", 0.71, 4_500_000, vec![d(0.71, 0.1), d(0.65, 0.5)]);
+        let json = r.to_json();
+        let back = DseReport::from_json(&json).unwrap();
+        assert_eq!(back.model, "LeNet");
+        assert_eq!(back.designs.len(), 2);
+        assert_eq!(back.pareto, r.pareto);
+    }
+
+    #[test]
+    fn selection_statistics() {
+        let r = DseReport::new(
+            "m",
+            0.70,
+            1,
+            vec![d(0.71, 0.2), d(0.70, 0.4), d(0.66, 0.6), d(0.59, 0.8)],
+        );
+        assert_eq!(r.mac_reduction_at_loss(0.0), Some(0.4));
+        assert_eq!(r.mac_reduction_at_loss(0.05), Some(0.6));
+        assert_eq!(r.mac_reduction_at_loss(0.12), Some(0.8));
+        assert_eq!(r.scatter().len(), 4);
+    }
+}

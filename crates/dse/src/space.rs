@@ -1,0 +1,142 @@
+//! Configuration enumeration.
+
+use signif::TauAssignment;
+
+/// An enumerable design space: τ grid × conv-layer subsets.
+#[derive(Debug, Clone)]
+pub struct DseSpace {
+    /// Number of conv layers in the target model.
+    pub n_convs: usize,
+    /// The τ grid (inclusive sweep values).
+    pub taus: Vec<f64>,
+    /// Layer subsets to approximate (bitmasks over conv ordinals).
+    pub subsets: Vec<u32>,
+}
+
+impl DseSpace {
+    /// The paper's sweep: τ ∈ [0, 0.1] with the given step, across **all**
+    /// non-empty subsets of conv layers.
+    pub fn paper(n_convs: usize, tau_step: f64) -> Self {
+        assert!(n_convs > 0 && n_convs < 32);
+        assert!(tau_step > 0.0);
+        let mut taus = Vec::new();
+        let mut t = 0.0f64;
+        while t <= 0.1 + 1e-12 {
+            taus.push((t * 1e9).round() / 1e9);
+            t += tau_step;
+        }
+        let subsets: Vec<u32> = (1..(1u32 << n_convs)).collect();
+        Self { n_convs, taus, subsets }
+    }
+
+    /// LeNet's published grid (step 0.001).
+    pub fn paper_lenet(n_convs: usize) -> Self {
+        Self::paper(n_convs, 0.001)
+    }
+
+    /// AlexNet's published grid (step 0.01).
+    pub fn paper_alexnet(n_convs: usize) -> Self {
+        Self::paper(n_convs, 0.01)
+    }
+
+    /// A budgeted sub-grid for quick runs: `n_taus` values in [0, 0.1],
+    /// approximating all layers together plus each layer alone.
+    pub fn quick(n_convs: usize, n_taus: usize) -> Self {
+        assert!(n_convs > 0 && n_convs < 32 && n_taus >= 2);
+        let taus: Vec<f64> =
+            (0..n_taus).map(|i| 0.1 * i as f64 / (n_taus - 1) as f64).collect();
+        let mut subsets = vec![(1u32 << n_convs) - 1];
+        for k in 0..n_convs {
+            subsets.push(1 << k);
+        }
+        subsets.dedup();
+        Self { n_convs, taus, subsets }
+    }
+
+    /// Total number of configurations (excluding the implicit exact design).
+    pub fn len(&self) -> usize {
+        self.taus.len() * self.subsets.len()
+    }
+
+    /// True when the space is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enumerate all configurations as τ assignments, in a stable order.
+    pub fn configs(&self) -> Vec<TauAssignment> {
+        let mut out = Vec::with_capacity(self.len());
+        for &subset in &self.subsets {
+            for &tau in &self.taus {
+                let per_conv = (0..self.n_convs)
+                    .map(|k| (subset >> k) & 1 == 1)
+                    .map(|on| on.then_some(tau))
+                    .collect();
+                out.push(TauAssignment::per_layer(per_conv));
+            }
+        }
+        out
+    }
+
+    /// Keep only every `stride`-th configuration (budget cap), always
+    /// retaining the first.
+    pub fn thin(mut self, max_configs: usize) -> Self {
+        let total = self.len();
+        if total <= max_configs || max_configs == 0 {
+            return self;
+        }
+        // Thin the τ grid, which dominates the product.
+        let keep = (max_configs + self.subsets.len() - 1) / self.subsets.len();
+        let keep = keep.max(2);
+        let stride = (self.taus.len() + keep - 1) / keep;
+        self.taus = self.taus.iter().copied().step_by(stride.max(1)).collect();
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_lenet_grid_size() {
+        let s = DseSpace::paper_lenet(3);
+        assert_eq!(s.taus.len(), 101); // 0, 0.001, ..., 0.1
+        assert_eq!(s.subsets.len(), 7); // non-empty subsets of 3 layers
+        assert_eq!(s.len(), 707);
+    }
+
+    #[test]
+    fn paper_alexnet_grid_size() {
+        let s = DseSpace::paper_alexnet(5);
+        assert_eq!(s.taus.len(), 11); // 0, 0.01, ..., 0.1
+        assert_eq!(s.subsets.len(), 31);
+        assert_eq!(s.len(), 341);
+    }
+
+    #[test]
+    fn configs_cover_subsets() {
+        let s = DseSpace::quick(3, 3);
+        let cfgs = s.configs();
+        assert_eq!(cfgs.len(), s.len());
+        // first subset is "all layers"
+        assert!(cfgs[0].per_conv.iter().all(|t| t.is_some()));
+        // single-layer subsets leave others exact
+        let single = &cfgs[s.taus.len()];
+        assert_eq!(single.per_conv.iter().filter(|t| t.is_some()).count(), 1);
+    }
+
+    #[test]
+    fn tau_grid_endpoints() {
+        let s = DseSpace::quick(2, 5);
+        assert_eq!(s.taus[0], 0.0);
+        assert!((s.taus[4] - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn thinning_respects_budget() {
+        let s = DseSpace::paper_lenet(3).thin(100);
+        assert!(s.len() <= 110, "still {} configs", s.len());
+        assert_eq!(s.taus[0], 0.0, "must keep tau=0");
+    }
+}

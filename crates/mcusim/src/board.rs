@@ -1,0 +1,111 @@
+//! Board descriptions.
+
+use serde::{Deserialize, Serialize};
+
+/// A microcontroller board: clock, memories and an average active power
+/// figure for the energy model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Board {
+    /// Human-readable board name.
+    pub name: String,
+    /// Core clock in Hz.
+    pub clock_hz: u64,
+    /// Flash (code + constants) size in bytes.
+    pub flash_bytes: u64,
+    /// SRAM size in bytes.
+    pub ram_bytes: u64,
+    /// Average active power while inferring, in milliwatts.
+    ///
+    /// Table II of the paper shows energy ≈ latency × 33 mW for *every*
+    /// design on the STM32U575 (2.73 mJ / 82.8 ms ≈ 5.94 mJ / 179.9 ms ≈
+    /// 33 mW), i.e. the board draws roughly constant power and energy is
+    /// latency-proportional. We adopt that model.
+    pub active_power_mw: f64,
+}
+
+impl Board {
+    /// The paper's evaluation board: STM32U575ZIT6Q (Cortex-M33) on a
+    /// NUCLEO-U575ZI-Q, 160 MHz, 2 MB flash, 768 KB RAM.
+    pub fn stm32u575() -> Self {
+        Self {
+            name: "STM32U575ZIT6Q (NUCLEO-U575ZI-Q, Cortex-M33 @160MHz)".to_string(),
+            clock_hz: 160_000_000,
+            flash_bytes: 2 * 1024 * 1024,
+            ram_bytes: 768 * 1024,
+            active_power_mw: 33.0,
+        }
+    }
+
+    /// STM32H743 (Cortex-M7 @480 MHz, 2 MB flash, 1 MB RAM) — the board the
+    /// CMSIS-NN paper [2] reports its 11× TFLM speedup on; provided for
+    /// cross-board what-if studies.
+    pub fn stm32h743() -> Self {
+        Self {
+            name: "STM32H743 (Cortex-M7 @480MHz)".to_string(),
+            clock_hz: 480_000_000,
+            flash_bytes: 2 * 1024 * 1024,
+            ram_bytes: 1024 * 1024,
+            active_power_mw: 120.0,
+        }
+    }
+
+    /// A smaller board, used in tests for flash-overflow injection
+    /// (Cortex-M33 class, 512 KB flash, 128 KB RAM).
+    pub fn small_m33() -> Self {
+        Self {
+            name: "generic Cortex-M33 @80MHz, 512KB/128KB".to_string(),
+            clock_hz: 80_000_000,
+            flash_bytes: 512 * 1024,
+            ram_bytes: 128 * 1024,
+            active_power_mw: 18.0,
+        }
+    }
+
+    /// Convert a cycle count into milliseconds on this board.
+    pub fn cycles_to_ms(&self, cycles: u64) -> f64 {
+        cycles as f64 / self.clock_hz as f64 * 1e3
+    }
+
+    /// Energy in millijoules for a given cycle count (`E = P · t`).
+    pub fn cycles_to_mj(&self, cycles: u64) -> f64 {
+        self.cycles_to_ms(cycles) * 1e-3 * self.active_power_mw
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stm32u575_matches_paper_specs() {
+        let b = Board::stm32u575();
+        assert_eq!(b.clock_hz, 160_000_000);
+        assert_eq!(b.flash_bytes, 2 * 1024 * 1024);
+        assert_eq!(b.ram_bytes, 768 * 1024);
+    }
+
+    #[test]
+    fn latency_conversion() {
+        let b = Board::stm32u575();
+        // 16M cycles at 160 MHz = 100 ms
+        assert!((b.cycles_to_ms(16_000_000) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn h743_is_faster_but_hungrier() {
+        let u5 = Board::stm32u575();
+        let h7 = Board::stm32h743();
+        let cycles = 16_000_000;
+        assert!(h7.cycles_to_ms(cycles) < u5.cycles_to_ms(cycles));
+        assert!(h7.active_power_mw > u5.active_power_mw);
+    }
+
+    #[test]
+    fn energy_tracks_latency_at_constant_power() {
+        let b = Board::stm32u575();
+        // Paper Table I/II LeNet baseline: 82.8 ms -> about 2.73 mJ at 33 mW.
+        let cycles = (0.0828 * b.clock_hz as f64) as u64;
+        let mj = b.cycles_to_mj(cycles);
+        assert!((mj - 2.73).abs() < 0.02, "got {mj}");
+    }
+}

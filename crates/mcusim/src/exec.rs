@@ -1,0 +1,129 @@
+//! Execution statistics: event counts, cycles, latency and energy.
+
+use crate::board::Board;
+use crate::cost::{CostModel, Event, ALL_EVENTS, EVENT_COUNT};
+use serde::{Deserialize, Serialize};
+
+/// Accumulated execution statistics for one inference (or one layer).
+///
+/// Engines bump event counts with multiplicities derived from kernel
+/// geometry; cycles are derived lazily through a [`CostModel`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecStats {
+    counts: [u64; EVENT_COUNT],
+    /// True multiply-accumulate operations executed (the paper's "#MAC Ops").
+    pub macs: u64,
+}
+
+impl Default for ExecStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ExecStats {
+    /// Empty statistics.
+    pub const fn new() -> Self {
+        Self { counts: [0; EVENT_COUNT], macs: 0 }
+    }
+
+    /// Charge `n` occurrences of event `e`.
+    #[inline(always)]
+    pub fn charge(&mut self, e: Event, n: u64) {
+        self.counts[e as usize] += n;
+    }
+
+    /// Record `n` MAC operations (accounting only; the arithmetic itself is
+    /// performed by the engine).
+    #[inline(always)]
+    pub fn add_macs(&mut self, n: u64) {
+        self.macs += n;
+    }
+
+    /// Count for one event.
+    pub fn count(&self, e: Event) -> u64 {
+        self.counts[e as usize]
+    }
+
+    /// Merge another stats block into this one.
+    pub fn merge(&mut self, other: &ExecStats) {
+        for i in 0..EVENT_COUNT {
+            self.counts[i] += other.counts[i];
+        }
+        self.macs += other.macs;
+    }
+
+    /// Total cycles under a cost model.
+    pub fn cycles(&self, model: &CostModel) -> u64 {
+        model.total_cycles(&self.counts)
+    }
+
+    /// Latency in milliseconds on a board.
+    pub fn latency_ms(&self, model: &CostModel, board: &Board) -> f64 {
+        board.cycles_to_ms(self.cycles(model))
+    }
+
+    /// Energy in millijoules on a board.
+    pub fn energy_mj(&self, model: &CostModel, board: &Board) -> f64 {
+        board.cycles_to_mj(self.cycles(model))
+    }
+
+    /// Cycle breakdown per event (event, count, cycles), skipping zeros —
+    /// the "cycle counters to profile parts of the C code" of Section II-A.
+    pub fn breakdown(&self, model: &CostModel) -> Vec<(Event, u64, f64)> {
+        ALL_EVENTS
+            .iter()
+            .filter(|&&e| self.counts[e as usize] > 0)
+            .map(|&e| {
+                let n = self.counts[e as usize];
+                (e, n, n as f64 * model.cycles(e))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_and_merge() {
+        let mut a = ExecStats::new();
+        a.charge(Event::Smlad, 10);
+        a.add_macs(20);
+        let mut b = ExecStats::new();
+        b.charge(Event::Smlad, 5);
+        b.charge(Event::Requant, 2);
+        b.add_macs(10);
+        a.merge(&b);
+        assert_eq!(a.count(Event::Smlad), 15);
+        assert_eq!(a.count(Event::Requant), 2);
+        assert_eq!(a.macs, 30);
+    }
+
+    #[test]
+    fn cycles_latency_energy_consistent() {
+        let model = CostModel::cortex_m33();
+        let board = Board::stm32u575();
+        let mut s = ExecStats::new();
+        s.charge(Event::Smlad, 1_600_000); // 1.6M cycles
+        let cycles = s.cycles(&model);
+        assert_eq!(cycles, 1_600_000);
+        let ms = s.latency_ms(&model, &board);
+        assert!((ms - 10.0).abs() < 1e-9);
+        let mj = s.energy_mj(&model, &board);
+        assert!((mj - 0.33).abs() < 1e-9);
+    }
+
+    #[test]
+    fn breakdown_skips_zero_events() {
+        let model = CostModel::cortex_m33();
+        let mut s = ExecStats::new();
+        s.charge(Event::Requant, 4);
+        let b = s.breakdown(&model);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b[0].0, Event::Requant);
+        assert_eq!(b[0].1, 4);
+        assert!((b[0].2 - 32.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,36 @@
+//! # mcusim
+//!
+//! Deterministic Cortex-M33 MCU cost model: the hardware substrate of the
+//! reproduction.
+//!
+//! The paper evaluates on an STM32U575ZIT6Q (Arm Cortex-M33, 160 MHz, 2 MB
+//! flash, 768 KB RAM). We cannot run on that board, so this crate provides
+//! the closest synthetic equivalent that exercises the same code paths:
+//!
+//! * [`board::Board`] — clock, memory sizes and an active-power figure used
+//!   for the energy model (`E = P · t`, the relationship Table II's
+//!   energy/latency rows obey almost exactly: ≈33 mW across every design).
+//! * [`cost::CostModel`] / [`cost::Event`] — per-instruction-class cycle
+//!   charges. Inference engines execute real arithmetic for *outputs* and
+//!   charge events according to the exact instruction mix their kernel
+//!   structure would execute on the MCU (loads, SXTB16 packing, SMLAD,
+//!   branches, requantization…). Constants are calibrated once against the
+//!   paper's Table I baselines and then frozen; see `EXPERIMENTS.md`.
+//! * [`exec::ExecStats`] — accumulated cycles/events per run, convertible to
+//!   latency (ms) and energy (mJ) on a board.
+//! * [`memory`] — flash layout accounting (library code + weights + unpacked
+//!   kernel streams) with budget enforcement, and a RAM estimator
+//!   (activation ping-pong buffers + im2col scratch + runtime overhead).
+//!
+//! Everything here is pure integer bookkeeping — no timing measurement, no
+//! randomness — so every experiment is exactly reproducible.
+
+pub mod board;
+pub mod cost;
+pub mod exec;
+pub mod memory;
+
+pub use board::Board;
+pub use cost::{CostModel, Event};
+pub use exec::ExecStats;
+pub use memory::{FlashLayout, FlashOverflow, RamEstimate};

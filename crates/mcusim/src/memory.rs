@@ -1,0 +1,159 @@
+//! Flash layout and RAM estimation.
+//!
+//! Section II-A of the paper: generic inference libraries leave most flash
+//! unused (87% for AlexNet on the 2 MB board), which the framework spends on
+//! unpacked kernels; the framework's compile-time specialization also trims
+//! the library code itself by up to 30%. This module does the bookkeeping
+//! and enforces the board budget (deployments that do not fit are rejected,
+//! exactly like a linker would).
+
+use crate::board::Board;
+use serde::{Deserialize, Serialize};
+
+/// Deployment flash layout, in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FlashLayout {
+    /// Runtime/library code (kernels, scheduler, C runtime).
+    pub library_code: u64,
+    /// Constant model data: weights, biases, quantization tables.
+    pub model_weights: u64,
+    /// Generated straight-line unpacked kernel code (0 for packed engines).
+    pub unpacked_code: u64,
+    /// Model-structure metadata blob decoded at runtime (generic
+    /// interpreters only; folded into code by compile-time specialization).
+    pub model_metadata: u64,
+}
+
+/// Error returned when a deployment exceeds the board's flash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlashOverflow {
+    /// Bytes required.
+    pub required: u64,
+    /// Bytes available on the board.
+    pub available: u64,
+}
+
+impl std::fmt::Display for FlashOverflow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "flash overflow: deployment needs {} bytes, board has {}",
+            self.required, self.available
+        )
+    }
+}
+
+impl std::error::Error for FlashOverflow {}
+
+impl FlashLayout {
+    /// Total flash footprint.
+    pub const fn total(&self) -> u64 {
+        self.library_code + self.model_weights + self.unpacked_code + self.model_metadata
+    }
+
+    /// Fraction of the board's flash used (0..=1+).
+    pub fn utilization(&self, board: &Board) -> f64 {
+        self.total() as f64 / board.flash_bytes as f64
+    }
+
+    /// Check the layout against the board budget.
+    pub fn check(&self, board: &Board) -> Result<(), FlashOverflow> {
+        if self.total() > board.flash_bytes {
+            Err(FlashOverflow { required: self.total(), available: board.flash_bytes })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Flash left for additional unpacked code on this board.
+    pub fn headroom(&self, board: &Board) -> u64 {
+        board.flash_bytes.saturating_sub(self.total())
+    }
+}
+
+/// RAM requirement estimate for an inference engine.
+///
+/// MCU deployments keep activations in a ping-pong arena (the largest
+/// consecutive input+output pair dominates), plus kernel scratch (the
+/// im2col column buffer) and fixed runtime overhead (stack, globals,
+/// framework state).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct RamEstimate {
+    /// Peak activation arena in bytes (max over layers of in+out buffers).
+    pub activation_arena: u64,
+    /// Kernel scratch (im2col columns, partial buffers).
+    pub kernel_scratch: u64,
+    /// Fixed runtime overhead: stack, handlers, framework bookkeeping.
+    pub runtime_overhead: u64,
+}
+
+impl RamEstimate {
+    /// Total RAM footprint.
+    pub const fn total(&self) -> u64 {
+        self.activation_arena + self.kernel_scratch + self.runtime_overhead
+    }
+
+    /// Total in KB (f64, as Table I reports).
+    pub fn total_kb(&self) -> f64 {
+        self.total() as f64 / 1024.0
+    }
+
+    /// Check the estimate against a board's RAM.
+    pub fn fits(&self, board: &Board) -> bool {
+        self.total() <= board.ram_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_add_up() {
+        let f = FlashLayout {
+            library_code: 100,
+            model_weights: 200,
+            unpacked_code: 300,
+            model_metadata: 50,
+        };
+        assert_eq!(f.total(), 650);
+        let r = RamEstimate { activation_arena: 1024, kernel_scratch: 512, runtime_overhead: 512 };
+        assert_eq!(r.total(), 2048);
+        assert!((r.total_kb() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn budget_enforced() {
+        let board = Board::small_m33();
+        let ok = FlashLayout { library_code: 100 * 1024, ..Default::default() };
+        assert!(ok.check(&board).is_ok());
+        let too_big = FlashLayout {
+            library_code: 100 * 1024,
+            unpacked_code: 500 * 1024,
+            ..Default::default()
+        };
+        let err = too_big.check(&board).unwrap_err();
+        assert_eq!(err.available, 512 * 1024);
+        assert!(err.required > err.available);
+    }
+
+    #[test]
+    fn utilization_and_headroom() {
+        let board = Board::stm32u575();
+        let f = FlashLayout { library_code: 1024 * 1024, ..Default::default() };
+        assert!((f.utilization(&board) - 0.5).abs() < 1e-12);
+        assert_eq!(f.headroom(&board), 1024 * 1024);
+    }
+
+    #[test]
+    fn ram_fits() {
+        let board = Board::stm32u575();
+        let r = RamEstimate {
+            activation_arena: 200 * 1024,
+            kernel_scratch: 8 * 1024,
+            runtime_overhead: 16 * 1024,
+        };
+        assert!(r.fits(&board));
+        assert!(!r.fits(&Board::small_m33()));
+    }
+}

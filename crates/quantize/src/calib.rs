@@ -1,0 +1,128 @@
+//! Activation-range calibration over a dataset subset.
+//!
+//! Section II-C: the framework captures "the input values' distribution from
+//! a small portion of the dataset". PTQ needs the same pass to fix
+//! activation scales; both reuse the f32 model's intermediate activations.
+
+use cifar10sim::Dataset;
+use rayon::prelude::*;
+use tinynn::layers::Layer;
+use tinynn::Sequential;
+
+/// Min/max range of every layer-boundary tensor.
+///
+/// `ranges[0]` is the model input; `ranges[i + 1]` is the output of
+/// `model.layers[i]` (post-activation, since ReLU is a separate layer whose
+/// output *is* the boundary used by the following layer).
+#[derive(Debug, Clone)]
+pub struct ActivationRanges {
+    /// `(min, max)` per boundary.
+    pub ranges: Vec<(f32, f32)>,
+}
+
+/// Run `model` over (a prefix of) `calib` and record per-boundary ranges.
+///
+/// Deterministic: per-image ranges are combined with `min`/`max`, which is
+/// order-independent, so the rayon parallelism cannot change results.
+pub fn calibrate_ranges(model: &Sequential, calib: &Dataset) -> ActivationRanges {
+    assert!(!calib.is_empty(), "calibration set must be non-empty");
+    let n_bounds = model.layers.len() + 1;
+    let per_image: Vec<Vec<(f32, f32)>> = (0..calib.len())
+        .into_par_iter()
+        .map(|i| {
+            let x = calib.image(i);
+            let mut bounds = Vec::with_capacity(n_bounds);
+            bounds.push(slice_range(x));
+            let mut act = x.to_vec();
+            for l in &model.layers {
+                act = match l {
+                    Layer::Conv(c) => c.forward(&act).0,
+                    Layer::Pool(p) => p.forward(&act).0,
+                    Layer::Relu(_) => {
+                        let mut a = act;
+                        for v in a.iter_mut() {
+                            if *v < 0.0 {
+                                *v = 0.0;
+                            }
+                        }
+                        a
+                    }
+                    Layer::Dense(d) => d.forward(&act),
+                };
+                bounds.push(slice_range(&act));
+            }
+            bounds
+        })
+        .collect();
+
+    let mut ranges = vec![(f32::INFINITY, f32::NEG_INFINITY); n_bounds];
+    for img in &per_image {
+        for (r, &(lo, hi)) in ranges.iter_mut().zip(img.iter()) {
+            r.0 = r.0.min(lo);
+            r.1 = r.1.max(hi);
+        }
+    }
+    ActivationRanges { ranges }
+}
+
+fn slice_range(xs: &[f32]) -> (f32, f32) {
+    let mut lo = f32::INFINITY;
+    let mut hi = f32::NEG_INFINITY;
+    for &v in xs {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    (lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cifar10sim::DatasetConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tinytensor::Shape4;
+
+    fn model() -> Sequential {
+        let mut rng = StdRng::seed_from_u64(1);
+        Sequential::new("m", Shape4::nhwc(1, 32, 32, 3))
+            .conv_relu(4, 3, &mut rng)
+            .maxpool()
+            .dense(10, true, &mut rng)
+    }
+
+    #[test]
+    fn ranges_cover_all_boundaries() {
+        let data = cifar10sim::generate(DatasetConfig::tiny(1));
+        let m = model();
+        let r = calibrate_ranges(&m, &data.train.take(16));
+        assert_eq!(r.ranges.len(), m.layers.len() + 1);
+        // input range within [0,1]
+        assert!(r.ranges[0].0 >= 0.0 && r.ranges[0].1 <= 1.0);
+        // post-relu boundary non-negative (conv is layer 0, relu layer 1)
+        assert!(r.ranges[2].0 >= 0.0);
+        for &(lo, hi) in &r.ranges {
+            assert!(lo <= hi);
+        }
+    }
+
+    #[test]
+    fn more_images_widen_or_keep_ranges() {
+        let data = cifar10sim::generate(DatasetConfig::tiny(2));
+        let m = model();
+        let small = calibrate_ranges(&m, &data.train.take(4));
+        let big = calibrate_ranges(&m, &data.train.take(32));
+        for (s, b) in small.ranges.iter().zip(&big.ranges) {
+            assert!(b.0 <= s.0 + 1e-6);
+            assert!(b.1 >= s.1 - 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_calibration_rejected() {
+        let data = cifar10sim::generate(DatasetConfig::tiny(3));
+        let m = model();
+        calibrate_ranges(&m, &data.train.take(0));
+    }
+}

@@ -1,0 +1,32 @@
+//! # quantize
+//!
+//! 8-bit post-training quantization (PTQ) and the quantized-model IR shared
+//! by every inference engine in the workspace.
+//!
+//! The paper's models are "trained on the CIFAR-10 dataset with 8-bit
+//! post-training quantization" (Section II-A). This crate reproduces the
+//! TFLite/CMSIS-NN int8 scheme:
+//!
+//! * activations: per-tensor **affine** (`scale`, `zero_point`), ranges from
+//!   a calibration subset;
+//! * weights: per-tensor **symmetric** int8 (`zero_point = 0`);
+//! * bias: int32 at scale `s_in · s_w`;
+//! * output stage: fixed-point requantize (`arm_nn_requantize` semantics,
+//!   implemented in [`tinytensor::quant`]) + saturation, with ReLU *fused*
+//!   into the output clamp (`max(zero_point, ·)`).
+//!
+//! [`QuantModel::forward`] is the bit-exact *reference* interpretation of a
+//! quantized model. It is deliberately free of any cycle accounting — the
+//! DSE evaluates thousands of approximate configurations against it — and it
+//! accepts optional per-conv-layer [`SkipMaskSet`]s that omit individual
+//! products exactly like the generated approximate code does (Eq. (3) of the
+//! paper). The cycle-accounted engines (`cmsisnn`, `unpackgen`, `xcubeai`)
+//! must agree with this reference bit-for-bit; integration tests enforce it.
+
+pub mod calib;
+pub mod forward;
+pub mod qmodel;
+
+pub use calib::calibrate_ranges;
+pub use forward::SkipMaskSet;
+pub use qmodel::{quantize_model, QConv, QDense, QLayer, QPool, QuantModel};

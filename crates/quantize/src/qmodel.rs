@@ -1,0 +1,398 @@
+//! Quantized model IR and the f32 → int8 conversion.
+
+use crate::calib::ActivationRanges;
+use serde::{Deserialize, Serialize};
+use tinynn::layers::Layer;
+use tinynn::Sequential;
+use tinytensor::quant::{QuantParams, RequantMultiplier};
+use tinytensor::shape::ConvGeometry;
+use tinytensor::Shape4;
+
+/// Quantized convolution (ReLU fused into the output clamp when `relu`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QConv {
+    /// Geometry (shared with the f32 layer).
+    pub geom: ConvGeometry,
+    /// Symmetric int8 weights, `[out_c][kh][kw][in_c]` flattened.
+    pub weights: Vec<i8>,
+    /// int32 bias at scale `s_in · s_w`.
+    pub bias: Vec<i32>,
+    /// Input activation quantization.
+    pub in_qp: QuantParams,
+    /// Output activation quantization.
+    pub out_qp: QuantParams,
+    /// Weight scale (symmetric).
+    pub w_scale: f32,
+    /// Output-stage fixed-point multiplier `s_in·s_w/s_out`.
+    pub mult: RequantMultiplier,
+    /// ReLU fused into the output stage.
+    pub relu: bool,
+}
+
+impl QConv {
+    /// Patch length (`kh·kw·in_c`).
+    pub fn patch_len(&self) -> usize {
+        self.geom.patch_len()
+    }
+
+    /// Activation clamp bounds implementing the (optional) fused ReLU.
+    pub fn act_bounds(&self) -> (i32, i32) {
+        if self.relu {
+            (self.out_qp.zero_point.max(-128), 127)
+        } else {
+            (-128, 127)
+        }
+    }
+}
+
+/// Quantized max-pool (value-preserving in the quantized domain).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct QPool {
+    /// Input height.
+    pub in_h: usize,
+    /// Input width.
+    pub in_w: usize,
+    /// Channels.
+    pub c: usize,
+}
+
+impl QPool {
+    /// Output length per image.
+    pub fn out_len(&self) -> usize {
+        (self.in_h / 2) * (self.in_w / 2) * self.c
+    }
+
+    /// Input length per image.
+    pub fn in_len(&self) -> usize {
+        self.in_h * self.in_w * self.c
+    }
+}
+
+/// Quantized fully-connected layer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QDense {
+    /// Input dimension.
+    pub in_dim: usize,
+    /// Output dimension.
+    pub out_dim: usize,
+    /// Symmetric int8 weights, `[out][in]`.
+    pub weights: Vec<i8>,
+    /// int32 bias at scale `s_in · s_w`.
+    pub bias: Vec<i32>,
+    /// Input activation quantization.
+    pub in_qp: QuantParams,
+    /// Output activation quantization.
+    pub out_qp: QuantParams,
+    /// Weight scale.
+    pub w_scale: f32,
+    /// Output-stage multiplier.
+    pub mult: RequantMultiplier,
+    /// Fused ReLU.
+    pub relu: bool,
+}
+
+impl QDense {
+    /// Activation clamp bounds implementing the (optional) fused ReLU.
+    pub fn act_bounds(&self) -> (i32, i32) {
+        if self.relu {
+            (self.out_qp.zero_point.max(-128), 127)
+        } else {
+            (-128, 127)
+        }
+    }
+}
+
+/// One quantized layer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum QLayer {
+    /// Convolution (+ fused ReLU).
+    Conv(QConv),
+    /// 2×2/2 max-pool.
+    Pool(QPool),
+    /// Fully connected (+ fused ReLU).
+    Dense(QDense),
+}
+
+impl QLayer {
+    /// Output activation element count.
+    pub fn out_len(&self) -> usize {
+        match self {
+            QLayer::Conv(c) => c.geom.out_positions() * c.geom.out_c,
+            QLayer::Pool(p) => p.out_len(),
+            QLayer::Dense(d) => d.out_dim,
+        }
+    }
+
+    /// Input activation element count.
+    pub fn in_len(&self) -> usize {
+        match self {
+            QLayer::Conv(c) => c.geom.in_h * c.geom.in_w * c.geom.in_c,
+            QLayer::Pool(p) => p.in_len(),
+            QLayer::Dense(d) => d.in_dim,
+        }
+    }
+
+    /// Dense MAC count (pre-skipping).
+    pub fn macs(&self) -> u64 {
+        match self {
+            QLayer::Conv(c) => c.geom.macs(),
+            QLayer::Pool(_) => 0,
+            QLayer::Dense(d) => (d.in_dim * d.out_dim) as u64,
+        }
+    }
+}
+
+/// A fully quantized model ready for any engine in the workspace.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QuantModel {
+    /// Model name (inherited from the f32 model).
+    pub name: String,
+    /// Single-image input shape.
+    pub input_shape: Shape4,
+    /// Input quantization parameters.
+    pub input_qp: QuantParams,
+    /// Quantized layer stack.
+    pub layers: Vec<QLayer>,
+}
+
+impl QuantModel {
+    /// Total dense MAC count (the paper's "#MAC Ops" for the exact model).
+    pub fn macs(&self) -> u64 {
+        self.layers.iter().map(|l| l.macs()).sum()
+    }
+
+    /// Indices (into `layers`) of the convolution layers, in order — the
+    /// layers the approximation targets.
+    pub fn conv_indices(&self) -> Vec<usize> {
+        self.layers
+            .iter()
+            .enumerate()
+            .filter_map(|(i, l)| matches!(l, QLayer::Conv(_)).then_some(i))
+            .collect()
+    }
+
+    /// The `i`-th convolution layer.
+    pub fn conv(&self, ordinal: usize) -> &QConv {
+        let idx = self.conv_indices()[ordinal];
+        match &self.layers[idx] {
+            QLayer::Conv(c) => c,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Bytes of constant model data (weights int8 + bias int32).
+    pub fn weight_bytes(&self) -> u64 {
+        self.layers
+            .iter()
+            .map(|l| match l {
+                QLayer::Conv(c) => (c.weights.len() + 4 * c.bias.len()) as u64,
+                QLayer::Dense(d) => (d.weights.len() + 4 * d.bias.len()) as u64,
+                QLayer::Pool(_) => 0,
+            })
+            .sum()
+    }
+
+    /// Activation buffer sizes: input length followed by each layer's output
+    /// length (all int8), for RAM estimation.
+    pub fn activation_sizes(&self) -> Vec<usize> {
+        let mut v = Vec::with_capacity(self.layers.len() + 1);
+        v.push(self.input_shape.item_len());
+        for l in &self.layers {
+            v.push(l.out_len());
+        }
+        v
+    }
+
+    /// Peak ping-pong activation pair (max over layers of in+out), bytes.
+    pub fn peak_activation_pair(&self) -> u64 {
+        self.layers.iter().map(|l| (l.in_len() + l.out_len()) as u64).max().unwrap_or(0)
+    }
+
+    /// Largest im2col column-matrix any conv layer needs, in bytes — the
+    /// kernel scratch of the im2col-based engines.
+    pub fn max_im2col_bytes(&self) -> u64 {
+        self.layers
+            .iter()
+            .map(|l| match l {
+                QLayer::Conv(c) => (c.geom.out_positions() * c.geom.patch_len()) as u64,
+                _ => 0,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Quantize a trained f32 model using pre-computed activation ranges.
+pub fn quantize_model(model: &Sequential, ranges: &ActivationRanges) -> QuantModel {
+    assert_eq!(ranges.ranges.len(), model.layers.len() + 1, "range/layer mismatch");
+    let qp_at = |boundary: usize| -> QuantParams {
+        let (lo, hi) = ranges.ranges[boundary];
+        QuantParams::from_min_max(lo, hi).expect("valid calibration range")
+    };
+
+    let input_qp = qp_at(0);
+    let mut layers = Vec::new();
+    let mut in_qp = input_qp;
+    let mut i = 0usize;
+    while i < model.layers.len() {
+        match &model.layers[i] {
+            Layer::Conv(c) => {
+                let relu = matches!(model.layers.get(i + 1), Some(Layer::Relu(_)));
+                let out_boundary = i + 1 + usize::from(relu);
+                let out_qp = qp_at(out_boundary);
+                let (weights, bias, w_scale, mult) =
+                    quantize_params(&c.weights, &c.bias, in_qp, out_qp);
+                layers.push(QLayer::Conv(QConv {
+                    geom: c.geom,
+                    weights,
+                    bias,
+                    in_qp,
+                    out_qp,
+                    w_scale,
+                    mult,
+                    relu,
+                }));
+                in_qp = out_qp;
+                i = out_boundary;
+            }
+            Layer::Pool(p) => {
+                layers.push(QLayer::Pool(QPool { in_h: p.in_h, in_w: p.in_w, c: p.c }));
+                i += 1;
+            }
+            Layer::Dense(d) => {
+                let relu = matches!(model.layers.get(i + 1), Some(Layer::Relu(_)));
+                let out_boundary = i + 1 + usize::from(relu);
+                let out_qp = qp_at(out_boundary);
+                let (weights, bias, w_scale, mult) =
+                    quantize_params(&d.weights, &d.bias, in_qp, out_qp);
+                layers.push(QLayer::Dense(QDense {
+                    in_dim: d.in_dim,
+                    out_dim: d.out_dim,
+                    weights,
+                    bias,
+                    in_qp,
+                    out_qp,
+                    w_scale,
+                    mult,
+                    relu,
+                }));
+                in_qp = out_qp;
+                i = out_boundary;
+            }
+            Layer::Relu(_) => {
+                // A ReLU not consumed by fusion would be an IR bug upstream.
+                unreachable!("standalone ReLU at layer {i}: fusion walk out of sync");
+            }
+        }
+    }
+    QuantModel { name: model.name.clone(), input_shape: model.input_shape, input_qp, layers }
+}
+
+/// Quantize one layer's parameters: symmetric int8 weights, int32 bias,
+/// output-stage multiplier.
+fn quantize_params(
+    weights: &[f32],
+    bias: &[f32],
+    in_qp: QuantParams,
+    out_qp: QuantParams,
+) -> (Vec<i8>, Vec<i32>, f32, RequantMultiplier) {
+    let abs_max = weights.iter().fold(0.0f32, |m, &w| m.max(w.abs()));
+    let wq = QuantParams::symmetric(abs_max).expect("weight scale");
+    let w_scale = wq.scale;
+    let qweights: Vec<i8> = weights.iter().map(|&w| wq.quantize(w)).collect();
+    let bias_scale = (in_qp.scale as f64) * (w_scale as f64);
+    let qbias: Vec<i32> = bias
+        .iter()
+        .map(|&b| ((b as f64 / bias_scale).round()).clamp(i32::MIN as f64, i32::MAX as f64) as i32)
+        .collect();
+    let real_mult = bias_scale / out_qp.scale as f64;
+    let mult = RequantMultiplier::from_real(real_mult).expect("requant multiplier");
+    (qweights, qbias, w_scale, mult)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calib::calibrate_ranges;
+    use cifar10sim::DatasetConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn quantized_micro() -> QuantModel {
+        let data = cifar10sim::generate(DatasetConfig::tiny(21));
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = Sequential::new("m", Shape4::nhwc(1, 32, 32, 3))
+            .conv_relu(4, 3, &mut rng)
+            .maxpool()
+            .conv_relu(6, 3, &mut rng)
+            .maxpool()
+            .dense(10, true, &mut rng);
+        let ranges = calibrate_ranges(&m, &data.train.take(8));
+        quantize_model(&m, &ranges)
+    }
+
+    #[test]
+    fn structure_is_fused() {
+        let q = quantized_micro();
+        // conv+relu, pool, conv+relu, pool, dense => 5 quantized layers
+        assert_eq!(q.layers.len(), 5);
+        assert!(matches!(&q.layers[0], QLayer::Conv(c) if c.relu));
+        assert!(matches!(&q.layers[1], QLayer::Pool(_)));
+        assert!(matches!(&q.layers[2], QLayer::Conv(c) if c.relu));
+        assert!(matches!(&q.layers[4], QLayer::Dense(d) if !d.relu));
+        assert_eq!(q.conv_indices(), vec![0, 2]);
+    }
+
+    #[test]
+    fn scales_chain_across_layers() {
+        let q = quantized_micro();
+        // layer 0's out_qp must be layer 2's in_qp (pool is transparent)
+        let (c0, c2) = (q.conv(0), q.conv(1));
+        assert_eq!(c0.out_qp, c2.in_qp);
+        // multiplier approximates s_in*s_w/s_out
+        let real = c0.in_qp.scale as f64 * c0.w_scale as f64 / c0.out_qp.scale as f64;
+        assert!((c0.mult.to_real() - real).abs() / real < 1e-6);
+    }
+
+    #[test]
+    fn weights_are_symmetric_and_saturate_at_127() {
+        let q = quantized_micro();
+        let c = q.conv(0);
+        let max = c.weights.iter().map(|&w| (w as i32).abs()).max().unwrap();
+        assert_eq!(max, 127, "largest |w| must map to 127 under symmetric PTQ");
+    }
+
+    #[test]
+    fn relu_bounds() {
+        let q = quantized_micro();
+        let c = q.conv(0);
+        let (lo, hi) = c.act_bounds();
+        assert_eq!(lo, c.out_qp.zero_point);
+        assert_eq!(hi, 127);
+        if let QLayer::Dense(d) = &q.layers[4] {
+            assert_eq!(d.act_bounds(), (-128, 127));
+        } else {
+            panic!("layer 4 should be dense");
+        }
+    }
+
+    #[test]
+    fn macs_match_f32_model() {
+        let data = cifar10sim::generate(DatasetConfig::tiny(22));
+        let m = tinynn::zoo::mini_cifar(1);
+        let ranges = calibrate_ranges(&m, &data.train.take(4));
+        let q = quantize_model(&m, &ranges);
+        assert_eq!(q.macs(), m.macs());
+    }
+
+    #[test]
+    fn memory_helpers_consistent() {
+        let q = quantized_micro();
+        let sizes = q.activation_sizes();
+        assert_eq!(sizes.len(), q.layers.len() + 1);
+        assert_eq!(sizes[0], 32 * 32 * 3);
+        assert!(q.peak_activation_pair() >= (sizes[0] + sizes[1]) as u64);
+        assert!(q.max_im2col_bytes() > 0);
+        assert!(q.weight_bytes() > 0);
+    }
+}

@@ -1,0 +1,118 @@
+//! Calibration-set capture of `E[a_i]` per conv layer and patch index.
+
+use cifar10sim::Dataset;
+use quantize::QuantModel;
+use rayon::prelude::*;
+
+/// Mean centered input per conv ordinal and patch index.
+///
+/// `means[k][i]` = `E[a_i − zp]` for conv ordinal `k`, averaged over all
+/// output positions of the layer and all calibration images.
+pub type MeanInputs = Vec<Vec<f64>>;
+
+/// Run the calibration subset through the quantized model and average each
+/// conv layer's centered im2col columns per patch index.
+pub fn capture_mean_inputs(model: &QuantModel, calib: &Dataset) -> MeanInputs {
+    assert!(!calib.is_empty(), "calibration set must be non-empty");
+    let conv_indices = model.conv_indices();
+    let patch_lens: Vec<usize> =
+        (0..conv_indices.len()).map(|k| model.conv(k).patch_len()).collect();
+
+    // Per-image partial sums, collected in index order for determinism.
+    let partials: Vec<Vec<Vec<f64>>> = (0..calib.len())
+        .into_par_iter()
+        .map(|img_idx| {
+            let mut sums: Vec<Vec<f64>> =
+                patch_lens.iter().map(|&p| vec![0.0f64; p]).collect();
+            let q = model.quantize_input(calib.image(img_idx));
+            model.forward_inspect(&q, None, &mut |ordinal, conv, centered| {
+                let patch = conv.patch_len();
+                let positions = conv.geom.out_positions();
+                let acc = &mut sums[ordinal];
+                for p in 0..positions {
+                    let col = &centered[p * patch..(p + 1) * patch];
+                    for (a, &v) in acc.iter_mut().zip(col.iter()) {
+                        *a += v as f64;
+                    }
+                }
+            });
+            sums
+        })
+        .collect();
+
+    let mut means: MeanInputs = patch_lens.iter().map(|&p| vec![0.0f64; p]).collect();
+    for img in &partials {
+        for (m, s) in means.iter_mut().zip(img.iter()) {
+            for (a, b) in m.iter_mut().zip(s.iter()) {
+                *a += b;
+            }
+        }
+    }
+    for (k, m) in means.iter_mut().enumerate() {
+        let positions = model.conv(k).geom.out_positions() as f64;
+        let denom = positions * calib.len() as f64;
+        for v in m.iter_mut() {
+            *v /= denom;
+        }
+    }
+    means
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cifar10sim::DatasetConfig;
+    use quantize::{calibrate_ranges, quantize_model};
+
+    fn setup() -> (QuantModel, cifar10sim::SyntheticCifar) {
+        let data = cifar10sim::generate(DatasetConfig::tiny(101));
+        let m = tinynn::zoo::mini_cifar(13);
+        let ranges = calibrate_ranges(&m, &data.train.take(8));
+        (quantize_model(&m, &ranges), data)
+    }
+
+    #[test]
+    fn shapes_match_conv_layers() {
+        let (q, data) = setup();
+        let means = capture_mean_inputs(&q, &data.train.take(8));
+        let convs = q.conv_indices();
+        assert_eq!(means.len(), convs.len());
+        for (k, m) in means.iter().enumerate() {
+            assert_eq!(m.len(), q.conv(k).patch_len());
+        }
+    }
+
+    #[test]
+    fn first_layer_means_are_nonnegative_for_unit_inputs() {
+        // Inputs are in [0,1] and zp maps 0.0 -> zp, so centered values are
+        // >= 0 for the first conv; padding contributes zeros.
+        let (q, data) = setup();
+        let means = capture_mean_inputs(&q, &data.train.take(8));
+        assert!(means[0].iter().all(|&v| v >= 0.0));
+        // and at least some mass
+        assert!(means[0].iter().any(|&v| v > 0.1));
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let (q, data) = setup();
+        let a = capture_mean_inputs(&q, &data.train.take(12));
+        let b = capture_mean_inputs(&q, &data.train.take(12));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn depends_on_calibration_subset() {
+        let (q, data) = setup();
+        let a = capture_mean_inputs(&q, &data.train.take(4));
+        let b = capture_mean_inputs(&q, &data.train.take(16));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_calibration_rejected() {
+        let (q, data) = setup();
+        capture_mean_inputs(&q, &data.train.take(0));
+    }
+}

@@ -1,0 +1,307 @@
+//! Significance scores (Eq. 2) and τ → skip-mask materialization.
+
+use crate::capture::MeanInputs;
+use quantize::{QuantModel, SkipMaskSet};
+use serde::{Deserialize, Serialize};
+
+/// Per-conv-layer, per-(channel, patch-index) significance scores.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SignificanceMap {
+    /// `scores[k][o * patch + i]` = `S_i` of product `i` in channel `o` of
+    /// conv ordinal `k`. `f64::INFINITY` marks the zero-denominator
+    /// retain-always rule.
+    pub scores: Vec<Vec<f64>>,
+}
+
+/// A τ threshold choice per conv layer (`None` = layer left exact).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TauAssignment {
+    /// Per conv ordinal.
+    pub per_conv: Vec<Option<f64>>,
+}
+
+impl TauAssignment {
+    /// The same τ applied to every conv layer.
+    pub fn global(tau: f64) -> Self {
+        // Arity is resolved against the model at mask-build time.
+        Self { per_conv: vec![Some(tau)] }
+    }
+
+    /// Explicit per-layer assignment.
+    pub fn per_layer(taus: Vec<Option<f64>>) -> Self {
+        Self { per_conv: taus }
+    }
+
+    /// Resolve against a model with `n` conv layers: a 1-element global
+    /// assignment broadcasts.
+    fn resolved(&self, n: usize) -> Vec<Option<f64>> {
+        if self.per_conv.len() == n {
+            self.per_conv.clone()
+        } else if self.per_conv.len() == 1 {
+            vec![self.per_conv[0]; n]
+        } else {
+            panic!(
+                "tau assignment arity {} does not match {} conv layers",
+                self.per_conv.len(),
+                n
+            );
+        }
+    }
+}
+
+impl SignificanceMap {
+    /// Compute Eq. (2) for every conv layer from captured mean inputs.
+    pub fn compute(model: &QuantModel, means: &MeanInputs) -> Self {
+        let n = model.conv_indices().len();
+        assert_eq!(means.len(), n, "mean-inputs arity mismatch");
+        let mut scores = Vec::with_capacity(n);
+        for k in 0..n {
+            let conv = model.conv(k);
+            let patch = conv.patch_len();
+            let out_c = conv.geom.out_c;
+            let mean = &means[k];
+            assert_eq!(mean.len(), patch);
+            let mut s = vec![0.0f64; out_c * patch];
+            for o in 0..out_c {
+                let w = &conv.weights[o * patch..(o + 1) * patch];
+                // Expected products and their channel sum.
+                let mut denom = 0.0f64;
+                for i in 0..patch {
+                    denom += mean[i] * w[i] as f64;
+                }
+                let row = &mut s[o * patch..(o + 1) * patch];
+                if denom == 0.0 {
+                    // Zero-sum channel: retain everything (paper rule).
+                    for v in row.iter_mut() {
+                        *v = f64::INFINITY;
+                    }
+                } else {
+                    let inv = 1.0 / denom.abs();
+                    for i in 0..patch {
+                        row[i] = (mean[i] * w[i] as f64).abs() * inv;
+                    }
+                }
+            }
+            scores.push(s);
+        }
+        Self { scores }
+    }
+
+    /// Build skip masks: product `i` is skipped iff `S_i ≤ τ_layer`.
+    pub fn masks_for_tau(&self, model: &QuantModel, taus: &TauAssignment) -> SkipMaskSet {
+        let n = self.scores.len();
+        let taus = taus.resolved(n);
+        let mut set = SkipMaskSet::none(n);
+        for k in 0..n {
+            if let Some(tau) = taus[k] {
+                let conv = model.conv(k);
+                debug_assert_eq!(self.scores[k].len(), conv.geom.out_c * conv.patch_len());
+                set.per_conv[k] =
+                    Some(self.scores[k].iter().map(|&s| s <= tau).collect());
+            }
+        }
+        set
+    }
+
+    /// Channel-granularity skipping — the coarser scheme of prior work the
+    /// paper contrasts with ("Unlike other approaches that consider
+    /// skipping entire channels or even layers [7], our framework can omit
+    /// operations at the finest granularity").
+    ///
+    /// A whole output channel is skipped when the **mean** significance of
+    /// its products is ≤ τ; otherwise every product is retained. Used by
+    /// the granularity ablation (E6) to show what fine-grained skipping
+    /// buys at a matched MAC budget.
+    pub fn channel_masks_for_tau(
+        &self,
+        model: &QuantModel,
+        taus: &TauAssignment,
+    ) -> SkipMaskSet {
+        let n = self.scores.len();
+        let taus = taus.resolved(n);
+        let mut set = SkipMaskSet::none(n);
+        for k in 0..n {
+            let Some(tau) = taus[k] else { continue };
+            let conv = model.conv(k);
+            let patch = conv.patch_len();
+            let out_c = conv.geom.out_c;
+            let mut mask = vec![false; out_c * patch];
+            for o in 0..out_c {
+                let row = &self.scores[k][o * patch..(o + 1) * patch];
+                // Infinite scores (zero-sum retain rule) force retention.
+                if row.iter().any(|s| s.is_infinite()) {
+                    continue;
+                }
+                let mean = row.iter().sum::<f64>() / patch as f64;
+                if mean <= tau {
+                    mask[o * patch..(o + 1) * patch].iter_mut().for_each(|m| *m = true);
+                }
+            }
+            set.per_conv[k] = Some(mask);
+        }
+        set
+    }
+
+    /// Fraction of products skipped at a given assignment (code-size proxy).
+    pub fn skip_fraction(&self, model: &QuantModel, taus: &TauAssignment) -> f64 {
+        let masks = self.masks_for_tau(model, taus);
+        let mut skipped = 0usize;
+        let mut total = 0usize;
+        for m in masks.per_conv.iter() {
+            if let Some(m) = m {
+                skipped += m.iter().filter(|&&s| s).count();
+                total += m.len();
+            }
+        }
+        for (k, m) in masks.per_conv.iter().enumerate() {
+            if m.is_none() {
+                total += self.scores[k].len();
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            skipped as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capture::capture_mean_inputs;
+    use cifar10sim::DatasetConfig;
+    use quantize::{calibrate_ranges, quantize_model};
+
+    fn setup() -> (QuantModel, SignificanceMap) {
+        let data = cifar10sim::generate(DatasetConfig::tiny(111));
+        let m = tinynn::zoo::mini_cifar(17);
+        let ranges = calibrate_ranges(&m, &data.train.take(8));
+        let q = quantize_model(&m, &ranges);
+        let means = capture_mean_inputs(&q, &data.train.take(8));
+        let sig = SignificanceMap::compute(&q, &means);
+        (q, sig)
+    }
+
+    #[test]
+    fn hand_computed_example() {
+        // Channel with E = [2, 1, 0.5], w = [10, -40, 4]:
+        // products = [20, -40, 2], sum = -18
+        // S = |p / sum| = [1.111.., 2.222.., 0.111..]
+        let means = vec![2.0, 1.0, 0.5];
+        let w: Vec<i8> = vec![10, -40, 4];
+        let mut denom = 0.0;
+        for i in 0..3 {
+            denom += means[i] * w[i] as f64;
+        }
+        let s: Vec<f64> =
+            (0..3).map(|i| (means[i] * w[i] as f64 / denom).abs()).collect();
+        assert!((s[0] - 20.0 / 18.0).abs() < 1e-12);
+        assert!((s[1] - 40.0 / 18.0).abs() < 1e-12);
+        assert!((s[2] - 2.0 / 18.0).abs() < 1e-12);
+        // τ = 0.2 skips only the third product
+        let skip: Vec<bool> = s.iter().map(|&v| v <= 0.2).collect();
+        assert_eq!(skip, vec![false, false, true]);
+    }
+
+    #[test]
+    fn zero_denominator_retains_channel() {
+        // Construct scores directly through compute() on a crafted layer is
+        // heavy; instead verify the rule through the public invariant: no
+        // INFINITY score is ever skipped for any finite tau.
+        let (q, sig) = setup();
+        let masks = sig.masks_for_tau(&q, &TauAssignment::global(f64::MAX));
+        for (k, scores) in sig.scores.iter().enumerate() {
+            if let Some(mask) = &masks.per_conv[k] {
+                for (s, &skipped) in scores.iter().zip(mask.iter()) {
+                    if s.is_infinite() {
+                        assert!(!skipped, "infinite-significance product skipped");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn masks_monotonic_in_tau() {
+        let (q, sig) = setup();
+        let small = sig.masks_for_tau(&q, &TauAssignment::global(0.001));
+        let large = sig.masks_for_tau(&q, &TauAssignment::global(0.05));
+        let mut strictly_more = false;
+        for (a, b) in small.per_conv.iter().zip(&large.per_conv) {
+            let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert!(!(*x && !*y), "skip set not monotone");
+            }
+            if b.iter().filter(|&&s| s).count() > a.iter().filter(|&&s| s).count() {
+                strictly_more = true;
+            }
+        }
+        assert!(strictly_more, "larger tau should skip more on a real model");
+    }
+
+    #[test]
+    fn per_layer_assignment_respects_none() {
+        let (q, sig) = setup();
+        let n = q.conv_indices().len();
+        let mut taus = vec![None; n];
+        taus[0] = Some(0.05);
+        let masks = sig.masks_for_tau(&q, &TauAssignment::per_layer(taus));
+        assert!(masks.per_conv[0].is_some());
+        for m in &masks.per_conv[1..] {
+            assert!(m.is_none());
+        }
+    }
+
+    #[test]
+    fn global_broadcasts() {
+        let (q, sig) = setup();
+        let masks = sig.masks_for_tau(&q, &TauAssignment::global(0.01));
+        assert_eq!(masks.per_conv.len(), q.conv_indices().len());
+        assert!(masks.per_conv.iter().all(|m| m.is_some()));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn wrong_arity_rejected() {
+        let (q, sig) = setup();
+        sig.masks_for_tau(&q, &TauAssignment::per_layer(vec![Some(0.1), Some(0.1)]));
+    }
+
+    #[test]
+    fn channel_masks_are_all_or_nothing() {
+        let (q, sig) = setup();
+        let masks = sig.channel_masks_for_tau(&q, &TauAssignment::global(0.05));
+        for (k, m) in masks.per_conv.iter().enumerate() {
+            let m = m.as_ref().unwrap();
+            let patch = q.conv(k).patch_len();
+            for row in m.chunks(patch) {
+                let skipped = row.iter().filter(|&&s| s).count();
+                assert!(
+                    skipped == 0 || skipped == patch,
+                    "channel partially skipped at layer {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn channel_masks_monotone_and_bounded_by_huge_tau() {
+        let (q, sig) = setup();
+        let a = sig.channel_masks_for_tau(&q, &TauAssignment::global(0.001));
+        let b = sig.channel_masks_for_tau(&q, &TauAssignment::global(0.5));
+        assert!(a.skipped_macs(&q) <= b.skipped_macs(&q));
+    }
+
+    #[test]
+    fn skip_fraction_bounds_and_growth() {
+        let (q, sig) = setup();
+        let f0 = sig.skip_fraction(&q, &TauAssignment::global(0.0));
+        let f1 = sig.skip_fraction(&q, &TauAssignment::global(0.02));
+        let f2 = sig.skip_fraction(&q, &TauAssignment::global(1e9));
+        assert!((0.0..=1.0).contains(&f0));
+        assert!(f0 <= f1 && f1 <= f2);
+        // every finite-significance product is skipped at huge tau
+        assert!(f2 > 0.9);
+    }
+}

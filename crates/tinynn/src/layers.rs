@@ -1,0 +1,446 @@
+//! CNN layers with forward and backward passes.
+//!
+//! All activations are flat `Vec<f32>` slices in NHWC order for a single
+//! image; batch parallelism lives in the trainer (rayon over samples), so
+//! the layer code stays simple and cache-friendly.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use tinytensor::im2col::{im2col_f32, patch_offsets, PAD_OFFSET};
+use tinytensor::shape::ConvGeometry;
+
+/// A 2D convolution layer (weights OHWI, activations NHWC).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Conv2d {
+    /// Layer geometry.
+    pub geom: ConvGeometry,
+    /// Weights, `[out_c][kernel_h][kernel_w][in_c]` flattened.
+    pub weights: Vec<f32>,
+    /// Per-output-channel bias.
+    pub bias: Vec<f32>,
+}
+
+impl Conv2d {
+    /// He-initialized convolution.
+    pub fn new(geom: ConvGeometry, rng: &mut StdRng) -> Self {
+        let fan_in = geom.patch_len() as f32;
+        let std = (2.0 / fan_in).sqrt();
+        let weights = (0..geom.out_c * geom.patch_len())
+            .map(|_| sample_normal(rng) * std)
+            .collect();
+        Self { geom, weights, bias: vec![0.0; geom.out_c] }
+    }
+
+    /// Output length for one image.
+    pub fn out_len(&self) -> usize {
+        self.geom.out_positions() * self.geom.out_c
+    }
+
+    /// Input length for one image.
+    pub fn in_len(&self) -> usize {
+        self.geom.in_h * self.geom.in_w * self.geom.in_c
+    }
+
+    /// Forward pass; also returns the im2col buffer for reuse in backward.
+    pub fn forward(&self, x: &[f32]) -> (Vec<f32>, Vec<f32>) {
+        debug_assert_eq!(x.len(), self.in_len());
+        let cols = im2col_f32(x, &self.geom);
+        let patch = self.geom.patch_len();
+        let positions = self.geom.out_positions();
+        let out_c = self.geom.out_c;
+        let mut y = vec![0.0f32; positions * out_c];
+        for p in 0..positions {
+            let col = &cols[p * patch..(p + 1) * patch];
+            let yrow = &mut y[p * out_c..(p + 1) * out_c];
+            for (o, yo) in yrow.iter_mut().enumerate() {
+                let w = &self.weights[o * patch..(o + 1) * patch];
+                let mut acc = self.bias[o];
+                for i in 0..patch {
+                    acc += col[i] * w[i];
+                }
+                *yo = acc;
+            }
+        }
+        (y, cols)
+    }
+
+    /// Backward pass given upstream gradient `dy` and the forward's im2col
+    /// buffer. Returns `(dx, dw, db)`.
+    pub fn backward(&self, dy: &[f32], cols: &[f32]) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+        let patch = self.geom.patch_len();
+        let positions = self.geom.out_positions();
+        let out_c = self.geom.out_c;
+        debug_assert_eq!(dy.len(), positions * out_c);
+
+        let mut dw = vec![0.0f32; self.weights.len()];
+        let mut db = vec![0.0f32; out_c];
+        let mut dcols = vec![0.0f32; cols.len()];
+        for p in 0..positions {
+            let col = &cols[p * patch..(p + 1) * patch];
+            let dcol = &mut dcols[p * patch..(p + 1) * patch];
+            let dyrow = &dy[p * out_c..(p + 1) * out_c];
+            for (o, &g) in dyrow.iter().enumerate() {
+                if g == 0.0 {
+                    continue;
+                }
+                db[o] += g;
+                let w = &self.weights[o * patch..(o + 1) * patch];
+                let dwo = &mut dw[o * patch..(o + 1) * patch];
+                for i in 0..patch {
+                    dwo[i] += g * col[i];
+                    dcol[i] += g * w[i];
+                }
+            }
+        }
+        // col2im: scatter-add dcols back to input positions.
+        let offs = patch_offsets(&self.geom);
+        let mut dx = vec![0.0f32; self.in_len()];
+        for (i, &o) in offs.iter().enumerate() {
+            if o != PAD_OFFSET {
+                dx[o] += dcols[i];
+            }
+        }
+        (dx, dw, db)
+    }
+}
+
+/// 2×2 max-pool with stride 2 (the only pooling the paper's models use).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct MaxPool2 {
+    /// Input height.
+    pub in_h: usize,
+    /// Input width.
+    pub in_w: usize,
+    /// Channels.
+    pub c: usize,
+}
+
+impl MaxPool2 {
+    /// Output height.
+    pub fn out_h(&self) -> usize {
+        self.in_h / 2
+    }
+
+    /// Output width.
+    pub fn out_w(&self) -> usize {
+        self.in_w / 2
+    }
+
+    /// Output length per image.
+    pub fn out_len(&self) -> usize {
+        self.out_h() * self.out_w() * self.c
+    }
+
+    /// Input length per image.
+    pub fn in_len(&self) -> usize {
+        self.in_h * self.in_w * self.c
+    }
+
+    /// Forward; returns output and per-output argmax indices (into x).
+    pub fn forward(&self, x: &[f32]) -> (Vec<f32>, Vec<u32>) {
+        debug_assert_eq!(x.len(), self.in_len());
+        let (oh, ow, c) = (self.out_h(), self.out_w(), self.c);
+        let mut y = vec![0.0f32; oh * ow * c];
+        let mut arg = vec![0u32; oh * ow * c];
+        for oy in 0..oh {
+            for ox in 0..ow {
+                for ch in 0..c {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_i = 0u32;
+                    for dy in 0..2 {
+                        for dx in 0..2 {
+                            let iy = oy * 2 + dy;
+                            let ix = ox * 2 + dx;
+                            let idx = (iy * self.in_w + ix) * c + ch;
+                            if x[idx] > best {
+                                best = x[idx];
+                                best_i = idx as u32;
+                            }
+                        }
+                    }
+                    let oidx = (oy * ow + ox) * c + ch;
+                    y[oidx] = best;
+                    arg[oidx] = best_i;
+                }
+            }
+        }
+        (y, arg)
+    }
+
+    /// Backward: route gradients to the argmax positions.
+    pub fn backward(&self, dy: &[f32], arg: &[u32]) -> Vec<f32> {
+        let mut dx = vec![0.0f32; self.in_len()];
+        for (g, &i) in dy.iter().zip(arg.iter()) {
+            dx[i as usize] += *g;
+        }
+        dx
+    }
+}
+
+/// Fully-connected layer, weights `[out][in]`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dense {
+    /// Input dimension.
+    pub in_dim: usize,
+    /// Output dimension.
+    pub out_dim: usize,
+    /// Weights, row-major `[out][in]`.
+    pub weights: Vec<f32>,
+    /// Bias.
+    pub bias: Vec<f32>,
+}
+
+impl Dense {
+    /// He-initialized dense layer.
+    pub fn new(in_dim: usize, out_dim: usize, rng: &mut StdRng) -> Self {
+        let std = (2.0 / in_dim as f32).sqrt();
+        let weights = (0..in_dim * out_dim).map(|_| sample_normal(rng) * std).collect();
+        Self { in_dim, out_dim, weights, bias: vec![0.0; out_dim] }
+    }
+
+    /// Forward pass.
+    pub fn forward(&self, x: &[f32]) -> Vec<f32> {
+        debug_assert_eq!(x.len(), self.in_dim);
+        let mut y = self.bias.clone();
+        for (o, yo) in y.iter_mut().enumerate() {
+            let w = &self.weights[o * self.in_dim..(o + 1) * self.in_dim];
+            let mut acc = 0.0f32;
+            for i in 0..self.in_dim {
+                acc += w[i] * x[i];
+            }
+            *yo += acc;
+        }
+        y
+    }
+
+    /// Backward; returns `(dx, dw, db)`.
+    pub fn backward(&self, x: &[f32], dy: &[f32]) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+        let mut dx = vec![0.0f32; self.in_dim];
+        let mut dw = vec![0.0f32; self.weights.len()];
+        for (o, &g) in dy.iter().enumerate() {
+            if g == 0.0 {
+                continue;
+            }
+            let w = &self.weights[o * self.in_dim..(o + 1) * self.in_dim];
+            let dwo = &mut dw[o * self.in_dim..(o + 1) * self.in_dim];
+            for i in 0..self.in_dim {
+                dx[i] += g * w[i];
+                dwo[i] += g * x[i];
+            }
+        }
+        (dx, dw, dy.to_vec())
+    }
+}
+
+/// A network layer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Layer {
+    /// Convolution (always followed by a fused ReLU in the paper's models;
+    /// here ReLU is explicit for clarity).
+    Conv(Conv2d),
+    /// 2×2/2 max-pool.
+    Pool(MaxPool2),
+    /// Elementwise ReLU (length recorded for shape checking).
+    Relu(usize),
+    /// Fully connected.
+    Dense(Dense),
+}
+
+impl Layer {
+    /// Output activation length of this layer for one image.
+    pub fn out_len(&self) -> usize {
+        match self {
+            Layer::Conv(c) => c.out_len(),
+            Layer::Pool(p) => p.out_len(),
+            Layer::Relu(n) => *n,
+            Layer::Dense(d) => d.out_dim,
+        }
+    }
+
+    /// Input activation length of this layer for one image.
+    pub fn in_len(&self) -> usize {
+        match self {
+            Layer::Conv(c) => c.in_len(),
+            Layer::Pool(p) => p.in_len(),
+            Layer::Relu(n) => *n,
+            Layer::Dense(d) => d.in_dim,
+        }
+    }
+
+    /// Number of trainable parameters.
+    pub fn param_count(&self) -> usize {
+        match self {
+            Layer::Conv(c) => c.weights.len() + c.bias.len(),
+            Layer::Dense(d) => d.weights.len() + d.bias.len(),
+            _ => 0,
+        }
+    }
+
+    /// Exact MAC count of this layer per inference.
+    pub fn macs(&self) -> u64 {
+        match self {
+            Layer::Conv(c) => c.geom.macs(),
+            Layer::Dense(d) => (d.in_dim * d.out_dim) as u64,
+            _ => 0,
+        }
+    }
+}
+
+/// Sample from a standard normal via Box–Muller.
+fn sample_normal(rng: &mut StdRng) -> f32 {
+    let u1: f32 = rng.gen_range(1e-7f32..1.0);
+    let u2: f32 = rng.gen_range(0.0f32..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn tiny_conv() -> Conv2d {
+        let mut rng = StdRng::seed_from_u64(1);
+        Conv2d::new(
+            ConvGeometry {
+                in_h: 5,
+                in_w: 5,
+                in_c: 2,
+                out_c: 3,
+                kernel_h: 3,
+                kernel_w: 3,
+                pad_h: 1,
+                pad_w: 1,
+                stride_h: 1,
+                stride_w: 1,
+            },
+            &mut rng,
+        )
+    }
+
+    fn rand_vec(n: usize, seed: u64) -> Vec<f32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
+    }
+
+    /// Finite-difference gradient check for the conv layer.
+    #[test]
+    fn conv_gradients_match_finite_differences() {
+        let mut conv = tiny_conv();
+        let x = rand_vec(conv.in_len(), 2);
+        let dy = rand_vec(conv.out_len(), 3);
+        let (_, cols) = conv.forward(&x);
+        let (dx, dw, db) = conv.backward(&dy, &cols);
+
+        let loss = |c: &Conv2d, xs: &[f32]| -> f32 {
+            let (y, _) = c.forward(xs);
+            y.iter().zip(dy.iter()).map(|(a, b)| a * b).sum()
+        };
+        let eps = 1e-3f32;
+        // check a scatter of input grads
+        for &i in &[0usize, 7, 23, x.len() - 1] {
+            let mut xp = x.clone();
+            xp[i] += eps;
+            let mut xm = x.clone();
+            xm[i] -= eps;
+            let num = (loss(&conv, &xp) - loss(&conv, &xm)) / (2.0 * eps);
+            assert!((num - dx[i]).abs() < 2e-2, "dx[{i}]: num {num} vs {got}", got = dx[i]);
+        }
+        // weight grads
+        for &i in &[0usize, 11, conv.weights.len() - 1] {
+            let orig = conv.weights[i];
+            conv.weights[i] = orig + eps;
+            let lp = loss(&conv, &x);
+            conv.weights[i] = orig - eps;
+            let lm = loss(&conv, &x);
+            conv.weights[i] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            assert!((num - dw[i]).abs() < 2e-2, "dw[{i}]: num {num} vs {got}", got = dw[i]);
+        }
+        // bias grads
+        for o in 0..conv.bias.len() {
+            let orig = conv.bias[o];
+            conv.bias[o] = orig + eps;
+            let lp = loss(&conv, &x);
+            conv.bias[o] = orig - eps;
+            let lm = loss(&conv, &x);
+            conv.bias[o] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            assert!((num - db[o]).abs() < 2e-2, "db[{o}]");
+        }
+    }
+
+    #[test]
+    fn dense_gradients_match_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut d = Dense::new(6, 4, &mut rng);
+        let x = rand_vec(6, 5);
+        let dy = rand_vec(4, 6);
+        let (dx, dw, db) = d.backward(&x, &dy);
+        let loss = |d: &Dense, xs: &[f32]| -> f32 {
+            d.forward(xs).iter().zip(dy.iter()).map(|(a, b)| a * b).sum()
+        };
+        let eps = 1e-3f32;
+        for i in 0..6 {
+            let mut xp = x.clone();
+            xp[i] += eps;
+            let mut xm = x.clone();
+            xm[i] -= eps;
+            let num = (loss(&d, &xp) - loss(&d, &xm)) / (2.0 * eps);
+            assert!((num - dx[i]).abs() < 1e-2, "dx[{i}]");
+        }
+        for i in [0usize, 10, 23] {
+            let orig = d.weights[i];
+            d.weights[i] = orig + eps;
+            let lp = loss(&d, &x);
+            d.weights[i] = orig - eps;
+            let lm = loss(&d, &x);
+            d.weights[i] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            assert!((num - dw[i]).abs() < 1e-2, "dw[{i}]");
+        }
+        assert_eq!(db, dy);
+    }
+
+    #[test]
+    fn maxpool_forward_and_routing() {
+        let p = MaxPool2 { in_h: 4, in_w: 4, c: 1 };
+        #[rustfmt::skip]
+        let x = vec![
+            1.0, 5.0, 2.0, 0.0,
+            3.0, 2.0, 8.0, 1.0,
+            0.0, 1.0, 1.0, 2.0,
+            4.0, 2.0, 3.0, 9.0,
+        ];
+        let (y, arg) = p.forward(&x);
+        assert_eq!(y, vec![5.0, 8.0, 4.0, 9.0]);
+        let dy = vec![1.0, 2.0, 3.0, 4.0];
+        let dx = p.backward(&dy, &arg);
+        assert_eq!(dx[1], 1.0); // 5.0 at idx 1
+        assert_eq!(dx[6], 2.0); // 8.0 at idx 6
+        assert_eq!(dx[12], 3.0); // 4.0 at idx 12
+        assert_eq!(dx[15], 4.0); // 9.0 at idx 15
+        assert_eq!(dx.iter().filter(|&&v| v != 0.0).count(), 4);
+    }
+
+    #[test]
+    fn maxpool_channels_independent() {
+        let p = MaxPool2 { in_h: 2, in_w: 2, c: 2 };
+        // channel 0: [1,2,3,4] -> 4; channel 1: [9,1,1,1] -> 9
+        let x = vec![1.0, 9.0, 2.0, 1.0, 3.0, 1.0, 4.0, 1.0];
+        let (y, _) = p.forward(&x);
+        assert_eq!(y, vec![4.0, 9.0]);
+    }
+
+    #[test]
+    fn layer_macs_and_params() {
+        let c = tiny_conv();
+        // 5x5 output positions * 3x3x2 patch * 3 out channels
+        assert_eq!(Layer::Conv(c.clone()).macs(), 25 * 18 * 3);
+        assert_eq!(Layer::Conv(c).param_count(), 3 * 18 + 3);
+        let mut rng = StdRng::seed_from_u64(0);
+        let d = Dense::new(10, 4, &mut rng);
+        assert_eq!(Layer::Dense(d.clone()).macs(), 40);
+        assert_eq!(Layer::Dense(d).param_count(), 44);
+    }
+}

@@ -1,0 +1,30 @@
+//! # tinynn
+//!
+//! From-scratch f32 CNN training substrate.
+//!
+//! The paper consumes *pretrained* CIFAR-10 CNNs (a LeNet-style and an
+//! AlexNet-style network) that are then 8-bit post-training quantized and
+//! deployed through CMSIS-NN. The reproduction has no TensorFlow, so this
+//! crate implements the minimum viable deep-learning stack needed to produce
+//! those models:
+//!
+//! * [`layers`] — Conv2d (NHWC/OHWI, im2col-based), 2×2 max-pool, ReLU and
+//!   Dense layers with hand-derived backward passes (finite-difference
+//!   checked in the test suite);
+//! * [`model`] — [`model::Sequential`] stacks with shape inference;
+//! * [`train`] — seeded SGD with momentum, rayon data-parallel gradient
+//!   accumulation with a *deterministic* reduction order (per-sample grads
+//!   are reduced in index order, so results are independent of thread
+//!   count);
+//! * [`zoo`] — the paper's two topologies: `lenet()` (3 conv + 2 pool +
+//!   2 FC, ≈4.5M MACs) and `alexnet()` (5 conv + 2 pool + 2 FC, ≈16.1M
+//!   MACs), Table I's "Topol." column.
+
+pub mod layers;
+pub mod model;
+pub mod train;
+pub mod zoo;
+
+pub use layers::{Conv2d, Dense, Layer, MaxPool2};
+pub use model::{Gradients, Sequential};
+pub use train::{evaluate_accuracy, SgdConfig, TrainReport, Trainer};

@@ -1,0 +1,416 @@
+//! Sequential model container with shape inference and backprop plumbing.
+
+use crate::layers::{Conv2d, Dense, Layer, MaxPool2};
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+use tinytensor::shape::ConvGeometry;
+use tinytensor::Shape4;
+
+/// A feed-forward stack of layers operating on single-image flat slices.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Sequential {
+    /// Input activation shape (N is ignored; single-image semantics).
+    pub input_shape: Shape4,
+    /// The layer stack.
+    pub layers: Vec<Layer>,
+    /// Human-readable model name.
+    pub name: String,
+}
+
+/// Per-layer parameter gradients, mirroring [`Sequential::layers`].
+#[derive(Debug, Clone)]
+pub struct Gradients {
+    /// `(dw, db)` per layer; empty vectors for parameterless layers.
+    pub per_layer: Vec<(Vec<f32>, Vec<f32>)>,
+}
+
+impl Gradients {
+    /// Zero gradients shaped like `model`.
+    pub fn zeros_like(model: &Sequential) -> Self {
+        let per_layer = model
+            .layers
+            .iter()
+            .map(|l| match l {
+                Layer::Conv(c) => (vec![0.0; c.weights.len()], vec![0.0; c.bias.len()]),
+                Layer::Dense(d) => (vec![0.0; d.weights.len()], vec![0.0; d.bias.len()]),
+                _ => (Vec::new(), Vec::new()),
+            })
+            .collect();
+        Self { per_layer }
+    }
+
+    /// Elementwise accumulate (deterministic order is the caller's duty).
+    pub fn accumulate(&mut self, other: &Gradients) {
+        for ((dw, db), (ow, ob)) in self.per_layer.iter_mut().zip(&other.per_layer) {
+            for (a, b) in dw.iter_mut().zip(ow) {
+                *a += b;
+            }
+            for (a, b) in db.iter_mut().zip(ob) {
+                *a += b;
+            }
+        }
+    }
+
+    /// Scale all gradients by `s` (1/batch).
+    pub fn scale(&mut self, s: f32) {
+        for (dw, db) in &mut self.per_layer {
+            for v in dw.iter_mut() {
+                *v *= s;
+            }
+            for v in db.iter_mut() {
+                *v *= s;
+            }
+        }
+    }
+}
+
+/// Forward caches needed by backprop for one sample.
+pub struct ForwardCache {
+    /// Input to each layer.
+    inputs: Vec<Vec<f32>>,
+    /// Conv im2col buffers / pool argmaxes, indexed by layer.
+    aux: Vec<Aux>,
+    /// Final logits.
+    pub logits: Vec<f32>,
+}
+
+enum Aux {
+    None,
+    Cols(Vec<f32>),
+    Argmax(Vec<u32>),
+}
+
+impl Sequential {
+    /// Create an empty model for the given single-image input shape.
+    pub fn new(name: impl Into<String>, input_shape: Shape4) -> Self {
+        Self { input_shape: input_shape.single(), layers: Vec::new(), name: name.into() }
+    }
+
+    /// Current output spatial shape (h, w, c) after the stacked layers, for
+    /// builder-style shape inference. Dense layers collapse to (1, 1, dim).
+    fn current_hwc(&self) -> (usize, usize, usize) {
+        let mut h = self.input_shape.h;
+        let mut w = self.input_shape.w;
+        let mut c = self.input_shape.c;
+        for l in &self.layers {
+            match l {
+                Layer::Conv(conv) => {
+                    h = conv.geom.out_h();
+                    w = conv.geom.out_w();
+                    c = conv.geom.out_c;
+                }
+                Layer::Pool(p) => {
+                    h = p.out_h();
+                    w = p.out_w();
+                }
+                Layer::Relu(_) => {}
+                Layer::Dense(d) => {
+                    h = 1;
+                    w = 1;
+                    c = d.out_dim;
+                }
+            }
+        }
+        (h, w, c)
+    }
+
+    /// Append a convolution (+ ReLU) with `out_c` filters of `k`×`k`, stride
+    /// 1 and "same" padding `k/2`.
+    pub fn conv_relu(mut self, out_c: usize, k: usize, rng: &mut StdRng) -> Self {
+        let (h, w, c) = self.current_hwc();
+        let geom = ConvGeometry {
+            in_h: h,
+            in_w: w,
+            in_c: c,
+            out_c,
+            kernel_h: k,
+            kernel_w: k,
+            pad_h: k / 2,
+            pad_w: k / 2,
+            stride_h: 1,
+            stride_w: 1,
+        };
+        let conv = Conv2d::new(geom, rng);
+        let out_len = conv.out_len();
+        self.layers.push(Layer::Conv(conv));
+        self.layers.push(Layer::Relu(out_len));
+        self
+    }
+
+    /// Append a 2×2/2 max-pool.
+    pub fn maxpool(mut self) -> Self {
+        let (h, w, c) = self.current_hwc();
+        assert!(h % 2 == 0 && w % 2 == 0, "pool needs even dims, got {h}x{w}");
+        self.layers.push(Layer::Pool(MaxPool2 { in_h: h, in_w: w, c }));
+        self
+    }
+
+    /// Append a dense layer (+ ReLU unless `last`).
+    pub fn dense(mut self, out_dim: usize, last: bool, rng: &mut StdRng) -> Self {
+        let (h, w, c) = self.current_hwc();
+        let in_dim = h * w * c;
+        self.layers.push(Layer::Dense(Dense::new(in_dim, out_dim, rng)));
+        if !last {
+            self.layers.push(Layer::Relu(out_dim));
+        }
+        self
+    }
+
+    /// Number of output classes (last dense layer's width).
+    pub fn num_classes(&self) -> usize {
+        let (h, w, c) = self.current_hwc();
+        h * w * c
+    }
+
+    /// Total trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(|l| l.param_count()).sum()
+    }
+
+    /// Exact dense MAC count per inference (the paper's "#MAC Ops").
+    pub fn macs(&self) -> u64 {
+        self.layers.iter().map(|l| l.macs()).sum()
+    }
+
+    /// Topology string in the paper's "Conv-MaxPooling-FullConnected" form,
+    /// e.g. `5-2-2` for AlexNet.
+    pub fn topology(&self) -> String {
+        let conv = self.layers.iter().filter(|l| matches!(l, Layer::Conv(_))).count();
+        let pool = self.layers.iter().filter(|l| matches!(l, Layer::Pool(_))).count();
+        let fc = self.layers.iter().filter(|l| matches!(l, Layer::Dense(_))).count();
+        format!("{conv}-{pool}-{fc}")
+    }
+
+    /// Inference-only forward (no caches).
+    pub fn forward_logits(&self, x: &[f32]) -> Vec<f32> {
+        let mut act = x.to_vec();
+        for l in &self.layers {
+            act = match l {
+                Layer::Conv(c) => c.forward(&act).0,
+                Layer::Pool(p) => p.forward(&act).0,
+                Layer::Relu(_) => {
+                    let mut a = act;
+                    for v in a.iter_mut() {
+                        if *v < 0.0 {
+                            *v = 0.0;
+                        }
+                    }
+                    a
+                }
+                Layer::Dense(d) => d.forward(&act),
+            };
+        }
+        act
+    }
+
+    /// Predicted class for one image.
+    pub fn predict(&self, x: &[f32]) -> usize {
+        argmax(&self.forward_logits(x))
+    }
+
+    /// Forward keeping everything backprop needs.
+    pub fn forward_cached(&self, x: &[f32]) -> ForwardCache {
+        let mut inputs = Vec::with_capacity(self.layers.len());
+        let mut aux = Vec::with_capacity(self.layers.len());
+        let mut act = x.to_vec();
+        for l in &self.layers {
+            inputs.push(act.clone());
+            act = match l {
+                Layer::Conv(c) => {
+                    let (y, cols) = c.forward(&act);
+                    aux.push(Aux::Cols(cols));
+                    y
+                }
+                Layer::Pool(p) => {
+                    let (y, arg) = p.forward(&act);
+                    aux.push(Aux::Argmax(arg));
+                    y
+                }
+                Layer::Relu(_) => {
+                    aux.push(Aux::None);
+                    let mut a = act;
+                    for v in a.iter_mut() {
+                        if *v < 0.0 {
+                            *v = 0.0;
+                        }
+                    }
+                    a
+                }
+                Layer::Dense(d) => {
+                    aux.push(Aux::None);
+                    d.forward(&act)
+                }
+            };
+        }
+        ForwardCache { inputs, aux, logits: act }
+    }
+
+    /// Softmax cross-entropy loss + full backward pass for one sample.
+    /// Returns `(loss, gradients)`.
+    pub fn loss_and_gradients(&self, cache: &ForwardCache, label: usize) -> (f32, Gradients) {
+        let (loss, mut dact) = softmax_xent(&cache.logits, label);
+        let mut grads = Gradients::zeros_like(self);
+        for (li, l) in self.layers.iter().enumerate().rev() {
+            match l {
+                Layer::Conv(c) => {
+                    let cols = match &cache.aux[li] {
+                        Aux::Cols(cols) => cols,
+                        _ => unreachable!("conv layer must cache cols"),
+                    };
+                    let (dx, dw, db) = c.backward(&dact, cols);
+                    grads.per_layer[li] = (dw, db);
+                    dact = dx;
+                }
+                Layer::Pool(p) => {
+                    let arg = match &cache.aux[li] {
+                        Aux::Argmax(a) => a,
+                        _ => unreachable!("pool layer must cache argmax"),
+                    };
+                    dact = p.backward(&dact, arg);
+                }
+                Layer::Relu(_) => {
+                    for (g, &x) in dact.iter_mut().zip(cache.inputs[li].iter()) {
+                        if x <= 0.0 {
+                            *g = 0.0;
+                        }
+                    }
+                }
+                Layer::Dense(d) => {
+                    let (dx, dw, db) = d.backward(&cache.inputs[li], &dact);
+                    grads.per_layer[li] = (dw, db);
+                    dact = dx;
+                }
+            }
+        }
+        (loss, grads)
+    }
+}
+
+/// Numerically-stable softmax cross-entropy; returns loss and dlogits.
+pub fn softmax_xent(logits: &[f32], label: usize) -> (f32, Vec<f32>) {
+    let max = logits.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+    let exps: Vec<f32> = logits.iter().map(|&v| (v - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    let mut d: Vec<f32> = exps.iter().map(|&e| e / sum).collect();
+    let loss = -(d[label].max(1e-12)).ln();
+    d[label] -= 1.0;
+    (loss, d)
+}
+
+/// Index of the maximum element (first on ties).
+pub fn argmax(xs: &[f32]) -> usize {
+    let mut best = 0usize;
+    for (i, &v) in xs.iter().enumerate() {
+        if v > xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn micro_model(seed: u64) -> Sequential {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Sequential::new("micro", Shape4::nhwc(1, 8, 8, 2))
+            .conv_relu(4, 3, &mut rng)
+            .maxpool()
+            .conv_relu(4, 3, &mut rng)
+            .maxpool()
+            .dense(10, true, &mut rng)
+    }
+
+    #[test]
+    fn shape_inference_chains() {
+        let m = micro_model(1);
+        assert_eq!(m.topology(), "2-2-1");
+        assert_eq!(m.num_classes(), 10);
+        // conv(2->4,3x3 same) on 8x8: macs = 64*9*2*4; pool; conv 4x4...
+        assert!(m.macs() > 0);
+        assert!(m.param_count() > 0);
+    }
+
+    #[test]
+    fn forward_logits_matches_cached() {
+        let m = micro_model(2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let x: Vec<f32> = (0..8 * 8 * 2).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let a = m.forward_logits(&x);
+        let b = m.forward_cached(&x).logits;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn softmax_xent_gradient_sums_to_zero() {
+        let (loss, d) = softmax_xent(&[1.0, 2.0, 3.0], 1);
+        assert!(loss > 0.0);
+        let sum: f32 = d.iter().sum();
+        assert!(sum.abs() < 1e-6);
+        // gradient at the label is negative
+        assert!(d[1] < 0.0);
+    }
+
+    /// End-to-end gradient check through the whole stack.
+    #[test]
+    fn model_gradients_match_finite_differences() {
+        let mut m = micro_model(4);
+        let mut rng = StdRng::seed_from_u64(5);
+        let x: Vec<f32> = (0..8 * 8 * 2).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let label = 3usize;
+        let cache = m.forward_cached(&x);
+        let (_, grads) = m.loss_and_gradients(&cache, label);
+
+        let eps = 1e-2f32;
+        // probe a conv weight (layer 0) and a dense weight (last layer)
+        let probes: Vec<(usize, usize)> = vec![(0, 0), (0, 5), (6, 17)];
+        for (li, wi) in probes {
+            let orig = match &m.layers[li] {
+                Layer::Conv(c) => c.weights[wi],
+                Layer::Dense(d) => d.weights[wi],
+                _ => continue,
+            };
+            let set = |m: &mut Sequential, v: f32| match &mut m.layers[li] {
+                Layer::Conv(c) => c.weights[wi] = v,
+                Layer::Dense(d) => d.weights[wi] = v,
+                _ => {}
+            };
+            set(&mut m, orig + eps);
+            let lp = m.loss_and_gradients(&m.forward_cached(&x), label).0;
+            set(&mut m, orig - eps);
+            let lm = m.loss_and_gradients(&m.forward_cached(&x), label).0;
+            set(&mut m, orig);
+            let num = (lp - lm) / (2.0 * eps);
+            let got = grads.per_layer[li].0[wi];
+            assert!(
+                (num - got).abs() < 5e-2_f32.max(0.2 * num.abs()),
+                "layer {li} w[{wi}]: numeric {num} vs backprop {got}"
+            );
+        }
+    }
+
+    #[test]
+    fn argmax_first_on_ties() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0]), 1);
+        assert_eq!(argmax(&[-1.0]), 0);
+    }
+
+    #[test]
+    fn gradients_accumulate_and_scale() {
+        let m = micro_model(6);
+        let mut g = Gradients::zeros_like(&m);
+        let mut rng = StdRng::seed_from_u64(7);
+        let x: Vec<f32> = (0..8 * 8 * 2).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let (_, g1) = m.loss_and_gradients(&m.forward_cached(&x), 0);
+        g.accumulate(&g1);
+        g.accumulate(&g1);
+        g.scale(0.5);
+        for ((a, _), (b, _)) in g.per_layer.iter().zip(&g1.per_layer) {
+            for (x, y) in a.iter().zip(b) {
+                assert!((x - y).abs() < 1e-6);
+            }
+        }
+    }
+}

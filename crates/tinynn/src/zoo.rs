@@ -1,0 +1,132 @@
+//! The paper's two CNN topologies (Table I) plus a micro model for tests.
+//!
+//! Table I reports, for CIFAR-10 input (32×32×3):
+//!
+//! | CNN     | Topology (Conv-Pool-FC) | #MAC ops |
+//! |---------|-------------------------|----------|
+//! | LeNet   | 3-2-2                   | 4.5 M    |
+//! | AlexNet | 5-2-2                   | 16.1 M   |
+//!
+//! The exact per-layer widths are not published; the stacks below are chosen
+//! to match the topology column and land on the reported MAC counts
+//! (validated by unit tests: LeNet ≈ 4.58M, AlexNet ≈ 16.14M).
+
+use crate::model::Sequential;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tinytensor::Shape4;
+
+/// CIFAR-10 input shape.
+pub fn cifar_input() -> Shape4 {
+    Shape4::nhwc(1, 32, 32, 3)
+}
+
+/// LeNet-style 3-2-2 network, ≈4.5M MACs.
+///
+/// conv 32@5×5 → pool → conv 24@3×3 → pool → conv 16@3×3 → FC 128 → FC 10.
+pub fn lenet(seed: u64) -> Sequential {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Sequential::new("LeNet", cifar_input())
+        .conv_relu(32, 5, &mut rng)
+        .maxpool()
+        .conv_relu(24, 3, &mut rng)
+        .maxpool()
+        .conv_relu(16, 3, &mut rng)
+        .dense(128, false, &mut rng)
+        .dense(10, true, &mut rng)
+}
+
+/// AlexNet-style 5-2-2 network, ≈16.1M MACs.
+///
+/// conv 32@3×3 → pool → conv 64@3×3 → conv 52@3×3 → pool → conv 56@3×3 →
+/// conv 32@3×3 → FC 64 → FC 10.
+pub fn alexnet(seed: u64) -> Sequential {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Sequential::new("AlexNet", cifar_input())
+        .conv_relu(32, 3, &mut rng)
+        .maxpool()
+        .conv_relu(64, 3, &mut rng)
+        .conv_relu(52, 3, &mut rng)
+        .maxpool()
+        .conv_relu(56, 3, &mut rng)
+        .conv_relu(32, 3, &mut rng)
+        .dense(64, false, &mut rng)
+        .dense(10, true, &mut rng)
+}
+
+/// A deliberately small 2-2-1 model on 8×8×2 inputs for fast unit and
+/// property tests across the workspace.
+pub fn micro(seed: u64) -> Sequential {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Sequential::new("Micro", Shape4::nhwc(1, 8, 8, 2))
+        .conv_relu(4, 3, &mut rng)
+        .maxpool()
+        .conv_relu(6, 3, &mut rng)
+        .maxpool()
+        .dense(10, true, &mut rng)
+}
+
+/// A small but CIFAR-shaped model for medium-cost integration tests.
+pub fn mini_cifar(seed: u64) -> Sequential {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Sequential::new("MiniCifar", cifar_input())
+        .conv_relu(8, 3, &mut rng)
+        .maxpool()
+        .conv_relu(12, 3, &mut rng)
+        .maxpool()
+        .conv_relu(12, 3, &mut rng)
+        .maxpool()
+        .dense(10, true, &mut rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lenet_matches_table1() {
+        let m = lenet(0);
+        assert_eq!(m.topology(), "3-2-2");
+        let macs = m.macs() as f64 / 1e6;
+        assert!(
+            (4.3..=4.7).contains(&macs),
+            "LeNet MACs {macs}M outside Table I's ~4.5M"
+        );
+        assert_eq!(m.num_classes(), 10);
+    }
+
+    #[test]
+    fn alexnet_matches_table1() {
+        let m = alexnet(0);
+        assert_eq!(m.topology(), "5-2-2");
+        let macs = m.macs() as f64 / 1e6;
+        assert!(
+            (15.8..=16.5).contains(&macs),
+            "AlexNet MACs {macs}M outside Table I's ~16.1M"
+        );
+    }
+
+    #[test]
+    fn alexnet_larger_than_lenet() {
+        assert!(alexnet(0).macs() > 3 * lenet(0).macs());
+        assert!(alexnet(0).param_count() > lenet(0).param_count());
+    }
+
+    #[test]
+    fn micro_is_tiny() {
+        let m = micro(0);
+        assert!(m.macs() < 100_000);
+        assert_eq!(m.topology(), "2-2-1");
+    }
+
+    #[test]
+    fn zoo_is_seed_deterministic() {
+        let a = lenet(5);
+        let b = lenet(5);
+        for (la, lb) in a.layers.iter().zip(&b.layers) {
+            if let (crate::layers::Layer::Conv(x), crate::layers::Layer::Conv(y)) = (la, lb) {
+                assert_eq!(x.weights, y.weights);
+            }
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! Image-to-column transform and receptive-field offset tables.
+//!
+//! CMSIS-NN's `arm_convolve_s8` gathers each output position's receptive
+//! field into a column buffer (padding positions filled with the input's
+//! zero point, so they contribute exactly zero after the offset-corrected
+//! MAC), then hands columns to the `mat_mult` kernel.
+//!
+//! The unpacked engine does *not* materialize columns — the generated code
+//! addresses the input directly. For that, [`patch_offsets`] produces, per
+//! output position, the flat input offset of every patch element or `None`
+//! for padding. Both paths must agree; tests cross-check them.
+
+use crate::shape::ConvGeometry;
+
+/// The im2col column matrix for a single input image (HWC layout).
+///
+/// `cols[p * patch_len + i]` is patch element `i` of output position `p`
+/// (row-major over output positions). Padding elements hold `pad_value`
+/// (the input zero point for quantized tensors).
+pub fn im2col_i8(input_hwc: &[i8], geom: &ConvGeometry, pad_value: i8) -> Vec<i8> {
+    let (oh, ow) = (geom.out_h(), geom.out_w());
+    let patch = geom.patch_len();
+    let mut cols = vec![pad_value; oh * ow * patch];
+    fill_im2col_i8(input_hwc, geom, pad_value, &mut cols);
+    cols
+}
+
+/// In-place variant of [`im2col_i8`] reusing a scratch buffer (the engines
+/// allocate the column buffer once per layer, as the MCU library would).
+pub fn fill_im2col_i8(input_hwc: &[i8], geom: &ConvGeometry, pad_value: i8, cols: &mut [i8]) {
+    let (oh, ow) = (geom.out_h(), geom.out_w());
+    let patch = geom.patch_len();
+    assert_eq!(cols.len(), oh * ow * patch, "column buffer size mismatch");
+    assert_eq!(input_hwc.len(), geom.in_h * geom.in_w * geom.in_c, "input size mismatch");
+
+    let mut col_base = 0usize;
+    for oy in 0..oh {
+        let iy0 = (oy * geom.stride_h) as isize - geom.pad_h as isize;
+        for ox in 0..ow {
+            let ix0 = (ox * geom.stride_w) as isize - geom.pad_w as isize;
+            let mut i = col_base;
+            for ky in 0..geom.kernel_h {
+                let iy = iy0 + ky as isize;
+                if iy < 0 || iy >= geom.in_h as isize {
+                    // whole kernel row out of bounds: leave pad_value
+                    for _ in 0..geom.kernel_w * geom.in_c {
+                        cols[i] = pad_value;
+                        i += 1;
+                    }
+                    continue;
+                }
+                let row_base = iy as usize * geom.in_w * geom.in_c;
+                for kx in 0..geom.kernel_w {
+                    let ix = ix0 + kx as isize;
+                    if ix < 0 || ix >= geom.in_w as isize {
+                        for _ in 0..geom.in_c {
+                            cols[i] = pad_value;
+                            i += 1;
+                        }
+                        continue;
+                    }
+                    let src = row_base + ix as usize * geom.in_c;
+                    cols[i..i + geom.in_c].copy_from_slice(&input_hwc[src..src + geom.in_c]);
+                    i += geom.in_c;
+                }
+            }
+            col_base += patch;
+        }
+    }
+}
+
+/// f32 variant used by the training substrate.
+pub fn im2col_f32(input_hwc: &[f32], geom: &ConvGeometry) -> Vec<f32> {
+    let (oh, ow) = (geom.out_h(), geom.out_w());
+    let patch = geom.patch_len();
+    let mut cols = vec![0.0f32; oh * ow * patch];
+    let mut col_base = 0usize;
+    for oy in 0..oh {
+        let iy0 = (oy * geom.stride_h) as isize - geom.pad_h as isize;
+        for ox in 0..ow {
+            let ix0 = (ox * geom.stride_w) as isize - geom.pad_w as isize;
+            let mut i = col_base;
+            for ky in 0..geom.kernel_h {
+                let iy = iy0 + ky as isize;
+                for kx in 0..geom.kernel_w {
+                    let ix = ix0 + kx as isize;
+                    if iy < 0
+                        || iy >= geom.in_h as isize
+                        || ix < 0
+                        || ix >= geom.in_w as isize
+                    {
+                        i += geom.in_c;
+                        continue;
+                    }
+                    let src = (iy as usize * geom.in_w + ix as usize) * geom.in_c;
+                    cols[i..i + geom.in_c].copy_from_slice(&input_hwc[src..src + geom.in_c]);
+                    i += geom.in_c;
+                }
+            }
+            col_base += patch;
+        }
+    }
+    cols
+}
+
+/// Per-output-position flat input offsets for direct (im2col-free)
+/// addressing, as the unpacked generated code uses.
+///
+/// Returns a vector of length `out_positions * patch_len`; `usize::MAX`
+/// marks a padding element (the generated code simply emits no instruction
+/// for those, since `pad` contributes zero after offset correction).
+pub const PAD_OFFSET: usize = usize::MAX;
+
+/// Build the offset table. Patch element order matches [`im2col_i8`]:
+/// `(ky, kx, ci)` row-major.
+pub fn patch_offsets(geom: &ConvGeometry) -> Vec<usize> {
+    let (oh, ow) = (geom.out_h(), geom.out_w());
+    let patch = geom.patch_len();
+    let mut offs = vec![PAD_OFFSET; oh * ow * patch];
+    let mut base = 0usize;
+    for oy in 0..oh {
+        let iy0 = (oy * geom.stride_h) as isize - geom.pad_h as isize;
+        for ox in 0..ow {
+            let ix0 = (ox * geom.stride_w) as isize - geom.pad_w as isize;
+            let mut i = base;
+            for ky in 0..geom.kernel_h {
+                let iy = iy0 + ky as isize;
+                for kx in 0..geom.kernel_w {
+                    let ix = ix0 + kx as isize;
+                    let inside = iy >= 0
+                        && iy < geom.in_h as isize
+                        && ix >= 0
+                        && ix < geom.in_w as isize;
+                    for ci in 0..geom.in_c {
+                        if inside {
+                            offs[i] = (iy as usize * geom.in_w + ix as usize) * geom.in_c + ci;
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            base += patch;
+        }
+    }
+    offs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_geom() -> ConvGeometry {
+        ConvGeometry {
+            in_h: 4,
+            in_w: 4,
+            in_c: 2,
+            out_c: 3,
+            kernel_h: 3,
+            kernel_w: 3,
+            pad_h: 1,
+            pad_w: 1,
+            stride_h: 1,
+            stride_w: 1,
+        }
+    }
+
+    #[test]
+    fn im2col_center_patch_is_exact_copy() {
+        let geom = small_geom();
+        let input: Vec<i8> = (0..32).map(|v| v as i8).collect();
+        let cols = im2col_i8(&input, &geom, -9);
+        let patch = geom.patch_len();
+        // Output position (1,1): receptive field rows 0..3, cols 0..3, fully inside.
+        let p = (1 * geom.out_w() + 1) * patch;
+        let col = &cols[p..p + patch];
+        let mut want = Vec::new();
+        for ky in 0..3 {
+            for kx in 0..3 {
+                for ci in 0..2 {
+                    want.push(input[(ky * 4 + kx) * 2 + ci]);
+                }
+            }
+        }
+        assert_eq!(col, &want[..]);
+    }
+
+    #[test]
+    fn im2col_corners_are_padded() {
+        let geom = small_geom();
+        let input: Vec<i8> = vec![1; 32];
+        let cols = im2col_i8(&input, &geom, -9);
+        let patch = geom.patch_len();
+        // Output (0,0): kernel row 0 and kernel col 0 fall outside.
+        let col = &cols[0..patch];
+        // first kernel row (3 positions * 2 ch) is padding
+        assert!(col[..6].iter().all(|&v| v == -9));
+        // kernel (1,0) also padding
+        assert!(col[6..8].iter().all(|&v| v == -9));
+        // kernel (1,1) maps to input (0,0)
+        assert_eq!(&col[8..10], &[1, 1]);
+    }
+
+    #[test]
+    fn offsets_agree_with_im2col() {
+        let geom = small_geom();
+        let input: Vec<i8> = (0..32).map(|v| (v as i8).wrapping_mul(3)).collect();
+        let pad = 42_i8;
+        let cols = im2col_i8(&input, &geom, pad);
+        let offs = patch_offsets(&geom);
+        assert_eq!(cols.len(), offs.len());
+        for (i, &o) in offs.iter().enumerate() {
+            let want = if o == PAD_OFFSET { pad } else { input[o] };
+            assert_eq!(cols[i], want, "element {i}");
+        }
+    }
+
+    #[test]
+    fn strided_no_padding() {
+        let geom = ConvGeometry {
+            in_h: 4,
+            in_w: 4,
+            in_c: 1,
+            out_c: 1,
+            kernel_h: 2,
+            kernel_w: 2,
+            pad_h: 0,
+            pad_w: 0,
+            stride_h: 2,
+            stride_w: 2,
+        };
+        let input: Vec<i8> = (0..16).map(|v| v as i8).collect();
+        let cols = im2col_i8(&input, &geom, 0);
+        assert_eq!(geom.out_h(), 2);
+        assert_eq!(cols.len(), 4 * 4);
+        // position (0,0): input (0,0),(0,1),(1,0),(1,1) = 0,1,4,5
+        assert_eq!(&cols[0..4], &[0, 1, 4, 5]);
+        // position (1,1): input (2,2),(2,3),(3,2),(3,3) = 10,11,14,15
+        assert_eq!(&cols[12..16], &[10, 11, 14, 15]);
+    }
+
+    #[test]
+    fn f32_matches_i8_structure() {
+        let geom = small_geom();
+        let input_i8: Vec<i8> = (0..32).map(|v| v as i8).collect();
+        let input_f32: Vec<f32> = input_i8.iter().map(|&v| v as f32).collect();
+        let a = im2col_i8(&input_i8, &geom, 0);
+        let b = im2col_f32(&input_f32, &geom);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(*x as f32, *y);
+        }
+    }
+}

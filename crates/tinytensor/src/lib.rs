@@ -1,0 +1,70 @@
+//! # tinytensor
+//!
+//! Tensor, fixed-point and quantization substrate shared by every other crate
+//! of the ATAMAN-rs workspace.
+//!
+//! This crate is the single source of truth for the arithmetic semantics of
+//! the reproduction:
+//!
+//! * [`shape::Shape4`] — NHWC activation layout and OHWI weight layout used
+//!   throughout (the layouts CMSIS-NN consumes).
+//! * [`tensor::Tensor`] — a dense, contiguous tensor over `f32`, `i8` or
+//!   `i32` with checked indexing.
+//! * [`quant`] — affine quantization (`q = round(x / scale) + zero_point`)
+//!   and the CMSIS-NN fixed-point requantization pipeline
+//!   (`arm_nn_requantize` semantics: saturating doubling high multiply +
+//!   rounding divide by power of two).
+//! * [`simd`] — bit-exact emulation of the Armv7E-M / Armv8-M DSP-extension
+//!   instructions CMSIS-NN leans on (`SMLAD`, `SXTB16`, `PKHBT`-style weight
+//!   pair packing). The paper's offline weight concatenation trick
+//!   (`w12 = w_hi * 2^16 + w_lo`) lives here.
+//! * [`im2col`] — the image-to-column transform used by the CMSIS-style
+//!   convolution (`arm_convolve_s8` gathers receptive fields into a column
+//!   buffer before the `mat_mult` kernel).
+//!
+//! Every inference engine in the workspace (exact CMSIS-style, unpacked,
+//! skipped, X-CUBE-AI comparator) is required to be *bit-identical* on these
+//! primitives; the integration tests of the workspace enforce it.
+
+pub mod im2col;
+pub mod quant;
+pub mod shape;
+pub mod simd;
+pub mod tensor;
+
+pub use quant::{QuantParams, Quantizer, RequantMultiplier};
+pub use shape::{Shape4, OHWI, NHWC};
+pub use tensor::Tensor;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by tensor/quantization primitives.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// Shape does not match the data length or the expected rank.
+    ShapeMismatch { expected: usize, got: usize },
+    /// Index out of bounds for the given shape.
+    OutOfBounds { index: usize, len: usize },
+    /// A scale that must be strictly positive was zero or negative.
+    InvalidScale(f32),
+    /// Requantization multiplier out of the representable range.
+    InvalidMultiplier(f64),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::ShapeMismatch { expected, got } => {
+                write!(f, "shape mismatch: expected {expected} elements, got {got}")
+            }
+            Error::OutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds for length {len}")
+            }
+            Error::InvalidScale(s) => write!(f, "invalid (non-positive) scale {s}"),
+            Error::InvalidMultiplier(m) => write!(f, "invalid requant multiplier {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}

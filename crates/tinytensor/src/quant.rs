@@ -1,0 +1,266 @@
+//! Affine quantization and CMSIS-NN / TFLite-Micro requantization semantics.
+//!
+//! The paper deploys CNNs with *8-bit post-training quantization* and runs
+//! them through CMSIS-NN kernels. Those kernels accumulate in `i32` and
+//! rescale back to `i8` with a fixed-point multiplier — gemmlowp's
+//! "saturating rounding doubling high multiply" followed by a rounding
+//! divide-by-power-of-two (`arm_nn_requantize`). This module reproduces that
+//! arithmetic bit-for-bit so that every engine in the workspace (exact,
+//! unpacked, skipped) shares one ground truth.
+
+use crate::{Error, Result};
+use serde::{Deserialize, Serialize};
+
+/// Affine quantization parameters: `real = (q - zero_point) * scale`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QuantParams {
+    /// Strictly positive scale.
+    pub scale: f32,
+    /// Zero point in the quantized domain (0 for symmetric weight tensors).
+    pub zero_point: i32,
+}
+
+impl QuantParams {
+    /// Identity-ish parameters (scale 1, zero point 0); useful in tests.
+    pub const UNIT: QuantParams = QuantParams { scale: 1.0, zero_point: 0 };
+
+    /// Affine parameters covering `[min, max]` with the full i8 range.
+    ///
+    /// The range is first widened to include 0.0 (a TFLite requirement so the
+    /// real value 0 is exactly representable — padding and zero bias rely on
+    /// it).
+    pub fn from_min_max(min: f32, max: f32) -> Result<Self> {
+        let min = min.min(0.0);
+        let max = max.max(0.0);
+        let span = (max - min).max(f32::EPSILON);
+        let scale = span / 255.0;
+        // Nudge the zero point so that real 0.0 maps to an integer.
+        let zp_real = -128.0 - min / scale;
+        let zero_point = zp_real.round().clamp(-128.0, 127.0) as i32;
+        if !(scale > 0.0) {
+            return Err(Error::InvalidScale(scale));
+        }
+        Ok(Self { scale, zero_point })
+    }
+
+    /// Symmetric parameters for a weight tensor with given max |w|.
+    pub fn symmetric(abs_max: f32) -> Result<Self> {
+        let scale = (abs_max.max(f32::EPSILON)) / 127.0;
+        if !(scale > 0.0) {
+            return Err(Error::InvalidScale(scale));
+        }
+        Ok(Self { scale, zero_point: 0 })
+    }
+
+    /// Quantize a real value to i8 with round-to-nearest-even-free rounding
+    /// (standard `round`, ties away from zero, as TFLite does).
+    #[inline]
+    pub fn quantize(&self, x: f32) -> i8 {
+        let q = (x / self.scale).round() as i32 + self.zero_point;
+        q.clamp(-128, 127) as i8
+    }
+
+    /// Dequantize an i8 value back to a real.
+    #[inline]
+    pub fn dequantize(&self, q: i8) -> f32 {
+        (q as i32 - self.zero_point) as f32 * self.scale
+    }
+}
+
+/// Convenience bulk quantizer.
+#[derive(Debug, Clone, Copy)]
+pub struct Quantizer(pub QuantParams);
+
+impl Quantizer {
+    /// Quantize a whole slice.
+    pub fn quantize_slice(&self, xs: &[f32]) -> Vec<i8> {
+        xs.iter().map(|&x| self.0.quantize(x)).collect()
+    }
+
+    /// Dequantize a whole slice.
+    pub fn dequantize_slice(&self, qs: &[i8]) -> Vec<f32> {
+        qs.iter().map(|&q| self.0.dequantize(q)).collect()
+    }
+}
+
+/// A fixed-point multiplier `(significand, shift)` approximating a real
+/// multiplier as `significand / 2^31 * 2^shift`.
+///
+/// `shift > 0` is a left shift applied before the doubling-high multiply,
+/// `shift <= 0` a rounding right shift applied after — exactly
+/// `arm_nn_requantize`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RequantMultiplier {
+    /// Significand in `[2^30, 2^31)` (or 0 for a zero multiplier).
+    pub multiplier: i32,
+    /// Binary exponent.
+    pub shift: i32,
+}
+
+impl RequantMultiplier {
+    /// Decompose a positive real multiplier into `(significand, shift)`.
+    pub fn from_real(real: f64) -> Result<Self> {
+        if real == 0.0 {
+            return Ok(Self { multiplier: 0, shift: 0 });
+        }
+        if !(real.is_finite() && real > 0.0 && real < 1e18) {
+            return Err(Error::InvalidMultiplier(real));
+        }
+        // frexp: real = m * 2^e with m in [0.5, 1)
+        let e = real.log2().floor() as i32 + 1;
+        let m = real / f64::powi(2.0, e);
+        debug_assert!((0.5..1.0).contains(&m), "frexp mantissa out of range: {m}");
+        let mut q = (m * f64::powi(2.0, 31)).round() as i64;
+        let mut shift = e;
+        if q == 1_i64 << 31 {
+            q /= 2;
+            shift += 1;
+        }
+        Ok(Self { multiplier: q as i32, shift })
+    }
+
+    /// Apply the multiplier to an i32 accumulator (gemmlowp semantics).
+    #[inline(always)]
+    pub fn apply(&self, value: i32) -> i32 {
+        requantize(value, self.multiplier, self.shift)
+    }
+
+    /// The real value this multiplier approximates.
+    pub fn to_real(&self) -> f64 {
+        self.multiplier as f64 / f64::powi(2.0, 31) * f64::powi(2.0, self.shift)
+    }
+}
+
+/// gemmlowp `SaturatingRoundingDoublingHighMul`.
+#[inline(always)]
+pub fn saturating_rounding_doubling_high_mul(a: i32, b: i32) -> i32 {
+    if a == i32::MIN && b == i32::MIN {
+        return i32::MAX;
+    }
+    let ab = i64::from(a) * i64::from(b);
+    let nudge: i64 = if ab >= 0 { 1 << 30 } else { 1 - (1 << 30) };
+    // gemmlowp divides (truncating toward zero), it does not arithmetic-shift.
+    ((ab + nudge) / (1_i64 << 31)) as i32
+}
+
+/// gemmlowp `RoundingDivideByPOT` for a non-negative exponent.
+#[inline(always)]
+pub fn rounding_divide_by_pot(x: i32, exponent: i32) -> i32 {
+    debug_assert!((0..=31).contains(&exponent));
+    if exponent == 0 {
+        return x;
+    }
+    let mask = (1_i64 << exponent) - 1;
+    let remainder = i64::from(x) & mask;
+    let threshold = (mask >> 1) + i64::from(x < 0);
+    (x >> exponent) + i32::from(remainder > threshold)
+}
+
+/// `arm_nn_requantize(value, multiplier, shift)`.
+#[inline(always)]
+pub fn requantize(value: i32, multiplier: i32, shift: i32) -> i32 {
+    let left = shift.max(0);
+    let right = (-shift).max(0);
+    let pre = if left > 0 { value.saturating_mul(1 << left) } else { value };
+    rounding_divide_by_pot(saturating_rounding_doubling_high_mul(pre, multiplier), right)
+}
+
+/// Full output stage: requantize an accumulator, add the output zero point,
+/// clamp to i8.
+#[inline(always)]
+pub fn requantize_to_i8(acc: i32, mult: RequantMultiplier, out_zp: i32) -> i8 {
+    (mult.apply(acc) + out_zp).clamp(-128, 127) as i8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantize_roundtrip_error_bounded() {
+        let qp = QuantParams::from_min_max(-1.0, 1.0).unwrap();
+        for i in -100..=100 {
+            let x = i as f32 / 100.0;
+            let err = (qp.dequantize(qp.quantize(x)) - x).abs();
+            assert!(err <= qp.scale * 0.5 + 1e-6, "x={x} err={err}");
+        }
+    }
+
+    #[test]
+    fn zero_is_exactly_representable() {
+        for (lo, hi) in [(-1.0_f32, 1.0_f32), (0.1, 2.0), (-3.0, -0.5), (0.0, 5.0)] {
+            let qp = QuantParams::from_min_max(lo, hi).unwrap();
+            assert_eq!(qp.dequantize(qp.quantize(0.0)), 0.0, "range ({lo},{hi})");
+        }
+    }
+
+    #[test]
+    fn symmetric_weights_have_zero_zp() {
+        let qp = QuantParams::symmetric(0.7).unwrap();
+        assert_eq!(qp.zero_point, 0);
+        assert!((qp.dequantize(qp.quantize(0.7)) - 0.7).abs() < qp.scale);
+        assert!((qp.dequantize(qp.quantize(-0.7)) + 0.7).abs() < qp.scale);
+    }
+
+    #[test]
+    fn multiplier_decomposition_accuracy() {
+        for real in [0.5, 0.25, 0.9999, 0.0003, 1.5, 123.456, 1e-6] {
+            let m = RequantMultiplier::from_real(real).unwrap();
+            let rel = (m.to_real() - real).abs() / real;
+            assert!(rel < 1e-8, "real={real} got={} rel={rel}", m.to_real());
+            assert!(m.multiplier as i64 >= 1 << 30 && (m.multiplier as i64) < 1 << 31);
+        }
+    }
+
+    #[test]
+    fn multiplier_zero_and_invalid() {
+        assert_eq!(RequantMultiplier::from_real(0.0).unwrap().multiplier, 0);
+        assert!(RequantMultiplier::from_real(-1.0).is_err());
+        assert!(RequantMultiplier::from_real(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn srdhm_matches_reference() {
+        // (a*b*2 + rounding) / 2^32 semantics
+        assert_eq!(saturating_rounding_doubling_high_mul(0, 12345), 0);
+        assert_eq!(saturating_rounding_doubling_high_mul(1 << 30, 1 << 30), 1 << 29);
+        assert_eq!(saturating_rounding_doubling_high_mul(i32::MIN, i32::MIN), i32::MAX);
+        // tiny negative product: nudged then truncated toward zero
+        let v = saturating_rounding_doubling_high_mul(-(1 << 30), 1);
+        assert_eq!(v, 0);
+    }
+
+    #[test]
+    fn rounding_divide_matches_reference() {
+        assert_eq!(rounding_divide_by_pot(5, 1), 3); // 2.5 -> 3
+        assert_eq!(rounding_divide_by_pot(4, 1), 2);
+        assert_eq!(rounding_divide_by_pot(-5, 1), -3); // -2.5 -> -3 (half away from zero)
+        assert_eq!(rounding_divide_by_pot(-6, 1), -3);
+        assert_eq!(rounding_divide_by_pot(7, 0), 7);
+    }
+
+    #[test]
+    fn requantize_tracks_real_arithmetic() {
+        // For a range of accumulators and real multipliers, the fixed-point
+        // pipeline must stay within 1 ulp of the rounded real product.
+        for &real in &[0.0004_f64, 0.01, 0.37, 0.99] {
+            let m = RequantMultiplier::from_real(real).unwrap();
+            for acc in [-100000, -257, -1, 0, 1, 63, 1024, 999999] {
+                let got = m.apply(acc);
+                let want = (acc as f64 * real).round() as i32;
+                assert!(
+                    (got - want).abs() <= 1,
+                    "acc={acc} real={real} got={got} want={want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn requantize_to_i8_clamps() {
+        let m = RequantMultiplier::from_real(1.0).unwrap();
+        assert_eq!(requantize_to_i8(1000, m, 0), 127);
+        assert_eq!(requantize_to_i8(-1000, m, 0), -128);
+        assert_eq!(requantize_to_i8(5, m, 3), 8);
+    }
+}

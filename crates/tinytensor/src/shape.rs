@@ -1,0 +1,213 @@
+//! Shape types for the NHWC activation layout and OHWI weight layout.
+//!
+//! CMSIS-NN consumes activations in NHWC (channel-last) order and filters in
+//! OHWI order (output channel, kernel row, kernel column, input channel).
+//! All engines in the workspace share these layouts so that buffers can be
+//! passed between them without conversion.
+
+use serde::{Deserialize, Serialize};
+
+/// Marker for the NHWC activation layout (batch, height, width, channels).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NHWC;
+
+/// Marker for the OHWI filter layout (out-ch, kernel-h, kernel-w, in-ch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OHWI;
+
+/// A rank-4 shape. Interpretation (NHWC vs OHWI) is by convention at the use
+/// site; helper constructors make the intent explicit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape4 {
+    /// Batch size (N) or output-channel count (O).
+    pub n: usize,
+    /// Height.
+    pub h: usize,
+    /// Width.
+    pub w: usize,
+    /// Channels (C) or input-channel count (I).
+    pub c: usize,
+}
+
+impl Shape4 {
+    /// Construct an NHWC activation shape.
+    pub const fn nhwc(n: usize, h: usize, w: usize, c: usize) -> Self {
+        Self { n, h, w, c }
+    }
+
+    /// Construct an OHWI filter shape.
+    pub const fn ohwi(o: usize, kh: usize, kw: usize, i: usize) -> Self {
+        Self { n: o, h: kh, w: kw, c: i }
+    }
+
+    /// Total element count.
+    pub const fn len(&self) -> usize {
+        self.n * self.h * self.w * self.c
+    }
+
+    /// True when any dimension is zero.
+    pub const fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Flat offset of `(n, h, w, c)` in row-major NHWC order.
+    #[inline(always)]
+    pub const fn offset(&self, n: usize, h: usize, w: usize, c: usize) -> usize {
+        ((n * self.h + h) * self.w + w) * self.c + c
+    }
+
+    /// Shape of a single item of the batch (N forced to 1).
+    pub const fn single(&self) -> Self {
+        Self { n: 1, h: self.h, w: self.w, c: self.c }
+    }
+
+    /// Element count of a single batch item.
+    pub const fn item_len(&self) -> usize {
+        self.h * self.w * self.c
+    }
+}
+
+impl std::fmt::Display for Shape4 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}, {}, {}, {}]", self.n, self.h, self.w, self.c)
+    }
+}
+
+/// Output spatial size of a convolution/pool along one axis.
+///
+/// `floor((in + 2*pad - kernel) / stride) + 1`; callers must ensure the
+/// numerator is non-negative.
+pub const fn conv_out_dim(input: usize, kernel: usize, pad: usize, stride: usize) -> usize {
+    (input + 2 * pad - kernel) / stride + 1
+}
+
+/// Geometry of a 2D convolution (square strides/pads per axis allowed to
+/// differ is unnecessary for the paper's models, but kept general).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ConvGeometry {
+    pub in_h: usize,
+    pub in_w: usize,
+    pub in_c: usize,
+    pub out_c: usize,
+    pub kernel_h: usize,
+    pub kernel_w: usize,
+    pub pad_h: usize,
+    pub pad_w: usize,
+    pub stride_h: usize,
+    pub stride_w: usize,
+}
+
+impl ConvGeometry {
+    /// Output height.
+    pub const fn out_h(&self) -> usize {
+        conv_out_dim(self.in_h, self.kernel_h, self.pad_h, self.stride_h)
+    }
+
+    /// Output width.
+    pub const fn out_w(&self) -> usize {
+        conv_out_dim(self.in_w, self.kernel_w, self.pad_w, self.stride_w)
+    }
+
+    /// Length of one im2col column = one filter's receptive-field footprint.
+    pub const fn patch_len(&self) -> usize {
+        self.kernel_h * self.kernel_w * self.in_c
+    }
+
+    /// Number of output spatial positions.
+    pub const fn out_positions(&self) -> usize {
+        self.out_h() * self.out_w()
+    }
+
+    /// Exact multiply-accumulate count of the layer (dense, pre-skipping).
+    pub const fn macs(&self) -> u64 {
+        (self.out_positions() * self.patch_len() * self.out_c) as u64
+    }
+
+    /// Filter tensor shape in OHWI order.
+    pub const fn filter_shape(&self) -> Shape4 {
+        Shape4::ohwi(self.out_c, self.kernel_h, self.kernel_w, self.in_c)
+    }
+
+    /// Output activation shape for batch size `n`.
+    pub const fn out_shape(&self, n: usize) -> Shape4 {
+        Shape4::nhwc(n, self.out_h(), self.out_w(), self.out_c)
+    }
+
+    /// Input activation shape for batch size `n`.
+    pub const fn in_shape(&self, n: usize) -> Shape4 {
+        Shape4::nhwc(n, self.in_h, self.in_w, self.in_c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offsets_are_row_major_nhwc() {
+        let s = Shape4::nhwc(2, 3, 4, 5);
+        assert_eq!(s.len(), 120);
+        assert_eq!(s.offset(0, 0, 0, 0), 0);
+        assert_eq!(s.offset(0, 0, 0, 4), 4);
+        assert_eq!(s.offset(0, 0, 1, 0), 5);
+        assert_eq!(s.offset(0, 1, 0, 0), 20);
+        assert_eq!(s.offset(1, 0, 0, 0), 60);
+        assert_eq!(s.offset(1, 2, 3, 4), 119);
+    }
+
+    #[test]
+    fn offsets_cover_all_indices_exactly_once() {
+        let s = Shape4::nhwc(2, 3, 2, 3);
+        let mut seen = vec![false; s.len()];
+        for n in 0..s.n {
+            for h in 0..s.h {
+                for w in 0..s.w {
+                    for c in 0..s.c {
+                        let o = s.offset(n, h, w, c);
+                        assert!(!seen[o], "duplicate offset {o}");
+                        seen[o] = true;
+                    }
+                }
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn conv_out_dims_same_padding() {
+        // 32x32 input, 3x3 kernel, pad 1, stride 1 -> 32x32 out.
+        assert_eq!(conv_out_dim(32, 3, 1, 1), 32);
+        // 5x5 kernel pad 2 keeps size too.
+        assert_eq!(conv_out_dim(32, 5, 2, 1), 32);
+        // stride 2 halves.
+        assert_eq!(conv_out_dim(32, 2, 0, 2), 16);
+    }
+
+    #[test]
+    fn conv_geometry_macs() {
+        let g = ConvGeometry {
+            in_h: 32,
+            in_w: 32,
+            in_c: 3,
+            out_c: 32,
+            kernel_h: 5,
+            kernel_w: 5,
+            pad_h: 2,
+            pad_w: 2,
+            stride_h: 1,
+            stride_w: 1,
+        };
+        assert_eq!(g.out_h(), 32);
+        assert_eq!(g.out_w(), 32);
+        assert_eq!(g.patch_len(), 75);
+        // 32*32 positions * 75 patch * 32 out channels
+        assert_eq!(g.macs(), 32 * 32 * 75 * 32);
+    }
+
+    #[test]
+    fn single_and_item_len() {
+        let s = Shape4::nhwc(8, 4, 4, 2);
+        assert_eq!(s.single(), Shape4::nhwc(1, 4, 4, 2));
+        assert_eq!(s.item_len(), 32);
+    }
+}

@@ -1,0 +1,152 @@
+//! Bit-exact emulation of the Arm DSP-extension instructions CMSIS-NN uses.
+//!
+//! The CMSIS-NN `mat_mult` kernel computes partial products with `SMLAD`
+//! (dual signed 16×16 multiply-accumulate). Because `SMLAD` consumes *pairs*
+//! of 16-bit lanes packed in 32-bit registers, inputs and weights must first
+//! be sign-extended from int8 to int16 and packed (`SXTB16` + rotate/pack),
+//! which costs cycles on every inner-loop iteration.
+//!
+//! The paper's unpacking trick precomputes the weight-side packing *offline*:
+//! two sign-extended int8 weights `w_hi`, `w_lo` are concatenated into the
+//! constant `w12 = w_hi * 2^16 + (w_lo & 0xFFFF)` and hardwired into the
+//! generated code. The paper's worked example — `w1 = 64`, `w2 = 20` giving
+//! `64·2^16 + 20 = 4 194 324` — is a unit test here.
+
+/// Pack two i16 lanes into an i32 register image: `hi` in bits 31..16,
+/// `lo` in bits 15..0.
+#[inline(always)]
+pub const fn pack_i16x2(hi: i16, lo: i16) -> i32 {
+    ((hi as i32) << 16) | ((lo as i32) & 0xFFFF)
+}
+
+/// Extract the low signed 16-bit lane.
+#[inline(always)]
+pub const fn lane_lo(x: i32) -> i16 {
+    x as i16
+}
+
+/// Extract the high signed 16-bit lane.
+#[inline(always)]
+pub const fn lane_hi(x: i32) -> i16 {
+    (x >> 16) as i16
+}
+
+/// Offline weight-pair concatenation (the paper's Section II-B trick):
+/// sign-extend two int8 weights to int16 and pack them.
+#[inline(always)]
+pub const fn pack_weights(w_hi: i8, w_lo: i8) -> i32 {
+    pack_i16x2(w_hi as i16, w_lo as i16)
+}
+
+/// `SMLAD`: dual signed 16×16 multiply with 32-bit accumulate.
+///
+/// `acc + hi(x)*hi(y) + lo(x)*lo(y)`, wrapping on overflow like the hardware
+/// instruction (the Q flag is not modeled; CMSIS-NN's int8 kernels cannot
+/// overflow i32 for realistic layer sizes, which the engines assert).
+#[inline(always)]
+pub const fn smlad(x: i32, y: i32, acc: i32) -> i32 {
+    let prod_hi = (lane_hi(x) as i32) * (lane_hi(y) as i32);
+    let prod_lo = (lane_lo(x) as i32) * (lane_lo(y) as i32);
+    acc.wrapping_add(prod_hi).wrapping_add(prod_lo)
+}
+
+/// `SXTB16`: sign-extend bytes 0 and 2 of a 32-bit word into two 16-bit
+/// lanes. CMSIS-NN uses `SXTB16` + `SXTB16(ROR #8)` to widen four packed
+/// int8 values into two SMLAD-ready registers.
+#[inline(always)]
+pub const fn sxtb16(x: u32) -> i32 {
+    let b0 = (x & 0xFF) as u8 as i8 as i16;
+    let b2 = ((x >> 16) & 0xFF) as u8 as i8 as i16;
+    pack_i16x2(b2, b0)
+}
+
+/// `SXTB16` of the input rotated right by 8 (bytes 1 and 3).
+#[inline(always)]
+pub const fn sxtb16_ror8(x: u32) -> i32 {
+    sxtb16(x.rotate_right(8))
+}
+
+/// Read four consecutive int8 values as the u32 register image a word load
+/// (`LDR`) would produce on a little-endian Cortex-M.
+#[inline(always)]
+pub fn ldr_s8x4(data: &[i8], offset: usize) -> u32 {
+    (data[offset] as u8 as u32)
+        | ((data[offset + 1] as u8 as u32) << 8)
+        | ((data[offset + 2] as u8 as u32) << 16)
+        | ((data[offset + 3] as u8 as u32) << 24)
+}
+
+/// The runtime packing sequence CMSIS-NN performs on the *input* side for a
+/// pair of int8 activations: sign-extend each to i16 and pack.
+///
+/// (Kept as an explicit function so the cycle model can charge it and the
+/// unpacked engine can point at exactly what it avoids on the weight side.)
+#[inline(always)]
+pub const fn runtime_pack_inputs(a_hi: i8, a_lo: i8) -> i32 {
+    pack_i16x2(a_hi as i16, a_lo as i16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_worked_example() {
+        // Section II-B: w1 = 64, w2 = 20 -> 64 * 2^16 + 20 = 4_194_324.
+        assert_eq!(pack_weights(64, 20), 4_194_324);
+        // And an SMLAD against inputs (1, 1) yields 64 + 20.
+        let x = runtime_pack_inputs(1, 1);
+        assert_eq!(smlad(x, pack_weights(64, 20), 0), 84);
+    }
+
+    #[test]
+    fn pack_lane_roundtrip() {
+        for &(hi, lo) in &[(0_i16, 0_i16), (-1, 1), (i16::MIN, i16::MAX), (257, -300)] {
+            let p = pack_i16x2(hi, lo);
+            assert_eq!(lane_hi(p), hi);
+            assert_eq!(lane_lo(p), lo);
+        }
+    }
+
+    #[test]
+    fn smlad_equals_two_scalar_macs() {
+        let cases: &[(i8, i8, i8, i8)] =
+            &[(1, 2, 3, 4), (-128, 127, -128, 127), (0, -5, 7, 0), (-1, -1, -1, -1)];
+        for &(a0, a1, w0, w1) in cases {
+            let x = runtime_pack_inputs(a1, a0);
+            let y = pack_weights(w1, w0);
+            let got = smlad(x, y, 100);
+            let want = 100 + (a0 as i32) * (w0 as i32) + (a1 as i32) * (w1 as i32);
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn sxtb16_extends_correct_bytes() {
+        // bytes: 0x80 (=-128), 0x01, 0x7F (=127), 0xFF at positions 0..3
+        let word = 0xFF7F_0180_u32;
+        let even = sxtb16(word); // bytes 0 and 2: -128 and 127
+        assert_eq!(lane_lo(even), -128);
+        assert_eq!(lane_hi(even), 127);
+        let odd = sxtb16_ror8(word); // bytes 1 and 3: 1 and -1
+        assert_eq!(lane_lo(odd), 1);
+        assert_eq!(lane_hi(odd), -1);
+    }
+
+    #[test]
+    fn ldr_little_endian() {
+        let data: Vec<i8> = vec![-128, 1, 127, -1];
+        assert_eq!(ldr_s8x4(&data, 0), 0xFF7F_0180);
+    }
+
+    #[test]
+    fn sxtb16_pipeline_equals_direct_widening() {
+        // Loading 4 int8s then SXTB16/SXTB16-ROR8 must equal direct packing.
+        let data: Vec<i8> = vec![3, -7, 100, -100];
+        let w = ldr_s8x4(&data, 0);
+        let even = sxtb16(w);
+        let odd = sxtb16_ror8(w);
+        assert_eq!(even, pack_i16x2(100, 3));
+        assert_eq!(odd, pack_i16x2(-100, -7));
+    }
+}

@@ -1,0 +1,189 @@
+//! Dense, contiguous rank-4 tensors.
+//!
+//! Deliberately minimal: the workloads in this workspace are fixed-topology
+//! CNNs, so a full strided-view tensor library would be dead weight. Data is
+//! always contiguous row-major in the layout encoded by [`Shape4`], which
+//! keeps the hot loops in the inference engines branch-free and
+//! cache-friendly (flat slices + precomputed offsets).
+
+use crate::shape::Shape4;
+use crate::{Error, Result};
+use serde::{Deserialize, Serialize};
+
+/// A dense rank-4 tensor over element type `T`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor<T> {
+    shape: Shape4,
+    data: Vec<T>,
+}
+
+impl<T: Copy + Default> Tensor<T> {
+    /// Zero-filled (default-filled) tensor of the given shape.
+    pub fn zeros(shape: Shape4) -> Self {
+        Self { shape, data: vec![T::default(); shape.len()] }
+    }
+
+    /// Tensor filled with a constant.
+    pub fn full(shape: Shape4, value: T) -> Self {
+        Self { shape, data: vec![value; shape.len()] }
+    }
+
+    /// Wrap an existing buffer; its length must match the shape.
+    pub fn from_vec(shape: Shape4, data: Vec<T>) -> Result<Self> {
+        if data.len() != shape.len() {
+            return Err(Error::ShapeMismatch { expected: shape.len(), got: data.len() });
+        }
+        Ok(Self { shape, data })
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> Shape4 {
+        self.shape
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable flat view of the underlying buffer.
+    #[inline(always)]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable flat view of the underlying buffer.
+    #[inline(always)]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consume the tensor, returning the buffer.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    /// Checked element access at `(n, h, w, c)`.
+    #[inline(always)]
+    pub fn at(&self, n: usize, h: usize, w: usize, c: usize) -> T {
+        self.data[self.shape.offset(n, h, w, c)]
+    }
+
+    /// Checked mutable element access at `(n, h, w, c)`.
+    #[inline(always)]
+    pub fn at_mut(&mut self, n: usize, h: usize, w: usize, c: usize) -> &mut T {
+        let off = self.shape.offset(n, h, w, c);
+        &mut self.data[off]
+    }
+
+    /// Slice of a single batch item `n` (length `shape.item_len()`).
+    pub fn item(&self, n: usize) -> &[T] {
+        let l = self.shape.item_len();
+        &self.data[n * l..(n + 1) * l]
+    }
+
+    /// Mutable slice of a single batch item `n`.
+    pub fn item_mut(&mut self, n: usize) -> &mut [T] {
+        let l = self.shape.item_len();
+        &mut self.data[n * l..(n + 1) * l]
+    }
+
+    /// Reinterpret the shape without touching data; lengths must match.
+    pub fn reshape(&mut self, shape: Shape4) -> Result<()> {
+        if shape.len() != self.data.len() {
+            return Err(Error::ShapeMismatch { expected: self.data.len(), got: shape.len() });
+        }
+        self.shape = shape;
+        Ok(())
+    }
+}
+
+impl Tensor<f32> {
+    /// Elementwise maximum absolute value (0.0 for an empty tensor).
+    pub fn abs_max(&self) -> f32 {
+        self.data.iter().fold(0.0_f32, |m, &v| m.max(v.abs()))
+    }
+
+    /// Elementwise minimum (+inf for an empty tensor).
+    pub fn min(&self) -> f32 {
+        self.data.iter().fold(f32::INFINITY, |m, &v| m.min(v))
+    }
+
+    /// Elementwise maximum (-inf for an empty tensor).
+    pub fn max(&self) -> f32 {
+        self.data.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v))
+    }
+
+    /// Mean value (0.0 for an empty tensor).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        self.data.iter().sum::<f32>() / self.data.len() as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_full() {
+        let s = Shape4::nhwc(1, 2, 2, 3);
+        let z = Tensor::<f32>::zeros(s);
+        assert_eq!(z.len(), 12);
+        assert!(z.as_slice().iter().all(|&v| v == 0.0));
+        let f = Tensor::<i8>::full(s, -5);
+        assert!(f.as_slice().iter().all(|&v| v == -5));
+    }
+
+    #[test]
+    fn from_vec_checks_len() {
+        let s = Shape4::nhwc(1, 2, 2, 1);
+        assert!(Tensor::from_vec(s, vec![0_i8; 4]).is_ok());
+        assert_eq!(
+            Tensor::from_vec(s, vec![0_i8; 5]).unwrap_err(),
+            Error::ShapeMismatch { expected: 4, got: 5 }
+        );
+    }
+
+    #[test]
+    fn indexing_matches_layout() {
+        let s = Shape4::nhwc(1, 2, 2, 2);
+        let t = Tensor::from_vec(s, (0..8).collect::<Vec<i32>>()).unwrap();
+        assert_eq!(t.at(0, 0, 0, 0), 0);
+        assert_eq!(t.at(0, 0, 0, 1), 1);
+        assert_eq!(t.at(0, 0, 1, 0), 2);
+        assert_eq!(t.at(0, 1, 1, 1), 7);
+    }
+
+    #[test]
+    fn item_slices() {
+        let s = Shape4::nhwc(2, 1, 2, 1);
+        let t = Tensor::from_vec(s, vec![1, 2, 3, 4]).unwrap();
+        assert_eq!(t.item(0), &[1, 2]);
+        assert_eq!(t.item(1), &[3, 4]);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let mut t = Tensor::from_vec(Shape4::nhwc(1, 2, 2, 1), vec![1, 2, 3, 4]).unwrap();
+        t.reshape(Shape4::nhwc(1, 1, 4, 1)).unwrap();
+        assert_eq!(t.as_slice(), &[1, 2, 3, 4]);
+        assert!(t.reshape(Shape4::nhwc(1, 1, 5, 1)).is_err());
+    }
+
+    #[test]
+    fn f32_stats() {
+        let t = Tensor::from_vec(Shape4::nhwc(1, 1, 4, 1), vec![-3.0, 1.0, 2.0, 0.0]).unwrap();
+        assert_eq!(t.abs_max(), 3.0);
+        assert_eq!(t.min(), -3.0);
+        assert_eq!(t.max(), 2.0);
+        assert_eq!(t.mean(), 0.0);
+    }
+}

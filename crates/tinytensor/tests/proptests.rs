@@ -1,0 +1,106 @@
+//! Property-based tests for the arithmetic substrate.
+
+use proptest::prelude::*;
+use tinytensor::im2col::{im2col_i8, patch_offsets, PAD_OFFSET};
+use tinytensor::quant::{
+    requantize_to_i8, rounding_divide_by_pot, saturating_rounding_doubling_high_mul,
+    QuantParams, RequantMultiplier,
+};
+use tinytensor::shape::ConvGeometry;
+use tinytensor::simd::{pack_weights, runtime_pack_inputs, smlad};
+
+proptest! {
+    /// Quantize→dequantize error is bounded by half a scale step whenever the
+    /// value lies inside the representable range.
+    #[test]
+    fn quant_roundtrip_bounded(lo in -10.0f32..0.0, hi in 0.001f32..10.0, x in -10.0f32..10.0) {
+        let qp = QuantParams::from_min_max(lo, hi).unwrap();
+        let x = x.clamp(qp.dequantize(-128), qp.dequantize(127));
+        let err = (qp.dequantize(qp.quantize(x)) - x).abs();
+        prop_assert!(err <= qp.scale * 0.5 + 1e-5, "err {err} scale {}", qp.scale);
+    }
+
+    /// SMLAD over packed lanes equals two independent scalar MACs.
+    #[test]
+    fn smlad_is_two_macs(a0: i8, a1: i8, w0: i8, w1: i8, acc in -1_000_000i32..1_000_000) {
+        let got = smlad(runtime_pack_inputs(a1, a0), pack_weights(w1, w0), acc);
+        let want = acc + a0 as i32 * w0 as i32 + a1 as i32 * w1 as i32;
+        prop_assert_eq!(got, want);
+    }
+
+    /// Weight packing round-trips through the 16-bit lanes.
+    #[test]
+    fn pack_weights_roundtrip(hi: i8, lo: i8) {
+        let p = pack_weights(hi, lo);
+        prop_assert_eq!(tinytensor::simd::lane_hi(p), hi as i16);
+        prop_assert_eq!(tinytensor::simd::lane_lo(p), lo as i16);
+    }
+
+    /// Fixed-point requantization stays within 1 LSB of real arithmetic.
+    #[test]
+    fn requant_close_to_real(real in 1e-5f64..2.0, acc in -5_000_000i32..5_000_000) {
+        let m = RequantMultiplier::from_real(real).unwrap();
+        let got = m.apply(acc) as f64;
+        let want = acc as f64 * real;
+        prop_assert!((got - want).abs() <= 1.0 + want.abs() * 1e-6,
+            "acc={acc} real={real} got={got} want={want}");
+    }
+
+    /// The i8 output stage always lands in range.
+    #[test]
+    fn requant_to_i8_in_range(real in 1e-5f64..2.0, acc: i32, zp in -128i32..=127) {
+        let m = RequantMultiplier::from_real(real).unwrap();
+        let v = requantize_to_i8(acc, m, zp);
+        prop_assert!((-128..=127).contains(&(v as i32)));
+    }
+
+    /// Rounding divide by POT equals f64 reference rounding (half away from
+    /// zero — gemmlowp nudge semantics).
+    #[test]
+    fn rdbp_matches_float(x: i32, e in 0i32..24) {
+        let got = rounding_divide_by_pot(x, e);
+        let r = (x as f64) / f64::powi(2.0, e);
+        let want = if r >= 0.0 { (r + 0.5).floor() } else { (r - 0.5).ceil() } as i32;
+        prop_assert_eq!(got, want);
+    }
+
+    /// SRDHM never panics and matches the i64 reference away from the
+    /// saturating corner case.
+    #[test]
+    fn srdhm_matches_i64(a: i32, b: i32) {
+        prop_assume!(!(a == i32::MIN && b == i32::MIN));
+        let got = saturating_rounding_doubling_high_mul(a, b) as i64;
+        let ab = a as i64 * b as i64;
+        let nudge = if ab >= 0 { 1i64 << 30 } else { 1 - (1i64 << 30) };
+        prop_assert_eq!(got, (ab + nudge) / (1i64 << 31));
+    }
+
+    /// im2col and the direct-offset table always agree, for random geometry.
+    #[test]
+    fn im2col_offsets_consistent(
+        in_h in 1usize..8, in_w in 1usize..8, in_c in 1usize..4,
+        k in 1usize..4, pad in 0usize..2, stride in 1usize..3,
+        seed: u64,
+    ) {
+        prop_assume!(in_h + 2 * pad >= k && in_w + 2 * pad >= k);
+        let geom = ConvGeometry {
+            in_h, in_w, in_c, out_c: 1,
+            kernel_h: k, kernel_w: k, pad_h: pad, pad_w: pad,
+            stride_h: stride, stride_w: stride,
+        };
+        // cheap deterministic pseudo-random input
+        let mut state = seed | 1;
+        let input: Vec<i8> = (0..in_h * in_w * in_c).map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as i8
+        }).collect();
+        let pad_value = -7i8;
+        let cols = im2col_i8(&input, &geom, pad_value);
+        let offs = patch_offsets(&geom);
+        prop_assert_eq!(cols.len(), offs.len());
+        for (i, &o) in offs.iter().enumerate() {
+            let want = if o == PAD_OFFSET { pad_value } else { input[o] };
+            prop_assert_eq!(cols[i], want);
+        }
+    }
+}

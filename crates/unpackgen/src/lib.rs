@@ -1,0 +1,40 @@
+//! # unpackgen
+//!
+//! Layer-based code unpacking (Section II-B of the paper).
+//!
+//! Instead of the generic im2col + `mat_mult` kernel, the framework emits
+//! **straight-line code per convolution layer** in which every weight is a
+//! hardwired constant:
+//!
+//! * weight pairs are concatenated *offline* into SMLAD-ready 32-bit
+//!   immediates (`w12 = w_hi·2^16 + w_lo`, e.g. `64·2^16 + 20 = 4 194 324`);
+//! * there is no inner-loop branch, no runtime weight load, and no runtime
+//!   weight 16-bit conversion — the three overheads Section II-B lists;
+//! * because weight registers are freed, the generated code blocks over
+//!   **four output columns** per instruction sequence (the "additional
+//!   compiler optimizations" enabled by constant weights), amortizing each
+//!   weight immediate across four accumulators;
+//! * significance-skipped products are simply *absent from the emitted
+//!   code*, shrinking both cycles and flash (Table II's flash column
+//!   decreases as the accuracy-loss budget grows).
+//!
+//! Provided here:
+//!
+//! * [`stream`] — the op-stream IR ([`stream::UnpackedConv`]) and its
+//!   builder from a quantized layer + skip mask;
+//! * [`engine`] — [`engine::UnpackedEngine`], the cycle-accounted executor
+//!   (bit-exact with the masked reference forward);
+//! * [`flash`] — the code-size model for unpacked streams and the slimmed
+//!   runtime (the paper's "reducing flash memory usage by up to 30%"
+//!   compile-time specialization);
+//! * [`codegen`] — a C code generator emitting the specialized kernels the
+//!   paper's toolchain would flash onto the MCU.
+
+pub mod codegen;
+pub mod engine;
+pub mod flash;
+pub mod stream;
+
+pub use engine::UnpackedEngine;
+pub use flash::{unpacked_flash_layout, unpacked_ram_estimate};
+pub use stream::{ChannelProgram, FixedMacOp, SingleMacOp, UnpackOptions, UnpackedConv};

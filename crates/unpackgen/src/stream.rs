@@ -1,0 +1,291 @@
+//! Fixed-weight op-stream IR and its builder.
+
+use quantize::QConv;
+use serde::{Deserialize, Serialize};
+use tinytensor::simd::pack_weights;
+
+/// One SMLAD instruction with hardwired (offline-concatenated) weights.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FixedMacOp {
+    /// Patch index feeding the low 16-bit lane.
+    pub idx_lo: u32,
+    /// Patch index feeding the high 16-bit lane.
+    pub idx_hi: u32,
+    /// The hardwired constant `w_hi·2^16 + (w_lo & 0xFFFF)`.
+    pub packed: i32,
+}
+
+impl FixedMacOp {
+    /// Recover the low-lane weight.
+    pub fn w_lo(&self) -> i8 {
+        tinytensor::simd::lane_lo(self.packed) as i8
+    }
+
+    /// Recover the high-lane weight.
+    pub fn w_hi(&self) -> i8 {
+        tinytensor::simd::lane_hi(self.packed) as i8
+    }
+}
+
+/// A trailing single multiply (odd number of retained products).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SingleMacOp {
+    /// Patch index.
+    pub idx: u32,
+    /// Hardwired weight.
+    pub w: i8,
+}
+
+/// Straight-line program computing one output channel's accumulation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChannelProgram {
+    /// SMLAD ops (position-independent: patch indices, not input offsets).
+    pub ops: Vec<FixedMacOp>,
+    /// Optional trailing single MAC.
+    pub tail: Option<SingleMacOp>,
+    /// Bias initialization value.
+    pub bias: i32,
+}
+
+impl ChannelProgram {
+    /// Number of products this program evaluates per output position.
+    pub fn retained_products(&self) -> usize {
+        self.ops.len() * 2 + usize::from(self.tail.is_some())
+    }
+}
+
+/// Options controlling unpacking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UnpackOptions {
+    /// Additionally drop products whose quantized weight is exactly zero.
+    /// Bit-exact (0·x = 0) but changes the *reported* MAC count, so the
+    /// paper-faithful default is `false`; enable for the compiler-style
+    /// ablation.
+    pub drop_zero_weights: bool,
+    /// Output-column blocking factor of the generated code (weight
+    /// immediates amortize across this many accumulators). The fixed-weight
+    /// register savings make 4 sustainable on Cortex-M33.
+    pub col_block: usize,
+}
+
+impl Default for UnpackOptions {
+    fn default() -> Self {
+        Self { drop_zero_weights: false, col_block: 4 }
+    }
+}
+
+/// A fully unpacked convolution layer: one program per output channel plus
+/// the output-stage parameters copied from the quantized layer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct UnpackedConv {
+    /// Geometry (copied from the quantized layer).
+    pub geom: tinytensor::shape::ConvGeometry,
+    /// Input quantization.
+    pub in_qp: tinytensor::quant::QuantParams,
+    /// Output quantization.
+    pub out_qp: tinytensor::quant::QuantParams,
+    /// Output-stage multiplier.
+    pub mult: tinytensor::quant::RequantMultiplier,
+    /// Fused ReLU.
+    pub relu: bool,
+    /// One straight-line program per output channel.
+    pub channels: Vec<ChannelProgram>,
+    /// Generation options (kept for flash modeling / provenance).
+    pub options: UnpackOptions,
+    /// Products skipped by the significance mask (for reporting).
+    pub masked_products: usize,
+    /// Products dropped because their weight quantized to zero.
+    pub zero_dropped_products: usize,
+}
+
+impl UnpackedConv {
+    /// Unpack a quantized conv layer. `mask[o·patch + i] == true` skips
+    /// product `i` of output channel `o` (Eq. (3)).
+    pub fn build(conv: &QConv, mask: Option<&[bool]>, options: UnpackOptions) -> Self {
+        let patch = conv.patch_len();
+        let out_c = conv.geom.out_c;
+        if let Some(m) = mask {
+            assert_eq!(m.len(), out_c * patch, "mask length mismatch");
+        }
+        assert!(options.col_block >= 1, "column blocking must be at least 1");
+
+        let mut masked_products = 0usize;
+        let mut zero_dropped_products = 0usize;
+        let mut channels = Vec::with_capacity(out_c);
+        for o in 0..out_c {
+            let w = &conv.weights[o * patch..(o + 1) * patch];
+            // Collect retained (index, weight) pairs in patch order — the
+            // order also used by the reference forward, so accumulation
+            // order differences cannot matter (integer adds commute).
+            let mut retained: Vec<(u32, i8)> = Vec::with_capacity(patch);
+            for i in 0..patch {
+                if let Some(m) = mask {
+                    if m[o * patch + i] {
+                        masked_products += 1;
+                        continue;
+                    }
+                }
+                if options.drop_zero_weights && w[i] == 0 {
+                    zero_dropped_products += 1;
+                    continue;
+                }
+                retained.push((i as u32, w[i]));
+            }
+            let mut ops = Vec::with_capacity(retained.len() / 2);
+            for pair in retained.chunks_exact(2) {
+                let (idx_lo, w_lo) = pair[0];
+                let (idx_hi, w_hi) = pair[1];
+                ops.push(FixedMacOp { idx_lo, idx_hi, packed: pack_weights(w_hi, w_lo) });
+            }
+            let tail = if retained.len() % 2 == 1 {
+                let (idx, w) = *retained.last().expect("odd retained");
+                Some(SingleMacOp { idx, w })
+            } else {
+                None
+            };
+            channels.push(ChannelProgram { ops, tail, bias: conv.bias[o] });
+        }
+        Self {
+            geom: conv.geom,
+            in_qp: conv.in_qp,
+            out_qp: conv.out_qp,
+            mult: conv.mult,
+            relu: conv.relu,
+            channels,
+            options,
+            masked_products,
+            zero_dropped_products,
+        }
+    }
+
+    /// Retained MACs per inference (products × output positions).
+    pub fn retained_macs(&self) -> u64 {
+        let products: usize = self.channels.iter().map(|c| c.retained_products()).sum();
+        (products * self.geom.out_positions()) as u64
+    }
+
+    /// Dense (pre-skipping) MACs of the layer.
+    pub fn dense_macs(&self) -> u64 {
+        self.geom.macs()
+    }
+
+    /// Total SMLAD instructions in the emitted code (not per inference —
+    /// the code is shared across output positions).
+    pub fn smlad_instructions(&self) -> u64 {
+        self.channels.iter().map(|c| c.ops.len() as u64).sum()
+    }
+
+    /// Activation clamp bounds (fused ReLU).
+    pub fn act_bounds(&self) -> (i32, i32) {
+        if self.relu {
+            (self.out_qp.zero_point.max(-128), 127)
+        } else {
+            (-128, 127)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cifar10sim::DatasetConfig;
+    use quantize::{calibrate_ranges, quantize_model, QuantModel};
+
+    fn qmodel() -> QuantModel {
+        let data = cifar10sim::generate(DatasetConfig::tiny(61));
+        let m = tinynn::zoo::micro(5);
+        let mut imgs = Vec::new();
+        for i in 0..8 {
+            imgs.push(data.train.image(i)[..8 * 8 * 2].to_vec());
+        }
+        // micro takes 8x8x2 inputs; build a matching mini dataset
+        let mut flat = Vec::new();
+        for v in &imgs {
+            flat.extend_from_slice(v);
+        }
+        let ds = cifar10sim::Dataset {
+            images: tinytensor::Tensor::from_vec(
+                tinytensor::Shape4::nhwc(8, 8, 8, 2),
+                flat,
+            )
+            .unwrap(),
+            labels: vec![0; 8],
+        };
+        let ranges = calibrate_ranges(&m, &ds);
+        quantize_model(&m, &ranges)
+    }
+
+    #[test]
+    fn full_unpack_covers_every_product() {
+        let q = qmodel();
+        let c = q.conv(0);
+        let u = UnpackedConv::build(c, None, UnpackOptions::default());
+        let patch = c.patch_len();
+        for (o, ch) in u.channels.iter().enumerate() {
+            assert_eq!(ch.retained_products(), patch, "channel {o}");
+            // pairing preserves patch order and weights
+            for (k, op) in ch.ops.iter().enumerate() {
+                assert_eq!(op.idx_lo as usize, 2 * k);
+                assert_eq!(op.idx_hi as usize, 2 * k + 1);
+                assert_eq!(op.w_lo(), c.weights[o * patch + 2 * k]);
+                assert_eq!(op.w_hi(), c.weights[o * patch + 2 * k + 1]);
+            }
+            assert_eq!(ch.tail.is_some(), patch % 2 == 1);
+        }
+        assert_eq!(u.retained_macs(), u.dense_macs());
+        assert_eq!(u.masked_products, 0);
+    }
+
+    #[test]
+    fn paper_packing_example_roundtrip() {
+        // w_lo = 20, w_hi = 64 -> 4_194_324
+        let op = FixedMacOp { idx_lo: 0, idx_hi: 1, packed: pack_weights(64, 20) };
+        assert_eq!(op.packed, 4_194_324);
+        assert_eq!(op.w_lo(), 20);
+        assert_eq!(op.w_hi(), 64);
+    }
+
+    #[test]
+    fn mask_removes_products_and_macs() {
+        let q = qmodel();
+        let c = q.conv(0);
+        let patch = c.patch_len();
+        let mut mask = vec![false; c.geom.out_c * patch];
+        // skip all products of channel 0 and one product of channel 1
+        for i in 0..patch {
+            mask[i] = true;
+        }
+        mask[patch + 3] = true;
+        let u = UnpackedConv::build(c, Some(&mask), UnpackOptions::default());
+        assert_eq!(u.channels[0].retained_products(), 0);
+        assert_eq!(u.channels[1].retained_products(), patch - 1);
+        assert_eq!(u.masked_products, patch + 1);
+        let expected =
+            (c.geom.out_c * patch - (patch + 1)) as u64 * c.geom.out_positions() as u64;
+        assert_eq!(u.retained_macs(), expected);
+    }
+
+    #[test]
+    fn zero_weight_dropping_is_optional() {
+        let q = qmodel();
+        let c = q.conv(0);
+        let zeros = c.weights.iter().filter(|&&w| w == 0).count();
+        let keep = UnpackedConv::build(c, None, UnpackOptions::default());
+        let drop =
+            UnpackedConv::build(c, None, UnpackOptions { drop_zero_weights: true, col_block: 4 });
+        assert_eq!(keep.zero_dropped_products, 0);
+        assert_eq!(drop.zero_dropped_products, zeros);
+        assert_eq!(
+            keep.retained_macs() - drop.retained_macs(),
+            zeros as u64 * c.geom.out_positions() as u64
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "mask length mismatch")]
+    fn wrong_mask_length_rejected() {
+        let q = qmodel();
+        let c = q.conv(0);
+        UnpackedConv::build(c, Some(&[false; 3]), UnpackOptions::default());
+    }
+}

@@ -1,0 +1,138 @@
+//! Property tests for the unpacking IR.
+
+use proptest::prelude::*;
+use quantize::QConv;
+use tinytensor::quant::{QuantParams, RequantMultiplier};
+use tinytensor::shape::ConvGeometry;
+use unpackgen::{UnpackOptions, UnpackedConv};
+
+/// Construct a synthetic quantized conv layer with given weights.
+fn qconv(out_c: usize, patch_geom: (usize, usize, usize), weights: Vec<i8>) -> QConv {
+    let (k, in_c, hw) = patch_geom;
+    QConv {
+        geom: ConvGeometry {
+            in_h: hw,
+            in_w: hw,
+            in_c,
+            out_c,
+            kernel_h: k,
+            kernel_w: k,
+            pad_h: k / 2,
+            pad_w: k / 2,
+            stride_h: 1,
+            stride_w: 1,
+        },
+        bias: vec![0; out_c],
+        in_qp: QuantParams { scale: 0.02, zero_point: -128 },
+        out_qp: QuantParams { scale: 0.05, zero_point: -128 },
+        w_scale: 0.01,
+        mult: RequantMultiplier::from_real(0.004).unwrap(),
+        relu: true,
+        weights,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every retained product appears exactly once in the op stream, in
+    /// patch order, with the right weight — for any mask.
+    #[test]
+    fn stream_preserves_retained_products(
+        out_c in 1usize..4,
+        k in prop::sample::select(vec![1usize, 3, 5]),
+        in_c in 1usize..4,
+        seed: u64,
+        skip_mod in 1u64..10,
+    ) {
+        let patch = k * k * in_c;
+        let weights: Vec<i8> = (0..out_c * patch)
+            .map(|i| ((i as u64).wrapping_mul(seed | 1) >> 5) as i8)
+            .collect();
+        let conv = qconv(out_c, (k, in_c, 8), weights.clone());
+        let mask: Vec<bool> = (0..out_c * patch)
+            .map(|i| (i as u64).wrapping_mul(31) % 10 < skip_mod)
+            .collect();
+        let u = UnpackedConv::build(&conv, Some(&mask), UnpackOptions::default());
+
+        for (o, ch) in u.channels.iter().enumerate() {
+            // reconstruct (idx, w) sequence from the program
+            let mut got: Vec<(u32, i8)> = Vec::new();
+            for op in &ch.ops {
+                got.push((op.idx_lo, op.w_lo()));
+                got.push((op.idx_hi, op.w_hi()));
+            }
+            if let Some(t) = &ch.tail {
+                got.push((t.idx, t.w));
+            }
+            let want: Vec<(u32, i8)> = (0..patch)
+                .filter(|&i| !mask[o * patch + i])
+                .map(|i| (i as u32, weights[o * patch + i]))
+                .collect();
+            prop_assert_eq!(got, want, "channel {}", o);
+        }
+        prop_assert_eq!(
+            u.masked_products,
+            mask.iter().filter(|&&s| s).count()
+        );
+    }
+
+    /// Packed constants always decode back to their two weights.
+    #[test]
+    fn packed_constant_roundtrip(w_lo: i8, w_hi: i8) {
+        let packed = tinytensor::simd::pack_weights(w_hi, w_lo);
+        let op = unpackgen::FixedMacOp { idx_lo: 0, idx_hi: 1, packed };
+        prop_assert_eq!(op.w_lo(), w_lo);
+        prop_assert_eq!(op.w_hi(), w_hi);
+    }
+
+    /// retained_macs + masked/zero-dropped products × positions == dense.
+    #[test]
+    fn mac_accounting_balances(
+        out_c in 1usize..4,
+        in_c in 1usize..3,
+        seed: u64,
+        drop_zeros: bool,
+    ) {
+        let k = 3usize;
+        let patch = k * k * in_c;
+        let weights: Vec<i8> = (0..out_c * patch)
+            .map(|i| (((i as u64).wrapping_mul(seed | 1) >> 3) % 5) as i8 - 2)
+            .collect();
+        let conv = qconv(out_c, (k, in_c, 6), weights);
+        let mask: Vec<bool> =
+            (0..out_c * patch).map(|i| i % 4 == 0).collect();
+        let opts = UnpackOptions { drop_zero_weights: drop_zeros, col_block: 4 };
+        let u = UnpackedConv::build(&conv, Some(&mask), opts);
+        let positions = conv.geom.out_positions() as u64;
+        let accounted = u.retained_macs()
+            + (u.masked_products as u64 + u.zero_dropped_products as u64) * positions;
+        prop_assert_eq!(accounted, u.dense_macs());
+        if !drop_zeros {
+            prop_assert_eq!(u.zero_dropped_products, 0);
+        }
+    }
+
+    /// Generated C contains exactly one __SMLAD per pair op and the packed
+    /// constants as decimal literals.
+    #[test]
+    fn codegen_op_fidelity(out_c in 1usize..3, in_c in 1usize..3, seed: u64) {
+        let k = 3usize;
+        let patch = k * k * in_c;
+        let weights: Vec<i8> = (0..out_c * patch)
+            .map(|i| ((i as u64).wrapping_mul(seed | 3) >> 7) as i8)
+            .collect();
+        let conv = qconv(out_c, (k, in_c, 6), weights);
+        let u = UnpackedConv::build(&conv, None, UnpackOptions::default());
+        let code = unpackgen::codegen::generate_layer_c(&u, "t");
+        let smlad_count: u64 = u.channels.iter().map(|c| c.ops.len() as u64).sum();
+        prop_assert_eq!(code.matches("__SMLAD").count() as u64, smlad_count);
+        for ch in &u.channels {
+            for op in &ch.ops {
+                let literal = op.packed.to_string();
+                let present = code.contains(&literal);
+                prop_assert!(present, "missing constant {literal}");
+            }
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! # xcubeai
+//!
+//! Simulated ST X-CUBE-AI comparator.
+//!
+//! The paper compares against X-CUBE-AI [8], STMicroelectronics' *closed
+//! source* AI expansion pack. Per the reproduction's substitution rule we
+//! model it as an exact int8 engine with a graph-compiled cost profile:
+//!
+//! * **bit-exact accuracy** — like the paper, X-CUBE-AI and CMSIS-NN report
+//!   identical Top-1 (both are exact int8 engines);
+//! * **lower latency than generic CMSIS-NN** — its graph compiler
+//!   pre-converts weights offline (no runtime `SXTB16` weight packing),
+//!   plans data layout (halving the gather traffic) and emits per-model
+//!   code (no runtime parameter decoding). Under the shared
+//!   frozen cost model these structural savings land at ≈0.85× of the
+//!   CMSIS-NN cycle count, matching the regime of the paper's Table II
+//!   (63.5/82.8 = 0.77 for LeNet, 150.7/179.9 = 0.84 for AlexNet);
+//! * **smaller flash** — weight compression plus a trimmed runtime
+//!   (Table II: 154/178 KB vs CMSIS-NN's 239/267 KB).
+//!
+//! Every comparison the paper makes with X-CUBE-AI (who wins at which
+//! accuracy loss, the AlexNet crossover) is preserved by this model; see
+//! `EXPERIMENTS.md`.
+
+use mcusim::{CostModel, Event, ExecStats, FlashLayout, RamEstimate};
+use quantize::{QLayer, QuantModel};
+
+/// X-CUBE-AI runtime code size (trimmed, per-model generated network code).
+pub const XCUBE_RUNTIME_BYTES: u64 = 18 * 1024;
+
+/// Weight-compression factor of the graph compiler.
+pub const XCUBE_WEIGHT_COMPRESSION: f64 = 0.82;
+
+/// RAM overhead of the generated runtime (no interpreter).
+pub const XCUBE_RAM_OVERHEAD: u64 = 96 * 1024;
+
+/// The simulated X-CUBE-AI engine.
+pub struct XCubeEngine<'m> {
+    model: &'m QuantModel,
+    cost: CostModel,
+}
+
+impl<'m> XCubeEngine<'m> {
+    /// Build over a quantized model.
+    pub fn new(model: &'m QuantModel) -> Self {
+        Self { model, cost: CostModel::cortex_m33() }
+    }
+
+    /// The engine's cost model (shared, frozen Cortex-M33 constants).
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Exact inference + X-CUBE-AI instruction-mix statistics.
+    pub fn infer(&self, image: &[f32]) -> (Vec<i8>, ExecStats) {
+        let logits = self.model.forward(image); // bit-exact reference path
+        (logits, self.stats())
+    }
+
+    /// Predicted class.
+    pub fn predict(&self, image: &[f32]) -> usize {
+        quantize::forward::argmax_i8(&self.infer(image).0)
+    }
+
+    /// Analytic statistics of the graph-compiled engine (input-independent,
+    /// like every exact engine here).
+    pub fn stats(&self) -> ExecStats {
+        let mut stats = ExecStats::new();
+        for layer in &self.model.layers {
+            stats.charge(Event::CallOverhead, 1);
+            match layer {
+                QLayer::Conv(c) => {
+                    let patch = c.geom.patch_len();
+                    let positions = c.geom.out_positions() as u64;
+                    let out_c = c.geom.out_c as u64;
+                    let pairs = (patch / 2) as u64;
+                    let smlads = positions * out_c * pairs;
+                    stats.add_macs(positions * out_c * patch as u64);
+                    stats.charge(Event::Smlad, smlads);
+                    stats.charge(Event::InputLoad, smlads / 2);
+                    // planned layout: half the gather/widen traffic
+                    stats.charge(Event::Im2colCopy, positions * patch as u64 / 2);
+                    stats.charge(Event::InputPack, positions * patch as u64 / 2);
+                    // weights pre-packed offline: loads but no runtime pack
+                    stats.charge(Event::WeightLoad, smlads / 4);
+                    stats.charge(Event::LoopOverhead, smlads / 4);
+                    if patch % 2 == 1 {
+                        stats.charge(Event::MacSingle, positions * out_c);
+                    }
+                    stats.charge(Event::BiasInit, positions * out_c);
+                    stats.charge(Event::Requant, positions * out_c);
+                }
+                QLayer::Pool(p) => {
+                    let out = p.out_len() as u64;
+                    stats.charge(Event::PoolCompare, out * 4);
+                    stats.charge(Event::Elementwise, out);
+                }
+                QLayer::Dense(d) => {
+                    let smlads = (d.out_dim * (d.in_dim / 2)) as u64;
+                    stats.add_macs((d.out_dim * d.in_dim) as u64);
+                    stats.charge(Event::InputPack, d.in_dim as u64 / 2);
+                    stats.charge(Event::Smlad, smlads);
+                    stats.charge(Event::InputLoad, smlads / 2);
+                    stats.charge(Event::WeightLoad, smlads / 2);
+                    stats.charge(Event::LoopOverhead, smlads / 4);
+                    if d.in_dim % 2 == 1 {
+                        stats.charge(Event::MacSingle, d.out_dim as u64);
+                    }
+                    stats.charge(Event::BiasInit, d.out_dim as u64);
+                    stats.charge(Event::Requant, d.out_dim as u64);
+                }
+            }
+        }
+        let last = self.model.layers.last().map(|l| l.out_len()).unwrap_or(0) as u64;
+        stats.charge(Event::SoftmaxOp, last);
+        stats
+    }
+
+    /// Flash footprint of the generated deployment.
+    pub fn flash_layout(&self) -> FlashLayout {
+        FlashLayout {
+            library_code: XCUBE_RUNTIME_BYTES,
+            model_weights: (self.model.weight_bytes() as f64 * XCUBE_WEIGHT_COMPRESSION) as u64,
+            unpacked_code: 0,
+            model_metadata: 1024,
+        }
+    }
+
+    /// RAM footprint (arena-planned activations).
+    pub fn ram_estimate(&self) -> RamEstimate {
+        let staging =
+            (self.model.input_shape.item_len() * std::mem::size_of::<f32>()) as u64;
+        RamEstimate {
+            activation_arena: self.model.peak_activation_pair() + staging,
+            kernel_scratch: self.model.max_im2col_bytes() / 2,
+            runtime_overhead: XCUBE_RAM_OVERHEAD,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cifar10sim::DatasetConfig;
+    use cmsisnn::CmsisEngine;
+    use mcusim::Board;
+    use quantize::{calibrate_ranges, quantize_model};
+    use tinynn::{SgdConfig, Trainer};
+
+    fn setup() -> (QuantModel, cifar10sim::SyntheticCifar) {
+        let data = cifar10sim::generate(DatasetConfig::tiny(131));
+        let mut m = tinynn::zoo::mini_cifar(23);
+        let mut t = Trainer::new(SgdConfig { epochs: 3, ..Default::default() });
+        t.train(&mut m, &data.train);
+        let ranges = calibrate_ranges(&m, &data.train.take(8));
+        (quantize_model(&m, &ranges), data)
+    }
+
+    #[test]
+    fn accuracy_identical_to_cmsis() {
+        let (q, data) = setup();
+        let xcube = XCubeEngine::new(&q);
+        let cmsis = CmsisEngine::new(&q);
+        for i in 0..15 {
+            let img = data.test.image(i);
+            assert_eq!(xcube.infer(img).0, cmsis.infer(img).0, "image {i}");
+        }
+    }
+
+    #[test]
+    fn faster_than_cmsis_slower_than_free() {
+        let (q, data) = setup();
+        let xcube = XCubeEngine::new(&q);
+        let cmsis = CmsisEngine::new(&q);
+        let img = data.test.image(0);
+        let cx = xcube.infer(img).1.cycles(xcube.cost_model());
+        let cb = cmsis.infer(img).1.cycles(cmsis.cost_model());
+        let ratio = cx as f64 / cb as f64;
+        // paper regime: 0.77-0.84x of CMSIS
+        assert!((0.70..0.95).contains(&ratio), "X-CUBE/CMSIS ratio {ratio}");
+    }
+
+    #[test]
+    fn smaller_flash_than_cmsis() {
+        let (q, _) = setup();
+        let xcube = XCubeEngine::new(&q);
+        let base = cmsisnn::flash_layout(&q);
+        assert!(xcube.flash_layout().total() < base.total());
+    }
+
+    #[test]
+    fn fits_paper_board() {
+        let (q, _) = setup();
+        let xcube = XCubeEngine::new(&q);
+        let board = Board::stm32u575();
+        assert!(xcube.flash_layout().check(&board).is_ok());
+        assert!(xcube.ram_estimate().fits(&board));
+    }
+
+    #[test]
+    fn macs_equal_model_macs() {
+        let (q, _) = setup();
+        let xcube = XCubeEngine::new(&q);
+        assert_eq!(xcube.stats().macs, q.macs());
+    }
+}

@@ -1,0 +1,71 @@
+//! Export the generated approximate C kernels and exercise the flash
+//! budgeting — including the failure path on a smaller MCU.
+//!
+//! The paper's framework "generates the approximate code, which is then
+//! compiled and deployed to the MCU". This example writes that artifact to
+//! `target/ataman_generated/` and shows the budget check rejecting a
+//! deployment that cannot fit a 512 KB part.
+//!
+//! ```sh
+//! cargo run --release --example codegen_export
+//! ```
+
+use ataman_repro::prelude::*;
+use std::fs;
+use std::path::Path;
+
+fn main() {
+    let mut cfg = DatasetConfig::paper_default();
+    cfg.n_train = 1_200;
+    cfg.n_test = 300;
+    let data = generate(cfg);
+    let mut model = zoo::mini_cifar(11);
+    println!("training {} ...", model.name);
+    Trainer::new(SgdConfig { epochs: 5, lr: 0.08, ..Default::default() })
+        .train(&mut model, &data.train);
+
+    // Deploy on the paper's board.
+    let fw = Framework::analyze(&model, &data, AtamanConfig::quick());
+    let dep = fw.deploy(0.05).expect("fits the STM32U575");
+    println!(
+        "deployment: {:.2} ms, flash {:.0} KB ({:.1}% of board), RAM {:.0} KB",
+        dep.latency_ms,
+        dep.flash.total() as f64 / 1024.0,
+        dep.flash.utilization(&Board::stm32u575()) * 100.0,
+        dep.ram.total_kb()
+    );
+
+    // Write the generated C.
+    let out_dir = Path::new("target/ataman_generated");
+    fs::create_dir_all(out_dir).expect("create output dir");
+    let c_path = out_dir.join("approx_kernels.c");
+    fs::write(&c_path, &dep.c_code).expect("write C file");
+    println!(
+        "wrote {} ({} lines, {} SMLAD ops hardwired)",
+        c_path.display(),
+        dep.c_code.lines().count(),
+        dep.c_code.matches("__SMLAD").count()
+    );
+
+    // Also export the DSE report for plotting.
+    let json_path = out_dir.join("dse_report.json");
+    fs::write(&json_path, fw.dse_report().to_json()).expect("write report");
+    println!("wrote {}", json_path.display());
+
+    // Failure injection: the same design on a 512 KB part.
+    let small = Board::small_m33();
+    match dep.flash.check(&small) {
+        Ok(()) => println!("note: design would also fit {}", small.name),
+        Err(e) => println!("budget check on '{}' correctly refused: {e}", small.name),
+    }
+
+    // A heavily skipped design may still fit: try the 20%-loss point.
+    if let Ok(aggressive) = fw.deploy(0.20) {
+        let fits = aggressive.flash.check(&small).is_ok();
+        println!(
+            "20%-loss design: flash {:.0} KB -> {} on the small part",
+            aggressive.flash.total() as f64 / 1024.0,
+            if fits { "fits" } else { "still too large" }
+        );
+    }
+}

@@ -1,0 +1,84 @@
+//! Smart-manufacturing visual inspection panel.
+//!
+//! The paper's intro motivates MCU inference for "smart manufacturing":
+//! a camera MCU classifying parts on a conveyor must meet a *hard frame
+//! budget*. This example asks the framework for the fastest design meeting
+//! a throughput requirement, walking down the accuracy/latency Pareto front
+//! until the frame time fits — the inverse query of `quickstart` (there:
+//! accuracy budget → latency; here: latency budget → accuracy).
+//!
+//! ```sh
+//! cargo run --release --example inspection_line
+//! ```
+
+use ataman_repro::prelude::*;
+
+/// Frames per second the inspection line requires.
+const REQUIRED_FPS: f64 = 18.0;
+
+fn main() {
+    println!("== visual inspection: meet {REQUIRED_FPS} fps on an STM32U575 ==");
+    let mut cfg = DatasetConfig::paper_default();
+    cfg.n_train = 2_000;
+    cfg.n_test = 600;
+    let data = generate(cfg);
+
+    let mut model = zoo::lenet(7);
+    println!("training {} ({:.2}M MACs) ...", model.name, model.macs() as f64 / 1e6);
+    let mut trainer = Trainer::new(SgdConfig { epochs: 5, ..Default::default() });
+    trainer.train(&mut model, &data.train);
+
+    let fw = Framework::analyze(
+        &model,
+        &data,
+        AtamanConfig { eval_images: 192, tau_step: 0.02, max_configs: 120, ..Default::default() },
+    );
+    let board = Board::stm32u575();
+    let budget_ms = 1_000.0 / REQUIRED_FPS;
+
+    let cmsis = ataman::baseline_cmsis(fw.quant_model(), &data.test, &board);
+    println!(
+        "exact CMSIS-NN: {:.1} ms/frame ({:.1} fps) — {}",
+        cmsis.latency_ms,
+        1_000.0 / cmsis.latency_ms,
+        if cmsis.latency_ms <= budget_ms { "meets budget" } else { "MISSES budget" },
+    );
+
+    // Walk the Pareto front from most accurate to fastest until the frame
+    // budget holds.
+    let mut chosen = None;
+    for loss in [0.0f32, 0.02, 0.05, 0.08, 0.10, 0.15, 0.20] {
+        if let Ok(dep) = fw.deploy_with_accuracy(loss, &data.test) {
+            println!(
+                "  loss ≤{:>4.1}% → {:6.2} ms/frame ({:4.1} fps), accuracy {:.1}%",
+                loss * 100.0,
+                dep.latency_ms,
+                1_000.0 / dep.latency_ms,
+                dep.test_accuracy.unwrap() * 100.0
+            );
+            if dep.latency_ms <= budget_ms {
+                chosen = Some((loss, dep));
+                break;
+            }
+        }
+    }
+
+    match chosen {
+        Some((loss, dep)) => {
+            println!(
+                "\n→ deploying the {:.0}%-loss design: {:.2} ms/frame, {:.2} mJ, {:.0} KB flash",
+                loss * 100.0,
+                dep.latency_ms,
+                dep.energy_mj,
+                dep.flash.total() as f64 / 1024.0
+            );
+            println!(
+                "  accuracy {:.1}% (exact engine would have been {:.1}% at {:.1} fps)",
+                dep.test_accuracy.unwrap() * 100.0,
+                cmsis.accuracy * 100.0,
+                1_000.0 / cmsis.latency_ms
+            );
+        }
+        None => println!("\n→ no design meets {budget_ms:.1} ms — pick a smaller model"),
+    }
+}

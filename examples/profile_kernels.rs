@@ -1,0 +1,96 @@
+//! Per-operator cycle profiling across engines (Section II-A: "we extend
+//! these kernels with cycle counters to profile parts of the C code for
+//! individual operators").
+//!
+//! Prints a per-layer cycle breakdown of the exact CMSIS-style engine, then
+//! compares total latency/flash/energy across CMSIS-NN, X-CUBE-AI and the
+//! unpacked (exact and approximate) engines on the same model.
+//!
+//! ```sh
+//! cargo run --release --example profile_kernels
+//! ```
+
+use ataman_repro::prelude::*;
+
+fn main() {
+    let mut cfg = DatasetConfig::paper_default();
+    cfg.n_train = 1_500;
+    cfg.n_test = 400;
+    let data = generate(cfg);
+    let mut model = zoo::lenet(3);
+    println!("training {} ...", model.name);
+    Trainer::new(SgdConfig { epochs: 4, ..Default::default() }).train(&mut model, &data.train);
+
+    let ranges = calibrate_ranges(&model, &data.train.take(32));
+    let q = quantize_model(&model, &ranges);
+    let board = Board::stm32u575();
+    let img = data.test.image(0);
+
+    // --- per-operator profile of the exact engine -----------------------
+    let cmsis = CmsisEngine::new(&q);
+    println!("\nper-operator cycle counters (CMSIS-NN engine):");
+    println!("{:<22} {:>12} {:>10} {:>9}", "operator", "cycles", "MACs", "ms");
+    let mut total_cycles = 0u64;
+    for p in cmsis.profile(img) {
+        let cycles = p.stats.cycles(cmsis.cost_model());
+        total_cycles += cycles;
+        println!(
+            "{:<22} {:>12} {:>10} {:>9.3}",
+            p.label,
+            cycles,
+            p.stats.macs,
+            board.cycles_to_ms(cycles)
+        );
+    }
+    println!("{:<22} {:>12} {:>10} {:>9.3}", "TOTAL", total_cycles, q.macs(), board.cycles_to_ms(total_cycles));
+
+    // --- event-class breakdown ------------------------------------------
+    let (_, stats) = cmsis.infer(img);
+    println!("\ninstruction-class breakdown:");
+    for (event, count, cycles) in stats.breakdown(cmsis.cost_model()) {
+        println!("  {:<10} count {:>12}  cycles {:>12.0}", event.name(), count, cycles);
+    }
+
+    // --- engine comparison ------------------------------------------------
+    let means = capture_mean_inputs(&q, &data.train.take(32));
+    let sig = SignificanceMap::compute(&q, &means);
+    let masks = sig.masks_for_tau(&q, &TauAssignment::global(0.02));
+
+    let xcube = XCubeEngine::new(&q);
+    let unpacked = UnpackedEngine::new(&q, None, UnpackOptions::default());
+    let approx = UnpackedEngine::new(&q, Some(&masks), UnpackOptions::default());
+
+    println!("\nengine comparison ({}):", q.name);
+    println!("{:<26} {:>9} {:>9} {:>10} {:>10}", "engine", "ms", "mJ", "MACs", "flash KB");
+    let rows = [
+        ("CMSIS-NN (exact)", cmsis.infer(img).1, cmsisnn::flash_layout(&q).total()),
+        ("X-CUBE-AI (simulated)", xcube.infer(img).1, xcube.flash_layout().total()),
+        (
+            "unpacked (exact)",
+            unpacked.infer(img).1,
+            unpackgen::unpacked_flash_layout(&q, unpacked.convs()).total(),
+        ),
+        (
+            "unpacked+skip tau=0.02",
+            approx.infer(img).1,
+            unpackgen::unpacked_flash_layout(&q, approx.convs()).total(),
+        ),
+    ];
+    for (name, stats, flash) in rows {
+        let cost = CostModel::cortex_m33();
+        println!(
+            "{:<26} {:>9.2} {:>9.3} {:>10} {:>10.0}",
+            name,
+            stats.latency_ms(&cost, &board),
+            stats.energy_mj(&cost, &board),
+            stats.macs,
+            flash as f64 / 1024.0
+        );
+    }
+    println!(
+        "\napprox accuracy {:.1}% vs exact {:.1}% on {} test images",
+        q.accuracy(&data.test, Some(&masks)) * 100.0,
+        q.accuracy(&data.test, None) * 100.0,
+        data.test.len()
+    );
+}

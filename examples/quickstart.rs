@@ -1,0 +1,86 @@
+//! Quickstart: the full ATAMAN pipeline on a small CNN in under a minute.
+//!
+//! Trains a compact CIFAR-shaped CNN on the synthetic dataset, runs the
+//! cooperative approximation framework (unpack → significance → DSE →
+//! Pareto), and deploys the latency-optimal designs at three accuracy-loss
+//! budgets — a miniature of the paper's Table II.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use ataman_repro::prelude::*;
+
+fn main() {
+    // 1. Data + training (the substrate the paper takes as given).
+    println!("== ATAMAN-rs quickstart ==");
+    let mut cfg = DatasetConfig::paper_default();
+    cfg.n_train = 2_000;
+    cfg.n_test = 600;
+    let data = generate(cfg);
+    let mut model = zoo::mini_cifar(42);
+    println!(
+        "training {} ({} params, {:.2}M MACs) on {} synthetic images ...",
+        model.name,
+        model.param_count(),
+        model.macs() as f64 / 1e6,
+        data.train.len()
+    );
+    let mut trainer = Trainer::new(SgdConfig { epochs: 6, lr: 0.08, ..Default::default() });
+    let report = trainer.train(&mut model, &data.train);
+    println!(
+        "  loss {:.3} -> {:.3}, f32 test accuracy {:.1}%",
+        report.epoch_loss.first().unwrap(),
+        report.epoch_loss.last().unwrap(),
+        tinynn::evaluate_accuracy(&model, &data.test) * 100.0
+    );
+
+    // 2. The framework: PTQ + unpack + significance + DSE (Fig. 1 ①-④).
+    let fw = Framework::analyze(
+        &model,
+        &data,
+        AtamanConfig { eval_images: 256, tau_step: 0.01, max_configs: 200, ..Default::default() },
+    );
+    let dse = fw.dse_report();
+    println!(
+        "\nDSE explored {} approximate designs, {} on the Pareto front",
+        dse.designs.len(),
+        dse.pareto.len()
+    );
+    println!("  int8 baseline accuracy: {:.1}%", dse.baseline_accuracy * 100.0);
+
+    // 3. Baselines (exact engines).
+    let board = Board::stm32u575();
+    let cmsis = ataman::baseline_cmsis(fw.quant_model(), &data.test, &board);
+    println!(
+        "\nCMSIS-NN exact baseline : {:7.2} ms  {:5.2} mJ  {:4.0} KB flash  acc {:.1}%",
+        cmsis.latency_ms,
+        cmsis.energy_mj,
+        cmsis.flash.total() as f64 / 1024.0,
+        cmsis.accuracy * 100.0
+    );
+
+    // 4. Deploy at three accuracy-loss budgets (Fig. 1 ⑤, Table II).
+    for loss in [0.0f32, 0.05, 0.10] {
+        match fw.deploy_with_accuracy(loss, &data.test) {
+            Ok(dep) => {
+                let speedup = (1.0 - dep.latency_ms / cmsis.latency_ms) * 100.0;
+                println!(
+                    "ours ({:>3.0}% loss budget) : {:7.2} ms  {:5.2} mJ  {:4.0} KB flash  acc {:.1}%  ({:+.1}% latency)",
+                    loss * 100.0,
+                    dep.latency_ms,
+                    dep.energy_mj,
+                    dep.flash.total() as f64 / 1024.0,
+                    dep.test_accuracy.unwrap() * 100.0,
+                    -speedup
+                );
+            }
+            Err(e) => println!("ours ({:>3.0}% loss budget) : {e}", loss * 100.0),
+        }
+    }
+
+    // 5. A peek at the generated approximate C code.
+    let dep = fw.deploy(0.05).expect("deployment");
+    let preview: String = dep.c_code.lines().take(12).collect::<Vec<_>>().join("\n");
+    println!("\ngenerated C (first lines):\n{preview}\n...");
+}

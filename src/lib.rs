@@ -1,0 +1,32 @@
+//! # ataman-repro
+//!
+//! Workspace umbrella for the ATAMAN-rs reproduction of *"Accelerating
+//! TinyML Inference on Microcontrollers through Approximate Kernels"*
+//! (ICECS 2024). This crate only re-exports the member crates for the
+//! examples and integration tests; the real functionality lives in
+//! `crates/*` (see `DESIGN.md` for the system inventory).
+
+pub use ataman;
+pub use cifar10sim;
+pub use cmsisnn;
+pub use dse;
+pub use mcusim;
+pub use quantize;
+pub use signif;
+pub use tinynn;
+pub use tinytensor;
+pub use unpackgen;
+pub use xcubeai;
+
+/// Commonly used items for examples.
+pub mod prelude {
+    pub use ataman::{AtamanConfig, BaselineReport, Deployment, Framework};
+    pub use cifar10sim::{generate, DatasetConfig, SyntheticCifar};
+    pub use cmsisnn::CmsisEngine;
+    pub use mcusim::{Board, CostModel, ExecStats};
+    pub use quantize::{calibrate_ranges, quantize_model, QuantModel, SkipMaskSet};
+    pub use signif::{capture_mean_inputs, SignificanceMap, TauAssignment};
+    pub use tinynn::{zoo, SgdConfig, Sequential, Trainer};
+    pub use unpackgen::{UnpackOptions, UnpackedEngine};
+    pub use xcubeai::XCubeEngine;
+}

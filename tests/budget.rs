@@ -1,0 +1,66 @@
+//! Board-budget failure injection through the full framework path.
+
+use ataman_repro::prelude::*;
+
+fn trained(seed: u64) -> (Sequential, cifar10sim::SyntheticCifar) {
+    let data = generate(DatasetConfig::tiny(seed));
+    let mut m = zoo::mini_cifar(seed);
+    let mut t = Trainer::new(SgdConfig { epochs: 3, ..Default::default() });
+    t.train(&mut m, &data.train);
+    (m, data)
+}
+
+#[test]
+fn deployment_refused_when_flash_overflows() {
+    // A board with almost no flash: even the slim 25 KB runtime cannot fit.
+    let (m, data) = trained(501);
+    let tiny_board = Board {
+        name: "hypothetical 16KB part".into(),
+        clock_hz: 80_000_000,
+        flash_bytes: 16 * 1024,
+        ram_bytes: 128 * 1024,
+        active_power_mw: 15.0,
+    };
+    let fw = Framework::analyze(
+        &m,
+        &data,
+        AtamanConfig { board: tiny_board, ..AtamanConfig::quick() },
+    );
+    let err = fw.deploy(0.10).unwrap_err();
+    match err {
+        ataman::DeploymentError::Flash(o) => {
+            assert!(o.required > o.available);
+            assert_eq!(o.available, 16 * 1024);
+        }
+        other => panic!("expected flash overflow, got {other}"),
+    }
+}
+
+#[test]
+fn same_design_fits_bigger_board() {
+    let (m, data) = trained(502);
+    let fw = Framework::analyze(&m, &data, AtamanConfig::quick());
+    // mini_cifar unpacked fits the paper board comfortably
+    let dep = fw.deploy(0.10).expect("fits STM32U575");
+    assert!(dep.flash.check(&Board::stm32u575()).is_ok());
+    assert!(dep.ram.fits(&Board::stm32u575()));
+}
+
+#[test]
+fn error_messages_are_actionable() {
+    let (m, data) = trained(503);
+    let fw = Framework::analyze(&m, &data, AtamanConfig::quick());
+    let msg = fw.deploy(-0.5).unwrap_err().to_string();
+    assert!(msg.contains("accuracy loss"), "unhelpful message: {msg}");
+}
+
+#[test]
+fn utilization_reported_against_the_right_board() {
+    let (m, data) = trained(504);
+    let fw = Framework::analyze(&m, &data, AtamanConfig::quick());
+    let dep = fw.deploy(0.05).expect("deploys");
+    let util_paper = dep.flash.utilization(&Board::stm32u575());
+    let util_small = dep.flash.utilization(&Board::small_m33());
+    assert!(util_small > util_paper);
+    assert!(util_paper > 0.0 && util_paper < 1.0);
+}

@@ -1,0 +1,90 @@
+//! Cross-engine bit-exactness — the core correctness invariant of the
+//! reproduction (see DESIGN.md "Quantization semantics").
+//!
+//! All four interpretations of a quantized model must agree bit-for-bit
+//! when no skipping is applied, and the unpacked engine must agree with the
+//! masked reference for any mask.
+
+use ataman_repro::prelude::*;
+
+fn trained_quant(seed: u64) -> (QuantModel, cifar10sim::SyntheticCifar) {
+    let data = generate(DatasetConfig::tiny(seed));
+    let mut m = zoo::mini_cifar(seed);
+    let mut t = Trainer::new(SgdConfig { epochs: 3, ..Default::default() });
+    t.train(&mut m, &data.train);
+    let ranges = calibrate_ranges(&m, &data.train.take(16));
+    (quantize_model(&m, &ranges), data)
+}
+
+#[test]
+fn four_engines_bit_exact_on_exact_models() {
+    let (q, data) = trained_quant(201);
+    let cmsis = CmsisEngine::new(&q);
+    let xcube = XCubeEngine::new(&q);
+    let unpacked = UnpackedEngine::new(&q, None, UnpackOptions::default());
+    for i in 0..25 {
+        let img = data.test.image(i);
+        let reference = q.forward(img);
+        assert_eq!(cmsis.infer(img).0, reference, "cmsis, image {i}");
+        assert_eq!(xcube.infer(img).0, reference, "xcube, image {i}");
+        assert_eq!(unpacked.infer(img).0, reference, "unpacked, image {i}");
+    }
+}
+
+#[test]
+fn unpacked_zero_weight_dropping_stays_bit_exact() {
+    // Dropping w == 0 products changes the instruction stream but cannot
+    // change any output value.
+    let (q, data) = trained_quant(202);
+    let keep = UnpackedEngine::new(&q, None, UnpackOptions::default());
+    let drop = UnpackedEngine::new(
+        &q,
+        None,
+        UnpackOptions { drop_zero_weights: true, col_block: 4 },
+    );
+    for i in 0..15 {
+        let img = data.test.image(i);
+        assert_eq!(keep.infer(img).0, drop.infer(img).0, "image {i}");
+    }
+    assert!(drop.retained_macs() <= keep.retained_macs());
+}
+
+#[test]
+fn masked_unpacked_matches_masked_reference_for_random_masks() {
+    let (q, data) = trained_quant(203);
+    let n = q.conv_indices().len();
+    for trial in 0..4u64 {
+        let mut masks = SkipMaskSet::none(n);
+        for k in 0..n {
+            let c = q.conv(k);
+            let len = c.geom.out_c * c.patch_len();
+            let mask: Vec<bool> = (0..len)
+                .map(|i| ((i as u64).wrapping_mul(trial * 2 + 3) % 7) < trial)
+                .collect();
+            masks.per_conv[k] = Some(mask);
+        }
+        let engine = UnpackedEngine::new(&q, Some(&masks), UnpackOptions::default());
+        for i in 0..8 {
+            let img = data.test.image(i);
+            let want = q.forward_quantized(&q.quantize_input(img), Some(&masks));
+            assert_eq!(engine.infer(img).0, want, "trial {trial}, image {i}");
+        }
+    }
+}
+
+#[test]
+fn significance_masks_round_trip_through_all_apis() {
+    // Masks derived from significance must produce identical outputs via
+    // the reference path and the deployed engine path.
+    let (q, data) = trained_quant(204);
+    let means = capture_mean_inputs(&q, &data.train.take(16));
+    let sig = SignificanceMap::compute(&q, &means);
+    let masks = sig.masks_for_tau(&q, &TauAssignment::global(0.03));
+    let engine = UnpackedEngine::new(&q, Some(&masks), UnpackOptions::default());
+    let acc_ref = q.accuracy(&data.test, Some(&masks));
+    let correct = (0..data.test.len())
+        .filter(|&i| engine.predict(data.test.image(i)) == data.test.labels[i] as usize)
+        .count();
+    let acc_engine = correct as f32 / data.test.len() as f32;
+    assert_eq!(acc_ref, acc_engine);
+}

@@ -1,0 +1,132 @@
+//! End-to-end pipeline integration tests: training → PTQ → significance →
+//! DSE → deployment, with the guarantees the paper's user relies on.
+
+use ataman_repro::prelude::*;
+
+fn setup() -> (Sequential, cifar10sim::SyntheticCifar) {
+    let data = generate(DatasetConfig::tiny(301));
+    let mut m = zoo::mini_cifar(301);
+    let mut t = Trainer::new(SgdConfig { epochs: 6, lr: 0.08, ..Default::default() });
+    t.train(&mut m, &data.train);
+    (m, data)
+}
+
+#[test]
+fn deployed_design_meets_its_accuracy_contract_on_the_dse_set() {
+    let (m, data) = setup();
+    let fw = Framework::analyze(&m, &data, AtamanConfig::quick());
+    let base = fw.dse_report().baseline_accuracy;
+    for loss in [0.0f32, 0.05, 0.10] {
+        if let Ok(dep) = fw.deploy(loss) {
+            assert!(
+                dep.dse_accuracy >= base - loss - 1e-6,
+                "loss {loss}: design accuracy {} below contract {}",
+                dep.dse_accuracy,
+                base - loss
+            );
+        }
+    }
+}
+
+#[test]
+fn approximate_deployment_is_never_slower_than_exact_unpacked() {
+    let (m, data) = setup();
+    let fw = Framework::analyze(&m, &data, AtamanConfig::quick());
+    let q = fw.quant_model();
+    let exact_unpacked = UnpackedEngine::new(q, None, UnpackOptions::default());
+    let img = vec![0.5f32; q.input_shape.item_len()];
+    let exact_cycles = exact_unpacked.infer(&img).1.cycles(exact_unpacked.cost_model());
+    let dep = fw.deploy(0.10).expect("deploys");
+    assert!(dep.cycles <= exact_cycles);
+}
+
+#[test]
+fn cooperative_beats_cmsis_baseline_on_latency() {
+    // The headline claim, in miniature: unpacking + skipping at a 10% loss
+    // budget must cut latency vs the CMSIS baseline.
+    let (m, data) = setup();
+    let fw = Framework::analyze(&m, &data, AtamanConfig::quick());
+    let board = Board::stm32u575();
+    let cmsis = ataman::baseline_cmsis(fw.quant_model(), &data.test, &board);
+    let dep = fw.deploy(0.10).expect("deploys");
+    assert!(
+        dep.latency_ms < cmsis.latency_ms,
+        "approximate {} ms !< exact {} ms",
+        dep.latency_ms,
+        cmsis.latency_ms
+    );
+}
+
+#[test]
+fn dse_pareto_front_is_non_dominated() {
+    let (m, data) = setup();
+    let fw = Framework::analyze(&m, &data, AtamanConfig::quick());
+    let report = fw.dse_report();
+    let front = report.front();
+    for (i, a) in front.iter().enumerate() {
+        for b in &front[i + 1..] {
+            let dominates = (a.accuracy >= b.accuracy
+                && a.conv_mac_reduction >= b.conv_mac_reduction)
+                || (b.accuracy >= a.accuracy && b.conv_mac_reduction >= a.conv_mac_reduction);
+            if dominates {
+                assert!(
+                    !(a.accuracy == b.accuracy && a.conv_mac_reduction == b.conv_mac_reduction),
+                    "duplicate points on front"
+                );
+            }
+        }
+        // no design anywhere strictly dominates a front member
+        for d in &report.designs {
+            assert!(
+                !(d.accuracy > a.accuracy && d.conv_mac_reduction > a.conv_mac_reduction),
+                "front member dominated by ({}, {})",
+                d.accuracy,
+                d.conv_mac_reduction
+            );
+        }
+    }
+}
+
+#[test]
+fn deployment_artifacts_are_consistent() {
+    let (m, data) = setup();
+    let fw = Framework::analyze(&m, &data, AtamanConfig::quick());
+    let dep = fw.deploy(0.05).expect("deploys");
+    // C code SMLAD count equals the op-stream SMLAD instruction count.
+    let masks = fw.significance().masks_for_tau(fw.quant_model(), &dep.taus);
+    let engine = UnpackedEngine::new(fw.quant_model(), Some(&masks), fw.config().unpack);
+    let expected: u64 = engine.convs().iter().map(|c| c.smlad_instructions()).sum();
+    assert_eq!(dep.c_code.matches("__SMLAD").count() as u64, expected);
+    // flash layout equals the layout computed from the same streams
+    let layout = unpackgen::unpacked_flash_layout(fw.quant_model(), engine.convs());
+    assert_eq!(dep.flash, layout);
+}
+
+#[test]
+fn pipeline_handles_all_layers_skipped_gracefully() {
+    // Failure injection: force masks that skip *everything* and verify the
+    // engine still runs (bias-only conv outputs) and accuracy collapses
+    // toward chance instead of panicking.
+    let (m, data) = setup();
+    let ranges = calibrate_ranges(&m, &data.train.take(8));
+    let q = quantize_model(&m, &ranges);
+    let n = q.conv_indices().len();
+    let mut masks = SkipMaskSet::none(n);
+    for k in 0..n {
+        let c = q.conv(k);
+        masks.per_conv[k] = Some(vec![true; c.geom.out_c * c.patch_len()]);
+    }
+    let engine = UnpackedEngine::new(&q, Some(&masks), UnpackOptions::default());
+    let (logits, stats) = engine.infer(data.test.image(0));
+    assert_eq!(logits.len(), 10);
+    // all conv MACs gone; only dense MACs remain
+    let dense: u64 = q
+        .layers
+        .iter()
+        .map(|l| match l {
+            quantize::QLayer::Dense(d) => (d.in_dim * d.out_dim) as u64,
+            _ => 0,
+        })
+        .sum();
+    assert_eq!(stats.macs, dense);
+}

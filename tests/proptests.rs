@@ -1,0 +1,160 @@
+//! Workspace-level property tests: random models, random masks, random
+//! design clouds — the invariants must hold for *any* of them.
+
+use proptest::prelude::*;
+use quantize::{calibrate_ranges, quantize_model, QuantModel, SkipMaskSet};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tinynn::Sequential;
+use tinytensor::Shape4;
+use unpackgen::{UnpackOptions, UnpackedEngine};
+
+/// Build a small random CNN: 1-2 conv(+relu) layers, optional pool, dense.
+fn random_model(seed: u64, convs: usize, width: usize, kernel: usize) -> Sequential {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut m = Sequential::new("prop", Shape4::nhwc(1, 8, 8, 2));
+    for _ in 0..convs {
+        m = m.conv_relu(width, kernel, &mut rng);
+    }
+    m = m.maxpool();
+    m.dense(4, true, &mut rng)
+}
+
+/// Quantize against a tiny synthetic calibration set.
+fn quantized(model: &Sequential, seed: u64) -> (QuantModel, Vec<Vec<f32>>) {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xDEAD);
+    use rand::Rng;
+    let n = 6;
+    let len = 8 * 8 * 2;
+    let mut flat = Vec::with_capacity(n * len);
+    for _ in 0..n * len {
+        flat.push(rng.gen_range(0.0f32..1.0));
+    }
+    let ds = cifar10sim::Dataset {
+        images: tinytensor::Tensor::from_vec(Shape4::nhwc(n, 8, 8, 2), flat).unwrap(),
+        labels: vec![0; n],
+    };
+    let ranges = calibrate_ranges(model, &ds);
+    let q = quantize_model(model, &ranges);
+    let imgs = (0..n).map(|i| ds.image(i).to_vec()).collect();
+    (q, imgs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// For any random model and any random mask, the unpacked engine equals
+    /// the masked reference bit-for-bit.
+    #[test]
+    fn unpacked_equals_reference_for_any_mask(
+        seed in 0u64..5000,
+        convs in 1usize..3,
+        width in 2usize..6,
+        kernel in prop::sample::select(vec![1usize, 3]),
+        skip_mod in 2u64..9,
+    ) {
+        let model = random_model(seed, convs, width, kernel);
+        let (q, imgs) = quantized(&model, seed);
+        let n = q.conv_indices().len();
+        let mut masks = SkipMaskSet::none(n);
+        for k in 0..n {
+            let c = q.conv(k);
+            let len = c.geom.out_c * c.patch_len();
+            masks.per_conv[k] = Some(
+                (0..len).map(|i| (i as u64).wrapping_mul(seed | 1) % skip_mod == 0).collect(),
+            );
+        }
+        let engine = UnpackedEngine::new(&q, Some(&masks), UnpackOptions::default());
+        for img in &imgs {
+            let want = q.forward_quantized(&q.quantize_input(img), Some(&masks));
+            prop_assert_eq!(engine.infer(img).0, want);
+        }
+    }
+
+    /// Cycles and flash are monotone non-increasing in the skip set.
+    #[test]
+    fn cost_monotone_in_skipping(seed in 0u64..5000, frac_a in 0usize..5, extra in 1usize..5) {
+        let model = random_model(seed, 2, 4, 3);
+        let (q, _) = quantized(&model, seed);
+        let n = q.conv_indices().len();
+        let frac_b = frac_a + extra; // strictly larger skip set
+        let build = |num: usize| {
+            let mut masks = SkipMaskSet::none(n);
+            for k in 0..n {
+                let c = q.conv(k);
+                let len = c.geom.out_c * c.patch_len();
+                masks.per_conv[k] =
+                    Some((0..len).map(|i| (i * 31 + 7) % 10 < num).collect());
+            }
+            masks
+        };
+        let (ma, mb) = (build(frac_a), build(frac_b));
+        let opts = UnpackOptions::default();
+        let sa = dse::estimate_stats(&q, Some(&ma), opts);
+        let sb = dse::estimate_stats(&q, Some(&mb), opts);
+        let cost = mcusim::CostModel::cortex_m33();
+        prop_assert!(sb.cycles(&cost) <= sa.cycles(&cost));
+        prop_assert!(sb.macs <= sa.macs);
+        prop_assert!(
+            dse::estimate_flash(&q, Some(&mb), opts) <= dse::estimate_flash(&q, Some(&ma), opts)
+        );
+    }
+
+    /// The exact engines (reference, CMSIS, X-CUBE, unpacked) agree on any
+    /// random model and input.
+    #[test]
+    fn engines_agree_on_random_models(seed in 0u64..5000, width in 2usize..6) {
+        let model = random_model(seed, 1, width, 3);
+        let (q, imgs) = quantized(&model, seed);
+        let cmsis = cmsisnn::CmsisEngine::new(&q);
+        let xcube = xcubeai::XCubeEngine::new(&q);
+        let unpacked = UnpackedEngine::new(&q, None, UnpackOptions::default());
+        for img in imgs.iter().take(3) {
+            let want = q.forward(img);
+            prop_assert_eq!(cmsis.infer(img).0, want.clone());
+            prop_assert_eq!(xcube.infer(img).0, want.clone());
+            prop_assert_eq!(unpacked.infer(img).0, want);
+        }
+    }
+
+    /// Pareto front: every non-front design is dominated by some front
+    /// member; no front member is dominated by anything.
+    #[test]
+    fn pareto_front_sound_and_complete(points in prop::collection::vec((0.0f32..1.0, 0.0f64..1.0), 1..60)) {
+        use dse::EvaluatedDesign;
+        use signif::TauAssignment;
+        let designs: Vec<EvaluatedDesign> = points
+            .iter()
+            .map(|&(acc, red)| EvaluatedDesign {
+                taus: TauAssignment::global(0.0),
+                accuracy: acc,
+                retained_macs: 0,
+                conv_mac_reduction: red,
+                est_cycles: 1,
+                est_flash: 1,
+                skipped_products: 0,
+            })
+            .collect();
+        let front = dse::pareto_front(&designs);
+        prop_assert!(!front.is_empty());
+        let dominated = |a: &EvaluatedDesign, b: &EvaluatedDesign| {
+            b.accuracy >= a.accuracy
+                && b.conv_mac_reduction >= a.conv_mac_reduction
+                && (b.accuracy > a.accuracy || b.conv_mac_reduction > a.conv_mac_reduction)
+        };
+        for &i in &front {
+            for d in &designs {
+                prop_assert!(!dominated(&designs[i], d), "front member dominated");
+            }
+        }
+        for (i, d) in designs.iter().enumerate() {
+            if !front.contains(&i) {
+                let covered = front.iter().any(|&f| {
+                    designs[f].accuracy >= d.accuracy
+                        && designs[f].conv_mac_reduction >= d.conv_mac_reduction
+                });
+                prop_assert!(covered, "non-front design not covered by the front");
+            }
+        }
+    }
+}
