@@ -79,7 +79,10 @@ mod tests {
     fn baselines_share_accuracy_but_not_latency() {
         let data = cifar10sim::generate(DatasetConfig::tiny(161));
         let mut m = tinynn::zoo::mini_cifar(37);
-        let mut t = Trainer::new(SgdConfig { epochs: 3, ..Default::default() });
+        let mut t = Trainer::new(SgdConfig {
+            epochs: 3,
+            ..Default::default()
+        });
         t.train(&mut m, &data.train);
         let ranges = calibrate_ranges(&m, &data.train.take(8));
         let q = quantize_model(&m, &ranges);

@@ -22,7 +22,11 @@ impl std::fmt::Display for DeploymentError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             DeploymentError::NoFeasibleDesign { max_loss } => {
-                write!(f, "no Pareto design within {:.1}% accuracy loss", max_loss * 100.0)
+                write!(
+                    f,
+                    "no Pareto design within {:.1}% accuracy loss",
+                    max_loss * 100.0
+                )
             }
             DeploymentError::Flash(e) => write!(f, "{e}"),
         }
@@ -66,8 +70,9 @@ pub(crate) fn deploy(
     test: Option<&cifar10sim::Dataset>,
 ) -> Result<Deployment, DeploymentError> {
     let report = fw.dse_report();
-    let design =
-        report.select(max_loss).ok_or(DeploymentError::NoFeasibleDesign { max_loss })?;
+    let design = report
+        .select(max_loss)
+        .ok_or(DeploymentError::NoFeasibleDesign { max_loss })?;
     let qmodel = fw.quant_model();
     let masks = fw.significance().masks_for_tau(qmodel, &design.taus);
 
@@ -76,7 +81,9 @@ pub(crate) fn deploy(
 
     // Flash budget enforcement against the board.
     let flash = unpacked_flash_layout(qmodel, engine.convs());
-    flash.check(&fw.config().board).map_err(DeploymentError::Flash)?;
+    flash
+        .check(&fw.config().board)
+        .map_err(DeploymentError::Flash)?;
     let ram = unpacked_ram_estimate(qmodel);
 
     // Measure on a canonical input (exact engines are input-independent).
@@ -112,9 +119,20 @@ mod tests {
     fn framework(board: Board) -> Framework {
         let data = cifar10sim::generate(DatasetConfig::tiny(151));
         let mut m = tinynn::zoo::mini_cifar(31);
-        let mut t = Trainer::new(SgdConfig { epochs: 4, lr: 0.08, ..Default::default() });
+        let mut t = Trainer::new(SgdConfig {
+            epochs: 4,
+            lr: 0.08,
+            ..Default::default()
+        });
         t.train(&mut m, &data.train);
-        Framework::analyze(&m, &data, AtamanConfig { board, ..AtamanConfig::quick() })
+        Framework::analyze(
+            &m,
+            &data,
+            AtamanConfig {
+                board,
+                ..AtamanConfig::quick()
+            },
+        )
     }
 
     #[test]
@@ -136,7 +154,10 @@ mod tests {
         let fw = framework(Board::stm32u575());
         // A negative loss bound above every achievable accuracy.
         let err = fw.deploy(-1.0).unwrap_err();
-        assert!(matches!(err, crate::DeploymentError::NoFeasibleDesign { .. }));
+        assert!(matches!(
+            err,
+            crate::DeploymentError::NoFeasibleDesign { .. }
+        ));
     }
 
     #[test]

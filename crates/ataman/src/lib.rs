@@ -80,7 +80,13 @@ impl Default for AtamanConfig {
 impl AtamanConfig {
     /// A fast configuration for tests/examples.
     pub fn quick() -> Self {
-        Self { calib_images: 16, eval_images: 64, tau_step: 0.02, max_configs: 60, ..Self::default() }
+        Self {
+            calib_images: 16,
+            eval_images: 64,
+            tau_step: 0.02,
+            max_configs: 60,
+            ..Self::default()
+        }
     }
 }
 
@@ -97,7 +103,10 @@ pub struct Framework {
 impl Framework {
     /// Run pipeline steps 1–4 on a trained f32 model.
     pub fn analyze(model: &Sequential, data: &SyntheticCifar, config: AtamanConfig) -> Self {
-        assert!(config.calib_images > 0, "need at least one calibration image");
+        assert!(
+            config.calib_images > 0,
+            "need at least one calibration image"
+        );
         let calib = data.train.take(config.calib_images);
 
         // 8-bit PTQ (Section II-A setup).
@@ -122,9 +131,19 @@ impl Framework {
         let eval_set = data.test.take(config.eval_images);
         let baseline_accuracy = qmodel.accuracy(&eval_set, None);
         let designs = dse::explore(&qmodel, &significance, &data.test, &space.configs(), &opts);
-        let report = DseReport::new(model.name.clone(), baseline_accuracy, qmodel.macs(), designs);
+        let report = DseReport::new(
+            model.name.clone(),
+            baseline_accuracy,
+            qmodel.macs(),
+            designs,
+        );
 
-        Self { qmodel, significance, report, config }
+        Self {
+            qmodel,
+            significance,
+            report,
+            config,
+        }
     }
 
     /// Analyze a model that is already quantized (skips PTQ; used when the
@@ -150,9 +169,18 @@ impl Framework {
         let eval_set = data.test.take(config.eval_images);
         let baseline_accuracy = qmodel.accuracy(&eval_set, None);
         let designs = dse::explore(&qmodel, &significance, &data.test, &space.configs(), &opts);
-        let report =
-            DseReport::new(qmodel.name.clone(), baseline_accuracy, qmodel.macs(), designs);
-        Self { qmodel, significance, report, config }
+        let report = DseReport::new(
+            qmodel.name.clone(),
+            baseline_accuracy,
+            qmodel.macs(),
+            designs,
+        );
+        Self {
+            qmodel,
+            significance,
+            report,
+            config,
+        }
     }
 
     /// Model name.
@@ -206,7 +234,11 @@ mod tests {
     fn trained() -> (Sequential, SyntheticCifar) {
         let data = cifar10sim::generate(DatasetConfig::tiny(141));
         let mut m = tinynn::zoo::mini_cifar(29);
-        let mut t = Trainer::new(SgdConfig { epochs: 6, lr: 0.08, ..Default::default() });
+        let mut t = Trainer::new(SgdConfig {
+            epochs: 6,
+            lr: 0.08,
+            ..Default::default()
+        });
         t.train(&mut m, &data.train);
         (m, data)
     }
@@ -245,7 +277,10 @@ mod tests {
         let (m, data) = trained();
         let a = Framework::analyze(&m, &data, AtamanConfig::quick());
         let b = Framework::analyze(&m, &data, AtamanConfig::quick());
-        assert_eq!(a.dse_report().baseline_accuracy, b.dse_report().baseline_accuracy);
+        assert_eq!(
+            a.dse_report().baseline_accuracy,
+            b.dse_report().baseline_accuracy
+        );
         let (da, db) = (a.deploy(0.05).unwrap(), b.deploy(0.05).unwrap());
         assert_eq!(da.cycles, db.cycles);
         assert_eq!(da.taus, db.taus);

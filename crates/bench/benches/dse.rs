@@ -2,8 +2,8 @@
 //! capture, masked-accuracy evaluation throughput, Pareto extraction.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dse::{pareto_front, EvaluatedDesign, ExploreOptions};
-use quantize::{calibrate_ranges, quantize_model};
+use dse::{pareto_front, DseEvalCache, EvaluatedDesign, ExploreOptions};
+use quantize::{calibrate_ranges, quantize_model, CompiledMasks, ForwardScratch};
 use signif::{capture_mean_inputs, SignificanceMap, TauAssignment};
 use std::hint::black_box;
 
@@ -37,7 +37,10 @@ fn bench_design_eval(c: &mut Criterion) {
     let q = quantize_model(&m, &ranges);
     let means = capture_mean_inputs(&q, &data.train.take(8));
     let sig = SignificanceMap::compute(&q, &means);
-    let opts = ExploreOptions { eval_images: 32, ..Default::default() };
+    let opts = ExploreOptions {
+        eval_images: 32,
+        ..Default::default()
+    };
     let eval = data.test.take(32);
 
     let mut group = c.benchmark_group("dse_eval");
@@ -55,6 +58,77 @@ fn bench_design_eval(c: &mut Criterion) {
             })
         });
     }
+    group.finish();
+}
+
+/// Bool-mask vs compiled-mask masked-conv forward throughput — the inner
+/// loop the compiled representation exists to accelerate.
+fn bench_masked_conv_throughput(c: &mut Criterion) {
+    let data = cifar10sim::generate(cifar10sim::DatasetConfig::tiny(905));
+    let m = tinynn::zoo::mini_cifar(905);
+    let ranges = calibrate_ranges(&m, &data.train.take(8));
+    let q = quantize_model(&m, &ranges);
+    let means = capture_mean_inputs(&q, &data.train.take(8));
+    let sig = SignificanceMap::compute(&q, &means);
+    let qin = q.quantize_input(data.test.image(0));
+
+    let mut group = c.benchmark_group("masked_conv_throughput");
+    group.sample_size(20);
+    for tau in [0.0f64, 0.01, 0.05] {
+        let taus = TauAssignment::global(tau);
+        let bool_masks = sig.masks_for_tau(&q, &taus);
+        let compiled = sig.compiled_masks_for_tau(&q, &taus);
+        group.bench_with_input(BenchmarkId::new("bool_mask", tau), &tau, |b, _| {
+            b.iter(|| black_box(q.forward_quantized(&qin, Some(&bool_masks))))
+        });
+        group.bench_with_input(BenchmarkId::new("compiled_mask", tau), &tau, |b, _| {
+            b.iter(|| black_box(q.forward_compiled(&qin, Some(&compiled))))
+        });
+        let cols = q.conv0_cols_t(&qin).expect("conv first");
+        let mut scratch = ForwardScratch::for_model(&q);
+        group.bench_with_input(
+            BenchmarkId::new("compiled_mask_conv0_cached", tau),
+            &tau,
+            |b, _| {
+                b.iter(|| {
+                    black_box(q.forward_compiled_scratch(
+                        &qin,
+                        Some(&cols),
+                        Some(&compiled),
+                        &mut scratch,
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Per-design cost of building masks in both representations plus the
+/// shared evaluation-cache construction.
+fn bench_design_setup(c: &mut Criterion) {
+    let data = cifar10sim::generate(cifar10sim::DatasetConfig::tiny(906));
+    let m = tinynn::zoo::mini_cifar(906);
+    let ranges = calibrate_ranges(&m, &data.train.take(8));
+    let q = quantize_model(&m, &ranges);
+    let means = capture_mean_inputs(&q, &data.train.take(8));
+    let sig = SignificanceMap::compute(&q, &means);
+    let eval = data.test.take(64);
+
+    let mut group = c.benchmark_group("design_setup");
+    group.sample_size(10);
+    group.bench_function("compile_masks_direct", |b| {
+        b.iter(|| black_box(sig.compiled_masks_for_tau(&q, &TauAssignment::global(0.02))))
+    });
+    group.bench_function("compile_masks_via_bool", |b| {
+        b.iter(|| {
+            let masks = sig.masks_for_tau(&q, &TauAssignment::global(0.02));
+            black_box(CompiledMasks::compile(&q, &masks))
+        })
+    });
+    group.bench_function("eval_cache_build_64_images", |b| {
+        b.iter(|| black_box(DseEvalCache::new(&q, &eval)))
+    });
     group.finish();
 }
 
@@ -82,5 +156,12 @@ fn bench_pareto(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_significance, bench_design_eval, bench_pareto);
+criterion_group!(
+    benches,
+    bench_significance,
+    bench_design_eval,
+    bench_masked_conv_throughput,
+    bench_design_setup,
+    bench_pareto
+);
 criterion_main!(benches);

@@ -62,13 +62,63 @@ fn bench_stream_build(c: &mut Criterion) {
     let mut group = c.benchmark_group("unpack_build");
     group.sample_size(30);
     group.bench_function("build_streams", |b| {
-        b.iter(|| black_box(UnpackedEngine::new(&q, Some(&masks), UnpackOptions::default())))
+        b.iter(|| {
+            black_box(UnpackedEngine::new(
+                &q,
+                Some(&masks),
+                UnpackOptions::default(),
+            ))
+        })
     });
     group.bench_function("analytic_estimate", |b| {
-        b.iter(|| black_box(dse::estimate_stats(&q, Some(&masks), UnpackOptions::default())))
+        b.iter(|| {
+            black_box(dse::estimate_stats(
+                &q,
+                Some(&masks),
+                UnpackOptions::default(),
+            ))
+        })
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_engines, bench_masked_reference, bench_stream_build);
+/// The MCU-side SMLAD-pair dot (offline-packed weight constants) against a
+/// plain scalar dot — the codegen shape of the unpacked engine, tracked so
+/// regressions in the simulated-instruction path stay visible.
+fn bench_smlad_shape(c: &mut Criterion) {
+    use tinytensor::simd::{pack_weight_pairs, smlad_dot_i16};
+    let patch = 108usize;
+    let col: Vec<i16> = (0..patch).map(|i| ((i * 37) % 511) as i16 - 255).collect();
+    let w: Vec<i8> = (0..patch)
+        .map(|i| (((i * 91) % 255) as i16 - 127) as i8)
+        .collect();
+    let mut pairs = Vec::new();
+    pack_weight_pairs(&w, &mut pairs);
+
+    let mut group = c.benchmark_group("smlad_shape");
+    group.sample_size(30);
+    group.bench_function("smlad_pair_dot_108", |b| {
+        b.iter(|| black_box(smlad_dot_i16(black_box(&col), black_box(&pairs), 0)))
+    });
+    group.bench_function("scalar_dot_108", |b| {
+        b.iter(|| {
+            let col = black_box(&col);
+            let w = black_box(&w);
+            let mut acc = 0i32;
+            for i in 0..col.len() {
+                acc += col[i] as i32 * w[i] as i32;
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_engines,
+    bench_masked_reference,
+    bench_stream_build,
+    bench_smlad_shape
+);
 criterion_main!(benches);

@@ -20,7 +20,10 @@ fn bench_substrate(c: &mut Criterion) {
     group.bench_function("train_one_epoch_mini", |b| {
         b.iter(|| {
             let mut m = tinynn::zoo::mini_cifar(905);
-            let mut t = Trainer::new(SgdConfig { epochs: 1, ..Default::default() });
+            let mut t = Trainer::new(SgdConfig {
+                epochs: 1,
+                ..Default::default()
+            });
             black_box(t.train(&mut m, &data.train.take(64)));
         })
     });
@@ -41,7 +44,11 @@ fn bench_framework_pipeline(c: &mut Criterion) {
     // behind table2/fig2.
     let data = cifar10sim::generate(cifar10sim::DatasetConfig::tiny(907));
     let mut m = tinynn::zoo::mini_cifar(907);
-    Trainer::new(SgdConfig { epochs: 2, ..Default::default() }).train(&mut m, &data.train);
+    Trainer::new(SgdConfig {
+        epochs: 2,
+        ..Default::default()
+    })
+    .train(&mut m, &data.train);
 
     let mut group = c.benchmark_group("framework");
     group.sample_size(10);
@@ -63,7 +70,13 @@ fn bench_framework_pipeline(c: &mut Criterion) {
     let fw = Framework::analyze(
         &m,
         &data,
-        AtamanConfig { calib_images: 8, eval_images: 24, tau_step: 0.05, max_configs: 12, ..Default::default() },
+        AtamanConfig {
+            calib_images: 8,
+            eval_images: 24,
+            tau_step: 0.05,
+            max_configs: 12,
+            ..Default::default()
+        },
     );
     group.bench_function("deploy_and_codegen", |b| {
         b.iter(|| black_box(fw.deploy(0.10).expect("deploys")))

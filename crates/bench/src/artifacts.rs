@@ -7,7 +7,7 @@
 use cifar10sim::{DatasetConfig, SyntheticCifar};
 use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
-use tinynn::{SgdConfig, Sequential, Trainer};
+use tinynn::{Sequential, SgdConfig, Trainer};
 
 /// Harness run mode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,9 +55,23 @@ pub fn trainer_config(name: &str, mode: ExperimentMode) -> SgdConfig {
     // lr 0.02 + gradient clipping is the stable regime for both topologies
     // at these dataset sizes (higher rates dead-ReLU-collapse AlexNet).
     match name {
-        "lenet" => SgdConfig { epochs, lr: 0.02, batch_size: 32, ..Default::default() },
-        "alexnet" => SgdConfig { epochs, lr: 0.02, batch_size: 32, ..Default::default() },
-        _ => SgdConfig { epochs, lr: 0.02, ..Default::default() },
+        "lenet" => SgdConfig {
+            epochs,
+            lr: 0.02,
+            batch_size: 32,
+            ..Default::default()
+        },
+        "alexnet" => SgdConfig {
+            epochs,
+            lr: 0.02,
+            batch_size: 32,
+            ..Default::default()
+        },
+        _ => SgdConfig {
+            epochs,
+            lr: 0.02,
+            ..Default::default()
+        },
     }
 }
 
@@ -68,7 +82,11 @@ pub fn artifacts_dir() -> PathBuf {
     }
     // workspace root = two levels above this crate's manifest
     let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
-    manifest.parent().and_then(|p| p.parent()).map(|p| p.join("artifacts")).unwrap_or_else(|| PathBuf::from("artifacts"))
+    manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .map(|p| p.join("artifacts"))
+        .unwrap_or_else(|| PathBuf::from("artifacts"))
 }
 
 fn cache_key(name: &str, mode: ExperimentMode) -> String {
@@ -125,13 +143,21 @@ pub fn load_or_train(name: &str, mode: ExperimentMode) -> TrainedModel {
     );
 
     let _ = std::fs::create_dir_all(&dir);
-    let cached = CachedModel { key, model: model.clone(), f32_accuracy };
+    let cached = CachedModel {
+        key,
+        model: model.clone(),
+        f32_accuracy,
+    };
     if let Ok(json) = serde_json::to_vec(&cached) {
         if std::fs::write(&path, json).is_ok() {
             eprintln!("[artifacts] cached to {}", path.display());
         }
     }
-    TrainedModel { model, data, f32_accuracy }
+    TrainedModel {
+        model,
+        data,
+        f32_accuracy,
+    }
 }
 
 /// DSE parameters of the paper-scale experiments, sized for the reference
@@ -171,7 +197,10 @@ pub fn load_or_analyze(
     let path = artifacts_dir().join(format!("{key}.json"));
     if let Ok(bytes) = std::fs::read(&path) {
         if let Ok(fw) = serde_json::from_slice::<ataman::Framework>(&bytes) {
-            eprintln!("[artifacts] loaded analyzed framework from {}", path.display());
+            eprintln!(
+                "[artifacts] loaded analyzed framework from {}",
+                path.display()
+            );
             return (fw, trained.data, trained.f32_accuracy);
         }
     }

@@ -71,7 +71,10 @@ fn main() {
     println!("--- generated-code column blocking ---");
     let mut rows = Vec::new();
     for block in [1usize, 2, 4, 8] {
-        let opts = UnpackOptions { col_block: block, ..Default::default() };
+        let opts = UnpackOptions {
+            col_block: block,
+            ..Default::default()
+        };
         let e = UnpackedEngine::new(q, None, opts);
         let (_, s) = e.infer(&img);
         let ms = s.latency_ms(e.cost_model(), &board);
@@ -80,16 +83,32 @@ fn main() {
             format!("col_block={block}"),
             format!("{ms:.1}"),
             format!("{:.0}", flash.total() as f64 / 1024.0),
-            format!("{}", if flash.check(&board).is_ok() { "fits" } else { "OVERFLOW" }),
+            format!(
+                "{}",
+                if flash.check(&board).is_ok() {
+                    "fits"
+                } else {
+                    "OVERFLOW"
+                }
+            ),
         ]);
     }
-    println!("{}", tables::render(&["variant", "latency ms", "flash KB", "board"], &rows));
+    println!(
+        "{}",
+        tables::render(&["variant", "latency ms", "flash KB", "board"], &rows)
+    );
 
     // --- 3. zero-weight folding --------------------------------------------
     println!("--- zero-weight constant folding (bit-exact) ---");
     let mut rows = Vec::new();
-    for (label, dz) in [("keep w=0 ops (paper-faithful)", false), ("fold w=0 ops", true)] {
-        let opts = UnpackOptions { drop_zero_weights: dz, ..Default::default() };
+    for (label, dz) in [
+        ("keep w=0 ops (paper-faithful)", false),
+        ("fold w=0 ops", true),
+    ] {
+        let opts = UnpackOptions {
+            drop_zero_weights: dz,
+            ..Default::default()
+        };
         let e = UnpackedEngine::new(q, None, opts);
         let (_, s) = e.infer(&img);
         rows.push(vec![
@@ -98,7 +117,10 @@ fn main() {
             format!("{:.2}M", e.retained_macs() as f64 / 1e6),
         ]);
     }
-    println!("{}", tables::render(&["variant", "latency ms", "#MACs"], &rows));
+    println!(
+        "{}",
+        tables::render(&["variant", "latency ms", "#MACs"], &rows)
+    );
 
     // --- 4. global vs per-layer tau ----------------------------------------
     println!("--- tau assignment granularity (accuracy at matched skip rate) ---");
@@ -127,7 +149,10 @@ fn main() {
         format!("{:.3}", acc_p),
         format!("{:.2}M skipped", masks_p.skipped_macs(q) as f64 / 1e6),
     ]);
-    println!("{}", tables::render(&["variant", "accuracy", "skipped"], &rows));
+    println!(
+        "{}",
+        tables::render(&["variant", "accuracy", "skipped"], &rows)
+    );
 
     // --- 5. skipping granularity: product-level vs whole-channel ------------
     // The paper's contrast with channel/layer-pruning prior work [7]: at a
@@ -166,5 +191,8 @@ fn main() {
         format!("{:.3}", acc_c),
         format!("{:.2}M skipped", ch_skipped as f64 / 1e6),
     ]);
-    println!("{}", tables::render(&["variant", "accuracy", "skipped"], &rows));
+    println!(
+        "{}",
+        tables::render(&["variant", "accuracy", "skipped"], &rows)
+    );
 }

@@ -1,0 +1,153 @@
+//! **BENCH_dse**: design-evaluation throughput of `dse::explore` — the
+//! number the compiled-mask kernels + evaluation cache exist to move.
+//!
+//! Runs a fixed τ grid (24 configs × 128 eval images on `zoo::mini_cifar`)
+//! through the pre-cache boolean-mask baseline (`explore_reference`) and
+//! the compiled+cached production path (`explore`), checks the results are
+//! bit-exact, and emits `BENCH_dse.json` so the perf trajectory is tracked
+//! from PR to PR.
+//!
+//! ```sh
+//! cargo run -p ataman-bench --release --bin dse_bench
+//! ```
+
+use dse::{explore, explore_reference, EvaluatedDesign, ExploreOptions};
+use quantize::{calibrate_ranges, quantize_model};
+use serde::Serialize;
+use signif::{capture_mean_inputs, SignificanceMap, TauAssignment};
+use std::time::Instant;
+
+const GRID_CONFIGS: usize = 24;
+const EVAL_IMAGES: usize = 128;
+const REPS: usize = 3;
+
+#[derive(Serialize)]
+struct BenchReport {
+    model: String,
+    grid_configs: usize,
+    eval_images: usize,
+    reps: usize,
+    baseline_seconds: f64,
+    cached_seconds: f64,
+    baseline_designs_per_sec: f64,
+    cached_designs_per_sec: f64,
+    speedup: f64,
+    bit_exact: bool,
+}
+
+fn time_best_of<F: FnMut() -> Vec<EvaluatedDesign>>(
+    reps: usize,
+    mut f: F,
+) -> (f64, Vec<EvaluatedDesign>) {
+    let mut best = f64::INFINITY;
+    let mut out = Vec::new();
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let designs = f();
+        let dt = t0.elapsed().as_secs_f64();
+        if dt < best {
+            best = dt;
+        }
+        out = designs;
+    }
+    (best, out)
+}
+
+fn main() {
+    println!("== BENCH_dse: explore() throughput, bool-mask baseline vs compiled+cached ==");
+    let mut cfg = cifar10sim::DatasetConfig::paper_default();
+    cfg.n_train = 512;
+    cfg.n_test = EVAL_IMAGES;
+    cfg.seed = 0xD5EB;
+    let data = cifar10sim::generate(cfg);
+
+    let mut model = tinynn::zoo::mini_cifar(0xD5EB);
+    let mut trainer = tinynn::Trainer::new(tinynn::SgdConfig {
+        epochs: 2,
+        lr: 0.08,
+        ..Default::default()
+    });
+    trainer.train(&mut model, &data.train);
+
+    let ranges = calibrate_ranges(&model, &data.train.take(32));
+    let q = quantize_model(&model, &ranges);
+    let means = capture_mean_inputs(&q, &data.train.take(32));
+    let sig = SignificanceMap::compute(&q, &means);
+
+    let configs: Vec<TauAssignment> = (0..GRID_CONFIGS)
+        .map(|i| TauAssignment::global(i as f64 * 0.005))
+        .collect();
+    let opts = ExploreOptions {
+        eval_images: EVAL_IMAGES,
+        ..Default::default()
+    };
+
+    // Warm-up both paths once (page in code, size caches).
+    let _ = explore(
+        &q,
+        &sig,
+        &data.test,
+        &configs[..2.min(configs.len())],
+        &opts,
+    );
+    let _ = explore_reference(
+        &q,
+        &sig,
+        &data.test,
+        &configs[..2.min(configs.len())],
+        &opts,
+    );
+
+    println!(
+        "measuring {} reps of {} configs x {} images on {} ...",
+        REPS, GRID_CONFIGS, EVAL_IMAGES, q.name
+    );
+    let (baseline_s, baseline) = time_best_of(REPS, || {
+        explore_reference(&q, &sig, &data.test, &configs, &opts)
+    });
+    let (cached_s, cached) = time_best_of(REPS, || explore(&q, &sig, &data.test, &configs, &opts));
+
+    let bit_exact = baseline.len() == cached.len()
+        && baseline.iter().zip(&cached).all(|(a, b)| {
+            a.accuracy == b.accuracy
+                && a.est_cycles == b.est_cycles
+                && a.est_flash == b.est_flash
+                && a.retained_macs == b.retained_macs
+                && a.skipped_products == b.skipped_products
+        });
+
+    let report = BenchReport {
+        model: q.name.clone(),
+        grid_configs: GRID_CONFIGS,
+        eval_images: EVAL_IMAGES,
+        reps: REPS,
+        baseline_seconds: baseline_s,
+        cached_seconds: cached_s,
+        baseline_designs_per_sec: GRID_CONFIGS as f64 / baseline_s,
+        cached_designs_per_sec: GRID_CONFIGS as f64 / cached_s,
+        speedup: baseline_s / cached_s,
+        bit_exact,
+    };
+
+    println!(
+        "baseline: {:.3} s ({:.1} designs/s)",
+        report.baseline_seconds, report.baseline_designs_per_sec
+    );
+    println!(
+        "cached:   {:.3} s ({:.1} designs/s)",
+        report.cached_seconds, report.cached_designs_per_sec
+    );
+    println!(
+        "speedup:  {:.2}x   bit-exact: {}",
+        report.speedup, report.bit_exact
+    );
+
+    let json = serde_json::to_string_pretty(&report).expect("report serialization");
+    std::fs::write("BENCH_dse.json", &json).expect("write BENCH_dse.json");
+    println!("wrote BENCH_dse.json");
+
+    if !bit_exact {
+        eprintln!("ERROR: compiled path diverged from the bool-mask reference");
+        std::process::exit(1);
+    }
+}

@@ -51,7 +51,10 @@ fn main() {
         }
         println!(
             "{}",
-            tables::render(&["MAC red.", "Accuracy", "#MACs", "tau per conv layer"], &rows)
+            tables::render(
+                &["MAC red.", "Accuracy", "#MACs", "tau per conv layer"],
+                &rows
+            )
         );
 
         // In-text aggregates.
@@ -59,12 +62,14 @@ fn main() {
         let r5 = report.mac_reduction_at_loss(0.05);
         println!(
             "conv-MAC reduction at 0% loss: {}   (paper avg over both models: {:.0}%)",
-            r0.map(|r| format!("{:.1}%", r * 100.0)).unwrap_or_else(|| "n/a".into()),
+            r0.map(|r| format!("{:.1}%", r * 100.0))
+                .unwrap_or_else(|| "n/a".into()),
             PaperNumbers::AVG_MAC_REDUCTION_ISO_ACCURACY * 100.0
         );
         println!(
             "conv-MAC reduction at 5% loss: {}   (paper avg over both models: {:.0}%)",
-            r5.map(|r| format!("{:.1}%", r * 100.0)).unwrap_or_else(|| "n/a".into()),
+            r5.map(|r| format!("{:.1}%", r * 100.0))
+                .unwrap_or_else(|| "n/a".into()),
             PaperNumbers::AVG_MAC_REDUCTION_5PCT * 100.0
         );
         if let Some(r) = r0 {

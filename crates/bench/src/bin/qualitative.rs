@@ -27,8 +27,11 @@ fn main() {
 
     // --- CMix-NN ---------------------------------------------------------
     let ours0 = fw.deploy(0.0).expect("0% design deploys");
-    println!("CMix-NN [9] (published): {:.0}M-MAC model at {:.0} ms on a 160 MHz MCU",
-        PaperNumbers::CMIX_NN_MACS_M, PaperNumbers::CMIX_NN_LATENCY_MS);
+    println!(
+        "CMix-NN [9] (published): {:.0}M-MAC model at {:.0} ms on a 160 MHz MCU",
+        PaperNumbers::CMIX_NN_MACS_M,
+        PaperNumbers::CMIX_NN_LATENCY_MS
+    );
     println!(
         "ours (measured)        : {:.1}M-MAC AlexNet at {:.1} ms  ->  {:.0}% latency reduction (paper: 62%)",
         q.macs() as f64 / 1e6,
@@ -81,5 +84,8 @@ fn main() {
             "unpack+skip".into(),
         ],
     ];
-    println!("{}", tables::render(&["System", "Latency ms", "Kind"], &rows));
+    println!(
+        "{}",
+        tables::render(&["System", "Latency ms", "Kind"], &rows)
+    );
 }

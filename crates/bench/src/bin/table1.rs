@@ -39,7 +39,10 @@ fn main() {
             trained.model.topology(),
             format!("{:.1}M", paper.macs_m),
             format!("{:.1}", paper.latency_ms),
-            format!("{:.0}", paper.flash_kb / (board.flash_bytes as f64 / 1024.0) * 100.0),
+            format!(
+                "{:.0}",
+                paper.flash_kb / (board.flash_bytes as f64 / 1024.0) * 100.0
+            ),
             format!("{paper_ram:.1}"),
         ]);
     }
@@ -47,7 +50,15 @@ fn main() {
     println!(
         "{}",
         tables::render(
-            &["CNN", "Acc %", "Topol.", "#MACs", "Latency ms", "Flash %", "RAM KB"],
+            &[
+                "CNN",
+                "Acc %",
+                "Topol.",
+                "#MACs",
+                "Latency ms",
+                "Flash %",
+                "RAM KB"
+            ],
             &rows
         )
     );

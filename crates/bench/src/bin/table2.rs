@@ -13,7 +13,10 @@ use mcusim::Board;
 fn main() {
     let mode = mode_from_args();
     let board = Board::stm32u575();
-    println!("== Table II: CMSIS-NN vs X-CUBE-AI vs proposed on {} ==", board.name);
+    println!(
+        "== Table II: CMSIS-NN vs X-CUBE-AI vs proposed on {} ==",
+        board.name
+    );
 
     let mut speedups0 = Vec::new();
     let mut speedups10 = Vec::new();
@@ -56,7 +59,15 @@ fn main() {
             cmsis.energy_mj,
         );
         let p = PaperNumbers::cmsis(&q.name);
-        row(&mut rows, "  (paper)", p.accuracy, p.latency_ms, p.flash_kb, p.macs_m, p.energy_mj);
+        row(
+            &mut rows,
+            "  (paper)",
+            p.accuracy,
+            p.latency_ms,
+            p.flash_kb,
+            p.macs_m,
+            p.energy_mj,
+        );
         row(
             &mut rows,
             "X-CUBE-AI (simulated)",
@@ -67,7 +78,15 @@ fn main() {
             xcube.energy_mj,
         );
         let p = PaperNumbers::xcube(&q.name);
-        row(&mut rows, "  (paper)", p.accuracy, p.latency_ms, p.flash_kb, p.macs_m, p.energy_mj);
+        row(
+            &mut rows,
+            "  (paper)",
+            p.accuracy,
+            p.latency_ms,
+            p.flash_kb,
+            p.macs_m,
+            p.energy_mj,
+        );
 
         for loss_pct in [0u32, 5, 10] {
             match fw.deploy_with_accuracy(loss_pct as f32 / 100.0, &trained_data.test) {
@@ -92,13 +111,28 @@ fn main() {
                 Err(e) => rows.push(vec![format!("Proposed ({loss_pct}%)"), format!("{e}")]),
             }
             let p = PaperNumbers::proposed(&q.name, loss_pct);
-            row(&mut rows, "  (paper)", p.accuracy, p.latency_ms, p.flash_kb, p.macs_m, p.energy_mj);
+            row(
+                &mut rows,
+                "  (paper)",
+                p.accuracy,
+                p.latency_ms,
+                p.flash_kb,
+                p.macs_m,
+                p.energy_mj,
+            );
         }
 
         println!(
             "{}",
             tables::render(
-                &["Design", "Top-1 %", "Latency ms", "Flash KB", "#MACs", "Energy mJ"],
+                &[
+                    "Design",
+                    "Top-1 %",
+                    "Latency ms",
+                    "Flash KB",
+                    "#MACs",
+                    "Energy mJ"
+                ],
                 &rows
             )
         );

@@ -25,6 +25,10 @@ pub use paper::PaperNumbers;
 /// Parse the common CLI flags of the harness binaries.
 pub fn mode_from_args() -> ExperimentMode {
     let fast_flag = std::env::args().any(|a| a == "--fast");
-    let fast_env = std::env::var("ATAMAN_FAST").map(|v| v == "1").unwrap_or(false);
-    ExperimentMode { fast: fast_flag || fast_env }
+    let fast_env = std::env::var("ATAMAN_FAST")
+        .map(|v| v == "1")
+        .unwrap_or(false);
+    ExperimentMode {
+        fast: fast_flag || fast_env,
+    }
 }

@@ -177,7 +177,12 @@ mod tests {
     #[test]
     fn paper_crossover_vs_xcube() {
         // X-CUBE-AI wins on exact LeNet; ours wins on AlexNet at 0% loss.
-        assert!(PaperNumbers::xcube("LeNet").latency_ms < PaperNumbers::proposed("LeNet", 0).latency_ms);
-        assert!(PaperNumbers::proposed("AlexNet", 0).latency_ms < PaperNumbers::xcube("AlexNet").latency_ms);
+        assert!(
+            PaperNumbers::xcube("LeNet").latency_ms < PaperNumbers::proposed("LeNet", 0).latency_ms
+        );
+        assert!(
+            PaperNumbers::proposed("AlexNet", 0).latency_ms
+                < PaperNumbers::xcube("AlexNet").latency_ms
+        );
     }
 }

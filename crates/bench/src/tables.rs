@@ -17,7 +17,10 @@ pub fn render(headers: &[&str], rows: &[Vec<String>]) -> String {
         }
         out.push('\n');
     };
-    line(&mut out, &headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    line(
+        &mut out,
+        &headers.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+    );
     line(
         &mut out,
         &widths.iter().map(|&w| "-".repeat(w)).collect::<Vec<_>>(),
@@ -55,7 +58,7 @@ mod tests {
         assert!(lines[0].starts_with("name"));
         assert!(lines[2].starts_with("a"));
         // all rows same rendered width
-        assert_eq!(lines[2].trim_end().len() <= lines[0].len() + 8, true);
+        assert!(lines[2].trim_end().len() <= lines[0].len() + 8);
     }
 
     #[test]

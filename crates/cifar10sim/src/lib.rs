@@ -167,7 +167,11 @@ struct Generator {
 impl Generator {
     fn new(cfg: DatasetConfig) -> Self {
         let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x9E37_79B9_7F4A_7C15);
-        let mut modes = [Mode { fy: 0.0, fx: 0.0, phase: 0.0 }; MODES];
+        let mut modes = [Mode {
+            fy: 0.0,
+            fx: 0.0,
+            phase: 0.0,
+        }; MODES];
         for m in modes.iter_mut() {
             // Low spatial frequencies only: 0.5..3.5 periods per image.
             m.fy = rng.gen_range(0.5..3.5);
@@ -196,7 +200,13 @@ impl Generator {
                 rng.gen_range(-0.3..0.3),
             ]);
         }
-        Self { shared_amp, class_amp, class_bias, modes, cfg }
+        Self {
+            shared_amp,
+            class_amp,
+            class_bias,
+            modes,
+            cfg,
+        }
     }
 
     /// Render one sample of class `label` into `out` (len `IMG_LEN`).
@@ -357,8 +367,11 @@ mod tests {
         let mut max_dist = 0.0f64;
         for a in 0..NUM_CLASSES {
             for b in (a + 1)..NUM_CLASSES {
-                let d2: f64 =
-                    means[a].iter().zip(&means[b]).map(|(x, y)| (x - y) * (x - y)).sum();
+                let d2: f64 = means[a]
+                    .iter()
+                    .zip(&means[b])
+                    .map(|(x, y)| (x - y) * (x - y))
+                    .sum();
                 max_dist = max_dist.max(d2.sqrt());
             }
         }

@@ -24,7 +24,10 @@ pub struct CmsisEngine<'m> {
 impl<'m> CmsisEngine<'m> {
     /// Engine with the calibrated Cortex-M33 cost model.
     pub fn new(model: &'m QuantModel) -> Self {
-        Self { model, cost: CostModel::cortex_m33() }
+        Self {
+            model,
+            cost: CostModel::cortex_m33(),
+        }
     }
 
     /// Engine with a custom cost model (ablations, comparator reuse).
@@ -83,16 +86,20 @@ impl<'m> CmsisEngine<'m> {
             stats.charge(Event::CallOverhead, 1);
             let (label, out) = match layer {
                 QLayer::Conv(c) => (
-                    format!("conv{li} ({}@{}x{})", c.geom.out_c, c.geom.kernel_h, c.geom.kernel_w),
+                    format!(
+                        "conv{li} ({}@{}x{})",
+                        c.geom.out_c, c.geom.kernel_h, c.geom.kernel_w
+                    ),
                     conv_s8(c, &act, &mut stats),
                 ),
                 QLayer::Pool(p) => (
                     format!("maxpool{li} ({}x{})", p.in_h, p.in_w),
                     pool_s8(p.in_h, p.in_w, p.c, &act, &mut stats),
                 ),
-                QLayer::Dense(d) => {
-                    (format!("fc{li} ({}->{})", d.in_dim, d.out_dim), dense_s8(d, &act, &mut stats))
-                }
+                QLayer::Dense(d) => (
+                    format!("fc{li} ({}->{})", d.in_dim, d.out_dim),
+                    dense_s8(d, &act, &mut stats),
+                ),
             };
             act = out;
             profiles.push(LayerProfile { label, stats });
@@ -101,7 +108,10 @@ impl<'m> CmsisEngine<'m> {
         let mut sm = ExecStats::new();
         sm.charge(Event::SoftmaxOp, act.len() as u64);
         sm.charge(Event::CallOverhead, 1);
-        profiles.push(LayerProfile { label: "softmax".into(), stats: sm });
+        profiles.push(LayerProfile {
+            label: "softmax".into(),
+            stats: sm,
+        });
         (act, profiles)
     }
 }
@@ -203,7 +213,7 @@ fn dense_s8(d: &QDense, input: &[i8], stats: &mut ExecStats) -> Vec<i8> {
     let (lo, hi) = d.act_bounds();
     let out_zp = d.out_qp.zero_point;
     let mut out = vec![0i8; d.out_dim];
-    for o in 0..d.out_dim {
+    for (o, out_slot) in out.iter_mut().enumerate() {
         let w = &d.weights[o * d.in_dim..(o + 1) * d.in_dim];
         let mut acc = d.bias[o];
         for k in 0..pairs {
@@ -215,7 +225,7 @@ fn dense_s8(d: &QDense, input: &[i8], stats: &mut ExecStats) -> Vec<i8> {
             acc += centered[d.in_dim - 1] as i32 * w[d.in_dim - 1] as i32;
         }
         let v = requantize_to_i8(acc, d.mult, out_zp) as i32;
-        out[o] = v.clamp(lo, hi) as i8;
+        *out_slot = v.clamp(lo, hi) as i8;
     }
     let smlads = (d.out_dim * pairs) as u64;
     stats.add_macs((d.out_dim * d.in_dim) as u64);
@@ -244,7 +254,10 @@ mod tests {
     fn setup() -> (QuantModel, cifar10sim::SyntheticCifar) {
         let data = cifar10sim::generate(DatasetConfig::tiny(41));
         let mut m = tinynn::zoo::mini_cifar(7);
-        let mut t = Trainer::new(SgdConfig { epochs: 3, ..Default::default() });
+        let mut t = Trainer::new(SgdConfig {
+            epochs: 3,
+            ..Default::default()
+        });
         t.train(&mut m, &data.train);
         let ranges = calibrate_ranges(&m, &data.train.take(16));
         (quantize_model(&m, &ranges), data)
@@ -295,7 +308,10 @@ mod tests {
             .map(|p| p.stats.cycles(cost))
             .sum();
         let total: u64 = prof.iter().map(|p| p.stats.cycles(cost)).sum();
-        assert!(conv_cycles * 10 > total * 8, "convs only {conv_cycles}/{total} cycles");
+        assert!(
+            conv_cycles * 10 > total * 8,
+            "convs only {conv_cycles}/{total} cycles"
+        );
     }
 
     #[test]
@@ -313,14 +329,17 @@ mod tests {
     fn smlad_path_handles_odd_patch() {
         // 5x5x3 = 75-long patches exercise the odd trailing MAC.
         let data = cifar10sim::generate(DatasetConfig::tiny(42));
-        let mut rng_model = tinynn::zoo::lenet(3);
+        let rng_model = tinynn::zoo::lenet(3);
         // do not train: quantization of random weights still must be exact
         let ranges = calibrate_ranges(&rng_model, &data.train.take(4));
-        let q = quantize_model(&mut rng_model, &ranges);
+        let q = quantize_model(&rng_model, &ranges);
         let engine = CmsisEngine::new(&q);
         let img = data.test.image(0);
         let (logits, stats) = engine.infer(img);
         assert_eq!(logits, q.forward(img));
-        assert!(stats.count(Event::MacSingle) > 0, "odd patch must use single MACs");
+        assert!(
+            stats.count(Event::MacSingle) > 0,
+            "odd patch must use single MACs"
+        );
     }
 }

@@ -96,7 +96,10 @@ mod tests {
         let f = flash_layout(&alexnet_q());
         let board = Board::stm32u575();
         let util = f.utilization(&board);
-        assert!(util < 0.25, "utilization {util} should leave most flash free");
+        assert!(
+            util < 0.25,
+            "utilization {util} should leave most flash free"
+        );
         assert!(f.headroom(&board) > 1_500_000);
     }
 
@@ -110,7 +113,15 @@ mod tests {
         // AlexNet holds more activation tensors (Table I: 212 vs 183 KB).
         assert!(alexnet.total() > lenet.total());
         // both in the 100-400 KB regime of Table I
-        assert!((100.0..400.0).contains(&lenet.total_kb()), "{}", lenet.total_kb());
-        assert!((100.0..400.0).contains(&alexnet.total_kb()), "{}", alexnet.total_kb());
+        assert!(
+            (100.0..400.0).contains(&lenet.total_kb()),
+            "{}",
+            lenet.total_kb()
+        );
+        assert!(
+            (100.0..400.0).contains(&alexnet.total_kb()),
+            "{}",
+            alexnet.total_kb()
+        );
     }
 }

@@ -1,0 +1,161 @@
+//! Cross-design evaluation cache: the τ-independent part of the DSE loop,
+//! computed once and shared read-only by every design evaluation.
+//!
+//! Profiling the naive `explore()` shows every design redoing, per eval
+//! image, work that no τ can change: quantizing the f32 image into the
+//! int8 input domain, and — because the first conv consumes the raw input —
+//! the first conv's im2col gather and centering. [`DseEvalCache`]
+//! front-loads both:
+//!
+//! * `qinputs[i]` — the quantized input of eval image `i`;
+//! * `conv0_cols[i]` — image `i`'s centered first-conv columns (the `a_i`
+//!   stream of Eq. (1) for conv ordinal 0), handed straight to the kernel
+//!   so masked evaluation of conv 0 starts at the MAC loop;
+//! * `labels[i]` — for Top-1 accuracy without touching the `Dataset` again.
+//!
+//! The cache is immutable after construction and `Sync`, so
+//! `explore()`/`greedy_refine()` workers share one instance across designs
+//! and rayon threads.
+
+use cifar10sim::Dataset;
+use quantize::{CompiledMasks, ForwardScratch, QuantModel};
+use rayon::prelude::*;
+
+/// Pre-quantized inputs + first-conv columns + labels for one eval set.
+pub struct DseEvalCache {
+    qinputs: Vec<Vec<i8>>,
+    /// `None` when the model does not start with a convolution.
+    conv0_cols: Option<Vec<Vec<i16>>>,
+    labels: Vec<u8>,
+}
+
+impl DseEvalCache {
+    /// Build the cache for `eval_set` (all images; callers slice the set
+    /// beforehand via `Dataset::take`).
+    pub fn new(model: &QuantModel, eval_set: &Dataset) -> Self {
+        let n = eval_set.len();
+        let qinputs: Vec<Vec<i8>> = (0..n)
+            .into_par_iter()
+            .map(|i| model.quantize_input(eval_set.image(i)))
+            .collect();
+        let starts_with_conv = matches!(model.layers.first(), Some(quantize::QLayer::Conv(_)));
+        let conv0_cols = if n > 0 && starts_with_conv {
+            Some(
+                qinputs
+                    .par_iter()
+                    .map(|q| model.conv0_cols_t(q).expect("first layer is conv"))
+                    .collect(),
+            )
+        } else {
+            None
+        };
+        Self {
+            qinputs,
+            conv0_cols,
+            labels: eval_set.labels.clone(),
+        }
+    }
+
+    /// Number of cached images.
+    pub fn len(&self) -> usize {
+        self.qinputs.len()
+    }
+
+    /// True when the cache holds no images.
+    pub fn is_empty(&self) -> bool {
+        self.qinputs.is_empty()
+    }
+
+    /// Whether first-conv columns are cached (model starts with a conv).
+    pub fn has_conv0_cols(&self) -> bool {
+        self.conv0_cols.is_some()
+    }
+
+    /// Approximate resident bytes (qinputs + conv0 columns), for reporting.
+    pub fn resident_bytes(&self) -> u64 {
+        let qi: u64 = self.qinputs.iter().map(|v| v.len() as u64).sum();
+        let cc: u64 = self
+            .conv0_cols
+            .as_ref()
+            .map(|cols| cols.iter().map(|v| 2 * v.len() as u64).sum())
+            .unwrap_or(0);
+        qi + cc + self.labels.len() as u64
+    }
+
+    /// Top-1 accuracy of `model` under `masks` over the cached eval set —
+    /// the hot call of `explore()`. Rayon-parallel across images with
+    /// per-worker scratch; deterministic (pure per-image work, ordered
+    /// reduction).
+    ///
+    /// Bit-exact with `model.accuracy(eval_set, Some(&bool_masks))` for the
+    /// boolean masks `masks` was compiled from.
+    pub fn accuracy(&self, model: &QuantModel, masks: &CompiledMasks) -> f32 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        let correct: usize = (0..self.len())
+            .into_par_iter()
+            .map_init(
+                || ForwardScratch::for_model(model),
+                |scratch, i| {
+                    let cols = self.conv0_cols.as_ref().map(|c| c[i].as_slice());
+                    let pred = model.predict_compiled_scratch(
+                        &self.qinputs[i],
+                        cols,
+                        Some(masks),
+                        scratch,
+                    );
+                    usize::from(pred == self.labels[i] as usize)
+                },
+            )
+            .sum();
+        correct as f32 / self.len() as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cifar10sim::DatasetConfig;
+    use quantize::{calibrate_ranges, quantize_model};
+    use signif::{capture_mean_inputs, SignificanceMap, TauAssignment};
+
+    fn setup() -> (QuantModel, SignificanceMap, cifar10sim::SyntheticCifar) {
+        let data = cifar10sim::generate(DatasetConfig::tiny(222));
+        let m = tinynn::zoo::mini_cifar(222);
+        let ranges = calibrate_ranges(&m, &data.train.take(8));
+        let q = quantize_model(&m, &ranges);
+        let means = capture_mean_inputs(&q, &data.train.take(8));
+        let sig = SignificanceMap::compute(&q, &means);
+        (q, sig, data)
+    }
+
+    #[test]
+    fn cached_accuracy_bit_exact_with_reference() {
+        let (q, sig, data) = setup();
+        let eval = data.test.take(24);
+        let cache = DseEvalCache::new(&q, &eval);
+        assert_eq!(cache.len(), 24);
+        assert!(cache.has_conv0_cols());
+        assert!(cache.resident_bytes() > 0);
+        for tau in [0.0, 0.01, 0.06] {
+            let taus = TauAssignment::global(tau);
+            let bool_masks = sig.masks_for_tau(&q, &taus);
+            let compiled = sig.compiled_masks_for_tau(&q, &taus);
+            let want = q.accuracy(&eval, Some(&bool_masks));
+            let got = cache.accuracy(&q, &compiled);
+            assert_eq!(got, want, "tau {tau}");
+        }
+    }
+
+    #[test]
+    fn empty_eval_set_yields_zero() {
+        let (q, _, data) = setup();
+        let cache = DseEvalCache::new(&q, &data.test.take(0));
+        assert!(cache.is_empty());
+        assert_eq!(
+            cache.accuracy(&q, &CompiledMasks::none(q.conv_indices().len())),
+            0.0
+        );
+    }
+}

@@ -1,5 +1,6 @@
 //! Configuration evaluation: simulated accuracy + analytic cost estimation.
 
+use crate::cache::DseEvalCache;
 use cifar10sim::Dataset;
 use mcusim::{CostModel, Event, ExecStats};
 use quantize::{QLayer, QuantModel, SkipMaskSet};
@@ -50,7 +51,9 @@ impl Default for ExploreOptions {
     }
 }
 
-/// Evaluate one configuration.
+/// Evaluate one configuration through the **reference** path: boolean
+/// masks, branchy masked kernel, no caching. Kept as the bit-exactness
+/// baseline; the DSE loops use [`evaluate_design_cached`].
 pub fn evaluate_design(
     model: &QuantModel,
     sig: &SignificanceMap,
@@ -60,11 +63,40 @@ pub fn evaluate_design(
 ) -> EvaluatedDesign {
     let masks = sig.masks_for_tau(model, taus);
     let accuracy = model.accuracy(eval_set, Some(&masks));
-    let stats = estimate_stats(model, Some(&masks), opts.unpack);
+    finish_design(model, &masks, taus, accuracy, opts)
+}
+
+/// Evaluate one configuration through the compiled-mask kernels against a
+/// shared [`DseEvalCache`] — the DSE hot path. Produces results bit-exact
+/// with [`evaluate_design`] over the same eval images.
+pub fn evaluate_design_cached(
+    model: &QuantModel,
+    sig: &SignificanceMap,
+    cache: &DseEvalCache,
+    taus: &TauAssignment,
+    opts: &ExploreOptions,
+) -> EvaluatedDesign {
+    let compiled = sig.compiled_masks_for_tau(model, taus);
+    let accuracy = cache.accuracy(model, &compiled);
+    // Cost accounting still runs over the boolean masks (cheap: O(products),
+    // no images involved) so the analytic estimators keep one code path.
+    let masks = sig.masks_for_tau(model, taus);
+    finish_design(model, &masks, taus, accuracy, opts)
+}
+
+/// Shared tail of design evaluation: analytic cost estimation + bookkeeping.
+fn finish_design(
+    model: &QuantModel,
+    masks: &SkipMaskSet,
+    taus: &TauAssignment,
+    accuracy: f32,
+    opts: &ExploreOptions,
+) -> EvaluatedDesign {
+    let stats = estimate_stats(model, Some(masks), opts.unpack);
     let est_cycles = stats.cycles(&opts.cost);
-    let est_flash = estimate_flash(model, Some(&masks), opts.unpack);
+    let est_flash = estimate_flash(model, Some(masks), opts.unpack);
     let conv_dense: u64 = conv_macs_dense(model);
-    let conv_retained = conv_macs_retained(model, &masks);
+    let conv_retained = conv_macs_retained(model, masks);
     let skipped = masks.skipped_macs(model);
     debug_assert_eq!(conv_dense - conv_retained, skipped);
     EvaluatedDesign {
@@ -74,12 +106,35 @@ pub fn evaluate_design(
         conv_mac_reduction: 1.0 - conv_retained as f64 / conv_dense as f64,
         est_cycles,
         est_flash,
-        skipped_products: count_skipped_products(&masks),
+        skipped_products: count_skipped_products(masks),
     }
 }
 
 /// Explore a list of configurations in parallel (stable output order).
+///
+/// Builds one [`DseEvalCache`] over the eval subset — pre-quantized inputs
+/// and first-conv centered columns shared read-only across all workers —
+/// and evaluates every design through the compiled-mask kernels.
+/// Bit-exact with [`explore_reference`].
 pub fn explore(
+    model: &QuantModel,
+    sig: &SignificanceMap,
+    eval_set: &Dataset,
+    configs: &[TauAssignment],
+    opts: &ExploreOptions,
+) -> Vec<EvaluatedDesign> {
+    let eval = eval_set.take(opts.eval_images);
+    let cache = DseEvalCache::new(model, &eval);
+    configs
+        .par_iter()
+        .map(|taus| evaluate_design_cached(model, sig, &cache, taus, opts))
+        .collect()
+}
+
+/// The pre-cache exploration loop (boolean masks, per-design requantization
+/// and im2col). Baseline for the `BENCH_dse` speedup measurement and the
+/// bit-exactness tests.
+pub fn explore_reference(
     model: &QuantModel,
     sig: &SignificanceMap,
     eval_set: &Dataset,
@@ -228,9 +283,10 @@ pub fn estimate_flash(
                 let mut code = BYTES_PER_LAYER;
                 for o in 0..c.geom.out_c {
                     let retained = match mask {
-                        Some(m) => {
-                            m[o * patch..(o + 1) * patch].iter().filter(|&&s| !s).count()
-                        }
+                        Some(m) => m[o * patch..(o + 1) * patch]
+                            .iter()
+                            .filter(|&&s| !s)
+                            .count(),
                         None => patch,
                     } as u64;
                     code += (retained / 2) * bytes_per_op(options.col_block)
@@ -261,7 +317,11 @@ mod tests {
     fn setup() -> (QuantModel, SignificanceMap, cifar10sim::SyntheticCifar) {
         let data = cifar10sim::generate(DatasetConfig::tiny(121));
         let mut m = tinynn::zoo::mini_cifar(19);
-        let mut t = Trainer::new(SgdConfig { epochs: 5, lr: 0.08, ..Default::default() });
+        let mut t = Trainer::new(SgdConfig {
+            epochs: 5,
+            lr: 0.08,
+            ..Default::default()
+        });
         t.train(&mut m, &data.train);
         let ranges = calibrate_ranges(&m, &data.train.take(16));
         let q = quantize_model(&m, &ranges);
@@ -296,7 +356,10 @@ mod tests {
     #[test]
     fn evaluate_design_fields_consistent() {
         let (q, sig, data) = setup();
-        let opts = ExploreOptions { eval_images: 40, ..Default::default() };
+        let opts = ExploreOptions {
+            eval_images: 40,
+            ..Default::default()
+        };
         let d = evaluate_design(
             &q,
             &sig,
@@ -309,17 +372,69 @@ mod tests {
         assert!(d.retained_macs <= q.macs());
         assert!(d.est_cycles > 0);
         // tau = 0 design reduces nothing or nearly nothing
-        let d0 =
-            evaluate_design(&q, &sig, &data.test.take(40), &TauAssignment::global(0.0), &opts);
+        let d0 = evaluate_design(
+            &q,
+            &sig,
+            &data.test.take(40),
+            &TauAssignment::global(0.0),
+            &opts,
+        );
         assert!(d0.conv_mac_reduction <= d.conv_mac_reduction + 1e-12);
+    }
+
+    #[test]
+    fn cached_explore_bit_exact_with_reference_explore() {
+        let (q, sig, data) = setup();
+        let configs: Vec<TauAssignment> = [0.0, 0.004, 0.02, 0.07]
+            .iter()
+            .map(|&t| TauAssignment::global(t))
+            .collect();
+        let opts = ExploreOptions {
+            eval_images: 32,
+            ..Default::default()
+        };
+        let fast = explore(&q, &sig, &data.test, &configs, &opts);
+        let slow = explore_reference(&q, &sig, &data.test, &configs, &opts);
+        assert_eq!(fast.len(), slow.len());
+        for (a, b) in fast.iter().zip(&slow) {
+            assert_eq!(a.accuracy, b.accuracy, "tau {:?}", a.taus);
+            assert_eq!(a.est_cycles, b.est_cycles);
+            assert_eq!(a.est_flash, b.est_flash);
+            assert_eq!(a.retained_macs, b.retained_macs);
+            assert_eq!(a.conv_mac_reduction, b.conv_mac_reduction);
+            assert_eq!(a.skipped_products, b.skipped_products);
+        }
+    }
+
+    #[test]
+    fn evaluate_design_cached_matches_uncached() {
+        let (q, sig, data) = setup();
+        let eval = data.test.take(28);
+        let cache = DseEvalCache::new(&q, &eval);
+        let opts = ExploreOptions {
+            eval_images: 28,
+            ..Default::default()
+        };
+        for tau in [0.0, 0.03] {
+            let taus = TauAssignment::global(tau);
+            let a = evaluate_design_cached(&q, &sig, &cache, &taus, &opts);
+            let b = evaluate_design(&q, &sig, &eval, &taus, &opts);
+            assert_eq!(a.accuracy, b.accuracy, "tau {tau}");
+            assert_eq!(a.est_cycles, b.est_cycles);
+        }
     }
 
     #[test]
     fn explore_parallel_is_order_stable() {
         let (q, sig, data) = setup();
-        let configs: Vec<TauAssignment> =
-            [0.0, 0.01, 0.03, 0.08].iter().map(|&t| TauAssignment::global(t)).collect();
-        let opts = ExploreOptions { eval_images: 30, ..Default::default() };
+        let configs: Vec<TauAssignment> = [0.0, 0.01, 0.03, 0.08]
+            .iter()
+            .map(|&t| TauAssignment::global(t))
+            .collect();
+        let opts = ExploreOptions {
+            eval_images: 30,
+            ..Default::default()
+        };
         let a = explore(&q, &sig, &data.test, &configs, &opts);
         let b = explore(&q, &sig, &data.test, &configs, &opts);
         for (x, y) in a.iter().zip(&b) {
@@ -332,7 +447,10 @@ mod tests {
     #[test]
     fn more_skipping_cheaper_flash_and_cycles() {
         let (q, sig, data) = setup();
-        let opts = ExploreOptions { eval_images: 20, ..Default::default() };
+        let opts = ExploreOptions {
+            eval_images: 20,
+            ..Default::default()
+        };
         let eval = data.test.take(20);
         let lo = evaluate_design(&q, &sig, &eval, &TauAssignment::global(0.001), &opts);
         let hi = evaluate_design(&q, &sig, &eval, &TauAssignment::global(0.09), &opts);

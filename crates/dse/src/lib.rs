@@ -24,16 +24,28 @@
 //! * [`report`] — serializable experiment reports (Fig. 2 series, summary
 //!   statistics like "44% MAC reduction at iso-accuracy").
 
+//!
+//! The evaluation loop runs on compiled-mask kernels
+//! ([`quantize::compiled`]) over a shared [`cache::DseEvalCache`]
+//! (pre-quantized inputs + first-conv centered columns, computed once per
+//! eval set); `greedy_refine` additionally memoizes repeated τ assignments.
+//! The pre-cache boolean-mask paths ([`eval::explore_reference`],
+//! [`eval::evaluate_design`], [`refine::greedy_refine_reference`]) remain
+//! the bit-exactness baselines.
+
+pub mod cache;
 pub mod eval;
 pub mod pareto;
 pub mod refine;
 pub mod report;
 pub mod space;
 
+pub use cache::DseEvalCache;
 pub use eval::{
-    estimate_flash, estimate_stats, evaluate_design, explore, EvaluatedDesign, ExploreOptions,
+    estimate_flash, estimate_stats, evaluate_design, evaluate_design_cached, explore,
+    explore_reference, EvaluatedDesign, ExploreOptions,
 };
 pub use pareto::{pareto_front, select_for_accuracy_loss};
-pub use refine::{greedy_refine, RefineOptions, RefineResult};
+pub use refine::{greedy_refine, greedy_refine_reference, RefineOptions, RefineResult};
 pub use report::DseReport;
 pub use space::DseSpace;

@@ -16,7 +16,12 @@ pub fn pareto_front(designs: &[EvaluatedDesign]) -> Vec<usize> {
             .conv_mac_reduction
             .partial_cmp(&designs[a].conv_mac_reduction)
             .unwrap()
-            .then(designs[b].accuracy.partial_cmp(&designs[a].accuracy).unwrap())
+            .then(
+                designs[b]
+                    .accuracy
+                    .partial_cmp(&designs[a].accuracy)
+                    .unwrap(),
+            )
             .then(a.cmp(&b))
     });
     let mut front = Vec::new();
@@ -90,9 +95,14 @@ mod tests {
             d(0.60, 0.50), // dominated
         ];
         let front = pareto_front(&designs);
-        let pts: Vec<(f32, f64)> =
-            front.iter().map(|&i| (designs[i].accuracy, designs[i].conv_mac_reduction)).collect();
-        assert_eq!(pts, vec![(0.71, 0.05), (0.70, 0.10), (0.69, 0.30), (0.60, 0.60)]);
+        let pts: Vec<(f32, f64)> = front
+            .iter()
+            .map(|&i| (designs[i].accuracy, designs[i].conv_mac_reduction))
+            .collect();
+        assert_eq!(
+            pts,
+            vec![(0.71, 0.05), (0.70, 0.10), (0.69, 0.30), (0.60, 0.60)]
+        );
         // non-domination check
         for (i, &a) in front.iter().enumerate() {
             for &b in &front[i + 1..] {

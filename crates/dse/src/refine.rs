@@ -10,11 +10,18 @@
 //!
 //! Deterministic: layers are visited in fixed order and ties resolve to the
 //! lowest layer index.
+//!
+//! The production entry point ([`greedy_refine`]) prices assignments on the
+//! compiled-mask kernels over a shared evaluation cache and memoizes every
+//! visited assignment; [`greedy_refine_reference`] is the uncached boolean
+//! baseline. Both return identical [`RefineResult`]s (enforced by test).
 
-use crate::eval::{evaluate_design, EvaluatedDesign, ExploreOptions};
+use crate::cache::DseEvalCache;
+use crate::eval::{evaluate_design, evaluate_design_cached, EvaluatedDesign, ExploreOptions};
 use cifar10sim::Dataset;
 use quantize::QuantModel;
 use signif::{SignificanceMap, TauAssignment};
+use std::collections::HashMap;
 
 /// Options for the refinement search.
 #[derive(Debug, Clone)]
@@ -31,7 +38,12 @@ pub struct RefineOptions {
 
 impl Default for RefineOptions {
     fn default() -> Self {
-        Self { tau_step: 0.005, tau_max: 0.1, accuracy_floor: 0.0, eval_budget: 64 }
+        Self {
+            tau_step: 0.005,
+            tau_max: 0.1,
+            accuracy_floor: 0.0,
+            eval_budget: 64,
+        }
     }
 }
 
@@ -46,7 +58,16 @@ pub struct RefineResult {
     pub improved: bool,
 }
 
-/// Coordinate-descent refinement from `start`.
+/// Coordinate-descent refinement from `start` — the production path.
+///
+/// Evaluations run on the compiled-mask kernels against a shared
+/// [`DseEvalCache`], and every evaluated [`TauAssignment`] is **memoized**:
+/// coordinate descent revisits neighboring assignments constantly (each
+/// re-scan retries moves already priced in a previous round), so repeat
+/// visits return the cached [`EvaluatedDesign`] without touching an image.
+/// `evals` still counts *logical* evaluations exactly like the reference
+/// implementation, so the budget semantics — and therefore the whole
+/// search trajectory — are identical to [`greedy_refine_reference`].
 pub fn greedy_refine(
     model: &QuantModel,
     sig: &SignificanceMap,
@@ -55,9 +76,41 @@ pub fn greedy_refine(
     explore: &ExploreOptions,
     opts: &RefineOptions,
 ) -> RefineResult {
+    let cache = DseEvalCache::new(model, eval_set);
+    let mut memo: HashMap<Vec<Option<u64>>, EvaluatedDesign> = HashMap::new();
+    let mut eval = |taus: &TauAssignment| -> EvaluatedDesign {
+        let key: Vec<Option<u64>> = taus.per_conv.iter().map(|t| t.map(f64::to_bits)).collect();
+        memo.entry(key)
+            .or_insert_with(|| evaluate_design_cached(model, sig, &cache, taus, explore))
+            .clone()
+    };
+    refine_loop(model, start, opts, &mut eval)
+}
+
+/// The pre-cache refinement path: boolean masks, no memoization. Baseline
+/// for the memoization-equivalence test.
+pub fn greedy_refine_reference(
+    model: &QuantModel,
+    sig: &SignificanceMap,
+    eval_set: &Dataset,
+    start: &TauAssignment,
+    explore: &ExploreOptions,
+    opts: &RefineOptions,
+) -> RefineResult {
+    let mut eval = |taus: &TauAssignment| evaluate_design(model, sig, eval_set, taus, explore);
+    refine_loop(model, start, opts, &mut eval)
+}
+
+/// Shared deterministic search loop; `eval` prices one assignment.
+fn refine_loop(
+    model: &QuantModel,
+    start: &TauAssignment,
+    opts: &RefineOptions,
+    eval: &mut dyn FnMut(&TauAssignment) -> EvaluatedDesign,
+) -> RefineResult {
     let n = model.conv_indices().len();
     let mut current = normalize(start, n);
-    let mut best = evaluate_design(model, sig, eval_set, &current, explore);
+    let mut best = eval(&current);
     let mut evals = 1usize;
     let mut improved = false;
 
@@ -100,7 +153,7 @@ pub fn greedy_refine(
                 }
                 let mut cand_taus = current.clone();
                 cand_taus.per_conv[k] = m;
-                let cand = evaluate_design(model, sig, eval_set, &cand_taus, explore);
+                let cand = eval(&cand_taus);
                 evals += 1;
                 if better(&cand, &best) {
                     best = cand;
@@ -112,7 +165,11 @@ pub fn greedy_refine(
             }
         }
     }
-    RefineResult { best, evals, improved }
+    RefineResult {
+        best,
+        evals,
+        improved,
+    }
 }
 
 fn normalize(start: &TauAssignment, n: usize) -> TauAssignment {
@@ -121,7 +178,10 @@ fn normalize(start: &TauAssignment, n: usize) -> TauAssignment {
     } else if start.per_conv.len() == 1 {
         TauAssignment::per_layer(vec![start.per_conv[0]; n])
     } else {
-        panic!("start assignment arity {} vs {n} conv layers", start.per_conv.len());
+        panic!(
+            "start assignment arity {} vs {n} conv layers",
+            start.per_conv.len()
+        );
     }
 }
 
@@ -136,7 +196,11 @@ mod tests {
     fn setup() -> (QuantModel, SignificanceMap, cifar10sim::SyntheticCifar) {
         let data = cifar10sim::generate(DatasetConfig::tiny(171));
         let mut m = tinynn::zoo::mini_cifar(171);
-        let mut t = Trainer::new(SgdConfig { epochs: 5, lr: 0.05, ..Default::default() });
+        let mut t = Trainer::new(SgdConfig {
+            epochs: 5,
+            lr: 0.05,
+            ..Default::default()
+        });
         t.train(&mut m, &data.train);
         let ranges = calibrate_ranges(&m, &data.train.take(16));
         let q = quantize_model(&m, &ranges);
@@ -148,7 +212,10 @@ mod tests {
     #[test]
     fn refine_respects_eval_budget_and_floor() {
         let (q, sig, data) = setup();
-        let explore = ExploreOptions { eval_images: 24, ..Default::default() };
+        let explore = ExploreOptions {
+            eval_images: 24,
+            ..Default::default()
+        };
         let eval = data.test.take(24);
         let base_acc = q.accuracy(&eval, None);
         let opts = RefineOptions {
@@ -156,7 +223,14 @@ mod tests {
             eval_budget: 20,
             ..Default::default()
         };
-        let r = greedy_refine(&q, &sig, &eval, &TauAssignment::global(0.0), &explore, &opts);
+        let r = greedy_refine(
+            &q,
+            &sig,
+            &eval,
+            &TauAssignment::global(0.0),
+            &explore,
+            &opts,
+        );
         assert!(r.evals <= 20);
         assert!(
             r.best.accuracy >= opts.accuracy_floor,
@@ -169,7 +243,10 @@ mod tests {
     #[test]
     fn refine_improves_or_equals_start_reduction() {
         let (q, sig, data) = setup();
-        let explore = ExploreOptions { eval_images: 24, ..Default::default() };
+        let explore = ExploreOptions {
+            eval_images: 24,
+            ..Default::default()
+        };
         let eval = data.test.take(24);
         let start = TauAssignment::global(0.005);
         let start_design = evaluate_design(&q, &sig, &eval, &start, &explore);
@@ -183,13 +260,61 @@ mod tests {
     }
 
     #[test]
+    fn memoized_refine_identical_to_uncached_reference() {
+        let (q, sig, data) = setup();
+        let explore = ExploreOptions {
+            eval_images: 20,
+            ..Default::default()
+        };
+        let eval = data.test.take(20);
+        let base_acc = q.accuracy(&eval, None);
+        let opts = RefineOptions {
+            accuracy_floor: base_acc - 0.12,
+            eval_budget: 28,
+            ..Default::default()
+        };
+        for start_tau in [0.0, 0.01] {
+            let start = TauAssignment::global(start_tau);
+            let fast = greedy_refine(&q, &sig, &eval, &start, &explore, &opts);
+            let slow = greedy_refine_reference(&q, &sig, &eval, &start, &explore, &opts);
+            assert_eq!(fast.best.taus, slow.best.taus, "start {start_tau}");
+            assert_eq!(fast.best.accuracy, slow.best.accuracy);
+            assert_eq!(fast.best.est_cycles, slow.best.est_cycles);
+            assert_eq!(fast.best.conv_mac_reduction, slow.best.conv_mac_reduction);
+            assert_eq!(fast.evals, slow.evals);
+            assert_eq!(fast.improved, slow.improved);
+        }
+    }
+
+    #[test]
     fn refine_is_deterministic() {
         let (q, sig, data) = setup();
-        let explore = ExploreOptions { eval_images: 16, ..Default::default() };
+        let explore = ExploreOptions {
+            eval_images: 16,
+            ..Default::default()
+        };
         let eval = data.test.take(16);
-        let opts = RefineOptions { accuracy_floor: 0.0, eval_budget: 15, ..Default::default() };
-        let a = greedy_refine(&q, &sig, &eval, &TauAssignment::global(0.0), &explore, &opts);
-        let b = greedy_refine(&q, &sig, &eval, &TauAssignment::global(0.0), &explore, &opts);
+        let opts = RefineOptions {
+            accuracy_floor: 0.0,
+            eval_budget: 15,
+            ..Default::default()
+        };
+        let a = greedy_refine(
+            &q,
+            &sig,
+            &eval,
+            &TauAssignment::global(0.0),
+            &explore,
+            &opts,
+        );
+        let b = greedy_refine(
+            &q,
+            &sig,
+            &eval,
+            &TauAssignment::global(0.0),
+            &explore,
+            &opts,
+        );
         assert_eq!(a.best.taus, b.best.taus);
         assert_eq!(a.evals, b.evals);
     }
@@ -198,7 +323,10 @@ mod tests {
     #[should_panic(expected = "arity")]
     fn refine_rejects_bad_arity() {
         let (q, sig, data) = setup();
-        let explore = ExploreOptions { eval_images: 8, ..Default::default() };
+        let explore = ExploreOptions {
+            eval_images: 8,
+            ..Default::default()
+        };
         let eval = data.test.take(8);
         greedy_refine(
             &q,

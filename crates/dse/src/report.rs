@@ -29,7 +29,13 @@ impl DseReport {
         designs: Vec<EvaluatedDesign>,
     ) -> Self {
         let pareto = pareto_front(&designs);
-        Self { model: model.into(), baseline_accuracy, baseline_macs, designs, pareto }
+        Self {
+            model: model.into(),
+            baseline_accuracy,
+            baseline_macs,
+            designs,
+            pareto,
+        }
     }
 
     /// The Pareto-front designs.
@@ -40,7 +46,12 @@ impl DseReport {
     /// Latency-optimized pick at an accuracy-loss bound (fractional, e.g.
     /// 0.05 for the paper's "5%").
     pub fn select(&self, max_loss: f32) -> Option<&EvaluatedDesign> {
-        select_for_accuracy_loss(&self.designs, &self.pareto, self.baseline_accuracy, max_loss)
+        select_for_accuracy_loss(
+            &self.designs,
+            &self.pareto,
+            self.baseline_accuracy,
+            max_loss,
+        )
     }
 
     /// Conv-layer MAC reduction of the selected design at a loss bound —
@@ -52,7 +63,10 @@ impl DseReport {
 
     /// Fig. 2 series: `(mac_reduction, accuracy)` for all designs.
     pub fn scatter(&self) -> Vec<(f64, f32)> {
-        self.designs.iter().map(|d| (d.conv_mac_reduction, d.accuracy)).collect()
+        self.designs
+            .iter()
+            .map(|d| (d.conv_mac_reduction, d.accuracy))
+            .collect()
     }
 
     /// Serialize to pretty JSON.

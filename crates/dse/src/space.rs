@@ -26,7 +26,11 @@ impl DseSpace {
             t += tau_step;
         }
         let subsets: Vec<u32> = (1..(1u32 << n_convs)).collect();
-        Self { n_convs, taus, subsets }
+        Self {
+            n_convs,
+            taus,
+            subsets,
+        }
     }
 
     /// LeNet's published grid (step 0.001).
@@ -43,14 +47,19 @@ impl DseSpace {
     /// approximating all layers together plus each layer alone.
     pub fn quick(n_convs: usize, n_taus: usize) -> Self {
         assert!(n_convs > 0 && n_convs < 32 && n_taus >= 2);
-        let taus: Vec<f64> =
-            (0..n_taus).map(|i| 0.1 * i as f64 / (n_taus - 1) as f64).collect();
+        let taus: Vec<f64> = (0..n_taus)
+            .map(|i| 0.1 * i as f64 / (n_taus - 1) as f64)
+            .collect();
         let mut subsets = vec![(1u32 << n_convs) - 1];
         for k in 0..n_convs {
             subsets.push(1 << k);
         }
         subsets.dedup();
-        Self { n_convs, taus, subsets }
+        Self {
+            n_convs,
+            taus,
+            subsets,
+        }
     }
 
     /// Total number of configurations (excluding the implicit exact design).
@@ -86,9 +95,9 @@ impl DseSpace {
             return self;
         }
         // Thin the τ grid, which dominates the product.
-        let keep = (max_configs + self.subsets.len() - 1) / self.subsets.len();
+        let keep = max_configs.div_ceil(self.subsets.len());
         let keep = keep.max(2);
-        let stride = (self.taus.len() + keep - 1) / keep;
+        let stride = self.taus.len().div_ceil(keep);
         self.taus = self.taus.iter().copied().step_by(stride.max(1)).collect();
         self
     }

@@ -188,7 +188,7 @@ impl CostModel {
             half += counts[i] as u128 * self.half_cycles[i] as u128;
             i += 1;
         }
-        ((half + 1) / 2) as u64
+        half.div_ceil(2) as u64
     }
 
     /// Return a copy with one event's cost overridden (used by the X-CUBE-AI
@@ -241,6 +241,9 @@ mod tests {
     fn override_changes_single_event() {
         let m = CostModel::cortex_m33().with_override(Event::Smlad, 1);
         assert_eq!(m.half_cycles(Event::Smlad), 1);
-        assert_eq!(m.half_cycles(Event::Requant), CostModel::cortex_m33().half_cycles(Event::Requant));
+        assert_eq!(
+            m.half_cycles(Event::Requant),
+            CostModel::cortex_m33().half_cycles(Event::Requant)
+        );
     }
 }

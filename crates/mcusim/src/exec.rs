@@ -24,7 +24,10 @@ impl Default for ExecStats {
 impl ExecStats {
     /// Empty statistics.
     pub const fn new() -> Self {
-        Self { counts: [0; EVENT_COUNT], macs: 0 }
+        Self {
+            counts: [0; EVENT_COUNT],
+            macs: 0,
+        }
     }
 
     /// Charge `n` occurrences of event `e`.

@@ -59,7 +59,10 @@ impl FlashLayout {
     /// Check the layout against the board budget.
     pub fn check(&self, board: &Board) -> Result<(), FlashOverflow> {
         if self.total() > board.flash_bytes {
-            Err(FlashOverflow { required: self.total(), available: board.flash_bytes })
+            Err(FlashOverflow {
+                required: self.total(),
+                available: board.flash_bytes,
+            })
         } else {
             Ok(())
         }
@@ -117,7 +120,11 @@ mod tests {
             model_metadata: 50,
         };
         assert_eq!(f.total(), 650);
-        let r = RamEstimate { activation_arena: 1024, kernel_scratch: 512, runtime_overhead: 512 };
+        let r = RamEstimate {
+            activation_arena: 1024,
+            kernel_scratch: 512,
+            runtime_overhead: 512,
+        };
         assert_eq!(r.total(), 2048);
         assert!((r.total_kb() - 2.0).abs() < 1e-12);
     }
@@ -125,7 +132,10 @@ mod tests {
     #[test]
     fn budget_enforced() {
         let board = Board::small_m33();
-        let ok = FlashLayout { library_code: 100 * 1024, ..Default::default() };
+        let ok = FlashLayout {
+            library_code: 100 * 1024,
+            ..Default::default()
+        };
         assert!(ok.check(&board).is_ok());
         let too_big = FlashLayout {
             library_code: 100 * 1024,
@@ -140,7 +150,10 @@ mod tests {
     #[test]
     fn utilization_and_headroom() {
         let board = Board::stm32u575();
-        let f = FlashLayout { library_code: 1024 * 1024, ..Default::default() };
+        let f = FlashLayout {
+            library_code: 1024 * 1024,
+            ..Default::default()
+        };
         assert!((f.utilization(&board) - 0.5).abs() < 1e-12);
         assert_eq!(f.headroom(&board), 1024 * 1024);
     }

@@ -1,0 +1,775 @@
+//! Compiled skip-mask execution: the DSE hot path without per-product
+//! branching.
+//!
+//! The reference masked kernel ([`SkipMaskSet`]-driven) tests a `bool` per
+//! product inside the innermost MAC loop — one load + one branch per
+//! product, thousands of times per output position, for every one of the
+//! thousands of designs the DSE simulates. Exactly like the paper compiles
+//! skip decisions *into the generated code* (Eq. (3): skipped products are
+//! simply absent), [`CompiledMasks`] moves all mask interpretation out of
+//! the inner loop and into the data layout, once per design: per output
+//! channel, the retained products are compacted into a contiguous
+//! `(i16 patch index, i8 weight)` stream, and a layer whose mask skips
+//! nothing compiles to `None` — unmasked-kernel dispatch.
+//!
+//! ## Kernel shape
+//!
+//! The compiled kernels run on **patch-major (transposed) centered
+//! columns** ([`tinytensor::im2col::fill_im2col_centered_t`]): row `i`
+//! holds patch element `i` of *every* output position, contiguously. Each
+//! stream entry then broadcasts one weight against one row, so
+//!
+//! * the inner loop is a `positions`-long contiguous multiply-accumulate
+//!   the compiler auto-vectorizes (this simulator runs the DSE on wide
+//!   CPUs; the MCU-side SMLAD-pair shape with offline-packed weight
+//!   constants lives in [`tinytensor::simd`] — `pack_weight_pairs` /
+//!   `smlad_dot_i16` — and stays the unpacked engine's codegen model);
+//! * a skipped product skips its entire row: masked layers get *faster*
+//!   with every skipped product instead of paying a branch to avoid work;
+//! * accumulation order per output is the ascending patch order of the
+//!   reference kernel, and i32 wrapping addition is order-exact anyway, so
+//!   results are **bit-exact** with the `Vec<bool>` path.
+//!
+//! Bit-exactness is enforced by unit tests here and workspace proptests
+//! over random models, τ grids and images (`tests/compiled_masks.rs`).
+
+use crate::forward::{argmax_i8, dense_forward, pool_forward, ForwardScratch, SkipMaskSet};
+use crate::qmodel::{QConv, QLayer, QuantModel};
+use serde::{Deserialize, Serialize};
+use tinytensor::im2col::{fill_im2col_centered_t, fill_im2col_centered_t_planar};
+
+/// One conv layer's mask compiled into compact retained-product streams.
+///
+/// Every channel — dense or masked — carries its zero-dropped retained
+/// stream and executes through the same stream kernel; a mask that skips
+/// nothing anywhere compiles to `None` at the [`CompiledMasks`] level
+/// instead (whole-layer unmasked dispatch).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompiledConv {
+    /// Per-channel `[start, end)` spans into `idx`/`w`; length `out_c + 1`.
+    pub row_offsets: Vec<u32>,
+    /// Patch index of each retained nonzero-weight product of each
+    /// channel, ascending within a channel (reference accumulation order).
+    pub idx: Vec<i16>,
+    /// Weight of each retained product (copied next to its index so the
+    /// inner loop never touches the full weight matrix).
+    pub w: Vec<i8>,
+    /// Retained products per channel, zero weights included (cost
+    /// accounting that matches the boolean masks without re-scanning).
+    pub retained: Vec<u32>,
+}
+
+impl CompiledConv {
+    /// Compile one conv layer's boolean mask (`true` = skip).
+    pub fn from_mask(conv: &QConv, mask: &[bool]) -> Self {
+        let patch = conv.patch_len();
+        let out_c = conv.geom.out_c;
+        assert_eq!(mask.len(), out_c * patch, "mask length mismatch");
+        Self::build(conv, |o, i| mask[o * patch + i])
+    }
+
+    /// Compile from any skip predicate over `(channel, patch index)`.
+    ///
+    /// Every channel — dense or masked — gets a stream holding its retained
+    /// products with **zero weights dropped** (they contribute exactly 0,
+    /// so dropping them is bit-exact; it is the compile-time analogue of
+    /// the unpacked engine's `drop_zero_weights`). `retained` still counts
+    /// every mask-retained product, zero-weight or not, so cost accounting
+    /// matches the boolean masks.
+    pub fn build(conv: &QConv, skip: impl Fn(usize, usize) -> bool) -> Self {
+        let patch = conv.patch_len();
+        let out_c = conv.geom.out_c;
+        assert!(
+            patch <= i16::MAX as usize + 1,
+            "patch length exceeds i16 index range"
+        );
+        let mut row_offsets = Vec::with_capacity(out_c + 1);
+        let mut idx = Vec::new();
+        let mut w = Vec::new();
+        let mut retained = Vec::with_capacity(out_c);
+        row_offsets.push(0u32);
+        for o in 0..out_c {
+            let wrow = &conv.weights[o * patch..(o + 1) * patch];
+            let mut kept = 0u32;
+            for (i, &wv) in wrow.iter().enumerate() {
+                if skip(o, i) {
+                    continue;
+                }
+                kept += 1;
+                if wv != 0 {
+                    idx.push(i as i16);
+                    w.push(wv);
+                }
+            }
+            retained.push(kept);
+            row_offsets.push(idx.len() as u32);
+        }
+        Self {
+            row_offsets,
+            idx,
+            w,
+            retained,
+        }
+    }
+
+    /// True when every channel retains all `patch` products (the mask
+    /// skipped nothing) — derived from `retained`, no separate state.
+    pub fn is_dense(&self, patch: usize) -> bool {
+        self.retained.iter().all(|&r| r as usize == patch)
+    }
+
+    /// Total retained products over all channels.
+    pub fn retained_products(&self) -> u64 {
+        self.retained.iter().map(|&r| r as u64).sum()
+    }
+}
+
+/// A full design's masks in compiled form (`None` = layer left exact).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompiledMasks {
+    /// One optional compiled mask per conv ordinal.
+    pub per_conv: Vec<Option<CompiledConv>>,
+}
+
+impl CompiledMasks {
+    /// Compile a boolean [`SkipMaskSet`] against `model`.
+    ///
+    /// Masks that skip nothing compile to `None` (unmasked-kernel
+    /// dispatch), which is semantically identical and strictly faster.
+    pub fn compile(model: &QuantModel, masks: &SkipMaskSet) -> Self {
+        let per_conv = masks
+            .per_conv
+            .iter()
+            .enumerate()
+            .map(|(k, m)| {
+                m.as_ref().and_then(|mask| {
+                    let conv = model.conv(k);
+                    let cc = CompiledConv::from_mask(conv, mask);
+                    if cc.is_dense(conv.patch_len()) {
+                        None
+                    } else {
+                        Some(cc)
+                    }
+                })
+            })
+            .collect();
+        Self { per_conv }
+    }
+
+    /// No approximation anywhere.
+    pub fn none(n_convs: usize) -> Self {
+        Self {
+            per_conv: vec![None; n_convs],
+        }
+    }
+
+    /// Retained conv MACs under these masks, dense (exact) layers
+    /// contributing their full product count.
+    pub fn retained_conv_macs(&self, model: &QuantModel) -> u64 {
+        let mut total = 0u64;
+        for (k, cm) in self.per_conv.iter().enumerate() {
+            let conv = model.conv(k);
+            let products = match cm {
+                Some(cc) => cc.retained_products(),
+                None => (conv.geom.out_c * conv.patch_len()) as u64,
+            };
+            total += products * conv.geom.out_positions() as u64;
+        }
+        total
+    }
+}
+
+/// Accumulate one broadcast weight against a transposed column row:
+/// `acc[p] += row[p] · w` — contiguous, auto-vectorized over positions.
+#[inline]
+fn axpy_row(acc: &mut [i32], row: &[i16], w: i32) {
+    for (a, &v) in acc.iter_mut().zip(row) {
+        *a += v as i32 * w;
+    }
+}
+
+/// Four broadcast weights against four rows in one pass: quarters the
+/// accumulator load/store traffic of four [`axpy_row`] calls. i32 wrapping
+/// addition is associative, so the regrouping is bit-exact.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn axpy_row4(
+    acc: &mut [i32],
+    r0: &[i16],
+    r1: &[i16],
+    r2: &[i16],
+    r3: &[i16],
+    w0: i32,
+    w1: i32,
+    w2: i32,
+    w3: i32,
+) {
+    let n = acc.len();
+    let (r0, r1, r2, r3) = (&r0[..n], &r1[..n], &r2[..n], &r3[..n]);
+    for p in 0..n {
+        acc[p] += r0[p] as i32 * w0 + r1[p] as i32 * w1 + r2[p] as i32 * w2 + r3[p] as i32 * w3;
+    }
+}
+
+/// One conv layer's output stage (requantize + zero point + clamp) with the
+/// left/right shift direction resolved once per layer and every branch of
+/// the gemmlowp pipeline flattened to selects.
+///
+/// Bit-exact with `clamp_out` / `tinytensor::quant::requantize` for every
+/// i32 accumulator: the saturating pre-shift becomes an i64 multiply +
+/// clamp, and the `a == b == i32::MIN` saturation case of the doubling
+/// high-mul cannot fire because quantized-model multipliers are
+/// non-negative (`RequantMultiplier::from_real` range) — asserted at
+/// construction. Unit-tested against the reference over random
+/// accumulators.
+#[derive(Clone, Copy)]
+struct OutStage {
+    /// `1 << max(shift, 0)` — the saturating left pre-shift as a multiply.
+    left_mul: i64,
+    /// Fixed-point multiplier (non-negative).
+    m: i64,
+    /// `max(-shift, 0)` — rounding right-shift exponent.
+    right: i32,
+    zp: i32,
+    lo: i32,
+    hi: i32,
+}
+
+impl OutStage {
+    fn new(c: &QConv) -> Self {
+        assert!(c.mult.multiplier >= 0, "negative requant multiplier");
+        let (lo, hi) = c.act_bounds();
+        Self {
+            left_mul: 1i64 << c.mult.shift.max(0),
+            m: c.mult.multiplier as i64,
+            right: (-c.mult.shift).max(0),
+            zp: c.out_qp.zero_point,
+            lo,
+            hi,
+        }
+    }
+
+    #[inline(always)]
+    fn apply(&self, acc: i32) -> i8 {
+        // `value.saturating_mul(1 << left)` without the overflow branches.
+        let pre = (acc as i64 * self.left_mul).clamp(i32::MIN as i64, i32::MAX as i64);
+        // SaturatingRoundingDoublingHighMul with b >= 0: never saturates.
+        let ab = pre * self.m;
+        let nudge = if ab >= 0 {
+            1i64 << 30
+        } else {
+            1 - (1i64 << 30)
+        };
+        let v = ((ab + nudge) / (1i64 << 31)) as i32;
+        // RoundingDivideByPOT with a per-layer constant exponent.
+        let v = if self.right == 0 {
+            v
+        } else {
+            let mask = (1i64 << self.right) - 1;
+            let remainder = i64::from(v) & mask;
+            let threshold = (mask >> 1) + i64::from(v < 0);
+            (v >> self.right) + i32::from(remainder > threshold)
+        };
+        // `requantize_to_i8`'s [-128, 127] clamp is subsumed by the fused
+        // ReLU bounds (always within i8 range).
+        (v + self.zp).clamp(self.lo, self.hi) as i8
+    }
+}
+
+/// L1 budget for one position block of transposed columns (bytes). Blocks
+/// sized so every patch row of a block stays cache-hot across all output
+/// channels of the layer.
+const COLT_BLOCK_BYTES: usize = 28 * 1024;
+
+/// Conv forward over transposed centered columns with optional compiled
+/// masks (`None` = exact layer), writing **planar** output
+/// (`output[o * positions + p]`) so every store is contiguous.
+///
+/// Position-blocked: channels iterate inside a block of positions whose
+/// column rows fit L1, so the (out_c − 1) re-reads of each row hit cache
+/// instead of streaming the whole column matrix per channel.
+fn conv_forward_t(
+    c: &QConv,
+    cm: Option<&CompiledConv>,
+    colt: &[i16],
+    acc: &mut [i32],
+    output: &mut [i8],
+) {
+    let patch = c.patch_len();
+    let positions = c.geom.out_positions();
+    let out_c = c.geom.out_c;
+    let stage = OutStage::new(c);
+    let block = (COLT_BLOCK_BYTES / (2 * patch)).clamp(64, positions.max(64));
+
+    let mut p0 = 0usize;
+    while p0 < positions {
+        let b = block.min(positions - p0);
+        let acc = &mut acc[..b];
+        for o in 0..out_c {
+            acc.fill(c.bias[o]);
+            let row = |i: usize| &colt[i * positions + p0..i * positions + p0 + b];
+            match cm {
+                None => {
+                    // Exact layer: every patch row, weights straight from
+                    // the matrix, four rows per pass.
+                    let wrow = &c.weights[o * patch..(o + 1) * patch];
+                    let mut i = 0;
+                    while i + 4 <= patch {
+                        axpy_row4(
+                            acc,
+                            row(i),
+                            row(i + 1),
+                            row(i + 2),
+                            row(i + 3),
+                            wrow[i] as i32,
+                            wrow[i + 1] as i32,
+                            wrow[i + 2] as i32,
+                            wrow[i + 3] as i32,
+                        );
+                        i += 4;
+                    }
+                    while i < patch {
+                        axpy_row(acc, row(i), wrow[i] as i32);
+                        i += 1;
+                    }
+                }
+                Some(cc) => {
+                    // Compiled channel (dense or masked): the zero-dropped
+                    // retained stream, four entries per pass — no branch,
+                    // no mask load.
+                    let s = cc.row_offsets[o] as usize;
+                    let e = cc.row_offsets[o + 1] as usize;
+                    let (ix, ws) = (&cc.idx[s..e], &cc.w[s..e]);
+                    let n = ix.len();
+                    let mut j = 0;
+                    while j + 4 <= n {
+                        axpy_row4(
+                            acc,
+                            row(ix[j] as usize),
+                            row(ix[j + 1] as usize),
+                            row(ix[j + 2] as usize),
+                            row(ix[j + 3] as usize),
+                            ws[j] as i32,
+                            ws[j + 1] as i32,
+                            ws[j + 2] as i32,
+                            ws[j + 3] as i32,
+                        );
+                        j += 4;
+                    }
+                    while j < n {
+                        axpy_row(acc, row(ix[j] as usize), ws[j] as i32);
+                        j += 1;
+                    }
+                }
+            }
+            // Output stage: requantize + clamp, contiguous planar store.
+            let orow = &mut output[o * positions + p0..o * positions + p0 + b];
+            for (out, &a) in orow.iter_mut().zip(acc.iter()) {
+                *out = stage.apply(a);
+            }
+        }
+        p0 += b;
+    }
+}
+
+impl QuantModel {
+    /// Largest output-position count of any conv layer (accumulator
+    /// scratch sizing for the compiled kernels).
+    pub fn max_conv_positions(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| match l {
+                QLayer::Conv(c) => c.geom.out_positions(),
+                _ => 0,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Transposed centered im2col columns of the *first* conv layer for one
+    /// quantized input — τ-independent, so DSE callers compute them once
+    /// per image and share them across every design (the `dse`-side
+    /// evaluation cache).
+    ///
+    /// Returns `None` when the model does not start with a convolution.
+    pub fn conv0_cols_t(&self, qinput: &[i8]) -> Option<Vec<i16>> {
+        match self.layers.first() {
+            Some(QLayer::Conv(c)) => {
+                let mut colt = vec![0i16; c.geom.out_positions() * c.patch_len()];
+                fill_centered_t(c, qinput, &mut colt);
+                Some(colt)
+            }
+            _ => None,
+        }
+    }
+
+    /// Forward pass with compiled masks, reusing caller scratch and an
+    /// optional precomputed first-conv transposed column cache.
+    ///
+    /// Bit-exact with [`QuantModel::forward_quantized`] over the boolean
+    /// mask set the compiled masks were built from.
+    pub fn forward_compiled_scratch(
+        &self,
+        qinput: &[i8],
+        conv0_colt: Option<&[i16]>,
+        masks: Option<&CompiledMasks>,
+        s: &mut ForwardScratch,
+    ) -> Vec<i8> {
+        let (in_a, cur_len) = self.forward_compiled_core(qinput, conv0_colt, masks, s);
+        let fin = if in_a {
+            &s.act_a[..cur_len]
+        } else {
+            &s.act_b[..cur_len]
+        };
+        fin.to_vec()
+    }
+
+    /// Forward driver writing into scratch; returns which ping-pong buffer
+    /// holds the logits and their length (no allocation).
+    fn forward_compiled_core(
+        &self,
+        qinput: &[i8],
+        conv0_colt: Option<&[i16]>,
+        masks: Option<&CompiledMasks>,
+        s: &mut ForwardScratch,
+    ) -> (bool, usize) {
+        assert_eq!(
+            qinput.len(),
+            self.input_shape.item_len(),
+            "input length mismatch"
+        );
+        s.ensure_compiled(self);
+        let mut cur_len = qinput.len();
+        s.act_a[..cur_len].copy_from_slice(qinput);
+        let mut conv_ordinal = 0usize;
+        let mut in_a = true;
+        // Activations stay planar (channel-major) between conv/pool stages;
+        // `planar_dims = (positions, channels)` of the current buffer when
+        // planar. The input arrives NHWC, dense layers consume NHWC.
+        let mut planar_dims: Option<(usize, usize)> = None;
+
+        for layer in &self.layers {
+            let out_len = layer.out_len();
+            let (src, dst) = if in_a {
+                (&s.act_a[..], &mut s.act_b[..])
+            } else {
+                (&s.act_b[..], &mut s.act_a[..])
+            };
+            match layer {
+                QLayer::Conv(c) => {
+                    let n = c.geom.out_positions() * c.patch_len();
+                    let colt: &[i16] = match (conv_ordinal, conv0_colt) {
+                        (0, Some(cached)) => {
+                            debug_assert_eq!(cached.len(), n, "conv0 column cache mismatch");
+                            cached
+                        }
+                        _ => {
+                            if planar_dims.is_some() {
+                                fill_centered_t_planar(c, &src[..cur_len], &mut s.colt[..n]);
+                            } else {
+                                fill_centered_t(c, &src[..cur_len], &mut s.colt[..n]);
+                            }
+                            &s.colt[..n]
+                        }
+                    };
+                    let cm = masks.and_then(|m| m.per_conv[conv_ordinal].as_ref());
+                    conv_forward_t(c, cm, colt, &mut s.acc, &mut dst[..out_len]);
+                    planar_dims = Some((c.geom.out_positions(), c.geom.out_c));
+                    conv_ordinal += 1;
+                }
+                QLayer::Pool(p) => {
+                    if planar_dims.is_some() {
+                        pool_forward_planar(
+                            p.in_h,
+                            p.in_w,
+                            p.c,
+                            &src[..cur_len],
+                            &mut dst[..out_len],
+                        );
+                        planar_dims = Some(((p.in_h / 2) * (p.in_w / 2), p.c));
+                    } else {
+                        pool_forward(p.in_h, p.in_w, p.c, &src[..cur_len], &mut dst[..out_len]);
+                    }
+                }
+                QLayer::Dense(d) => {
+                    if let Some((positions, ch)) = planar_dims.take() {
+                        planar_to_nhwc(&src[..cur_len], positions, ch, &mut s.nhwc[..cur_len]);
+                        dense_forward(d, &s.nhwc[..cur_len], &mut dst[..out_len]);
+                    } else {
+                        dense_forward(d, &src[..cur_len], &mut dst[..out_len]);
+                    }
+                }
+            }
+            cur_len = out_len;
+            in_a = !in_a;
+        }
+        // A model ending on a conv/pool leaves the buffer planar: convert so
+        // callers always see NHWC logits.
+        if let Some((positions, ch)) = planar_dims {
+            let (src, dst) = if in_a {
+                (&s.act_a[..cur_len], &mut s.act_b[..])
+            } else {
+                (&s.act_b[..cur_len], &mut s.act_a[..])
+            };
+            planar_to_nhwc(src, positions, ch, &mut dst[..cur_len]);
+            in_a = !in_a;
+        }
+        (in_a, cur_len)
+    }
+
+    /// Allocation-per-call convenience wrapper over
+    /// [`QuantModel::forward_compiled_scratch`].
+    pub fn forward_compiled(&self, qinput: &[i8], masks: Option<&CompiledMasks>) -> Vec<i8> {
+        let mut scratch = ForwardScratch::for_model(self);
+        self.forward_compiled_scratch(qinput, None, masks, &mut scratch)
+    }
+
+    /// Predicted class under compiled masks, reusing caller scratch —
+    /// allocation-free (argmax runs on the scratch logits in place).
+    pub fn predict_compiled_scratch(
+        &self,
+        qinput: &[i8],
+        conv0_colt: Option<&[i16]>,
+        masks: Option<&CompiledMasks>,
+        s: &mut ForwardScratch,
+    ) -> usize {
+        let (in_a, cur_len) = self.forward_compiled_core(qinput, conv0_colt, masks, s);
+        let fin = if in_a {
+            &s.act_a[..cur_len]
+        } else {
+            &s.act_b[..cur_len]
+        };
+        argmax_i8(fin)
+    }
+}
+
+/// Fill `colt` with `c`'s transposed centered columns for an NHWC `input`.
+fn fill_centered_t(c: &QConv, input: &[i8], colt: &mut [i16]) {
+    let zp = c.in_qp.zero_point;
+    // The reference pads the i8 column buffer with `zp` clamped to i8 and
+    // centers afterwards; reproduce that exactly.
+    let pad_centered = zp.clamp(-128, 127) as i16 - zp as i16;
+    fill_im2col_centered_t(input, &c.geom, zp as i16, pad_centered, colt);
+}
+
+/// Fill `colt` from a **planar** (channel-major) activation buffer.
+fn fill_centered_t_planar(c: &QConv, planar: &[i8], colt: &mut [i16]) {
+    let zp = c.in_qp.zero_point;
+    let pad_centered = zp.clamp(-128, 127) as i16 - zp as i16;
+    fill_im2col_centered_t_planar(planar, &c.geom, zp as i16, pad_centered, colt);
+}
+
+/// 2×2/2 max-pool over planar activations — contiguous reads and writes
+/// per channel (layout change only: max is order- and layout-invariant, so
+/// results equal the NHWC reference pool).
+fn pool_forward_planar(in_h: usize, in_w: usize, ch: usize, input: &[i8], output: &mut [i8]) {
+    let (oh, ow) = (in_h / 2, in_w / 2);
+    let in_plane = in_h * in_w;
+    let out_plane = oh * ow;
+    for c in 0..ch {
+        let src = &input[c * in_plane..(c + 1) * in_plane];
+        let dst = &mut output[c * out_plane..(c + 1) * out_plane];
+        for oy in 0..oh {
+            let r0 = &src[(oy * 2) * in_w..(oy * 2) * in_w + in_w];
+            let r1 = &src[(oy * 2 + 1) * in_w..(oy * 2 + 1) * in_w + in_w];
+            let drow = &mut dst[oy * ow..(oy + 1) * ow];
+            for (ox, d) in drow.iter_mut().enumerate() {
+                let x = ox * 2;
+                *d = r0[x].max(r0[x + 1]).max(r1[x]).max(r1[x + 1]);
+            }
+        }
+    }
+}
+
+/// Interleave a planar activation buffer back into NHWC order.
+fn planar_to_nhwc(src: &[i8], positions: usize, ch: usize, dst: &mut [i8]) {
+    for c in 0..ch {
+        let plane = &src[c * positions..(c + 1) * positions];
+        for (p, &v) in plane.iter().enumerate() {
+            dst[p * ch + c] = v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calib::calibrate_ranges;
+    use crate::qmodel::quantize_model;
+    use cifar10sim::DatasetConfig;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn quantized_micro(seed: u64) -> (QuantModel, cifar10sim::SyntheticCifar) {
+        let data = cifar10sim::generate(DatasetConfig::tiny(seed));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = tinynn::Sequential::new("cm", tinytensor::Shape4::nhwc(1, 32, 32, 3))
+            .conv_relu(4, 3, &mut rng)
+            .maxpool()
+            .conv_relu(6, 3, &mut rng)
+            .maxpool()
+            .dense(10, true, &mut rng);
+        let ranges = calibrate_ranges(&m, &data.train.take(8));
+        (quantize_model(&m, &ranges), data)
+    }
+
+    fn random_masks(q: &QuantModel, seed: u64, density_mod: u64) -> SkipMaskSet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = q.conv_indices().len();
+        let mut masks = SkipMaskSet::none(n);
+        for k in 0..n {
+            let c = q.conv(k);
+            let len = c.geom.out_c * c.patch_len();
+            masks.per_conv[k] = Some(
+                (0..len)
+                    .map(|_| rng.gen_range(0u64..density_mod) == 0)
+                    .collect(),
+            );
+        }
+        masks
+    }
+
+    #[test]
+    fn compiled_forward_bit_exact_with_bool_reference() {
+        let (q, data) = quantized_micro(77);
+        for density in [2u64, 5, 50] {
+            let masks = random_masks(&q, 1000 + density, density);
+            let compiled = CompiledMasks::compile(&q, &masks);
+            for i in 0..8 {
+                let qin = q.quantize_input(data.test.image(i));
+                let want = q.forward_quantized(&qin, Some(&masks));
+                let got = q.forward_compiled(&qin, Some(&compiled));
+                assert_eq!(got, want, "density {density}, image {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_exact_path_matches_unmasked_reference() {
+        let (q, data) = quantized_micro(82);
+        for i in 0..6 {
+            let qin = q.quantize_input(data.test.image(i));
+            assert_eq!(
+                q.forward_compiled(&qin, None),
+                q.forward_quantized(&qin, None),
+                "{i}"
+            );
+        }
+    }
+
+    #[test]
+    fn conv0_cache_is_bit_exact() {
+        let (q, data) = quantized_micro(78);
+        let masks = random_masks(&q, 5, 3);
+        let compiled = CompiledMasks::compile(&q, &masks);
+        let mut scratch = ForwardScratch::for_model(&q);
+        for i in 0..6 {
+            let qin = q.quantize_input(data.test.image(i));
+            let colt = q.conv0_cols_t(&qin).expect("model starts with conv");
+            let want = q.forward_quantized(&qin, Some(&masks));
+            let got = q.forward_compiled_scratch(&qin, Some(&colt), Some(&compiled), &mut scratch);
+            assert_eq!(got, want, "image {i}");
+        }
+    }
+
+    #[test]
+    fn all_false_mask_compiles_to_exact_dispatch() {
+        let (q, data) = quantized_micro(79);
+        let n = q.conv_indices().len();
+        let mut masks = SkipMaskSet::none(n);
+        let c0 = q.conv(0);
+        masks.per_conv[0] = Some(vec![false; c0.geom.out_c * c0.patch_len()]);
+        let compiled = CompiledMasks::compile(&q, &masks);
+        assert!(compiled.per_conv.iter().all(|m| m.is_none()));
+        let qin = q.quantize_input(data.test.image(0));
+        assert_eq!(
+            q.forward_compiled(&qin, Some(&compiled)),
+            q.forward_quantized(&qin, None)
+        );
+    }
+
+    #[test]
+    fn dense_rows_dispatch_and_masked_rows_compact() {
+        let (q, _) = quantized_micro(80);
+        let c0 = q.conv(0);
+        let patch = c0.patch_len();
+        // Skip one product of channel 1 only.
+        let mut mask = vec![false; c0.geom.out_c * patch];
+        mask[patch + 2] = true;
+        let cc = CompiledConv::from_mask(c0, &mask);
+        assert!(!cc.is_dense(patch));
+        // `retained` counts mask-retained products, zero weights included.
+        assert_eq!(cc.retained[0] as usize, patch);
+        assert_eq!(cc.retained[1] as usize, patch - 1);
+        // Streams hold exactly the retained nonzero-weight products,
+        // ascending, with matching weights.
+        for o in [0usize, 1] {
+            let s = cc.row_offsets[o] as usize;
+            let e = cc.row_offsets[o + 1] as usize;
+            let idx_row = &cc.idx[s..e];
+            assert!(
+                idx_row.windows(2).all(|w| w[0] < w[1]),
+                "indices not ascending"
+            );
+            let wrow = &c0.weights[o * patch..(o + 1) * patch];
+            let want: Vec<i16> = (0..patch)
+                .filter(|&i| wrow[i] != 0 && !(o == 1 && i == 2))
+                .map(|i| i as i16)
+                .collect();
+            assert_eq!(idx_row, &want[..], "channel {o}");
+            for (j, &ix) in idx_row.iter().enumerate() {
+                assert_eq!(cc.w[s + j], wrow[ix as usize]);
+            }
+        }
+        assert!(!cc.idx[cc.row_offsets[1] as usize..cc.row_offsets[2] as usize].contains(&2));
+    }
+
+    #[test]
+    fn out_stage_bit_exact_with_reference_requantize() {
+        use crate::forward::clamp_out;
+        let (q, _) = quantized_micro(83);
+        let mut rng = StdRng::seed_from_u64(83);
+        for k in 0..q.conv_indices().len() {
+            let c = q.conv(k);
+            let stage = OutStage::new(c);
+            let (lo, hi) = c.act_bounds();
+            let out_zp = c.out_qp.zero_point;
+            // Edge accumulators plus a random sweep.
+            let mut accs = vec![
+                0,
+                1,
+                -1,
+                i32::MAX,
+                i32::MIN,
+                i32::MAX - 1,
+                i32::MIN + 1,
+                1 << 30,
+            ];
+            for _ in 0..20_000 {
+                accs.push(rng.gen_range(i32::MIN..i32::MAX));
+                accs.push(rng.gen_range(-5_000_000i32..5_000_000));
+            }
+            for &a in &accs {
+                assert_eq!(
+                    stage.apply(a),
+                    clamp_out(a, c, out_zp, lo, hi),
+                    "conv {k}, acc {a}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn retained_conv_macs_matches_bool_accounting() {
+        let (q, _) = quantized_micro(81);
+        let masks = random_masks(&q, 9, 4);
+        let compiled = CompiledMasks::compile(&q, &masks);
+        let dense: u64 = (0..q.conv_indices().len())
+            .map(|k| q.conv(k).geom.macs())
+            .sum();
+        assert_eq!(
+            compiled.retained_conv_macs(&q),
+            dense - masks.skipped_macs(&q)
+        );
+    }
+}

@@ -13,6 +13,10 @@ use serde::{Deserialize, Serialize};
 use tinytensor::im2col::fill_im2col_i8;
 use tinytensor::quant::requantize_to_i8;
 
+/// Callback receiving `(conv_ordinal, layer, centered_cols)` during an
+/// inspected forward pass.
+pub type Inspector<'a> = dyn FnMut(usize, &QConv, &[i16]) + 'a;
+
 /// Skip masks for the convolution layers of one approximate configuration.
 ///
 /// `per_conv[k]` (by conv *ordinal*, not layer index) holds, when present,
@@ -28,14 +32,16 @@ pub struct SkipMaskSet {
 impl SkipMaskSet {
     /// No approximation anywhere.
     pub fn none(n_convs: usize) -> Self {
-        Self { per_conv: vec![None; n_convs] }
+        Self {
+            per_conv: vec![None; n_convs],
+        }
     }
 
     /// True when no mask skips anything.
     pub fn is_noop(&self) -> bool {
         self.per_conv
             .iter()
-            .all(|m| m.as_ref().map_or(true, |v| v.iter().all(|&s| !s)))
+            .all(|m| m.as_ref().is_none_or(|v| v.iter().all(|&s| !s)))
     }
 
     /// Number of skipped products in conv ordinal `k`, weighted by how many
@@ -53,15 +59,30 @@ impl SkipMaskSet {
 }
 
 /// Reusable per-thread scratch buffers for the forward pass.
-struct Scratch {
-    act_a: Vec<i8>,
-    act_b: Vec<i8>,
-    cols: Vec<i8>,
-    centered: Vec<i16>,
+///
+/// Public so batch drivers outside this crate (the DSE evaluation cache)
+/// can allocate once per worker instead of once per image.
+pub struct ForwardScratch {
+    pub(crate) act_a: Vec<i8>,
+    pub(crate) act_b: Vec<i8>,
+    pub(crate) cols: Vec<i8>,
+    pub(crate) centered: Vec<i16>,
+    /// Transposed centered columns (compiled-mask kernels; lazily sized).
+    pub(crate) colt: Vec<i16>,
+    /// Per-position i32 accumulators (compiled-mask kernels; lazily sized).
+    pub(crate) acc: Vec<i32>,
+    /// NHWC staging buffer for planar → dense boundaries (compiled path;
+    /// lazily sized).
+    pub(crate) nhwc: Vec<i8>,
 }
 
-impl Scratch {
-    fn for_model(model: &QuantModel) -> Self {
+impl ForwardScratch {
+    /// Scratch sized for the largest activation / im2col buffer of `model`.
+    ///
+    /// The compiled-path buffers start empty and are grown on first
+    /// compiled forward, so the reference bool-mask path pays nothing for
+    /// them.
+    pub fn for_model(model: &QuantModel) -> Self {
         let max_act = model.activation_sizes().into_iter().max().unwrap_or(0);
         let max_cols = model.max_im2col_bytes() as usize;
         Self {
@@ -69,6 +90,26 @@ impl Scratch {
             act_b: vec![0; max_act],
             cols: vec![0; max_cols],
             centered: vec![0; max_cols],
+            colt: Vec::new(),
+            acc: Vec::new(),
+            nhwc: Vec::new(),
+        }
+    }
+
+    /// Grow the compiled-path buffers to `model`'s requirements (no-op
+    /// once sized).
+    pub(crate) fn ensure_compiled(&mut self, model: &QuantModel) {
+        let max_cols = model.max_im2col_bytes() as usize;
+        if self.colt.len() < max_cols {
+            self.colt.resize(max_cols, 0);
+        }
+        let max_positions = model.max_conv_positions();
+        if self.acc.len() < max_positions {
+            self.acc.resize(max_positions, 0);
+        }
+        let max_act = self.act_a.len();
+        if self.nhwc.len() < max_act {
+            self.nhwc.resize(max_act, 0);
         }
     }
 }
@@ -82,7 +123,7 @@ impl QuantModel {
     /// Reference forward on a quantized input; returns the final int8
     /// activation (logits in the quantized domain).
     pub fn forward_quantized(&self, qinput: &[i8], masks: Option<&SkipMaskSet>) -> Vec<i8> {
-        let mut scratch = Scratch::for_model(self);
+        let mut scratch = ForwardScratch::for_model(self);
         self.forward_scratch_inspect(qinput, masks, &mut scratch, &mut None)
     }
 
@@ -97,10 +138,10 @@ impl QuantModel {
         &self,
         qinput: &[i8],
         masks: Option<&SkipMaskSet>,
-        inspector: &mut dyn FnMut(usize, &QConv, &[i16]),
+        inspector: &mut Inspector<'_>,
     ) -> Vec<i8> {
-        let mut scratch = Scratch::for_model(self);
-        let mut ins: Option<&mut dyn FnMut(usize, &QConv, &[i16])> = Some(inspector);
+        let mut scratch = ForwardScratch::for_model(self);
+        let mut ins: Option<&mut Inspector<'_>> = Some(inspector);
         self.forward_scratch_inspect(qinput, masks, &mut scratch, &mut ins)
     }
 
@@ -110,7 +151,7 @@ impl QuantModel {
         &self,
         qinput: &[i8],
         masks: Option<&SkipMaskSet>,
-        s: &mut Scratch,
+        s: &mut ForwardScratch,
     ) -> Vec<i8> {
         self.forward_scratch_inspect(qinput, masks, s, &mut None)
     }
@@ -119,10 +160,14 @@ impl QuantModel {
         &self,
         qinput: &[i8],
         masks: Option<&SkipMaskSet>,
-        s: &mut Scratch,
-        inspector: &mut Option<&mut dyn FnMut(usize, &QConv, &[i16])>,
+        s: &mut ForwardScratch,
+        inspector: &mut Option<&mut Inspector<'_>>,
     ) -> Vec<i8> {
-        assert_eq!(qinput.len(), self.input_shape.item_len(), "input length mismatch");
+        assert_eq!(
+            qinput.len(),
+            self.input_shape.item_len(),
+            "input length mismatch"
+        );
         let mut cur_len = qinput.len();
         s.act_a[..cur_len].copy_from_slice(qinput);
         let mut conv_ordinal = 0usize;
@@ -138,9 +183,15 @@ impl QuantModel {
             };
             match layer {
                 QLayer::Conv(c) => {
-                    let mask = masks
-                        .and_then(|m| m.per_conv[conv_ordinal].as_deref());
-                    conv_forward(c, &src[..cur_len], &mut dst[..out_len], mask, &mut s.cols, &mut s.centered);
+                    let mask = masks.and_then(|m| m.per_conv[conv_ordinal].as_deref());
+                    conv_forward(
+                        c,
+                        &src[..cur_len],
+                        &mut dst[..out_len],
+                        mask,
+                        &mut s.cols,
+                        &mut s.centered,
+                    );
                     if let Some(ins) = inspector.as_deref_mut() {
                         let n = c.geom.out_positions() * c.geom.patch_len();
                         ins(conv_ordinal, c, &s.centered[..n]);
@@ -157,7 +208,11 @@ impl QuantModel {
             cur_len = out_len;
             in_a = !in_a;
         }
-        let fin = if in_a { &s.act_a[..cur_len] } else { &s.act_b[..cur_len] };
+        let fin = if in_a {
+            &s.act_a[..cur_len]
+        } else {
+            &s.act_b[..cur_len]
+        };
         fin.to_vec()
     }
 
@@ -180,7 +235,7 @@ impl QuantModel {
         let correct: usize = (0..data.len())
             .into_par_iter()
             .map_init(
-                || Scratch::for_model(self),
+                || ForwardScratch::for_model(self),
                 |scratch, i| {
                     let q = self.quantize_input(data.image(i));
                     let logits = self.forward_scratch(&q, masks, scratch);
@@ -203,6 +258,28 @@ pub fn argmax_i8(xs: &[i8]) -> usize {
     best
 }
 
+/// im2col + centering for one conv layer: fills `centered[..positions*patch]`
+/// with `a_i − zero_point` (padding contributing exactly 0).
+pub(crate) fn prepare_centered_cols(
+    c: &QConv,
+    input: &[i8],
+    cols: &mut [i8],
+    centered: &mut [i16],
+) {
+    let geom = &c.geom;
+    let patch = geom.patch_len();
+    let positions = geom.out_positions();
+    let zp = c.in_qp.zero_point;
+    let pad = zp.clamp(-128, 127) as i8;
+    let cols = &mut cols[..positions * patch];
+    fill_im2col_i8(input, geom, pad, cols);
+    // Center once: (x - zp) fits i16.
+    let centered = &mut centered[..positions * patch];
+    for (dst, &v) in centered.iter_mut().zip(cols.iter()) {
+        *dst = v as i16 - zp as i16;
+    }
+}
+
 fn conv_forward(
     c: &QConv,
     input: &[i8],
@@ -215,15 +292,8 @@ fn conv_forward(
     let patch = geom.patch_len();
     let positions = geom.out_positions();
     let out_c = geom.out_c;
-    let zp = c.in_qp.zero_point;
-    let pad = zp.clamp(-128, 127) as i8;
-    let cols = &mut cols[..positions * patch];
-    fill_im2col_i8(input, geom, pad, cols);
-    // Center once: (x - zp) fits i16.
-    let centered = &mut centered[..positions * patch];
-    for (dst, &v) in centered.iter_mut().zip(cols.iter()) {
-        *dst = v as i16 - zp as i16;
-    }
+    prepare_centered_cols(c, input, cols, centered);
+    let centered = &centered[..positions * patch];
     let (lo, hi) = c.act_bounds();
     let out_zp = c.out_qp.zero_point;
 
@@ -263,12 +333,12 @@ fn conv_forward(
 }
 
 #[inline(always)]
-fn clamp_out(acc: i32, c: &QConv, out_zp: i32, lo: i32, hi: i32) -> i8 {
+pub(crate) fn clamp_out(acc: i32, c: &QConv, out_zp: i32, lo: i32, hi: i32) -> i8 {
     let v = requantize_to_i8(acc, c.mult, out_zp) as i32;
     v.clamp(lo, hi) as i8
 }
 
-fn pool_forward(in_h: usize, in_w: usize, ch: usize, input: &[i8], output: &mut [i8]) {
+pub(crate) fn pool_forward(in_h: usize, in_w: usize, ch: usize, input: &[i8], output: &mut [i8]) {
     let (oh, ow) = (in_h / 2, in_w / 2);
     for oy in 0..oh {
         for ox in 0..ow {
@@ -284,7 +354,7 @@ fn pool_forward(in_h: usize, in_w: usize, ch: usize, input: &[i8], output: &mut 
     }
 }
 
-fn dense_forward(d: &QDense, input: &[i8], output: &mut [i8]) {
+pub(crate) fn dense_forward(d: &QDense, input: &[i8], output: &mut [i8]) {
     let zp = d.in_qp.zero_point;
     let (lo, hi) = d.act_bounds();
     let out_zp = d.out_qp.zero_point;
@@ -310,7 +380,11 @@ mod tests {
     fn trained_quantized() -> (tinynn::Sequential, QuantModel, cifar10sim::SyntheticCifar) {
         let data = cifar10sim::generate(DatasetConfig::tiny(31));
         let mut m = tinynn::zoo::mini_cifar(3);
-        let mut t = Trainer::new(SgdConfig { epochs: 12, lr: 0.08, ..Default::default() });
+        let mut t = Trainer::new(SgdConfig {
+            epochs: 12,
+            lr: 0.08,
+            ..Default::default()
+        });
         t.train(&mut m, &data.train);
         let ranges = calibrate_ranges(&m, &data.train.take(32));
         let q = quantize_model(&m, &ranges);
@@ -352,7 +426,10 @@ mod tests {
         masks.per_conv[0] = Some(vec![false; c0.geom.out_c * c0.patch_len()]);
         assert!(masks.is_noop());
         let img = data.test.image(0);
-        assert_eq!(q.forward(img), q.forward_quantized(&q.quantize_input(img), Some(&masks)));
+        assert_eq!(
+            q.forward(img),
+            q.forward_quantized(&q.quantize_input(img), Some(&masks))
+        );
 
         // all-true: conv 0 output becomes bias-only => logits must change
         masks.per_conv[0] = Some(vec![true; c0.geom.out_c * c0.patch_len()]);
@@ -383,9 +460,7 @@ mod tests {
         let n = q.conv_indices().len();
         let c0 = q.conv(0);
         let mut mask = vec![false; c0.geom.out_c * c0.patch_len()];
-        for i in 0..c0.patch_len() {
-            mask[i] = true;
-        }
+        mask[..c0.patch_len()].fill(true);
         let mut masks = SkipMaskSet::none(n);
         masks.per_conv[0] = Some(mask);
         let img = data.test.image(1);

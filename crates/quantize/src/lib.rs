@@ -23,10 +23,20 @@
 //! paper). The cycle-accounted engines (`cmsisnn`, `unpackgen`, `xcubeai`)
 //! must agree with this reference bit-for-bit; integration tests enforce it.
 
+//!
+//! For the DSE hot path, [`compiled::CompiledMasks`] lowers a [`SkipMaskSet`]
+//! into branch-free per-channel retained-product streams executed over
+//! transposed columns (broadcast-weight kernels; the MCU-side SMLAD-pair
+//! shape stays in [`tinytensor::simd`] as the codegen model);
+//! [`QuantModel::forward_compiled_scratch`] runs them bit-exactly against
+//! the reference path, optionally reusing cached first-conv columns.
+
 pub mod calib;
+pub mod compiled;
 pub mod forward;
 pub mod qmodel;
 
 pub use calib::calibrate_ranges;
-pub use forward::SkipMaskSet;
+pub use compiled::{CompiledConv, CompiledMasks};
+pub use forward::{argmax_i8, ForwardScratch, SkipMaskSet};
 pub use qmodel::{quantize_model, QConv, QDense, QLayer, QPool, QuantModel};

@@ -205,7 +205,11 @@ impl QuantModel {
 
     /// Peak ping-pong activation pair (max over layers of in+out), bytes.
     pub fn peak_activation_pair(&self) -> u64 {
-        self.layers.iter().map(|l| (l.in_len() + l.out_len()) as u64).max().unwrap_or(0)
+        self.layers
+            .iter()
+            .map(|l| (l.in_len() + l.out_len()) as u64)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Largest im2col column-matrix any conv layer needs, in bytes — the
@@ -224,7 +228,11 @@ impl QuantModel {
 
 /// Quantize a trained f32 model using pre-computed activation ranges.
 pub fn quantize_model(model: &Sequential, ranges: &ActivationRanges) -> QuantModel {
-    assert_eq!(ranges.ranges.len(), model.layers.len() + 1, "range/layer mismatch");
+    assert_eq!(
+        ranges.ranges.len(),
+        model.layers.len() + 1,
+        "range/layer mismatch"
+    );
     let qp_at = |boundary: usize| -> QuantParams {
         let (lo, hi) = ranges.ranges[boundary];
         QuantParams::from_min_max(lo, hi).expect("valid calibration range")
@@ -256,7 +264,11 @@ pub fn quantize_model(model: &Sequential, ranges: &ActivationRanges) -> QuantMod
                 i = out_boundary;
             }
             Layer::Pool(p) => {
-                layers.push(QLayer::Pool(QPool { in_h: p.in_h, in_w: p.in_w, c: p.c }));
+                layers.push(QLayer::Pool(QPool {
+                    in_h: p.in_h,
+                    in_w: p.in_w,
+                    c: p.c,
+                }));
                 i += 1;
             }
             Layer::Dense(d) => {
@@ -285,7 +297,12 @@ pub fn quantize_model(model: &Sequential, ranges: &ActivationRanges) -> QuantMod
             }
         }
     }
-    QuantModel { name: model.name.clone(), input_shape: model.input_shape, input_qp, layers }
+    QuantModel {
+        name: model.name.clone(),
+        input_shape: model.input_shape,
+        input_qp,
+        layers,
+    }
 }
 
 /// Quantize one layer's parameters: symmetric int8 weights, int32 bias,

@@ -15,15 +15,15 @@ pub type MeanInputs = Vec<Vec<f64>>;
 pub fn capture_mean_inputs(model: &QuantModel, calib: &Dataset) -> MeanInputs {
     assert!(!calib.is_empty(), "calibration set must be non-empty");
     let conv_indices = model.conv_indices();
-    let patch_lens: Vec<usize> =
-        (0..conv_indices.len()).map(|k| model.conv(k).patch_len()).collect();
+    let patch_lens: Vec<usize> = (0..conv_indices.len())
+        .map(|k| model.conv(k).patch_len())
+        .collect();
 
     // Per-image partial sums, collected in index order for determinism.
     let partials: Vec<Vec<Vec<f64>>> = (0..calib.len())
         .into_par_iter()
         .map(|img_idx| {
-            let mut sums: Vec<Vec<f64>> =
-                patch_lens.iter().map(|&p| vec![0.0f64; p]).collect();
+            let mut sums: Vec<Vec<f64>> = patch_lens.iter().map(|&p| vec![0.0f64; p]).collect();
             let q = model.quantize_input(calib.image(img_idx));
             model.forward_inspect(&q, None, &mut |ordinal, conv, centered| {
                 let patch = conv.patch_len();

@@ -44,7 +44,11 @@ mod integration_tests {
     fn end_to_end_masks_preserve_accuracy_at_tiny_tau() {
         let data = cifar10sim::generate(DatasetConfig::tiny(91));
         let mut m = tinynn::zoo::mini_cifar(11);
-        let mut t = Trainer::new(SgdConfig { epochs: 6, lr: 0.08, ..Default::default() });
+        let mut t = Trainer::new(SgdConfig {
+            epochs: 6,
+            lr: 0.08,
+            ..Default::default()
+        });
         t.train(&mut m, &data.train);
         let ranges = calibrate_ranges(&m, &data.train.take(16));
         let q = quantize_model(&m, &ranges);

@@ -1,7 +1,7 @@
 //! Significance scores (Eq. 2) and τ → skip-mask materialization.
 
 use crate::capture::MeanInputs;
-use quantize::{QuantModel, SkipMaskSet};
+use quantize::{CompiledConv, CompiledMasks, QuantModel, SkipMaskSet};
 use serde::{Deserialize, Serialize};
 
 /// Per-conv-layer, per-(channel, patch-index) significance scores.
@@ -24,7 +24,9 @@ impl TauAssignment {
     /// The same τ applied to every conv layer.
     pub fn global(tau: f64) -> Self {
         // Arity is resolved against the model at mask-build time.
-        Self { per_conv: vec![Some(tau)] }
+        Self {
+            per_conv: vec![Some(tau)],
+        }
     }
 
     /// Explicit per-layer assignment.
@@ -55,11 +57,10 @@ impl SignificanceMap {
         let n = model.conv_indices().len();
         assert_eq!(means.len(), n, "mean-inputs arity mismatch");
         let mut scores = Vec::with_capacity(n);
-        for k in 0..n {
+        for (k, mean) in means.iter().enumerate() {
             let conv = model.conv(k);
             let patch = conv.patch_len();
             let out_c = conv.geom.out_c;
-            let mean = &means[k];
             assert_eq!(mean.len(), patch);
             let mut s = vec![0.0f64; out_c * patch];
             for o in 0..out_c {
@@ -92,12 +93,42 @@ impl SignificanceMap {
         let n = self.scores.len();
         let taus = taus.resolved(n);
         let mut set = SkipMaskSet::none(n);
-        for k in 0..n {
-            if let Some(tau) = taus[k] {
+        for (k, tau) in taus.iter().enumerate() {
+            if let Some(tau) = *tau {
                 let conv = model.conv(k);
                 debug_assert_eq!(self.scores[k].len(), conv.geom.out_c * conv.patch_len());
-                set.per_conv[k] =
-                    Some(self.scores[k].iter().map(|&s| s <= tau).collect());
+                set.per_conv[k] = Some(self.scores[k].iter().map(|&s| s <= tau).collect());
+            }
+        }
+        set
+    }
+
+    /// Build masks directly in **compiled** form (the DSE hot-path
+    /// representation), skipping the intermediate `Vec<bool>`: product `i`
+    /// is skipped iff `S_i ≤ τ_layer`, exactly as [`Self::masks_for_tau`].
+    ///
+    /// Equivalent to `CompiledMasks::compile(model, &self.masks_for_tau(..))`
+    /// — a unit test pins the equivalence — but materializes only the
+    /// retained-product streams. Layers whose threshold skips nothing
+    /// compile to `None` (unmasked-kernel dispatch).
+    pub fn compiled_masks_for_tau(
+        &self,
+        model: &QuantModel,
+        taus: &TauAssignment,
+    ) -> CompiledMasks {
+        let n = self.scores.len();
+        let taus = taus.resolved(n);
+        let mut set = CompiledMasks::none(n);
+        for (k, tau) in taus.iter().enumerate() {
+            if let Some(tau) = *tau {
+                let conv = model.conv(k);
+                let patch = conv.patch_len();
+                let scores = &self.scores[k];
+                debug_assert_eq!(scores.len(), conv.geom.out_c * patch);
+                let cc = CompiledConv::build(conv, |o, i| scores[o * patch + i] <= tau);
+                if !cc.is_dense(patch) {
+                    set.per_conv[k] = Some(cc);
+                }
             }
         }
         set
@@ -112,16 +143,12 @@ impl SignificanceMap {
     /// its products is ≤ τ; otherwise every product is retained. Used by
     /// the granularity ablation (E6) to show what fine-grained skipping
     /// buys at a matched MAC budget.
-    pub fn channel_masks_for_tau(
-        &self,
-        model: &QuantModel,
-        taus: &TauAssignment,
-    ) -> SkipMaskSet {
+    pub fn channel_masks_for_tau(&self, model: &QuantModel, taus: &TauAssignment) -> SkipMaskSet {
         let n = self.scores.len();
         let taus = taus.resolved(n);
         let mut set = SkipMaskSet::none(n);
-        for k in 0..n {
-            let Some(tau) = taus[k] else { continue };
+        for (k, tau) in taus.iter().enumerate() {
+            let Some(tau) = *tau else { continue };
             let conv = model.conv(k);
             let patch = conv.patch_len();
             let out_c = conv.geom.out_c;
@@ -134,7 +161,9 @@ impl SignificanceMap {
                 }
                 let mean = row.iter().sum::<f64>() / patch as f64;
                 if mean <= tau {
-                    mask[o * patch..(o + 1) * patch].iter_mut().for_each(|m| *m = true);
+                    mask[o * patch..(o + 1) * patch]
+                        .iter_mut()
+                        .for_each(|m| *m = true);
                 }
             }
             set.per_conv[k] = Some(mask);
@@ -147,11 +176,9 @@ impl SignificanceMap {
         let masks = self.masks_for_tau(model, taus);
         let mut skipped = 0usize;
         let mut total = 0usize;
-        for m in masks.per_conv.iter() {
-            if let Some(m) = m {
-                skipped += m.iter().filter(|&&s| s).count();
-                total += m.len();
-            }
+        for m in masks.per_conv.iter().flatten() {
+            skipped += m.iter().filter(|&&s| s).count();
+            total += m.len();
         }
         for (k, m) in masks.per_conv.iter().enumerate() {
             if m.is_none() {
@@ -188,14 +215,15 @@ mod tests {
         // Channel with E = [2, 1, 0.5], w = [10, -40, 4]:
         // products = [20, -40, 2], sum = -18
         // S = |p / sum| = [1.111.., 2.222.., 0.111..]
-        let means = vec![2.0, 1.0, 0.5];
+        let means = [2.0, 1.0, 0.5];
         let w: Vec<i8> = vec![10, -40, 4];
         let mut denom = 0.0;
         for i in 0..3 {
             denom += means[i] * w[i] as f64;
         }
-        let s: Vec<f64> =
-            (0..3).map(|i| (means[i] * w[i] as f64 / denom).abs()).collect();
+        let s: Vec<f64> = (0..3)
+            .map(|i| (means[i] * w[i] as f64 / denom).abs())
+            .collect();
         assert!((s[0] - 20.0 / 18.0).abs() < 1e-12);
         assert!((s[1] - 40.0 / 18.0).abs() < 1e-12);
         assert!((s[2] - 2.0 / 18.0).abs() < 1e-12);
@@ -231,7 +259,7 @@ mod tests {
         for (a, b) in small.per_conv.iter().zip(&large.per_conv) {
             let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
             for (x, y) in a.iter().zip(b.iter()) {
-                assert!(!(*x && !*y), "skip set not monotone");
+                assert!(!*x || *y, "skip set not monotone");
             }
             if b.iter().filter(|&&s| s).count() > a.iter().filter(|&&s| s).count() {
                 strictly_more = true;
@@ -266,6 +294,30 @@ mod tests {
     fn wrong_arity_rejected() {
         let (q, sig) = setup();
         sig.masks_for_tau(&q, &TauAssignment::per_layer(vec![Some(0.1), Some(0.1)]));
+    }
+
+    #[test]
+    fn compiled_masks_equal_compile_of_bool_masks() {
+        let (q, sig) = setup();
+        for tau in [0.0, 0.005, 0.02, 0.5] {
+            let taus = TauAssignment::global(tau);
+            let direct = sig.compiled_masks_for_tau(&q, &taus);
+            let via_bool = CompiledMasks::compile(&q, &sig.masks_for_tau(&q, &taus));
+            assert_eq!(direct, via_bool, "tau {tau}");
+        }
+    }
+
+    #[test]
+    fn compiled_masks_respect_exact_layers() {
+        let (q, sig) = setup();
+        let n = q.conv_indices().len();
+        let mut taus = vec![None; n];
+        taus[0] = Some(0.5);
+        let compiled = sig.compiled_masks_for_tau(&q, &TauAssignment::per_layer(taus));
+        assert!(compiled.per_conv[0].is_some());
+        for m in &compiled.per_conv[1..] {
+            assert!(m.is_none());
+        }
     }
 
     #[test]

@@ -29,7 +29,11 @@ impl Conv2d {
         let weights = (0..geom.out_c * geom.patch_len())
             .map(|_| sample_normal(rng) * std)
             .collect();
-        Self { geom, weights, bias: vec![0.0; geom.out_c] }
+        Self {
+            geom,
+            weights,
+            bias: vec![0.0; geom.out_c],
+        }
     }
 
     /// Output length for one image.
@@ -195,8 +199,15 @@ impl Dense {
     /// He-initialized dense layer.
     pub fn new(in_dim: usize, out_dim: usize, rng: &mut StdRng) -> Self {
         let std = (2.0 / in_dim as f32).sqrt();
-        let weights = (0..in_dim * out_dim).map(|_| sample_normal(rng) * std).collect();
-        Self { in_dim, out_dim, weights, bias: vec![0.0; out_dim] }
+        let weights = (0..in_dim * out_dim)
+            .map(|_| sample_normal(rng) * std)
+            .collect();
+        Self {
+            in_dim,
+            out_dim,
+            weights,
+            bias: vec![0.0; out_dim],
+        }
     }
 
     /// Forward pass.
@@ -344,7 +355,11 @@ mod tests {
             let mut xm = x.clone();
             xm[i] -= eps;
             let num = (loss(&conv, &xp) - loss(&conv, &xm)) / (2.0 * eps);
-            assert!((num - dx[i]).abs() < 2e-2, "dx[{i}]: num {num} vs {got}", got = dx[i]);
+            assert!(
+                (num - dx[i]).abs() < 2e-2,
+                "dx[{i}]: num {num} vs {got}",
+                got = dx[i]
+            );
         }
         // weight grads
         for &i in &[0usize, 11, conv.weights.len() - 1] {
@@ -355,9 +370,14 @@ mod tests {
             let lm = loss(&conv, &x);
             conv.weights[i] = orig;
             let num = (lp - lm) / (2.0 * eps);
-            assert!((num - dw[i]).abs() < 2e-2, "dw[{i}]: num {num} vs {got}", got = dw[i]);
+            assert!(
+                (num - dw[i]).abs() < 2e-2,
+                "dw[{i}]: num {num} vs {got}",
+                got = dw[i]
+            );
         }
         // bias grads
+        #[allow(clippy::needless_range_loop)] // mutate-and-restore per index
         for o in 0..conv.bias.len() {
             let orig = conv.bias[o];
             conv.bias[o] = orig + eps;
@@ -378,7 +398,11 @@ mod tests {
         let dy = rand_vec(4, 6);
         let (dx, dw, db) = d.backward(&x, &dy);
         let loss = |d: &Dense, xs: &[f32]| -> f32 {
-            d.forward(xs).iter().zip(dy.iter()).map(|(a, b)| a * b).sum()
+            d.forward(xs)
+                .iter()
+                .zip(dy.iter())
+                .map(|(a, b)| a * b)
+                .sum()
         };
         let eps = 1e-3f32;
         for i in 0..6 {
@@ -404,7 +428,11 @@ mod tests {
 
     #[test]
     fn maxpool_forward_and_routing() {
-        let p = MaxPool2 { in_h: 4, in_w: 4, c: 1 };
+        let p = MaxPool2 {
+            in_h: 4,
+            in_w: 4,
+            c: 1,
+        };
         #[rustfmt::skip]
         let x = vec![
             1.0, 5.0, 2.0, 0.0,
@@ -425,7 +453,11 @@ mod tests {
 
     #[test]
     fn maxpool_channels_independent() {
-        let p = MaxPool2 { in_h: 2, in_w: 2, c: 2 };
+        let p = MaxPool2 {
+            in_h: 2,
+            in_w: 2,
+            c: 2,
+        };
         // channel 0: [1,2,3,4] -> 4; channel 1: [9,1,1,1] -> 9
         let x = vec![1.0, 9.0, 2.0, 1.0, 3.0, 1.0, 4.0, 1.0];
         let (y, _) = p.forward(&x);

@@ -83,7 +83,11 @@ enum Aux {
 impl Sequential {
     /// Create an empty model for the given single-image input shape.
     pub fn new(name: impl Into<String>, input_shape: Shape4) -> Self {
-        Self { input_shape: input_shape.single(), layers: Vec::new(), name: name.into() }
+        Self {
+            input_shape: input_shape.single(),
+            layers: Vec::new(),
+            name: name.into(),
+        }
     }
 
     /// Current output spatial shape (h, w, c) after the stacked layers, for
@@ -140,8 +144,15 @@ impl Sequential {
     /// Append a 2×2/2 max-pool.
     pub fn maxpool(mut self) -> Self {
         let (h, w, c) = self.current_hwc();
-        assert!(h % 2 == 0 && w % 2 == 0, "pool needs even dims, got {h}x{w}");
-        self.layers.push(Layer::Pool(MaxPool2 { in_h: h, in_w: w, c }));
+        assert!(
+            h % 2 == 0 && w % 2 == 0,
+            "pool needs even dims, got {h}x{w}"
+        );
+        self.layers.push(Layer::Pool(MaxPool2 {
+            in_h: h,
+            in_w: w,
+            c,
+        }));
         self
     }
 
@@ -149,7 +160,8 @@ impl Sequential {
     pub fn dense(mut self, out_dim: usize, last: bool, rng: &mut StdRng) -> Self {
         let (h, w, c) = self.current_hwc();
         let in_dim = h * w * c;
-        self.layers.push(Layer::Dense(Dense::new(in_dim, out_dim, rng)));
+        self.layers
+            .push(Layer::Dense(Dense::new(in_dim, out_dim, rng)));
         if !last {
             self.layers.push(Layer::Relu(out_dim));
         }
@@ -175,9 +187,21 @@ impl Sequential {
     /// Topology string in the paper's "Conv-MaxPooling-FullConnected" form,
     /// e.g. `5-2-2` for AlexNet.
     pub fn topology(&self) -> String {
-        let conv = self.layers.iter().filter(|l| matches!(l, Layer::Conv(_))).count();
-        let pool = self.layers.iter().filter(|l| matches!(l, Layer::Pool(_))).count();
-        let fc = self.layers.iter().filter(|l| matches!(l, Layer::Dense(_))).count();
+        let conv = self
+            .layers
+            .iter()
+            .filter(|l| matches!(l, Layer::Conv(_)))
+            .count();
+        let pool = self
+            .layers
+            .iter()
+            .filter(|l| matches!(l, Layer::Pool(_)))
+            .count();
+        let fc = self
+            .layers
+            .iter()
+            .filter(|l| matches!(l, Layer::Dense(_)))
+            .count();
         format!("{conv}-{pool}-{fc}")
     }
 
@@ -242,7 +266,11 @@ impl Sequential {
                 }
             };
         }
-        ForwardCache { inputs, aux, logits: act }
+        ForwardCache {
+            inputs,
+            aux,
+            logits: act,
+        }
     }
 
     /// Softmax cross-entropy loss + full backward pass for one sample.
@@ -337,7 +365,9 @@ mod tests {
     fn forward_logits_matches_cached() {
         let m = micro_model(2);
         let mut rng = StdRng::seed_from_u64(3);
-        let x: Vec<f32> = (0..8 * 8 * 2).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let x: Vec<f32> = (0..8 * 8 * 2)
+            .map(|_| rng.gen_range(-1.0f32..1.0))
+            .collect();
         let a = m.forward_logits(&x);
         let b = m.forward_cached(&x).logits;
         assert_eq!(a, b);
@@ -358,7 +388,9 @@ mod tests {
     fn model_gradients_match_finite_differences() {
         let mut m = micro_model(4);
         let mut rng = StdRng::seed_from_u64(5);
-        let x: Vec<f32> = (0..8 * 8 * 2).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let x: Vec<f32> = (0..8 * 8 * 2)
+            .map(|_| rng.gen_range(-1.0f32..1.0))
+            .collect();
         let label = 3usize;
         let cache = m.forward_cached(&x);
         let (_, grads) = m.loss_and_gradients(&cache, label);
@@ -402,7 +434,9 @@ mod tests {
         let m = micro_model(6);
         let mut g = Gradients::zeros_like(&m);
         let mut rng = StdRng::seed_from_u64(7);
-        let x: Vec<f32> = (0..8 * 8 * 2).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let x: Vec<f32> = (0..8 * 8 * 2)
+            .map(|_| rng.gen_range(-1.0f32..1.0))
+            .collect();
         let (_, g1) = m.loss_and_gradients(&m.forward_cached(&x), 0);
         g.accumulate(&g1);
         g.accumulate(&g1);

@@ -70,14 +70,20 @@ pub struct Trainer {
 impl Trainer {
     /// Build a trainer.
     pub fn new(cfg: SgdConfig) -> Self {
-        Self { cfg, velocity: None }
+        Self {
+            cfg,
+            velocity: None,
+        }
     }
 
     /// Train `model` in place on `data`; returns per-epoch stats.
     pub fn train(&mut self, model: &mut Sequential, data: &Dataset) -> TrainReport {
         let mut rng = StdRng::seed_from_u64(self.cfg.seed);
         let mut order: Vec<usize> = (0..data.len()).collect();
-        let mut report = TrainReport { epoch_loss: Vec::new(), epoch_accuracy: Vec::new() };
+        let mut report = TrainReport {
+            epoch_loss: Vec::new(),
+            epoch_accuracy: Vec::new(),
+        };
         let mut lr = self.cfg.lr;
         if self.velocity.is_none() {
             self.velocity = Some(Gradients::zeros_like(model));
@@ -111,7 +117,9 @@ impl Trainer {
             }
             report.epoch_loss.push((epoch_loss / seen as f64) as f32);
             let acc_subset = data.take(data.len().min(1000));
-            report.epoch_accuracy.push(evaluate_accuracy(model, &acc_subset));
+            report
+                .epoch_accuracy
+                .push(evaluate_accuracy(model, &acc_subset));
             lr *= self.cfg.lr_decay;
         }
         report
@@ -212,7 +220,10 @@ mod tests {
         let data = cifar10sim::generate(DatasetConfig::tiny(12));
         let run = || {
             let mut model = micro_model(2);
-            let mut t = Trainer::new(SgdConfig { epochs: 1, ..Default::default() });
+            let mut t = Trainer::new(SgdConfig {
+                epochs: 1,
+                ..Default::default()
+            });
             t.train(&mut model, &data.train);
             model
         };

@@ -31,7 +31,11 @@ pub fn fill_im2col_i8(input_hwc: &[i8], geom: &ConvGeometry, pad_value: i8, cols
     let (oh, ow) = (geom.out_h(), geom.out_w());
     let patch = geom.patch_len();
     assert_eq!(cols.len(), oh * ow * patch, "column buffer size mismatch");
-    assert_eq!(input_hwc.len(), geom.in_h * geom.in_w * geom.in_c, "input size mismatch");
+    assert_eq!(
+        input_hwc.len(),
+        geom.in_h * geom.in_w * geom.in_c,
+        "input size mismatch"
+    );
 
     let mut col_base = 0usize;
     for oy in 0..oh {
@@ -69,6 +73,169 @@ pub fn fill_im2col_i8(input_hwc: &[i8], geom: &ConvGeometry, pad_value: i8, cols
     }
 }
 
+/// im2col directly into a **centered, patch-major (transposed)** i16
+/// buffer: `out[i * out_positions + p]` holds patch element `i` of output
+/// position `p`, already centered (`x − zp`; `pad_centered` for padding,
+/// which is 0 whenever `zp` is representable in i8).
+///
+/// This is the layout of the compiled-mask conv kernels: per (channel,
+/// patch-index) product the kernel broadcasts one weight against the
+/// contiguous `positions`-long row `i`, so the inner loop vectorizes over
+/// positions and a skipped product skips its whole row. Fusing gather,
+/// centering and transposition into one pass also drops the intermediate
+/// i8 column buffer of [`fill_im2col_i8`].
+///
+/// Bit-exact with centering the output of [`fill_im2col_i8`]: tests
+/// cross-check element-for-element.
+pub fn fill_im2col_centered_t(
+    input_hwc: &[i8],
+    geom: &ConvGeometry,
+    zp: i16,
+    pad_centered: i16,
+    out: &mut [i16],
+) {
+    let (oh, ow) = (geom.out_h(), geom.out_w());
+    let positions = oh * ow;
+    let patch = geom.patch_len();
+    assert_eq!(
+        out.len(),
+        positions * patch,
+        "transposed column buffer size mismatch"
+    );
+    assert_eq!(
+        input_hwc.len(),
+        geom.in_h * geom.in_w * geom.in_c,
+        "input size mismatch"
+    );
+
+    // Patch-element-outer iteration: every output row is written
+    // sequentially (the write side dominates the cost of a transposed
+    // fill), while the strided reads stay inside the L1-resident input.
+    let (in_c, in_w, in_h) = (geom.in_c, geom.in_w, geom.in_h);
+    let (sw, sh) = (geom.stride_w, geom.stride_h);
+    for ky in 0..geom.kernel_h {
+        for kx in 0..geom.kernel_w {
+            // Valid ox range: 0 <= ox·sw + kx − pad_w < in_w.
+            let lo_num = geom.pad_w as isize - kx as isize;
+            let ox_lo = if lo_num > 0 {
+                (lo_num as usize).div_ceil(sw)
+            } else {
+                0
+            }
+            .min(ow);
+            let hi_num = in_w as isize + geom.pad_w as isize - kx as isize;
+            let ox_hi = if hi_num <= 0 {
+                0
+            } else {
+                (((hi_num - 1) as usize) / sw + 1).min(ow)
+            }
+            .max(ox_lo);
+            for ci in 0..in_c {
+                let i = (ky * geom.kernel_w + kx) * in_c + ci;
+                let out_row = &mut out[i * positions..(i + 1) * positions];
+                let mut p = 0usize;
+                for oy in 0..oh {
+                    let iy = (oy * sh) as isize + ky as isize - geom.pad_h as isize;
+                    let row = &mut out_row[p..p + ow];
+                    p += ow;
+                    if iy < 0 || iy >= in_h as isize {
+                        row.fill(pad_centered);
+                        continue;
+                    }
+                    row[..ox_lo].fill(pad_centered);
+                    row[ox_hi..].fill(pad_centered);
+                    let row_base = iy as usize * in_w * in_c;
+                    let mut src = row_base + (ox_lo * sw + kx - geom.pad_w) * in_c + ci;
+                    for v in &mut row[ox_lo..ox_hi] {
+                        *v = input_hwc[src] as i16 - zp;
+                        src += sw * in_c;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// [`fill_im2col_centered_t`] for a **planar** (channel-major) source:
+/// `planar[ci * in_h * in_w + iy * in_w + ix]`. The compiled-mask pipeline
+/// keeps activations planar between layers, so for a fixed patch element
+/// both the reads (one input row) and the writes (one output row) are
+/// contiguous runs.
+pub fn fill_im2col_centered_t_planar(
+    planar: &[i8],
+    geom: &ConvGeometry,
+    zp: i16,
+    pad_centered: i16,
+    out: &mut [i16],
+) {
+    let (oh, ow) = (geom.out_h(), geom.out_w());
+    let positions = oh * ow;
+    let patch = geom.patch_len();
+    assert_eq!(
+        out.len(),
+        positions * patch,
+        "transposed column buffer size mismatch"
+    );
+    assert_eq!(
+        planar.len(),
+        geom.in_h * geom.in_w * geom.in_c,
+        "input size mismatch"
+    );
+
+    let (in_c, in_w, in_h) = (geom.in_c, geom.in_w, geom.in_h);
+    let (sw, sh) = (geom.stride_w, geom.stride_h);
+    let plane = in_h * in_w;
+    for ky in 0..geom.kernel_h {
+        for kx in 0..geom.kernel_w {
+            let lo_num = geom.pad_w as isize - kx as isize;
+            let ox_lo = if lo_num > 0 {
+                (lo_num as usize).div_ceil(sw)
+            } else {
+                0
+            }
+            .min(ow);
+            let hi_num = in_w as isize + geom.pad_w as isize - kx as isize;
+            let ox_hi = if hi_num <= 0 {
+                0
+            } else {
+                (((hi_num - 1) as usize) / sw + 1).min(ow)
+            }
+            .max(ox_lo);
+            for ci in 0..in_c {
+                let i = (ky * geom.kernel_w + kx) * in_c + ci;
+                let out_row = &mut out[i * positions..(i + 1) * positions];
+                let src_plane = &planar[ci * plane..(ci + 1) * plane];
+                let mut p = 0usize;
+                for oy in 0..oh {
+                    let iy = (oy * sh) as isize + ky as isize - geom.pad_h as isize;
+                    let row = &mut out_row[p..p + ow];
+                    p += ow;
+                    if iy < 0 || iy >= in_h as isize {
+                        row.fill(pad_centered);
+                        continue;
+                    }
+                    row[..ox_lo].fill(pad_centered);
+                    row[ox_hi..].fill(pad_centered);
+                    let row_base = iy as usize * in_w;
+                    let mut src = row_base + ox_lo * sw + kx - geom.pad_w;
+                    if sw == 1 {
+                        // Contiguous run: vectorizes.
+                        let src_run = &src_plane[src..src + (ox_hi - ox_lo)];
+                        for (d, &v) in row[ox_lo..ox_hi].iter_mut().zip(src_run) {
+                            *d = v as i16 - zp;
+                        }
+                    } else {
+                        for v in &mut row[ox_lo..ox_hi] {
+                            *v = src_plane[src] as i16 - zp;
+                            src += sw;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// f32 variant used by the training substrate.
 pub fn im2col_f32(input_hwc: &[f32], geom: &ConvGeometry) -> Vec<f32> {
     let (oh, ow) = (geom.out_h(), geom.out_w());
@@ -84,11 +251,7 @@ pub fn im2col_f32(input_hwc: &[f32], geom: &ConvGeometry) -> Vec<f32> {
                 let iy = iy0 + ky as isize;
                 for kx in 0..geom.kernel_w {
                     let ix = ix0 + kx as isize;
-                    if iy < 0
-                        || iy >= geom.in_h as isize
-                        || ix < 0
-                        || ix >= geom.in_w as isize
-                    {
+                    if iy < 0 || iy >= geom.in_h as isize || ix < 0 || ix >= geom.in_w as isize {
                         i += geom.in_c;
                         continue;
                     }
@@ -127,10 +290,8 @@ pub fn patch_offsets(geom: &ConvGeometry) -> Vec<usize> {
                 let iy = iy0 + ky as isize;
                 for kx in 0..geom.kernel_w {
                     let ix = ix0 + kx as isize;
-                    let inside = iy >= 0
-                        && iy < geom.in_h as isize
-                        && ix >= 0
-                        && ix < geom.in_w as isize;
+                    let inside =
+                        iy >= 0 && iy < geom.in_h as isize && ix >= 0 && ix < geom.in_w as isize;
                     for ci in 0..geom.in_c {
                         if inside {
                             offs[i] = (iy as usize * geom.in_w + ix as usize) * geom.in_c + ci;
@@ -171,7 +332,7 @@ mod tests {
         let cols = im2col_i8(&input, &geom, -9);
         let patch = geom.patch_len();
         // Output position (1,1): receptive field rows 0..3, cols 0..3, fully inside.
-        let p = (1 * geom.out_w() + 1) * patch;
+        let p = (geom.out_w() + 1) * patch;
         let col = &cols[p..p + patch];
         let mut want = Vec::new();
         for ky in 0..3 {
@@ -211,6 +372,80 @@ mod tests {
         for (i, &o) in offs.iter().enumerate() {
             let want = if o == PAD_OFFSET { pad } else { input[o] };
             assert_eq!(cols[i], want, "element {i}");
+        }
+    }
+
+    #[test]
+    fn transposed_centered_matches_plain_im2col() {
+        let geoms = [
+            small_geom(),
+            // kernel 1, no padding
+            ConvGeometry {
+                in_h: 5,
+                in_w: 4,
+                in_c: 3,
+                out_c: 2,
+                kernel_h: 1,
+                kernel_w: 1,
+                pad_h: 0,
+                pad_w: 0,
+                stride_h: 1,
+                stride_w: 1,
+            },
+            // strided with padding
+            ConvGeometry {
+                in_h: 7,
+                in_w: 6,
+                in_c: 2,
+                out_c: 2,
+                kernel_h: 3,
+                kernel_w: 3,
+                pad_h: 1,
+                pad_w: 1,
+                stride_h: 2,
+                stride_w: 2,
+            },
+            // wide kernel exceeding half the input
+            ConvGeometry {
+                in_h: 4,
+                in_w: 4,
+                in_c: 1,
+                out_c: 1,
+                kernel_h: 5,
+                kernel_w: 5,
+                pad_h: 2,
+                pad_w: 2,
+                stride_h: 1,
+                stride_w: 1,
+            },
+        ];
+        for (g, geom) in geoms.iter().enumerate() {
+            let len = geom.in_h * geom.in_w * geom.in_c;
+            let input: Vec<i8> = (0..len).map(|v| (v as i8).wrapping_mul(5)).collect();
+            let zp = -3i16;
+            let pad = zp.clamp(-128, 127) as i8;
+            let cols = im2col_i8(&input, geom, pad);
+            let positions = geom.out_positions();
+            let patch = geom.patch_len();
+            let mut t = vec![99i16; positions * patch];
+            fill_im2col_centered_t(&input, geom, zp, pad as i16 - zp, &mut t);
+            // Planar variant on the channel-major permutation of the input.
+            let plane = geom.in_h * geom.in_w;
+            let mut planar = vec![0i8; len];
+            for pix in 0..plane {
+                for ci in 0..geom.in_c {
+                    planar[ci * plane + pix] = input[pix * geom.in_c + ci];
+                }
+            }
+            let mut tp = vec![99i16; positions * patch];
+            fill_im2col_centered_t_planar(&planar, geom, zp, pad as i16 - zp, &mut tp);
+            for p in 0..positions {
+                for i in 0..patch {
+                    let want = cols[p * patch + i] as i16 - zp;
+                    assert_eq!(t[i * positions + p], want, "geom {g} p {p} i {i}");
+                    assert_eq!(tp[i * positions + p], want, "planar geom {g} p {p} i {i}");
+                }
+            }
         }
     }
 

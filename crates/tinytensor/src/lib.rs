@@ -33,7 +33,7 @@ pub mod simd;
 pub mod tensor;
 
 pub use quant::{QuantParams, Quantizer, RequantMultiplier};
-pub use shape::{Shape4, OHWI, NHWC};
+pub use shape::{Shape4, NHWC, OHWI};
 pub use tensor::Tensor;
 
 /// Crate-wide result alias.

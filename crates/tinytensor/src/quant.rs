@@ -22,7 +22,10 @@ pub struct QuantParams {
 
 impl QuantParams {
     /// Identity-ish parameters (scale 1, zero point 0); useful in tests.
-    pub const UNIT: QuantParams = QuantParams { scale: 1.0, zero_point: 0 };
+    pub const UNIT: QuantParams = QuantParams {
+        scale: 1.0,
+        zero_point: 0,
+    };
 
     /// Affine parameters covering `[min, max]` with the full i8 range.
     ///
@@ -37,7 +40,7 @@ impl QuantParams {
         // Nudge the zero point so that real 0.0 maps to an integer.
         let zp_real = -128.0 - min / scale;
         let zero_point = zp_real.round().clamp(-128.0, 127.0) as i32;
-        if !(scale > 0.0) {
+        if scale.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
             return Err(Error::InvalidScale(scale));
         }
         Ok(Self { scale, zero_point })
@@ -46,10 +49,13 @@ impl QuantParams {
     /// Symmetric parameters for a weight tensor with given max |w|.
     pub fn symmetric(abs_max: f32) -> Result<Self> {
         let scale = (abs_max.max(f32::EPSILON)) / 127.0;
-        if !(scale > 0.0) {
+        if scale.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
             return Err(Error::InvalidScale(scale));
         }
-        Ok(Self { scale, zero_point: 0 })
+        Ok(Self {
+            scale,
+            zero_point: 0,
+        })
     }
 
     /// Quantize a real value to i8 with round-to-nearest-even-free rounding
@@ -101,7 +107,10 @@ impl RequantMultiplier {
     /// Decompose a positive real multiplier into `(significand, shift)`.
     pub fn from_real(real: f64) -> Result<Self> {
         if real == 0.0 {
-            return Ok(Self { multiplier: 0, shift: 0 });
+            return Ok(Self {
+                multiplier: 0,
+                shift: 0,
+            });
         }
         if !(real.is_finite() && real > 0.0 && real < 1e18) {
             return Err(Error::InvalidMultiplier(real));
@@ -116,7 +125,10 @@ impl RequantMultiplier {
             q /= 2;
             shift += 1;
         }
-        Ok(Self { multiplier: q as i32, shift })
+        Ok(Self {
+            multiplier: q as i32,
+            shift,
+        })
     }
 
     /// Apply the multiplier to an i32 accumulator (gemmlowp semantics).
@@ -161,8 +173,15 @@ pub fn rounding_divide_by_pot(x: i32, exponent: i32) -> i32 {
 pub fn requantize(value: i32, multiplier: i32, shift: i32) -> i32 {
     let left = shift.max(0);
     let right = (-shift).max(0);
-    let pre = if left > 0 { value.saturating_mul(1 << left) } else { value };
-    rounding_divide_by_pot(saturating_rounding_doubling_high_mul(pre, multiplier), right)
+    let pre = if left > 0 {
+        value.saturating_mul(1 << left)
+    } else {
+        value
+    };
+    rounding_divide_by_pot(
+        saturating_rounding_doubling_high_mul(pre, multiplier),
+        right,
+    )
 }
 
 /// Full output stage: requantize an accumulator, add the output zero point,
@@ -223,8 +242,14 @@ mod tests {
     fn srdhm_matches_reference() {
         // (a*b*2 + rounding) / 2^32 semantics
         assert_eq!(saturating_rounding_doubling_high_mul(0, 12345), 0);
-        assert_eq!(saturating_rounding_doubling_high_mul(1 << 30, 1 << 30), 1 << 29);
-        assert_eq!(saturating_rounding_doubling_high_mul(i32::MIN, i32::MIN), i32::MAX);
+        assert_eq!(
+            saturating_rounding_doubling_high_mul(1 << 30, 1 << 30),
+            1 << 29
+        );
+        assert_eq!(
+            saturating_rounding_doubling_high_mul(i32::MIN, i32::MIN),
+            i32::MAX
+        );
         // tiny negative product: nudged then truncated toward zero
         let v = saturating_rounding_doubling_high_mul(-(1 << 30), 1);
         assert_eq!(v, 0);

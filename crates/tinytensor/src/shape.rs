@@ -37,7 +37,12 @@ impl Shape4 {
 
     /// Construct an OHWI filter shape.
     pub const fn ohwi(o: usize, kh: usize, kw: usize, i: usize) -> Self {
-        Self { n: o, h: kh, w: kw, c: i }
+        Self {
+            n: o,
+            h: kh,
+            w: kw,
+            c: i,
+        }
     }
 
     /// Total element count.
@@ -58,7 +63,12 @@ impl Shape4 {
 
     /// Shape of a single item of the batch (N forced to 1).
     pub const fn single(&self) -> Self {
-        Self { n: 1, h: self.h, w: self.w, c: self.c }
+        Self {
+            n: 1,
+            h: self.h,
+            w: self.w,
+            c: self.c,
+        }
     }
 
     /// Element count of a single batch item.

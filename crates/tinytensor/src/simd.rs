@@ -86,6 +86,44 @@ pub const fn runtime_pack_inputs(a_hi: i8, a_lo: i8) -> i32 {
     pack_i16x2(a_hi as i16, a_lo as i16)
 }
 
+/// Pack a channel's int8 weights into SMLAD-ready i32 pair constants,
+/// exactly the paper's offline concatenation: pair `j` holds weights
+/// `2j` (low lane) and `2j+1` (high lane). An odd trailing weight is *not*
+/// packed — callers handle it with a single MAC, as the generated code does.
+pub fn pack_weight_pairs(weights: &[i8], out: &mut Vec<i32>) {
+    out.clear();
+    out.reserve(weights.len() / 2);
+    for pair in weights.chunks_exact(2) {
+        out.push(pack_weights(pair[1], pair[0]));
+    }
+}
+
+/// SMLAD-shaped dot product of centered i16 activations against offline
+/// packed weight pairs, unrolled 4 products (two `SMLAD`s) per step.
+///
+/// `col` must hold at least `2 * w_pairs.len()` elements; an odd trailing
+/// product is the caller's single-MAC tail. Bit-exact with the scalar
+/// reference for every accumulation that stays inside i32 (the engines
+/// assert this holds for realistic layers; `SMLAD` itself wraps like the
+/// hardware instruction).
+#[inline]
+pub fn smlad_dot_i16(col: &[i16], w_pairs: &[i32], init: i32) -> i32 {
+    debug_assert!(col.len() >= 2 * w_pairs.len());
+    let mut acc = init;
+    let mut j = 0;
+    while j + 2 <= w_pairs.len() {
+        let x0 = pack_i16x2(col[2 * j + 1], col[2 * j]);
+        let x1 = pack_i16x2(col[2 * j + 3], col[2 * j + 2]);
+        acc = smlad(x0, w_pairs[j], acc);
+        acc = smlad(x1, w_pairs[j + 1], acc);
+        j += 2;
+    }
+    if j < w_pairs.len() {
+        acc = smlad(pack_i16x2(col[2 * j + 1], col[2 * j]), w_pairs[j], acc);
+    }
+    acc
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -110,8 +148,12 @@ mod tests {
 
     #[test]
     fn smlad_equals_two_scalar_macs() {
-        let cases: &[(i8, i8, i8, i8)] =
-            &[(1, 2, 3, 4), (-128, 127, -128, 127), (0, -5, 7, 0), (-1, -1, -1, -1)];
+        let cases: &[(i8, i8, i8, i8)] = &[
+            (1, 2, 3, 4),
+            (-128, 127, -128, 127),
+            (0, -5, 7, 0),
+            (-1, -1, -1, -1),
+        ];
         for &(a0, a1, w0, w1) in cases {
             let x = runtime_pack_inputs(a1, a0);
             let y = pack_weights(w1, w0);
@@ -137,6 +179,41 @@ mod tests {
     fn ldr_little_endian() {
         let data: Vec<i8> = vec![-128, 1, 127, -1];
         assert_eq!(ldr_s8x4(&data, 0), 0xFF7F_0180);
+    }
+
+    #[test]
+    fn smlad_dot_matches_scalar_reference() {
+        // Deterministic pseudo-random streams, odd and even lengths.
+        for len in [0usize, 1, 2, 3, 4, 7, 8, 27, 75, 128] {
+            let col: Vec<i16> = (0..len)
+                .map(|i| ((i as i64 * 2654435761 % 511) - 255) as i16)
+                .collect();
+            let w: Vec<i8> = (0..len)
+                .map(|i| ((i as i64 * 40503 % 255) - 127) as i8)
+                .collect();
+            let mut pairs = Vec::new();
+            pack_weight_pairs(&w, &mut pairs);
+            assert_eq!(pairs.len(), len / 2);
+            let mut got = smlad_dot_i16(&col, &pairs, 1000);
+            if len % 2 == 1 {
+                got += col[len - 1] as i32 * w[len - 1] as i32;
+            }
+            let want: i32 = 1000
+                + col
+                    .iter()
+                    .zip(&w)
+                    .map(|(&a, &b)| a as i32 * b as i32)
+                    .sum::<i32>();
+            assert_eq!(got, want, "len {len}");
+        }
+    }
+
+    #[test]
+    fn pack_weight_pairs_matches_paper_layout() {
+        let mut pairs = Vec::new();
+        pack_weight_pairs(&[20, 64, -3], &mut pairs);
+        // Pair 0: low lane = w[0] = 20, high lane = w[1] = 64 (paper example).
+        assert_eq!(pairs, vec![4_194_324]);
     }
 
     #[test]

@@ -20,18 +20,27 @@ pub struct Tensor<T> {
 impl<T: Copy + Default> Tensor<T> {
     /// Zero-filled (default-filled) tensor of the given shape.
     pub fn zeros(shape: Shape4) -> Self {
-        Self { shape, data: vec![T::default(); shape.len()] }
+        Self {
+            shape,
+            data: vec![T::default(); shape.len()],
+        }
     }
 
     /// Tensor filled with a constant.
     pub fn full(shape: Shape4, value: T) -> Self {
-        Self { shape, data: vec![value; shape.len()] }
+        Self {
+            shape,
+            data: vec![value; shape.len()],
+        }
     }
 
     /// Wrap an existing buffer; its length must match the shape.
     pub fn from_vec(shape: Shape4, data: Vec<T>) -> Result<Self> {
         if data.len() != shape.len() {
-            return Err(Error::ShapeMismatch { expected: shape.len(), got: data.len() });
+            return Err(Error::ShapeMismatch {
+                expected: shape.len(),
+                got: data.len(),
+            });
         }
         Ok(Self { shape, data })
     }
@@ -96,7 +105,10 @@ impl<T: Copy + Default> Tensor<T> {
     /// Reinterpret the shape without touching data; lengths must match.
     pub fn reshape(&mut self, shape: Shape4) -> Result<()> {
         if shape.len() != self.data.len() {
-            return Err(Error::ShapeMismatch { expected: self.data.len(), got: shape.len() });
+            return Err(Error::ShapeMismatch {
+                expected: self.data.len(),
+                got: shape.len(),
+            });
         }
         self.shape = shape;
         Ok(())
@@ -148,7 +160,10 @@ mod tests {
         assert!(Tensor::from_vec(s, vec![0_i8; 4]).is_ok());
         assert_eq!(
             Tensor::from_vec(s, vec![0_i8; 5]).unwrap_err(),
-            Error::ShapeMismatch { expected: 4, got: 5 }
+            Error::ShapeMismatch {
+                expected: 4,
+                got: 5
+            }
         );
     }
 

@@ -3,8 +3,8 @@
 use proptest::prelude::*;
 use tinytensor::im2col::{im2col_i8, patch_offsets, PAD_OFFSET};
 use tinytensor::quant::{
-    requantize_to_i8, rounding_divide_by_pot, saturating_rounding_doubling_high_mul,
-    QuantParams, RequantMultiplier,
+    requantize_to_i8, rounding_divide_by_pot, saturating_rounding_doubling_high_mul, QuantParams,
+    RequantMultiplier,
 };
 use tinytensor::shape::ConvGeometry;
 use tinytensor::simd::{pack_weights, runtime_pack_inputs, smlad};

@@ -21,24 +21,31 @@ pub struct UnpackedEngine<'m> {
 
 impl<'m> UnpackedEngine<'m> {
     /// Build the engine, unpacking every conv layer with the given masks.
-    pub fn new(
-        model: &'m QuantModel,
-        masks: Option<&SkipMaskSet>,
-        options: UnpackOptions,
-    ) -> Self {
+    pub fn new(model: &'m QuantModel, masks: Option<&SkipMaskSet>, options: UnpackOptions) -> Self {
         let conv_indices = model.conv_indices();
         if let Some(m) = masks {
-            assert_eq!(m.per_conv.len(), conv_indices.len(), "mask set arity mismatch");
+            assert_eq!(
+                m.per_conv.len(),
+                conv_indices.len(),
+                "mask set arity mismatch"
+            );
         }
         let mut convs = Vec::with_capacity(conv_indices.len());
         let mut offsets = Vec::with_capacity(conv_indices.len());
         for (ordinal, &li) in conv_indices.iter().enumerate() {
-            let QLayer::Conv(c) = &model.layers[li] else { unreachable!() };
+            let QLayer::Conv(c) = &model.layers[li] else {
+                unreachable!()
+            };
             let mask = masks.and_then(|m| m.per_conv[ordinal].as_deref());
             convs.push(UnpackedConv::build(c, mask, options));
             offsets.push(patch_offsets(&c.geom));
         }
-        Self { model, convs, offsets, cost: CostModel::cortex_m33() }
+        Self {
+            model,
+            convs,
+            offsets,
+            cost: CostModel::cortex_m33(),
+        }
     }
 
     /// Replace the cost model (ablation benches).
@@ -206,7 +213,7 @@ fn dense_specialized(d: &QDense, input: &[i8], stats: &mut ExecStats) -> Vec<i8>
     let (lo, hi) = d.act_bounds();
     let out_zp = d.out_qp.zero_point;
     let mut out = vec![0i8; d.out_dim];
-    for o in 0..d.out_dim {
+    for (o, out_slot) in out.iter_mut().enumerate() {
         let w = &d.weights[o * d.in_dim..(o + 1) * d.in_dim];
         let mut acc = d.bias[o];
         for k in 0..pairs {
@@ -218,7 +225,7 @@ fn dense_specialized(d: &QDense, input: &[i8], stats: &mut ExecStats) -> Vec<i8>
             acc += centered[d.in_dim - 1] as i32 * w[d.in_dim - 1] as i32;
         }
         let v = requantize_to_i8(acc, d.mult, out_zp) as i32;
-        out[o] = v.clamp(lo, hi) as i8;
+        *out_slot = v.clamp(lo, hi) as i8;
     }
     let smlads = (d.out_dim * pairs) as u64;
     stats.add_macs((d.out_dim * d.in_dim) as u64);
@@ -247,7 +254,10 @@ mod tests {
     fn setup() -> (QuantModel, cifar10sim::SyntheticCifar) {
         let data = cifar10sim::generate(DatasetConfig::tiny(71));
         let mut m = tinynn::zoo::mini_cifar(9);
-        let mut t = Trainer::new(SgdConfig { epochs: 3, ..Default::default() });
+        let mut t = Trainer::new(SgdConfig {
+            epochs: 3,
+            ..Default::default()
+        });
         t.train(&mut m, &data.train);
         let ranges = calibrate_ranges(&m, &data.train.take(16));
         (quantize_model(&m, &ranges), data)
@@ -309,8 +319,7 @@ mod tests {
             for k in 0..n {
                 let c = q.conv(k);
                 let len = c.geom.out_c * c.patch_len();
-                masks.per_conv[k] =
-                    Some((0..len).map(|i| (i * 7919) % 10 < frac_num).collect());
+                masks.per_conv[k] = Some((0..len).map(|i| (i * 7919) % 10 < frac_num).collect());
             }
             masks
         };
@@ -323,7 +332,10 @@ mod tests {
             let e = UnpackedEngine::new(&q, Some(&masks), UnpackOptions::default());
             let cycles = e.infer(img).1.cycles(e.cost_model());
             let macs = e.retained_macs();
-            assert!(cycles < prev_cycles, "frac {frac}: {cycles} !< {prev_cycles}");
+            assert!(
+                cycles < prev_cycles,
+                "frac {frac}: {cycles} !< {prev_cycles}"
+            );
             assert!(macs < prev_macs);
             prev_cycles = cycles;
             prev_macs = macs;
@@ -351,7 +363,10 @@ mod tests {
         let mac_red = 1.0 - skip.retained_macs() as f64 / full.retained_macs() as f64;
         let lat_red = 1.0 - c_skip / c_full;
         assert!(lat_red > 0.0);
-        assert!(lat_red < mac_red, "latency red {lat_red} !< MAC red {mac_red}");
+        assert!(
+            lat_red < mac_red,
+            "latency red {lat_red} !< MAC red {mac_red}"
+        );
     }
 
     #[test]

@@ -40,7 +40,11 @@ pub const SPECIALIZED_RAM_OVERHEAD: u64 = 104 * 1024;
 /// Code size of one unpacked conv layer.
 pub fn conv_code_bytes(conv: &UnpackedConv) -> u64 {
     let ops: u64 = conv.channels.iter().map(|c| c.ops.len() as u64).sum();
-    let tails: u64 = conv.channels.iter().map(|c| u64::from(c.tail.is_some())).sum();
+    let tails: u64 = conv
+        .channels
+        .iter()
+        .map(|c| u64::from(c.tail.is_some()))
+        .sum();
     ops * bytes_per_op(conv.options.col_block)
         + tails * BYTES_PER_TAIL
         + conv.channels.len() as u64 * BYTES_PER_CHANNEL

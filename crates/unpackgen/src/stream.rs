@@ -70,7 +70,10 @@ pub struct UnpackOptions {
 
 impl Default for UnpackOptions {
     fn default() -> Self {
-        Self { drop_zero_weights: false, col_block: 4 }
+        Self {
+            drop_zero_weights: false,
+            col_block: 4,
+        }
     }
 }
 
@@ -135,7 +138,11 @@ impl UnpackedConv {
             for pair in retained.chunks_exact(2) {
                 let (idx_lo, w_lo) = pair[0];
                 let (idx_hi, w_hi) = pair[1];
-                ops.push(FixedMacOp { idx_lo, idx_hi, packed: pack_weights(w_hi, w_lo) });
+                ops.push(FixedMacOp {
+                    idx_lo,
+                    idx_hi,
+                    packed: pack_weights(w_hi, w_lo),
+                });
             }
             let tail = if retained.len() % 2 == 1 {
                 let (idx, w) = *retained.last().expect("odd retained");
@@ -143,7 +150,11 @@ impl UnpackedConv {
             } else {
                 None
             };
-            channels.push(ChannelProgram { ops, tail, bias: conv.bias[o] });
+            channels.push(ChannelProgram {
+                ops,
+                tail,
+                bias: conv.bias[o],
+            });
         }
         Self {
             geom: conv.geom,
@@ -204,11 +215,8 @@ mod tests {
             flat.extend_from_slice(v);
         }
         let ds = cifar10sim::Dataset {
-            images: tinytensor::Tensor::from_vec(
-                tinytensor::Shape4::nhwc(8, 8, 8, 2),
-                flat,
-            )
-            .unwrap(),
+            images: tinytensor::Tensor::from_vec(tinytensor::Shape4::nhwc(8, 8, 8, 2), flat)
+                .unwrap(),
             labels: vec![0; 8],
         };
         let ranges = calibrate_ranges(&m, &ds);
@@ -239,7 +247,11 @@ mod tests {
     #[test]
     fn paper_packing_example_roundtrip() {
         // w_lo = 20, w_hi = 64 -> 4_194_324
-        let op = FixedMacOp { idx_lo: 0, idx_hi: 1, packed: pack_weights(64, 20) };
+        let op = FixedMacOp {
+            idx_lo: 0,
+            idx_hi: 1,
+            packed: pack_weights(64, 20),
+        };
         assert_eq!(op.packed, 4_194_324);
         assert_eq!(op.w_lo(), 20);
         assert_eq!(op.w_hi(), 64);
@@ -252,16 +264,13 @@ mod tests {
         let patch = c.patch_len();
         let mut mask = vec![false; c.geom.out_c * patch];
         // skip all products of channel 0 and one product of channel 1
-        for i in 0..patch {
-            mask[i] = true;
-        }
+        mask[..patch].fill(true);
         mask[patch + 3] = true;
         let u = UnpackedConv::build(c, Some(&mask), UnpackOptions::default());
         assert_eq!(u.channels[0].retained_products(), 0);
         assert_eq!(u.channels[1].retained_products(), patch - 1);
         assert_eq!(u.masked_products, patch + 1);
-        let expected =
-            (c.geom.out_c * patch - (patch + 1)) as u64 * c.geom.out_positions() as u64;
+        let expected = (c.geom.out_c * patch - (patch + 1)) as u64 * c.geom.out_positions() as u64;
         assert_eq!(u.retained_macs(), expected);
     }
 
@@ -271,8 +280,14 @@ mod tests {
         let c = q.conv(0);
         let zeros = c.weights.iter().filter(|&&w| w == 0).count();
         let keep = UnpackedConv::build(c, None, UnpackOptions::default());
-        let drop =
-            UnpackedConv::build(c, None, UnpackOptions { drop_zero_weights: true, col_block: 4 });
+        let drop = UnpackedConv::build(
+            c,
+            None,
+            UnpackOptions {
+                drop_zero_weights: true,
+                col_block: 4,
+            },
+        );
         assert_eq!(keep.zero_dropped_products, 0);
         assert_eq!(drop.zero_dropped_products, zeros);
         assert_eq!(

@@ -23,8 +23,14 @@ fn qconv(out_c: usize, patch_geom: (usize, usize, usize), weights: Vec<i8>) -> Q
             stride_w: 1,
         },
         bias: vec![0; out_c],
-        in_qp: QuantParams { scale: 0.02, zero_point: -128 },
-        out_qp: QuantParams { scale: 0.05, zero_point: -128 },
+        in_qp: QuantParams {
+            scale: 0.02,
+            zero_point: -128,
+        },
+        out_qp: QuantParams {
+            scale: 0.05,
+            zero_point: -128,
+        },
         w_scale: 0.01,
         mult: RequantMultiplier::from_real(0.004).unwrap(),
         relu: true,

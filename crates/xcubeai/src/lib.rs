@@ -43,7 +43,10 @@ pub struct XCubeEngine<'m> {
 impl<'m> XCubeEngine<'m> {
     /// Build over a quantized model.
     pub fn new(model: &'m QuantModel) -> Self {
-        Self { model, cost: CostModel::cortex_m33() }
+        Self {
+            model,
+            cost: CostModel::cortex_m33(),
+        }
     }
 
     /// The engine's cost model (shared, frozen Cortex-M33 constants).
@@ -128,8 +131,7 @@ impl<'m> XCubeEngine<'m> {
 
     /// RAM footprint (arena-planned activations).
     pub fn ram_estimate(&self) -> RamEstimate {
-        let staging =
-            (self.model.input_shape.item_len() * std::mem::size_of::<f32>()) as u64;
+        let staging = (self.model.input_shape.item_len() * std::mem::size_of::<f32>()) as u64;
         RamEstimate {
             activation_arena: self.model.peak_activation_pair() + staging,
             kernel_scratch: self.model.max_im2col_bytes() / 2,
@@ -150,7 +152,10 @@ mod tests {
     fn setup() -> (QuantModel, cifar10sim::SyntheticCifar) {
         let data = cifar10sim::generate(DatasetConfig::tiny(131));
         let mut m = tinynn::zoo::mini_cifar(23);
-        let mut t = Trainer::new(SgdConfig { epochs: 3, ..Default::default() });
+        let mut t = Trainer::new(SgdConfig {
+            epochs: 3,
+            ..Default::default()
+        });
         t.train(&mut m, &data.train);
         let ranges = calibrate_ranges(&m, &data.train.take(8));
         (quantize_model(&m, &ranges), data)

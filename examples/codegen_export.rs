@@ -21,8 +21,12 @@ fn main() {
     let data = generate(cfg);
     let mut model = zoo::mini_cifar(11);
     println!("training {} ...", model.name);
-    Trainer::new(SgdConfig { epochs: 5, lr: 0.08, ..Default::default() })
-        .train(&mut model, &data.train);
+    Trainer::new(SgdConfig {
+        epochs: 5,
+        lr: 0.08,
+        ..Default::default()
+    })
+    .train(&mut model, &data.train);
 
     // Deploy on the paper's board.
     let fw = Framework::analyze(&model, &data, AtamanConfig::quick());

@@ -24,14 +24,26 @@ fn main() {
     let data = generate(cfg);
 
     let mut model = zoo::lenet(7);
-    println!("training {} ({:.2}M MACs) ...", model.name, model.macs() as f64 / 1e6);
-    let mut trainer = Trainer::new(SgdConfig { epochs: 5, ..Default::default() });
+    println!(
+        "training {} ({:.2}M MACs) ...",
+        model.name,
+        model.macs() as f64 / 1e6
+    );
+    let mut trainer = Trainer::new(SgdConfig {
+        epochs: 5,
+        ..Default::default()
+    });
     trainer.train(&mut model, &data.train);
 
     let fw = Framework::analyze(
         &model,
         &data,
-        AtamanConfig { eval_images: 192, tau_step: 0.02, max_configs: 120, ..Default::default() },
+        AtamanConfig {
+            eval_images: 192,
+            tau_step: 0.02,
+            max_configs: 120,
+            ..Default::default()
+        },
     );
     let board = Board::stm32u575();
     let budget_ms = 1_000.0 / REQUIRED_FPS;
@@ -41,7 +53,11 @@ fn main() {
         "exact CMSIS-NN: {:.1} ms/frame ({:.1} fps) — {}",
         cmsis.latency_ms,
         1_000.0 / cmsis.latency_ms,
-        if cmsis.latency_ms <= budget_ms { "meets budget" } else { "MISSES budget" },
+        if cmsis.latency_ms <= budget_ms {
+            "meets budget"
+        } else {
+            "MISSES budget"
+        },
     );
 
     // Walk the Pareto front from most accurate to fastest until the frame

@@ -19,7 +19,11 @@ fn main() {
     let data = generate(cfg);
     let mut model = zoo::lenet(3);
     println!("training {} ...", model.name);
-    Trainer::new(SgdConfig { epochs: 4, ..Default::default() }).train(&mut model, &data.train);
+    Trainer::new(SgdConfig {
+        epochs: 4,
+        ..Default::default()
+    })
+    .train(&mut model, &data.train);
 
     let ranges = calibrate_ranges(&model, &data.train.take(32));
     let q = quantize_model(&model, &ranges);
@@ -29,7 +33,10 @@ fn main() {
     // --- per-operator profile of the exact engine -----------------------
     let cmsis = CmsisEngine::new(&q);
     println!("\nper-operator cycle counters (CMSIS-NN engine):");
-    println!("{:<22} {:>12} {:>10} {:>9}", "operator", "cycles", "MACs", "ms");
+    println!(
+        "{:<22} {:>12} {:>10} {:>9}",
+        "operator", "cycles", "MACs", "ms"
+    );
     let mut total_cycles = 0u64;
     for p in cmsis.profile(img) {
         let cycles = p.stats.cycles(cmsis.cost_model());
@@ -42,13 +49,24 @@ fn main() {
             board.cycles_to_ms(cycles)
         );
     }
-    println!("{:<22} {:>12} {:>10} {:>9.3}", "TOTAL", total_cycles, q.macs(), board.cycles_to_ms(total_cycles));
+    println!(
+        "{:<22} {:>12} {:>10} {:>9.3}",
+        "TOTAL",
+        total_cycles,
+        q.macs(),
+        board.cycles_to_ms(total_cycles)
+    );
 
     // --- event-class breakdown ------------------------------------------
     let (_, stats) = cmsis.infer(img);
     println!("\ninstruction-class breakdown:");
     for (event, count, cycles) in stats.breakdown(cmsis.cost_model()) {
-        println!("  {:<10} count {:>12}  cycles {:>12.0}", event.name(), count, cycles);
+        println!(
+            "  {:<10} count {:>12}  cycles {:>12.0}",
+            event.name(),
+            count,
+            cycles
+        );
     }
 
     // --- engine comparison ------------------------------------------------
@@ -61,10 +79,21 @@ fn main() {
     let approx = UnpackedEngine::new(&q, Some(&masks), UnpackOptions::default());
 
     println!("\nengine comparison ({}):", q.name);
-    println!("{:<26} {:>9} {:>9} {:>10} {:>10}", "engine", "ms", "mJ", "MACs", "flash KB");
+    println!(
+        "{:<26} {:>9} {:>9} {:>10} {:>10}",
+        "engine", "ms", "mJ", "MACs", "flash KB"
+    );
     let rows = [
-        ("CMSIS-NN (exact)", cmsis.infer(img).1, cmsisnn::flash_layout(&q).total()),
-        ("X-CUBE-AI (simulated)", xcube.infer(img).1, xcube.flash_layout().total()),
+        (
+            "CMSIS-NN (exact)",
+            cmsis.infer(img).1,
+            cmsisnn::flash_layout(&q).total(),
+        ),
+        (
+            "X-CUBE-AI (simulated)",
+            xcube.infer(img).1,
+            xcube.flash_layout().total(),
+        ),
         (
             "unpacked (exact)",
             unpacked.infer(img).1,

@@ -26,7 +26,11 @@ fn main() {
         model.macs() as f64 / 1e6,
         data.train.len()
     );
-    let mut trainer = Trainer::new(SgdConfig { epochs: 6, lr: 0.08, ..Default::default() });
+    let mut trainer = Trainer::new(SgdConfig {
+        epochs: 6,
+        lr: 0.08,
+        ..Default::default()
+    });
     let report = trainer.train(&mut model, &data.train);
     println!(
         "  loss {:.3} -> {:.3}, f32 test accuracy {:.1}%",
@@ -39,7 +43,12 @@ fn main() {
     let fw = Framework::analyze(
         &model,
         &data,
-        AtamanConfig { eval_images: 256, tau_step: 0.01, max_configs: 200, ..Default::default() },
+        AtamanConfig {
+            eval_images: 256,
+            tau_step: 0.01,
+            max_configs: 200,
+            ..Default::default()
+        },
     );
     let dse = fw.dse_report();
     println!(
@@ -47,7 +56,10 @@ fn main() {
         dse.designs.len(),
         dse.pareto.len()
     );
-    println!("  int8 baseline accuracy: {:.1}%", dse.baseline_accuracy * 100.0);
+    println!(
+        "  int8 baseline accuracy: {:.1}%",
+        dse.baseline_accuracy * 100.0
+    );
 
     // 3. Baselines (exact engines).
     let board = Board::stm32u575();

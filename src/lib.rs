@@ -26,7 +26,7 @@ pub mod prelude {
     pub use mcusim::{Board, CostModel, ExecStats};
     pub use quantize::{calibrate_ranges, quantize_model, QuantModel, SkipMaskSet};
     pub use signif::{capture_mean_inputs, SignificanceMap, TauAssignment};
-    pub use tinynn::{zoo, SgdConfig, Sequential, Trainer};
+    pub use tinynn::{zoo, Sequential, SgdConfig, Trainer};
     pub use unpackgen::{UnpackOptions, UnpackedEngine};
     pub use xcubeai::XCubeEngine;
 }

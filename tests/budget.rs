@@ -5,7 +5,10 @@ use ataman_repro::prelude::*;
 fn trained(seed: u64) -> (Sequential, cifar10sim::SyntheticCifar) {
     let data = generate(DatasetConfig::tiny(seed));
     let mut m = zoo::mini_cifar(seed);
-    let mut t = Trainer::new(SgdConfig { epochs: 3, ..Default::default() });
+    let mut t = Trainer::new(SgdConfig {
+        epochs: 3,
+        ..Default::default()
+    });
     t.train(&mut m, &data.train);
     (m, data)
 }
@@ -24,7 +27,10 @@ fn deployment_refused_when_flash_overflows() {
     let fw = Framework::analyze(
         &m,
         &data,
-        AtamanConfig { board: tiny_board, ..AtamanConfig::quick() },
+        AtamanConfig {
+            board: tiny_board,
+            ..AtamanConfig::quick()
+        },
     );
     let err = fw.deploy(0.10).unwrap_err();
     match err {

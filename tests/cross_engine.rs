@@ -10,7 +10,10 @@ use ataman_repro::prelude::*;
 fn trained_quant(seed: u64) -> (QuantModel, cifar10sim::SyntheticCifar) {
     let data = generate(DatasetConfig::tiny(seed));
     let mut m = zoo::mini_cifar(seed);
-    let mut t = Trainer::new(SgdConfig { epochs: 3, ..Default::default() });
+    let mut t = Trainer::new(SgdConfig {
+        epochs: 3,
+        ..Default::default()
+    });
     t.train(&mut m, &data.train);
     let ranges = calibrate_ranges(&m, &data.train.take(16));
     (quantize_model(&m, &ranges), data)
@@ -40,7 +43,10 @@ fn unpacked_zero_weight_dropping_stays_bit_exact() {
     let drop = UnpackedEngine::new(
         &q,
         None,
-        UnpackOptions { drop_zero_weights: true, col_block: 4 },
+        UnpackOptions {
+            drop_zero_weights: true,
+            col_block: 4,
+        },
     );
     for i in 0..15 {
         let img = data.test.image(i);

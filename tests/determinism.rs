@@ -8,7 +8,10 @@ fn dataset_training_quantization_chain_is_deterministic() {
     let run = || {
         let data = generate(DatasetConfig::tiny(401));
         let mut m = zoo::mini_cifar(401);
-        let mut t = Trainer::new(SgdConfig { epochs: 2, ..Default::default() });
+        let mut t = Trainer::new(SgdConfig {
+            epochs: 2,
+            ..Default::default()
+        });
         t.train(&mut m, &data.train);
         let ranges = calibrate_ranges(&m, &data.train.take(16));
         let q = quantize_model(&m, &ranges);
@@ -27,17 +30,29 @@ fn dse_is_thread_count_independent() {
     // results must match exactly.
     let data = generate(DatasetConfig::tiny(402));
     let mut m = zoo::mini_cifar(402);
-    Trainer::new(SgdConfig { epochs: 2, ..Default::default() }).train(&mut m, &data.train);
+    Trainer::new(SgdConfig {
+        epochs: 2,
+        ..Default::default()
+    })
+    .train(&mut m, &data.train);
     let ranges = calibrate_ranges(&m, &data.train.take(8));
     let q = quantize_model(&m, &ranges);
     let means = capture_mean_inputs(&q, &data.train.take(8));
     let sig = SignificanceMap::compute(&q, &means);
-    let configs: Vec<TauAssignment> =
-        [0.0, 0.01, 0.05].iter().map(|&t| TauAssignment::global(t)).collect();
-    let opts = dse::ExploreOptions { eval_images: 24, ..Default::default() };
+    let configs: Vec<TauAssignment> = [0.0, 0.01, 0.05]
+        .iter()
+        .map(|&t| TauAssignment::global(t))
+        .collect();
+    let opts = dse::ExploreOptions {
+        eval_images: 24,
+        ..Default::default()
+    };
 
     let run_with = |threads: usize| {
-        let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap();
         pool.install(|| dse::explore(&q, &sig, &data.test, &configs, &opts))
     };
     let one = run_with(1);
@@ -54,11 +69,18 @@ fn dse_is_thread_count_independent() {
 fn significance_capture_thread_count_independent() {
     let data = generate(DatasetConfig::tiny(403));
     let mut m = zoo::mini_cifar(403);
-    Trainer::new(SgdConfig { epochs: 1, ..Default::default() }).train(&mut m, &data.train);
+    Trainer::new(SgdConfig {
+        epochs: 1,
+        ..Default::default()
+    })
+    .train(&mut m, &data.train);
     let ranges = calibrate_ranges(&m, &data.train.take(8));
     let q = quantize_model(&m, &ranges);
     let run_with = |threads: usize| {
-        let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap();
         pool.install(|| capture_mean_inputs(&q, &data.train.take(16)))
     };
     assert_eq!(run_with(1), run_with(3));
@@ -68,14 +90,20 @@ fn significance_capture_thread_count_independent() {
 fn training_thread_count_independent() {
     let data = generate(DatasetConfig::tiny(404));
     let run_with = |threads: usize| {
-        let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap();
         pool.install(|| {
             let mut m = zoo::micro(404);
             // micro takes 8x8x2 inputs; train on a resized slice dataset is
             // overkill here — use mini_cifar on the real data instead.
             let mut mc = zoo::mini_cifar(404);
-            Trainer::new(SgdConfig { epochs: 1, ..Default::default() })
-                .train(&mut mc, &data.train);
+            Trainer::new(SgdConfig {
+                epochs: 1,
+                ..Default::default()
+            })
+            .train(&mut mc, &data.train);
             let _ = &mut m;
             mc
         })

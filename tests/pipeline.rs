@@ -6,7 +6,11 @@ use ataman_repro::prelude::*;
 fn setup() -> (Sequential, cifar10sim::SyntheticCifar) {
     let data = generate(DatasetConfig::tiny(301));
     let mut m = zoo::mini_cifar(301);
-    let mut t = Trainer::new(SgdConfig { epochs: 6, lr: 0.08, ..Default::default() });
+    let mut t = Trainer::new(SgdConfig {
+        epochs: 6,
+        lr: 0.08,
+        ..Default::default()
+    });
     t.train(&mut m, &data.train);
     (m, data)
 }
@@ -35,7 +39,10 @@ fn approximate_deployment_is_never_slower_than_exact_unpacked() {
     let q = fw.quant_model();
     let exact_unpacked = UnpackedEngine::new(q, None, UnpackOptions::default());
     let img = vec![0.5f32; q.input_shape.item_len()];
-    let exact_cycles = exact_unpacked.infer(&img).1.cycles(exact_unpacked.cost_model());
+    let exact_cycles = exact_unpacked
+        .infer(&img)
+        .1
+        .cycles(exact_unpacked.cost_model());
     let dep = fw.deploy(0.10).expect("deploys");
     assert!(dep.cycles <= exact_cycles);
 }

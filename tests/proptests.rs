@@ -61,7 +61,7 @@ proptest! {
             let c = q.conv(k);
             let len = c.geom.out_c * c.patch_len();
             masks.per_conv[k] = Some(
-                (0..len).map(|i| (i as u64).wrapping_mul(seed | 1) % skip_mod == 0).collect(),
+                (0..len).map(|i| (i as u64).wrapping_mul(seed | 1).is_multiple_of(skip_mod)).collect(),
             );
         }
         let engine = UnpackedEngine::new(&q, Some(&masks), UnpackOptions::default());

@@ -1,0 +1,451 @@
+//! Offline drop-in subset of `rayon` for this workspace.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the minimal parallel-iterator surface it actually uses:
+//! `par_iter()` on slices, `into_par_iter()` on `Range<usize>`, `map`,
+//! `map_init`, `sum`, `collect`, plus `ThreadPoolBuilder`/`install`.
+//!
+//! Semantics intentionally preserved from real rayon:
+//!
+//! * results are produced in **index order** (the workspace's determinism
+//!   tests rely on order-stable `collect`);
+//! * `map_init` creates one `init` value per worker chunk, never shared
+//!   across threads;
+//! * work actually runs on `std::thread` workers (one contiguous chunk per
+//!   thread), so thread-count-independence bugs remain observable;
+//! * nested parallel sections execute sequentially inside a worker — same
+//!   results, bounded thread count.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+thread_local! {
+    /// Set inside worker threads so nested parallel sections degrade to
+    /// sequential execution instead of exploding the thread count.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+    /// Thread-count override installed by [`ThreadPool::install`].
+    static POOL_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Global default parallelism (resolved once).
+fn default_threads() -> usize {
+    static CACHED: AtomicUsize = AtomicUsize::new(0);
+    let cached = CACHED.load(Ordering::Relaxed);
+    if cached != 0 {
+        return cached;
+    }
+    let n = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    CACHED.store(n, Ordering::Relaxed);
+    n
+}
+
+fn current_threads() -> usize {
+    if IN_WORKER.with(|w| w.get()) {
+        return 1;
+    }
+    let installed = POOL_THREADS.with(|p| p.get());
+    if installed > 0 {
+        installed
+    } else {
+        default_threads()
+    }
+}
+
+/// A source of independently computable items, indexable by position.
+///
+/// This is the whole internal representation: every combinator chain bottoms
+/// out in "evaluate items `start..end` into `out`", which the driver farms
+/// out to worker threads in contiguous chunks and concatenates in chunk
+/// order — hence deterministic output order.
+pub trait ParallelIterator: Sized + Sync {
+    /// Item produced by this iterator.
+    type Item: Send;
+
+    /// Exact number of items.
+    fn par_len(&self) -> usize;
+
+    /// Evaluate items `start..end` in order, appending to `out`.
+    fn eval_chunk(&self, start: usize, end: usize, out: &mut Vec<Self::Item>);
+
+    /// Map each item through `f`.
+    fn map<F, R>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Sync,
+        R: Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Map with a per-chunk scratch value created by `init`.
+    fn map_init<I, T, F, R>(self, init: I, f: F) -> MapInit<Self, I, F>
+    where
+        I: Fn() -> T + Sync,
+        F: Fn(&mut T, Self::Item) -> R + Sync,
+        R: Send,
+    {
+        MapInit {
+            base: self,
+            init,
+            f,
+        }
+    }
+
+    /// Sum all items (chunk partials are reduced in chunk order).
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item> + Send,
+    {
+        drive(&self).into_iter().sum()
+    }
+
+    /// Collect into any `FromIterator` collection, preserving index order.
+    fn collect<C>(self) -> C
+    where
+        C: FromIterator<Self::Item>,
+    {
+        drive(&self).into_iter().collect()
+    }
+}
+
+/// Run a parallel iterator to completion, returning items in index order.
+fn drive<P: ParallelIterator>(it: &P) -> Vec<P::Item> {
+    let n = it.par_len();
+    let threads = current_threads().min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        let mut out = Vec::with_capacity(n);
+        it.eval_chunk(0, n, &mut out);
+        return out;
+    }
+    let chunk = n.div_ceil(threads);
+    let mut parts: Vec<Vec<P::Item>> = Vec::with_capacity(threads);
+    std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(threads);
+        for t in 0..threads {
+            let start = t * chunk;
+            let end = ((t + 1) * chunk).min(n);
+            if start >= end {
+                break;
+            }
+            handles.push(s.spawn(move || {
+                IN_WORKER.with(|w| w.set(true));
+                let mut out = Vec::with_capacity(end - start);
+                it.eval_chunk(start, end, &mut out);
+                out
+            }));
+        }
+        for h in handles {
+            parts.push(h.join().expect("rayon-stub worker panicked"));
+        }
+    });
+    let mut out = Vec::with_capacity(n);
+    for p in parts {
+        out.extend(p);
+    }
+    out
+}
+
+/// `map` adaptor.
+pub struct Map<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, F, R> ParallelIterator for Map<P, F>
+where
+    P: ParallelIterator,
+    F: Fn(P::Item) -> R + Sync,
+    R: Send,
+{
+    type Item = R;
+
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+
+    fn eval_chunk(&self, start: usize, end: usize, out: &mut Vec<R>) {
+        let mut inner = Vec::with_capacity(end - start);
+        self.base.eval_chunk(start, end, &mut inner);
+        out.extend(inner.into_iter().map(&self.f));
+    }
+}
+
+/// `map_init` adaptor: one scratch value per evaluated chunk.
+pub struct MapInit<P, I, F> {
+    base: P,
+    init: I,
+    f: F,
+}
+
+impl<P, I, T, F, R> ParallelIterator for MapInit<P, I, F>
+where
+    P: ParallelIterator,
+    I: Fn() -> T + Sync,
+    F: Fn(&mut T, P::Item) -> R + Sync,
+    R: Send,
+{
+    type Item = R;
+
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+
+    fn eval_chunk(&self, start: usize, end: usize, out: &mut Vec<R>) {
+        let mut inner = Vec::with_capacity(end - start);
+        self.base.eval_chunk(start, end, &mut inner);
+        let mut scratch = (self.init)();
+        out.extend(inner.into_iter().map(|item| (self.f)(&mut scratch, item)));
+    }
+}
+
+/// Conversion into a parallel iterator (by value).
+pub trait IntoParallelIterator {
+    /// The parallel iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Item type.
+    type Item: Send;
+    /// Convert.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Parallel iterator over `Range<usize>`.
+pub struct RangeIter {
+    start: usize,
+    end: usize,
+}
+
+impl ParallelIterator for RangeIter {
+    type Item = usize;
+
+    fn par_len(&self) -> usize {
+        self.end - self.start
+    }
+
+    fn eval_chunk(&self, start: usize, end: usize, out: &mut Vec<usize>) {
+        out.extend(self.start + start..self.start + end);
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Iter = RangeIter;
+    type Item = usize;
+
+    fn into_par_iter(self) -> RangeIter {
+        RangeIter {
+            start: self.start,
+            end: self.end.max(self.start),
+        }
+    }
+}
+
+/// Parallel iterator over `&[T]`.
+pub struct SliceIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceIter<'a, T> {
+    type Item = &'a T;
+
+    fn par_len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn eval_chunk(&self, start: usize, end: usize, out: &mut Vec<&'a T>) {
+        out.extend(self.slice[start..end].iter());
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Iter = SliceIter<'a, T>;
+    type Item = &'a T;
+
+    fn into_par_iter(self) -> SliceIter<'a, T> {
+        SliceIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Iter = SliceIter<'a, T>;
+    type Item = &'a T;
+
+    fn into_par_iter(self) -> SliceIter<'a, T> {
+        SliceIter {
+            slice: self.as_slice(),
+        }
+    }
+}
+
+/// `par_iter()` by reference, as rayon's prelude provides.
+pub trait IntoParallelRefIterator<'data> {
+    /// The parallel iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Item type (a reference).
+    type Item: Send + 'data;
+    /// Borrowing conversion.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, C: ?Sized> IntoParallelRefIterator<'data> for C
+where
+    &'data C: IntoParallelIterator,
+    C: 'data,
+{
+    type Iter = <&'data C as IntoParallelIterator>::Iter;
+    type Item = <&'data C as IntoParallelIterator>::Item;
+
+    fn par_iter(&'data self) -> Self::Iter {
+        self.into_par_iter()
+    }
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// New builder with default (machine) parallelism.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cap the pool at `n` threads (0 = machine default).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Build the pool. Never fails in the stub; the `Result` mirrors rayon.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// Error type mirroring rayon's (the stub never produces it).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A scoped thread-count override; `install` runs `op` with the pool's
+/// parallelism visible to every parallel iterator it executes.
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `op` under this pool's thread-count setting.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        let prev = POOL_THREADS.with(|p| p.replace(self.num_threads));
+        let out = op();
+        POOL_THREADS.with(|p| p.set(prev));
+        out
+    }
+
+    /// The pool's configured parallelism.
+    pub fn current_num_threads(&self) -> usize {
+        if self.num_threads == 0 {
+            default_threads()
+        } else {
+            self.num_threads
+        }
+    }
+}
+
+/// Free-function mirror of `rayon::current_num_threads`.
+pub fn current_num_threads() -> usize {
+    current_threads()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn range_map_collect_is_index_ordered() {
+        let v: Vec<usize> = (0..1000usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn slice_par_iter_sum() {
+        let xs: Vec<usize> = (0..257).collect();
+        let s: usize = xs.par_iter().map(|&x| x).sum();
+        assert_eq!(s, 257 * 256 / 2);
+    }
+
+    #[test]
+    fn map_init_gets_fresh_scratch_per_chunk() {
+        // The scratch must never be shared across items of different chunks
+        // in a way that changes results: using it as a counter would be
+        // nondeterministic in real rayon, but pure uses are fine.
+        let v: Vec<usize> = (0..64usize)
+            .into_par_iter()
+            .map_init(Vec::<usize>::new, |scratch, i| {
+                scratch.push(i);
+                i
+            })
+            .collect();
+        assert_eq!(v, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pool_install_controls_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let a = pool.install(|| {
+            (0..100usize)
+                .into_par_iter()
+                .map(|i| i * i)
+                .collect::<Vec<_>>()
+        });
+        let pool4 = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let b = pool4.install(|| {
+            (0..100usize)
+                .into_par_iter()
+                .map(|i| i * i)
+                .collect::<Vec<_>>()
+        });
+        assert_eq!(a, b);
+        assert_eq!(pool.current_num_threads(), 1);
+        assert_eq!(pool4.current_num_threads(), 4);
+    }
+
+    #[test]
+    fn nested_parallelism_is_sequential_but_correct() {
+        let v: Vec<usize> = (0..8usize)
+            .into_par_iter()
+            .map(|i| {
+                (0..8usize)
+                    .into_par_iter()
+                    .map(|j| i * 8 + j)
+                    .sum::<usize>()
+            })
+            .collect();
+        let want: Vec<usize> = (0..8).map(|i| (0..8).map(|j| i * 8 + j).sum()).collect();
+        assert_eq!(v, want);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let v: Vec<usize> = (5..5usize).into_par_iter().map(|i| i).collect();
+        assert!(v.is_empty());
+        let xs: [u8; 0] = [];
+        let s: usize = xs.par_iter().map(|_| 1usize).sum();
+        assert_eq!(s, 0);
+    }
+}

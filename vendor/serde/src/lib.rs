@@ -1,0 +1,404 @@
+//! Offline drop-in subset of `serde` for this workspace.
+//!
+//! The build environment has no registry access, so the workspace vendors a
+//! minimal serialization framework under the `serde` name. Instead of the
+//! real crate's visitor architecture, types convert to and from a concrete
+//! JSON-shaped [`Value`] tree; the companion `serde_json` stub renders and
+//! parses that tree. The `#[derive(Serialize, Deserialize)]` macros are
+//! provided by the vendored `serde_derive` proc-macro and generate
+//! `to_value`/`from_value` implementations.
+//!
+//! Encoding conventions (stable; trained-model caches depend on them):
+//!
+//! * structs → maps keyed by field name;
+//! * unit enum variants → strings (`"Smlad"`);
+//! * newtype enum variants → single-entry maps (`{"Conv": {...}}`);
+//! * tuple enum variants of arity ≥ 2 → single-entry maps over a sequence;
+//! * `Option` → `Null` or the inner value;
+//! * non-finite floats → `Value::Float` with ±∞/NaN (rendered as `1e999`,
+//!   `-1e999`, `null` by `serde_json` — all of which parse back losslessly,
+//!   which the significance maps' `INFINITY` sentinel requires).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped dynamic value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Integral number (covers the full `u64`/`i64` ranges).
+    Int(i128),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Seq(Vec<Value>),
+    /// Object with insertion-ordered keys.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Borrow as a map, if this is one.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Borrow as a sequence, if this is one.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Short description of the variant, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    /// Build an error from any message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deserialization error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Field lookup helper used by derive-generated code.
+pub fn map_get<'a>(map: &'a [(String, Value)], key: &str) -> Result<&'a Value, DeError> {
+    map.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| DeError::custom(format!("missing field `{key}`")))
+}
+
+/// Serialization into the [`Value`] tree.
+pub trait Serialize {
+    /// Convert `self` to a dynamic value.
+    fn to_value(&self) -> Value;
+}
+
+/// Deserialization out of the [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Reconstruct `Self` from a dynamic value.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+// ---- primitive impls ------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::custom(format!(
+                "expected bool, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i128)
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Int(i) => <$t>::try_from(*i).map_err(|_| {
+                        DeError::custom(format!(
+                            "integer {} out of range for {}", i, stringify!($t)
+                        ))
+                    }),
+                    other => Err(DeError::custom(format!(
+                        "expected integer, got {}", other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, u128);
+
+impl Serialize for i128 {
+    fn to_value(&self) -> Value {
+        Value::Int(*self)
+    }
+}
+
+impl Deserialize for i128 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Int(i) => Ok(*i),
+            other => Err(DeError::custom(format!(
+                "expected integer, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Float(f) => Ok(*f as $t),
+                    // JSON writers emit integral floats without a dot.
+                    Value::Int(i) => Ok(*i as $t),
+                    // serde_json convention: non-finite floats may appear as null.
+                    Value::Null => Ok(<$t>::NAN),
+                    other => Err(DeError::custom(format!(
+                        "expected number, got {}", other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::custom(format!(
+                "expected string, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(DeError::custom(format!(
+                "expected char, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+// ---- container impls ------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(x) => x.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Seq(s) => s.iter().map(T::from_value).collect(),
+            other => Err(DeError::custom(format!(
+                "expected sequence, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + std::fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items: Vec<T> = Vec::from_value(v)?;
+        let got = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| DeError::custom(format!("expected array of {N}, got {got}")))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+)),+) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$n.to_value()),+])
+            }
+        }
+
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let s = v.as_seq().ok_or_else(|| {
+                    DeError::custom(format!("expected tuple sequence, got {}", v.kind()))
+                })?;
+                let want = [$($n),+].len();
+                if s.len() != want {
+                    return Err(DeError::custom(format!(
+                        "expected tuple of {want}, got {}", s.len()
+                    )));
+                }
+                Ok(($($t::from_value(&s[$n])?,)+))
+            }
+        }
+    )+};
+}
+
+impl_tuple!((0 A), (0 A, 1 B), (0 A, 1 B, 2 C), (0 A, 1 B, 2 C, 3 D));
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(i8::from_value(&(-7i8).to_value()).unwrap(), -7);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+        let f = f32::from_value(&1.5f32.to_value()).unwrap();
+        assert_eq!(f, 1.5);
+    }
+
+    #[test]
+    fn float_nonfinite_roundtrip() {
+        let v = f64::INFINITY.to_value();
+        assert_eq!(f64::from_value(&v).unwrap(), f64::INFINITY);
+        let n = f64::from_value(&Value::Null).unwrap();
+        assert!(n.is_nan());
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let xs = vec![Some(1u32), None, Some(3)];
+        let back: Vec<Option<u32>> = Vec::from_value(&xs.to_value()).unwrap();
+        assert_eq!(back, xs);
+        let arr = [1u64, 2, 3];
+        let back: [u64; 3] = <[u64; 3]>::from_value(&arr.to_value()).unwrap();
+        assert_eq!(back, arr);
+        let t = (1u8, -2.5f32);
+        let back: (u8, f32) = Deserialize::from_value(&t.to_value()).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn out_of_range_int_rejected() {
+        assert!(u8::from_value(&Value::Int(300)).is_err());
+        assert!(u64::from_value(&Value::Int(-1)).is_err());
+    }
+
+    #[test]
+    fn map_get_reports_missing_fields() {
+        let m = vec![("a".to_string(), Value::Int(1))];
+        assert!(map_get(&m, "a").is_ok());
+        let err = map_get(&m, "b").unwrap_err();
+        assert!(err.to_string().contains("missing field `b`"));
+    }
+}

@@ -1,0 +1,457 @@
+//! Offline `#[derive(Serialize, Deserialize)]` for the vendored serde
+//! subset.
+//!
+//! The build environment has no crates.io access, so this proc-macro avoids
+//! `syn`/`quote` entirely: it walks the raw [`proc_macro::TokenTree`] stream
+//! of the item with a small hand-rolled parser (attributes, visibility,
+//! generics, named-struct fields, enum variants with optional payloads or
+//! discriminants) and emits the trait impls as source strings.
+//!
+//! Supported shapes — exactly what the workspace derives on:
+//!
+//! * structs with named fields (possibly generic, e.g. `Tensor<T>`);
+//! * enums of unit variants (with or without `= disc`) and tuple variants.
+//!
+//! Unsupported shapes (tuple/unit structs, struct variants, lifetimes,
+//! const generics) produce a `compile_error!` naming the offender.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize` (value-tree `to_value`).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+/// Derive `serde::Deserialize` (value-tree `from_value`).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+enum Shape {
+    /// Named-field struct: field identifiers in declaration order.
+    Struct(Vec<String>),
+    /// Enum: `(variant_name, payload_arity)` in declaration order.
+    Enum(Vec<(String, usize)>),
+}
+
+struct Item {
+    name: String,
+    /// Type-parameter identifiers (e.g. `["T"]` for `Tensor<T>`).
+    generics: Vec<String>,
+    shape: Shape,
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => {
+            return format!("compile_error!({msg:?});").parse().unwrap();
+        }
+    };
+    let code = match mode {
+        Mode::Serialize => gen_serialize(&item),
+        Mode::Deserialize => gen_deserialize(&item),
+    };
+    code.parse().unwrap()
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs(&toks, &mut i);
+    skip_visibility(&toks, &mut i);
+
+    let kind = match toks.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" || id.to_string() == "enum" => {
+            i += 1;
+            toks[i - 1].to_string()
+        }
+        other => {
+            return Err(format!(
+                "serde derive: expected struct/enum, found {other:?}"
+            ))
+        }
+    };
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => {
+            i += 1;
+            id.to_string()
+        }
+        other => return Err(format!("serde derive: expected type name, found {other:?}")),
+    };
+    let generics = parse_generics(&toks, &mut i)?;
+
+    // Skip anything up to the body (covers where-clauses, none expected).
+    let body = loop {
+        match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                break g.stream();
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err(format!(
+                    "serde derive: tuple struct `{name}` is unsupported"
+                ));
+            }
+            Some(_) => i += 1,
+            None => return Err(format!("serde derive: `{name}` has no body")),
+        }
+    };
+
+    let shape = if kind == "struct" {
+        Shape::Struct(parse_struct_fields(body, &name)?)
+    } else {
+        Shape::Enum(parse_enum_variants(body, &name)?)
+    };
+    Ok(Item {
+        name,
+        generics,
+        shape,
+    })
+}
+
+/// Skip `#[...]` attribute groups (doc comments arrive in this form too).
+fn skip_attrs(toks: &[TokenTree], i: &mut usize) {
+    while let (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g))) =
+        (toks.get(*i), toks.get(*i + 1))
+    {
+        if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket {
+            *i += 2;
+        } else {
+            break;
+        }
+    }
+}
+
+/// Skip `pub`, `pub(crate)`, `pub(super)`, ...
+fn skip_visibility(toks: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = toks.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = toks.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Parse `<T, U: Bound, ...>` returning the type-parameter names.
+fn parse_generics(toks: &[TokenTree], i: &mut usize) -> Result<Vec<String>, String> {
+    let mut params = Vec::new();
+    match toks.get(*i) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {}
+        _ => return Ok(params),
+    }
+    *i += 1;
+    let mut depth = 1usize;
+    let mut at_param_start = true;
+    while depth > 0 {
+        match toks.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                depth += 1;
+                *i += 1;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                depth -= 1;
+                *i += 1;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 1 => {
+                at_param_start = true;
+                *i += 1;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '\'' => {
+                return Err("serde derive: lifetimes are unsupported".to_string());
+            }
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "const" {
+                    return Err("serde derive: const generics are unsupported".to_string());
+                }
+                if at_param_start && depth == 1 {
+                    params.push(s);
+                    at_param_start = false;
+                }
+                *i += 1;
+            }
+            Some(_) => *i += 1,
+            None => return Err("serde derive: unterminated generics".to_string()),
+        }
+    }
+    Ok(params)
+}
+
+/// Consume a type, stopping at a top-level `,` (which is consumed) or end.
+fn skip_type(toks: &[TokenTree], i: &mut usize) {
+    let mut angle = 0i32;
+    while let Some(t) = toks.get(*i) {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                *i += 1;
+                return;
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+fn parse_struct_fields(body: TokenStream, name: &str) -> Result<Vec<String>, String> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    loop {
+        skip_attrs(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        skip_visibility(&toks, &mut i);
+        let field = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => {
+                i += 1;
+                id.to_string()
+            }
+            other => {
+                return Err(format!("serde derive: bad field in `{name}`: {other:?}"));
+            }
+        };
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => {
+                return Err(format!(
+                    "serde derive: expected `:` after `{name}.{field}`, found {other:?}"
+                ));
+            }
+        }
+        skip_type(&toks, &mut i);
+        fields.push(field);
+    }
+    Ok(fields)
+}
+
+fn parse_enum_variants(body: TokenStream, name: &str) -> Result<Vec<(String, usize)>, String> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let vname = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => {
+                i += 1;
+                id.to_string()
+            }
+            other => {
+                return Err(format!("serde derive: bad variant in `{name}`: {other:?}"));
+            }
+        };
+        let mut arity = 0usize;
+        match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                arity = tuple_arity(g.stream());
+                i += 1;
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                return Err(format!(
+                    "serde derive: struct variant `{name}::{vname}` is unsupported"
+                ));
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                i += 1;
+                skip_type(&toks, &mut i); // skip discriminant up to `,`
+                variants.push((vname, 0));
+                continue;
+            }
+            _ => {}
+        }
+        if let Some(TokenTree::Punct(p)) = toks.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            } else if p.as_char() == '=' {
+                i += 1;
+                skip_type(&toks, &mut i);
+            }
+        }
+        variants.push((vname, arity));
+    }
+    Ok(variants)
+}
+
+/// Count top-level fields of a tuple-variant payload.
+fn tuple_arity(body: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut angle = 0i32;
+    let mut fields = 1usize;
+    let mut trailing_comma = false;
+    for t in &toks {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                fields += 1;
+                trailing_comma = true;
+                continue;
+            }
+            _ => {}
+        }
+        trailing_comma = false;
+    }
+    if trailing_comma {
+        fields -= 1;
+    }
+    fields
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn impl_header(item: &Item, trait_name: &str) -> String {
+    if item.generics.is_empty() {
+        format!("impl ::serde::{trait_name} for {}", item.name)
+    } else {
+        let bounded: Vec<String> = item
+            .generics
+            .iter()
+            .map(|g| format!("{g}: ::serde::{trait_name}"))
+            .collect();
+        let plain = item.generics.join(", ");
+        format!(
+            "impl<{}> ::serde::{trait_name} for {}<{plain}>",
+            bounded.join(", "),
+            item.name
+        )
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let header = impl_header(item, "Serialize");
+    let body = match &item.shape {
+        Shape::Struct(fields) => {
+            let mut pushes = String::new();
+            for f in fields {
+                pushes.push_str(&format!(
+                    "__m.push(({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f})));"
+                ));
+            }
+            format!(
+                "let mut __m: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::with_capacity({});{pushes}::serde::Value::Map(__m)",
+                fields.len()
+            )
+        }
+        Shape::Enum(variants) => {
+            let name = &item.name;
+            let mut arms = String::new();
+            for (v, arity) in variants {
+                match arity {
+                    0 => arms.push_str(&format!(
+                        "{name}::{v} => ::serde::Value::Str({v:?}.to_string()),"
+                    )),
+                    1 => arms.push_str(&format!(
+                        "{name}::{v}(__f0) => ::serde::Value::Map(::std::vec![({v:?}.to_string(), \
+                         ::serde::Serialize::to_value(__f0))]),"
+                    )),
+                    n => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{v}({}) => ::serde::Value::Map(::std::vec![({v:?}.to_string(), \
+                             ::serde::Value::Seq(::std::vec![{}]))]),",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "#[automatically_derived] #[allow(clippy::all)] {header} {{ \
+         fn to_value(&self) -> ::serde::Value {{ {body} }} }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let header = impl_header(item, "Deserialize");
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                inits.push_str(&format!(
+                    "{f}: ::serde::Deserialize::from_value(::serde::map_get(__m, {f:?})?)?,"
+                ));
+            }
+            format!(
+                "let __m = __v.as_map().ok_or_else(|| ::serde::DeError::custom(\
+                 format!(\"expected map for `{name}`, got {{}}\", __v.kind())))?;\
+                 ::std::result::Result::Ok(Self {{ {inits} }})"
+            )
+        }
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for (v, arity) in variants {
+                match arity {
+                    0 => unit_arms
+                        .push_str(&format!("{v:?} => ::std::result::Result::Ok({name}::{v}),")),
+                    1 => payload_arms.push_str(&format!(
+                        "{v:?} => ::std::result::Result::Ok({name}::{v}(\
+                         ::serde::Deserialize::from_value(__inner)?)),"
+                    )),
+                    n => {
+                        let gets: Vec<String> = (0..*n)
+                            .map(|k| format!("::serde::Deserialize::from_value(&__s[{k}])?"))
+                            .collect();
+                        payload_arms.push_str(&format!(
+                            "{v:?} => {{ let __s = __inner.as_seq().ok_or_else(|| \
+                             ::serde::DeError::custom(\"expected sequence payload\"))?; \
+                             if __s.len() != {n} {{ return ::std::result::Result::Err(\
+                             ::serde::DeError::custom(\"wrong payload arity\")); }} \
+                             ::std::result::Result::Ok({name}::{v}({})) }},",
+                            gets.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __v {{ \
+                 ::serde::Value::Str(__s) => match __s.as_str() {{ {unit_arms} \
+                   __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                   format!(\"unknown variant `{{__other}}` of `{name}`\"))), }}, \
+                 ::serde::Value::Map(__m) if __m.len() == 1 => {{ \
+                   let (__k, __inner) = &__m[0]; \
+                   match __k.as_str() {{ {payload_arms} \
+                     __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                     format!(\"unknown variant `{{__other}}` of `{name}`\"))), }} }}, \
+                 __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                 format!(\"expected variant of `{name}`, got {{}}\", __other.kind()))), }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived] #[allow(clippy::all)] {header} {{ \
+         fn from_value(__v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::DeError> {{ {body} }} }}"
+    )
+}
