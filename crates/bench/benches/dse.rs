@@ -84,7 +84,7 @@ fn bench_masked_conv_throughput(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("compiled_mask", tau), &tau, |b, _| {
             b.iter(|| black_box(q.forward_compiled(&qin, Some(&compiled))))
         });
-        let cols = q.conv0_cols_t(&qin).expect("conv first");
+        let cols = q.conv0_pair_cols(&qin).expect("conv first");
         let mut scratch = ForwardScratch::for_model(&q);
         group.bench_with_input(
             BenchmarkId::new("compiled_mask_conv0_cached", tau),

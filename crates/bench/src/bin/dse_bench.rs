@@ -1,17 +1,25 @@
 //! **BENCH_dse**: design-evaluation throughput of `dse::explore` — the
-//! number the compiled-mask kernels + evaluation cache exist to move.
+//! number the batch-major compiled kernels + evaluation cache exist to
+//! move.
 //!
 //! Runs a fixed τ grid (24 configs × 128 eval images on `zoo::mini_cifar`)
 //! through the pre-cache boolean-mask baseline (`explore_reference`) and
-//! the compiled+cached production path (`explore`), checks the results are
-//! bit-exact, and emits `BENCH_dse.json` so the perf trajectory is tracked
-//! from PR to PR.
+//! the batched compiled+cached production path (`explore`), checks the
+//! results are bit-exact, and emits `BENCH_dse.json` so the perf
+//! trajectory is tracked from PR to PR (CI compares against the committed
+//! file and fails on >25% regressions — see `perf_gate`).
+//!
+//! Also reported: the SIMD dispatch level of the pair-stream kernels
+//! (throughput is only comparable at the same level), the eval batch size,
+//! and the evaluation cache's resident bytes (batched inputs + batched
+//! first-conv pair columns), so memory growth stays visible alongside
+//! throughput.
 //!
 //! ```sh
 //! cargo run -p ataman-bench --release --bin dse_bench
 //! ```
 
-use dse::{explore, explore_reference, EvaluatedDesign, ExploreOptions};
+use dse::{explore, explore_reference, DseEvalCache, EvaluatedDesign, ExploreOptions};
 use quantize::{calibrate_ranges, quantize_model};
 use serde::Serialize;
 use signif::{capture_mean_inputs, SignificanceMap, TauAssignment};
@@ -19,7 +27,7 @@ use std::time::Instant;
 
 const GRID_CONFIGS: usize = 24;
 const EVAL_IMAGES: usize = 128;
-const REPS: usize = 3;
+const REPS: usize = 5;
 
 #[derive(Serialize)]
 struct BenchReport {
@@ -27,6 +35,9 @@ struct BenchReport {
     grid_configs: usize,
     eval_images: usize,
     reps: usize,
+    simd_level: String,
+    eval_batch: usize,
+    cache_resident_bytes: u64,
     baseline_seconds: f64,
     cached_seconds: f64,
     baseline_designs_per_sec: f64,
@@ -54,7 +65,9 @@ fn time_best_of<F: FnMut() -> Vec<EvaluatedDesign>>(
 }
 
 fn main() {
-    println!("== BENCH_dse: explore() throughput, bool-mask baseline vs compiled+cached ==");
+    println!(
+        "== BENCH_dse: explore() throughput, bool-mask baseline vs batched compiled+cached =="
+    );
     let mut cfg = cifar10sim::DatasetConfig::paper_default();
     cfg.n_train = 512;
     cfg.n_test = EVAL_IMAGES;
@@ -82,6 +95,18 @@ fn main() {
         ..Default::default()
     };
 
+    // Cache geometry report (the timed explore() builds its own). One
+    // accuracy call first, so the reported bytes include the steady-state
+    // scratch pool, not just the cold cache data.
+    let cache = DseEvalCache::new(&q, &data.test.take(EVAL_IMAGES));
+    let _ = cache.accuracy(
+        &q,
+        &sig.compiled_masks_for_tau(&q, &TauAssignment::global(0.0)),
+    );
+    let cache_resident_bytes = cache.resident_bytes();
+    let eval_batch = cache.batch_size();
+    drop(cache);
+
     // Warm-up both paths once (page in code, size caches).
     let _ = explore(
         &q,
@@ -99,8 +124,13 @@ fn main() {
     );
 
     println!(
-        "measuring {} reps of {} configs x {} images on {} ...",
-        REPS, GRID_CONFIGS, EVAL_IMAGES, q.name
+        "measuring {} reps of {} configs x {} images on {} (batch {}, {} kernels) ...",
+        REPS,
+        GRID_CONFIGS,
+        EVAL_IMAGES,
+        q.name,
+        eval_batch,
+        quantize::simd_level_name()
     );
     let (baseline_s, baseline) = time_best_of(REPS, || {
         explore_reference(&q, &sig, &data.test, &configs, &opts)
@@ -121,6 +151,9 @@ fn main() {
         grid_configs: GRID_CONFIGS,
         eval_images: EVAL_IMAGES,
         reps: REPS,
+        simd_level: quantize::simd_level_name().to_string(),
+        eval_batch,
+        cache_resident_bytes,
         baseline_seconds: baseline_s,
         cached_seconds: cached_s,
         baseline_designs_per_sec: GRID_CONFIGS as f64 / baseline_s,
@@ -134,12 +167,14 @@ fn main() {
         report.baseline_seconds, report.baseline_designs_per_sec
     );
     println!(
-        "cached:   {:.3} s ({:.1} designs/s)",
+        "batched:  {:.3} s ({:.1} designs/s)",
         report.cached_seconds, report.cached_designs_per_sec
     );
     println!(
-        "speedup:  {:.2}x   bit-exact: {}",
-        report.speedup, report.bit_exact
+        "speedup:  {:.2}x   bit-exact: {}   cache resident: {} KiB",
+        report.speedup,
+        report.bit_exact,
+        report.cache_resident_bytes / 1024
     );
 
     let json = serde_json::to_string_pretty(&report).expect("report serialization");

@@ -1,0 +1,295 @@
+//! **perf_gate**: the CI perf-regression gate over the `BENCH_*.json`
+//! trajectory files.
+//!
+//! Compares freshly measured benchmark reports against the committed
+//! baselines and fails (exit 1) when a gated throughput metric regresses
+//! by more than the tolerance — 25%, sized for noisy shared CI runners;
+//! the perf *trajectory* is guarded by the committed files improving PR
+//! over PR, while the gate catches real cliffs. Throughput (and the
+//! baseline-relative `speedup`, whose numerator is SIMD-level-dependent)
+//! is gated only when both reports ran at the same SIMD dispatch level —
+//! a VNNI dev-box baseline is incomparable to a non-VNNI runner, and a
+//! machine mismatch must not masquerade as a regression. Latency
+//! percentiles and memory are reported for visibility but not gated
+//! (closed-loop latency on a noisy runner swings more than real
+//! regressions do).
+//!
+//! ```sh
+//! cargo run -p ataman-bench --release --bin perf_gate -- <baseline_dir> <current_dir>
+//! ```
+//!
+//! Writes a markdown comparison table to stdout and, when
+//! `GITHUB_STEP_SUMMARY` is set, appends it to the job summary. A missing
+//! baseline file passes (bootstrap for newly added benchmarks); a missing
+//! *current* file fails (the bench didn't run).
+
+use serde::Value;
+use std::fmt::Write as _;
+use std::path::Path;
+use std::process::ExitCode;
+
+/// Throughput regression tolerance: fail below `1 - TOLERANCE` × baseline.
+const TOLERANCE: f64 = 0.25;
+
+/// How the gate treats one tracked metric.
+enum Gate {
+    /// Reported for visibility only.
+    Info,
+    /// Enforced only when both reports carry the same `simd_level` —
+    /// absolute throughput on a VNNI dev box is incomparable to a non-VNNI
+    /// CI runner, and a machine mismatch must not masquerade as a
+    /// regression (or vice versa). Note `speedup` is also level-dependent
+    /// (its numerator runs the SIMD kernels, its denominator does not), so
+    /// no metric is enforced across dispatch levels.
+    SameMachine,
+}
+
+/// One tracked metric of one report file.
+struct Metric {
+    /// JSON field name.
+    field: &'static str,
+    /// Enforcement policy (higher-is-better where enforced).
+    gate: Gate,
+}
+
+struct Spec {
+    file: &'static str,
+    metrics: &'static [Metric],
+}
+
+const SPECS: &[Spec] = &[
+    Spec {
+        file: "BENCH_dse.json",
+        metrics: &[
+            Metric {
+                field: "cached_designs_per_sec",
+                gate: Gate::SameMachine,
+            },
+            Metric {
+                field: "speedup",
+                gate: Gate::SameMachine,
+            },
+            Metric {
+                field: "baseline_designs_per_sec",
+                gate: Gate::Info,
+            },
+            Metric {
+                field: "cache_resident_bytes",
+                gate: Gate::Info,
+            },
+        ],
+    },
+    Spec {
+        file: "BENCH_serve.json",
+        metrics: &[
+            Metric {
+                field: "images_per_sec",
+                gate: Gate::SameMachine,
+            },
+            Metric {
+                field: "latency_p50_ms",
+                gate: Gate::Info,
+            },
+            Metric {
+                field: "latency_p99_ms",
+                gate: Gate::Info,
+            },
+            Metric {
+                field: "mean_batch_size",
+                gate: Gate::Info,
+            },
+        ],
+    },
+];
+
+/// A report file is either absent (acceptable for baselines: bootstrap),
+/// present and parseable, or present but corrupt (always a hard failure —
+/// a truncated or conflict-markered baseline must not silently disable
+/// the gate).
+enum Report {
+    Missing,
+    Ok(Value),
+    Corrupt,
+}
+
+fn load(path: &Path) -> Report {
+    match std::fs::read_to_string(path) {
+        Err(_) => Report::Missing,
+        Ok(text) => match serde_json::from_str(&text) {
+            Ok(v) => Report::Ok(v),
+            Err(_) => Report::Corrupt,
+        },
+    }
+}
+
+fn number(v: &Value, field: &str) -> Option<f64> {
+    let entries = v.as_map()?;
+    match entries.iter().find(|(k, _)| k == field)? {
+        (_, Value::Int(i)) => Some(*i as f64),
+        (_, Value::Float(f)) => Some(*f),
+        _ => None,
+    }
+}
+
+fn string<'a>(v: &'a Value, field: &str) -> Option<&'a str> {
+    let entries = v.as_map()?;
+    match entries.iter().find(|(k, _)| k == field)? {
+        (_, Value::Str(s)) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() != 3 {
+        eprintln!("usage: perf_gate <baseline_dir> <current_dir>");
+        return ExitCode::from(2);
+    }
+    let (base_dir, cur_dir) = (Path::new(&args[1]), Path::new(&args[2]));
+
+    let mut table = String::new();
+    let mut failures: Vec<String> = Vec::new();
+    writeln!(
+        table,
+        "## Perf gate (tolerance: {:.0}% on gated throughput)",
+        TOLERANCE * 100.0
+    )
+    .unwrap();
+    writeln!(
+        table,
+        "\n| file | metric | committed | current | ratio | gate |"
+    )
+    .unwrap();
+    writeln!(table, "|---|---|---:|---:|---:|---|").unwrap();
+
+    for spec in SPECS {
+        let base = load(&base_dir.join(spec.file));
+        let cur = load(&cur_dir.join(spec.file));
+        let (base, cur) = match (base, cur) {
+            (_, Report::Missing) => {
+                failures.push(format!(
+                    "{}: current report missing (bench did not run)",
+                    spec.file
+                ));
+                writeln!(table, "| {} | — | — | **missing** | — | ❌ |", spec.file).unwrap();
+                continue;
+            }
+            (_, Report::Corrupt) => {
+                failures.push(format!("{}: current report unparseable", spec.file));
+                writeln!(table, "| {} | — | — | **corrupt** | — | ❌ |", spec.file).unwrap();
+                continue;
+            }
+            (Report::Corrupt, _) => {
+                failures.push(format!(
+                    "{}: committed baseline unparseable (fix or delete it; a corrupt \
+                     baseline must not disable the gate)",
+                    spec.file
+                ));
+                writeln!(
+                    table,
+                    "| {} | — | **corrupt** | present | — | ❌ |",
+                    spec.file
+                )
+                .unwrap();
+                continue;
+            }
+            (Report::Missing, Report::Ok(_)) => {
+                writeln!(
+                    table,
+                    "| {} | — | *(no baseline)* | present | — | ✅ bootstrap |",
+                    spec.file
+                )
+                .unwrap();
+                continue;
+            }
+            (Report::Ok(b), Report::Ok(c)) => (b, c),
+        };
+        // Absolute throughput is only comparable between runs of the same
+        // kernel dispatch level (and, implicitly, machine class).
+        let same_machine = match (string(&base, "simd_level"), string(&cur, "simd_level")) {
+            (Some(b), Some(c)) => b == c,
+            // Older baselines without the field: assume same machine (the
+            // pre-field behavior) rather than silently un-gating.
+            _ => true,
+        };
+        if !same_machine {
+            writeln!(
+                table,
+                "| {} | simd_level | {} | {} | — | ⚠️ machine mismatch: throughput not gated |",
+                spec.file,
+                string(&base, "simd_level").unwrap_or("?"),
+                string(&cur, "simd_level").unwrap_or("?"),
+            )
+            .unwrap();
+        }
+        for m in spec.metrics {
+            let (b, c) = (number(&base, m.field), number(&cur, m.field));
+            let (b, c) = match (b, c) {
+                (Some(b), Some(c)) => (b, c),
+                _ => {
+                    // A field absent from the committed baseline (older
+                    // schema) is informational only.
+                    writeln!(
+                        table,
+                        "| {} | {} | *(absent)* | {} | — | ✅ |",
+                        spec.file,
+                        m.field,
+                        c.map_or("—".to_string(), |v| format!("{v:.1}"))
+                    )
+                    .unwrap();
+                    continue;
+                }
+            };
+            let ratio = if b > 0.0 { c / b } else { f64::INFINITY };
+            let enforced = match m.gate {
+                Gate::Info => false,
+                Gate::SameMachine => same_machine,
+            };
+            let status = if !enforced {
+                "ℹ️"
+            } else if ratio >= 1.0 - TOLERANCE {
+                "✅"
+            } else {
+                failures.push(format!(
+                    "{} {}: {:.1} → {:.1} ({:.0}% of committed, below {:.0}%)",
+                    spec.file,
+                    m.field,
+                    b,
+                    c,
+                    ratio * 100.0,
+                    (1.0 - TOLERANCE) * 100.0
+                ));
+                "❌"
+            };
+            writeln!(
+                table,
+                "| {} | {} | {:.1} | {:.1} | {:.2}x | {} |",
+                spec.file, m.field, b, c, ratio, status
+            )
+            .unwrap();
+        }
+    }
+
+    println!("{table}");
+    if let Ok(summary) = std::env::var("GITHUB_STEP_SUMMARY") {
+        use std::io::Write as _;
+        if let Ok(mut f) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(summary)
+        {
+            let _ = writeln!(f, "{table}");
+        }
+    }
+
+    if failures.is_empty() {
+        println!("perf gate: OK");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("perf gate: FAILED");
+        for f in &failures {
+            eprintln!("  - {f}");
+        }
+        ExitCode::FAILURE
+    }
+}

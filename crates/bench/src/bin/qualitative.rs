@@ -1,4 +1,4 @@
-//! **Section III qualitative comparison**: CMix-NN [9] and µTVM [10].
+//! **Section III qualitative comparison**: CMix-NN \[9\] and µTVM \[10\].
 //!
 //! The paper compares against published numbers (it does not rerun those
 //! systems); we do the same — the CMix-NN/µTVM figures below are literature

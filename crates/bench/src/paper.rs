@@ -124,13 +124,13 @@ impl PaperNumbers {
     }
 
     /// Section III qualitative constants.
-    /// CMix-NN [9]: model with 13.8M MACs; the paper's framework runs a
+    /// CMix-NN \[9\]: model with 13.8M MACs; the paper's framework runs a
     /// comparable model at 124 ms, a "62% reduction in latency" — implying
     /// CMix-NN ≈ 326 ms at 160 MHz.
     pub const CMIX_NN_MACS_M: f64 = 13.8;
     /// Implied CMix-NN latency (ms) at 160 MHz.
     pub const CMIX_NN_LATENCY_MS: f64 = 326.0;
-    /// µTVM [10] reports +13% latency vs CMSIS-NN on a similar LeNet.
+    /// µTVM \[10\] reports +13% latency vs CMSIS-NN on a similar LeNet.
     pub const UTVM_OVERHEAD_VS_CMSIS: f64 = 0.13;
     /// The paper's speedup vs µTVM at <5% accuracy loss.
     pub const PAPER_SPEEDUP_VS_UTVM: f64 = 0.32;

@@ -1,7 +1,7 @@
 //! # cmsisnn
 //!
 //! CMSIS-NN-equivalent **exact** int8 inference engine — the paper's
-//! baseline (reference [2], `arm_convolve_s8` / `arm_nn_mat_mult_kernel_s8_s16`
+//! baseline (reference \[2\], `arm_convolve_s8` / `arm_nn_mat_mult_kernel_s8_s16`
 //! path) rebuilt in Rust on top of the [`mcusim`] cost model.
 //!
 //! Faithfulness properties:

@@ -4,88 +4,185 @@
 //! Profiling the naive `explore()` shows every design redoing, per eval
 //! image, work that no τ can change: quantizing the f32 image into the
 //! int8 input domain, and — because the first conv consumes the raw input —
-//! the first conv's im2col gather and centering. [`DseEvalCache`]
-//! front-loads both:
+//! the first conv's im2col gather, centering and pair interleave.
+//! [`DseEvalCache`] front-loads both, and it does so **batch-major**: the
+//! eval set is packed into batches of [`DseEvalCache::batch_size`] images
+//! (a ragged final batch when the set doesn't divide evenly) so that
+//! [`DseEvalCache::accuracy`] — the hot call of the whole DSE — runs the
+//! batched pair-stream kernels, traversing each design's weight streams and
+//! output stages once per *batch* instead of once per image:
 //!
-//! * `qinputs[i]` — the quantized input of eval image `i`;
-//! * `conv0_cols[i]` — image `i`'s centered first-conv columns (the `a_i`
-//!   stream of Eq. (1) for conv ordinal 0), handed straight to the kernel
-//!   so masked evaluation of conv 0 starts at the MAC loop;
-//! * `labels[i]` — for Top-1 accuracy without touching the `Dataset` again.
+//! * `qinputs` — each batch's quantized inputs, stacked back-to-back;
+//! * `conv0_pcols` — each batch's pair-interleaved first-conv columns (the
+//!   `a_i` stream of Eq. (1) for conv ordinal 0, batched), handed straight
+//!   to the kernel so masked evaluation of conv 0 starts at the MAC loop;
+//! * `labels` — for Top-1 accuracy without touching the `Dataset` again.
 //!
 //! The cache is immutable after construction and `Sync`, so
 //! `explore()`/`greedy_refine()` workers share one instance across designs
-//! and rayon threads.
+//! and rayon threads. The per-image compiled path
+//! ([`QuantModel::predict_compiled_scratch`]) stays available as the
+//! bit-exactness reference; tests assert batch accuracy equals the
+//! per-image boolean-mask accuracy exactly.
 
 use cifar10sim::Dataset;
-use quantize::{CompiledMasks, ForwardScratch, QuantModel};
+use quantize::{BatchScratch, CompiledMasks, QuantModel};
 use rayon::prelude::*;
+use std::sync::Mutex;
 
-/// Pre-quantized inputs + first-conv columns + labels for one eval set.
-pub struct DseEvalCache {
-    qinputs: Vec<Vec<i8>>,
-    /// `None` when the model does not start with a convolution.
-    conv0_cols: Option<Vec<Vec<i16>>>,
+/// Default images per batch: big enough to amortize per-batch stream
+/// traversal and queueing, small enough that a batch's working set (batched
+/// pair columns + batch-planar activations, several hundred KB at this
+/// size for the paper's models) stays L2-resident — measured optimum on the
+/// reference machine; larger batches thrash L2 and measure ~15% slower.
+pub const DEFAULT_EVAL_BATCH: usize = 12;
+
+/// One batch of the eval set in batch-major form.
+struct EvalBatch {
+    /// Images in this batch (the final batch may be ragged).
+    len: usize,
+    /// Quantized inputs, stacked back-to-back (`len × input_len`).
+    qinputs: Vec<i8>,
+    /// Batched pair-interleaved first-conv columns; `None` when the model
+    /// does not start with a convolution.
+    conv0_pcols: Option<Vec<i16>>,
+    /// Ground-truth labels.
     labels: Vec<u8>,
+}
+
+/// Pre-quantized batched inputs + first-conv pair columns + labels for one
+/// eval set.
+pub struct DseEvalCache {
+    batch_size: usize,
+    n_images: usize,
+    batches: Vec<EvalBatch>,
+    /// Reusable [`BatchScratch`]es, checked out per worker per
+    /// [`DseEvalCache::accuracy`] call and returned afterwards — the DSE
+    /// calls `accuracy` once per design, and reallocating multi-megabyte
+    /// batched column buffers per design is measurable. Scratches are sized
+    /// for the model the cache was built for (the only model `accuracy`
+    /// accepts meaningful masks of).
+    scratch_pool: Mutex<Vec<BatchScratch>>,
+}
+
+/// Checked-out scratch that returns itself to the pool on drop (covers the
+/// early-return and panic paths of rayon workers).
+struct PooledScratch<'a> {
+    pool: &'a Mutex<Vec<BatchScratch>>,
+    scratch: Option<BatchScratch>,
+}
+
+impl Drop for PooledScratch<'_> {
+    fn drop(&mut self) {
+        if let Some(s) = self.scratch.take() {
+            self.pool.lock().unwrap().push(s);
+        }
+    }
 }
 
 impl DseEvalCache {
     /// Build the cache for `eval_set` (all images; callers slice the set
-    /// beforehand via `Dataset::take`).
+    /// beforehand via `Dataset::take`) at the default batch size.
     pub fn new(model: &QuantModel, eval_set: &Dataset) -> Self {
+        Self::with_batch_size(model, eval_set, DEFAULT_EVAL_BATCH)
+    }
+
+    /// Build the cache with an explicit batch size (tests exercise ragged
+    /// and unit batches; benchmarks sweep it).
+    pub fn with_batch_size(model: &QuantModel, eval_set: &Dataset, batch_size: usize) -> Self {
+        assert!(batch_size >= 1, "batch size must be at least 1");
         let n = eval_set.len();
-        let qinputs: Vec<Vec<i8>> = (0..n)
+        let in_len = model.input_shape.item_len();
+        let n_batches = n.div_ceil(batch_size);
+        let batches: Vec<EvalBatch> = (0..n_batches)
             .into_par_iter()
-            .map(|i| model.quantize_input(eval_set.image(i)))
+            .map(|bi| {
+                let start = bi * batch_size;
+                let len = batch_size.min(n - start);
+                let mut qinputs = Vec::with_capacity(len * in_len);
+                for i in start..start + len {
+                    qinputs.extend(model.quantize_input(eval_set.image(i)));
+                }
+                let conv0_pcols = model.conv0_pair_cols_batch(&qinputs, len);
+                EvalBatch {
+                    len,
+                    qinputs,
+                    conv0_pcols,
+                    labels: eval_set.labels[start..start + len].to_vec(),
+                }
+            })
             .collect();
-        let starts_with_conv = matches!(model.layers.first(), Some(quantize::QLayer::Conv(_)));
-        let conv0_cols = if n > 0 && starts_with_conv {
-            Some(
-                qinputs
-                    .par_iter()
-                    .map(|q| model.conv0_cols_t(q).expect("first layer is conv"))
-                    .collect(),
-            )
-        } else {
-            None
-        };
         Self {
-            qinputs,
-            conv0_cols,
-            labels: eval_set.labels.clone(),
+            batch_size,
+            n_images: n,
+            batches,
+            scratch_pool: Mutex::new(Vec::new()),
         }
     }
 
     /// Number of cached images.
     pub fn len(&self) -> usize {
-        self.qinputs.len()
+        self.n_images
     }
 
     /// True when the cache holds no images.
     pub fn is_empty(&self) -> bool {
-        self.qinputs.is_empty()
+        self.n_images == 0
     }
 
-    /// Whether first-conv columns are cached (model starts with a conv).
+    /// Images per full batch (the final batch may hold fewer).
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    /// Number of batches (including a ragged tail batch, if any).
+    pub fn n_batches(&self) -> usize {
+        self.batches.len()
+    }
+
+    /// Whether first-conv pair columns are cached (model starts with a
+    /// conv).
     pub fn has_conv0_cols(&self) -> bool {
-        self.conv0_cols.is_some()
+        self.batches
+            .first()
+            .is_some_and(|b| b.conv0_pcols.is_some())
     }
 
-    /// Approximate resident bytes (qinputs + conv0 columns), for reporting.
+    /// Resident bytes of the cache: batched quantized inputs, batched
+    /// first-conv pair-column buffers, labels, **and** the pooled
+    /// [`BatchScratch`]es retained from past [`DseEvalCache::accuracy`]
+    /// calls (one per worker at steady state — the largest growing
+    /// component on wide machines). Reported by `dse_bench` so memory
+    /// growth stays visible in the perf trajectory.
     pub fn resident_bytes(&self) -> u64 {
-        let qi: u64 = self.qinputs.iter().map(|v| v.len() as u64).sum();
-        let cc: u64 = self
-            .conv0_cols
-            .as_ref()
-            .map(|cols| cols.iter().map(|v| 2 * v.len() as u64).sum())
-            .unwrap_or(0);
-        qi + cc + self.labels.len() as u64
+        let data: u64 = self
+            .batches
+            .iter()
+            .map(|b| {
+                b.qinputs.len() as u64
+                    + b.conv0_pcols.as_ref().map_or(0, |c| 2 * c.len() as u64)
+                    + b.labels.len() as u64
+            })
+            .sum();
+        let pool: u64 = self
+            .scratch_pool
+            .lock()
+            .unwrap()
+            .iter()
+            .map(BatchScratch::resident_bytes)
+            .sum();
+        data + pool
     }
 
     /// Top-1 accuracy of `model` under `masks` over the cached eval set —
-    /// the hot call of `explore()`. Rayon-parallel across images with
-    /// per-worker scratch; deterministic (pure per-image work, ordered
-    /// reduction).
+    /// the hot call of `explore()`, running the batch-major compiled
+    /// kernels. Rayon-parallel across batches with per-worker scratch;
+    /// deterministic (pure per-batch work, ordered integer reduction).
+    ///
+    /// `model` must be the model the cache was built for: the cached
+    /// quantized inputs and first-conv columns carry *that* model's
+    /// quantization (and the pooled scratches its dense streams), so a
+    /// different model would be silently evaluated against stale data.
     ///
     /// Bit-exact with `model.accuracy(eval_set, Some(&bool_masks))` for the
     /// boolean masks `masks` was compiled from.
@@ -93,23 +190,34 @@ impl DseEvalCache {
         if self.is_empty() {
             return 0.0;
         }
-        let correct: usize = (0..self.len())
-            .into_par_iter()
+        let correct: usize = self
+            .batches
+            .par_iter()
             .map_init(
-                || ForwardScratch::for_model(model),
-                |scratch, i| {
-                    let cols = self.conv0_cols.as_ref().map(|c| c[i].as_slice());
-                    let pred = model.predict_compiled_scratch(
-                        &self.qinputs[i],
-                        cols,
+                || PooledScratch {
+                    pool: &self.scratch_pool,
+                    scratch: self.scratch_pool.lock().unwrap().pop(),
+                },
+                |pooled, batch| {
+                    let scratch = pooled
+                        .scratch
+                        .get_or_insert_with(|| BatchScratch::for_model(model, self.batch_size));
+                    let preds = model.predict_compiled_batch_scratch(
+                        &batch.qinputs,
+                        batch.len,
+                        batch.conv0_pcols.as_deref(),
                         Some(masks),
                         scratch,
                     );
-                    usize::from(pred == self.labels[i] as usize)
+                    preds
+                        .iter()
+                        .zip(&batch.labels)
+                        .filter(|&(&p, &l)| p == l as usize)
+                        .count()
                 },
             )
             .sum();
-        correct as f32 / self.len() as f32
+        correct as f32 / self.n_images as f32
     }
 }
 
@@ -146,6 +254,40 @@ mod tests {
             let got = cache.accuracy(&q, &compiled);
             assert_eq!(got, want, "tau {tau}");
         }
+    }
+
+    #[test]
+    fn batch_size_and_ragged_tails_do_not_change_accuracy() {
+        let (q, sig, data) = setup();
+        let eval = data.test.take(23); // prime: every batch size leaves a tail
+        let taus = TauAssignment::global(0.02);
+        let compiled = sig.compiled_masks_for_tau(&q, &taus);
+        let want = q.accuracy(&eval, Some(&sig.masks_for_tau(&q, &taus)));
+        for batch_size in [1usize, 2, 5, 8, 23, 64] {
+            let cache = DseEvalCache::with_batch_size(&q, &eval, batch_size);
+            assert_eq!(cache.len(), 23);
+            assert_eq!(cache.n_batches(), 23usize.div_ceil(batch_size));
+            assert_eq!(cache.accuracy(&q, &compiled), want, "batch {batch_size}");
+        }
+    }
+
+    #[test]
+    fn resident_bytes_accounts_batched_column_buffers() {
+        let (q, _, data) = setup();
+        let eval = data.test.take(16);
+        let cache = DseEvalCache::new(&q, &eval);
+        // Lower bound: quantized inputs + labels + 2 bytes per cached
+        // first-conv pair-column element (pair rows are zero-padded for odd
+        // patch lengths, so the buffer is at least positions × patch).
+        let c0 = q.conv(0);
+        let per_image_cols = 2 * (c0.patch_len().div_ceil(2) * 2 * c0.geom.out_positions()) as u64;
+        let want_min = 16 * (q.input_shape.item_len() as u64 + 1 + per_image_cols);
+        assert!(
+            cache.resident_bytes() >= want_min,
+            "resident {} < expected minimum {}",
+            cache.resident_bytes(),
+            want_min
+        );
     }
 
     #[test]

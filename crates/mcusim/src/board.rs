@@ -37,7 +37,7 @@ impl Board {
     }
 
     /// STM32H743 (Cortex-M7 @480 MHz, 2 MB flash, 1 MB RAM) — the board the
-    /// CMSIS-NN paper [2] reports its 11× TFLM speedup on; provided for
+    /// CMSIS-NN paper \[2\] reports its 11× TFLM speedup on; provided for
     /// cross-board what-if studies.
     pub fn stm32h743() -> Self {
         Self {

@@ -1,0 +1,529 @@
+//! Batch-major compiled execution: pack `B` images through the pair-stream
+//! kernels in one pass.
+//!
+//! The per-image compiled path ([`QuantModel::forward_compiled_scratch`])
+//! re-traverses every layer's weight streams, requantization parameters and
+//! output stages once **per image**. The DSE evaluates hundreds of eval
+//! images per design and a serving front-end pushes thousands of requests
+//! per second through a deployed design, so this module amortizes all
+//! per-layer stream state across a batch:
+//!
+//! * **Batched pair columns** — image `b` occupies lanes
+//!   `[b·positions, (b+1)·positions)` of every pair row, so one stream
+//!   entry broadcasts its weight pair across `B × positions` contiguous
+//!   lanes and the conv kernel ([`crate::compiled`]) is *identical* to the
+//!   per-image one, just with `lanes = B · positions`.
+//! * **Batch-planar activations** between conv/pool stages — plane
+//!   `c·B + b` holds channel `c` of image `b`, so conv stores, pooling and
+//!   the next conv's column fill all touch contiguous planes, and pooling a
+//!   batch is literally the planar pool over `C·B` planes.
+//! * **Per-image unbatch only at the logits** — dense layers (and final
+//!   planar→NHWC conversion) gather one image at a time; everything before
+//!   them never materializes a per-image view.
+//!
+//! Every layout change is value-preserving and the MAC/requantize
+//! arithmetic is lane-for-lane the per-image kernel's, so batched results
+//! are **bit-exact** with the per-image compiled path (and hence the
+//! boolean-mask reference) for every batch size, including ragged final
+//! batches — enforced by unit tests here and the workspace proptest
+//! `tests/batched_forward.rs`.
+
+use crate::compiled::{
+    conv_forward_pairs, fill_centered_t, planar_to_nhwc_pitched, pool_forward_planar, CompiledConv,
+    CompiledMasks,
+};
+use crate::forward::{argmax_i8, dense_forward, pool_forward};
+use crate::qmodel::{QLayer, QuantModel};
+use tinytensor::im2col::{fill_im2col_pairs_planar_pitched, interleave_pair_rows};
+
+/// Reusable buffers for batched compiled forwards, sized once for a model
+/// and a maximum batch size.
+pub struct BatchScratch {
+    max_batch: usize,
+    /// Ping-pong activation buffers, `max_batch ×` the largest activation.
+    act_a: Vec<i8>,
+    act_b: Vec<i8>,
+    /// Natural transposed-row staging for one image's column fill.
+    rows: Vec<i16>,
+    /// Batched pair-interleaved columns (`max_batch ×` the largest layer).
+    pcolt: Vec<i16>,
+    /// Lane accumulators.
+    acc: Vec<i32>,
+    /// One image's NHWC staging at planar → dense boundaries.
+    nhwc: Vec<i8>,
+    /// τ-independent dense pair streams per conv ordinal (exact-layer
+    /// dispatch through the same kernel; built at construction — this is
+    /// what binds the scratch to its model).
+    dense_streams: Vec<CompiledConv>,
+}
+
+impl BatchScratch {
+    /// Scratch for batches of up to `max_batch` images of `model` —
+    /// **bound to `model`**: the dense pair streams baked in here are that
+    /// model's weights, so a scratch must not be reused across different
+    /// models (build one per model instead).
+    pub fn for_model(model: &QuantModel, max_batch: usize) -> Self {
+        assert!(max_batch >= 1, "max_batch must be at least 1");
+        let max_act = model.activation_sizes().into_iter().max().unwrap_or(0);
+        let max_rows = model.max_im2col_bytes() as usize;
+        let max_pcolt = model.max_pair_colt_elems();
+        let max_positions = model.max_conv_positions();
+        Self {
+            max_batch,
+            act_a: vec![0; max_batch * max_act],
+            act_b: vec![0; max_batch * max_act],
+            rows: vec![0; max_rows],
+            pcolt: vec![0; max_batch * max_pcolt],
+            acc: vec![0; (max_batch * max_positions).max(1)],
+            nhwc: vec![0; max_act],
+            dense_streams: crate::compiled::dense_streams(model),
+        }
+    }
+
+    /// Largest batch this scratch can execute.
+    pub fn max_batch(&self) -> usize {
+        self.max_batch
+    }
+
+    /// Approximate heap bytes held by the scratch buffers (reporting).
+    pub fn resident_bytes(&self) -> u64 {
+        (self.act_a.len()
+            + self.act_b.len()
+            + 2 * self.rows.len()
+            + 2 * self.pcolt.len()
+            + 4 * self.acc.len()
+            + self.nhwc.len()) as u64
+            + self
+                .dense_streams
+                .iter()
+                .map(CompiledConv::resident_bytes)
+                .sum::<u64>()
+    }
+}
+
+/// Layout of the current batched activation buffer.
+enum Layout {
+    /// `batch` back-to-back per-image buffers (NHWC or dense vectors).
+    PerImage,
+    /// Batch-planar: plane `c·batch + b` of `positions` elements.
+    BatchPlanar {
+        /// Positions per image plane.
+        positions: usize,
+        /// Channels per image.
+        ch: usize,
+    },
+}
+
+impl QuantModel {
+    /// Batched pair-interleaved first-conv columns for `batch` stacked
+    /// quantized inputs — the batch-major analogue of
+    /// [`QuantModel::conv0_pair_cols`], τ-independent and therefore
+    /// precomputable once per eval set.
+    ///
+    /// Returns `None` when the model does not start with a convolution.
+    pub fn conv0_pair_cols_batch(&self, qinputs: &[i8], batch: usize) -> Option<Vec<i16>> {
+        let c = match self.layers.first() {
+            Some(QLayer::Conv(c)) => c,
+            _ => return None,
+        };
+        let in_len = self.input_shape.item_len();
+        assert_eq!(qinputs.len(), batch * in_len, "input length mismatch");
+        let positions = c.geom.out_positions();
+        let patch = c.patch_len();
+        let lanes = batch * positions;
+        let mut rows = vec![0i16; positions * patch];
+        let mut pcolt = vec![0i16; patch.div_ceil(2) * 2 * lanes];
+        for b in 0..batch {
+            fill_centered_t(c, &qinputs[b * in_len..(b + 1) * in_len], &mut rows);
+            interleave_pair_rows(&rows, positions, patch, &mut pcolt, lanes, b * positions);
+        }
+        Some(pcolt)
+    }
+
+    /// Batched forward with compiled masks: `batch` quantized inputs stacked
+    /// back-to-back in `qinputs`, logits stacked back-to-back in the return
+    /// value (`batch × out_len`, NHWC per image).
+    ///
+    /// `conv0_pcolt` optionally supplies this batch's precomputed
+    /// first-conv pair columns ([`QuantModel::conv0_pair_cols_batch`]).
+    /// Bit-exact with running [`QuantModel::forward_compiled_scratch`] per
+    /// image.
+    pub fn forward_compiled_batch_scratch(
+        &self,
+        qinputs: &[i8],
+        batch: usize,
+        conv0_pcolt: Option<&[i16]>,
+        masks: Option<&CompiledMasks>,
+        s: &mut BatchScratch,
+    ) -> Vec<i8> {
+        let (in_a, per_image) =
+            self.forward_compiled_batch_core(qinputs, batch, conv0_pcolt, masks, s);
+        let fin = if in_a {
+            &s.act_a[..batch * per_image]
+        } else {
+            &s.act_b[..batch * per_image]
+        };
+        fin.to_vec()
+    }
+
+    /// Predicted class per image of a batch, reusing caller scratch —
+    /// allocation-free beyond the returned vector.
+    pub fn predict_compiled_batch_scratch(
+        &self,
+        qinputs: &[i8],
+        batch: usize,
+        conv0_pcolt: Option<&[i16]>,
+        masks: Option<&CompiledMasks>,
+        s: &mut BatchScratch,
+    ) -> Vec<usize> {
+        let (in_a, per_image) =
+            self.forward_compiled_batch_core(qinputs, batch, conv0_pcolt, masks, s);
+        let fin = if in_a {
+            &s.act_a[..batch * per_image]
+        } else {
+            &s.act_b[..batch * per_image]
+        };
+        (0..batch)
+            .map(|b| argmax_i8(&fin[b * per_image..(b + 1) * per_image]))
+            .collect()
+    }
+
+    /// Batched driver writing into scratch; returns which ping-pong buffer
+    /// holds the logits and the per-image logits length.
+    fn forward_compiled_batch_core(
+        &self,
+        qinputs: &[i8],
+        batch: usize,
+        conv0_pcolt: Option<&[i16]>,
+        masks: Option<&CompiledMasks>,
+        s: &mut BatchScratch,
+    ) -> (bool, usize) {
+        assert!(batch >= 1, "empty batch");
+        assert!(
+            batch <= s.max_batch,
+            "batch {batch} exceeds scratch capacity {}",
+            s.max_batch
+        );
+        debug_assert_eq!(
+            s.dense_streams.len(),
+            self.conv_indices().len(),
+            "BatchScratch reused across models (it is bound to the model it \
+             was constructed for)"
+        );
+        let in_len = self.input_shape.item_len();
+        assert_eq!(qinputs.len(), batch * in_len, "input length mismatch");
+
+        let mut cur_len = in_len; // per image
+        s.act_a[..batch * cur_len].copy_from_slice(qinputs);
+        let mut conv_ordinal = 0usize;
+        let mut in_a = true;
+        let mut layout = Layout::PerImage;
+
+        for layer in &self.layers {
+            let out_len = layer.out_len(); // per image
+            let (src, dst) = if in_a {
+                (&s.act_a[..], &mut s.act_b[..])
+            } else {
+                (&s.act_b[..], &mut s.act_a[..])
+            };
+            match layer {
+                QLayer::Conv(c) => {
+                    let positions = c.geom.out_positions();
+                    let patch = c.patch_len();
+                    let lanes = batch * positions;
+                    let n = patch.div_ceil(2) * 2 * lanes;
+                    let pc: &[i16] = match (conv_ordinal, conv0_pcolt) {
+                        (0, Some(cached)) => {
+                            assert_eq!(cached.len(), n, "conv0 pair-column cache mismatch");
+                            cached
+                        }
+                        _ => {
+                            let pcolt = &mut s.pcolt[..n];
+                            for b in 0..batch {
+                                match layout {
+                                    Layout::PerImage => {
+                                        let rows = &mut s.rows[..positions * patch];
+                                        fill_centered_t(
+                                            c,
+                                            &src[b * cur_len..(b + 1) * cur_len],
+                                            rows,
+                                        );
+                                        interleave_pair_rows(
+                                            rows,
+                                            positions,
+                                            patch,
+                                            pcolt,
+                                            lanes,
+                                            b * positions,
+                                        );
+                                    }
+                                    Layout::BatchPlanar {
+                                        positions: in_pos,
+                                        ch,
+                                    } => {
+                                        // Image b's channel planes sit batch
+                                        // planes apart starting at plane b;
+                                        // fused fill writes pair rows direct.
+                                        let plane_pitch = batch * in_pos;
+                                        let view = &src[b * in_pos
+                                            ..(ch - 1) * plane_pitch + b * in_pos + in_pos];
+                                        let zp = c.in_qp.zero_point;
+                                        let pad = c.centered_pad();
+                                        fill_im2col_pairs_planar_pitched(
+                                            view,
+                                            &c.geom,
+                                            zp as i16,
+                                            pad,
+                                            pcolt,
+                                            lanes,
+                                            b * positions,
+                                            plane_pitch,
+                                        );
+                                    }
+                                }
+                            }
+                            &s.pcolt[..n]
+                        }
+                    };
+                    let cc = masks
+                        .and_then(|m| m.per_conv[conv_ordinal].as_ref())
+                        .unwrap_or(&s.dense_streams[conv_ordinal]);
+                    conv_forward_pairs(c, cc, pc, lanes, &mut s.acc, &mut dst[..batch * out_len]);
+                    layout = Layout::BatchPlanar {
+                        positions,
+                        ch: c.geom.out_c,
+                    };
+                    conv_ordinal += 1;
+                }
+                QLayer::Pool(p) => match layout {
+                    Layout::BatchPlanar { .. } => {
+                        // A batch is C·B independent planes; pooling each
+                        // plane preserves the (c, b) → plane mapping.
+                        pool_forward_planar(
+                            p.in_h,
+                            p.in_w,
+                            p.c * batch,
+                            &src[..batch * cur_len],
+                            &mut dst[..batch * out_len],
+                        );
+                        layout = Layout::BatchPlanar {
+                            positions: (p.in_h / 2) * (p.in_w / 2),
+                            ch: p.c,
+                        };
+                    }
+                    Layout::PerImage => {
+                        for b in 0..batch {
+                            pool_forward(
+                                p.in_h,
+                                p.in_w,
+                                p.c,
+                                &src[b * cur_len..(b + 1) * cur_len],
+                                &mut dst[b * out_len..(b + 1) * out_len],
+                            );
+                        }
+                    }
+                },
+                QLayer::Dense(d) => {
+                    match layout {
+                        Layout::BatchPlanar { positions, ch } => {
+                            // Per-image unbatch: gather image b's planes into
+                            // NHWC, then the (small) dense tail per image.
+                            for b in 0..batch {
+                                planar_to_nhwc_pitched(
+                                    &src[b * positions..],
+                                    positions,
+                                    ch,
+                                    batch * positions,
+                                    &mut s.nhwc[..cur_len],
+                                );
+                                dense_forward(
+                                    d,
+                                    &s.nhwc[..cur_len],
+                                    &mut dst[b * out_len..(b + 1) * out_len],
+                                );
+                            }
+                        }
+                        Layout::PerImage => {
+                            for b in 0..batch {
+                                dense_forward(
+                                    d,
+                                    &src[b * cur_len..(b + 1) * cur_len],
+                                    &mut dst[b * out_len..(b + 1) * out_len],
+                                );
+                            }
+                        }
+                    }
+                    layout = Layout::PerImage;
+                }
+            }
+            cur_len = out_len;
+            in_a = !in_a;
+        }
+        // A model ending on a conv/pool leaves the buffer batch-planar:
+        // unbatch so callers always see per-image NHWC logits.
+        if let Layout::BatchPlanar { positions, ch } = layout {
+            let (src, dst) = if in_a {
+                (&s.act_a[..], &mut s.act_b[..])
+            } else {
+                (&s.act_b[..], &mut s.act_a[..])
+            };
+            for b in 0..batch {
+                // Split borrow: nhwc is a distinct field from act_a/act_b.
+                planar_to_nhwc_pitched(
+                    &src[b * positions..],
+                    positions,
+                    ch,
+                    batch * positions,
+                    &mut s.nhwc[..cur_len],
+                );
+                dst[b * cur_len..(b + 1) * cur_len].copy_from_slice(&s.nhwc[..cur_len]);
+            }
+            in_a = !in_a;
+        }
+        (in_a, cur_len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calib::calibrate_ranges;
+    use crate::forward::{ForwardScratch, SkipMaskSet};
+    use crate::qmodel::quantize_model;
+    use cifar10sim::DatasetConfig;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn quantized_micro(seed: u64) -> (QuantModel, cifar10sim::SyntheticCifar) {
+        let data = cifar10sim::generate(DatasetConfig::tiny(seed));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = tinynn::Sequential::new("bm", tinytensor::Shape4::nhwc(1, 32, 32, 3))
+            .conv_relu(4, 3, &mut rng)
+            .maxpool()
+            .conv_relu(6, 3, &mut rng)
+            .maxpool()
+            .dense(10, true, &mut rng);
+        let ranges = calibrate_ranges(&m, &data.train.take(8));
+        (quantize_model(&m, &ranges), data)
+    }
+
+    fn random_masks(q: &QuantModel, seed: u64, density_mod: u64) -> SkipMaskSet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = q.conv_indices().len();
+        let mut masks = SkipMaskSet::none(n);
+        for k in 0..n {
+            let c = q.conv(k);
+            let len = c.geom.out_c * c.patch_len();
+            masks.per_conv[k] = Some(
+                (0..len)
+                    .map(|_| rng.gen_range(0u64..density_mod) == 0)
+                    .collect(),
+            );
+        }
+        masks
+    }
+
+    fn stacked_qinputs(q: &QuantModel, data: &cifar10sim::SyntheticCifar, n: usize) -> Vec<i8> {
+        let mut flat = Vec::new();
+        for i in 0..n {
+            flat.extend(q.quantize_input(data.test.image(i)));
+        }
+        flat
+    }
+
+    #[test]
+    fn batched_forward_bit_exact_with_per_image_all_batch_sizes() {
+        let (q, data) = quantized_micro(301);
+        let masks = random_masks(&q, 7, 3);
+        let compiled = CompiledMasks::compile(&q, &masks);
+        let mut per_image = ForwardScratch::for_model(&q);
+        let mut batch_scratch = BatchScratch::for_model(&q, 8);
+        for batch in 1..=8usize {
+            let flat = stacked_qinputs(&q, &data, batch);
+            let got = q.forward_compiled_batch_scratch(
+                &flat,
+                batch,
+                None,
+                Some(&compiled),
+                &mut batch_scratch,
+            );
+            let in_len = q.input_shape.item_len();
+            for b in 0..batch {
+                let want = q.forward_compiled_scratch(
+                    &flat[b * in_len..(b + 1) * in_len],
+                    None,
+                    Some(&compiled),
+                    &mut per_image,
+                );
+                let out_len = want.len();
+                assert_eq!(
+                    &got[b * out_len..(b + 1) * out_len],
+                    &want[..],
+                    "batch {batch}, image {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_conv0_cache_and_predictions_bit_exact() {
+        let (q, data) = quantized_micro(302);
+        let masks = random_masks(&q, 11, 4);
+        let compiled = CompiledMasks::compile(&q, &masks);
+        let mut per_image = ForwardScratch::for_model(&q);
+        let mut bs = BatchScratch::for_model(&q, 5);
+        let in_len = q.input_shape.item_len();
+        // Ragged batch (5 then 3) with the cached conv0 pair columns.
+        for batch in [5usize, 3] {
+            let flat = stacked_qinputs(&q, &data, batch);
+            let pcolt = q.conv0_pair_cols_batch(&flat, batch).expect("conv first");
+            let preds = q.predict_compiled_batch_scratch(
+                &flat,
+                batch,
+                Some(&pcolt),
+                Some(&compiled),
+                &mut bs,
+            );
+            for (b, &pred) in preds.iter().enumerate() {
+                let want = q.predict_compiled_scratch(
+                    &flat[b * in_len..(b + 1) * in_len],
+                    None,
+                    Some(&compiled),
+                    &mut per_image,
+                );
+                assert_eq!(pred, want, "batch {batch}, image {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_exact_path_matches_reference() {
+        let (q, data) = quantized_micro(303);
+        let mut bs = BatchScratch::for_model(&q, 4);
+        let flat = stacked_qinputs(&q, &data, 4);
+        let got = q.forward_compiled_batch_scratch(&flat, 4, None, None, &mut bs);
+        let in_len = q.input_shape.item_len();
+        for b in 0..4 {
+            let want = q.forward_quantized(&flat[b * in_len..(b + 1) * in_len], None);
+            let out_len = want.len();
+            assert_eq!(&got[b * out_len..(b + 1) * out_len], &want[..], "image {b}");
+        }
+    }
+
+    #[test]
+    fn scratch_reports_capacity_and_bytes() {
+        let (q, _) = quantized_micro(304);
+        let bs = BatchScratch::for_model(&q, 6);
+        assert_eq!(bs.max_batch(), 6);
+        assert!(bs.resident_bytes() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds scratch capacity")]
+    fn oversized_batch_is_rejected() {
+        let (q, data) = quantized_micro(305);
+        let mut bs = BatchScratch::for_model(&q, 2);
+        let flat = stacked_qinputs(&q, &data, 3);
+        let _ = q.forward_compiled_batch_scratch(&flat, 3, None, None, &mut bs);
+    }
+}

@@ -8,51 +8,72 @@
 //! skip decisions *into the generated code* (Eq. (3): skipped products are
 //! simply absent), [`CompiledMasks`] moves all mask interpretation out of
 //! the inner loop and into the data layout, once per design: per output
-//! channel, the retained products are compacted into a contiguous
-//! `(i16 patch index, i8 weight)` stream, and a layer whose mask skips
-//! nothing compiles to `None` — unmasked-kernel dispatch.
+//! channel, the retained products are compacted into a contiguous stream of
+//! **weight pairs**, and a layer whose mask skips nothing compiles to
+//! `None` — dense-stream dispatch.
 //!
-//! ## Kernel shape
+//! ## Kernel shape: the paper's SMLAD pairing, host-width
 //!
-//! The compiled kernels run on **patch-major (transposed) centered
-//! columns** ([`tinytensor::im2col::fill_im2col_centered_t`]): row `i`
-//! holds patch element `i` of *every* output position, contiguously. Each
-//! stream entry then broadcasts one weight against one row, so
+//! The paper's generated MCU code feeds SMLAD with offline-packed weight
+//! pairs ([`tinytensor::simd::pack_weight_pairs`]). The host kernel adopts
+//! the same pairing at SIMD width: columns are stored **pair-interleaved**
+//! ([`tinytensor::im2col::interleave_pair_rows`]) — pair row `i` holds
+//! patch elements `2i` and `2i+1` elementwise interleaved across all
+//! lanes — and each stream entry broadcasts one `(w_even, w_odd)` pair
+//! against its pair row, so
 //!
-//! * the inner loop is a `positions`-long contiguous multiply-accumulate
-//!   the compiler auto-vectorizes (this simulator runs the DSE on wide
-//!   CPUs; the MCU-side SMLAD-pair shape with offline-packed weight
-//!   constants lives in [`tinytensor::simd`] — `pack_weight_pairs` /
-//!   `smlad_dot_i16` — and stays the unpacked engine's codegen model);
-//! * a skipped product skips its entire row: masked layers get *faster*
-//!   with every skipped product instead of paying a branch to avoid work;
-//! * accumulation order per output is the ascending patch order of the
-//!   reference kernel, and i32 wrapping addition is order-exact anyway, so
-//!   results are **bit-exact** with the `Vec<bool>` path.
+//! * one AVX-512 VNNI `vpdpwssd` (or AVX2 `vpmaddwd`, or two scalar
+//!   multiplies — runtime-dispatched, all bit-exact integer math) consumes
+//!   **two products of 16 lanes at once**, with no shuffles in the loop:
+//!   the interleave happened at column-fill time;
+//! * a product masked out of a pair simply compiles to weight 0 (`0·a = 0`
+//!   in wrapping i32 arithmetic — exact), and a pair with both weights 0
+//!   drops out of the stream entirely, so masked layers get *faster* with
+//!   every skipped product instead of paying a branch to avoid work;
+//! * a **lane** is one output position of one image: the same kernel runs
+//!   per-image (`lanes = positions`) and batch-major
+//!   (`lanes = B · positions`, see [`crate::batch`]), where each weight
+//!   pair broadcasts across all `B × positions` contiguous lanes in one
+//!   pass — weight streams, requantization parameters and the
+//!   branch-resolved output stage are traversed once per batch instead of
+//!   once per image;
+//! * per lane, accumulation still groups products `(2i, 2i+1)` ascending —
+//!   a regrouping of the reference kernel's ascending-order wrapping i32
+//!   additions, which is associative, so results are **bit-exact** with the
+//!   `Vec<bool>` path.
 //!
-//! Bit-exactness is enforced by unit tests here and workspace proptests
-//! over random models, τ grids and images (`tests/compiled_masks.rs`).
+//! Bit-exactness is enforced by unit tests here (including cross-checking
+//! every available SIMD dispatch level against the scalar kernel) and
+//! workspace proptests over random models, τ grids and images
+//! (`tests/compiled_masks.rs`, `tests/batched_forward.rs`).
 
 use crate::forward::{argmax_i8, dense_forward, pool_forward, ForwardScratch, SkipMaskSet};
 use crate::qmodel::{QConv, QLayer, QuantModel};
 use serde::{Deserialize, Serialize};
-use tinytensor::im2col::{fill_im2col_centered_t, fill_im2col_centered_t_planar};
+use std::sync::OnceLock;
+use tinytensor::im2col::{
+    fill_im2col_centered_t, fill_im2col_pairs_planar_pitched, interleave_pair_rows,
+};
 
-/// One conv layer's mask compiled into compact retained-product streams.
+/// One conv layer's mask compiled into compact retained weight-pair streams.
 ///
-/// Every channel — dense or masked — carries its zero-dropped retained
-/// stream and executes through the same stream kernel; a mask that skips
+/// Entry `j` of a channel covers patch elements `2·idx[j]` and
+/// `2·idx[j] + 1` with weights `w[2j]` / `w[2j + 1]`; a masked (or
+/// zero-weight, or past-the-end for odd patch lengths) half carries weight
+/// 0 and contributes exactly nothing. Channels whose mask retains
+/// everything still stream their nonzero weight pairs; a mask that skips
 /// nothing anywhere compiles to `None` at the [`CompiledMasks`] level
-/// instead (whole-layer unmasked dispatch).
+/// (dense-stream dispatch through the same kernel).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CompiledConv {
-    /// Per-channel `[start, end)` spans into `idx`/`w`; length `out_c + 1`.
+    /// Per-channel `[start, end)` entry spans into `idx` (and, doubled,
+    /// into `w`); length `out_c + 1`.
     pub row_offsets: Vec<u32>,
-    /// Patch index of each retained nonzero-weight product of each
-    /// channel, ascending within a channel (reference accumulation order).
+    /// Pair-row index of each retained entry, ascending within a channel
+    /// (reference accumulation order, regrouped pairwise).
     pub idx: Vec<i16>,
-    /// Weight of each retained product (copied next to its index so the
-    /// inner loop never touches the full weight matrix).
+    /// Interleaved weight pairs: entry `j` multiplies pair row `idx[j]` by
+    /// `(w[2j], w[2j+1])`. A 0 half is a skipped/zero/absent product.
     pub w: Vec<i8>,
     /// Retained products per channel, zero weights included (cost
     /// accounting that matches the boolean masks without re-scanning).
@@ -68,14 +89,21 @@ impl CompiledConv {
         Self::build(conv, |o, i| mask[o * patch + i])
     }
 
+    /// Compile the dense (nothing-skipped) stream of a conv layer — the
+    /// exact-layer execution form (zero weights still dropped, which is
+    /// bit-exact and strictly faster).
+    pub fn dense(conv: &QConv) -> Self {
+        Self::build(conv, |_, _| false)
+    }
+
     /// Compile from any skip predicate over `(channel, patch index)`.
     ///
-    /// Every channel — dense or masked — gets a stream holding its retained
-    /// products with **zero weights dropped** (they contribute exactly 0,
-    /// so dropping them is bit-exact; it is the compile-time analogue of
-    /// the unpacked engine's `drop_zero_weights`). `retained` still counts
-    /// every mask-retained product, zero-weight or not, so cost accounting
-    /// matches the boolean masks.
+    /// Every channel — dense or masked — gets a pair stream holding its
+    /// retained products with **zero weights dropped** (they contribute
+    /// exactly 0, so dropping them is bit-exact; it is the compile-time
+    /// analogue of the unpacked engine's `drop_zero_weights`). `retained`
+    /// still counts every mask-retained product, zero-weight or not, so
+    /// cost accounting matches the boolean masks.
     pub fn build(conv: &QConv, skip: impl Fn(usize, usize) -> bool) -> Self {
         let patch = conv.patch_len();
         let out_c = conv.geom.out_c;
@@ -83,6 +111,7 @@ impl CompiledConv {
             patch <= i16::MAX as usize + 1,
             "patch length exceeds i16 index range"
         );
+        let pair_rows = patch.div_ceil(2);
         let mut row_offsets = Vec::with_capacity(out_c + 1);
         let mut idx = Vec::new();
         let mut w = Vec::new();
@@ -91,14 +120,23 @@ impl CompiledConv {
         for o in 0..out_c {
             let wrow = &conv.weights[o * patch..(o + 1) * patch];
             let mut kept = 0u32;
-            for (i, &wv) in wrow.iter().enumerate() {
-                if skip(o, i) {
-                    continue;
+            for i in 0..pair_rows {
+                let e0 = 2 * i;
+                let e1 = 2 * i + 1;
+                let mut w0 = 0i8;
+                let mut w1 = 0i8;
+                if !skip(o, e0) {
+                    kept += 1;
+                    w0 = wrow[e0];
                 }
-                kept += 1;
-                if wv != 0 {
+                if e1 < patch && !skip(o, e1) {
+                    kept += 1;
+                    w1 = wrow[e1];
+                }
+                if w0 != 0 || w1 != 0 {
                     idx.push(i as i16);
-                    w.push(wv);
+                    w.push(w0);
+                    w.push(w1);
                 }
             }
             retained.push(kept);
@@ -122,6 +160,21 @@ impl CompiledConv {
     pub fn retained_products(&self) -> u64 {
         self.retained.iter().map(|&r| r as u64).sum()
     }
+
+    /// Approximate heap bytes of this stream (reporting only).
+    pub fn resident_bytes(&self) -> u64 {
+        (4 * self.row_offsets.len() + 2 * self.idx.len() + self.w.len() + 4 * self.retained.len())
+            as u64
+    }
+}
+
+/// τ-independent dense (nothing-skipped) pair streams of every conv layer
+/// of `model` — the exact-layer dispatch form, built once per scratch and
+/// binding that scratch to `model`.
+pub(crate) fn dense_streams(model: &QuantModel) -> Vec<CompiledConv> {
+    (0..model.conv_indices().len())
+        .map(|k| CompiledConv::dense(model.conv(k)))
+        .collect()
 }
 
 /// A full design's masks in compiled form (`None` = layer left exact).
@@ -134,8 +187,8 @@ pub struct CompiledMasks {
 impl CompiledMasks {
     /// Compile a boolean [`SkipMaskSet`] against `model`.
     ///
-    /// Masks that skip nothing compile to `None` (unmasked-kernel
-    /// dispatch), which is semantically identical and strictly faster.
+    /// Masks that skip nothing compile to `None` (dense-stream dispatch),
+    /// which is semantically identical and strictly faster.
     pub fn compile(model: &QuantModel, masks: &SkipMaskSet) -> Self {
         let per_conv = masks
             .per_conv
@@ -177,37 +230,248 @@ impl CompiledMasks {
         }
         total
     }
-}
 
-/// Accumulate one broadcast weight against a transposed column row:
-/// `acc[p] += row[p] · w` — contiguous, auto-vectorized over positions.
-#[inline]
-fn axpy_row(acc: &mut [i32], row: &[i16], w: i32) {
-    for (a, &v) in acc.iter_mut().zip(row) {
-        *a += v as i32 * w;
+    /// Approximate heap bytes of the compiled streams (reporting only).
+    pub fn resident_bytes(&self) -> u64 {
+        self.per_conv
+            .iter()
+            .flatten()
+            .map(CompiledConv::resident_bytes)
+            .sum()
     }
 }
 
-/// Four broadcast weights against four rows in one pass: quarters the
-/// accumulator load/store traffic of four [`axpy_row`] calls. i32 wrapping
-/// addition is associative, so the regrouping is bit-exact.
-#[inline]
-#[allow(clippy::too_many_arguments)]
-fn axpy_row4(
+/// SIMD dispatch level of the pair-stream kernel, detected once per
+/// process. Every level computes identical wrapping i32 arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SimdLevel {
+    /// Portable pair loop (also the semantic reference for the others).
+    Scalar,
+    /// AVX2 `vpmaddwd`, 8 lanes × 2 products per instruction.
+    #[cfg(target_arch = "x86_64")]
+    Avx2,
+    /// AVX-512 VNNI `vpdpwssd`, 16 lanes × 2 products per instruction.
+    #[cfg(target_arch = "x86_64")]
+    Vnni,
+}
+
+pub(crate) fn simd_level() -> SimdLevel {
+    static LEVEL: OnceLock<SimdLevel> = OnceLock::new();
+    *LEVEL.get_or_init(|| {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if is_x86_feature_detected!("avx512f") && is_x86_feature_detected!("avx512vnni") {
+                SimdLevel::Vnni
+            } else if is_x86_feature_detected!("avx2") {
+                SimdLevel::Avx2
+            } else {
+                SimdLevel::Scalar
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        SimdLevel::Scalar
+    })
+}
+
+/// Human-readable name of the SIMD dispatch level the pair-stream kernels
+/// run at on this host (perf-trajectory reporting: throughput numbers are
+/// only comparable at the same level).
+pub fn simd_level_name() -> &'static str {
+    match simd_level() {
+        SimdLevel::Scalar => "scalar",
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => "avx2",
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Vnni => "avx512-vnni",
+    }
+}
+
+/// All dispatch levels this host can execute (most capable last) — lets
+/// tests cross-check every reachable kernel against the scalar reference.
+#[cfg(test)]
+pub(crate) fn available_simd_levels() -> Vec<SimdLevel> {
+    let mut levels = vec![SimdLevel::Scalar];
+    #[cfg(target_arch = "x86_64")]
+    {
+        if is_x86_feature_detected!("avx2") {
+            levels.push(SimdLevel::Avx2);
+        }
+        if is_x86_feature_detected!("avx512f") && is_x86_feature_detected!("avx512vnni") {
+            levels.push(SimdLevel::Vnni);
+        }
+    }
+    levels
+}
+
+/// Apply one channel's pair stream to `acc[..b]` over lanes
+/// `[p0, p0 + b)` — portable reference loop. `pcolt` is the
+/// pair-interleaved column buffer with `lanes` lanes per pair row.
+fn apply_stream_scalar(
+    pcolt: &[i16],
+    lanes: usize,
+    p0: usize,
+    ix: &[i16],
+    w: &[i8],
     acc: &mut [i32],
-    r0: &[i16],
-    r1: &[i16],
-    r2: &[i16],
-    r3: &[i16],
-    w0: i32,
-    w1: i32,
-    w2: i32,
-    w3: i32,
 ) {
-    let n = acc.len();
-    let (r0, r1, r2, r3) = (&r0[..n], &r1[..n], &r2[..n], &r3[..n]);
-    for p in 0..n {
-        acc[p] += r0[p] as i32 * w0 + r1[p] as i32 * w1 + r2[p] as i32 * w2 + r3[p] as i32 * w3;
+    let b = acc.len();
+    for (j, &pi) in ix.iter().enumerate() {
+        let row = &pcolt[pi as usize * 2 * lanes + 2 * p0..][..2 * b];
+        let w0 = w[2 * j] as i32;
+        let w1 = w[2 * j + 1] as i32;
+        for (p, a) in acc.iter_mut().enumerate() {
+            *a += row[2 * p] as i32 * w0 + row[2 * p + 1] as i32 * w1;
+        }
+    }
+}
+
+/// AVX2 `vpmaddwd` pair kernel: two stream entries per pass to halve
+/// accumulator traffic. Bit-exact with [`apply_stream_scalar`] (`vpmaddwd`
+/// computes the same two i16×i16 products and their i32 sum; the adds are
+/// the same wrapping i32 additions, regrouped — associative).
+///
+/// Safety: caller must ensure AVX2 is available; slice bounds match the
+/// scalar kernel's accesses exactly.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn apply_stream_avx2(
+    pcolt: &[i16],
+    lanes: usize,
+    p0: usize,
+    ix: &[i16],
+    w: &[i8],
+    acc: &mut [i32],
+) {
+    use std::arch::x86_64::*;
+    let b = acc.len();
+    let n = ix.len();
+    let wpair = |j: usize| -> i32 {
+        (((w[2 * j + 1] as i16 as u16 as u32) << 16) | (w[2 * j] as i16 as u16 as u32)) as i32
+    };
+    let mut j = 0;
+    while j + 2 <= n {
+        let r0 = pcolt.as_ptr().add(ix[j] as usize * 2 * lanes + 2 * p0);
+        let r1 = pcolt.as_ptr().add(ix[j + 1] as usize * 2 * lanes + 2 * p0);
+        let wv0 = _mm256_set1_epi32(wpair(j));
+        let wv1 = _mm256_set1_epi32(wpair(j + 1));
+        let mut p = 0usize;
+        while p + 8 <= b {
+            let a0 = _mm256_loadu_si256(r0.add(2 * p) as *const __m256i);
+            let a1 = _mm256_loadu_si256(r1.add(2 * p) as *const __m256i);
+            let accv = _mm256_loadu_si256(acc.as_ptr().add(p) as *const __m256i);
+            let s = _mm256_add_epi32(
+                accv,
+                _mm256_add_epi32(_mm256_madd_epi16(a0, wv0), _mm256_madd_epi16(a1, wv1)),
+            );
+            _mm256_storeu_si256(acc.as_mut_ptr().add(p) as *mut __m256i, s);
+            p += 8;
+        }
+        while p < b {
+            let s0 = (*r0.add(2 * p) as i32) * (w[2 * j] as i32)
+                + (*r0.add(2 * p + 1) as i32) * (w[2 * j + 1] as i32);
+            let s1 = (*r1.add(2 * p) as i32) * (w[2 * j + 2] as i32)
+                + (*r1.add(2 * p + 1) as i32) * (w[2 * j + 3] as i32);
+            acc[p] = acc[p].wrapping_add(s0).wrapping_add(s1);
+            p += 1;
+        }
+        j += 2;
+    }
+    if j < n {
+        let r0 = pcolt.as_ptr().add(ix[j] as usize * 2 * lanes + 2 * p0);
+        let wv0 = _mm256_set1_epi32(wpair(j));
+        let mut p = 0usize;
+        while p + 8 <= b {
+            let a0 = _mm256_loadu_si256(r0.add(2 * p) as *const __m256i);
+            let accv = _mm256_loadu_si256(acc.as_ptr().add(p) as *const __m256i);
+            let s = _mm256_add_epi32(accv, _mm256_madd_epi16(a0, wv0));
+            _mm256_storeu_si256(acc.as_mut_ptr().add(p) as *mut __m256i, s);
+            p += 8;
+        }
+        while p < b {
+            let s0 = (*r0.add(2 * p) as i32) * (w[2 * j] as i32)
+                + (*r0.add(2 * p + 1) as i32) * (w[2 * j + 1] as i32);
+            acc[p] = acc[p].wrapping_add(s0);
+            p += 1;
+        }
+    }
+}
+
+/// AVX-512 VNNI `vpdpwssd` pair kernel: the widest path — 16 lanes × 2
+/// products per instruction, four stream entries per pass (quartering
+/// accumulator load/store traffic; independent lane iterations keep the
+/// `vpdpwssd` chains pipelined). `vpdpwssd` is the non-saturating
+/// dot-product accumulate, i.e. exactly the scalar kernel's wrapping
+/// arithmetic.
+///
+/// Safety: caller must ensure AVX-512F + AVX-512 VNNI are available; slice
+/// bounds match the scalar kernel's accesses exactly.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512vnni")]
+unsafe fn apply_stream_vnni(
+    pcolt: &[i16],
+    lanes: usize,
+    p0: usize,
+    ix: &[i16],
+    w: &[i8],
+    acc: &mut [i32],
+) {
+    use std::arch::x86_64::*;
+    let b = acc.len();
+    let n = ix.len();
+    let wpair = |j: usize| -> i32 {
+        (((w[2 * j + 1] as i16 as u16 as u32) << 16) | (w[2 * j] as i16 as u16 as u32)) as i32
+    };
+    let row = |j: usize| pcolt.as_ptr().add(ix[j] as usize * 2 * lanes + 2 * p0);
+    let scalar_pair = |j: usize, p: usize| -> i32 {
+        let r = row(j);
+        (*r.add(2 * p) as i32) * (w[2 * j] as i32)
+            + (*r.add(2 * p + 1) as i32) * (w[2 * j + 1] as i32)
+    };
+    let mut j = 0;
+    while j + 4 <= n {
+        let (r0, r1, r2, r3) = (row(j), row(j + 1), row(j + 2), row(j + 3));
+        let wv0 = _mm512_set1_epi32(wpair(j));
+        let wv1 = _mm512_set1_epi32(wpair(j + 1));
+        let wv2 = _mm512_set1_epi32(wpair(j + 2));
+        let wv3 = _mm512_set1_epi32(wpair(j + 3));
+        let mut p = 0usize;
+        while p + 16 <= b {
+            let a0 = _mm512_loadu_si512(r0.add(2 * p) as *const _);
+            let a1 = _mm512_loadu_si512(r1.add(2 * p) as *const _);
+            let a2 = _mm512_loadu_si512(r2.add(2 * p) as *const _);
+            let a3 = _mm512_loadu_si512(r3.add(2 * p) as *const _);
+            let accv = _mm512_loadu_si512(acc.as_ptr().add(p) as *const _);
+            let s01 = _mm512_dpwssd_epi32(_mm512_dpwssd_epi32(accv, a0, wv0), a1, wv1);
+            let s = _mm512_dpwssd_epi32(_mm512_dpwssd_epi32(s01, a2, wv2), a3, wv3);
+            _mm512_storeu_si512(acc.as_mut_ptr().add(p) as *mut _, s);
+            p += 16;
+        }
+        while p < b {
+            acc[p] = acc[p]
+                .wrapping_add(scalar_pair(j, p))
+                .wrapping_add(scalar_pair(j + 1, p))
+                .wrapping_add(scalar_pair(j + 2, p))
+                .wrapping_add(scalar_pair(j + 3, p));
+            p += 1;
+        }
+        j += 4;
+    }
+    while j < n {
+        let r0 = row(j);
+        let wv0 = _mm512_set1_epi32(wpair(j));
+        let mut p = 0usize;
+        while p + 16 <= b {
+            let a0 = _mm512_loadu_si512(r0.add(2 * p) as *const _);
+            let accv = _mm512_loadu_si512(acc.as_ptr().add(p) as *const _);
+            let s = _mm512_dpwssd_epi32(accv, a0, wv0);
+            _mm512_storeu_si512(acc.as_mut_ptr().add(p) as *mut _, s);
+            p += 16;
+        }
+        while p < b {
+            acc[p] = acc[p].wrapping_add(scalar_pair(j, p));
+            p += 1;
+        }
+        j += 1;
     }
 }
 
@@ -276,94 +540,77 @@ impl OutStage {
     }
 }
 
-/// L1 budget for one position block of transposed columns (bytes). Blocks
-/// sized so every patch row of a block stays cache-hot across all output
+/// L1 budget for one lane block of pair-interleaved columns (bytes). Blocks
+/// sized so every pair row of a block stays cache-hot across all output
 /// channels of the layer.
-const COLT_BLOCK_BYTES: usize = 28 * 1024;
+const COLT_BLOCK_BYTES: usize = 36 * 1024;
 
-/// Conv forward over transposed centered columns with optional compiled
-/// masks (`None` = exact layer), writing **planar** output
-/// (`output[o * positions + p]`) so every store is contiguous.
+/// Lane-block size for a layer: L1 budget over the pair-row working set,
+/// rounded down to a whole number of 16-lane vectors so the SIMD kernels
+/// only ever run scalar tails on the final block of the lane space.
+fn lane_block(pair_rows: usize, lanes: usize) -> usize {
+    let block = (COLT_BLOCK_BYTES / (4 * pair_rows)).clamp(64, lanes.max(64));
+    (block & !15).max(16)
+}
+
+/// Conv forward over pair-interleaved columns with a compiled weight-pair
+/// stream (masked or dense), writing **planar** output
+/// (`output[o * lanes + p]`) so every store is contiguous.
 ///
-/// Position-blocked: channels iterate inside a block of positions whose
-/// column rows fit L1, so the (out_c − 1) re-reads of each row hit cache
-/// instead of streaming the whole column matrix per channel.
-fn conv_forward_t(
+/// `lanes` is the column lane count: `positions` for one image,
+/// `B · positions` for a batch. Lane-blocked: channels iterate inside a
+/// block of lanes whose pair rows fit L1, so the (out_c − 1) re-reads of
+/// each row hit cache instead of streaming the whole column matrix per
+/// channel.
+pub(crate) fn conv_forward_pairs(
     c: &QConv,
-    cm: Option<&CompiledConv>,
-    colt: &[i16],
+    cc: &CompiledConv,
+    pcolt: &[i16],
+    lanes: usize,
     acc: &mut [i32],
     output: &mut [i8],
 ) {
-    let patch = c.patch_len();
-    let positions = c.geom.out_positions();
+    conv_forward_pairs_with_level(c, cc, pcolt, lanes, acc, output, simd_level());
+}
+
+/// [`conv_forward_pairs`] at an explicit dispatch level (tests cross-check
+/// every available level against scalar).
+pub(crate) fn conv_forward_pairs_with_level(
+    c: &QConv,
+    cc: &CompiledConv,
+    pcolt: &[i16],
+    lanes: usize,
+    acc: &mut [i32],
+    output: &mut [i8],
+    level: SimdLevel,
+) {
+    let pair_rows = c.patch_len().div_ceil(2);
     let out_c = c.geom.out_c;
+    assert!(pcolt.len() >= pair_rows * 2 * lanes);
+    assert!(output.len() >= out_c * lanes);
     let stage = OutStage::new(c);
-    let block = (COLT_BLOCK_BYTES / (2 * patch)).clamp(64, positions.max(64));
+    let block = lane_block(pair_rows, lanes);
 
     let mut p0 = 0usize;
-    while p0 < positions {
-        let b = block.min(positions - p0);
+    while p0 < lanes {
+        let b = block.min(lanes - p0);
         let acc = &mut acc[..b];
         for o in 0..out_c {
             acc.fill(c.bias[o]);
-            let row = |i: usize| &colt[i * positions + p0..i * positions + p0 + b];
-            match cm {
-                None => {
-                    // Exact layer: every patch row, weights straight from
-                    // the matrix, four rows per pass.
-                    let wrow = &c.weights[o * patch..(o + 1) * patch];
-                    let mut i = 0;
-                    while i + 4 <= patch {
-                        axpy_row4(
-                            acc,
-                            row(i),
-                            row(i + 1),
-                            row(i + 2),
-                            row(i + 3),
-                            wrow[i] as i32,
-                            wrow[i + 1] as i32,
-                            wrow[i + 2] as i32,
-                            wrow[i + 3] as i32,
-                        );
-                        i += 4;
-                    }
-                    while i < patch {
-                        axpy_row(acc, row(i), wrow[i] as i32);
-                        i += 1;
-                    }
-                }
-                Some(cc) => {
-                    // Compiled channel (dense or masked): the zero-dropped
-                    // retained stream, four entries per pass — no branch,
-                    // no mask load.
-                    let s = cc.row_offsets[o] as usize;
-                    let e = cc.row_offsets[o + 1] as usize;
-                    let (ix, ws) = (&cc.idx[s..e], &cc.w[s..e]);
-                    let n = ix.len();
-                    let mut j = 0;
-                    while j + 4 <= n {
-                        axpy_row4(
-                            acc,
-                            row(ix[j] as usize),
-                            row(ix[j + 1] as usize),
-                            row(ix[j + 2] as usize),
-                            row(ix[j + 3] as usize),
-                            ws[j] as i32,
-                            ws[j + 1] as i32,
-                            ws[j + 2] as i32,
-                            ws[j + 3] as i32,
-                        );
-                        j += 4;
-                    }
-                    while j < n {
-                        axpy_row(acc, row(ix[j] as usize), ws[j] as i32);
-                        j += 1;
-                    }
-                }
+            let s = cc.row_offsets[o] as usize;
+            let e = cc.row_offsets[o + 1] as usize;
+            let (ix, ws) = (&cc.idx[s..e], &cc.w[2 * s..2 * e]);
+            match level {
+                SimdLevel::Scalar => apply_stream_scalar(pcolt, lanes, p0, ix, ws, acc),
+                #[cfg(target_arch = "x86_64")]
+                // Safety: `level` only reaches Avx2/Vnni when the features
+                // were runtime-detected (`simd_level`/`available_simd_levels`).
+                SimdLevel::Avx2 => unsafe { apply_stream_avx2(pcolt, lanes, p0, ix, ws, acc) },
+                #[cfg(target_arch = "x86_64")]
+                SimdLevel::Vnni => unsafe { apply_stream_vnni(pcolt, lanes, p0, ix, ws, acc) },
             }
             // Output stage: requantize + clamp, contiguous planar store.
-            let orow = &mut output[o * positions + p0..o * positions + p0 + b];
+            let orow = &mut output[o * lanes + p0..o * lanes + p0 + b];
             for (out, &a) in orow.iter_mut().zip(acc.iter()) {
                 *out = stage.apply(a);
             }
@@ -386,36 +633,53 @@ impl QuantModel {
             .unwrap_or(0)
     }
 
-    /// Transposed centered im2col columns of the *first* conv layer for one
+    /// Largest pair-interleaved column buffer any conv layer needs, in i16
+    /// elements per image (`2 · ⌈patch/2⌉ · positions`).
+    pub fn max_pair_colt_elems(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| match l {
+                QLayer::Conv(c) => c.patch_len().div_ceil(2) * 2 * c.geom.out_positions(),
+                _ => 0,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Pair-interleaved centered columns of the *first* conv layer for one
     /// quantized input — τ-independent, so DSE callers compute them once
     /// per image and share them across every design (the `dse`-side
-    /// evaluation cache).
+    /// evaluation cache; [`crate::batch`] holds the batched variant).
     ///
     /// Returns `None` when the model does not start with a convolution.
-    pub fn conv0_cols_t(&self, qinput: &[i8]) -> Option<Vec<i16>> {
+    pub fn conv0_pair_cols(&self, qinput: &[i8]) -> Option<Vec<i16>> {
         match self.layers.first() {
             Some(QLayer::Conv(c)) => {
-                let mut colt = vec![0i16; c.geom.out_positions() * c.patch_len()];
-                fill_centered_t(c, qinput, &mut colt);
-                Some(colt)
+                let positions = c.geom.out_positions();
+                let patch = c.patch_len();
+                let mut rows = vec![0i16; positions * patch];
+                fill_centered_t(c, qinput, &mut rows);
+                let mut pcolt = vec![0i16; patch.div_ceil(2) * 2 * positions];
+                interleave_pair_rows(&rows, positions, patch, &mut pcolt, positions, 0);
+                Some(pcolt)
             }
             _ => None,
         }
     }
 
     /// Forward pass with compiled masks, reusing caller scratch and an
-    /// optional precomputed first-conv transposed column cache.
+    /// optional precomputed first-conv pair-column cache.
     ///
     /// Bit-exact with [`QuantModel::forward_quantized`] over the boolean
     /// mask set the compiled masks were built from.
     pub fn forward_compiled_scratch(
         &self,
         qinput: &[i8],
-        conv0_colt: Option<&[i16]>,
+        conv0_pcolt: Option<&[i16]>,
         masks: Option<&CompiledMasks>,
         s: &mut ForwardScratch,
     ) -> Vec<i8> {
-        let (in_a, cur_len) = self.forward_compiled_core(qinput, conv0_colt, masks, s);
+        let (in_a, cur_len) = self.forward_compiled_core(qinput, conv0_pcolt, masks, s);
         let fin = if in_a {
             &s.act_a[..cur_len]
         } else {
@@ -429,7 +693,7 @@ impl QuantModel {
     fn forward_compiled_core(
         &self,
         qinput: &[i8],
-        conv0_colt: Option<&[i16]>,
+        conv0_pcolt: Option<&[i16]>,
         masks: Option<&CompiledMasks>,
         s: &mut ForwardScratch,
     ) -> (bool, usize) {
@@ -457,24 +721,50 @@ impl QuantModel {
             };
             match layer {
                 QLayer::Conv(c) => {
-                    let n = c.geom.out_positions() * c.patch_len();
-                    let colt: &[i16] = match (conv_ordinal, conv0_colt) {
+                    let positions = c.geom.out_positions();
+                    let patch = c.patch_len();
+                    let n = patch.div_ceil(2) * 2 * positions;
+                    let pc: &[i16] = match (conv_ordinal, conv0_pcolt) {
                         (0, Some(cached)) => {
-                            debug_assert_eq!(cached.len(), n, "conv0 column cache mismatch");
+                            assert_eq!(cached.len(), n, "conv0 pair-column cache mismatch");
                             cached
                         }
                         _ => {
-                            if planar_dims.is_some() {
-                                fill_centered_t_planar(c, &src[..cur_len], &mut s.colt[..n]);
+                            if let Some((in_pos, _)) = planar_dims {
+                                // Planar source: fused fill writes pair rows
+                                // directly, no natural-row staging.
+                                let zp = c.in_qp.zero_point;
+                                let pad = c.centered_pad();
+                                fill_im2col_pairs_planar_pitched(
+                                    &src[..cur_len],
+                                    &c.geom,
+                                    zp as i16,
+                                    pad,
+                                    &mut s.pcolt[..n],
+                                    positions,
+                                    0,
+                                    in_pos,
+                                );
                             } else {
-                                fill_centered_t(c, &src[..cur_len], &mut s.colt[..n]);
+                                let rows = &mut s.colt[..positions * patch];
+                                fill_centered_t(c, &src[..cur_len], rows);
+                                interleave_pair_rows(
+                                    rows,
+                                    positions,
+                                    patch,
+                                    &mut s.pcolt[..n],
+                                    positions,
+                                    0,
+                                );
                             }
-                            &s.colt[..n]
+                            &s.pcolt[..n]
                         }
                     };
-                    let cm = masks.and_then(|m| m.per_conv[conv_ordinal].as_ref());
-                    conv_forward_t(c, cm, colt, &mut s.acc, &mut dst[..out_len]);
-                    planar_dims = Some((c.geom.out_positions(), c.geom.out_c));
+                    let cc = masks
+                        .and_then(|m| m.per_conv[conv_ordinal].as_ref())
+                        .unwrap_or(&s.dense_streams[conv_ordinal]);
+                    conv_forward_pairs(c, cc, pc, positions, &mut s.acc, &mut dst[..out_len]);
+                    planar_dims = Some((positions, c.geom.out_c));
                     conv_ordinal += 1;
                 }
                 QLayer::Pool(p) => {
@@ -529,11 +819,11 @@ impl QuantModel {
     pub fn predict_compiled_scratch(
         &self,
         qinput: &[i8],
-        conv0_colt: Option<&[i16]>,
+        conv0_pcolt: Option<&[i16]>,
         masks: Option<&CompiledMasks>,
         s: &mut ForwardScratch,
     ) -> usize {
-        let (in_a, cur_len) = self.forward_compiled_core(qinput, conv0_colt, masks, s);
+        let (in_a, cur_len) = self.forward_compiled_core(qinput, conv0_pcolt, masks, s);
         let fin = if in_a {
             &s.act_a[..cur_len]
         } else {
@@ -543,26 +833,25 @@ impl QuantModel {
     }
 }
 
-/// Fill `colt` with `c`'s transposed centered columns for an NHWC `input`.
-fn fill_centered_t(c: &QConv, input: &[i8], colt: &mut [i16]) {
+/// Fill `rows` with `c`'s natural transposed centered columns for an NHWC
+/// `input` (staging ahead of the pair interleave).
+pub(crate) fn fill_centered_t(c: &QConv, input: &[i8], rows: &mut [i16]) {
     let zp = c.in_qp.zero_point;
-    // The reference pads the i8 column buffer with `zp` clamped to i8 and
-    // centers afterwards; reproduce that exactly.
-    let pad_centered = zp.clamp(-128, 127) as i16 - zp as i16;
-    fill_im2col_centered_t(input, &c.geom, zp as i16, pad_centered, colt);
-}
-
-/// Fill `colt` from a **planar** (channel-major) activation buffer.
-fn fill_centered_t_planar(c: &QConv, planar: &[i8], colt: &mut [i16]) {
-    let zp = c.in_qp.zero_point;
-    let pad_centered = zp.clamp(-128, 127) as i16 - zp as i16;
-    fill_im2col_centered_t_planar(planar, &c.geom, zp as i16, pad_centered, colt);
+    fill_im2col_centered_t(input, &c.geom, zp as i16, c.centered_pad(), rows);
 }
 
 /// 2×2/2 max-pool over planar activations — contiguous reads and writes
 /// per channel (layout change only: max is order- and layout-invariant, so
-/// results equal the NHWC reference pool).
-fn pool_forward_planar(in_h: usize, in_w: usize, ch: usize, input: &[i8], output: &mut [i8]) {
+/// results equal the NHWC reference pool). Also serves batch-major
+/// activations directly: a batch stores `C·B` independent planes, so the
+/// caller passes `ch = C · B`.
+pub(crate) fn pool_forward_planar(
+    in_h: usize,
+    in_w: usize,
+    ch: usize,
+    input: &[i8],
+    output: &mut [i8],
+) {
     let (oh, ow) = (in_h / 2, in_w / 2);
     let in_plane = in_h * in_w;
     let out_plane = oh * ow;
@@ -582,9 +871,22 @@ fn pool_forward_planar(in_h: usize, in_w: usize, ch: usize, input: &[i8], output
 }
 
 /// Interleave a planar activation buffer back into NHWC order.
-fn planar_to_nhwc(src: &[i8], positions: usize, ch: usize, dst: &mut [i8]) {
+pub(crate) fn planar_to_nhwc(src: &[i8], positions: usize, ch: usize, dst: &mut [i8]) {
+    planar_to_nhwc_pitched(src, positions, ch, positions, dst);
+}
+
+/// [`planar_to_nhwc`] reading channel `c`'s plane at `src[c * plane_pitch]`
+/// — the per-image gather out of a batch-major activation buffer, where a
+/// batch of `B` images spaces one image's channel planes `B` planes apart.
+pub(crate) fn planar_to_nhwc_pitched(
+    src: &[i8],
+    positions: usize,
+    ch: usize,
+    plane_pitch: usize,
+    dst: &mut [i8],
+) {
     for c in 0..ch {
-        let plane = &src[c * positions..(c + 1) * positions];
+        let plane = &src[c * plane_pitch..c * plane_pitch + positions];
         for (p, &v) in plane.iter().enumerate() {
             dst[p * ch + c] = v;
         }
@@ -645,6 +947,64 @@ mod tests {
     }
 
     #[test]
+    fn all_simd_levels_bit_exact_with_scalar() {
+        let (q, data) = quantized_micro(88);
+        let masks = random_masks(&q, 42, 3);
+        let compiled = CompiledMasks::compile(&q, &masks);
+        let c0 = q.conv(0);
+        let cc = compiled.per_conv[0].as_ref().expect("conv 0 masked");
+        let positions = c0.geom.out_positions();
+        let qin = q.quantize_input(data.test.image(0));
+        let pcolt = q.conv0_pair_cols(&qin).expect("starts with conv");
+        let mut acc = vec![0i32; positions];
+        let mut want = vec![0i8; c0.geom.out_c * positions];
+        conv_forward_pairs_with_level(
+            c0,
+            cc,
+            &pcolt,
+            positions,
+            &mut acc,
+            &mut want,
+            SimdLevel::Scalar,
+        );
+        for level in available_simd_levels() {
+            let mut got = vec![0i8; c0.geom.out_c * positions];
+            conv_forward_pairs_with_level(c0, cc, &pcolt, positions, &mut acc, &mut got, level);
+            assert_eq!(got, want, "{level:?}");
+        }
+        // Odd lane counts exercise every vector tail.
+        for lanes_off in 1..4usize {
+            let lanes = positions - lanes_off;
+            let pair_rows = c0.patch_len().div_ceil(2);
+            // Re-lay the columns at the narrower lane count.
+            let mut rows = vec![0i16; positions * c0.patch_len()];
+            fill_centered_t(c0, &qin, &mut rows);
+            let mut narrow_rows = vec![0i16; lanes * c0.patch_len()];
+            for i in 0..c0.patch_len() {
+                narrow_rows[i * lanes..(i + 1) * lanes]
+                    .copy_from_slice(&rows[i * positions..i * positions + lanes]);
+            }
+            let mut pc = vec![0i16; pair_rows * 2 * lanes];
+            interleave_pair_rows(&narrow_rows, lanes, c0.patch_len(), &mut pc, lanes, 0);
+            let mut want = vec![0i8; c0.geom.out_c * lanes];
+            conv_forward_pairs_with_level(
+                c0,
+                cc,
+                &pc,
+                lanes,
+                &mut acc,
+                &mut want,
+                SimdLevel::Scalar,
+            );
+            for level in available_simd_levels() {
+                let mut got = vec![0i8; c0.geom.out_c * lanes];
+                conv_forward_pairs_with_level(c0, cc, &pc, lanes, &mut acc, &mut got, level);
+                assert_eq!(got, want, "{level:?} lanes {lanes}");
+            }
+        }
+    }
+
+    #[test]
     fn compiled_exact_path_matches_unmasked_reference() {
         let (q, data) = quantized_micro(82);
         for i in 0..6 {
@@ -665,9 +1025,9 @@ mod tests {
         let mut scratch = ForwardScratch::for_model(&q);
         for i in 0..6 {
             let qin = q.quantize_input(data.test.image(i));
-            let colt = q.conv0_cols_t(&qin).expect("model starts with conv");
+            let pcolt = q.conv0_pair_cols(&qin).expect("model starts with conv");
             let want = q.forward_quantized(&qin, Some(&masks));
-            let got = q.forward_compiled_scratch(&qin, Some(&colt), Some(&compiled), &mut scratch);
+            let got = q.forward_compiled_scratch(&qin, Some(&pcolt), Some(&compiled), &mut scratch);
             assert_eq!(got, want, "image {i}");
         }
     }
@@ -701,27 +1061,69 @@ mod tests {
         // `retained` counts mask-retained products, zero weights included.
         assert_eq!(cc.retained[0] as usize, patch);
         assert_eq!(cc.retained[1] as usize, patch - 1);
-        // Streams hold exactly the retained nonzero-weight products,
-        // ascending, with matching weights.
+        // Pair streams hold exactly the retained nonzero-weight products,
+        // ascending pair index, masked/zero halves carrying weight 0.
         for o in [0usize, 1] {
             let s = cc.row_offsets[o] as usize;
             let e = cc.row_offsets[o + 1] as usize;
             let idx_row = &cc.idx[s..e];
             assert!(
-                idx_row.windows(2).all(|w| w[0] < w[1]),
-                "indices not ascending"
+                idx_row.windows(2).all(|p| p[0] < p[1]),
+                "pair indices not ascending"
             );
             let wrow = &c0.weights[o * patch..(o + 1) * patch];
-            let want: Vec<i16> = (0..patch)
-                .filter(|&i| wrow[i] != 0 && !(o == 1 && i == 2))
-                .map(|i| i as i16)
-                .collect();
-            assert_eq!(idx_row, &want[..], "channel {o}");
-            for (j, &ix) in idx_row.iter().enumerate() {
-                assert_eq!(cc.w[s + j], wrow[ix as usize]);
+            for (j, &pi) in idx_row.iter().enumerate() {
+                let (e0, e1) = (2 * pi as usize, 2 * pi as usize + 1);
+                let want0 = if o == 1 && e0 == 2 { 0 } else { wrow[e0] };
+                let want1 = if e1 >= patch || (o == 1 && e1 == 2) {
+                    0
+                } else {
+                    wrow[e1]
+                };
+                assert_eq!(cc.w[2 * (s + j)], want0, "channel {o} entry {j} even");
+                assert_eq!(cc.w[2 * (s + j) + 1], want1, "channel {o} entry {j} odd");
+            }
+            // Every nonzero retained weight appears in exactly one entry.
+            let streamed: i64 = idx_row
+                .iter()
+                .enumerate()
+                .map(|(j, _)| cc.w[2 * (s + j)] as i64 + cc.w[2 * (s + j) + 1] as i64)
+                .sum();
+            let want: i64 = (0..patch)
+                .filter(|&i| !(o == 1 && i == 2))
+                .map(|i| wrow[i] as i64)
+                .sum();
+            assert_eq!(streamed, want, "channel {o} weight sum");
+        }
+        // The masked product (channel 1, patch index 2) must not appear:
+        // pair row 1's even half for channel 1 is forced to 0.
+        let s1 = cc.row_offsets[1] as usize;
+        let e1 = cc.row_offsets[2] as usize;
+        for (j, &pi) in cc.idx[s1..e1].iter().enumerate() {
+            if pi == 1 {
+                assert_eq!(cc.w[2 * (s1 + j)], 0, "masked half-pair must be 0");
             }
         }
-        assert!(!cc.idx[cc.row_offsets[1] as usize..cc.row_offsets[2] as usize].contains(&2));
+    }
+
+    #[test]
+    fn dense_stream_drops_zero_weights_only() {
+        let (q, _) = quantized_micro(84);
+        let c0 = q.conv(0);
+        let patch = c0.patch_len();
+        let cc = CompiledConv::dense(c0);
+        assert!(cc.is_dense(patch));
+        for o in 0..c0.geom.out_c {
+            let wrow = &c0.weights[o * patch..(o + 1) * patch];
+            let s = cc.row_offsets[o] as usize;
+            let e = cc.row_offsets[o + 1] as usize;
+            // Entries exist exactly for pairs with at least one nonzero.
+            let want_pairs: Vec<i16> = (0..patch.div_ceil(2))
+                .filter(|&i| wrow[2 * i] != 0 || (2 * i + 1 < patch && wrow[2 * i + 1] != 0))
+                .map(|i| i as i16)
+                .collect();
+            assert_eq!(&cc.idx[s..e], &want_pairs[..], "channel {o}");
+        }
     }
 
     #[test]

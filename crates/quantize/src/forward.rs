@@ -67,21 +67,32 @@ pub struct ForwardScratch {
     pub(crate) act_b: Vec<i8>,
     pub(crate) cols: Vec<i8>,
     pub(crate) centered: Vec<i16>,
-    /// Transposed centered columns (compiled-mask kernels; lazily sized).
+    /// Natural transposed-row staging ahead of the pair interleave
+    /// (compiled-mask kernels; lazily sized).
     pub(crate) colt: Vec<i16>,
-    /// Per-position i32 accumulators (compiled-mask kernels; lazily sized).
+    /// Pair-interleaved columns (compiled-mask kernels; lazily sized).
+    pub(crate) pcolt: Vec<i16>,
+    /// Per-lane i32 accumulators (compiled-mask kernels; lazily sized).
     pub(crate) acc: Vec<i32>,
     /// NHWC staging buffer for planar → dense boundaries (compiled path;
     /// lazily sized).
     pub(crate) nhwc: Vec<i8>,
+    /// τ-independent dense (nothing-skipped) pair streams per conv ordinal,
+    /// executing exact layers through the same stream kernel (compiled
+    /// path; built at construction — this is what binds the scratch to its
+    /// model).
+    pub(crate) dense_streams: Vec<crate::compiled::CompiledConv>,
 }
 
 impl ForwardScratch {
-    /// Scratch sized for the largest activation / im2col buffer of `model`.
+    /// Scratch sized for the largest activation / im2col buffer of `model`
+    /// — and **bound to `model`**: the dense pair streams baked in here are
+    /// that model's weights, so a scratch must not be reused across
+    /// different models (build one per model instead).
     ///
-    /// The compiled-path buffers start empty and are grown on first
-    /// compiled forward, so the reference bool-mask path pays nothing for
-    /// them.
+    /// The compiled-path column/accumulator buffers start empty and are
+    /// grown on first compiled forward, so the reference bool-mask path
+    /// pays nothing for them.
     pub fn for_model(model: &QuantModel) -> Self {
         let max_act = model.activation_sizes().into_iter().max().unwrap_or(0);
         let max_cols = model.max_im2col_bytes() as usize;
@@ -91,17 +102,29 @@ impl ForwardScratch {
             cols: vec![0; max_cols],
             centered: vec![0; max_cols],
             colt: Vec::new(),
+            pcolt: Vec::new(),
             acc: Vec::new(),
             nhwc: Vec::new(),
+            dense_streams: crate::compiled::dense_streams(model),
         }
     }
 
     /// Grow the compiled-path buffers to `model`'s requirements (no-op
     /// once sized).
     pub(crate) fn ensure_compiled(&mut self, model: &QuantModel) {
+        debug_assert_eq!(
+            self.dense_streams.len(),
+            model.conv_indices().len(),
+            "ForwardScratch reused across models (it is bound to the model \
+             it was constructed for)"
+        );
         let max_cols = model.max_im2col_bytes() as usize;
         if self.colt.len() < max_cols {
             self.colt.resize(max_cols, 0);
+        }
+        let max_pcolt = model.max_pair_colt_elems();
+        if self.pcolt.len() < max_pcolt {
+            self.pcolt.resize(max_pcolt, 0);
         }
         let max_positions = model.max_conv_positions();
         if self.acc.len() < max_positions {

@@ -31,12 +31,14 @@
 //! [`QuantModel::forward_compiled_scratch`] runs them bit-exactly against
 //! the reference path, optionally reusing cached first-conv columns.
 
+pub mod batch;
 pub mod calib;
 pub mod compiled;
 pub mod forward;
 pub mod qmodel;
 
+pub use batch::BatchScratch;
 pub use calib::calibrate_ranges;
-pub use compiled::{CompiledConv, CompiledMasks};
+pub use compiled::{simd_level_name, CompiledConv, CompiledMasks};
 pub use forward::{argmax_i8, ForwardScratch, SkipMaskSet};
 pub use qmodel::{quantize_model, QConv, QDense, QLayer, QPool, QuantModel};

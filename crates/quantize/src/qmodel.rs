@@ -43,6 +43,16 @@ impl QConv {
             (-128, 127)
         }
     }
+
+    /// Centered padding value of this layer's im2col columns: the
+    /// reference kernels pad the i8 column buffer with the input zero
+    /// point clamped to i8 and center afterwards (`x − zp`), so padding
+    /// contributes `clamp(zp) − zp` — 0 whenever the zero point is
+    /// representable in i8. Every column fill must use this exact value to
+    /// stay bit-exact with the reference.
+    pub fn centered_pad(&self) -> i16 {
+        self.in_qp.zero_point.clamp(-128, 127) as i16 - self.in_qp.zero_point as i16
+    }
 }
 
 /// Quantized max-pool (value-preserving in the quantized domain).

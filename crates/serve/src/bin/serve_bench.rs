@@ -1,0 +1,156 @@
+//! **BENCH_serve**: served throughput and latency percentiles of the
+//! `ataman-serve` front-end — the closed-loop load-generator run CI gates
+//! alongside `BENCH_dse.json`.
+//!
+//! Trains a small model, runs the full ataman pipeline (PTQ → significance
+//! → DSE → deployment) to obtain two deployed designs of the same
+//! architecture — an approximate design selected under an accuracy-loss
+//! budget and the exact baseline — registers both, and drives a
+//! multi-client closed loop over them (exercising per-model batch
+//! routing). Writes `BENCH_serve.json` with images/sec and p50/p95/p99
+//! latency.
+//!
+//! ```sh
+//! cargo run -p ataman-serve --release --bin serve_bench
+//! ```
+
+use ataman::{AtamanConfig, Framework};
+use ataman_serve::{
+    run_closed_loop, CostContract, DeployedModel, LoadGenConfig, Registry, ServeOptions, Server,
+};
+use quantize::CompiledMasks;
+use serde::Serialize;
+
+const CLIENTS: usize = 4;
+const REQUESTS_PER_CLIENT: usize = 512;
+const MAX_BATCH: usize = 12;
+
+#[derive(Serialize)]
+struct ServeBenchReport {
+    simd_level: String,
+    max_batch: usize,
+    workers: usize,
+    clients: usize,
+    total_requests: usize,
+    wall_seconds: f64,
+    images_per_sec: f64,
+    latency_p50_ms: f64,
+    latency_p95_ms: f64,
+    latency_p99_ms: f64,
+    latency_max_ms: f64,
+    mean_batch_size: f64,
+    approx_contract_latency_ms: f64,
+}
+
+fn main() {
+    println!("== BENCH_serve: closed-loop throughput of the ataman-serve front-end ==");
+    let mut cfg = cifar10sim::DatasetConfig::paper_default();
+    cfg.n_train = 512;
+    cfg.n_test = 128;
+    cfg.seed = 0x5E12;
+    let data = cifar10sim::generate(cfg);
+
+    let mut model = tinynn::zoo::mini_cifar(0x5E12);
+    tinynn::Trainer::new(tinynn::SgdConfig {
+        epochs: 2,
+        lr: 0.08,
+        ..Default::default()
+    })
+    .train(&mut model, &data.train);
+
+    // Full pipeline → deployment contract for the approximate design.
+    let fw = Framework::analyze(&model, &data, AtamanConfig::quick());
+    let dep = fw.deploy(0.25).expect("a quick design deploys");
+    println!(
+        "deployed {} @ taus {:?}: {:.2} ms / {:.3} mJ on-board",
+        fw.model_name(),
+        dep.taus,
+        dep.latency_ms,
+        dep.energy_mj
+    );
+    let approx_contract_latency_ms = dep.latency_ms;
+
+    let mut registry = Registry::new();
+    let approx = DeployedModel::from_deployment("mini-approx", &fw, &dep);
+    // Exact baseline of the same architecture: no masks; contract from the
+    // analytic estimators (no board deployment needed for a baseline).
+    let q = fw.quant_model().clone();
+    let exact_stats = dse::estimate_stats(&q, None, fw.config().unpack);
+    let cost = mcusim::CostModel::cortex_m33();
+    let exact = DeployedModel::from_parts(
+        "mini-exact",
+        q.clone(),
+        CompiledMasks::none(q.conv_indices().len()),
+        CostContract {
+            cycles: exact_stats.cycles(&cost),
+            latency_ms: fw.config().board.cycles_to_ms(exact_stats.cycles(&cost)),
+            energy_mj: 0.0,
+            flash_bytes: dse::estimate_flash(&q, None, fw.config().unpack),
+        },
+    );
+    registry.register(approx);
+    registry.register(exact);
+
+    let inputs: Vec<Vec<i8>> = (0..data.test.len())
+        .map(|i| q.quantize_input(data.test.image(i)))
+        .collect();
+
+    let opts = ServeOptions {
+        max_batch: MAX_BATCH,
+        workers: 1,
+    };
+    let server = Server::start(registry, opts.clone());
+
+    // Warm-up: page in code and size per-model scratches.
+    let warm = run_closed_loop(
+        &server,
+        &inputs,
+        &LoadGenConfig {
+            clients: CLIENTS,
+            requests_per_client: 32,
+            models: vec!["mini-approx".into(), "mini-exact".into()],
+        },
+    );
+    println!("warm-up: {:.0} img/s", warm.images_per_sec);
+
+    let report = run_closed_loop(
+        &server,
+        &inputs,
+        &LoadGenConfig {
+            clients: CLIENTS,
+            requests_per_client: REQUESTS_PER_CLIENT,
+            models: vec!["mini-approx".into(), "mini-exact".into()],
+        },
+    );
+    server.shutdown();
+
+    let out = ServeBenchReport {
+        simd_level: quantize::simd_level_name().to_string(),
+        max_batch: opts.max_batch,
+        workers: opts.workers,
+        clients: report.clients,
+        total_requests: report.total_requests,
+        wall_seconds: report.wall_seconds,
+        images_per_sec: report.images_per_sec,
+        latency_p50_ms: report.latency_p50_ms,
+        latency_p95_ms: report.latency_p95_ms,
+        latency_p99_ms: report.latency_p99_ms,
+        latency_max_ms: report.latency_max_ms,
+        mean_batch_size: report.mean_batch_size,
+        approx_contract_latency_ms,
+    };
+    println!(
+        "{} requests in {:.2} s: {:.0} img/s, p50 {:.3} ms, p95 {:.3} ms, p99 {:.3} ms, mean batch {:.1}",
+        out.total_requests,
+        out.wall_seconds,
+        out.images_per_sec,
+        out.latency_p50_ms,
+        out.latency_p95_ms,
+        out.latency_p99_ms,
+        out.mean_batch_size
+    );
+
+    let json = serde_json::to_string_pretty(&out).expect("report serialization");
+    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+    println!("wrote BENCH_serve.json");
+}

@@ -1,0 +1,35 @@
+//! # ataman-serve
+//!
+//! A throughput front-end over the batch-major compiled inference engine
+//! ([`quantize::batch`]): the ROADMAP's "serves heavy traffic" story.
+//!
+//! The paper's pipeline ends with a *deployed design* — a quantized model
+//! plus compiled skip masks plus a cost contract measured on the target
+//! board ([`ataman::Deployment`]). This crate serves fleets of such
+//! designs on the simulation host:
+//!
+//! * [`Registry`] — a multi-model registry of [`DeployedModel`]s (model +
+//!   compiled masks + [`CostContract`]), the unit of deployment;
+//! * [`AdmissionQueue`] — an arrival-ordered queue that coalesces incoming
+//!   requests into per-model batches (ragged tails when traffic runs dry),
+//!   feeding the batched kernels their `B × positions` lanes;
+//! * [`Server`] — worker threads draining the queue through
+//!   [`quantize::QuantModel::predict_compiled_batch_scratch`] with
+//!   per-model reusable [`quantize::BatchScratch`]es;
+//! * [`loadgen`] — a synthetic closed-loop load generator reporting
+//!   images/sec and latency percentiles (`serve_bench` writes them to
+//!   `BENCH_serve.json`, gated in CI alongside `BENCH_dse.json`).
+//!
+//! Batching here is *the same* batching the DSE uses — one engine, two
+//! consumers — so every kernel improvement multiplies across both the
+//! design-space search and the serving path.
+
+pub mod loadgen;
+pub mod queue;
+pub mod registry;
+pub mod server;
+
+pub use loadgen::{run_closed_loop, LoadGenConfig, LoadReport};
+pub use queue::{AdmissionQueue, Batch, Reply, Request};
+pub use registry::{CostContract, DeployedModel, Registry};
+pub use server::{ServeOptions, Server, SubmitError};

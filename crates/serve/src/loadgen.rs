@@ -1,0 +1,185 @@
+//! Synthetic closed-loop load generation against a running [`Server`].
+//!
+//! Closed loop: each client keeps exactly one request in flight — submit,
+//! block on the reply, submit the next — so offered load adapts to served
+//! throughput and the measured latency distribution is the system's, not a
+//! queue-explosion artifact. Clients round-robin over the registered
+//! models they're given, which also exercises per-model batch routing.
+
+use crate::server::Server;
+use serde::Serialize;
+use std::time::Instant;
+
+/// Load generator configuration.
+#[derive(Debug, Clone)]
+pub struct LoadGenConfig {
+    /// Concurrent closed-loop clients.
+    pub clients: usize,
+    /// Requests each client issues.
+    pub requests_per_client: usize,
+    /// Models each client cycles through (round-robin, offset per client).
+    pub models: Vec<String>,
+}
+
+/// Aggregated load-test result (`BENCH_serve.json`).
+#[derive(Debug, Clone, Serialize)]
+pub struct LoadReport {
+    /// Models exercised.
+    pub models: Vec<String>,
+    /// Concurrent clients.
+    pub clients: usize,
+    /// Total completed requests.
+    pub total_requests: usize,
+    /// Wall-clock seconds for the whole run.
+    pub wall_seconds: f64,
+    /// Served throughput.
+    pub images_per_sec: f64,
+    /// Median end-to-end latency, ms.
+    pub latency_p50_ms: f64,
+    /// 95th percentile latency, ms.
+    pub latency_p95_ms: f64,
+    /// 99th percentile latency, ms.
+    pub latency_p99_ms: f64,
+    /// Worst observed latency, ms.
+    pub latency_max_ms: f64,
+    /// Mean batch size requests rode in (batching efficiency).
+    pub mean_batch_size: f64,
+}
+
+/// `q`-th percentile (0 ≤ q ≤ 1) of an unsorted latency sample, by the
+/// nearest-rank method on the sorted sample.
+fn percentile_ms(sorted_ms: &[f64], q: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted_ms.len() - 1) as f64 * q).round() as usize;
+    sorted_ms[rank]
+}
+
+/// Drive `cfg.clients` closed-loop clients against `server` using
+/// pre-quantized `inputs` (cycled per request) and aggregate the replies.
+///
+/// Panics if `cfg.models` is empty, any model is unregistered, or `inputs`
+/// is empty.
+pub fn run_closed_loop(server: &Server, inputs: &[Vec<i8>], cfg: &LoadGenConfig) -> LoadReport {
+    assert!(!cfg.models.is_empty(), "no models to load");
+    assert!(!inputs.is_empty(), "no inputs to send");
+    assert!(cfg.clients >= 1, "need at least one client");
+
+    let t0 = Instant::now();
+    let per_client: Vec<Vec<(f64, usize)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..cfg.clients)
+            .map(|ci| {
+                s.spawn(move || {
+                    let mut samples = Vec::with_capacity(cfg.requests_per_client);
+                    for ri in 0..cfg.requests_per_client {
+                        let model = &cfg.models[(ci + ri) % cfg.models.len()];
+                        let input =
+                            inputs[(ci * cfg.requests_per_client + ri) % inputs.len()].clone();
+                        let rx = server
+                            .submit_quantized(model, input)
+                            .expect("model registered");
+                        let reply = rx.recv().expect("server replied");
+                        samples.push((reply.latency.as_secs_f64() * 1e3, reply.batch_size));
+                    }
+                    samples
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client"))
+            .collect()
+    });
+    let wall_seconds = t0.elapsed().as_secs_f64();
+
+    let mut latencies: Vec<f64> = Vec::new();
+    let mut batch_sum = 0usize;
+    for samples in &per_client {
+        for &(ms, bs) in samples {
+            latencies.push(ms);
+            batch_sum += bs;
+        }
+    }
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let total = latencies.len();
+    LoadReport {
+        models: cfg.models.clone(),
+        clients: cfg.clients,
+        total_requests: total,
+        wall_seconds,
+        images_per_sec: total as f64 / wall_seconds,
+        latency_p50_ms: percentile_ms(&latencies, 0.50),
+        latency_p95_ms: percentile_ms(&latencies, 0.95),
+        latency_p99_ms: percentile_ms(&latencies, 0.99),
+        latency_max_ms: latencies.last().copied().unwrap_or(0.0),
+        mean_batch_size: if total == 0 {
+            0.0
+        } else {
+            batch_sum as f64 / total as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{CostContract, DeployedModel, Registry};
+    use crate::server::ServeOptions;
+    use quantize::{calibrate_ranges, quantize_model, CompiledMasks};
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let xs: Vec<f64> = (1..=100).map(|v| v as f64).collect();
+        assert_eq!(percentile_ms(&xs, 0.0), 1.0);
+        assert_eq!(percentile_ms(&xs, 0.5), 51.0);
+        assert_eq!(percentile_ms(&xs, 1.0), 100.0);
+        assert_eq!(percentile_ms(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn closed_loop_completes_and_reports() {
+        let data = cifar10sim::generate(cifar10sim::DatasetConfig::tiny(71));
+        let m = tinynn::zoo::mini_cifar(71);
+        let ranges = calibrate_ranges(&m, &data.train.take(8));
+        let q = quantize_model(&m, &ranges);
+        let n_convs = q.conv_indices().len();
+        let inputs: Vec<Vec<i8>> = (0..6)
+            .map(|i| q.quantize_input(data.test.image(i)))
+            .collect();
+        let mut reg = Registry::new();
+        reg.register(DeployedModel::from_parts(
+            "m",
+            q,
+            CompiledMasks::none(n_convs),
+            CostContract {
+                cycles: 1,
+                latency_ms: 0.1,
+                energy_mj: 0.001,
+                flash_bytes: 1,
+            },
+        ));
+        let server = crate::Server::start(
+            reg,
+            ServeOptions {
+                max_batch: 4,
+                workers: 1,
+            },
+        );
+        let report = run_closed_loop(
+            &server,
+            &inputs,
+            &LoadGenConfig {
+                clients: 3,
+                requests_per_client: 8,
+                models: vec!["m".into()],
+            },
+        );
+        server.shutdown();
+        assert_eq!(report.total_requests, 24);
+        assert!(report.images_per_sec > 0.0);
+        assert!(report.latency_p50_ms <= report.latency_p99_ms);
+        assert!(report.latency_p99_ms <= report.latency_max_ms);
+        assert!(report.mean_batch_size >= 1.0 && report.mean_batch_size <= 4.0);
+    }
+}

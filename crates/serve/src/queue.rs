@@ -1,0 +1,243 @@
+//! Admission queue: arrival-ordered request intake with per-model batch
+//! coalescing.
+//!
+//! The queue is the boundary between request-level traffic and the
+//! batch-major engine: workers drain the **front run** of same-model
+//! requests (up to `max_batch`) as one [`Batch`], so
+//!
+//! * requests execute in arrival order — a batch never reaches past the
+//!   first request of a *different* model (per-model routing without
+//!   starvation or reordering);
+//! * under load, batches fill to `max_batch` and every weight-stream
+//!   traversal amortizes across the whole batch;
+//! * when traffic runs dry, a ragged batch ships immediately — latency is
+//!   never traded for fill.
+
+use std::collections::VecDeque;
+use std::sync::mpsc::Sender;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// One inference request, quantized at admission.
+pub struct Request {
+    /// Server-assigned id (monotone per server).
+    pub id: u64,
+    /// Target deployed model (validated against the registry at submit).
+    pub model: String,
+    /// Quantized input.
+    pub qinput: Vec<i8>,
+    /// Admission timestamp (latency measurement).
+    pub submitted: Instant,
+    /// Reply channel.
+    pub(crate) reply: Sender<Reply>,
+}
+
+/// The server's answer to one request.
+#[derive(Debug, Clone)]
+pub struct Reply {
+    /// Request id.
+    pub id: u64,
+    /// Model that served the request.
+    pub model: String,
+    /// Predicted class.
+    pub predicted: usize,
+    /// Size of the batch this request rode in.
+    pub batch_size: usize,
+    /// Queue + inference latency (submit → reply send).
+    pub latency: Duration,
+}
+
+/// A coalesced batch: consecutive same-model requests from the queue front.
+pub struct Batch {
+    /// The deployed model every request targets.
+    pub model: String,
+    /// Requests in arrival order (1 ..= max_batch of them).
+    pub requests: Vec<Request>,
+}
+
+struct QueueState {
+    queue: VecDeque<Request>,
+    closed: bool,
+}
+
+/// Blocking MPMC admission queue with batch-coalescing pop.
+pub struct AdmissionQueue {
+    state: Mutex<QueueState>,
+    cv: Condvar,
+}
+
+impl Default for AdmissionQueue {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AdmissionQueue {
+    /// Empty, open queue.
+    pub fn new() -> Self {
+        Self {
+            state: Mutex::new(QueueState {
+                queue: VecDeque::new(),
+                closed: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Enqueue a request (ignored after [`AdmissionQueue::close`]).
+    pub fn push(&self, request: Request) {
+        let mut st = self.state.lock().unwrap();
+        if st.closed {
+            return;
+        }
+        st.queue.push_back(request);
+        drop(st);
+        self.cv.notify_one();
+    }
+
+    /// Requests currently waiting.
+    pub fn len(&self) -> usize {
+        self.state.lock().unwrap().queue.len()
+    }
+
+    /// True when no request is waiting.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Close the queue: waiting and future [`AdmissionQueue::next_batch`]
+    /// calls return `None` once drained, pushes become no-ops.
+    pub fn close(&self) {
+        self.state.lock().unwrap().closed = true;
+        self.cv.notify_all();
+    }
+
+    /// Blocking pop of the next coalesced batch; `None` once the queue is
+    /// closed *and* drained (workers exit on `None`).
+    pub fn next_batch(&self, max_batch: usize) -> Option<Batch> {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if !st.queue.is_empty() {
+                return Some(Self::coalesce(&mut st, max_batch));
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.cv.wait(st).unwrap();
+        }
+    }
+
+    /// Non-blocking pop (tests and opportunistic drains).
+    pub fn try_next_batch(&self, max_batch: usize) -> Option<Batch> {
+        let mut st = self.state.lock().unwrap();
+        if st.queue.is_empty() {
+            return None;
+        }
+        Some(Self::coalesce(&mut st, max_batch))
+    }
+
+    /// Pop the front run of same-model requests, up to `max_batch`.
+    fn coalesce(st: &mut QueueState, max_batch: usize) -> Batch {
+        assert!(max_batch >= 1, "max_batch must be at least 1");
+        let model = st.queue.front().expect("non-empty").model.clone();
+        let mut requests = Vec::new();
+        while requests.len() < max_batch {
+            match st.queue.front() {
+                Some(r) if r.model == model => {
+                    requests.push(st.queue.pop_front().expect("front exists"));
+                }
+                _ => break,
+            }
+        }
+        Batch { model, requests }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+
+    fn req(id: u64, model: &str) -> (Request, mpsc::Receiver<Reply>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            Request {
+                id,
+                model: model.to_string(),
+                qinput: vec![0; 4],
+                submitted: Instant::now(),
+                reply: tx,
+            },
+            rx,
+        )
+    }
+
+    fn push(q: &AdmissionQueue, id: u64, model: &str) {
+        let (r, rx) = req(id, model);
+        q.push(r);
+        std::mem::forget(rx); // queue tests never reply
+    }
+
+    fn ids(b: &Batch) -> Vec<u64> {
+        b.requests.iter().map(|r| r.id).collect()
+    }
+
+    #[test]
+    fn drains_in_arrival_order_with_full_batches() {
+        let q = AdmissionQueue::new();
+        for i in 0..7 {
+            push(&q, i, "a");
+        }
+        let b1 = q.try_next_batch(3).expect("batch");
+        assert_eq!(b1.model, "a");
+        assert_eq!(ids(&b1), vec![0, 1, 2]);
+        let b2 = q.try_next_batch(3).expect("batch");
+        assert_eq!(ids(&b2), vec![3, 4, 5]);
+        // Ragged tail ships as-is.
+        let b3 = q.try_next_batch(3).expect("batch");
+        assert_eq!(ids(&b3), vec![6]);
+        assert!(q.try_next_batch(3).is_none());
+    }
+
+    #[test]
+    fn per_model_routing_never_reorders() {
+        let q = AdmissionQueue::new();
+        push(&q, 0, "a");
+        push(&q, 1, "a");
+        push(&q, 2, "b");
+        push(&q, 3, "a"); // arrives after b: must NOT join the first a-batch
+        push(&q, 4, "b");
+        let b1 = q.try_next_batch(8).expect("batch");
+        assert_eq!((b1.model.as_str(), ids(&b1)), ("a", vec![0, 1]));
+        let b2 = q.try_next_batch(8).expect("batch");
+        assert_eq!((b2.model.as_str(), ids(&b2)), ("b", vec![2]));
+        let b3 = q.try_next_batch(8).expect("batch");
+        assert_eq!((b3.model.as_str(), ids(&b3)), ("a", vec![3]));
+        let b4 = q.try_next_batch(8).expect("batch");
+        assert_eq!((b4.model.as_str(), ids(&b4)), ("b", vec![4]));
+    }
+
+    #[test]
+    fn close_drains_then_returns_none() {
+        let q = AdmissionQueue::new();
+        push(&q, 0, "a");
+        q.close();
+        // Still drains what's queued…
+        let b = q.next_batch(4).expect("drains");
+        assert_eq!(ids(&b), vec![0]);
+        // …then reports exhaustion, and ignores late pushes.
+        push(&q, 1, "a");
+        assert!(q.next_batch(4).is_none());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn blocking_pop_wakes_on_push() {
+        let q = std::sync::Arc::new(AdmissionQueue::new());
+        let q2 = q.clone();
+        let h = std::thread::spawn(move || q2.next_batch(2).map(|b| ids(&b)));
+        std::thread::sleep(Duration::from_millis(20));
+        push(&q, 9, "a");
+        assert_eq!(h.join().unwrap(), Some(vec![9]));
+    }
+}

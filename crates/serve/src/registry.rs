@@ -1,0 +1,172 @@
+//! Multi-model registry: the serving-side unit of deployment.
+
+use quantize::{CompiledMasks, QuantModel};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The cost contract a deployed design was admitted under — the board-side
+/// numbers of [`ataman::Deployment`], carried alongside the host-side
+/// serving artifacts so operators can reason about fleet cost without
+/// re-running the deployment pipeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostContract {
+    /// Cycles per inference on the target MCU (unpacked engine).
+    pub cycles: u64,
+    /// Latency per inference on the target board, ms.
+    pub latency_ms: f64,
+    /// Energy per inference, mJ.
+    pub energy_mj: f64,
+    /// Flash footprint of the deployment, bytes.
+    pub flash_bytes: u64,
+}
+
+/// One deployable design: a quantized model, its compiled skip masks and
+/// the cost contract it was selected under.
+#[derive(Clone)]
+pub struct DeployedModel {
+    /// Registry key (unique per registry).
+    pub name: String,
+    /// The quantized model.
+    pub model: Arc<QuantModel>,
+    /// Compiled skip masks of the selected design
+    /// ([`CompiledMasks::none`] for an exact deployment).
+    pub masks: Arc<CompiledMasks>,
+    /// Board-side cost contract.
+    pub contract: CostContract,
+}
+
+impl DeployedModel {
+    /// Assemble a deployable design from parts.
+    pub fn from_parts(
+        name: impl Into<String>,
+        model: QuantModel,
+        masks: CompiledMasks,
+        contract: CostContract,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            model: Arc::new(model),
+            masks: Arc::new(masks),
+            contract,
+        }
+    }
+
+    /// Build from an [`ataman`] deployment: the framework's quantized model,
+    /// the deployment's τ assignment compiled to skip-mask streams, and its
+    /// measured board metrics as the contract.
+    pub fn from_deployment(
+        name: impl Into<String>,
+        fw: &ataman::Framework,
+        dep: &ataman::Deployment,
+    ) -> Self {
+        let qmodel = fw.quant_model();
+        let masks = fw.significance().compiled_masks_for_tau(qmodel, &dep.taus);
+        Self::from_parts(
+            name,
+            qmodel.clone(),
+            masks,
+            CostContract {
+                cycles: dep.cycles,
+                latency_ms: dep.latency_ms,
+                energy_mj: dep.energy_mj,
+                flash_bytes: dep.flash.total(),
+            },
+        )
+    }
+}
+
+/// Name-keyed registry of deployed designs, shared read-only by the server
+/// workers.
+#[derive(Default)]
+pub struct Registry {
+    entries: HashMap<String, Arc<DeployedModel>>,
+}
+
+impl Registry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a deployed design; returns the previous design under the
+    /// same name, if any (rollout replaces in place).
+    pub fn register(&mut self, model: DeployedModel) -> Option<Arc<DeployedModel>> {
+        self.entries.insert(model.name.clone(), Arc::new(model))
+    }
+
+    /// Look up a deployed design.
+    pub fn get(&self, name: &str) -> Option<Arc<DeployedModel>> {
+        self.entries.get(name).cloned()
+    }
+
+    /// Registered names, sorted (deterministic listings).
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.entries.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Number of registered designs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quantize::{calibrate_ranges, quantize_model};
+
+    fn quantized() -> QuantModel {
+        let data = cifar10sim::generate(cifar10sim::DatasetConfig::tiny(61));
+        let m = tinynn::zoo::mini_cifar(61);
+        let ranges = calibrate_ranges(&m, &data.train.take(8));
+        quantize_model(&m, &ranges)
+    }
+
+    fn contract() -> CostContract {
+        CostContract {
+            cycles: 1000,
+            latency_ms: 0.5,
+            energy_mj: 0.01,
+            flash_bytes: 64 * 1024,
+        }
+    }
+
+    #[test]
+    fn register_lookup_and_replace() {
+        let q = quantized();
+        let n_convs = q.conv_indices().len();
+        let mut reg = Registry::new();
+        assert!(reg.is_empty());
+        let old = reg.register(DeployedModel::from_parts(
+            "m",
+            q.clone(),
+            CompiledMasks::none(n_convs),
+            contract(),
+        ));
+        assert!(old.is_none());
+        assert_eq!(reg.len(), 1);
+        assert!(reg.get("m").is_some());
+        assert!(reg.get("missing").is_none());
+        // Rollout: replacing returns the previous design.
+        let replaced = reg.register(DeployedModel::from_parts(
+            "m",
+            q,
+            CompiledMasks::none(n_convs),
+            CostContract {
+                cycles: 2000,
+                ..contract()
+            },
+        ));
+        assert_eq!(replaced.expect("old entry").contract.cycles, 1000);
+        assert_eq!(reg.get("m").unwrap().contract.cycles, 2000);
+        assert_eq!(reg.names(), vec!["m".to_string()]);
+    }
+}

@@ -1,0 +1,318 @@
+//! The serving loop: worker threads draining the admission queue through
+//! the batch-major compiled engine.
+
+use crate::queue::{AdmissionQueue, Reply, Request};
+use crate::registry::Registry;
+use quantize::BatchScratch;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Largest batch a worker coalesces (lanes = max_batch × positions).
+    pub max_batch: usize,
+    /// Worker threads draining the queue.
+    pub workers: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            max_batch: 12,
+            workers: 1,
+        }
+    }
+}
+
+/// Why a submission was refused at admission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// No deployed design under that name.
+    UnknownModel(String),
+    /// Quantized input length does not match the model's input shape.
+    InputLength {
+        /// The model's expected input element count.
+        expected: usize,
+        /// What the caller submitted.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::UnknownModel(name) => write!(f, "unknown model {name:?}"),
+            SubmitError::InputLength { expected, got } => {
+                write!(f, "input length {got} != expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// A running inference server: registry + admission queue + workers.
+///
+/// Dropping (or [`Server::shutdown`]) closes the queue, lets workers drain
+/// what's admitted, and joins them.
+pub struct Server {
+    registry: Arc<Registry>,
+    queue: Arc<AdmissionQueue>,
+    workers: Vec<JoinHandle<()>>,
+    next_id: AtomicU64,
+}
+
+impl Server {
+    /// Start `opts.workers` worker threads over `registry`.
+    pub fn start(registry: Registry, opts: ServeOptions) -> Self {
+        assert!(opts.max_batch >= 1, "max_batch must be at least 1");
+        assert!(opts.workers >= 1, "need at least one worker");
+        let registry = Arc::new(registry);
+        let queue = Arc::new(AdmissionQueue::new());
+        let workers = (0..opts.workers)
+            .map(|_| {
+                let registry = registry.clone();
+                let queue = queue.clone();
+                let max_batch = opts.max_batch;
+                std::thread::spawn(move || worker_loop(&registry, &queue, max_batch))
+            })
+            .collect();
+        Self {
+            registry,
+            queue,
+            workers,
+            next_id: AtomicU64::new(0),
+        }
+    }
+
+    /// Submit a quantized input; returns the reply channel.
+    ///
+    /// Both the model name and the input length are validated *at
+    /// admission* — a malformed request must never reach (and kill) a
+    /// worker.
+    pub fn submit_quantized(
+        &self,
+        model: &str,
+        qinput: Vec<i8>,
+    ) -> Result<Receiver<Reply>, SubmitError> {
+        let entry = self
+            .registry
+            .get(model)
+            .ok_or_else(|| SubmitError::UnknownModel(model.to_string()))?;
+        let expected = entry.model.input_shape.item_len();
+        if qinput.len() != expected {
+            return Err(SubmitError::InputLength {
+                expected,
+                got: qinput.len(),
+            });
+        }
+        let (tx, rx) = mpsc::channel();
+        self.queue.push(Request {
+            id: self.next_id.fetch_add(1, Ordering::Relaxed),
+            model: model.to_string(),
+            qinput,
+            submitted: Instant::now(),
+            reply: tx,
+        });
+        Ok(rx)
+    }
+
+    /// Submit a raw `[0, 1]` f32 image (quantized at admission with the
+    /// target model's input parameters).
+    pub fn submit_image(&self, model: &str, image: &[f32]) -> Result<Receiver<Reply>, SubmitError> {
+        let entry = self
+            .registry
+            .get(model)
+            .ok_or_else(|| SubmitError::UnknownModel(model.to_string()))?;
+        self.submit_quantized(model, entry.model.quantize_input(image))
+    }
+
+    /// Requests admitted but not yet batched.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The registry being served.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Close admission, drain, and join the workers.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.queue.close();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// Drain batches until the queue closes. One reusable [`BatchScratch`] per
+/// deployed model per worker; replies carry queue + inference latency and
+/// the ride-along batch size.
+fn worker_loop(registry: &Registry, queue: &AdmissionQueue, max_batch: usize) {
+    let mut scratches: HashMap<String, BatchScratch> = HashMap::new();
+    while let Some(batch) = queue.next_batch(max_batch) {
+        // Submit validated the name; a rollout cannot unregister, only
+        // replace, so the lookup holds.
+        let entry = registry.get(&batch.model).expect("registered model");
+        let scratch = scratches
+            .entry(batch.model.clone())
+            .or_insert_with(|| BatchScratch::for_model(&entry.model, max_batch));
+        let n = batch.requests.len();
+        let in_len = entry.model.input_shape.item_len();
+        let mut flat = Vec::with_capacity(n * in_len);
+        for r in &batch.requests {
+            // Admission validated the length; this is defense in depth.
+            debug_assert_eq!(r.qinput.len(), in_len, "request input length mismatch");
+            flat.extend_from_slice(&r.qinput);
+        }
+        // No conv0 column cache here: serving consumes each batch once, so
+        // precomputing columns into fresh Vecs is pure allocator traffic —
+        // the batched core fills the reusable scratch buffers instead.
+        let preds =
+            entry
+                .model
+                .predict_compiled_batch_scratch(&flat, n, None, Some(&entry.masks), scratch);
+        let now = Instant::now();
+        for (r, pred) in batch.requests.into_iter().zip(preds) {
+            // A client that dropped its receiver just misses its reply.
+            let _ = r.reply.send(Reply {
+                id: r.id,
+                model: batch.model.clone(),
+                predicted: pred,
+                batch_size: n,
+                latency: now.duration_since(r.submitted),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{CostContract, DeployedModel};
+    use quantize::{calibrate_ranges, quantize_model, ForwardScratch};
+    use signif::{capture_mean_inputs, SignificanceMap, TauAssignment};
+
+    fn deployed(name: &str, tau: f64, seed: u64) -> (DeployedModel, cifar10sim::SyntheticCifar) {
+        let data = cifar10sim::generate(cifar10sim::DatasetConfig::tiny(seed));
+        let m = tinynn::zoo::mini_cifar(seed);
+        let ranges = calibrate_ranges(&m, &data.train.take(8));
+        let q = quantize_model(&m, &ranges);
+        let means = capture_mean_inputs(&q, &data.train.take(8));
+        let sig = SignificanceMap::compute(&q, &means);
+        let masks = sig.compiled_masks_for_tau(&q, &TauAssignment::global(tau));
+        let contract = CostContract {
+            cycles: 1,
+            latency_ms: 0.1,
+            energy_mj: 0.001,
+            flash_bytes: 1024,
+        };
+        (DeployedModel::from_parts(name, q, masks, contract), data)
+    }
+
+    #[test]
+    fn serves_batches_bit_exact_with_per_image_path() {
+        let (dm, data) = deployed("m", 0.01, 91);
+        let q = dm.model.clone();
+        let masks = dm.masks.clone();
+        let mut reg = Registry::new();
+        reg.register(dm);
+        let server = Server::start(
+            reg,
+            ServeOptions {
+                max_batch: 4,
+                workers: 1,
+            },
+        );
+        let mut rxs = Vec::new();
+        for i in 0..10 {
+            rxs.push(
+                server
+                    .submit_image("m", data.test.image(i))
+                    .expect("submit"),
+            );
+        }
+        let mut scratch = ForwardScratch::for_model(&q);
+        for (i, rx) in rxs.into_iter().enumerate() {
+            let reply = rx.recv().expect("reply");
+            let want = q.predict_compiled_scratch(
+                &q.quantize_input(data.test.image(i)),
+                None,
+                Some(&masks),
+                &mut scratch,
+            );
+            assert_eq!(reply.predicted, want, "request {i}");
+            assert!(reply.batch_size >= 1 && reply.batch_size <= 4);
+            assert_eq!(reply.model, "m");
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn routes_across_models() {
+        let (a, data) = deployed("a", 0.0, 92);
+        let (b, _) = deployed("b", 0.05, 93);
+        let (qa, qb) = (a.model.clone(), b.model.clone());
+        let (ma, mb) = (a.masks.clone(), b.masks.clone());
+        let mut reg = Registry::new();
+        reg.register(a);
+        reg.register(b);
+        let server = Server::start(reg, ServeOptions::default());
+        let img = data.test.image(0);
+        let ra = server.submit_image("a", img).expect("a");
+        let rb = server.submit_image("b", img).expect("b");
+        let mut sa = ForwardScratch::for_model(&qa);
+        let mut sb = ForwardScratch::for_model(&qb);
+        assert_eq!(
+            ra.recv().unwrap().predicted,
+            qa.predict_compiled_scratch(&qa.quantize_input(img), None, Some(&ma), &mut sa)
+        );
+        assert_eq!(
+            rb.recv().unwrap().predicted,
+            qb.predict_compiled_scratch(&qb.quantize_input(img), None, Some(&mb), &mut sb)
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn unknown_model_is_refused_at_admission() {
+        let (dm, data) = deployed("m", 0.0, 94);
+        let mut reg = Registry::new();
+        reg.register(dm);
+        let server = Server::start(reg, ServeOptions::default());
+        let err = server.submit_image("nope", data.test.image(0)).unwrap_err();
+        assert_eq!(err, SubmitError::UnknownModel("nope".into()));
+        server.shutdown();
+    }
+
+    #[test]
+    fn wrong_length_input_is_refused_and_workers_survive() {
+        let (dm, data) = deployed("m", 0.0, 95);
+        let expected = dm.model.input_shape.item_len();
+        let mut reg = Registry::new();
+        reg.register(dm);
+        let server = Server::start(reg, ServeOptions::default());
+        let err = server.submit_quantized("m", vec![0i8; 7]).unwrap_err();
+        assert_eq!(err, SubmitError::InputLength { expected, got: 7 });
+        // The worker never saw the malformed request and keeps serving.
+        let rx = server.submit_image("m", data.test.image(0)).expect("ok");
+        assert!(rx.recv().is_ok());
+        server.shutdown();
+    }
+}

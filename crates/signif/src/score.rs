@@ -136,7 +136,7 @@ impl SignificanceMap {
 
     /// Channel-granularity skipping — the coarser scheme of prior work the
     /// paper contrasts with ("Unlike other approaches that consider
-    /// skipping entire channels or even layers [7], our framework can omit
+    /// skipping entire channels or even layers \[7\], our framework can omit
     /// operations at the finest granularity").
     ///
     /// A whole output channel is skipped when the **mean** significance of

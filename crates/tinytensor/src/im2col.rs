@@ -168,6 +168,35 @@ pub fn fill_im2col_centered_t_planar(
     pad_centered: i16,
     out: &mut [i16],
 ) {
+    assert_eq!(
+        planar.len(),
+        geom.in_h * geom.in_w * geom.in_c,
+        "input size mismatch"
+    );
+    fill_im2col_centered_t_planar_pitched(
+        planar,
+        geom,
+        zp,
+        pad_centered,
+        out,
+        geom.in_h * geom.in_w,
+    );
+}
+
+/// [`fill_im2col_centered_t_planar`] with an explicit **channel pitch**:
+/// channel `ci`'s plane starts at `planar[ci * plane_pitch]` instead of
+/// being packed back-to-back. This is the read side of batch-major
+/// activations, where a batch of `B` images stores image `b`'s channel `ci`
+/// at plane `ci·B + b` — the caller passes the sub-slice starting at image
+/// `b`'s first plane and `plane_pitch = B · in_h · in_w`.
+pub fn fill_im2col_centered_t_planar_pitched(
+    planar: &[i8],
+    geom: &ConvGeometry,
+    zp: i16,
+    pad_centered: i16,
+    out: &mut [i16],
+    plane_pitch: usize,
+) {
     let (oh, ow) = (geom.out_h(), geom.out_w());
     let positions = oh * ow;
     let patch = geom.patch_len();
@@ -176,15 +205,15 @@ pub fn fill_im2col_centered_t_planar(
         positions * patch,
         "transposed column buffer size mismatch"
     );
-    assert_eq!(
-        planar.len(),
-        geom.in_h * geom.in_w * geom.in_c,
-        "input size mismatch"
+    let plane = geom.in_h * geom.in_w;
+    assert!(plane_pitch >= plane, "plane pitch smaller than one plane");
+    assert!(
+        planar.len() >= (geom.in_c - 1) * plane_pitch + plane,
+        "planar view too short for channel pitch"
     );
 
     let (in_c, in_w, in_h) = (geom.in_c, geom.in_w, geom.in_h);
     let (sw, sh) = (geom.stride_w, geom.stride_h);
-    let plane = in_h * in_w;
     for ky in 0..geom.kernel_h {
         for kx in 0..geom.kernel_w {
             let lo_num = geom.pad_w as isize - kx as isize;
@@ -204,7 +233,7 @@ pub fn fill_im2col_centered_t_planar(
             for ci in 0..in_c {
                 let i = (ky * geom.kernel_w + kx) * in_c + ci;
                 let out_row = &mut out[i * positions..(i + 1) * positions];
-                let src_plane = &planar[ci * plane..(ci + 1) * plane];
+                let src_plane = &planar[ci * plane_pitch..ci * plane_pitch + plane];
                 let mut p = 0usize;
                 for oy in 0..oh {
                     let iy = (oy * sh) as isize + ky as isize - geom.pad_h as isize;
@@ -219,7 +248,6 @@ pub fn fill_im2col_centered_t_planar(
                     let row_base = iy as usize * in_w;
                     let mut src = row_base + ox_lo * sw + kx - geom.pad_w;
                     if sw == 1 {
-                        // Contiguous run: vectorizes.
                         let src_run = &src_plane[src..src + (ox_hi - ox_lo)];
                         for (d, &v) in row[ox_lo..ox_hi].iter_mut().zip(src_run) {
                             *d = v as i16 - zp;
@@ -232,6 +260,217 @@ pub fn fill_im2col_centered_t_planar(
                     }
                 }
             }
+        }
+    }
+}
+
+/// Fill **pair-interleaved** columns directly from a planar (channel-major)
+/// source — the fused fill of the compiled conv pipeline's inner layers,
+/// producing the layout of [`interleave_pair_rows`] without materializing
+/// natural rows first.
+///
+/// `out` pair row `i` (pitch `2·lanes`, this image's lanes starting at
+/// `lane0`) receives patch elements `2i` and `2i+1` elementwise
+/// interleaved; channel `ci`'s source plane starts at
+/// `planar[ci * plane_pitch]` (batch-major activations pass
+/// `plane_pitch = B · in_h · in_w`). A pair past the end of an odd patch
+/// gets 0 (its weight slot is always 0).
+///
+/// For stride-1 convolutions whose output width equals the input width
+/// (`kernel_w == 2·pad_w + 1` — every same-padding conv here) and whose
+/// pair spans two adjacent channels of one kernel position, a pair row is
+/// one contiguous shifted interleaved copy of two planes plus a handful of
+/// edge-column/edge-row pad patches, so the fill vectorizes over whole
+/// planes instead of per-output-row fragments. Other geometries take the
+/// general per-half path. Bit-exact with
+/// [`fill_im2col_centered_t_planar_pitched`] + [`interleave_pair_rows`]
+/// (cross-checked by tests).
+#[allow(clippy::too_many_arguments)]
+pub fn fill_im2col_pairs_planar_pitched(
+    planar: &[i8],
+    geom: &ConvGeometry,
+    zp: i16,
+    pad_centered: i16,
+    out: &mut [i16],
+    lanes: usize,
+    lane0: usize,
+    plane_pitch: usize,
+) {
+    let (oh, ow) = (geom.out_h(), geom.out_w());
+    let positions = oh * ow;
+    let patch = geom.patch_len();
+    let pair_rows = patch.div_ceil(2);
+    assert!(lane0 + positions <= lanes, "lane window out of range");
+    assert!(
+        out.len() >= pair_rows * 2 * lanes,
+        "pair-row buffer too short"
+    );
+    let plane = geom.in_h * geom.in_w;
+    assert!(plane_pitch >= plane, "plane pitch smaller than one plane");
+    assert!(
+        planar.len() >= (geom.in_c - 1) * plane_pitch + plane,
+        "planar view too short for channel pitch"
+    );
+
+    let (in_c, in_w, in_h) = (geom.in_c, geom.in_w, geom.in_h);
+    let (sw, sh) = (geom.stride_w, geom.stride_h);
+    // Valid ox range of a kernel column kx (sw == 1 fast path).
+    let ox_range = |kx: usize| -> (usize, usize) {
+        let lo_num = geom.pad_w as isize - kx as isize;
+        let lo = if lo_num > 0 {
+            (lo_num as usize).div_ceil(sw)
+        } else {
+            0
+        }
+        .min(ow);
+        let hi_num = in_w as isize + geom.pad_w as isize - kx as isize;
+        let hi = if hi_num <= 0 {
+            0
+        } else {
+            (((hi_num - 1) as usize) / sw + 1).min(ow)
+        }
+        .max(lo);
+        (lo, hi)
+    };
+
+    for pair in 0..pair_rows {
+        let e0 = 2 * pair;
+        let e1 = e0 + 1;
+        let (ky, rem) = (e0 / (geom.kernel_w * in_c), e0 % (geom.kernel_w * in_c));
+        let (kx, ci) = (rem / in_c, rem % in_c);
+        let dst =
+            &mut out[pair * 2 * lanes + 2 * lane0..pair * 2 * lanes + 2 * lane0 + 2 * positions];
+
+        let fused = e1 < patch && ci + 1 < in_c && sw == 1 && sh == 1 && ow == in_w;
+        if fused {
+            // Both halves share (ky, kx): one shifted interleaved copy of
+            // two adjacent channel planes, then pad patches at the edges.
+            let a = &planar[ci * plane_pitch..ci * plane_pitch + plane];
+            let b = &planar[(ci + 1) * plane_pitch..(ci + 1) * plane_pitch + plane];
+            let off = (ky as isize - geom.pad_h as isize) * in_w as isize + kx as isize
+                - geom.pad_w as isize;
+            let oy_lo = geom.pad_h.saturating_sub(ky).min(oh);
+            // Saturating: a kernel row entirely below the input (ky ≥
+            // in_h + pad_h) has no valid output rows at all.
+            let oy_hi = (in_h + geom.pad_h).saturating_sub(ky).min(oh).max(oy_lo);
+            let (ox_lo, ox_hi) = ox_range(kx);
+            // Whole out-of-range rows are padding.
+            for oy in (0..oy_lo).chain(oy_hi..oh) {
+                dst[2 * oy * ow..2 * (oy + 1) * ow].fill(pad_centered);
+            }
+            // Main copy: clamp the span so p + off stays inside the plane;
+            // the clamped-off elements are pad columns, patched below.
+            let mut p_lo = oy_lo * ow;
+            let mut p_hi = oy_hi * ow;
+            if off < 0 {
+                p_lo = p_lo.max((-off) as usize);
+            } else {
+                p_hi = p_hi.min(plane.saturating_sub(off as usize));
+            }
+            if p_lo < p_hi {
+                let sa = &a[(p_lo as isize + off) as usize..(p_hi as isize + off) as usize];
+                let sb = &b[(p_lo as isize + off) as usize..(p_hi as isize + off) as usize];
+                let d = &mut dst[2 * p_lo..2 * p_hi];
+                for (k, d2) in d.chunks_exact_mut(2).enumerate() {
+                    d2[0] = sa[k] as i16 - zp;
+                    d2[1] = sb[k] as i16 - zp;
+                }
+            }
+            // Pad columns of every valid row (also covers the clamped span
+            // ends — those always fall in pad columns).
+            for oy in oy_lo..oy_hi {
+                for ox in (0..ox_lo).chain(ox_hi..ow) {
+                    dst[2 * (oy * ow + ox)] = pad_centered;
+                    dst[2 * (oy * ow + ox) + 1] = pad_centered;
+                }
+            }
+        } else {
+            // General path: each half independently, stride-2 writes.
+            for h in 0..2usize {
+                let e = e0 + h;
+                if e >= patch {
+                    for p in 0..positions {
+                        dst[2 * p + h] = 0;
+                    }
+                    continue;
+                }
+                let (ky, rem) = (e / (geom.kernel_w * in_c), e % (geom.kernel_w * in_c));
+                let (kx, ci) = (rem / in_c, rem % in_c);
+                let src_plane = &planar[ci * plane_pitch..ci * plane_pitch + plane];
+                let (ox_lo, ox_hi) = ox_range(kx);
+                let mut p = 0usize;
+                for oy in 0..oh {
+                    let iy = (oy * sh) as isize + ky as isize - geom.pad_h as isize;
+                    let row = &mut dst[2 * p..2 * (p + ow)];
+                    p += ow;
+                    if iy < 0 || iy >= in_h as isize {
+                        for ox in 0..ow {
+                            row[2 * ox + h] = pad_centered;
+                        }
+                        continue;
+                    }
+                    for ox in (0..ox_lo).chain(ox_hi..ow) {
+                        row[2 * ox + h] = pad_centered;
+                    }
+                    let row_base = iy as usize * in_w;
+                    let mut src = row_base + ox_lo * sw + kx - geom.pad_w;
+                    for ox in ox_lo..ox_hi {
+                        row[2 * ox + h] = src_plane[src] as i16 - zp;
+                        src += sw;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Interleave transposed column rows into the **pair-row** layout of the
+/// SMLAD/VNNI-shaped conv kernels, at a lane offset inside a (possibly
+/// batched) destination.
+///
+/// Source: natural transposed rows, `rows[i * positions + p]` (patch
+/// element `i`, output position `p`). Destination: pair row `i` holds patch
+/// elements `2i` and `2i+1` interleaved elementwise —
+/// `out[i * 2·lanes + 2·(lane0 + p)] = rows[2i · positions + p]` and
+/// `out[… + 1] = rows[(2i+1) · positions + p]` — so one weight-pair
+/// broadcast consumes both products of a lane with a single i16-pair
+/// multiply-add. For odd `patch` the final pair's second half is
+/// zero-filled; its weight slot is always 0, so the value never matters
+/// (kept at 0 for determinism).
+///
+/// `lanes` is the destination's lane count per pair row (`B · positions`
+/// for a batch of `B` images); `lane0` is where this image's lanes start.
+pub fn interleave_pair_rows(
+    rows: &[i16],
+    positions: usize,
+    patch: usize,
+    out: &mut [i16],
+    lanes: usize,
+    lane0: usize,
+) {
+    assert!(rows.len() >= positions * patch, "source rows too short");
+    assert!(lane0 + positions <= lanes, "lane window out of range");
+    let pair_rows = patch.div_ceil(2);
+    assert!(
+        out.len() >= pair_rows * 2 * lanes,
+        "pair-row buffer too short"
+    );
+    for i in 0..patch / 2 {
+        let a = &rows[(2 * i) * positions..(2 * i + 1) * positions];
+        let b = &rows[(2 * i + 1) * positions..(2 * i + 2) * positions];
+        let dst = &mut out[i * 2 * lanes + 2 * lane0..i * 2 * lanes + 2 * lane0 + 2 * positions];
+        for p in 0..positions {
+            dst[2 * p] = a[p];
+            dst[2 * p + 1] = b[p];
+        }
+    }
+    if patch % 2 == 1 {
+        let i = patch / 2;
+        let a = &rows[(patch - 1) * positions..patch * positions];
+        let dst = &mut out[i * 2 * lanes + 2 * lane0..i * 2 * lanes + 2 * lane0 + 2 * positions];
+        for p in 0..positions {
+            dst[2 * p] = a[p];
+            dst[2 * p + 1] = 0;
         }
     }
 }
@@ -444,6 +683,178 @@ mod tests {
                     let want = cols[p * patch + i] as i16 - zp;
                     assert_eq!(t[i * positions + p], want, "geom {g} p {p} i {i}");
                     assert_eq!(tp[i * positions + p], want, "planar geom {g} p {p} i {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pitched_planar_fill_matches_packed_planar_fill() {
+        let geom = small_geom();
+        let len = geom.in_h * geom.in_w * geom.in_c;
+        let plane = geom.in_h * geom.in_w;
+        let positions = geom.out_positions();
+        let patch = geom.patch_len();
+        let planar: Vec<i8> = (0..len).map(|v| (v as i8).wrapping_mul(11)).collect();
+        let zp = 4i16;
+        let mut want = vec![0i16; positions * patch];
+        fill_im2col_centered_t_planar(&planar, &geom, zp, 0, &mut want);
+        // Scatter the packed planes into a pitched buffer (pitch = 3 planes)
+        // and check the pitched fill reads through the gaps identically.
+        let pitch = 3 * plane;
+        let mut spread = vec![0i8; (geom.in_c - 1) * pitch + plane];
+        for ci in 0..geom.in_c {
+            spread[ci * pitch..ci * pitch + plane]
+                .copy_from_slice(&planar[ci * plane..(ci + 1) * plane]);
+        }
+        let mut got = vec![0i16; positions * patch];
+        fill_im2col_centered_t_planar_pitched(&spread, &geom, zp, 0, &mut got, pitch);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn fused_pair_fill_matches_two_pass_reference() {
+        // Geometries covering the fused fast path (stride 1, ow == in_w,
+        // even channels), odd channels, strides, valid padding, 1×1.
+        let geoms = [
+            ConvGeometry {
+                in_h: 6,
+                in_w: 6,
+                in_c: 4,
+                out_c: 2,
+                kernel_h: 3,
+                kernel_w: 3,
+                pad_h: 1,
+                pad_w: 1,
+                stride_h: 1,
+                stride_w: 1,
+            },
+            ConvGeometry {
+                in_h: 5,
+                in_w: 7,
+                in_c: 3,
+                out_c: 2,
+                kernel_h: 3,
+                kernel_w: 3,
+                pad_h: 1,
+                pad_w: 1,
+                stride_h: 1,
+                stride_w: 1,
+            },
+            ConvGeometry {
+                in_h: 7,
+                in_w: 6,
+                in_c: 2,
+                out_c: 2,
+                kernel_h: 3,
+                kernel_w: 3,
+                pad_h: 1,
+                pad_w: 1,
+                stride_h: 2,
+                stride_w: 2,
+            },
+            ConvGeometry {
+                in_h: 6,
+                in_w: 6,
+                in_c: 2,
+                out_c: 2,
+                kernel_h: 3,
+                kernel_w: 3,
+                pad_h: 0,
+                pad_w: 0,
+                stride_h: 1,
+                stride_w: 1,
+            },
+            ConvGeometry {
+                in_h: 4,
+                in_w: 4,
+                in_c: 5,
+                out_c: 2,
+                kernel_h: 1,
+                kernel_w: 1,
+                pad_h: 0,
+                pad_w: 0,
+                stride_h: 1,
+                stride_w: 1,
+            },
+            ConvGeometry {
+                in_h: 4,
+                in_w: 4,
+                in_c: 1,
+                out_c: 1,
+                kernel_h: 5,
+                kernel_w: 5,
+                pad_h: 2,
+                pad_w: 2,
+                stride_h: 1,
+                stride_w: 1,
+            },
+            // Kernel taller than the padded input: bottom kernel rows have
+            // no valid output rows (regression: oy_hi/p_hi underflow).
+            ConvGeometry {
+                in_h: 1,
+                in_w: 5,
+                in_c: 2,
+                out_c: 1,
+                kernel_h: 5,
+                kernel_w: 5,
+                pad_h: 2,
+                pad_w: 2,
+                stride_h: 1,
+                stride_w: 1,
+            },
+        ];
+        for (g, geom) in geoms.iter().enumerate() {
+            let plane = geom.in_h * geom.in_w;
+            let positions = geom.out_positions();
+            let patch = geom.patch_len();
+            let pair_rows = patch.div_ceil(2);
+            // Pitched planar source (pitch of 2 planes, batch-like).
+            let pitch = 2 * plane;
+            let mut planar = vec![0i8; (geom.in_c - 1) * pitch + plane];
+            for (i, v) in planar.iter_mut().enumerate() {
+                *v = (i as i8).wrapping_mul(7);
+            }
+            let zp = -5i16;
+            let pad = 3i16;
+            // Reference: natural pitched fill + interleave, at a lane offset.
+            let lanes = positions + 4;
+            let lane0 = 2usize;
+            let mut rows = vec![0i16; positions * patch];
+            fill_im2col_centered_t_planar_pitched(&planar, geom, zp, pad, &mut rows, pitch);
+            let mut want = vec![0i16; pair_rows * 2 * lanes];
+            interleave_pair_rows(&rows, positions, patch, &mut want, lanes, lane0);
+            let mut got = vec![0i16; pair_rows * 2 * lanes];
+            fill_im2col_pairs_planar_pitched(&planar, geom, zp, pad, &mut got, lanes, lane0, pitch);
+            for i in 0..pair_rows {
+                let w = &want[i * 2 * lanes + 2 * lane0..i * 2 * lanes + 2 * (lane0 + positions)];
+                let o = &got[i * 2 * lanes + 2 * lane0..i * 2 * lanes + 2 * (lane0 + positions)];
+                assert_eq!(o, w, "geom {g} pair row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn pair_interleave_round_trips_rows() {
+        // Odd patch length exercises the zero-filled final half-pair.
+        for (positions, patch) in [(7usize, 5usize), (8, 6), (1, 1)] {
+            let rows: Vec<i16> = (0..positions * patch).map(|v| v as i16 - 20).collect();
+            // Batched destination: 2 images' lanes, this image at lane 3.
+            let lanes = positions + 5;
+            let pair_rows = patch.div_ceil(2);
+            let mut out = vec![77i16; pair_rows * 2 * lanes];
+            interleave_pair_rows(&rows, positions, patch, &mut out, lanes, 3);
+            for i in 0..pair_rows {
+                for p in 0..positions {
+                    let got0 = out[i * 2 * lanes + 2 * (3 + p)];
+                    let got1 = out[i * 2 * lanes + 2 * (3 + p) + 1];
+                    assert_eq!(got0, rows[(2 * i) * positions + p], "even {i} {p}");
+                    let want1 = if 2 * i + 1 < patch {
+                        rows[(2 * i + 1) * positions + p]
+                    } else {
+                        0
+                    };
+                    assert_eq!(got1, want1, "odd {i} {p}");
                 }
             }
         }

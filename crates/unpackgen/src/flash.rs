@@ -31,7 +31,7 @@ pub const BYTES_PER_LAYER: u64 = 256;
 
 /// Runtime/library code after the framework's compile-time specialization —
 /// "reducing flash memory usage by up to 30%" (Section II-A) relative to
-/// the generic library ([`cmsisnn::CMSIS_LIBRARY_CODE_BYTES`] = 36 KB).
+/// the generic library (`cmsisnn::CMSIS_LIBRARY_CODE_BYTES` = 36 KB).
 pub const SPECIALIZED_LIBRARY_CODE_BYTES: u64 = 25 * 1024;
 
 /// Application RAM overhead after specialization (no interpreter state).

@@ -2,7 +2,7 @@
 //!
 //! Simulated ST X-CUBE-AI comparator.
 //!
-//! The paper compares against X-CUBE-AI [8], STMicroelectronics' *closed
+//! The paper compares against X-CUBE-AI \[8\], STMicroelectronics' *closed
 //! source* AI expansion pack. Per the reproduction's substitution rule we
 //! model it as an exact int8 engine with a graph-compiled cost profile:
 //!

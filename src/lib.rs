@@ -7,6 +7,7 @@
 //! `crates/*` (see `DESIGN.md` for the system inventory).
 
 pub use ataman;
+pub use ataman_serve;
 pub use cifar10sim;
 pub use cmsisnn;
 pub use dse;

@@ -72,7 +72,7 @@ proptest! {
             let want = q.forward_quantized(&qin, Some(&masks));
             let got = q.forward_compiled(&qin, Some(&compiled));
             prop_assert_eq!(&got, &want, "image {} plain", i);
-            let cols = q.conv0_cols_t(&qin).expect("first layer is conv");
+            let cols = q.conv0_pair_cols(&qin).expect("first layer is conv");
             let cached = q.forward_compiled_scratch(
                 &qin, Some(&cols), Some(&compiled), &mut scratch,
             );
