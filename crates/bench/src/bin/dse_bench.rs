@@ -1,33 +1,70 @@
 //! **BENCH_dse**: design-evaluation throughput of `dse::explore` — the
-//! number the batch-major compiled kernels + evaluation cache exist to
-//! move.
+//! number the prefix-sharing trie evaluator + batch-major compiled kernels
+//! + evaluation cache exist to move.
 //!
-//! Runs a fixed τ grid (24 configs × 128 eval images on `zoo::mini_cifar`)
-//! through the pre-cache boolean-mask baseline (`explore_reference`) and
-//! the batched compiled+cached production path (`explore`), checks the
-//! results are bit-exact, and emits `BENCH_dse.json` so the perf
-//! trajectory is tracked from PR to PR (CI compares against the committed
-//! file and fails on >25% regressions — see `perf_gate`).
+//! Two per-layer τ grids on `zoo::mini_cifar` (3 conv layers) × 128 eval
+//! images, each measured through three paths:
 //!
-//! Also reported: the SIMD dispatch level of the pair-stream kernels
-//! (throughput is only comparable at the same level), the eval batch size,
-//! and the evaluation cache's resident bytes (batched inputs + batched
-//! first-conv pair columns), so memory growth stays visible alongside
-//! throughput.
+//! * `baseline` — the pre-cache boolean-mask `explore_reference`;
+//! * `independent` — PR 2's architecture (`explore_independent`): shared
+//!   batch-major eval cache + stream memo, but one full forward per design;
+//! * `trie` — the production `explore`: trie-ordered prefix-sharing
+//!   traversal with layer checkpoints.
+//!
+//! All three must be bit-exact; the report records per-rep times, their
+//! **median** (the gated number — best-of flatters noisy single-CPU
+//! builders) and coefficient of variation, plus the trie's segment counts
+//! so the structural sharing (`naive_segments / segments`) is visible next
+//! to the measured speedup. The second, larger grid shows designs/sec
+//! *growing* with grid size — better-than-linear scaling from prefix reuse.
+//!
+//! Top-level fields keep the PR 2 schema (`cached_*` = the production
+//! path) so an older committed `BENCH_dse.json` still gates against a
+//! fresh report — see `perf_gate`.
 //!
 //! ```sh
 //! cargo run -p ataman-bench --release --bin dse_bench
 //! ```
 
-use dse::{explore, explore_reference, DseEvalCache, EvaluatedDesign, ExploreOptions};
+use dse::{
+    explore, explore_independent, explore_reference, DseEvalCache, EvaluatedDesign, ExploreOptions,
+    TauTrie,
+};
 use quantize::{calibrate_ranges, quantize_model};
 use serde::Serialize;
-use signif::{capture_mean_inputs, SignificanceMap, TauAssignment};
+use signif::{capture_mean_inputs, SignificanceMap, StreamMemo, TauAssignment};
 use std::time::Instant;
 
-const GRID_CONFIGS: usize = 24;
 const EVAL_IMAGES: usize = 128;
 const REPS: usize = 5;
+
+#[derive(Serialize)]
+struct PathStats {
+    per_rep_seconds: Vec<f64>,
+    median_seconds: f64,
+    /// Coefficient of variation of the rep times (σ/μ) — the noise floor
+    /// the perf gate's tolerance has to absorb.
+    cv: f64,
+    designs_per_sec: f64,
+}
+
+#[derive(Serialize)]
+struct GridReport {
+    name: String,
+    configs: usize,
+    eval_images: usize,
+    /// Conv segments the trie walk executes vs the per-design walk
+    /// (`naive / trie` = the structural sharing factor).
+    trie_segments: usize,
+    naive_segments: usize,
+    unique_paths: usize,
+    baseline: PathStats,
+    independent: PathStats,
+    trie: PathStats,
+    speedup_trie_vs_independent: f64,
+    speedup_trie_vs_baseline: f64,
+    bit_exact: bool,
+}
 
 #[derive(Serialize)]
 struct BenchReport {
@@ -38,35 +75,106 @@ struct BenchReport {
     simd_level: String,
     eval_batch: usize,
     cache_resident_bytes: u64,
+    /// Pooled trie-traversal scratch (checkpoint stacks + per-depth column
+    /// buffers) — the memory budget of prefix sharing.
+    trie_scratch_bytes: u64,
+    /// Memoized (layer, τ) stream entries and their bytes after one full
+    /// traversal of the headline grid.
+    stream_memo_entries: usize,
+    stream_memo_bytes: u64,
+    // ---- PR 2-compatible headline fields (headline = first grid; the
+    // "cached" path is the production trie explore()) ----
     baseline_seconds: f64,
     cached_seconds: f64,
     baseline_designs_per_sec: f64,
     cached_designs_per_sec: f64,
     speedup: f64,
     bit_exact: bool,
+    // ---- new headline fields ----
+    baseline_cv: f64,
+    cached_cv: f64,
+    independent_designs_per_sec: f64,
+    /// Production (trie) vs per-design (PR 2-architecture) throughput on
+    /// the headline grid — the prefix-sharing win in isolation.
+    prefix_speedup: f64,
+    grids: Vec<GridReport>,
 }
 
-fn time_best_of<F: FnMut() -> Vec<EvaluatedDesign>>(
-    reps: usize,
-    mut f: F,
-) -> (f64, Vec<EvaluatedDesign>) {
-    let mut best = f64::INFINITY;
-    let mut out = Vec::new();
-    for _ in 0..reps {
-        let t0 = Instant::now();
-        let designs = f();
-        let dt = t0.elapsed().as_secs_f64();
-        if dt < best {
-            best = dt;
-        }
-        out = designs;
+fn median(xs: &[f64]) -> f64 {
+    let mut s = xs.to_vec();
+    s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = s.len();
+    if n % 2 == 1 {
+        s[n / 2]
+    } else {
+        0.5 * (s[n / 2 - 1] + s[n / 2])
     }
-    (best, out)
+}
+
+fn coeff_of_variation(xs: &[f64]) -> f64 {
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    if mean == 0.0 {
+        return 0.0;
+    }
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+    var.sqrt() / mean
+}
+
+fn time_path<F: FnMut() -> Vec<EvaluatedDesign>>(
+    configs: usize,
+    mut f: F,
+) -> (PathStats, Vec<EvaluatedDesign>) {
+    let mut out = f(); // warm-up (page in code, size scratch pools)
+    let mut per_rep = Vec::with_capacity(REPS);
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        out = f();
+        per_rep.push(t0.elapsed().as_secs_f64());
+    }
+    let med = median(&per_rep);
+    let stats = PathStats {
+        cv: coeff_of_variation(&per_rep),
+        designs_per_sec: configs as f64 / med,
+        median_seconds: med,
+        per_rep_seconds: per_rep,
+    };
+    (stats, out)
+}
+
+fn designs_equal(a: &[EvaluatedDesign], b: &[EvaluatedDesign]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| {
+            x.accuracy == y.accuracy
+                && x.est_cycles == y.est_cycles
+                && x.est_flash == y.est_flash
+                && x.retained_macs == y.retained_macs
+                && x.conv_mac_reduction == y.conv_mac_reduction
+                && x.skipped_products == y.skipped_products
+        })
+}
+
+/// Cartesian per-layer grid in trie order (outer = conv 0).
+fn layered_grid(levels: &[Vec<Option<f64>>]) -> Vec<TauAssignment> {
+    let mut out: Vec<Vec<Option<f64>>> = vec![Vec::new()];
+    for level in levels {
+        let mut next = Vec::with_capacity(out.len() * level.len());
+        for prefix in &out {
+            for &t in level {
+                let mut p = prefix.clone();
+                p.push(t);
+                next.push(p);
+            }
+        }
+        out = next;
+    }
+    out.into_iter().map(TauAssignment::per_layer).collect()
 }
 
 fn main() {
     println!(
-        "== BENCH_dse: explore() throughput, bool-mask baseline vs batched compiled+cached =="
+        "== BENCH_dse: explore() throughput — boolean baseline vs per-design cached vs \
+         prefix-sharing trie =="
     );
     let mut cfg = cifar10sim::DatasetConfig::paper_default();
     cfg.n_train = 512;
@@ -86,103 +194,154 @@ fn main() {
     let q = quantize_model(&model, &ranges);
     let means = capture_mean_inputs(&q, &data.train.take(32));
     let sig = SignificanceMap::compute(&q, &means);
+    let n_convs = q.conv_indices().len();
+    assert_eq!(
+        n_convs, 3,
+        "grids below are shaped for mini_cifar's 3 convs"
+    );
 
-    let configs: Vec<TauAssignment> = (0..GRID_CONFIGS)
-        .map(|i| TauAssignment::global(i as f64 * 0.005))
-        .collect();
+    // Per-layer grids in the shape practitioners sweep (and the paper's
+    // subset grids induce): coarse early layers — they tolerate little
+    // approximation and dominate compute, so their subtrees are shared —
+    // fine late layers.
+    let t = |v: f64| Some(v);
+    let grid24 = layered_grid(&[
+        vec![None, t(0.01)],
+        vec![t(0.0), t(0.02), t(0.05)],
+        vec![t(0.0), t(0.01), t(0.03), t(0.115)],
+    ]);
+    let grid64 = layered_grid(&[
+        vec![None, t(0.01)],
+        vec![t(0.0), t(0.01), t(0.03), t(0.06)],
+        vec![
+            t(0.0),
+            t(0.005),
+            t(0.01),
+            t(0.02),
+            t(0.03),
+            t(0.05),
+            t(0.08),
+            t(0.115),
+        ],
+    ]);
+    assert_eq!(grid24.len(), 24);
+    assert_eq!(grid64.len(), 64);
+
     let opts = ExploreOptions {
         eval_images: EVAL_IMAGES,
         ..Default::default()
     };
 
-    // Cache geometry report (the timed explore() builds its own). One
-    // accuracy call first, so the reported bytes include the steady-state
-    // scratch pool, not just the cold cache data.
+    // Cache/memo geometry report (the timed paths build their own): one
+    // trie traversal first so the reported bytes include the steady-state
+    // scratch pools and memo, not just the cold cache data.
     let cache = DseEvalCache::new(&q, &data.test.take(EVAL_IMAGES));
-    let _ = cache.accuracy(
-        &q,
-        &sig.compiled_masks_for_tau(&q, &TauAssignment::global(0.0)),
-    );
+    let memo = StreamMemo::new(&q, &sig);
+    let trie24 = TauTrie::build(n_convs, &grid24);
+    let _ = cache.accuracies_trie(&q, &memo, &trie24);
     let cache_resident_bytes = cache.resident_bytes();
+    let trie_scratch_bytes = cache.trie_scratch_bytes();
+    let stream_memo_entries = memo.entries();
+    let stream_memo_bytes = memo.resident_bytes();
     let eval_batch = cache.batch_size();
     drop(cache);
 
-    // Warm-up both paths once (page in code, size caches).
-    let _ = explore(
-        &q,
-        &sig,
-        &data.test,
-        &configs[..2.min(configs.len())],
-        &opts,
-    );
-    let _ = explore_reference(
-        &q,
-        &sig,
-        &data.test,
-        &configs[..2.min(configs.len())],
-        &opts,
-    );
-
     println!(
-        "measuring {} reps of {} configs x {} images on {} (batch {}, {} kernels) ...",
+        "measuring {} reps/path on {} ({} kernels, batch {}) ...",
         REPS,
-        GRID_CONFIGS,
-        EVAL_IMAGES,
         q.name,
-        eval_batch,
-        quantize::simd_level_name()
+        quantize::simd_level_name(),
+        eval_batch
     );
-    let (baseline_s, baseline) = time_best_of(REPS, || {
-        explore_reference(&q, &sig, &data.test, &configs, &opts)
-    });
-    let (cached_s, cached) = time_best_of(REPS, || explore(&q, &sig, &data.test, &configs, &opts));
 
-    let bit_exact = baseline.len() == cached.len()
-        && baseline.iter().zip(&cached).all(|(a, b)| {
-            a.accuracy == b.accuracy
-                && a.est_cycles == b.est_cycles
-                && a.est_flash == b.est_flash
-                && a.retained_macs == b.retained_macs
-                && a.skipped_products == b.skipped_products
+    let mut grids = Vec::new();
+    for (name, configs) in [("grid24", &grid24), ("grid64", &grid64)] {
+        let trie = TauTrie::build(n_convs, configs);
+        let (baseline, base_out) = time_path(configs.len(), || {
+            explore_reference(&q, &sig, &data.test, configs, &opts)
         });
+        let (independent, indep_out) = time_path(configs.len(), || {
+            explore_independent(&q, &sig, &data.test, configs, &opts)
+        });
+        let (trie_stats, trie_out) = time_path(configs.len(), || {
+            explore(&q, &sig, &data.test, configs, &opts)
+        });
+        let bit_exact = designs_equal(&trie_out, &base_out) && designs_equal(&trie_out, &indep_out);
+        let g = GridReport {
+            name: name.to_string(),
+            configs: configs.len(),
+            eval_images: EVAL_IMAGES,
+            trie_segments: trie.segments(),
+            naive_segments: trie.naive_segments(),
+            unique_paths: trie.unique_paths(),
+            speedup_trie_vs_independent: independent.median_seconds / trie_stats.median_seconds,
+            speedup_trie_vs_baseline: baseline.median_seconds / trie_stats.median_seconds,
+            baseline,
+            independent,
+            trie: trie_stats,
+            bit_exact,
+        };
+        println!(
+            "{name}: {} configs, {}/{} trie/naive segments | baseline {:.1}/s (cv {:.1}%) | \
+             independent {:.1}/s (cv {:.1}%) | trie {:.1}/s (cv {:.1}%) | trie vs indep {:.2}x, \
+             vs baseline {:.2}x | bit-exact {}",
+            g.configs,
+            g.trie_segments,
+            g.naive_segments,
+            g.baseline.designs_per_sec,
+            100.0 * g.baseline.cv,
+            g.independent.designs_per_sec,
+            100.0 * g.independent.cv,
+            g.trie.designs_per_sec,
+            100.0 * g.trie.cv,
+            g.speedup_trie_vs_independent,
+            g.speedup_trie_vs_baseline,
+            g.bit_exact
+        );
+        grids.push(g);
+    }
 
+    let head = &grids[0];
+    let all_exact = grids.iter().all(|g| g.bit_exact);
     let report = BenchReport {
         model: q.name.clone(),
-        grid_configs: GRID_CONFIGS,
+        grid_configs: head.configs,
         eval_images: EVAL_IMAGES,
         reps: REPS,
         simd_level: quantize::simd_level_name().to_string(),
         eval_batch,
         cache_resident_bytes,
-        baseline_seconds: baseline_s,
-        cached_seconds: cached_s,
-        baseline_designs_per_sec: GRID_CONFIGS as f64 / baseline_s,
-        cached_designs_per_sec: GRID_CONFIGS as f64 / cached_s,
-        speedup: baseline_s / cached_s,
-        bit_exact,
+        trie_scratch_bytes,
+        stream_memo_entries,
+        stream_memo_bytes,
+        baseline_seconds: head.baseline.median_seconds,
+        cached_seconds: head.trie.median_seconds,
+        baseline_designs_per_sec: head.baseline.designs_per_sec,
+        cached_designs_per_sec: head.trie.designs_per_sec,
+        speedup: head.speedup_trie_vs_baseline,
+        bit_exact: all_exact,
+        baseline_cv: head.baseline.cv,
+        cached_cv: head.trie.cv,
+        independent_designs_per_sec: head.independent.designs_per_sec,
+        prefix_speedup: head.speedup_trie_vs_independent,
+        grids,
     };
 
     println!(
-        "baseline: {:.3} s ({:.1} designs/s)",
-        report.baseline_seconds, report.baseline_designs_per_sec
-    );
-    println!(
-        "batched:  {:.3} s ({:.1} designs/s)",
-        report.cached_seconds, report.cached_designs_per_sec
-    );
-    println!(
-        "speedup:  {:.2}x   bit-exact: {}   cache resident: {} KiB",
+        "headline (grid24): trie {:.1} designs/s = {:.2}x boolean baseline, {:.2}x per-design \
+         cached | scaling: grid64 trie {:.1} designs/s",
+        report.cached_designs_per_sec,
         report.speedup,
-        report.bit_exact,
-        report.cache_resident_bytes / 1024
+        report.prefix_speedup,
+        report.grids[1].trie.designs_per_sec
     );
 
     let json = serde_json::to_string_pretty(&report).expect("report serialization");
     std::fs::write("BENCH_dse.json", &json).expect("write BENCH_dse.json");
     println!("wrote BENCH_dse.json");
 
-    if !bit_exact {
-        eprintln!("ERROR: compiled path diverged from the bool-mask reference");
+    if !all_exact {
+        eprintln!("ERROR: a fast path diverged from the bool-mask reference");
         std::process::exit(1);
     }
 }

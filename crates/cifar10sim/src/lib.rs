@@ -115,12 +115,15 @@ impl Dataset {
     /// the dataset", Section II-C).
     pub fn take(&self, n: usize) -> Dataset {
         let n = n.min(self.len());
-        let mut data = Vec::with_capacity(n * IMG_LEN);
+        // Preserve this dataset's own image shape (test fixtures build
+        // non-CIFAR-shaped `Dataset`s, e.g. 8×8×2 proptest images).
+        let shape = self.images.shape();
+        let mut data = Vec::with_capacity(n * shape.h * shape.w * shape.c);
         for i in 0..n {
             data.extend_from_slice(self.image(i));
         }
         Dataset {
-            images: Tensor::from_vec(Shape4::nhwc(n, IMG_HW, IMG_HW, IMG_C), data)
+            images: Tensor::from_vec(Shape4::nhwc(n, shape.h, shape.w, shape.c), data)
                 .expect("subset shape"),
             labels: self.labels[..n].to_vec(),
         }

@@ -1,12 +1,25 @@
 //! Configuration evaluation: simulated accuracy + analytic cost estimation.
+//!
+//! The production [`explore`] is **prefix-sharing**: it organizes the
+//! configuration list as a per-layer τ trie ([`crate::space::TauTrie`]),
+//! evaluates every design's accuracy in one checkpointed traversal
+//! ([`DseEvalCache::accuracies_trie`]), and derives all cost metrics from
+//! memoized per-(layer, τ) tallies ([`signif::StreamMemo`]) — no boolean
+//! mask, no per-design stream compilation, no repeated forward prefix.
+//! [`explore_independent`] keeps the per-design evaluation shape (PR 2's
+//! architecture) for benchmarking the sharing win, and
+//! [`explore_reference`] remains the uncached boolean-mask baseline; all
+//! three are bit-exact with each other.
 
 use crate::cache::DseEvalCache;
+use crate::space::TauTrie;
 use cifar10sim::Dataset;
 use mcusim::{CostModel, Event, ExecStats};
 use quantize::{QLayer, QuantModel, SkipMaskSet};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
-use signif::{SignificanceMap, TauAssignment};
+use signif::{LayerStream, SignificanceMap, StreamMemo, TauAssignment};
+use std::sync::Arc;
 use unpackgen::UnpackOptions;
 
 /// One evaluated approximate design (a blue dot of Fig. 2).
@@ -67,21 +80,21 @@ pub fn evaluate_design(
 }
 
 /// Evaluate one configuration through the compiled-mask kernels against a
-/// shared [`DseEvalCache`] — the DSE hot path. Produces results bit-exact
-/// with [`evaluate_design`] over the same eval images.
+/// shared [`DseEvalCache`] and a shared per-(layer, τ) [`StreamMemo`] — the
+/// per-design hot path (`greedy_refine` moves, [`explore_independent`]).
+/// All cost metrics derive from the memoized tallies; no boolean
+/// [`SkipMaskSet`] is materialized. Produces results bit-exact with
+/// [`evaluate_design`] over the same eval images.
 pub fn evaluate_design_cached(
     model: &QuantModel,
-    sig: &SignificanceMap,
     cache: &DseEvalCache,
+    memo: &StreamMemo<'_>,
     taus: &TauAssignment,
     opts: &ExploreOptions,
 ) -> EvaluatedDesign {
-    let compiled = sig.compiled_masks_for_tau(model, taus);
-    let accuracy = cache.accuracy(model, &compiled);
-    // Cost accounting still runs over the boolean masks (cheap: O(products),
-    // no images involved) so the analytic estimators keep one code path.
-    let masks = sig.masks_for_tau(model, taus);
-    finish_design(model, &masks, taus, accuracy, opts)
+    let streams = memo.design(taus);
+    let accuracy = cache.accuracy_streams(model, &streams);
+    finish_design_streams(model, &streams, taus, accuracy, opts)
 }
 
 /// Shared tail of design evaluation: analytic cost estimation + bookkeeping.
@@ -110,12 +123,47 @@ fn finish_design(
     }
 }
 
-/// Explore a list of configurations in parallel (stable output order).
+/// [`finish_design`] from memoized per-(layer, τ) tallies instead of
+/// boolean masks — integer-identical accounting (unit-tested against the
+/// boolean path), O(channels) per design instead of O(products).
+fn finish_design_streams(
+    model: &QuantModel,
+    streams: &[Arc<LayerStream>],
+    taus: &TauAssignment,
+    accuracy: f32,
+    opts: &ExploreOptions,
+) -> EvaluatedDesign {
+    let stats = estimate_stats_streams(model, streams, opts.unpack);
+    let est_cycles = stats.cycles(&opts.cost);
+    let est_flash = estimate_flash_streams(model, streams, opts.unpack);
+    let conv_dense: u64 = conv_macs_dense(model);
+    let skipped_macs: u64 = streams
+        .iter()
+        .enumerate()
+        .map(|(k, s)| s.skipped * model.conv(k).geom.out_positions() as u64)
+        .sum();
+    let conv_retained = conv_dense - skipped_macs;
+    EvaluatedDesign {
+        taus: taus.clone(),
+        accuracy,
+        retained_macs: stats.macs,
+        conv_mac_reduction: 1.0 - conv_retained as f64 / conv_dense as f64,
+        est_cycles,
+        est_flash,
+        skipped_products: streams.iter().map(|s| s.skipped).sum(),
+    }
+}
+
+/// Explore a list of configurations with **prefix sharing** (stable output
+/// order: `result[i]` is `configs[i]`'s design).
 ///
-/// Builds one [`DseEvalCache`] over the eval subset — pre-quantized inputs
-/// and first-conv centered columns shared read-only across all workers —
-/// and evaluates every design through the compiled-mask kernels.
-/// Bit-exact with [`explore_reference`].
+/// Builds one [`DseEvalCache`] over the eval subset, organizes the configs
+/// as a per-layer τ trie and evaluates every design's accuracy in one
+/// checkpointed depth-first traversal: activations are recomputed only from
+/// the first conv layer whose τ differs from the neighboring design, mask
+/// streams are compiled once per distinct (layer, τ) and shared via `Arc`,
+/// and all cost metrics come from the memoized tallies. Bit-exact with
+/// [`explore_reference`] (and [`explore_independent`]).
 pub fn explore(
     model: &QuantModel,
     sig: &SignificanceMap,
@@ -125,9 +173,49 @@ pub fn explore(
 ) -> Vec<EvaluatedDesign> {
     let eval = eval_set.take(opts.eval_images);
     let cache = DseEvalCache::new(model, &eval);
+    let memo = StreamMemo::new(model, sig);
+    explore_with(model, &cache, &memo, configs, opts)
+}
+
+/// [`explore`] against caller-owned cache + memo (reuse across grids or
+/// repeated sweeps of the same model).
+pub fn explore_with(
+    model: &QuantModel,
+    cache: &DseEvalCache,
+    memo: &StreamMemo<'_>,
+    configs: &[TauAssignment],
+    opts: &ExploreOptions,
+) -> Vec<EvaluatedDesign> {
+    let trie = TauTrie::build(model.conv_indices().len(), configs);
+    let accuracies = cache.accuracies_trie(model, memo, &trie);
+    (0..configs.len())
+        .into_par_iter()
+        .map(|i| {
+            let taus = &configs[i];
+            let streams = memo.design(taus);
+            finish_design_streams(model, &streams, taus, accuracies[i], opts)
+        })
+        .collect()
+}
+
+/// The PR 2-architecture exploration loop: one **independent** full
+/// cached evaluation per design (shared eval cache + stream memo, but no
+/// prefix sharing between designs). Kept as the like-for-like baseline the
+/// `BENCH_dse` prefix-sharing speedup is measured against — and a second
+/// bit-exactness witness for [`explore`].
+pub fn explore_independent(
+    model: &QuantModel,
+    sig: &SignificanceMap,
+    eval_set: &Dataset,
+    configs: &[TauAssignment],
+    opts: &ExploreOptions,
+) -> Vec<EvaluatedDesign> {
+    let eval = eval_set.take(opts.eval_images);
+    let cache = DseEvalCache::new(model, &eval);
+    let memo = StreamMemo::new(model, sig);
     configs
         .par_iter()
-        .map(|taus| evaluate_design_cached(model, sig, &cache, taus, opts))
+        .map(|taus| evaluate_design_cached(model, &cache, &memo, taus, opts))
         .collect()
 }
 
@@ -181,48 +269,80 @@ pub fn estimate_stats(
     masks: Option<&SkipMaskSet>,
     options: UnpackOptions,
 ) -> ExecStats {
+    estimate_stats_with(model, options, &|ordinal, o| {
+        let c = model.conv(ordinal);
+        let patch = c.patch_len();
+        let mask = masks.and_then(|m| m.per_conv[ordinal].as_deref());
+        (match mask {
+            Some(m) => {
+                let mm = &m[o * patch..(o + 1) * patch];
+                if options.drop_zero_weights {
+                    let w = &c.weights[o * patch..(o + 1) * patch];
+                    mm.iter()
+                        .zip(w.iter())
+                        .filter(|(&s, &w)| !s && w != 0)
+                        .count()
+                } else {
+                    mm.iter().filter(|&&s| !s).count()
+                }
+            }
+            None => {
+                if options.drop_zero_weights {
+                    c.weights[o * patch..(o + 1) * patch]
+                        .iter()
+                        .filter(|&&w| w != 0)
+                        .count()
+                } else {
+                    patch
+                }
+            }
+        }) as u64
+    })
+}
+
+/// [`estimate_stats`] from memoized per-(layer, τ) tallies
+/// ([`signif::LayerStream`], one entry per conv ordinal) — O(channels)
+/// instead of O(products), and no boolean mask. Integer-identical to the
+/// boolean path (unit-tested).
+pub fn estimate_stats_streams(
+    model: &QuantModel,
+    streams: &[Arc<LayerStream>],
+    options: UnpackOptions,
+) -> ExecStats {
+    estimate_stats_with(model, options, &|ordinal, o| {
+        let s = &streams[ordinal];
+        if options.drop_zero_weights {
+            s.kept_nonzero[o] as u64
+        } else {
+            s.kept[o] as u64
+        }
+    })
+}
+
+/// Estimator core: `retained(conv ordinal, channel)` supplies the
+/// cost-bearing product count per channel (zero-weight handling already
+/// resolved by the caller against `options.drop_zero_weights`).
+fn estimate_stats_with(
+    model: &QuantModel,
+    options: UnpackOptions,
+    retained: &dyn Fn(usize, usize) -> u64,
+) -> ExecStats {
     let mut stats = ExecStats::new();
     let mut ordinal = 0usize;
     let block = options.col_block as u64;
     for layer in &model.layers {
         match layer {
             QLayer::Conv(c) => {
-                let patch = c.geom.patch_len();
                 let out_c = c.geom.out_c;
                 let p64 = c.geom.out_positions() as u64;
-                let mask = masks.and_then(|m| m.per_conv[ordinal].as_deref());
                 let mut total_ops = 0u64;
                 let mut tails = 0u64;
                 let mut retained_products = 0u64;
                 for o in 0..out_c {
-                    let retained = match mask {
-                        Some(m) => {
-                            let mm = &m[o * patch..(o + 1) * patch];
-                            let kept = mm.iter().filter(|&&s| !s).count();
-                            if options.drop_zero_weights {
-                                let w = &c.weights[o * patch..(o + 1) * patch];
-                                mm.iter()
-                                    .zip(w.iter())
-                                    .filter(|(&s, &w)| !s && w != 0)
-                                    .count()
-                            } else {
-                                kept
-                            }
-                        }
-                        None => {
-                            if options.drop_zero_weights {
-                                c.weights[o * patch..(o + 1) * patch]
-                                    .iter()
-                                    .filter(|&&w| w != 0)
-                                    .count()
-                            } else {
-                                patch
-                            }
-                        }
-                    } as u64;
-                    total_ops += retained / 2;
-                    tails += retained % 2;
-                    retained_products += retained;
+                    let r = retained(ordinal, o);
+                    total_ops += r / 2;
+                    tails += r % 2;
+                    retained_products += r;
                 }
                 stats.add_macs(retained_products * p64);
                 stats.charge(Event::Smlad, total_ops * p64);
@@ -269,6 +389,38 @@ pub fn estimate_flash(
     masks: Option<&SkipMaskSet>,
     options: UnpackOptions,
 ) -> u64 {
+    estimate_flash_with(model, options, &|ordinal, o| {
+        let patch = model.conv(ordinal).patch_len();
+        match masks.and_then(|m| m.per_conv[ordinal].as_deref()) {
+            Some(m) => m[o * patch..(o + 1) * patch]
+                .iter()
+                .filter(|&&s| !s)
+                .count() as u64,
+            None => patch as u64,
+        }
+    })
+}
+
+/// [`estimate_flash`] from memoized per-(layer, τ) tallies — flash counts
+/// every mask-retained product (zero weights included), i.e. `kept`.
+pub fn estimate_flash_streams(
+    model: &QuantModel,
+    streams: &[Arc<LayerStream>],
+    options: UnpackOptions,
+) -> u64 {
+    estimate_flash_with(model, options, &|ordinal, o| {
+        streams[ordinal].kept[o] as u64
+    })
+}
+
+/// Flash-estimator core: `kept(conv ordinal, channel)` supplies the
+/// mask-retained product count per channel (zero weights included — the
+/// generated code carries retained zero-weight pairs).
+fn estimate_flash_with(
+    model: &QuantModel,
+    options: UnpackOptions,
+    kept: &dyn Fn(usize, usize) -> u64,
+) -> u64 {
     use unpackgen::flash::{
         bytes_per_op, BYTES_PER_CHANNEL, BYTES_PER_LAYER, BYTES_PER_TAIL,
         SPECIALIZED_LIBRARY_CODE_BYTES,
@@ -278,17 +430,9 @@ pub fn estimate_flash(
     for layer in &model.layers {
         match layer {
             QLayer::Conv(c) => {
-                let patch = c.geom.patch_len();
-                let mask = masks.and_then(|m| m.per_conv[ordinal].as_deref());
                 let mut code = BYTES_PER_LAYER;
                 for o in 0..c.geom.out_c {
-                    let retained = match mask {
-                        Some(m) => m[o * patch..(o + 1) * patch]
-                            .iter()
-                            .filter(|&&s| !s)
-                            .count(),
-                        None => patch,
-                    } as u64;
+                    let retained = kept(ordinal, o);
                     code += (retained / 2) * bytes_per_op(options.col_block)
                         + (retained % 2) * BYTES_PER_TAIL
                         + BYTES_PER_CHANNEL;
@@ -411,17 +555,95 @@ mod tests {
         let (q, sig, data) = setup();
         let eval = data.test.take(28);
         let cache = DseEvalCache::new(&q, &eval);
+        let memo = StreamMemo::new(&q, &sig);
         let opts = ExploreOptions {
             eval_images: 28,
             ..Default::default()
         };
         for tau in [0.0, 0.03] {
             let taus = TauAssignment::global(tau);
-            let a = evaluate_design_cached(&q, &sig, &cache, &taus, &opts);
+            let a = evaluate_design_cached(&q, &cache, &memo, &taus, &opts);
             let b = evaluate_design(&q, &sig, &eval, &taus, &opts);
             assert_eq!(a.accuracy, b.accuracy, "tau {tau}");
             assert_eq!(a.est_cycles, b.est_cycles);
+            assert_eq!(a.est_flash, b.est_flash);
+            assert_eq!(a.retained_macs, b.retained_macs);
+            assert_eq!(a.conv_mac_reduction, b.conv_mac_reduction);
+            assert_eq!(a.skipped_products, b.skipped_products);
         }
+    }
+
+    #[test]
+    fn stream_estimators_match_boolean_estimators_exactly() {
+        let (q, sig, _) = setup();
+        let memo = StreamMemo::new(&q, &sig);
+        let n = q.conv_indices().len();
+        let mut mixed = vec![None; n];
+        mixed[0] = Some(0.02);
+        for taus in [
+            TauAssignment::global(0.0),
+            TauAssignment::global(0.01),
+            TauAssignment::global(0.07),
+            TauAssignment::per_layer(mixed),
+            TauAssignment::per_layer(vec![None; n]),
+        ] {
+            let masks = sig.masks_for_tau(&q, &taus);
+            let streams = memo.design(&taus);
+            for drop_zero in [false, true] {
+                let opts = UnpackOptions {
+                    drop_zero_weights: drop_zero,
+                    ..Default::default()
+                };
+                assert_eq!(
+                    estimate_stats_streams(&q, &streams, opts),
+                    estimate_stats(&q, Some(&masks), opts),
+                    "stats, taus {taus:?}, drop_zero {drop_zero}"
+                );
+                assert_eq!(
+                    estimate_flash_streams(&q, &streams, opts),
+                    estimate_flash(&q, Some(&masks), opts),
+                    "flash, taus {taus:?}, drop_zero {drop_zero}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trie_explore_matches_independent_and_preserves_config_order() {
+        let (q, sig, data) = setup();
+        let n = q.conv_indices().len();
+        // A prefix-heavy per-layer grid with a duplicate config.
+        let mut configs = Vec::new();
+        for &t0 in &[None, Some(0.01)] {
+            for &t1 in &[Some(0.0), Some(0.03)] {
+                let mut per = vec![Some(0.02); n];
+                per[0] = t0;
+                if n > 1 {
+                    per[1] = t1;
+                }
+                configs.push(TauAssignment::per_layer(per));
+            }
+        }
+        configs.push(configs[1].clone()); // duplicate: shares a leaf
+        let opts = ExploreOptions {
+            eval_images: 26,
+            ..Default::default()
+        };
+        let trie = explore(&q, &sig, &data.test, &configs, &opts);
+        let indep = explore_independent(&q, &sig, &data.test, &configs, &opts);
+        assert_eq!(trie.len(), configs.len());
+        for (i, (a, b)) in trie.iter().zip(&indep).enumerate() {
+            assert_eq!(a.taus, configs[i], "output order broken at {i}");
+            assert_eq!(a.accuracy, b.accuracy, "config {i}");
+            assert_eq!(a.est_cycles, b.est_cycles);
+            assert_eq!(a.est_flash, b.est_flash);
+            assert_eq!(a.retained_macs, b.retained_macs);
+            assert_eq!(a.conv_mac_reduction, b.conv_mac_reduction);
+            assert_eq!(a.skipped_products, b.skipped_products);
+        }
+        // The duplicate evaluated identically to its original.
+        assert_eq!(trie[1].accuracy, trie[4].accuracy);
+        assert_eq!(trie[1].est_cycles, trie[4].est_cycles);
     }
 
     #[test]

@@ -25,11 +25,18 @@
 //!   statistics like "44% MAC reduction at iso-accuracy").
 
 //!
-//! The evaluation loop runs on compiled-mask kernels
-//! ([`quantize::compiled`]) over a shared [`cache::DseEvalCache`]
-//! (pre-quantized inputs + first-conv centered columns, computed once per
-//! eval set); `greedy_refine` additionally memoizes repeated τ assignments.
-//! The pre-cache boolean-mask paths ([`eval::explore_reference`],
+//! The evaluation loop is **prefix-sharing**: [`eval::explore`] organizes
+//! the configuration grid as a per-layer τ trie ([`space::TauTrie`]) and
+//! walks it depth-first over a shared [`cache::DseEvalCache`]
+//! (pre-quantized batched inputs + first-conv pair columns) with a stack of
+//! activation checkpoints ([`quantize::BatchCheckpoint`]) — activations are
+//! recomputed only from the first conv layer whose τ differs from the
+//! neighboring design, and mask streams plus cost tallies are memoized per
+//! (layer, τ) ([`signif::StreamMemo`]) and shared via `Arc` across designs
+//! and workers. [`eval::explore_independent`] keeps the per-design
+//! evaluation architecture as the sharing-speedup baseline;
+//! `greedy_refine` additionally memoizes repeated τ assignments. The
+//! pre-cache boolean-mask paths ([`eval::explore_reference`],
 //! [`eval::evaluate_design`], [`refine::greedy_refine_reference`]) remain
 //! the bit-exactness baselines.
 
@@ -42,10 +49,11 @@ pub mod space;
 
 pub use cache::DseEvalCache;
 pub use eval::{
-    estimate_flash, estimate_stats, evaluate_design, evaluate_design_cached, explore,
-    explore_reference, EvaluatedDesign, ExploreOptions,
+    estimate_flash, estimate_flash_streams, estimate_stats, estimate_stats_streams,
+    evaluate_design, evaluate_design_cached, explore, explore_independent, explore_reference,
+    explore_with, EvaluatedDesign, ExploreOptions,
 };
 pub use pareto::{pareto_front, select_for_accuracy_loss};
 pub use refine::{greedy_refine, greedy_refine_reference, RefineOptions, RefineResult};
 pub use report::DseReport;
-pub use space::DseSpace;
+pub use space::{DseSpace, TauTrie};

@@ -20,7 +20,7 @@ use crate::cache::DseEvalCache;
 use crate::eval::{evaluate_design, evaluate_design_cached, EvaluatedDesign, ExploreOptions};
 use cifar10sim::Dataset;
 use quantize::QuantModel;
-use signif::{SignificanceMap, TauAssignment};
+use signif::{SignificanceMap, StreamMemo, TauAssignment};
 use std::collections::HashMap;
 
 /// Options for the refinement search.
@@ -65,6 +65,9 @@ pub struct RefineResult {
 /// coordinate descent revisits neighboring assignments constantly (each
 /// re-scan retries moves already priced in a previous round), so repeat
 /// visits return the cached [`EvaluatedDesign`] without touching an image.
+/// Underneath, a per-(layer, τ) [`StreamMemo`] shares compiled streams and
+/// cost tallies across *novel* assignments too — a coordinate move changes
+/// one layer, so the other layers' streams are reused as-is.
 /// `evals` still counts *logical* evaluations exactly like the reference
 /// implementation, so the budget semantics — and therefore the whole
 /// search trajectory — are identical to [`greedy_refine_reference`].
@@ -77,11 +80,12 @@ pub fn greedy_refine(
     opts: &RefineOptions,
 ) -> RefineResult {
     let cache = DseEvalCache::new(model, eval_set);
+    let streams = StreamMemo::new(model, sig);
     let mut memo: HashMap<Vec<Option<u64>>, EvaluatedDesign> = HashMap::new();
     let mut eval = |taus: &TauAssignment| -> EvaluatedDesign {
         let key: Vec<Option<u64>> = taus.per_conv.iter().map(|t| t.map(f64::to_bits)).collect();
         memo.entry(key)
-            .or_insert_with(|| evaluate_design_cached(model, sig, &cache, taus, explore))
+            .or_insert_with(|| evaluate_design_cached(model, &cache, &streams, taus, explore))
             .clone()
     };
     refine_loop(model, start, opts, &mut eval)

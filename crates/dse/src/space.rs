@@ -1,6 +1,108 @@
-//! Configuration enumeration.
+//! Configuration enumeration and the per-layer τ trie the prefix-sharing
+//! evaluator traverses.
 
 use signif::TauAssignment;
+
+/// A list of τ assignments organized as a **per-layer trie**: depth `d`
+/// branches on the (bit-pattern of the) τ choice of conv ordinal `d`, so
+/// every shared path prefix — configurations agreeing on their first `d`
+/// layers — is a single chain of nodes. [`crate::cache::DseEvalCache`]
+/// walks this trie depth-first with a stack of activation checkpoints,
+/// executing each node's conv segment exactly once no matter how many
+/// configurations sit below it; duplicate configurations collapse onto one
+/// leaf and are evaluated once.
+///
+/// Children keep first-encounter order and leaves record the original
+/// config indices, so traversal results can always be emitted in `configs`
+/// order regardless of sharing.
+#[derive(Debug)]
+pub struct TauTrie {
+    n_convs: usize,
+    n_configs: usize,
+    root: TrieNode,
+}
+
+/// One trie node: the state "all convs above this depth decided".
+#[derive(Debug, Default)]
+pub(crate) struct TrieNode {
+    /// `(τ of this depth's conv, subtree)` in first-encounter order.
+    pub(crate) children: Vec<(Option<f64>, TrieNode)>,
+    /// Indices into the original config list that end here (full-depth
+    /// nodes only; duplicates share one leaf).
+    pub(crate) leaves: Vec<u32>,
+}
+
+impl TauTrie {
+    /// Organize `configs` (resolved against `n_convs` conv layers) as a
+    /// trie. τ values are keyed by bit pattern: equal grid values share a
+    /// node, and a `-0.0`/`0.0` or NaN mismatch only costs sharing, never
+    /// correctness.
+    pub fn build(n_convs: usize, configs: &[TauAssignment]) -> Self {
+        let mut root = TrieNode::default();
+        for (i, cfg) in configs.iter().enumerate() {
+            let mut node = &mut root;
+            for tau in cfg.resolve(n_convs) {
+                let key = tau.map(f64::to_bits);
+                let pos = node
+                    .children
+                    .iter()
+                    .position(|(t, _)| t.map(f64::to_bits) == key);
+                let pos = match pos {
+                    Some(p) => p,
+                    None => {
+                        node.children.push((tau, TrieNode::default()));
+                        node.children.len() - 1
+                    }
+                };
+                node = &mut node.children[pos].1;
+            }
+            node.leaves.push(i as u32);
+        }
+        Self {
+            n_convs,
+            n_configs: configs.len(),
+            root,
+        }
+    }
+
+    /// Conv layers (= trie depth).
+    pub fn n_convs(&self) -> usize {
+        self.n_convs
+    }
+
+    /// Configurations the trie was built from (counting duplicates).
+    pub fn n_configs(&self) -> usize {
+        self.n_configs
+    }
+
+    pub(crate) fn root(&self) -> &TrieNode {
+        &self.root
+    }
+
+    /// Conv segments a trie walk executes: one per node below the root.
+    /// The prefix-sharing win is `naive_segments() / segments()`.
+    pub fn segments(&self) -> usize {
+        fn count(n: &TrieNode) -> usize {
+            n.children.iter().map(|(_, c)| 1 + count(c)).sum()
+        }
+        count(&self.root)
+    }
+
+    /// Conv segments independent per-design evaluation would execute
+    /// (`n_configs × n_convs`).
+    pub fn naive_segments(&self) -> usize {
+        self.n_configs * self.n_convs
+    }
+
+    /// Distinct full-depth paths (deduplicated designs actually evaluated).
+    pub fn unique_paths(&self) -> usize {
+        fn leaves(n: &TrieNode) -> usize {
+            usize::from(!n.leaves.is_empty())
+                + n.children.iter().map(|(_, c)| leaves(c)).sum::<usize>()
+        }
+        leaves(&self.root)
+    }
+}
 
 /// An enumerable design space: τ grid × conv-layer subsets.
 #[derive(Debug, Clone)]
@@ -147,5 +249,65 @@ mod tests {
         let s = DseSpace::paper_lenet(3).thin(100);
         assert!(s.len() <= 110, "still {} configs", s.len());
         assert_eq!(s.taus[0], 0.0, "must keep tau=0");
+    }
+
+    #[test]
+    fn trie_counts_shared_prefixes_and_duplicates() {
+        // 2×2 cartesian grid over 2 conv layers + one exact duplicate.
+        let mut configs = Vec::new();
+        for &t0 in &[Some(0.01), None] {
+            for &t1 in &[Some(0.0), Some(0.05)] {
+                configs.push(TauAssignment::per_layer(vec![t0, t1]));
+            }
+        }
+        configs.push(configs[0].clone()); // duplicate
+        let trie = TauTrie::build(2, &configs);
+        assert_eq!(trie.n_configs(), 5);
+        assert_eq!(trie.unique_paths(), 4);
+        // 2 depth-0 nodes + 4 depth-1 nodes, vs 5×2 naive segments.
+        assert_eq!(trie.segments(), 6);
+        assert_eq!(trie.naive_segments(), 10);
+        // Every config index appears on exactly one leaf, in config order
+        // within a leaf.
+        fn collect(n: &TrieNode, out: &mut Vec<u32>) {
+            out.extend(&n.leaves);
+            for (_, c) in &n.children {
+                collect(c, out);
+            }
+        }
+        let mut seen = Vec::new();
+        collect(trie.root(), &mut seen);
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn trie_broadcasts_global_assignments() {
+        // Global assignments resolve to identical per-layer paths: two
+        // equal-τ globals share one full path (a duplicate leaf).
+        let configs = vec![
+            TauAssignment::global(0.01),
+            TauAssignment::global(0.01),
+            TauAssignment::global(0.02),
+        ];
+        let trie = TauTrie::build(3, &configs);
+        assert_eq!(trie.unique_paths(), 2);
+        assert_eq!(trie.segments(), 6); // two fully distinct 3-deep paths
+    }
+
+    #[test]
+    fn paper_subset_grids_share_heavily() {
+        // The paper's subset × τ sweep leaves every out-of-subset layer
+        // exact, so e.g. all configs not touching conv 0 share the τ₀=None
+        // subtree — the trie must be far smaller than the naive walk.
+        let s = DseSpace::paper_alexnet(5);
+        let trie = TauTrie::build(5, &s.configs());
+        assert_eq!(trie.n_configs(), s.len());
+        assert!(
+            trie.segments() * 2 < trie.naive_segments(),
+            "expected ≥2× segment sharing: {} vs {}",
+            trie.segments(),
+            trie.naive_segments()
+        );
     }
 }

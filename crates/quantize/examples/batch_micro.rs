@@ -1,0 +1,48 @@
+//! Micro-benchmark of the monolithic batched compiled forward — the
+//! serving hot path (`predict_compiled_batch_scratch`) in isolation, at a
+//! serve-like small batch and the DSE eval batch.
+//!
+//! Used to A/B kernel/driver changes without the closed-loop noise of
+//! `serve_bench` (run it interleaved against a baseline binary on noisy
+//! machines: this path is sensitive to inlining of the column-fill block
+//! inside the layer loop).
+//!
+//! ```sh
+//! cargo run -p quantize --release --example batch_micro
+//! ```
+
+use quantize::{calibrate_ranges, quantize_model, BatchScratch, CompiledMasks};
+use std::time::Instant;
+
+fn main() {
+    let mut cfg = cifar10sim::DatasetConfig::paper_default();
+    cfg.n_train = 256;
+    cfg.n_test = 64;
+    cfg.seed = 0x5E12;
+    let data = cifar10sim::generate(cfg);
+    let model = tinynn::zoo::mini_cifar(0x5E12);
+    let ranges = calibrate_ranges(&model, &data.train.take(16));
+    let q = quantize_model(&model, &ranges);
+    let masks = CompiledMasks::none(q.conv_indices().len());
+    for batch in [3usize, 12] {
+        let mut flat = Vec::new();
+        for i in 0..batch {
+            flat.extend(q.quantize_input(data.test.image(i)));
+        }
+        let mut s = BatchScratch::for_model(&q, batch);
+        for _ in 0..20 {
+            let _ = q.predict_compiled_batch_scratch(&flat, batch, None, Some(&masks), &mut s);
+        }
+        let reps = 2000 / batch;
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            let _ = q.predict_compiled_batch_scratch(&flat, batch, None, Some(&masks), &mut s);
+        }
+        let dt = t0.elapsed().as_secs_f64();
+        println!(
+            "batch {batch}: {:.1} img/s ({:.1} us/img)",
+            (reps * batch) as f64 / dt,
+            1e6 * dt / (reps * batch) as f64
+        );
+    }
+}

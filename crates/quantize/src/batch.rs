@@ -1,5 +1,6 @@
 //! Batch-major compiled execution: pack `B` images through the pair-stream
-//! kernels in one pass.
+//! kernels in one pass — monolithically or **resumably**, from per-layer
+//! checkpoints.
 //!
 //! The per-image compiled path ([`QuantModel::forward_compiled_scratch`])
 //! re-traverses every layer's weight streams, requantization parameters and
@@ -21,19 +22,36 @@
 //!   planar→NHWC conversion) gather one image at a time; everything before
 //!   them never materializes a per-image view.
 //!
+//! ## Resumable execution ([`BatchCheckpoint`])
+//!
+//! Only convolution layers carry a significance threshold τ; pooling and
+//! dense layers are τ-independent. The activations entering conv ordinal
+//! `k` therefore depend only on the τ choices of convs `0..k` — which is
+//! exactly what a prefix-sharing DSE exploits. [`QuantModel::batch_start`]
+//! captures the batch state before the first conv, and
+//! [`QuantModel::batch_advance_into`] executes **one conv segment** (the
+//! conv under a chosen compiled stream, plus every following non-conv layer
+//! up to the next conv or the model end) from one checkpoint into another.
+//! A DSE walking a τ trie keeps a small stack of checkpoints and re-runs
+//! only the segments below the first layer whose τ changed.
+//! [`QuantModel::batch_fill_conv_cols`] additionally splits out the
+//! τ-independent im2col/pair-interleave of a segment so siblings in the
+//! trie share one column fill.
+//!
 //! Every layout change is value-preserving and the MAC/requantize
 //! arithmetic is lane-for-lane the per-image kernel's, so batched results
-//! are **bit-exact** with the per-image compiled path (and hence the
+//! — monolithic *and* checkpoint-resumed, for any split points — are
+//! **bit-exact** with the per-image compiled path (and hence the
 //! boolean-mask reference) for every batch size, including ragged final
-//! batches — enforced by unit tests here and the workspace proptest
-//! `tests/batched_forward.rs`.
+//! batches — enforced by unit tests here and the workspace proptests
+//! `tests/batched_forward.rs` and `tests/prefix_forward.rs`.
 
 use crate::compiled::{
     conv_forward_pairs, fill_centered_t, planar_to_nhwc_pitched, pool_forward_planar, CompiledConv,
     CompiledMasks,
 };
 use crate::forward::{argmax_i8, dense_forward, pool_forward};
-use crate::qmodel::{QLayer, QuantModel};
+use crate::qmodel::{QConv, QLayer, QuantModel};
 use tinytensor::im2col::{fill_im2col_pairs_planar_pitched, interleave_pair_rows};
 
 /// Reusable buffers for batched compiled forwards, sized once for a model
@@ -102,6 +120,7 @@ impl BatchScratch {
 }
 
 /// Layout of the current batched activation buffer.
+#[derive(Clone, Copy)]
 enum Layout {
     /// `batch` back-to-back per-image buffers (NHWC or dense vectors).
     PerImage,
@@ -112,6 +131,136 @@ enum Layout {
         /// Channels per image.
         ch: usize,
     },
+}
+
+/// The batched activation state after some prefix of a model's layers — the
+/// unit of reuse of the prefix-sharing DSE.
+///
+/// A checkpoint is always positioned either **before a conv layer** (the
+/// next τ decision) or **past the final layer** (per-image logits ready for
+/// [`QuantModel::batch_checkpoint_predictions_into`]). Produced by
+/// [`QuantModel::batch_start_into`] and advanced one conv segment at a time
+/// by [`QuantModel::batch_advance_into`]. The buffer is reused across
+/// `*_into` calls, so a pooled stack of checkpoints allocates only on its
+/// first descent.
+pub struct BatchCheckpoint {
+    batch: usize,
+    /// Next layer to execute (`== model.layers.len()` once complete).
+    layer_idx: usize,
+    /// Conv ordinal of the next conv layer (the τ trie depth).
+    conv_ordinal: usize,
+    /// Per-image activation length of `act`.
+    cur_len: usize,
+    layout: Layout,
+    /// True once every layer (including the final per-image unbatch) ran.
+    complete: bool,
+    /// Activations, `batch × cur_len`, in `layout` order.
+    act: Vec<i8>,
+}
+
+impl Default for BatchCheckpoint {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl BatchCheckpoint {
+    /// An unpositioned checkpoint (fill it via the `*_into` methods).
+    pub fn empty() -> Self {
+        Self {
+            batch: 0,
+            layer_idx: 0,
+            conv_ordinal: 0,
+            cur_len: 0,
+            layout: Layout::PerImage,
+            complete: false,
+            act: Vec::new(),
+        }
+    }
+
+    /// Images in this checkpoint's batch.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// Conv ordinal the checkpoint is positioned before, or `None` once the
+    /// whole model (including trailing non-conv layers) has run.
+    pub fn next_conv_ordinal(&self) -> Option<usize> {
+        (!self.complete).then_some(self.conv_ordinal)
+    }
+
+    /// True once every layer has run and `act` holds per-image logits.
+    pub fn is_complete(&self) -> bool {
+        self.complete
+    }
+
+    /// Heap bytes held by the checkpoint's activation buffer (memory-budget
+    /// reporting for checkpoint stacks, like `BatchScratch::resident_bytes`).
+    pub fn resident_bytes(&self) -> u64 {
+        self.act.capacity() as u64
+    }
+}
+
+/// Fill conv `c`'s batched pair-interleaved columns from a batched source
+/// activation buffer in either layout — the τ-independent front half of a
+/// conv segment, used by the checkpoint advance and
+/// [`QuantModel::batch_fill_conv_cols`]. (The monolithic driver keeps its
+/// own inlined copy of this block — the serving hot loop optimizes across
+/// it, and routing it through a shared helper measured ~10% off batched
+/// throughput.)
+fn fill_conv_cols(
+    c: &QConv,
+    batch: usize,
+    src: &[i8],
+    cur_len: usize,
+    layout: Layout,
+    rows: &mut [i16],
+    pcolt: &mut [i16],
+) {
+    let positions = c.geom.out_positions();
+    let patch = c.patch_len();
+    let lanes = batch * positions;
+    for b in 0..batch {
+        match layout {
+            Layout::PerImage => {
+                let rows = &mut rows[..positions * patch];
+                fill_centered_t(c, &src[b * cur_len..(b + 1) * cur_len], rows);
+                interleave_pair_rows(rows, positions, patch, pcolt, lanes, b * positions);
+            }
+            Layout::BatchPlanar {
+                positions: in_pos,
+                ch,
+            } => {
+                // Image b's channel planes sit batch planes apart starting
+                // at plane b; fused fill writes pair rows direct.
+                let plane_pitch = batch * in_pos;
+                let view = &src[b * in_pos..(ch - 1) * plane_pitch + b * in_pos + in_pos];
+                let zp = c.in_qp.zero_point;
+                let pad = c.centered_pad();
+                fill_im2col_pairs_planar_pitched(
+                    view,
+                    &c.geom,
+                    zp as i16,
+                    pad,
+                    pcolt,
+                    lanes,
+                    b * positions,
+                    plane_pitch,
+                );
+            }
+        }
+    }
+}
+
+/// Per-conv-ordinal stream dispatch view (`None` = exact layer through the
+/// dense stream): the borrowed form the batched drivers consume, buildable
+/// from a [`CompiledMasks`] or from independently owned (e.g. memoized,
+/// `Arc`-shared) [`CompiledConv`]s without cloning them into a mask set.
+fn mask_view(masks: Option<&CompiledMasks>, n_convs: usize) -> Vec<Option<&CompiledConv>> {
+    match masks {
+        Some(m) => m.per_conv.iter().map(Option::as_ref).collect(),
+        None => vec![None; n_convs],
+    }
 }
 
 impl QuantModel {
@@ -156,8 +305,9 @@ impl QuantModel {
         masks: Option<&CompiledMasks>,
         s: &mut BatchScratch,
     ) -> Vec<i8> {
+        let view = mask_view(masks, s.dense_streams.len());
         let (in_a, per_image) =
-            self.forward_compiled_batch_core(qinputs, batch, conv0_pcolt, masks, s);
+            self.forward_compiled_batch_core(qinputs, batch, conv0_pcolt, &view, s);
         let fin = if in_a {
             &s.act_a[..batch * per_image]
         } else {
@@ -176,8 +326,24 @@ impl QuantModel {
         masks: Option<&CompiledMasks>,
         s: &mut BatchScratch,
     ) -> Vec<usize> {
+        let view = mask_view(masks, s.dense_streams.len());
+        self.predict_compiled_batch_view(qinputs, batch, conv0_pcolt, &view, s)
+    }
+
+    /// [`QuantModel::predict_compiled_batch_scratch`] over a borrowed
+    /// per-ordinal stream view (`streams[k] = None` = conv ordinal `k`
+    /// exact) — lets callers dispatch memoized `Arc`-shared streams without
+    /// assembling an owned [`CompiledMasks`] per design.
+    pub fn predict_compiled_batch_view(
+        &self,
+        qinputs: &[i8],
+        batch: usize,
+        conv0_pcolt: Option<&[i16]>,
+        streams: &[Option<&CompiledConv>],
+        s: &mut BatchScratch,
+    ) -> Vec<usize> {
         let (in_a, per_image) =
-            self.forward_compiled_batch_core(qinputs, batch, conv0_pcolt, masks, s);
+            self.forward_compiled_batch_core(qinputs, batch, conv0_pcolt, streams, s);
         let fin = if in_a {
             &s.act_a[..batch * per_image]
         } else {
@@ -195,7 +361,7 @@ impl QuantModel {
         qinputs: &[i8],
         batch: usize,
         conv0_pcolt: Option<&[i16]>,
-        masks: Option<&CompiledMasks>,
+        streams: &[Option<&CompiledConv>],
         s: &mut BatchScratch,
     ) -> (bool, usize) {
         assert!(batch >= 1, "empty batch");
@@ -210,6 +376,7 @@ impl QuantModel {
             "BatchScratch reused across models (it is bound to the model it \
              was constructed for)"
         );
+        assert_eq!(streams.len(), s.dense_streams.len(), "stream arity");
         let in_len = self.input_shape.item_len();
         assert_eq!(qinputs.len(), batch * in_len, "input length mismatch");
 
@@ -238,6 +405,10 @@ impl QuantModel {
                             cached
                         }
                         _ => {
+                            // Kept inline (not via `fill_conv_cols`): the
+                            // serving hot loop optimizes across this block,
+                            // and routing it through the shared helper
+                            // measured ~10% off batched throughput.
                             let pcolt = &mut s.pcolt[..n];
                             for b in 0..batch {
                                 match layout {
@@ -285,9 +456,7 @@ impl QuantModel {
                             &s.pcolt[..n]
                         }
                     };
-                    let cc = masks
-                        .and_then(|m| m.per_conv[conv_ordinal].as_ref())
-                        .unwrap_or(&s.dense_streams[conv_ordinal]);
+                    let cc = streams[conv_ordinal].unwrap_or(&s.dense_streams[conv_ordinal]);
                     conv_forward_pairs(c, cc, pc, lanes, &mut s.acc, &mut dst[..batch * out_len]);
                     layout = Layout::BatchPlanar {
                         positions,
@@ -381,6 +550,257 @@ impl QuantModel {
             in_a = !in_a;
         }
         (in_a, cur_len)
+    }
+
+    /// Begin a resumable batched forward: capture `qinputs` and run any
+    /// leading non-conv layers, leaving `out` positioned before conv
+    /// ordinal 0 (or complete, for a conv-free model).
+    pub fn batch_start_into(
+        &self,
+        qinputs: &[i8],
+        batch: usize,
+        s: &mut BatchScratch,
+        out: &mut BatchCheckpoint,
+    ) {
+        assert!(batch >= 1, "empty batch");
+        assert!(
+            batch <= s.max_batch,
+            "batch {batch} exceeds scratch capacity {}",
+            s.max_batch
+        );
+        let in_len = self.input_shape.item_len();
+        assert_eq!(qinputs.len(), batch * in_len, "input length mismatch");
+        out.batch = batch;
+        out.layer_idx = 0;
+        out.conv_ordinal = 0;
+        out.cur_len = in_len;
+        out.layout = Layout::PerImage;
+        out.complete = false;
+        out.act.clear();
+        out.act.extend_from_slice(qinputs);
+        self.run_non_convs(s, out);
+    }
+
+    /// Allocating convenience over [`QuantModel::batch_start_into`].
+    pub fn batch_start(
+        &self,
+        qinputs: &[i8],
+        batch: usize,
+        s: &mut BatchScratch,
+    ) -> BatchCheckpoint {
+        let mut out = BatchCheckpoint::empty();
+        self.batch_start_into(qinputs, batch, s, &mut out);
+        out
+    }
+
+    /// Fill the batched pair-interleaved columns of the conv layer `ckpt`
+    /// is positioned before — the τ-independent half of the segment, so a
+    /// trie traversal fills once per node and shares the columns across all
+    /// sibling τ choices via [`QuantModel::batch_advance_into`].
+    pub fn batch_fill_conv_cols(
+        &self,
+        ckpt: &BatchCheckpoint,
+        s: &mut BatchScratch,
+        out: &mut Vec<i16>,
+    ) {
+        assert!(!ckpt.complete, "checkpoint already past the final layer");
+        let c = match &self.layers[ckpt.layer_idx] {
+            QLayer::Conv(c) => c,
+            _ => unreachable!("checkpoint positioned at a non-conv layer"),
+        };
+        let lanes = ckpt.batch * c.geom.out_positions();
+        let n = c.patch_len().div_ceil(2) * 2 * lanes;
+        out.resize(n, 0);
+        fill_conv_cols(
+            c,
+            ckpt.batch,
+            &ckpt.act,
+            ckpt.cur_len,
+            ckpt.layout,
+            &mut s.rows,
+            &mut out[..],
+        );
+    }
+
+    /// Advance one conv segment: run the conv layer `ckpt` is positioned
+    /// before under `stream` (`None` = exact, dense-stream dispatch), then
+    /// every following non-conv layer up to the next conv or the model end
+    /// (including the final per-image unbatch), writing the resulting state
+    /// into `out`.
+    ///
+    /// `prefilled` optionally supplies this segment's pair columns
+    /// ([`QuantModel::batch_fill_conv_cols`], or the eval cache's conv-0
+    /// columns at ordinal 0); when `None` the columns are filled here.
+    /// Bit-exact with the monolithic batched forward for every split.
+    pub fn batch_advance_into(
+        &self,
+        ckpt: &BatchCheckpoint,
+        stream: Option<&CompiledConv>,
+        prefilled: Option<&[i16]>,
+        s: &mut BatchScratch,
+        out: &mut BatchCheckpoint,
+    ) {
+        assert!(!ckpt.complete, "checkpoint already past the final layer");
+        let batch = ckpt.batch;
+        assert!(
+            batch <= s.max_batch,
+            "batch {batch} exceeds scratch capacity {}",
+            s.max_batch
+        );
+        debug_assert_eq!(
+            s.dense_streams.len(),
+            self.conv_indices().len(),
+            "BatchScratch reused across models"
+        );
+        let c = match &self.layers[ckpt.layer_idx] {
+            QLayer::Conv(c) => c,
+            _ => unreachable!("checkpoint positioned at a non-conv layer"),
+        };
+        let positions = c.geom.out_positions();
+        let lanes = batch * positions;
+        let n = c.patch_len().div_ceil(2) * 2 * lanes;
+        let pc: &[i16] = match prefilled {
+            Some(p) => {
+                assert_eq!(p.len(), n, "prefilled pair-column length mismatch");
+                p
+            }
+            None => {
+                fill_conv_cols(
+                    c,
+                    batch,
+                    &ckpt.act,
+                    ckpt.cur_len,
+                    ckpt.layout,
+                    &mut s.rows,
+                    &mut s.pcolt[..n],
+                );
+                &s.pcolt[..n]
+            }
+        };
+        let cc = stream.unwrap_or(&s.dense_streams[ckpt.conv_ordinal]);
+        let out_len = c.geom.out_c * positions;
+        out.batch = batch;
+        out.act.resize(batch * out_len, 0);
+        conv_forward_pairs(c, cc, pc, lanes, &mut s.acc, &mut out.act[..]);
+        out.cur_len = out_len;
+        out.layout = Layout::BatchPlanar {
+            positions,
+            ch: c.geom.out_c,
+        };
+        out.layer_idx = ckpt.layer_idx + 1;
+        out.conv_ordinal = ckpt.conv_ordinal + 1;
+        out.complete = false;
+        self.run_non_convs(s, out);
+    }
+
+    /// Predicted class per image of a **complete** checkpoint, appended
+    /// into `preds` (cleared first) — allocation-free at steady state.
+    pub fn batch_checkpoint_predictions_into(
+        &self,
+        ckpt: &BatchCheckpoint,
+        preds: &mut Vec<usize>,
+    ) {
+        assert!(ckpt.complete, "checkpoint has layers left to run");
+        preds.clear();
+        preds.extend(
+            (0..ckpt.batch).map(|b| argmax_i8(&ckpt.act[b * ckpt.cur_len..(b + 1) * ckpt.cur_len])),
+        );
+    }
+
+    /// Run non-conv layers from `out`'s position until the next conv or the
+    /// model end (then per-image-unbatch), updating `out` in place. Each
+    /// step stages through `s.act_a` and copies back — these layers are
+    /// cheap (pool/dense) next to the conv kernels on either side.
+    fn run_non_convs(&self, s: &mut BatchScratch, out: &mut BatchCheckpoint) {
+        let batch = out.batch;
+        while out.layer_idx < self.layers.len() {
+            let out_len = self.layers[out.layer_idx].out_len();
+            match &self.layers[out.layer_idx] {
+                QLayer::Conv(_) => return,
+                QLayer::Pool(p) => {
+                    match out.layout {
+                        Layout::BatchPlanar { .. } => {
+                            pool_forward_planar(
+                                p.in_h,
+                                p.in_w,
+                                p.c * batch,
+                                &out.act[..batch * out.cur_len],
+                                &mut s.act_a[..batch * out_len],
+                            );
+                            out.layout = Layout::BatchPlanar {
+                                positions: (p.in_h / 2) * (p.in_w / 2),
+                                ch: p.c,
+                            };
+                        }
+                        Layout::PerImage => {
+                            for b in 0..batch {
+                                pool_forward(
+                                    p.in_h,
+                                    p.in_w,
+                                    p.c,
+                                    &out.act[b * out.cur_len..(b + 1) * out.cur_len],
+                                    &mut s.act_a[b * out_len..(b + 1) * out_len],
+                                );
+                            }
+                        }
+                    }
+                    out.act.clear();
+                    out.act.extend_from_slice(&s.act_a[..batch * out_len]);
+                }
+                QLayer::Dense(d) => {
+                    match out.layout {
+                        Layout::BatchPlanar { positions, ch } => {
+                            for b in 0..batch {
+                                planar_to_nhwc_pitched(
+                                    &out.act[b * positions..],
+                                    positions,
+                                    ch,
+                                    batch * positions,
+                                    &mut s.nhwc[..out.cur_len],
+                                );
+                                dense_forward(
+                                    d,
+                                    &s.nhwc[..out.cur_len],
+                                    &mut s.act_a[b * out_len..(b + 1) * out_len],
+                                );
+                            }
+                        }
+                        Layout::PerImage => {
+                            for b in 0..batch {
+                                dense_forward(
+                                    d,
+                                    &out.act[b * out.cur_len..(b + 1) * out.cur_len],
+                                    &mut s.act_a[b * out_len..(b + 1) * out_len],
+                                );
+                            }
+                        }
+                    }
+                    out.layout = Layout::PerImage;
+                    out.act.clear();
+                    out.act.extend_from_slice(&s.act_a[..batch * out_len]);
+                }
+            }
+            out.cur_len = out_len;
+            out.layer_idx += 1;
+        }
+        // Model end: unbatch a planar tail so `act` holds per-image logits.
+        if let Layout::BatchPlanar { positions, ch } = out.layout {
+            for b in 0..batch {
+                planar_to_nhwc_pitched(
+                    &out.act[b * positions..],
+                    positions,
+                    ch,
+                    batch * positions,
+                    &mut s.nhwc[..out.cur_len],
+                );
+                s.act_a[b * out.cur_len..(b + 1) * out.cur_len]
+                    .copy_from_slice(&s.nhwc[..out.cur_len]);
+            }
+            out.act.clear();
+            out.act.extend_from_slice(&s.act_a[..batch * out.cur_len]);
+            out.layout = Layout::PerImage;
+        }
+        out.complete = true;
     }
 }
 
@@ -507,6 +927,66 @@ mod tests {
             let want = q.forward_quantized(&flat[b * in_len..(b + 1) * in_len], None);
             let out_len = want.len();
             assert_eq!(&got[b * out_len..(b + 1) * out_len], &want[..], "image {b}");
+        }
+    }
+
+    #[test]
+    fn checkpoint_chain_bit_exact_with_monolithic() {
+        let (q, data) = quantized_micro(306);
+        let masks = random_masks(&q, 13, 3);
+        let compiled = CompiledMasks::compile(&q, &masks);
+        let mut bs = BatchScratch::for_model(&q, 5);
+        for batch in [1usize, 4, 5] {
+            let flat = stacked_qinputs(&q, &data, batch);
+            let want =
+                q.predict_compiled_batch_scratch(&flat, batch, None, Some(&compiled), &mut bs);
+            // Segment-by-segment with prefilled sibling-shared columns.
+            let mut cur = q.batch_start(&flat, batch, &mut bs);
+            let mut next = BatchCheckpoint::empty();
+            let mut cols = Vec::new();
+            while let Some(k) = cur.next_conv_ordinal() {
+                q.batch_fill_conv_cols(&cur, &mut bs, &mut cols);
+                q.batch_advance_into(
+                    &cur,
+                    compiled.per_conv[k].as_ref(),
+                    Some(&cols),
+                    &mut bs,
+                    &mut next,
+                );
+                std::mem::swap(&mut cur, &mut next);
+            }
+            assert!(cur.is_complete());
+            let mut preds = Vec::new();
+            q.batch_checkpoint_predictions_into(&cur, &mut preds);
+            assert_eq!(preds, want, "batch {batch}");
+            assert!(cur.resident_bytes() > 0);
+        }
+    }
+
+    #[test]
+    fn checkpoint_resume_shares_prefix_across_suffixes() {
+        // Two designs agreeing on conv 0: advance conv 0 once, then branch.
+        let (q, data) = quantized_micro(307);
+        let masks_a = random_masks(&q, 21, 3);
+        let mut masks_b = masks_a.clone();
+        masks_b.per_conv[1] = random_masks(&q, 22, 2).per_conv[1].clone();
+        let ca = CompiledMasks::compile(&q, &masks_a);
+        let cb = CompiledMasks::compile(&q, &masks_b);
+        let batch = 4;
+        let flat = stacked_qinputs(&q, &data, batch);
+        let mut bs = BatchScratch::for_model(&q, batch);
+
+        let start = q.batch_start(&flat, batch, &mut bs);
+        let mut shared = BatchCheckpoint::empty();
+        q.batch_advance_into(&start, ca.per_conv[0].as_ref(), None, &mut bs, &mut shared);
+        let mut leaf = BatchCheckpoint::empty();
+        let mut preds = Vec::new();
+        for (cm, label) in [(&ca, "a"), (&cb, "b")] {
+            q.batch_advance_into(&shared, cm.per_conv[1].as_ref(), None, &mut bs, &mut leaf);
+            assert!(leaf.is_complete());
+            q.batch_checkpoint_predictions_into(&leaf, &mut preds);
+            let want = q.predict_compiled_batch_scratch(&flat, batch, None, Some(cm), &mut bs);
+            assert_eq!(preds, want, "design {label}");
         }
     }
 

@@ -37,7 +37,7 @@ pub mod compiled;
 pub mod forward;
 pub mod qmodel;
 
-pub use batch::BatchScratch;
+pub use batch::{BatchCheckpoint, BatchScratch};
 pub use calib::calibrate_ranges;
 pub use compiled::{simd_level_name, CompiledConv, CompiledMasks};
 pub use forward::{argmax_i8, ForwardScratch, SkipMaskSet};

@@ -29,9 +29,11 @@
 
 pub mod capture;
 pub mod score;
+pub mod stream;
 
 pub use capture::capture_mean_inputs;
 pub use score::{SignificanceMap, TauAssignment};
+pub use stream::{LayerStream, StreamMemo};
 
 #[cfg(test)]
 mod integration_tests {

@@ -35,8 +35,9 @@ impl TauAssignment {
     }
 
     /// Resolve against a model with `n` conv layers: a 1-element global
-    /// assignment broadcasts.
-    fn resolved(&self, n: usize) -> Vec<Option<f64>> {
+    /// assignment broadcasts. Public because the DSE's trie traversal and
+    /// per-(layer, τ) memoization key on the resolved per-layer form.
+    pub fn resolve(&self, n: usize) -> Vec<Option<f64>> {
         if self.per_conv.len() == n {
             self.per_conv.clone()
         } else if self.per_conv.len() == 1 {
@@ -91,7 +92,7 @@ impl SignificanceMap {
     /// Build skip masks: product `i` is skipped iff `S_i ≤ τ_layer`.
     pub fn masks_for_tau(&self, model: &QuantModel, taus: &TauAssignment) -> SkipMaskSet {
         let n = self.scores.len();
-        let taus = taus.resolved(n);
+        let taus = taus.resolve(n);
         let mut set = SkipMaskSet::none(n);
         for (k, tau) in taus.iter().enumerate() {
             if let Some(tau) = *tau {
@@ -117,7 +118,7 @@ impl SignificanceMap {
         taus: &TauAssignment,
     ) -> CompiledMasks {
         let n = self.scores.len();
-        let taus = taus.resolved(n);
+        let taus = taus.resolve(n);
         let mut set = CompiledMasks::none(n);
         for (k, tau) in taus.iter().enumerate() {
             if let Some(tau) = *tau {
@@ -145,7 +146,7 @@ impl SignificanceMap {
     /// buys at a matched MAC budget.
     pub fn channel_masks_for_tau(&self, model: &QuantModel, taus: &TauAssignment) -> SkipMaskSet {
         let n = self.scores.len();
-        let taus = taus.resolved(n);
+        let taus = taus.resolve(n);
         let mut set = SkipMaskSet::none(n);
         for (k, tau) in taus.iter().enumerate() {
             let Some(tau) = *tau else { continue };

@@ -1,0 +1,307 @@
+//! Per-(layer, τ) compiled-stream memoization: the τ-decomposable half of
+//! design evaluation, computed once per `(conv ordinal, τ)` pair and shared
+//! by every design that agrees on that layer.
+//!
+//! A design's skip decision at conv ordinal `k` depends only on that
+//! layer's significance scores and its own τ — never on the other layers'
+//! choices. The naive DSE loop nevertheless recompiled every layer's
+//! retained-product stream (and re-materialized a full boolean
+//! `SkipMaskSet` for cost accounting) once **per design**. [`StreamMemo`]
+//! memoizes, per `(k, τ)`:
+//!
+//! * the compiled weight-pair stream ([`quantize::CompiledConv`]) the
+//!   batched kernels dispatch on (`None` when the threshold skips nothing —
+//!   dense-stream dispatch, exactly like
+//!   [`SignificanceMap::compiled_masks_for_tau`]);
+//! * the per-channel retained-product tallies (`kept`, and `kept_nonzero`
+//!   for `drop_zero_weights` cost models) that drive the analytic
+//!   cycle/flash estimators, so no boolean mask is ever built on the DSE
+//!   hot path.
+//!
+//! Entries are `Arc`-shared and the memo is `Sync`, so rayon workers
+//! evaluating different designs (or different τ-trie subtrees) hand out
+//! the same compiled stream instead of cloning it. Lookups key on the τ
+//! **bit pattern**, so distinct-but-equal grid values hit the same entry
+//! while a `-0.0`/`0.0` mismatch merely costs a duplicate entry, never
+//! correctness.
+
+use crate::score::{SignificanceMap, TauAssignment};
+use quantize::{CompiledConv, QuantModel};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// One conv layer's compiled stream + cost tallies at one τ choice.
+#[derive(Debug)]
+pub struct LayerStream {
+    /// The τ this entry was built at (`None` = layer left exact).
+    pub tau: Option<f64>,
+    /// Compiled retained-product pair stream; `None` when nothing is
+    /// skipped (exact layers and thresholds below every score) — the
+    /// kernels then dispatch the model's dense stream.
+    pub compiled: Option<CompiledConv>,
+    /// Per-channel mask-retained product counts, zero weights included
+    /// (the boolean masks' accounting, without the boolean masks).
+    pub kept: Vec<u32>,
+    /// Per-channel retained products with nonzero weight (the
+    /// `drop_zero_weights` cost-model variant).
+    pub kept_nonzero: Vec<u32>,
+    /// Products skipped over all channels (0 for exact layers).
+    pub skipped: u64,
+}
+
+impl LayerStream {
+    /// Total mask-retained products over all channels.
+    pub fn retained_products(&self) -> u64 {
+        self.kept.iter().map(|&k| k as u64).sum()
+    }
+
+    /// Approximate heap bytes (memo-size reporting).
+    pub fn resident_bytes(&self) -> u64 {
+        4 * (self.kept.len() + self.kept_nonzero.len()) as u64
+            + self
+                .compiled
+                .as_ref()
+                .map_or(0, CompiledConv::resident_bytes)
+    }
+}
+
+/// Thread-safe per-(layer, τ) [`LayerStream`] memo over one model's
+/// significance map. Borrows the model and map, so it lives alongside the
+/// evaluation cache for the duration of one DSE run.
+pub struct StreamMemo<'a> {
+    model: &'a QuantModel,
+    sig: &'a SignificanceMap,
+    /// One τ→stream table per conv ordinal, keyed by τ bit pattern
+    /// (`None` = exact layer).
+    layers: Vec<Mutex<HashMap<Option<u64>, Arc<LayerStream>>>>,
+}
+
+impl<'a> StreamMemo<'a> {
+    /// An empty memo for `model`'s conv layers.
+    pub fn new(model: &'a QuantModel, sig: &'a SignificanceMap) -> Self {
+        let n = sig.scores.len();
+        assert_eq!(
+            n,
+            model.conv_indices().len(),
+            "significance map arity mismatch"
+        );
+        Self {
+            model,
+            sig,
+            layers: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
+    }
+
+    /// Number of conv layers the memo covers.
+    pub fn n_convs(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// The stream + tallies of conv ordinal `k` at τ `tau`, computed on
+    /// first request and shared afterwards.
+    pub fn layer(&self, k: usize, tau: Option<f64>) -> Arc<LayerStream> {
+        let key = tau.map(f64::to_bits);
+        if let Some(hit) = self.layers[k].lock().unwrap().get(&key) {
+            return Arc::clone(hit);
+        }
+        // Build outside the lock (a racing duplicate build is benign and
+        // deterministic; first insert wins).
+        let built = Arc::new(build_layer_stream(self.model, self.sig, k, tau));
+        Arc::clone(self.layers[k].lock().unwrap().entry(key).or_insert(built))
+    }
+
+    /// All layer streams of one design, in conv-ordinal order (global
+    /// assignments broadcast like [`TauAssignment::resolve`]).
+    pub fn design(&self, taus: &TauAssignment) -> Vec<Arc<LayerStream>> {
+        taus.resolve(self.layers.len())
+            .into_iter()
+            .enumerate()
+            .map(|(k, t)| self.layer(k, t))
+            .collect()
+    }
+
+    /// Memoized (layer, τ) entries so far.
+    pub fn entries(&self) -> usize {
+        self.layers.iter().map(|m| m.lock().unwrap().len()).sum()
+    }
+
+    /// Approximate heap bytes of all memoized streams (reporting).
+    pub fn resident_bytes(&self) -> u64 {
+        self.layers
+            .iter()
+            .map(|m| {
+                m.lock()
+                    .unwrap()
+                    .values()
+                    .map(|s| s.resident_bytes())
+                    .sum::<u64>()
+            })
+            .sum()
+    }
+}
+
+/// Build one layer's stream + tallies: skip product `i` of channel `o` iff
+/// `S_i ≤ τ` — the same predicate as [`SignificanceMap::masks_for_tau`] /
+/// [`SignificanceMap::compiled_masks_for_tau`], whose accounting and
+/// dispatch this must (and is unit-tested to) reproduce exactly.
+fn build_layer_stream(
+    model: &QuantModel,
+    sig: &SignificanceMap,
+    k: usize,
+    tau: Option<f64>,
+) -> LayerStream {
+    let conv = model.conv(k);
+    let patch = conv.patch_len();
+    let out_c = conv.geom.out_c;
+    let nonzero_row = |o: usize, retain: &dyn Fn(usize) -> bool| -> u32 {
+        let w = &conv.weights[o * patch..(o + 1) * patch];
+        (0..patch).filter(|&i| retain(i) && w[i] != 0).count() as u32
+    };
+    match tau {
+        None => LayerStream {
+            tau,
+            compiled: None,
+            kept: vec![patch as u32; out_c],
+            kept_nonzero: (0..out_c).map(|o| nonzero_row(o, &|_| true)).collect(),
+            skipped: 0,
+        },
+        Some(t) => {
+            let scores = &sig.scores[k];
+            debug_assert_eq!(scores.len(), out_c * patch);
+            let cc = CompiledConv::build(conv, |o, i| scores[o * patch + i] <= t);
+            let kept = cc.retained.clone();
+            let kept_nonzero = (0..out_c)
+                .map(|o| nonzero_row(o, &|i| scores[o * patch + i] > t))
+                .collect();
+            let skipped = (out_c * patch) as u64 - cc.retained_products();
+            LayerStream {
+                tau,
+                compiled: (!cc.is_dense(patch)).then_some(cc),
+                kept,
+                kept_nonzero,
+                skipped,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capture::capture_mean_inputs;
+    use cifar10sim::DatasetConfig;
+    use quantize::{calibrate_ranges, quantize_model};
+
+    fn setup() -> (QuantModel, SignificanceMap) {
+        let data = cifar10sim::generate(DatasetConfig::tiny(311));
+        let m = tinynn::zoo::mini_cifar(31);
+        let ranges = calibrate_ranges(&m, &data.train.take(8));
+        let q = quantize_model(&m, &ranges);
+        let means = capture_mean_inputs(&q, &data.train.take(8));
+        let sig = SignificanceMap::compute(&q, &means);
+        (q, sig)
+    }
+
+    #[test]
+    fn memoized_streams_equal_compiled_masks() {
+        let (q, sig) = setup();
+        let memo = StreamMemo::new(&q, &sig);
+        for tau in [0.0, 0.004, 0.02, 0.5] {
+            let taus = TauAssignment::global(tau);
+            let want = sig.compiled_masks_for_tau(&q, &taus);
+            let streams = memo.design(&taus);
+            assert_eq!(streams.len(), want.per_conv.len());
+            for (k, (s, w)) in streams.iter().zip(&want.per_conv).enumerate() {
+                assert_eq!(s.compiled.as_ref(), w.as_ref(), "tau {tau} layer {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn tallies_match_boolean_masks() {
+        let (q, sig) = setup();
+        let memo = StreamMemo::new(&q, &sig);
+        let n = q.conv_indices().len();
+        let mut per_layer = vec![None; n];
+        per_layer[0] = Some(0.02);
+        if n > 1 {
+            per_layer[1] = Some(0.0);
+        }
+        for taus in [
+            TauAssignment::global(0.015),
+            TauAssignment::per_layer(per_layer),
+        ] {
+            let masks = sig.masks_for_tau(&q, &taus);
+            let streams = memo.design(&taus);
+            #[allow(clippy::needless_range_loop)]
+            for k in 0..n {
+                let conv = q.conv(k);
+                let patch = conv.patch_len();
+                let s = &streams[k];
+                for o in 0..conv.geom.out_c {
+                    let w = &conv.weights[o * patch..(o + 1) * patch];
+                    let (kept, kept_nz) = match &masks.per_conv[k] {
+                        Some(m) => {
+                            let row = &m[o * patch..(o + 1) * patch];
+                            (
+                                row.iter().filter(|&&sk| !sk).count(),
+                                row.iter()
+                                    .zip(w)
+                                    .filter(|(&sk, &wv)| !sk && wv != 0)
+                                    .count(),
+                            )
+                        }
+                        None => (patch, w.iter().filter(|&&wv| wv != 0).count()),
+                    };
+                    assert_eq!(s.kept[o] as usize, kept, "layer {k} ch {o}");
+                    assert_eq!(s.kept_nonzero[o] as usize, kept_nz, "layer {k} ch {o}");
+                }
+                let want_skipped = masks.per_conv[k]
+                    .as_ref()
+                    .map_or(0, |m| m.iter().filter(|&&sk| sk).count() as u64);
+                assert_eq!(s.skipped, want_skipped, "layer {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_lookups_share_one_arc() {
+        let (q, sig) = setup();
+        let memo = StreamMemo::new(&q, &sig);
+        let a = memo.layer(0, Some(0.01));
+        let b = memo.layer(0, Some(0.01));
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(memo.entries(), 1);
+        let _ = memo.layer(0, None);
+        let _ = memo.layer(0, Some(0.02));
+        assert_eq!(memo.entries(), 3);
+        assert!(memo.resident_bytes() > 0);
+    }
+
+    #[test]
+    fn design_broadcasts_global_assignments() {
+        let (q, sig) = setup();
+        let memo = StreamMemo::new(&q, &sig);
+        let streams = memo.design(&TauAssignment::global(0.01));
+        assert_eq!(streams.len(), q.conv_indices().len());
+        // The same (layer, τ) handed to a per-layer assignment is shared.
+        let per_layer = memo.design(&TauAssignment::per_layer(vec![
+            Some(0.01);
+            q.conv_indices().len()
+        ]));
+        for (a, b) in streams.iter().zip(&per_layer) {
+            assert!(Arc::ptr_eq(a, b));
+        }
+    }
+
+    #[test]
+    fn none_compiles_to_dense_dispatch_with_full_tallies() {
+        let (q, sig) = setup();
+        let memo = StreamMemo::new(&q, &sig);
+        let s = memo.layer(1, None);
+        assert!(s.compiled.is_none());
+        assert_eq!(s.skipped, 0);
+        let c = q.conv(1);
+        assert_eq!(s.retained_products(), (c.geom.out_c * c.patch_len()) as u64);
+    }
+}

@@ -1,0 +1,221 @@
+//! Property tests for the prefix-sharing DSE evaluator: for any random
+//! model, any τ grid (including duplicate and single-config grids), any
+//! batch size and any ragged final batch,
+//!
+//! 1. the checkpoint-resumed segment forward must be bit-exact with the
+//!    monolithic batched forward (and hence, transitively via
+//!    `batched_forward.rs` / `compiled_masks.rs`, with the boolean-mask
+//!    reference), and
+//! 2. the trie-ordered `dse::explore` must produce field-identical
+//!    [`dse::EvaluatedDesign`]s to the uncached boolean-mask
+//!    `dse::explore_reference`, **in the same order as the input configs**.
+
+use dse::{explore, explore_independent, explore_reference, ExploreOptions};
+use proptest::prelude::*;
+use quantize::{
+    calibrate_ranges, quantize_model, BatchCheckpoint, BatchScratch, CompiledMasks, QuantModel,
+    SkipMaskSet,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use signif::{capture_mean_inputs, SignificanceMap, TauAssignment};
+use tinynn::Sequential;
+use tinytensor::Shape4;
+
+/// Build a small random CNN: 1-3 conv(+relu) layers, pool, dense.
+fn random_model(seed: u64, convs: usize, width: usize, kernel: usize) -> Sequential {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut m = Sequential::new("prefix", Shape4::nhwc(1, 8, 8, 2));
+    for _ in 0..convs {
+        m = m.conv_relu(width, kernel, &mut rng);
+    }
+    m = m.maxpool();
+    m.dense(4, true, &mut rng)
+}
+
+/// Quantize against a tiny synthetic calibration set; returns eval images.
+fn quantized(model: &Sequential, seed: u64, n: usize) -> (QuantModel, cifar10sim::Dataset) {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xC0DE);
+    let len = 8 * 8 * 2;
+    let mut flat = Vec::with_capacity(n * len);
+    for _ in 0..n * len {
+        flat.push(rng.gen_range(0.0f32..1.0));
+    }
+    let mut labels = Vec::with_capacity(n);
+    for _ in 0..n {
+        labels.push(rng.gen_range(0u8..4));
+    }
+    let ds = cifar10sim::Dataset {
+        images: tinytensor::Tensor::from_vec(Shape4::nhwc(n, 8, 8, 2), flat).unwrap(),
+        labels,
+    };
+    let ranges = calibrate_ranges(model, &ds);
+    let q = quantize_model(model, &ranges);
+    (q, ds)
+}
+
+fn stacked(q: &QuantModel, ds: &cifar10sim::Dataset, n: usize) -> Vec<i8> {
+    let mut flat = Vec::new();
+    for i in 0..n {
+        flat.extend(q.quantize_input(ds.image(i)));
+    }
+    flat
+}
+
+/// Draw one τ level per conv layer from a small palette (including `None`
+/// = exact and repeated values, so tries get both sharing and branching).
+fn tau_level(choice: u8) -> Option<f64> {
+    match choice % 5 {
+        0 => None,
+        1 => Some(0.0),
+        2 => Some(0.01),
+        3 => Some(0.05),
+        _ => Some(0.2),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Checkpoint-resumed execution (with and without node-shared
+    /// prefilled columns) equals the monolithic batched forward for every
+    /// batch split of the image set.
+    #[test]
+    fn checkpoint_segments_equal_monolithic_batched(
+        seed in 0u64..5000,
+        convs in 1usize..4,
+        width in 2usize..5,
+        kernel in prop::sample::select(vec![1usize, 3]),
+        skip_mod in 2u64..9,
+        batch in 1usize..8,
+    ) {
+        let model = random_model(seed, convs, width, kernel);
+        let n_images = 7; // prime: batch sizes 2..=6 leave a ragged tail
+        let (q, ds) = quantized(&model, seed, n_images);
+        let n = q.conv_indices().len();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xFACE);
+        let mut masks = SkipMaskSet::none(n);
+        for k in 0..n {
+            let c = q.conv(k);
+            let len = c.geom.out_c * c.patch_len();
+            masks.per_conv[k] =
+                Some((0..len).map(|_| rng.gen_range(0u64..skip_mod) == 0).collect());
+        }
+        let compiled = CompiledMasks::compile(&q, &masks);
+        let in_len = q.input_shape.item_len();
+        let mut bs = BatchScratch::for_model(&q, batch.min(n_images));
+
+        let mut start = 0usize;
+        while start < n_images {
+            let b = batch.min(n_images - start);
+            let flat = stacked(&q, &ds, n_images);
+            let flat = &flat[start * in_len..(start + b) * in_len];
+            let want = q.predict_compiled_batch_scratch(flat, b, None, Some(&compiled), &mut bs);
+
+            for prefill in [false, true] {
+                let mut cur = q.batch_start(flat, b, &mut bs);
+                let mut next = BatchCheckpoint::empty();
+                let mut cols = Vec::new();
+                while let Some(k) = cur.next_conv_ordinal() {
+                    let pc = if prefill {
+                        q.batch_fill_conv_cols(&cur, &mut bs, &mut cols);
+                        Some(&cols[..])
+                    } else {
+                        None
+                    };
+                    q.batch_advance_into(
+                        &cur, compiled.per_conv[k].as_ref(), pc, &mut bs, &mut next,
+                    );
+                    std::mem::swap(&mut cur, &mut next);
+                }
+                prop_assert!(cur.is_complete());
+                let mut preds = Vec::new();
+                q.batch_checkpoint_predictions_into(&cur, &mut preds);
+                prop_assert_eq!(
+                    &preds, &want,
+                    "start {} size {} prefill {}", start, b, prefill
+                );
+            }
+            start += b;
+        }
+    }
+
+    /// The trie-ordered `explore` equals the boolean-mask
+    /// `explore_reference` and the per-design `explore_independent`
+    /// field-for-field and in config order, over random per-layer τ grids
+    /// with duplicates and single-config degenerate grids.
+    #[test]
+    fn trie_explore_equals_reference_explore(
+        seed in 0u64..5000,
+        convs in 1usize..4,
+        width in 2usize..5,
+        grid0 in prop::collection::vec(0u8..255, 1..5),
+        grid1 in prop::collection::vec(0u8..255, 1..4),
+        dup in any::<bool>(),
+        eval_images in 3usize..8,
+    ) {
+        let model = random_model(seed, convs, width, 3);
+        let (q, ds) = quantized(&model, seed, 8);
+        let n = q.conv_indices().len();
+        let means = capture_mean_inputs(&q, &ds);
+        let sig = SignificanceMap::compute(&q, &means);
+
+        // Cartesian per-layer grid: layer 0 sweeps grid0, the remaining
+        // layers sweep grid1 jointly — shared prefixes plus branching.
+        let mut configs = Vec::new();
+        for &c0 in &grid0 {
+            for &c1 in &grid1 {
+                let mut per = vec![tau_level(c1); n];
+                per[0] = tau_level(c0);
+                configs.push(TauAssignment::per_layer(per));
+            }
+        }
+        if dup {
+            let first = configs[0].clone();
+            configs.push(first);
+        }
+        let opts = ExploreOptions { eval_images, ..Default::default() };
+
+        let fast = explore(&q, &sig, &ds, &configs, &opts);
+        let indep = explore_independent(&q, &sig, &ds, &configs, &opts);
+        let slow = explore_reference(&q, &sig, &ds, &configs, &opts);
+        prop_assert_eq!(fast.len(), configs.len());
+        for (i, ((a, b), c)) in fast.iter().zip(&slow).zip(&indep).enumerate() {
+            prop_assert_eq!(&a.taus, &configs[i], "order broken at {}", i);
+            prop_assert_eq!(a.accuracy, b.accuracy, "config {}", i);
+            prop_assert_eq!(a.est_cycles, b.est_cycles, "config {}", i);
+            prop_assert_eq!(a.est_flash, b.est_flash, "config {}", i);
+            prop_assert_eq!(a.retained_macs, b.retained_macs, "config {}", i);
+            prop_assert_eq!(a.conv_mac_reduction, b.conv_mac_reduction, "config {}", i);
+            prop_assert_eq!(a.skipped_products, b.skipped_products, "config {}", i);
+            prop_assert_eq!(a.accuracy, c.accuracy, "indep config {}", i);
+            prop_assert_eq!(a.est_cycles, c.est_cycles, "indep config {}", i);
+        }
+    }
+}
+
+/// Single-config grids (the degenerate trie) and duplicate-only grids.
+#[test]
+fn degenerate_grids_match_reference() {
+    let model = random_model(99, 2, 3, 3);
+    let (q, ds) = quantized(&model, 99, 6);
+    let means = capture_mean_inputs(&q, &ds);
+    let sig = SignificanceMap::compute(&q, &means);
+    let opts = ExploreOptions {
+        eval_images: 6,
+        ..Default::default()
+    };
+    for configs in [
+        vec![TauAssignment::global(0.02)],
+        vec![TauAssignment::global(0.02); 3],
+    ] {
+        let fast = explore(&q, &sig, &ds, &configs, &opts);
+        let slow = explore_reference(&q, &sig, &ds, &configs, &opts);
+        assert_eq!(fast.len(), slow.len());
+        for (a, b) in fast.iter().zip(&slow) {
+            assert_eq!(a.accuracy, b.accuracy);
+            assert_eq!(a.est_cycles, b.est_cycles);
+            assert_eq!(a.est_flash, b.est_flash);
+        }
+    }
+}
