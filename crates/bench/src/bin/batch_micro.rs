@@ -1,0 +1,133 @@
+//! **BENCH_batch_micro**: the monolithic batched compiled forward — the
+//! serving hot path (`predict_compiled_batch_scratch`) in isolation, at a
+//! serve-like small batch and the DSE eval batch.
+//!
+//! This is the A/B harness that gates walker/driver refactors on the
+//! batched path: the pair-column fill block must stay inlined inside the
+//! conv segment executor (routing it through a shared helper once measured
+//! ~10% off serve throughput), and any change to the plan-driven traversal
+//! must hold the medians here within run-to-run CV. Reports
+//! **median-of-reps** throughput plus every rep and the CV per memory
+//! (`BENCH_batch_micro.json`, gated by `perf_gate` next to the DSE and
+//! serve reports). On a noisy machine, interleave runs of the old and new
+//! binaries and compare medians.
+//!
+//! ```sh
+//! cargo run -p ataman-bench --release --bin batch_micro
+//! ```
+
+use quantize::{calibrate_ranges, quantize_model, BatchScratch, CompiledMasks};
+use serde::Serialize;
+use std::time::Instant;
+
+const REPS: usize = 7;
+const IMAGES_PER_REP: usize = 2000;
+
+#[derive(Serialize)]
+struct BatchPoint {
+    batch: usize,
+    reps: usize,
+    /// Throughput of every rep; the gated number is their **median**.
+    per_rep_images_per_sec: Vec<f64>,
+    /// Coefficient of variation (σ/μ) of the per-rep throughput — the
+    /// noise floor any regression claim must clear.
+    cv: f64,
+    images_per_sec: f64,
+    us_per_image: f64,
+}
+
+#[derive(Serialize)]
+struct BatchMicroReport {
+    model: String,
+    simd_level: String,
+    reps: usize,
+    /// Serve-like small batch.
+    batch3_images_per_sec: f64,
+    batch3_cv: f64,
+    /// DSE eval batch.
+    batch12_images_per_sec: f64,
+    batch12_cv: f64,
+    points: Vec<BatchPoint>,
+}
+
+fn median(xs: &[f64]) -> f64 {
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v[v.len() / 2]
+}
+
+fn coeff_of_variation(xs: &[f64]) -> f64 {
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    if mean == 0.0 {
+        return 0.0;
+    }
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+    var.sqrt() / mean
+}
+
+fn main() {
+    println!("== BENCH_batch_micro: monolithic batched forward in isolation ==");
+    let mut cfg = cifar10sim::DatasetConfig::paper_default();
+    cfg.n_train = 256;
+    cfg.n_test = 64;
+    cfg.seed = 0x5E12;
+    let data = cifar10sim::generate(cfg);
+    let model = tinynn::zoo::mini_cifar(0x5E12);
+    let ranges = calibrate_ranges(&model, &data.train.take(16));
+    let q = quantize_model(&model, &ranges);
+    let masks = CompiledMasks::none(q.conv_indices().len());
+
+    let mut points = Vec::new();
+    for batch in [3usize, 12] {
+        let mut flat = Vec::new();
+        for i in 0..batch {
+            flat.extend(q.quantize_input(data.test.image(i)));
+        }
+        let mut s = BatchScratch::for_model(&q, batch);
+        // Warm-up: page in code, size nothing lazily, settle the clocks.
+        for _ in 0..20 {
+            let _ = q.predict_compiled_batch_scratch(&flat, batch, None, Some(&masks), &mut s);
+        }
+        let calls = IMAGES_PER_REP / batch;
+        let per_rep: Vec<f64> = (0..REPS)
+            .map(|_| {
+                let t0 = Instant::now();
+                for _ in 0..calls {
+                    let _ =
+                        q.predict_compiled_batch_scratch(&flat, batch, None, Some(&masks), &mut s);
+                }
+                (calls * batch) as f64 / t0.elapsed().as_secs_f64()
+            })
+            .collect();
+        let med = median(&per_rep);
+        let cv = coeff_of_variation(&per_rep);
+        println!(
+            "batch {batch}: median {med:.1} img/s ({:.1} us/img, cv {:.1}%)",
+            1e6 / med,
+            100.0 * cv
+        );
+        points.push(BatchPoint {
+            batch,
+            reps: REPS,
+            per_rep_images_per_sec: per_rep,
+            cv,
+            images_per_sec: med,
+            us_per_image: 1e6 / med,
+        });
+    }
+
+    let report = BatchMicroReport {
+        model: q.name.clone(),
+        simd_level: quantize::simd_level_name().to_string(),
+        reps: REPS,
+        batch3_images_per_sec: points[0].images_per_sec,
+        batch3_cv: points[0].cv,
+        batch12_images_per_sec: points[1].images_per_sec,
+        batch12_cv: points[1].cv,
+        points,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serialization");
+    std::fs::write("BENCH_batch_micro.json", &json).expect("write BENCH_batch_micro.json");
+    println!("wrote BENCH_batch_micro.json");
+}

@@ -18,10 +18,16 @@
 //! best-of number on a noisy single-CPU builder measures the quietest
 //! moment, not the code) alongside each path's rep-time coefficient of
 //! variation; the CVs surface in the comparison table so a suspicious
-//! ratio can be read against the measured noise floor. Older committed
-//! baselines without the CV fields (or with best-of semantics) still
-//! gate: absent fields are reported as informational, and the schema's
-//! throughput field names are unchanged.
+//! ratio can be read against the measured noise floor.
+//!
+//! The schema is **strict**: every committed baseline carries the current
+//! field set (`simd_level` and all gated throughput fields). A baseline
+//! missing a gated field or the SIMD level fails the gate outright —
+//! regenerate and commit it — rather than silently downgrading to
+//! informational (the legacy pre-median-schema fallback is gone; both
+//! committed BENCH files use the current schema). Informational fields may
+//! still be absent (older trajectory points), which is reported but not
+//! enforced.
 //!
 //! ```sh
 //! cargo run -p ataman-bench --release --bin perf_gate -- <baseline_dir> <current_dir>
@@ -129,6 +135,35 @@ const SPECS: &[Spec] = &[
             },
             Metric {
                 field: "mean_batch_size",
+                gate: Gate::Info,
+            },
+            Metric {
+                field: "queue_peak_depth",
+                gate: Gate::Info,
+            },
+            Metric {
+                field: "queue_full_retries",
+                gate: Gate::Info,
+            },
+        ],
+    },
+    Spec {
+        file: "BENCH_batch_micro.json",
+        metrics: &[
+            Metric {
+                field: "batch3_images_per_sec",
+                gate: Gate::SameMachine,
+            },
+            Metric {
+                field: "batch12_images_per_sec",
+                gate: Gate::SameMachine,
+            },
+            Metric {
+                field: "batch3_cv",
+                gate: Gate::Info,
+            },
+            Metric {
+                field: "batch12_cv",
                 gate: Gate::Info,
             },
         ],
@@ -249,12 +284,25 @@ fn main() -> ExitCode {
             (Report::Ok(b), Report::Ok(c)) => (b, c),
         };
         // Absolute throughput is only comparable between runs of the same
-        // kernel dispatch level (and, implicitly, machine class).
+        // kernel dispatch level (and, implicitly, machine class). The
+        // field is mandatory — a report without it cannot be gated safely.
         let same_machine = match (string(&base, "simd_level"), string(&cur, "simd_level")) {
             (Some(b), Some(c)) => b == c,
-            // Older baselines without the field: assume same machine (the
-            // pre-field behavior) rather than silently un-gating.
-            _ => true,
+            _ => {
+                failures.push(format!(
+                    "{}: simd_level missing (strict schema; regenerate the report)",
+                    spec.file
+                ));
+                writeln!(
+                    table,
+                    "| {} | simd_level | {} | {} | — | ❌ missing |",
+                    spec.file,
+                    string(&base, "simd_level").unwrap_or("∅"),
+                    string(&cur, "simd_level").unwrap_or("∅"),
+                )
+                .unwrap();
+                continue;
+            }
         };
         if !same_machine {
             writeln!(
@@ -271,14 +319,27 @@ fn main() -> ExitCode {
             let (b, c) = match (b, c) {
                 (Some(b), Some(c)) => (b, c),
                 _ => {
-                    // A field absent from the committed baseline (older
-                    // schema) is informational only.
+                    // Informational fields may lag the schema; gated fields
+                    // may not — a missing gated metric means the baseline
+                    // (or the bench) is stale, and must not un-gate.
+                    let gated = matches!(m.gate, Gate::SameMachine);
+                    if gated {
+                        failures.push(format!(
+                            "{} {}: gated metric missing from {} (strict schema; \
+                             regenerate the report)",
+                            spec.file,
+                            m.field,
+                            if b.is_none() { "baseline" } else { "current" },
+                        ));
+                    }
                     writeln!(
                         table,
-                        "| {} | {} | *(absent)* | {} | — | ✅ |",
+                        "| {} | {} | {} | {} | — | {} |",
                         spec.file,
                         m.field,
-                        c.map_or("—".to_string(), fmt_v)
+                        b.map_or("*(absent)*".to_string(), fmt_v),
+                        c.map_or("*(absent)*".to_string(), fmt_v),
+                        if gated { "❌ missing" } else { "ℹ️" },
                     )
                     .unwrap();
                     continue;

@@ -1,9 +1,17 @@
 //! The exact CMSIS-style inference engine.
+//!
+//! Traversal is plan-driven: the engine lowers its model once into a
+//! [`quantize::ExecPlan`] and walks it through a [`quantize::ExecBackend`]
+//! whose executors run the CMSIS-shaped kernels and charge their
+//! instruction-mix events; the logits epilogue charges the softmax.
 
 use mcusim::{CostModel, Event, ExecStats};
-use quantize::{QConv, QDense, QLayer, QuantModel};
+use quantize::plan::{
+    ConvSegment, DenseSegment, ExecBackend, ExecPlan, GapSegment, LogitsSegment, PoolSegment,
+};
+use quantize::{QConv, QDense, QuantModel};
 use tinytensor::im2col::fill_im2col_i8;
-use tinytensor::quant::requantize_to_i8;
+use tinytensor::quant::{avg_round, requantize_to_i8};
 use tinytensor::simd::{pack_i16x2, smlad};
 
 /// Per-layer profiling record (the paper's per-operator cycle counters).
@@ -18,21 +26,24 @@ pub struct LayerProfile {
 /// CMSIS-NN-style exact engine over a quantized model.
 pub struct CmsisEngine<'m> {
     model: &'m QuantModel,
+    /// The model lowered once; every inference walks these segments.
+    plan: ExecPlan,
     cost: CostModel,
 }
 
 impl<'m> CmsisEngine<'m> {
     /// Engine with the calibrated Cortex-M33 cost model.
     pub fn new(model: &'m QuantModel) -> Self {
-        Self {
-            model,
-            cost: CostModel::cortex_m33(),
-        }
+        Self::with_cost_model(model, CostModel::cortex_m33())
     }
 
     /// Engine with a custom cost model (ablations, comparator reuse).
     pub fn with_cost_model(model: &'m QuantModel, cost: CostModel) -> Self {
-        Self { model, cost }
+        Self {
+            model,
+            plan: ExecPlan::lower(model),
+            cost,
+        }
     }
 
     /// The model this engine runs.
@@ -75,44 +86,87 @@ impl<'m> CmsisEngine<'m> {
 
     fn run(&self, qinput: &[i8]) -> (Vec<i8>, Vec<LayerProfile>) {
         assert_eq!(qinput.len(), self.model.input_shape.item_len());
-        let mut act = qinput.to_vec();
-        let mut profiles = Vec::with_capacity(self.model.layers.len());
-        for (li, layer) in self.model.layers.iter().enumerate() {
-            let mut stats = ExecStats::new();
-            // Generic-interpreter overhead: decode dims/strides/quant params
-            // from the model blob at runtime (removed by the framework's
-            // compile-time specialization, Section II-A).
-            stats.charge(Event::ParamDecode, 1);
-            stats.charge(Event::CallOverhead, 1);
-            let (label, out) = match layer {
-                QLayer::Conv(c) => (
-                    format!(
-                        "conv{li} ({}@{}x{})",
-                        c.geom.out_c, c.geom.kernel_h, c.geom.kernel_w
-                    ),
-                    conv_s8(c, &act, &mut stats),
-                ),
-                QLayer::Pool(p) => (
-                    format!("maxpool{li} ({}x{})", p.in_h, p.in_w),
-                    pool_s8(p.in_h, p.in_w, p.c, &act, &mut stats),
-                ),
-                QLayer::Dense(d) => (
-                    format!("fc{li} ({}->{})", d.in_dim, d.out_dim),
-                    dense_s8(d, &act, &mut stats),
-                ),
-            };
-            act = out;
-            profiles.push(LayerProfile { label, stats });
-        }
+        let mut backend = CmsisBackend {
+            model: self.model,
+            act: qinput.to_vec(),
+            profiles: Vec::with_capacity(self.model.layers.len() + 1),
+        };
+        self.plan.execute(&mut backend);
+        (backend.act, backend.profiles)
+    }
+}
+
+/// The CMSIS-style backend: generic-interpreter per-layer overheads,
+/// CMSIS-shaped kernels, per-layer profiling records.
+struct CmsisBackend<'m> {
+    model: &'m QuantModel,
+    act: Vec<i8>,
+    profiles: Vec<LayerProfile>,
+}
+
+impl CmsisBackend<'_> {
+    /// Generic-interpreter overhead: decode dims/strides/quant params from
+    /// the model blob at runtime (removed by the framework's compile-time
+    /// specialization, Section II-A).
+    fn interpreter_stats() -> ExecStats {
+        let mut stats = ExecStats::new();
+        stats.charge(Event::ParamDecode, 1);
+        stats.charge(Event::CallOverhead, 1);
+        stats
+    }
+}
+
+impl ExecBackend for CmsisBackend<'_> {
+    fn conv(&mut self, seg: &ConvSegment) {
+        let c = self.model.conv_at(seg.layer_idx);
+        let mut stats = Self::interpreter_stats();
+        self.act = conv_s8(c, &self.act, &mut stats);
+        self.profiles.push(LayerProfile {
+            label: format!(
+                "conv{} ({}@{}x{})",
+                seg.layer_idx, seg.geom.out_c, seg.geom.kernel_h, seg.geom.kernel_w
+            ),
+            stats,
+        });
+    }
+
+    fn pool(&mut self, seg: &PoolSegment) {
+        let mut stats = Self::interpreter_stats();
+        self.act = pool_s8(seg.in_h, seg.in_w, seg.c, &self.act, &mut stats);
+        self.profiles.push(LayerProfile {
+            label: format!("maxpool{} ({}x{})", seg.layer_idx, seg.in_h, seg.in_w),
+            stats,
+        });
+    }
+
+    fn global_avg_pool(&mut self, seg: &GapSegment) {
+        let mut stats = Self::interpreter_stats();
+        self.act = avgpool_s8(seg.positions, seg.c, &self.act, &mut stats);
+        self.profiles.push(LayerProfile {
+            label: format!("gap{} ({}x{}@{})", seg.layer_idx, seg.in_h, seg.in_w, seg.c),
+            stats,
+        });
+    }
+
+    fn dense(&mut self, seg: &DenseSegment) {
+        let d = self.model.dense_at(seg.layer_idx);
+        let mut stats = Self::interpreter_stats();
+        self.act = dense_s8(d, &self.act, &mut stats);
+        self.profiles.push(LayerProfile {
+            label: format!("fc{} ({}->{})", seg.layer_idx, seg.in_dim, seg.out_dim),
+            stats,
+        });
+    }
+
+    fn logits(&mut self, seg: &LogitsSegment) {
         // Final softmax (cost only; argmax unchanged).
         let mut sm = ExecStats::new();
-        sm.charge(Event::SoftmaxOp, act.len() as u64);
+        sm.charge(Event::SoftmaxOp, seg.out_len as u64);
         sm.charge(Event::CallOverhead, 1);
-        profiles.push(LayerProfile {
+        self.profiles.push(LayerProfile {
             label: "softmax".into(),
             stats: sm,
         });
-        (act, profiles)
     }
 }
 
@@ -199,6 +253,24 @@ fn pool_s8(in_h: usize, in_w: usize, ch: usize, input: &[i8], stats: &mut ExecSt
     // 4 candidate loads/compares per output element + store.
     stats.charge(Event::PoolCompare, (oh * ow * ch * 4) as u64);
     stats.charge(Event::Elementwise, (oh * ow * ch) as u64);
+    out
+}
+
+/// `arm_avgpool_s8`-style global average pool: one i32 accumulation per
+/// input element, one rounding divide + store per channel
+/// ([`tinytensor::quant::avg_round`] — the shared output stage).
+fn avgpool_s8(positions: usize, ch: usize, input: &[i8], stats: &mut ExecStats) -> Vec<i8> {
+    let mut out = vec![0i8; ch];
+    for (c, slot) in out.iter_mut().enumerate() {
+        let mut sum = 0i32;
+        for p in 0..positions {
+            sum += input[p * ch + c] as i32;
+        }
+        *slot = avg_round(sum, positions as i32);
+    }
+    // Load + widening add per element; rounding divide + store per channel.
+    stats.charge(Event::AvgAccum, (positions * ch) as u64);
+    stats.charge(Event::Requant, ch as u64);
     out
 }
 

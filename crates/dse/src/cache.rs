@@ -38,6 +38,7 @@
 
 use crate::space::{TauTrie, TrieNode};
 use cifar10sim::Dataset;
+use quantize::plan::ExecPlan;
 use quantize::{BatchCheckpoint, BatchScratch, CompiledConv, CompiledMasks, QuantModel};
 use rayon::prelude::*;
 use signif::{LayerStream, StreamMemo};
@@ -68,6 +69,9 @@ struct EvalBatch {
 pub struct DseEvalCache {
     batch_size: usize,
     n_images: usize,
+    /// The model's execution plan, lowered once per cache — per-design
+    /// evaluation tails read it instead of re-lowering per design.
+    plan: ExecPlan,
     batches: Vec<EvalBatch>,
     /// Reusable [`BatchScratch`]es, checked out per worker per
     /// [`DseEvalCache::accuracy`] call and returned afterwards — the DSE
@@ -184,10 +188,16 @@ impl DseEvalCache {
         Self {
             batch_size,
             n_images: n,
+            plan: ExecPlan::lower(model),
             batches,
             scratch_pool: Mutex::new(Vec::new()),
             trie_pool: Mutex::new(Vec::new()),
         }
+    }
+
+    /// The cached model's execution plan (lowered once at construction).
+    pub fn plan(&self) -> &ExecPlan {
+        &self.plan
     }
 
     /// Number of cached images.

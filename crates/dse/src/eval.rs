@@ -15,6 +15,7 @@ use crate::cache::DseEvalCache;
 use crate::space::TauTrie;
 use cifar10sim::Dataset;
 use mcusim::{CostModel, Event, ExecStats};
+use quantize::plan::{ExecPlan, Segment};
 use quantize::{QLayer, QuantModel, SkipMaskSet};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -94,7 +95,7 @@ pub fn evaluate_design_cached(
 ) -> EvaluatedDesign {
     let streams = memo.design(taus);
     let accuracy = cache.accuracy_streams(model, &streams);
-    finish_design_streams(model, &streams, taus, accuracy, opts)
+    finish_design_streams(model, cache.plan(), &streams, taus, accuracy, opts)
 }
 
 /// Shared tail of design evaluation: analytic cost estimation + bookkeeping.
@@ -128,14 +129,24 @@ fn finish_design(
 /// boolean path), O(channels) per design instead of O(products).
 fn finish_design_streams(
     model: &QuantModel,
+    plan: &ExecPlan,
     streams: &[Arc<LayerStream>],
     taus: &TauAssignment,
     accuracy: f32,
     opts: &ExploreOptions,
 ) -> EvaluatedDesign {
-    let stats = estimate_stats_streams(model, streams, opts.unpack);
+    let stats = estimate_stats_plan(model, plan, opts.unpack, &|ordinal, o| {
+        let s = &streams[ordinal];
+        if opts.unpack.drop_zero_weights {
+            s.kept_nonzero[o] as u64
+        } else {
+            s.kept[o] as u64
+        }
+    });
     let est_cycles = stats.cycles(&opts.cost);
-    let est_flash = estimate_flash_streams(model, streams, opts.unpack);
+    let est_flash = estimate_flash_plan(model, plan, opts.unpack, &|ordinal, o| {
+        streams[ordinal].kept[o] as u64
+    });
     let conv_dense: u64 = conv_macs_dense(model);
     let skipped_macs: u64 = streams
         .iter()
@@ -188,12 +199,14 @@ pub fn explore_with(
 ) -> Vec<EvaluatedDesign> {
     let trie = TauTrie::build(model.conv_indices().len(), configs);
     let accuracies = cache.accuracies_trie(model, memo, &trie);
+    // The cache lowered the plan once; the per-design tail below stays
+    // O(channels).
     (0..configs.len())
         .into_par_iter()
         .map(|i| {
             let taus = &configs[i];
             let streams = memo.design(taus);
-            finish_design_streams(model, &streams, taus, accuracies[i], opts)
+            finish_design_streams(model, cache.plan(), &streams, taus, accuracies[i], opts)
         })
         .collect()
 }
@@ -322,24 +335,38 @@ pub fn estimate_stats_streams(
 /// Estimator core: `retained(conv ordinal, channel)` supplies the
 /// cost-bearing product count per channel (zero-weight handling already
 /// resolved by the caller against `options.drop_zero_weights`).
+///
+/// Walks the model's [`ExecPlan`] segments — the same lowering the engines
+/// execute, whose per-segment geometry is exactly the shape data this
+/// accounting needs (the plan's cost hooks).
 fn estimate_stats_with(
     model: &QuantModel,
     options: UnpackOptions,
     retained: &dyn Fn(usize, usize) -> u64,
 ) -> ExecStats {
+    estimate_stats_plan(model, &ExecPlan::lower(model), options, retained)
+}
+
+/// [`estimate_stats_with`] against a caller-owned lowering (the DSE's
+/// per-design tail lowers once per grid, not once per design).
+fn estimate_stats_plan(
+    _model: &QuantModel,
+    plan: &ExecPlan,
+    options: UnpackOptions,
+    retained: &dyn Fn(usize, usize) -> u64,
+) -> ExecStats {
     let mut stats = ExecStats::new();
-    let mut ordinal = 0usize;
     let block = options.col_block as u64;
-    for layer in &model.layers {
-        match layer {
-            QLayer::Conv(c) => {
-                let out_c = c.geom.out_c;
-                let p64 = c.geom.out_positions() as u64;
+    for seg in plan.segments() {
+        match seg {
+            Segment::Conv(s) => {
+                let out_c = s.geom.out_c;
+                let p64 = s.positions as u64;
                 let mut total_ops = 0u64;
                 let mut tails = 0u64;
                 let mut retained_products = 0u64;
                 for o in 0..out_c {
-                    let r = retained(ordinal, o);
+                    let r = retained(s.ordinal, o);
                     total_ops += r / 2;
                     tails += r % 2;
                     retained_products += r;
@@ -353,33 +380,40 @@ fn estimate_stats_with(
                 stats.charge(Event::LoopOverhead, out_c as u64 * p64 / block);
                 stats.charge(Event::BiasInit, out_c as u64 * p64);
                 stats.charge(Event::Requant, out_c as u64 * p64);
-                ordinal += 1;
+                stats.charge(Event::CallOverhead, 1);
             }
-            QLayer::Pool(p) => {
-                let out = p.out_len() as u64;
+            Segment::Pool(s) => {
+                let out = s.out_len as u64;
                 stats.charge(Event::PoolCompare, out * 4);
                 stats.charge(Event::Elementwise, out);
+                stats.charge(Event::CallOverhead, 1);
             }
-            QLayer::Dense(d) => {
-                let smlads = (d.out_dim * (d.in_dim / 2)) as u64;
-                stats.charge(Event::InputPack, d.in_dim as u64);
-                stats.add_macs((d.out_dim * d.in_dim) as u64);
+            Segment::GlobalAvgPool(s) => {
+                stats.charge(Event::AvgAccum, (s.positions * s.c) as u64);
+                stats.charge(Event::Requant, s.c as u64);
+                stats.charge(Event::CallOverhead, 1);
+            }
+            Segment::Dense(s) => {
+                let smlads = (s.out_dim * (s.in_dim / 2)) as u64;
+                stats.charge(Event::InputPack, s.in_dim as u64);
+                stats.add_macs(s.macs);
                 stats.charge(Event::Smlad, smlads);
                 stats.charge(Event::InputLoad, smlads / 2);
                 stats.charge(Event::WeightLoad, smlads / 2);
                 stats.charge(Event::WeightPack, smlads / 2);
                 stats.charge(Event::LoopOverhead, smlads / 4);
-                if d.in_dim % 2 == 1 {
-                    stats.charge(Event::MacSingle, d.out_dim as u64);
+                if s.in_dim % 2 == 1 {
+                    stats.charge(Event::MacSingle, s.out_dim as u64);
                 }
-                stats.charge(Event::BiasInit, d.out_dim as u64);
-                stats.charge(Event::Requant, d.out_dim as u64);
+                stats.charge(Event::BiasInit, s.out_dim as u64);
+                stats.charge(Event::Requant, s.out_dim as u64);
+                stats.charge(Event::CallOverhead, 1);
+            }
+            Segment::Logits(s) => {
+                stats.charge(Event::SoftmaxOp, s.out_len as u64);
             }
         }
-        stats.charge(Event::CallOverhead, 1);
     }
-    let last = model.layers.last().map(|l| l.out_len()).unwrap_or(0) as u64;
-    stats.charge(Event::SoftmaxOp, last);
     stats
 }
 
@@ -421,29 +455,40 @@ fn estimate_flash_with(
     options: UnpackOptions,
     kept: &dyn Fn(usize, usize) -> u64,
 ) -> u64 {
+    estimate_flash_plan(model, &ExecPlan::lower(model), options, kept)
+}
+
+/// [`estimate_flash_with`] against a caller-owned lowering.
+fn estimate_flash_plan(
+    model: &QuantModel,
+    plan: &ExecPlan,
+    options: UnpackOptions,
+    kept: &dyn Fn(usize, usize) -> u64,
+) -> u64 {
     use unpackgen::flash::{
         bytes_per_op, BYTES_PER_CHANNEL, BYTES_PER_LAYER, BYTES_PER_TAIL,
         SPECIALIZED_LIBRARY_CODE_BYTES,
     };
     let mut total = SPECIALIZED_LIBRARY_CODE_BYTES;
-    let mut ordinal = 0usize;
-    for layer in &model.layers {
-        match layer {
-            QLayer::Conv(c) => {
+    for seg in plan.segments() {
+        match seg {
+            Segment::Conv(s) => {
                 let mut code = BYTES_PER_LAYER;
-                for o in 0..c.geom.out_c {
-                    let retained = kept(ordinal, o);
+                for o in 0..s.geom.out_c {
+                    let retained = kept(s.ordinal, o);
                     code += (retained / 2) * bytes_per_op(options.col_block)
                         + (retained % 2) * BYTES_PER_TAIL
                         + BYTES_PER_CHANNEL;
                 }
                 total += code;
-                ordinal += 1;
             }
-            QLayer::Dense(d) => {
+            Segment::Dense(s) => {
+                let d = model.dense_at(s.layer_idx);
                 total += (d.weights.len() + 4 * d.bias.len()) as u64;
             }
-            QLayer::Pool(_) => {}
+            // Pools/GAP fold into the specialized library code; the logits
+            // epilogue emits no flash.
+            Segment::Pool(_) | Segment::GlobalAvgPool(_) | Segment::Logits(_) => {}
         }
     }
     total

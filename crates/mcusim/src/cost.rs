@@ -59,10 +59,13 @@ pub enum Event {
     /// interpreters (CMSIS-NN/TFLM style), eliminated by the framework's
     /// compile-time specialization.
     ParamDecode,
+    /// Average-pool accumulation per input element (load + widening add,
+    /// `arm_avgpool_s8`-style).
+    AvgAccum,
 }
 
 /// Number of event classes.
-pub const EVENT_COUNT: usize = Event::SoftmaxOp as usize + 2;
+pub const EVENT_COUNT: usize = Event::AvgAccum as usize + 1;
 
 /// All events, for iteration/reporting.
 pub const ALL_EVENTS: [Event; EVENT_COUNT] = [
@@ -82,6 +85,7 @@ pub const ALL_EVENTS: [Event; EVENT_COUNT] = [
     Event::Elementwise,
     Event::SoftmaxOp,
     Event::ParamDecode,
+    Event::AvgAccum,
 ];
 
 impl Event {
@@ -104,6 +108,7 @@ impl Event {
             Event::Elementwise => "elem",
             Event::SoftmaxOp => "softmax",
             Event::ParamDecode => "param",
+            Event::AvgAccum => "avg",
         }
     }
 }
@@ -148,6 +153,7 @@ impl CostModel {
     /// * `SoftmaxOp` 12.0 — LUT exp + fixed-point divide.
     /// * `ParamDecode` 220 — per-layer runtime decoding of tensor dims and
     ///   quant params in generic interpreters.
+    /// * `AvgAccum` 1.0 — average-pool load + widening add per element.
     pub const fn cortex_m33() -> Self {
         let mut hc = [0u32; EVENT_COUNT];
         hc[Event::Smlad as usize] = 2;
@@ -166,6 +172,7 @@ impl CostModel {
         hc[Event::Elementwise as usize] = 2;
         hc[Event::SoftmaxOp as usize] = 24;
         hc[Event::ParamDecode as usize] = 440;
+        hc[Event::AvgAccum as usize] = 2;
         Self { half_cycles: hc }
     }
 

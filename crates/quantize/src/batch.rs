@@ -18,9 +18,17 @@
 //!   `c·B + b` holds channel `c` of image `b`, so conv stores, pooling and
 //!   the next conv's column fill all touch contiguous planes, and pooling a
 //!   batch is literally the planar pool over `C·B` planes.
-//! * **Per-image unbatch only at the logits** — dense layers (and final
-//!   planar→NHWC conversion) gather one image at a time; everything before
-//!   them never materializes a per-image view.
+//! * **Per-image unbatch only at the logits** — dense layers (and the
+//!   final planar→NHWC conversion of the plan's logits segment) gather one
+//!   image at a time; everything before them never materializes a
+//!   per-image view.
+//!
+//! Traversal is plan-driven ([`crate::plan::ExecPlan`]): the monolithic
+//! driver is the [`crate::plan::ExecBackend`] impl `BatchBackend`, whose
+//! conv executor keeps the pair-column fill block inlined (routing it
+//! through a shared helper measured ~10% off serve throughput; the
+//! `batch_micro` bench A/Bs this). Activation layout per segment is a
+//! static plan property, so the old runtime layout tracking is gone.
 //!
 //! ## Resumable execution ([`BatchCheckpoint`])
 //!
@@ -29,11 +37,12 @@
 //! `k` therefore depend only on the τ choices of convs `0..k` — which is
 //! exactly what a prefix-sharing DSE exploits. [`QuantModel::batch_start`]
 //! captures the batch state before the first conv, and
-//! [`QuantModel::batch_advance_into`] executes **one conv segment** (the
-//! conv under a chosen compiled stream, plus every following non-conv layer
-//! up to the next conv or the model end) from one checkpoint into another.
-//! A DSE walking a τ trie keeps a small stack of checkpoints and re-runs
-//! only the segments below the first layer whose τ changed.
+//! [`QuantModel::batch_advance_into`] executes **one checkpoint segment**
+//! of the plan ([`crate::plan::ExecPlan::advance_range`]: the conv under a
+//! chosen compiled stream, plus every following non-conv segment up to the
+//! next conv or through the logits epilogue) from one checkpoint into
+//! another. A DSE walking a τ trie keeps a small stack of checkpoints and
+//! re-runs only the segments below the first layer whose τ changed.
 //! [`QuantModel::batch_fill_conv_cols`] additionally splits out the
 //! τ-independent im2col/pair-interleave of a segment so siblings in the
 //! trie share one column fill.
@@ -47,17 +56,23 @@
 //! `tests/batched_forward.rs` and `tests/prefix_forward.rs`.
 
 use crate::compiled::{
-    conv_forward_pairs, fill_centered_t, planar_to_nhwc_pitched, pool_forward_planar, CompiledConv,
-    CompiledMasks,
+    conv_forward_pairs, fill_centered_t, gap_forward_planar, planar_to_nhwc_pitched,
+    pool_forward_planar, CompiledConv, CompiledMasks,
 };
-use crate::forward::{argmax_i8, dense_forward, pool_forward};
-use crate::qmodel::{QConv, QLayer, QuantModel};
+use crate::forward::{argmax_i8, dense_forward, gap_forward_nhwc, pool_forward};
+use crate::plan::{
+    ConvSegment, DenseSegment, ExecBackend, ExecPlan, GapSegment, LogitsSegment, PoolSegment,
+};
+use crate::qmodel::{QConv, QuantModel};
 use tinytensor::im2col::{fill_im2col_pairs_planar_pitched, interleave_pair_rows};
 
 /// Reusable buffers for batched compiled forwards, sized once for a model
 /// and a maximum batch size.
 pub struct BatchScratch {
     max_batch: usize,
+    /// The lowered execution plan every batched walker over this scratch
+    /// follows — built at construction, like the dense streams.
+    plan: ExecPlan,
     /// Ping-pong activation buffers, `max_batch ×` the largest activation.
     act_a: Vec<i8>,
     act_b: Vec<i8>,
@@ -82,12 +97,14 @@ impl BatchScratch {
     /// models (build one per model instead).
     pub fn for_model(model: &QuantModel, max_batch: usize) -> Self {
         assert!(max_batch >= 1, "max_batch must be at least 1");
-        let max_act = model.activation_sizes().into_iter().max().unwrap_or(0);
-        let max_rows = model.max_im2col_bytes() as usize;
-        let max_pcolt = model.max_pair_colt_elems();
-        let max_positions = model.max_conv_positions();
+        let plan = ExecPlan::lower(model);
+        let max_act = plan.max_act();
+        let max_rows = plan.max_cols();
+        let max_pcolt = plan.max_pair_colt();
+        let max_positions = plan.max_positions();
         Self {
             max_batch,
+            plan,
             act_a: vec![0; max_batch * max_act],
             act_b: vec![0; max_batch * max_act],
             rows: vec![0; max_rows],
@@ -101,6 +118,11 @@ impl BatchScratch {
     /// Largest batch this scratch can execute.
     pub fn max_batch(&self) -> usize {
         self.max_batch
+    }
+
+    /// The execution plan this scratch was sized for.
+    pub fn plan(&self) -> &ExecPlan {
+        &self.plan
     }
 
     /// Approximate heap bytes held by the scratch buffers (reporting).
@@ -119,30 +141,17 @@ impl BatchScratch {
     }
 }
 
-/// Layout of the current batched activation buffer.
-#[derive(Clone, Copy)]
-enum Layout {
-    /// `batch` back-to-back per-image buffers (NHWC or dense vectors).
-    PerImage,
-    /// Batch-planar: plane `c·batch + b` of `positions` elements.
-    BatchPlanar {
-        /// Positions per image plane.
-        positions: usize,
-        /// Channels per image.
-        ch: usize,
-    },
-}
-
-/// The batched activation state after some prefix of a model's layers — the
-/// unit of reuse of the prefix-sharing DSE.
+/// The batched activation state after some prefix of the plan's segments —
+/// the unit of reuse of the prefix-sharing DSE.
 ///
-/// A checkpoint is always positioned either **before a conv layer** (the
-/// next τ decision) or **past the final layer** (per-image logits ready for
+/// A checkpoint is always positioned either **before a conv segment** (the
+/// next τ decision; the buffer layout there is a static plan property) or
+/// **past the logits epilogue** (per-image logits ready for
 /// [`QuantModel::batch_checkpoint_predictions_into`]). Produced by
-/// [`QuantModel::batch_start_into`] and advanced one conv segment at a time
-/// by [`QuantModel::batch_advance_into`]. The buffer is reused across
-/// `*_into` calls, so a pooled stack of checkpoints allocates only on its
-/// first descent.
+/// [`QuantModel::batch_start_into`] and advanced one checkpoint segment at
+/// a time by [`QuantModel::batch_advance_into`]. The buffer is reused
+/// across `*_into` calls, so a pooled stack of checkpoints allocates only
+/// on its first descent.
 pub struct BatchCheckpoint {
     batch: usize,
     /// Next layer to execute (`== model.layers.len()` once complete).
@@ -151,10 +160,10 @@ pub struct BatchCheckpoint {
     conv_ordinal: usize,
     /// Per-image activation length of `act`.
     cur_len: usize,
-    layout: Layout,
-    /// True once every layer (including the final per-image unbatch) ran.
+    /// True once every segment (including the logits epilogue) ran.
     complete: bool,
-    /// Activations, `batch × cur_len`, in `layout` order.
+    /// Activations, `batch × cur_len`; batch-planar between convs,
+    /// per-image at the start and once complete (the plan knows which).
     act: Vec<i8>,
 }
 
@@ -172,7 +181,6 @@ impl BatchCheckpoint {
             layer_idx: 0,
             conv_ordinal: 0,
             cur_len: 0,
-            layout: Layout::PerImage,
             complete: false,
             act: Vec::new(),
         }
@@ -184,12 +192,12 @@ impl BatchCheckpoint {
     }
 
     /// Conv ordinal the checkpoint is positioned before, or `None` once the
-    /// whole model (including trailing non-conv layers) has run.
+    /// whole plan (logits epilogue included) has run.
     pub fn next_conv_ordinal(&self) -> Option<usize> {
         (!self.complete).then_some(self.conv_ordinal)
     }
 
-    /// True once every layer has run and `act` holds per-image logits.
+    /// True once every segment has run and `act` holds per-image logits.
     pub fn is_complete(&self) -> bool {
         self.complete
     }
@@ -202,52 +210,48 @@ impl BatchCheckpoint {
 }
 
 /// Fill conv `c`'s batched pair-interleaved columns from a batched source
-/// activation buffer in either layout — the τ-independent front half of a
-/// conv segment, used by the checkpoint advance and
-/// [`QuantModel::batch_fill_conv_cols`]. (The monolithic driver keeps its
-/// own inlined copy of this block — the serving hot loop optimizes across
-/// it, and routing it through a shared helper measured ~10% off batched
-/// throughput.)
+/// activation buffer (`planar_in` per the plan's fill strategy) — the
+/// τ-independent front half of a checkpoint segment, used by the
+/// checkpoint advance and [`QuantModel::batch_fill_conv_cols`]. (The
+/// monolithic driver keeps its own inlined copy of this block — the
+/// serving hot loop optimizes across it, and routing it through a shared
+/// helper measured ~10% off batched throughput.)
 fn fill_conv_cols(
     c: &QConv,
     batch: usize,
     src: &[i8],
     cur_len: usize,
-    layout: Layout,
+    planar_in: bool,
     rows: &mut [i16],
     pcolt: &mut [i16],
 ) {
     let positions = c.geom.out_positions();
-    let patch = c.patch_len();
+    let patch = c.geom.patch_len();
     let lanes = batch * positions;
     for b in 0..batch {
-        match layout {
-            Layout::PerImage => {
-                let rows = &mut rows[..positions * patch];
-                fill_centered_t(c, &src[b * cur_len..(b + 1) * cur_len], rows);
-                interleave_pair_rows(rows, positions, patch, pcolt, lanes, b * positions);
-            }
-            Layout::BatchPlanar {
-                positions: in_pos,
-                ch,
-            } => {
-                // Image b's channel planes sit batch planes apart starting
-                // at plane b; fused fill writes pair rows direct.
-                let plane_pitch = batch * in_pos;
-                let view = &src[b * in_pos..(ch - 1) * plane_pitch + b * in_pos + in_pos];
-                let zp = c.in_qp.zero_point;
-                let pad = c.centered_pad();
-                fill_im2col_pairs_planar_pitched(
-                    view,
-                    &c.geom,
-                    zp as i16,
-                    pad,
-                    pcolt,
-                    lanes,
-                    b * positions,
-                    plane_pitch,
-                );
-            }
+        if planar_in {
+            // Image b's channel planes sit batch planes apart starting
+            // at plane b; fused fill writes pair rows direct.
+            let in_pos = c.geom.in_h * c.geom.in_w;
+            let ch = c.geom.in_c;
+            let plane_pitch = batch * in_pos;
+            let view = &src[b * in_pos..(ch - 1) * plane_pitch + b * in_pos + in_pos];
+            let zp = c.in_qp.zero_point;
+            let pad = c.centered_pad();
+            fill_im2col_pairs_planar_pitched(
+                view,
+                &c.geom,
+                zp as i16,
+                pad,
+                pcolt,
+                lanes,
+                b * positions,
+                plane_pitch,
+            );
+        } else {
+            let rows = &mut rows[..positions * patch];
+            fill_centered_t(c, &src[b * cur_len..(b + 1) * cur_len], rows);
+            interleave_pair_rows(rows, positions, patch, pcolt, lanes, b * positions);
         }
     }
 }
@@ -263,6 +267,360 @@ fn mask_view(masks: Option<&CompiledMasks>, n_convs: usize) -> Vec<Option<&Compi
     }
 }
 
+/// The monolithic batch-major backend: the serving / DSE hot path. One
+/// instance walks the whole plan; every executor's inner loop is the
+/// pre-plan hand-rolled walker's, verbatim.
+struct BatchBackend<'r, 'm> {
+    model: &'m QuantModel,
+    batch: usize,
+    streams: &'r [Option<&'r CompiledConv>],
+    conv0_pcolt: Option<&'r [i16]>,
+    dense_streams: &'r [CompiledConv],
+    act_a: &'r mut Vec<i8>,
+    act_b: &'r mut Vec<i8>,
+    rows: &'r mut Vec<i16>,
+    pcolt: &'r mut Vec<i16>,
+    acc: &'r mut Vec<i32>,
+    nhwc: &'r mut Vec<i8>,
+    /// Per-image activation length of the current buffer.
+    cur_len: usize,
+    in_a: bool,
+}
+
+impl BatchBackend<'_, '_> {
+    #[inline(always)]
+    fn advance(&mut self, out_len: usize) {
+        self.cur_len = out_len;
+        self.in_a = !self.in_a;
+    }
+}
+
+impl ExecBackend for BatchBackend<'_, '_> {
+    #[inline]
+    fn conv(&mut self, seg: &ConvSegment) {
+        let c = self.model.conv_at(seg.layer_idx);
+        let batch = self.batch;
+        let (src, dst) = if self.in_a {
+            (&self.act_a[..], &mut self.act_b[..])
+        } else {
+            (&self.act_b[..], &mut self.act_a[..])
+        };
+        let positions = seg.positions;
+        let patch = seg.patch;
+        let lanes = batch * positions;
+        let n = seg.pair_rows * 2 * lanes;
+        let pc: &[i16] = match (seg.ordinal, self.conv0_pcolt) {
+            (0, Some(cached)) => {
+                assert_eq!(cached.len(), n, "conv0 pair-column cache mismatch");
+                cached
+            }
+            _ => {
+                // Kept inline (not via `fill_conv_cols`): the serving hot
+                // loop optimizes across this block, and routing it through
+                // the shared helper measured ~10% off batched throughput.
+                let pcolt = &mut self.pcolt[..n];
+                for b in 0..batch {
+                    if seg.planar_in {
+                        // Image b's channel planes sit batch planes apart
+                        // starting at plane b; fused fill writes pair rows
+                        // direct.
+                        let in_pos = seg.geom.in_h * seg.geom.in_w;
+                        let ch = seg.geom.in_c;
+                        let plane_pitch = batch * in_pos;
+                        let view = &src[b * in_pos..(ch - 1) * plane_pitch + b * in_pos + in_pos];
+                        let zp = c.in_qp.zero_point;
+                        let pad = c.centered_pad();
+                        fill_im2col_pairs_planar_pitched(
+                            view,
+                            &c.geom,
+                            zp as i16,
+                            pad,
+                            pcolt,
+                            lanes,
+                            b * positions,
+                            plane_pitch,
+                        );
+                    } else {
+                        let rows = &mut self.rows[..positions * patch];
+                        fill_centered_t(c, &src[b * self.cur_len..(b + 1) * self.cur_len], rows);
+                        interleave_pair_rows(rows, positions, patch, pcolt, lanes, b * positions);
+                    }
+                }
+                &self.pcolt[..n]
+            }
+        };
+        let cc = self.streams[seg.ordinal].unwrap_or(&self.dense_streams[seg.ordinal]);
+        conv_forward_pairs(c, cc, pc, lanes, self.acc, &mut dst[..batch * seg.out_len]);
+        self.advance(seg.out_len);
+    }
+
+    #[inline]
+    fn pool(&mut self, seg: &PoolSegment) {
+        let batch = self.batch;
+        let (src, dst) = if self.in_a {
+            (&self.act_a[..], &mut self.act_b[..])
+        } else {
+            (&self.act_b[..], &mut self.act_a[..])
+        };
+        if seg.planar_in {
+            // A batch is C·B independent planes; pooling each plane
+            // preserves the (c, b) → plane mapping.
+            pool_forward_planar(
+                seg.in_h,
+                seg.in_w,
+                seg.c * batch,
+                &src[..batch * self.cur_len],
+                &mut dst[..batch * seg.out_len],
+            );
+        } else {
+            for b in 0..batch {
+                pool_forward(
+                    seg.in_h,
+                    seg.in_w,
+                    seg.c,
+                    &src[b * self.cur_len..(b + 1) * self.cur_len],
+                    &mut dst[b * seg.out_len..(b + 1) * seg.out_len],
+                );
+            }
+        }
+        self.advance(seg.out_len);
+    }
+
+    #[inline]
+    fn global_avg_pool(&mut self, seg: &GapSegment) {
+        let batch = self.batch;
+        let (src, dst) = if self.in_a {
+            (&self.act_a[..], &mut self.act_b[..])
+        } else {
+            (&self.act_b[..], &mut self.act_a[..])
+        };
+        if seg.planar_in {
+            // Image b's planes sit batch planes apart starting at plane b;
+            // the output is a per-image channel vector.
+            let plane_pitch = batch * seg.positions;
+            for b in 0..batch {
+                gap_forward_planar(
+                    seg.positions,
+                    seg.c,
+                    plane_pitch,
+                    &src[b * seg.positions..],
+                    &mut dst[b * seg.out_len..(b + 1) * seg.out_len],
+                );
+            }
+        } else {
+            for b in 0..batch {
+                gap_forward_nhwc(
+                    seg.positions,
+                    seg.c,
+                    &src[b * self.cur_len..(b + 1) * self.cur_len],
+                    &mut dst[b * seg.out_len..(b + 1) * seg.out_len],
+                );
+            }
+        }
+        self.advance(seg.out_len);
+    }
+
+    #[inline]
+    fn dense(&mut self, seg: &DenseSegment) {
+        let batch = self.batch;
+        let d = self.model.dense_at(seg.layer_idx);
+        let (src, dst) = if self.in_a {
+            (&self.act_a[..], &mut self.act_b[..])
+        } else {
+            (&self.act_b[..], &mut self.act_a[..])
+        };
+        if let Some((positions, ch)) = seg.planar_in {
+            // Per-image unbatch: gather image b's planes into NHWC, then
+            // the (small) dense tail per image.
+            for b in 0..batch {
+                planar_to_nhwc_pitched(
+                    &src[b * positions..],
+                    positions,
+                    ch,
+                    batch * positions,
+                    &mut self.nhwc[..self.cur_len],
+                );
+                dense_forward(
+                    d,
+                    &self.nhwc[..self.cur_len],
+                    &mut dst[b * seg.out_dim..(b + 1) * seg.out_dim],
+                );
+            }
+        } else {
+            for b in 0..batch {
+                dense_forward(
+                    d,
+                    &src[b * self.cur_len..(b + 1) * self.cur_len],
+                    &mut dst[b * seg.out_dim..(b + 1) * seg.out_dim],
+                );
+            }
+        }
+        self.advance(seg.out_dim);
+    }
+
+    #[inline]
+    fn logits(&mut self, seg: &LogitsSegment) {
+        // A model ending on a conv/pool leaves the buffer batch-planar:
+        // unbatch so callers always see per-image NHWC logits.
+        if let Some((positions, ch)) = seg.planar {
+            let batch = self.batch;
+            let (src, dst) = if self.in_a {
+                (&self.act_a[..], &mut self.act_b[..])
+            } else {
+                (&self.act_b[..], &mut self.act_a[..])
+            };
+            for b in 0..batch {
+                // Split borrow: nhwc is a distinct field from act_a/act_b.
+                planar_to_nhwc_pitched(
+                    &src[b * positions..],
+                    positions,
+                    ch,
+                    batch * positions,
+                    &mut self.nhwc[..seg.out_len],
+                );
+                dst[b * seg.out_len..(b + 1) * seg.out_len]
+                    .copy_from_slice(&self.nhwc[..seg.out_len]);
+            }
+            self.in_a = !self.in_a;
+        }
+    }
+}
+
+/// The resumable backend: executes the non-conv segments of one checkpoint
+/// range against a [`BatchCheckpoint`]'s activation buffer, staging through
+/// the scratch. These segments are cheap (pool/GAP/dense) next to the conv
+/// kernels on either side.
+struct CkptBackend<'r, 'm> {
+    model: &'m QuantModel,
+    out: &'r mut BatchCheckpoint,
+    /// Staging buffer (the scratch's `act_a`).
+    stage: &'r mut Vec<i8>,
+    /// One image's NHWC staging.
+    nhwc: &'r mut Vec<i8>,
+}
+
+impl CkptBackend<'_, '_> {
+    /// Adopt the staged result as the checkpoint's activation state.
+    #[inline]
+    fn commit(&mut self, layer_idx: usize, out_len: usize) {
+        let batch = self.out.batch;
+        self.out.act.clear();
+        self.out
+            .act
+            .extend_from_slice(&self.stage[..batch * out_len]);
+        self.out.cur_len = out_len;
+        self.out.layer_idx = layer_idx + 1;
+    }
+}
+
+impl ExecBackend for CkptBackend<'_, '_> {
+    fn conv(&mut self, _seg: &ConvSegment) {
+        unreachable!("checkpoint ranges execute their conv via batch_advance_into");
+    }
+
+    fn pool(&mut self, seg: &PoolSegment) {
+        let batch = self.out.batch;
+        if seg.planar_in {
+            pool_forward_planar(
+                seg.in_h,
+                seg.in_w,
+                seg.c * batch,
+                &self.out.act[..batch * self.out.cur_len],
+                &mut self.stage[..batch * seg.out_len],
+            );
+        } else {
+            for b in 0..batch {
+                pool_forward(
+                    seg.in_h,
+                    seg.in_w,
+                    seg.c,
+                    &self.out.act[b * self.out.cur_len..(b + 1) * self.out.cur_len],
+                    &mut self.stage[b * seg.out_len..(b + 1) * seg.out_len],
+                );
+            }
+        }
+        self.commit(seg.layer_idx, seg.out_len);
+    }
+
+    fn global_avg_pool(&mut self, seg: &GapSegment) {
+        let batch = self.out.batch;
+        if seg.planar_in {
+            let plane_pitch = batch * seg.positions;
+            for b in 0..batch {
+                gap_forward_planar(
+                    seg.positions,
+                    seg.c,
+                    plane_pitch,
+                    &self.out.act[b * seg.positions..],
+                    &mut self.stage[b * seg.out_len..(b + 1) * seg.out_len],
+                );
+            }
+        } else {
+            for b in 0..batch {
+                gap_forward_nhwc(
+                    seg.positions,
+                    seg.c,
+                    &self.out.act[b * self.out.cur_len..(b + 1) * self.out.cur_len],
+                    &mut self.stage[b * seg.out_len..(b + 1) * seg.out_len],
+                );
+            }
+        }
+        self.commit(seg.layer_idx, seg.out_len);
+    }
+
+    fn dense(&mut self, seg: &DenseSegment) {
+        let batch = self.out.batch;
+        let d = self.model.dense_at(seg.layer_idx);
+        if let Some((positions, ch)) = seg.planar_in {
+            for b in 0..batch {
+                planar_to_nhwc_pitched(
+                    &self.out.act[b * positions..],
+                    positions,
+                    ch,
+                    batch * positions,
+                    &mut self.nhwc[..self.out.cur_len],
+                );
+                dense_forward(
+                    d,
+                    &self.nhwc[..self.out.cur_len],
+                    &mut self.stage[b * seg.out_dim..(b + 1) * seg.out_dim],
+                );
+            }
+        } else {
+            for b in 0..batch {
+                dense_forward(
+                    d,
+                    &self.out.act[b * self.out.cur_len..(b + 1) * self.out.cur_len],
+                    &mut self.stage[b * seg.out_dim..(b + 1) * seg.out_dim],
+                );
+            }
+        }
+        self.commit(seg.layer_idx, seg.out_dim);
+    }
+
+    fn logits(&mut self, seg: &LogitsSegment) {
+        // Plan end: unbatch a planar tail so `act` holds per-image logits.
+        if let Some((positions, ch)) = seg.planar {
+            let batch = self.out.batch;
+            for b in 0..batch {
+                planar_to_nhwc_pitched(
+                    &self.out.act[b * positions..],
+                    positions,
+                    ch,
+                    batch * positions,
+                    &mut self.nhwc[..seg.out_len],
+                );
+                self.stage[b * seg.out_len..(b + 1) * seg.out_len]
+                    .copy_from_slice(&self.nhwc[..seg.out_len]);
+            }
+            let n = batch * seg.out_len;
+            self.out.act.clear();
+            self.out.act.extend_from_slice(&self.stage[..n]);
+        }
+        self.out.complete = true;
+    }
+}
+
 impl QuantModel {
     /// Batched pair-interleaved first-conv columns for `batch` stacked
     /// quantized inputs — the batch-major analogue of
@@ -272,7 +630,7 @@ impl QuantModel {
     /// Returns `None` when the model does not start with a convolution.
     pub fn conv0_pair_cols_batch(&self, qinputs: &[i8], batch: usize) -> Option<Vec<i16>> {
         let c = match self.layers.first() {
-            Some(QLayer::Conv(c)) => c,
+            Some(crate::qmodel::QLayer::Conv(c)) => c,
             _ => return None,
         };
         let in_len = self.input_shape.item_len();
@@ -380,181 +738,41 @@ impl QuantModel {
         let in_len = self.input_shape.item_len();
         assert_eq!(qinputs.len(), batch * in_len, "input length mismatch");
 
-        let mut cur_len = in_len; // per image
-        s.act_a[..batch * cur_len].copy_from_slice(qinputs);
-        let mut conv_ordinal = 0usize;
-        let mut in_a = true;
-        let mut layout = Layout::PerImage;
-
-        for layer in &self.layers {
-            let out_len = layer.out_len(); // per image
-            let (src, dst) = if in_a {
-                (&s.act_a[..], &mut s.act_b[..])
-            } else {
-                (&s.act_b[..], &mut s.act_a[..])
-            };
-            match layer {
-                QLayer::Conv(c) => {
-                    let positions = c.geom.out_positions();
-                    let patch = c.patch_len();
-                    let lanes = batch * positions;
-                    let n = patch.div_ceil(2) * 2 * lanes;
-                    let pc: &[i16] = match (conv_ordinal, conv0_pcolt) {
-                        (0, Some(cached)) => {
-                            assert_eq!(cached.len(), n, "conv0 pair-column cache mismatch");
-                            cached
-                        }
-                        _ => {
-                            // Kept inline (not via `fill_conv_cols`): the
-                            // serving hot loop optimizes across this block,
-                            // and routing it through the shared helper
-                            // measured ~10% off batched throughput.
-                            let pcolt = &mut s.pcolt[..n];
-                            for b in 0..batch {
-                                match layout {
-                                    Layout::PerImage => {
-                                        let rows = &mut s.rows[..positions * patch];
-                                        fill_centered_t(
-                                            c,
-                                            &src[b * cur_len..(b + 1) * cur_len],
-                                            rows,
-                                        );
-                                        interleave_pair_rows(
-                                            rows,
-                                            positions,
-                                            patch,
-                                            pcolt,
-                                            lanes,
-                                            b * positions,
-                                        );
-                                    }
-                                    Layout::BatchPlanar {
-                                        positions: in_pos,
-                                        ch,
-                                    } => {
-                                        // Image b's channel planes sit batch
-                                        // planes apart starting at plane b;
-                                        // fused fill writes pair rows direct.
-                                        let plane_pitch = batch * in_pos;
-                                        let view = &src[b * in_pos
-                                            ..(ch - 1) * plane_pitch + b * in_pos + in_pos];
-                                        let zp = c.in_qp.zero_point;
-                                        let pad = c.centered_pad();
-                                        fill_im2col_pairs_planar_pitched(
-                                            view,
-                                            &c.geom,
-                                            zp as i16,
-                                            pad,
-                                            pcolt,
-                                            lanes,
-                                            b * positions,
-                                            plane_pitch,
-                                        );
-                                    }
-                                }
-                            }
-                            &s.pcolt[..n]
-                        }
-                    };
-                    let cc = streams[conv_ordinal].unwrap_or(&s.dense_streams[conv_ordinal]);
-                    conv_forward_pairs(c, cc, pc, lanes, &mut s.acc, &mut dst[..batch * out_len]);
-                    layout = Layout::BatchPlanar {
-                        positions,
-                        ch: c.geom.out_c,
-                    };
-                    conv_ordinal += 1;
-                }
-                QLayer::Pool(p) => match layout {
-                    Layout::BatchPlanar { .. } => {
-                        // A batch is C·B independent planes; pooling each
-                        // plane preserves the (c, b) → plane mapping.
-                        pool_forward_planar(
-                            p.in_h,
-                            p.in_w,
-                            p.c * batch,
-                            &src[..batch * cur_len],
-                            &mut dst[..batch * out_len],
-                        );
-                        layout = Layout::BatchPlanar {
-                            positions: (p.in_h / 2) * (p.in_w / 2),
-                            ch: p.c,
-                        };
-                    }
-                    Layout::PerImage => {
-                        for b in 0..batch {
-                            pool_forward(
-                                p.in_h,
-                                p.in_w,
-                                p.c,
-                                &src[b * cur_len..(b + 1) * cur_len],
-                                &mut dst[b * out_len..(b + 1) * out_len],
-                            );
-                        }
-                    }
-                },
-                QLayer::Dense(d) => {
-                    match layout {
-                        Layout::BatchPlanar { positions, ch } => {
-                            // Per-image unbatch: gather image b's planes into
-                            // NHWC, then the (small) dense tail per image.
-                            for b in 0..batch {
-                                planar_to_nhwc_pitched(
-                                    &src[b * positions..],
-                                    positions,
-                                    ch,
-                                    batch * positions,
-                                    &mut s.nhwc[..cur_len],
-                                );
-                                dense_forward(
-                                    d,
-                                    &s.nhwc[..cur_len],
-                                    &mut dst[b * out_len..(b + 1) * out_len],
-                                );
-                            }
-                        }
-                        Layout::PerImage => {
-                            for b in 0..batch {
-                                dense_forward(
-                                    d,
-                                    &src[b * cur_len..(b + 1) * cur_len],
-                                    &mut dst[b * out_len..(b + 1) * out_len],
-                                );
-                            }
-                        }
-                    }
-                    layout = Layout::PerImage;
-                }
-            }
-            cur_len = out_len;
-            in_a = !in_a;
-        }
-        // A model ending on a conv/pool leaves the buffer batch-planar:
-        // unbatch so callers always see per-image NHWC logits.
-        if let Layout::BatchPlanar { positions, ch } = layout {
-            let (src, dst) = if in_a {
-                (&s.act_a[..], &mut s.act_b[..])
-            } else {
-                (&s.act_b[..], &mut s.act_a[..])
-            };
-            for b in 0..batch {
-                // Split borrow: nhwc is a distinct field from act_a/act_b.
-                planar_to_nhwc_pitched(
-                    &src[b * positions..],
-                    positions,
-                    ch,
-                    batch * positions,
-                    &mut s.nhwc[..cur_len],
-                );
-                dst[b * cur_len..(b + 1) * cur_len].copy_from_slice(&s.nhwc[..cur_len]);
-            }
-            in_a = !in_a;
-        }
-        (in_a, cur_len)
+        s.act_a[..batch * in_len].copy_from_slice(qinputs);
+        let BatchScratch {
+            plan,
+            act_a,
+            act_b,
+            rows,
+            pcolt,
+            acc,
+            nhwc,
+            dense_streams,
+            ..
+        } = s;
+        let mut backend = BatchBackend {
+            model: self,
+            batch,
+            streams,
+            conv0_pcolt,
+            dense_streams,
+            act_a,
+            act_b,
+            rows,
+            pcolt,
+            acc,
+            nhwc,
+            cur_len: in_len,
+            in_a: true,
+        };
+        plan.execute(&mut backend);
+        let in_a = backend.in_a;
+        (in_a, s.plan.logits_len())
     }
 
-    /// Begin a resumable batched forward: capture `qinputs` and run any
-    /// leading non-conv layers, leaving `out` positioned before conv
-    /// ordinal 0 (or complete, for a conv-free model).
+    /// Begin a resumable batched forward: capture `qinputs` and run the
+    /// plan's leading non-conv segments, leaving `out` positioned before
+    /// conv ordinal 0 (or complete, for a conv-free model).
     pub fn batch_start_into(
         &self,
         qinputs: &[i8],
@@ -574,11 +792,19 @@ impl QuantModel {
         out.layer_idx = 0;
         out.conv_ordinal = 0;
         out.cur_len = in_len;
-        out.layout = Layout::PerImage;
         out.complete = false;
         out.act.clear();
         out.act.extend_from_slice(qinputs);
-        self.run_non_convs(s, out);
+        let BatchScratch {
+            plan, act_a, nhwc, ..
+        } = s;
+        let mut backend = CkptBackend {
+            model: self,
+            out,
+            stage: act_a,
+            nhwc,
+        };
+        plan.execute_range(plan.leading_range(), &mut backend);
     }
 
     /// Allocating convenience over [`QuantModel::batch_start_into`].
@@ -593,7 +819,7 @@ impl QuantModel {
         out
     }
 
-    /// Fill the batched pair-interleaved columns of the conv layer `ckpt`
+    /// Fill the batched pair-interleaved columns of the conv segment `ckpt`
     /// is positioned before — the τ-independent half of the segment, so a
     /// trie traversal fills once per node and shares the columns across all
     /// sibling τ choices via [`QuantModel::batch_advance_into`].
@@ -604,29 +830,29 @@ impl QuantModel {
         out: &mut Vec<i16>,
     ) {
         assert!(!ckpt.complete, "checkpoint already past the final layer");
-        let c = match &self.layers[ckpt.layer_idx] {
-            QLayer::Conv(c) => c,
-            _ => unreachable!("checkpoint positioned at a non-conv layer"),
-        };
-        let lanes = ckpt.batch * c.geom.out_positions();
-        let n = c.patch_len().div_ceil(2) * 2 * lanes;
+        let seg = s.plan.conv_segment(ckpt.conv_ordinal);
+        debug_assert_eq!(seg.layer_idx, ckpt.layer_idx);
+        let c = self.conv_at(seg.layer_idx);
+        let lanes = ckpt.batch * seg.positions;
+        let n = seg.pair_rows * 2 * lanes;
+        let planar_in = seg.planar_in;
         out.resize(n, 0);
         fill_conv_cols(
             c,
             ckpt.batch,
             &ckpt.act,
             ckpt.cur_len,
-            ckpt.layout,
+            planar_in,
             &mut s.rows,
             &mut out[..],
         );
     }
 
-    /// Advance one conv segment: run the conv layer `ckpt` is positioned
-    /// before under `stream` (`None` = exact, dense-stream dispatch), then
-    /// every following non-conv layer up to the next conv or the model end
-    /// (including the final per-image unbatch), writing the resulting state
-    /// into `out`.
+    /// Advance one checkpoint segment of the plan: run the conv segment
+    /// `ckpt` is positioned before under `stream` (`None` = exact,
+    /// dense-stream dispatch), then every following non-conv segment up to
+    /// the next conv or through the logits epilogue, writing the resulting
+    /// state into `out`.
     ///
     /// `prefilled` optionally supplies this segment's pair columns
     /// ([`QuantModel::batch_fill_conv_cols`], or the eval cache's conv-0
@@ -652,13 +878,13 @@ impl QuantModel {
             self.conv_indices().len(),
             "BatchScratch reused across models"
         );
-        let c = match &self.layers[ckpt.layer_idx] {
-            QLayer::Conv(c) => c,
-            _ => unreachable!("checkpoint positioned at a non-conv layer"),
-        };
-        let positions = c.geom.out_positions();
+        let range = s.plan.advance_range(ckpt.conv_ordinal);
+        let seg = s.plan.conv_segment(ckpt.conv_ordinal).clone();
+        debug_assert_eq!(seg.layer_idx, ckpt.layer_idx);
+        let c = self.conv_at(seg.layer_idx);
+        let positions = seg.positions;
         let lanes = batch * positions;
-        let n = c.patch_len().div_ceil(2) * 2 * lanes;
+        let n = seg.pair_rows * 2 * lanes;
         let pc: &[i16] = match prefilled {
             Some(p) => {
                 assert_eq!(p.len(), n, "prefilled pair-column length mismatch");
@@ -670,7 +896,7 @@ impl QuantModel {
                     batch,
                     &ckpt.act,
                     ckpt.cur_len,
-                    ckpt.layout,
+                    seg.planar_in,
                     &mut s.rows,
                     &mut s.pcolt[..n],
                 );
@@ -678,19 +904,23 @@ impl QuantModel {
             }
         };
         let cc = stream.unwrap_or(&s.dense_streams[ckpt.conv_ordinal]);
-        let out_len = c.geom.out_c * positions;
         out.batch = batch;
-        out.act.resize(batch * out_len, 0);
+        out.act.resize(batch * seg.out_len, 0);
         conv_forward_pairs(c, cc, pc, lanes, &mut s.acc, &mut out.act[..]);
-        out.cur_len = out_len;
-        out.layout = Layout::BatchPlanar {
-            positions,
-            ch: c.geom.out_c,
-        };
-        out.layer_idx = ckpt.layer_idx + 1;
+        out.cur_len = seg.out_len;
+        out.layer_idx = seg.layer_idx + 1;
         out.conv_ordinal = ckpt.conv_ordinal + 1;
         out.complete = false;
-        self.run_non_convs(s, out);
+        let BatchScratch {
+            plan, act_a, nhwc, ..
+        } = s;
+        let mut backend = CkptBackend {
+            model: self,
+            out,
+            stage: act_a,
+            nhwc,
+        };
+        plan.execute_range(range.start + 1..range.end, &mut backend);
     }
 
     /// Predicted class per image of a **complete** checkpoint, appended
@@ -705,102 +935,6 @@ impl QuantModel {
         preds.extend(
             (0..ckpt.batch).map(|b| argmax_i8(&ckpt.act[b * ckpt.cur_len..(b + 1) * ckpt.cur_len])),
         );
-    }
-
-    /// Run non-conv layers from `out`'s position until the next conv or the
-    /// model end (then per-image-unbatch), updating `out` in place. Each
-    /// step stages through `s.act_a` and copies back — these layers are
-    /// cheap (pool/dense) next to the conv kernels on either side.
-    fn run_non_convs(&self, s: &mut BatchScratch, out: &mut BatchCheckpoint) {
-        let batch = out.batch;
-        while out.layer_idx < self.layers.len() {
-            let out_len = self.layers[out.layer_idx].out_len();
-            match &self.layers[out.layer_idx] {
-                QLayer::Conv(_) => return,
-                QLayer::Pool(p) => {
-                    match out.layout {
-                        Layout::BatchPlanar { .. } => {
-                            pool_forward_planar(
-                                p.in_h,
-                                p.in_w,
-                                p.c * batch,
-                                &out.act[..batch * out.cur_len],
-                                &mut s.act_a[..batch * out_len],
-                            );
-                            out.layout = Layout::BatchPlanar {
-                                positions: (p.in_h / 2) * (p.in_w / 2),
-                                ch: p.c,
-                            };
-                        }
-                        Layout::PerImage => {
-                            for b in 0..batch {
-                                pool_forward(
-                                    p.in_h,
-                                    p.in_w,
-                                    p.c,
-                                    &out.act[b * out.cur_len..(b + 1) * out.cur_len],
-                                    &mut s.act_a[b * out_len..(b + 1) * out_len],
-                                );
-                            }
-                        }
-                    }
-                    out.act.clear();
-                    out.act.extend_from_slice(&s.act_a[..batch * out_len]);
-                }
-                QLayer::Dense(d) => {
-                    match out.layout {
-                        Layout::BatchPlanar { positions, ch } => {
-                            for b in 0..batch {
-                                planar_to_nhwc_pitched(
-                                    &out.act[b * positions..],
-                                    positions,
-                                    ch,
-                                    batch * positions,
-                                    &mut s.nhwc[..out.cur_len],
-                                );
-                                dense_forward(
-                                    d,
-                                    &s.nhwc[..out.cur_len],
-                                    &mut s.act_a[b * out_len..(b + 1) * out_len],
-                                );
-                            }
-                        }
-                        Layout::PerImage => {
-                            for b in 0..batch {
-                                dense_forward(
-                                    d,
-                                    &out.act[b * out.cur_len..(b + 1) * out.cur_len],
-                                    &mut s.act_a[b * out_len..(b + 1) * out_len],
-                                );
-                            }
-                        }
-                    }
-                    out.layout = Layout::PerImage;
-                    out.act.clear();
-                    out.act.extend_from_slice(&s.act_a[..batch * out_len]);
-                }
-            }
-            out.cur_len = out_len;
-            out.layer_idx += 1;
-        }
-        // Model end: unbatch a planar tail so `act` holds per-image logits.
-        if let Layout::BatchPlanar { positions, ch } = out.layout {
-            for b in 0..batch {
-                planar_to_nhwc_pitched(
-                    &out.act[b * positions..],
-                    positions,
-                    ch,
-                    batch * positions,
-                    &mut s.nhwc[..out.cur_len],
-                );
-                s.act_a[b * out.cur_len..(b + 1) * out.cur_len]
-                    .copy_from_slice(&s.nhwc[..out.cur_len]);
-            }
-            out.act.clear();
-            out.act.extend_from_slice(&s.act_a[..batch * out.cur_len]);
-            out.layout = Layout::PerImage;
-        }
-        out.complete = true;
     }
 }
 

@@ -38,6 +38,7 @@ pub fn calibrate_ranges(model: &Sequential, calib: &Dataset) -> ActivationRanges
                 act = match l {
                     Layer::Conv(c) => c.forward(&act).0,
                     Layer::Pool(p) => p.forward(&act).0,
+                    Layer::GlobalAvgPool(g) => g.forward(&act),
                     Layer::Relu(_) => {
                         let mut a = act;
                         for v in a.iter_mut() {

@@ -47,13 +47,17 @@
 //! workspace proptests over random models, τ grids and images
 //! (`tests/compiled_masks.rs`, `tests/batched_forward.rs`).
 
-use crate::forward::{argmax_i8, dense_forward, pool_forward, ForwardScratch, SkipMaskSet};
+use crate::forward::{
+    argmax_i8, dense_forward, gap_forward_nhwc, pool_forward, ForwardScratch, SkipMaskSet,
+};
+use crate::plan::{ConvSegment, DenseSegment, ExecBackend, GapSegment, LogitsSegment, PoolSegment};
 use crate::qmodel::{QConv, QLayer, QuantModel};
 use serde::{Deserialize, Serialize};
 use std::sync::OnceLock;
 use tinytensor::im2col::{
     fill_im2col_centered_t, fill_im2col_pairs_planar_pitched, interleave_pair_rows,
 };
+use tinytensor::quant::avg_round;
 
 /// One conv layer's mask compiled into compact retained weight-pair streams.
 ///
@@ -703,108 +707,36 @@ impl QuantModel {
             "input length mismatch"
         );
         s.ensure_compiled(self);
-        let mut cur_len = qinput.len();
+        let cur_len = qinput.len();
         s.act_a[..cur_len].copy_from_slice(qinput);
-        let mut conv_ordinal = 0usize;
-        let mut in_a = true;
-        // Activations stay planar (channel-major) between conv/pool stages;
-        // `planar_dims = (positions, channels)` of the current buffer when
-        // planar. The input arrives NHWC, dense layers consume NHWC.
-        let mut planar_dims: Option<(usize, usize)> = None;
-
-        for layer in &self.layers {
-            let out_len = layer.out_len();
-            let (src, dst) = if in_a {
-                (&s.act_a[..], &mut s.act_b[..])
-            } else {
-                (&s.act_b[..], &mut s.act_a[..])
-            };
-            match layer {
-                QLayer::Conv(c) => {
-                    let positions = c.geom.out_positions();
-                    let patch = c.patch_len();
-                    let n = patch.div_ceil(2) * 2 * positions;
-                    let pc: &[i16] = match (conv_ordinal, conv0_pcolt) {
-                        (0, Some(cached)) => {
-                            assert_eq!(cached.len(), n, "conv0 pair-column cache mismatch");
-                            cached
-                        }
-                        _ => {
-                            if let Some((in_pos, _)) = planar_dims {
-                                // Planar source: fused fill writes pair rows
-                                // directly, no natural-row staging.
-                                let zp = c.in_qp.zero_point;
-                                let pad = c.centered_pad();
-                                fill_im2col_pairs_planar_pitched(
-                                    &src[..cur_len],
-                                    &c.geom,
-                                    zp as i16,
-                                    pad,
-                                    &mut s.pcolt[..n],
-                                    positions,
-                                    0,
-                                    in_pos,
-                                );
-                            } else {
-                                let rows = &mut s.colt[..positions * patch];
-                                fill_centered_t(c, &src[..cur_len], rows);
-                                interleave_pair_rows(
-                                    rows,
-                                    positions,
-                                    patch,
-                                    &mut s.pcolt[..n],
-                                    positions,
-                                    0,
-                                );
-                            }
-                            &s.pcolt[..n]
-                        }
-                    };
-                    let cc = masks
-                        .and_then(|m| m.per_conv[conv_ordinal].as_ref())
-                        .unwrap_or(&s.dense_streams[conv_ordinal]);
-                    conv_forward_pairs(c, cc, pc, positions, &mut s.acc, &mut dst[..out_len]);
-                    planar_dims = Some((positions, c.geom.out_c));
-                    conv_ordinal += 1;
-                }
-                QLayer::Pool(p) => {
-                    if planar_dims.is_some() {
-                        pool_forward_planar(
-                            p.in_h,
-                            p.in_w,
-                            p.c,
-                            &src[..cur_len],
-                            &mut dst[..out_len],
-                        );
-                        planar_dims = Some(((p.in_h / 2) * (p.in_w / 2), p.c));
-                    } else {
-                        pool_forward(p.in_h, p.in_w, p.c, &src[..cur_len], &mut dst[..out_len]);
-                    }
-                }
-                QLayer::Dense(d) => {
-                    if let Some((positions, ch)) = planar_dims.take() {
-                        planar_to_nhwc(&src[..cur_len], positions, ch, &mut s.nhwc[..cur_len]);
-                        dense_forward(d, &s.nhwc[..cur_len], &mut dst[..out_len]);
-                    } else {
-                        dense_forward(d, &src[..cur_len], &mut dst[..out_len]);
-                    }
-                }
-            }
-            cur_len = out_len;
-            in_a = !in_a;
-        }
-        // A model ending on a conv/pool leaves the buffer planar: convert so
-        // callers always see NHWC logits.
-        if let Some((positions, ch)) = planar_dims {
-            let (src, dst) = if in_a {
-                (&s.act_a[..cur_len], &mut s.act_b[..])
-            } else {
-                (&s.act_b[..cur_len], &mut s.act_a[..])
-            };
-            planar_to_nhwc(src, positions, ch, &mut dst[..cur_len]);
-            in_a = !in_a;
-        }
-        (in_a, cur_len)
+        let ForwardScratch {
+            plan,
+            act_a,
+            act_b,
+            colt,
+            pcolt,
+            acc,
+            nhwc,
+            dense_streams,
+            ..
+        } = s;
+        let mut backend = CompiledBackend {
+            model: self,
+            masks,
+            conv0_pcolt,
+            dense_streams,
+            act_a,
+            act_b,
+            colt,
+            pcolt,
+            acc,
+            nhwc,
+            cur_len,
+            in_a: true,
+        };
+        plan.execute(&mut backend);
+        let in_a = backend.in_a;
+        (in_a, s.plan.logits_len())
     }
 
     /// Allocation-per-call convenience wrapper over
@@ -830,6 +762,201 @@ impl QuantModel {
             &s.act_b[..cur_len]
         };
         argmax_i8(fin)
+    }
+}
+
+/// The per-image compiled backend: pair-stream conv kernels over planar
+/// activations, with the layout transitions (NHWC input, planar interior,
+/// NHWC logits) resolved statically by the plan's fill strategies.
+struct CompiledBackend<'r, 'm> {
+    model: &'m QuantModel,
+    masks: Option<&'r CompiledMasks>,
+    conv0_pcolt: Option<&'r [i16]>,
+    dense_streams: &'r [CompiledConv],
+    act_a: &'r mut Vec<i8>,
+    act_b: &'r mut Vec<i8>,
+    colt: &'r mut Vec<i16>,
+    pcolt: &'r mut Vec<i16>,
+    acc: &'r mut Vec<i32>,
+    nhwc: &'r mut Vec<i8>,
+    cur_len: usize,
+    in_a: bool,
+}
+
+impl CompiledBackend<'_, '_> {
+    #[inline(always)]
+    fn advance(&mut self, out_len: usize) {
+        self.cur_len = out_len;
+        self.in_a = !self.in_a;
+    }
+}
+
+impl ExecBackend for CompiledBackend<'_, '_> {
+    #[inline]
+    fn conv(&mut self, seg: &ConvSegment) {
+        let c = self.model.conv_at(seg.layer_idx);
+        let (src, dst) = if self.in_a {
+            (&self.act_a[..], &mut self.act_b[..])
+        } else {
+            (&self.act_b[..], &mut self.act_a[..])
+        };
+        let positions = seg.positions;
+        let n = seg.pair_rows * 2 * positions;
+        let pc: &[i16] = match (seg.ordinal, self.conv0_pcolt) {
+            (0, Some(cached)) => {
+                assert_eq!(cached.len(), n, "conv0 pair-column cache mismatch");
+                cached
+            }
+            _ => {
+                if seg.planar_in {
+                    // Planar source: fused fill writes pair rows directly,
+                    // no natural-row staging.
+                    let in_pos = seg.geom.in_h * seg.geom.in_w;
+                    let zp = c.in_qp.zero_point;
+                    let pad = c.centered_pad();
+                    fill_im2col_pairs_planar_pitched(
+                        &src[..self.cur_len],
+                        &c.geom,
+                        zp as i16,
+                        pad,
+                        &mut self.pcolt[..n],
+                        positions,
+                        0,
+                        in_pos,
+                    );
+                } else {
+                    let rows = &mut self.colt[..positions * seg.patch];
+                    fill_centered_t(c, &src[..self.cur_len], rows);
+                    interleave_pair_rows(
+                        rows,
+                        positions,
+                        seg.patch,
+                        &mut self.pcolt[..n],
+                        positions,
+                        0,
+                    );
+                }
+                &self.pcolt[..n]
+            }
+        };
+        let cc = self
+            .masks
+            .and_then(|m| m.per_conv[seg.ordinal].as_ref())
+            .unwrap_or(&self.dense_streams[seg.ordinal]);
+        conv_forward_pairs(c, cc, pc, positions, self.acc, &mut dst[..seg.out_len]);
+        self.advance(seg.out_len);
+    }
+
+    #[inline]
+    fn pool(&mut self, seg: &PoolSegment) {
+        let (src, dst) = if self.in_a {
+            (&self.act_a[..], &mut self.act_b[..])
+        } else {
+            (&self.act_b[..], &mut self.act_a[..])
+        };
+        if seg.planar_in {
+            pool_forward_planar(
+                seg.in_h,
+                seg.in_w,
+                seg.c,
+                &src[..self.cur_len],
+                &mut dst[..seg.out_len],
+            );
+        } else {
+            pool_forward(
+                seg.in_h,
+                seg.in_w,
+                seg.c,
+                &src[..self.cur_len],
+                &mut dst[..seg.out_len],
+            );
+        }
+        self.advance(seg.out_len);
+    }
+
+    #[inline]
+    fn global_avg_pool(&mut self, seg: &GapSegment) {
+        let (src, dst) = if self.in_a {
+            (&self.act_a[..], &mut self.act_b[..])
+        } else {
+            (&self.act_b[..], &mut self.act_a[..])
+        };
+        if seg.planar_in {
+            gap_forward_planar(
+                seg.positions,
+                seg.c,
+                seg.positions,
+                &src[..self.cur_len],
+                &mut dst[..seg.out_len],
+            );
+        } else {
+            gap_forward_nhwc(
+                seg.positions,
+                seg.c,
+                &src[..self.cur_len],
+                &mut dst[..seg.out_len],
+            );
+        }
+        self.advance(seg.out_len);
+    }
+
+    #[inline]
+    fn dense(&mut self, seg: &DenseSegment) {
+        let d = self.model.dense_at(seg.layer_idx);
+        let (src, dst) = if self.in_a {
+            (&self.act_a[..], &mut self.act_b[..])
+        } else {
+            (&self.act_b[..], &mut self.act_a[..])
+        };
+        if let Some((positions, ch)) = seg.planar_in {
+            planar_to_nhwc(
+                &src[..self.cur_len],
+                positions,
+                ch,
+                &mut self.nhwc[..self.cur_len],
+            );
+            dense_forward(d, &self.nhwc[..self.cur_len], &mut dst[..seg.out_dim]);
+        } else {
+            dense_forward(d, &src[..self.cur_len], &mut dst[..seg.out_dim]);
+        }
+        self.advance(seg.out_dim);
+    }
+
+    #[inline]
+    fn logits(&mut self, seg: &LogitsSegment) {
+        // A model ending on a conv/pool leaves the buffer planar: convert
+        // so callers always see NHWC logits.
+        if let Some((positions, ch)) = seg.planar {
+            let (src, dst) = if self.in_a {
+                (&self.act_a[..], &mut self.act_b[..])
+            } else {
+                (&self.act_b[..], &mut self.act_a[..])
+            };
+            planar_to_nhwc(&src[..seg.out_len], positions, ch, &mut dst[..seg.out_len]);
+            self.in_a = !self.in_a;
+        }
+    }
+}
+
+/// Global average pool over planar activations: each channel's plane sits
+/// at `input[c * plane_pitch ..][..positions]` (`plane_pitch = positions`
+/// per-image; a batch passes the batched pitch and per-image offsets).
+/// Bit-exact with [`gap_forward_nhwc`] — same sums, same rounding average.
+pub(crate) fn gap_forward_planar(
+    positions: usize,
+    ch: usize,
+    plane_pitch: usize,
+    input: &[i8],
+    output: &mut [i8],
+) {
+    debug_assert_eq!(output.len(), ch);
+    for (c, out) in output.iter_mut().enumerate() {
+        let plane = &input[c * plane_pitch..c * plane_pitch + positions];
+        let mut sum = 0i32;
+        for &v in plane {
+            sum += v as i32;
+        }
+        *out = avg_round(sum, positions as i32);
     }
 }
 

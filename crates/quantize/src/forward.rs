@@ -6,12 +6,15 @@
 //! keeps tight, allocation-reused inner loops (centered i16 columns × i8
 //! weights), no cycle accounting, and rayon parallelism *across images*.
 
+use crate::plan::{
+    ConvSegment, DenseSegment, ExecBackend, ExecPlan, GapSegment, LogitsSegment, PoolSegment,
+};
 use crate::qmodel::{QConv, QDense, QLayer, QuantModel};
 use cifar10sim::Dataset;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use tinytensor::im2col::fill_im2col_i8;
-use tinytensor::quant::requantize_to_i8;
+use tinytensor::quant::{avg_round, requantize_to_i8};
 
 /// Callback receiving `(conv_ordinal, layer, centered_cols)` during an
 /// inspected forward pass.
@@ -63,6 +66,9 @@ impl SkipMaskSet {
 /// Public so batch drivers outside this crate (the DSE evaluation cache)
 /// can allocate once per worker instead of once per image.
 pub struct ForwardScratch {
+    /// The lowered execution plan every walker over this scratch follows —
+    /// built once per scratch, like the dense streams.
+    pub(crate) plan: ExecPlan,
     pub(crate) act_a: Vec<i8>,
     pub(crate) act_b: Vec<i8>,
     pub(crate) cols: Vec<i8>,
@@ -94,9 +100,11 @@ impl ForwardScratch {
     /// grown on first compiled forward, so the reference bool-mask path
     /// pays nothing for them.
     pub fn for_model(model: &QuantModel) -> Self {
-        let max_act = model.activation_sizes().into_iter().max().unwrap_or(0);
-        let max_cols = model.max_im2col_bytes() as usize;
+        let plan = ExecPlan::lower(model);
+        let max_act = plan.max_act();
+        let max_cols = plan.max_cols();
         Self {
+            plan,
             act_a: vec![0; max_act],
             act_b: vec![0; max_act],
             cols: vec![0; max_cols],
@@ -109,7 +117,7 @@ impl ForwardScratch {
         }
     }
 
-    /// Grow the compiled-path buffers to `model`'s requirements (no-op
+    /// Grow the compiled-path buffers to the plan's requirements (no-op
     /// once sized).
     pub(crate) fn ensure_compiled(&mut self, model: &QuantModel) {
         debug_assert_eq!(
@@ -118,15 +126,15 @@ impl ForwardScratch {
             "ForwardScratch reused across models (it is bound to the model \
              it was constructed for)"
         );
-        let max_cols = model.max_im2col_bytes() as usize;
+        let max_cols = self.plan.max_cols();
         if self.colt.len() < max_cols {
             self.colt.resize(max_cols, 0);
         }
-        let max_pcolt = model.max_pair_colt_elems();
+        let max_pcolt = self.plan.max_pair_colt();
         if self.pcolt.len() < max_pcolt {
             self.pcolt.resize(max_pcolt, 0);
         }
-        let max_positions = model.max_conv_positions();
+        let max_positions = self.plan.max_positions();
         if self.acc.len() < max_positions {
             self.acc.resize(max_positions, 0);
         }
@@ -191,51 +199,31 @@ impl QuantModel {
             self.input_shape.item_len(),
             "input length mismatch"
         );
-        let mut cur_len = qinput.len();
+        let cur_len = qinput.len();
         s.act_a[..cur_len].copy_from_slice(qinput);
-        let mut conv_ordinal = 0usize;
-        let mut in_a = true; // current activation lives in act_a
-
-        for layer in &self.layers {
-            let out_len = layer.out_len();
-            // Split borrows: source and destination buffers.
-            let (src, dst) = if in_a {
-                (&s.act_a[..], &mut s.act_b[..])
-            } else {
-                (&s.act_b[..], &mut s.act_a[..])
-            };
-            match layer {
-                QLayer::Conv(c) => {
-                    let mask = masks.and_then(|m| m.per_conv[conv_ordinal].as_deref());
-                    conv_forward(
-                        c,
-                        &src[..cur_len],
-                        &mut dst[..out_len],
-                        mask,
-                        &mut s.cols,
-                        &mut s.centered,
-                    );
-                    if let Some(ins) = inspector.as_deref_mut() {
-                        let n = c.geom.out_positions() * c.geom.patch_len();
-                        ins(conv_ordinal, c, &s.centered[..n]);
-                    }
-                    conv_ordinal += 1;
-                }
-                QLayer::Pool(p) => {
-                    pool_forward(p.in_h, p.in_w, p.c, &src[..cur_len], &mut dst[..out_len]);
-                }
-                QLayer::Dense(d) => {
-                    dense_forward(d, &src[..cur_len], &mut dst[..out_len]);
-                }
-            }
-            cur_len = out_len;
-            in_a = !in_a;
-        }
-        let fin = if in_a {
-            &s.act_a[..cur_len]
-        } else {
-            &s.act_b[..cur_len]
+        let ForwardScratch {
+            plan,
+            act_a,
+            act_b,
+            cols,
+            centered,
+            ..
+        } = s;
+        let mut backend = RefBackend {
+            model: self,
+            masks,
+            inspector,
+            act_a,
+            act_b,
+            cols,
+            centered,
+            cur_len,
+            in_a: true,
         };
+        plan.execute(&mut backend);
+        let in_a = backend.in_a;
+        let n = s.plan.logits_len();
+        let fin = if in_a { &s.act_a[..n] } else { &s.act_b[..n] };
         fin.to_vec()
     }
 
@@ -267,6 +255,105 @@ impl QuantModel {
             )
             .sum();
         correct as f32 / data.len() as f32
+    }
+}
+
+/// The boolean-mask reference backend: NHWC activations ping-ponging
+/// between two scratch buffers, branchy masked conv kernel, optional
+/// centered-column inspector (the significance capture point).
+struct RefBackend<'r, 'm, 'i1, 'i2> {
+    model: &'m QuantModel,
+    masks: Option<&'r SkipMaskSet>,
+    inspector: &'r mut Option<&'i1 mut Inspector<'i2>>,
+    act_a: &'r mut Vec<i8>,
+    act_b: &'r mut Vec<i8>,
+    cols: &'r mut Vec<i8>,
+    centered: &'r mut Vec<i16>,
+    cur_len: usize,
+    /// Current activation lives in `act_a`.
+    in_a: bool,
+}
+
+impl RefBackend<'_, '_, '_, '_> {
+    #[inline(always)]
+    fn advance(&mut self, out_len: usize) {
+        self.cur_len = out_len;
+        self.in_a = !self.in_a;
+    }
+}
+
+impl ExecBackend for RefBackend<'_, '_, '_, '_> {
+    #[inline]
+    fn conv(&mut self, seg: &ConvSegment) {
+        let c = self.model.conv_at(seg.layer_idx);
+        let (src, dst) = if self.in_a {
+            (&self.act_a[..], &mut self.act_b[..])
+        } else {
+            (&self.act_b[..], &mut self.act_a[..])
+        };
+        let mask = self.masks.and_then(|m| m.per_conv[seg.ordinal].as_deref());
+        conv_forward(
+            c,
+            &src[..self.cur_len],
+            &mut dst[..seg.out_len],
+            mask,
+            self.cols,
+            self.centered,
+        );
+        if let Some(ins) = self.inspector.as_deref_mut() {
+            ins(seg.ordinal, c, &self.centered[..seg.positions * seg.patch]);
+        }
+        self.advance(seg.out_len);
+    }
+
+    #[inline]
+    fn pool(&mut self, seg: &PoolSegment) {
+        let (src, dst) = if self.in_a {
+            (&self.act_a[..], &mut self.act_b[..])
+        } else {
+            (&self.act_b[..], &mut self.act_a[..])
+        };
+        pool_forward(
+            seg.in_h,
+            seg.in_w,
+            seg.c,
+            &src[..self.cur_len],
+            &mut dst[..seg.out_len],
+        );
+        self.advance(seg.out_len);
+    }
+
+    #[inline]
+    fn global_avg_pool(&mut self, seg: &GapSegment) {
+        let (src, dst) = if self.in_a {
+            (&self.act_a[..], &mut self.act_b[..])
+        } else {
+            (&self.act_b[..], &mut self.act_a[..])
+        };
+        gap_forward_nhwc(
+            seg.positions,
+            seg.c,
+            &src[..self.cur_len],
+            &mut dst[..seg.out_len],
+        );
+        self.advance(seg.out_len);
+    }
+
+    #[inline]
+    fn dense(&mut self, seg: &DenseSegment) {
+        let d = self.model.dense_at(seg.layer_idx);
+        let (src, dst) = if self.in_a {
+            (&self.act_a[..], &mut self.act_b[..])
+        } else {
+            (&self.act_b[..], &mut self.act_a[..])
+        };
+        dense_forward(d, &src[..self.cur_len], &mut dst[..seg.out_dim]);
+        self.advance(seg.out_dim);
+    }
+
+    #[inline]
+    fn logits(&mut self, _seg: &LogitsSegment) {
+        // The reference path is NHWC throughout: nothing to normalize.
     }
 }
 
@@ -374,6 +461,21 @@ pub(crate) fn pool_forward(in_h: usize, in_w: usize, ch: usize, input: &[i8], ou
                 output[(oy * ow + ox) * ch + c] = m;
             }
         }
+    }
+}
+
+/// Global average pool over NHWC activations: one rounding integer mean
+/// per channel ([`tinytensor::quant::avg_round`] — the shared output stage
+/// of every engine's GAP kernel).
+pub(crate) fn gap_forward_nhwc(positions: usize, ch: usize, input: &[i8], output: &mut [i8]) {
+    debug_assert_eq!(input.len(), positions * ch);
+    debug_assert_eq!(output.len(), ch);
+    for (c, out) in output.iter_mut().enumerate() {
+        let mut sum = 0i32;
+        for p in 0..positions {
+            sum += input[p * ch + c] as i32;
+        }
+        *out = avg_round(sum, positions as i32);
     }
 }
 

@@ -35,10 +35,15 @@ pub mod batch;
 pub mod calib;
 pub mod compiled;
 pub mod forward;
+pub mod plan;
 pub mod qmodel;
 
 pub use batch::{BatchCheckpoint, BatchScratch};
 pub use calib::calibrate_ranges;
 pub use compiled::{simd_level_name, CompiledConv, CompiledMasks};
 pub use forward::{argmax_i8, ForwardScratch, SkipMaskSet};
-pub use qmodel::{quantize_model, QConv, QDense, QLayer, QPool, QuantModel};
+pub use plan::{
+    ConvSegment, DenseSegment, ExecBackend, ExecPlan, GapSegment, LogitsSegment, PoolSegment,
+    Segment,
+};
+pub use qmodel::{quantize_model, QConv, QDense, QGlobalAvgPool, QLayer, QPool, QuantModel};

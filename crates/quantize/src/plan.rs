@@ -1,0 +1,519 @@
+//! Execution-plan IR: one lowering of a [`QuantModel`], one layer-graph
+//! walker, shared by **every** engine in the workspace.
+//!
+//! Before this module each engine — the boolean-mask reference
+//! ([`crate::forward`]), the per-image compiled path ([`crate::compiled`]),
+//! the batch-major path and its checkpoint resume ([`crate::batch`]), the
+//! CMSIS-style exact engine (`cmsisnn`) and the unpacked straight-line
+//! engine (`unpackgen`) — re-matched `QLayer` with its own hand-rolled
+//! traversal loop, scratch sizing and logits epilogue. Adding one layer
+//! kind (or one backend) meant touching five walkers.
+//!
+//! [`ExecPlan::lower`] walks the model **once** and produces an ordered
+//! list of typed [`Segment`]s:
+//!
+//! * per-segment geometry (positions, patch/pair-row extents, in/out
+//!   lengths) and dense MAC counts — the *cost hooks* the analytic
+//!   estimators (`dse::estimate_stats`, `xcubeai`) read without re-deriving
+//!   shapes;
+//! * each segment's **input-layout fill strategy**: whether the incoming
+//!   activation buffer is NHWC/per-image or channel-planar is a static
+//!   property of the layer sequence (convs emit planar, dense/GAP emit
+//!   per-image, pool preserves), so the plan bakes it in and backends stop
+//!   tracking layout at runtime;
+//! * **checkpoint boundaries**: the segment range of each "conv segment"
+//!   (one conv plus every following non-conv segment up to the next conv
+//!   or through the logits epilogue) — the unit the prefix-sharing DSE
+//!   resumes at ([`crate::batch::BatchCheckpoint`]);
+//! * a final [`Segment::Logits`] epilogue where backends normalize the
+//!   output layout (planar → NHWC unbatch) or charge their softmax cost;
+//! * the workspace-wide scratch extents (largest activation, im2col,
+//!   pair-column and accumulator buffers) every scratch allocator needs.
+//!
+//! Backends implement [`ExecBackend`] — one monomorphized executor per
+//! segment kind — and [`ExecPlan::execute`] / [`ExecPlan::execute_range`]
+//! drive them. The executors own every hot inner loop (pair-interleaved
+//! column fills, SMLAD kernels) exactly as before: the plan owns *traversal
+//! and shapes*, never the fill inner loop, so the monolithic batched path
+//! stays within measurement noise of the hand-rolled walker (A/B-gated by
+//! the `batch_micro` bench).
+
+use crate::qmodel::{QConv, QDense, QLayer, QuantModel};
+use std::ops::Range;
+use tinytensor::shape::ConvGeometry;
+
+/// One convolution segment: the τ-bearing unit of the plan.
+#[derive(Debug, Clone)]
+pub struct ConvSegment {
+    /// Index into `model.layers`.
+    pub layer_idx: usize,
+    /// Conv ordinal (the τ-trie depth / skip-mask index).
+    pub ordinal: usize,
+    /// Layer geometry (copied; `ConvGeometry` is `Copy`).
+    pub geom: ConvGeometry,
+    /// Output positions per image.
+    pub positions: usize,
+    /// Patch length (`kh·kw·in_c`).
+    pub patch: usize,
+    /// Pair rows of the interleaved column buffer (`⌈patch/2⌉`).
+    pub pair_rows: usize,
+    /// Input activation length per image.
+    pub in_len: usize,
+    /// Output activation length per image.
+    pub out_len: usize,
+    /// Fill strategy: `true` when the incoming activations are
+    /// channel-planar (fused planar pair fill), `false` for NHWC staging +
+    /// pair interleave.
+    pub planar_in: bool,
+    /// Dense (pre-skipping) MAC count — the segment cost hook.
+    pub macs: u64,
+}
+
+/// One 2×2/2 max-pool segment.
+#[derive(Debug, Clone)]
+pub struct PoolSegment {
+    /// Index into `model.layers`.
+    pub layer_idx: usize,
+    /// Input height.
+    pub in_h: usize,
+    /// Input width.
+    pub in_w: usize,
+    /// Channels.
+    pub c: usize,
+    /// Input activation length per image.
+    pub in_len: usize,
+    /// Output activation length per image.
+    pub out_len: usize,
+    /// `true` when the incoming activations are channel-planar (the pool
+    /// then runs per-plane; layout is preserved either way).
+    pub planar_in: bool,
+}
+
+/// One global-average-pool segment (spatial mean per channel).
+#[derive(Debug, Clone)]
+pub struct GapSegment {
+    /// Index into `model.layers`.
+    pub layer_idx: usize,
+    /// Input height.
+    pub in_h: usize,
+    /// Input width.
+    pub in_w: usize,
+    /// Channels.
+    pub c: usize,
+    /// Spatial positions averaged per channel (`in_h·in_w`).
+    pub positions: usize,
+    /// Input activation length per image.
+    pub in_len: usize,
+    /// Output activation length per image (`c`; the output is a per-image
+    /// vector, i.e. NHWC and planar coincide).
+    pub out_len: usize,
+    /// `true` when the incoming activations are channel-planar.
+    pub planar_in: bool,
+}
+
+/// One fully-connected segment.
+#[derive(Debug, Clone)]
+pub struct DenseSegment {
+    /// Index into `model.layers`.
+    pub layer_idx: usize,
+    /// Input dimension.
+    pub in_dim: usize,
+    /// Output dimension.
+    pub out_dim: usize,
+    /// `Some((positions, channels))` when the incoming activations are
+    /// channel-planar and must be gathered to NHWC before the kernel.
+    pub planar_in: Option<(usize, usize)>,
+    /// Dense MAC count — the segment cost hook.
+    pub macs: u64,
+}
+
+/// The logits epilogue: always the final segment. Backends normalize their
+/// output layout here (planar → NHWC / per-image unbatch) and/or charge
+/// their classifier-head cost (softmax cycles).
+#[derive(Debug, Clone)]
+pub struct LogitsSegment {
+    /// Logits length per image.
+    pub out_len: usize,
+    /// `Some((positions, channels))` when the model ends on a conv/pool
+    /// whose planar output must be converted to NHWC.
+    pub planar: Option<(usize, usize)>,
+}
+
+/// One typed segment of an [`ExecPlan`].
+#[derive(Debug, Clone)]
+pub enum Segment {
+    /// Convolution (τ-bearing).
+    Conv(ConvSegment),
+    /// 2×2/2 max-pool.
+    Pool(PoolSegment),
+    /// Global average pool.
+    GlobalAvgPool(GapSegment),
+    /// Fully connected.
+    Dense(DenseSegment),
+    /// Logits epilogue (always last, exactly once).
+    Logits(LogitsSegment),
+}
+
+impl Segment {
+    /// Output activation length per image (logits segments report the
+    /// unchanged logits length).
+    pub fn out_len(&self) -> usize {
+        match self {
+            Segment::Conv(s) => s.out_len,
+            Segment::Pool(s) => s.out_len,
+            Segment::GlobalAvgPool(s) => s.out_len,
+            Segment::Dense(s) => s.out_dim,
+            Segment::Logits(s) => s.out_len,
+        }
+    }
+
+    /// Dense MAC count of this segment (the cost hook; 0 for pools and the
+    /// epilogue).
+    pub fn macs(&self) -> u64 {
+        match self {
+            Segment::Conv(s) => s.macs,
+            Segment::Dense(s) => s.macs,
+            _ => 0,
+        }
+    }
+}
+
+/// Monomorphized per-segment executors: one implementation per engine.
+///
+/// Implementations keep every hot inner loop (`#[inline]` executors over
+/// the backend's own scratch) — the walker only dispatches. Executors are
+/// invoked in plan order; the logits executor runs exactly once, last.
+pub trait ExecBackend {
+    /// Execute one convolution segment.
+    fn conv(&mut self, seg: &ConvSegment);
+    /// Execute one max-pool segment.
+    fn pool(&mut self, seg: &PoolSegment);
+    /// Execute one global-average-pool segment.
+    fn global_avg_pool(&mut self, seg: &GapSegment);
+    /// Execute one fully-connected segment.
+    fn dense(&mut self, seg: &DenseSegment);
+    /// Execute the logits epilogue.
+    fn logits(&mut self, seg: &LogitsSegment);
+}
+
+/// A lowered model: ordered typed segments + checkpoint boundaries +
+/// scratch extents. Immutable after [`ExecPlan::lower`]; engines either
+/// store one per engine instance or one per scratch.
+#[derive(Debug, Clone)]
+pub struct ExecPlan {
+    segments: Vec<Segment>,
+    /// Segment index of conv ordinal `k`.
+    conv_starts: Vec<usize>,
+    /// Largest per-image activation length (input included).
+    max_act: usize,
+    /// Largest im2col column matrix (i8 elements) of any conv.
+    max_cols: usize,
+    /// Largest pair-interleaved column buffer (i16 elements per image).
+    max_pair_colt: usize,
+    /// Largest conv output-position count (accumulator scratch).
+    max_positions: usize,
+    /// Logits length per image.
+    logits_len: usize,
+}
+
+impl ExecPlan {
+    /// Lower `model` into its execution plan. O(layers); engines call this
+    /// once per engine/scratch construction.
+    pub fn lower(model: &QuantModel) -> Self {
+        let mut segments = Vec::with_capacity(model.layers.len() + 1);
+        let mut conv_starts = Vec::new();
+        let mut planar = false; // the input arrives NHWC (per-image)
+        let mut planar_dims: Option<(usize, usize)> = None;
+        let mut cur_len = model.input_shape.item_len();
+        let mut max_act = cur_len;
+        let mut max_cols = 0usize;
+        let mut max_pair_colt = 0usize;
+        let mut max_positions = 0usize;
+
+        for (layer_idx, layer) in model.layers.iter().enumerate() {
+            match layer {
+                QLayer::Conv(c) => {
+                    let positions = c.geom.out_positions();
+                    let patch = c.geom.patch_len();
+                    let pair_rows = patch.div_ceil(2);
+                    let out_len = positions * c.geom.out_c;
+                    conv_starts.push(segments.len());
+                    segments.push(Segment::Conv(ConvSegment {
+                        layer_idx,
+                        ordinal: conv_starts.len() - 1,
+                        geom: c.geom,
+                        positions,
+                        patch,
+                        pair_rows,
+                        in_len: cur_len,
+                        out_len,
+                        planar_in: planar,
+                        macs: c.geom.macs(),
+                    }));
+                    max_cols = max_cols.max(positions * patch);
+                    max_pair_colt = max_pair_colt.max(pair_rows * 2 * positions);
+                    max_positions = max_positions.max(positions);
+                    planar = true;
+                    planar_dims = Some((positions, c.geom.out_c));
+                    cur_len = out_len;
+                }
+                QLayer::Pool(p) => {
+                    segments.push(Segment::Pool(PoolSegment {
+                        layer_idx,
+                        in_h: p.in_h,
+                        in_w: p.in_w,
+                        c: p.c,
+                        in_len: cur_len,
+                        out_len: p.out_len(),
+                        planar_in: planar,
+                    }));
+                    if planar {
+                        planar_dims = Some(((p.in_h / 2) * (p.in_w / 2), p.c));
+                    }
+                    cur_len = p.out_len();
+                }
+                QLayer::GlobalAvgPool(g) => {
+                    segments.push(Segment::GlobalAvgPool(GapSegment {
+                        layer_idx,
+                        in_h: g.in_h,
+                        in_w: g.in_w,
+                        c: g.c,
+                        positions: g.positions(),
+                        in_len: cur_len,
+                        out_len: g.out_len(),
+                        planar_in: planar,
+                    }));
+                    // One value per channel: NHWC and planar coincide.
+                    planar = false;
+                    planar_dims = None;
+                    cur_len = g.out_len();
+                }
+                QLayer::Dense(d) => {
+                    segments.push(Segment::Dense(DenseSegment {
+                        layer_idx,
+                        in_dim: d.in_dim,
+                        out_dim: d.out_dim,
+                        planar_in: planar.then(|| planar_dims.expect("planar dims")),
+                        macs: (d.in_dim * d.out_dim) as u64,
+                    }));
+                    planar = false;
+                    planar_dims = None;
+                    cur_len = d.out_dim;
+                }
+            }
+            max_act = max_act.max(cur_len);
+        }
+        segments.push(Segment::Logits(LogitsSegment {
+            out_len: cur_len,
+            planar: planar.then(|| planar_dims.expect("planar dims")),
+        }));
+        Self {
+            segments,
+            conv_starts,
+            max_act,
+            max_cols,
+            max_pair_colt,
+            max_positions,
+            logits_len: cur_len,
+        }
+    }
+
+    /// The ordered segments (the last is always [`Segment::Logits`]).
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Number of convolution segments.
+    pub fn n_convs(&self) -> usize {
+        self.conv_starts.len()
+    }
+
+    /// The conv segment of ordinal `k`.
+    pub fn conv_segment(&self, ordinal: usize) -> &ConvSegment {
+        match &self.segments[self.conv_starts[ordinal]] {
+            Segment::Conv(s) => s,
+            _ => unreachable!("conv_starts indexes a conv segment"),
+        }
+    }
+
+    /// Segment range **before** conv ordinal 0 — the leading non-conv
+    /// prefix a resumable execution runs at start. For a conv-free model
+    /// this is the whole plan (logits epilogue included).
+    pub fn leading_range(&self) -> Range<usize> {
+        0..self
+            .conv_starts
+            .first()
+            .copied()
+            .unwrap_or(self.segments.len())
+    }
+
+    /// Checkpoint segment range of conv ordinal `k`: the conv segment plus
+    /// every following non-conv segment up to the next conv, or through the
+    /// logits epilogue for the final conv — the unit
+    /// [`QuantModel::batch_advance_into`](crate::batch) resumes at.
+    pub fn advance_range(&self, ordinal: usize) -> Range<usize> {
+        let start = self.conv_starts[ordinal];
+        let end = self
+            .conv_starts
+            .get(ordinal + 1)
+            .copied()
+            .unwrap_or(self.segments.len());
+        start..end
+    }
+
+    /// Largest per-image activation length, model input included.
+    pub fn max_act(&self) -> usize {
+        self.max_act
+    }
+
+    /// Largest im2col column matrix (i8 elements) of any conv segment.
+    pub fn max_cols(&self) -> usize {
+        self.max_cols
+    }
+
+    /// Largest pair-interleaved column buffer (i16 elements per image).
+    pub fn max_pair_colt(&self) -> usize {
+        self.max_pair_colt
+    }
+
+    /// Largest conv output-position count (per-image accumulator extent).
+    pub fn max_positions(&self) -> usize {
+        self.max_positions
+    }
+
+    /// Logits length per image.
+    pub fn logits_len(&self) -> usize {
+        self.logits_len
+    }
+
+    /// Total dense MAC count over all segments (the cost hooks summed).
+    pub fn total_macs(&self) -> u64 {
+        self.segments.iter().map(Segment::macs).sum()
+    }
+
+    /// Drive `backend` through the whole plan.
+    #[inline]
+    pub fn execute<B: ExecBackend>(&self, backend: &mut B) {
+        self.execute_range(0..self.segments.len(), backend);
+    }
+
+    /// Drive `backend` through `range` (resumable execution: leading
+    /// prefix, one checkpoint segment, tail).
+    #[inline]
+    pub fn execute_range<B: ExecBackend>(&self, range: Range<usize>, backend: &mut B) {
+        for seg in &self.segments[range] {
+            match seg {
+                Segment::Conv(s) => backend.conv(s),
+                Segment::Pool(s) => backend.pool(s),
+                Segment::GlobalAvgPool(s) => backend.global_avg_pool(s),
+                Segment::Dense(s) => backend.dense(s),
+                Segment::Logits(s) => backend.logits(s),
+            }
+        }
+    }
+}
+
+impl QuantModel {
+    /// The convolution layer at `layer_idx` (panics when the index does not
+    /// name a conv — plan segments guarantee it does).
+    #[inline]
+    pub fn conv_at(&self, layer_idx: usize) -> &QConv {
+        match &self.layers[layer_idx] {
+            QLayer::Conv(c) => c,
+            _ => unreachable!("segment layer_idx {layer_idx} is not a conv"),
+        }
+    }
+
+    /// The dense layer at `layer_idx` (panics when the index does not name
+    /// a dense layer).
+    #[inline]
+    pub fn dense_at(&self, layer_idx: usize) -> &QDense {
+        match &self.layers[layer_idx] {
+            QLayer::Dense(d) => d,
+            _ => unreachable!("segment layer_idx {layer_idx} is not dense"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calib::calibrate_ranges;
+    use crate::qmodel::quantize_model;
+    use cifar10sim::DatasetConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn quantized(seed: u64) -> QuantModel {
+        let data = cifar10sim::generate(DatasetConfig::tiny(seed));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = tinynn::Sequential::new("p", tinytensor::Shape4::nhwc(1, 32, 32, 3))
+            .conv_relu(4, 3, &mut rng)
+            .maxpool()
+            .conv_relu(6, 3, &mut rng)
+            .maxpool()
+            .dense(10, true, &mut rng);
+        let ranges = calibrate_ranges(&m, &data.train.take(4));
+        quantize_model(&m, &ranges)
+    }
+
+    #[test]
+    fn lowering_covers_every_layer_plus_logits() {
+        let q = quantized(11);
+        let plan = ExecPlan::lower(&q);
+        assert_eq!(plan.segments().len(), q.layers.len() + 1);
+        assert!(matches!(plan.segments().last(), Some(Segment::Logits(_))));
+        assert_eq!(plan.n_convs(), q.conv_indices().len());
+        assert_eq!(plan.logits_len(), 10);
+        assert_eq!(plan.total_macs(), q.macs());
+    }
+
+    #[test]
+    fn scratch_extents_match_model_helpers() {
+        let q = quantized(12);
+        let plan = ExecPlan::lower(&q);
+        assert_eq!(
+            plan.max_act(),
+            q.activation_sizes().into_iter().max().unwrap()
+        );
+        assert_eq!(plan.max_cols(), q.max_im2col_bytes() as usize);
+        assert_eq!(plan.max_pair_colt(), q.max_pair_colt_elems());
+        assert_eq!(plan.max_positions(), q.max_conv_positions());
+    }
+
+    #[test]
+    fn fill_strategy_is_static_layout_inference() {
+        let q = quantized(13);
+        let plan = ExecPlan::lower(&q);
+        // conv0 consumes the NHWC input; pool after conv is planar; conv1
+        // consumes the planar pool output; the dense head gathers planar.
+        let mut saw = 0;
+        for seg in plan.segments() {
+            match seg {
+                Segment::Conv(s) => {
+                    assert_eq!(s.planar_in, s.ordinal != 0, "ordinal {}", s.ordinal);
+                    saw += 1;
+                }
+                Segment::Pool(s) => assert!(s.planar_in),
+                Segment::Dense(s) => assert!(s.planar_in.is_some()),
+                Segment::Logits(s) => assert!(s.planar.is_none()),
+                Segment::GlobalAvgPool(_) => unreachable!(),
+            }
+        }
+        assert_eq!(saw, 2);
+    }
+
+    #[test]
+    fn checkpoint_ranges_tile_the_plan() {
+        let q = quantized(14);
+        let plan = ExecPlan::lower(&q);
+        let mut covered = plan.leading_range().len();
+        for k in 0..plan.n_convs() {
+            let r = plan.advance_range(k);
+            assert!(matches!(plan.segments()[r.start], Segment::Conv(_)));
+            covered += r.len();
+        }
+        assert_eq!(covered, plan.segments().len());
+        assert_eq!(plan.leading_range(), 0..0); // model starts with a conv
+    }
+}

@@ -78,6 +78,39 @@ impl QPool {
     }
 }
 
+/// Quantized global average pool.
+///
+/// Average pooling keeps the input quantization (scale and zero point pass
+/// through, like [`QPool`]), so the layer carries only its geometry; the
+/// output stage is the integer rounding average
+/// [`tinytensor::quant::avg_round`], shared verbatim by every engine.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct QGlobalAvgPool {
+    /// Input height.
+    pub in_h: usize,
+    /// Input width.
+    pub in_w: usize,
+    /// Channels.
+    pub c: usize,
+}
+
+impl QGlobalAvgPool {
+    /// Spatial positions averaged per channel.
+    pub fn positions(&self) -> usize {
+        self.in_h * self.in_w
+    }
+
+    /// Output length per image (one value per channel).
+    pub fn out_len(&self) -> usize {
+        self.c
+    }
+
+    /// Input length per image.
+    pub fn in_len(&self) -> usize {
+        self.in_h * self.in_w * self.c
+    }
+}
+
 /// Quantized fully-connected layer.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct QDense {
@@ -119,6 +152,9 @@ pub enum QLayer {
     Conv(QConv),
     /// 2×2/2 max-pool.
     Pool(QPool),
+    /// Global average pool (integer rounding average, value-preserving
+    /// quantization).
+    GlobalAvgPool(QGlobalAvgPool),
     /// Fully connected (+ fused ReLU).
     Dense(QDense),
 }
@@ -129,6 +165,7 @@ impl QLayer {
         match self {
             QLayer::Conv(c) => c.geom.out_positions() * c.geom.out_c,
             QLayer::Pool(p) => p.out_len(),
+            QLayer::GlobalAvgPool(g) => g.out_len(),
             QLayer::Dense(d) => d.out_dim,
         }
     }
@@ -138,6 +175,7 @@ impl QLayer {
         match self {
             QLayer::Conv(c) => c.geom.in_h * c.geom.in_w * c.geom.in_c,
             QLayer::Pool(p) => p.in_len(),
+            QLayer::GlobalAvgPool(g) => g.in_len(),
             QLayer::Dense(d) => d.in_dim,
         }
     }
@@ -146,7 +184,7 @@ impl QLayer {
     pub fn macs(&self) -> u64 {
         match self {
             QLayer::Conv(c) => c.geom.macs(),
-            QLayer::Pool(_) => 0,
+            QLayer::Pool(_) | QLayer::GlobalAvgPool(_) => 0,
             QLayer::Dense(d) => (d.in_dim * d.out_dim) as u64,
         }
     }
@@ -197,7 +235,7 @@ impl QuantModel {
             .map(|l| match l {
                 QLayer::Conv(c) => (c.weights.len() + 4 * c.bias.len()) as u64,
                 QLayer::Dense(d) => (d.weights.len() + 4 * d.bias.len()) as u64,
-                QLayer::Pool(_) => 0,
+                QLayer::Pool(_) | QLayer::GlobalAvgPool(_) => 0,
             })
             .sum()
     }
@@ -278,6 +316,16 @@ pub fn quantize_model(model: &Sequential, ranges: &ActivationRanges) -> QuantMod
                     in_h: p.in_h,
                     in_w: p.in_w,
                     c: p.c,
+                }));
+                i += 1;
+            }
+            Layer::GlobalAvgPool(g) => {
+                // Value-preserving in the quantized domain: in_qp passes
+                // through unchanged, exactly like max-pool.
+                layers.push(QLayer::GlobalAvgPool(QGlobalAvgPool {
+                    in_h: g.in_h,
+                    in_w: g.in_w,
+                    c: g.c,
                 }));
                 i += 1;
             }

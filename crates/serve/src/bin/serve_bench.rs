@@ -49,6 +49,14 @@ struct ServeBenchReport {
     latency_p99_ms: f64,
     latency_max_ms: f64,
     mean_batch_size: f64,
+    /// Admission-queue depth bound the server ran with.
+    queue_max_depth: usize,
+    /// Peak queue depth observed across warm-up + all reps.
+    queue_peak_depth: usize,
+    /// Submissions shed by the bounded queue and retried, summed over the
+    /// measured reps (0 at sane depths — reported so overload pressure is
+    /// visible in the trajectory).
+    queue_full_retries: u64,
     approx_contract_latency_ms: f64,
 }
 
@@ -124,6 +132,7 @@ fn main() {
     let opts = ServeOptions {
         max_batch: MAX_BATCH,
         workers: 1,
+        ..Default::default()
     };
     let server = Server::start(registry, opts.clone());
 
@@ -155,6 +164,8 @@ fn main() {
             )
         })
         .collect();
+    let queue_max_depth = server.queue_max_depth();
+    let queue_peak_depth = server.queue_peak_depth();
     server.shutdown();
 
     let per_rep: Vec<f64> = reports.iter().map(|r| r.images_per_sec).collect();
@@ -177,6 +188,9 @@ fn main() {
         latency_p99_ms: report.latency_p99_ms,
         latency_max_ms: report.latency_max_ms,
         mean_batch_size: report.mean_batch_size,
+        queue_max_depth,
+        queue_peak_depth,
+        queue_full_retries: reports.iter().map(|r| r.queue_full_retries).sum(),
         approx_contract_latency_ms,
     };
     println!(

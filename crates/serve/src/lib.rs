@@ -30,6 +30,6 @@ pub mod registry;
 pub mod server;
 
 pub use loadgen::{run_closed_loop, LoadGenConfig, LoadReport};
-pub use queue::{AdmissionQueue, Batch, Reply, Request};
+pub use queue::{AdmissionQueue, Batch, QueueFull, Reply, Request, DEFAULT_MAX_DEPTH};
 pub use registry::{CostContract, DeployedModel, Registry};
 pub use server::{ServeOptions, Server, SubmitError};

@@ -6,8 +6,9 @@
 //! queue-explosion artifact. Clients round-robin over the registered
 //! models they're given, which also exercises per-model batch routing.
 
-use crate::server::Server;
+use crate::server::{Server, SubmitError};
 use serde::Serialize;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 /// Load generator configuration.
@@ -44,6 +45,9 @@ pub struct LoadReport {
     pub latency_max_ms: f64,
     /// Mean batch size requests rode in (batching efficiency).
     pub mean_batch_size: f64,
+    /// Submissions shed by the bounded admission queue and retried
+    /// (overload-pressure indicator; a closed loop at sane depths sees 0).
+    pub queue_full_retries: u64,
 }
 
 /// `q`-th percentile (0 ≤ q ≤ 1) of an unsorted latency sample, by the
@@ -67,6 +71,8 @@ pub fn run_closed_loop(server: &Server, inputs: &[Vec<i8>], cfg: &LoadGenConfig)
     assert!(cfg.clients >= 1, "need at least one client");
 
     let t0 = Instant::now();
+    let queue_full_retries = AtomicU64::new(0);
+    let retries = &queue_full_retries;
     let per_client: Vec<Vec<(f64, usize)>> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..cfg.clients)
             .map(|ci| {
@@ -74,11 +80,21 @@ pub fn run_closed_loop(server: &Server, inputs: &[Vec<i8>], cfg: &LoadGenConfig)
                     let mut samples = Vec::with_capacity(cfg.requests_per_client);
                     for ri in 0..cfg.requests_per_client {
                         let model = &cfg.models[(ci + ri) % cfg.models.len()];
-                        let input =
-                            inputs[(ci * cfg.requests_per_client + ri) % inputs.len()].clone();
-                        let rx = server
-                            .submit_quantized(model, input)
-                            .expect("model registered");
+                        let input = &inputs[(ci * cfg.requests_per_client + ri) % inputs.len()];
+                        // A bounded queue may shed under overload: back off
+                        // and retry (closed-loop clients cannot leak work).
+                        // One clone per attempt — the no-shed fast path
+                        // clones exactly once, as before.
+                        let rx = loop {
+                            match server.submit_quantized(model, input.clone()) {
+                                Ok(rx) => break rx,
+                                Err(SubmitError::QueueFull { .. }) => {
+                                    retries.fetch_add(1, Ordering::Relaxed);
+                                    std::thread::yield_now();
+                                }
+                                Err(e) => panic!("submit failed: {e}"),
+                            }
+                        };
                         let reply = rx.recv().expect("server replied");
                         samples.push((reply.latency.as_secs_f64() * 1e3, reply.batch_size));
                     }
@@ -118,6 +134,7 @@ pub fn run_closed_loop(server: &Server, inputs: &[Vec<i8>], cfg: &LoadGenConfig)
         } else {
             batch_sum as f64 / total as f64
         },
+        queue_full_retries: queue_full_retries.into_inner(),
     }
 }
 
@@ -164,6 +181,7 @@ mod tests {
             ServeOptions {
                 max_batch: 4,
                 workers: 1,
+                ..Default::default()
             },
         );
         let report = run_closed_loop(

@@ -1,5 +1,5 @@
 //! Admission queue: arrival-ordered request intake with per-model batch
-//! coalescing.
+//! coalescing and a **bounded depth**.
 //!
 //! The queue is the boundary between request-level traffic and the
 //! batch-major engine: workers drain the **front run** of same-model
@@ -11,7 +11,13 @@
 //! * under load, batches fill to `max_batch` and every weight-stream
 //!   traversal amortizes across the whole batch;
 //! * when traffic runs dry, a ragged batch ships immediately — latency is
-//!   never traded for fill.
+//!   never traded for fill;
+//! * the depth is **bounded** ([`AdmissionQueue::bounded`]): past
+//!   `max_depth` waiting requests, admission rejects with a typed error
+//!   instead of letting memory and queueing latency grow without limit
+//!   (overload sheds at the front door, not in the workers). The peak
+//!   observed depth is tracked for capacity reporting
+//!   ([`AdmissionQueue::peak_depth`], surfaced in `BENCH_serve.json`).
 
 use std::collections::VecDeque;
 use std::sync::mpsc::Sender;
@@ -55,14 +61,34 @@ pub struct Batch {
     pub requests: Vec<Request>,
 }
 
+/// Why [`AdmissionQueue::push`] refused a request. The rejected request is
+/// handed back so the caller decides (retry, shed, reply with an error);
+/// dropping it closes the reply channel, which the client observes as a
+/// disconnect.
+pub struct QueueFull {
+    /// The refused request, returned to the caller.
+    pub request: Request,
+    /// The depth bound that was hit.
+    pub max_depth: usize,
+}
+
+/// Default admission bound: deep enough that a transient burst never sheds
+/// (workers drain thousands of requests per second), shallow enough that a
+/// stalled worker cannot buffer unbounded memory.
+pub const DEFAULT_MAX_DEPTH: usize = 1024;
+
 struct QueueState {
     queue: VecDeque<Request>,
+    /// Largest depth ever observed (capacity reporting).
+    peak: usize,
     closed: bool,
 }
 
-/// Blocking MPMC admission queue with batch-coalescing pop.
+/// Blocking MPMC admission queue with batch-coalescing pop and a bounded
+/// depth.
 pub struct AdmissionQueue {
     state: Mutex<QueueState>,
+    max_depth: usize,
     cv: Condvar,
 }
 
@@ -73,31 +99,61 @@ impl Default for AdmissionQueue {
 }
 
 impl AdmissionQueue {
-    /// Empty, open queue.
+    /// Empty, open queue at the default depth bound.
     pub fn new() -> Self {
+        Self::bounded(DEFAULT_MAX_DEPTH)
+    }
+
+    /// Empty, open queue rejecting pushes past `max_depth` waiting
+    /// requests.
+    pub fn bounded(max_depth: usize) -> Self {
+        assert!(max_depth >= 1, "max_depth must be at least 1");
         Self {
             state: Mutex::new(QueueState {
                 queue: VecDeque::new(),
+                peak: 0,
                 closed: false,
             }),
+            max_depth,
             cv: Condvar::new(),
         }
     }
 
-    /// Enqueue a request (ignored after [`AdmissionQueue::close`]).
-    pub fn push(&self, request: Request) {
+    /// The configured depth bound.
+    pub fn max_depth(&self) -> usize {
+        self.max_depth
+    }
+
+    /// Enqueue a request. Rejects with [`QueueFull`] when `max_depth`
+    /// requests are already waiting (overload shedding); requests pushed
+    /// after [`AdmissionQueue::close`] are accepted-and-dropped (the queue
+    /// is draining toward shutdown, the client sees a disconnect).
+    pub fn push(&self, request: Request) -> Result<(), QueueFull> {
         let mut st = self.state.lock().unwrap();
         if st.closed {
-            return;
+            return Ok(());
+        }
+        if st.queue.len() >= self.max_depth {
+            return Err(QueueFull {
+                request,
+                max_depth: self.max_depth,
+            });
         }
         st.queue.push_back(request);
+        st.peak = st.peak.max(st.queue.len());
         drop(st);
         self.cv.notify_one();
+        Ok(())
     }
 
     /// Requests currently waiting.
     pub fn len(&self) -> usize {
         self.state.lock().unwrap().queue.len()
+    }
+
+    /// Largest depth ever observed (until now).
+    pub fn peak_depth(&self) -> usize {
+        self.state.lock().unwrap().peak
     }
 
     /// True when no request is waiting.
@@ -174,7 +230,7 @@ mod tests {
 
     fn push(q: &AdmissionQueue, id: u64, model: &str) {
         let (r, rx) = req(id, model);
-        q.push(r);
+        assert!(q.push(r).is_ok(), "push {id} rejected");
         std::mem::forget(rx); // queue tests never reply
     }
 
@@ -229,6 +285,27 @@ mod tests {
         push(&q, 1, "a");
         assert!(q.next_batch(4).is_none());
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn bounded_queue_rejects_overload_and_tracks_peak() {
+        let q = AdmissionQueue::bounded(2);
+        assert_eq!(q.max_depth(), 2);
+        push(&q, 0, "a");
+        push(&q, 1, "a");
+        // Third push is shed with a typed error carrying the request back.
+        let (r, _rx) = req(2, "a");
+        let err = q.push(r).expect_err("over depth bound");
+        assert_eq!(err.max_depth, 2);
+        assert_eq!(err.request.id, 2);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peak_depth(), 2);
+        // Draining frees capacity; peak stays at the high-water mark.
+        let b = q.try_next_batch(8).expect("batch");
+        assert_eq!(ids(&b), vec![0, 1]);
+        push(&q, 3, "a");
+        assert_eq!(q.peak_depth(), 2);
+        assert_eq!(q.len(), 1);
     }
 
     #[test]

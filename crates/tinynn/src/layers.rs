@@ -182,6 +182,66 @@ impl MaxPool2 {
     }
 }
 
+/// Global average pool: collapses an `h×w×c` activation to one mean per
+/// channel (the modern replacement for the flatten-into-wide-FC head; the
+/// quantized engines implement it as an integer rounding average).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct GlobalAvgPool {
+    /// Input height.
+    pub in_h: usize,
+    /// Input width.
+    pub in_w: usize,
+    /// Channels.
+    pub c: usize,
+}
+
+impl GlobalAvgPool {
+    /// Spatial positions averaged per channel.
+    pub fn positions(&self) -> usize {
+        self.in_h * self.in_w
+    }
+
+    /// Output length per image (one value per channel).
+    pub fn out_len(&self) -> usize {
+        self.c
+    }
+
+    /// Input length per image.
+    pub fn in_len(&self) -> usize {
+        self.in_h * self.in_w * self.c
+    }
+
+    /// Forward: per-channel mean over all spatial positions.
+    pub fn forward(&self, x: &[f32]) -> Vec<f32> {
+        debug_assert_eq!(x.len(), self.in_len());
+        let n = self.positions();
+        let mut y = vec![0.0f32; self.c];
+        for p in 0..n {
+            for (ch, acc) in y.iter_mut().enumerate() {
+                *acc += x[p * self.c + ch];
+            }
+        }
+        for v in y.iter_mut() {
+            *v /= n as f32;
+        }
+        y
+    }
+
+    /// Backward: gradients broadcast back uniformly (`dy/positions`).
+    pub fn backward(&self, dy: &[f32]) -> Vec<f32> {
+        debug_assert_eq!(dy.len(), self.c);
+        let n = self.positions();
+        let scale = 1.0 / n as f32;
+        let mut dx = vec![0.0f32; self.in_len()];
+        for p in 0..n {
+            for (ch, &g) in dy.iter().enumerate() {
+                dx[p * self.c + ch] = g * scale;
+            }
+        }
+        dx
+    }
+}
+
 /// Fully-connected layer, weights `[out][in]`.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Dense {
@@ -252,6 +312,8 @@ pub enum Layer {
     Conv(Conv2d),
     /// 2×2/2 max-pool.
     Pool(MaxPool2),
+    /// Global average pool (per-channel spatial mean).
+    GlobalAvgPool(GlobalAvgPool),
     /// Elementwise ReLU (length recorded for shape checking).
     Relu(usize),
     /// Fully connected.
@@ -264,6 +326,7 @@ impl Layer {
         match self {
             Layer::Conv(c) => c.out_len(),
             Layer::Pool(p) => p.out_len(),
+            Layer::GlobalAvgPool(g) => g.out_len(),
             Layer::Relu(n) => *n,
             Layer::Dense(d) => d.out_dim,
         }
@@ -274,6 +337,7 @@ impl Layer {
         match self {
             Layer::Conv(c) => c.in_len(),
             Layer::Pool(p) => p.in_len(),
+            Layer::GlobalAvgPool(g) => g.in_len(),
             Layer::Relu(n) => *n,
             Layer::Dense(d) => d.in_dim,
         }

@@ -1,6 +1,6 @@
 //! Sequential model container with shape inference and backprop plumbing.
 
-use crate::layers::{Conv2d, Dense, Layer, MaxPool2};
+use crate::layers::{Conv2d, Dense, GlobalAvgPool, Layer, MaxPool2};
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
 use tinytensor::shape::ConvGeometry;
@@ -107,6 +107,10 @@ impl Sequential {
                     h = p.out_h();
                     w = p.out_w();
                 }
+                Layer::GlobalAvgPool(_) => {
+                    h = 1;
+                    w = 1;
+                }
                 Layer::Relu(_) => {}
                 Layer::Dense(d) => {
                     h = 1;
@@ -149,6 +153,19 @@ impl Sequential {
             "pool needs even dims, got {h}x{w}"
         );
         self.layers.push(Layer::Pool(MaxPool2 {
+            in_h: h,
+            in_w: w,
+            c,
+        }));
+        self
+    }
+
+    /// Append a global average pool collapsing the current `h×w×c` map to
+    /// one mean per channel.
+    pub fn global_avg_pool(mut self) -> Self {
+        let (h, w, c) = self.current_hwc();
+        assert!(h * w > 0, "global avg pool needs a spatial map");
+        self.layers.push(Layer::GlobalAvgPool(GlobalAvgPool {
             in_h: h,
             in_w: w,
             c,
@@ -212,6 +229,7 @@ impl Sequential {
             act = match l {
                 Layer::Conv(c) => c.forward(&act).0,
                 Layer::Pool(p) => p.forward(&act).0,
+                Layer::GlobalAvgPool(g) => g.forward(&act),
                 Layer::Relu(_) => {
                     let mut a = act;
                     for v in a.iter_mut() {
@@ -249,6 +267,10 @@ impl Sequential {
                     let (y, arg) = p.forward(&act);
                     aux.push(Aux::Argmax(arg));
                     y
+                }
+                Layer::GlobalAvgPool(g) => {
+                    aux.push(Aux::None);
+                    g.forward(&act)
                 }
                 Layer::Relu(_) => {
                     aux.push(Aux::None);
@@ -295,6 +317,9 @@ impl Sequential {
                         _ => unreachable!("pool layer must cache argmax"),
                     };
                     dact = p.backward(&dact, arg);
+                }
+                Layer::GlobalAvgPool(g) => {
+                    dact = g.backward(&dact);
                 }
                 Layer::Relu(_) => {
                     for (g, &x) in dact.iter_mut().zip(cache.inputs[li].iter()) {

@@ -79,6 +79,23 @@ pub fn mini_cifar(seed: u64) -> Sequential {
         .dense(10, true, &mut rng)
 }
 
+/// The GAP-headed variant of [`mini_cifar`]: the same conv trunk, but the
+/// flatten-into-FC head is replaced by a global average pool — the layer
+/// kind that exercises the ExecPlan IR's open layer set end-to-end across
+/// every engine (reference, compiled, batched, CMSIS-style, unpacked).
+pub fn mini_cifar_gap(seed: u64) -> Sequential {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Sequential::new("MiniCifarGap", cifar_input())
+        .conv_relu(8, 3, &mut rng)
+        .maxpool()
+        .conv_relu(12, 3, &mut rng)
+        .maxpool()
+        .conv_relu(16, 3, &mut rng)
+        .maxpool()
+        .global_avg_pool()
+        .dense(10, true, &mut rng)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -117,6 +134,24 @@ mod tests {
         let m = micro(0);
         assert!(m.macs() < 100_000);
         assert_eq!(m.topology(), "2-2-1");
+    }
+
+    #[test]
+    fn mini_cifar_gap_shapes() {
+        let m = mini_cifar_gap(0);
+        // GAP collapses the 4×4×16 map to 16; the head is a 16→10 dense.
+        assert_eq!(m.num_classes(), 10);
+        let gap = m
+            .layers
+            .iter()
+            .find_map(|l| match l {
+                crate::layers::Layer::GlobalAvgPool(g) => Some(*g),
+                _ => None,
+            })
+            .expect("has a global avg pool");
+        assert_eq!((gap.in_h, gap.in_w, gap.c), (4, 4, 16));
+        let x = vec![0.5f32; 32 * 32 * 3];
+        assert_eq!(m.forward_logits(&x).len(), 10);
     }
 
     #[test]

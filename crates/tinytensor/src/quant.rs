@@ -191,6 +191,23 @@ pub fn requantize_to_i8(acc: i32, mult: RequantMultiplier, out_zp: i32) -> i8 {
     (mult.apply(acc) + out_zp).clamp(-128, 127) as i8
 }
 
+/// Integer average with round-to-nearest, ties away from zero — the
+/// `arm_avgpool_s8` rounding (`(sum ± count/2) / count` with truncating
+/// division). Average pooling keeps the input quantization (same scale and
+/// zero point), so this is the *entire* output stage of a quantized average
+/// pool; every engine must use this exact helper to stay bit-exact.
+#[inline(always)]
+pub fn avg_round(sum: i32, count: i32) -> i8 {
+    debug_assert!(count > 0);
+    let half = count / 2;
+    let v = if sum >= 0 {
+        (sum + half) / count
+    } else {
+        (sum - half) / count
+    };
+    v.clamp(-128, 127) as i8
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -287,5 +304,16 @@ mod tests {
         assert_eq!(requantize_to_i8(1000, m, 0), 127);
         assert_eq!(requantize_to_i8(-1000, m, 0), -128);
         assert_eq!(requantize_to_i8(5, m, 3), 8);
+    }
+
+    #[test]
+    fn avg_round_ties_away_from_zero() {
+        assert_eq!(avg_round(10, 4), 3); // 2.5 -> 3
+        assert_eq!(avg_round(-10, 4), -3); // -2.5 -> -3
+        assert_eq!(avg_round(9, 4), 2); // 2.25 -> 2
+        assert_eq!(avg_round(-9, 4), -2);
+        assert_eq!(avg_round(0, 7), 0);
+        assert_eq!(avg_round(127 * 4, 4), 127);
+        assert_eq!(avg_round(-128 * 4, 4), -128);
     }
 }

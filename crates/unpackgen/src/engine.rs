@@ -1,10 +1,18 @@
 //! Cycle-accounted executor for unpacked (and skipped) models.
+//!
+//! Traversal is plan-driven: the engine lowers its model once into a
+//! [`quantize::ExecPlan`] and walks it through a [`quantize::ExecBackend`]
+//! whose executors run the straight-line unpacked conv programs and the
+//! compile-time-specialized exact kernels.
 
 use crate::stream::{UnpackOptions, UnpackedConv};
 use mcusim::{CostModel, Event, ExecStats};
+use quantize::plan::{
+    ConvSegment, DenseSegment, ExecBackend, ExecPlan, GapSegment, LogitsSegment, PoolSegment,
+};
 use quantize::{QDense, QLayer, QuantModel, SkipMaskSet};
 use tinytensor::im2col::{patch_offsets, PAD_OFFSET};
-use tinytensor::quant::requantize_to_i8;
+use tinytensor::quant::{avg_round, requantize_to_i8};
 use tinytensor::simd::{pack_i16x2, smlad};
 
 /// Engine running a model whose convolutions are unpacked straight-line
@@ -12,6 +20,8 @@ use tinytensor::simd::{pack_i16x2, smlad};
 /// exact kernels (no runtime parameter decoding).
 pub struct UnpackedEngine<'m> {
     model: &'m QuantModel,
+    /// The model lowered once; every inference walks these segments.
+    plan: ExecPlan,
     convs: Vec<UnpackedConv>,
     /// Precomputed patch-offset tables per conv ordinal (the direct
     /// addressing the generated code uses instead of im2col).
@@ -42,6 +52,7 @@ impl<'m> UnpackedEngine<'m> {
         }
         Self {
             model,
+            plan: ExecPlan::lower(model),
             convs,
             offsets,
             cost: CostModel::cortex_m33(),
@@ -89,26 +100,13 @@ impl<'m> UnpackedEngine<'m> {
     /// Run one inference on a pre-quantized input.
     pub fn infer_quantized(&self, qinput: &[i8]) -> (Vec<i8>, ExecStats) {
         assert_eq!(qinput.len(), self.model.input_shape.item_len());
-        let mut act = qinput.to_vec();
-        let mut stats = ExecStats::new();
-        let mut ordinal = 0usize;
-        for layer in &self.model.layers {
-            match layer {
-                QLayer::Conv(_) => {
-                    act = self.conv_unpacked(ordinal, &act, &mut stats);
-                    ordinal += 1;
-                }
-                QLayer::Pool(p) => {
-                    act = pool_specialized(p.in_h, p.in_w, p.c, &act, &mut stats);
-                }
-                QLayer::Dense(d) => {
-                    act = dense_specialized(d, &act, &mut stats);
-                }
-            }
-            stats.charge(Event::CallOverhead, 1);
-        }
-        stats.charge(Event::SoftmaxOp, act.len() as u64);
-        (act, stats)
+        let mut backend = UnpackBackend {
+            engine: self,
+            act: qinput.to_vec(),
+            stats: ExecStats::new(),
+        };
+        self.plan.execute(&mut backend);
+        (backend.act, backend.stats)
     }
 
     /// Predicted class.
@@ -175,6 +173,43 @@ impl<'m> UnpackedEngine<'m> {
     }
 }
 
+/// The unpacked backend: straight-line conv channel programs, specialized
+/// exact kernels for the non-conv segments, one shared stats block.
+struct UnpackBackend<'r, 'm> {
+    engine: &'r UnpackedEngine<'m>,
+    act: Vec<i8>,
+    stats: ExecStats,
+}
+
+impl ExecBackend for UnpackBackend<'_, '_> {
+    fn conv(&mut self, seg: &ConvSegment) {
+        self.act = self
+            .engine
+            .conv_unpacked(seg.ordinal, &self.act, &mut self.stats);
+        self.stats.charge(Event::CallOverhead, 1);
+    }
+
+    fn pool(&mut self, seg: &PoolSegment) {
+        self.act = pool_specialized(seg.in_h, seg.in_w, seg.c, &self.act, &mut self.stats);
+        self.stats.charge(Event::CallOverhead, 1);
+    }
+
+    fn global_avg_pool(&mut self, seg: &GapSegment) {
+        self.act = gap_specialized(seg.positions, seg.c, &self.act, &mut self.stats);
+        self.stats.charge(Event::CallOverhead, 1);
+    }
+
+    fn dense(&mut self, seg: &DenseSegment) {
+        let d = self.engine.model.dense_at(seg.layer_idx);
+        self.act = dense_specialized(d, &self.act, &mut self.stats);
+        self.stats.charge(Event::CallOverhead, 1);
+    }
+
+    fn logits(&mut self, seg: &LogitsSegment) {
+        self.stats.charge(Event::SoftmaxOp, seg.out_len as u64);
+    }
+}
+
 /// Specialized max-pool: same arithmetic as the baseline kernel, but no
 /// runtime parameter decoding (dims are compile-time constants).
 fn pool_specialized(
@@ -200,6 +235,23 @@ fn pool_specialized(
     }
     stats.charge(Event::PoolCompare, (oh * ow * ch * 4) as u64);
     stats.charge(Event::Elementwise, (oh * ow * ch) as u64);
+    out
+}
+
+/// Specialized global average pool: identical arithmetic to the baseline
+/// kernel ([`tinytensor::quant::avg_round`] output stage), compile-time
+/// dims — same event mix minus the interpreter overheads.
+fn gap_specialized(positions: usize, ch: usize, input: &[i8], stats: &mut ExecStats) -> Vec<i8> {
+    let mut out = vec![0i8; ch];
+    for (c, slot) in out.iter_mut().enumerate() {
+        let mut sum = 0i32;
+        for p in 0..positions {
+            sum += input[p * ch + c] as i32;
+        }
+        *slot = avg_round(sum, positions as i32);
+    }
+    stats.charge(Event::AvgAccum, (positions * ch) as u64);
+    stats.charge(Event::Requant, ch as u64);
     out
 }
 

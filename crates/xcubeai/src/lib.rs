@@ -23,7 +23,8 @@
 //! `EXPERIMENTS.md`.
 
 use mcusim::{CostModel, Event, ExecStats, FlashLayout, RamEstimate};
-use quantize::{QLayer, QuantModel};
+use quantize::plan::{ExecPlan, Segment};
+use quantize::QuantModel;
 
 /// X-CUBE-AI runtime code size (trimmed, per-model generated network code).
 pub const XCUBE_RUNTIME_BYTES: u64 = 18 * 1024;
@@ -37,6 +38,8 @@ pub const XCUBE_RAM_OVERHEAD: u64 = 96 * 1024;
 /// The simulated X-CUBE-AI engine.
 pub struct XCubeEngine<'m> {
     model: &'m QuantModel,
+    /// The model lowered once; `stats()` reads these segments per call.
+    plan: ExecPlan,
     cost: CostModel,
 }
 
@@ -45,6 +48,7 @@ impl<'m> XCubeEngine<'m> {
     pub fn new(model: &'m QuantModel) -> Self {
         Self {
             model,
+            plan: ExecPlan::lower(model),
             cost: CostModel::cortex_m33(),
         }
     }
@@ -66,19 +70,21 @@ impl<'m> XCubeEngine<'m> {
     }
 
     /// Analytic statistics of the graph-compiled engine (input-independent,
-    /// like every exact engine here).
+    /// like every exact engine here) — read off the model's
+    /// [`ExecPlan`] segments (shapes and MAC counts are the plan's cost
+    /// hooks; no re-derivation from `QLayer`).
     pub fn stats(&self) -> ExecStats {
         let mut stats = ExecStats::new();
-        for layer in &self.model.layers {
-            stats.charge(Event::CallOverhead, 1);
-            match layer {
-                QLayer::Conv(c) => {
-                    let patch = c.geom.patch_len();
-                    let positions = c.geom.out_positions() as u64;
-                    let out_c = c.geom.out_c as u64;
+        for seg in self.plan.segments() {
+            match seg {
+                Segment::Conv(s) => {
+                    stats.charge(Event::CallOverhead, 1);
+                    let patch = s.patch;
+                    let positions = s.positions as u64;
+                    let out_c = s.geom.out_c as u64;
                     let pairs = (patch / 2) as u64;
                     let smlads = positions * out_c * pairs;
-                    stats.add_macs(positions * out_c * patch as u64);
+                    stats.add_macs(s.macs);
                     stats.charge(Event::Smlad, smlads);
                     stats.charge(Event::InputLoad, smlads / 2);
                     // planned layout: half the gather/widen traffic
@@ -93,29 +99,37 @@ impl<'m> XCubeEngine<'m> {
                     stats.charge(Event::BiasInit, positions * out_c);
                     stats.charge(Event::Requant, positions * out_c);
                 }
-                QLayer::Pool(p) => {
-                    let out = p.out_len() as u64;
+                Segment::Pool(s) => {
+                    stats.charge(Event::CallOverhead, 1);
+                    let out = s.out_len as u64;
                     stats.charge(Event::PoolCompare, out * 4);
                     stats.charge(Event::Elementwise, out);
                 }
-                QLayer::Dense(d) => {
-                    let smlads = (d.out_dim * (d.in_dim / 2)) as u64;
-                    stats.add_macs((d.out_dim * d.in_dim) as u64);
-                    stats.charge(Event::InputPack, d.in_dim as u64 / 2);
+                Segment::GlobalAvgPool(s) => {
+                    stats.charge(Event::CallOverhead, 1);
+                    stats.charge(Event::AvgAccum, (s.positions * s.c) as u64);
+                    stats.charge(Event::Requant, s.c as u64);
+                }
+                Segment::Dense(s) => {
+                    stats.charge(Event::CallOverhead, 1);
+                    let smlads = (s.out_dim * (s.in_dim / 2)) as u64;
+                    stats.add_macs(s.macs);
+                    stats.charge(Event::InputPack, s.in_dim as u64 / 2);
                     stats.charge(Event::Smlad, smlads);
                     stats.charge(Event::InputLoad, smlads / 2);
                     stats.charge(Event::WeightLoad, smlads / 2);
                     stats.charge(Event::LoopOverhead, smlads / 4);
-                    if d.in_dim % 2 == 1 {
-                        stats.charge(Event::MacSingle, d.out_dim as u64);
+                    if s.in_dim % 2 == 1 {
+                        stats.charge(Event::MacSingle, s.out_dim as u64);
                     }
-                    stats.charge(Event::BiasInit, d.out_dim as u64);
-                    stats.charge(Event::Requant, d.out_dim as u64);
+                    stats.charge(Event::BiasInit, s.out_dim as u64);
+                    stats.charge(Event::Requant, s.out_dim as u64);
+                }
+                Segment::Logits(s) => {
+                    stats.charge(Event::SoftmaxOp, s.out_len as u64);
                 }
             }
         }
-        let last = self.model.layers.last().map(|l| l.out_len()).unwrap_or(0) as u64;
-        stats.charge(Event::SoftmaxOp, last);
         stats
     }
 

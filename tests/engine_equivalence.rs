@@ -1,0 +1,232 @@
+//! Cross-engine equivalence over the **open layer set**: for any random
+//! model shape (including the global-average-pool layer, models ending on
+//! a pool/GAP, and multi-conv stacks) and any random τ-style skip masks,
+//! every engine that consumes the shared `ExecPlan` must produce
+//! bit-identical logits:
+//!
+//! * masked: boolean reference ≡ compiled per-image ≡ batch-major (all
+//!   batch splits incl. ragged) ≡ unpacked straight-line;
+//! * exact (no masks): the above plus the CMSIS-style engine and the
+//!   X-CUBE-AI comparator.
+//!
+//! This is the acceptance property of the ExecPlan refactor: one walker,
+//! five backends, one ground truth.
+
+use ataman_repro::prelude::*;
+use proptest::prelude::*;
+use quantize::{BatchScratch, CompiledMasks, ForwardScratch};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tinytensor::Shape4;
+
+/// Build a small random CNN over 8×8×2 inputs. `head` picks the tail
+/// shape, exercising every segment kind and epilogue layout:
+/// 0 = pool→dense, 1 = GAP→dense, 2 = pool→GAP→dense, 3 = dense (flatten),
+/// 4 = GAP (model ends on the pooled channel vector), 5 = pool (model ends
+/// planar — the logits epilogue must unbatch).
+fn random_model(seed: u64, convs: usize, width: usize, kernel: usize, head: u8) -> Sequential {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut m = Sequential::new("eq", Shape4::nhwc(1, 8, 8, 2));
+    for _ in 0..convs {
+        m = m.conv_relu(width, kernel, &mut rng);
+    }
+    match head % 6 {
+        0 => m.maxpool().dense(4, true, &mut rng),
+        1 => m.global_avg_pool().dense(4, true, &mut rng),
+        2 => m.maxpool().global_avg_pool().dense(4, true, &mut rng),
+        3 => m.dense(4, true, &mut rng),
+        4 => m.global_avg_pool(),
+        _ => m.maxpool(),
+    }
+}
+
+fn quantized(model: &Sequential, seed: u64, n: usize) -> (QuantModel, cifar10sim::Dataset) {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xBEEF);
+    let len = 8 * 8 * 2;
+    let flat: Vec<f32> = (0..n * len).map(|_| rng.gen_range(0.0f32..1.0)).collect();
+    let labels: Vec<u8> = (0..n).map(|_| rng.gen_range(0u8..4)).collect();
+    let ds = cifar10sim::Dataset {
+        images: tinytensor::Tensor::from_vec(Shape4::nhwc(n, 8, 8, 2), flat).unwrap(),
+        labels,
+    };
+    let ranges = calibrate_ranges(model, &ds);
+    let q = quantize_model(model, &ranges);
+    (q, ds)
+}
+
+fn random_masks(q: &QuantModel, seed: u64, skip_mod: u64) -> SkipMaskSet {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xFEED);
+    let n = q.conv_indices().len();
+    let mut masks = SkipMaskSet::none(n);
+    for k in 0..n {
+        let c = q.conv(k);
+        let len = c.geom.out_c * c.patch_len();
+        masks.per_conv[k] = Some(
+            (0..len)
+                .map(|_| rng.gen_range(0u64..skip_mod) == 0)
+                .collect(),
+        );
+    }
+    masks
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// All five plan-consuming engines (and the X-CUBE comparator) agree
+    /// bit-for-bit on exact models; the four mask-capable paths agree under
+    /// random skip masks — for every head shape and batch split.
+    #[test]
+    fn five_engines_bit_exact(
+        seed in 0u64..5000,
+        convs in 1usize..4,
+        width in 2usize..5,
+        kernel in prop::sample::select(vec![1usize, 3]),
+        head in 0u8..6,
+        skip_mod in 2u64..9,
+        batch in 1usize..6,
+    ) {
+        let model = random_model(seed, convs, width, kernel, head);
+        let n_images = 5; // prime: batch sizes 2..=4 leave a ragged tail
+        let (q, ds) = quantized(&model, seed, n_images);
+        let in_len = q.input_shape.item_len();
+        let qinputs: Vec<Vec<i8>> =
+            (0..n_images).map(|i| q.quantize_input(ds.image(i))).collect();
+
+        // --- exact: reference ≡ cmsis ≡ xcube ≡ unpacked ≡ compiled ------
+        let cmsis = CmsisEngine::new(&q);
+        let xcube = XCubeEngine::new(&q);
+        let unpacked = UnpackedEngine::new(&q, None, UnpackOptions::default());
+        for (i, qin) in qinputs.iter().enumerate() {
+            let want = q.forward_quantized(qin, None);
+            prop_assert_eq!(&cmsis.infer_quantized(qin).0, &want, "cmsis img {}", i);
+            prop_assert_eq!(&xcube.infer(ds.image(i)).0, &want, "xcube img {}", i);
+            prop_assert_eq!(&unpacked.infer_quantized(qin).0, &want, "unpacked img {}", i);
+            prop_assert_eq!(&q.forward_compiled(qin, None), &want, "compiled img {}", i);
+        }
+
+        // --- masked: reference ≡ compiled ≡ batch ≡ unpacked -------------
+        let masks = random_masks(&q, seed, skip_mod);
+        let compiled = CompiledMasks::compile(&q, &masks);
+        let unpacked_m = UnpackedEngine::new(&q, Some(&masks), UnpackOptions::default());
+        let mut fs = ForwardScratch::for_model(&q);
+        let mut refs = Vec::new();
+        for (i, qin) in qinputs.iter().enumerate() {
+            let want = q.forward_quantized(qin, Some(&masks));
+            prop_assert_eq!(&unpacked_m.infer_quantized(qin).0, &want, "unpacked masked {}", i);
+            let got = q.forward_compiled_scratch(qin, None, Some(&compiled), &mut fs);
+            prop_assert_eq!(&got, &want, "compiled masked {}", i);
+            refs.push(want);
+        }
+        // Batched, in ragged splits of `batch`.
+        let out_len = refs[0].len();
+        let mut bs = BatchScratch::for_model(&q, batch.min(n_images));
+        let mut start = 0usize;
+        while start < n_images {
+            let b = batch.min(n_images - start);
+            let mut flat = Vec::with_capacity(b * in_len);
+            for qin in &qinputs[start..start + b] {
+                flat.extend_from_slice(qin);
+            }
+            let got = q.forward_compiled_batch_scratch(&flat, b, None, Some(&compiled), &mut bs);
+            for i in 0..b {
+                prop_assert_eq!(
+                    &got[i * out_len..(i + 1) * out_len],
+                    &refs[start + i][..],
+                    "batched masked, start {} lane {}", start, i
+                );
+            }
+            start += b;
+        }
+    }
+
+    /// The checkpoint-resumed batch path handles GAP-bearing models: chain
+    /// of per-conv advances ≡ monolithic batched predictions.
+    #[test]
+    fn checkpoint_resume_handles_gap_models(
+        seed in 0u64..5000,
+        convs in 1usize..3,
+        width in 2usize..5,
+        head in prop::sample::select(vec![1u8, 2, 4]),
+        skip_mod in 2u64..7,
+        batch in 1usize..5,
+    ) {
+        let model = random_model(seed, convs, width, 3, head);
+        let (q, ds) = quantized(&model, seed, batch);
+        let masks = random_masks(&q, seed, skip_mod);
+        let compiled = CompiledMasks::compile(&q, &masks);
+        let mut flat = Vec::new();
+        for i in 0..batch {
+            flat.extend(q.quantize_input(ds.image(i)));
+        }
+        let mut bs = BatchScratch::for_model(&q, batch);
+        let want = q.predict_compiled_batch_scratch(&flat, batch, None, Some(&compiled), &mut bs);
+
+        let mut cur = q.batch_start(&flat, batch, &mut bs);
+        let mut next = quantize::BatchCheckpoint::empty();
+        let mut cols = Vec::new();
+        while let Some(k) = cur.next_conv_ordinal() {
+            q.batch_fill_conv_cols(&cur, &mut bs, &mut cols);
+            q.batch_advance_into(&cur, compiled.per_conv[k].as_ref(), Some(&cols), &mut bs, &mut next);
+            std::mem::swap(&mut cur, &mut next);
+        }
+        prop_assert!(cur.is_complete());
+        let mut preds = Vec::new();
+        q.batch_checkpoint_predictions_into(&cur, &mut preds);
+        prop_assert_eq!(preds, want);
+    }
+}
+
+/// The GAP-headed zoo model runs end-to-end through every engine, the DSE
+/// and the analytic estimators (the "one segment executor per backend"
+/// acceptance check for the opened layer set).
+#[test]
+fn zoo_gap_model_reaches_all_backends() {
+    let data = generate(DatasetConfig::tiny(77));
+    let m = zoo::mini_cifar_gap(77);
+    let ranges = calibrate_ranges(&m, &data.train.take(8));
+    let q = quantize_model(&m, &ranges);
+
+    let cmsis = CmsisEngine::new(&q);
+    let unpacked = UnpackedEngine::new(&q, None, UnpackOptions::default());
+    let xcube = XCubeEngine::new(&q);
+    for i in 0..6 {
+        let img = data.test.image(i);
+        let want = q.forward(img);
+        assert_eq!(cmsis.infer(img).0, want, "cmsis img {i}");
+        assert_eq!(unpacked.infer(img).0, want, "unpacked img {i}");
+        assert_eq!(xcube.infer(img).0, want, "xcube img {i}");
+        assert_eq!(
+            q.forward_compiled(&q.quantize_input(img), None),
+            want,
+            "compiled img {i}"
+        );
+    }
+    // Cycle accounting covers the GAP segment in engine and estimator alike.
+    let (_, measured) = unpacked.infer(data.test.image(0));
+    let estimated = dse::estimate_stats(&q, None, UnpackOptions::default());
+    assert_eq!(
+        estimated, measured,
+        "analytic estimator ≡ engine on GAP model"
+    );
+    assert!(measured.count(mcusim::Event::AvgAccum) > 0, "GAP charged");
+
+    // The DSE explores the GAP model bit-exactly through the trie path.
+    let means = capture_mean_inputs(&q, &data.train.take(8));
+    let sig = SignificanceMap::compute(&q, &means);
+    let configs: Vec<TauAssignment> = [0.0, 0.01, 0.05]
+        .iter()
+        .map(|&t| TauAssignment::global(t))
+        .collect();
+    let opts = dse::ExploreOptions {
+        eval_images: 16,
+        ..Default::default()
+    };
+    let fast = dse::explore(&q, &sig, &data.test, &configs, &opts);
+    let slow = dse::explore_reference(&q, &sig, &data.test, &configs, &opts);
+    for (a, b) in fast.iter().zip(&slow) {
+        assert_eq!(a.accuracy, b.accuracy);
+        assert_eq!(a.est_cycles, b.est_cycles);
+        assert_eq!(a.est_flash, b.est_flash);
+    }
+}
