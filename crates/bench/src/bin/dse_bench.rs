@@ -254,17 +254,41 @@ fn main() {
         eval_batch
     );
 
+    // Residual (DAG-shaped) workload: the mini-ResNet explored over a
+    // 5-layer grid — the trie must share prefixes *through* the residual
+    // joins and stay bit-exact with the boolean reference. Quantized from
+    // random init (bit-exactness and throughput don't need a trained
+    // model).
+    let resnet = tinynn::zoo::mini_resnet(0xD5EB);
+    let r_ranges = calibrate_ranges(&resnet, &data.train.take(32));
+    let rq = quantize_model(&resnet, &r_ranges);
+    let r_means = capture_mean_inputs(&rq, &data.train.take(32));
+    let r_sig = SignificanceMap::compute(&rq, &r_means);
+    assert_eq!(rq.conv_indices().len(), 5, "mini_resnet has 5 convs");
+    let resnet_grid = layered_grid(&[
+        vec![None, t(0.01)],
+        vec![t(0.0), t(0.02)],
+        vec![t(0.01)],
+        vec![t(0.0), t(0.03)],
+        vec![t(0.01), t(0.05)],
+    ]);
+    assert_eq!(resnet_grid.len(), 16);
+
     let mut grids = Vec::new();
-    for (name, configs) in [("grid24", &grid24), ("grid64", &grid64)] {
-        let trie = TauTrie::build(n_convs, configs);
+    for (name, model, sigmap, configs) in [
+        ("grid24", &q, &sig, &grid24),
+        ("grid64", &q, &sig, &grid64),
+        ("resnet16", &rq, &r_sig, &resnet_grid),
+    ] {
+        let trie = TauTrie::build(model.conv_indices().len(), configs);
         let (baseline, base_out) = time_path(configs.len(), || {
-            explore_reference(&q, &sig, &data.test, configs, &opts)
+            explore_reference(model, sigmap, &data.test, configs, &opts)
         });
         let (independent, indep_out) = time_path(configs.len(), || {
-            explore_independent(&q, &sig, &data.test, configs, &opts)
+            explore_independent(model, sigmap, &data.test, configs, &opts)
         });
         let (trie_stats, trie_out) = time_path(configs.len(), || {
-            explore(&q, &sig, &data.test, configs, &opts)
+            explore(model, sigmap, &data.test, configs, &opts)
         });
         let bit_exact = designs_equal(&trie_out, &base_out) && designs_equal(&trie_out, &indep_out);
         let g = GridReport {

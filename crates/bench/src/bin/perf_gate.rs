@@ -145,6 +145,10 @@ const SPECS: &[Spec] = &[
                 field: "queue_full_retries",
                 gate: Gate::Info,
             },
+            Metric {
+                field: "max_submit_attempts",
+                gate: Gate::Info,
+            },
         ],
     },
     Spec {

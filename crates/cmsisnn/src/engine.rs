@@ -7,9 +7,10 @@
 
 use mcusim::{CostModel, Event, ExecStats};
 use quantize::plan::{
-    ConvSegment, DenseSegment, ExecBackend, ExecPlan, GapSegment, LogitsSegment, PoolSegment,
+    AddSegment, ConvSegment, DenseSegment, ExecBackend, ExecPlan, GapSegment, LogitsSegment,
+    PoolSegment,
 };
-use quantize::{QConv, QDense, QuantModel};
+use quantize::{QAdd, QConv, QDense, QuantModel};
 use tinytensor::im2col::fill_im2col_i8;
 use tinytensor::quant::{avg_round, requantize_to_i8};
 use tinytensor::simd::{pack_i16x2, smlad};
@@ -89,6 +90,7 @@ impl<'m> CmsisEngine<'m> {
         let mut backend = CmsisBackend {
             model: self.model,
             act: qinput.to_vec(),
+            stash: vec![Vec::new(); self.plan.n_stash_slots()],
             profiles: Vec::with_capacity(self.model.layers.len() + 1),
         };
         self.plan.execute(&mut backend);
@@ -101,6 +103,9 @@ impl<'m> CmsisEngine<'m> {
 struct CmsisBackend<'m> {
     model: &'m QuantModel,
     act: Vec<i8>,
+    /// Residual stash buffers (NHWC, like every activation here). A real
+    /// CMSIS arena aliases the branch buffer, so stashing charges nothing.
+    stash: Vec<Vec<i8>>,
     profiles: Vec<LayerProfile>,
 }
 
@@ -156,6 +161,21 @@ impl ExecBackend for CmsisBackend<'_> {
             label: format!("fc{} ({}->{})", seg.layer_idx, seg.in_dim, seg.out_dim),
             stats,
         });
+    }
+
+    fn add(&mut self, seg: &AddSegment) {
+        let a = self.model.add_at(seg.layer_idx);
+        let mut stats = Self::interpreter_stats();
+        self.act = add_s8(a, &self.stash[seg.slot], &self.act, &mut stats);
+        self.profiles.push(LayerProfile {
+            label: format!("add{} ({})", seg.layer_idx, seg.len),
+            stats,
+        });
+    }
+
+    fn stash(&mut self, slot: usize, _len: usize) {
+        // Zero-cost: the arena planner aliases the skip branch's buffer.
+        self.stash[slot] = self.act.clone();
     }
 
     fn logits(&mut self, seg: &LogitsSegment) {
@@ -231,6 +251,21 @@ fn conv_s8(c: &QConv, input: &[i8], stats: &mut ExecStats) -> Vec<i8> {
     stats.charge(Event::Requant, (positions * out_c) as u64);
     // mat_mult is invoked once per two columns.
     stats.charge(Event::CallOverhead, positions.div_ceil(2) as u64);
+    out
+}
+
+/// `arm_elementwise_add_s8`: per element, each branch is centered and
+/// folded to the output scale, summed and saturated — the shared
+/// [`QAdd::apply`] output stage, so results are bit-exact with every other
+/// engine by construction.
+fn add_s8(a: &QAdd, lhs: &[i8], rhs: &[i8], stats: &mut ExecStats) -> Vec<i8> {
+    debug_assert_eq!(lhs.len(), a.len);
+    debug_assert_eq!(rhs.len(), a.len);
+    let mut out = vec![0i8; a.len];
+    for ((o, &l), &r) in out.iter_mut().zip(lhs).zip(rhs) {
+        *o = a.apply(l, r);
+    }
+    stats.charge(Event::AddRequant, a.len as u64);
     out
 }
 

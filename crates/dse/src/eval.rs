@@ -409,6 +409,13 @@ fn estimate_stats_plan(
                 stats.charge(Event::Requant, s.out_dim as u64);
                 stats.charge(Event::CallOverhead, 1);
             }
+            Segment::Add(s) => {
+                // τ-independent residual join: the engine's specialized
+                // two-input requantize per element. Stash side-outputs
+                // charge nothing (static schedules alias the skip buffer).
+                stats.charge(Event::AddRequant, s.len as u64);
+                stats.charge(Event::CallOverhead, 1);
+            }
             Segment::Logits(s) => {
                 stats.charge(Event::SoftmaxOp, s.out_len as u64);
             }
@@ -486,9 +493,11 @@ fn estimate_flash_plan(
                 let d = model.dense_at(s.layer_idx);
                 total += (d.weights.len() + 4 * d.bias.len()) as u64;
             }
-            // Pools/GAP fold into the specialized library code; the logits
-            // epilogue emits no flash.
-            Segment::Pool(_) | Segment::GlobalAvgPool(_) | Segment::Logits(_) => {}
+            // Pools/GAP/residual adds fold into the specialized library
+            // code (`unpacked_flash_layout` attributes no per-layer bytes
+            // to them either); the logits epilogue emits no flash.
+            Segment::Pool(_) | Segment::GlobalAvgPool(_) | Segment::Add(_) | Segment::Logits(_) => {
+            }
         }
     }
     total

@@ -11,32 +11,34 @@ use crate::eval::EvaluatedDesign;
 pub fn pareto_front(designs: &[EvaluatedDesign]) -> Vec<usize> {
     let mut order: Vec<usize> = (0..designs.len()).collect();
     // Sort by reduction descending, accuracy descending as tiebreak.
+    // `total_cmp` keeps the sort total even if an accuracy comes back NaN
+    // (a degenerate eval subset must not panic mid-explore; NaN designs
+    // sort deterministically and never dominate anything — `NaN > x` below
+    // is false).
     order.sort_by(|&a, &b| {
         designs[b]
             .conv_mac_reduction
-            .partial_cmp(&designs[a].conv_mac_reduction)
-            .unwrap()
-            .then(
-                designs[b]
-                    .accuracy
-                    .partial_cmp(&designs[a].accuracy)
-                    .unwrap(),
-            )
+            .total_cmp(&designs[a].conv_mac_reduction)
+            .then(designs[b].accuracy.total_cmp(&designs[a].accuracy))
             .then(a.cmp(&b))
     });
     let mut front = Vec::new();
     let mut best_acc = f32::NEG_INFINITY;
-    let mut last_red = f64::INFINITY;
     for &i in &order {
-        let d = &designs[i];
-        if d.accuracy > best_acc {
-            // strictly better accuracy than anything with >= reduction
-            // (duplicates on both axes keep only the first in sort order)
-            if !(d.accuracy == best_acc && d.conv_mac_reduction == last_red) {
-                front.push(i);
-            }
-            best_acc = d.accuracy;
-            last_red = d.conv_mac_reduction;
+        // A NaN on either axis cannot sit on a dominance front (every
+        // comparison against it is false); skip it rather than letting
+        // total_cmp's "NaN sorts greatest" rank it as the best reduction
+        // and shadow legitimate designs.
+        if designs[i].conv_mac_reduction.is_nan() || designs[i].accuracy.is_nan() {
+            continue;
+        }
+        // Strictly better accuracy than anything with ≥ reduction joins
+        // the front; exact duplicates on both axes fail the strict test
+        // (only the first in sort order survives), so no separate
+        // duplicate guard is needed.
+        if designs[i].accuracy > best_acc {
+            front.push(i);
+            best_acc = designs[i].accuracy;
         }
     }
     front.reverse(); // increasing reduction
@@ -60,9 +62,9 @@ pub fn select_for_accuracy_loss<'d>(
         .map(|&i| &designs[i])
         .filter(|d| d.accuracy >= bound)
         .max_by(|a, b| {
+            // `total_cmp`: a NaN reduction cannot panic the selection.
             a.conv_mac_reduction
-                .partial_cmp(&b.conv_mac_reduction)
-                .unwrap()
+                .total_cmp(&b.conv_mac_reduction)
                 .then(b.est_cycles.cmp(&a.est_cycles).reverse())
         })
 }
@@ -124,6 +126,52 @@ mod tests {
     fn duplicates_collapse() {
         let designs = vec![d(0.7, 0.2), d(0.7, 0.2), d(0.7, 0.2)];
         assert_eq!(pareto_front(&designs).len(), 1);
+    }
+
+    #[test]
+    fn ties_on_one_axis_keep_only_the_dominant_point() {
+        // Same reduction, different accuracy: only the more accurate one.
+        let designs = vec![d(0.70, 0.30), d(0.65, 0.30)];
+        assert_eq!(pareto_front(&designs), vec![0]);
+        // Same accuracy, different reduction: only the more reduced one.
+        let designs = vec![d(0.70, 0.10), d(0.70, 0.40)];
+        assert_eq!(pareto_front(&designs), vec![1]);
+    }
+
+    #[test]
+    fn duplicate_mixed_with_distinct_points_collapses_once() {
+        let designs = vec![d(0.70, 0.30), d(0.70, 0.30), d(0.72, 0.10), d(0.60, 0.50)];
+        let front = pareto_front(&designs);
+        let pts: Vec<(f32, f64)> = front
+            .iter()
+            .map(|&i| (designs[i].accuracy, designs[i].conv_mac_reduction))
+            .collect();
+        assert_eq!(pts, vec![(0.72, 0.10), (0.70, 0.30), (0.60, 0.50)]);
+    }
+
+    #[test]
+    fn nan_accuracy_never_panics_and_never_dominates() {
+        let mut nan = d(0.0, 0.2);
+        nan.accuracy = f32::NAN;
+        let designs = vec![d(0.70, 0.10), nan, d(0.60, 0.50)];
+        let front = pareto_front(&designs); // must not panic
+        assert!(!front.contains(&1), "NaN design must not join the front");
+        let pts: Vec<f64> = front
+            .iter()
+            .map(|&i| designs[i].conv_mac_reduction)
+            .collect();
+        assert_eq!(pts, vec![0.10, 0.50]);
+        // Selection filters NaN out (NaN >= bound is false) and must not
+        // panic either.
+        let pick = select_for_accuracy_loss(&designs, &front, 0.70, 0.20).unwrap();
+        assert_eq!(pick.conv_mac_reduction, 0.50);
+        // A NaN *reduction* must not shadow a legitimate undominated
+        // design either (total_cmp would otherwise rank it first).
+        let mut nan_red = d(0.65, 0.0);
+        nan_red.conv_mac_reduction = f64::NAN;
+        let designs = vec![d(0.60, 0.50), nan_red];
+        let front = pareto_front(&designs);
+        assert_eq!(front, vec![0], "NaN-reduction design shadowed the front");
     }
 
     #[test]

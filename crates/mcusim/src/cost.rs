@@ -62,10 +62,14 @@ pub enum Event {
     /// Average-pool accumulation per input element (load + widening add,
     /// `arm_avgpool_s8`-style).
     AvgAccum,
+    /// Residual elementwise add per element: two branch loads, two
+    /// fixed-point branch rescales, saturating add + store
+    /// (`arm_elementwise_add_s8`-style two-input requantization).
+    AddRequant,
 }
 
 /// Number of event classes.
-pub const EVENT_COUNT: usize = Event::AvgAccum as usize + 1;
+pub const EVENT_COUNT: usize = Event::AddRequant as usize + 1;
 
 /// All events, for iteration/reporting.
 pub const ALL_EVENTS: [Event; EVENT_COUNT] = [
@@ -86,6 +90,7 @@ pub const ALL_EVENTS: [Event; EVENT_COUNT] = [
     Event::SoftmaxOp,
     Event::ParamDecode,
     Event::AvgAccum,
+    Event::AddRequant,
 ];
 
 impl Event {
@@ -109,6 +114,7 @@ impl Event {
             Event::SoftmaxOp => "softmax",
             Event::ParamDecode => "param",
             Event::AvgAccum => "avg",
+            Event::AddRequant => "add_rq",
         }
     }
 }
@@ -154,6 +160,9 @@ impl CostModel {
     /// * `ParamDecode` 220 — per-layer runtime decoding of tensor dims and
     ///   quant params in generic interpreters.
     /// * `AvgAccum` 1.0 — average-pool load + widening add per element.
+    /// * `AddRequant` 14.0 — residual add per element: two branch loads +
+    ///   two `arm_nn_requantize`-shaped rescales (amortized against the
+    ///   single-input sequence) + saturating add + store.
     pub const fn cortex_m33() -> Self {
         let mut hc = [0u32; EVENT_COUNT];
         hc[Event::Smlad as usize] = 2;
@@ -173,6 +182,7 @@ impl CostModel {
         hc[Event::SoftmaxOp as usize] = 24;
         hc[Event::ParamDecode as usize] = 440;
         hc[Event::AvgAccum as usize] = 2;
+        hc[Event::AddRequant as usize] = 28;
         Self { half_cycles: hc }
     }
 

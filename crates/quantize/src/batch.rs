@@ -61,9 +61,10 @@ use crate::compiled::{
 };
 use crate::forward::{argmax_i8, dense_forward, gap_forward_nhwc, pool_forward};
 use crate::plan::{
-    ConvSegment, DenseSegment, ExecBackend, ExecPlan, GapSegment, LogitsSegment, PoolSegment,
+    AddSegment, ConvSegment, DenseSegment, ExecBackend, ExecPlan, GapSegment, LogitsSegment,
+    PoolSegment,
 };
-use crate::qmodel::{QConv, QuantModel};
+use crate::qmodel::{QAdd, QConv, QuantModel};
 use tinytensor::im2col::{fill_im2col_pairs_planar_pitched, interleave_pair_rows};
 
 /// Reusable buffers for batched compiled forwards, sized once for a model
@@ -84,6 +85,9 @@ pub struct BatchScratch {
     acc: Vec<i32>,
     /// One image's NHWC staging at planar → dense boundaries.
     nhwc: Vec<i8>,
+    /// Residual stash buffers, `max_batch ×` the slot length each, stored
+    /// in whatever batch layout the producing segment emitted.
+    stash: Vec<Vec<i8>>,
     /// τ-independent dense pair streams per conv ordinal (exact-layer
     /// dispatch through the same kernel; built at construction — this is
     /// what binds the scratch to its model).
@@ -102,6 +106,11 @@ impl BatchScratch {
         let max_rows = plan.max_cols();
         let max_pcolt = plan.max_pair_colt();
         let max_positions = plan.max_positions();
+        let stash: Vec<Vec<i8>> = plan
+            .stash_lens()
+            .iter()
+            .map(|&l| vec![0; max_batch * l])
+            .collect();
         Self {
             max_batch,
             plan,
@@ -111,6 +120,7 @@ impl BatchScratch {
             pcolt: vec![0; max_batch * max_pcolt],
             acc: vec![0; (max_batch * max_positions).max(1)],
             nhwc: vec![0; max_act],
+            stash,
             dense_streams: crate::compiled::dense_streams(model),
         }
     }
@@ -132,7 +142,8 @@ impl BatchScratch {
             + 2 * self.rows.len()
             + 2 * self.pcolt.len()
             + 4 * self.acc.len()
-            + self.nhwc.len()) as u64
+            + self.nhwc.len()
+            + self.stash.iter().map(Vec::len).sum::<usize>()) as u64
             + self
                 .dense_streams
                 .iter()
@@ -154,8 +165,6 @@ impl BatchScratch {
 /// on its first descent.
 pub struct BatchCheckpoint {
     batch: usize,
-    /// Next layer to execute (`== model.layers.len()` once complete).
-    layer_idx: usize,
     /// Conv ordinal of the next conv layer (the τ trie depth).
     conv_ordinal: usize,
     /// Per-image activation length of `act`.
@@ -165,6 +174,13 @@ pub struct BatchCheckpoint {
     /// Activations, `batch × cur_len`; batch-planar between convs,
     /// per-image at the start and once complete (the plan knows which).
     act: Vec<i8>,
+    /// Live residual stashes, one buffer per plan stash slot (`batch ×`
+    /// slot length once recorded, empty before). Part of the resume state:
+    /// a checkpoint taken between a stash and its Add must carry the
+    /// stashed activations, and cloning a checkpoint's stashes is what lets
+    /// sibling τ choices in the DSE trie share a prefix *through* a
+    /// residual join.
+    stashes: Vec<Vec<i8>>,
 }
 
 impl Default for BatchCheckpoint {
@@ -178,11 +194,11 @@ impl BatchCheckpoint {
     pub fn empty() -> Self {
         Self {
             batch: 0,
-            layer_idx: 0,
             conv_ordinal: 0,
             cur_len: 0,
             complete: false,
             act: Vec::new(),
+            stashes: Vec::new(),
         }
     }
 
@@ -202,10 +218,66 @@ impl BatchCheckpoint {
         self.complete
     }
 
-    /// Heap bytes held by the checkpoint's activation buffer (memory-budget
-    /// reporting for checkpoint stacks, like `BatchScratch::resident_bytes`).
+    /// Heap bytes held by the checkpoint's activation buffer and live
+    /// stashes (memory-budget reporting for checkpoint stacks, like
+    /// `BatchScratch::resident_bytes`).
     pub fn resident_bytes(&self) -> u64 {
         self.act.capacity() as u64
+            + self
+                .stashes
+                .iter()
+                .map(|s| s.capacity() as u64)
+                .sum::<u64>()
+    }
+}
+
+/// Residual join over a batch — the single join implementation every
+/// compiled backend shares (`batch = 1` is the per-image case, where the
+/// plane pitch collapses to `pos`). Same-layout operands add elementwise
+/// (per-image NHWC stacking and batch-planar plane layout are both
+/// position-for-position identical between the branches); a layout
+/// mismatch index-maps the stash — per-image NHWC element `(b, p·ch + c)`
+/// against batch-planar element `c·(B·pos) + b·pos + p`.
+pub(crate) fn add_join_batched(
+    a: &QAdd,
+    seg: &AddSegment,
+    batch: usize,
+    lhs: &[i8],
+    rhs: &[i8],
+    dst: &mut [i8],
+) {
+    let n = batch * seg.len;
+    debug_assert!(lhs.len() >= n && rhs.len() >= n && dst.len() >= n);
+    match (seg.lhs_planar, seg.rhs_planar) {
+        (false, false) | (true, true) => {
+            for ((d, &l), &r) in dst[..n].iter_mut().zip(&lhs[..n]).zip(&rhs[..n]) {
+                *d = a.apply(l, r);
+            }
+        }
+        (false, true) => {
+            let (pos, ch) = (seg.positions, seg.ch);
+            let plane = batch * pos;
+            for b in 0..batch {
+                for c in 0..ch {
+                    for p in 0..pos {
+                        dst[c * plane + b * pos + p] =
+                            a.apply(lhs[b * seg.len + p * ch + c], rhs[c * plane + b * pos + p]);
+                    }
+                }
+            }
+        }
+        (true, false) => {
+            let (pos, ch) = (seg.positions, seg.ch);
+            let plane = batch * pos;
+            for b in 0..batch {
+                for p in 0..pos {
+                    for c in 0..ch {
+                        dst[b * seg.len + p * ch + c] =
+                            a.apply(lhs[c * plane + b * pos + p], rhs[b * seg.len + p * ch + c]);
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -282,6 +354,8 @@ struct BatchBackend<'r, 'm> {
     pcolt: &'r mut Vec<i16>,
     acc: &'r mut Vec<i32>,
     nhwc: &'r mut Vec<i8>,
+    /// Residual stash buffers (batch layout as produced).
+    stash: &'r mut Vec<Vec<i8>>,
     /// Per-image activation length of the current buffer.
     cur_len: usize,
     in_a: bool,
@@ -458,6 +532,38 @@ impl ExecBackend for BatchBackend<'_, '_> {
         self.advance(seg.out_dim);
     }
 
+    #[inline(never)]
+    fn add(&mut self, seg: &AddSegment) {
+        let a = self.model.add_at(seg.layer_idx);
+        let batch = self.batch;
+        let n = batch * seg.len;
+        let (src, dst) = if self.in_a {
+            (&self.act_a[..], &mut self.act_b[..])
+        } else {
+            (&self.act_b[..], &mut self.act_a[..])
+        };
+        add_join_batched(
+            a,
+            seg,
+            batch,
+            &self.stash[seg.slot][..n],
+            &src[..n],
+            &mut dst[..n],
+        );
+        self.advance(seg.len);
+    }
+
+    #[inline(never)]
+    fn stash(&mut self, slot: usize, len: usize) {
+        let n = self.batch * len;
+        let src = if self.in_a {
+            &self.act_a[..n]
+        } else {
+            &self.act_b[..n]
+        };
+        self.stash[slot][..n].copy_from_slice(src);
+    }
+
     #[inline]
     fn logits(&mut self, seg: &LogitsSegment) {
         // A model ending on a conv/pool leaves the buffer batch-planar:
@@ -502,14 +608,13 @@ struct CkptBackend<'r, 'm> {
 impl CkptBackend<'_, '_> {
     /// Adopt the staged result as the checkpoint's activation state.
     #[inline]
-    fn commit(&mut self, layer_idx: usize, out_len: usize) {
+    fn commit(&mut self, out_len: usize) {
         let batch = self.out.batch;
         self.out.act.clear();
         self.out
             .act
             .extend_from_slice(&self.stage[..batch * out_len]);
         self.out.cur_len = out_len;
-        self.out.layer_idx = layer_idx + 1;
     }
 }
 
@@ -539,7 +644,7 @@ impl ExecBackend for CkptBackend<'_, '_> {
                 );
             }
         }
-        self.commit(seg.layer_idx, seg.out_len);
+        self.commit(seg.out_len);
     }
 
     fn global_avg_pool(&mut self, seg: &GapSegment) {
@@ -565,7 +670,7 @@ impl ExecBackend for CkptBackend<'_, '_> {
                 );
             }
         }
-        self.commit(seg.layer_idx, seg.out_len);
+        self.commit(seg.out_len);
     }
 
     fn dense(&mut self, seg: &DenseSegment) {
@@ -595,7 +700,37 @@ impl ExecBackend for CkptBackend<'_, '_> {
                 );
             }
         }
-        self.commit(seg.layer_idx, seg.out_dim);
+        self.commit(seg.out_dim);
+    }
+
+    fn add(&mut self, seg: &AddSegment) {
+        let a = self.model.add_at(seg.layer_idx);
+        let batch = self.out.batch;
+        let n = batch * seg.len;
+        add_join_batched(
+            a,
+            seg,
+            batch,
+            &self.out.stashes[seg.slot][..n],
+            &self.out.act[..n],
+            &mut self.stage[..n],
+        );
+        self.commit(seg.len);
+        // Each slot is consumed by exactly one Add (LIFO pairing, asserted
+        // at lowering), and sibling advances re-read the *ancestor*
+        // checkpoint — free the dead buffer so descendant checkpoints stop
+        // cloning it and resident_bytes stops counting its capacity.
+        self.out.stashes[seg.slot] = Vec::new();
+    }
+
+    fn stash(&mut self, slot: usize, len: usize) {
+        // Record the checkpoint's current activation as resume state: the
+        // stash must survive into (clones of) every descendant checkpoint
+        // until its Add consumes it.
+        let n = self.out.batch * len;
+        let BatchCheckpoint { act, stashes, .. } = &mut *self.out;
+        stashes[slot].clear();
+        stashes[slot].extend_from_slice(&act[..n]);
     }
 
     fn logits(&mut self, seg: &LogitsSegment) {
@@ -747,6 +882,7 @@ impl QuantModel {
             pcolt,
             acc,
             nhwc,
+            stash,
             dense_streams,
             ..
         } = s;
@@ -762,6 +898,7 @@ impl QuantModel {
             pcolt,
             acc,
             nhwc,
+            stash,
             cur_len: in_len,
             in_a: true,
         };
@@ -789,12 +926,17 @@ impl QuantModel {
         let in_len = self.input_shape.item_len();
         assert_eq!(qinputs.len(), batch * in_len, "input length mismatch");
         out.batch = batch;
-        out.layer_idx = 0;
         out.conv_ordinal = 0;
         out.cur_len = in_len;
         out.complete = false;
         out.act.clear();
         out.act.extend_from_slice(qinputs);
+        // One (initially empty) stash buffer per plan slot; the walker
+        // records input stashes and leading-segment side-outputs below.
+        out.stashes.resize_with(s.plan.n_stash_slots(), Vec::new);
+        for st in &mut out.stashes {
+            st.clear();
+        }
         let BatchScratch {
             plan, act_a, nhwc, ..
         } = s;
@@ -831,7 +973,6 @@ impl QuantModel {
     ) {
         assert!(!ckpt.complete, "checkpoint already past the final layer");
         let seg = s.plan.conv_segment(ckpt.conv_ordinal);
-        debug_assert_eq!(seg.layer_idx, ckpt.layer_idx);
         let c = self.conv_at(seg.layer_idx);
         let lanes = ckpt.batch * seg.positions;
         let n = seg.pair_rows * 2 * lanes;
@@ -880,7 +1021,6 @@ impl QuantModel {
         );
         let range = s.plan.advance_range(ckpt.conv_ordinal);
         let seg = s.plan.conv_segment(ckpt.conv_ordinal).clone();
-        debug_assert_eq!(seg.layer_idx, ckpt.layer_idx);
         let c = self.conv_at(seg.layer_idx);
         let positions = seg.positions;
         let lanes = batch * positions;
@@ -905,12 +1045,25 @@ impl QuantModel {
         };
         let cc = stream.unwrap_or(&s.dense_streams[ckpt.conv_ordinal]);
         out.batch = batch;
+        // Live stashes travel with the resume state: clone from the source
+        // so the source checkpoint stays reusable for sibling τ choices
+        // (prefixes share *through* a residual join).
+        out.stashes.resize_with(ckpt.stashes.len(), Vec::new);
+        for (dst, src) in out.stashes.iter_mut().zip(&ckpt.stashes) {
+            dst.clear();
+            dst.extend_from_slice(src);
+        }
         out.act.resize(batch * seg.out_len, 0);
         conv_forward_pairs(c, cc, pc, lanes, &mut s.acc, &mut out.act[..]);
         out.cur_len = seg.out_len;
-        out.layer_idx = seg.layer_idx + 1;
         out.conv_ordinal = ckpt.conv_ordinal + 1;
         out.complete = false;
+        // The conv's own stash side-outputs (the walker only drives the
+        // segments *after* the conv here).
+        for &slot in &seg.stash_slots {
+            out.stashes[slot].clear();
+            out.stashes[slot].extend_from_slice(&out.act[..batch * seg.out_len]);
+        }
         let BatchScratch {
             plan, act_a, nhwc, ..
         } = s;

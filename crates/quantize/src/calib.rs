@@ -34,6 +34,7 @@ pub fn calibrate_ranges(model: &Sequential, calib: &Dataset) -> ActivationRanges
             let mut bounds = Vec::with_capacity(n_bounds);
             bounds.push(slice_range(x));
             let mut act = x.to_vec();
+            let mut stashes: Vec<Vec<f32>> = Vec::new();
             for l in &model.layers {
                 act = match l {
                     Layer::Conv(c) => c.forward(&act).0,
@@ -49,6 +50,18 @@ pub fn calibrate_ranges(model: &Sequential, calib: &Dataset) -> ActivationRanges
                         a
                     }
                     Layer::Dense(d) => d.forward(&act),
+                    Layer::Stash(_) => {
+                        stashes.push(act.clone());
+                        act
+                    }
+                    Layer::Add(_) => {
+                        let s = stashes.pop().expect("Add without matching Stash");
+                        let mut a = act;
+                        for (v, sv) in a.iter_mut().zip(&s) {
+                            *v += sv;
+                        }
+                        a
+                    }
                 };
                 bounds.push(slice_range(&act));
             }

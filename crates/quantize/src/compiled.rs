@@ -50,7 +50,9 @@
 use crate::forward::{
     argmax_i8, dense_forward, gap_forward_nhwc, pool_forward, ForwardScratch, SkipMaskSet,
 };
-use crate::plan::{ConvSegment, DenseSegment, ExecBackend, GapSegment, LogitsSegment, PoolSegment};
+use crate::plan::{
+    AddSegment, ConvSegment, DenseSegment, ExecBackend, GapSegment, LogitsSegment, PoolSegment,
+};
 use crate::qmodel::{QConv, QLayer, QuantModel};
 use serde::{Deserialize, Serialize};
 use std::sync::OnceLock;
@@ -717,6 +719,7 @@ impl QuantModel {
             pcolt,
             acc,
             nhwc,
+            stash,
             dense_streams,
             ..
         } = s;
@@ -731,6 +734,7 @@ impl QuantModel {
             pcolt,
             acc,
             nhwc,
+            stash,
             cur_len,
             in_a: true,
         };
@@ -779,6 +783,9 @@ struct CompiledBackend<'r, 'm> {
     pcolt: &'r mut Vec<i16>,
     acc: &'r mut Vec<i32>,
     nhwc: &'r mut Vec<i8>,
+    /// Residual stash buffers, stored in the layout the producing segment
+    /// emitted (the plan records which).
+    stash: &'r mut Vec<Vec<i8>>,
     cur_len: usize,
     in_a: bool,
 }
@@ -920,6 +927,35 @@ impl ExecBackend for CompiledBackend<'_, '_> {
             dense_forward(d, &src[..self.cur_len], &mut dst[..seg.out_dim]);
         }
         self.advance(seg.out_dim);
+    }
+
+    #[inline(never)]
+    fn add(&mut self, seg: &AddSegment) {
+        let a = self.model.add_at(seg.layer_idx);
+        let (src, dst) = if self.in_a {
+            (&self.act_a[..], &mut self.act_b[..])
+        } else {
+            (&self.act_b[..], &mut self.act_a[..])
+        };
+        crate::batch::add_join_batched(
+            a,
+            seg,
+            1,
+            &self.stash[seg.slot][..seg.len],
+            &src[..seg.len],
+            &mut dst[..seg.len],
+        );
+        self.advance(seg.len);
+    }
+
+    #[inline(never)]
+    fn stash(&mut self, slot: usize, len: usize) {
+        let src = if self.in_a {
+            &self.act_a[..len]
+        } else {
+            &self.act_b[..len]
+        };
+        self.stash[slot][..len].copy_from_slice(src);
     }
 
     #[inline]

@@ -7,7 +7,8 @@
 //! weights), no cycle accounting, and rayon parallelism *across images*.
 
 use crate::plan::{
-    ConvSegment, DenseSegment, ExecBackend, ExecPlan, GapSegment, LogitsSegment, PoolSegment,
+    AddSegment, ConvSegment, DenseSegment, ExecBackend, ExecPlan, GapSegment, LogitsSegment,
+    PoolSegment,
 };
 use crate::qmodel::{QConv, QDense, QLayer, QuantModel};
 use cifar10sim::Dataset;
@@ -83,6 +84,9 @@ pub struct ForwardScratch {
     /// NHWC staging buffer for planar → dense boundaries (compiled path;
     /// lazily sized).
     pub(crate) nhwc: Vec<i8>,
+    /// Residual stash buffers, one per plan stash slot (sized at
+    /// construction; stored in the walking backend's own layout).
+    pub(crate) stash: Vec<Vec<i8>>,
     /// τ-independent dense (nothing-skipped) pair streams per conv ordinal,
     /// executing exact layers through the same stream kernel (compiled
     /// path; built at construction — this is what binds the scratch to its
@@ -103,6 +107,7 @@ impl ForwardScratch {
         let plan = ExecPlan::lower(model);
         let max_act = plan.max_act();
         let max_cols = plan.max_cols();
+        let stash = plan.stash_lens().iter().map(|&l| vec![0; l]).collect();
         Self {
             plan,
             act_a: vec![0; max_act],
@@ -113,6 +118,7 @@ impl ForwardScratch {
             pcolt: Vec::new(),
             acc: Vec::new(),
             nhwc: Vec::new(),
+            stash,
             dense_streams: crate::compiled::dense_streams(model),
         }
     }
@@ -207,6 +213,7 @@ impl QuantModel {
             act_b,
             cols,
             centered,
+            stash,
             ..
         } = s;
         let mut backend = RefBackend {
@@ -217,6 +224,7 @@ impl QuantModel {
             act_b,
             cols,
             centered,
+            stash,
             cur_len,
             in_a: true,
         };
@@ -269,6 +277,8 @@ struct RefBackend<'r, 'm, 'i1, 'i2> {
     act_b: &'r mut Vec<i8>,
     cols: &'r mut Vec<i8>,
     centered: &'r mut Vec<i16>,
+    /// Residual stash buffers (NHWC, like every reference activation).
+    stash: &'r mut Vec<Vec<i8>>,
     cur_len: usize,
     /// Current activation lives in `act_a`.
     in_a: bool,
@@ -349,6 +359,33 @@ impl ExecBackend for RefBackend<'_, '_, '_, '_> {
         };
         dense_forward(d, &src[..self.cur_len], &mut dst[..seg.out_dim]);
         self.advance(seg.out_dim);
+    }
+
+    #[inline]
+    fn add(&mut self, seg: &AddSegment) {
+        // The reference path is NHWC throughout, so both operands share one
+        // layout and the join is plain elementwise two-input requantization.
+        let a = self.model.add_at(seg.layer_idx);
+        let (src, dst) = if self.in_a {
+            (&self.act_a[..], &mut self.act_b[..])
+        } else {
+            (&self.act_b[..], &mut self.act_a[..])
+        };
+        let lhs = &self.stash[seg.slot][..seg.len];
+        for ((d, &l), &r) in dst[..seg.len].iter_mut().zip(lhs).zip(&src[..seg.len]) {
+            *d = a.apply(l, r);
+        }
+        self.advance(seg.len);
+    }
+
+    #[inline]
+    fn stash(&mut self, slot: usize, len: usize) {
+        let src = if self.in_a {
+            &self.act_a[..len]
+        } else {
+            &self.act_b[..len]
+        };
+        self.stash[slot][..len].copy_from_slice(src);
     }
 
     #[inline]

@@ -43,7 +43,9 @@ pub use calib::calibrate_ranges;
 pub use compiled::{simd_level_name, CompiledConv, CompiledMasks};
 pub use forward::{argmax_i8, ForwardScratch, SkipMaskSet};
 pub use plan::{
-    ConvSegment, DenseSegment, ExecBackend, ExecPlan, GapSegment, LogitsSegment, PoolSegment,
-    Segment,
+    AddSegment, ConvSegment, DenseSegment, ExecBackend, ExecPlan, GapSegment, LogitsSegment,
+    PoolSegment, Segment,
 };
-pub use qmodel::{quantize_model, QConv, QDense, QGlobalAvgPool, QLayer, QPool, QuantModel};
+pub use qmodel::{
+    quantize_model, QAdd, QConv, QDense, QGlobalAvgPool, QLayer, QPool, QStash, QuantModel,
+};

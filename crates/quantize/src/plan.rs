@@ -38,7 +38,7 @@
 //! stays within measurement noise of the hand-rolled walker (A/B-gated by
 //! the `batch_micro` bench).
 
-use crate::qmodel::{QConv, QDense, QLayer, QuantModel};
+use crate::qmodel::{QAdd, QConv, QDense, QLayer, QuantModel};
 use std::ops::Range;
 use tinytensor::shape::ConvGeometry;
 
@@ -67,6 +67,10 @@ pub struct ConvSegment {
     pub planar_in: bool,
     /// Dense (pre-skipping) MAC count — the segment cost hook.
     pub macs: u64,
+    /// Stash side-output: slots this segment's result is recorded into
+    /// (residual skip sources; usually empty, more than one for nested
+    /// blocks stashing the same value).
+    pub stash_slots: Vec<usize>,
 }
 
 /// One 2×2/2 max-pool segment.
@@ -87,6 +91,8 @@ pub struct PoolSegment {
     /// `true` when the incoming activations are channel-planar (the pool
     /// then runs per-plane; layout is preserved either way).
     pub planar_in: bool,
+    /// Stash side-output slots (see [`ConvSegment::stash_slots`]).
+    pub stash_slots: Vec<usize>,
 }
 
 /// One global-average-pool segment (spatial mean per channel).
@@ -109,6 +115,8 @@ pub struct GapSegment {
     pub out_len: usize,
     /// `true` when the incoming activations are channel-planar.
     pub planar_in: bool,
+    /// Stash side-output slots (see [`ConvSegment::stash_slots`]).
+    pub stash_slots: Vec<usize>,
 }
 
 /// One fully-connected segment.
@@ -125,6 +133,34 @@ pub struct DenseSegment {
     pub planar_in: Option<(usize, usize)>,
     /// Dense MAC count — the segment cost hook.
     pub macs: u64,
+    /// Stash side-output slots (see [`ConvSegment::stash_slots`]).
+    pub stash_slots: Vec<usize>,
+}
+
+/// One residual elementwise-add segment: joins the current activation
+/// (`rhs`, the block branch) with a stashed activation (`lhs`, the skip
+/// branch) under the two-input requantization of [`QAdd`]. The output takes
+/// the `rhs` layout; when the branches were produced in different layouts
+/// the executor index-maps the stash through `(positions, ch)`.
+#[derive(Debug, Clone)]
+pub struct AddSegment {
+    /// Index into `model.layers`.
+    pub layer_idx: usize,
+    /// Stash slot holding the skip (lhs) operand.
+    pub slot: usize,
+    /// Elements per image (both operands and the output).
+    pub len: usize,
+    /// The stash was recorded channel-planar.
+    pub lhs_planar: bool,
+    /// The current activation (and therefore the output) is channel-planar.
+    pub rhs_planar: bool,
+    /// Planar view dims; `(len, 1)` when both operands are NHWC.
+    pub positions: usize,
+    /// Planar view channels (see `positions`).
+    pub ch: usize,
+    /// Stash side-output slots of this segment's own result (chained
+    /// residual blocks stash the join output).
+    pub stash_slots: Vec<usize>,
 }
 
 /// The logits epilogue: always the final segment. Backends normalize their
@@ -150,6 +186,8 @@ pub enum Segment {
     GlobalAvgPool(GapSegment),
     /// Fully connected.
     Dense(DenseSegment),
+    /// Residual elementwise add (skip join).
+    Add(AddSegment),
     /// Logits epilogue (always last, exactly once).
     Logits(LogitsSegment),
 }
@@ -163,17 +201,30 @@ impl Segment {
             Segment::Pool(s) => s.out_len,
             Segment::GlobalAvgPool(s) => s.out_len,
             Segment::Dense(s) => s.out_dim,
+            Segment::Add(s) => s.len,
             Segment::Logits(s) => s.out_len,
         }
     }
 
-    /// Dense MAC count of this segment (the cost hook; 0 for pools and the
-    /// epilogue).
+    /// Dense MAC count of this segment (the cost hook; 0 for pools, adds
+    /// and the epilogue).
     pub fn macs(&self) -> u64 {
         match self {
             Segment::Conv(s) => s.macs,
             Segment::Dense(s) => s.macs,
             _ => 0,
+        }
+    }
+
+    /// Stash side-output slots of this segment (empty for the epilogue).
+    pub fn stash_slots(&self) -> &[usize] {
+        match self {
+            Segment::Conv(s) => &s.stash_slots,
+            Segment::Pool(s) => &s.stash_slots,
+            Segment::GlobalAvgPool(s) => &s.stash_slots,
+            Segment::Dense(s) => &s.stash_slots,
+            Segment::Add(s) => &s.stash_slots,
+            Segment::Logits(_) => &[],
         }
     }
 }
@@ -192,6 +243,14 @@ pub trait ExecBackend {
     fn global_avg_pool(&mut self, seg: &GapSegment);
     /// Execute one fully-connected segment.
     fn dense(&mut self, seg: &DenseSegment);
+    /// Execute one residual elementwise-add segment (consumes stash
+    /// `seg.slot`).
+    fn add(&mut self, seg: &AddSegment);
+    /// Record the **current** activation into stash slot `slot` (`len`
+    /// elements per image, in the backend's current layout). Invoked by the
+    /// walker right after the producing segment's executor (or, for a
+    /// stash of the model input, before the first segment).
+    fn stash(&mut self, slot: usize, len: usize);
     /// Execute the logits epilogue.
     fn logits(&mut self, seg: &LogitsSegment);
 }
@@ -214,6 +273,14 @@ pub struct ExecPlan {
     max_positions: usize,
     /// Logits length per image.
     logits_len: usize,
+    /// Model input length per image (the leading stash source).
+    input_len: usize,
+    /// Slots stashed straight from the model input (a residual block
+    /// opening the model), recorded by the walker before the first segment.
+    input_stashes: Vec<usize>,
+    /// Per-slot stashed activation length (per image); slots are numbered
+    /// in stash order. Backends size their stash buffers from this.
+    stash_lens: Vec<usize>,
 }
 
 impl ExecPlan {
@@ -224,11 +291,19 @@ impl ExecPlan {
         let mut conv_starts = Vec::new();
         let mut planar = false; // the input arrives NHWC (per-image)
         let mut planar_dims: Option<(usize, usize)> = None;
-        let mut cur_len = model.input_shape.item_len();
+        let input_len = model.input_shape.item_len();
+        let mut cur_len = input_len;
         let mut max_act = cur_len;
         let mut max_cols = 0usize;
         let mut max_pair_colt = 0usize;
         let mut max_positions = 0usize;
+        // Residual bookkeeping: slots are numbered in stash order; the
+        // stack mirrors the Stash/Add pairing; per-slot layout is recorded
+        // so the Add segment knows how to index each operand.
+        let mut input_stashes = Vec::new();
+        let mut stash_lens: Vec<usize> = Vec::new();
+        let mut stash_stack: Vec<usize> = Vec::new();
+        let mut stash_layout: Vec<(bool, Option<(usize, usize)>)> = Vec::new();
 
         for (layer_idx, layer) in model.layers.iter().enumerate() {
             match layer {
@@ -249,6 +324,7 @@ impl ExecPlan {
                         out_len,
                         planar_in: planar,
                         macs: c.geom.macs(),
+                        stash_slots: Vec::new(),
                     }));
                     max_cols = max_cols.max(positions * patch);
                     max_pair_colt = max_pair_colt.max(pair_rows * 2 * positions);
@@ -266,6 +342,7 @@ impl ExecPlan {
                         in_len: cur_len,
                         out_len: p.out_len(),
                         planar_in: planar,
+                        stash_slots: Vec::new(),
                     }));
                     if planar {
                         planar_dims = Some(((p.in_h / 2) * (p.in_w / 2), p.c));
@@ -282,6 +359,7 @@ impl ExecPlan {
                         in_len: cur_len,
                         out_len: g.out_len(),
                         planar_in: planar,
+                        stash_slots: Vec::new(),
                     }));
                     // One value per channel: NHWC and planar coincide.
                     planar = false;
@@ -295,14 +373,68 @@ impl ExecPlan {
                         out_dim: d.out_dim,
                         planar_in: planar.then(|| planar_dims.expect("planar dims")),
                         macs: (d.in_dim * d.out_dim) as u64,
+                        stash_slots: Vec::new(),
                     }));
                     planar = false;
                     planar_dims = None;
                     cur_len = d.out_dim;
                 }
+                QLayer::Stash(st) => {
+                    debug_assert_eq!(st.len, cur_len, "stash length mismatch");
+                    let slot = stash_lens.len();
+                    stash_lens.push(cur_len);
+                    stash_layout.push((planar, planar_dims));
+                    stash_stack.push(slot);
+                    // The stash is a side-output of whatever produced the
+                    // current activation: the previous segment, or the
+                    // model input itself.
+                    match segments.last_mut() {
+                        Some(Segment::Conv(s)) => s.stash_slots.push(slot),
+                        Some(Segment::Pool(s)) => s.stash_slots.push(slot),
+                        Some(Segment::GlobalAvgPool(s)) => s.stash_slots.push(slot),
+                        Some(Segment::Dense(s)) => s.stash_slots.push(slot),
+                        Some(Segment::Add(s)) => s.stash_slots.push(slot),
+                        Some(Segment::Logits(_)) => {
+                            unreachable!("logits epilogue precedes a layer")
+                        }
+                        None => input_stashes.push(slot),
+                    }
+                }
+                QLayer::Add(a) => {
+                    let slot = stash_stack.pop().expect("Add without live stash");
+                    let (lhs_planar, lhs_dims) = stash_layout[slot];
+                    assert_eq!(
+                        stash_lens[slot], cur_len,
+                        "residual operand length mismatch"
+                    );
+                    debug_assert_eq!(a.len, cur_len, "Add length mismatch");
+                    if planar && lhs_planar {
+                        debug_assert_eq!(planar_dims, lhs_dims, "residual planar dims mismatch");
+                    }
+                    let (positions, ch) = match (planar, lhs_planar) {
+                        (true, _) => planar_dims.expect("planar dims"),
+                        (false, true) => lhs_dims.expect("planar dims"),
+                        (false, false) => (cur_len, 1),
+                    };
+                    segments.push(Segment::Add(AddSegment {
+                        layer_idx,
+                        slot,
+                        len: cur_len,
+                        lhs_planar,
+                        rhs_planar: planar,
+                        positions,
+                        ch,
+                        stash_slots: Vec::new(),
+                    }));
+                    // Output layout and length are the rhs branch's.
+                }
             }
             max_act = max_act.max(cur_len);
         }
+        assert!(
+            stash_stack.is_empty(),
+            "unconsumed residual stash: every Stash needs a matching Add"
+        );
         segments.push(Segment::Logits(LogitsSegment {
             out_len: cur_len,
             planar: planar.then(|| planar_dims.expect("planar dims")),
@@ -315,6 +447,9 @@ impl ExecPlan {
             max_pair_colt,
             max_positions,
             logits_len: cur_len,
+            input_len,
+            input_stashes,
+            stash_lens,
         }
     }
 
@@ -386,6 +521,17 @@ impl ExecPlan {
         self.logits_len
     }
 
+    /// Number of residual stash slots the plan uses (backends size their
+    /// stash buffers from [`ExecPlan::stash_lens`]).
+    pub fn n_stash_slots(&self) -> usize {
+        self.stash_lens.len()
+    }
+
+    /// Per-slot stashed activation length (per image), in slot order.
+    pub fn stash_lens(&self) -> &[usize] {
+        &self.stash_lens
+    }
+
     /// Total dense MAC count over all segments (the cost hooks summed).
     pub fn total_macs(&self) -> u64 {
         self.segments.iter().map(Segment::macs).sum()
@@ -398,16 +544,46 @@ impl ExecPlan {
     }
 
     /// Drive `backend` through `range` (resumable execution: leading
-    /// prefix, one checkpoint segment, tail).
+    /// prefix, one checkpoint segment, tail). A range starting at 0 first
+    /// records any stash-of-the-input slots; after each segment its stash
+    /// side-outputs are recorded — the walker owns stash *timing*, backends
+    /// own the copy.
+    ///
+    /// Stash-free plans (every chain model) take a dedicated tight loop:
+    /// the per-segment stash dispatch, dead as it is for them, measurably
+    /// perturbs the batched serving hot path when inlined into it (same
+    /// code-layout sensitivity the `batch_micro` A/B guards).
     #[inline]
     pub fn execute_range<B: ExecBackend>(&self, range: Range<usize>, backend: &mut B) {
+        if self.stash_lens.is_empty() {
+            for seg in &self.segments[range] {
+                match seg {
+                    Segment::Conv(s) => backend.conv(s),
+                    Segment::Pool(s) => backend.pool(s),
+                    Segment::GlobalAvgPool(s) => backend.global_avg_pool(s),
+                    Segment::Dense(s) => backend.dense(s),
+                    Segment::Add(s) => backend.add(s),
+                    Segment::Logits(s) => backend.logits(s),
+                }
+            }
+            return;
+        }
+        if range.start == 0 {
+            for &slot in &self.input_stashes {
+                backend.stash(slot, self.input_len);
+            }
+        }
         for seg in &self.segments[range] {
             match seg {
                 Segment::Conv(s) => backend.conv(s),
                 Segment::Pool(s) => backend.pool(s),
                 Segment::GlobalAvgPool(s) => backend.global_avg_pool(s),
                 Segment::Dense(s) => backend.dense(s),
+                Segment::Add(s) => backend.add(s),
                 Segment::Logits(s) => backend.logits(s),
+            }
+            for &slot in seg.stash_slots() {
+                backend.stash(slot, self.stash_lens[slot]);
             }
         }
     }
@@ -431,6 +607,16 @@ impl QuantModel {
         match &self.layers[layer_idx] {
             QLayer::Dense(d) => d,
             _ => unreachable!("segment layer_idx {layer_idx} is not dense"),
+        }
+    }
+
+    /// The residual-add layer at `layer_idx` (panics when the index does
+    /// not name an Add).
+    #[inline]
+    pub fn add_at(&self, layer_idx: usize) -> &QAdd {
+        match &self.layers[layer_idx] {
+            QLayer::Add(a) => a,
+            _ => unreachable!("segment layer_idx {layer_idx} is not an add"),
         }
     }
 }
@@ -497,10 +683,96 @@ mod tests {
                 Segment::Pool(s) => assert!(s.planar_in),
                 Segment::Dense(s) => assert!(s.planar_in.is_some()),
                 Segment::Logits(s) => assert!(s.planar.is_none()),
-                Segment::GlobalAvgPool(_) => unreachable!(),
+                Segment::GlobalAvgPool(_) | Segment::Add(_) => unreachable!(),
             }
         }
         assert_eq!(saw, 2);
+    }
+
+    #[test]
+    fn residual_lowering_builds_the_dag() {
+        let data = cifar10sim::generate(DatasetConfig::tiny(15));
+        let m = tinynn::zoo::mini_resnet(15);
+        let ranges = calibrate_ranges(&m, &data.train.take(4));
+        let q = quantize_model(&m, &ranges);
+        let plan = ExecPlan::lower(&q);
+
+        // Two stash slots, none taken from the raw input here (the stem
+        // conv+pool precede the first residual block).
+        assert_eq!(plan.n_stash_slots(), 2);
+        assert_eq!(plan.stash_lens().len(), 2);
+        // Stash side-outputs hang off the pool segments preceding each
+        // block; each Add consumes its slot in stash order.
+        let mut stashing_segments = 0usize;
+        let mut add_slots = Vec::new();
+        for seg in plan.segments() {
+            stashing_segments += usize::from(!seg.stash_slots().is_empty());
+            if let Segment::Add(a) = seg {
+                add_slots.push(a.slot);
+                // Both branches of these blocks are conv/pool-produced:
+                // planar on both sides, matching dims.
+                assert!(a.lhs_planar && a.rhs_planar);
+                assert_eq!(a.positions * a.ch, a.len);
+                assert!(a.stash_slots.is_empty());
+            }
+        }
+        assert_eq!(stashing_segments, 2);
+        assert_eq!(add_slots, vec![0, 1]);
+        // Checkpoint ranges still tile the whole plan: Add segments ride in
+        // their conv's advance range, so prefix-resume crosses the joins.
+        let mut covered = plan.leading_range().len();
+        for k in 0..plan.n_convs() {
+            covered += plan.advance_range(k).len();
+        }
+        assert_eq!(covered, plan.segments().len());
+        assert_eq!(plan.n_convs(), 5);
+        // Markers add no segments: layers minus stash markers plus logits.
+        let stash_layers = q
+            .layers
+            .iter()
+            .filter(|l| matches!(l, QLayer::Stash(_)))
+            .count();
+        assert_eq!(plan.segments().len(), q.layers.len() - stash_layers + 1);
+    }
+
+    #[test]
+    fn input_stash_is_recorded_for_blocks_opening_the_model() {
+        // A residual block right at the input: the stash has no producing
+        // segment, so the plan records it as an input stash (NHWC) joined
+        // against a planar conv branch.
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(16);
+        let m = tinynn::Sequential::new("res-in", tinytensor::Shape4::nhwc(1, 8, 8, 2))
+            .residual(|m| m.conv(2, 3, &mut rng))
+            .global_avg_pool()
+            .dense(4, true, &mut rng);
+        let n = 4usize;
+        let flat: Vec<f32> = (0..n * 8 * 8 * 2)
+            .map(|_| rng.gen_range(0.0f32..1.0))
+            .collect();
+        let calib = cifar10sim::Dataset {
+            images: tinytensor::Tensor::from_vec(tinytensor::Shape4::nhwc(n, 8, 8, 2), flat)
+                .unwrap(),
+            labels: vec![0; n],
+        };
+        let ranges = calibrate_ranges(&m, &calib);
+        let q = quantize_model(&m, &ranges);
+        let plan = ExecPlan::lower(&q);
+        assert_eq!(plan.n_stash_slots(), 1);
+        // No segment carries the stash side-output...
+        assert!(plan.segments().iter().all(|s| s.stash_slots().is_empty()));
+        let add = plan
+            .segments()
+            .iter()
+            .find_map(|s| match s {
+                Segment::Add(a) => Some(a),
+                _ => None,
+            })
+            .expect("has an Add segment");
+        // ...and the join mixes an NHWC stash with a planar conv branch.
+        assert!(!add.lhs_planar);
+        assert!(add.rhs_planar);
+        assert_eq!(add.positions * add.ch, add.len);
     }
 
     #[test]

@@ -145,6 +145,72 @@ impl QDense {
     }
 }
 
+/// Residual skip source marker: the matching [`QAdd`] consumes the
+/// activation recorded here. Value-preserving (the trunk flows through
+/// unchanged); carries only its length and, implicitly, the quantization of
+/// the activation it records (the `in_qp` of the layer that follows).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct QStash {
+    /// Stashed activation element count.
+    pub len: usize,
+}
+
+/// Quantized residual elementwise add (+ fused ReLU).
+///
+/// Each branch arrives at its own quantization: the skip (`lhs`, the
+/// stashed activation) and the block output (`rhs`, the current
+/// activation). The output stage folds each branch's scale to the output
+/// scale with its own fixed-point multiplier (round-to-nearest), sums, adds
+/// the output zero point and saturates — the shared
+/// [`tinytensor::quant::add_requant_i8`] helper, which every engine's Add
+/// kernel calls per element so results are bit-exact by construction.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QAdd {
+    /// Elements per image (both branches and the output).
+    pub len: usize,
+    /// Skip-branch (stash) quantization.
+    pub lhs_qp: QuantParams,
+    /// Block-branch (current activation) quantization.
+    pub rhs_qp: QuantParams,
+    /// Output activation quantization.
+    pub out_qp: QuantParams,
+    /// `s_lhs / s_out` as a fixed-point multiplier.
+    pub lhs_mult: RequantMultiplier,
+    /// `s_rhs / s_out` as a fixed-point multiplier.
+    pub rhs_mult: RequantMultiplier,
+    /// ReLU fused into the output clamp.
+    pub relu: bool,
+}
+
+impl QAdd {
+    /// Activation clamp bounds implementing the (optional) fused ReLU.
+    pub fn act_bounds(&self) -> (i32, i32) {
+        if self.relu {
+            (self.out_qp.zero_point.max(-128), 127)
+        } else {
+            (-128, 127)
+        }
+    }
+
+    /// The two-input output stage for one element pair — every engine's
+    /// residual-add kernel runs exactly this.
+    #[inline(always)]
+    pub fn apply(&self, lhs: i8, rhs: i8) -> i8 {
+        let (lo, hi) = self.act_bounds();
+        tinytensor::quant::add_requant_i8(
+            lhs,
+            self.lhs_qp.zero_point,
+            self.lhs_mult,
+            rhs,
+            self.rhs_qp.zero_point,
+            self.rhs_mult,
+            self.out_qp.zero_point,
+            lo,
+            hi,
+        )
+    }
+}
+
 /// One quantized layer.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum QLayer {
@@ -157,6 +223,11 @@ pub enum QLayer {
     GlobalAvgPool(QGlobalAvgPool),
     /// Fully connected (+ fused ReLU).
     Dense(QDense),
+    /// Residual skip source (value-preserving marker).
+    Stash(QStash),
+    /// Residual elementwise add with two-input requantization (+ fused
+    /// ReLU).
+    Add(QAdd),
 }
 
 impl QLayer {
@@ -167,6 +238,8 @@ impl QLayer {
             QLayer::Pool(p) => p.out_len(),
             QLayer::GlobalAvgPool(g) => g.out_len(),
             QLayer::Dense(d) => d.out_dim,
+            QLayer::Stash(s) => s.len,
+            QLayer::Add(a) => a.len,
         }
     }
 
@@ -177,6 +250,8 @@ impl QLayer {
             QLayer::Pool(p) => p.in_len(),
             QLayer::GlobalAvgPool(g) => g.in_len(),
             QLayer::Dense(d) => d.in_dim,
+            QLayer::Stash(s) => s.len,
+            QLayer::Add(a) => a.len,
         }
     }
 
@@ -184,7 +259,7 @@ impl QLayer {
     pub fn macs(&self) -> u64 {
         match self {
             QLayer::Conv(c) => c.geom.macs(),
-            QLayer::Pool(_) | QLayer::GlobalAvgPool(_) => 0,
+            QLayer::Pool(_) | QLayer::GlobalAvgPool(_) | QLayer::Stash(_) | QLayer::Add(_) => 0,
             QLayer::Dense(d) => (d.in_dim * d.out_dim) as u64,
         }
     }
@@ -235,7 +310,7 @@ impl QuantModel {
             .map(|l| match l {
                 QLayer::Conv(c) => (c.weights.len() + 4 * c.bias.len()) as u64,
                 QLayer::Dense(d) => (d.weights.len() + 4 * d.bias.len()) as u64,
-                QLayer::Pool(_) | QLayer::GlobalAvgPool(_) => 0,
+                QLayer::Pool(_) | QLayer::GlobalAvgPool(_) | QLayer::Stash(_) | QLayer::Add(_) => 0,
             })
             .sum()
     }
@@ -251,13 +326,31 @@ impl QuantModel {
         v
     }
 
-    /// Peak ping-pong activation pair (max over layers of in+out), bytes.
+    /// Peak ping-pong activation pair (max over layers of in+out) **plus
+    /// any residual stashes live at that layer**, bytes. A skip branch
+    /// cannot be aliased by a two-buffer arena while the block overwrites
+    /// the activations, so its buffer stays resident from the Stash to the
+    /// matching Add and must count toward the RAM peak.
     pub fn peak_activation_pair(&self) -> u64 {
-        self.layers
-            .iter()
-            .map(|l| (l.in_len() + l.out_len()) as u64)
-            .max()
-            .unwrap_or(0)
+        let mut stash_stack: Vec<u64> = Vec::new();
+        let mut stash_sum = 0u64;
+        let mut peak = 0u64;
+        for l in &self.layers {
+            // For a Stash, in+out already covers the copy being made; for
+            // an Add, the lhs stash is still in `stash_sum` (popped after).
+            peak = peak.max((l.in_len() + l.out_len()) as u64 + stash_sum);
+            match l {
+                QLayer::Stash(s) => {
+                    stash_stack.push(s.len as u64);
+                    stash_sum += s.len as u64;
+                }
+                QLayer::Add(_) => {
+                    stash_sum -= stash_stack.pop().expect("Add without Stash");
+                }
+                _ => {}
+            }
+        }
+        peak
     }
 
     /// Largest im2col column-matrix any conv layer needs, in bytes — the
@@ -289,6 +382,9 @@ pub fn quantize_model(model: &Sequential, ranges: &ActivationRanges) -> QuantMod
     let input_qp = qp_at(0);
     let mut layers = Vec::new();
     let mut in_qp = input_qp;
+    // Quantization of each live stash, LIFO like the layer stack's
+    // Stash/Add pairing.
+    let mut stash_qps: Vec<QuantParams> = Vec::new();
     let mut i = 0usize;
     while i < model.layers.len() {
         match &model.layers[i] {
@@ -344,6 +440,37 @@ pub fn quantize_model(model: &Sequential, ranges: &ActivationRanges) -> QuantMod
                     out_qp,
                     w_scale,
                     mult,
+                    relu,
+                }));
+                in_qp = out_qp;
+                i = out_boundary;
+            }
+            Layer::Stash(n) => {
+                // The stash records the current activation at its current
+                // quantization; the matching Add folds it to the output
+                // scale.
+                layers.push(QLayer::Stash(QStash { len: *n }));
+                stash_qps.push(in_qp);
+                i += 1;
+            }
+            Layer::Add(n) => {
+                let relu = matches!(model.layers.get(i + 1), Some(Layer::Relu(_)));
+                let out_boundary = i + 1 + usize::from(relu);
+                let out_qp = qp_at(out_boundary);
+                let lhs_qp = stash_qps.pop().expect("Add without matching Stash");
+                let lhs_mult =
+                    RequantMultiplier::from_real(lhs_qp.scale as f64 / out_qp.scale as f64)
+                        .expect("lhs requant multiplier");
+                let rhs_mult =
+                    RequantMultiplier::from_real(in_qp.scale as f64 / out_qp.scale as f64)
+                        .expect("rhs requant multiplier");
+                layers.push(QLayer::Add(QAdd {
+                    len: *n,
+                    lhs_qp,
+                    rhs_qp: in_qp,
+                    out_qp,
+                    lhs_mult,
+                    rhs_mult,
                     relu,
                 }));
                 in_qp = out_qp;
@@ -449,6 +576,62 @@ mod tests {
         } else {
             panic!("layer 4 should be dense");
         }
+    }
+
+    #[test]
+    fn residual_quantizes_with_fused_relu_and_branch_multipliers() {
+        let data = cifar10sim::generate(DatasetConfig::tiny(23));
+        let m = tinynn::zoo::mini_resnet(23);
+        let ranges = calibrate_ranges(&m, &data.train.take(8));
+        let q = quantize_model(&m, &ranges);
+        let adds: Vec<&QAdd> = q
+            .layers
+            .iter()
+            .filter_map(|l| match l {
+                QLayer::Add(a) => Some(a),
+                _ => None,
+            })
+            .collect();
+        let stashes = q
+            .layers
+            .iter()
+            .filter(|l| matches!(l, QLayer::Stash(_)))
+            .count();
+        assert_eq!(adds.len(), 2);
+        assert_eq!(stashes, 2);
+        for a in adds {
+            // The trailing builder ReLU fused into the add's clamp.
+            assert!(a.relu);
+            let (lo, hi) = a.act_bounds();
+            assert_eq!((lo, hi), (a.out_qp.zero_point.max(-128), 127));
+            // Each branch's multiplier approximates s_branch / s_out.
+            for (mult, qp) in [(a.lhs_mult, a.lhs_qp), (a.rhs_mult, a.rhs_qp)] {
+                let real = qp.scale as f64 / a.out_qp.scale as f64;
+                assert!((mult.to_real() - real).abs() / real < 1e-6);
+            }
+        }
+        // The residual markers carry no weights and no MACs.
+        assert_eq!(q.macs(), m.macs());
+    }
+
+    #[test]
+    fn peak_activation_counts_live_stashes() {
+        // 8×8×2 input, residual block of two convs: during the block the
+        // live set is conv-in (128) + conv-out (128) + stash (128) = 384,
+        // which the naive max(in+out) = 256 undercounts.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let m = Sequential::new("res-ram", Shape4::nhwc(1, 8, 8, 2))
+            .residual(|b| b.conv_relu(2, 3, &mut rng).conv(2, 3, &mut rng))
+            .global_avg_pool()
+            .dense(4, true, &mut rng);
+        let n = 4usize;
+        let flat: Vec<f32> = (0..n * 8 * 8 * 2).map(|i| (i % 13) as f32 / 13.0).collect();
+        let calib = cifar10sim::Dataset {
+            images: tinytensor::Tensor::from_vec(Shape4::nhwc(n, 8, 8, 2), flat).unwrap(),
+            labels: vec![0; n],
+        };
+        let q = quantize_model(&m, &calibrate_ranges(&m, &calib));
+        assert_eq!(q.peak_activation_pair(), 384);
     }
 
     #[test]

@@ -57,6 +57,13 @@ struct ServeBenchReport {
     /// measured reps (0 at sane depths — reported so overload pressure is
     /// visible in the trajectory).
     queue_full_retries: u64,
+    /// Worst-case submit attempts one request needed across the measured
+    /// reps (1 = no request ever retried; read next to
+    /// `queue_full_retries`).
+    max_submit_attempts: u64,
+    /// Deployed designs the closed loop round-robins over (includes the
+    /// residual mini-ResNet — the DAG-shaped ExecPlan serving entry).
+    models: Vec<String>,
     approx_contract_latency_ms: f64,
 }
 
@@ -125,6 +132,34 @@ fn main() {
     registry.register(approx);
     registry.register(exact);
 
+    // The residual mini-ResNet serves alongside the chain models — the
+    // DAG-shaped ExecPlan (stash/Add segments) on the serving hot path.
+    // Exact deployment with an analytic contract; accuracy is irrelevant to
+    // the throughput bench, so no training pass.
+    let resnet_model = tinynn::zoo::mini_resnet(0x5E12);
+    let resnet_ranges = quantize::calibrate_ranges(&resnet_model, &data.train.take(32));
+    let rq = quantize::quantize_model(&resnet_model, &resnet_ranges);
+    let resnet_stats = dse::estimate_stats(&rq, None, fw.config().unpack);
+    let resnet_flash = dse::estimate_flash(&rq, None, fw.config().unpack);
+    let n_resnet_convs = rq.conv_indices().len();
+    let resnet = DeployedModel::from_parts(
+        "mini-resnet",
+        rq,
+        CompiledMasks::none(n_resnet_convs),
+        CostContract {
+            cycles: resnet_stats.cycles(&cost),
+            latency_ms: fw.config().board.cycles_to_ms(resnet_stats.cycles(&cost)),
+            energy_mj: 0.0,
+            flash_bytes: resnet_flash,
+        },
+    );
+    registry.register(resnet);
+    let models: Vec<String> = vec![
+        "mini-approx".into(),
+        "mini-exact".into(),
+        "mini-resnet".into(),
+    ];
+
     let inputs: Vec<Vec<i8>> = (0..data.test.len())
         .map(|i| q.quantize_input(data.test.image(i)))
         .collect();
@@ -143,7 +178,7 @@ fn main() {
         &LoadGenConfig {
             clients: CLIENTS,
             requests_per_client: 32,
-            models: vec!["mini-approx".into(), "mini-exact".into()],
+            models: models.clone(),
         },
     );
     println!("warm-up: {:.0} img/s", warm.images_per_sec);
@@ -159,7 +194,7 @@ fn main() {
                 &LoadGenConfig {
                     clients: CLIENTS,
                     requests_per_client: REQUESTS_PER_CLIENT,
-                    models: vec!["mini-approx".into(), "mini-exact".into()],
+                    models: models.clone(),
                 },
             )
         })
@@ -191,6 +226,12 @@ fn main() {
         queue_max_depth,
         queue_peak_depth,
         queue_full_retries: reports.iter().map(|r| r.queue_full_retries).sum(),
+        max_submit_attempts: reports
+            .iter()
+            .map(|r| r.max_submit_attempts)
+            .max()
+            .unwrap_or(1),
+        models,
         approx_contract_latency_ms,
     };
     println!(

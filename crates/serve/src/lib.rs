@@ -30,6 +30,8 @@ pub mod registry;
 pub mod server;
 
 pub use loadgen::{run_closed_loop, LoadGenConfig, LoadReport};
-pub use queue::{AdmissionQueue, Batch, QueueFull, Reply, Request, DEFAULT_MAX_DEPTH};
+pub use queue::{
+    AdmissionQueue, Batch, PushError, QueueClosed, QueueFull, Reply, Request, DEFAULT_MAX_DEPTH,
+};
 pub use registry::{CostContract, DeployedModel, Registry};
 pub use server::{ServeOptions, Server, SubmitError};

@@ -9,7 +9,7 @@
 use crate::server::{Server, SubmitError};
 use serde::Serialize;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Load generator configuration.
 #[derive(Debug, Clone)]
@@ -48,6 +48,29 @@ pub struct LoadReport {
     /// Submissions shed by the bounded admission queue and retried
     /// (overload-pressure indicator; a closed loop at sane depths sees 0).
     pub queue_full_retries: u64,
+    /// Worst-case retry-loop iterations a single submission needed before
+    /// admission (1 = first try; read next to `queue_full_retries` to tell
+    /// "many requests shed once" from "one request starved through the
+    /// backoff ladder").
+    pub max_submit_attempts: u64,
+}
+
+/// Bounded backoff between `QueueFull` retries: the first few attempts
+/// only yield (a worker drains within a scheduler quantum under normal
+/// load), then the wait doubles from 50 µs up to a 2 ms ceiling — no
+/// busy-spin pinning a core against the very workers that must drain the
+/// queue, and no unbounded sleep inflating closed-loop latency.
+fn queue_full_backoff(attempt: u64) {
+    const YIELD_ATTEMPTS: u64 = 4;
+    const BASE_US: u64 = 50;
+    const MAX_US: u64 = 2_000;
+    if attempt <= YIELD_ATTEMPTS {
+        std::thread::yield_now();
+    } else {
+        let exp = (attempt - YIELD_ATTEMPTS - 1).min(16) as u32;
+        let us = BASE_US.saturating_mul(1u64 << exp).min(MAX_US);
+        std::thread::sleep(Duration::from_micros(us));
+    }
 }
 
 /// `q`-th percentile (0 ≤ q ≤ 1) of an unsorted latency sample, by the
@@ -72,32 +95,40 @@ pub fn run_closed_loop(server: &Server, inputs: &[Vec<i8>], cfg: &LoadGenConfig)
 
     let t0 = Instant::now();
     let queue_full_retries = AtomicU64::new(0);
+    let max_submit_attempts = AtomicU64::new(0);
     let retries = &queue_full_retries;
+    let max_attempts = &max_submit_attempts;
     let per_client: Vec<Vec<(f64, usize)>> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..cfg.clients)
             .map(|ci| {
                 s.spawn(move || {
                     let mut samples = Vec::with_capacity(cfg.requests_per_client);
+                    let mut worst_attempts = 1u64;
                     for ri in 0..cfg.requests_per_client {
                         let model = &cfg.models[(ci + ri) % cfg.models.len()];
                         let input = &inputs[(ci * cfg.requests_per_client + ri) % inputs.len()];
                         // A bounded queue may shed under overload: back off
-                        // and retry (closed-loop clients cannot leak work).
-                        // One clone per attempt — the no-shed fast path
-                        // clones exactly once, as before.
+                        // (bounded — no busy-spin against the draining
+                        // workers) and retry; closed-loop clients cannot
+                        // leak work. One clone per attempt — the no-shed
+                        // fast path clones exactly once, as before.
+                        let mut attempts = 0u64;
                         let rx = loop {
+                            attempts += 1;
                             match server.submit_quantized(model, input.clone()) {
                                 Ok(rx) => break rx,
                                 Err(SubmitError::QueueFull { .. }) => {
                                     retries.fetch_add(1, Ordering::Relaxed);
-                                    std::thread::yield_now();
+                                    queue_full_backoff(attempts);
                                 }
                                 Err(e) => panic!("submit failed: {e}"),
                             }
                         };
+                        worst_attempts = worst_attempts.max(attempts);
                         let reply = rx.recv().expect("server replied");
                         samples.push((reply.latency.as_secs_f64() * 1e3, reply.batch_size));
                     }
+                    max_attempts.fetch_max(worst_attempts, Ordering::Relaxed);
                     samples
                 })
             })
@@ -135,6 +166,7 @@ pub fn run_closed_loop(server: &Server, inputs: &[Vec<i8>], cfg: &LoadGenConfig)
             batch_sum as f64 / total as f64
         },
         queue_full_retries: queue_full_retries.into_inner(),
+        max_submit_attempts: max_submit_attempts.into_inner(),
     }
 }
 
@@ -199,5 +231,69 @@ mod tests {
         assert!(report.latency_p50_ms <= report.latency_p99_ms);
         assert!(report.latency_p99_ms <= report.latency_max_ms);
         assert!(report.mean_batch_size >= 1.0 && report.mean_batch_size <= 4.0);
+        assert!(report.max_submit_attempts >= 1);
+    }
+
+    #[test]
+    fn backoff_is_bounded_even_for_huge_attempt_counts() {
+        // Early attempts only yield; late attempts must neither overflow
+        // the shift nor sleep longer than the 2 ms ceiling.
+        let t0 = std::time::Instant::now();
+        for attempt in [1u64, 4, 5, 10, 64, u64::MAX] {
+            queue_full_backoff(attempt);
+        }
+        assert!(
+            t0.elapsed() < std::time::Duration::from_millis(200),
+            "backoff ladder slept unboundedly"
+        );
+    }
+
+    #[test]
+    fn retries_counted_under_a_shallow_queue() {
+        let data = cifar10sim::generate(cifar10sim::DatasetConfig::tiny(72));
+        let m = tinynn::zoo::mini_cifar(72);
+        let ranges = calibrate_ranges(&m, &data.train.take(8));
+        let q = quantize_model(&m, &ranges);
+        let n_convs = q.conv_indices().len();
+        let inputs: Vec<Vec<i8>> = (0..4)
+            .map(|i| q.quantize_input(data.test.image(i)))
+            .collect();
+        let mut reg = Registry::new();
+        reg.register(DeployedModel::from_parts(
+            "m",
+            q,
+            CompiledMasks::none(n_convs),
+            CostContract {
+                cycles: 1,
+                latency_ms: 0.1,
+                energy_mj: 0.001,
+                flash_bytes: 1,
+            },
+        ));
+        let server = crate::Server::start(
+            reg,
+            ServeOptions {
+                max_batch: 1,
+                workers: 1,
+                max_queue_depth: 1,
+            },
+        );
+        let report = run_closed_loop(
+            &server,
+            &inputs,
+            &LoadGenConfig {
+                clients: 4,
+                requests_per_client: 16,
+                models: vec!["m".into()],
+            },
+        );
+        server.shutdown();
+        // Every request eventually served; attempt accounting is coherent
+        // with the retry counter regardless of the schedule.
+        assert_eq!(report.total_requests, 64);
+        assert!(report.max_submit_attempts >= 1);
+        if report.queue_full_retries > 0 {
+            assert!(report.max_submit_attempts >= 2);
+        }
     }
 }

@@ -65,11 +65,28 @@ pub struct Batch {
 /// handed back so the caller decides (retry, shed, reply with an error);
 /// dropping it closes the reply channel, which the client observes as a
 /// disconnect.
+pub enum PushError {
+    /// The depth bound was hit (overload shedding — back off and retry).
+    Full(QueueFull),
+    /// The queue was closed ([`AdmissionQueue::close`]): the server is
+    /// draining toward shutdown and will never serve this request.
+    /// Distinguishable from acceptance — a closed queue used to swallow
+    /// the push (dropping the reply channel) while still returning `Ok`.
+    Closed(QueueClosed),
+}
+
+/// The request refused because the queue hit its depth bound.
 pub struct QueueFull {
     /// The refused request, returned to the caller.
     pub request: Request,
     /// The depth bound that was hit.
     pub max_depth: usize,
+}
+
+/// The request refused because the queue is closed.
+pub struct QueueClosed {
+    /// The refused request, returned to the caller.
+    pub request: Request,
 }
 
 /// Default admission bound: deep enough that a transient burst never sheds
@@ -124,20 +141,21 @@ impl AdmissionQueue {
         self.max_depth
     }
 
-    /// Enqueue a request. Rejects with [`QueueFull`] when `max_depth`
-    /// requests are already waiting (overload shedding); requests pushed
-    /// after [`AdmissionQueue::close`] are accepted-and-dropped (the queue
-    /// is draining toward shutdown, the client sees a disconnect).
-    pub fn push(&self, request: Request) -> Result<(), QueueFull> {
+    /// Enqueue a request. Rejects with [`PushError::Full`] when
+    /// `max_depth` requests are already waiting (overload shedding) and
+    /// with [`PushError::Closed`] after [`AdmissionQueue::close`] — a
+    /// closed queue must not silently drop a request while reporting
+    /// acceptance.
+    pub fn push(&self, request: Request) -> Result<(), PushError> {
         let mut st = self.state.lock().unwrap();
         if st.closed {
-            return Ok(());
+            return Err(PushError::Closed(QueueClosed { request }));
         }
         if st.queue.len() >= self.max_depth {
-            return Err(QueueFull {
+            return Err(PushError::Full(QueueFull {
                 request,
                 max_depth: self.max_depth,
-            });
+            }));
         }
         st.queue.push_back(request);
         st.peak = st.peak.max(st.queue.len());
@@ -162,7 +180,8 @@ impl AdmissionQueue {
     }
 
     /// Close the queue: waiting and future [`AdmissionQueue::next_batch`]
-    /// calls return `None` once drained, pushes become no-ops.
+    /// calls return `None` once drained, pushes reject with
+    /// [`PushError::Closed`].
     pub fn close(&self) {
         self.state.lock().unwrap().closed = true;
         self.cv.notify_all();
@@ -281,8 +300,14 @@ mod tests {
         // Still drains what's queued…
         let b = q.next_batch(4).expect("drains");
         assert_eq!(ids(&b), vec![0]);
-        // …then reports exhaustion, and ignores late pushes.
-        push(&q, 1, "a");
+        // …then reports exhaustion, and *rejects* late pushes with a typed
+        // Closed error handing the request back (no silent drop-as-Ok).
+        let (r, _rx) = req(1, "a");
+        match q.push(r) {
+            Err(PushError::Closed(c)) => assert_eq!(c.request.id, 1),
+            Err(PushError::Full(_)) => panic!("closed queue reported Full"),
+            Ok(()) => panic!("closed queue accepted a push"),
+        }
         assert!(q.next_batch(4).is_none());
         assert!(q.is_empty());
     }
@@ -295,7 +320,10 @@ mod tests {
         push(&q, 1, "a");
         // Third push is shed with a typed error carrying the request back.
         let (r, _rx) = req(2, "a");
-        let err = q.push(r).expect_err("over depth bound");
+        let err = match q.push(r) {
+            Err(PushError::Full(f)) => f,
+            _ => panic!("expected Full over the depth bound"),
+        };
         assert_eq!(err.max_depth, 2);
         assert_eq!(err.request.id, 2);
         assert_eq!(q.len(), 2);

@@ -52,6 +52,11 @@ pub enum SubmitError {
         /// The configured [`ServeOptions::max_queue_depth`].
         max_depth: usize,
     },
+    /// The server is shutting down: admission is closed and this request
+    /// will never be served. Distinct from acceptance (a closed queue used
+    /// to swallow the request while returning `Ok`) and from
+    /// [`SubmitError::QueueFull`] — retrying cannot succeed.
+    Closed,
 }
 
 impl std::fmt::Display for SubmitError {
@@ -64,6 +69,7 @@ impl std::fmt::Display for SubmitError {
             SubmitError::QueueFull { max_depth } => {
                 write!(f, "admission queue full ({max_depth} waiting requests)")
             }
+            SubmitError::Closed => write!(f, "server shutting down: admission closed"),
         }
     }
 }
@@ -134,8 +140,11 @@ impl Server {
                 submitted: Instant::now(),
                 reply: tx,
             })
-            .map_err(|full| SubmitError::QueueFull {
-                max_depth: full.max_depth,
+            .map_err(|e| match e {
+                crate::queue::PushError::Full(full) => SubmitError::QueueFull {
+                    max_depth: full.max_depth,
+                },
+                crate::queue::PushError::Closed(_) => SubmitError::Closed,
             })?;
         Ok(rx)
     }
@@ -168,6 +177,13 @@ impl Server {
     /// The registry being served.
     pub fn registry(&self) -> &Registry {
         &self.registry
+    }
+
+    /// Close admission without joining the workers: in-flight and queued
+    /// requests still drain, but new submissions are refused with
+    /// [`SubmitError::Closed`] — the first phase of a graceful shutdown.
+    pub fn close_admission(&self) {
+        self.queue.close();
     }
 
     /// Close admission, drain, and join the workers.
@@ -405,6 +421,74 @@ mod tests {
             );
             assert_eq!(rx.recv().expect("reply").predicted, want, "request {i}");
         }
+        server.shutdown();
+    }
+
+    #[test]
+    fn serves_residual_model_bit_exact() {
+        // The mini-ResNet (stash/Add segments) deploys and serves through
+        // the same batched engine — the DAG-shaped ExecPlan reaches
+        // ataman-serve.
+        let data = cifar10sim::generate(cifar10sim::DatasetConfig::tiny(99));
+        let m = tinynn::zoo::mini_resnet(99);
+        let ranges = calibrate_ranges(&m, &data.train.take(8));
+        let q = quantize_model(&m, &ranges);
+        let n_convs = q.conv_indices().len();
+        let mut reg = Registry::new();
+        reg.register(DeployedModel::from_parts(
+            "resnet",
+            q.clone(),
+            quantize::CompiledMasks::none(n_convs),
+            CostContract {
+                cycles: 1,
+                latency_ms: 0.1,
+                energy_mj: 0.001,
+                flash_bytes: 1024,
+            },
+        ));
+        let server = Server::start(
+            reg,
+            ServeOptions {
+                max_batch: 3,
+                workers: 1,
+                ..Default::default()
+            },
+        );
+        let mut rxs = Vec::new();
+        for i in 0..7 {
+            rxs.push(
+                server
+                    .submit_image("resnet", data.test.image(i))
+                    .expect("ok"),
+            );
+        }
+        let mut scratch = ForwardScratch::for_model(&q);
+        for (i, rx) in rxs.into_iter().enumerate() {
+            let want = q.predict_compiled_scratch(
+                &q.quantize_input(data.test.image(i)),
+                None,
+                None,
+                &mut scratch,
+            );
+            assert_eq!(rx.recv().expect("reply").predicted, want, "request {i}");
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn closed_admission_is_a_typed_error_not_a_silent_drop() {
+        let (dm, data) = deployed("m", 0.0, 98);
+        let mut reg = Registry::new();
+        reg.register(dm);
+        let server = Server::start(reg, ServeOptions::default());
+        // Before closing, requests serve normally.
+        let rx = server.submit_image("m", data.test.image(0)).expect("ok");
+        assert!(rx.recv().is_ok());
+        server.close_admission();
+        // After closing, the caller gets a typed Closed — not an Ok whose
+        // reply channel silently disconnects.
+        let err = server.submit_image("m", data.test.image(1)).unwrap_err();
+        assert_eq!(err, SubmitError::Closed);
         server.shutdown();
     }
 

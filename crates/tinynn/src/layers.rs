@@ -318,6 +318,14 @@ pub enum Layer {
     Relu(usize),
     /// Fully connected.
     Dense(Dense),
+    /// Residual skip source: records (a copy of) the current activation;
+    /// the matching [`Layer::Add`] consumes it. Value-preserving — the
+    /// activation flows through unchanged. Stash/Add pairs nest like a
+    /// stack (an `Add` always consumes the most recent unconsumed `Stash`).
+    Stash(usize),
+    /// Residual elementwise add: `y = x + stashed` (the skip join of a
+    /// ResNet-style block); length recorded for shape checking.
+    Add(usize),
 }
 
 impl Layer {
@@ -329,6 +337,7 @@ impl Layer {
             Layer::GlobalAvgPool(g) => g.out_len(),
             Layer::Relu(n) => *n,
             Layer::Dense(d) => d.out_dim,
+            Layer::Stash(n) | Layer::Add(n) => *n,
         }
     }
 
@@ -340,6 +349,7 @@ impl Layer {
             Layer::GlobalAvgPool(g) => g.in_len(),
             Layer::Relu(n) => *n,
             Layer::Dense(d) => d.in_dim,
+            Layer::Stash(n) | Layer::Add(n) => *n,
         }
     }
 

@@ -117,6 +117,8 @@ impl Sequential {
                     w = 1;
                     c = d.out_dim;
                 }
+                // Stash records, Add re-joins: both shape-preserving.
+                Layer::Stash(_) | Layer::Add(_) => {}
             }
         }
         (h, w, c)
@@ -125,6 +127,15 @@ impl Sequential {
     /// Append a convolution (+ ReLU) with `out_c` filters of `k`×`k`, stride
     /// 1 and "same" padding `k/2`.
     pub fn conv_relu(mut self, out_c: usize, k: usize, rng: &mut StdRng) -> Self {
+        self = self.conv(out_c, k, rng);
+        let out_len = self.layers.last().expect("just pushed a conv").out_len();
+        self.layers.push(Layer::Relu(out_len));
+        self
+    }
+
+    /// Append a convolution **without** a ReLU — the pre-join tail of a
+    /// residual block (the ReLU comes after the elementwise add).
+    pub fn conv(mut self, out_c: usize, k: usize, rng: &mut StdRng) -> Self {
         let (h, w, c) = self.current_hwc();
         let geom = ConvGeometry {
             in_h: h,
@@ -138,11 +149,28 @@ impl Sequential {
             stride_h: 1,
             stride_w: 1,
         };
-        let conv = Conv2d::new(geom, rng);
-        let out_len = conv.out_len();
-        self.layers.push(Layer::Conv(conv));
-        self.layers.push(Layer::Relu(out_len));
+        self.layers.push(Layer::Conv(Conv2d::new(geom, rng)));
         self
+    }
+
+    /// Append a residual block: stash the current activation, run the
+    /// layers `f` appends (which must preserve the `h×w×c` shape),
+    /// elementwise-add the stash back, then ReLU — the classic
+    /// post-activation ResNet block `relu(x + F(x))`.
+    pub fn residual(mut self, f: impl FnOnce(Self) -> Self) -> Self {
+        let before = self.current_hwc();
+        let len = before.0 * before.1 * before.2;
+        assert!(len > 0, "residual needs a non-empty activation");
+        self.layers.push(Layer::Stash(len));
+        let mut m = f(self);
+        let after = m.current_hwc();
+        assert_eq!(
+            before, after,
+            "residual block must preserve its h×w×c shape"
+        );
+        m.layers.push(Layer::Add(len));
+        m.layers.push(Layer::Relu(len));
+        m
     }
 
     /// Append a 2×2/2 max-pool.
@@ -225,6 +253,7 @@ impl Sequential {
     /// Inference-only forward (no caches).
     pub fn forward_logits(&self, x: &[f32]) -> Vec<f32> {
         let mut act = x.to_vec();
+        let mut stashes: Vec<Vec<f32>> = Vec::new();
         for l in &self.layers {
             act = match l {
                 Layer::Conv(c) => c.forward(&act).0,
@@ -240,6 +269,18 @@ impl Sequential {
                     a
                 }
                 Layer::Dense(d) => d.forward(&act),
+                Layer::Stash(_) => {
+                    stashes.push(act.clone());
+                    act
+                }
+                Layer::Add(_) => {
+                    let s = stashes.pop().expect("Add without matching Stash");
+                    let mut a = act;
+                    for (v, sv) in a.iter_mut().zip(&s) {
+                        *v += sv;
+                    }
+                    a
+                }
             };
         }
         act
@@ -255,6 +296,7 @@ impl Sequential {
         let mut inputs = Vec::with_capacity(self.layers.len());
         let mut aux = Vec::with_capacity(self.layers.len());
         let mut act = x.to_vec();
+        let mut stashes: Vec<Vec<f32>> = Vec::new();
         for l in &self.layers {
             inputs.push(act.clone());
             act = match l {
@@ -286,6 +328,20 @@ impl Sequential {
                     aux.push(Aux::None);
                     d.forward(&act)
                 }
+                Layer::Stash(_) => {
+                    aux.push(Aux::None);
+                    stashes.push(act.clone());
+                    act
+                }
+                Layer::Add(_) => {
+                    aux.push(Aux::None);
+                    let s = stashes.pop().expect("Add without matching Stash");
+                    let mut a = act;
+                    for (v, sv) in a.iter_mut().zip(&s) {
+                        *v += sv;
+                    }
+                    a
+                }
             };
         }
         ForwardCache {
@@ -300,6 +356,11 @@ impl Sequential {
     pub fn loss_and_gradients(&self, cache: &ForwardCache, label: usize) -> (f32, Gradients) {
         let (loss, mut dact) = softmax_xent(&cache.logits, label);
         let mut grads = Gradients::zeros_like(self);
+        // Reverse-order skip-gradient stack: an Add splits its upstream
+        // gradient (one copy continues through the block, one is parked
+        // here), the matching Stash re-joins it into the trunk gradient.
+        // LIFO mirrors the forward stash stack for nested blocks.
+        let mut pending: Vec<Vec<f32>> = Vec::new();
         for (li, l) in self.layers.iter().enumerate().rev() {
             match l {
                 Layer::Conv(c) => {
@@ -332,6 +393,17 @@ impl Sequential {
                     let (dx, dw, db) = d.backward(&cache.inputs[li], &dact);
                     grads.per_layer[li] = (dw, db);
                     dact = dx;
+                }
+                Layer::Add(_) => {
+                    // d(x + F(x)) flows unchanged into the block (dact) and
+                    // identically into the skip (parked until the Stash).
+                    pending.push(dact.clone());
+                }
+                Layer::Stash(_) => {
+                    let g = pending.pop().expect("Stash without pending Add gradient");
+                    for (d, gv) in dact.iter_mut().zip(&g) {
+                        *d += gv;
+                    }
                 }
             }
         }
@@ -443,6 +515,75 @@ mod tests {
             let got = grads.per_layer[li].0[wi];
             assert!(
                 (num - got).abs() < 5e-2_f32.max(0.2 * num.abs()),
+                "layer {li} w[{wi}]: numeric {num} vs backprop {got}"
+            );
+        }
+    }
+
+    fn residual_micro(seed: u64) -> Sequential {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Sequential::new("res-micro", Shape4::nhwc(1, 6, 6, 2))
+            .conv_relu(3, 3, &mut rng)
+            .residual(|m| m.conv_relu(3, 3, &mut rng).conv(3, 3, &mut rng))
+            .global_avg_pool()
+            .dense(4, true, &mut rng)
+    }
+
+    #[test]
+    fn residual_builder_shapes_and_markers() {
+        let m = residual_micro(11);
+        // conv+relu, stash, conv+relu, conv, add, relu, gap, dense
+        assert!(matches!(m.layers[2], Layer::Stash(_)));
+        assert!(m.layers.iter().any(|l| matches!(l, Layer::Add(_))));
+        let x: Vec<f32> = (0..6 * 6 * 2).map(|i| (i % 7) as f32 / 7.0).collect();
+        assert_eq!(m.forward_logits(&x).len(), 4);
+        assert_eq!(m.forward_logits(&x), m.forward_cached(&x).logits);
+    }
+
+    #[test]
+    #[should_panic(expected = "must preserve")]
+    fn residual_rejects_shape_changing_blocks() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = Sequential::new("bad", Shape4::nhwc(1, 8, 8, 2))
+            .residual(|m| m.conv_relu(5, 3, &mut rng)); // 2 -> 5 channels
+    }
+
+    /// Gradients through a residual join (both branches) match finite
+    /// differences — including a weight *inside* the block, whose gradient
+    /// flows only through the block branch, and one before the stash,
+    /// whose gradient sums both branches.
+    #[test]
+    fn residual_gradients_match_finite_differences() {
+        let mut m = residual_micro(12);
+        let mut rng = StdRng::seed_from_u64(13);
+        let x: Vec<f32> = (0..6 * 6 * 2)
+            .map(|_| rng.gen_range(-1.0f32..1.0))
+            .collect();
+        let label = 2usize;
+        let cache = m.forward_cached(&x);
+        let (_, grads) = m.loss_and_gradients(&cache, label);
+
+        let eps = 1e-2f32;
+        // layer 0 = stem conv (pre-stash), layers 3/5 = block convs.
+        for (li, wi) in [(0usize, 3usize), (3, 7), (5, 1)] {
+            let orig = match &m.layers[li] {
+                Layer::Conv(c) => c.weights[wi],
+                _ => panic!("expected conv at {li}"),
+            };
+            let set = |m: &mut Sequential, v: f32| {
+                if let Layer::Conv(c) = &mut m.layers[li] {
+                    c.weights[wi] = v;
+                }
+            };
+            set(&mut m, orig + eps);
+            let lp = m.loss_and_gradients(&m.forward_cached(&x), label).0;
+            set(&mut m, orig - eps);
+            let lm = m.loss_and_gradients(&m.forward_cached(&x), label).0;
+            set(&mut m, orig);
+            let num = (lp - lm) / (2.0 * eps);
+            let got = grads.per_layer[li].0[wi];
+            assert!(
+                (num - got).abs() < 5e-2_f32.max(0.25 * num.abs()),
                 "layer {li} w[{wi}]: numeric {num} vs backprop {got}"
             );
         }

@@ -96,6 +96,24 @@ pub fn mini_cifar_gap(seed: u64) -> Sequential {
         .dense(10, true, &mut rng)
 }
 
+/// A CIFAR-shaped mini-ResNet: a conv stem followed by **two residual
+/// stages** (each a `relu(x + conv(relu(conv(x))))` post-activation block)
+/// and a GAP head — the DAG-shaped workload that exercises the ExecPlan's
+/// stash/Add segments end-to-end across every engine, the prefix-sharing
+/// DSE and `ataman-serve`.
+pub fn mini_resnet(seed: u64) -> Sequential {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Sequential::new("MiniResNet", cifar_input())
+        .conv_relu(8, 3, &mut rng) // stem: 32×32×8
+        .maxpool() // 16×16×8
+        .residual(|m| m.conv_relu(8, 3, &mut rng).conv(8, 3, &mut rng))
+        .maxpool() // 8×8×8
+        .residual(|m| m.conv_relu(8, 3, &mut rng).conv(8, 3, &mut rng))
+        .maxpool() // 4×4×8
+        .global_avg_pool()
+        .dense(10, true, &mut rng)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -152,6 +170,64 @@ mod tests {
         assert_eq!((gap.in_h, gap.in_w, gap.c), (4, 4, 16));
         let x = vec![0.5f32; 32 * 32 * 3];
         assert_eq!(m.forward_logits(&x).len(), 10);
+    }
+
+    #[test]
+    fn mini_resnet_shapes_and_markers() {
+        let m = mini_resnet(0);
+        assert_eq!(m.num_classes(), 10);
+        // Stem conv + 2 convs per residual stage = 5 conv layers.
+        let convs = m
+            .layers
+            .iter()
+            .filter(|l| matches!(l, crate::layers::Layer::Conv(_)))
+            .count();
+        assert_eq!(convs, 5);
+        let stashes = m
+            .layers
+            .iter()
+            .filter(|l| matches!(l, crate::layers::Layer::Stash(_)))
+            .count();
+        let adds = m
+            .layers
+            .iter()
+            .filter(|l| matches!(l, crate::layers::Layer::Add(_)))
+            .count();
+        assert_eq!((stashes, adds), (2, 2));
+        let x = vec![0.5f32; 32 * 32 * 3];
+        assert_eq!(m.forward_logits(&x).len(), 10);
+    }
+
+    #[test]
+    fn mini_resnet_skip_actually_contributes() {
+        // Zeroing a residual block's conv weights must leave relu(x) — i.e.
+        // the skip path, not a zero map.
+        let mut m = mini_resnet(1);
+        // Find the first residual stage's conv layers (between the first
+        // Stash and its Add) and zero them out.
+        let stash_at = m
+            .layers
+            .iter()
+            .position(|l| matches!(l, crate::layers::Layer::Stash(_)))
+            .unwrap();
+        let add_at = m
+            .layers
+            .iter()
+            .position(|l| matches!(l, crate::layers::Layer::Add(_)))
+            .unwrap();
+        let x: Vec<f32> = (0..32 * 32 * 3).map(|i| (i % 17) as f32 / 17.0).collect();
+        let before = m.forward_logits(&x);
+        for l in &mut m.layers[stash_at..add_at] {
+            if let crate::layers::Layer::Conv(c) = l {
+                c.weights.iter_mut().for_each(|w| *w = 0.0);
+                c.bias.iter_mut().for_each(|b| *b = 0.0);
+            }
+        }
+        let after = m.forward_logits(&x);
+        // The model still produces finite, non-degenerate logits (the skip
+        // carried the activation through the dead block).
+        assert!(after.iter().all(|v| v.is_finite()));
+        assert_ne!(before, after);
     }
 
     #[test]

@@ -196,9 +196,14 @@ pub fn requantize_to_i8(acc: i32, mult: RequantMultiplier, out_zp: i32) -> i8 {
 /// division). Average pooling keeps the input quantization (same scale and
 /// zero point), so this is the *entire* output stage of a quantized average
 /// pool; every engine must use this exact helper to stay bit-exact.
+///
+/// The rounding arithmetic runs in i64: `sum + half` can exceed `i32::MAX`
+/// for extreme `(count × magnitude)` geometry (e.g. `sum = i32::MAX`,
+/// `count = 3`), and widening is bit-exact for every in-range input.
 #[inline(always)]
 pub fn avg_round(sum: i32, count: i32) -> i8 {
     debug_assert!(count > 0);
+    let (sum, count) = (sum as i64, count as i64);
     let half = count / 2;
     let v = if sum >= 0 {
         (sum + half) / count
@@ -206,6 +211,35 @@ pub fn avg_round(sum: i32, count: i32) -> i8 {
         (sum - half) / count
     };
     v.clamp(-128, 127) as i8
+}
+
+/// Two-input residual-add output stage: each branch is centered on its own
+/// zero point and folded to the output scale with its own fixed-point
+/// multiplier (gemmlowp round-to-nearest, [`RequantMultiplier::apply`]),
+/// the rescaled branches are summed in i64 (no intermediate overflow), the
+/// output zero point is added and the result saturates into `[lo, hi]`
+/// (the fused-ReLU clamp, always within i8).
+///
+/// This is the *entire* arithmetic of a quantized elementwise add
+/// (`arm_elementwise_add_s8` semantics at per-branch precision); every
+/// engine's residual-add kernel must call this exact helper per element to
+/// stay bit-exact by construction.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+pub fn add_requant_i8(
+    lhs: i8,
+    lhs_zp: i32,
+    lhs_mult: RequantMultiplier,
+    rhs: i8,
+    rhs_zp: i32,
+    rhs_mult: RequantMultiplier,
+    out_zp: i32,
+    lo: i32,
+    hi: i32,
+) -> i8 {
+    let l = lhs_mult.apply(lhs as i32 - lhs_zp) as i64;
+    let r = rhs_mult.apply(rhs as i32 - rhs_zp) as i64;
+    (l + r + out_zp as i64).clamp(lo as i64, hi as i64) as i8
 }
 
 #[cfg(test)]
@@ -315,5 +349,43 @@ mod tests {
         assert_eq!(avg_round(0, 7), 0);
         assert_eq!(avg_round(127 * 4, 4), 127);
         assert_eq!(avg_round(-128 * 4, 4), -128);
+    }
+
+    #[test]
+    fn avg_round_extreme_geometry_no_overflow() {
+        // `sum + half` exceeds i32 here; the widened arithmetic must not
+        // wrap (the old i32 rounding overflowed on these inputs).
+        assert_eq!(avg_round(i32::MAX, 3), 127);
+        assert_eq!(avg_round(i32::MAX, i32::MAX), 1);
+        assert_eq!(avg_round(i32::MIN, 3), -128);
+        assert_eq!(avg_round(i32::MIN, i32::MAX), -1);
+        assert_eq!(avg_round(i32::MIN + 1, i32::MAX), -1);
+        // Near-tie at huge counts still rounds away from zero.
+        assert_eq!(avg_round(3, 2), 2);
+        assert_eq!(avg_round(-3, 2), -2);
+    }
+
+    #[test]
+    fn add_requant_folds_each_branch_to_the_output_scale() {
+        // Scales 0.5 and 0.25 into an output scale of 1.0: the rescaled
+        // branches are halved/quartered with round-to-nearest.
+        let half = RequantMultiplier::from_real(0.5).unwrap();
+        let quarter = RequantMultiplier::from_real(0.25).unwrap();
+        let v = add_requant_i8(40, 0, half, 40, 0, quarter, 0, -128, 127);
+        assert_eq!(v, 30); // 20 + 10
+                           // Zero points are removed per branch, the output zp added once.
+        let v = add_requant_i8(42, 2, half, -37, 3, quarter, 5, -128, 127);
+        assert_eq!(v, 20 + (-10) + 5);
+        // Saturating i8 add: the sum clamps into the fused-ReLU bounds.
+        let unit = RequantMultiplier::from_real(1.0).unwrap();
+        assert_eq!(
+            add_requant_i8(127, 0, unit, 127, 0, unit, 0, -128, 127),
+            127
+        );
+        assert_eq!(
+            add_requant_i8(-128, 0, unit, -128, 0, unit, 0, -128, 127),
+            -128
+        );
+        assert_eq!(add_requant_i8(-10, 0, unit, 3, 0, unit, 0, 0, 127), 0);
     }
 }

@@ -3,8 +3,8 @@
 use proptest::prelude::*;
 use tinytensor::im2col::{im2col_i8, patch_offsets, PAD_OFFSET};
 use tinytensor::quant::{
-    requantize_to_i8, rounding_divide_by_pot, saturating_rounding_doubling_high_mul, QuantParams,
-    RequantMultiplier,
+    avg_round, requantize_to_i8, rounding_divide_by_pot, saturating_rounding_doubling_high_mul,
+    QuantParams, RequantMultiplier,
 };
 use tinytensor::shape::ConvGeometry;
 use tinytensor::simd::{pack_weights, runtime_pack_inputs, smlad};
@@ -52,6 +52,25 @@ proptest! {
         let m = RequantMultiplier::from_real(real).unwrap();
         let v = requantize_to_i8(acc, m, zp);
         prop_assert!((-128..=127).contains(&(v as i32)));
+    }
+
+    /// The widened rounding average equals the f64 reference (round to
+    /// nearest, ties away from zero) for the full i32 sum range. `count` is
+    /// bounded so the f64 quotient's rounding error (≲2⁻²¹ ulp at 2³¹-scale
+    /// sums) stays far below the smallest tie gap `1/(2·count)`.
+    #[test]
+    fn avg_round_matches_f64_reference(sum: i32, count in 1i32..100_000) {
+        let got = avg_round(sum, count) as f64;
+        let want = (sum as f64 / count as f64).round().clamp(-128.0, 127.0);
+        prop_assert_eq!(got, want, "sum={} count={}", sum, count);
+    }
+
+    /// No `(sum, count)` geometry panics or wraps — including the extreme
+    /// magnitudes that overflowed the old i32 `sum + half` arithmetic.
+    #[test]
+    fn avg_round_total_on_i32(sum: i32, count in 1i32..=i32::MAX) {
+        let v = avg_round(sum, count) as i32;
+        prop_assert!((-128..=127).contains(&v));
     }
 
     /// Rounding divide by POT equals f64 reference rounding (half away from

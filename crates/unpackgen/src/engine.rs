@@ -8,9 +8,10 @@
 use crate::stream::{UnpackOptions, UnpackedConv};
 use mcusim::{CostModel, Event, ExecStats};
 use quantize::plan::{
-    ConvSegment, DenseSegment, ExecBackend, ExecPlan, GapSegment, LogitsSegment, PoolSegment,
+    AddSegment, ConvSegment, DenseSegment, ExecBackend, ExecPlan, GapSegment, LogitsSegment,
+    PoolSegment,
 };
-use quantize::{QDense, QLayer, QuantModel, SkipMaskSet};
+use quantize::{QAdd, QDense, QLayer, QuantModel, SkipMaskSet};
 use tinytensor::im2col::{patch_offsets, PAD_OFFSET};
 use tinytensor::quant::{avg_round, requantize_to_i8};
 use tinytensor::simd::{pack_i16x2, smlad};
@@ -103,6 +104,7 @@ impl<'m> UnpackedEngine<'m> {
         let mut backend = UnpackBackend {
             engine: self,
             act: qinput.to_vec(),
+            stash: vec![Vec::new(); self.plan.n_stash_slots()],
             stats: ExecStats::new(),
         };
         self.plan.execute(&mut backend);
@@ -178,6 +180,9 @@ impl<'m> UnpackedEngine<'m> {
 struct UnpackBackend<'r, 'm> {
     engine: &'r UnpackedEngine<'m>,
     act: Vec<i8>,
+    /// Residual stash buffers (NHWC); the generated code's static schedule
+    /// aliases the skip buffer, so stashing charges nothing.
+    stash: Vec<Vec<i8>>,
     stats: ExecStats,
 }
 
@@ -203,6 +208,16 @@ impl ExecBackend for UnpackBackend<'_, '_> {
         let d = self.engine.model.dense_at(seg.layer_idx);
         self.act = dense_specialized(d, &self.act, &mut self.stats);
         self.stats.charge(Event::CallOverhead, 1);
+    }
+
+    fn add(&mut self, seg: &AddSegment) {
+        let a = self.engine.model.add_at(seg.layer_idx);
+        self.act = add_specialized(a, &self.stash[seg.slot], &self.act, &mut self.stats);
+        self.stats.charge(Event::CallOverhead, 1);
+    }
+
+    fn stash(&mut self, slot: usize, _len: usize) {
+        self.stash[slot] = self.act.clone();
     }
 
     fn logits(&mut self, seg: &LogitsSegment) {
@@ -252,6 +267,21 @@ fn gap_specialized(positions: usize, ch: usize, input: &[i8], stats: &mut ExecSt
     }
     stats.charge(Event::AvgAccum, (positions * ch) as u64);
     stats.charge(Event::Requant, ch as u64);
+    out
+}
+
+/// Specialized residual add: the shared [`QAdd::apply`] two-input
+/// requantization per element, compile-time length — identical arithmetic
+/// to the generic `arm_elementwise_add_s8` shape minus the interpreter
+/// overheads.
+fn add_specialized(a: &QAdd, lhs: &[i8], rhs: &[i8], stats: &mut ExecStats) -> Vec<i8> {
+    debug_assert_eq!(lhs.len(), a.len);
+    debug_assert_eq!(rhs.len(), a.len);
+    let mut out = vec![0i8; a.len];
+    for ((o, &l), &r) in out.iter_mut().zip(lhs).zip(rhs) {
+        *o = a.apply(l, r);
+    }
+    stats.charge(Event::AddRequant, a.len as u64);
     out
 }
 

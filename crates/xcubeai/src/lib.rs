@@ -125,6 +125,12 @@ impl<'m> XCubeEngine<'m> {
                     stats.charge(Event::BiasInit, s.out_dim as u64);
                     stats.charge(Event::Requant, s.out_dim as u64);
                 }
+                Segment::Add(s) => {
+                    // Graph-compiled residual join: no interpreter decode,
+                    // one fused two-input requantize pass per element.
+                    stats.charge(Event::CallOverhead, 1);
+                    stats.charge(Event::AddRequant, s.len as u64);
+                }
                 Segment::Logits(s) => {
                     stats.charge(Event::SoftmaxOp, s.out_len as u64);
                 }
