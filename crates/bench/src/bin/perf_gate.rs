@@ -57,6 +57,11 @@ enum Gate {
     /// (its numerator runs the SIMD kernels, its denominator does not), so
     /// no metric is enforced across dispatch levels.
     SameMachine,
+    /// Health counter that must be exactly zero in the *current* report —
+    /// enforced unconditionally (no machine comparison, no tolerance, no
+    /// baseline needed). A fault-free bench run crashing a worker is a
+    /// correctness bug, not a perf regression.
+    Zero,
 }
 
 /// One tracked metric of one report file.
@@ -135,6 +140,34 @@ const SPECS: &[Spec] = &[
             },
             Metric {
                 field: "mean_batch_size",
+                gate: Gate::Info,
+            },
+            Metric {
+                field: "worker_crashes",
+                gate: Gate::Zero,
+            },
+            Metric {
+                field: "worker_restarts",
+                gate: Gate::Info,
+            },
+            Metric {
+                field: "expired",
+                gate: Gate::Info,
+            },
+            Metric {
+                field: "shed_by_server",
+                gate: Gate::Info,
+            },
+            Metric {
+                field: "shed_by_client",
+                gate: Gate::Info,
+            },
+            Metric {
+                field: "queued_p50_us",
+                gate: Gate::Info,
+            },
+            Metric {
+                field: "exec_p50_us",
                 gate: Gate::Info,
             },
             Metric {
@@ -320,6 +353,45 @@ fn main() -> ExitCode {
         }
         for m in spec.metrics {
             let (b, c) = (number(&base, m.field), number(&cur, m.field));
+            // Zero-gated health counters read only the current report: any
+            // positive (or absent) value is a hard failure, regardless of
+            // machine class, tolerance, or whether a baseline exists.
+            if matches!(m.gate, Gate::Zero) {
+                let status = match c {
+                    Some(v) => {
+                        if v == 0.0 {
+                            "✅ zero"
+                        } else {
+                            failures.push(format!(
+                                "{} {}: {} in a fault-free bench run (must be 0)",
+                                spec.file,
+                                m.field,
+                                fmt_v(v)
+                            ));
+                            "❌ nonzero"
+                        }
+                    }
+                    None => {
+                        failures.push(format!(
+                            "{} {}: zero-gated counter missing from current report \
+                             (strict schema; regenerate the report)",
+                            spec.file, m.field
+                        ));
+                        "❌ missing"
+                    }
+                };
+                writeln!(
+                    table,
+                    "| {} | {} | {} | {} | — | {} |",
+                    spec.file,
+                    m.field,
+                    b.map_or("*(absent)*".to_string(), fmt_v),
+                    c.map_or("*(absent)*".to_string(), fmt_v),
+                    status
+                )
+                .unwrap();
+                continue;
+            }
             let (b, c) = match (b, c) {
                 (Some(b), Some(c)) => (b, c),
                 _ => {
@@ -353,6 +425,7 @@ fn main() -> ExitCode {
             let enforced = match m.gate {
                 Gate::Info => false,
                 Gate::SameMachine => same_machine,
+                Gate::Zero => unreachable!("zero-gated metrics handled above"),
             };
             let status = if !enforced {
                 "ℹ️"

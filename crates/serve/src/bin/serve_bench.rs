@@ -49,6 +49,30 @@ struct ServeBenchReport {
     latency_p99_ms: f64,
     latency_max_ms: f64,
     mean_batch_size: f64,
+    /// Median queueing delay (submit → batch pop) of the median rep, µs —
+    /// the latency breakdown's queue half (informational, not gated).
+    queued_p50_us: u64,
+    /// 99th percentile queueing delay of the median rep, µs.
+    queued_p99_us: u64,
+    /// Median batch kernel time of the median rep, µs.
+    exec_p50_us: u64,
+    /// 99th percentile batch kernel time of the median rep, µs.
+    exec_p99_us: u64,
+    /// Worker panics caught across warm-up + all reps. **Gated at zero**:
+    /// the fault-free bench crashing a worker is a real bug, and the
+    /// failpoint layer is not even compiled into this binary.
+    worker_crashes: u64,
+    /// Supervisor restarts across the run (0 whenever `worker_crashes` is).
+    worker_restarts: u64,
+    /// Requests expired before execution across the run (informational —
+    /// contract-derived deadlines are generous at bench depths).
+    expired: u64,
+    /// Requests shed by the server across the measured reps (batch-class
+    /// high-water policy; the bench submits interactive only, so 0).
+    shed_by_server: usize,
+    /// Requests the loadgen gave up on after its attempt budget, summed
+    /// over the measured reps (0 at sane depths).
+    shed_by_client: usize,
     /// Admission-queue depth bound the server ran with.
     queue_max_depth: usize,
     /// Peak queue depth observed across warm-up + all reps.
@@ -111,7 +135,7 @@ fn main() {
     );
     let approx_contract_latency_ms = dep.latency_ms;
 
-    let mut registry = Registry::new();
+    let registry = Registry::new();
     let approx = DeployedModel::from_deployment("mini-approx", &fw, &dep);
     // Exact baseline of the same architecture: no masks; contract from the
     // analytic estimators (no board deployment needed for a baseline).
@@ -175,11 +199,7 @@ fn main() {
     let warm = run_closed_loop(
         &server,
         &inputs,
-        &LoadGenConfig {
-            clients: CLIENTS,
-            requests_per_client: 32,
-            models: models.clone(),
-        },
+        &LoadGenConfig::new(CLIENTS, 32, models.clone()),
     );
     println!("warm-up: {:.0} img/s", warm.images_per_sec);
 
@@ -191,16 +211,13 @@ fn main() {
             run_closed_loop(
                 &server,
                 &inputs,
-                &LoadGenConfig {
-                    clients: CLIENTS,
-                    requests_per_client: REQUESTS_PER_CLIENT,
-                    models: models.clone(),
-                },
+                &LoadGenConfig::new(CLIENTS, REQUESTS_PER_CLIENT, models.clone()),
             )
         })
         .collect();
     let queue_max_depth = server.queue_max_depth();
     let queue_peak_depth = server.queue_peak_depth();
+    let stats = server.stats();
     server.shutdown();
 
     let per_rep: Vec<f64> = reports.iter().map(|r| r.images_per_sec).collect();
@@ -223,6 +240,15 @@ fn main() {
         latency_p99_ms: report.latency_p99_ms,
         latency_max_ms: report.latency_max_ms,
         mean_batch_size: report.mean_batch_size,
+        queued_p50_us: report.queued_p50_us,
+        queued_p99_us: report.queued_p99_us,
+        exec_p50_us: report.exec_p50_us,
+        exec_p99_us: report.exec_p99_us,
+        worker_crashes: stats.worker_crashes,
+        worker_restarts: stats.worker_restarts,
+        expired: stats.expired,
+        shed_by_server: reports.iter().map(|r| r.shed_by_server).sum(),
+        shed_by_client: reports.iter().map(|r| r.shed_by_client).sum(),
         queue_max_depth,
         queue_peak_depth,
         queue_full_retries: reports.iter().map(|r| r.queue_full_retries).sum(),
@@ -245,6 +271,17 @@ fn main() {
         out.latency_p95_ms,
         out.latency_p99_ms,
         out.mean_batch_size
+    );
+    println!(
+        "breakdown: queued p50 {} µs / p99 {} µs, exec p50 {} µs / p99 {} µs; \
+         crashes {}, restarts {}, expired {}",
+        out.queued_p50_us,
+        out.queued_p99_us,
+        out.exec_p50_us,
+        out.exec_p99_us,
+        out.worker_crashes,
+        out.worker_restarts,
+        out.expired
     );
 
     let json = serde_json::to_string_pretty(&out).expect("report serialization");

@@ -1,0 +1,176 @@
+//! Deterministic failpoint layer for chaos testing.
+//!
+//! The serving hot path is instrumented with **named fault sites**
+//! ([`SITE_WORKER_EXEC`], [`SITE_QUEUE_PUSH`]); each site calls
+//! `check` on every pass. Without the `failpoints` cargo feature the
+//! whole layer compiles to an inlined `None` — the production binary
+//! carries **zero** fault-injection code or branches (the perf gate runs
+//! against the feature-less build). With the feature (chaos tests and
+//! fault drills only), sites can be **armed** with a fault, a firing
+//! probability driven by a **seeded RNG** (deterministic decision stream
+//! per site), and an optional fire limit:
+//!
+//! ```ignore
+//! faults::arm(faults::SITE_WORKER_EXEC, Fault::Panic, 1.0, 42, Some(3));
+//! // ... drive traffic: exactly 3 batches crash, then serving recovers.
+//! assert_eq!(faults::fires(faults::SITE_WORKER_EXEC), 3);
+//! faults::reset();
+//! ```
+//!
+//! Determinism: the *decision stream* at a site is a pure function of the
+//! seed and the hit ordinal, so a test that controls how many times a site
+//! is hit controls exactly which hits fire. (Thread interleaving can still
+//! reorder *which request* lands on a firing hit — chaos assertions should
+//! be schedule-robust, i.e. count outcomes rather than pin ids to fires.)
+
+/// What an armed failpoint does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Panic at the site (exercises the worker-crash path).
+    Panic,
+    /// Sleep this many milliseconds at the site (stalled worker).
+    StallMs(u64),
+    /// Report the admission queue full regardless of its actual depth.
+    QueueFull,
+}
+
+/// Fault site: worker batch execution (panic / stall land inside the
+/// unwind boundary, so a fire crashes or stalls exactly one batch).
+pub const SITE_WORKER_EXEC: &str = "worker.exec";
+
+/// Fault site: admission-queue push (a `QueueFull` fire rejects the push
+/// with the typed full error, request handed back).
+pub const SITE_QUEUE_PUSH: &str = "queue.push";
+
+#[cfg(not(feature = "failpoints"))]
+#[inline(always)]
+pub(crate) fn check(_site: &str) -> Option<Fault> {
+    None
+}
+
+#[cfg(feature = "failpoints")]
+pub use imp::{arm, check, disarm, fires, hits, reset};
+
+#[cfg(feature = "failpoints")]
+mod imp {
+    use super::Fault;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    use std::collections::BTreeMap;
+    use std::sync::Mutex;
+
+    struct Armed {
+        fault: Fault,
+        /// Per-hit firing probability (1.0 = every hit).
+        probability: f64,
+        /// Remaining fires; `None` = unlimited.
+        remaining: Option<u64>,
+        /// Seeded decision stream (deterministic per site).
+        rng: StdRng,
+        hits: u64,
+        fires: u64,
+    }
+
+    static SITES: Mutex<BTreeMap<&'static str, Armed>> = Mutex::new(BTreeMap::new());
+
+    /// Arm `site`: each hit fires `fault` with `probability` (decided by a
+    /// stream seeded from `seed`), at most `limit` times total. Re-arming
+    /// a site replaces its previous plan and zeroes its counters.
+    pub fn arm(site: &'static str, fault: Fault, probability: f64, seed: u64, limit: Option<u64>) {
+        assert!(
+            (0.0..=1.0).contains(&probability),
+            "probability must be in [0, 1]"
+        );
+        SITES.lock().unwrap().insert(
+            site,
+            Armed {
+                fault,
+                probability,
+                remaining: limit,
+                rng: StdRng::seed_from_u64(seed),
+                hits: 0,
+                fires: 0,
+            },
+        );
+    }
+
+    /// Disarm one site (its counters are discarded).
+    pub fn disarm(site: &str) {
+        SITES.lock().unwrap().remove(site);
+    }
+
+    /// Disarm every site.
+    pub fn reset() {
+        SITES.lock().unwrap().clear();
+    }
+
+    /// Times `site` was hit since arming (0 when unarmed).
+    pub fn hits(site: &str) -> u64 {
+        SITES.lock().unwrap().get(site).map_or(0, |a| a.hits)
+    }
+
+    /// Times `site` fired since arming (0 when unarmed).
+    pub fn fires(site: &str) -> u64 {
+        SITES.lock().unwrap().get(site).map_or(0, |a| a.fires)
+    }
+
+    /// Called by the instrumented sites: decide (deterministically per
+    /// hit ordinal) whether the armed fault fires on this hit.
+    pub fn check(site: &str) -> Option<Fault> {
+        let mut sites = SITES.lock().unwrap();
+        let armed = sites.get_mut(site)?;
+        armed.hits += 1;
+        if armed.remaining == Some(0) {
+            return None;
+        }
+        // Consume one decision per hit even at probability 1.0 so the
+        // stream position is a pure function of the hit ordinal.
+        let roll: f64 = armed.rng.gen();
+        if roll >= armed.probability {
+            return None;
+        }
+        armed.fires += 1;
+        if let Some(rem) = armed.remaining.as_mut() {
+            *rem -= 1;
+        }
+        Some(armed.fault)
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn armed_site_fires_deterministically_to_its_limit() {
+            arm("test.site.a", Fault::Panic, 1.0, 7, Some(2));
+            assert_eq!(check("test.site.a"), Some(Fault::Panic));
+            assert_eq!(check("test.site.a"), Some(Fault::Panic));
+            assert_eq!(check("test.site.a"), None, "limit exhausted");
+            assert_eq!(hits("test.site.a"), 3);
+            assert_eq!(fires("test.site.a"), 2);
+            disarm("test.site.a");
+            assert_eq!(check("test.site.a"), None);
+        }
+
+        #[test]
+        fn probability_stream_is_seed_deterministic() {
+            let run = |seed: u64| -> Vec<bool> {
+                arm("test.site.b", Fault::QueueFull, 0.5, seed, None);
+                let fired: Vec<bool> = (0..32).map(|_| check("test.site.b").is_some()).collect();
+                disarm("test.site.b");
+                fired
+            };
+            let a1 = run(123);
+            let a2 = run(123);
+            let b = run(456);
+            assert_eq!(a1, a2, "same seed must reproduce the decision stream");
+            assert_ne!(a1, b, "different seeds should diverge (32 draws)");
+            assert!(a1.iter().any(|&f| f) && a1.iter().any(|&f| !f));
+        }
+
+        #[test]
+        fn unarmed_sites_are_transparent() {
+            assert_eq!(check("test.site.never-armed"), None);
+            assert_eq!(fires("test.site.never-armed"), 0);
+        }
+    }
+}

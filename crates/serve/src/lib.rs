@@ -1,29 +1,39 @@
 //! # ataman-serve
 //!
-//! A throughput front-end over the batch-major compiled inference engine
-//! ([`quantize::batch`]): the ROADMAP's "serves heavy traffic" story.
+//! A fault-tolerant throughput front-end over the batch-major compiled
+//! inference engine ([`quantize::batch`]): the ROADMAP's "serves heavy
+//! traffic" story.
 //!
 //! The paper's pipeline ends with a *deployed design* — a quantized model
 //! plus compiled skip masks plus a cost contract measured on the target
 //! board ([`ataman::Deployment`]). This crate serves fleets of such
 //! designs on the simulation host:
 //!
-//! * [`Registry`] — a multi-model registry of [`DeployedModel`]s (model +
-//!   compiled masks + [`CostContract`]), the unit of deployment;
+//! * [`Registry`] — a **live** multi-model registry of [`DeployedModel`]s
+//!   (model + compiled masks + [`CostContract`]), the unit of deployment;
+//!   rollouts Arc-swap entries concurrently with serving;
 //! * [`AdmissionQueue`] — an arrival-ordered queue that coalesces incoming
-//!   requests into per-model batches (ragged tails when traffic runs dry),
-//!   feeding the batched kernels their `B × positions` lanes;
-//! * [`Server`] — worker threads draining the queue through
-//!   [`quantize::QuantModel::predict_compiled_batch_scratch`] with
-//!   per-model reusable [`quantize::BatchScratch`]es;
-//! * [`loadgen`] — a synthetic closed-loop load generator reporting
-//!   images/sec and latency percentiles (`serve_bench` writes them to
-//!   `BENCH_serve.json`, gated in CI alongside `BENCH_dse.json`).
+//!   requests into per-model batches, with a bounded depth, two admission
+//!   classes ([`Priority`]) and deadline-aware coalescing windows;
+//! * [`Server`] — **supervised** worker threads draining the queue through
+//!   [`quantize::QuantModel::predict_compiled_batch_scratch`]: batches run
+//!   inside an unwind boundary, crashed workers restart with bounded
+//!   backoff, and every admitted request resolves to exactly one typed
+//!   [`Outcome`] (`Admitted → {Ok, Expired, Shed, WorkerCrashed, Closed}`);
+//! * [`faults`] — a deterministic failpoint layer (behind the `failpoints`
+//!   feature; compiled out of production builds) that drives the
+//!   `serve_chaos` test suite;
+//! * [`loadgen`] — a synthetic closed-loop load generator with
+//!   conservation-complete outcome accounting, reporting images/sec,
+//!   latency percentiles and the queued/exec breakdown (`serve_bench`
+//!   writes them to `BENCH_serve.json`, gated in CI alongside
+//!   `BENCH_dse.json`).
 //!
 //! Batching here is *the same* batching the DSE uses — one engine, two
 //! consumers — so every kernel improvement multiplies across both the
 //! design-space search and the serving path.
 
+pub mod faults;
 pub mod loadgen;
 pub mod queue;
 pub mod registry;
@@ -31,7 +41,8 @@ pub mod server;
 
 pub use loadgen::{run_closed_loop, LoadGenConfig, LoadReport};
 pub use queue::{
-    AdmissionQueue, Batch, PushError, QueueClosed, QueueFull, Reply, Request, DEFAULT_MAX_DEPTH,
+    AdmissionQueue, Batch, Crashed, Expired, Outcome, Priority, PushError, QueueClosed, QueueFull,
+    QueueShed, Reply, Request, Shed, Unserved, DEFAULT_MAX_DEPTH,
 };
 pub use registry::{CostContract, DeployedModel, Registry};
-pub use server::{ServeOptions, Server, SubmitError};
+pub use server::{ServeOptions, Server, StatsSnapshot, SubmitError};

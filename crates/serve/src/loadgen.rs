@@ -1,11 +1,19 @@
 //! Synthetic closed-loop load generation against a running [`Server`].
 //!
 //! Closed loop: each client keeps exactly one request in flight — submit,
-//! block on the reply, submit the next — so offered load adapts to served
-//! throughput and the measured latency distribution is the system's, not a
-//! queue-explosion artifact. Clients round-robin over the registered
-//! models they're given, which also exercises per-model batch routing.
+//! block on the resolution, submit the next — so offered load adapts to
+//! served throughput and the measured latency distribution is the
+//! system's, not a queue-explosion artifact. Clients round-robin over the
+//! registered models they're given, which also exercises per-model batch
+//! routing.
+//!
+//! Accounting is **conservation-complete**: every offered request lands in
+//! exactly one of the report's outcome counters (`ok` / `expired` /
+//! `shed_by_server` / `shed_by_client` / `crashed` / `closed` /
+//! `dropped_replies`), so offered vs. completed load is auditable —
+//! nothing is silently dropped or retried forever.
 
+use crate::queue::Priority;
 use crate::server::{Server, SubmitError};
 use serde::Serialize;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -20,6 +28,26 @@ pub struct LoadGenConfig {
     pub requests_per_client: usize,
     /// Models each client cycles through (round-robin, offset per client).
     pub models: Vec<String>,
+    /// Admission class every request is submitted under.
+    pub priority: Priority,
+    /// Submission attempts (first try + retries after `QueueFull`/`Shed`)
+    /// before the client gives up and counts the request `shed_by_client`.
+    /// The old behavior — retry forever — hid overload as latency; a
+    /// bounded budget surfaces it as a counted outcome instead.
+    pub max_submit_attempts: u64,
+}
+
+impl LoadGenConfig {
+    /// Closed-loop interactive config with the default retry budget.
+    pub fn new(clients: usize, requests_per_client: usize, models: Vec<String>) -> Self {
+        Self {
+            clients,
+            requests_per_client,
+            models,
+            priority: Priority::Interactive,
+            max_submit_attempts: 256,
+        }
+    }
 }
 
 /// Aggregated load-test result (`BENCH_serve.json`).
@@ -29,11 +57,33 @@ pub struct LoadReport {
     pub models: Vec<String>,
     /// Concurrent clients.
     pub clients: usize,
-    /// Total completed requests.
+    /// Requests the clients *attempted* (clients × requests_per_client).
+    pub offered_requests: usize,
+    /// Requests served with a prediction ([`Outcome::Ok`](crate::queue::Outcome::Ok)). Equals
+    /// `offered_requests` in a healthy run; the latency distribution below
+    /// is measured over exactly these.
     pub total_requests: usize,
+    /// Requests that resolved [`Outcome::Expired`](crate::queue::Outcome::Expired) (deadline passed
+    /// before execution).
+    pub expired: usize,
+    /// Requests admitted but later shed by the server
+    /// ([`Outcome::Shed`](crate::queue::Outcome::Shed) — batch-class eviction under overload).
+    pub shed_by_server: usize,
+    /// Requests the *client* gave up on after `max_submit_attempts`
+    /// refusals at admission (QueueFull / Shed). The old loadgen retried
+    /// these forever, hiding overload; now they are a counted outcome.
+    pub shed_by_client: usize,
+    /// Requests whose batch died with the worker
+    /// ([`Outcome::WorkerCrashed`](crate::queue::Outcome::WorkerCrashed)).
+    pub crashed: usize,
+    /// Requests resolved [`Outcome::Closed`](crate::queue::Outcome::Closed) (server stopped serving).
+    pub closed: usize,
+    /// Reply channels that disconnected without any outcome — the
+    /// no-dropped-reply invariant says this stays 0.
+    pub dropped_replies: usize,
     /// Wall-clock seconds for the whole run.
     pub wall_seconds: f64,
-    /// Served throughput.
+    /// Served throughput (Ok outcomes only).
     pub images_per_sec: f64,
     /// Median end-to-end latency, ms.
     pub latency_p50_ms: f64,
@@ -43,15 +93,22 @@ pub struct LoadReport {
     pub latency_p99_ms: f64,
     /// Worst observed latency, ms.
     pub latency_max_ms: f64,
+    /// Median queueing delay (submit → batch pop), µs.
+    pub queued_p50_us: u64,
+    /// 99th percentile queueing delay, µs.
+    pub queued_p99_us: u64,
+    /// Median batch kernel time, µs.
+    pub exec_p50_us: u64,
+    /// 99th percentile batch kernel time, µs.
+    pub exec_p99_us: u64,
     /// Mean batch size requests rode in (batching efficiency).
     pub mean_batch_size: f64,
-    /// Submissions shed by the bounded admission queue and retried
-    /// (overload-pressure indicator; a closed loop at sane depths sees 0).
+    /// Submissions refused at admission and retried (overload-pressure
+    /// indicator; a closed loop at sane depths sees 0).
     pub queue_full_retries: u64,
-    /// Worst-case retry-loop iterations a single submission needed before
-    /// admission (1 = first try; read next to `queue_full_retries` to tell
-    /// "many requests shed once" from "one request starved through the
-    /// backoff ladder").
+    /// Worst-case submission attempts a single request needed (1 = first
+    /// try; read next to `queue_full_retries` to tell "many requests shed
+    /// once" from "one request starved through the backoff ladder").
     pub max_submit_attempts: u64,
 }
 
@@ -83,53 +140,109 @@ fn percentile_ms(sorted_ms: &[f64], q: f64) -> f64 {
     sorted_ms[rank]
 }
 
+/// Nearest-rank percentile over a sorted integer sample (µs breakdowns).
+fn percentile_us(sorted_us: &[u64], q: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted_us.len() - 1) as f64 * q).round() as usize;
+    sorted_us[rank]
+}
+
+/// One Ok-reply sample a client records.
+struct OkSample {
+    latency_ms: f64,
+    queued_us: u64,
+    exec_us: u64,
+    batch_size: usize,
+}
+
+/// Per-client tally of every non-Ok way a request can end.
+#[derive(Default)]
+struct ClientTally {
+    expired: usize,
+    shed_by_server: usize,
+    shed_by_client: usize,
+    crashed: usize,
+    closed: usize,
+    dropped_replies: usize,
+}
+
 /// Drive `cfg.clients` closed-loop clients against `server` using
-/// pre-quantized `inputs` (cycled per request) and aggregate the replies.
+/// pre-quantized `inputs` (cycled per request) and aggregate the
+/// resolutions.
 ///
 /// Panics if `cfg.models` is empty, any model is unregistered, or `inputs`
-/// is empty.
+/// is empty. Overload, expiry, crashes and shutdown are *not* panics —
+/// they are counted outcomes in the report.
 pub fn run_closed_loop(server: &Server, inputs: &[Vec<i8>], cfg: &LoadGenConfig) -> LoadReport {
     assert!(!cfg.models.is_empty(), "no models to load");
     assert!(!inputs.is_empty(), "no inputs to send");
     assert!(cfg.clients >= 1, "need at least one client");
+    assert!(cfg.max_submit_attempts >= 1, "need at least one attempt");
 
     let t0 = Instant::now();
     let queue_full_retries = AtomicU64::new(0);
     let max_submit_attempts = AtomicU64::new(0);
     let retries = &queue_full_retries;
     let max_attempts = &max_submit_attempts;
-    let per_client: Vec<Vec<(f64, usize)>> = std::thread::scope(|s| {
+    let per_client: Vec<(Vec<OkSample>, ClientTally)> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..cfg.clients)
             .map(|ci| {
                 s.spawn(move || {
                     let mut samples = Vec::with_capacity(cfg.requests_per_client);
+                    let mut tally = ClientTally::default();
                     let mut worst_attempts = 1u64;
-                    for ri in 0..cfg.requests_per_client {
+                    'requests: for ri in 0..cfg.requests_per_client {
                         let model = &cfg.models[(ci + ri) % cfg.models.len()];
                         let input = &inputs[(ci * cfg.requests_per_client + ri) % inputs.len()];
-                        // A bounded queue may shed under overload: back off
-                        // (bounded — no busy-spin against the draining
-                        // workers) and retry; closed-loop clients cannot
-                        // leak work. One clone per attempt — the no-shed
-                        // fast path clones exactly once, as before.
+                        // A bounded queue may refuse under overload: back
+                        // off (bounded — no busy-spin against the draining
+                        // workers) and retry up to the attempt budget; a
+                        // request that exhausts it is a *counted*
+                        // shed_by_client outcome, never a silent drop or an
+                        // infinite retry. One clone per attempt — the
+                        // no-shed fast path clones exactly once, as before.
                         let mut attempts = 0u64;
                         let rx = loop {
                             attempts += 1;
-                            match server.submit_quantized(model, input.clone()) {
+                            match server.submit_quantized_with(model, input.clone(), cfg.priority) {
                                 Ok(rx) => break rx,
-                                Err(SubmitError::QueueFull { .. }) => {
+                                Err(SubmitError::QueueFull { .. } | SubmitError::Shed { .. }) => {
                                     retries.fetch_add(1, Ordering::Relaxed);
+                                    if attempts >= cfg.max_submit_attempts {
+                                        worst_attempts = worst_attempts.max(attempts);
+                                        tally.shed_by_client += 1;
+                                        continue 'requests;
+                                    }
                                     queue_full_backoff(attempts);
+                                }
+                                Err(SubmitError::Closed) => {
+                                    worst_attempts = worst_attempts.max(attempts);
+                                    tally.closed += 1;
+                                    continue 'requests;
                                 }
                                 Err(e) => panic!("submit failed: {e}"),
                             }
                         };
                         worst_attempts = worst_attempts.max(attempts);
-                        let reply = rx.recv().expect("server replied");
-                        samples.push((reply.latency.as_secs_f64() * 1e3, reply.batch_size));
+                        use crate::queue::Outcome;
+                        match rx.recv() {
+                            Ok(Outcome::Ok(reply)) => samples.push(OkSample {
+                                latency_ms: reply.latency.as_secs_f64() * 1e3,
+                                queued_us: reply.queued_us,
+                                exec_us: reply.exec_us,
+                                batch_size: reply.batch_size,
+                            }),
+                            Ok(Outcome::Expired(_)) => tally.expired += 1,
+                            Ok(Outcome::Shed(_)) => tally.shed_by_server += 1,
+                            Ok(Outcome::WorkerCrashed(_)) => tally.crashed += 1,
+                            Ok(Outcome::Closed(_)) => tally.closed += 1,
+                            Err(_) => tally.dropped_replies += 1,
+                        }
                     }
                     max_attempts.fetch_max(worst_attempts, Ordering::Relaxed);
-                    samples
+                    (samples, tally)
                 })
             })
             .collect();
@@ -141,25 +254,49 @@ pub fn run_closed_loop(server: &Server, inputs: &[Vec<i8>], cfg: &LoadGenConfig)
     let wall_seconds = t0.elapsed().as_secs_f64();
 
     let mut latencies: Vec<f64> = Vec::new();
+    let mut queued: Vec<u64> = Vec::new();
+    let mut execs: Vec<u64> = Vec::new();
     let mut batch_sum = 0usize;
-    for samples in &per_client {
-        for &(ms, bs) in samples {
-            latencies.push(ms);
-            batch_sum += bs;
+    let mut totals = ClientTally::default();
+    for (samples, tally) in &per_client {
+        for s in samples {
+            latencies.push(s.latency_ms);
+            queued.push(s.queued_us);
+            execs.push(s.exec_us);
+            batch_sum += s.batch_size;
         }
+        totals.expired += tally.expired;
+        totals.shed_by_server += tally.shed_by_server;
+        totals.shed_by_client += tally.shed_by_client;
+        totals.crashed += tally.crashed;
+        totals.closed += tally.closed;
+        totals.dropped_replies += tally.dropped_replies;
     }
     latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    queued.sort_unstable();
+    execs.sort_unstable();
     let total = latencies.len();
     LoadReport {
         models: cfg.models.clone(),
         clients: cfg.clients,
+        offered_requests: cfg.clients * cfg.requests_per_client,
         total_requests: total,
+        expired: totals.expired,
+        shed_by_server: totals.shed_by_server,
+        shed_by_client: totals.shed_by_client,
+        crashed: totals.crashed,
+        closed: totals.closed,
+        dropped_replies: totals.dropped_replies,
         wall_seconds,
         images_per_sec: total as f64 / wall_seconds,
         latency_p50_ms: percentile_ms(&latencies, 0.50),
         latency_p95_ms: percentile_ms(&latencies, 0.95),
         latency_p99_ms: percentile_ms(&latencies, 0.99),
         latency_max_ms: latencies.last().copied().unwrap_or(0.0),
+        queued_p50_us: percentile_us(&queued, 0.50),
+        queued_p99_us: percentile_us(&queued, 0.99),
+        exec_p50_us: percentile_us(&execs, 0.50),
+        exec_p99_us: percentile_us(&execs, 0.99),
         mean_batch_size: if total == 0 {
             0.0
         } else {
@@ -184,6 +321,9 @@ mod tests {
         assert_eq!(percentile_ms(&xs, 0.5), 51.0);
         assert_eq!(percentile_ms(&xs, 1.0), 100.0);
         assert_eq!(percentile_ms(&[], 0.5), 0.0);
+        let us: Vec<u64> = (1..=10).collect();
+        assert_eq!(percentile_us(&us, 0.5), 6);
+        assert_eq!(percentile_us(&[], 0.99), 0);
     }
 
     #[test]
@@ -196,7 +336,7 @@ mod tests {
         let inputs: Vec<Vec<i8>> = (0..6)
             .map(|i| q.quantize_input(data.test.image(i)))
             .collect();
-        let mut reg = Registry::new();
+        let reg = Registry::new();
         reg.register(DeployedModel::from_parts(
             "m",
             q,
@@ -219,17 +359,18 @@ mod tests {
         let report = run_closed_loop(
             &server,
             &inputs,
-            &LoadGenConfig {
-                clients: 3,
-                requests_per_client: 8,
-                models: vec!["m".into()],
-            },
+            &LoadGenConfig::new(3, 8, vec!["m".into()]),
         );
         server.shutdown();
+        assert_eq!(report.offered_requests, 24);
         assert_eq!(report.total_requests, 24);
+        assert_eq!(report.dropped_replies, 0);
+        assert_eq!(report.shed_by_client, 0);
         assert!(report.images_per_sec > 0.0);
         assert!(report.latency_p50_ms <= report.latency_p99_ms);
         assert!(report.latency_p99_ms <= report.latency_max_ms);
+        assert!(report.queued_p50_us <= report.queued_p99_us);
+        assert!(report.exec_p50_us >= 1, "kernel time must be observable");
         assert!(report.mean_batch_size >= 1.0 && report.mean_batch_size <= 4.0);
         assert!(report.max_submit_attempts >= 1);
     }
@@ -258,7 +399,7 @@ mod tests {
         let inputs: Vec<Vec<i8>> = (0..4)
             .map(|i| q.quantize_input(data.test.image(i)))
             .collect();
-        let mut reg = Registry::new();
+        let reg = Registry::new();
         reg.register(DeployedModel::from_parts(
             "m",
             q,
@@ -276,6 +417,69 @@ mod tests {
                 max_batch: 1,
                 workers: 1,
                 max_queue_depth: 1,
+                ..Default::default()
+            },
+        );
+        let report = run_closed_loop(
+            &server,
+            &inputs,
+            &LoadGenConfig::new(4, 16, vec!["m".into()]),
+        );
+        server.shutdown();
+        // Conservation: every offered request lands in exactly one
+        // counter, whatever the schedule did.
+        assert_eq!(report.offered_requests, 64);
+        assert_eq!(
+            report.total_requests
+                + report.expired
+                + report.shed_by_server
+                + report.shed_by_client
+                + report.crashed
+                + report.closed
+                + report.dropped_replies,
+            64
+        );
+        assert_eq!(report.dropped_replies, 0);
+        assert!(report.max_submit_attempts >= 1);
+        if report.queue_full_retries > 0 {
+            assert!(report.max_submit_attempts >= 2);
+        }
+    }
+
+    #[test]
+    fn exhausted_attempt_budget_is_counted_shed_by_client_not_hung() {
+        // A queue nobody drains: with a tiny attempt budget every request
+        // must resolve client-side as shed_by_client — the loadgen no
+        // longer retries forever.
+        let data = cifar10sim::generate(cifar10sim::DatasetConfig::tiny(73));
+        let m = tinynn::zoo::mini_cifar(73);
+        let ranges = calibrate_ranges(&m, &data.train.take(8));
+        let q = quantize_model(&m, &ranges);
+        let n_convs = q.conv_indices().len();
+        let inputs = vec![q.quantize_input(data.test.image(0))];
+        let reg = Registry::new();
+        reg.register(DeployedModel::from_parts(
+            "m",
+            q,
+            CompiledMasks::none(n_convs),
+            CostContract {
+                cycles: 1,
+                latency_ms: 0.1,
+                energy_mj: 0.001,
+                flash_bytes: 1,
+            },
+        ));
+        // Batch-class traffic against a high-water mark of 1: four clients
+        // racing one slot shed constantly, and a 2-attempt budget makes
+        // the client-side give-up path fire without any fault injection.
+        let server = crate::Server::start(
+            reg,
+            ServeOptions {
+                max_batch: 1,
+                workers: 1,
+                max_queue_depth: 4,
+                shed_high_water: Some(1),
+                ..Default::default()
             },
         );
         let report = run_closed_loop(
@@ -283,17 +487,22 @@ mod tests {
             &inputs,
             &LoadGenConfig {
                 clients: 4,
-                requests_per_client: 16,
+                requests_per_client: 32,
                 models: vec!["m".into()],
+                priority: Priority::Batch,
+                max_submit_attempts: 2,
             },
         );
         server.shutdown();
-        // Every request eventually served; attempt accounting is coherent
-        // with the retry counter regardless of the schedule.
-        assert_eq!(report.total_requests, 64);
-        assert!(report.max_submit_attempts >= 1);
-        if report.queue_full_retries > 0 {
-            assert!(report.max_submit_attempts >= 2);
-        }
+        assert_eq!(report.offered_requests, 128);
+        assert_eq!(
+            report.total_requests + report.shed_by_client + report.shed_by_server,
+            128,
+            "under pure admission pressure only Ok and shed outcomes exist"
+        );
+        assert_eq!(report.dropped_replies, 0);
+        // The budget actually bit for at least one request (4 clients
+        // against a high-water mark of 1).
+        assert!(report.shed_by_client > 0 || report.queue_full_retries == 0);
     }
 }

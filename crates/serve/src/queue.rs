@@ -1,5 +1,5 @@
 //! Admission queue: arrival-ordered request intake with per-model batch
-//! coalescing and a **bounded depth**.
+//! coalescing, a **bounded depth**, and **priority-aware overload policy**.
 //!
 //! The queue is the boundary between request-level traffic and the
 //! batch-major engine: workers drain the **front run** of same-model
@@ -10,19 +10,43 @@
 //!   starvation or reordering);
 //! * under load, batches fill to `max_batch` and every weight-stream
 //!   traversal amortizes across the whole batch;
-//! * when traffic runs dry, a ragged batch ships immediately — latency is
-//!   never traded for fill;
-//! * the depth is **bounded** ([`AdmissionQueue::bounded`]): past
+//! * when traffic runs dry, a ragged batch ships immediately by default —
+//!   latency is never traded for fill. A server may opt into a bounded
+//!   coalesce window ([`AdmissionQueue::next_batch_deadline`]), in which
+//!   case the window **closes early** when the oldest request's deadline
+//!   slack runs low: fill is only ever bought with slack the latency
+//!   contract can spare;
+//! * the depth is **bounded** ([`AdmissionQueue::with_policy`]): past
 //!   `max_depth` waiting requests, admission rejects with a typed error
 //!   instead of letting memory and queueing latency grow without limit
-//!   (overload sheds at the front door, not in the workers). The peak
-//!   observed depth is tracked for capacity reporting
-//!   ([`AdmissionQueue::peak_depth`], surfaced in `BENCH_serve.json`).
+//!   (overload sheds at the front door, not in the workers);
+//! * overload sheds **batch-class traffic first**: past the `high_water`
+//!   mark, [`Priority::Batch`] pushes are refused with
+//!   [`PushError::Shed`], and an interactive push into a *full* queue
+//!   evicts the youngest batch-class waiter (which resolves to
+//!   [`Outcome::Shed`]) rather than bouncing the interactive request.
+//!
+//! Every admitted request resolves to **exactly one** [`Outcome`] on its
+//! reply channel — the serving state machine is
+//! `Admitted → {Ok, Expired, Shed, WorkerCrashed, Closed}` (see
+//! DESIGN.md, "Failure domains and the request lifecycle").
 
 use std::collections::VecDeque;
 use std::sync::mpsc::Sender;
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
+
+/// Admission class of a request: who sheds first under overload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Priority {
+    /// Latency-sensitive traffic: admitted up to the full depth bound and
+    /// never shed while a batch-class victim exists.
+    #[default]
+    Interactive,
+    /// Throughput traffic: refused past the high-water mark and evicted
+    /// from a full queue to make room for interactive requests.
+    Batch,
+}
 
 /// One inference request, quantized at admission.
 pub struct Request {
@@ -34,16 +58,24 @@ pub struct Request {
     pub qinput: Vec<i8>,
     /// Admission timestamp (latency measurement).
     pub submitted: Instant,
-    /// Reply channel.
-    pub(crate) reply: Sender<Reply>,
+    /// Latest instant execution may still usefully begin — derived from
+    /// the model's cost contract at admission (or the server-wide
+    /// override). Requests past this point resolve to
+    /// [`Outcome::Expired`] instead of burning a worker.
+    pub deadline: Instant,
+    /// Admission class (overload shedding order).
+    pub priority: Priority,
+    /// Reply channel: resolves to exactly one [`Outcome`].
+    pub(crate) reply: Sender<Outcome>,
 }
 
-/// The server's answer to one request.
+/// The server's answer to one served request.
 #[derive(Debug, Clone)]
 pub struct Reply {
     /// Request id.
     pub id: u64,
-    /// Model that served the request.
+    /// Model that served the request (may be a cheaper same-family design
+    /// when graceful degradation rerouted it).
     pub model: String,
     /// Predicted class.
     pub predicted: usize,
@@ -51,6 +83,107 @@ pub struct Reply {
     pub batch_size: usize,
     /// Queue + inference latency (submit → reply send).
     pub latency: Duration,
+    /// Time spent waiting in the admission queue (submit → batch pop), µs.
+    pub queued_us: u64,
+    /// Kernel execution time of the batch this request rode in, µs.
+    pub exec_us: u64,
+}
+
+/// A request whose deadline passed before execution could begin.
+#[derive(Debug, Clone)]
+pub struct Expired {
+    /// Request id.
+    pub id: u64,
+    /// Model the request targeted.
+    pub model: String,
+    /// How far past the deadline the expiry check ran.
+    pub overdue: Duration,
+    /// Total time the request waited before expiring.
+    pub waited: Duration,
+}
+
+/// A batch-class request evicted from a full queue to admit interactive
+/// traffic.
+#[derive(Debug, Clone)]
+pub struct Shed {
+    /// Request id.
+    pub id: u64,
+    /// Model the request targeted.
+    pub model: String,
+    /// Queue depth at eviction.
+    pub queue_depth: usize,
+}
+
+/// A request whose batch was being executed when the worker panicked.
+#[derive(Debug, Clone)]
+pub struct Crashed {
+    /// Request id.
+    pub id: u64,
+    /// Model the request targeted.
+    pub model: String,
+    /// Size of the batch that crashed.
+    pub batch_size: usize,
+}
+
+/// A request still queued when the server stopped serving (shutdown drain,
+/// or every worker exhausted its restart budget).
+#[derive(Debug, Clone)]
+pub struct Unserved {
+    /// Request id.
+    pub id: u64,
+    /// Model the request targeted.
+    pub model: String,
+}
+
+/// Terminal outcome of one admitted request. Every admitted request
+/// resolves to **exactly one** of these on its reply channel; a dropped
+/// channel (client went away) is the only way a resolution goes unread.
+#[derive(Debug, Clone)]
+pub enum Outcome {
+    /// Served: prediction plus the latency breakdown.
+    Ok(Reply),
+    /// Deadline passed before execution; the request was not run.
+    Expired(Expired),
+    /// Evicted under overload to make room for interactive traffic.
+    Shed(Shed),
+    /// The worker executing this request's batch panicked; the batch
+    /// failed, the worker was restarted (supervision), the request was
+    /// not retried.
+    WorkerCrashed(Crashed),
+    /// The server shut down (or lost all workers) before execution.
+    Closed(Unserved),
+}
+
+impl Outcome {
+    /// The request id this outcome resolves.
+    pub fn id(&self) -> u64 {
+        match self {
+            Outcome::Ok(r) => r.id,
+            Outcome::Expired(e) => e.id,
+            Outcome::Shed(s) => s.id,
+            Outcome::WorkerCrashed(c) => c.id,
+            Outcome::Closed(u) => u.id,
+        }
+    }
+
+    /// The served reply, when the outcome is [`Outcome::Ok`].
+    pub fn ok(self) -> Option<Reply> {
+        match self {
+            Outcome::Ok(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Short stable label (counters, logs, test assertions).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Outcome::Ok(_) => "ok",
+            Outcome::Expired(_) => "expired",
+            Outcome::Shed(_) => "shed",
+            Outcome::WorkerCrashed(_) => "worker_crashed",
+            Outcome::Closed(_) => "closed",
+        }
+    }
 }
 
 /// A coalesced batch: consecutive same-model requests from the queue front.
@@ -68,6 +201,10 @@ pub struct Batch {
 pub enum PushError {
     /// The depth bound was hit (overload shedding — back off and retry).
     Full(QueueFull),
+    /// A batch-class push past the high-water mark: shed now so
+    /// interactive traffic keeps its queue headroom. The caller may
+    /// degrade (reroute to a cheaper design) instead of refusing.
+    Shed(QueueShed),
     /// The queue was closed ([`AdmissionQueue::close`]): the server is
     /// draining toward shutdown and will never serve this request.
     /// Distinguishable from acceptance — a closed queue used to swallow
@@ -81,6 +218,16 @@ pub struct QueueFull {
     pub request: Request,
     /// The depth bound that was hit.
     pub max_depth: usize,
+}
+
+/// The batch-class request refused past the high-water mark.
+pub struct QueueShed {
+    /// The refused request, returned to the caller.
+    pub request: Request,
+    /// Queue depth at refusal.
+    pub queue_depth: usize,
+    /// The high-water mark that was crossed.
+    pub high_water: usize,
 }
 
 /// The request refused because the queue is closed.
@@ -98,14 +245,17 @@ struct QueueState {
     queue: VecDeque<Request>,
     /// Largest depth ever observed (capacity reporting).
     peak: usize,
+    /// Batch-class requests evicted by interactive pushes.
+    shed_evicted: u64,
     closed: bool,
 }
 
-/// Blocking MPMC admission queue with batch-coalescing pop and a bounded
-/// depth.
+/// Blocking MPMC admission queue with batch-coalescing pop, a bounded
+/// depth and a priority high-water mark.
 pub struct AdmissionQueue {
     state: Mutex<QueueState>,
     max_depth: usize,
+    high_water: usize,
     cv: Condvar,
 }
 
@@ -116,22 +266,38 @@ impl Default for AdmissionQueue {
 }
 
 impl AdmissionQueue {
-    /// Empty, open queue at the default depth bound.
+    /// Empty, open queue at the default depth bound (high water = bound:
+    /// no early batch-class shedding).
     pub fn new() -> Self {
         Self::bounded(DEFAULT_MAX_DEPTH)
     }
 
     /// Empty, open queue rejecting pushes past `max_depth` waiting
-    /// requests.
+    /// requests. The high-water mark equals the bound, so batch-class
+    /// traffic is only refused when the queue is actually full.
     pub fn bounded(max_depth: usize) -> Self {
+        Self::with_policy(max_depth, max_depth)
+    }
+
+    /// Empty, open queue with a depth bound and a batch-class high-water
+    /// mark (`1 <= high_water <= max_depth`): at `high_water` waiting
+    /// requests, [`Priority::Batch`] pushes shed with [`PushError::Shed`]
+    /// while interactive pushes keep admitting up to `max_depth`.
+    pub fn with_policy(max_depth: usize, high_water: usize) -> Self {
         assert!(max_depth >= 1, "max_depth must be at least 1");
+        assert!(
+            (1..=max_depth).contains(&high_water),
+            "high_water must be in 1..=max_depth"
+        );
         Self {
             state: Mutex::new(QueueState {
                 queue: VecDeque::new(),
                 peak: 0,
+                shed_evicted: 0,
                 closed: false,
             }),
             max_depth,
+            high_water,
             cv: Condvar::new(),
         }
     }
@@ -141,20 +307,85 @@ impl AdmissionQueue {
         self.max_depth
     }
 
-    /// Enqueue a request. Rejects with [`PushError::Full`] when
-    /// `max_depth` requests are already waiting (overload shedding) and
-    /// with [`PushError::Closed`] after [`AdmissionQueue::close`] — a
-    /// closed queue must not silently drop a request while reporting
-    /// acceptance.
+    /// The configured batch-class high-water mark.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Enqueue a request.
+    ///
+    /// * rejects with [`PushError::Closed`] after [`AdmissionQueue::close`]
+    ///   — a closed queue must not silently drop a request while reporting
+    ///   acceptance;
+    /// * rejects a [`Priority::Batch`] request with [`PushError::Shed`]
+    ///   once `high_water` requests are waiting (batch traffic sheds
+    ///   first);
+    /// * at the full depth bound, an interactive push evicts the youngest
+    ///   batch-class waiter (resolving it to [`Outcome::Shed`]) before
+    ///   giving up with [`PushError::Full`].
+    // The large Err variant is the point: a refused push hands the whole
+    // Request back so the caller can retry, degrade, or reply — and the
+    // error path is the cold shed path, never the admit fast path.
+    #[allow(clippy::result_large_err)]
     pub fn push(&self, request: Request) -> Result<(), PushError> {
+        self.push_inner(request, false)
+    }
+
+    /// [`AdmissionQueue::push`] minus the high-water check: used for
+    /// degraded reroutes, which were already shed once and must not shed
+    /// recursively. Still subject to the hard depth bound.
+    #[allow(clippy::result_large_err)]
+    pub(crate) fn push_degraded(&self, request: Request) -> Result<(), PushError> {
+        self.push_inner(request, true)
+    }
+
+    #[allow(clippy::result_large_err)]
+    fn push_inner(&self, request: Request, bypass_high_water: bool) -> Result<(), PushError> {
+        if matches!(
+            crate::faults::check(crate::faults::SITE_QUEUE_PUSH),
+            Some(crate::faults::Fault::QueueFull)
+        ) {
+            return Err(PushError::Full(QueueFull {
+                request,
+                max_depth: self.max_depth,
+            }));
+        }
         let mut st = self.state.lock().unwrap();
         if st.closed {
             return Err(PushError::Closed(QueueClosed { request }));
         }
-        if st.queue.len() >= self.max_depth {
+        let depth = st.queue.len();
+        if depth >= self.max_depth {
+            // Full. Interactive traffic gets one more chance: evict the
+            // youngest batch-class waiter (it resolves to Outcome::Shed —
+            // never a dropped channel) and take its slot.
+            if request.priority == Priority::Interactive {
+                if let Some(pos) = st.queue.iter().rposition(|r| r.priority == Priority::Batch) {
+                    let victim = st.queue.remove(pos).expect("position just found");
+                    st.shed_evicted += 1;
+                    let depth = st.queue.len();
+                    let _ = victim.reply.send(Outcome::Shed(Shed {
+                        id: victim.id,
+                        model: victim.model,
+                        queue_depth: depth,
+                    }));
+                    st.queue.push_back(request);
+                    st.peak = st.peak.max(st.queue.len());
+                    drop(st);
+                    self.cv.notify_one();
+                    return Ok(());
+                }
+            }
             return Err(PushError::Full(QueueFull {
                 request,
                 max_depth: self.max_depth,
+            }));
+        }
+        if !bypass_high_water && depth >= self.high_water && request.priority == Priority::Batch {
+            return Err(PushError::Shed(QueueShed {
+                request,
+                queue_depth: depth,
+                high_water: self.high_water,
             }));
         }
         st.queue.push_back(request);
@@ -174,6 +405,11 @@ impl AdmissionQueue {
         self.state.lock().unwrap().peak
     }
 
+    /// Batch-class requests evicted by interactive pushes (until now).
+    pub fn shed_evicted(&self) -> u64 {
+        self.state.lock().unwrap().shed_evicted
+    }
+
     /// True when no request is waiting.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
@@ -181,24 +417,69 @@ impl AdmissionQueue {
 
     /// Close the queue: waiting and future [`AdmissionQueue::next_batch`]
     /// calls return `None` once drained, pushes reject with
-    /// [`PushError::Closed`].
+    /// [`PushError::Closed`]. Parked waiters wake promptly.
     pub fn close(&self) {
         self.state.lock().unwrap().closed = true;
         self.cv.notify_all();
     }
 
     /// Blocking pop of the next coalesced batch; `None` once the queue is
-    /// closed *and* drained (workers exit on `None`).
+    /// closed *and* drained (workers exit on `None`). Ships a non-empty
+    /// queue immediately — never waits for fill.
     pub fn next_batch(&self, max_batch: usize) -> Option<Batch> {
+        self.next_batch_deadline(max_batch, Duration::ZERO, Duration::ZERO)
+    }
+
+    /// Blocking pop with **deadline-aware coalescing**: a ragged front run
+    /// may wait up to `window` (measured from the oldest request's
+    /// admission) for the batch to fill, but the window **closes early**
+    /// when the oldest request's remaining deadline slack drops to
+    /// `margin` (the caller's execution-time estimate) — fill is bought
+    /// only with slack the latency contract can spare. `window == 0` ships
+    /// immediately (the default path; bit-identical to
+    /// [`AdmissionQueue::next_batch`]).
+    pub fn next_batch_deadline(
+        &self,
+        max_batch: usize,
+        window: Duration,
+        margin: Duration,
+    ) -> Option<Batch> {
+        assert!(max_batch >= 1, "max_batch must be at least 1");
         let mut st = self.state.lock().unwrap();
         loop {
-            if !st.queue.is_empty() {
-                return Some(Self::coalesce(&mut st, max_batch));
+            if let Some(front) = st.queue.front() {
+                if st.closed || window.is_zero() {
+                    return Some(Self::coalesce(&mut st, max_batch));
+                }
+                let run = {
+                    let model = &front.model;
+                    st.queue
+                        .iter()
+                        .take(max_batch)
+                        .take_while(|r| &r.model == model)
+                        .count()
+                };
+                if run >= max_batch {
+                    return Some(Self::coalesce(&mut st, max_batch));
+                }
+                let front = st.queue.front().expect("non-empty");
+                // Close at window expiry or when deadline slack runs low,
+                // whichever comes first.
+                let now = Instant::now();
+                let window_close = front.submitted + window;
+                let slack_close = front.deadline.checked_sub(margin).unwrap_or(now);
+                let close_at = window_close.min(slack_close);
+                if now >= close_at {
+                    return Some(Self::coalesce(&mut st, max_batch));
+                }
+                let (g, _timeout) = self.cv.wait_timeout(st, close_at - now).unwrap();
+                st = g;
+            } else {
+                if st.closed {
+                    return None;
+                }
+                st = self.cv.wait(st).unwrap();
             }
-            if st.closed {
-                return None;
-            }
-            st = self.cv.wait(st).unwrap();
         }
     }
 
@@ -233,18 +514,25 @@ mod tests {
     use super::*;
     use std::sync::mpsc;
 
-    fn req(id: u64, model: &str) -> (Request, mpsc::Receiver<Reply>) {
+    fn req_prio(id: u64, model: &str, priority: Priority) -> (Request, mpsc::Receiver<Outcome>) {
         let (tx, rx) = mpsc::channel();
+        let now = Instant::now();
         (
             Request {
                 id,
                 model: model.to_string(),
                 qinput: vec![0; 4],
-                submitted: Instant::now(),
+                submitted: now,
+                deadline: now + Duration::from_secs(60),
+                priority,
                 reply: tx,
             },
             rx,
         )
+    }
+
+    fn req(id: u64, model: &str) -> (Request, mpsc::Receiver<Outcome>) {
+        req_prio(id, model, Priority::Interactive)
     }
 
     fn push(q: &AdmissionQueue, id: u64, model: &str) {
@@ -305,7 +593,7 @@ mod tests {
         let (r, _rx) = req(1, "a");
         match q.push(r) {
             Err(PushError::Closed(c)) => assert_eq!(c.request.id, 1),
-            Err(PushError::Full(_)) => panic!("closed queue reported Full"),
+            Err(_) => panic!("closed queue reported a different error"),
             Ok(()) => panic!("closed queue accepted a push"),
         }
         assert!(q.next_batch(4).is_none());
@@ -337,6 +625,62 @@ mod tests {
     }
 
     #[test]
+    fn batch_class_sheds_at_high_water_interactive_keeps_admitting() {
+        let q = AdmissionQueue::with_policy(4, 2);
+        assert_eq!(q.high_water(), 2);
+        push(&q, 0, "a");
+        push(&q, 1, "a");
+        // At the high-water mark: batch class sheds with a typed error…
+        let (r, _rx) = req_prio(2, "a", Priority::Batch);
+        match q.push(r) {
+            Err(PushError::Shed(s)) => {
+                assert_eq!(s.request.id, 2);
+                assert_eq!(s.queue_depth, 2);
+                assert_eq!(s.high_water, 2);
+            }
+            _ => panic!("expected Shed at high water"),
+        }
+        // …while interactive traffic keeps admitting to the full bound.
+        push(&q, 3, "a");
+        push(&q, 4, "a");
+        assert_eq!(q.len(), 4);
+        let (r, _rx) = req(5, "a");
+        assert!(matches!(q.push(r), Err(PushError::Full(_))));
+    }
+
+    #[test]
+    fn full_queue_evicts_youngest_batch_class_for_interactive() {
+        let q = AdmissionQueue::with_policy(3, 3);
+        push(&q, 0, "a");
+        let (rb1, rx_b1) = req_prio(1, "a", Priority::Batch);
+        let (rb2, rx_b2) = req_prio(2, "a", Priority::Batch);
+        assert!(q.push(rb1).is_ok());
+        assert!(q.push(rb2).is_ok());
+        // Full. Interactive push evicts the *youngest* batch-class waiter
+        // (id 2), which resolves to Outcome::Shed — not a dropped channel.
+        let (ri, _rx_i) = req(3, "a");
+        assert!(q.push(ri).is_ok());
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.shed_evicted(), 1);
+        match rx_b2.try_recv() {
+            Ok(Outcome::Shed(s)) => {
+                assert_eq!(s.id, 2);
+                assert_eq!(s.model, "a");
+            }
+            other => panic!("expected Shed outcome, got {other:?}"),
+        }
+        // The older batch request is untouched and order is preserved.
+        assert!(rx_b1.try_recv().is_err());
+        let b = q.try_next_batch(8).expect("batch");
+        assert_eq!(ids(&b), vec![0, 1, 3]);
+        // All batch-class queue: a full queue of interactives cannot evict.
+        let q2 = AdmissionQueue::with_policy(1, 1);
+        push(&q2, 0, "a");
+        let (ri, _rx) = req(1, "a");
+        assert!(matches!(q2.push(ri), Err(PushError::Full(_))));
+    }
+
+    #[test]
     fn blocking_pop_wakes_on_push() {
         let q = std::sync::Arc::new(AdmissionQueue::new());
         let q2 = q.clone();
@@ -344,5 +688,80 @@ mod tests {
         std::thread::sleep(Duration::from_millis(20));
         push(&q, 9, "a");
         assert_eq!(h.join().unwrap(), Some(vec![9]));
+    }
+
+    #[test]
+    fn close_wakes_all_parked_waiters_promptly() {
+        // Several workers parked on an empty queue must all observe the
+        // close and return None without waiting out any timeout.
+        let q = std::sync::Arc::new(AdmissionQueue::new());
+        let waiters: Vec<_> = (0..4)
+            .map(|i| {
+                let q = q.clone();
+                std::thread::spawn(move || {
+                    // Mix the plain and the deadline-aware wait paths.
+                    if i % 2 == 0 {
+                        q.next_batch(4).is_none()
+                    } else {
+                        q.next_batch_deadline(4, Duration::from_secs(60), Duration::from_millis(1))
+                            .is_none()
+                    }
+                })
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(30));
+        let t0 = Instant::now();
+        q.close();
+        for w in waiters {
+            assert!(w.join().unwrap(), "parked waiter saw a batch after close");
+        }
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "close() did not wake parked waiters promptly"
+        );
+    }
+
+    #[test]
+    fn deadline_window_waits_for_fill_then_ships() {
+        // A ragged run inside its window parks; a late same-model arrival
+        // completes the batch and ships it before the window expires.
+        let q = std::sync::Arc::new(AdmissionQueue::new());
+        push(&q, 0, "a");
+        let q2 = q.clone();
+        let h = std::thread::spawn(move || {
+            q2.next_batch_deadline(2, Duration::from_secs(10), Duration::ZERO)
+                .map(|b| ids(&b))
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        push(&q, 1, "a");
+        assert_eq!(h.join().unwrap(), Some(vec![0, 1]));
+    }
+
+    #[test]
+    fn deadline_window_closes_early_on_low_slack() {
+        // One request whose deadline slack is far smaller than the window:
+        // the batch must ship on the slack, not the window.
+        let q = AdmissionQueue::new();
+        let (tx, _rx) = mpsc::channel();
+        let now = Instant::now();
+        let pushed = q.push(Request {
+            id: 0,
+            model: "a".into(),
+            qinput: vec![0; 4],
+            submitted: now,
+            deadline: now + Duration::from_millis(30),
+            priority: Priority::Interactive,
+            reply: tx,
+        });
+        assert!(pushed.is_ok(), "push rejected");
+        let t0 = Instant::now();
+        let b = q
+            .next_batch_deadline(8, Duration::from_secs(30), Duration::from_millis(5))
+            .expect("batch");
+        assert_eq!(ids(&b), vec![0]);
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "low-slack batch waited out the window"
+        );
     }
 }

@@ -1,14 +1,22 @@
 //! Multi-model registry: the serving-side unit of deployment.
+//!
+//! The registry is **shared and live**: workers and the submit path read
+//! it concurrently while a rollout replaces entries in place
+//! ([`Registry::register`] takes `&self`). Entries are `Arc`-swapped —
+//! a reader that looked up a design keeps a complete, immutable snapshot
+//! of it for the whole batch even if a rollout replaces the name
+//! mid-flight; there is no partially-updated state to observe.
 
 use quantize::{CompiledMasks, QuantModel};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 
 /// The cost contract a deployed design was admitted under — the board-side
 /// numbers of [`ataman::Deployment`], carried alongside the host-side
 /// serving artifacts so operators can reason about fleet cost without
-/// re-running the deployment pipeline.
+/// re-running the deployment pipeline. The serving layer derives request
+/// **deadlines** from `latency_ms` (see `ServeOptions`).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CostContract {
     /// Cycles per inference on the target MCU (unpacked engine).
@@ -27,6 +35,11 @@ pub struct CostContract {
 pub struct DeployedModel {
     /// Registry key (unique per registry).
     pub name: String,
+    /// Design family: deployments of the same architecture at different
+    /// accuracy/cost points share a family, which is what graceful
+    /// degradation reroutes within. Defaults to the deployment name
+    /// (a family of one — never degraded).
+    pub family: String,
     /// The quantized model.
     pub model: Arc<QuantModel>,
     /// Compiled skip masks of the selected design
@@ -37,19 +50,28 @@ pub struct DeployedModel {
 }
 
 impl DeployedModel {
-    /// Assemble a deployable design from parts.
+    /// Assemble a deployable design from parts (family = name).
     pub fn from_parts(
         name: impl Into<String>,
         model: QuantModel,
         masks: CompiledMasks,
         contract: CostContract,
     ) -> Self {
+        let name = name.into();
         Self {
-            name: name.into(),
+            family: name.clone(),
+            name,
             model: Arc::new(model),
             masks: Arc::new(masks),
             contract,
         }
+    }
+
+    /// Set the design family (builder style) — deployments sharing a
+    /// family are candidates for graceful degradation rerouting.
+    pub fn with_family(mut self, family: impl Into<String>) -> Self {
+        self.family = family.into();
+        self
     }
 
     /// Build from an [`ataman`] deployment: the framework's quantized model,
@@ -76,11 +98,13 @@ impl DeployedModel {
     }
 }
 
-/// Name-keyed registry of deployed designs, shared read-only by the server
-/// workers.
+/// Name-keyed registry of deployed designs, shared by the server workers
+/// and the submit path. Reads take a shared lock and clone an `Arc`;
+/// rollouts ([`Registry::register`]) swap the `Arc` under the write lock —
+/// readers always observe a complete design, before or after, never a mix.
 #[derive(Default)]
 pub struct Registry {
-    entries: HashMap<String, Arc<DeployedModel>>,
+    entries: RwLock<HashMap<String, Arc<DeployedModel>>>,
 }
 
 impl Registry {
@@ -90,31 +114,55 @@ impl Registry {
     }
 
     /// Register a deployed design; returns the previous design under the
-    /// same name, if any (rollout replaces in place).
-    pub fn register(&mut self, model: DeployedModel) -> Option<Arc<DeployedModel>> {
-        self.entries.insert(model.name.clone(), Arc::new(model))
+    /// same name, if any (rollout replaces in place, concurrently with
+    /// serving — in-flight batches finish on the snapshot they looked up).
+    pub fn register(&self, model: DeployedModel) -> Option<Arc<DeployedModel>> {
+        self.entries
+            .write()
+            .unwrap()
+            .insert(model.name.clone(), Arc::new(model))
     }
 
-    /// Look up a deployed design.
+    /// Look up a deployed design (an immutable snapshot).
     pub fn get(&self, name: &str) -> Option<Arc<DeployedModel>> {
-        self.entries.get(name).cloned()
+        self.entries.read().unwrap().get(name).cloned()
+    }
+
+    /// The cheapest deployed design sharing `than`'s family with a
+    /// **strictly lower** contract latency and the same input shape — the
+    /// graceful-degradation target when `than` must shed load. `None` when
+    /// the family has no cheaper member.
+    pub fn cheaper_same_family(&self, than: &DeployedModel) -> Option<Arc<DeployedModel>> {
+        let want_len = than.model.input_shape.item_len();
+        self.entries
+            .read()
+            .unwrap()
+            .values()
+            .filter(|e| {
+                e.family == than.family
+                    && e.name != than.name
+                    && e.contract.latency_ms < than.contract.latency_ms
+                    && e.model.input_shape.item_len() == want_len
+            })
+            .min_by(|a, b| a.contract.latency_ms.total_cmp(&b.contract.latency_ms))
+            .cloned()
     }
 
     /// Registered names, sorted (deterministic listings).
     pub fn names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self.entries.keys().cloned().collect();
+        let mut names: Vec<String> = self.entries.read().unwrap().keys().cloned().collect();
         names.sort();
         names
     }
 
     /// Number of registered designs.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.entries.read().unwrap().len()
     }
 
     /// True when nothing is registered.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len() == 0
     }
 }
 
@@ -143,7 +191,7 @@ mod tests {
     fn register_lookup_and_replace() {
         let q = quantized();
         let n_convs = q.conv_indices().len();
-        let mut reg = Registry::new();
+        let reg = Registry::new();
         assert!(reg.is_empty());
         let old = reg.register(DeployedModel::from_parts(
             "m",
@@ -168,5 +216,110 @@ mod tests {
         assert_eq!(replaced.expect("old entry").contract.cycles, 1000);
         assert_eq!(reg.get("m").unwrap().contract.cycles, 2000);
         assert_eq!(reg.names(), vec!["m".to_string()]);
+    }
+
+    #[test]
+    fn cheaper_same_family_picks_lowest_latency_same_shape() {
+        let q = quantized();
+        let n_convs = q.conv_indices().len();
+        let mk = |name: &str, latency_ms: f64| {
+            DeployedModel::from_parts(
+                name,
+                q.clone(),
+                CompiledMasks::none(n_convs),
+                CostContract {
+                    latency_ms,
+                    ..contract()
+                },
+            )
+            .with_family("mini")
+        };
+        let reg = Registry::new();
+        reg.register(mk("mini-exact", 3.0));
+        reg.register(mk("mini-approx", 1.5));
+        reg.register(mk("mini-tiny", 0.8));
+        // Different family: never a degradation target.
+        reg.register(
+            DeployedModel::from_parts(
+                "other",
+                q.clone(),
+                CompiledMasks::none(n_convs),
+                CostContract {
+                    latency_ms: 0.1,
+                    ..contract()
+                },
+            )
+            .with_family("other-family"),
+        );
+        let exact = reg.get("mini-exact").unwrap();
+        let target = reg.cheaper_same_family(&exact).expect("cheaper exists");
+        assert_eq!(target.name, "mini-tiny");
+        let tiny = reg.get("mini-tiny").unwrap();
+        assert!(
+            reg.cheaper_same_family(&tiny).is_none(),
+            "cheapest member has no degradation target"
+        );
+        // Family-of-one (default family = name): never degraded.
+        let other = reg.get("other").unwrap();
+        assert!(reg.cheaper_same_family(&other).is_none());
+    }
+
+    #[test]
+    fn concurrent_reads_during_rollout_see_complete_snapshots() {
+        // Arc-swap semantics: readers racing a rollout must always observe
+        // a complete design — one of the registered contract versions,
+        // never a partially-updated entry — and in-flight Arcs stay valid
+        // after their name is replaced.
+        let q = quantized();
+        let n_convs = q.conv_indices().len();
+        let mk = |cycles: u64| {
+            DeployedModel::from_parts(
+                "m",
+                q.clone(),
+                CompiledMasks::none(n_convs),
+                CostContract {
+                    cycles,
+                    ..contract()
+                },
+            )
+        };
+        let reg = std::sync::Arc::new(Registry::new());
+        reg.register(mk(1));
+        std::thread::scope(|s| {
+            let readers: Vec<_> = (0..4)
+                .map(|_| {
+                    let reg = reg.clone();
+                    s.spawn(move || {
+                        let mut held: Option<Arc<DeployedModel>> = None;
+                        for _ in 0..5_000 {
+                            let e = reg.get("m").expect("always registered");
+                            // A complete snapshot: name matches, contract is
+                            // one of the versions ever registered.
+                            assert_eq!(e.name, "m");
+                            assert!(e.contract.cycles >= 1);
+                            // Holding an old Arc across rollouts stays valid.
+                            if let Some(old) = &held {
+                                assert_eq!(old.name, "m");
+                            }
+                            held = Some(e);
+                        }
+                    })
+                })
+                .collect();
+            let writer = {
+                let reg = reg.clone();
+                s.spawn(move || {
+                    for v in 2..200u64 {
+                        reg.register(mk(v));
+                    }
+                })
+            };
+            for r in readers {
+                r.join().expect("reader");
+            }
+            writer.join().expect("writer");
+        });
+        // Last rollout won.
+        assert_eq!(reg.get("m").unwrap().contract.cycles, 199);
     }
 }

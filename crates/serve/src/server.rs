@@ -1,15 +1,31 @@
-//! The serving loop: worker threads draining the admission queue through
-//! the batch-major compiled engine.
+//! The serving loop: supervised worker threads draining the admission
+//! queue through the batch-major compiled engine under the deployment's
+//! latency contract.
+//!
+//! Failure domains (see DESIGN.md, "Failure domains and the request
+//! lifecycle"): admission validates and stamps a **deadline** derived from
+//! the target design's [`CostContract`](crate::registry::CostContract);
+//! the coalescer trades fill only against deadline slack; workers expire
+//! requests that can no longer meet their deadline instead of running them
+//! uselessly; batch execution runs inside an **unwind boundary** so a
+//! panicking kernel fails exactly one batch with typed
+//! [`Outcome::WorkerCrashed`] replies while the supervisor restarts the
+//! worker (bounded attempts, exponential backoff). Every admitted request
+//! resolves to exactly one [`Outcome`].
 
-use crate::queue::{AdmissionQueue, Reply, Request};
-use crate::registry::Registry;
+use crate::faults;
+use crate::queue::{
+    AdmissionQueue, Crashed, Expired, Outcome, Priority, PushError, Reply, Request, Unserved,
+};
+use crate::registry::{DeployedModel, Registry};
 use quantize::BatchScratch;
+use serde::Serialize;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -22,6 +38,38 @@ pub struct ServeOptions {
     /// requests are rejected with [`SubmitError::QueueFull`] (overload
     /// sheds at admission instead of growing memory and queueing latency).
     pub max_queue_depth: usize,
+    /// Queue depth at which [`Priority::Batch`] submissions shed with
+    /// [`SubmitError::Shed`] (interactive traffic keeps admitting to the
+    /// full bound). `None` derives 3/4 of `max_queue_depth`.
+    pub shed_high_water: Option<usize>,
+    /// Fixed deadline applied to every request, overriding the per-model
+    /// contract derivation.
+    pub deadline: Option<Duration>,
+    /// Deadline = `contract.latency_ms × deadline_slack` (floored at
+    /// [`ServeOptions::min_deadline`]) when no override is set. The slack
+    /// covers queueing + batching on top of the contract's pure execution
+    /// bound.
+    pub deadline_slack: f64,
+    /// Floor on derived deadlines — a microsecond-scale contract must not
+    /// produce a deadline the host scheduler cannot honor.
+    pub min_deadline: Duration,
+    /// Longest a ragged batch waits (from the oldest request's admission)
+    /// for more same-model arrivals before shipping. Zero ships
+    /// immediately (the default: latency is never traded for fill unless
+    /// asked). The wait always closes early when deadline slack runs low.
+    pub coalesce_window: Duration,
+    /// Restarts a worker slot is granted after crashes before it is
+    /// abandoned. When the *last* worker is abandoned the server closes
+    /// and drains the queue with [`Outcome::Closed`] — requests never
+    /// hang on a dead fleet.
+    pub max_worker_restarts: u32,
+    /// Base delay before a crashed worker restarts; doubles per
+    /// consecutive restart (capped at 64×).
+    pub restart_backoff: Duration,
+    /// Graceful degradation: instead of shedding a batch-class request at
+    /// the high-water mark, reroute it to the cheapest same-family design
+    /// ([`Registry::cheaper_same_family`]) when one is deployed.
+    pub degrade_on_shed: bool,
 }
 
 impl Default for ServeOptions {
@@ -30,6 +78,14 @@ impl Default for ServeOptions {
             max_batch: 12,
             workers: 1,
             max_queue_depth: crate::queue::DEFAULT_MAX_DEPTH,
+            shed_high_water: None,
+            deadline: None,
+            deadline_slack: 8.0,
+            min_deadline: Duration::from_millis(50),
+            coalesce_window: Duration::ZERO,
+            max_worker_restarts: 3,
+            restart_backoff: Duration::from_millis(10),
+            degrade_on_shed: false,
         }
     }
 }
@@ -52,6 +108,17 @@ pub enum SubmitError {
         /// The configured [`ServeOptions::max_queue_depth`].
         max_depth: usize,
     },
+    /// A batch-class submission refused past the high-water mark so
+    /// interactive traffic keeps its headroom. Retrying immediately will
+    /// shed again — back off for longer than a [`SubmitError::QueueFull`],
+    /// or submit as [`Priority::Interactive`] if the request really is
+    /// latency-sensitive.
+    Shed {
+        /// Queue depth at refusal.
+        queue_depth: usize,
+        /// The high-water mark that was crossed.
+        high_water: usize,
+    },
     /// The server is shutting down: admission is closed and this request
     /// will never be served. Distinct from acceptance (a closed queue used
     /// to swallow the request while returning `Ok`) and from
@@ -69,6 +136,13 @@ impl std::fmt::Display for SubmitError {
             SubmitError::QueueFull { max_depth } => {
                 write!(f, "admission queue full ({max_depth} waiting requests)")
             }
+            SubmitError::Shed {
+                queue_depth,
+                high_water,
+            } => write!(
+                f,
+                "batch-class request shed ({queue_depth} waiting >= high water {high_water})"
+            ),
             SubmitError::Closed => write!(f, "server shutting down: admission closed"),
         }
     }
@@ -76,30 +150,100 @@ impl std::fmt::Display for SubmitError {
 
 impl std::error::Error for SubmitError {}
 
-/// A running inference server: registry + admission queue + workers.
+/// Fleet health counters, updated live by the admission path and the
+/// worker supervisors. Snapshot with [`Server::stats`].
+#[derive(Default)]
+struct ServerStats {
+    worker_crashes: AtomicU64,
+    worker_restarts: AtomicU64,
+    workers_abandoned: AtomicU64,
+    expired: AtomicU64,
+    shed_admission: AtomicU64,
+    degraded: AtomicU64,
+    closed_unserved: AtomicU64,
+}
+
+/// Point-in-time copy of the fleet health counters (`BENCH_serve.json`
+/// surfaces these; the perf gate hard-fails on `worker_crashes > 0` in the
+/// fault-free bench run).
+#[derive(Debug, Clone, Serialize)]
+pub struct StatsSnapshot {
+    /// Worker panics caught at the batch unwind boundary.
+    pub worker_crashes: u64,
+    /// Supervisor restarts granted after crashes.
+    pub worker_restarts: u64,
+    /// Worker slots abandoned after exhausting their restart budget.
+    pub workers_abandoned: u64,
+    /// Requests expired before execution (deadline enforcement).
+    pub expired: u64,
+    /// Batch-class submissions refused at the high-water mark.
+    pub shed_admission: u64,
+    /// Queued batch-class requests evicted by interactive admissions.
+    pub shed_evicted: u64,
+    /// Shed batch-class requests rerouted to a cheaper same-family design.
+    pub degraded: u64,
+    /// Requests resolved [`Outcome::Closed`] by a shutdown/abandonment
+    /// drain.
+    pub closed_unserved: u64,
+}
+
+/// A running inference server: registry + admission queue + supervised
+/// workers.
 ///
 /// Dropping (or [`Server::shutdown`]) closes the queue, lets workers drain
-/// what's admitted, and joins them.
+/// what's admitted, joins them, and resolves anything left (a fully
+/// crashed fleet) with [`Outcome::Closed`].
 pub struct Server {
     registry: Arc<Registry>,
     queue: Arc<AdmissionQueue>,
     workers: Vec<JoinHandle<()>>,
     next_id: AtomicU64,
+    opts: ServeOptions,
+    stats: Arc<ServerStats>,
+}
+
+/// Everything a worker supervisor needs, bundled for the thread spawn.
+struct WorkerCtx {
+    registry: Arc<Registry>,
+    queue: Arc<AdmissionQueue>,
+    stats: Arc<ServerStats>,
+    /// Workers still serving (or in their restart window). The last one to
+    /// abandon drains the queue so no admitted request ever hangs.
+    live: Arc<AtomicUsize>,
+    max_batch: usize,
+    coalesce_window: Duration,
+    max_restarts: u32,
+    restart_backoff: Duration,
 }
 
 impl Server {
-    /// Start `opts.workers` worker threads over `registry`.
+    /// Start `opts.workers` supervised worker threads over `registry`.
     pub fn start(registry: Registry, opts: ServeOptions) -> Self {
         assert!(opts.max_batch >= 1, "max_batch must be at least 1");
         assert!(opts.workers >= 1, "need at least one worker");
+        let high_water = opts
+            .shed_high_water
+            .unwrap_or((opts.max_queue_depth * 3 / 4).max(1));
         let registry = Arc::new(registry);
-        let queue = Arc::new(AdmissionQueue::bounded(opts.max_queue_depth));
+        let queue = Arc::new(AdmissionQueue::with_policy(
+            opts.max_queue_depth,
+            high_water,
+        ));
+        let stats = Arc::new(ServerStats::default());
+        let live = Arc::new(AtomicUsize::new(opts.workers));
         let workers = (0..opts.workers)
             .map(|_| {
-                let registry = registry.clone();
-                let queue = queue.clone();
-                let max_batch = opts.max_batch;
-                std::thread::spawn(move || worker_loop(&registry, &queue, max_batch))
+                let ctx = WorkerCtx {
+                    registry: registry.clone(),
+                    queue: queue.clone(),
+                    stats: stats.clone(),
+                    live: live.clone(),
+                    max_batch: opts.max_batch,
+                    coalesce_window: opts.coalesce_window,
+                    max_restarts: opts.max_worker_restarts,
+                    restart_backoff: opts.restart_backoff,
+                };
+                std::thread::spawn(move || supervised_worker(ctx))
             })
             .collect();
         Self {
@@ -107,10 +251,24 @@ impl Server {
             queue,
             workers,
             next_id: AtomicU64::new(0),
+            opts,
+            stats,
         }
     }
 
-    /// Submit a quantized input; returns the reply channel.
+    /// The deadline budget a request for `entry` is admitted under: the
+    /// server-wide override, or `contract.latency_ms × deadline_slack`
+    /// floored at `min_deadline`.
+    fn deadline_for(&self, entry: &DeployedModel) -> Duration {
+        if let Some(d) = self.opts.deadline {
+            return d;
+        }
+        let slack_ms = (entry.contract.latency_ms * self.opts.deadline_slack).max(0.0);
+        Duration::from_secs_f64(slack_ms / 1e3).max(self.opts.min_deadline)
+    }
+
+    /// Submit a quantized input at [`Priority::Interactive`]; returns the
+    /// reply channel, which resolves to exactly one [`Outcome`].
     ///
     /// Both the model name and the input length are validated *at
     /// admission* — a malformed request must never reach (and kill) a
@@ -119,7 +277,17 @@ impl Server {
         &self,
         model: &str,
         qinput: Vec<i8>,
-    ) -> Result<Receiver<Reply>, SubmitError> {
+    ) -> Result<Receiver<Outcome>, SubmitError> {
+        self.submit_quantized_with(model, qinput, Priority::Interactive)
+    }
+
+    /// Submit a quantized input at an explicit admission class.
+    pub fn submit_quantized_with(
+        &self,
+        model: &str,
+        qinput: Vec<i8>,
+        priority: Priority,
+    ) -> Result<Receiver<Outcome>, SubmitError> {
         let entry = self
             .registry
             .get(model)
@@ -131,32 +299,77 @@ impl Server {
                 got: qinput.len(),
             });
         }
+        let now = Instant::now();
         let (tx, rx) = mpsc::channel();
-        self.queue
-            .push(Request {
-                id: self.next_id.fetch_add(1, Ordering::Relaxed),
-                model: model.to_string(),
-                qinput,
-                submitted: Instant::now(),
-                reply: tx,
-            })
-            .map_err(|e| match e {
-                crate::queue::PushError::Full(full) => SubmitError::QueueFull {
-                    max_depth: full.max_depth,
-                },
-                crate::queue::PushError::Closed(_) => SubmitError::Closed,
-            })?;
-        Ok(rx)
+        let request = Request {
+            id: self.next_id.fetch_add(1, Ordering::Relaxed),
+            model: model.to_string(),
+            qinput,
+            submitted: now,
+            deadline: now + self.deadline_for(&entry),
+            priority,
+            reply: tx,
+        };
+        match self.queue.push(request) {
+            Ok(()) => Ok(rx),
+            Err(PushError::Full(full)) => Err(SubmitError::QueueFull {
+                max_depth: full.max_depth,
+            }),
+            Err(PushError::Closed(_)) => Err(SubmitError::Closed),
+            Err(PushError::Shed(shed)) => {
+                // Graceful degradation: a cheaper same-family design can
+                // absorb the shed request instead of refusing it — the
+                // reply's `model` field records where it actually ran.
+                if self.opts.degrade_on_shed {
+                    if let Some(cheaper) = self.registry.cheaper_same_family(&entry) {
+                        let mut request = shed.request;
+                        request.model = cheaper.name.clone();
+                        return match self.queue.push_degraded(request) {
+                            Ok(()) => {
+                                self.stats.degraded.fetch_add(1, Ordering::Relaxed);
+                                Ok(rx)
+                            }
+                            Err(PushError::Full(full)) => Err(SubmitError::QueueFull {
+                                max_depth: full.max_depth,
+                            }),
+                            Err(PushError::Closed(_)) => Err(SubmitError::Closed),
+                            Err(PushError::Shed(_)) => {
+                                unreachable!("degraded push bypasses the high-water mark")
+                            }
+                        };
+                    }
+                }
+                self.stats.shed_admission.fetch_add(1, Ordering::Relaxed);
+                Err(SubmitError::Shed {
+                    queue_depth: shed.queue_depth,
+                    high_water: shed.high_water,
+                })
+            }
+        }
     }
 
     /// Submit a raw `[0, 1]` f32 image (quantized at admission with the
-    /// target model's input parameters).
-    pub fn submit_image(&self, model: &str, image: &[f32]) -> Result<Receiver<Reply>, SubmitError> {
+    /// target model's input parameters) at [`Priority::Interactive`].
+    pub fn submit_image(
+        &self,
+        model: &str,
+        image: &[f32],
+    ) -> Result<Receiver<Outcome>, SubmitError> {
+        self.submit_image_with(model, image, Priority::Interactive)
+    }
+
+    /// Submit a raw image at an explicit admission class.
+    pub fn submit_image_with(
+        &self,
+        model: &str,
+        image: &[f32],
+        priority: Priority,
+    ) -> Result<Receiver<Outcome>, SubmitError> {
         let entry = self
             .registry
             .get(model)
             .ok_or_else(|| SubmitError::UnknownModel(model.to_string()))?;
-        self.submit_quantized(model, entry.model.quantize_input(image))
+        self.submit_quantized_with(model, entry.model.quantize_input(image), priority)
     }
 
     /// Requests admitted but not yet batched.
@@ -174,9 +387,29 @@ impl Server {
         self.queue.max_depth()
     }
 
-    /// The registry being served.
+    /// The batch-class high-water mark in effect.
+    pub fn queue_high_water(&self) -> usize {
+        self.queue.high_water()
+    }
+
+    /// The registry being served (live: rollouts via
+    /// [`Registry::register`] take effect for subsequent batches).
     pub fn registry(&self) -> &Registry {
         &self.registry
+    }
+
+    /// Snapshot of the fleet health counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            worker_crashes: self.stats.worker_crashes.load(Ordering::Relaxed),
+            worker_restarts: self.stats.worker_restarts.load(Ordering::Relaxed),
+            workers_abandoned: self.stats.workers_abandoned.load(Ordering::Relaxed),
+            expired: self.stats.expired.load(Ordering::Relaxed),
+            shed_admission: self.stats.shed_admission.load(Ordering::Relaxed),
+            shed_evicted: self.queue.shed_evicted(),
+            degraded: self.stats.degraded.load(Ordering::Relaxed),
+            closed_unserved: self.stats.closed_unserved.load(Ordering::Relaxed),
+        }
     }
 
     /// Close admission without joining the workers: in-flight and queued
@@ -186,7 +419,13 @@ impl Server {
         self.queue.close();
     }
 
-    /// Close admission, drain, and join the workers.
+    /// Graceful shutdown, in deterministic order: (1) close admission —
+    /// late submits get a typed [`SubmitError::Closed`]; (2) workers keep
+    /// popping until the queue is **drained**, so every already-admitted
+    /// request's reply is sent before its worker exits; (3) join the
+    /// workers — in-flight batches finish and reply before the join
+    /// returns; (4) resolve anything a fully-crashed fleet left behind
+    /// with [`Outcome::Closed`]. No admitted request is ever dropped.
     pub fn shutdown(mut self) {
         self.shutdown_inner();
     }
@@ -196,6 +435,10 @@ impl Server {
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
+        // Normally a no-op: workers drain the closed queue before exiting.
+        // Non-empty only when every worker exhausted its restart budget —
+        // those requests still resolve (Closed), never hang.
+        drain_unserved(&self.queue, &self.stats);
     }
 }
 
@@ -205,22 +448,118 @@ impl Drop for Server {
     }
 }
 
-/// Drain batches until the queue closes. One reusable [`BatchScratch`] per
-/// deployed model per worker; replies carry queue + inference latency and
-/// the ride-along batch size.
-fn worker_loop(registry: &Registry, queue: &AdmissionQueue, max_batch: usize) {
+/// Resolve every still-queued request with [`Outcome::Closed`].
+fn drain_unserved(queue: &AdmissionQueue, stats: &ServerStats) {
+    while let Some(batch) = queue.try_next_batch(crate::queue::DEFAULT_MAX_DEPTH) {
+        for r in batch.requests {
+            stats.closed_unserved.fetch_add(1, Ordering::Relaxed);
+            let _ = r.reply.send(Outcome::Closed(Unserved {
+                id: r.id,
+                model: r.model,
+            }));
+        }
+    }
+}
+
+/// Trip an armed failpoint (no-op without the `failpoints` feature).
+#[inline]
+fn apply_fault(site: &str) {
+    match faults::check(site) {
+        Some(faults::Fault::Panic) => panic!("injected fault: panic at {site}"),
+        Some(faults::Fault::StallMs(ms)) => std::thread::sleep(Duration::from_millis(ms)),
+        Some(faults::Fault::QueueFull) | None => {}
+    }
+}
+
+/// How one run of the worker loop ended.
+enum WorkerExit {
+    /// Queue closed and drained: clean exit.
+    Drained,
+    /// A batch panicked at the unwind boundary: the batch's requests were
+    /// resolved [`Outcome::WorkerCrashed`]; worker state is presumed
+    /// corrupt and discarded.
+    Crashed,
+}
+
+/// The supervisor: runs the worker loop, restarting it after crashes with
+/// exponential backoff until the restart budget is exhausted. Every
+/// restart gets a fresh scratch state (a panicking kernel may have left
+/// per-model scratches inconsistent).
+fn supervised_worker(ctx: WorkerCtx) {
+    let mut restarts = 0u32;
+    loop {
+        match worker_run(&ctx) {
+            WorkerExit::Drained => break,
+            WorkerExit::Crashed => {
+                ctx.stats.worker_crashes.fetch_add(1, Ordering::Relaxed);
+                if restarts >= ctx.max_restarts {
+                    ctx.stats.workers_abandoned.fetch_add(1, Ordering::Relaxed);
+                    // The last abandoned worker must not strand the queue:
+                    // close it and resolve every waiter with Closed.
+                    if ctx.live.fetch_sub(1, Ordering::SeqCst) == 1 {
+                        ctx.queue.close();
+                        drain_unserved(&ctx.queue, &ctx.stats);
+                    }
+                    return;
+                }
+                restarts += 1;
+                ctx.stats.worker_restarts.fetch_add(1, Ordering::Relaxed);
+                let exp = (restarts - 1).min(6);
+                std::thread::sleep(ctx.restart_backoff * (1u32 << exp));
+            }
+        }
+    }
+    ctx.live.fetch_sub(1, Ordering::SeqCst);
+}
+
+/// One life of a worker: drain batches until the queue closes (Drained) or
+/// a batch panics (Crashed). One reusable [`BatchScratch`] per deployed
+/// model; replies carry the queued/exec latency breakdown and the
+/// ride-along batch size.
+fn worker_run(ctx: &WorkerCtx) -> WorkerExit {
     let mut scratches: HashMap<String, BatchScratch> = HashMap::new();
-    while let Some(batch) = queue.next_batch(max_batch) {
+    // EWMA of observed batch execution time: the deadline margin — a
+    // request whose remaining slack is below the expected execution time
+    // would expire mid-flight, so it is expired up front instead.
+    let mut ewma_exec_us: f64 = 0.0;
+    loop {
+        let margin = Duration::from_micros(ewma_exec_us as u64);
+        let Some(batch) = ctx
+            .queue
+            .next_batch_deadline(ctx.max_batch, ctx.coalesce_window, margin)
+        else {
+            return WorkerExit::Drained;
+        };
+        let popped = Instant::now();
         // Submit validated the name; a rollout cannot unregister, only
         // replace, so the lookup holds.
-        let entry = registry.get(&batch.model).expect("registered model");
+        let entry = ctx.registry.get(&batch.model).expect("registered model");
+        // Deadline enforcement: anything that cannot finish inside its
+        // deadline resolves Expired now, without burning worker time.
+        let mut live = Vec::with_capacity(batch.requests.len());
+        for r in batch.requests {
+            if popped + margin >= r.deadline {
+                ctx.stats.expired.fetch_add(1, Ordering::Relaxed);
+                let _ = r.reply.send(Outcome::Expired(Expired {
+                    id: r.id,
+                    model: r.model,
+                    overdue: popped.saturating_duration_since(r.deadline),
+                    waited: popped.saturating_duration_since(r.submitted),
+                }));
+            } else {
+                live.push(r);
+            }
+        }
+        if live.is_empty() {
+            continue;
+        }
+        let n = live.len();
+        let in_len = entry.model.input_shape.item_len();
         let scratch = scratches
             .entry(batch.model.clone())
-            .or_insert_with(|| BatchScratch::for_model(&entry.model, max_batch));
-        let n = batch.requests.len();
-        let in_len = entry.model.input_shape.item_len();
+            .or_insert_with(|| BatchScratch::for_model(&entry.model, ctx.max_batch));
         let mut flat = Vec::with_capacity(n * in_len);
-        for r in &batch.requests {
+        for r in &live {
             // Admission validated the length; this is defense in depth.
             debug_assert_eq!(r.qinput.len(), in_len, "request input length mismatch");
             flat.extend_from_slice(&r.qinput);
@@ -228,20 +567,49 @@ fn worker_loop(registry: &Registry, queue: &AdmissionQueue, max_batch: usize) {
         // No conv0 column cache here: serving consumes each batch once, so
         // precomputing columns into fresh Vecs is pure allocator traffic —
         // the batched core fills the reusable scratch buffers instead.
-        let preds =
+        //
+        // The unwind boundary: a panic inside the kernel (or an injected
+        // fault) fails exactly this batch. Requests stay outside the
+        // closure, so their replies are always sent — WorkerCrashed on
+        // panic, Ok otherwise.
+        let exec_t0 = Instant::now();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            apply_fault(faults::SITE_WORKER_EXEC);
             entry
                 .model
-                .predict_compiled_batch_scratch(&flat, n, None, Some(&entry.masks), scratch);
+                .predict_compiled_batch_scratch(&flat, n, None, Some(&entry.masks), scratch)
+        }));
+        let preds = match result {
+            Ok(preds) => preds,
+            Err(_) => {
+                for r in live {
+                    let _ = r.reply.send(Outcome::WorkerCrashed(Crashed {
+                        id: r.id,
+                        model: r.model,
+                        batch_size: n,
+                    }));
+                }
+                return WorkerExit::Crashed;
+            }
+        };
+        let exec_us = exec_t0.elapsed().as_micros() as u64;
+        ewma_exec_us = if ewma_exec_us == 0.0 {
+            exec_us as f64
+        } else {
+            0.7 * ewma_exec_us + 0.3 * exec_us as f64
+        };
         let now = Instant::now();
-        for (r, pred) in batch.requests.into_iter().zip(preds) {
+        for (r, pred) in live.into_iter().zip(preds) {
             // A client that dropped its receiver just misses its reply.
-            let _ = r.reply.send(Reply {
+            let _ = r.reply.send(Outcome::Ok(Reply {
                 id: r.id,
                 model: batch.model.clone(),
                 predicted: pred,
                 batch_size: n,
                 latency: now.duration_since(r.submitted),
-            });
+                queued_us: popped.saturating_duration_since(r.submitted).as_micros() as u64,
+                exec_us,
+            }));
         }
     }
 }
@@ -249,7 +617,7 @@ fn worker_loop(registry: &Registry, queue: &AdmissionQueue, max_batch: usize) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::registry::{CostContract, DeployedModel};
+    use crate::registry::CostContract;
     use quantize::{calibrate_ranges, quantize_model, ForwardScratch};
     use signif::{capture_mean_inputs, SignificanceMap, TauAssignment};
 
@@ -270,19 +638,37 @@ mod tests {
         (DeployedModel::from_parts(name, q, masks, contract), data)
     }
 
+    /// Unwrap the Ok outcome or panic with the actual resolution.
+    fn served(rx: Receiver<Outcome>) -> Reply {
+        match rx.recv().expect("request resolved") {
+            Outcome::Ok(reply) => reply,
+            other => panic!("expected Ok outcome, got {}", other.kind()),
+        }
+    }
+
+    /// Options for correctness tests that are not about expiry: a debug
+    /// build on a loaded test machine can take longer than the 50 ms
+    /// default deadline floor to run a batch, so pin a generous deadline.
+    fn lenient() -> ServeOptions {
+        ServeOptions {
+            deadline: Some(Duration::from_secs(60)),
+            ..Default::default()
+        }
+    }
+
     #[test]
     fn serves_batches_bit_exact_with_per_image_path() {
         let (dm, data) = deployed("m", 0.01, 91);
         let q = dm.model.clone();
         let masks = dm.masks.clone();
-        let mut reg = Registry::new();
+        let reg = Registry::new();
         reg.register(dm);
         let server = Server::start(
             reg,
             ServeOptions {
                 max_batch: 4,
                 workers: 1,
-                ..Default::default()
+                ..lenient()
             },
         );
         let mut rxs = Vec::new();
@@ -295,7 +681,7 @@ mod tests {
         }
         let mut scratch = ForwardScratch::for_model(&q);
         for (i, rx) in rxs.into_iter().enumerate() {
-            let reply = rx.recv().expect("reply");
+            let reply = served(rx);
             let want = q.predict_compiled_scratch(
                 &q.quantize_input(data.test.image(i)),
                 None,
@@ -315,21 +701,21 @@ mod tests {
         let (b, _) = deployed("b", 0.05, 93);
         let (qa, qb) = (a.model.clone(), b.model.clone());
         let (ma, mb) = (a.masks.clone(), b.masks.clone());
-        let mut reg = Registry::new();
+        let reg = Registry::new();
         reg.register(a);
         reg.register(b);
-        let server = Server::start(reg, ServeOptions::default());
+        let server = Server::start(reg, lenient());
         let img = data.test.image(0);
         let ra = server.submit_image("a", img).expect("a");
         let rb = server.submit_image("b", img).expect("b");
         let mut sa = ForwardScratch::for_model(&qa);
         let mut sb = ForwardScratch::for_model(&qb);
         assert_eq!(
-            ra.recv().unwrap().predicted,
+            served(ra).predicted,
             qa.predict_compiled_scratch(&qa.quantize_input(img), None, Some(&ma), &mut sa)
         );
         assert_eq!(
-            rb.recv().unwrap().predicted,
+            served(rb).predicted,
             qb.predict_compiled_scratch(&qb.quantize_input(img), None, Some(&mb), &mut sb)
         );
         server.shutdown();
@@ -338,17 +724,15 @@ mod tests {
     #[test]
     fn overload_sheds_with_queue_full_and_reports_peak() {
         let (dm, data) = deployed("m", 0.0, 96);
-        let mut reg = Registry::new();
+        let reg = Registry::new();
         reg.register(dm);
-        // One worker parked on an un-drainable depth-2 queue: make it busy
-        // by submitting while holding no drain... simplest determinism: a
-        // queue this shallow overflows as soon as two requests wait.
         let server = Server::start(
             reg,
             ServeOptions {
                 max_batch: 1,
                 workers: 1,
                 max_queue_depth: 2,
+                ..lenient()
             },
         );
         assert_eq!(server.queue_max_depth(), 2);
@@ -368,7 +752,7 @@ mod tests {
             }
         }
         for rx in rxs {
-            assert!(rx.recv().is_ok());
+            served(rx);
         }
         assert!(server.queue_peak_depth() <= 2);
         assert!(
@@ -387,7 +771,7 @@ mod tests {
         let ranges = calibrate_ranges(&m, &data.train.take(8));
         let q = quantize_model(&m, &ranges);
         let n_convs = q.conv_indices().len();
-        let mut reg = Registry::new();
+        let reg = Registry::new();
         reg.register(DeployedModel::from_parts(
             "gap",
             q.clone(),
@@ -404,7 +788,7 @@ mod tests {
             ServeOptions {
                 max_batch: 3,
                 workers: 1,
-                ..Default::default()
+                ..lenient()
             },
         );
         let mut rxs = Vec::new();
@@ -419,7 +803,7 @@ mod tests {
                 None,
                 &mut scratch,
             );
-            assert_eq!(rx.recv().expect("reply").predicted, want, "request {i}");
+            assert_eq!(served(rx).predicted, want, "request {i}");
         }
         server.shutdown();
     }
@@ -434,7 +818,7 @@ mod tests {
         let ranges = calibrate_ranges(&m, &data.train.take(8));
         let q = quantize_model(&m, &ranges);
         let n_convs = q.conv_indices().len();
-        let mut reg = Registry::new();
+        let reg = Registry::new();
         reg.register(DeployedModel::from_parts(
             "resnet",
             q.clone(),
@@ -451,7 +835,7 @@ mod tests {
             ServeOptions {
                 max_batch: 3,
                 workers: 1,
-                ..Default::default()
+                ..lenient()
             },
         );
         let mut rxs = Vec::new();
@@ -470,7 +854,7 @@ mod tests {
                 None,
                 &mut scratch,
             );
-            assert_eq!(rx.recv().expect("reply").predicted, want, "request {i}");
+            assert_eq!(served(rx).predicted, want, "request {i}");
         }
         server.shutdown();
     }
@@ -478,12 +862,12 @@ mod tests {
     #[test]
     fn closed_admission_is_a_typed_error_not_a_silent_drop() {
         let (dm, data) = deployed("m", 0.0, 98);
-        let mut reg = Registry::new();
+        let reg = Registry::new();
         reg.register(dm);
-        let server = Server::start(reg, ServeOptions::default());
+        let server = Server::start(reg, lenient());
         // Before closing, requests serve normally.
         let rx = server.submit_image("m", data.test.image(0)).expect("ok");
-        assert!(rx.recv().is_ok());
+        served(rx);
         server.close_admission();
         // After closing, the caller gets a typed Closed — not an Ok whose
         // reply channel silently disconnects.
@@ -495,7 +879,7 @@ mod tests {
     #[test]
     fn unknown_model_is_refused_at_admission() {
         let (dm, data) = deployed("m", 0.0, 94);
-        let mut reg = Registry::new();
+        let reg = Registry::new();
         reg.register(dm);
         let server = Server::start(reg, ServeOptions::default());
         let err = server.submit_image("nope", data.test.image(0)).unwrap_err();
@@ -507,14 +891,154 @@ mod tests {
     fn wrong_length_input_is_refused_and_workers_survive() {
         let (dm, data) = deployed("m", 0.0, 95);
         let expected = dm.model.input_shape.item_len();
-        let mut reg = Registry::new();
+        let reg = Registry::new();
         reg.register(dm);
-        let server = Server::start(reg, ServeOptions::default());
+        let server = Server::start(reg, lenient());
         let err = server.submit_quantized("m", vec![0i8; 7]).unwrap_err();
         assert_eq!(err, SubmitError::InputLength { expected, got: 7 });
         // The worker never saw the malformed request and keeps serving.
         let rx = server.submit_image("m", data.test.image(0)).expect("ok");
-        assert!(rx.recv().is_ok());
+        served(rx);
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_admitted_requests_then_joins() {
+        // The drain-then-join contract: every request admitted before
+        // shutdown() resolves Ok — workers keep popping the closed queue
+        // until it is empty, and the join waits for the last in-flight
+        // batch's replies. No reply may be lost to the shutdown race
+        // (batch popped before close, replies sent after).
+        let (dm, data) = deployed("m", 0.0, 90);
+        let reg = Registry::new();
+        reg.register(dm);
+        let server = Server::start(
+            reg,
+            ServeOptions {
+                max_batch: 4,
+                workers: 2,
+                // This test pins the drain contract, not expiry: debug
+                // builds are slow enough that 32 queued requests can blow
+                // through the default 50 ms deadline floor.
+                deadline: Some(Duration::from_secs(60)),
+                ..Default::default()
+            },
+        );
+        let rxs: Vec<_> = (0..32)
+            .map(|i| {
+                server
+                    .submit_image("m", data.test.image(i % 8))
+                    .expect("submit")
+            })
+            .collect();
+        // Shut down immediately: most requests are still queued or
+        // mid-batch when close() lands.
+        server.shutdown();
+        let mut ok = 0;
+        for rx in rxs {
+            match rx.recv().expect("no reply may be dropped by shutdown") {
+                Outcome::Ok(_) => ok += 1,
+                other => panic!("drained request resolved {}", other.kind()),
+            }
+        }
+        assert_eq!(ok, 32, "every admitted request drains to Ok");
+    }
+
+    #[test]
+    fn replies_carry_queued_and_exec_breakdown() {
+        let (dm, data) = deployed("m", 0.0, 89);
+        let reg = Registry::new();
+        reg.register(dm);
+        let server = Server::start(reg, lenient());
+        let reply = served(server.submit_image("m", data.test.image(0)).expect("ok"));
+        assert!(reply.exec_us > 0, "kernel time must be observable");
+        let total_us = reply.latency.as_micros() as u64;
+        assert!(
+            total_us >= reply.exec_us,
+            "end-to-end latency ({total_us} µs) covers exec ({} µs)",
+            reply.exec_us
+        );
+        assert!(
+            total_us + 1000 >= reply.queued_us + reply.exec_us,
+            "breakdown must not exceed total latency (plus clock slop)"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn zero_deadline_override_expires_requests_instead_of_running_them() {
+        // A deadline that is already unreachable at admission resolves
+        // Expired at the worker — deterministic, no fault injection
+        // needed.
+        let (dm, data) = deployed("m", 0.0, 88);
+        let reg = Registry::new();
+        reg.register(dm);
+        let server = Server::start(
+            reg,
+            ServeOptions {
+                deadline: Some(Duration::ZERO),
+                ..Default::default()
+            },
+        );
+        let rxs: Vec<_> = (0..4)
+            .map(|i| server.submit_image("m", data.test.image(i)).expect("ok"))
+            .collect();
+        for rx in rxs {
+            match rx.recv().expect("resolved") {
+                Outcome::Expired(e) => {
+                    assert_eq!(e.model, "m");
+                    assert!(e.waited >= e.overdue);
+                }
+                other => panic!("expected Expired, got {}", other.kind()),
+            }
+        }
+        assert_eq!(server.stats().expired, 4);
+        server.shutdown();
+    }
+
+    #[test]
+    fn contract_derived_deadlines_respect_slack_and_floor() {
+        let (dm, data) = deployed("m", 0.0, 87);
+        let reg = Registry::new();
+        reg.register(dm);
+        // Contract latency 0.1 ms × slack 8 = 0.8 ms, floored at the
+        // minimum: the floor keeps normally-served requests from expiring.
+        // (Floor raised well above the 50 ms default so a loaded debug
+        // test machine still exercises the "never expires" contract.)
+        let server = Server::start(
+            reg,
+            ServeOptions {
+                min_deadline: Duration::from_secs(60),
+                ..Default::default()
+            },
+        );
+        let rxs: Vec<_> = (0..8)
+            .map(|i| server.submit_image("m", data.test.image(i)).expect("ok"))
+            .collect();
+        for rx in rxs {
+            served(rx);
+        }
+        assert_eq!(server.stats().expired, 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn rollout_during_serving_switches_later_batches() {
+        // The live registry: replacing a name mid-serve is safe (in-flight
+        // batches keep their snapshot) and later requests run the new
+        // design.
+        let (dm, data) = deployed("m", 0.0, 86);
+        let (replacement, _) = deployed("m", 0.3, 86);
+        let reg = Registry::new();
+        reg.register(dm);
+        let server = Server::start(reg, lenient());
+        served(server.submit_image("m", data.test.image(0)).expect("ok"));
+        let old = server
+            .registry()
+            .register(replacement)
+            .expect("previous design");
+        assert_eq!(old.name, "m");
+        served(server.submit_image("m", data.test.image(1)).expect("ok"));
         server.shutdown();
     }
 }

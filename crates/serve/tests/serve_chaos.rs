@@ -1,0 +1,515 @@
+//! Chaos suite: deterministic fault injection against the serving stack
+//! (`--features failpoints`; compiled out of production builds).
+//!
+//! The invariant under test everywhere: **no reply is ever dropped** —
+//! every submitted request resolves to exactly one typed
+//! [`Outcome`] (`Ok | Expired | Shed | WorkerCrashed | Closed`) or a typed
+//! [`SubmitError`], under injected panics, stalls, queue-full storms and
+//! shutdown races.
+//!
+//! Fault sites are process-global, so tests serialize on [`chaos_lock`];
+//! injection plans are seeded and the assertions are schedule-robust
+//! (outcome counts, not request-to-fire pinning).
+
+use ataman_serve::faults::{self, Fault};
+use ataman_serve::{
+    CostContract, DeployedModel, LoadGenConfig, Outcome, Priority, Registry, ServeOptions, Server,
+    SubmitError,
+};
+use quantize::{calibrate_ranges, quantize_model, CompiledMasks};
+use std::sync::{Mutex, MutexGuard, Once};
+use std::time::{Duration, Instant};
+
+/// Serializes chaos tests (fault sites are process-global) and quiets the
+/// default panic hook for *injected* panics so expected crashes don't spam
+/// the test log.
+fn chaos_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    static QUIET_HOOK: Once = Once::new();
+    QUIET_HOOK.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|s| s.contains("injected fault"));
+            if !injected {
+                default(info);
+            }
+        }));
+    });
+    // A previous test panicking while holding the lock must not cascade.
+    let guard = LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+    faults::reset();
+    guard
+}
+
+fn contract(latency_ms: f64) -> CostContract {
+    CostContract {
+        cycles: 1,
+        latency_ms,
+        energy_mj: 0.001,
+        flash_bytes: 1024,
+    }
+}
+
+/// A deployable mini_cifar plus a handful of quantized test inputs.
+fn model_and_inputs(name: &str, seed: u64, latency_ms: f64) -> (DeployedModel, Vec<Vec<i8>>) {
+    let data = cifar10sim::generate(cifar10sim::DatasetConfig::tiny(seed));
+    let m = tinynn::zoo::mini_cifar(seed);
+    let ranges = calibrate_ranges(&m, &data.train.take(8));
+    let q = quantize_model(&m, &ranges);
+    let n_convs = q.conv_indices().len();
+    let inputs: Vec<Vec<i8>> = (0..8)
+        .map(|i| q.quantize_input(data.test.image(i)))
+        .collect();
+    (
+        DeployedModel::from_parts(name, q, CompiledMasks::none(n_convs), contract(latency_ms)),
+        inputs,
+    )
+}
+
+#[test]
+fn every_submit_resolves_exactly_once_under_injected_panics() {
+    let _guard = chaos_lock();
+    let (dm, inputs) = model_and_inputs("m", 11, 0.1);
+    let reg = Registry::new();
+    reg.register(dm);
+    let server = Server::start(
+        reg,
+        ServeOptions {
+            max_batch: 4,
+            workers: 2,
+            deadline: Some(Duration::from_secs(10)),
+            max_worker_restarts: 8,
+            restart_backoff: Duration::from_millis(1),
+            ..Default::default()
+        },
+    );
+    // The first 5 batch executions panic; everything after serves.
+    faults::arm(faults::SITE_WORKER_EXEC, Fault::Panic, 1.0, 42, Some(5));
+    let rxs: Vec<_> = (0..64)
+        .map(|i| {
+            server
+                .submit_quantized("m", inputs[i % inputs.len()].clone())
+                .expect("admission open")
+        })
+        .collect();
+    let mut ok = 0usize;
+    let mut crashed = 0usize;
+    for rx in &rxs {
+        match rx.recv().expect("exactly one outcome — never a drop") {
+            Outcome::Ok(_) => ok += 1,
+            Outcome::WorkerCrashed(c) => {
+                assert!(c.batch_size >= 1 && c.batch_size <= 4);
+                crashed += 1;
+            }
+            other => panic!("unexpected outcome {}", other.kind()),
+        }
+        // Exactly once: the channel must now be dead, not holding a
+        // second resolution.
+        assert!(rx.try_recv().is_err(), "a request resolved twice");
+    }
+    assert_eq!(ok + crashed, 64, "conservation of outcomes");
+    assert!(
+        (5..=20).contains(&crashed),
+        "5 crashed batches of 1..=4 requests, got {crashed}"
+    );
+    assert_eq!(faults::fires(faults::SITE_WORKER_EXEC), 5);
+    let stats = server.stats();
+    assert_eq!(stats.worker_crashes, 5);
+    assert_eq!(stats.worker_restarts, 5, "every crash got a restart");
+    assert_eq!(stats.workers_abandoned, 0);
+    server.shutdown();
+    faults::reset();
+}
+
+#[test]
+fn exhausted_restart_budget_abandons_fleet_and_drains_closed() {
+    let _guard = chaos_lock();
+    let (dm, inputs) = model_and_inputs("m", 12, 0.1);
+    let reg = Registry::new();
+    reg.register(dm);
+    let server = Server::start(
+        reg,
+        ServeOptions {
+            max_batch: 1,
+            workers: 1,
+            deadline: Some(Duration::from_secs(10)),
+            max_worker_restarts: 2,
+            restart_backoff: Duration::from_millis(1),
+            ..Default::default()
+        },
+    );
+    // Every execution panics: the single worker crashes, restarts twice,
+    // crashes a third time and is abandoned — which must close the queue
+    // and resolve every leftover request with Closed, not strand it.
+    faults::arm(faults::SITE_WORKER_EXEC, Fault::Panic, 1.0, 43, None);
+    let mut rxs = Vec::new();
+    let mut refused_closed = 0usize;
+    for i in 0..16 {
+        match server.submit_quantized("m", inputs[i % inputs.len()].clone()) {
+            Ok(rx) => rxs.push(rx),
+            Err(SubmitError::Closed) => refused_closed += 1,
+            Err(e) => panic!("unexpected submit error: {e}"),
+        }
+    }
+    let mut crashed = 0usize;
+    let mut closed = 0usize;
+    for rx in rxs {
+        match rx.recv().expect("resolved even with a dead fleet") {
+            Outcome::WorkerCrashed(_) => crashed += 1,
+            Outcome::Closed(_) => closed += 1,
+            other => panic!("unexpected outcome {}", other.kind()),
+        }
+    }
+    // max_batch = 1: initial life + 2 restarts each crash exactly one
+    // request; the abandonment drain resolves the rest.
+    assert_eq!(crashed, 3, "three lives, one crashed request each");
+    assert_eq!(crashed + closed + refused_closed, 16, "conservation");
+    let stats = server.stats();
+    assert_eq!(stats.worker_crashes, 3);
+    assert_eq!(stats.worker_restarts, 2);
+    assert_eq!(stats.workers_abandoned, 1);
+    assert_eq!(stats.closed_unserved as usize, closed);
+    // The fleet is gone: admission stays typed-Closed.
+    let err = server
+        .submit_quantized("m", inputs[0].clone())
+        .expect_err("dead fleet refuses");
+    assert_eq!(err, SubmitError::Closed);
+    server.shutdown();
+    faults::reset();
+}
+
+#[test]
+fn stalled_worker_expires_queued_requests_instead_of_serving_late() {
+    let _guard = chaos_lock();
+    let (dm, inputs) = model_and_inputs("m", 13, 0.1);
+    let reg = Registry::new();
+    reg.register(dm);
+    let server = Server::start(
+        reg,
+        ServeOptions {
+            max_batch: 1,
+            workers: 1,
+            deadline: Some(Duration::from_millis(30)),
+            ..Default::default()
+        },
+    );
+    // Exactly the first execution stalls 150 ms — far past the 30 ms
+    // deadline of everything queued behind it.
+    faults::arm(
+        faults::SITE_WORKER_EXEC,
+        Fault::StallMs(150),
+        1.0,
+        44,
+        Some(1),
+    );
+    let first = server
+        .submit_quantized("m", inputs[0].clone())
+        .expect("admitted");
+    // Give the worker time to pop the first request and enter the stall,
+    // so the rest are queued behind it.
+    std::thread::sleep(Duration::from_millis(30));
+    let queued: Vec<_> = (1..4)
+        .map(|i| {
+            server
+                .submit_quantized("m", inputs[i].clone())
+                .expect("admitted")
+        })
+        .collect();
+    // The stalled request itself entered execution in time: it serves
+    // (late). The ones behind it are past their deadline by the time the
+    // worker returns — they expire without running.
+    match first.recv().expect("resolved") {
+        Outcome::Ok(_) => {}
+        other => panic!("stalled-but-running request resolved {}", other.kind()),
+    }
+    let mut expired = 0usize;
+    for rx in queued {
+        match rx.recv().expect("resolved") {
+            Outcome::Expired(e) => {
+                assert!(e.waited >= Duration::from_millis(30));
+                expired += 1;
+            }
+            other => panic!("queued-behind-stall request resolved {}", other.kind()),
+        }
+    }
+    assert_eq!(expired, 3);
+    assert_eq!(server.stats().expired, 3);
+    server.shutdown();
+    faults::reset();
+}
+
+#[test]
+fn overload_sheds_batch_class_and_keeps_interactive_p99_under_contract() {
+    let _guard = chaos_lock();
+    // Contract latency 100 ms at slack 1.0: the interactive deadline *is*
+    // the contract bound, so Ok outcomes prove the bound was met — and the
+    // suite additionally asserts the measured p99 against it.
+    let (dm, inputs) = model_and_inputs("m", 14, 100.0);
+    let reg = Registry::new();
+    reg.register(dm);
+    let server = Server::start(
+        reg,
+        ServeOptions {
+            max_batch: 8,
+            workers: 1,
+            max_queue_depth: 64,
+            shed_high_water: Some(8),
+            deadline_slack: 1.0,
+            ..Default::default()
+        },
+    );
+    let contract_ms = 100.0;
+    let (interactive_p99_ms, interactive_ok, batch_shed) = std::thread::scope(|s| {
+        // Batch-class flood: 4 threads × 100 fire-and-forget submissions
+        // hammering the high-water mark.
+        let flooders: Vec<_> = (0..4)
+            .map(|t| {
+                let server = &server;
+                let inputs = &inputs;
+                s.spawn(move || {
+                    let mut shed = 0usize;
+                    let mut rxs = Vec::new();
+                    for i in 0..100 {
+                        match server.submit_quantized_with(
+                            "m",
+                            inputs[(t + i) % inputs.len()].clone(),
+                            Priority::Batch,
+                        ) {
+                            Ok(rx) => rxs.push(rx),
+                            Err(SubmitError::Shed { .. } | SubmitError::QueueFull { .. }) => {
+                                shed += 1
+                            }
+                            Err(e) => panic!("unexpected: {e}"),
+                        }
+                    }
+                    // Drain whatever was admitted: every rx resolves.
+                    for rx in rxs {
+                        let _ = rx.recv().expect("admitted batch request resolves");
+                    }
+                    shed
+                })
+            })
+            .collect();
+        // Interactive closed loop: 4 clients × 25 requests, measuring Ok
+        // latency only (non-shed traffic).
+        let clients: Vec<_> = (0..4)
+            .map(|c| {
+                let server = &server;
+                let inputs = &inputs;
+                s.spawn(move || {
+                    let mut ok_ms = Vec::new();
+                    for i in 0..25 {
+                        let rx = loop {
+                            match server
+                                .submit_quantized("m", inputs[(c * 25 + i) % inputs.len()].clone())
+                            {
+                                Ok(rx) => break rx,
+                                Err(SubmitError::QueueFull { .. }) => std::thread::yield_now(),
+                                Err(e) => panic!("interactive submit: {e}"),
+                            }
+                        };
+                        if let Outcome::Ok(reply) = rx.recv().expect("resolved") {
+                            ok_ms.push(reply.latency.as_secs_f64() * 1e3);
+                        }
+                    }
+                    ok_ms
+                })
+            })
+            .collect();
+        let batch_shed: usize = flooders.into_iter().map(|h| h.join().unwrap()).sum();
+        let mut ok_ms: Vec<f64> = clients
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        ok_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let p99 = if ok_ms.is_empty() {
+            f64::INFINITY
+        } else {
+            ok_ms[((ok_ms.len() - 1) as f64 * 0.99).round() as usize]
+        };
+        (p99, ok_ms.len(), batch_shed)
+    });
+    assert!(
+        interactive_ok >= 90,
+        "interactive traffic mostly serves under overload (ok = {interactive_ok}/100)"
+    );
+    assert!(
+        interactive_p99_ms <= contract_ms,
+        "interactive p99 {interactive_p99_ms:.2} ms exceeds the {contract_ms} ms contract bound"
+    );
+    assert!(
+        batch_shed > 0,
+        "the flood never tripped the high-water mark — overload scenario is vacuous"
+    );
+    assert!(server.stats().shed_admission > 0 || batch_shed > 0);
+    server.shutdown();
+    faults::reset();
+}
+
+#[test]
+fn queue_full_injection_is_counted_by_loadgen_not_retried_forever() {
+    let _guard = chaos_lock();
+    let (dm, inputs) = model_and_inputs("m", 15, 0.1);
+    let reg = Registry::new();
+    reg.register(dm);
+    let server = Server::start(
+        reg,
+        ServeOptions {
+            max_batch: 4,
+            workers: 1,
+            ..Default::default()
+        },
+    );
+    // Single-client loadgen: push attempts hit the site sequentially, so
+    // a fire limit gives an exact refusal schedule. First plan: 2 fires,
+    // budget 3 — request 1 is refused twice and admitted on its third
+    // attempt; everything else admits first try.
+    faults::arm(faults::SITE_QUEUE_PUSH, Fault::QueueFull, 1.0, 45, Some(2));
+    let report = ataman_serve::run_closed_loop(
+        &server,
+        &inputs,
+        &LoadGenConfig {
+            clients: 1,
+            requests_per_client: 4,
+            models: vec!["m".into()],
+            priority: Priority::Interactive,
+            max_submit_attempts: 3,
+        },
+    );
+    assert_eq!(report.total_requests, 4);
+    assert_eq!(report.shed_by_client, 0);
+    assert_eq!(report.queue_full_retries, 2);
+    assert_eq!(report.max_submit_attempts, 3);
+    // Second plan: 4 fires, budget 2 — requests 1 and 2 exhaust their
+    // budget and are *counted* shed_by_client (the old loadgen would have
+    // spun on the injected refusals forever).
+    faults::arm(faults::SITE_QUEUE_PUSH, Fault::QueueFull, 1.0, 46, Some(4));
+    let report = ataman_serve::run_closed_loop(
+        &server,
+        &inputs,
+        &LoadGenConfig {
+            clients: 1,
+            requests_per_client: 4,
+            models: vec!["m".into()],
+            priority: Priority::Interactive,
+            max_submit_attempts: 2,
+        },
+    );
+    assert_eq!(report.shed_by_client, 2);
+    assert_eq!(report.total_requests, 2);
+    assert_eq!(report.offered_requests, 4);
+    assert_eq!(report.dropped_replies, 0);
+    server.shutdown();
+    faults::reset();
+}
+
+#[test]
+fn shed_batch_request_degrades_to_cheaper_family_member() {
+    let _guard = chaos_lock();
+    // Two deployments of the same family: "big" (10 ms contract) and
+    // "small" (1 ms). A batch-class request shed from "big" must reroute
+    // to "small" instead of being refused.
+    let (big, inputs) = model_and_inputs("big", 16, 10.0);
+    let (small, _) = model_and_inputs("small", 16, 1.0);
+    let reg = Registry::new();
+    reg.register(big.with_family("fam"));
+    reg.register(small.with_family("fam"));
+    let server = Server::start(
+        reg,
+        ServeOptions {
+            max_batch: 1,
+            workers: 1,
+            max_queue_depth: 8,
+            shed_high_water: Some(1),
+            deadline: Some(Duration::from_secs(10)),
+            degrade_on_shed: true,
+            ..Default::default()
+        },
+    );
+    // Stall the first execution so follow-up submissions pile up behind it
+    // and the high-water mark is genuinely crossed.
+    faults::arm(
+        faults::SITE_WORKER_EXEC,
+        Fault::StallMs(150),
+        1.0,
+        47,
+        Some(1),
+    );
+    let stalled = server
+        .submit_quantized("big", inputs[0].clone())
+        .expect("admitted");
+    std::thread::sleep(Duration::from_millis(30));
+    // Queue one interactive request (depth 1 = high water)…
+    let queued = server
+        .submit_quantized("big", inputs[1].clone())
+        .expect("interactive admits past high water");
+    // …then a batch-class request: shed at the mark, rerouted to "small".
+    let degraded = server
+        .submit_quantized_with("big", inputs[2].clone(), Priority::Batch)
+        .expect("degraded reroute admits instead of shedding");
+    for (rx, want_model) in [(stalled, "big"), (queued, "big"), (degraded, "small")] {
+        match rx.recv().expect("resolved") {
+            Outcome::Ok(reply) => assert_eq!(
+                reply.model, want_model,
+                "request served by the wrong deployment"
+            ),
+            other => panic!("expected Ok from {want_model}, got {}", other.kind()),
+        }
+    }
+    let stats = server.stats();
+    assert_eq!(stats.degraded, 1);
+    assert_eq!(stats.shed_admission, 0, "the shed became a reroute");
+    server.shutdown();
+    faults::reset();
+}
+
+#[test]
+fn shutdown_drains_cleanly_under_random_faults() {
+    let _guard = chaos_lock();
+    let (dm, inputs) = model_and_inputs("m", 17, 0.1);
+    let reg = Registry::new();
+    reg.register(dm);
+    let server = Server::start(
+        reg,
+        ServeOptions {
+            max_batch: 4,
+            workers: 2,
+            deadline: Some(Duration::from_secs(10)),
+            max_worker_restarts: 50,
+            restart_backoff: Duration::from_millis(1),
+            ..Default::default()
+        },
+    );
+    // 30% of executions panic, forever, seeded: the drain must still
+    // resolve every admitted request through crashes and restarts.
+    faults::arm(faults::SITE_WORKER_EXEC, Fault::Panic, 0.3, 48, None);
+    let rxs: Vec<_> = (0..64)
+        .map(|i| {
+            server
+                .submit_quantized("m", inputs[i % inputs.len()].clone())
+                .expect("admission open")
+        })
+        .collect();
+    // Shut down immediately: close → drain (through injected panics) →
+    // join → resolve leftovers.
+    let t0 = Instant::now();
+    server.shutdown();
+    assert!(
+        t0.elapsed() < Duration::from_secs(30),
+        "shutdown hung under faults"
+    );
+    let mut counts = [0usize; 3];
+    for rx in rxs {
+        match rx.recv().expect("no reply dropped by faulty shutdown") {
+            Outcome::Ok(_) => counts[0] += 1,
+            Outcome::WorkerCrashed(_) => counts[1] += 1,
+            Outcome::Closed(_) => counts[2] += 1,
+            other => panic!("unexpected outcome {}", other.kind()),
+        }
+    }
+    assert_eq!(counts.iter().sum::<usize>(), 64, "conservation of outcomes");
+    faults::reset();
+}
