@@ -12,7 +12,10 @@
 //! machine mismatch must not masquerade as a regression. Latency
 //! percentiles and memory are reported for visibility but not gated
 //! (closed-loop latency on a noisy runner swings more than real
-//! regressions do).
+//! regressions do). Fleet scaling (`scaling_w4`, workers=4 over workers=1
+//! throughput) carries an absolute ≥ 2.5× floor, enforced only on hosts
+//! with at least 4 CPUs — fewer cores time-slice the workers and cannot
+//! express parallel speedup.
 //!
 //! The benches report **median-of-reps** throughput (not best-of — a
 //! best-of number on a noisy single-CPU builder measures the quietest
@@ -62,6 +65,12 @@ enum Gate {
     /// baseline needed). A fault-free bench run crashing a worker is a
     /// correctness bug, not a perf regression.
     Zero,
+    /// Absolute floor on the *current* report's value, enforced only when
+    /// the current report's `host_cpus` is at least `min_cpus`. This gates
+    /// the fleet scaling target (workers=4 throughput ≥ 2.5× workers=1): a
+    /// 1-CPU builder time-slices all four workers onto one core and cannot
+    /// demonstrate scaling, so there the floor is reported, not enforced.
+    Floor { min: f64, min_cpus: f64 },
 }
 
 /// One tracked metric of one report file.
@@ -143,7 +152,38 @@ const SPECS: &[Spec] = &[
                 gate: Gate::Info,
             },
             Metric {
+                field: "images_per_sec_w2",
+                gate: Gate::Info,
+            },
+            Metric {
+                field: "images_per_sec_w4",
+                gate: Gate::Info,
+            },
+            Metric {
+                field: "scaling_w4",
+                gate: Gate::Floor {
+                    min: 2.5,
+                    min_cpus: 4.0,
+                },
+            },
+            Metric {
+                field: "scaling_efficiency",
+                gate: Gate::Info,
+            },
+            Metric {
+                field: "host_cpus",
+                gate: Gate::Info,
+            },
+            Metric {
                 field: "worker_crashes",
+                gate: Gate::Zero,
+            },
+            Metric {
+                field: "worker_crashes_w2",
+                gate: Gate::Zero,
+            },
+            Metric {
+                field: "worker_crashes_w4",
                 gate: Gate::Zero,
             },
             Metric {
@@ -392,6 +432,56 @@ fn main() -> ExitCode {
                 .unwrap();
                 continue;
             }
+            // Floor-gated scaling targets read only the current report and
+            // are absolute (no baseline ratio): the target either holds on
+            // this host or the host can't express it.
+            if let Gate::Floor { min, min_cpus } = m.gate {
+                let cpus = number(&cur, "host_cpus");
+                let enforceable = cpus.is_some_and(|n| n >= min_cpus);
+                let status = match c {
+                    Some(_) if !enforceable => {
+                        // Too few cores to run the workers in parallel:
+                        // report the measured value, don't enforce.
+                        format!(
+                            "⚠️ host_cpus {} < {}: floor {} not enforced",
+                            cpus.map_or("∅".to_string(), fmt_v),
+                            fmt_v(min_cpus),
+                            fmt_v(min)
+                        )
+                    }
+                    Some(v) if v >= min => format!("✅ ≥ {}", fmt_v(min)),
+                    Some(v) => {
+                        failures.push(format!(
+                            "{} {}: {} below the {} floor on a {}-cpu host",
+                            spec.file,
+                            m.field,
+                            fmt_v(v),
+                            fmt_v(min),
+                            cpus.map_or("?".to_string(), fmt_v)
+                        ));
+                        format!("❌ < {}", fmt_v(min))
+                    }
+                    None => {
+                        failures.push(format!(
+                            "{} {}: floor-gated metric missing from current report \
+                             (strict schema; regenerate the report)",
+                            spec.file, m.field
+                        ));
+                        "❌ missing".to_string()
+                    }
+                };
+                writeln!(
+                    table,
+                    "| {} | {} | {} | {} | — | {} |",
+                    spec.file,
+                    m.field,
+                    b.map_or("*(absent)*".to_string(), fmt_v),
+                    c.map_or("*(absent)*".to_string(), fmt_v),
+                    status
+                )
+                .unwrap();
+                continue;
+            }
             let (b, c) = match (b, c) {
                 (Some(b), Some(c)) => (b, c),
                 _ => {
@@ -425,7 +515,9 @@ fn main() -> ExitCode {
             let enforced = match m.gate {
                 Gate::Info => false,
                 Gate::SameMachine => same_machine,
-                Gate::Zero => unreachable!("zero-gated metrics handled above"),
+                Gate::Zero | Gate::Floor { .. } => {
+                    unreachable!("zero- and floor-gated metrics handled above")
+                }
             };
             let status = if !enforced {
                 "ℹ️"

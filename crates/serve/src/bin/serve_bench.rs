@@ -1,17 +1,22 @@
 //! **BENCH_serve**: served throughput and latency percentiles of the
-//! `ataman-serve` front-end — the closed-loop load-generator run CI gates
+//! `ataman-serve` fleet — the closed-loop load-generator run CI gates
 //! alongside `BENCH_dse.json`.
 //!
 //! Trains a small model, runs the full ataman pipeline (PTQ → significance
 //! → DSE → deployment) to obtain two deployed designs of the same
 //! architecture — an approximate design selected under an accuracy-loss
 //! budget and the exact baseline — registers both, and drives a
-//! multi-client closed loop over them (exercising per-model batch
-//! routing). Writes `BENCH_serve.json` with **median-of-reps** images/sec
-//! (plus every rep's throughput and their coefficient of variation — the
-//! perf gate reads medians, not best-of, so a noisy single-CPU builder
-//! can't flatter or sandbag the trajectory) and the median rep's
-//! p50/p95/p99 latency.
+//! multi-client closed loop over them (exercising per-model batch routing
+//! and least-loaded shard routing) at **each fleet width in
+//! `WORKER_CONFIGS` (1, 2, 4 workers)**. Writes `BENCH_serve.json` with
+//! **median-of-reps** images/sec per configuration (plus every rep's
+//! throughput and their coefficient of variation — the perf gate reads
+//! medians, not best-of, so a noisy single-CPU builder can't flatter or
+//! sandbag the trajectory), the median rep's p50/p95/p99 latency, and the
+//! 1→4 worker `scaling_efficiency`. The top-level fields remain the
+//! workers=1 row so the trajectory stays comparable across PRs; scaling is
+//! only meaningful when `host_cpus >= 4` (the perf gate conditions its
+//! scaling check on that).
 //!
 //! ```sh
 //! cargo run -p ataman-serve --release --bin serve_bench
@@ -19,7 +24,7 @@
 
 use ataman::{AtamanConfig, Framework};
 use ataman_serve::{
-    run_closed_loop, CostContract, DeployedModel, LoadGenConfig, Registry, ServeOptions, Server,
+    run_closed_loop, CostContract, DeployedModel, Gateway, LoadGenConfig, Registry, ServeOptions,
 };
 use quantize::CompiledMasks;
 use serde::Serialize;
@@ -28,19 +33,57 @@ const CLIENTS: usize = 4;
 const REQUESTS_PER_CLIENT: usize = 512;
 const MAX_BATCH: usize = 12;
 const REPS: usize = 5;
+/// Fleet widths measured, in order. The first is the baseline row the
+/// top-level report fields mirror; the last is the scaling numerator.
+const WORKER_CONFIGS: [usize; 3] = [1, 2, 4];
+
+/// One fleet width's measured row.
+#[derive(Serialize)]
+struct WorkerConfigRow {
+    workers: usize,
+    /// Throughput of every rep; `images_per_sec` is their **median**.
+    per_rep_images_per_sec: Vec<f64>,
+    /// Coefficient of variation (σ/μ) of the per-rep throughput.
+    images_per_sec_cv: f64,
+    images_per_sec: f64,
+    latency_p50_ms: f64,
+    latency_p95_ms: f64,
+    latency_p99_ms: f64,
+    latency_max_ms: f64,
+    mean_batch_size: f64,
+    queued_p50_us: u64,
+    queued_p99_us: u64,
+    exec_p50_us: u64,
+    exec_p99_us: u64,
+    /// Worker panics caught across warm-up + all reps of this config.
+    /// **Gated at zero per configuration.**
+    worker_crashes: u64,
+    worker_restarts: u64,
+    expired: u64,
+    shed_by_server: usize,
+    shed_by_client: usize,
+    /// Largest depth any single shard of this fleet observed.
+    queue_peak_depth: usize,
+    queue_full_retries: u64,
+    max_submit_attempts: u64,
+}
 
 #[derive(Serialize)]
 struct ServeBenchReport {
     simd_level: String,
     max_batch: usize,
+    /// Baseline fleet width — the top-level throughput/latency fields
+    /// below are this row's (first of `WORKER_CONFIGS`), keeping the
+    /// trajectory comparable with single-worker history.
     workers: usize,
+    /// Logical CPUs of the bench host. Scaling rows above `host_cpus`
+    /// time-slice one core and cannot show speedup — the perf gate only
+    /// enforces the scaling floor when `host_cpus >= 4`.
+    host_cpus: usize,
     clients: usize,
     total_requests: usize,
     reps: usize,
-    /// Throughput of every rep; `images_per_sec` is their **median** (not
-    /// best-of — medians survive a noisy single-CPU builder).
     per_rep_images_per_sec: Vec<f64>,
-    /// Coefficient of variation (σ/μ) of the per-rep throughput.
     images_per_sec_cv: f64,
     wall_seconds: f64,
     images_per_sec: f64,
@@ -49,42 +92,36 @@ struct ServeBenchReport {
     latency_p99_ms: f64,
     latency_max_ms: f64,
     mean_batch_size: f64,
-    /// Median queueing delay (submit → batch pop) of the median rep, µs —
-    /// the latency breakdown's queue half (informational, not gated).
     queued_p50_us: u64,
-    /// 99th percentile queueing delay of the median rep, µs.
     queued_p99_us: u64,
-    /// Median batch kernel time of the median rep, µs.
     exec_p50_us: u64,
-    /// 99th percentile batch kernel time of the median rep, µs.
     exec_p99_us: u64,
-    /// Worker panics caught across warm-up + all reps. **Gated at zero**:
-    /// the fault-free bench crashing a worker is a real bug, and the
-    /// failpoint layer is not even compiled into this binary.
+    /// Worker panics in the baseline configuration (gated at zero; the
+    /// failpoint layer is not even compiled into this binary).
     worker_crashes: u64,
-    /// Supervisor restarts across the run (0 whenever `worker_crashes` is).
     worker_restarts: u64,
-    /// Requests expired before execution across the run (informational —
-    /// contract-derived deadlines are generous at bench depths).
     expired: u64,
-    /// Requests shed by the server across the measured reps (batch-class
-    /// high-water policy; the bench submits interactive only, so 0).
     shed_by_server: usize,
-    /// Requests the loadgen gave up on after its attempt budget, summed
-    /// over the measured reps (0 at sane depths).
     shed_by_client: usize,
-    /// Admission-queue depth bound the server ran with.
+    /// Per-shard admission-queue depth bound the fleets ran with.
     queue_max_depth: usize,
-    /// Peak queue depth observed across warm-up + all reps.
     queue_peak_depth: usize,
-    /// Submissions shed by the bounded queue and retried, summed over the
-    /// measured reps (0 at sane depths — reported so overload pressure is
-    /// visible in the trajectory).
     queue_full_retries: u64,
-    /// Worst-case submit attempts one request needed across the measured
-    /// reps (1 = no request ever retried; read next to
-    /// `queue_full_retries`).
     max_submit_attempts: u64,
+    /// Every measured fleet width, in `WORKER_CONFIGS` order.
+    worker_configs: Vec<WorkerConfigRow>,
+    /// Median throughput of the 2-worker fleet (flattened for the gate).
+    images_per_sec_w2: f64,
+    /// Median throughput of the 4-worker fleet (flattened for the gate).
+    images_per_sec_w4: f64,
+    /// Worker crashes per configuration (flattened zero-gates).
+    worker_crashes_w1: u64,
+    worker_crashes_w2: u64,
+    worker_crashes_w4: u64,
+    /// `images_per_sec_w4 / images_per_sec_w1` — the 1→4 speedup.
+    scaling_w4: f64,
+    /// `scaling_w4 / 4` — fraction of perfect linear scaling.
+    scaling_efficiency: f64,
     /// Deployed designs the closed loop round-robins over (includes the
     /// residual mini-ResNet — the DAG-shaped ExecPlan serving entry).
     models: Vec<String>,
@@ -107,8 +144,95 @@ fn coeff_of_variation(xs: &[f64]) -> f64 {
     var.sqrt() / mean
 }
 
+/// Measure one fleet width: fresh gateway over clones of the deployed
+/// designs, one warm-up pass, `REPS` measured closed-loop reps.
+fn bench_config(
+    workers: usize,
+    deployed: &[DeployedModel],
+    models: &[String],
+    inputs: &[Vec<i8>],
+) -> WorkerConfigRow {
+    let registry = Registry::new();
+    for d in deployed {
+        registry.register(d.clone());
+    }
+    let opts = ServeOptions::builder()
+        .max_batch(MAX_BATCH)
+        .workers(workers)
+        .build()
+        .expect("bench options are valid");
+    let gateway = Gateway::start(registry, opts);
+
+    // Warm-up: page in code and size per-model scratches on every shard.
+    let warm = run_closed_loop(
+        &gateway,
+        inputs,
+        &LoadGenConfig::new(CLIENTS, 32, models.to_vec()),
+    );
+    println!(
+        "workers={workers} warm-up: {:.0} img/s",
+        warm.images_per_sec
+    );
+
+    // Measured reps: report the median-throughput rep's latency profile
+    // (mixing percentile samples across reps would blur tail behavior)
+    // and the per-rep throughput spread.
+    let reports: Vec<_> = (0..REPS)
+        .map(|_| {
+            run_closed_loop(
+                &gateway,
+                inputs,
+                &LoadGenConfig::new(CLIENTS, REQUESTS_PER_CLIENT, models.to_vec()),
+            )
+        })
+        .collect();
+    let queue_peak_depth = gateway.queue_peak_depth();
+    let stats = gateway.stats();
+    gateway.shutdown();
+
+    let per_rep: Vec<f64> = reports.iter().map(|r| r.images_per_sec).collect();
+    let mid = median_idx(&per_rep);
+    let r = &reports[mid];
+    println!(
+        "workers={workers}: median {:.0} img/s (cv {:.1}%), p50 {:.3} ms, p99 {:.3} ms, \
+         mean batch {:.2}",
+        r.images_per_sec,
+        100.0 * coeff_of_variation(&per_rep),
+        r.latency_p50_ms,
+        r.latency_p99_ms,
+        r.mean_batch_size
+    );
+    WorkerConfigRow {
+        workers,
+        images_per_sec_cv: coeff_of_variation(&per_rep),
+        images_per_sec: r.images_per_sec,
+        latency_p50_ms: r.latency_p50_ms,
+        latency_p95_ms: r.latency_p95_ms,
+        latency_p99_ms: r.latency_p99_ms,
+        latency_max_ms: r.latency_max_ms,
+        mean_batch_size: r.mean_batch_size,
+        queued_p50_us: r.queued_p50_us,
+        queued_p99_us: r.queued_p99_us,
+        exec_p50_us: r.exec_p50_us,
+        exec_p99_us: r.exec_p99_us,
+        worker_crashes: stats.worker_crashes,
+        worker_restarts: stats.worker_restarts,
+        expired: stats.expired,
+        shed_by_server: reports.iter().map(|r| r.shed_by_server).sum(),
+        shed_by_client: reports.iter().map(|r| r.shed_by_client).sum(),
+        queue_peak_depth,
+        queue_full_retries: reports.iter().map(|r| r.queue_full_retries).sum(),
+        max_submit_attempts: reports
+            .iter()
+            .map(|r| r.max_submit_attempts)
+            .max()
+            .unwrap_or(1),
+        per_rep_images_per_sec: per_rep,
+    }
+}
+
 fn main() {
-    println!("== BENCH_serve: closed-loop throughput of the ataman-serve front-end ==");
+    println!("== BENCH_serve: closed-loop throughput of the ataman-serve fleet ==");
     let mut cfg = cifar10sim::DatasetConfig::paper_default();
     cfg.n_train = 512;
     cfg.n_test = 128;
@@ -135,7 +259,6 @@ fn main() {
     );
     let approx_contract_latency_ms = dep.latency_ms;
 
-    let registry = Registry::new();
     let approx = DeployedModel::from_deployment("mini-approx", &fw, &dep);
     // Exact baseline of the same architecture: no masks; contract from the
     // analytic estimators (no board deployment needed for a baseline).
@@ -153,8 +276,6 @@ fn main() {
             flash_bytes: dse::estimate_flash(&q, None, fw.config().unpack),
         },
     );
-    registry.register(approx);
-    registry.register(exact);
 
     // The residual mini-ResNet serves alongside the chain models — the
     // DAG-shaped ExecPlan (stash/Add segments) on the serving hot path.
@@ -177,7 +298,7 @@ fn main() {
             flash_bytes: resnet_flash,
         },
     );
-    registry.register(resnet);
+    let deployed = vec![approx, exact, resnet];
     let models: Vec<String> = vec![
         "mini-approx".into(),
         "mini-exact".into(),
@@ -188,101 +309,75 @@ fn main() {
         .map(|i| q.quantize_input(data.test.image(i)))
         .collect();
 
-    let opts = ServeOptions {
-        max_batch: MAX_BATCH,
-        workers: 1,
-        ..Default::default()
-    };
-    let server = Server::start(registry, opts.clone());
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("host_cpus={host_cpus} (scaling rows above this width time-slice one core)");
 
-    // Warm-up: page in code and size per-model scratches.
-    let warm = run_closed_loop(
-        &server,
-        &inputs,
-        &LoadGenConfig::new(CLIENTS, 32, models.clone()),
-    );
-    println!("warm-up: {:.0} img/s", warm.images_per_sec);
-
-    // Measured reps: report the median-throughput rep's latency profile
-    // (mixing percentile samples across reps would blur tail behavior) and
-    // the per-rep throughput spread.
-    let reports: Vec<_> = (0..REPS)
-        .map(|_| {
-            run_closed_loop(
-                &server,
-                &inputs,
-                &LoadGenConfig::new(CLIENTS, REQUESTS_PER_CLIENT, models.clone()),
-            )
-        })
+    // Wall clock for the baseline row only, so the field stays comparable
+    // with single-worker history.
+    let t0 = std::time::Instant::now();
+    let rows: Vec<WorkerConfigRow> = WORKER_CONFIGS
+        .iter()
+        .map(|&w| bench_config(w, &deployed, &models, &inputs))
         .collect();
-    let queue_max_depth = server.queue_max_depth();
-    let queue_peak_depth = server.queue_peak_depth();
-    let stats = server.stats();
-    server.shutdown();
+    let wall_seconds = t0.elapsed().as_secs_f64() / WORKER_CONFIGS.len() as f64;
 
-    let per_rep: Vec<f64> = reports.iter().map(|r| r.images_per_sec).collect();
-    let mid = median_idx(&per_rep);
-    let report = &reports[mid];
+    let base = &rows[0];
+    let w2 = rows.iter().find(|r| r.workers == 2).expect("w2 row");
+    let w4 = rows.iter().find(|r| r.workers == 4).expect("w4 row");
+    let scaling_w4 = w4.images_per_sec / base.images_per_sec;
+    println!(
+        "scaling 1→4 workers: {scaling_w4:.2}× ({:.0}% efficiency){}",
+        100.0 * scaling_w4 / 4.0,
+        if host_cpus < 4 {
+            " — informational: host has fewer than 4 CPUs"
+        } else {
+            ""
+        }
+    );
 
     let out = ServeBenchReport {
         simd_level: quantize::simd_level_name().to_string(),
-        max_batch: opts.max_batch,
-        workers: opts.workers,
-        clients: report.clients,
-        total_requests: report.total_requests,
+        max_batch: MAX_BATCH,
+        workers: base.workers,
+        host_cpus,
+        clients: CLIENTS,
+        total_requests: CLIENTS * REQUESTS_PER_CLIENT,
         reps: REPS,
-        images_per_sec_cv: coeff_of_variation(&per_rep),
-        per_rep_images_per_sec: per_rep,
-        wall_seconds: report.wall_seconds,
-        images_per_sec: report.images_per_sec,
-        latency_p50_ms: report.latency_p50_ms,
-        latency_p95_ms: report.latency_p95_ms,
-        latency_p99_ms: report.latency_p99_ms,
-        latency_max_ms: report.latency_max_ms,
-        mean_batch_size: report.mean_batch_size,
-        queued_p50_us: report.queued_p50_us,
-        queued_p99_us: report.queued_p99_us,
-        exec_p50_us: report.exec_p50_us,
-        exec_p99_us: report.exec_p99_us,
-        worker_crashes: stats.worker_crashes,
-        worker_restarts: stats.worker_restarts,
-        expired: stats.expired,
-        shed_by_server: reports.iter().map(|r| r.shed_by_server).sum(),
-        shed_by_client: reports.iter().map(|r| r.shed_by_client).sum(),
-        queue_max_depth,
-        queue_peak_depth,
-        queue_full_retries: reports.iter().map(|r| r.queue_full_retries).sum(),
-        max_submit_attempts: reports
-            .iter()
-            .map(|r| r.max_submit_attempts)
-            .max()
-            .unwrap_or(1),
+        per_rep_images_per_sec: base.per_rep_images_per_sec.clone(),
+        images_per_sec_cv: base.images_per_sec_cv,
+        wall_seconds,
+        images_per_sec: base.images_per_sec,
+        latency_p50_ms: base.latency_p50_ms,
+        latency_p95_ms: base.latency_p95_ms,
+        latency_p99_ms: base.latency_p99_ms,
+        latency_max_ms: base.latency_max_ms,
+        mean_batch_size: base.mean_batch_size,
+        queued_p50_us: base.queued_p50_us,
+        queued_p99_us: base.queued_p99_us,
+        exec_p50_us: base.exec_p50_us,
+        exec_p99_us: base.exec_p99_us,
+        worker_crashes: base.worker_crashes,
+        worker_restarts: base.worker_restarts,
+        expired: base.expired,
+        shed_by_server: base.shed_by_server,
+        shed_by_client: base.shed_by_client,
+        queue_max_depth: ataman_serve::DEFAULT_MAX_DEPTH,
+        queue_peak_depth: base.queue_peak_depth,
+        queue_full_retries: base.queue_full_retries,
+        max_submit_attempts: base.max_submit_attempts,
+        images_per_sec_w2: w2.images_per_sec,
+        images_per_sec_w4: w4.images_per_sec,
+        worker_crashes_w1: base.worker_crashes,
+        worker_crashes_w2: w2.worker_crashes,
+        worker_crashes_w4: w4.worker_crashes,
+        scaling_w4,
+        scaling_efficiency: scaling_w4 / 4.0,
+        worker_configs: rows,
         models,
         approx_contract_latency_ms,
     };
-    println!(
-        "{} requests/rep × {} reps: median {:.0} img/s (cv {:.1}%), p50 {:.3} ms, p95 {:.3} ms, \
-         p99 {:.3} ms, mean batch {:.1}",
-        out.total_requests,
-        out.reps,
-        out.images_per_sec,
-        100.0 * out.images_per_sec_cv,
-        out.latency_p50_ms,
-        out.latency_p95_ms,
-        out.latency_p99_ms,
-        out.mean_batch_size
-    );
-    println!(
-        "breakdown: queued p50 {} µs / p99 {} µs, exec p50 {} µs / p99 {} µs; \
-         crashes {}, restarts {}, expired {}",
-        out.queued_p50_us,
-        out.queued_p99_us,
-        out.exec_p50_us,
-        out.exec_p99_us,
-        out.worker_crashes,
-        out.worker_restarts,
-        out.expired
-    );
 
     let json = serde_json::to_string_pretty(&out).expect("report serialization");
     std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");

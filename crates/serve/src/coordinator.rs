@@ -1,0 +1,238 @@
+//! The coordinator: replica placement and least-loaded routing across
+//! worker shards.
+//!
+//! Each worker thread owns exactly one `Shard` — an admission queue
+//! plus live load counters. Nothing mutable is shared between workers:
+//! the queue is the only hand-off point, and each worker's scratch
+//! arenas live on its own stack. The coordinator holds the shard table
+//! and answers one question for the gateway: *given this model, which
+//! shards may serve it, cheapest first?*
+//!
+//! Two mechanisms compose:
+//!
+//! * **Placement** — rendezvous (highest-random-weight) hashing of the
+//!   model name over the shard indices picks each model's replica set.
+//!   Deterministic (same model + fleet size → same shards), stable (a
+//!   model keeps most of its shards when the fleet grows), and
+//!   coordination-free (any gateway computes the same placement without
+//!   shared state). A model with [`replicas: None`](crate::registry::DeployedModel::replicas)
+//!   is placed on every shard.
+//! * **Routing** — among the placed, still-alive
+//!   shards, order by instantaneous load (queued + in-flight requests),
+//!   breaking ties with a rotating round-robin offset so equally-idle
+//!   shards share work instead of all traffic piling onto the lowest
+//!   index. The gateway tries the cheapest shard first and fails over
+//!   down the list when a queue is full.
+
+use crate::queue::AdmissionQueue;
+use serde::Serialize;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// One worker's slice of the fleet: its admission queue and live load /
+/// health counters. The owning worker is the only consumer of the queue;
+/// the gateway and coordinator only push and read counters.
+pub(crate) struct Shard {
+    /// Stable shard index (= worker index; failpoint site index).
+    pub(crate) index: usize,
+    /// The shard's admission queue, drained only by its owning worker.
+    pub(crate) queue: AdmissionQueue,
+    /// Requests popped into a batch but not yet resolved.
+    pub(crate) in_flight: AtomicUsize,
+    /// Batches the owning worker has popped (routing-balance metric).
+    pub(crate) batches: AtomicU64,
+    /// Requests the gateway admitted to this shard.
+    pub(crate) admitted: AtomicU64,
+    /// Cleared when the owning worker abandons (restart budget exhausted)
+    /// — the coordinator stops routing here.
+    pub(crate) alive: AtomicBool,
+}
+
+impl Shard {
+    fn new(index: usize, max_depth: usize, high_water: usize) -> Self {
+        Self {
+            index,
+            queue: AdmissionQueue::with_policy(max_depth, high_water),
+            in_flight: AtomicUsize::new(0),
+            batches: AtomicU64::new(0),
+            admitted: AtomicU64::new(0),
+            alive: AtomicBool::new(true),
+        }
+    }
+
+    /// Instantaneous load: requests waiting plus requests in a popped but
+    /// unresolved batch. The routing key.
+    pub(crate) fn load(&self) -> usize {
+        self.queue.len() + self.in_flight.load(Ordering::Relaxed)
+    }
+
+    /// Point-in-time public view of this shard.
+    pub(crate) fn snapshot(&self) -> ShardSnapshot {
+        ShardSnapshot {
+            index: self.index,
+            queue_depth: self.queue.len(),
+            peak_depth: self.queue.peak_depth(),
+            in_flight: self.in_flight.load(Ordering::Relaxed),
+            admitted: self.admitted.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            alive: self.alive.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time view of one shard
+/// ([`Gateway::shard_snapshots`](crate::gateway::Gateway::shard_snapshots)):
+/// the observable side of routing.
+#[derive(Debug, Clone, Serialize)]
+pub struct ShardSnapshot {
+    /// Shard (= worker) index.
+    pub index: usize,
+    /// Requests currently waiting in the shard queue.
+    pub queue_depth: usize,
+    /// Largest depth this shard ever observed.
+    pub peak_depth: usize,
+    /// Requests popped into a batch but not yet resolved.
+    pub in_flight: usize,
+    /// Requests the gateway admitted to this shard.
+    pub admitted: u64,
+    /// Batches the owning worker popped.
+    pub batches: u64,
+    /// False once the owning worker was abandoned.
+    pub alive: bool,
+}
+
+/// 64-bit FNV-1a — cheap, dependency-free, and plenty for rendezvous
+/// weights (placement only needs a stable pseudo-random total order).
+fn fnv1a(bytes: &[u8], seed: u64) -> u64 {
+    let mut h = 0xcbf29ce484222325u64 ^ seed;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// The shard table and routing logic shared by the gateway's submit path.
+pub(crate) struct Coordinator {
+    shards: Vec<Arc<Shard>>,
+    /// Round-robin tie-break offset: equally-loaded shards take turns.
+    rr: AtomicUsize,
+}
+
+impl Coordinator {
+    pub(crate) fn new(workers: usize, max_depth: usize, high_water: usize) -> Self {
+        assert!(workers >= 1, "need at least one shard");
+        Self {
+            shards: (0..workers)
+                .map(|i| Arc::new(Shard::new(i, max_depth, high_water)))
+                .collect(),
+            rr: AtomicUsize::new(0),
+        }
+    }
+
+    pub(crate) fn shards(&self) -> &[Arc<Shard>] {
+        &self.shards
+    }
+
+    /// The replica set for `model`: the `replicas` shards with the
+    /// highest rendezvous weight `fnv1a(model, shard_index)`, or every
+    /// shard when `replicas` is `None` (or covers the fleet).
+    pub(crate) fn placement(&self, model: &str, replicas: Option<usize>) -> Vec<Arc<Shard>> {
+        let k = replicas.unwrap_or(self.shards.len()).max(1);
+        if k >= self.shards.len() {
+            return self.shards.clone();
+        }
+        let mut weighted: Vec<(u64, &Arc<Shard>)> = self
+            .shards
+            .iter()
+            .map(|s| (fnv1a(model.as_bytes(), s.index as u64), s))
+            .collect();
+        // Highest weight wins; index breaks the (astronomically unlikely)
+        // hash tie so placement stays a total order.
+        weighted.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.index.cmp(&b.1.index)));
+        weighted.truncate(k);
+        weighted.into_iter().map(|(_, s)| s.clone()).collect()
+    }
+
+    /// The shards `model` may be admitted to right now, cheapest first:
+    /// its placement, minus abandoned shards, ordered by instantaneous
+    /// load with a rotating tie-break. Empty only when every placed shard
+    /// is dead.
+    pub(crate) fn route(&self, model: &str, replicas: Option<usize>) -> Vec<Arc<Shard>> {
+        let mut candidates: Vec<Arc<Shard>> = self
+            .placement(model, replicas)
+            .into_iter()
+            .filter(|s| s.alive.load(Ordering::Relaxed))
+            .collect();
+        let n = self.shards.len();
+        let rot = self.rr.fetch_add(1, Ordering::Relaxed);
+        candidates.sort_by_key(|s| (s.load(), (s.index + rot) % n));
+        candidates
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn placement_is_deterministic_and_sized() {
+        let c = Coordinator::new(4, 16, 16);
+        let p1 = c.placement("mini-approx", Some(2));
+        let p2 = c.placement("mini-approx", Some(2));
+        assert_eq!(p1.len(), 2);
+        assert_eq!(
+            p1.iter().map(|s| s.index).collect::<Vec<_>>(),
+            p2.iter().map(|s| s.index).collect::<Vec<_>>(),
+            "same model + fleet must place identically"
+        );
+        // None or an oversized replica count covers the whole fleet.
+        assert_eq!(c.placement("mini-approx", None).len(), 4);
+        assert_eq!(c.placement("mini-approx", Some(9)).len(), 4);
+    }
+
+    #[test]
+    fn placement_spreads_models_across_the_fleet() {
+        // Rendezvous hashing should not pile every model onto the same
+        // shard: over a handful of model names, single-replica placements
+        // must land on more than one distinct shard.
+        let c = Coordinator::new(4, 16, 16);
+        let mut seen = std::collections::BTreeSet::new();
+        for name in ["a", "b", "c", "d", "e", "f", "g", "h"] {
+            seen.insert(c.placement(name, Some(1))[0].index);
+        }
+        assert!(seen.len() > 1, "all models hashed to one shard: {seen:?}");
+    }
+
+    #[test]
+    fn route_prefers_least_loaded_and_skips_dead_shards() {
+        let c = Coordinator::new(3, 16, 16);
+        // Load shard 0 with two phantom in-flight requests, shard 1 with
+        // one; shard 2 is idle and must come first.
+        c.shards()[0].in_flight.store(2, Ordering::Relaxed);
+        c.shards()[1].in_flight.store(1, Ordering::Relaxed);
+        let order: Vec<usize> = c.route("m", None).iter().map(|s| s.index).collect();
+        assert_eq!(order, vec![2, 1, 0]);
+        // A dead shard disappears from routing entirely.
+        c.shards()[2].alive.store(false, Ordering::Relaxed);
+        let order: Vec<usize> = c.route("m", None).iter().map(|s| s.index).collect();
+        assert_eq!(order, vec![1, 0]);
+        // All dead → nowhere to route.
+        c.shards()[0].alive.store(false, Ordering::Relaxed);
+        c.shards()[1].alive.store(false, Ordering::Relaxed);
+        assert!(c.route("m", None).is_empty());
+    }
+
+    #[test]
+    fn equal_load_ties_rotate_instead_of_pinning_one_shard() {
+        let c = Coordinator::new(4, 16, 16);
+        let mut first_picks = std::collections::BTreeSet::new();
+        for _ in 0..16 {
+            first_picks.insert(c.route("m", None)[0].index);
+        }
+        assert!(
+            first_picks.len() > 1,
+            "equally-idle shards must take turns, got {first_picks:?}"
+        );
+    }
+}

@@ -36,11 +36,21 @@ pub enum Fault {
 
 /// Fault site: worker batch execution (panic / stall land inside the
 /// unwind boundary, so a fire crashes or stalls exactly one batch).
+/// Workers also check the **indexed** form of this site (see
+/// [`site_at`]), so a chaos test can target one worker of N.
 pub const SITE_WORKER_EXEC: &str = "worker.exec";
 
 /// Fault site: admission-queue push (a `QueueFull` fire rejects the push
 /// with the typed full error, request handed back).
 pub const SITE_QUEUE_PUSH: &str = "queue.push";
+
+/// The indexed form of a fault site: `"{site}#{idx}"`. Worker `idx`
+/// checks `site_at(SITE_WORKER_EXEC, idx)` in addition to the fleet-wide
+/// [`SITE_WORKER_EXEC`], so arming the indexed site faults exactly one
+/// worker's shard while the rest of the fleet keeps serving.
+pub fn site_at(site: &str, idx: usize) -> String {
+    format!("{site}#{idx}")
+}
 
 #[cfg(not(feature = "failpoints"))]
 #[inline(always)]
@@ -48,8 +58,14 @@ pub(crate) fn check(_site: &str) -> Option<Fault> {
     None
 }
 
+#[cfg(not(feature = "failpoints"))]
+#[inline(always)]
+pub(crate) fn check_at(_site: &str, _idx: usize) -> Option<Fault> {
+    None
+}
+
 #[cfg(feature = "failpoints")]
-pub use imp::{arm, check, disarm, fires, hits, reset};
+pub use imp::{arm, arm_at, check, check_at, disarm, fires, hits, reset};
 
 #[cfg(feature = "failpoints")]
 mod imp {
@@ -70,18 +86,18 @@ mod imp {
         fires: u64,
     }
 
-    static SITES: Mutex<BTreeMap<&'static str, Armed>> = Mutex::new(BTreeMap::new());
+    static SITES: Mutex<BTreeMap<String, Armed>> = Mutex::new(BTreeMap::new());
 
     /// Arm `site`: each hit fires `fault` with `probability` (decided by a
     /// stream seeded from `seed`), at most `limit` times total. Re-arming
     /// a site replaces its previous plan and zeroes its counters.
-    pub fn arm(site: &'static str, fault: Fault, probability: f64, seed: u64, limit: Option<u64>) {
+    pub fn arm(site: &str, fault: Fault, probability: f64, seed: u64, limit: Option<u64>) {
         assert!(
             (0.0..=1.0).contains(&probability),
             "probability must be in [0, 1]"
         );
         SITES.lock().unwrap().insert(
-            site,
+            site.to_string(),
             Armed {
                 fault,
                 probability,
@@ -91,6 +107,20 @@ mod imp {
                 fires: 0,
             },
         );
+    }
+
+    /// Arm the **indexed** form of `site` for one worker/shard (key
+    /// [`super::site_at`]`(site, idx)`): only the worker with that index
+    /// trips it — the chaos handle for killing one worker of N.
+    pub fn arm_at(
+        site: &str,
+        idx: usize,
+        fault: Fault,
+        probability: f64,
+        seed: u64,
+        limit: Option<u64>,
+    ) {
+        arm(&super::site_at(site, idx), fault, probability, seed, limit);
     }
 
     /// Disarm one site (its counters are discarded).
@@ -135,6 +165,12 @@ mod imp {
         Some(armed.fault)
     }
 
+    /// [`check`] of the indexed site form — called by worker `idx` so a
+    /// fault armed with [`arm_at`] lands on exactly that worker.
+    pub fn check_at(site: &str, idx: usize) -> Option<Fault> {
+        check(&super::site_at(site, idx))
+    }
+
     #[cfg(test)]
     mod tests {
         use super::*;
@@ -165,6 +201,19 @@ mod imp {
             assert_eq!(a1, a2, "same seed must reproduce the decision stream");
             assert_ne!(a1, b, "different seeds should diverge (32 draws)");
             assert!(a1.iter().any(|&f| f) && a1.iter().any(|&f| !f));
+        }
+
+        #[test]
+        fn indexed_sites_target_one_worker() {
+            arm_at("test.site.c", 1, Fault::Panic, 1.0, 5, None);
+            // Worker 0 is untouched; worker 1 trips its own site.
+            assert_eq!(check_at("test.site.c", 0), None);
+            assert_eq!(check_at("test.site.c", 1), Some(Fault::Panic));
+            // The un-indexed site is independent of the indexed ones.
+            assert_eq!(check("test.site.c"), None);
+            assert_eq!(fires(&super::super::site_at("test.site.c", 1)), 1);
+            disarm(&super::super::site_at("test.site.c", 1));
+            assert_eq!(check_at("test.site.c", 1), None);
         }
 
         #[test]

@@ -1,48 +1,65 @@
 //! # ataman-serve
 //!
-//! A fault-tolerant throughput front-end over the batch-major compiled
-//! inference engine ([`quantize::batch`]): the ROADMAP's "serves heavy
-//! traffic" story.
+//! A fault-tolerant, scale-out throughput front-end over the batch-major
+//! compiled inference engine ([`quantize::batch`]): the ROADMAP's "serves
+//! heavy traffic" story.
 //!
 //! The paper's pipeline ends with a *deployed design* — a quantized model
 //! plus compiled skip masks plus a cost contract measured on the target
 //! board ([`ataman::Deployment`]). This crate serves fleets of such
-//! designs on the simulation host:
+//! designs on the simulation host through a gateway → coordinator →
+//! worker topology (see DESIGN.md, "Fleet topology"):
 //!
 //! * [`Registry`] — a **live** multi-model registry of [`DeployedModel`]s
-//!   (model + compiled masks + [`CostContract`]), the unit of deployment;
-//!   rollouts Arc-swap entries concurrently with serving;
-//! * [`AdmissionQueue`] — an arrival-ordered queue that coalesces incoming
-//!   requests into per-model batches, with a bounded depth, two admission
-//!   classes ([`Priority`]) and deadline-aware coalescing windows;
-//! * [`Server`] — **supervised** worker threads draining the queue through
-//!   [`quantize::QuantModel::predict_compiled_batch_scratch`]: batches run
-//!   inside an unwind boundary, crashed workers restart with bounded
-//!   backoff, and every admitted request resolves to exactly one typed
-//!   [`Outcome`] (`Admitted → {Ok, Expired, Shed, WorkerCrashed, Closed}`);
+//!   (model + compiled masks + [`CostContract`] + replica placement), the
+//!   unit of deployment; rollouts Arc-swap entries concurrently with
+//!   serving;
+//! * [`Gateway`] — the single front door: validates and quantizes each
+//!   [`Request`], stamps a contract-derived deadline, and routes it via
+//!   the coordinator's **least-loaded** choice among the model's replica
+//!   shards (rendezvous-hash placement), failing over while shards are
+//!   full;
+//! * one [`AdmissionQueue`] **per worker shard** — arrival-ordered,
+//!   depth-bounded, priority-aware ([`Priority`]), with deadline-aware
+//!   batch coalescing; each shard is drained by exactly one supervised
+//!   worker thread owning its own scratch arenas (no shared mutable batch
+//!   state), so every PR 6 failure domain — deadlines, the unwind
+//!   boundary, bounded-restart supervision, shedding — lives per shard,
+//!   and every admitted request resolves to exactly one typed [`Outcome`]
+//!   (`Admitted → {Ok, Expired, Shed, WorkerCrashed, Closed}`);
+//! * [`ServeOptions::builder`] — the validated configuration surface:
+//!   inconsistent fleets (zero workers, margin > window, high-water >
+//!   depth) are typed [`ConfigError`]s at build time, not runtime panics;
 //! * [`faults`] — a deterministic failpoint layer (behind the `failpoints`
-//!   feature; compiled out of production builds) that drives the
-//!   `serve_chaos` test suite;
+//!   feature; compiled out of production builds) with per-worker indexed
+//!   sites, driving the `serve_chaos` test suite;
 //! * [`loadgen`] — a synthetic closed-loop load generator with
 //!   conservation-complete outcome accounting, reporting images/sec,
 //!   latency percentiles and the queued/exec breakdown (`serve_bench`
-//!   writes them to `BENCH_serve.json`, gated in CI alongside
-//!   `BENCH_dse.json`).
+//!   writes them to `BENCH_serve.json` across worker counts, gated in CI
+//!   alongside `BENCH_dse.json`).
 //!
 //! Batching here is *the same* batching the DSE uses — one engine, two
 //! consumers — so every kernel improvement multiplies across both the
 //! design-space search and the serving path.
 
+pub mod coordinator;
 pub mod faults;
+pub mod gateway;
 pub mod loadgen;
+pub mod options;
 pub mod queue;
 pub mod registry;
-pub mod server;
+pub mod request;
+pub mod worker;
 
+pub use coordinator::ShardSnapshot;
+pub use gateway::{Gateway, StatsSnapshot, SubmitError};
 pub use loadgen::{run_closed_loop, LoadGenConfig, LoadReport};
+pub use options::{ConfigError, ServeOptions, ServeOptionsBuilder};
 pub use queue::{
     AdmissionQueue, Batch, Crashed, Expired, Outcome, Priority, PushError, QueueClosed, QueueFull,
-    QueueShed, Reply, Request, Shed, Unserved, DEFAULT_MAX_DEPTH,
+    QueueShed, QueuedRequest, Reply, Shed, Unserved, DEFAULT_MAX_DEPTH,
 };
 pub use registry::{CostContract, DeployedModel, Registry};
-pub use server::{ServeOptions, Server, StatsSnapshot, SubmitError};
+pub use request::Request;

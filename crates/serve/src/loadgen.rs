@@ -1,11 +1,11 @@
-//! Synthetic closed-loop load generation against a running [`Server`].
+//! Synthetic closed-loop load generation against a running [`Gateway`].
 //!
 //! Closed loop: each client keeps exactly one request in flight — submit,
 //! block on the resolution, submit the next — so offered load adapts to
 //! served throughput and the measured latency distribution is the
 //! system's, not a queue-explosion artifact. Clients round-robin over the
 //! registered models they're given, which also exercises per-model batch
-//! routing.
+//! routing and (with a multi-worker gateway) least-loaded shard routing.
 //!
 //! Accounting is **conservation-complete**: every offered request lands in
 //! exactly one of the report's outcome counters (`ok` / `expired` /
@@ -13,8 +13,9 @@
 //! `dropped_replies`), so offered vs. completed load is auditable —
 //! nothing is silently dropped or retried forever.
 
+use crate::gateway::{Gateway, SubmitError};
 use crate::queue::Priority;
-use crate::server::{Server, SubmitError};
+use crate::request::Request;
 use serde::Serialize;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
@@ -168,14 +169,14 @@ struct ClientTally {
     dropped_replies: usize,
 }
 
-/// Drive `cfg.clients` closed-loop clients against `server` using
+/// Drive `cfg.clients` closed-loop clients against `gateway` using
 /// pre-quantized `inputs` (cycled per request) and aggregate the
 /// resolutions.
 ///
 /// Panics if `cfg.models` is empty, any model is unregistered, or `inputs`
 /// is empty. Overload, expiry, crashes and shutdown are *not* panics —
 /// they are counted outcomes in the report.
-pub fn run_closed_loop(server: &Server, inputs: &[Vec<i8>], cfg: &LoadGenConfig) -> LoadReport {
+pub fn run_closed_loop(gateway: &Gateway, inputs: &[Vec<i8>], cfg: &LoadGenConfig) -> LoadReport {
     assert!(!cfg.models.is_empty(), "no models to load");
     assert!(!inputs.is_empty(), "no inputs to send");
     assert!(cfg.clients >= 1, "need at least one client");
@@ -206,7 +207,9 @@ pub fn run_closed_loop(server: &Server, inputs: &[Vec<i8>], cfg: &LoadGenConfig)
                         let mut attempts = 0u64;
                         let rx = loop {
                             attempts += 1;
-                            match server.submit_quantized_with(model, input.clone(), cfg.priority) {
+                            match gateway.submit(
+                                Request::quantized(model, input.clone()).priority(cfg.priority),
+                            ) {
                                 Ok(rx) => break rx,
                                 Err(SubmitError::QueueFull { .. } | SubmitError::Shed { .. }) => {
                                     retries.fetch_add(1, Ordering::Relaxed);
@@ -310,8 +313,8 @@ pub fn run_closed_loop(server: &Server, inputs: &[Vec<i8>], cfg: &LoadGenConfig)
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::options::ServeOptions;
     use crate::registry::{CostContract, DeployedModel, Registry};
-    use crate::server::ServeOptions;
     use quantize::{calibrate_ranges, quantize_model, CompiledMasks};
 
     #[test]
@@ -348,20 +351,20 @@ mod tests {
                 flash_bytes: 1,
             },
         ));
-        let server = crate::Server::start(
+        let gateway = crate::Gateway::start(
             reg,
-            ServeOptions {
-                max_batch: 4,
-                workers: 1,
-                ..Default::default()
-            },
+            ServeOptions::builder()
+                .max_batch(4)
+                .workers(1)
+                .build()
+                .expect("opts"),
         );
         let report = run_closed_loop(
-            &server,
+            &gateway,
             &inputs,
             &LoadGenConfig::new(3, 8, vec!["m".into()]),
         );
-        server.shutdown();
+        gateway.shutdown();
         assert_eq!(report.offered_requests, 24);
         assert_eq!(report.total_requests, 24);
         assert_eq!(report.dropped_replies, 0);
@@ -411,21 +414,21 @@ mod tests {
                 flash_bytes: 1,
             },
         ));
-        let server = crate::Server::start(
+        let gateway = crate::Gateway::start(
             reg,
-            ServeOptions {
-                max_batch: 1,
-                workers: 1,
-                max_queue_depth: 1,
-                ..Default::default()
-            },
+            ServeOptions::builder()
+                .max_batch(1)
+                .workers(1)
+                .max_queue_depth(1)
+                .build()
+                .expect("opts"),
         );
         let report = run_closed_loop(
-            &server,
+            &gateway,
             &inputs,
             &LoadGenConfig::new(4, 16, vec!["m".into()]),
         );
-        server.shutdown();
+        gateway.shutdown();
         // Conservation: every offered request lands in exactly one
         // counter, whatever the schedule did.
         assert_eq!(report.offered_requests, 64);
@@ -472,18 +475,18 @@ mod tests {
         // Batch-class traffic against a high-water mark of 1: four clients
         // racing one slot shed constantly, and a 2-attempt budget makes
         // the client-side give-up path fire without any fault injection.
-        let server = crate::Server::start(
+        let gateway = crate::Gateway::start(
             reg,
-            ServeOptions {
-                max_batch: 1,
-                workers: 1,
-                max_queue_depth: 4,
-                shed_high_water: Some(1),
-                ..Default::default()
-            },
+            ServeOptions::builder()
+                .max_batch(1)
+                .workers(1)
+                .max_queue_depth(4)
+                .shed_high_water(1)
+                .build()
+                .expect("opts"),
         );
         let report = run_closed_loop(
-            &server,
+            &gateway,
             &inputs,
             &LoadGenConfig {
                 clients: 4,
@@ -493,7 +496,7 @@ mod tests {
                 max_submit_attempts: 2,
             },
         );
-        server.shutdown();
+        gateway.shutdown();
         assert_eq!(report.offered_requests, 128);
         assert_eq!(
             report.total_requests + report.shed_by_client + report.shed_by_server,

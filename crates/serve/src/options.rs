@@ -1,0 +1,392 @@
+//! Fleet tuning knobs, validated at build time.
+//!
+//! [`ServeOptions`] is constructed through [`ServeOptions::builder`]: the
+//! builder is the only public way to set a knob, and [`build`]
+//! (`ServeOptionsBuilder::build`) rejects inconsistent configurations with
+//! a typed [`ConfigError`] *before* a gateway ever starts — a zero-worker
+//! fleet, a high-water mark above the depth bound, or a coalesce margin
+//! wider than its window fail at configuration time, not as a panic in a
+//! worker thread or a silently-dead policy at runtime.
+//!
+//! [`build`]: ServeOptionsBuilder::build
+//!
+//! The `Default` impl (used throughout the tests) sizes the fleet to the
+//! host: `workers` defaults to the available parallelism (capped at 8) —
+//! multi-worker is the default shape of the fleet, not a bolt-on.
+
+use std::time::Duration;
+
+/// Validated fleet configuration. Construct with
+/// [`ServeOptions::builder`]; the `Default` impl gives the multi-worker
+/// default shape (workers = available parallelism, capped at 8).
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    pub(crate) max_batch: usize,
+    pub(crate) workers: usize,
+    pub(crate) max_queue_depth: usize,
+    pub(crate) shed_high_water: Option<usize>,
+    pub(crate) deadline: Option<Duration>,
+    pub(crate) deadline_slack: f64,
+    pub(crate) min_deadline: Duration,
+    pub(crate) coalesce_window: Duration,
+    pub(crate) deadline_margin: Duration,
+    pub(crate) max_worker_restarts: u32,
+    pub(crate) restart_backoff: Duration,
+    pub(crate) degrade_on_shed: bool,
+}
+
+/// Why a [`ServeOptionsBuilder`] refused to build. Every variant is a
+/// configuration that would otherwise surface as a worker panic or a
+/// silently inert policy at runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `workers == 0`: a fleet with no execution threads can admit but
+    /// never serve — every request would hang until its deadline.
+    ZeroWorkers,
+    /// `max_batch == 0`: a worker could never pop anything.
+    ZeroMaxBatch,
+    /// `max_queue_depth == 0`: every submission would be refused.
+    ZeroQueueDepth,
+    /// An explicit high-water mark of zero would shed *all* batch-class
+    /// traffic unconditionally.
+    ZeroHighWater,
+    /// The batch-class high-water mark lies above the depth bound, so it
+    /// could never trip — batch traffic would silently lose its
+    /// shed-first policy.
+    HighWaterExceedsDepth {
+        /// The configured high-water mark.
+        high_water: usize,
+        /// The configured depth bound it exceeds.
+        max_depth: usize,
+    },
+    /// The static deadline margin is wider than the coalesce window: the
+    /// margin would close every window at pop time and coalescing would
+    /// silently never happen.
+    MarginExceedsWindow {
+        /// The configured [`ServeOptionsBuilder::deadline_margin`].
+        margin: Duration,
+        /// The configured [`ServeOptionsBuilder::coalesce_window`].
+        window: Duration,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroWorkers => write!(f, "workers must be at least 1"),
+            ConfigError::ZeroMaxBatch => write!(f, "max_batch must be at least 1"),
+            ConfigError::ZeroQueueDepth => write!(f, "max_queue_depth must be at least 1"),
+            ConfigError::ZeroHighWater => {
+                write!(f, "shed_high_water must be at least 1 when set")
+            }
+            ConfigError::HighWaterExceedsDepth {
+                high_water,
+                max_depth,
+            } => write!(
+                f,
+                "shed_high_water ({high_water}) exceeds max_queue_depth ({max_depth}): \
+                 the mark could never trip"
+            ),
+            ConfigError::MarginExceedsWindow { margin, window } => write!(
+                f,
+                "deadline_margin ({margin:?}) exceeds coalesce_window ({window:?}): \
+                 every window would close at pop time"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Host parallelism, floored at 1 and capped at 8 — the default fleet
+/// width.
+fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            max_batch: 12,
+            workers: default_workers(),
+            max_queue_depth: crate::queue::DEFAULT_MAX_DEPTH,
+            shed_high_water: None,
+            deadline: None,
+            deadline_slack: 8.0,
+            min_deadline: Duration::from_millis(50),
+            coalesce_window: Duration::ZERO,
+            deadline_margin: Duration::ZERO,
+            max_worker_restarts: 3,
+            restart_backoff: Duration::from_millis(10),
+            degrade_on_shed: false,
+        }
+    }
+}
+
+impl ServeOptions {
+    /// Start configuring a fleet. Every knob has the `Default` value until
+    /// set; [`ServeOptionsBuilder::build`] validates the combination.
+    pub fn builder() -> ServeOptionsBuilder {
+        ServeOptionsBuilder {
+            opts: Self::default(),
+        }
+    }
+
+    /// Worker threads (= shards) the gateway will start.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Largest batch a worker coalesces.
+    pub fn max_batch(&self) -> usize {
+        self.max_batch
+    }
+
+    /// Per-shard admission-queue depth bound.
+    pub fn max_queue_depth(&self) -> usize {
+        self.max_queue_depth
+    }
+
+    /// The batch-class high-water mark in effect per shard (explicit, or
+    /// the derived 3/4-of-depth default).
+    pub fn high_water(&self) -> usize {
+        self.shed_high_water
+            .unwrap_or((self.max_queue_depth * 3 / 4).max(1))
+    }
+
+    /// The per-shard coalesce window.
+    pub fn coalesce_window(&self) -> Duration {
+        self.coalesce_window
+    }
+}
+
+/// Builder for [`ServeOptions`]; see [`ServeOptions::builder`].
+#[derive(Debug, Clone)]
+pub struct ServeOptionsBuilder {
+    opts: ServeOptions,
+}
+
+impl ServeOptionsBuilder {
+    /// Largest batch a worker coalesces (lanes = max_batch × positions).
+    pub fn max_batch(mut self, max_batch: usize) -> Self {
+        self.opts.max_batch = max_batch;
+        self
+    }
+
+    /// Worker threads, each owning one shard (its own admission queue and
+    /// scratch arenas). Defaults to the host's available parallelism
+    /// (capped at 8).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.opts.workers = workers;
+        self
+    }
+
+    /// Per-shard admission-queue depth bound: submissions past this many
+    /// waiting requests on the routed shard are rejected with
+    /// [`SubmitError::QueueFull`](crate::SubmitError::QueueFull) after
+    /// failover to less-loaded replicas is exhausted.
+    pub fn max_queue_depth(mut self, depth: usize) -> Self {
+        self.opts.max_queue_depth = depth;
+        self
+    }
+
+    /// Per-shard queue depth at which [`Priority::Batch`](crate::Priority::Batch)
+    /// submissions shed. Unset derives 3/4 of `max_queue_depth`.
+    pub fn shed_high_water(mut self, high_water: usize) -> Self {
+        self.opts.shed_high_water = Some(high_water);
+        self
+    }
+
+    /// Fixed deadline applied to every request (unless the request itself
+    /// carries one), overriding the per-model contract derivation.
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.opts.deadline = Some(deadline);
+        self
+    }
+
+    /// Deadline = `contract.latency_ms × deadline_slack` (floored at
+    /// [`ServeOptionsBuilder::min_deadline`]) when no override is set.
+    pub fn deadline_slack(mut self, slack: f64) -> Self {
+        self.opts.deadline_slack = slack;
+        self
+    }
+
+    /// Floor on derived deadlines — a microsecond-scale contract must not
+    /// produce a deadline the host scheduler cannot honor.
+    pub fn min_deadline(mut self, floor: Duration) -> Self {
+        self.opts.min_deadline = floor;
+        self
+    }
+
+    /// Longest a ragged batch waits for same-model arrivals after its run
+    /// reaches the shard-queue front. Zero (the default) ships
+    /// immediately — latency is never traded for fill unless asked. The
+    /// wait always closes early when deadline slack runs low or a
+    /// different model queues behind the run.
+    pub fn coalesce_window(mut self, window: Duration) -> Self {
+        self.opts.coalesce_window = window;
+        self
+    }
+
+    /// Static floor on the deadline slack the coalescer reserves for
+    /// execution (the worker uses `max(margin, EWMA of batch exec time)`).
+    /// Must not exceed a nonzero `coalesce_window`.
+    pub fn deadline_margin(mut self, margin: Duration) -> Self {
+        self.opts.deadline_margin = margin;
+        self
+    }
+
+    /// Restarts a worker slot is granted after crashes before its shard is
+    /// abandoned (closed and drained; the coordinator stops routing to it).
+    pub fn max_worker_restarts(mut self, restarts: u32) -> Self {
+        self.opts.max_worker_restarts = restarts;
+        self
+    }
+
+    /// Base delay before a crashed worker restarts; doubles per
+    /// consecutive restart (capped at 64×).
+    pub fn restart_backoff(mut self, backoff: Duration) -> Self {
+        self.opts.restart_backoff = backoff;
+        self
+    }
+
+    /// Graceful degradation: instead of shedding a batch-class request at
+    /// the high-water mark, reroute it to the cheapest same-family design
+    /// when one is deployed.
+    pub fn degrade_on_shed(mut self, degrade: bool) -> Self {
+        self.opts.degrade_on_shed = degrade;
+        self
+    }
+
+    /// Validate and produce the configuration. Rejects combinations that
+    /// would otherwise surface as runtime panics or silently inert
+    /// policies — see [`ConfigError`].
+    pub fn build(self) -> Result<ServeOptions, ConfigError> {
+        let o = &self.opts;
+        if o.workers == 0 {
+            return Err(ConfigError::ZeroWorkers);
+        }
+        if o.max_batch == 0 {
+            return Err(ConfigError::ZeroMaxBatch);
+        }
+        if o.max_queue_depth == 0 {
+            return Err(ConfigError::ZeroQueueDepth);
+        }
+        if let Some(hw) = o.shed_high_water {
+            if hw == 0 {
+                return Err(ConfigError::ZeroHighWater);
+            }
+            if hw > o.max_queue_depth {
+                return Err(ConfigError::HighWaterExceedsDepth {
+                    high_water: hw,
+                    max_depth: o.max_queue_depth,
+                });
+            }
+        }
+        if !o.coalesce_window.is_zero() && o.deadline_margin > o.coalesce_window {
+            return Err(ConfigError::MarginExceedsWindow {
+                margin: o.deadline_margin,
+                window: o.coalesce_window,
+            });
+        }
+        Ok(self.opts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_multi_worker_shaped_and_valid() {
+        let opts = ServeOptions::default();
+        assert!(opts.workers() >= 1);
+        assert!(opts.workers() <= 8);
+        // The default round-trips the builder unchanged.
+        let built = ServeOptions::builder().build().expect("default is valid");
+        assert_eq!(built.workers(), opts.workers());
+        assert_eq!(built.max_batch(), 12);
+        assert_eq!(built.high_water(), 1024 * 3 / 4);
+    }
+
+    #[test]
+    fn builder_rejects_inconsistent_configurations_with_typed_errors() {
+        assert_eq!(
+            ServeOptions::builder().workers(0).build().unwrap_err(),
+            ConfigError::ZeroWorkers
+        );
+        assert_eq!(
+            ServeOptions::builder().max_batch(0).build().unwrap_err(),
+            ConfigError::ZeroMaxBatch
+        );
+        assert_eq!(
+            ServeOptions::builder()
+                .max_queue_depth(0)
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroQueueDepth
+        );
+        assert_eq!(
+            ServeOptions::builder()
+                .shed_high_water(0)
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroHighWater
+        );
+        assert_eq!(
+            ServeOptions::builder()
+                .max_queue_depth(8)
+                .shed_high_water(9)
+                .build()
+                .unwrap_err(),
+            ConfigError::HighWaterExceedsDepth {
+                high_water: 9,
+                max_depth: 8
+            }
+        );
+        assert_eq!(
+            ServeOptions::builder()
+                .coalesce_window(Duration::from_micros(100))
+                .deadline_margin(Duration::from_micros(200))
+                .build()
+                .unwrap_err(),
+            ConfigError::MarginExceedsWindow {
+                margin: Duration::from_micros(200),
+                window: Duration::from_micros(100),
+            }
+        );
+        // Every error Displays (operator-facing) without panicking.
+        for e in [
+            ConfigError::ZeroWorkers,
+            ConfigError::MarginExceedsWindow {
+                margin: Duration::from_secs(1),
+                window: Duration::ZERO,
+            },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn builder_accepts_valid_edge_configurations() {
+        // margin == window is fine (the window just always closes at pop).
+        let opts = ServeOptions::builder()
+            .coalesce_window(Duration::from_micros(100))
+            .deadline_margin(Duration::from_micros(100))
+            .workers(4)
+            .max_queue_depth(8)
+            .shed_high_water(8)
+            .build()
+            .expect("edge config valid");
+        assert_eq!(opts.workers(), 4);
+        assert_eq!(opts.high_water(), 8);
+        // A margin without a window is inert, not invalid.
+        ServeOptions::builder()
+            .deadline_margin(Duration::from_secs(1))
+            .build()
+            .expect("margin without window is inert");
+    }
+}

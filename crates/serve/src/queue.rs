@@ -1,9 +1,11 @@
 //! Admission queue: arrival-ordered request intake with per-model batch
 //! coalescing, a **bounded depth**, and **priority-aware overload policy**.
 //!
-//! The queue is the boundary between request-level traffic and the
-//! batch-major engine: workers drain the **front run** of same-model
-//! requests (up to `max_batch`) as one [`Batch`], so
+//! In the fleet topology (gateway → coordinator → workers), each worker
+//! **owns one** of these queues — its shard. The queue is the boundary
+//! between request-level traffic and the batch-major engine: the owning
+//! worker drains the **front run** of same-model requests (up to
+//! `max_batch`) as one [`Batch`], so
 //!
 //! * requests execute in arrival order — a batch never reaches past the
 //!   first request of a *different* model (per-model routing without
@@ -11,11 +13,15 @@
 //! * under load, batches fill to `max_batch` and every weight-stream
 //!   traversal amortizes across the whole batch;
 //! * when traffic runs dry, a ragged batch ships immediately by default —
-//!   latency is never traded for fill. A server may opt into a bounded
-//!   coalesce window ([`AdmissionQueue::next_batch_deadline`]), in which
-//!   case the window **closes early** when the oldest request's deadline
-//!   slack runs low: fill is only ever bought with slack the latency
-//!   contract can spare;
+//!   latency is never traded for fill. A worker may opt into a bounded
+//!   coalesce window ([`AdmissionQueue::next_batch_deadline`]), measured
+//!   from the moment the front run **became poppable** (reached the queue
+//!   front), in which case the window **closes early** when the oldest
+//!   request's deadline slack runs low — fill is only ever bought with
+//!   slack the latency contract can spare — or when a request of a
+//!   *different* model is queued behind the run (arrival order means the
+//!   run can never grow past it, so waiting would buy zero fill at pure
+//!   latency cost);
 //! * the depth is **bounded** ([`AdmissionQueue::with_policy`]): past
 //!   `max_depth` waiting requests, admission rejects with a typed error
 //!   instead of letting memory and queueing latency grow without limit
@@ -48,9 +54,11 @@ pub enum Priority {
     Batch,
 }
 
-/// One inference request, quantized at admission.
-pub struct Request {
-    /// Server-assigned id (monotone per server).
+/// One admitted inference request, quantized and deadline-stamped at the
+/// gateway. (The *submission-side* builder is [`crate::Request`]; this is
+/// the queued form a worker executes.)
+pub struct QueuedRequest {
+    /// Gateway-assigned id (monotone per gateway).
     pub id: u64,
     /// Target deployed model (validated against the registry at submit).
     pub model: String,
@@ -191,7 +199,7 @@ pub struct Batch {
     /// The deployed model every request targets.
     pub model: String,
     /// Requests in arrival order (1 ..= max_batch of them).
-    pub requests: Vec<Request>,
+    pub requests: Vec<QueuedRequest>,
 }
 
 /// Why [`AdmissionQueue::push`] refused a request. The rejected request is
@@ -215,7 +223,7 @@ pub enum PushError {
 /// The request refused because the queue hit its depth bound.
 pub struct QueueFull {
     /// The refused request, returned to the caller.
-    pub request: Request,
+    pub request: QueuedRequest,
     /// The depth bound that was hit.
     pub max_depth: usize,
 }
@@ -223,7 +231,7 @@ pub struct QueueFull {
 /// The batch-class request refused past the high-water mark.
 pub struct QueueShed {
     /// The refused request, returned to the caller.
-    pub request: Request,
+    pub request: QueuedRequest,
     /// Queue depth at refusal.
     pub queue_depth: usize,
     /// The high-water mark that was crossed.
@@ -233,7 +241,7 @@ pub struct QueueShed {
 /// The request refused because the queue is closed.
 pub struct QueueClosed {
     /// The refused request, returned to the caller.
-    pub request: Request,
+    pub request: QueuedRequest,
 }
 
 /// Default admission bound: deep enough that a transient burst never sheds
@@ -242,7 +250,15 @@ pub struct QueueClosed {
 pub const DEFAULT_MAX_DEPTH: usize = 1024;
 
 struct QueueState {
-    queue: VecDeque<Request>,
+    queue: VecDeque<QueuedRequest>,
+    /// When the current front request *reached the front* (pushed into an
+    /// empty queue, or exposed by a pop). The coalesce window runs from
+    /// here, **not** from the front's admission time: a request that
+    /// queued behind another model's batch would otherwise arrive at the
+    /// front with its window already spent and ship alone — the
+    /// under-coalescing bug (`mean_batch_size` ≈ 1 under light
+    /// multi-model load even with a window configured).
+    front_since: Option<Instant>,
     /// Largest depth ever observed (capacity reporting).
     peak: usize,
     /// Batch-class requests evicted by interactive pushes.
@@ -292,6 +308,7 @@ impl AdmissionQueue {
         Self {
             state: Mutex::new(QueueState {
                 queue: VecDeque::new(),
+                front_since: None,
                 peak: 0,
                 shed_evicted: 0,
                 closed: false,
@@ -327,7 +344,7 @@ impl AdmissionQueue {
     // Request back so the caller can retry, degrade, or reply — and the
     // error path is the cold shed path, never the admit fast path.
     #[allow(clippy::result_large_err)]
-    pub fn push(&self, request: Request) -> Result<(), PushError> {
+    pub fn push(&self, request: QueuedRequest) -> Result<(), PushError> {
         self.push_inner(request, false)
     }
 
@@ -335,12 +352,12 @@ impl AdmissionQueue {
     /// degraded reroutes, which were already shed once and must not shed
     /// recursively. Still subject to the hard depth bound.
     #[allow(clippy::result_large_err)]
-    pub(crate) fn push_degraded(&self, request: Request) -> Result<(), PushError> {
+    pub(crate) fn push_degraded(&self, request: QueuedRequest) -> Result<(), PushError> {
         self.push_inner(request, true)
     }
 
     #[allow(clippy::result_large_err)]
-    fn push_inner(&self, request: Request, bypass_high_water: bool) -> Result<(), PushError> {
+    fn push_inner(&self, request: QueuedRequest, bypass_high_water: bool) -> Result<(), PushError> {
         if matches!(
             crate::faults::check(crate::faults::SITE_QUEUE_PUSH),
             Some(crate::faults::Fault::QueueFull)
@@ -362,6 +379,11 @@ impl AdmissionQueue {
             if request.priority == Priority::Interactive {
                 if let Some(pos) = st.queue.iter().rposition(|r| r.priority == Priority::Batch) {
                     let victim = st.queue.remove(pos).expect("position just found");
+                    if pos == 0 {
+                        // The front itself was evicted: its successor's
+                        // coalesce window starts now.
+                        st.front_since = Some(Instant::now());
+                    }
                     st.shed_evicted += 1;
                     let depth = st.queue.len();
                     let _ = victim.reply.send(Outcome::Shed(Shed {
@@ -387,6 +409,9 @@ impl AdmissionQueue {
                 queue_depth: depth,
                 high_water: self.high_water,
             }));
+        }
+        if st.queue.is_empty() {
+            st.front_since = Some(Instant::now());
         }
         st.queue.push_back(request);
         st.peak = st.peak.max(st.queue.len());
@@ -431,13 +456,19 @@ impl AdmissionQueue {
     }
 
     /// Blocking pop with **deadline-aware coalescing**: a ragged front run
-    /// may wait up to `window` (measured from the oldest request's
-    /// admission) for the batch to fill, but the window **closes early**
-    /// when the oldest request's remaining deadline slack drops to
-    /// `margin` (the caller's execution-time estimate) — fill is bought
-    /// only with slack the latency contract can spare. `window == 0` ships
-    /// immediately (the default path; bit-identical to
-    /// [`AdmissionQueue::next_batch`]).
+    /// may wait up to `window` (measured from the moment the run reached
+    /// the queue front — see `QueueState::front_since`) for the batch to
+    /// fill, but the window **closes early** when
+    ///
+    /// * the oldest request's remaining deadline slack drops to `margin`
+    ///   (the caller's execution-time estimate) — fill is bought only
+    ///   with slack the latency contract can spare; or
+    /// * a request of a *different* model is queued behind the run —
+    ///   arrival order means the run can never grow past it, so waiting
+    ///   would buy zero fill while also delaying the blocked model.
+    ///
+    /// `window == 0` ships immediately (the default path; bit-identical
+    /// to [`AdmissionQueue::next_batch`]).
     pub fn next_batch_deadline(
         &self,
         max_batch: usize,
@@ -459,14 +490,20 @@ impl AdmissionQueue {
                         .take_while(|r| &r.model == model)
                         .count()
                 };
-                if run >= max_batch {
+                if run >= max_batch || run < st.queue.len() {
+                    // Full — or blocked: a different model is queued
+                    // behind the run, so it can never grow. Ship now.
                     return Some(Self::coalesce(&mut st, max_batch));
                 }
                 let front = st.queue.front().expect("non-empty");
                 // Close at window expiry or when deadline slack runs low,
-                // whichever comes first.
+                // whichever comes first. The window runs from when this
+                // run reached the front, not from its admission — a
+                // request that waited behind another model's batch gets a
+                // full window once it is actually poppable.
                 let now = Instant::now();
-                let window_close = front.submitted + window;
+                let run_front_at = st.front_since.unwrap_or(front.submitted);
+                let window_close = run_front_at + window;
                 let slack_close = front.deadline.checked_sub(margin).unwrap_or(now);
                 let close_at = window_close.min(slack_close);
                 if now >= close_at {
@@ -505,6 +542,9 @@ impl AdmissionQueue {
                 _ => break,
             }
         }
+        // Whatever is now at the front just became poppable: its coalesce
+        // window starts here.
+        st.front_since = (!st.queue.is_empty()).then(Instant::now);
         Batch { model, requests }
     }
 }
@@ -514,11 +554,15 @@ mod tests {
     use super::*;
     use std::sync::mpsc;
 
-    fn req_prio(id: u64, model: &str, priority: Priority) -> (Request, mpsc::Receiver<Outcome>) {
+    fn req_prio(
+        id: u64,
+        model: &str,
+        priority: Priority,
+    ) -> (QueuedRequest, mpsc::Receiver<Outcome>) {
         let (tx, rx) = mpsc::channel();
         let now = Instant::now();
         (
-            Request {
+            QueuedRequest {
                 id,
                 model: model.to_string(),
                 qinput: vec![0; 4],
@@ -531,7 +575,7 @@ mod tests {
         )
     }
 
-    fn req(id: u64, model: &str) -> (Request, mpsc::Receiver<Outcome>) {
+    fn req(id: u64, model: &str) -> (QueuedRequest, mpsc::Receiver<Outcome>) {
         req_prio(id, model, Priority::Interactive)
     }
 
@@ -738,13 +782,61 @@ mod tests {
     }
 
     #[test]
+    fn blocked_run_ships_immediately_instead_of_waiting_out_the_window() {
+        // Queue [a, b]: the a-run can never grow (arrival order forbids a
+        // later "a" from jumping the queued "b"), so a coalesce window
+        // must not delay it — and must not delay "b" behind it.
+        let q = AdmissionQueue::new();
+        push(&q, 0, "a");
+        push(&q, 1, "b");
+        let t0 = Instant::now();
+        let b1 = q
+            .next_batch_deadline(8, Duration::from_secs(30), Duration::ZERO)
+            .expect("batch");
+        assert_eq!((b1.model.as_str(), ids(&b1)), ("a", vec![0]));
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "blocked run waited out the window"
+        );
+    }
+
+    #[test]
+    fn coalesce_window_runs_from_front_arrival_not_admission() {
+        // "b" is admitted at t0 but spends ~80 ms queued behind "a". When
+        // it finally reaches the front its window must be fresh: a late
+        // same-model arrival still joins its batch. (The pre-fix window
+        // ran from admission, so b's window was already spent and it
+        // shipped alone — the mean_batch_size ≈ 1 under-coalescing bug.)
+        let q = std::sync::Arc::new(AdmissionQueue::new());
+        push(&q, 0, "a");
+        push(&q, 1, "b");
+        std::thread::sleep(Duration::from_millis(80));
+        let first = q
+            .next_batch_deadline(8, Duration::from_millis(50), Duration::ZERO)
+            .expect("batch");
+        assert_eq!((first.model.as_str(), ids(&first)), ("a", vec![0]));
+        // b is now at the front with a *fresh* 500 ms window (its
+        // admission was already > 50 ms ago, so the pre-fix window would
+        // be spent and b would ship alone, immediately); a late same-model
+        // arrival inside the fresh window joins its batch.
+        let q2 = q.clone();
+        let h = std::thread::spawn(move || {
+            q2.next_batch_deadline(2, Duration::from_millis(500), Duration::ZERO)
+                .map(|b| ids(&b))
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        push(&q, 2, "b");
+        assert_eq!(h.join().unwrap(), Some(vec![1, 2]));
+    }
+
+    #[test]
     fn deadline_window_closes_early_on_low_slack() {
         // One request whose deadline slack is far smaller than the window:
         // the batch must ship on the slack, not the window.
         let q = AdmissionQueue::new();
         let (tx, _rx) = mpsc::channel();
         let now = Instant::now();
-        let pushed = q.push(Request {
+        let pushed = q.push(QueuedRequest {
             id: 0,
             model: "a".into(),
             qinput: vec![0; 4],

@@ -47,6 +47,12 @@ pub struct DeployedModel {
     pub masks: Arc<CompiledMasks>,
     /// Board-side cost contract.
     pub contract: CostContract,
+    /// Replica placement: how many worker shards this model's traffic is
+    /// spread over. `None` (the default) places the model on **every**
+    /// shard; `Some(k)` pins it to `k` shards chosen by rendezvous
+    /// hashing of the model name — deterministic, stable under fleet-size
+    /// changes, and shared by nothing but hash collisions.
+    pub replicas: Option<usize>,
 }
 
 impl DeployedModel {
@@ -64,6 +70,7 @@ impl DeployedModel {
             model: Arc::new(model),
             masks: Arc::new(masks),
             contract,
+            replicas: None,
         }
     }
 
@@ -71,6 +78,14 @@ impl DeployedModel {
     /// family are candidates for graceful degradation rerouting.
     pub fn with_family(mut self, family: impl Into<String>) -> Self {
         self.family = family.into();
+        self
+    }
+
+    /// Pin this model's traffic to `replicas` worker shards (builder
+    /// style; `replicas >= 1`). The default spreads over every shard.
+    pub fn with_replicas(mut self, replicas: usize) -> Self {
+        assert!(replicas >= 1, "a model needs at least one replica");
+        self.replicas = Some(replicas);
         self
     }
 
@@ -216,6 +231,16 @@ mod tests {
         assert_eq!(replaced.expect("old entry").contract.cycles, 1000);
         assert_eq!(reg.get("m").unwrap().contract.cycles, 2000);
         assert_eq!(reg.names(), vec!["m".to_string()]);
+    }
+
+    #[test]
+    fn replica_placement_defaults_to_every_shard() {
+        let q = quantized();
+        let n_convs = q.conv_indices().len();
+        let dm = DeployedModel::from_parts("m", q, CompiledMasks::none(n_convs), contract());
+        assert_eq!(dm.replicas, None, "default spreads over all shards");
+        let pinned = dm.with_replicas(2);
+        assert_eq!(pinned.replicas, Some(2));
     }
 
     #[test]

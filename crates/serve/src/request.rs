@@ -1,0 +1,110 @@
+//! The submission-side request builder: one way in for every request.
+//!
+//! [`Request`] replaces the old four `submit_*` method variants with a
+//! single builder — the payload constructor picks raw-image vs.
+//! pre-quantized, and every admission knob (priority, per-request
+//! deadline) chains off it:
+//!
+//! ```ignore
+//! let rx = gateway.submit(Request::image("mini-approx", image))?;
+//! let rx = gateway.submit(
+//!     Request::quantized("mini-exact", qinput)
+//!         .priority(Priority::Batch)
+//!         .deadline(Duration::from_millis(5)),
+//! )?;
+//! ```
+//!
+//! The builder is pure data: validation (model exists, input length
+//! matches) happens at [`Gateway::submit`](crate::Gateway::submit), where
+//! the registry is in scope — a malformed request is refused at the front
+//! door and never reaches a worker.
+
+use crate::queue::Priority;
+use std::time::Duration;
+
+/// What the caller hands in: quantization either already done or deferred
+/// to admission (using the target model's input parameters).
+#[derive(Debug, Clone)]
+pub(crate) enum Payload {
+    /// Raw `[0, 1]` f32 image, quantized at admission.
+    Image(Vec<f32>),
+    /// Pre-quantized input (skips admission-time quantization).
+    Quantized(Vec<i8>),
+}
+
+/// One inference request, built submission-side and admitted with
+/// [`Gateway::submit`](crate::Gateway::submit).
+#[derive(Debug, Clone)]
+pub struct Request {
+    pub(crate) model: String,
+    pub(crate) payload: Payload,
+    pub(crate) priority: Priority,
+    pub(crate) deadline: Option<Duration>,
+}
+
+impl Request {
+    /// A request carrying a raw `[0, 1]` f32 image for `model`; the
+    /// gateway quantizes it with the model's input parameters at
+    /// admission.
+    pub fn image(model: impl Into<String>, image: &[f32]) -> Self {
+        Self {
+            model: model.into(),
+            payload: Payload::Image(image.to_vec()),
+            priority: Priority::Interactive,
+            deadline: None,
+        }
+    }
+
+    /// A request carrying an already-quantized input for `model` (the
+    /// loadgen path: quantize once, submit many).
+    pub fn quantized(model: impl Into<String>, qinput: Vec<i8>) -> Self {
+        Self {
+            model: model.into(),
+            payload: Payload::Quantized(qinput),
+            priority: Priority::Interactive,
+            deadline: None,
+        }
+    }
+
+    /// Admission class (default [`Priority::Interactive`]): who sheds
+    /// first under overload.
+    pub fn priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Per-request deadline budget, overriding both the gateway-wide
+    /// override and the contract-derived default for this one request.
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// The model this request targets.
+    pub fn model(&self) -> &str {
+        &self.model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_and_chaining() {
+        let r = Request::quantized("m", vec![1, 2, 3]);
+        assert_eq!(r.model(), "m");
+        assert_eq!(r.priority, Priority::Interactive);
+        assert_eq!(r.deadline, None);
+        let r = Request::image("n", &[0.5; 4])
+            .priority(Priority::Batch)
+            .deadline(Duration::from_millis(7));
+        assert_eq!(r.model(), "n");
+        assert_eq!(r.priority, Priority::Batch);
+        assert_eq!(r.deadline, Some(Duration::from_millis(7)));
+        match r.payload {
+            Payload::Image(img) => assert_eq!(img.len(), 4),
+            Payload::Quantized(_) => panic!("image payload expected"),
+        }
+    }
+}

@@ -1,11 +1,11 @@
-//! Chaos suite: deterministic fault injection against the serving stack
+//! Chaos suite: deterministic fault injection against the serving fleet
 //! (`--features failpoints`; compiled out of production builds).
 //!
 //! The invariant under test everywhere: **no reply is ever dropped** —
 //! every submitted request resolves to exactly one typed
 //! [`Outcome`] (`Ok | Expired | Shed | WorkerCrashed | Closed`) or a typed
-//! [`SubmitError`], under injected panics, stalls, queue-full storms and
-//! shutdown races.
+//! [`SubmitError`], under injected panics, stalls, queue-full storms,
+//! single-worker kills in a multi-worker fleet, and shutdown races.
 //!
 //! Fault sites are process-global, so tests serialize on [`chaos_lock`];
 //! injection plans are seeded and the assertions are schedule-robust
@@ -13,8 +13,8 @@
 
 use ataman_serve::faults::{self, Fault};
 use ataman_serve::{
-    CostContract, DeployedModel, LoadGenConfig, Outcome, Priority, Registry, ServeOptions, Server,
-    SubmitError,
+    CostContract, DeployedModel, Gateway, LoadGenConfig, Outcome, Priority, Registry, Request,
+    ServeOptions, SubmitError,
 };
 use quantize::{calibrate_ranges, quantize_model, CompiledMasks};
 use std::sync::{Mutex, MutexGuard, Once};
@@ -75,23 +75,22 @@ fn every_submit_resolves_exactly_once_under_injected_panics() {
     let (dm, inputs) = model_and_inputs("m", 11, 0.1);
     let reg = Registry::new();
     reg.register(dm);
-    let server = Server::start(
+    let gw = Gateway::start(
         reg,
-        ServeOptions {
-            max_batch: 4,
-            workers: 2,
-            deadline: Some(Duration::from_secs(10)),
-            max_worker_restarts: 8,
-            restart_backoff: Duration::from_millis(1),
-            ..Default::default()
-        },
+        ServeOptions::builder()
+            .max_batch(4)
+            .workers(2)
+            .deadline(Duration::from_secs(10))
+            .max_worker_restarts(8)
+            .restart_backoff(Duration::from_millis(1))
+            .build()
+            .expect("opts"),
     );
     // The first 5 batch executions panic; everything after serves.
     faults::arm(faults::SITE_WORKER_EXEC, Fault::Panic, 1.0, 42, Some(5));
     let rxs: Vec<_> = (0..64)
         .map(|i| {
-            server
-                .submit_quantized("m", inputs[i % inputs.len()].clone())
+            gw.submit(Request::quantized("m", inputs[i % inputs.len()].clone()))
                 .expect("admission open")
         })
         .collect();
@@ -116,11 +115,11 @@ fn every_submit_resolves_exactly_once_under_injected_panics() {
         "5 crashed batches of 1..=4 requests, got {crashed}"
     );
     assert_eq!(faults::fires(faults::SITE_WORKER_EXEC), 5);
-    let stats = server.stats();
+    let stats = gw.stats();
     assert_eq!(stats.worker_crashes, 5);
     assert_eq!(stats.worker_restarts, 5, "every crash got a restart");
     assert_eq!(stats.workers_abandoned, 0);
-    server.shutdown();
+    gw.shutdown();
     faults::reset();
 }
 
@@ -130,25 +129,25 @@ fn exhausted_restart_budget_abandons_fleet_and_drains_closed() {
     let (dm, inputs) = model_and_inputs("m", 12, 0.1);
     let reg = Registry::new();
     reg.register(dm);
-    let server = Server::start(
+    let gw = Gateway::start(
         reg,
-        ServeOptions {
-            max_batch: 1,
-            workers: 1,
-            deadline: Some(Duration::from_secs(10)),
-            max_worker_restarts: 2,
-            restart_backoff: Duration::from_millis(1),
-            ..Default::default()
-        },
+        ServeOptions::builder()
+            .max_batch(1)
+            .workers(1)
+            .deadline(Duration::from_secs(10))
+            .max_worker_restarts(2)
+            .restart_backoff(Duration::from_millis(1))
+            .build()
+            .expect("opts"),
     );
     // Every execution panics: the single worker crashes, restarts twice,
-    // crashes a third time and is abandoned — which must close the queue
+    // crashes a third time and is abandoned — which must close its shard
     // and resolve every leftover request with Closed, not strand it.
     faults::arm(faults::SITE_WORKER_EXEC, Fault::Panic, 1.0, 43, None);
     let mut rxs = Vec::new();
     let mut refused_closed = 0usize;
     for i in 0..16 {
-        match server.submit_quantized("m", inputs[i % inputs.len()].clone()) {
+        match gw.submit(Request::quantized("m", inputs[i % inputs.len()].clone())) {
             Ok(rx) => rxs.push(rx),
             Err(SubmitError::Closed) => refused_closed += 1,
             Err(e) => panic!("unexpected submit error: {e}"),
@@ -167,17 +166,96 @@ fn exhausted_restart_budget_abandons_fleet_and_drains_closed() {
     // request; the abandonment drain resolves the rest.
     assert_eq!(crashed, 3, "three lives, one crashed request each");
     assert_eq!(crashed + closed + refused_closed, 16, "conservation");
-    let stats = server.stats();
+    let stats = gw.stats();
     assert_eq!(stats.worker_crashes, 3);
     assert_eq!(stats.worker_restarts, 2);
     assert_eq!(stats.workers_abandoned, 1);
     assert_eq!(stats.closed_unserved as usize, closed);
     // The fleet is gone: admission stays typed-Closed.
-    let err = server
-        .submit_quantized("m", inputs[0].clone())
+    let err = gw
+        .submit(Request::quantized("m", inputs[0].clone()))
         .expect_err("dead fleet refuses");
     assert_eq!(err, SubmitError::Closed);
-    server.shutdown();
+    gw.shutdown();
+    faults::reset();
+}
+
+#[test]
+fn killing_one_worker_of_n_only_fails_its_own_shard() {
+    let _guard = chaos_lock();
+    let (dm, inputs) = model_and_inputs("m", 18, 0.1);
+    let reg = Registry::new();
+    reg.register(dm);
+    let workers = 3usize;
+    let gw = Gateway::start(
+        reg,
+        ServeOptions::builder()
+            .max_batch(4)
+            .workers(workers)
+            .deadline(Duration::from_secs(10))
+            // Zero restarts: the first crash abandons the worker, so the
+            // blast radius of the kill is observable immediately.
+            .max_worker_restarts(0)
+            .build()
+            .expect("opts"),
+    );
+    // Kill exactly worker 1 via its *indexed* fault site: its first batch
+    // panics, the supervisor abandons it, its shard closes and drains.
+    // Workers 0 and 2 never trip — the fleet keeps serving.
+    faults::arm_at(faults::SITE_WORKER_EXEC, 1, Fault::Panic, 1.0, 49, Some(1));
+    let rxs: Vec<_> = (0..48)
+        .map(|i| {
+            gw.submit(Request::quantized("m", inputs[i % inputs.len()].clone()))
+                .expect("admission open while at least one shard lives")
+        })
+        .collect();
+    let mut ok = 0usize;
+    let mut crashed = 0usize;
+    let mut closed = 0usize;
+    for rx in rxs {
+        match rx.recv().expect("resolved despite the killed worker") {
+            Outcome::Ok(_) => ok += 1,
+            Outcome::WorkerCrashed(c) => {
+                assert!(
+                    c.batch_size >= 1 && c.batch_size <= 4,
+                    "only the in-flight batch of the killed worker may crash"
+                );
+                crashed += 1;
+            }
+            // Requests queued on the killed worker's shard when it died:
+            // resolved Closed by the abandonment drain, never stranded.
+            Outcome::Closed(_) => closed += 1,
+            other => panic!("unexpected outcome {}", other.kind()),
+        }
+    }
+    assert_eq!(ok + crashed + closed, 48, "conservation of outcomes");
+    assert!(
+        (1..=4).contains(&crashed),
+        "exactly one batch (1..=4 requests) dies with the worker, got {crashed}"
+    );
+    assert!(ok > 0, "the surviving shards served traffic");
+    let stats = gw.stats();
+    assert_eq!(stats.worker_crashes, 1, "one injected kill, one crash");
+    assert_eq!(stats.workers_abandoned, 1);
+    assert_eq!(stats.worker_restarts, 0);
+    // Exactly one shard is dead, and the coordinator routes around it:
+    // follow-up traffic admits and serves on the survivors.
+    let snaps = gw.shard_snapshots();
+    assert_eq!(snaps.iter().filter(|s| !s.alive).count(), 1);
+    assert_eq!(snaps.iter().filter(|s| s.alive).count(), workers - 1);
+    let followups: Vec<_> = (0..8)
+        .map(|i| {
+            gw.submit(Request::quantized("m", inputs[i % inputs.len()].clone()))
+                .expect("survivors keep admitting")
+        })
+        .collect();
+    for rx in followups {
+        match rx.recv().expect("resolved") {
+            Outcome::Ok(_) => {}
+            other => panic!("survivor traffic resolved {}", other.kind()),
+        }
+    }
+    gw.shutdown();
     faults::reset();
 }
 
@@ -187,14 +265,14 @@ fn stalled_worker_expires_queued_requests_instead_of_serving_late() {
     let (dm, inputs) = model_and_inputs("m", 13, 0.1);
     let reg = Registry::new();
     reg.register(dm);
-    let server = Server::start(
+    let gw = Gateway::start(
         reg,
-        ServeOptions {
-            max_batch: 1,
-            workers: 1,
-            deadline: Some(Duration::from_millis(30)),
-            ..Default::default()
-        },
+        ServeOptions::builder()
+            .max_batch(1)
+            .workers(1)
+            .deadline(Duration::from_millis(30))
+            .build()
+            .expect("opts"),
     );
     // Exactly the first execution stalls 150 ms — far past the 30 ms
     // deadline of everything queued behind it.
@@ -205,16 +283,15 @@ fn stalled_worker_expires_queued_requests_instead_of_serving_late() {
         44,
         Some(1),
     );
-    let first = server
-        .submit_quantized("m", inputs[0].clone())
+    let first = gw
+        .submit(Request::quantized("m", inputs[0].clone()))
         .expect("admitted");
     // Give the worker time to pop the first request and enter the stall,
     // so the rest are queued behind it.
     std::thread::sleep(Duration::from_millis(30));
     let queued: Vec<_> = (1..4)
         .map(|i| {
-            server
-                .submit_quantized("m", inputs[i].clone())
+            gw.submit(Request::quantized("m", inputs[i].clone()))
                 .expect("admitted")
         })
         .collect();
@@ -236,8 +313,8 @@ fn stalled_worker_expires_queued_requests_instead_of_serving_late() {
         }
     }
     assert_eq!(expired, 3);
-    assert_eq!(server.stats().expired, 3);
-    server.shutdown();
+    assert_eq!(gw.stats().expired, 3);
+    gw.shutdown();
     faults::reset();
 }
 
@@ -250,16 +327,16 @@ fn overload_sheds_batch_class_and_keeps_interactive_p99_under_contract() {
     let (dm, inputs) = model_and_inputs("m", 14, 100.0);
     let reg = Registry::new();
     reg.register(dm);
-    let server = Server::start(
+    let gw = Gateway::start(
         reg,
-        ServeOptions {
-            max_batch: 8,
-            workers: 1,
-            max_queue_depth: 64,
-            shed_high_water: Some(8),
-            deadline_slack: 1.0,
-            ..Default::default()
-        },
+        ServeOptions::builder()
+            .max_batch(8)
+            .workers(1)
+            .max_queue_depth(64)
+            .shed_high_water(8)
+            .deadline_slack(1.0)
+            .build()
+            .expect("opts"),
     );
     let contract_ms = 100.0;
     let (interactive_p99_ms, interactive_ok, batch_shed) = std::thread::scope(|s| {
@@ -267,16 +344,15 @@ fn overload_sheds_batch_class_and_keeps_interactive_p99_under_contract() {
         // hammering the high-water mark.
         let flooders: Vec<_> = (0..4)
             .map(|t| {
-                let server = &server;
+                let gw = &gw;
                 let inputs = &inputs;
                 s.spawn(move || {
                     let mut shed = 0usize;
                     let mut rxs = Vec::new();
                     for i in 0..100 {
-                        match server.submit_quantized_with(
-                            "m",
-                            inputs[(t + i) % inputs.len()].clone(),
-                            Priority::Batch,
+                        match gw.submit(
+                            Request::quantized("m", inputs[(t + i) % inputs.len()].clone())
+                                .priority(Priority::Batch),
                         ) {
                             Ok(rx) => rxs.push(rx),
                             Err(SubmitError::Shed { .. } | SubmitError::QueueFull { .. }) => {
@@ -297,15 +373,16 @@ fn overload_sheds_batch_class_and_keeps_interactive_p99_under_contract() {
         // latency only (non-shed traffic).
         let clients: Vec<_> = (0..4)
             .map(|c| {
-                let server = &server;
+                let gw = &gw;
                 let inputs = &inputs;
                 s.spawn(move || {
                     let mut ok_ms = Vec::new();
                     for i in 0..25 {
                         let rx = loop {
-                            match server
-                                .submit_quantized("m", inputs[(c * 25 + i) % inputs.len()].clone())
-                            {
+                            match gw.submit(Request::quantized(
+                                "m",
+                                inputs[(c * 25 + i) % inputs.len()].clone(),
+                            )) {
                                 Ok(rx) => break rx,
                                 Err(SubmitError::QueueFull { .. }) => std::thread::yield_now(),
                                 Err(e) => panic!("interactive submit: {e}"),
@@ -344,8 +421,8 @@ fn overload_sheds_batch_class_and_keeps_interactive_p99_under_contract() {
         batch_shed > 0,
         "the flood never tripped the high-water mark — overload scenario is vacuous"
     );
-    assert!(server.stats().shed_admission > 0 || batch_shed > 0);
-    server.shutdown();
+    assert!(gw.stats().shed_admission > 0 || batch_shed > 0);
+    gw.shutdown();
     faults::reset();
 }
 
@@ -355,21 +432,21 @@ fn queue_full_injection_is_counted_by_loadgen_not_retried_forever() {
     let (dm, inputs) = model_and_inputs("m", 15, 0.1);
     let reg = Registry::new();
     reg.register(dm);
-    let server = Server::start(
+    let gw = Gateway::start(
         reg,
-        ServeOptions {
-            max_batch: 4,
-            workers: 1,
-            ..Default::default()
-        },
+        ServeOptions::builder()
+            .max_batch(4)
+            .workers(1)
+            .build()
+            .expect("opts"),
     );
-    // Single-client loadgen: push attempts hit the site sequentially, so
-    // a fire limit gives an exact refusal schedule. First plan: 2 fires,
-    // budget 3 — request 1 is refused twice and admitted on its third
-    // attempt; everything else admits first try.
+    // Single-client loadgen against a single shard: push attempts hit the
+    // site sequentially, so a fire limit gives an exact refusal schedule.
+    // First plan: 2 fires, budget 3 — request 1 is refused twice and
+    // admitted on its third attempt; everything else admits first try.
     faults::arm(faults::SITE_QUEUE_PUSH, Fault::QueueFull, 1.0, 45, Some(2));
     let report = ataman_serve::run_closed_loop(
-        &server,
+        &gw,
         &inputs,
         &LoadGenConfig {
             clients: 1,
@@ -388,7 +465,7 @@ fn queue_full_injection_is_counted_by_loadgen_not_retried_forever() {
     // spun on the injected refusals forever).
     faults::arm(faults::SITE_QUEUE_PUSH, Fault::QueueFull, 1.0, 46, Some(4));
     let report = ataman_serve::run_closed_loop(
-        &server,
+        &gw,
         &inputs,
         &LoadGenConfig {
             clients: 1,
@@ -402,7 +479,7 @@ fn queue_full_injection_is_counted_by_loadgen_not_retried_forever() {
     assert_eq!(report.total_requests, 2);
     assert_eq!(report.offered_requests, 4);
     assert_eq!(report.dropped_replies, 0);
-    server.shutdown();
+    gw.shutdown();
     faults::reset();
 }
 
@@ -417,17 +494,17 @@ fn shed_batch_request_degrades_to_cheaper_family_member() {
     let reg = Registry::new();
     reg.register(big.with_family("fam"));
     reg.register(small.with_family("fam"));
-    let server = Server::start(
+    let gw = Gateway::start(
         reg,
-        ServeOptions {
-            max_batch: 1,
-            workers: 1,
-            max_queue_depth: 8,
-            shed_high_water: Some(1),
-            deadline: Some(Duration::from_secs(10)),
-            degrade_on_shed: true,
-            ..Default::default()
-        },
+        ServeOptions::builder()
+            .max_batch(1)
+            .workers(1)
+            .max_queue_depth(8)
+            .shed_high_water(1)
+            .deadline(Duration::from_secs(10))
+            .degrade_on_shed(true)
+            .build()
+            .expect("opts"),
     );
     // Stall the first execution so follow-up submissions pile up behind it
     // and the high-water mark is genuinely crossed.
@@ -438,17 +515,17 @@ fn shed_batch_request_degrades_to_cheaper_family_member() {
         47,
         Some(1),
     );
-    let stalled = server
-        .submit_quantized("big", inputs[0].clone())
+    let stalled = gw
+        .submit(Request::quantized("big", inputs[0].clone()))
         .expect("admitted");
     std::thread::sleep(Duration::from_millis(30));
     // Queue one interactive request (depth 1 = high water)…
-    let queued = server
-        .submit_quantized("big", inputs[1].clone())
+    let queued = gw
+        .submit(Request::quantized("big", inputs[1].clone()))
         .expect("interactive admits past high water");
     // …then a batch-class request: shed at the mark, rerouted to "small".
-    let degraded = server
-        .submit_quantized_with("big", inputs[2].clone(), Priority::Batch)
+    let degraded = gw
+        .submit(Request::quantized("big", inputs[2].clone()).priority(Priority::Batch))
         .expect("degraded reroute admits instead of shedding");
     for (rx, want_model) in [(stalled, "big"), (queued, "big"), (degraded, "small")] {
         match rx.recv().expect("resolved") {
@@ -459,10 +536,10 @@ fn shed_batch_request_degrades_to_cheaper_family_member() {
             other => panic!("expected Ok from {want_model}, got {}", other.kind()),
         }
     }
-    let stats = server.stats();
+    let stats = gw.stats();
     assert_eq!(stats.degraded, 1);
     assert_eq!(stats.shed_admission, 0, "the shed became a reroute");
-    server.shutdown();
+    gw.shutdown();
     faults::reset();
 }
 
@@ -472,31 +549,30 @@ fn shutdown_drains_cleanly_under_random_faults() {
     let (dm, inputs) = model_and_inputs("m", 17, 0.1);
     let reg = Registry::new();
     reg.register(dm);
-    let server = Server::start(
+    let gw = Gateway::start(
         reg,
-        ServeOptions {
-            max_batch: 4,
-            workers: 2,
-            deadline: Some(Duration::from_secs(10)),
-            max_worker_restarts: 50,
-            restart_backoff: Duration::from_millis(1),
-            ..Default::default()
-        },
+        ServeOptions::builder()
+            .max_batch(4)
+            .workers(2)
+            .deadline(Duration::from_secs(10))
+            .max_worker_restarts(50)
+            .restart_backoff(Duration::from_millis(1))
+            .build()
+            .expect("opts"),
     );
     // 30% of executions panic, forever, seeded: the drain must still
     // resolve every admitted request through crashes and restarts.
     faults::arm(faults::SITE_WORKER_EXEC, Fault::Panic, 0.3, 48, None);
     let rxs: Vec<_> = (0..64)
         .map(|i| {
-            server
-                .submit_quantized("m", inputs[i % inputs.len()].clone())
+            gw.submit(Request::quantized("m", inputs[i % inputs.len()].clone()))
                 .expect("admission open")
         })
         .collect();
     // Shut down immediately: close → drain (through injected panics) →
     // join → resolve leftovers.
     let t0 = Instant::now();
-    server.shutdown();
+    gw.shutdown();
     assert!(
         t0.elapsed() < Duration::from_secs(30),
         "shutdown hung under faults"
