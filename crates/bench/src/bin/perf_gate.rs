@@ -71,6 +71,12 @@ enum Gate {
     /// 1-CPU builder time-slices all four workers onto one core and cannot
     /// demonstrate scaling, so there the floor is reported, not enforced.
     Floor { min: f64, min_cpus: f64 },
+    /// Absolute ceiling on the *current* report's value, enforced only
+    /// when the report's `when_field` is positive. This gates the shadow
+    /// disagreement rate: with shadowing off (`shadow_rate` = 0, the gated
+    /// bench configuration) there is no signal and the ceiling is reported
+    /// as informational; a run with shadowing on must stay under it.
+    Ceiling { max: f64, when_field: &'static str },
 }
 
 /// One tracked metric of one report file.
@@ -220,6 +226,39 @@ const SPECS: &[Spec] = &[
             },
             Metric {
                 field: "max_submit_attempts",
+                gate: Gate::Info,
+            },
+            Metric {
+                // The bench deploys no canaries: any rollback means the
+                // control loop acted on phantom signals — a bug, not noise.
+                field: "rollbacks",
+                gate: Gate::Zero,
+            },
+            Metric {
+                field: "canary_promotions",
+                gate: Gate::Info,
+            },
+            Metric {
+                field: "shadow_rate",
+                gate: Gate::Info,
+            },
+            Metric {
+                field: "disagreement_rate",
+                gate: Gate::Ceiling {
+                    max: 0.15,
+                    when_field: "shadow_rate",
+                },
+            },
+            Metric {
+                field: "shadow_probe_images_per_sec",
+                gate: Gate::Info,
+            },
+            Metric {
+                field: "shadow_probe_shadow_runs",
+                gate: Gate::Info,
+            },
+            Metric {
+                field: "shadow_probe_disagreement_rate",
                 gate: Gate::Info,
             },
         ],
@@ -482,6 +521,48 @@ fn main() -> ExitCode {
                 .unwrap();
                 continue;
             }
+            // Ceiling-gated metrics read only the current report, and only
+            // when the arming field is positive — a disagreement ceiling
+            // with shadowing off would gate on silence.
+            if let Gate::Ceiling { max, when_field } = m.gate {
+                let armed = number(&cur, when_field).is_some_and(|v| v > 0.0);
+                let status = match c {
+                    Some(_) if !armed => {
+                        format!("ℹ️ {when_field} = 0: ceiling {} not enforced", fmt_v(max))
+                    }
+                    Some(v) if v <= max => format!("✅ ≤ {}", fmt_v(max)),
+                    Some(v) => {
+                        failures.push(format!(
+                            "{} {}: {} above the {} ceiling with {} > 0",
+                            spec.file,
+                            m.field,
+                            fmt_v(v),
+                            fmt_v(max),
+                            when_field
+                        ));
+                        format!("❌ > {}", fmt_v(max))
+                    }
+                    None => {
+                        failures.push(format!(
+                            "{} {}: ceiling-gated metric missing from current report \
+                             (strict schema; regenerate the report)",
+                            spec.file, m.field
+                        ));
+                        "❌ missing".to_string()
+                    }
+                };
+                writeln!(
+                    table,
+                    "| {} | {} | {} | {} | — | {} |",
+                    spec.file,
+                    m.field,
+                    b.map_or("*(absent)*".to_string(), fmt_v),
+                    c.map_or("*(absent)*".to_string(), fmt_v),
+                    status
+                )
+                .unwrap();
+                continue;
+            }
             let (b, c) = match (b, c) {
                 (Some(b), Some(c)) => (b, c),
                 _ => {
@@ -515,8 +596,8 @@ fn main() -> ExitCode {
             let enforced = match m.gate {
                 Gate::Info => false,
                 Gate::SameMachine => same_machine,
-                Gate::Zero | Gate::Floor { .. } => {
-                    unreachable!("zero- and floor-gated metrics handled above")
+                Gate::Zero | Gate::Floor { .. } | Gate::Ceiling { .. } => {
+                    unreachable!("zero-, floor-, and ceiling-gated metrics handled above")
                 }
             };
             let status = if !enforced {

@@ -66,6 +66,12 @@ struct WorkerConfigRow {
     queue_peak_depth: usize,
     queue_full_retries: u64,
     max_submit_attempts: u64,
+    /// Canary rollbacks observed (no canaries are deployed in the bench:
+    /// **gated at zero per configuration**).
+    rollbacks: u64,
+    /// Fleet-wide shadow disagreement fraction (0: shadowing is off in
+    /// the gated configurations).
+    disagreement_rate: f64,
 }
 
 #[derive(Serialize)]
@@ -108,6 +114,26 @@ struct ServeBenchReport {
     queue_peak_depth: usize,
     queue_full_retries: u64,
     max_submit_attempts: u64,
+    /// Shadow sampling rate of the gated configurations (0: the closed
+    /// accuracy loop is strictly opt-in and must cost nothing when off).
+    shadow_rate: usize,
+    /// Fleet-wide shadow disagreement fraction of the baseline row (0
+    /// with shadowing off; the gate's ceiling only applies when
+    /// `shadow_rate > 0`).
+    disagreement_rate: f64,
+    /// Canary rollbacks in the baseline row (**zero-gated**: the bench
+    /// deploys no canaries, so any rollback is a control-loop bug).
+    rollbacks: u64,
+    /// Canary promotions in the baseline row (zero-gated likewise).
+    canary_promotions: u64,
+    /// Informational shadow probe: throughput of a 1-worker fleet with
+    /// `shadow_rate = 4` (every 4th request re-runs the exact engine).
+    shadow_probe_images_per_sec: f64,
+    /// Shadow comparisons the probe completed.
+    shadow_probe_shadow_runs: u64,
+    /// Disagreement fraction the probe observed between the approximate
+    /// design and the exact engine.
+    shadow_probe_disagreement_rate: f64,
     /// Every measured fleet width, in `WORKER_CONFIGS` order.
     worker_configs: Vec<WorkerConfigRow>,
     /// Median throughput of the 2-worker fleet (flattened for the gate).
@@ -227,8 +253,57 @@ fn bench_config(
             .map(|r| r.max_submit_attempts)
             .max()
             .unwrap_or(1),
+        rollbacks: stats.rollbacks,
+        disagreement_rate: stats.disagreement_rate,
         per_rep_images_per_sec: per_rep,
     }
+}
+
+/// Informational probe of the shadow path's cost and signal: one worker,
+/// every 4th admission re-run through the exact engine after its reply
+/// ships. Not gated — the gated rows all run `shadow_rate = 0`.
+fn shadow_probe(
+    deployed: &[DeployedModel],
+    models: &[String],
+    inputs: &[Vec<i8>],
+) -> (f64, u64, f64) {
+    let registry = Registry::new();
+    for d in deployed {
+        registry.register(d.clone());
+    }
+    let opts = ServeOptions::builder()
+        .max_batch(MAX_BATCH)
+        .workers(1)
+        .shadow_rate(4)
+        .build()
+        .expect("probe options are valid");
+    let gateway = Gateway::start(registry, opts);
+    let report = run_closed_loop(
+        &gateway,
+        inputs,
+        &LoadGenConfig::new(CLIENTS, 256, models.to_vec()),
+    );
+    // Shadows run after replies ship: wait for the counters to settle.
+    let mut stats = gateway.stats();
+    loop {
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let cur = gateway.stats();
+        if cur.shadow_runs == stats.shadow_runs {
+            stats = cur;
+            break;
+        }
+        stats = cur;
+    }
+    gateway.shutdown();
+    println!(
+        "shadow probe (rate 4): {:.0} img/s, {} shadow runs, disagreement {:.4}",
+        report.images_per_sec, stats.shadow_runs, stats.disagreement_rate
+    );
+    (
+        report.images_per_sec,
+        stats.shadow_runs,
+        stats.disagreement_rate,
+    )
 }
 
 fn main() {
@@ -323,6 +398,8 @@ fn main() {
         .collect();
     let wall_seconds = t0.elapsed().as_secs_f64() / WORKER_CONFIGS.len() as f64;
 
+    let (probe_ips, probe_runs, probe_disagreement) = shadow_probe(&deployed, &models, &inputs);
+
     let base = &rows[0];
     let w2 = rows.iter().find(|r| r.workers == 2).expect("w2 row");
     let w4 = rows.iter().find(|r| r.workers == 4).expect("w4 row");
@@ -374,6 +451,13 @@ fn main() {
         worker_crashes_w4: w4.worker_crashes,
         scaling_w4,
         scaling_efficiency: scaling_w4 / 4.0,
+        shadow_rate: 0,
+        disagreement_rate: base.disagreement_rate,
+        rollbacks: base.rollbacks,
+        canary_promotions: 0,
+        shadow_probe_images_per_sec: probe_ips,
+        shadow_probe_shadow_runs: probe_runs,
+        shadow_probe_disagreement_rate: probe_disagreement,
         worker_configs: rows,
         models,
         approx_contract_latency_ms,

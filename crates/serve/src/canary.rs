@@ -1,0 +1,297 @@
+//! Canary deployments: the state machine that lets a candidate design
+//! into the fleet — and throws it back out — without human intervention.
+//!
+//! A canary moves through `Candidate → Canary → Promoted | RolledBack`:
+//!
+//! * **Candidate** — a design handed to
+//!   [`Registry::deploy_canary`](crate::Registry::deploy_canary); it gets
+//!   a versioned name (`"{primary}@v{n}"`) and becomes routable.
+//! * **Canary** — a deterministic hash-based fraction of the primary's
+//!   traffic is rerouted to it; its per-model health counters (ok
+//!   replies, crashes, expiries, shadow disagreement) accrue under the
+//!   versioned name.
+//! * **Promoted** — the supervisor observed at least
+//!   [`CanaryConfig::min_samples`] ok replies with the contract metrics
+//!   and disagreement rate inside their thresholds: the candidate is
+//!   re-registered under the primary name (a normal Arc-swap rollout).
+//! * **RolledBack** — any rollback trigger fired: a canary-shard crash, a
+//!   disagreement spike past [`CanaryConfig::max_disagreement`], or a
+//!   contract violation (expired requests, or mean latency blowing past
+//!   the primary's by more than [`CanaryConfig::max_latency_ratio`]).
+//!   Routing to the candidate stops immediately; its versioned registry
+//!   entry stays resolvable so every already-admitted request still
+//!   serves — **no admitted request is ever lost across a rollback**.
+//!
+//! The promote/rollback decision itself is [`decide`] — a **pure
+//! function** of a [`CanaryObservation`] (plain counters, no clocks, no
+//! randomness). The supervisor thread only samples counters and applies
+//! whatever [`decide`] returns, which is what makes the state machine
+//! replayable and proptest-able (`tests/canary_decision.rs`).
+
+use serde::Serialize;
+
+/// Promotion / rollback thresholds a canary is evaluated under.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CanaryConfig {
+    /// Fraction of the primary's traffic routed to the candidate, in
+    /// `(0, 1]`. The split is a deterministic hash of the request id.
+    pub traffic_fraction: f64,
+    /// Ok replies the candidate must accumulate before promotion.
+    pub min_samples: u64,
+    /// Disagreement-rate (windowed EWMA) ceiling; above it the canary
+    /// rolls back with [`RollbackReason::DisagreementSpike`].
+    pub max_disagreement: f64,
+    /// Shadow samples required before the disagreement EWMA is trusted —
+    /// one unlucky first sample must not read as a spike.
+    pub min_shadow_samples: u64,
+    /// Worker crashes tolerated on canary batches (default 0: any crash
+    /// rolls back with [`RollbackReason::ShardCrash`]).
+    pub max_crashes: u64,
+    /// Expired canary requests tolerated (default 0: a canary that cannot
+    /// hold the contract-derived deadline is a contract violation).
+    pub max_expired: u64,
+    /// Ceiling on `canary mean latency / primary mean latency` at
+    /// promotion time; above it the canary rolls back with
+    /// [`RollbackReason::ContractViolation`].
+    pub max_latency_ratio: f64,
+}
+
+impl Default for CanaryConfig {
+    fn default() -> Self {
+        Self {
+            traffic_fraction: 0.25,
+            min_samples: 64,
+            max_disagreement: 0.1,
+            min_shadow_samples: 8,
+            max_crashes: 0,
+            max_expired: 0,
+            max_latency_ratio: 4.0,
+        }
+    }
+}
+
+impl CanaryConfig {
+    /// Default thresholds at an explicit traffic fraction.
+    pub fn with_fraction(traffic_fraction: f64) -> Self {
+        Self {
+            traffic_fraction,
+            ..Self::default()
+        }
+    }
+}
+
+/// Why a canary was rolled back. Typed, counted
+/// ([`StatsSnapshot::rollbacks`](crate::StatsSnapshot::rollbacks)), and
+/// zero-gated in `perf_gate` under the default (canary-free) bench config.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum RollbackReason {
+    /// A worker crashed executing a canary batch (PR 6/7 supervision
+    /// counters, attributed per model).
+    ShardCrash,
+    /// The shadow-comparison disagreement EWMA crossed
+    /// [`CanaryConfig::max_disagreement`].
+    DisagreementSpike,
+    /// The candidate violated its serving contract: expired requests, or
+    /// mean latency past [`CanaryConfig::max_latency_ratio`] × primary.
+    ContractViolation,
+}
+
+impl std::fmt::Display for RollbackReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RollbackReason::ShardCrash => write!(f, "shard crash"),
+            RollbackReason::DisagreementSpike => write!(f, "disagreement spike"),
+            RollbackReason::ContractViolation => write!(f, "contract violation"),
+        }
+    }
+}
+
+/// What the supervisor observed about a canary at one evaluation tick —
+/// plain counters sampled from the per-model health monitor. [`decide`]
+/// is a pure function of this struct alone.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CanaryObservation {
+    /// Ok replies served by the candidate.
+    pub samples: u64,
+    /// Worker crashes on candidate batches.
+    pub crashes: u64,
+    /// Candidate requests expired before execution.
+    pub expired: u64,
+    /// Shadow (exact-engine) comparisons run against the candidate.
+    pub shadow_runs: u64,
+    /// Windowed EWMA of shadow disagreement (meaningful once
+    /// `shadow_runs > 0`).
+    pub disagreement_rate: f64,
+    /// Mean ok-reply latency of the candidate, µs.
+    pub mean_latency_us: f64,
+    /// Mean ok-reply latency of the primary, µs (0 when the primary has
+    /// served nothing — the latency-ratio check is then skipped).
+    pub primary_mean_latency_us: f64,
+}
+
+/// What [`decide`] tells the supervisor to do with a canary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CanaryDecision {
+    /// Keep routing and keep observing.
+    Continue,
+    /// Thresholds beaten over the minimum sample count: promote.
+    Promote,
+    /// A rollback trigger fired: stop routing, keep the versioned entry
+    /// resolvable for in-flight requests.
+    Rollback(RollbackReason),
+}
+
+/// Terminal state of a finished canary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum CanaryOutcome {
+    /// The candidate took over the primary name.
+    Promoted,
+    /// The candidate was withdrawn from routing.
+    RolledBack(RollbackReason),
+}
+
+/// One finished canary: the typed event record surfaced by
+/// [`Gateway::canary_events`](crate::Gateway::canary_events).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct CanaryEvent {
+    /// The primary model the canary shadowed.
+    pub model: String,
+    /// The candidate's versioned registry name.
+    pub canary: String,
+    /// How it ended.
+    pub outcome: CanaryOutcome,
+}
+
+/// The promote/rollback decision: a **pure function** of the observed
+/// counter stream. No clock, no randomness, no hidden state — replaying
+/// the same observations yields the same decision sequence, which is what
+/// the chaos suite and the `canary_decision` proptests pin.
+///
+/// Trigger order (first match wins, most severe first):
+/// 1. crashes past `max_crashes` → [`RollbackReason::ShardCrash`];
+/// 2. disagreement EWMA past `max_disagreement` (once
+///    `min_shadow_samples` shadow runs exist) →
+///    [`RollbackReason::DisagreementSpike`];
+/// 3. expiries past `max_expired` → [`RollbackReason::ContractViolation`];
+/// 4. at `min_samples` ok replies: mean latency past
+///    `max_latency_ratio` × primary → `ContractViolation`, otherwise
+///    **Promote**;
+/// 5. else Continue.
+pub fn decide(cfg: &CanaryConfig, obs: &CanaryObservation) -> CanaryDecision {
+    if obs.crashes > cfg.max_crashes {
+        return CanaryDecision::Rollback(RollbackReason::ShardCrash);
+    }
+    if obs.shadow_runs >= cfg.min_shadow_samples.max(1)
+        && obs.disagreement_rate > cfg.max_disagreement
+    {
+        return CanaryDecision::Rollback(RollbackReason::DisagreementSpike);
+    }
+    if obs.expired > cfg.max_expired {
+        return CanaryDecision::Rollback(RollbackReason::ContractViolation);
+    }
+    if obs.samples >= cfg.min_samples {
+        if obs.primary_mean_latency_us > 0.0
+            && obs.mean_latency_us > cfg.max_latency_ratio * obs.primary_mean_latency_us
+        {
+            return CanaryDecision::Rollback(RollbackReason::ContractViolation);
+        }
+        return CanaryDecision::Promote;
+    }
+    CanaryDecision::Continue
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> CanaryConfig {
+        CanaryConfig {
+            min_samples: 10,
+            min_shadow_samples: 4,
+            ..CanaryConfig::default()
+        }
+    }
+
+    #[test]
+    fn healthy_canary_promotes_only_after_min_samples() {
+        let mut obs = CanaryObservation {
+            samples: 9,
+            mean_latency_us: 100.0,
+            primary_mean_latency_us: 90.0,
+            ..Default::default()
+        };
+        assert_eq!(decide(&cfg(), &obs), CanaryDecision::Continue);
+        obs.samples = 10;
+        assert_eq!(decide(&cfg(), &obs), CanaryDecision::Promote);
+    }
+
+    #[test]
+    fn any_crash_rolls_back_first_regardless_of_other_metrics() {
+        let obs = CanaryObservation {
+            samples: 1_000,
+            crashes: 1,
+            disagreement_rate: 1.0,
+            shadow_runs: 100,
+            ..Default::default()
+        };
+        assert_eq!(
+            decide(&cfg(), &obs),
+            CanaryDecision::Rollback(RollbackReason::ShardCrash)
+        );
+    }
+
+    #[test]
+    fn disagreement_spike_needs_min_shadow_samples() {
+        let mut obs = CanaryObservation {
+            samples: 2,
+            shadow_runs: 3,
+            disagreement_rate: 1.0,
+            ..Default::default()
+        };
+        // Too few shadow comparisons to trust the EWMA yet.
+        assert_eq!(decide(&cfg(), &obs), CanaryDecision::Continue);
+        obs.shadow_runs = 4;
+        assert_eq!(
+            decide(&cfg(), &obs),
+            CanaryDecision::Rollback(RollbackReason::DisagreementSpike)
+        );
+    }
+
+    #[test]
+    fn contract_violations_roll_back() {
+        // Expired requests trip immediately…
+        let obs = CanaryObservation {
+            samples: 3,
+            expired: 1,
+            ..Default::default()
+        };
+        assert_eq!(
+            decide(&cfg(), &obs),
+            CanaryDecision::Rollback(RollbackReason::ContractViolation)
+        );
+        // …and a latency blow-up trips at the promotion checkpoint.
+        let obs = CanaryObservation {
+            samples: 10,
+            mean_latency_us: 1_000.0,
+            primary_mean_latency_us: 100.0,
+            ..Default::default()
+        };
+        assert_eq!(
+            decide(&cfg(), &obs),
+            CanaryDecision::Rollback(RollbackReason::ContractViolation)
+        );
+    }
+
+    #[test]
+    fn missing_primary_latency_skips_the_ratio_check() {
+        // A primary that served nothing during the window cannot anchor
+        // the ratio — the canary still promotes on its other metrics.
+        let obs = CanaryObservation {
+            samples: 10,
+            mean_latency_us: 1_000.0,
+            primary_mean_latency_us: 0.0,
+            ..Default::default()
+        };
+        assert_eq!(decide(&cfg(), &obs), CanaryDecision::Promote);
+    }
+}

@@ -103,7 +103,9 @@ pub struct ShardSnapshot {
 
 /// 64-bit FNV-1a — cheap, dependency-free, and plenty for rendezvous
 /// weights (placement only needs a stable pseudo-random total order).
-fn fnv1a(bytes: &[u8], seed: u64) -> u64 {
+/// Also the hash behind deterministic canary traffic splitting
+/// ([`Registry::canary_route`](crate::Registry::canary_route)).
+pub(crate) fn fnv1a(bytes: &[u8], seed: u64) -> u64 {
     let mut h = 0xcbf29ce484222325u64 ^ seed;
     for &b in bytes {
         h ^= b as u64;

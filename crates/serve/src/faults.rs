@@ -44,6 +44,22 @@ pub const SITE_WORKER_EXEC: &str = "worker.exec";
 /// with the typed full error, request handed back).
 pub const SITE_QUEUE_PUSH: &str = "queue.push";
 
+/// Fault site: the shadow (exact-engine) execution of a sampled request.
+/// A firing panic fails only the shadow comparison — it is counted as a
+/// `shadow_failures` health event and never touches the serving reply.
+pub const SITE_SHADOW_EXEC: &str = "shadow.exec";
+
+/// Fault site: applying a canary **promotion** decision. A firing panic
+/// aborts that promotion attempt (re-evaluated on the next controller
+/// tick); a stall delays it — the chaos handle for holding a canary inside
+/// its promotion window while something else goes wrong.
+pub const SITE_CANARY_PROMOTE: &str = "canary.promote";
+
+/// Fault site: the retune proposal path. A firing panic aborts the
+/// proposal with a typed error before any canary is deployed — the replay
+/// buffer is left drained, the fleet untouched.
+pub const SITE_RETUNE_PROPOSE: &str = "retune.propose";
+
 /// The indexed form of a fault site: `"{site}#{idx}"`. Worker `idx`
 /// checks `site_at(SITE_WORKER_EXEC, idx)` in addition to the fleet-wide
 /// [`SITE_WORKER_EXEC`], so arming the indexed site faults exactly one
@@ -65,7 +81,7 @@ pub(crate) fn check_at(_site: &str, _idx: usize) -> Option<Fault> {
 }
 
 #[cfg(feature = "failpoints")]
-pub use imp::{arm, arm_at, check, check_at, disarm, fires, hits, reset};
+pub use imp::{arm, arm_at, arm_plan, check, check_at, disarm, fires, hits, reset};
 
 #[cfg(feature = "failpoints")]
 mod imp {
@@ -107,6 +123,24 @@ mod imp {
                 fires: 0,
             },
         );
+    }
+
+    /// Arm a whole injection plan from **one master seed**: every site's
+    /// decision stream is derived from `master_seed`, independently of the
+    /// order sites appear in `plan`. Sites are **sorted by name before
+    /// seeding** — two chaos tests (or two revisions of the same test)
+    /// that arm the same site set in different registration orders observe
+    /// identical per-site decision streams. (Per-site [`arm`] calls with
+    /// explicit seeds were already order-independent; this closes the gap
+    /// for plans that want a single seed to govern the whole drill.)
+    pub fn arm_plan(master_seed: u64, plan: &[(&str, Fault, f64, Option<u64>)]) {
+        let mut sorted: Vec<&(&str, Fault, f64, Option<u64>)> = plan.iter().collect();
+        sorted.sort_by_key(|(site, _, _, _)| *site);
+        let mut master = StdRng::seed_from_u64(master_seed);
+        for (site, fault, probability, limit) in sorted {
+            let seed: u64 = master.gen();
+            arm(site, *fault, *probability, seed, *limit);
+        }
     }
 
     /// Arm the **indexed** form of `site` for one worker/shard (key
@@ -214,6 +248,43 @@ mod imp {
             assert_eq!(fires(&super::super::site_at("test.site.c", 1)), 1);
             disarm(&super::super::site_at("test.site.c", 1));
             assert_eq!(check_at("test.site.c", 1), None);
+        }
+
+        #[test]
+        fn arm_plan_streams_are_stable_across_registration_order() {
+            // The same master seed must yield identical per-site decision
+            // streams whichever order the plan lists its sites — the plan
+            // is sorted by site name before per-site seeds are drawn.
+            let forward = [
+                ("test.plan.a", Fault::Panic, 0.5, None),
+                ("test.plan.b", Fault::QueueFull, 0.5, None),
+                ("test.plan.c", Fault::StallMs(1), 0.5, None),
+            ];
+            let mut reversed = forward;
+            reversed.reverse();
+            let run = |plan: &[(&str, Fault, f64, Option<u64>)]| {
+                arm_plan(99, plan);
+                let streams: Vec<Vec<bool>> = ["test.plan.a", "test.plan.b", "test.plan.c"]
+                    .iter()
+                    .map(|site| (0..32).map(|_| check(site).is_some()).collect())
+                    .collect();
+                for (site, _, _, _) in plan {
+                    disarm(site);
+                }
+                streams
+            };
+            let fwd = run(&forward);
+            let rev = run(&reversed);
+            assert_eq!(
+                fwd, rev,
+                "per-site decision streams must not depend on registration order"
+            );
+            // Distinct sites still get distinct streams (not one shared
+            // stream replayed three times).
+            assert!(
+                fwd[0] != fwd[1] || fwd[1] != fwd[2],
+                "sites drew identical streams — per-site derivation is broken"
+            );
         }
 
         #[test]

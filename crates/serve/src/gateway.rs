@@ -24,16 +24,20 @@
 //! [`Outcome`] — admission chooses a shard, and
 //! the shard's owning worker (or its drain path) owns the resolution.
 
+use crate::canary::{self, CanaryDecision, CanaryEvent};
 use crate::coordinator::{Coordinator, ShardSnapshot};
+use crate::faults;
+use crate::monitor::{ModelHealth, Monitor};
 use crate::options::ServeOptions;
 use crate::queue::{Outcome, PushError, QueuedRequest};
 use crate::registry::{DeployedModel, Registry};
 use crate::request::{Payload, Request};
+use crate::retune::{self, RetuneError, RetuneOutcome};
 use crate::worker::{drain_unserved, supervised_worker, WorkerCtx};
 use serde::Serialize;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -107,6 +111,9 @@ pub(crate) struct FleetStats {
     pub(crate) shed_admission: AtomicU64,
     pub(crate) degraded: AtomicU64,
     pub(crate) closed_unserved: AtomicU64,
+    pub(crate) canary_promotions: AtomicU64,
+    pub(crate) rollbacks: AtomicU64,
+    pub(crate) retune_proposals: AtomicU64,
 }
 
 /// Point-in-time copy of the fleet health counters (`BENCH_serve.json`
@@ -133,6 +140,23 @@ pub struct StatsSnapshot {
     /// Requests resolved [`Outcome::Closed`]
     /// by a shutdown or shard-abandonment drain.
     pub closed_unserved: u64,
+    /// Canaries promoted to primary by the control loop.
+    pub canary_promotions: u64,
+    /// Canaries rolled back (crash, disagreement spike, or contract
+    /// violation). The perf gate zero-gates this in the fault-free run.
+    pub rollbacks: u64,
+    /// Retune passes that produced a canary proposal.
+    pub retune_proposals: u64,
+    /// Shadow (exact-engine) comparisons completed, fleet-wide.
+    pub shadow_runs: u64,
+    /// Shadow comparisons where approx != exact, fleet-wide.
+    pub shadow_disagreements: u64,
+    /// Shadow executions that themselves failed (counted, never visible
+    /// in a serving reply).
+    pub shadow_failures: u64,
+    /// Fleet-wide shadow disagreement fraction
+    /// (`shadow_disagreements / shadow_runs`; 0 with shadowing off).
+    pub disagreement_rate: f64,
 }
 
 /// A running inference fleet: registry + coordinator + per-shard
@@ -144,10 +168,55 @@ pub struct StatsSnapshot {
 pub struct Gateway {
     registry: Arc<Registry>,
     coordinator: Arc<Coordinator>,
+    monitor: Arc<Monitor>,
     workers: Vec<JoinHandle<()>>,
+    controller: Option<JoinHandle<()>>,
+    /// Shutdown signal for the control thread: flag + wakeup.
+    ctl: Arc<(Mutex<bool>, Condvar)>,
     next_id: AtomicU64,
     opts: ServeOptions,
     stats: Arc<FleetStats>,
+}
+
+/// One control pass, shared by the background controller thread and
+/// [`Gateway::canary_tick`]: for every active canary, assemble its
+/// observation, run the pure decision function
+/// [`canary::decide`], and apply the verdict against the registry.
+/// Promotion checks the [`faults::SITE_CANARY_PROMOTE`] failpoint — an
+/// injected failure skips *this attempt* (the canary stays a canary and a
+/// later tick retries); it can never half-promote.
+fn canary_control_tick(
+    registry: &Registry,
+    monitor: &Monitor,
+    stats: &FleetStats,
+) -> Vec<CanaryEvent> {
+    let mut events = Vec::new();
+    for (primary, canary_name, cfg) in registry.canary_states() {
+        let obs = monitor.observe(&canary_name, &primary);
+        match canary::decide(&cfg, &obs) {
+            CanaryDecision::Continue => {}
+            CanaryDecision::Promote => {
+                match faults::check(faults::SITE_CANARY_PROMOTE) {
+                    Some(faults::Fault::StallMs(ms)) => {
+                        std::thread::sleep(Duration::from_millis(ms))
+                    }
+                    Some(_) => continue,
+                    None => {}
+                }
+                if let Some(ev) = registry.promote_canary(&primary) {
+                    stats.canary_promotions.fetch_add(1, Ordering::Relaxed);
+                    events.push(ev);
+                }
+            }
+            CanaryDecision::Rollback(reason) => {
+                if let Some(ev) = registry.rollback_canary(&primary, reason) {
+                    stats.rollbacks.fetch_add(1, Ordering::Relaxed);
+                    events.push(ev);
+                }
+            }
+        }
+    }
+    events
 }
 
 impl Gateway {
@@ -162,6 +231,7 @@ impl Gateway {
             opts.high_water(),
         ));
         let stats = Arc::new(FleetStats::default());
+        let monitor = Arc::new(Monitor::new(opts.shadow_ewma_window, opts.replay_capacity));
         let workers = coordinator
             .shards()
             .iter()
@@ -170,6 +240,7 @@ impl Gateway {
                     registry: registry.clone(),
                     shard: shard.clone(),
                     stats: stats.clone(),
+                    monitor: monitor.clone(),
                     max_batch: opts.max_batch(),
                     coalesce_window: opts.coalesce_window(),
                     deadline_margin: opts.deadline_margin,
@@ -179,10 +250,48 @@ impl Gateway {
                 std::thread::spawn(move || supervised_worker(ctx))
             })
             .collect();
+        // The control thread: every `control_interval`, evaluate active
+        // canaries (promote / roll back) and, when `retune_auto` is on,
+        // attempt a retune pass per primary (cheap no-op until a model's
+        // replay buffer reaches `min_replay`). Canaries can be deployed at
+        // any time through `gateway.registry()`, so the loop always runs;
+        // an idle tick is one empty `canary_states()` read.
+        let ctl = Arc::new((Mutex::new(false), Condvar::new()));
+        let controller = {
+            let registry = registry.clone();
+            let monitor = monitor.clone();
+            let stats = stats.clone();
+            let ctl = ctl.clone();
+            let interval = opts.control_interval;
+            let retune_auto = opts.retune_auto;
+            let retune_opts = opts.retune.clone();
+            std::thread::spawn(move || loop {
+                {
+                    let stop = ctl.0.lock().expect("control lock");
+                    let (stop, _) = ctl.1.wait_timeout(stop, interval).expect("control lock");
+                    if *stop {
+                        return;
+                    }
+                }
+                canary_control_tick(&registry, &monitor, &stats);
+                if retune_auto {
+                    for name in registry.names() {
+                        if let Ok(RetuneOutcome::Proposed { .. }) =
+                            retune::propose(&registry, &monitor, &name, &retune_opts)
+                        {
+                            stats.retune_proposals.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            })
+        };
         Self {
             registry,
             coordinator,
+            monitor,
             workers,
+            controller: Some(controller),
+            ctl,
             next_id: AtomicU64::new(0),
             opts,
             stats,
@@ -208,11 +317,34 @@ impl Gateway {
     /// admission* — a malformed request must never reach (and kill) a
     /// worker. Routing tries the model's replica shards least-loaded
     /// first and fails over while queues are full.
+    ///
+    /// Two closed-loop hooks ride on admission, both free when unused:
+    ///
+    /// * **canary split** — when the target has an active canary, a
+    ///   deterministic hash of the request id diverts the configured
+    ///   traffic fraction to the versioned candidate
+    ///   ([`Registry::canary_route`]); the request is then validated,
+    ///   quantized, deadlined and routed as the *canary*, so its health
+    ///   accrues under the canary's name;
+    /// * **shadow sampling** — with
+    ///   [`shadow_rate`](crate::ServeOptionsBuilder::shadow_rate) `= N > 0`,
+    ///   every Nth admission *per model* is stamped for exact-engine
+    ///   shadow execution at the worker (after its reply ships).
     pub fn submit(&self, request: Request) -> Result<Receiver<Outcome>, SubmitError> {
-        let entry = self
-            .registry
-            .get(&request.model)
-            .ok_or_else(|| SubmitError::UnknownModel(request.model.clone()))?;
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let mut model_name = request.model;
+        let mut entry = match self.registry.get(&model_name) {
+            Some(entry) => entry,
+            None => return Err(SubmitError::UnknownModel(model_name)),
+        };
+        if self.registry.has_canaries() {
+            if let Some(canary) = self.registry.canary_route(&model_name, id) {
+                if let Some(candidate) = self.registry.get(&canary) {
+                    model_name = canary;
+                    entry = candidate;
+                }
+            }
+        }
         let expected = entry.model.input_shape.item_len();
         let qinput = match request.payload {
             Payload::Quantized(q) => q,
@@ -236,15 +368,26 @@ impl Gateway {
         let budget = request
             .deadline
             .unwrap_or_else(|| self.deadline_for(&entry));
+        // Every-Nth per-model sampling: deterministic, and completely off
+        // the monitor (a lock-free read would still be a read) when
+        // shadowing is disabled.
+        let shadow = self.opts.shadow_rate > 0
+            && self
+                .monitor
+                .stats(&model_name)
+                .admitted
+                .fetch_add(1, Ordering::Relaxed)
+                .is_multiple_of(self.opts.shadow_rate as u64);
         let (tx, rx) = mpsc::channel();
         let mut queued = QueuedRequest {
-            id: self.next_id.fetch_add(1, Ordering::Relaxed),
-            model: request.model,
+            id,
+            model: model_name,
             qinput,
             submitted: now,
             deadline: now + budget,
             priority: request.priority,
             reply: tx,
+            shadow,
         };
         let candidates = self.coordinator.route(&queued.model, entry.replicas);
         if candidates.is_empty() {
@@ -381,6 +524,7 @@ impl Gateway {
 
     /// Snapshot of the fleet health counters.
     pub fn stats(&self) -> StatsSnapshot {
+        let (shadow_runs, shadow_disagreements, shadow_failures) = self.monitor.shadow_totals();
         StatsSnapshot {
             worker_crashes: self.stats.worker_crashes.load(Ordering::Relaxed),
             worker_restarts: self.stats.worker_restarts.load(Ordering::Relaxed),
@@ -395,7 +539,61 @@ impl Gateway {
                 .sum(),
             degraded: self.stats.degraded.load(Ordering::Relaxed),
             closed_unserved: self.stats.closed_unserved.load(Ordering::Relaxed),
+            canary_promotions: self.stats.canary_promotions.load(Ordering::Relaxed),
+            rollbacks: self.stats.rollbacks.load(Ordering::Relaxed),
+            retune_proposals: self.stats.retune_proposals.load(Ordering::Relaxed),
+            shadow_runs,
+            shadow_disagreements,
+            shadow_failures,
+            disagreement_rate: if shadow_runs == 0 {
+                0.0
+            } else {
+                shadow_disagreements as f64 / shadow_runs as f64
+            },
         }
+    }
+
+    /// Per-model health snapshot: resolution counters, shadow
+    /// disagreement EWMA, mean latency, replay-buffer depth. Works for
+    /// primaries and versioned canaries alike.
+    pub fn model_health(&self, model: &str) -> ModelHealth {
+        self.monitor.health(model)
+    }
+
+    /// Run one canary control pass synchronously (the background thread
+    /// runs the same pass every
+    /// [`control_interval`](crate::ServeOptionsBuilder::control_interval)).
+    /// Returns the promote/rollback events this pass produced — tests and
+    /// operators use it to step the state machine deterministically.
+    pub fn canary_tick(&self) -> Vec<CanaryEvent> {
+        canary_control_tick(&self.registry, &self.monitor, &self.stats)
+    }
+
+    /// Every promote/rollback event since startup, in order.
+    pub fn canary_events(&self) -> Vec<CanaryEvent> {
+        self.registry.canary_events()
+    }
+
+    /// Run one retune pass for `model` synchronously: drain its replay
+    /// buffer, refine τ over the drifted inputs, and deploy any improved
+    /// assignment **as a canary** — never a direct swap.
+    pub fn retune_now(&self, model: &str) -> Result<RetuneOutcome, RetuneError> {
+        let out = retune::propose(&self.registry, &self.monitor, model, &self.opts.retune)?;
+        if matches!(out, RetuneOutcome::Proposed { .. }) {
+            self.stats.retune_proposals.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(out)
+    }
+
+    /// The shard (= worker) indices `model` is placed on — chaos tests
+    /// use this to aim an indexed failpoint at a canary's shard.
+    pub fn placement_indices(&self, model: &str) -> Vec<usize> {
+        let replicas = self.registry.get(model).and_then(|e| e.replicas);
+        self.coordinator
+            .placement(model, replicas)
+            .iter()
+            .map(|s| s.index)
+            .collect()
     }
 
     /// Per-shard point-in-time views (routing balance, tests, benches).
@@ -429,6 +627,13 @@ impl Gateway {
     }
 
     fn shutdown_inner(&mut self) {
+        // Stop the control thread first: a promotion racing the worker
+        // join would be harmless but pointless.
+        if let Some(h) = self.controller.take() {
+            *self.ctl.0.lock().expect("control lock") = true;
+            self.ctl.1.notify_all();
+            let _ = h.join();
+        }
         self.close_admission();
         for h in self.workers.drain(..) {
             let _ = h.join();
@@ -452,6 +657,7 @@ impl Drop for Gateway {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::canary::{CanaryConfig, CanaryOutcome, RollbackReason};
     use crate::options::ServeOptionsBuilder;
     use crate::queue::Reply;
     use crate::registry::CostContract;
@@ -522,6 +728,166 @@ mod tests {
             assert!(reply.batch_size >= 1 && reply.batch_size <= 4);
             assert_eq!(reply.model, "m");
         }
+        // Shadowing is strictly opt-in: nothing ran the exact engine.
+        assert_eq!(gw.stats().shadow_runs, 0);
+        gw.shutdown();
+    }
+
+    #[test]
+    fn shadow_sampling_is_every_nth_per_model_and_invisible_to_replies() {
+        // An unmasked deployment: the approximate path *is* the exact
+        // path, so every shadow comparison must agree — the test pins the
+        // sampling cadence and the zero-disagreement bookkeeping.
+        let data = cifar10sim::generate(cifar10sim::DatasetConfig::tiny(82));
+        let m = tinynn::zoo::mini_cifar(82);
+        let ranges = calibrate_ranges(&m, &data.train.take(8));
+        let q = quantize_model(&m, &ranges);
+        let n_convs = q.conv_indices().len();
+        let reg = Registry::new();
+        reg.register(DeployedModel::from_parts(
+            "m",
+            q,
+            quantize::CompiledMasks::none(n_convs),
+            CostContract {
+                cycles: 1,
+                latency_ms: 0.1,
+                energy_mj: 0.001,
+                flash_bytes: 1024,
+            },
+        ));
+        let gw = Gateway::start(
+            reg,
+            lenient().workers(1).shadow_rate(2).build().expect("opts"),
+        );
+        let rxs: Vec<_> = (0..8)
+            .map(|i| {
+                gw.submit(Request::image("m", data.test.image(i)))
+                    .expect("ok")
+            })
+            .collect();
+        for rx in rxs {
+            served(rx);
+        }
+        // Shadows run after replies ship; give the worker a moment to
+        // finish the exact passes (bounded poll, not a fixed sleep).
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while gw.stats().shadow_runs < 4 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let s = gw.stats();
+        assert_eq!(s.shadow_runs, 4, "admissions 0,2,4,6 of 8 are sampled");
+        assert_eq!(s.shadow_disagreements, 0);
+        assert_eq!(s.shadow_failures, 0);
+        assert_eq!(s.disagreement_rate, 0.0);
+        let h = gw.model_health("m");
+        assert_eq!(h.shadow_runs, 4);
+        assert_eq!(h.replay_len, 0, "agreeing shadows never queue replay");
+        gw.shutdown();
+    }
+
+    #[test]
+    fn canary_promotes_after_min_samples_and_takes_over_the_name() {
+        let (dm, data) = deployed("m", 0.0, 81);
+        let (cand, _) = deployed("cand", 0.01, 81);
+        let reg = Registry::new();
+        reg.register(dm);
+        let gw = Gateway::start(
+            reg,
+            // Park the background controller so this test owns every
+            // decision via canary_tick().
+            lenient()
+                .workers(1)
+                .control_interval(Duration::from_secs(3600))
+                .build()
+                .expect("opts"),
+        );
+        let cfg = CanaryConfig {
+            traffic_fraction: 1.0,
+            min_samples: 8,
+            ..CanaryConfig::default()
+        };
+        let canary = gw
+            .registry()
+            .deploy_canary_with("m", cand, cfg)
+            .expect("deploy");
+        let rxs: Vec<_> = (0..16)
+            .map(|i| {
+                gw.submit(Request::image("m", data.test.image(i % 8)))
+                    .expect("ok")
+            })
+            .collect();
+        for rx in rxs {
+            let r = served(rx);
+            assert_eq!(r.model, canary, "fraction 1.0 diverts everything");
+        }
+        // 16 ok samples ≥ min 8, no crashes/expiry/disagreement: promote.
+        let events = gw.canary_tick();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].canary, canary);
+        assert!(matches!(events[0].outcome, CanaryOutcome::Promoted));
+        assert_eq!(gw.stats().canary_promotions, 1);
+        assert!(gw.registry().canary_list().is_empty());
+        assert_eq!(gw.canary_events().len(), 1);
+        // The promoted design now serves under the primary name.
+        let r = served(
+            gw.submit(Request::image("m", data.test.image(0)))
+                .expect("ok"),
+        );
+        assert_eq!(r.model, "m");
+        gw.shutdown();
+    }
+
+    #[test]
+    fn canary_contract_violation_rolls_back_and_primary_keeps_serving() {
+        let (dm, data) = deployed("m", 0.0, 80);
+        let (cand, _) = deployed("cand", 0.0, 80);
+        let reg = Registry::new();
+        reg.register(dm);
+        let gw = Gateway::start(
+            reg,
+            lenient()
+                .workers(1)
+                .control_interval(Duration::from_secs(3600))
+                .build()
+                .expect("opts"),
+        );
+        let cfg = CanaryConfig {
+            traffic_fraction: 1.0,
+            min_samples: 1_000_000, // never promotes in this test
+            ..CanaryConfig::default()
+        };
+        let canary = gw
+            .registry()
+            .deploy_canary_with("m", cand, cfg)
+            .expect("deploy");
+        // Zero-deadline requests expire at the worker — charged to the
+        // canary, whose contract allows zero expirations.
+        let rxs: Vec<_> = (0..4)
+            .map(|i| {
+                gw.submit(Request::image("m", data.test.image(i)).deadline(Duration::ZERO))
+                    .expect("ok")
+            })
+            .collect();
+        for rx in rxs {
+            match rx.recv().expect("resolved") {
+                Outcome::Expired(e) => assert_eq!(e.model, canary),
+                other => panic!("expected Expired, got {}", other.kind()),
+            }
+        }
+        let events = gw.canary_tick();
+        assert_eq!(events.len(), 1);
+        assert!(matches!(
+            events[0].outcome,
+            CanaryOutcome::RolledBack(RollbackReason::ContractViolation)
+        ));
+        assert_eq!(gw.stats().rollbacks, 1);
+        assert!(gw.registry().canary_list().is_empty());
+        // Rollback is total: the primary serves the very next request.
+        let r = served(
+            gw.submit(Request::image("m", data.test.image(0)))
+                .expect("ok"),
+        );
+        assert_eq!(r.model, "m");
         gw.shutdown();
     }
 

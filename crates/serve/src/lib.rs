@@ -39,27 +39,54 @@
 //!   writes them to `BENCH_serve.json` across worker counts, gated in CI
 //!   alongside `BENCH_dse.json`).
 //!
+//! On top of the fleet sits the **closed accuracy loop** (PR 8; see
+//! DESIGN.md, "Closed-loop serving"):
+//!
+//! * **shadow monitoring** — every Nth admitted request per model
+//!   ([`ServeOptionsBuilder::shadow_rate`], default off) is re-run through
+//!   the exact engine after its reply ships; disagreement feeds a windowed
+//!   per-model EWMA ([`ModelHealth::disagreement_rate`]) and a bounded
+//!   replay buffer of drifting inputs;
+//! * [`canary`] — versioned canary deployments
+//!   ([`Registry::deploy_canary`]) route a deterministic hash fraction of
+//!   a primary's traffic to a candidate; the control thread promotes or
+//!   **automatically rolls back** via the pure decision function
+//!   [`canary::decide`], and no admitted request is ever lost across a
+//!   mid-flight rollback;
+//! * [`retune`] — online τ re-tuning over the replay buffer with
+//!   [`dse::greedy_refine`]; proposals enter the fleet **only through the
+//!   canary path**, never a direct swap.
+//!
 //! Batching here is *the same* batching the DSE uses — one engine, two
 //! consumers — so every kernel improvement multiplies across both the
 //! design-space search and the serving path.
 
+pub mod canary;
 pub mod coordinator;
 pub mod faults;
 pub mod gateway;
 pub mod loadgen;
+pub mod monitor;
 pub mod options;
 pub mod queue;
 pub mod registry;
 pub mod request;
+pub mod retune;
 pub mod worker;
 
+pub use canary::{
+    decide as canary_decide, CanaryConfig, CanaryDecision, CanaryEvent, CanaryObservation,
+    CanaryOutcome, RollbackReason,
+};
 pub use coordinator::ShardSnapshot;
 pub use gateway::{Gateway, StatsSnapshot, SubmitError};
 pub use loadgen::{run_closed_loop, LoadGenConfig, LoadReport};
+pub use monitor::{ModelHealth, ReplaySample};
 pub use options::{ConfigError, ServeOptions, ServeOptionsBuilder};
 pub use queue::{
     AdmissionQueue, Batch, Crashed, Expired, Outcome, Priority, PushError, QueueClosed, QueueFull,
     QueueShed, QueuedRequest, Reply, Shed, Unserved, DEFAULT_MAX_DEPTH,
 };
-pub use registry::{CostContract, DeployedModel, Registry};
+pub use registry::{ActiveCanary, CanaryError, CostContract, DeployedModel, Registry};
 pub use request::Request;
+pub use retune::{RetuneError, RetuneOptions, RetuneOutcome};

@@ -1,0 +1,309 @@
+//! Per-model health monitoring: the shared counter surface the shadow
+//! path writes, the canary supervisor reads, and the retune loop drains.
+//!
+//! Workers record every resolved request against the model name it was
+//! routed to (primary or versioned canary), so a canary's health accrues
+//! separately from its primary's — `Monitor::observe` then assembles
+//! the [`CanaryObservation`](crate::canary::CanaryObservation) that the
+//! pure [`canary::decide`](crate::canary::decide) function consumes.
+//!
+//! The shadow path additionally records *accuracy* signals: each sampled
+//! request is re-run through the exact (unmasked) engine, and a
+//! prediction mismatch bumps the per-model disagreement EWMA (window
+//! `shadow_ewma_window`, i.e. `alpha = 1/window`) and pushes the
+//! offending input into a bounded **replay buffer** that the retune task
+//! drains as its calibration set.
+//!
+//! Everything on the worker hot path is a relaxed atomic bump; the only
+//! locks are the model-table `RwLock` (read-locked per batch) and the
+//! replay-buffer `Mutex` (touched only on disagreement — off the
+//! agreeing-shadow and non-shadow paths entirely).
+
+use serde::Serialize;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// One shadow-disagreeing input, replayed by the retune task. The image
+/// is stored dequantized (f32 NHWC) so it can seed a `cifar10sim`
+/// evaluation `Dataset`; the label is the **exact engine's** prediction —
+/// the ground-truth proxy the approximate engine is re-tuned against.
+#[derive(Debug, Clone)]
+pub struct ReplaySample {
+    /// Dequantized input image, NHWC layout, length `h * w * c`.
+    pub image: Vec<f32>,
+    /// Exact-engine prediction for this input.
+    pub label: u8,
+}
+
+/// Lock-free per-model counters (all relaxed atomics).
+#[derive(Debug, Default)]
+pub(crate) struct ModelStats {
+    /// Requests admitted under this model name — the deterministic
+    /// counter behind every-Nth shadow sampling at the gateway.
+    pub admitted: AtomicU64,
+    /// Ok replies served.
+    pub ok: AtomicU64,
+    /// Worker crashes attributed to this model's batches.
+    pub crashed: AtomicU64,
+    /// Requests expired before execution.
+    pub expired: AtomicU64,
+    /// Shadow (exact-engine) comparisons completed.
+    pub shadow_runs: AtomicU64,
+    /// Shadow comparisons where approx != exact.
+    pub shadow_disagreements: AtomicU64,
+    /// Shadow executions that themselves failed (panic at `shadow.exec`);
+    /// never touches the serving reply.
+    pub shadow_failures: AtomicU64,
+    /// Sum of ok-reply latencies, µs (mean = sum / ok).
+    pub latency_us_sum: AtomicU64,
+    /// Disagreement EWMA, stored as `f64::to_bits`. Written only under
+    /// the shadow path (worker-serial per model in practice); read
+    /// anywhere.
+    pub ewma_bits: AtomicU64,
+    /// Whether the EWMA has been seeded with a first sample.
+    pub ewma_primed: AtomicU64,
+}
+
+impl ModelStats {
+    fn ewma(&self) -> f64 {
+        f64::from_bits(self.ewma_bits.load(Ordering::Relaxed))
+    }
+
+    /// Fold one shadow comparison (1.0 = disagreed) into the EWMA.
+    /// Initialized to the first sample, then `(1-α)·old + α·new`.
+    fn fold_ewma(&self, sample: f64, alpha: f64) {
+        let new = if self.ewma_primed.swap(1, Ordering::Relaxed) == 0 {
+            sample
+        } else {
+            (1.0 - alpha) * self.ewma() + alpha * sample
+        };
+        self.ewma_bits.store(new.to_bits(), Ordering::Relaxed);
+    }
+}
+
+/// Point-in-time health snapshot for one model, as sampled by
+/// [`Gateway::model_health`](crate::Gateway::model_health) and the canary
+/// supervisor.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ModelHealth {
+    /// Ok replies served.
+    pub ok: u64,
+    /// Worker crashes attributed to this model's batches.
+    pub crashed: u64,
+    /// Requests expired before execution.
+    pub expired: u64,
+    /// Shadow comparisons completed.
+    pub shadow_runs: u64,
+    /// Shadow comparisons where approx != exact.
+    pub shadow_disagreements: u64,
+    /// Shadow executions that panicked (counted, reply unaffected).
+    pub shadow_failures: u64,
+    /// Windowed disagreement EWMA (0 until the first shadow run).
+    pub disagreement_rate: f64,
+    /// Mean ok-reply latency, µs (0 when nothing served).
+    pub mean_latency_us: f64,
+    /// Inputs currently queued in the replay buffer.
+    pub replay_len: usize,
+}
+
+/// Fleet-wide per-model health monitor. One instance per [`Gateway`]
+/// (crate::Gateway), shared with every worker.
+#[derive(Debug)]
+pub(crate) struct Monitor {
+    models: RwLock<HashMap<String, Arc<ModelStats>>>,
+    replay: Mutex<HashMap<String, VecDeque<ReplaySample>>>,
+    /// Replay buffer capacity per model (oldest evicted beyond it).
+    replay_cap: usize,
+    /// EWMA smoothing factor, `1 / shadow_ewma_window`.
+    ewma_alpha: f64,
+}
+
+impl Monitor {
+    pub(crate) fn new(shadow_ewma_window: usize, replay_cap: usize) -> Self {
+        Self {
+            models: RwLock::new(HashMap::new()),
+            replay: Mutex::new(HashMap::new()),
+            replay_cap,
+            ewma_alpha: 1.0 / shadow_ewma_window.max(1) as f64,
+        }
+    }
+
+    /// The stats cell for `model`, created on first touch.
+    pub(crate) fn stats(&self, model: &str) -> Arc<ModelStats> {
+        if let Some(s) = self.models.read().unwrap().get(model) {
+            return Arc::clone(s);
+        }
+        let mut models = self.models.write().unwrap();
+        Arc::clone(models.entry(model.to_string()).or_default())
+    }
+
+    /// Record one completed shadow comparison and, on disagreement, queue
+    /// the offending input for replay.
+    pub(crate) fn record_shadow(&self, model: &str, disagreed: bool, sample: Option<ReplaySample>) {
+        let stats = self.stats(model);
+        stats.shadow_runs.fetch_add(1, Ordering::Relaxed);
+        stats.fold_ewma(if disagreed { 1.0 } else { 0.0 }, self.ewma_alpha);
+        if disagreed {
+            stats.shadow_disagreements.fetch_add(1, Ordering::Relaxed);
+            if let Some(sample) = sample {
+                let mut replay = self.replay.lock().unwrap();
+                let buf = replay.entry(model.to_string()).or_default();
+                if buf.len() >= self.replay_cap {
+                    buf.pop_front();
+                }
+                buf.push_back(sample);
+            }
+        }
+    }
+
+    /// Record a shadow execution that itself failed (injected panic at
+    /// `shadow.exec` or a genuine exact-engine crash). The serving reply
+    /// was already sent; only the health surface notices.
+    pub(crate) fn record_shadow_failure(&self, model: &str) {
+        self.stats(model)
+            .shadow_failures
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of replay samples currently buffered for `model`.
+    pub(crate) fn replay_len(&self, model: &str) -> usize {
+        self.replay
+            .lock()
+            .unwrap()
+            .get(model)
+            .map_or(0, VecDeque::len)
+    }
+
+    /// Drain the replay buffer for `model` (retune consumes it whole).
+    pub(crate) fn drain_replay(&self, model: &str) -> Vec<ReplaySample> {
+        self.replay
+            .lock()
+            .unwrap()
+            .get_mut(model)
+            .map(|buf| buf.drain(..).collect())
+            .unwrap_or_default()
+    }
+
+    /// Point-in-time health snapshot for `model`.
+    pub(crate) fn health(&self, model: &str) -> ModelHealth {
+        let s = self.stats(model);
+        let ok = s.ok.load(Ordering::Relaxed);
+        let sum = s.latency_us_sum.load(Ordering::Relaxed);
+        ModelHealth {
+            ok,
+            crashed: s.crashed.load(Ordering::Relaxed),
+            expired: s.expired.load(Ordering::Relaxed),
+            shadow_runs: s.shadow_runs.load(Ordering::Relaxed),
+            shadow_disagreements: s.shadow_disagreements.load(Ordering::Relaxed),
+            shadow_failures: s.shadow_failures.load(Ordering::Relaxed),
+            disagreement_rate: s.ewma(),
+            mean_latency_us: if ok == 0 { 0.0 } else { sum as f64 / ok as f64 },
+            replay_len: self.replay_len(model),
+        }
+    }
+
+    /// Assemble the pure-decision observation for a canary vs its primary.
+    pub(crate) fn observe(&self, canary: &str, primary: &str) -> crate::canary::CanaryObservation {
+        let c = self.health(canary);
+        let p = self.health(primary);
+        crate::canary::CanaryObservation {
+            samples: c.ok,
+            crashes: c.crashed,
+            expired: c.expired,
+            shadow_runs: c.shadow_runs,
+            disagreement_rate: c.disagreement_rate,
+            mean_latency_us: c.mean_latency_us,
+            primary_mean_latency_us: p.mean_latency_us,
+        }
+    }
+
+    /// Fleet-wide shadow totals: (runs, disagreements, failures).
+    pub(crate) fn shadow_totals(&self) -> (u64, u64, u64) {
+        let models = self.models.read().unwrap();
+        let mut runs = 0;
+        let mut dis = 0;
+        let mut fails = 0;
+        for s in models.values() {
+            runs += s.shadow_runs.load(Ordering::Relaxed);
+            dis += s.shadow_disagreements.load(Ordering::Relaxed);
+            fails += s.shadow_failures.load(Ordering::Relaxed);
+        }
+        (runs, dis, fails)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(tag: f32) -> ReplaySample {
+        ReplaySample {
+            image: vec![tag; 4],
+            label: 3,
+        }
+    }
+
+    #[test]
+    fn ewma_initializes_to_first_sample_then_smooths() {
+        let m = Monitor::new(4, 8); // alpha = 0.25
+        m.record_shadow("m", true, None);
+        assert_eq!(m.health("m").disagreement_rate, 1.0);
+        m.record_shadow("m", false, None);
+        let h = m.health("m");
+        assert!((h.disagreement_rate - 0.75).abs() < 1e-12);
+        assert_eq!(h.shadow_runs, 2);
+        assert_eq!(h.shadow_disagreements, 1);
+    }
+
+    #[test]
+    fn replay_buffer_is_bounded_and_drains_whole() {
+        let m = Monitor::new(8, 3);
+        for i in 0..5 {
+            m.record_shadow("m", true, Some(sample(i as f32)));
+        }
+        assert_eq!(m.replay_len("m"), 3, "capacity evicts oldest");
+        let drained = m.drain_replay("m");
+        assert_eq!(drained.len(), 3);
+        // Oldest two (0, 1) were evicted; newest three remain in order.
+        let tags: Vec<f32> = drained.iter().map(|s| s.image[0]).collect();
+        assert_eq!(tags, vec![2.0, 3.0, 4.0]);
+        assert_eq!(m.replay_len("m"), 0);
+        assert!(m.drain_replay("m").is_empty());
+    }
+
+    #[test]
+    fn agreeing_shadows_never_touch_the_replay_buffer() {
+        let m = Monitor::new(8, 4);
+        m.record_shadow("m", false, Some(sample(1.0)));
+        assert_eq!(m.replay_len("m"), 0);
+    }
+
+    #[test]
+    fn observation_pairs_canary_against_primary() {
+        let m = Monitor::new(8, 4);
+        let p = m.stats("primary");
+        p.ok.fetch_add(10, Ordering::Relaxed);
+        p.latency_us_sum.fetch_add(1_000, Ordering::Relaxed);
+        let c = m.stats("primary@v1");
+        c.ok.fetch_add(4, Ordering::Relaxed);
+        c.latency_us_sum.fetch_add(800, Ordering::Relaxed);
+        c.crashed.fetch_add(1, Ordering::Relaxed);
+        let obs = m.observe("primary@v1", "primary");
+        assert_eq!(obs.samples, 4);
+        assert_eq!(obs.crashes, 1);
+        assert!((obs.mean_latency_us - 200.0).abs() < 1e-9);
+        assert!((obs.primary_mean_latency_us - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shadow_failures_are_counted_separately() {
+        let m = Monitor::new(8, 4);
+        m.record_shadow_failure("m");
+        let h = m.health("m");
+        assert_eq!(h.shadow_failures, 1);
+        assert_eq!(h.shadow_runs, 0, "a failed shadow is not a comparison");
+        let (runs, dis, fails) = m.shadow_totals();
+        assert_eq!((runs, dis, fails), (0, 0, 1));
+    }
+}

@@ -14,6 +14,7 @@
 //! host: `workers` defaults to the available parallelism (capped at 8) —
 //! multi-worker is the default shape of the fleet, not a bolt-on.
 
+use crate::retune::RetuneOptions;
 use std::time::Duration;
 
 /// Validated fleet configuration. Construct with
@@ -33,6 +34,12 @@ pub struct ServeOptions {
     pub(crate) max_worker_restarts: u32,
     pub(crate) restart_backoff: Duration,
     pub(crate) degrade_on_shed: bool,
+    pub(crate) shadow_rate: usize,
+    pub(crate) shadow_ewma_window: usize,
+    pub(crate) replay_capacity: usize,
+    pub(crate) control_interval: Duration,
+    pub(crate) retune_auto: bool,
+    pub(crate) retune: RetuneOptions,
 }
 
 /// Why a [`ServeOptionsBuilder`] refused to build. Every variant is a
@@ -68,6 +75,14 @@ pub enum ConfigError {
         /// The configured [`ServeOptionsBuilder::coalesce_window`].
         window: Duration,
     },
+    /// `shadow_ewma_window == 0`: the disagreement EWMA would divide by
+    /// zero before the first shadow sample ever lands.
+    ZeroEwmaWindow,
+    /// `replay_capacity == 0`: every disagreeing input would be dropped
+    /// on arrival and retune could never accumulate a calibration set.
+    ZeroReplayCapacity,
+    /// `control_interval == 0`: the supervisor thread would spin.
+    ZeroControlInterval,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -92,6 +107,15 @@ impl std::fmt::Display for ConfigError {
                 "deadline_margin ({margin:?}) exceeds coalesce_window ({window:?}): \
                  every window would close at pop time"
             ),
+            ConfigError::ZeroEwmaWindow => {
+                write!(f, "shadow_ewma_window must be at least 1")
+            }
+            ConfigError::ZeroReplayCapacity => {
+                write!(f, "replay_capacity must be at least 1")
+            }
+            ConfigError::ZeroControlInterval => {
+                write!(f, "control_interval must be nonzero")
+            }
         }
     }
 }
@@ -122,6 +146,12 @@ impl Default for ServeOptions {
             max_worker_restarts: 3,
             restart_backoff: Duration::from_millis(10),
             degrade_on_shed: false,
+            shadow_rate: 0,
+            shadow_ewma_window: 32,
+            replay_capacity: 256,
+            control_interval: Duration::from_millis(5),
+            retune_auto: false,
+            retune: RetuneOptions::default(),
         }
     }
 }
@@ -160,6 +190,12 @@ impl ServeOptions {
     /// The per-shard coalesce window.
     pub fn coalesce_window(&self) -> Duration {
         self.coalesce_window
+    }
+
+    /// Shadow sampling rate: every Nth admitted request per model is also
+    /// run through the exact engine (`0` = shadowing off, the default).
+    pub fn shadow_rate(&self) -> usize {
+        self.shadow_rate
     }
 }
 
@@ -261,6 +297,53 @@ impl ServeOptionsBuilder {
         self
     }
 
+    /// Shadow accuracy monitoring: every `rate`-th admitted request per
+    /// model also runs the exact (unmasked) engine on its worker shard
+    /// after the reply is sent; prediction disagreement feeds the
+    /// per-model `disagreement_rate` EWMA and the retune replay buffer.
+    /// `0` (the default) disables shadowing entirely — the hot path
+    /// carries no shadow cost when off.
+    pub fn shadow_rate(mut self, rate: usize) -> Self {
+        self.opts.shadow_rate = rate;
+        self
+    }
+
+    /// Window of the disagreement EWMA (`alpha = 1/window`); the EWMA
+    /// seeds to the first shadow sample.
+    pub fn shadow_ewma_window(mut self, window: usize) -> Self {
+        self.opts.shadow_ewma_window = window;
+        self
+    }
+
+    /// Per-model bound on buffered shadow-disagreeing inputs awaiting
+    /// retune (oldest evicted beyond it).
+    pub fn replay_capacity(mut self, capacity: usize) -> Self {
+        self.opts.replay_capacity = capacity;
+        self
+    }
+
+    /// How often the control thread evaluates canaries (and, with
+    /// [`ServeOptionsBuilder::retune_auto`], attempts a retune proposal).
+    pub fn control_interval(mut self, interval: Duration) -> Self {
+        self.opts.control_interval = interval;
+        self
+    }
+
+    /// Let the control thread propose retuned τ canaries automatically
+    /// whenever a model's replay buffer reaches the retune minimum.
+    /// Off by default — retune then only runs through
+    /// [`Gateway::retune_now`](crate::Gateway::retune_now).
+    pub fn retune_auto(mut self, auto: bool) -> Self {
+        self.opts.retune_auto = auto;
+        self
+    }
+
+    /// Thresholds and search budget for online τ re-tuning.
+    pub fn retune_options(mut self, retune: RetuneOptions) -> Self {
+        self.opts.retune = retune;
+        self
+    }
+
     /// Validate and produce the configuration. Rejects combinations that
     /// would otherwise surface as runtime panics or silently inert
     /// policies — see [`ConfigError`].
@@ -291,6 +374,15 @@ impl ServeOptionsBuilder {
                 margin: o.deadline_margin,
                 window: o.coalesce_window,
             });
+        }
+        if o.shadow_ewma_window == 0 {
+            return Err(ConfigError::ZeroEwmaWindow);
+        }
+        if o.replay_capacity == 0 {
+            return Err(ConfigError::ZeroReplayCapacity);
+        }
+        if o.control_interval.is_zero() {
+            return Err(ConfigError::ZeroControlInterval);
         }
         Ok(self.opts)
     }
@@ -358,6 +450,27 @@ mod tests {
                 window: Duration::from_micros(100),
             }
         );
+        assert_eq!(
+            ServeOptions::builder()
+                .shadow_ewma_window(0)
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroEwmaWindow
+        );
+        assert_eq!(
+            ServeOptions::builder()
+                .replay_capacity(0)
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroReplayCapacity
+        );
+        assert_eq!(
+            ServeOptions::builder()
+                .control_interval(Duration::ZERO)
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroControlInterval
+        );
         // Every error Displays (operator-facing) without panicking.
         for e in [
             ConfigError::ZeroWorkers,
@@ -365,9 +478,25 @@ mod tests {
                 margin: Duration::from_secs(1),
                 window: Duration::ZERO,
             },
+            ConfigError::ZeroEwmaWindow,
+            ConfigError::ZeroReplayCapacity,
+            ConfigError::ZeroControlInterval,
         ] {
             assert!(!e.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn shadowing_is_off_by_default_and_opt_in() {
+        let opts = ServeOptions::default();
+        assert_eq!(opts.shadow_rate(), 0, "shadow path is strictly opt-in");
+        let opts = ServeOptions::builder()
+            .shadow_rate(4)
+            .shadow_ewma_window(16)
+            .replay_capacity(64)
+            .build()
+            .expect("valid shadow config");
+        assert_eq!(opts.shadow_rate(), 4);
     }
 
     #[test]

@@ -73,6 +73,10 @@ pub struct QueuedRequest {
     pub deadline: Instant,
     /// Admission class (overload shedding order).
     pub priority: Priority,
+    /// Shadow-sampled: after the reply ships, the worker also runs this
+    /// input through the exact engine and records (dis)agreement. Stamped
+    /// at the gateway (`shadow_rate`); never affects the serving outcome.
+    pub(crate) shadow: bool,
     /// Reply channel: resolves to exactly one [`Outcome`].
     pub(crate) reply: Sender<Outcome>,
 }
@@ -569,6 +573,7 @@ mod tests {
                 submitted: now,
                 deadline: now + Duration::from_secs(60),
                 priority,
+                shadow: false,
                 reply: tx,
             },
             rx,
@@ -843,6 +848,7 @@ mod tests {
             submitted: now,
             deadline: now + Duration::from_millis(30),
             priority: Priority::Interactive,
+            shadow: false,
             reply: tx,
         });
         assert!(pushed.is_ok(), "push rejected");

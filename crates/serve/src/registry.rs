@@ -7,9 +7,12 @@
 //! of it for the whole batch even if a rollout replaces the name
 //! mid-flight; there is no partially-updated state to observe.
 
+use crate::canary::{CanaryConfig, CanaryEvent, CanaryOutcome, RollbackReason};
 use quantize::{CompiledMasks, QuantModel};
 use serde::{Deserialize, Serialize};
+use signif::{SignificanceMap, TauAssignment};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, RwLock};
 
 /// The cost contract a deployed design was admitted under — the board-side
@@ -53,6 +56,13 @@ pub struct DeployedModel {
     /// hashing of the model name — deterministic, stable under fleet-size
     /// changes, and shared by nothing but hash collisions.
     pub replicas: Option<usize>,
+    /// The significance map the masks were compiled from, when known —
+    /// what online re-tuning refines over. `None` for hand-assembled
+    /// deployments (retune refuses them with a typed error).
+    pub sig: Option<Arc<SignificanceMap>>,
+    /// The τ assignment behind `masks`, when known — the starting point
+    /// for online re-tuning.
+    pub taus: Option<TauAssignment>,
 }
 
 impl DeployedModel {
@@ -71,6 +81,8 @@ impl DeployedModel {
             masks: Arc::new(masks),
             contract,
             replicas: None,
+            sig: None,
+            taus: None,
         }
     }
 
@@ -89,6 +101,15 @@ impl DeployedModel {
         self
     }
 
+    /// Attach the significance map and τ assignment the masks were
+    /// compiled from (builder style) — what makes a deployment eligible
+    /// for online re-tuning.
+    pub fn with_significance(mut self, sig: SignificanceMap, taus: TauAssignment) -> Self {
+        self.sig = Some(Arc::new(sig));
+        self.taus = Some(taus);
+        self
+    }
+
     /// Build from an [`ataman`] deployment: the framework's quantized model,
     /// the deployment's τ assignment compiled to skip-mask streams, and its
     /// measured board metrics as the contract.
@@ -98,7 +119,8 @@ impl DeployedModel {
         dep: &ataman::Deployment,
     ) -> Self {
         let qmodel = fw.quant_model();
-        let masks = fw.significance().compiled_masks_for_tau(qmodel, &dep.taus);
+        let sig = fw.significance();
+        let masks = sig.compiled_masks_for_tau(qmodel, &dep.taus);
         Self::from_parts(
             name,
             qmodel.clone(),
@@ -110,16 +132,89 @@ impl DeployedModel {
                 flash_bytes: dep.flash.total(),
             },
         )
+        .with_significance(sig.clone(), dep.taus.clone())
     }
+}
+
+/// Why a canary deployment was refused.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CanaryError {
+    /// No primary deployment under that name.
+    UnknownModel(String),
+    /// The primary already has an active canary (one at a time).
+    CanaryActive(String),
+    /// `traffic_fraction` outside `(0, 1]`.
+    InvalidTrafficFraction(f64),
+    /// Candidate and primary disagree on input shape — a canary must be
+    /// substitutable for its primary request-for-request.
+    InputShapeMismatch,
+}
+
+impl std::fmt::Display for CanaryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CanaryError::UnknownModel(name) => write!(f, "unknown primary model '{name}'"),
+            CanaryError::CanaryActive(name) => {
+                write!(f, "model '{name}' already has an active canary")
+            }
+            CanaryError::InvalidTrafficFraction(frac) => {
+                write!(f, "canary traffic fraction {frac} outside (0, 1]")
+            }
+            CanaryError::InputShapeMismatch => {
+                write!(f, "canary input shape differs from its primary")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CanaryError {}
+
+/// An in-flight canary: the candidate's versioned name plus the
+/// thresholds it is evaluated under.
+struct CanaryState {
+    canary_name: String,
+    cfg: CanaryConfig,
+}
+
+/// Public view of one active canary.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ActiveCanary {
+    /// The primary deployment being shadowed.
+    pub model: String,
+    /// The candidate's versioned registry name (`"{primary}@v{n}"`).
+    pub canary: String,
+    /// Fraction of the primary's traffic routed to the candidate.
+    pub traffic_fraction: f64,
 }
 
 /// Name-keyed registry of deployed designs, shared by the server workers
 /// and the submit path. Reads take a shared lock and clone an `Arc`;
 /// rollouts ([`Registry::register`]) swap the `Arc` under the write lock —
 /// readers always observe a complete design, before or after, never a mix.
+///
+/// Canary deployments live in a separate **versioned** table: a candidate
+/// registered via [`Registry::deploy_canary`] is resolvable by its
+/// versioned name (so workers can execute batches routed to it) but never
+/// appears in [`Registry::names`] or as a degradation target. Versioned
+/// entries are **never removed** — after a rollback, requests already
+/// admitted under the canary name still resolve and serve, which is what
+/// keeps the admission-conservation invariant intact across a mid-flight
+/// rollback. Only the routing decision ([`Registry::canary_route`])
+/// changes, and it stops instantly.
 #[derive(Default)]
 pub struct Registry {
     entries: RwLock<HashMap<String, Arc<DeployedModel>>>,
+    /// Versioned (canary / retired-canary) entries; append-only.
+    versions: RwLock<HashMap<String, Arc<DeployedModel>>>,
+    /// Active canaries, keyed by primary name.
+    canaries: RwLock<HashMap<String, CanaryState>>,
+    /// Count of active canaries — the submit path's zero-cost fast path:
+    /// one relaxed load decides whether canary routing is even consulted.
+    active: AtomicUsize,
+    /// Monotonic version counter for `"{primary}@v{n}"` names.
+    next_version: AtomicU64,
+    /// Finished canaries, in completion order.
+    events: RwLock<Vec<CanaryEvent>>,
 }
 
 impl Registry {
@@ -138,9 +233,15 @@ impl Registry {
             .insert(model.name.clone(), Arc::new(model))
     }
 
-    /// Look up a deployed design (an immutable snapshot).
+    /// Look up a deployed design (an immutable snapshot). Resolves both
+    /// primary entries and versioned canary entries — including retired
+    /// ones, so a request admitted under a canary name always executes
+    /// even if the canary rolled back while it queued.
     pub fn get(&self, name: &str) -> Option<Arc<DeployedModel>> {
-        self.entries.read().unwrap().get(name).cloned()
+        if let Some(e) = self.entries.read().unwrap().get(name) {
+            return Some(Arc::clone(e));
+        }
+        self.versions.read().unwrap().get(name).cloned()
     }
 
     /// The cheapest deployed design sharing `than`'s family with a
@@ -159,7 +260,15 @@ impl Registry {
                     && e.contract.latency_ms < than.contract.latency_ms
                     && e.model.input_shape.item_len() == want_len
             })
-            .min_by(|a, b| a.contract.latency_ms.total_cmp(&b.contract.latency_ms))
+            .min_by(|a, b| {
+                // (latency, name) — the name tie-break makes degrade
+                // rerouting deterministic when two family members share a
+                // contract latency.
+                a.contract
+                    .latency_ms
+                    .total_cmp(&b.contract.latency_ms)
+                    .then_with(|| a.name.cmp(&b.name))
+            })
             .cloned()
     }
 
@@ -178,6 +287,167 @@ impl Registry {
     /// True when nothing is registered.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Deploy `candidate` as a canary for `primary` with default
+    /// promotion thresholds at `traffic_fraction`. Returns the
+    /// candidate's versioned registry name (`"{primary}@v{n}"`).
+    pub fn deploy_canary(
+        &self,
+        primary: &str,
+        candidate: DeployedModel,
+        traffic_fraction: f64,
+    ) -> Result<String, CanaryError> {
+        self.deploy_canary_with(
+            primary,
+            candidate,
+            CanaryConfig::with_fraction(traffic_fraction),
+        )
+    }
+
+    /// [`Registry::deploy_canary`] with explicit promotion / rollback
+    /// thresholds. The candidate is renamed to `"{primary}@v{n}"`, forced
+    /// into the primary's family (so it can never become a degradation
+    /// target for unrelated models), and registered in the versioned
+    /// table; a deterministic `cfg.traffic_fraction` of the primary's
+    /// request ids starts routing to it immediately.
+    pub fn deploy_canary_with(
+        &self,
+        primary: &str,
+        mut candidate: DeployedModel,
+        cfg: CanaryConfig,
+    ) -> Result<String, CanaryError> {
+        if !(cfg.traffic_fraction > 0.0 && cfg.traffic_fraction <= 1.0) {
+            return Err(CanaryError::InvalidTrafficFraction(cfg.traffic_fraction));
+        }
+        let base = self
+            .entries
+            .read()
+            .unwrap()
+            .get(primary)
+            .cloned()
+            .ok_or_else(|| CanaryError::UnknownModel(primary.to_string()))?;
+        if candidate.model.input_shape.item_len() != base.model.input_shape.item_len() {
+            return Err(CanaryError::InputShapeMismatch);
+        }
+        // One canary per primary; the lock is held across the occupancy
+        // check and the insert so two racing deploys cannot both win.
+        let mut canaries = self.canaries.write().unwrap();
+        if canaries.contains_key(primary) {
+            return Err(CanaryError::CanaryActive(primary.to_string()));
+        }
+        let version = self.next_version.fetch_add(1, Ordering::Relaxed) + 1;
+        let canary_name = format!("{primary}@v{version}");
+        candidate.name = canary_name.clone();
+        candidate.family = base.family.clone();
+        self.versions
+            .write()
+            .unwrap()
+            .insert(canary_name.clone(), Arc::new(candidate));
+        canaries.insert(
+            primary.to_string(),
+            CanaryState {
+                canary_name: canary_name.clone(),
+                cfg,
+            },
+        );
+        self.active.fetch_add(1, Ordering::Relaxed);
+        Ok(canary_name)
+    }
+
+    /// True when any canary is active — one relaxed load, the submit
+    /// path's fast-path guard (zero canary cost when nothing is deployed).
+    pub fn has_canaries(&self) -> bool {
+        self.active.load(Ordering::Relaxed) > 0
+    }
+
+    /// The canary split decision for request `id` against `primary`:
+    /// `Some(versioned_name)` when the id hashes into the canary's traffic
+    /// fraction, `None` otherwise. Deterministic — the same id always
+    /// lands on the same side of the split, regardless of thread timing.
+    pub fn canary_route(&self, primary: &str, id: u64) -> Option<String> {
+        let canaries = self.canaries.read().unwrap();
+        let state = canaries.get(primary)?;
+        let h = crate::coordinator::fnv1a(&id.to_le_bytes(), 0x5eed);
+        let unit = (h >> 11) as f64 / (1u64 << 53) as f64;
+        (unit < state.cfg.traffic_fraction).then(|| state.canary_name.clone())
+    }
+
+    /// Active canaries (public view).
+    pub fn canary_list(&self) -> Vec<ActiveCanary> {
+        let mut list: Vec<ActiveCanary> = self
+            .canaries
+            .read()
+            .unwrap()
+            .iter()
+            .map(|(primary, state)| ActiveCanary {
+                model: primary.clone(),
+                canary: state.canary_name.clone(),
+                traffic_fraction: state.cfg.traffic_fraction,
+            })
+            .collect();
+        list.sort_by(|a, b| a.model.cmp(&b.model));
+        list
+    }
+
+    /// Active canaries with their thresholds, for the supervisor tick.
+    pub(crate) fn canary_states(&self) -> Vec<(String, String, CanaryConfig)> {
+        let mut list: Vec<(String, String, CanaryConfig)> = self
+            .canaries
+            .read()
+            .unwrap()
+            .iter()
+            .map(|(p, s)| (p.clone(), s.canary_name.clone(), s.cfg.clone()))
+            .collect();
+        list.sort_by(|a, b| a.0.cmp(&b.0));
+        list
+    }
+
+    /// Promote `primary`'s active canary: the candidate design is
+    /// re-registered under the primary name (a normal Arc-swap rollout —
+    /// in-flight batches finish on their snapshots) and the canary slot
+    /// clears. Returns the event, or `None` when no canary is active.
+    pub fn promote_canary(&self, primary: &str) -> Option<CanaryEvent> {
+        let state = self.canaries.write().unwrap().remove(primary)?;
+        self.active.fetch_sub(1, Ordering::Relaxed);
+        let candidate = self
+            .versions
+            .read()
+            .unwrap()
+            .get(&state.canary_name)
+            .cloned()
+            .expect("versioned entries are append-only");
+        let mut promoted = (*candidate).clone();
+        promoted.name = primary.to_string();
+        self.register(promoted);
+        let event = CanaryEvent {
+            model: primary.to_string(),
+            canary: state.canary_name,
+            outcome: CanaryOutcome::Promoted,
+        };
+        self.events.write().unwrap().push(event.clone());
+        Some(event)
+    }
+
+    /// Roll back `primary`'s active canary: routing to the candidate
+    /// stops immediately; its versioned entry stays resolvable so every
+    /// request already admitted under the canary name still serves.
+    /// Returns the event, or `None` when no canary is active.
+    pub fn rollback_canary(&self, primary: &str, reason: RollbackReason) -> Option<CanaryEvent> {
+        let state = self.canaries.write().unwrap().remove(primary)?;
+        self.active.fetch_sub(1, Ordering::Relaxed);
+        let event = CanaryEvent {
+            model: primary.to_string(),
+            canary: state.canary_name,
+            outcome: CanaryOutcome::RolledBack(reason),
+        };
+        self.events.write().unwrap().push(event.clone());
+        Some(event)
+    }
+
+    /// Finished canaries (promotions and rollbacks), in completion order.
+    pub fn canary_events(&self) -> Vec<CanaryEvent> {
+        self.events.read().unwrap().clone()
     }
 }
 
@@ -287,6 +557,176 @@ mod tests {
         // Family-of-one (default family = name): never degraded.
         let other = reg.get("other").unwrap();
         assert!(reg.cheaper_same_family(&other).is_none());
+    }
+
+    #[test]
+    fn cheaper_same_family_breaks_latency_ties_by_name() {
+        let q = quantized();
+        let n_convs = q.conv_indices().len();
+        let mk = |name: &str, latency_ms: f64| {
+            DeployedModel::from_parts(
+                name,
+                q.clone(),
+                CompiledMasks::none(n_convs),
+                CostContract {
+                    latency_ms,
+                    ..contract()
+                },
+            )
+            .with_family("mini")
+        };
+        // Two candidates at the identical contract latency: the winner
+        // must be the lexicographically-first name, whatever order they
+        // were registered in (HashMap iteration order is arbitrary).
+        for order in [["mini-b", "mini-a"], ["mini-a", "mini-b"]] {
+            let reg = Registry::new();
+            reg.register(mk("mini-exact", 3.0));
+            for name in order {
+                reg.register(mk(name, 1.5));
+            }
+            let exact = reg.get("mini-exact").unwrap();
+            let target = reg.cheaper_same_family(&exact).expect("cheaper exists");
+            assert_eq!(
+                target.name, "mini-a",
+                "latency tie must break deterministically by name"
+            );
+        }
+    }
+
+    #[test]
+    fn canary_lifecycle_deploy_route_promote() {
+        let q = quantized();
+        let n_convs = q.conv_indices().len();
+        let reg = Registry::new();
+        reg.register(DeployedModel::from_parts(
+            "m",
+            q.clone(),
+            CompiledMasks::none(n_convs),
+            contract(),
+        ));
+        // Guard rails first.
+        assert_eq!(
+            reg.deploy_canary(
+                "missing",
+                DeployedModel::from_parts("c", q.clone(), CompiledMasks::none(n_convs), contract()),
+                0.5
+            ),
+            Err(CanaryError::UnknownModel("missing".into()))
+        );
+        assert_eq!(
+            reg.deploy_canary(
+                "m",
+                DeployedModel::from_parts("c", q.clone(), CompiledMasks::none(n_convs), contract()),
+                1.5
+            ),
+            Err(CanaryError::InvalidTrafficFraction(1.5))
+        );
+        assert!(!reg.has_canaries());
+        let cand = DeployedModel::from_parts(
+            "c",
+            q.clone(),
+            CompiledMasks::none(n_convs),
+            CostContract {
+                cycles: 900,
+                ..contract()
+            },
+        );
+        let name = reg.deploy_canary("m", cand, 0.5).expect("deploys");
+        assert_eq!(name, "m@v1");
+        assert!(reg.has_canaries());
+        // One canary per primary.
+        assert_eq!(
+            reg.deploy_canary(
+                "m",
+                DeployedModel::from_parts(
+                    "c2",
+                    q.clone(),
+                    CompiledMasks::none(n_convs),
+                    contract()
+                ),
+                0.5
+            ),
+            Err(CanaryError::CanaryActive("m".into()))
+        );
+        // Resolvable by versioned name, invisible to listings/degradation.
+        assert!(reg.get("m@v1").is_some());
+        assert_eq!(reg.names(), vec!["m".to_string()]);
+        // Deterministic split: same id → same side, both sides populated
+        // at fraction 0.5, and roughly balanced.
+        let hits: Vec<bool> = (0..256u64)
+            .map(|id| reg.canary_route("m", id).is_some())
+            .collect();
+        let again: Vec<bool> = (0..256u64)
+            .map(|id| reg.canary_route("m", id).is_some())
+            .collect();
+        assert_eq!(hits, again, "split must be a pure function of the id");
+        let n_canary = hits.iter().filter(|&&h| h).count();
+        assert!(
+            (64..192).contains(&n_canary),
+            "lopsided split: {n_canary}/256"
+        );
+        // Promote: the candidate takes over the primary name.
+        let event = reg.promote_canary("m").expect("canary active");
+        assert_eq!(event.outcome, CanaryOutcome::Promoted);
+        assert!(!reg.has_canaries());
+        assert_eq!(reg.get("m").unwrap().contract.cycles, 900);
+        assert_eq!(reg.canary_route("m", 1), None);
+        assert_eq!(reg.canary_events().len(), 1);
+        assert!(reg.promote_canary("m").is_none(), "slot cleared");
+    }
+
+    #[test]
+    fn rollback_stops_routing_but_keeps_the_versioned_entry_resolvable() {
+        let q = quantized();
+        let n_convs = q.conv_indices().len();
+        let reg = Registry::new();
+        reg.register(DeployedModel::from_parts(
+            "m",
+            q.clone(),
+            CompiledMasks::none(n_convs),
+            contract(),
+        ));
+        let cand = DeployedModel::from_parts(
+            "c",
+            q.clone(),
+            CompiledMasks::none(n_convs),
+            CostContract {
+                cycles: 900,
+                ..contract()
+            },
+        );
+        let name = reg.deploy_canary("m", cand, 1.0).expect("deploys");
+        // Fraction 1.0: every id routes to the canary.
+        assert_eq!(reg.canary_route("m", 7), Some(name.clone()));
+        let event = reg
+            .rollback_canary("m", crate::canary::RollbackReason::DisagreementSpike)
+            .expect("canary active");
+        assert_eq!(
+            event.outcome,
+            CanaryOutcome::RolledBack(crate::canary::RollbackReason::DisagreementSpike)
+        );
+        // Routing stopped; primary untouched; the versioned entry still
+        // resolves so queued canary-named requests can finish.
+        assert_eq!(reg.canary_route("m", 7), None);
+        assert_eq!(reg.get("m").unwrap().contract.cycles, 1000);
+        assert!(reg.get(&name).is_some(), "retired canary stays resolvable");
+        // A fresh canary gets a fresh version.
+        let name2 = reg
+            .deploy_canary(
+                "m",
+                DeployedModel::from_parts(
+                    "c2",
+                    q.clone(),
+                    CompiledMasks::none(n_convs),
+                    contract(),
+                ),
+                1.0,
+            )
+            .expect("redeploys");
+        assert_eq!(name2, "m@v2");
+        // Retired canaries never become degradation targets.
+        let primary = reg.get("m").unwrap();
+        assert!(reg.cheaper_same_family(&primary).is_none());
     }
 
     #[test]

@@ -1,0 +1,350 @@
+//! Online τ re-tuning: closing the accuracy loop.
+//!
+//! The paper picks significance thresholds (τ) offline against a
+//! calibration set; live traffic can drift away from that set without
+//! any serving metric noticing — the approximate engine keeps answering,
+//! just increasingly wrongly. The shadow path (see [`crate::monitor`])
+//! detects the drift: inputs where the approximate and exact engines
+//! disagree accumulate in a per-model **replay buffer**, labeled with the
+//! exact engine's predictions.
+//!
+//! This module turns that buffer back into a design decision. A retune
+//! pass drains the replay buffer into a `cifar10sim` evaluation set and
+//! runs the existing [`dse::greedy_refine`] coordinate descent (with its
+//! `DseEvalCache` + `StreamMemo` memoization) from the deployment's
+//! current τ assignment, with the **agreement rate on the replay set** as
+//! the accuracy floor. If the search finds a different assignment, the
+//! result is packaged as a candidate deployment and handed to
+//! [`Registry::deploy_canary_with`] — **never a direct registry swap**.
+//! The canary machinery then decides, on live traffic, whether the
+//! proposal actually serves better (promotion) or not (automatic
+//! rollback). A bad retune proposal is therefore bounded by the canary
+//! traffic fraction and rolled back by the same typed, counted path as
+//! any other bad candidate.
+//!
+//! Fault site: [`crate::faults::SITE_RETUNE_PROPOSE`]
+//! — a firing panic aborts the proposal with [`RetuneError::Faulted`]
+//! *after* the replay buffer is drained and *before* any canary is
+//! deployed: the fleet is untouched, the drained samples are the cost.
+
+use crate::faults;
+use crate::monitor::{Monitor, ReplaySample};
+use crate::registry::{CanaryError, CostContract, DeployedModel, Registry};
+use cifar10sim::Dataset;
+use dse::{greedy_refine, ExploreOptions, RefineOptions};
+use tinytensor::{Shape4, Tensor};
+
+/// Thresholds and search budget for one retune pass.
+#[derive(Debug, Clone)]
+pub struct RetuneOptions {
+    /// Replay samples required before a pass runs (fewer →
+    /// [`RetuneError::InsufficientReplay`], buffer left accumulating).
+    pub min_replay: usize,
+    /// Accuracy floor for the refinement, measured as agreement with the
+    /// exact engine's predictions on the replay set.
+    pub agreement_floor: f32,
+    /// τ grid step for coordinate moves.
+    pub tau_step: f64,
+    /// Largest τ considered.
+    pub tau_max: f64,
+    /// Design-evaluation budget per pass.
+    pub eval_budget: usize,
+    /// Canary thresholds a proposal is deployed under.
+    pub canary: crate::canary::CanaryConfig,
+}
+
+impl Default for RetuneOptions {
+    fn default() -> Self {
+        Self {
+            min_replay: 32,
+            agreement_floor: 0.7,
+            tau_step: 0.005,
+            tau_max: 0.1,
+            eval_budget: 32,
+            canary: crate::canary::CanaryConfig::default(),
+        }
+    }
+}
+
+/// Why a retune pass did not produce a canary.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RetuneError {
+    /// No primary deployment under that name.
+    UnknownModel(String),
+    /// The deployment carries no significance map / τ assignment (it was
+    /// hand-assembled, not built from a DSE design) — nothing to refine.
+    NoSignificance(String),
+    /// Not enough replay samples yet; the buffer keeps accumulating.
+    InsufficientReplay {
+        /// Samples currently buffered.
+        have: usize,
+        /// [`RetuneOptions::min_replay`].
+        need: usize,
+    },
+    /// The primary already has an active canary — a proposal would have
+    /// nowhere to go (retune never swaps directly).
+    CanaryActive(String),
+    /// The `retune.propose` fault site fired: proposal aborted, replay
+    /// drained, fleet untouched.
+    Faulted,
+}
+
+impl std::fmt::Display for RetuneError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RetuneError::UnknownModel(name) => write!(f, "unknown model '{name}'"),
+            RetuneError::NoSignificance(name) => {
+                write!(f, "model '{name}' has no significance map to refine")
+            }
+            RetuneError::InsufficientReplay { have, need } => {
+                write!(f, "replay buffer has {have} samples, retune needs {need}")
+            }
+            RetuneError::CanaryActive(name) => {
+                write!(f, "model '{name}' already has an active canary")
+            }
+            RetuneError::Faulted => write!(f, "retune proposal aborted by injected fault"),
+        }
+    }
+}
+
+impl std::error::Error for RetuneError {}
+
+/// What a successful retune pass produced.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RetuneOutcome {
+    /// The search kept the deployed assignment (or found no improvement
+    /// holding the agreement floor).
+    NoChange {
+        /// Design evaluations spent.
+        evals: usize,
+    },
+    /// A new τ assignment entered the fleet **as a canary**.
+    Proposed {
+        /// The canary's versioned registry name.
+        canary: String,
+        /// Design evaluations spent.
+        evals: usize,
+    },
+}
+
+/// Rebuild an evaluation [`Dataset`] from drained replay samples, using
+/// the deployment's input shape. Labels are the exact engine's
+/// predictions — retune optimizes *agreement with exact*, not against
+/// unknowable true labels.
+fn replay_dataset(samples: &[ReplaySample], item: Shape4) -> Dataset {
+    let n = samples.len();
+    let mut data = Vec::with_capacity(n * item.h * item.w * item.c);
+    let mut labels = Vec::with_capacity(n);
+    for s in samples {
+        data.extend_from_slice(&s.image);
+        labels.push(s.label);
+    }
+    let images = Tensor::from_vec(Shape4::nhwc(n, item.h, item.w, item.c), data)
+        .expect("replay samples carry whole images");
+    Dataset { images, labels }
+}
+
+/// One retune pass for `model`: drain the replay buffer, refine τ over
+/// it, and — when the search moves — deploy the result as a canary.
+pub(crate) fn propose(
+    registry: &Registry,
+    monitor: &Monitor,
+    model: &str,
+    opts: &RetuneOptions,
+) -> Result<RetuneOutcome, RetuneError> {
+    let entry = registry
+        .get(model)
+        .ok_or_else(|| RetuneError::UnknownModel(model.to_string()))?;
+    let (sig, taus) = match (&entry.sig, &entry.taus) {
+        (Some(sig), Some(taus)) => (sig.clone(), taus.clone()),
+        _ => return Err(RetuneError::NoSignificance(model.to_string())),
+    };
+    let have = monitor.replay_len(model);
+    if have < opts.min_replay {
+        return Err(RetuneError::InsufficientReplay {
+            have,
+            need: opts.min_replay,
+        });
+    }
+    let samples = monitor.drain_replay(model);
+    // Deterministic fault site: fires after the drain, before any search
+    // or deployment — an aborted proposal costs the drained samples only.
+    if let Some(fault) = faults::check(faults::SITE_RETUNE_PROPOSE) {
+        match fault {
+            faults::Fault::StallMs(ms) => std::thread::sleep(std::time::Duration::from_millis(ms)),
+            _ => return Err(RetuneError::Faulted),
+        }
+    }
+    let eval_set = replay_dataset(&samples, entry.model.input_shape.single());
+    let explore = ExploreOptions {
+        eval_images: samples.len(),
+        ..ExploreOptions::default()
+    };
+    let refine = RefineOptions {
+        tau_step: opts.tau_step,
+        tau_max: opts.tau_max,
+        accuracy_floor: opts.agreement_floor,
+        eval_budget: opts.eval_budget,
+    };
+    let result = greedy_refine(&entry.model, &sig, &eval_set, &taus, &explore, &refine);
+    let n_convs = entry.model.conv_indices().len();
+    if result.best.taus.resolve(n_convs) == taus.resolve(n_convs) {
+        return Ok(RetuneOutcome::NoChange {
+            evals: result.evals,
+        });
+    }
+    // Package the refined design as a candidate. The board-side contract
+    // is scaled from the deployed one by the estimated cycle ratio (the
+    // same analytic estimator DSE priced the original design with).
+    let masks = sig.compiled_masks_for_tau(&entry.model, &result.best.taus);
+    let ratio = if entry.contract.cycles > 0 {
+        result.best.est_cycles as f64 / entry.contract.cycles as f64
+    } else {
+        1.0
+    };
+    let contract = CostContract {
+        cycles: result.best.est_cycles,
+        latency_ms: entry.contract.latency_ms * ratio,
+        energy_mj: entry.contract.energy_mj * ratio,
+        flash_bytes: result.best.est_flash,
+    };
+    let candidate = DeployedModel {
+        name: String::new(), // renamed to "{model}@v{n}" by deploy
+        family: entry.family.clone(),
+        model: entry.model.clone(),
+        masks: std::sync::Arc::new(masks),
+        contract,
+        replicas: entry.replicas,
+        sig: Some(sig),
+        taus: Some(result.best.taus.clone()),
+    };
+    let canary = registry
+        .deploy_canary_with(model, candidate, opts.canary.clone())
+        .map_err(|e| match e {
+            CanaryError::CanaryActive(name) => RetuneError::CanaryActive(name),
+            other => panic!("retune built an undeployable candidate: {other}"),
+        })?;
+    Ok(RetuneOutcome::Proposed {
+        canary,
+        evals: result.evals,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{CostContract, DeployedModel, Registry};
+    use quantize::{calibrate_ranges, quantize_model, CompiledMasks};
+    use signif::{capture_mean_inputs, SignificanceMap, TauAssignment};
+
+    fn fixture(tau: f64) -> (Registry, cifar10sim::SyntheticCifar) {
+        let data = cifar10sim::generate(cifar10sim::DatasetConfig::tiny(77));
+        let m = tinynn::zoo::mini_cifar(77);
+        let ranges = calibrate_ranges(&m, &data.train.take(8));
+        let q = quantize_model(&m, &ranges);
+        let means = capture_mean_inputs(&q, &data.train.take(8));
+        let sig = SignificanceMap::compute(&q, &means);
+        let taus = TauAssignment::global(tau);
+        let masks = sig.compiled_masks_for_tau(&q, &taus);
+        let contract = CostContract {
+            cycles: 100_000,
+            latency_ms: 1.0,
+            energy_mj: 0.01,
+            flash_bytes: 64 * 1024,
+        };
+        let dm = DeployedModel::from_parts("m", q, masks, contract).with_significance(sig, taus);
+        let reg = Registry::new();
+        reg.register(dm);
+        (reg, data)
+    }
+
+    fn fill_replay(monitor: &Monitor, data: &cifar10sim::SyntheticCifar, n: usize) {
+        for i in 0..n {
+            let img = data.train.image(i % data.train.len()).to_vec();
+            let label = data.train.labels[i % data.train.len()];
+            monitor.record_shadow("m", true, Some(ReplaySample { image: img, label }));
+        }
+    }
+
+    #[test]
+    fn retune_demands_replay_and_significance() {
+        let (reg, data) = fixture(0.01);
+        let monitor = Monitor::new(32, 256);
+        let opts = RetuneOptions {
+            min_replay: 8,
+            ..RetuneOptions::default()
+        };
+        assert_eq!(
+            propose(&reg, &monitor, "missing", &opts),
+            Err(RetuneError::UnknownModel("missing".into()))
+        );
+        assert_eq!(
+            propose(&reg, &monitor, "m", &opts),
+            Err(RetuneError::InsufficientReplay { have: 0, need: 8 })
+        );
+        fill_replay(&monitor, &data, 3);
+        assert_eq!(
+            propose(&reg, &monitor, "m", &opts),
+            Err(RetuneError::InsufficientReplay { have: 3, need: 8 }),
+            "an undersized buffer keeps accumulating"
+        );
+        assert_eq!(monitor.replay_len("m"), 3, "not drained below the minimum");
+        // A deployment without a significance map is typed-refused.
+        let entry = reg.get("m").unwrap();
+        let n_convs = entry.model.conv_indices().len();
+        reg.register(DeployedModel::from_parts(
+            "bare",
+            (*entry.model).clone(),
+            CompiledMasks::none(n_convs),
+            entry.contract.clone(),
+        ));
+        assert_eq!(
+            propose(&reg, &monitor, "bare", &opts),
+            Err(RetuneError::NoSignificance("bare".into()))
+        );
+    }
+
+    #[test]
+    fn retune_enters_the_fleet_only_through_the_canary_path() {
+        // Start from τ = 0 (exact masks): coordinate descent has room to
+        // raise τ while holding the agreement floor, so a proposal lands.
+        let (reg, data) = fixture(0.0);
+        let monitor = Monitor::new(32, 256);
+        let opts = RetuneOptions {
+            min_replay: 8,
+            agreement_floor: 0.0,
+            eval_budget: 12,
+            ..RetuneOptions::default()
+        };
+        fill_replay(&monitor, &data, 12);
+        let before = reg.get("m").unwrap();
+        match propose(&reg, &monitor, "m", &opts).expect("pass runs") {
+            RetuneOutcome::Proposed { canary, evals } => {
+                assert!(evals > 0);
+                assert!(canary.starts_with("m@v"), "versioned name: {canary}");
+                // The primary is untouched — the proposal is a canary, not
+                // a swap.
+                let after = reg.get("m").unwrap();
+                assert!(std::sync::Arc::ptr_eq(&before, &after));
+                assert!(reg.has_canaries());
+                let cand = reg.get(&canary).expect("canary resolvable");
+                assert!(cand.sig.is_some() && cand.taus.is_some());
+                let n_convs = cand.model.conv_indices().len();
+                assert_ne!(
+                    cand.taus.clone().unwrap().resolve(n_convs),
+                    before.taus.clone().unwrap().resolve(n_convs)
+                );
+                // A second pass while the canary is active is refused.
+                fill_replay(&monitor, &data, 12);
+                assert_eq!(
+                    propose(&reg, &monitor, "m", &opts),
+                    Err(RetuneError::CanaryActive("m".into()))
+                );
+            }
+            RetuneOutcome::NoChange { .. } => {
+                panic!("τ=0 start with a zero floor must find a move")
+            }
+        }
+        assert_eq!(monitor.replay_len("m"), 0, "pass drains the buffer");
+    }
+}

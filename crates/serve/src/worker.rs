@@ -20,13 +20,22 @@
 //! [`faults::SITE_WORKER_EXEC`] site *and* its indexed form
 //! (`faults::site_at(SITE_WORKER_EXEC, index)`), so chaos tests can kill
 //! one worker of N deterministically.
+//!
+//! **Shadow execution** (closed accuracy loop): requests stamped
+//! `shadow` at the gateway are, *after their serving replies ship*, also
+//! run through the exact (unmasked) engine on this worker. Prediction
+//! disagreement feeds the per-model health monitor and the retune replay
+//! buffer; a shadow failure (panic at `shadow.exec`, or a genuine exact-
+//! engine crash) is counted and swallowed — it can never touch a serving
+//! reply or crash the worker.
 
 use crate::coordinator::Shard;
 use crate::faults;
 use crate::gateway::FleetStats;
+use crate::monitor::{Monitor, ReplaySample};
 use crate::queue::{AdmissionQueue, Crashed, Expired, Outcome, Reply, Unserved};
 use crate::registry::Registry;
-use quantize::BatchScratch;
+use quantize::{BatchScratch, ForwardScratch};
 use std::collections::HashMap;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -37,6 +46,7 @@ pub(crate) struct WorkerCtx {
     pub(crate) registry: Arc<Registry>,
     pub(crate) shard: Arc<Shard>,
     pub(crate) stats: Arc<FleetStats>,
+    pub(crate) monitor: Arc<Monitor>,
     pub(crate) max_batch: usize,
     pub(crate) coalesce_window: Duration,
     /// Static floor under the EWMA execution-time margin.
@@ -119,6 +129,7 @@ pub(crate) fn supervised_worker(ctx: WorkerCtx) {
 /// latency breakdown and the ride-along batch size.
 fn worker_run(ctx: &WorkerCtx) -> WorkerExit {
     let mut scratches: HashMap<String, BatchScratch> = HashMap::new();
+    let mut shadow_scratches: HashMap<String, ForwardScratch> = HashMap::new();
     // EWMA of observed batch execution time: the deadline margin — a
     // request whose remaining slack is below the expected execution time
     // would expire mid-flight, so it is expired up front instead. The
@@ -140,12 +151,14 @@ fn worker_run(ctx: &WorkerCtx) -> WorkerExit {
         // Submit validated the name; a rollout cannot unregister, only
         // replace, so the lookup holds.
         let entry = ctx.registry.get(&batch.model).expect("registered model");
+        let health = ctx.monitor.stats(&batch.model);
         // Deadline enforcement: anything that cannot finish inside its
         // deadline resolves Expired now, without burning worker time.
         let mut live = Vec::with_capacity(batch.requests.len());
         for r in batch.requests {
             if popped + margin >= r.deadline {
                 ctx.stats.expired.fetch_add(1, Ordering::Relaxed);
+                health.expired.fetch_add(1, Ordering::Relaxed);
                 ctx.shard.in_flight.fetch_sub(1, Ordering::Relaxed);
                 let _ = r.reply.send(Outcome::Expired(Expired {
                     id: r.id,
@@ -189,6 +202,9 @@ fn worker_run(ctx: &WorkerCtx) -> WorkerExit {
         let preds = match result {
             Ok(preds) => preds,
             Err(_) => {
+                health
+                    .crashed
+                    .fetch_add(live.len() as u64, Ordering::Relaxed);
                 for r in live {
                     ctx.shard.in_flight.fetch_sub(1, Ordering::Relaxed);
                     let _ = r.reply.send(Outcome::WorkerCrashed(Crashed {
@@ -207,8 +223,20 @@ fn worker_run(ctx: &WorkerCtx) -> WorkerExit {
             0.7 * ewma_exec_us + 0.3 * exec_us as f64
         };
         let now = Instant::now();
+        health.ok.fetch_add(preds.len() as u64, Ordering::Relaxed);
+        // Shadow-sampled requests: remember (input, approx prediction)
+        // before the requests are consumed by the reply loop. The clones
+        // happen only for sampled requests — zero cost at shadow_rate 0.
+        let mut shadows: Vec<(Vec<i8>, usize)> = Vec::new();
         for (r, pred) in live.into_iter().zip(preds) {
             ctx.shard.in_flight.fetch_sub(1, Ordering::Relaxed);
+            health.latency_us_sum.fetch_add(
+                now.duration_since(r.submitted).as_micros() as u64,
+                Ordering::Relaxed,
+            );
+            if r.shadow {
+                shadows.push((r.qinput.clone(), pred));
+            }
             // A client that dropped its receiver just misses its reply.
             let _ = r.reply.send(Outcome::Ok(Reply {
                 id: r.id,
@@ -219,6 +247,41 @@ fn worker_run(ctx: &WorkerCtx) -> WorkerExit {
                 queued_us: popped.saturating_duration_since(r.submitted).as_micros() as u64,
                 exec_us,
             }));
+        }
+        // Shadow execution runs strictly after the serving replies ship:
+        // the exact engine's cost and failures are invisible to clients.
+        for (qinput, approx_pred) in shadows {
+            let fscratch = shadow_scratches
+                .entry(batch.model.clone())
+                .or_insert_with(|| ForwardScratch::for_model(&entry.model));
+            let exact = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                apply_fault(faults::SITE_SHADOW_EXEC, ctx.shard.index);
+                // masks = None: the exact (unmasked) engine.
+                entry
+                    .model
+                    .predict_compiled_scratch(&qinput, None, None, fscratch)
+            }));
+            match exact {
+                Ok(exact_pred) => {
+                    let disagreed = exact_pred != approx_pred;
+                    // Disagreeing inputs are replayed by retune as f32
+                    // images labeled with the exact prediction.
+                    let sample = disagreed.then(|| ReplaySample {
+                        image: qinput
+                            .iter()
+                            .map(|&q| entry.model.input_qp.dequantize(q))
+                            .collect(),
+                        label: exact_pred as u8,
+                    });
+                    ctx.monitor.record_shadow(&batch.model, disagreed, sample);
+                }
+                Err(_) => {
+                    // A panicked shadow may have poisoned its scratch:
+                    // drop it; the serving reply already shipped.
+                    shadow_scratches.remove(&batch.model);
+                    ctx.monitor.record_shadow_failure(&batch.model);
+                }
+            }
         }
     }
 }

@@ -1,0 +1,143 @@
+//! Property tests for the canary promote/rollback decision.
+//!
+//! The supervisor applies [`canary_decide`] to counters it samples from
+//! the health monitor — nothing else. These properties pin the contract
+//! the chaos suite leans on: the decision is a **pure function** of the
+//! observed counter stream (replaying a stream replays the decisions),
+//! severity order is stable (a crash outranks everything), and a canary
+//! can never promote past an unmet threshold.
+
+use ataman_serve::{
+    canary_decide, CanaryConfig, CanaryDecision, CanaryObservation, RollbackReason,
+};
+use proptest::prelude::*;
+
+/// Strategy over the whole threshold space (the vendored proptest stub
+/// has no `prop_map`, so composite values implement [`Strategy`] directly).
+struct ArbConfig;
+
+impl Strategy for ArbConfig {
+    type Value = CanaryConfig;
+
+    fn sample(&self, rng: &mut TestRng) -> CanaryConfig {
+        CanaryConfig {
+            traffic_fraction: (0.01f64..1.0).sample(rng),
+            min_samples: (0u64..256).sample(rng),
+            max_disagreement: (0.0f64..1.0).sample(rng),
+            min_shadow_samples: (1u64..64).sample(rng),
+            max_crashes: (0u64..4).sample(rng),
+            max_expired: (0u64..4).sample(rng),
+            max_latency_ratio: (1.0f64..8.0).sample(rng),
+        }
+    }
+}
+
+/// Strategy over the observable counter space, crossing every threshold
+/// region of [`ArbConfig`].
+struct ArbObservation;
+
+impl Strategy for ArbObservation {
+    type Value = CanaryObservation;
+
+    fn sample(&self, rng: &mut TestRng) -> CanaryObservation {
+        CanaryObservation {
+            samples: (0u64..512).sample(rng),
+            crashes: (0u64..4).sample(rng),
+            expired: (0u64..4).sample(rng),
+            shadow_runs: (0u64..128).sample(rng),
+            disagreement_rate: (0.0f64..1.0).sample(rng),
+            mean_latency_us: (0.0f64..10_000.0).sample(rng),
+            primary_mean_latency_us: (0.0f64..10_000.0).sample(rng),
+        }
+    }
+}
+
+proptest! {
+    /// Pure function: the decision sequence over a counter stream is
+    /// fully determined by the stream — replaying it (in any interleaving
+    /// with other work) yields the identical sequence.
+    #[test]
+    fn decision_stream_is_replayable(
+        cfg in ArbConfig,
+        stream in prop::collection::vec(ArbObservation, 1..32),
+    ) {
+        let first: Vec<CanaryDecision> =
+            stream.iter().map(|o| canary_decide(&cfg, o)).collect();
+        let replay: Vec<CanaryDecision> =
+            stream.iter().map(|o| canary_decide(&cfg, o)).collect();
+        prop_assert_eq!(first, replay);
+    }
+
+    /// A crash past the budget is terminal and outranks every other
+    /// signal — no metric combination can promote a crashing canary.
+    #[test]
+    fn crashes_always_roll_back_as_shard_crash(
+        cfg in ArbConfig,
+        obs in ArbObservation,
+        extra in 1u64..8,
+    ) {
+        let mut obs = obs;
+        obs.crashes = cfg.max_crashes + extra;
+        prop_assert_eq!(
+            canary_decide(&cfg, &obs),
+            CanaryDecision::Rollback(RollbackReason::ShardCrash)
+        );
+    }
+
+    /// Promote implies every threshold was actually met: enough samples,
+    /// crash and expiry budgets intact, disagreement under the ceiling
+    /// (or the EWMA not yet trusted), latency ratio inside the bound (or
+    /// unanchored).
+    #[test]
+    fn promote_implies_all_thresholds_met(
+        cfg in ArbConfig,
+        obs in ArbObservation,
+    ) {
+        if canary_decide(&cfg, &obs) == CanaryDecision::Promote {
+            prop_assert!(obs.samples >= cfg.min_samples);
+            prop_assert!(obs.crashes <= cfg.max_crashes);
+            prop_assert!(obs.expired <= cfg.max_expired);
+            prop_assert!(
+                obs.shadow_runs < cfg.min_shadow_samples.max(1)
+                    || obs.disagreement_rate <= cfg.max_disagreement
+            );
+            prop_assert!(
+                obs.primary_mean_latency_us <= 0.0
+                    || obs.mean_latency_us
+                        <= cfg.max_latency_ratio * obs.primary_mean_latency_us
+            );
+        }
+    }
+
+    /// A trusted disagreement spike can never promote — it rolls back
+    /// (as a spike, unless a crash outranks it).
+    #[test]
+    fn trusted_spike_never_promotes(
+        cfg in ArbConfig,
+        obs in ArbObservation,
+    ) {
+        let mut obs = obs;
+        obs.shadow_runs = cfg.min_shadow_samples.max(1);
+        obs.disagreement_rate = cfg.max_disagreement + 0.001;
+        match canary_decide(&cfg, &obs) {
+            CanaryDecision::Rollback(RollbackReason::ShardCrash) => {
+                prop_assert!(obs.crashes > cfg.max_crashes);
+            }
+            CanaryDecision::Rollback(RollbackReason::DisagreementSpike) => {}
+            other => prop_assert!(false, "spike leaked through as {other:?}"),
+        }
+    }
+
+    /// Below `min_samples`, the only possible decisions are Continue or
+    /// Rollback — never a premature promotion.
+    #[test]
+    fn no_promotion_below_min_samples(
+        cfg in ArbConfig,
+        obs in ArbObservation,
+    ) {
+        let mut obs = obs;
+        prop_assume!(cfg.min_samples > 0);
+        obs.samples = cfg.min_samples - 1;
+        prop_assert_ne!(canary_decide(&cfg, &obs), CanaryDecision::Promote);
+    }
+}

@@ -13,10 +13,12 @@
 
 use ataman_serve::faults::{self, Fault};
 use ataman_serve::{
-    CostContract, DeployedModel, Gateway, LoadGenConfig, Outcome, Priority, Registry, Request,
-    ServeOptions, SubmitError,
+    CanaryConfig, CanaryOutcome, CostContract, DeployedModel, Gateway, LoadGenConfig, Outcome,
+    Priority, Registry, Request, RetuneError, RetuneOptions, RollbackReason, ServeOptions,
+    SubmitError,
 };
-use quantize::{calibrate_ranges, quantize_model, CompiledMasks};
+use quantize::{calibrate_ranges, quantize_model, CompiledMasks, ForwardScratch};
+use signif::{capture_mean_inputs, SignificanceMap, TauAssignment};
 use std::sync::{Mutex, MutexGuard, Once};
 use std::time::{Duration, Instant};
 
@@ -539,6 +541,398 @@ fn shed_batch_request_degrades_to_cheaper_family_member() {
     let stats = gw.stats();
     assert_eq!(stats.degraded, 1);
     assert_eq!(stats.shed_admission, 0, "the shed became a reroute");
+    gw.shutdown();
+    faults::reset();
+}
+
+/// A quantized fixture with a significance map: the exact-mask primary
+/// plus everything needed to build an aggressively-masked sibling.
+#[allow(clippy::type_complexity)]
+fn model_with_significance(
+    name: &str,
+    seed: u64,
+) -> (
+    DeployedModel,
+    quantize::QuantModel,
+    SignificanceMap,
+    Vec<Vec<i8>>,
+) {
+    let data = cifar10sim::generate(cifar10sim::DatasetConfig::tiny(seed));
+    let m = tinynn::zoo::mini_cifar(seed);
+    let ranges = calibrate_ranges(&m, &data.train.take(8));
+    let q = quantize_model(&m, &ranges);
+    let means = capture_mean_inputs(&q, &data.train.take(8));
+    let sig = SignificanceMap::compute(&q, &means);
+    let n_convs = q.conv_indices().len();
+    let inputs: Vec<Vec<i8>> = (0..8)
+        .map(|i| q.quantize_input(data.test.image(i)))
+        .collect();
+    let dm =
+        DeployedModel::from_parts(name, q.clone(), CompiledMasks::none(n_convs), contract(0.1))
+            .with_significance(sig.clone(), TauAssignment::global(0.0));
+    (dm, q, sig, inputs)
+}
+
+/// ServeOptions for canary chaos tests: the background controller is
+/// parked (1 h interval) so each test steps the state machine itself via
+/// `canary_tick()`.
+fn canary_opts() -> ataman_serve::ServeOptionsBuilder {
+    ServeOptions::builder()
+        .deadline(Duration::from_secs(30))
+        .control_interval(Duration::from_secs(3600))
+        .max_batch(4)
+}
+
+#[test]
+fn canary_shard_crash_mid_window_rolls_back_and_loses_no_request() {
+    let _guard = chaos_lock();
+    let (dm, inputs) = model_and_inputs("m", 21, 0.1);
+    let (cand, _) = model_and_inputs("cand", 22, 0.1);
+    let reg = Registry::new();
+    reg.register(dm);
+    let gw = Gateway::start(
+        reg,
+        canary_opts()
+            .workers(3)
+            .max_worker_restarts(0)
+            .build()
+            .expect("opts"),
+    );
+    // All traffic diverts to a single-replica canary that can never hit
+    // its promotion count — it is killed mid-window instead.
+    let cfg = CanaryConfig {
+        traffic_fraction: 1.0,
+        min_samples: 1_000_000,
+        ..CanaryConfig::default()
+    };
+    let canary = gw
+        .registry()
+        .deploy_canary_with("m", cand.with_replicas(1), cfg)
+        .expect("deploy");
+    let shard = gw.placement_indices(&canary)[0];
+    // The canary shard's first batch panics; with a zero restart budget
+    // the worker is abandoned and its shard drains Closed.
+    faults::arm_at(
+        faults::SITE_WORKER_EXEC,
+        shard,
+        Fault::Panic,
+        1.0,
+        51,
+        Some(1),
+    );
+    let mut rxs = Vec::new();
+    let mut refused = 0usize;
+    for i in 0..24 {
+        match gw.submit(Request::quantized("m", inputs[i % inputs.len()].clone())) {
+            Ok(rx) => rxs.push(rx),
+            // The canary's whole (1-replica) placement died between
+            // routing decisions: typed refusal, not a stranded request.
+            Err(SubmitError::Closed) => refused += 1,
+            Err(e) => panic!("unexpected submit error: {e}"),
+        }
+    }
+    let (mut ok, mut crashed, mut closed) = (0usize, 0usize, 0usize);
+    for rx in &rxs {
+        match rx.recv().expect("every admitted request resolves") {
+            Outcome::Ok(_) => ok += 1,
+            Outcome::WorkerCrashed(_) => crashed += 1,
+            Outcome::Closed(_) => closed += 1,
+            other => panic!("unexpected outcome {}", other.kind()),
+        }
+        assert!(rx.try_recv().is_err(), "a request resolved twice");
+    }
+    assert_eq!(ok + crashed + closed + refused, 24, "conservation");
+    assert!(crashed >= 1, "the injected kill crashed a canary batch");
+    // One control pass mid-window: the crash counter alone rolls back.
+    let events = gw.canary_tick();
+    assert_eq!(events.len(), 1);
+    assert_eq!(events[0].canary, canary);
+    assert_eq!(
+        events[0].outcome,
+        CanaryOutcome::RolledBack(RollbackReason::ShardCrash)
+    );
+    assert_eq!(gw.stats().rollbacks, 1);
+    assert!(gw.registry().canary_list().is_empty());
+    // The versioned entry survives the rollback, so anything still
+    // in-flight under the canary name resolves instead of panicking the
+    // worker on a lookup.
+    assert!(gw.registry().get(&canary).is_some());
+    // The primary takes all traffic again and serves on live shards.
+    let followups: Vec<_> = (0..8)
+        .map(|i| {
+            gw.submit(Request::quantized("m", inputs[i % inputs.len()].clone()))
+                .expect("primary admits after rollback")
+        })
+        .collect();
+    for rx in followups {
+        match rx.recv().expect("resolved") {
+            Outcome::Ok(reply) => assert_eq!(reply.model, "m"),
+            other => panic!("post-rollback traffic resolved {}", other.kind()),
+        }
+    }
+    gw.shutdown();
+    faults::reset();
+}
+
+#[test]
+fn disagreement_spike_rolls_back_within_one_evaluation_window() {
+    let _guard = chaos_lock();
+    let (dm, q, sig, inputs) = model_with_significance("m", 23);
+    // The candidate runs the same weights under aggressive masks — its
+    // predictions drift from the exact engine on (at least some) inputs.
+    let heavy_masks = sig.compiled_masks_for_tau(&q, &TauAssignment::global(10.0));
+    let cand = DeployedModel::from_parts("cand", q.clone(), heavy_masks.clone(), contract(0.1));
+    // Find inputs where masked != exact, up front and deterministically.
+    let mut fs = ForwardScratch::for_model(&q);
+    let drifting: Vec<Vec<i8>> = inputs
+        .iter()
+        .filter(|qi| {
+            q.predict_compiled_scratch(qi, None, Some(&heavy_masks), &mut fs)
+                != q.predict_compiled_scratch(qi, None, None, &mut fs)
+        })
+        .cloned()
+        .collect();
+    assert!(
+        drifting.len() >= 2,
+        "fixture must disagree under tau=10 masks somewhere (got {})",
+        drifting.len()
+    );
+    let reg = Registry::new();
+    reg.register(dm);
+    let gw = Gateway::start(
+        reg,
+        canary_opts()
+            .workers(1)
+            .shadow_rate(1) // shadow every admission
+            .shadow_ewma_window(4)
+            .build()
+            .expect("opts"),
+    );
+    let cfg = CanaryConfig {
+        traffic_fraction: 1.0,
+        min_samples: 1_000_000, // promotion unreachable: the spike decides
+        min_shadow_samples: 2,
+        max_disagreement: 0.1,
+        ..CanaryConfig::default()
+    };
+    let canary = gw
+        .registry()
+        .deploy_canary_with("m", cand, cfg)
+        .expect("deploy");
+    // Serve only drifting inputs: every shadow comparison disagrees.
+    let rxs: Vec<_> = (0..8)
+        .map(|i| {
+            gw.submit(Request::quantized(
+                "m",
+                drifting[i % drifting.len()].clone(),
+            ))
+            .expect("admitted")
+        })
+        .collect();
+    for rx in rxs {
+        match rx.recv().expect("resolved") {
+            Outcome::Ok(reply) => assert_eq!(reply.model, canary),
+            other => panic!("canary traffic resolved {}", other.kind()),
+        }
+    }
+    // Shadows run after the replies ship: wait for the comparisons.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while gw.model_health(&canary).shadow_runs < 8 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let h = gw.model_health(&canary);
+    assert_eq!(h.shadow_runs, 8);
+    assert_eq!(h.shadow_disagreements, 8, "every drifting input disagrees");
+    assert!(h.disagreement_rate > 0.99);
+    assert!(
+        h.replay_len > 0,
+        "drifting inputs entered the replay buffer"
+    );
+    // THE window: the very next control pass sees the spike and rolls
+    // back — not after some settling period.
+    let events = gw.canary_tick();
+    assert_eq!(events.len(), 1);
+    assert_eq!(
+        events[0].outcome,
+        CanaryOutcome::RolledBack(RollbackReason::DisagreementSpike)
+    );
+    assert_eq!(gw.stats().rollbacks, 1);
+    // The exact-mask primary serves cleanly again.
+    let rx = gw
+        .submit(Request::quantized("m", drifting[0].clone()))
+        .expect("ok");
+    match rx.recv().expect("resolved") {
+        Outcome::Ok(reply) => assert_eq!(reply.model, "m"),
+        other => panic!("post-rollback request resolved {}", other.kind()),
+    }
+    gw.shutdown();
+    faults::reset();
+}
+
+#[test]
+fn shadow_execution_faults_are_counted_and_never_touch_replies() {
+    let _guard = chaos_lock();
+    let (dm, inputs) = model_and_inputs("m", 24, 0.1);
+    let reg = Registry::new();
+    reg.register(dm);
+    let gw = Gateway::start(
+        reg,
+        ServeOptions::builder()
+            .deadline(Duration::from_secs(30))
+            .workers(1)
+            .shadow_rate(1)
+            .build()
+            .expect("opts"),
+    );
+    // The first two shadow (exact-engine) executions panic. Serving
+    // replies must not notice: shadows run strictly after replies ship,
+    // behind their own unwind boundary.
+    faults::arm(faults::SITE_SHADOW_EXEC, Fault::Panic, 1.0, 52, Some(2));
+    let rxs: Vec<_> = (0..6)
+        .map(|i| {
+            gw.submit(Request::quantized("m", inputs[i % inputs.len()].clone()))
+                .expect("admitted")
+        })
+        .collect();
+    for rx in rxs {
+        match rx.recv().expect("resolved") {
+            Outcome::Ok(_) => {}
+            other => panic!("shadow fault leaked into a reply: {}", other.kind()),
+        }
+    }
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while gw.stats().shadow_runs + gw.stats().shadow_failures < 6 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let s = gw.stats();
+    assert_eq!(s.shadow_failures, 2, "both injected shadow panics counted");
+    assert_eq!(s.shadow_runs, 4, "the rest compared normally");
+    assert_eq!(s.shadow_disagreements, 0, "exact-mask model agrees");
+    assert_eq!(s.worker_crashes, 0, "a shadow panic is not a worker crash");
+    gw.shutdown();
+    faults::reset();
+}
+
+#[test]
+fn faulted_retune_is_a_typed_error_and_deploys_nothing() {
+    let _guard = chaos_lock();
+    // The primary itself runs heavy masks (with its significance map
+    // attached), so shadowing genuinely disagrees and fills the replay
+    // buffer retune feeds on.
+    let (_, q, sig, inputs) = model_with_significance("m", 25);
+    let heavy_masks = sig.compiled_masks_for_tau(&q, &TauAssignment::global(10.0));
+    let mut fs = ForwardScratch::for_model(&q);
+    let drifting: Vec<Vec<i8>> = inputs
+        .iter()
+        .filter(|qi| {
+            q.predict_compiled_scratch(qi, None, Some(&heavy_masks), &mut fs)
+                != q.predict_compiled_scratch(qi, None, None, &mut fs)
+        })
+        .cloned()
+        .collect();
+    assert!(drifting.len() >= 2, "fixture must drift under tau=10 masks");
+    let dm = DeployedModel::from_parts("m", q.clone(), heavy_masks, contract(0.1))
+        .with_significance(sig, TauAssignment::global(10.0));
+    let reg = Registry::new();
+    reg.register(dm);
+    let retune_opts = RetuneOptions {
+        min_replay: 2,
+        ..RetuneOptions::default()
+    };
+    let gw = Gateway::start(
+        reg,
+        canary_opts()
+            .workers(1)
+            .shadow_rate(1)
+            .retune_options(retune_opts)
+            .build()
+            .expect("opts"),
+    );
+    let rxs: Vec<_> = (0..6)
+        .map(|i| {
+            gw.submit(Request::quantized(
+                "m",
+                drifting[i % drifting.len()].clone(),
+            ))
+            .expect("admitted")
+        })
+        .collect();
+    for rx in rxs {
+        match rx.recv().expect("resolved") {
+            Outcome::Ok(_) => {}
+            other => panic!("unexpected outcome {}", other.kind()),
+        }
+    }
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while gw.model_health("m").replay_len < 2 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert!(gw.model_health("m").replay_len >= 2);
+    // An injected fault at the proposal site: typed error, no canary, no
+    // registry mutation — the aborted pass costs the drained samples only.
+    faults::arm(faults::SITE_RETUNE_PROPOSE, Fault::Panic, 1.0, 53, Some(1));
+    match gw.retune_now("m") {
+        Err(RetuneError::Faulted) => {}
+        other => panic!("expected Faulted, got {other:?}"),
+    }
+    assert!(gw.registry().canary_list().is_empty());
+    assert_eq!(gw.stats().retune_proposals, 0);
+    assert_eq!(
+        gw.model_health("m").replay_len,
+        0,
+        "the aborted pass drained its samples"
+    );
+    // With the buffer drained, a retry is a typed InsufficientReplay.
+    match gw.retune_now("m") {
+        Err(RetuneError::InsufficientReplay { have: 0, need: 2 }) => {}
+        other => panic!("expected InsufficientReplay, got {other:?}"),
+    }
+    gw.shutdown();
+    faults::reset();
+}
+
+#[test]
+fn faulted_promotion_skips_the_attempt_and_retries_next_tick() {
+    let _guard = chaos_lock();
+    let (dm, inputs) = model_and_inputs("m", 26, 0.1);
+    let (cand, _) = model_and_inputs("cand", 27, 0.1);
+    let reg = Registry::new();
+    reg.register(dm);
+    let gw = Gateway::start(reg, canary_opts().workers(1).build().expect("opts"));
+    let cfg = CanaryConfig {
+        traffic_fraction: 1.0,
+        min_samples: 4,
+        ..CanaryConfig::default()
+    };
+    let canary = gw
+        .registry()
+        .deploy_canary_with("m", cand, cfg)
+        .expect("deploy");
+    let rxs: Vec<_> = (0..8)
+        .map(|i| {
+            gw.submit(Request::quantized("m", inputs[i % inputs.len()].clone()))
+                .expect("admitted")
+        })
+        .collect();
+    for rx in rxs {
+        match rx.recv().expect("resolved") {
+            Outcome::Ok(reply) => assert_eq!(reply.model, canary),
+            other => panic!("unexpected outcome {}", other.kind()),
+        }
+    }
+    // The promotion site fails once: the tick must *skip the attempt*
+    // (canary stays a canary, nothing half-promoted) and the next tick
+    // must complete it.
+    faults::arm(faults::SITE_CANARY_PROMOTE, Fault::Panic, 1.0, 54, Some(1));
+    let events = gw.canary_tick();
+    assert!(events.is_empty(), "faulted promotion produced an event");
+    assert_eq!(gw.stats().canary_promotions, 0);
+    assert_eq!(gw.registry().canary_list().len(), 1, "still a canary");
+    let events = gw.canary_tick();
+    assert_eq!(events.len(), 1);
+    assert_eq!(events[0].outcome, CanaryOutcome::Promoted);
+    assert_eq!(gw.stats().canary_promotions, 1);
+    assert!(gw.registry().canary_list().is_empty());
     gw.shutdown();
     faults::reset();
 }
