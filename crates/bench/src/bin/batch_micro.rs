@@ -1,31 +1,45 @@
 //! **BENCH_batch_micro**: the monolithic batched compiled forward — the
 //! serving hot path (`predict_compiled_batch_scratch`) in isolation, at a
-//! serve-like small batch and the DSE eval batch.
+//! serve-like small batch, the DSE eval batch, and a saturation batch.
 //!
 //! This is the A/B harness that gates walker/driver refactors on the
 //! batched path: the pair-column fill block must stay inlined inside the
 //! conv segment executor (routing it through a shared helper once measured
 //! ~10% off serve throughput), and any change to the plan-driven traversal
 //! must hold the medians here within run-to-run CV. Reports
-//! **median-of-reps** throughput plus every rep and the CV per memory
+//! **median-of-reps** throughput plus every rep and the CV per point
 //! (`BENCH_batch_micro.json`, gated by `perf_gate` next to the DSE and
 //! serve reports). On a noisy machine, interleave runs of the old and new
 //! binaries and compare medians.
+//!
+//! The batch sweep (1/3/12/48) runs serial; a second sweep re-runs every
+//! batch with an intra-batch [`BatchPool`] at each width in
+//! `THREAD_CONFIGS`. `parallel_speedup` flattens the best multi-thread
+//! batch-48 median over the serial one — the perf gate enforces its floor
+//! only when `host_cpus >= 2` (a single-CPU builder time-slices the pool
+//! and the ratio is informational noise).
 //!
 //! ```sh
 //! cargo run -p ataman-bench --release --bin batch_micro
 //! ```
 
-use quantize::{calibrate_ranges, quantize_model, BatchScratch, CompiledMasks};
+use quantize::{calibrate_ranges, quantize_model, BatchPool, BatchScratch, CompiledMasks};
 use serde::Serialize;
 use std::time::Instant;
 
 const REPS: usize = 7;
 const IMAGES_PER_REP: usize = 2000;
+/// Serve-like, DSE-eval, and saturation batches, in order.
+const BATCH_CONFIGS: [usize; 4] = [1, 3, 12, 48];
+/// Intra-batch pool widths of the parallel sweep (1 = the serial path,
+/// measured in the main sweep).
+const THREAD_CONFIGS: [usize; 2] = [2, 4];
 
 #[derive(Serialize)]
 struct BatchPoint {
     batch: usize,
+    /// Intra-batch pool width this point ran with (1 = serial, no pool).
+    threads: usize,
     reps: usize,
     /// Throughput of every rep; the gated number is their **median**.
     per_rep_images_per_sec: Vec<f64>,
@@ -40,13 +54,29 @@ struct BatchPoint {
 struct BatchMicroReport {
     model: String,
     simd_level: String,
+    /// Logical CPUs of the bench host. With one CPU the thread sweep
+    /// time-slices a single core, so `parallel_speedup` is informational
+    /// only; the perf gate conditions its floor on `host_cpus >= 2`.
+    host_cpus: usize,
     reps: usize,
+    /// Single image through the batch path (serving worst case).
+    batch1_images_per_sec: f64,
+    batch1_cv: f64,
     /// Serve-like small batch.
     batch3_images_per_sec: f64,
     batch3_cv: f64,
     /// DSE eval batch.
     batch12_images_per_sec: f64,
     batch12_cv: f64,
+    /// Saturation batch — where intra-batch threads have work to split.
+    batch48_images_per_sec: f64,
+    batch48_cv: f64,
+    /// Best multi-thread batch-48 median ÷ serial batch-48 median.
+    parallel_speedup: f64,
+    /// Pool width that achieved `parallel_speedup`.
+    parallel_speedup_threads: usize,
+    /// Serial sweep over `BATCH_CONFIGS` followed by the thread sweep
+    /// (every batch × every width in `THREAD_CONFIGS`).
     points: Vec<BatchPoint>,
 }
 
@@ -66,6 +96,54 @@ fn coeff_of_variation(xs: &[f64]) -> f64 {
     var.sqrt() / mean
 }
 
+/// Median-of-reps throughput of one (batch, threads) point.
+fn bench_point(
+    q: &quantize::QuantModel,
+    masks: &CompiledMasks,
+    inputs: &[Vec<i8>],
+    batch: usize,
+    threads: usize,
+) -> BatchPoint {
+    let mut flat = Vec::new();
+    for input in inputs.iter().cycle().take(batch) {
+        flat.extend_from_slice(input);
+    }
+    let mut s = BatchScratch::for_model(q, batch);
+    if threads > 1 {
+        s.set_pool(Some(BatchPool::new(threads)));
+    }
+    // Warm-up: page in code, size nothing lazily, settle the clocks.
+    for _ in 0..20 {
+        let _ = q.predict_compiled_batch_scratch(&flat, batch, None, Some(masks), &mut s);
+    }
+    let calls = (IMAGES_PER_REP / batch).max(1);
+    let per_rep: Vec<f64> = (0..REPS)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..calls {
+                let _ = q.predict_compiled_batch_scratch(&flat, batch, None, Some(masks), &mut s);
+            }
+            (calls * batch) as f64 / t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    let med = median(&per_rep);
+    let cv = coeff_of_variation(&per_rep);
+    println!(
+        "batch {batch} threads {threads}: median {med:.1} img/s ({:.1} us/img, cv {:.1}%)",
+        1e6 / med,
+        100.0 * cv
+    );
+    BatchPoint {
+        batch,
+        threads,
+        reps: REPS,
+        per_rep_images_per_sec: per_rep,
+        cv,
+        images_per_sec: med,
+        us_per_image: 1e6 / med,
+    }
+}
+
 fn main() {
     println!("== BENCH_batch_micro: monolithic batched forward in isolation ==");
     let mut cfg = cifar10sim::DatasetConfig::paper_default();
@@ -77,54 +155,63 @@ fn main() {
     let ranges = calibrate_ranges(&model, &data.train.take(16));
     let q = quantize_model(&model, &ranges);
     let masks = CompiledMasks::none(q.conv_indices().len());
+    let inputs: Vec<Vec<i8>> = (0..48)
+        .map(|i| q.quantize_input(data.test.image(i % data.test.len())))
+        .collect();
 
-    let mut points = Vec::new();
-    for batch in [3usize, 12] {
-        let mut flat = Vec::new();
-        for i in 0..batch {
-            flat.extend(q.quantize_input(data.test.image(i)));
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("host_cpus={host_cpus}");
+
+    // Serial sweep first (the gated trajectory), then the thread sweep.
+    let mut points: Vec<BatchPoint> = BATCH_CONFIGS
+        .iter()
+        .map(|&b| bench_point(&q, &masks, &inputs, b, 1))
+        .collect();
+    for &threads in &THREAD_CONFIGS {
+        for &batch in &BATCH_CONFIGS {
+            points.push(bench_point(&q, &masks, &inputs, batch, threads));
         }
-        let mut s = BatchScratch::for_model(&q, batch);
-        // Warm-up: page in code, size nothing lazily, settle the clocks.
-        for _ in 0..20 {
-            let _ = q.predict_compiled_batch_scratch(&flat, batch, None, Some(&masks), &mut s);
-        }
-        let calls = IMAGES_PER_REP / batch;
-        let per_rep: Vec<f64> = (0..REPS)
-            .map(|_| {
-                let t0 = Instant::now();
-                for _ in 0..calls {
-                    let _ =
-                        q.predict_compiled_batch_scratch(&flat, batch, None, Some(&masks), &mut s);
-                }
-                (calls * batch) as f64 / t0.elapsed().as_secs_f64()
-            })
-            .collect();
-        let med = median(&per_rep);
-        let cv = coeff_of_variation(&per_rep);
-        println!(
-            "batch {batch}: median {med:.1} img/s ({:.1} us/img, cv {:.1}%)",
-            1e6 / med,
-            100.0 * cv
-        );
-        points.push(BatchPoint {
-            batch,
-            reps: REPS,
-            per_rep_images_per_sec: per_rep,
-            cv,
-            images_per_sec: med,
-            us_per_image: 1e6 / med,
-        });
     }
+
+    let serial = |batch: usize| {
+        points
+            .iter()
+            .find(|p| p.batch == batch && p.threads == 1)
+            .expect("serial point")
+    };
+    let serial48 = serial(48).images_per_sec;
+    let (speedup, speedup_threads) = points
+        .iter()
+        .filter(|p| p.batch == 48 && p.threads > 1)
+        .map(|p| (p.images_per_sec / serial48, p.threads))
+        .max_by(|a, b| a.0.partial_cmp(&b.0).unwrap())
+        .expect("threaded batch-48 point");
+    println!(
+        "parallel speedup (batch 48, {speedup_threads} threads): {speedup:.2}x{}",
+        if host_cpus < 2 {
+            " — informational: single-CPU host"
+        } else {
+            ""
+        }
+    );
 
     let report = BatchMicroReport {
         model: q.name.clone(),
         simd_level: quantize::simd_level_name().to_string(),
+        host_cpus,
         reps: REPS,
-        batch3_images_per_sec: points[0].images_per_sec,
-        batch3_cv: points[0].cv,
-        batch12_images_per_sec: points[1].images_per_sec,
-        batch12_cv: points[1].cv,
+        batch1_images_per_sec: serial(1).images_per_sec,
+        batch1_cv: serial(1).cv,
+        batch3_images_per_sec: serial(3).images_per_sec,
+        batch3_cv: serial(3).cv,
+        batch12_images_per_sec: serial(12).images_per_sec,
+        batch12_cv: serial(12).cv,
+        batch48_images_per_sec: serial(48).images_per_sec,
+        batch48_cv: serial(48).cv,
+        parallel_speedup: speedup,
+        parallel_speedup_threads: speedup_threads,
         points,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serialization");

@@ -24,11 +24,30 @@
 //!   per-image view.
 //!
 //! Traversal is plan-driven ([`crate::plan::ExecPlan`]): the monolithic
-//! driver is the [`crate::plan::ExecBackend`] impl `BatchBackend`, whose
-//! conv executor keeps the pair-column fill block inlined (routing it
-//! through a shared helper measured ~10% off serve throughput; the
-//! `batch_micro` bench A/Bs this). Activation layout per segment is a
-//! static plan property, so the old runtime layout tracking is gone.
+//! driver is the [`crate::plan::ExecBackend`] impl `BatchBackend`.
+//! Activation layout per segment is a static plan property, so the old
+//! runtime layout tracking is gone.
+//!
+//! ## Tiled (and optionally parallel) conv execution
+//!
+//! Conv segments execute in **image-group tiles** ([`tile_images`]): fill
+//! one tile's pair columns into a tile-local buffer, MAC it into its lane
+//! window of the batch-planar output, repeat. The per-tile column working
+//! set is capped at [`TILE_BYTES`] regardless of batch size — growing the
+//! batch without tiling grew every pair row's stride *and* put the whole
+//! batch's columns between fill and MAC, which is why batch 12 ran slower
+//! per image than batch 3 before this existed (DESIGN.md §"Intra-batch
+//! parallelism and stream encoding").
+//!
+//! With [`BatchScratch::set_pool`], tiles additionally become the unit of
+//! **intra-batch parallelism**: pool threads steal tiles from a shared
+//! cursor and work out of per-thread arenas ([`ParArena`]), so nothing
+//! allocates or shares inside a segment. Pool segments chunk planes, Add
+//! segments chunk elements/channels; GAP, dense and logits tails stay
+//! serial (per-image small). Each output element's accumulation walks the
+//! same stream in the same order regardless of threads, so parallel
+//! execution is bit-exact, enforced by tests here and the workspace
+//! proptest `tests/parallel_batch.rs`.
 //!
 //! ## Resumable execution ([`BatchCheckpoint`])
 //!
@@ -56,16 +75,99 @@
 //! `tests/batched_forward.rs` and `tests/prefix_forward.rs`.
 
 use crate::compiled::{
-    conv_forward_pairs, fill_centered_t, gap_forward_planar, planar_to_nhwc_pitched,
-    pool_forward_planar, CompiledConv, CompiledMasks,
+    conv_forward_pairs_window, fill_centered_t, gap_forward_planar, planar_to_nhwc_pitched,
+    pool_forward_planar, simd_level, CompiledConv, CompiledMasks,
 };
 use crate::forward::{argmax_i8, dense_forward, gap_forward_nhwc, pool_forward};
 use crate::plan::{
     AddSegment, ConvSegment, DenseSegment, ExecBackend, ExecPlan, GapSegment, LogitsSegment,
     PoolSegment,
 };
+use crate::pool::BatchPool;
 use crate::qmodel::{QAdd, QConv, QuantModel};
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use tinytensor::im2col::{fill_im2col_pairs_planar_pitched, interleave_pair_rows};
+
+/// Column working-set budget of one image-group tile (i16 pair-column
+/// bytes). A quarter of the builder Xeon's 1 MB L2: the tile's columns,
+/// the weight streams and the output rows all stay resident while the MAC
+/// loop walks every output channel. Growing the batch no longer grows the
+/// per-tile working set — the fix for the batch-12 < batch-3 regression.
+/// Chosen by interleaved A/B sweep (96K–384K): 256K is the largest budget
+/// whose batch-12 per-image throughput stays ≥ batch 3, while small
+/// batches still run un-tiled (see DESIGN.md "Intra-batch parallelism and
+/// stream encoding"). `ATAMAN_TILE_BYTES` overrides for A/B runs (`0` =
+/// no tiling: one whole-batch tile, the pre-tiling executor shape).
+const TILE_BYTES: usize = 256 * 1024;
+
+/// The effective tile budget (`TILE_BYTES` unless overridden by the
+/// `ATAMAN_TILE_BYTES` env var; `0` disables tiling).
+fn tile_bytes() -> usize {
+    static BYTES: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *BYTES.get_or_init(|| match std::env::var("ATAMAN_TILE_BYTES") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(0) => usize::MAX,
+            Ok(n) => n,
+            Err(_) => TILE_BYTES,
+        },
+        Err(_) => TILE_BYTES,
+    })
+}
+
+/// Elementwise work below which a parallel dispatch costs more than it
+/// saves (condvar wake + join ≈ a few µs ≈ tens of KB of byte traffic).
+const MIN_PAR_ELEMS: usize = 8192;
+
+/// Images per tile of a conv segment: enough images to fill `TILE_BYTES`
+/// of pair columns, never more than the batch, and — when `threads`
+/// execute — no more than an even share, so every thread gets work.
+fn tile_images(pair_rows: usize, positions: usize, batch: usize, threads: usize) -> usize {
+    let per_image = pair_rows * 2 * positions * std::mem::size_of::<i16>();
+    let mut g = (tile_bytes() / per_image.max(1)).clamp(1, batch.max(1));
+    if threads > 1 {
+        g = g.min(batch.div_ceil(threads)).max(1);
+    }
+    g
+}
+
+/// Per-thread scratch arena for parallel segment execution — sized once
+/// from the plan's extents ([`BatchScratch::set_pool`]) so nothing
+/// allocates or shares inside a segment.
+struct ParArena {
+    /// NHWC staging rows for one image's column fill.
+    rows: Vec<i16>,
+    /// Tile-local pair-interleaved columns.
+    pcolt: Vec<i16>,
+    /// Lane accumulators for one tile.
+    acc: Vec<i32>,
+}
+
+/// [`ParArena`] behind an [`UnsafeCell`] so the pool closure (a shared
+/// `Fn`) can hand each thread *its own* arena mutably.
+///
+/// Safety: every access pattern indexes the arena slice by the pool's
+/// thread index, which is unique per concurrent closure invocation, so no
+/// two threads ever alias one arena.
+struct ArenaCell(UnsafeCell<ParArena>);
+unsafe impl Sync for ArenaCell {}
+
+/// A raw output pointer that may cross into pool threads. Writers hold
+/// disjoint windows (tiles / plane chunks / element ranges), which is what
+/// makes sharing it sound — see each dispatch site.
+#[derive(Clone, Copy)]
+struct SendPtr(*mut i8);
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+impl SendPtr {
+    /// The pointer, via a whole-struct method so closures capture the
+    /// (`Sync`) wrapper rather than the raw field.
+    fn get(self) -> *mut i8 {
+        self.0
+    }
+}
 
 /// Reusable buffers for batched compiled forwards, sized once for a model
 /// and a maximum batch size.
@@ -92,6 +194,11 @@ pub struct BatchScratch {
     /// dispatch through the same kernel; built at construction — this is
     /// what binds the scratch to its model).
     dense_streams: Vec<CompiledConv>,
+    /// Intra-batch thread pool (opt-in via [`BatchScratch::set_pool`];
+    /// `None` = single-thread execution, the default).
+    pool: Option<Arc<BatchPool>>,
+    /// One scratch arena per pool thread (empty without a pool).
+    arenas: Vec<ArenaCell>,
 }
 
 impl BatchScratch {
@@ -122,7 +229,48 @@ impl BatchScratch {
             nhwc: vec![0; max_act],
             stash,
             dense_streams: crate::compiled::dense_streams(model),
+            pool: None,
+            arenas: Vec::new(),
         }
+    }
+
+    /// Opt into intra-batch parallel segment execution on `pool` (or back
+    /// out with `None`). Sizes one scratch arena per pool thread from the
+    /// plan's conv extents, so parallel segments never allocate. The same
+    /// `Arc`'d pool may back several scratches (dispatches serialize).
+    pub fn set_pool(&mut self, pool: Option<Arc<BatchPool>>) {
+        self.arenas.clear();
+        if let Some(p) = &pool {
+            let threads = p.threads();
+            if threads > 1 {
+                let rows_len = self.plan.max_cols();
+                let (mut pcolt_len, mut acc_len) = (0usize, 1usize);
+                for k in 0..self.plan.n_convs() {
+                    let seg = self.plan.conv_segment(k);
+                    // Upper bound over every runtime tiling: threads = 1
+                    // and the full batch give the widest tile.
+                    let g = tile_images(seg.pair_rows, seg.positions, self.max_batch, 1);
+                    let tl = g * seg.positions;
+                    pcolt_len = pcolt_len.max(seg.pair_rows * 2 * tl);
+                    acc_len = acc_len.max(tl);
+                }
+                self.arenas = (0..threads)
+                    .map(|_| {
+                        ArenaCell(UnsafeCell::new(ParArena {
+                            rows: vec![0; rows_len],
+                            pcolt: vec![0; pcolt_len],
+                            acc: vec![0; acc_len],
+                        }))
+                    })
+                    .collect();
+            }
+        }
+        self.pool = pool;
+    }
+
+    /// Threads intra-batch segments execute with (1 without a pool).
+    pub fn intra_batch_threads(&self) -> usize {
+        self.pool.as_ref().map_or(1, |p| p.threads())
     }
 
     /// Largest batch this scratch can execute.
@@ -148,6 +296,15 @@ impl BatchScratch {
                 .dense_streams
                 .iter()
                 .map(CompiledConv::resident_bytes)
+                .sum::<u64>()
+            + self
+                .arenas
+                .iter()
+                .map(|a| {
+                    // Safety: `&self` — no pool dispatch is live.
+                    let a = unsafe { &*a.0.get() };
+                    (2 * a.rows.len() + 2 * a.pcolt.len() + 4 * a.acc.len()) as u64
+                })
                 .sum::<u64>()
     }
 }
@@ -281,13 +438,86 @@ pub(crate) fn add_join_batched(
     }
 }
 
-/// Fill conv `c`'s batched pair-interleaved columns from a batched source
-/// activation buffer (`planar_in` per the plan's fill strategy) — the
-/// τ-independent front half of a checkpoint segment, used by the
-/// checkpoint advance and [`QuantModel::batch_fill_conv_cols`]. (The
-/// monolithic driver keeps its own inlined copy of this block — the
-/// serving hot loop optimizes across it, and routing it through a shared
-/// helper measured ~10% off batched throughput.)
+/// [`add_join_batched`] split across a pool: same-layout joins chunk the
+/// element range, layout-mapping joins chunk the channel axis (each
+/// channel's writes are injective and channel-disjoint in both layouts).
+/// Per-element arithmetic is untouched, so the result is bit-exact with
+/// the serial join.
+fn add_join_batched_par(
+    a: &QAdd,
+    seg: &AddSegment,
+    batch: usize,
+    lhs: &[i8],
+    rhs: &[i8],
+    dst: &mut [i8],
+    pool: &BatchPool,
+) {
+    let n = batch * seg.len;
+    debug_assert!(lhs.len() >= n && rhs.len() >= n && dst.len() >= n);
+    let threads = pool.threads();
+    let out = SendPtr(dst.as_mut_ptr());
+    match (seg.lhs_planar, seg.rhs_planar) {
+        (false, false) | (true, true) => {
+            let chunk = n.div_ceil(threads);
+            pool.run(&|tid| {
+                let lo = (tid * chunk).min(n);
+                let hi = ((tid + 1) * chunk).min(n);
+                for i in lo..hi {
+                    // Safety: threads hold disjoint element ranges; `dst`
+                    // outlives the dispatch.
+                    unsafe { out.get().add(i).write(a.apply(lhs[i], rhs[i])) };
+                }
+            });
+        }
+        (false, true) => {
+            let (pos, ch) = (seg.positions, seg.ch);
+            let plane = batch * pos;
+            let chunk = ch.div_ceil(threads);
+            pool.run(&|tid| {
+                let c_lo = (tid * chunk).min(ch);
+                let c_hi = ((tid + 1) * chunk).min(ch);
+                for c in c_lo..c_hi {
+                    for b in 0..batch {
+                        for p in 0..pos {
+                            let pl = c * plane + b * pos + p;
+                            let v = a.apply(lhs[b * seg.len + p * ch + c], rhs[pl]);
+                            // Safety: plane-layout writes are disjoint
+                            // across channel ranges.
+                            unsafe { out.get().add(pl).write(v) };
+                        }
+                    }
+                }
+            });
+        }
+        (true, false) => {
+            let (pos, ch) = (seg.positions, seg.ch);
+            let plane = batch * pos;
+            let chunk = ch.div_ceil(threads);
+            pool.run(&|tid| {
+                let c_lo = (tid * chunk).min(ch);
+                let c_hi = ((tid + 1) * chunk).min(ch);
+                for c in c_lo..c_hi {
+                    for b in 0..batch {
+                        for p in 0..pos {
+                            let nh = b * seg.len + p * ch + c;
+                            let v = a.apply(lhs[c * plane + b * pos + p], rhs[nh]);
+                            // Safety: NHWC writes at stride `ch` are
+                            // disjoint across channel ranges.
+                            unsafe { out.get().add(nh).write(v) };
+                        }
+                    }
+                }
+            });
+        }
+    }
+}
+
+/// Fill conv `c`'s **full-batch** pair-interleaved columns from a batched
+/// source activation buffer (`planar_in` per the plan's fill strategy) —
+/// the τ-independent front half of a checkpoint segment, used by
+/// [`QuantModel::batch_fill_conv_cols`] so trie siblings share one fill.
+/// (In-segment fills go through the tile-local [`fill_tile_cols`]
+/// instead.)
 fn fill_conv_cols(
     c: &QConv,
     batch: usize,
@@ -328,6 +558,231 @@ fn fill_conv_cols(
     }
 }
 
+/// Fill the pair-interleaved columns of images `[b_lo, b_hi)` of a conv
+/// segment into a **tile-local** buffer (`(b_hi - b_lo) · positions`
+/// lanes). Reads stay full-batch pitched (the source layout is fixed);
+/// only the destination columns are tile-local, which is what keeps the
+/// MAC working set batch-size-independent.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn fill_tile_cols(
+    c: &QConv,
+    seg: &ConvSegment,
+    batch: usize,
+    src: &[i8],
+    cur_len: usize,
+    b_lo: usize,
+    b_hi: usize,
+    rows: &mut [i16],
+    pcolt: &mut [i16],
+) {
+    let positions = seg.positions;
+    let tile_lanes = (b_hi - b_lo) * positions;
+    for b in b_lo..b_hi {
+        if seg.planar_in {
+            // Image b's channel planes sit batch planes apart starting at
+            // plane b; fused fill writes pair rows direct.
+            let in_pos = seg.geom.in_h * seg.geom.in_w;
+            let ch = seg.geom.in_c;
+            let plane_pitch = batch * in_pos;
+            let view = &src[b * in_pos..(ch - 1) * plane_pitch + b * in_pos + in_pos];
+            fill_im2col_pairs_planar_pitched(
+                view,
+                &c.geom,
+                c.in_qp.zero_point as i16,
+                c.centered_pad(),
+                pcolt,
+                tile_lanes,
+                (b - b_lo) * positions,
+                plane_pitch,
+            );
+        } else {
+            let rows = &mut rows[..positions * seg.patch];
+            fill_centered_t(c, &src[b * cur_len..(b + 1) * cur_len], rows);
+            interleave_pair_rows(
+                rows,
+                positions,
+                seg.patch,
+                pcolt,
+                tile_lanes,
+                (b - b_lo) * positions,
+            );
+        }
+    }
+}
+
+/// The tiled conv segment executor every batched driver shares: walk the
+/// batch in image-group tiles ([`tile_images`]) — fill a tile's columns,
+/// MAC the tile through [`conv_forward_pairs_window`] into its lane window
+/// of the batch-planar output, move on. With `prefilled` columns (cached
+/// conv 0 / sibling-shared trie fills) the fill half is skipped and tiles
+/// become pure MAC lane-windows over the shared buffer.
+///
+/// With a pool ([`BatchScratch::set_pool`]), tiles are the parallel work
+/// unit: every thread drains a shared atomic tile cursor (work-stealing —
+/// fast threads take more tiles) into its own arena. Tiles write disjoint
+/// lane windows of `dst`, and each output element's accumulation walks the
+/// same stream in the same order as single-thread execution, so parallel
+/// results are **bit-exact**, not merely close.
+///
+/// `#[inline(always)]`: the fill + MAC must inline into the segment
+/// executors — routing them through an outlined helper measured ~10% off
+/// batched throughput (re-confirmed by interleaved A/B when this function
+/// first landed outlined; the PR 3 / PR 5 lesson).
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn conv_exec_tiled(
+    c: &QConv,
+    cc: &CompiledConv,
+    seg: &ConvSegment,
+    batch: usize,
+    src: &[i8],
+    cur_len: usize,
+    prefilled: Option<&[i16]>,
+    par: Option<(&BatchPool, &[ArenaCell])>,
+    rows: &mut [i16],
+    pcolt: &mut [i16],
+    acc: &mut [i32],
+    dst: &mut [i8],
+) {
+    let positions = seg.positions;
+    let lanes = batch * positions;
+    let level = simd_level();
+    debug_assert!(dst.len() >= seg.geom.out_c * lanes);
+    if let Some(pc) = prefilled {
+        assert_eq!(pc.len(), seg.pair_rows * 2 * lanes, "prefilled length");
+    }
+    let threads = par.map_or(1, |(p, _)| p.threads());
+    let g = tile_images(seg.pair_rows, positions, batch, threads);
+    let n_tiles = batch.div_ceil(g);
+
+    if let Some((pool, arenas)) = par.filter(|_| n_tiles > 1 && threads > 1) {
+        let cursor = AtomicUsize::new(0);
+        let out = SendPtr(dst.as_mut_ptr());
+        pool.run(&|tid| {
+            // Safety: `tid` is unique per concurrent invocation — this
+            // thread is the arena's only user.
+            let arena = unsafe { &mut *arenas[tid].0.get() };
+            loop {
+                let t = cursor.fetch_add(1, Ordering::Relaxed);
+                if t >= n_tiles {
+                    break;
+                }
+                let (b_lo, b_hi) = (t * g, ((t + 1) * g).min(batch));
+                let (w_lo, w_hi) = (b_lo * positions, b_hi * positions);
+                // Safety (both arms): tiles hold disjoint `[w_lo, w_hi)`
+                // lane windows at shift 0, so writes are disjoint; `dst`
+                // outlives the dispatch (`pool.run` blocks).
+                match prefilled {
+                    Some(pc) => unsafe {
+                        conv_forward_pairs_window(
+                            c,
+                            cc,
+                            pc,
+                            lanes,
+                            w_lo,
+                            w_hi,
+                            &mut arena.acc,
+                            out.get(),
+                            lanes,
+                            w_lo,
+                            level,
+                        );
+                    },
+                    None => {
+                        let n_t = seg.pair_rows * 2 * (w_hi - w_lo);
+                        fill_tile_cols(
+                            c,
+                            seg,
+                            batch,
+                            src,
+                            cur_len,
+                            b_lo,
+                            b_hi,
+                            &mut arena.rows,
+                            &mut arena.pcolt[..n_t],
+                        );
+                        unsafe {
+                            conv_forward_pairs_window(
+                                c,
+                                cc,
+                                &arena.pcolt[..n_t],
+                                w_hi - w_lo,
+                                0,
+                                w_hi - w_lo,
+                                &mut arena.acc,
+                                out.get(),
+                                lanes,
+                                w_lo,
+                                level,
+                            );
+                        }
+                    }
+                }
+            }
+        });
+        return;
+    }
+
+    match prefilled {
+        Some(pc) => {
+            // Safety: whole-buffer window, sole writer.
+            unsafe {
+                conv_forward_pairs_window(
+                    c,
+                    cc,
+                    pc,
+                    lanes,
+                    0,
+                    lanes,
+                    acc,
+                    dst.as_mut_ptr(),
+                    lanes,
+                    0,
+                    level,
+                );
+            }
+        }
+        None => {
+            let mut b_lo = 0;
+            while b_lo < batch {
+                let b_hi = (b_lo + g).min(batch);
+                let (w_lo, w_hi) = (b_lo * positions, b_hi * positions);
+                let n_t = seg.pair_rows * 2 * (w_hi - w_lo);
+                fill_tile_cols(
+                    c,
+                    seg,
+                    batch,
+                    src,
+                    cur_len,
+                    b_lo,
+                    b_hi,
+                    rows,
+                    &mut pcolt[..n_t],
+                );
+                // Safety: sequential tiles, disjoint lane windows, sole
+                // writer.
+                unsafe {
+                    conv_forward_pairs_window(
+                        c,
+                        cc,
+                        &pcolt[..n_t],
+                        w_hi - w_lo,
+                        0,
+                        w_hi - w_lo,
+                        acc,
+                        dst.as_mut_ptr(),
+                        lanes,
+                        w_lo,
+                        level,
+                    );
+                }
+                b_lo = b_hi;
+            }
+        }
+    }
+}
+
 /// Per-conv-ordinal stream dispatch view (`None` = exact layer through the
 /// dense stream): the borrowed form the batched drivers consume, buildable
 /// from a [`CompiledMasks`] or from independently owned (e.g. memoized,
@@ -356,6 +811,8 @@ struct BatchBackend<'r, 'm> {
     nhwc: &'r mut Vec<i8>,
     /// Residual stash buffers (batch layout as produced).
     stash: &'r mut Vec<Vec<i8>>,
+    /// Intra-batch pool + per-thread arenas when parallel execution is on.
+    par: Option<(&'r BatchPool, &'r [ArenaCell])>,
     /// Per-image activation length of the current buffer.
     cur_len: usize,
     in_a: bool,
@@ -379,52 +836,25 @@ impl ExecBackend for BatchBackend<'_, '_> {
         } else {
             (&self.act_b[..], &mut self.act_a[..])
         };
-        let positions = seg.positions;
-        let patch = seg.patch;
-        let lanes = batch * positions;
-        let n = seg.pair_rows * 2 * lanes;
-        let pc: &[i16] = match (seg.ordinal, self.conv0_pcolt) {
-            (0, Some(cached)) => {
-                assert_eq!(cached.len(), n, "conv0 pair-column cache mismatch");
-                cached
-            }
-            _ => {
-                // Kept inline (not via `fill_conv_cols`): the serving hot
-                // loop optimizes across this block, and routing it through
-                // the shared helper measured ~10% off batched throughput.
-                let pcolt = &mut self.pcolt[..n];
-                for b in 0..batch {
-                    if seg.planar_in {
-                        // Image b's channel planes sit batch planes apart
-                        // starting at plane b; fused fill writes pair rows
-                        // direct.
-                        let in_pos = seg.geom.in_h * seg.geom.in_w;
-                        let ch = seg.geom.in_c;
-                        let plane_pitch = batch * in_pos;
-                        let view = &src[b * in_pos..(ch - 1) * plane_pitch + b * in_pos + in_pos];
-                        let zp = c.in_qp.zero_point;
-                        let pad = c.centered_pad();
-                        fill_im2col_pairs_planar_pitched(
-                            view,
-                            &c.geom,
-                            zp as i16,
-                            pad,
-                            pcolt,
-                            lanes,
-                            b * positions,
-                            plane_pitch,
-                        );
-                    } else {
-                        let rows = &mut self.rows[..positions * patch];
-                        fill_centered_t(c, &src[b * self.cur_len..(b + 1) * self.cur_len], rows);
-                        interleave_pair_rows(rows, positions, patch, pcolt, lanes, b * positions);
-                    }
-                }
-                &self.pcolt[..n]
-            }
+        let prefilled: Option<&[i16]> = match (seg.ordinal, self.conv0_pcolt) {
+            (0, Some(cached)) => Some(cached),
+            _ => None,
         };
         let cc = self.streams[seg.ordinal].unwrap_or(&self.dense_streams[seg.ordinal]);
-        conv_forward_pairs(c, cc, pc, lanes, self.acc, &mut dst[..batch * seg.out_len]);
+        conv_exec_tiled(
+            c,
+            cc,
+            seg,
+            batch,
+            src,
+            self.cur_len,
+            prefilled,
+            self.par,
+            self.rows,
+            self.pcolt,
+            self.acc,
+            &mut dst[..batch * seg.out_len],
+        );
         self.advance(seg.out_len);
     }
 
@@ -439,13 +869,50 @@ impl ExecBackend for BatchBackend<'_, '_> {
         if seg.planar_in {
             // A batch is C·B independent planes; pooling each plane
             // preserves the (c, b) → plane mapping.
-            pool_forward_planar(
-                seg.in_h,
-                seg.in_w,
-                seg.c * batch,
-                &src[..batch * self.cur_len],
-                &mut dst[..batch * seg.out_len],
-            );
+            let planes = seg.c * batch;
+            let in_plane = seg.in_h * seg.in_w;
+            let out_plane = (seg.in_h / 2) * (seg.in_w / 2);
+            match self.par.filter(|(p, _)| {
+                p.threads() > 1 && batch * self.cur_len >= MIN_PAR_ELEMS && planes >= 2
+            }) {
+                Some((pool, _)) => {
+                    // Plane chunks are independent (the pool is per-plane):
+                    // thread t takes planes [t·chunk, (t+1)·chunk) — the
+                    // (c, b) → plane mapping is untouched.
+                    let chunk = planes.div_ceil(pool.threads());
+                    let out = SendPtr(dst.as_mut_ptr());
+                    pool.run(&|tid| {
+                        let lo = (tid * chunk).min(planes);
+                        let hi = ((tid + 1) * chunk).min(planes);
+                        if lo >= hi {
+                            return;
+                        }
+                        // Safety: chunks write disjoint output planes
+                        // `[lo·out_plane, hi·out_plane)`; `dst` outlives
+                        // the dispatch.
+                        let dst_chunk = unsafe {
+                            std::slice::from_raw_parts_mut(
+                                out.get().add(lo * out_plane),
+                                (hi - lo) * out_plane,
+                            )
+                        };
+                        pool_forward_planar(
+                            seg.in_h,
+                            seg.in_w,
+                            hi - lo,
+                            &src[lo * in_plane..hi * in_plane],
+                            dst_chunk,
+                        );
+                    });
+                }
+                None => pool_forward_planar(
+                    seg.in_h,
+                    seg.in_w,
+                    planes,
+                    &src[..batch * self.cur_len],
+                    &mut dst[..batch * seg.out_len],
+                ),
+            }
         } else {
             for b in 0..batch {
                 pool_forward(
@@ -542,14 +1009,28 @@ impl ExecBackend for BatchBackend<'_, '_> {
         } else {
             (&self.act_b[..], &mut self.act_a[..])
         };
-        add_join_batched(
-            a,
-            seg,
-            batch,
-            &self.stash[seg.slot][..n],
-            &src[..n],
-            &mut dst[..n],
-        );
+        match self
+            .par
+            .filter(|(p, _)| p.threads() > 1 && n >= MIN_PAR_ELEMS)
+        {
+            Some((pool, _)) => add_join_batched_par(
+                a,
+                seg,
+                batch,
+                &self.stash[seg.slot][..n],
+                &src[..n],
+                &mut dst[..n],
+                pool,
+            ),
+            None => add_join_batched(
+                a,
+                seg,
+                batch,
+                &self.stash[seg.slot][..n],
+                &src[..n],
+                &mut dst[..n],
+            ),
+        }
         self.advance(seg.len);
     }
 
@@ -884,8 +1365,14 @@ impl QuantModel {
             nhwc,
             stash,
             dense_streams,
+            pool,
+            arenas,
             ..
         } = s;
+        let par = pool
+            .as_deref()
+            .filter(|p| p.threads() > 1)
+            .map(|p| (p, arenas.as_slice()));
         let mut backend = BatchBackend {
             model: self,
             batch,
@@ -899,6 +1386,7 @@ impl QuantModel {
             acc,
             nhwc,
             stash,
+            par,
             cur_len: in_len,
             in_a: true,
         };
@@ -1022,28 +1510,6 @@ impl QuantModel {
         let range = s.plan.advance_range(ckpt.conv_ordinal);
         let seg = s.plan.conv_segment(ckpt.conv_ordinal).clone();
         let c = self.conv_at(seg.layer_idx);
-        let positions = seg.positions;
-        let lanes = batch * positions;
-        let n = seg.pair_rows * 2 * lanes;
-        let pc: &[i16] = match prefilled {
-            Some(p) => {
-                assert_eq!(p.len(), n, "prefilled pair-column length mismatch");
-                p
-            }
-            None => {
-                fill_conv_cols(
-                    c,
-                    batch,
-                    &ckpt.act,
-                    ckpt.cur_len,
-                    seg.planar_in,
-                    &mut s.rows,
-                    &mut s.pcolt[..n],
-                );
-                &s.pcolt[..n]
-            }
-        };
-        let cc = stream.unwrap_or(&s.dense_streams[ckpt.conv_ordinal]);
         out.batch = batch;
         // Live stashes travel with the resume state: clone from the source
         // so the source checkpoint stays reusable for sibling τ choices
@@ -1054,7 +1520,39 @@ impl QuantModel {
             dst.extend_from_slice(src);
         }
         out.act.resize(batch * seg.out_len, 0);
-        conv_forward_pairs(c, cc, pc, lanes, &mut s.acc, &mut out.act[..]);
+        {
+            // The conv half of the segment runs tiled (and, with a pool,
+            // parallel) exactly like the monolithic driver; the sequential
+            // cut is *at* the checkpoint boundary, after the join below.
+            let BatchScratch {
+                rows,
+                pcolt,
+                acc,
+                dense_streams,
+                pool,
+                arenas,
+                ..
+            } = &mut *s;
+            let cc = stream.unwrap_or(&dense_streams[ckpt.conv_ordinal]);
+            let par = pool
+                .as_deref()
+                .filter(|p| p.threads() > 1)
+                .map(|p| (p, arenas.as_slice()));
+            conv_exec_tiled(
+                c,
+                cc,
+                &seg,
+                batch,
+                &ckpt.act,
+                ckpt.cur_len,
+                prefilled,
+                par,
+                rows,
+                pcolt,
+                acc,
+                &mut out.act[..],
+            );
+        }
         out.cur_len = seg.out_len;
         out.conv_ordinal = ckpt.conv_ordinal + 1;
         out.complete = false;
@@ -1274,6 +1772,88 @@ mod tests {
             q.batch_checkpoint_predictions_into(&leaf, &mut preds);
             let want = q.predict_compiled_batch_scratch(&flat, batch, None, Some(cm), &mut bs);
             assert_eq!(preds, want, "design {label}");
+        }
+    }
+
+    #[test]
+    fn parallel_batched_forward_bit_exact_with_serial() {
+        let (q, data) = quantized_micro(310);
+        let masks = random_masks(&q, 17, 3);
+        let compiled = CompiledMasks::compile(&q, &masks);
+        let mut serial = BatchScratch::for_model(&q, 8);
+        for threads in [2usize, 4] {
+            let mut par = BatchScratch::for_model(&q, 8);
+            par.set_pool(Some(BatchPool::new(threads)));
+            assert_eq!(par.intra_batch_threads(), threads);
+            for batch in [1usize, 3, 5, 8] {
+                let flat = stacked_qinputs(&q, &data, batch);
+                let want = q.forward_compiled_batch_scratch(
+                    &flat,
+                    batch,
+                    None,
+                    Some(&compiled),
+                    &mut serial,
+                );
+                let got =
+                    q.forward_compiled_batch_scratch(&flat, batch, None, Some(&compiled), &mut par);
+                assert_eq!(got, want, "threads {threads}, batch {batch}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_checkpoint_chain_bit_exact_with_serial() {
+        let (q, data) = quantized_micro(311);
+        let masks = random_masks(&q, 19, 3);
+        let compiled = CompiledMasks::compile(&q, &masks);
+        let batch = 6;
+        let flat = stacked_qinputs(&q, &data, batch);
+        let mut serial = BatchScratch::for_model(&q, batch);
+        let want =
+            q.predict_compiled_batch_scratch(&flat, batch, None, Some(&compiled), &mut serial);
+        let mut bs = BatchScratch::for_model(&q, batch);
+        bs.set_pool(Some(BatchPool::new(3)));
+        let mut cur = q.batch_start(&flat, batch, &mut bs);
+        let mut next = BatchCheckpoint::empty();
+        let mut cols = Vec::new();
+        while let Some(k) = cur.next_conv_ordinal() {
+            // Alternate prefilled (lane-window parallel MAC) and in-segment
+            // tile fills.
+            let prefilled = if k % 2 == 0 {
+                q.batch_fill_conv_cols(&cur, &mut bs, &mut cols);
+                Some(&cols[..])
+            } else {
+                None
+            };
+            q.batch_advance_into(
+                &cur,
+                compiled.per_conv[k].as_ref(),
+                prefilled,
+                &mut bs,
+                &mut next,
+            );
+            std::mem::swap(&mut cur, &mut next);
+        }
+        assert!(cur.is_complete());
+        let mut preds = Vec::new();
+        q.batch_checkpoint_predictions_into(&cur, &mut preds);
+        assert_eq!(preds, want);
+    }
+
+    #[test]
+    fn set_pool_back_to_none_restores_serial_path() {
+        let (q, data) = quantized_micro(312);
+        let mut bs = BatchScratch::for_model(&q, 4);
+        bs.set_pool(Some(BatchPool::new(2)));
+        bs.set_pool(None);
+        assert_eq!(bs.intra_batch_threads(), 1);
+        let flat = stacked_qinputs(&q, &data, 4);
+        let got = q.forward_compiled_batch_scratch(&flat, 4, None, None, &mut bs);
+        let in_len = q.input_shape.item_len();
+        for b in 0..4 {
+            let want = q.forward_quantized(&flat[b * in_len..(b + 1) * in_len], None);
+            let out_len = want.len();
+            assert_eq!(&got[b * out_len..(b + 1) * out_len], &want[..], "image {b}");
         }
     }
 

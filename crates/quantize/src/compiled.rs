@@ -63,23 +63,32 @@ use tinytensor::quant::avg_round;
 
 /// One conv layer's mask compiled into compact retained weight-pair streams.
 ///
-/// Entry `j` of a channel covers patch elements `2·idx[j]` and
-/// `2·idx[j] + 1` with weights `w[2j]` / `w[2j + 1]`; a masked (or
+/// Entry `j` of a channel covers patch elements `2·r` and `2·r + 1` of
+/// pair row `r = Σ deltas[..=j]` (the [`tinytensor::stream`] delta
+/// encoding — ascending within a channel, reference accumulation order
+/// regrouped pairwise) with weights `w[2j]` / `w[2j + 1]`; a masked (or
 /// zero-weight, or past-the-end for odd patch lengths) half carries weight
-/// 0 and contributes exactly nothing. Channels whose mask retains
-/// everything still stream their nonzero weight pairs; a mask that skips
-/// nothing anywhere compiles to `None` at the [`CompiledMasks`] level
-/// (dense-stream dispatch through the same kernel).
+/// 0 and contributes exactly nothing. Gaps wider than
+/// [`tinytensor::stream::MAX_DELTA`] pair rows are bridged by phantom
+/// entries whose weight pair is `(0, 0)` — also contributing exactly
+/// nothing. Channels whose mask retains everything still stream their
+/// nonzero weight pairs; a mask that skips nothing anywhere compiles to
+/// `None` at the [`CompiledMasks`] level (dense-stream dispatch through
+/// the same kernel).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CompiledConv {
-    /// Per-channel `[start, end)` entry spans into `idx` (and, doubled,
+    /// Per-channel `[start, end)` entry spans into `deltas` (and, doubled,
     /// into `w`); length `out_c + 1`.
     pub row_offsets: Vec<u32>,
-    /// Pair-row index of each retained entry, ascending within a channel
-    /// (reference accumulation order, regrouped pairwise).
-    pub idx: Vec<i16>,
-    /// Interleaved weight pairs: entry `j` multiplies pair row `idx[j]` by
-    /// `(w[2j], w[2j+1])`. A 0 half is a skipped/zero/absent product.
+    /// Delta-encoded pair-row index of each entry ([`tinytensor::stream`]):
+    /// within a channel, entry `j`'s pair row is the running sum of
+    /// `deltas[..=j]` measured from the channel's span start. One byte per
+    /// entry, and the hot loop reconstructs rows with a single add — the
+    /// same encoding unpackgen's flash streams use.
+    pub deltas: Vec<u8>,
+    /// Interleaved weight pairs: entry `j` multiplies its pair row by
+    /// `(w[2j], w[2j+1])`. A 0 half is a skipped/zero/absent product; a
+    /// `(0, 0)` pair is a phantom gap-bridge.
     pub w: Vec<i8>,
     /// Retained products per channel, zero weights included (cost
     /// accounting that matches the boolean masks without re-scanning).
@@ -113,19 +122,16 @@ impl CompiledConv {
     pub fn build(conv: &QConv, skip: impl Fn(usize, usize) -> bool) -> Self {
         let patch = conv.patch_len();
         let out_c = conv.geom.out_c;
-        assert!(
-            patch <= i16::MAX as usize + 1,
-            "patch length exceeds i16 index range"
-        );
         let pair_rows = patch.div_ceil(2);
         let mut row_offsets = Vec::with_capacity(out_c + 1);
-        let mut idx = Vec::new();
+        let mut deltas = Vec::new();
         let mut w = Vec::new();
         let mut retained = Vec::with_capacity(out_c);
         row_offsets.push(0u32);
         for o in 0..out_c {
             let wrow = &conv.weights[o * patch..(o + 1) * patch];
             let mut kept = 0u32;
+            let mut enc = tinytensor::stream::DeltaWriter::new();
             for i in 0..pair_rows {
                 let e0 = 2 * i;
                 let e1 = 2 * i + 1;
@@ -140,20 +146,36 @@ impl CompiledConv {
                     w1 = wrow[e1];
                 }
                 if w0 != 0 || w1 != 0 {
-                    idx.push(i as i16);
+                    // Wide gaps are bridged by phantom (0, 0) weight pairs
+                    // so the kernel's running-row add never overflows a
+                    // delta byte.
+                    for _ in 0..enc.push(i) {
+                        w.push(0);
+                        w.push(0);
+                    }
                     w.push(w0);
                     w.push(w1);
                 }
             }
             retained.push(kept);
-            row_offsets.push(idx.len() as u32);
+            deltas.extend_from_slice(&enc.finish());
+            row_offsets.push(deltas.len() as u32);
         }
         Self {
             row_offsets,
-            idx,
+            deltas,
             w,
             retained,
         }
+    }
+
+    /// Absolute pair-row index of every entry of channel `o` (phantom
+    /// gap-bridges included) — the decoded view for tests, cost accounting
+    /// and stream introspection; the kernels never materialize this.
+    pub fn channel_pair_rows(&self, o: usize) -> Vec<usize> {
+        let s = self.row_offsets[o] as usize;
+        let e = self.row_offsets[o + 1] as usize;
+        tinytensor::stream::decode_indices(&self.deltas[s..e])
     }
 
     /// True when every channel retains all `patch` products (the mask
@@ -167,10 +189,12 @@ impl CompiledConv {
         self.retained.iter().map(|&r| r as u64).sum()
     }
 
-    /// Approximate heap bytes of this stream (reporting only).
+    /// Approximate heap bytes of this stream (reporting only). The
+    /// per-entry cost is [`tinytensor::stream::encoded_bytes`]'s: one delta
+    /// byte plus the two-weight payload.
     pub fn resident_bytes(&self) -> u64 {
-        (4 * self.row_offsets.len() + 2 * self.idx.len() + self.w.len() + 4 * self.retained.len())
-            as u64
+        (4 * self.row_offsets.len() + 4 * self.retained.len()) as u64
+            + tinytensor::stream::encoded_bytes(self.deltas.len(), 2)
     }
 }
 
@@ -309,20 +333,55 @@ pub(crate) fn available_simd_levels() -> Vec<SimdLevel> {
     levels
 }
 
+/// Kernel micro-optimization toggles, read once per process. Defaults are
+/// the adopted (A/B-winning) configuration; the environment overrides
+/// (`ATAMAN_KERNEL_PREFETCH=0/1`, `ATAMAN_KERNEL_SPLIT_CHAINS=0/1`) exist
+/// so `batch_micro` can interleave on/off runs in one binary on the noisy
+/// single-CPU builder — every toggle is bit-exact, only speed differs.
+#[cfg(target_arch = "x86_64")]
+pub(crate) struct KernelTuning {
+    /// Software-prefetch the next stream entries' pair rows during MAC
+    /// loops.
+    pub prefetch: bool,
+    /// Split the VNNI quartet's serial `vpdpwssd` dependency chain into two
+    /// independent chains joined by one add (wrapping adds commute, so any
+    /// accumulation reorder is bit-exact).
+    pub split_chains: bool,
+}
+
+#[cfg(target_arch = "x86_64")]
+pub(crate) fn kernel_tuning() -> &'static KernelTuning {
+    static TUNING: OnceLock<KernelTuning> = OnceLock::new();
+    TUNING.get_or_init(|| {
+        let flag = |name: &str, default: bool| match std::env::var(name) {
+            Ok(v) => v != "0",
+            Err(_) => default,
+        };
+        KernelTuning {
+            prefetch: flag("ATAMAN_KERNEL_PREFETCH", true),
+            split_chains: flag("ATAMAN_KERNEL_SPLIT_CHAINS", true),
+        }
+    })
+}
+
 /// Apply one channel's pair stream to `acc[..b]` over lanes
 /// `[p0, p0 + b)` — portable reference loop. `pcolt` is the
-/// pair-interleaved column buffer with `lanes` lanes per pair row.
+/// pair-interleaved column buffer with `lanes` lanes per pair row; `dx` is
+/// the channel's delta-encoded pair-row stream (the running sum of deltas
+/// is the absolute row).
 fn apply_stream_scalar(
     pcolt: &[i16],
     lanes: usize,
     p0: usize,
-    ix: &[i16],
+    dx: &[u8],
     w: &[i8],
     acc: &mut [i32],
 ) {
     let b = acc.len();
-    for (j, &pi) in ix.iter().enumerate() {
-        let row = &pcolt[pi as usize * 2 * lanes + 2 * p0..][..2 * b];
+    let mut ri = 0usize;
+    for (j, &d) in dx.iter().enumerate() {
+        ri += d as usize;
+        let row = &pcolt[ri * 2 * lanes + 2 * p0..][..2 * b];
         let w0 = w[2 * j] as i32;
         let w1 = w[2 * j + 1] as i32;
         for (p, a) in acc.iter_mut().enumerate() {
@@ -344,20 +403,32 @@ unsafe fn apply_stream_avx2(
     pcolt: &[i16],
     lanes: usize,
     p0: usize,
-    ix: &[i16],
+    dx: &[u8],
     w: &[i8],
     acc: &mut [i32],
 ) {
     use std::arch::x86_64::*;
     let b = acc.len();
-    let n = ix.len();
+    let n = dx.len();
+    let prefetch = kernel_tuning().prefetch;
     let wpair = |j: usize| -> i32 {
         (((w[2 * j + 1] as i16 as u16 as u32) << 16) | (w[2 * j] as i16 as u16 as u32)) as i32
     };
     let mut j = 0;
+    let mut ri = 0usize;
     while j + 2 <= n {
-        let r0 = pcolt.as_ptr().add(ix[j] as usize * 2 * lanes + 2 * p0);
-        let r1 = pcolt.as_ptr().add(ix[j + 1] as usize * 2 * lanes + 2 * p0);
+        let r0i = ri + dx[j] as usize;
+        let r1i = r0i + dx[j + 1] as usize;
+        let r0 = pcolt.as_ptr().add(r0i * 2 * lanes + 2 * p0);
+        let r1 = pcolt.as_ptr().add(r1i * 2 * lanes + 2 * p0);
+        if prefetch && j + 4 <= n {
+            // Next pass's pair rows at this lane window's base — hides the
+            // first-touch miss of each row behind the current pass's MACs.
+            let n0 = r1i + dx[j + 2] as usize;
+            let n1 = n0 + dx[j + 3] as usize;
+            _mm_prefetch::<_MM_HINT_T0>(pcolt.as_ptr().add(n0 * 2 * lanes + 2 * p0) as *const i8);
+            _mm_prefetch::<_MM_HINT_T0>(pcolt.as_ptr().add(n1 * 2 * lanes + 2 * p0) as *const i8);
+        }
         let wv0 = _mm256_set1_epi32(wpair(j));
         let wv1 = _mm256_set1_epi32(wpair(j + 1));
         let mut p = 0usize;
@@ -380,10 +451,12 @@ unsafe fn apply_stream_avx2(
             acc[p] = acc[p].wrapping_add(s0).wrapping_add(s1);
             p += 1;
         }
+        ri = r1i;
         j += 2;
     }
     if j < n {
-        let r0 = pcolt.as_ptr().add(ix[j] as usize * 2 * lanes + 2 * p0);
+        let r0i = ri + dx[j] as usize;
+        let r0 = pcolt.as_ptr().add(r0i * 2 * lanes + 2 * p0);
         let wv0 = _mm256_set1_epi32(wpair(j));
         let mut p = 0usize;
         while p + 8 <= b {
@@ -417,53 +490,89 @@ unsafe fn apply_stream_vnni(
     pcolt: &[i16],
     lanes: usize,
     p0: usize,
-    ix: &[i16],
+    dx: &[u8],
     w: &[i8],
     acc: &mut [i32],
 ) {
     use std::arch::x86_64::*;
     let b = acc.len();
-    let n = ix.len();
+    let n = dx.len();
+    let tuning = kernel_tuning();
     let wpair = |j: usize| -> i32 {
         (((w[2 * j + 1] as i16 as u16 as u32) << 16) | (w[2 * j] as i16 as u16 as u32)) as i32
     };
-    let row = |j: usize| pcolt.as_ptr().add(ix[j] as usize * 2 * lanes + 2 * p0);
-    let scalar_pair = |j: usize, p: usize| -> i32 {
-        let r = row(j);
-        (*r.add(2 * p) as i32) * (w[2 * j] as i32)
-            + (*r.add(2 * p + 1) as i32) * (w[2 * j + 1] as i32)
-    };
     let mut j = 0;
+    let mut ri = 0usize;
     while j + 4 <= n {
-        let (r0, r1, r2, r3) = (row(j), row(j + 1), row(j + 2), row(j + 3));
+        let r0i = ri + dx[j] as usize;
+        let r1i = r0i + dx[j + 1] as usize;
+        let r2i = r1i + dx[j + 2] as usize;
+        let r3i = r2i + dx[j + 3] as usize;
+        let row = |i: usize| pcolt.as_ptr().add(i * 2 * lanes + 2 * p0);
+        let (r0, r1, r2, r3) = (row(r0i), row(r1i), row(r2i), row(r3i));
+        if tuning.prefetch && j + 8 <= n {
+            // Next quartet's pair rows at this lane window's base — the
+            // deltas make their addresses one add each.
+            let mut pi = r3i;
+            for k in 0..4 {
+                pi += dx[j + 4 + k] as usize;
+                _mm_prefetch::<_MM_HINT_T0>(row(pi) as *const i8);
+            }
+        }
         let wv0 = _mm512_set1_epi32(wpair(j));
         let wv1 = _mm512_set1_epi32(wpair(j + 1));
         let wv2 = _mm512_set1_epi32(wpair(j + 2));
         let wv3 = _mm512_set1_epi32(wpair(j + 3));
         let mut p = 0usize;
-        while p + 16 <= b {
-            let a0 = _mm512_loadu_si512(r0.add(2 * p) as *const _);
-            let a1 = _mm512_loadu_si512(r1.add(2 * p) as *const _);
-            let a2 = _mm512_loadu_si512(r2.add(2 * p) as *const _);
-            let a3 = _mm512_loadu_si512(r3.add(2 * p) as *const _);
-            let accv = _mm512_loadu_si512(acc.as_ptr().add(p) as *const _);
-            let s01 = _mm512_dpwssd_epi32(_mm512_dpwssd_epi32(accv, a0, wv0), a1, wv1);
-            let s = _mm512_dpwssd_epi32(_mm512_dpwssd_epi32(s01, a2, wv2), a3, wv3);
-            _mm512_storeu_si512(acc.as_mut_ptr().add(p) as *mut _, s);
-            p += 16;
+        if tuning.split_chains {
+            // Two independent 2-deep `vpdpwssd` chains joined by one add
+            // instead of one 4-deep serial chain: wrapping adds commute, so
+            // the regroup is bit-exact, and the chains pipeline across
+            // ports instead of serializing on the accumulator.
+            let zero = _mm512_setzero_si512();
+            while p + 16 <= b {
+                let a0 = _mm512_loadu_si512(r0.add(2 * p) as *const _);
+                let a1 = _mm512_loadu_si512(r1.add(2 * p) as *const _);
+                let a2 = _mm512_loadu_si512(r2.add(2 * p) as *const _);
+                let a3 = _mm512_loadu_si512(r3.add(2 * p) as *const _);
+                let accv = _mm512_loadu_si512(acc.as_ptr().add(p) as *const _);
+                let c0 = _mm512_dpwssd_epi32(_mm512_dpwssd_epi32(accv, a0, wv0), a1, wv1);
+                let c1 = _mm512_dpwssd_epi32(_mm512_dpwssd_epi32(zero, a2, wv2), a3, wv3);
+                let s = _mm512_add_epi32(c0, c1);
+                _mm512_storeu_si512(acc.as_mut_ptr().add(p) as *mut _, s);
+                p += 16;
+            }
+        } else {
+            while p + 16 <= b {
+                let a0 = _mm512_loadu_si512(r0.add(2 * p) as *const _);
+                let a1 = _mm512_loadu_si512(r1.add(2 * p) as *const _);
+                let a2 = _mm512_loadu_si512(r2.add(2 * p) as *const _);
+                let a3 = _mm512_loadu_si512(r3.add(2 * p) as *const _);
+                let accv = _mm512_loadu_si512(acc.as_ptr().add(p) as *const _);
+                let s01 = _mm512_dpwssd_epi32(_mm512_dpwssd_epi32(accv, a0, wv0), a1, wv1);
+                let s = _mm512_dpwssd_epi32(_mm512_dpwssd_epi32(s01, a2, wv2), a3, wv3);
+                _mm512_storeu_si512(acc.as_mut_ptr().add(p) as *mut _, s);
+                p += 16;
+            }
         }
         while p < b {
+            let scalar_pair = |r: *const i16, jj: usize| -> i32 {
+                (*r.add(2 * p) as i32) * (w[2 * jj] as i32)
+                    + (*r.add(2 * p + 1) as i32) * (w[2 * jj + 1] as i32)
+            };
             acc[p] = acc[p]
-                .wrapping_add(scalar_pair(j, p))
-                .wrapping_add(scalar_pair(j + 1, p))
-                .wrapping_add(scalar_pair(j + 2, p))
-                .wrapping_add(scalar_pair(j + 3, p));
+                .wrapping_add(scalar_pair(r0, j))
+                .wrapping_add(scalar_pair(r1, j + 1))
+                .wrapping_add(scalar_pair(r2, j + 2))
+                .wrapping_add(scalar_pair(r3, j + 3));
             p += 1;
         }
+        ri = r3i;
         j += 4;
     }
     while j < n {
-        let r0 = row(j);
+        ri += dx[j] as usize;
+        let r0 = pcolt.as_ptr().add(ri * 2 * lanes + 2 * p0);
         let wv0 = _mm512_set1_epi32(wpair(j));
         let mut p = 0usize;
         while p + 16 <= b {
@@ -474,7 +583,9 @@ unsafe fn apply_stream_vnni(
             p += 16;
         }
         while p < b {
-            acc[p] = acc[p].wrapping_add(scalar_pair(j, p));
+            let s0 = (*r0.add(2 * p) as i32) * (w[2 * j] as i32)
+                + (*r0.add(2 * p + 1) as i32) * (w[2 * j + 1] as i32);
+            acc[p] = acc[p].wrapping_add(s0);
             p += 1;
         }
         j += 1;
@@ -590,33 +701,103 @@ pub(crate) fn conv_forward_pairs_with_level(
     output: &mut [i8],
     level: SimdLevel,
 ) {
+    let out_c = c.geom.out_c;
+    assert!(output.len() >= out_c * lanes);
+    // Safety: the output covers `out_c` rows of pitch `lanes` and this is
+    // the only writer.
+    unsafe {
+        conv_forward_pairs_window(
+            c,
+            cc,
+            pcolt,
+            lanes,
+            0,
+            lanes,
+            acc,
+            output.as_mut_ptr(),
+            lanes,
+            0,
+            level,
+        )
+    };
+}
+
+/// The windowed, pitched kernel core behind every conv execution path:
+/// apply `cc`'s streams to column lanes `[p_lo, p_hi)` of `pcolt` (whose
+/// pair rows have `colt_lanes` lanes), writing channel `o`, lane `p` to
+/// `output[o * out_pitch + out_base + (p - p_lo)]`.
+///
+/// Three shapes ride on this one function:
+/// * whole-buffer (`p_lo = 0`, `p_hi = colt_lanes`, `out_pitch =
+///   colt_lanes`, `out_base = 0`) — the per-image path and small batches;
+/// * **image-group tiles** with tile-local columns (`colt_lanes` = the
+///   tile's lanes, `out_base` = the tile's first lane in the full batch,
+///   `out_pitch` = the full batch's lanes) — the fill/MAC interleave that
+///   keeps the column working set batch-size-independent, and the parallel
+///   work unit;
+/// * **lane windows** over a shared full-batch column buffer (`p_lo > 0`)
+///   — parallel MAC over prefilled (cached conv0) columns.
+///
+/// Lane-blocked inside the window so each block's pair rows stay L1-hot
+/// across all output channels.
+///
+/// # Safety
+/// `output` must be valid for writes over every
+/// `o * out_pitch + out_base + [0, p_hi - p_lo)` for `o < out_c`, and no
+/// other thread may concurrently touch those elements. Distinct windows
+/// (disjoint `[p_lo, p_hi)` at the same `out_base - p_lo` shift) write
+/// disjoint elements, which is what makes tile-parallel execution sound.
+#[allow(clippy::too_many_arguments)]
+pub(crate) unsafe fn conv_forward_pairs_window(
+    c: &QConv,
+    cc: &CompiledConv,
+    pcolt: &[i16],
+    colt_lanes: usize,
+    p_lo: usize,
+    p_hi: usize,
+    acc: &mut [i32],
+    output: *mut i8,
+    out_pitch: usize,
+    out_base: usize,
+    level: SimdLevel,
+) {
     let pair_rows = c.patch_len().div_ceil(2);
     let out_c = c.geom.out_c;
-    assert!(pcolt.len() >= pair_rows * 2 * lanes);
-    assert!(output.len() >= out_c * lanes);
+    assert!(pcolt.len() >= pair_rows * 2 * colt_lanes);
+    assert!(p_lo <= p_hi && p_hi <= colt_lanes);
+    let window = p_hi - p_lo;
+    assert!(acc.len() >= lane_block(pair_rows, window).min(window.max(1)));
     let stage = OutStage::new(c);
-    let block = lane_block(pair_rows, lanes);
+    let block = lane_block(pair_rows, window);
 
-    let mut p0 = 0usize;
-    while p0 < lanes {
-        let b = block.min(lanes - p0);
+    let mut p0 = p_lo;
+    while p0 < p_hi {
+        let b = block.min(p_hi - p0);
         let acc = &mut acc[..b];
         for o in 0..out_c {
             acc.fill(c.bias[o]);
             let s = cc.row_offsets[o] as usize;
             let e = cc.row_offsets[o + 1] as usize;
-            let (ix, ws) = (&cc.idx[s..e], &cc.w[2 * s..2 * e]);
+            let (dx, ws) = (&cc.deltas[s..e], &cc.w[2 * s..2 * e]);
             match level {
-                SimdLevel::Scalar => apply_stream_scalar(pcolt, lanes, p0, ix, ws, acc),
+                SimdLevel::Scalar => apply_stream_scalar(pcolt, colt_lanes, p0, dx, ws, acc),
                 #[cfg(target_arch = "x86_64")]
                 // Safety: `level` only reaches Avx2/Vnni when the features
                 // were runtime-detected (`simd_level`/`available_simd_levels`).
-                SimdLevel::Avx2 => unsafe { apply_stream_avx2(pcolt, lanes, p0, ix, ws, acc) },
+                SimdLevel::Avx2 => unsafe { apply_stream_avx2(pcolt, colt_lanes, p0, dx, ws, acc) },
                 #[cfg(target_arch = "x86_64")]
-                SimdLevel::Vnni => unsafe { apply_stream_vnni(pcolt, lanes, p0, ix, ws, acc) },
+                SimdLevel::Vnni => unsafe { apply_stream_vnni(pcolt, colt_lanes, p0, dx, ws, acc) },
             }
-            // Output stage: requantize + clamp, contiguous planar store.
-            let orow = &mut output[o * lanes + p0..o * lanes + p0 + b];
+            // Output stage: requantize + clamp, contiguous pitched store.
+            // Materialized as a slice so the store loop keeps `noalias`
+            // (a raw-pointer write loop de-vectorizes the requant — an
+            // 11% hit, caught by interleaved A/B).
+            let orow = unsafe {
+                std::slice::from_raw_parts_mut(
+                    output.add(o * out_pitch + out_base + (p0 - p_lo)),
+                    b,
+                )
+            };
             for (out, &a) in orow.iter_mut().zip(acc.iter()) {
                 *out = stage.apply(a);
             }
@@ -1228,15 +1409,14 @@ mod tests {
         // ascending pair index, masked/zero halves carrying weight 0.
         for o in [0usize, 1] {
             let s = cc.row_offsets[o] as usize;
-            let e = cc.row_offsets[o + 1] as usize;
-            let idx_row = &cc.idx[s..e];
+            let idx_row = cc.channel_pair_rows(o);
             assert!(
                 idx_row.windows(2).all(|p| p[0] < p[1]),
                 "pair indices not ascending"
             );
             let wrow = &c0.weights[o * patch..(o + 1) * patch];
             for (j, &pi) in idx_row.iter().enumerate() {
-                let (e0, e1) = (2 * pi as usize, 2 * pi as usize + 1);
+                let (e0, e1) = (2 * pi, 2 * pi + 1);
                 let want0 = if o == 1 && e0 == 2 { 0 } else { wrow[e0] };
                 let want1 = if e1 >= patch || (o == 1 && e1 == 2) {
                     0
@@ -1261,8 +1441,7 @@ mod tests {
         // The masked product (channel 1, patch index 2) must not appear:
         // pair row 1's even half for channel 1 is forced to 0.
         let s1 = cc.row_offsets[1] as usize;
-        let e1 = cc.row_offsets[2] as usize;
-        for (j, &pi) in cc.idx[s1..e1].iter().enumerate() {
+        for (j, &pi) in cc.channel_pair_rows(1).iter().enumerate() {
             if pi == 1 {
                 assert_eq!(cc.w[2 * (s1 + j)], 0, "masked half-pair must be 0");
             }
@@ -1278,14 +1457,11 @@ mod tests {
         assert!(cc.is_dense(patch));
         for o in 0..c0.geom.out_c {
             let wrow = &c0.weights[o * patch..(o + 1) * patch];
-            let s = cc.row_offsets[o] as usize;
-            let e = cc.row_offsets[o + 1] as usize;
             // Entries exist exactly for pairs with at least one nonzero.
-            let want_pairs: Vec<i16> = (0..patch.div_ceil(2))
+            let want_pairs: Vec<usize> = (0..patch.div_ceil(2))
                 .filter(|&i| wrow[2 * i] != 0 || (2 * i + 1 < patch && wrow[2 * i + 1] != 0))
-                .map(|i| i as i16)
                 .collect();
-            assert_eq!(&cc.idx[s..e], &want_pairs[..], "channel {o}");
+            assert_eq!(cc.channel_pair_rows(o), want_pairs, "channel {o}");
         }
     }
 

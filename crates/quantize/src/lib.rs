@@ -36,6 +36,7 @@ pub mod calib;
 pub mod compiled;
 pub mod forward;
 pub mod plan;
+pub mod pool;
 pub mod qmodel;
 
 pub use batch::{BatchCheckpoint, BatchScratch};
@@ -46,6 +47,7 @@ pub use plan::{
     AddSegment, ConvSegment, DenseSegment, ExecBackend, ExecPlan, GapSegment, LogitsSegment,
     PoolSegment, Segment,
 };
+pub use pool::BatchPool;
 pub use qmodel::{
     quantize_model, QAdd, QConv, QDense, QGlobalAvgPool, QLayer, QPool, QStash, QuantModel,
 };

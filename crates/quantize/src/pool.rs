@@ -1,0 +1,226 @@
+//! An owned, scoped-dispatch thread pool for intra-batch parallel
+//! execution.
+//!
+//! [`BatchPool`] holds `threads - 1` parked worker std-threads; the caller
+//! participates as thread 0, so a pool of `threads = 1` spawns nothing and
+//! [`BatchPool::run`] degenerates to a plain call. A run hands every
+//! thread the same borrowed closure (classic scoped protocol: `run`
+//! blocks until all workers finish, so the borrow outlives every use) and
+//! each thread receives its **thread index** — the key into per-thread
+//! scratch arenas, so no allocation or sharing happens inside a segment.
+//! Work distribution happens *inside* the closure via a shared atomic
+//! cursor over segment chunks (work-stealing: fast threads drain more
+//! chunks), see [`crate::batch`].
+//!
+//! Dispatch is a generation-counted mutex/condvar handshake — no channels,
+//! no queues, nothing vendored (rayon stays the fallback idiom reference
+//! only). Workers park between runs, so an idle pool costs nothing but
+//! memory; the pool joins its workers on drop.
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A closure pointer smuggled to the workers for one run. Lifetime-erased:
+/// `run` blocks until every worker has finished calling it, so the
+/// borrowed closure outlives every dereference.
+#[derive(Clone, Copy)]
+struct Job(*const (dyn Fn(usize) + Sync));
+// Safety: the pointee is `Sync` (asserted at construction in `run`) and
+// `run` keeps it alive for the whole dispatch.
+unsafe impl Send for Job {}
+
+struct PoolState {
+    /// Incremented per dispatch; workers run a job exactly once per
+    /// generation.
+    generation: u64,
+    job: Option<Job>,
+    /// Workers still executing the current generation's job.
+    active: usize,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    /// Workers wait here for a new generation (or shutdown).
+    dispatch: Condvar,
+    /// The caller waits here for `active` to drain.
+    done: Condvar,
+}
+
+/// Owned pool of parked worker threads for intra-batch execution; see the
+/// module docs. Cheap to share (`Arc`) across the scratches of one serve
+/// worker; a `run` is exclusive (guarded), so concurrent callers serialize
+/// rather than corrupt a dispatch.
+pub struct BatchPool {
+    shared: Arc<PoolShared>,
+    /// Serializes dispatches from different threads sharing one pool.
+    run_guard: Mutex<()>,
+    threads: usize,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl BatchPool {
+    /// A pool executing with `threads` total threads (the caller counts as
+    /// thread 0; `threads - 1` workers are spawned). `threads` is clamped
+    /// to at least 1.
+    pub fn new(threads: usize) -> Arc<Self> {
+        let threads = threads.max(1);
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                generation: 0,
+                job: None,
+                active: 0,
+                shutdown: false,
+            }),
+            dispatch: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let workers = (1..threads)
+            .map(|tid| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("batch-pool-{tid}"))
+                    .spawn(move || worker_loop(&shared, tid))
+                    .expect("spawn batch-pool worker")
+            })
+            .collect();
+        Arc::new(Self {
+            shared,
+            run_guard: Mutex::new(()),
+            threads,
+            workers,
+        })
+    }
+
+    /// Total execution threads (caller included).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run `f` once on every thread of the pool — `f(0)` on the calling
+    /// thread, `f(tid)` for `tid in 1..threads` on the workers — and block
+    /// until all invocations return. The closure partitions its own work
+    /// (shared atomic cursor over chunks).
+    pub fn run(&self, f: &(dyn Fn(usize) + Sync)) {
+        if self.threads == 1 {
+            f(0);
+            return;
+        }
+        let _guard = self.run_guard.lock().expect("pool run guard");
+        // Safety: erase the borrow's lifetime. The erased reference is
+        // dropped before `run` returns (we block on `active == 0` below),
+        // so workers never outlive the closure.
+        let f_static: &'static (dyn Fn(usize) + Sync) = unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(f)
+        };
+        let job = Job(f_static as *const _);
+        {
+            let mut st = self.shared.state.lock().expect("pool state");
+            st.generation += 1;
+            st.job = Some(job);
+            st.active = self.threads - 1;
+            self.shared.dispatch.notify_all();
+        }
+        f(0);
+        let mut st = self.shared.state.lock().expect("pool state");
+        while st.active > 0 {
+            st = self.shared.done.wait(st).expect("pool done wait");
+        }
+        st.job = None;
+    }
+}
+
+impl Drop for BatchPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().expect("pool state");
+            st.shutdown = true;
+            self.shared.dispatch.notify_all();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared, tid: usize) {
+    let mut seen = 0u64;
+    loop {
+        let job = {
+            let mut st = shared.state.lock().expect("pool state");
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.generation > seen {
+                    seen = st.generation;
+                    break st.job.expect("job set with generation");
+                }
+                st = shared.dispatch.wait(st).expect("pool dispatch wait");
+            }
+        };
+        // Safety: `run` blocks until `active` drains, keeping the closure
+        // alive and `Sync` for this call.
+        unsafe { (*job.0)(tid) };
+        let mut st = shared.state.lock().expect("pool state");
+        st.active -= 1;
+        if st.active == 0 {
+            shared.done.notify_one();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = BatchPool::new(1);
+        assert_eq!(pool.threads(), 1);
+        let hits = AtomicUsize::new(0);
+        pool.run(&|tid| {
+            assert_eq!(tid, 0);
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn every_thread_runs_exactly_once_per_dispatch() {
+        let pool = BatchPool::new(4);
+        for _ in 0..50 {
+            let per_thread = [const { AtomicUsize::new(0) }; 4];
+            pool.run(&|tid| {
+                per_thread[tid].fetch_add(1, Ordering::Relaxed);
+            });
+            for (tid, c) in per_thread.iter().enumerate() {
+                assert_eq!(c.load(Ordering::Relaxed), 1, "thread {tid}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_cursor_covers_all_work() {
+        let pool = BatchPool::new(3);
+        let n = 1000usize;
+        let cursor = AtomicUsize::new(0);
+        let sum = AtomicUsize::new(0);
+        pool.run(&|_tid| loop {
+            let i = cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= n {
+                break;
+            }
+            sum.fetch_add(i, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let pool = BatchPool::new(0);
+        assert_eq!(pool.threads(), 1);
+        pool.run(&|_| {});
+    }
+}

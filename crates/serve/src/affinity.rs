@@ -1,0 +1,66 @@
+//! Best-effort worker core pinning.
+//!
+//! Each worker shard owns its queue and scratch arenas; pinning the shard
+//! thread to one core keeps those arenas hot in that core's private
+//! caches instead of migrating with the scheduler. Opt-in via
+//! [`ServeOptionsBuilder::pin_cores`](crate::ServeOptionsBuilder::pin_cores)
+//! and strictly **best-effort**: on Linux it issues `sched_setaffinity`
+//! directly against glibc (no external crate); anywhere else — or if the
+//! kernel refuses (cgroup cpuset restrictions, masked CPUs) — it reports
+//! `false` and the fleet runs unpinned, never degraded.
+
+/// Words of the affinity mask handed to the kernel: one `u64` per 64
+/// CPUs, 16 words = 1024 CPUs (the size of glibc's `cpu_set_t`).
+#[cfg(target_os = "linux")]
+const MASK_WORDS: usize = 16;
+
+/// Pin the calling thread to `cpu` (taken modulo the host CPU count).
+/// Returns whether the pin took effect.
+#[cfg(target_os = "linux")]
+pub fn pin_current_thread(cpu: usize) -> bool {
+    extern "C" {
+        // glibc wrapper; pid 0 means the *calling thread* (Linux affinity
+        // is per-thread, not per-process).
+        fn sched_setaffinity(pid: i32, cpusetsize: usize, mask: *const u64) -> i32;
+    }
+    let ncpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(MASK_WORDS * 64);
+    let cpu = cpu % ncpus;
+    let mut mask = [0u64; MASK_WORDS];
+    mask[cpu / 64] = 1u64 << (cpu % 64);
+    unsafe { sched_setaffinity(0, std::mem::size_of_val(&mask), mask.as_ptr()) == 0 }
+}
+
+/// Non-Linux targets: pinning is a no-op that reports `false`; callers
+/// must not depend on placement.
+#[cfg(not(target_os = "linux"))]
+pub fn pin_current_thread(_cpu: usize) -> bool {
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pin_is_best_effort_and_never_panics() {
+        // On Linux inside an unrestricted cpuset this succeeds; in a
+        // restricted sandbox it may refuse. Either way it must return
+        // (the contract is best-effort, not guaranteed placement).
+        let _ = pin_current_thread(0);
+        // Out-of-range indices wrap modulo the host count rather than
+        // handing the kernel an empty mask (which would hard-fail).
+        let _ = pin_current_thread(usize::MAX - 63);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn pin_wraps_to_a_valid_cpu_on_linux() {
+        // CPU 0 always exists; a huge index must behave exactly like its
+        // wrapped value, so the two calls agree.
+        let ncpus = std::thread::available_parallelism().unwrap().get();
+        assert_eq!(pin_current_thread(0), pin_current_thread(ncpus));
+    }
+}

@@ -41,6 +41,10 @@ const WORKER_CONFIGS: [usize; 3] = [1, 2, 4];
 #[derive(Serialize)]
 struct WorkerConfigRow {
     workers: usize,
+    /// Threads of each worker's intra-batch pool (1 = serial kernels).
+    /// The gated rows run serial: intra-batch parallelism is opt-in and
+    /// the scaling story in CI comes from fleet width.
+    intra_batch_threads: usize,
     /// Throughput of every rep; `images_per_sec` is their **median**.
     per_rep_images_per_sec: Vec<f64>,
     /// Coefficient of variation (σ/μ) of the per-rep throughput.
@@ -51,6 +55,10 @@ struct WorkerConfigRow {
     latency_p99_ms: f64,
     latency_max_ms: f64,
     mean_batch_size: f64,
+    /// Batch-size histogram of the median rep: entry `i` counts Ok
+    /// replies that rode a batch of size `i + 1`. Distinguishes steady
+    /// part-full batches from mostly-singles at the same mean.
+    batch_size_hist: Vec<u64>,
     queued_p50_us: u64,
     queued_p99_us: u64,
     exec_p50_us: u64,
@@ -82,6 +90,10 @@ struct ServeBenchReport {
     /// below are this row's (first of `WORKER_CONFIGS`), keeping the
     /// trajectory comparable with single-worker history.
     workers: usize,
+    /// Intra-batch pool width of every gated row (1: kernels run serial;
+    /// the opt-in parallel path is covered by `batch_micro`'s thread
+    /// sweep and the equivalence suite, not the CI throughput gate).
+    intra_batch_threads: usize,
     /// Logical CPUs of the bench host. Scaling rows above `host_cpus`
     /// time-slice one core and cannot show speedup — the perf gate only
     /// enforces the scaling floor when `host_cpus >= 4`.
@@ -98,6 +110,8 @@ struct ServeBenchReport {
     latency_p99_ms: f64,
     latency_max_ms: f64,
     mean_batch_size: f64,
+    /// Baseline row's batch-size histogram (see `WorkerConfigRow`).
+    batch_size_hist: Vec<u64>,
     queued_p50_us: u64,
     queued_p99_us: u64,
     exec_p50_us: u64,
@@ -230,6 +244,7 @@ fn bench_config(
     );
     WorkerConfigRow {
         workers,
+        intra_batch_threads: 1,
         images_per_sec_cv: coeff_of_variation(&per_rep),
         images_per_sec: r.images_per_sec,
         latency_p50_ms: r.latency_p50_ms,
@@ -237,6 +252,7 @@ fn bench_config(
         latency_p99_ms: r.latency_p99_ms,
         latency_max_ms: r.latency_max_ms,
         mean_batch_size: r.mean_batch_size,
+        batch_size_hist: r.batch_size_hist.clone(),
         queued_p50_us: r.queued_p50_us,
         queued_p99_us: r.queued_p99_us,
         exec_p50_us: r.exec_p50_us,
@@ -418,6 +434,7 @@ fn main() {
         simd_level: quantize::simd_level_name().to_string(),
         max_batch: MAX_BATCH,
         workers: base.workers,
+        intra_batch_threads: base.intra_batch_threads,
         host_cpus,
         clients: CLIENTS,
         total_requests: CLIENTS * REQUESTS_PER_CLIENT,
@@ -431,6 +448,7 @@ fn main() {
         latency_p99_ms: base.latency_p99_ms,
         latency_max_ms: base.latency_max_ms,
         mean_batch_size: base.mean_batch_size,
+        batch_size_hist: base.batch_size_hist.clone(),
         queued_p50_us: base.queued_p50_us,
         queued_p99_us: base.queued_p99_us,
         exec_p50_us: base.exec_p50_us,

@@ -246,6 +246,8 @@ impl Gateway {
                     deadline_margin: opts.deadline_margin,
                     max_restarts: opts.max_worker_restarts,
                     restart_backoff: opts.restart_backoff,
+                    intra_batch_threads: opts.intra_batch_threads(),
+                    pin_cores: opts.pin_cores(),
                 };
                 std::thread::spawn(move || supervised_worker(ctx))
             })
@@ -730,6 +732,51 @@ mod tests {
         }
         // Shadowing is strictly opt-in: nothing ran the exact engine.
         assert_eq!(gw.stats().shadow_runs, 0);
+        gw.shutdown();
+    }
+
+    /// The opt-in intra-batch pool through a *live* fleet (gateway →
+    /// worker → `BatchPool`), with best-effort core pinning on: replies
+    /// stay bit-exact with the serial per-image path. Guards the worker
+    /// wiring (pool lifetime, `set_pool` on every per-model scratch), not
+    /// just the executor — the executor's own equivalence lives in
+    /// `tests/parallel_batch.rs`.
+    #[test]
+    fn serves_bit_exact_with_intra_batch_pool_and_pinning() {
+        let (dm, data) = deployed("m", 0.01, 91);
+        let q = dm.model.clone();
+        let masks = dm.masks.clone();
+        let reg = Registry::new();
+        reg.register(dm);
+        let gw = Gateway::start(
+            reg,
+            lenient()
+                .max_batch(6)
+                .workers(1)
+                .intra_batch_threads(2)
+                .pin_cores(true)
+                .build()
+                .expect("opts"),
+        );
+        let mut rxs = Vec::new();
+        for i in 0..12 {
+            rxs.push(
+                gw.submit(Request::image("m", data.test.image(i)))
+                    .expect("submit"),
+            );
+        }
+        let mut scratch = ForwardScratch::for_model(&q);
+        for (i, rx) in rxs.into_iter().enumerate() {
+            let reply = served(rx);
+            let want = q.predict_compiled_scratch(
+                &q.quantize_input(data.test.image(i)),
+                None,
+                Some(&masks),
+                &mut scratch,
+            );
+            assert_eq!(reply.predicted, want, "request {i}");
+        }
+        assert_eq!(gw.stats().worker_crashes, 0);
         gw.shutdown();
     }
 

@@ -61,6 +61,7 @@
 //! consumers — so every kernel improvement multiplies across both the
 //! design-space search and the serving path.
 
+pub mod affinity;
 pub mod canary;
 pub mod coordinator;
 pub mod faults;

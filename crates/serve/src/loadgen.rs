@@ -104,6 +104,12 @@ pub struct LoadReport {
     pub exec_p99_us: u64,
     /// Mean batch size requests rode in (batching efficiency).
     pub mean_batch_size: f64,
+    /// Batch-size histogram over Ok replies: `batch_size_hist[i]` counts
+    /// replies that rode a batch of size `i + 1` (length = largest batch
+    /// observed). The mean above summarizes it; the histogram tells
+    /// "steady half-full batches" apart from "mostly singles plus rare
+    /// full coalesces" at the same mean.
+    pub batch_size_hist: Vec<u64>,
     /// Submissions refused at admission and retried (overload-pressure
     /// indicator; a closed loop at sane depths sees 0).
     pub queue_full_retries: u64,
@@ -260,6 +266,7 @@ pub fn run_closed_loop(gateway: &Gateway, inputs: &[Vec<i8>], cfg: &LoadGenConfi
     let mut queued: Vec<u64> = Vec::new();
     let mut execs: Vec<u64> = Vec::new();
     let mut batch_sum = 0usize;
+    let mut batch_size_hist: Vec<u64> = Vec::new();
     let mut totals = ClientTally::default();
     for (samples, tally) in &per_client {
         for s in samples {
@@ -267,6 +274,10 @@ pub fn run_closed_loop(gateway: &Gateway, inputs: &[Vec<i8>], cfg: &LoadGenConfi
             queued.push(s.queued_us);
             execs.push(s.exec_us);
             batch_sum += s.batch_size;
+            if batch_size_hist.len() < s.batch_size {
+                batch_size_hist.resize(s.batch_size, 0);
+            }
+            batch_size_hist[s.batch_size - 1] += 1;
         }
         totals.expired += tally.expired;
         totals.shed_by_server += tally.shed_by_server;
@@ -305,6 +316,7 @@ pub fn run_closed_loop(gateway: &Gateway, inputs: &[Vec<i8>], cfg: &LoadGenConfi
         } else {
             batch_sum as f64 / total as f64
         },
+        batch_size_hist,
         queue_full_retries: queue_full_retries.into_inner(),
         max_submit_attempts: max_submit_attempts.into_inner(),
     }
@@ -375,6 +387,22 @@ mod tests {
         assert!(report.queued_p50_us <= report.queued_p99_us);
         assert!(report.exec_p50_us >= 1, "kernel time must be observable");
         assert!(report.mean_batch_size >= 1.0 && report.mean_batch_size <= 4.0);
+        // Histogram conservation: every Ok reply lands in exactly one
+        // bucket, buckets never exceed max_batch, and the mean recomputes
+        // from the histogram.
+        assert!(report.batch_size_hist.len() <= 4, "bucket > max_batch");
+        assert_eq!(
+            report.batch_size_hist.iter().sum::<u64>(),
+            report.total_requests as u64
+        );
+        let hist_mean: f64 = report
+            .batch_size_hist
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (i + 1) as f64 * n as f64)
+            .sum::<f64>()
+            / report.total_requests as f64;
+        assert!((hist_mean - report.mean_batch_size).abs() < 1e-9);
         assert!(report.max_submit_attempts >= 1);
     }
 

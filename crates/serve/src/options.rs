@@ -33,6 +33,8 @@ pub struct ServeOptions {
     pub(crate) deadline_margin: Duration,
     pub(crate) max_worker_restarts: u32,
     pub(crate) restart_backoff: Duration,
+    pub(crate) intra_batch_threads: usize,
+    pub(crate) pin_cores: bool,
     pub(crate) degrade_on_shed: bool,
     pub(crate) shadow_rate: usize,
     pub(crate) shadow_ewma_window: usize,
@@ -83,6 +85,9 @@ pub enum ConfigError {
     ZeroReplayCapacity,
     /// `control_interval == 0`: the supervisor thread would spin.
     ZeroControlInterval,
+    /// `intra_batch_threads == 0`: a worker's batch pool needs at least
+    /// the calling thread. (1 = serial execution, the default.)
+    ZeroIntraBatchThreads,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -115,6 +120,9 @@ impl std::fmt::Display for ConfigError {
             }
             ConfigError::ZeroControlInterval => {
                 write!(f, "control_interval must be nonzero")
+            }
+            ConfigError::ZeroIntraBatchThreads => {
+                write!(f, "intra_batch_threads must be at least 1 (1 = serial)")
             }
         }
     }
@@ -152,6 +160,8 @@ impl Default for ServeOptions {
             control_interval: Duration::from_millis(5),
             retune_auto: false,
             retune: RetuneOptions::default(),
+            intra_batch_threads: 1,
+            pin_cores: false,
         }
     }
 }
@@ -196,6 +206,17 @@ impl ServeOptions {
     /// run through the exact engine (`0` = shadowing off, the default).
     pub fn shadow_rate(&self) -> usize {
         self.shadow_rate
+    }
+
+    /// Threads each worker's intra-batch pool executes with (1 = serial,
+    /// the default).
+    pub fn intra_batch_threads(&self) -> usize {
+        self.intra_batch_threads
+    }
+
+    /// Whether worker shard threads request best-effort core pinning.
+    pub fn pin_cores(&self) -> bool {
+        self.pin_cores
     }
 }
 
@@ -344,6 +365,27 @@ impl ServeOptionsBuilder {
         self
     }
 
+    /// Intra-batch parallel execution: each worker splits the position ×
+    /// lane space of its batches across an owned pool of this many
+    /// threads ([`quantize::BatchPool`]). `1` (the default) is the serial
+    /// path — no pool is created and the kernels run exactly as before.
+    /// Strictly opt-in because worker threads already scale the fleet
+    /// out; oversubscribing `workers × intra_batch_threads` past the host
+    /// cores trades throughput for latency.
+    pub fn intra_batch_threads(mut self, threads: usize) -> Self {
+        self.opts.intra_batch_threads = threads;
+        self
+    }
+
+    /// Request best-effort core pinning for worker shard threads (shard
+    /// `i` pins to core `i mod host_cpus`, see [`crate::affinity`]). A
+    /// refused pin (non-Linux, restricted cpuset) leaves the worker
+    /// unpinned; serving is never degraded by the attempt.
+    pub fn pin_cores(mut self, pin: bool) -> Self {
+        self.opts.pin_cores = pin;
+        self
+    }
+
     /// Validate and produce the configuration. Rejects combinations that
     /// would otherwise surface as runtime panics or silently inert
     /// policies — see [`ConfigError`].
@@ -383,6 +425,9 @@ impl ServeOptionsBuilder {
         }
         if o.control_interval.is_zero() {
             return Err(ConfigError::ZeroControlInterval);
+        }
+        if o.intra_batch_threads == 0 {
+            return Err(ConfigError::ZeroIntraBatchThreads);
         }
         Ok(self.opts)
     }
@@ -484,6 +529,27 @@ mod tests {
         ] {
             assert!(!e.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn intra_batch_execution_is_serial_by_default_and_opt_in() {
+        let opts = ServeOptions::default();
+        assert_eq!(opts.intra_batch_threads(), 1, "serial unless asked");
+        assert!(!opts.pin_cores(), "pinning is opt-in");
+        let opts = ServeOptions::builder()
+            .intra_batch_threads(4)
+            .pin_cores(true)
+            .build()
+            .expect("valid parallel config");
+        assert_eq!(opts.intra_batch_threads(), 4);
+        assert!(opts.pin_cores());
+        assert_eq!(
+            ServeOptions::builder()
+                .intra_batch_threads(0)
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroIntraBatchThreads
+        );
     }
 
     #[test]

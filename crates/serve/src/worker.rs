@@ -35,7 +35,7 @@ use crate::gateway::FleetStats;
 use crate::monitor::{Monitor, ReplaySample};
 use crate::queue::{AdmissionQueue, Crashed, Expired, Outcome, Reply, Unserved};
 use crate::registry::Registry;
-use quantize::{BatchScratch, ForwardScratch};
+use quantize::{BatchPool, BatchScratch, ForwardScratch};
 use std::collections::HashMap;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -53,6 +53,10 @@ pub(crate) struct WorkerCtx {
     pub(crate) deadline_margin: Duration,
     pub(crate) max_restarts: u32,
     pub(crate) restart_backoff: Duration,
+    /// Threads of the per-worker intra-batch pool (1 = serial, no pool).
+    pub(crate) intra_batch_threads: usize,
+    /// Request best-effort core pinning for this shard thread.
+    pub(crate) pin_cores: bool,
 }
 
 /// Resolve every still-queued request with [`Outcome::Closed`].
@@ -97,6 +101,11 @@ enum WorkerExit {
 /// per-model scratches inconsistent). Abandonment closes and drains this
 /// worker's shard only — the fleet keeps serving on the others.
 pub(crate) fn supervised_worker(ctx: WorkerCtx) {
+    if ctx.pin_cores {
+        // Best-effort: a refused pin (restricted cpuset, non-Linux) just
+        // leaves this shard thread floating.
+        let _ = crate::affinity::pin_current_thread(ctx.shard.index);
+    }
     let mut restarts = 0u32;
     loop {
         match worker_run(&ctx) {
@@ -128,6 +137,11 @@ pub(crate) fn supervised_worker(ctx: WorkerCtx) {
 /// [`BatchScratch`] per deployed model; replies carry the queued/exec
 /// latency breakdown and the ride-along batch size.
 fn worker_run(ctx: &WorkerCtx) -> WorkerExit {
+    // The intra-batch pool lives one worker life: a crash discards it
+    // with the scratches (its threads park between batches, so an idle
+    // pool costs nothing). `threads == 1` skips pool creation entirely —
+    // the serial path is untouched.
+    let pool = (ctx.intra_batch_threads > 1).then(|| BatchPool::new(ctx.intra_batch_threads));
     let mut scratches: HashMap<String, BatchScratch> = HashMap::new();
     let mut shadow_scratches: HashMap<String, ForwardScratch> = HashMap::new();
     // EWMA of observed batch execution time: the deadline margin — a
@@ -175,9 +189,11 @@ fn worker_run(ctx: &WorkerCtx) -> WorkerExit {
         }
         let n = live.len();
         let in_len = entry.model.input_shape.item_len();
-        let scratch = scratches
-            .entry(batch.model.clone())
-            .or_insert_with(|| BatchScratch::for_model(&entry.model, ctx.max_batch));
+        let scratch = scratches.entry(batch.model.clone()).or_insert_with(|| {
+            let mut s = BatchScratch::for_model(&entry.model, ctx.max_batch);
+            s.set_pool(pool.clone());
+            s
+        });
         let mut flat = Vec::with_capacity(n * in_len);
         for r in &live {
             // Admission validated the length; this is defense in depth.

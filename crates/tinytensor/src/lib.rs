@@ -30,6 +30,7 @@ pub mod im2col;
 pub mod quant;
 pub mod shape;
 pub mod simd;
+pub mod stream;
 pub mod tensor;
 
 pub use quant::{QuantParams, Quantizer, RequantMultiplier};

@@ -1,0 +1,165 @@
+//! Delta encoding of ascending stream indices — **one encoding, two
+//! consumers**.
+//!
+//! Both compiled execution forms of the workspace walk per-channel streams
+//! of retained products whose row/patch indices are *ascending* (reference
+//! accumulation order): the host pair-stream kernels
+//! (`quantize::CompiledConv`) and the flash-resident op streams of the
+//! unpacked engine (`unpackgen`). Storing absolute indices costs 2–4 bytes
+//! per entry and, on the host, a gather-style index load in the hot MAC
+//! loop. Ascending order makes the gaps small, so both consumers store one
+//! **u8 delta** per entry and reconstruct indices incrementally:
+//!
+//! ```text
+//! abs[j] = abs[j-1] + delta[j]      (abs[-1] = 0)
+//! ```
+//!
+//! The first delta is the first absolute index itself, so `delta[0]` may be
+//! 0; every later delta is ≥ 1 (indices are strictly ascending). A gap
+//! wider than [`MAX_DELTA`] is bridged with **phantom entries**: deltas of
+//! `MAX_DELTA` whose payload (weight pair / op) is all-zero, contributing
+//! exactly nothing to any accumulator — the hot loop stays branch- and
+//! escape-free. Phantoms are rare (they need a gap > 255 pair rows, i.e. a
+//! patch > 510 under a very sparse mask) and cost one zero-MAC each.
+//!
+//! [`DeltaWriter`] produces the encoding (telling the caller how many
+//! phantom payloads to emit), [`decode_indices`] reconstructs the absolute
+//! sequence (tests, cost accounting, codegen), and consumers' inner loops
+//! just keep a running `row += delta as usize`.
+
+/// Largest index gap one delta byte can express. Wider gaps take
+/// `⌈gap / MAX_DELTA⌉ - 1` phantom entries.
+pub const MAX_DELTA: usize = u8::MAX as usize;
+
+/// Incremental delta encoder over a strictly ascending index sequence.
+#[derive(Debug, Default)]
+pub struct DeltaWriter {
+    prev: usize,
+    started: bool,
+    deltas: Vec<u8>,
+}
+
+impl DeltaWriter {
+    /// Fresh encoder (next index is measured from 0).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append `index`, returning how many **phantom entries** were emitted
+    /// before it (the caller must push an all-zero payload per phantom, and
+    /// then the real payload). Panics if `index` does not ascend.
+    pub fn push(&mut self, index: usize) -> usize {
+        let gap = if self.started {
+            assert!(index > self.prev, "indices must be strictly ascending");
+            index - self.prev
+        } else {
+            self.started = true;
+            index
+        };
+        let phantoms = if gap == 0 { 0 } else { (gap - 1) / MAX_DELTA };
+        for _ in 0..phantoms {
+            self.deltas.push(MAX_DELTA as u8);
+        }
+        self.deltas.push((gap - phantoms * MAX_DELTA) as u8);
+        self.prev = index;
+        phantoms
+    }
+
+    /// Entries written so far (phantoms included).
+    pub fn len(&self) -> usize {
+        self.deltas.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.deltas.is_empty()
+    }
+
+    /// Finish, yielding the delta bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.deltas
+    }
+}
+
+/// Reconstruct the absolute index sequence of a delta stream (phantom
+/// entries included — they decode to their bridging index).
+pub fn decode_indices(deltas: &[u8]) -> Vec<usize> {
+    let mut row = 0usize;
+    deltas
+        .iter()
+        .map(|&d| {
+            row += d as usize;
+            row
+        })
+        .collect()
+}
+
+/// Bytes a delta-encoded stream of `entries` entries occupies with
+/// `payload_bytes` of payload per entry (flash-image accounting shared
+/// with the host stream's `resident_bytes`).
+pub fn encoded_bytes(entries: usize, payload_bytes: usize) -> u64 {
+    (entries * (1 + payload_bytes)) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_dense_and_sparse() {
+        for idxs in [
+            vec![0usize, 1, 2, 3],
+            vec![3, 7, 200, 255, 256, 511],
+            vec![0],
+            vec![],
+        ] {
+            let mut w = DeltaWriter::new();
+            for &i in &idxs {
+                w.push(i);
+            }
+            let deltas = w.finish();
+            let decoded = decode_indices(&deltas);
+            // The real indices are a subsequence; with no wide gaps they
+            // are the whole sequence.
+            if idxs.windows(2).all(|p| p[1] - p[0] <= MAX_DELTA)
+                && idxs.first().copied().unwrap_or(0) <= MAX_DELTA
+            {
+                assert_eq!(decoded, idxs);
+            }
+        }
+    }
+
+    #[test]
+    fn wide_gaps_bridge_with_phantoms() {
+        let mut w = DeltaWriter::new();
+        assert_eq!(w.push(0), 0);
+        // Gap of 600 = 255 + 255 + 90: two phantoms.
+        assert_eq!(w.push(600), 2);
+        // Gap of exactly MAX_DELTA needs no phantom.
+        assert_eq!(w.push(600 + MAX_DELTA), 0);
+        // First index beyond MAX_DELTA also bridges.
+        let mut w2 = DeltaWriter::new();
+        assert_eq!(w2.push(510), 1);
+        let deltas = w2.finish();
+        assert_eq!(decode_indices(&deltas), vec![255, 510]);
+        let deltas = w.finish();
+        let decoded = decode_indices(&deltas);
+        assert_eq!(decoded.last(), Some(&(600 + MAX_DELTA)));
+        assert!(decoded.contains(&600));
+        assert!(decoded.windows(2).all(|p| p[1] - p[0] <= MAX_DELTA));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn non_ascending_rejected() {
+        let mut w = DeltaWriter::new();
+        w.push(5);
+        w.push(5);
+    }
+
+    #[test]
+    fn encoded_bytes_counts_delta_plus_payload() {
+        assert_eq!(encoded_bytes(10, 2), 30);
+        assert_eq!(encoded_bytes(0, 4), 0);
+    }
+}

@@ -37,6 +37,25 @@ pub const SPECIALIZED_LIBRARY_CODE_BYTES: u64 = 25 * 1024;
 /// Application RAM overhead after specialization (no interpreter state).
 pub const SPECIALIZED_RAM_OVERHEAD: u64 = 104 * 1024;
 
+/// Flash bytes of one layer's **delta-encoded index streams** — the
+/// unified stream representation shared with the host pair-stream kernels
+/// (see [`tinytensor::stream`] and
+/// [`crate::stream::ChannelProgram::flash_index_stream`]). Each entry is
+/// one delta byte plus a 1-byte weight payload; phantom bridge entries
+/// (all-zero payload) are included because they occupy flash like any
+/// other entry. This is the *data* footprint of a stream-walking deployment
+/// and is reported alongside — not instead of — [`conv_code_bytes`], which
+/// models the fully unrolled code form of Table II.
+pub fn conv_delta_stream_bytes(conv: &UnpackedConv) -> u64 {
+    conv.channels
+        .iter()
+        .map(|c| {
+            let (deltas, _phantoms) = c.flash_index_stream();
+            tinytensor::stream::encoded_bytes(deltas.len(), 1)
+        })
+        .sum()
+}
+
 /// Code size of one unpacked conv layer.
 pub fn conv_code_bytes(conv: &UnpackedConv) -> u64 {
     let ops: u64 = conv.channels.iter().map(|c| c.ops.len() as u64).sum();
@@ -159,6 +178,24 @@ mod tests {
         let mask: Vec<bool> = (0..len).map(|i| i % 3 == 0).collect();
         let skipped = UnpackedConv::build(c0, Some(&mask), UnpackOptions::default());
         assert!(conv_code_bytes(&skipped) < conv_code_bytes(&full));
+    }
+
+    #[test]
+    fn delta_stream_bytes_match_shared_codec_accounting() {
+        let q = lenet_q();
+        let c0 = q.conv(0);
+        let u = UnpackedConv::build(c0, None, UnpackOptions::default());
+        // No gap in a full unpack exceeds one delta byte, so the stream has
+        // exactly one 2-byte entry (delta + weight) per retained product.
+        let products: u64 = u
+            .channels
+            .iter()
+            .map(|c| c.retained_products() as u64)
+            .sum();
+        assert_eq!(conv_delta_stream_bytes(&u), 2 * products);
+        // The stream form is data, not unrolled instructions: it must be
+        // far smaller than the code form it is reported alongside.
+        assert!(conv_delta_stream_bytes(&u) < conv_code_bytes(&u));
     }
 
     #[test]

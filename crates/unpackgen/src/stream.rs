@@ -52,6 +52,38 @@ impl ChannelProgram {
     pub fn retained_products(&self) -> usize {
         self.ops.len() * 2 + usize::from(self.tail.is_some())
     }
+
+    /// Absolute retained patch indices in stream order. [`UnpackedConv::build`]
+    /// collects retained products in ascending patch order and pairs them
+    /// adjacently, so flattening `ops` as `[idx_lo, idx_hi, ...]` (plus the
+    /// optional tail) yields a strictly ascending sequence — exactly the
+    /// shape the workspace delta codec expects.
+    pub fn retained_indices(&self) -> Vec<usize> {
+        let mut idxs: Vec<usize> = self
+            .ops
+            .iter()
+            .flat_map(|op| [op.idx_lo as usize, op.idx_hi as usize])
+            .collect();
+        if let Some(t) = &self.tail {
+            idxs.push(t.idx as usize);
+        }
+        idxs
+    }
+
+    /// Delta-encode the retained index sequence with the workspace's shared
+    /// codec ([`tinytensor::stream`]) — the *same* representation the host
+    /// pair-stream kernels use ([`quantize::CompiledConv`]), so the flash
+    /// image and the host stream agree on one encoding with two consumers.
+    /// Returns the delta bytes and the number of phantom (all-zero-payload)
+    /// entries the encoded stream carries.
+    pub fn flash_index_stream(&self) -> (Vec<u8>, usize) {
+        let mut w = tinytensor::stream::DeltaWriter::new();
+        let mut phantoms = 0usize;
+        for i in self.retained_indices() {
+            phantoms += w.push(i);
+        }
+        (w.finish(), phantoms)
+    }
 }
 
 /// Options controlling unpacking.
@@ -293,6 +325,51 @@ mod tests {
         assert_eq!(
             keep.retained_macs() - drop.retained_macs(),
             zeros as u64 * c.geom.out_positions() as u64
+        );
+    }
+
+    #[test]
+    fn flash_index_stream_roundtrips_retained_indices() {
+        let q = qmodel();
+        let c = q.conv(0);
+        let patch = c.patch_len();
+        // A sparse, irregular mask keeps the index gaps interesting.
+        let mut mask = vec![false; c.geom.out_c * patch];
+        for (i, m) in mask.iter_mut().enumerate() {
+            *m = i % 3 == 0;
+        }
+        let u = UnpackedConv::build(c, Some(&mask), UnpackOptions::default());
+        for (o, ch) in u.channels.iter().enumerate() {
+            let (deltas, phantoms) = ch.flash_index_stream();
+            assert_eq!(phantoms, 0, "channel {o}: patch ≤ 510 needs no bridge");
+            assert_eq!(deltas.len(), ch.retained_products(), "channel {o}");
+            assert_eq!(
+                tinytensor::stream::decode_indices(&deltas),
+                ch.retained_indices(),
+                "channel {o}"
+            );
+        }
+    }
+
+    #[test]
+    fn flash_index_stream_bridges_wide_gaps_with_phantoms() {
+        // Synthetic program with a gap wider than one delta byte: the codec
+        // must bridge 0 → 600 with two phantom entries (255 + 255 + 90).
+        let ch = ChannelProgram {
+            ops: vec![FixedMacOp {
+                idx_lo: 0,
+                idx_hi: 600,
+                packed: pack_weights(1, 2),
+            }],
+            tail: Some(SingleMacOp { idx: 601, w: 3 }),
+            bias: 0,
+        };
+        let (deltas, phantoms) = ch.flash_index_stream();
+        assert_eq!(phantoms, 2);
+        assert_eq!(deltas.len(), 5);
+        assert_eq!(
+            tinytensor::stream::decode_indices(&deltas),
+            vec![0, 255, 510, 600, 601]
         );
     }
 

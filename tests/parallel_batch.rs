@@ -1,0 +1,209 @@
+//! Intra-batch parallel execution is **bit-exact** with serial execution:
+//! for any random model (chains over every head shape, and residual DAGs
+//! with skip edges at varying depths), any random skip masks, any batch
+//! split (ragged tails included) and any pool width in {1, 2, 4}, a
+//! [`BatchScratch`] carrying a [`BatchPool`] must produce byte-identical
+//! outputs to the serial scratch — including through the resumable
+//! checkpoint chain, whose sequential cuts sit exactly at checkpoint
+//! boundaries.
+//!
+//! The argument the property checks: tiles partition *lanes* (images ×
+//! positions), not the per-channel retained-product streams, so every
+//! output element's accumulation walks the same stream in the same order
+//! whatever the tiling or thread count; add/pool partitions write
+//! disjoint elements with unchanged per-element arithmetic. Wrapping i32
+//! adds commute, so any regrouping is exact — but this suite is the
+//! enforcement, not the prose.
+
+use ataman_repro::prelude::*;
+use proptest::prelude::*;
+use quantize::{BatchPool, BatchScratch, CompiledMasks};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tinytensor::Shape4;
+
+/// Small random CNN over 8×8×2 inputs; `head` picks the tail shape
+/// (pool/GAP/dense epilogues — same coverage as `engine_equivalence`).
+fn random_model(seed: u64, convs: usize, width: usize, kernel: usize, head: u8) -> Sequential {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut m = Sequential::new("par", Shape4::nhwc(1, 8, 8, 2));
+    for _ in 0..convs {
+        m = m.conv_relu(width, kernel, &mut rng);
+    }
+    match head % 6 {
+        0 => m.maxpool().dense(4, true, &mut rng),
+        1 => m.global_avg_pool().dense(4, true, &mut rng),
+        2 => m.maxpool().global_avg_pool().dense(4, true, &mut rng),
+        3 => m.dense(4, true, &mut rng),
+        4 => m.global_avg_pool(),
+        _ => m.maxpool(),
+    }
+}
+
+/// Small random residual CNN; `stem` 0 joins the raw-input stash against
+/// a planar branch (the mixed-layout Add), `stem` 1 keeps joins
+/// planar/planar.
+fn random_residual_model(
+    seed: u64,
+    width: usize,
+    stem: u8,
+    blocks: usize,
+    block_convs: usize,
+) -> Sequential {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut m = Sequential::new("rpar", Shape4::nhwc(1, 8, 8, 2));
+    let c = if stem % 2 == 1 {
+        m = m.conv_relu(width, 3, &mut rng);
+        width
+    } else {
+        2
+    };
+    for _ in 0..blocks {
+        m = m.residual(|mut b| {
+            for _ in 0..block_convs.saturating_sub(1) {
+                b = b.conv_relu(c, 3, &mut rng);
+            }
+            b.conv(c, 3, &mut rng)
+        });
+    }
+    m.global_avg_pool().dense(4, true, &mut rng)
+}
+
+fn quantized(model: &Sequential, seed: u64, n: usize) -> (QuantModel, cifar10sim::Dataset) {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xBEEF);
+    let len = 8 * 8 * 2;
+    let flat: Vec<f32> = (0..n * len).map(|_| rng.gen_range(0.0f32..1.0)).collect();
+    let labels: Vec<u8> = (0..n).map(|_| rng.gen_range(0u8..4)).collect();
+    let ds = cifar10sim::Dataset {
+        images: tinytensor::Tensor::from_vec(Shape4::nhwc(n, 8, 8, 2), flat).unwrap(),
+        labels,
+    };
+    let ranges = calibrate_ranges(model, &ds);
+    let q = quantize_model(model, &ranges);
+    (q, ds)
+}
+
+fn random_masks(q: &QuantModel, seed: u64, skip_mod: u64) -> SkipMaskSet {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xFEED);
+    let n = q.conv_indices().len();
+    let mut masks = SkipMaskSet::none(n);
+    for k in 0..n {
+        let c = q.conv(k);
+        let len = c.geom.out_c * c.patch_len();
+        masks.per_conv[k] = Some(
+            (0..len)
+                .map(|_| rng.gen_range(0u64..skip_mod) == 0)
+                .collect(),
+        );
+    }
+    masks
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Chain models, every head shape, every ragged batch split: the
+    /// pooled scratch's outputs are byte-identical to the serial
+    /// scratch's.
+    #[test]
+    fn parallel_equals_serial_for_any_model_and_split(
+        seed in 0u64..5000,
+        convs in 1usize..3,
+        width in 2usize..5,
+        kernel in prop::sample::select(vec![1usize, 3]),
+        head in 0u8..6,
+        skip_mod in 2u64..9,
+        batch in 1usize..8,
+        threads in prop::sample::select(vec![1usize, 2, 4]),
+    ) {
+        let model = random_model(seed, convs, width, kernel, head);
+        let n_images = 7; // prime: batch sizes 2..=6 leave a ragged tail
+        let (q, ds) = quantized(&model, seed, n_images);
+        let masks = random_masks(&q, seed, skip_mod);
+        let compiled = CompiledMasks::compile(&q, &masks);
+        let in_len = q.input_shape.item_len();
+        let qinputs: Vec<Vec<i8>> =
+            (0..n_images).map(|i| q.quantize_input(ds.image(i))).collect();
+
+        let cap = batch.min(n_images);
+        let mut serial = BatchScratch::for_model(&q, cap);
+        let mut parallel = BatchScratch::for_model(&q, cap);
+        parallel.set_pool(Some(BatchPool::new(threads)));
+
+        let mut start = 0usize;
+        while start < n_images {
+            let b = cap.min(n_images - start);
+            let mut flat = Vec::with_capacity(b * in_len);
+            for qin in &qinputs[start..start + b] {
+                flat.extend_from_slice(qin);
+            }
+            let want =
+                q.forward_compiled_batch_scratch(&flat, b, None, Some(&compiled), &mut serial);
+            let got =
+                q.forward_compiled_batch_scratch(&flat, b, None, Some(&compiled), &mut parallel);
+            prop_assert_eq!(&got, &want, "start {} size {} threads {}", start, b, threads);
+            start += b;
+        }
+    }
+
+    /// Residual DAGs and the resumable checkpoint chain: a pooled scratch
+    /// advancing checkpoint-by-checkpoint (prefilled columns on alternate
+    /// ordinals) lands on the serial monolithic predictions.
+    #[test]
+    fn parallel_residual_checkpoint_chain_equals_serial(
+        seed in 0u64..5000,
+        width in 2usize..5,
+        stem in 0u8..2,
+        blocks in 1usize..3,
+        block_convs in 1usize..3,
+        skip_mod in 2u64..9,
+        batch in 1usize..6,
+        threads in prop::sample::select(vec![1usize, 2, 4]),
+    ) {
+        let model = random_residual_model(seed, width, stem, blocks, block_convs);
+        let (q, ds) = quantized(&model, seed, batch);
+        let masks = random_masks(&q, seed, skip_mod);
+        let compiled = CompiledMasks::compile(&q, &masks);
+        let mut flat = Vec::new();
+        for i in 0..batch {
+            flat.extend(q.quantize_input(ds.image(i)));
+        }
+
+        let mut serial = BatchScratch::for_model(&q, batch);
+        let want =
+            q.predict_compiled_batch_scratch(&flat, batch, None, Some(&compiled), &mut serial);
+
+        let mut bs = BatchScratch::for_model(&q, batch);
+        bs.set_pool(Some(BatchPool::new(threads)));
+        let got =
+            q.predict_compiled_batch_scratch(&flat, batch, None, Some(&compiled), &mut bs);
+        prop_assert_eq!(&got, &want, "monolithic, threads {}", threads);
+
+        // Checkpoint-resume mid-plan: the sequential cut is *at* the
+        // checkpoint boundary, so each advance may parallelize internally
+        // while the chain's semantics stay those of the serial walk.
+        let mut cur = q.batch_start(&flat, batch, &mut bs);
+        let mut next = quantize::BatchCheckpoint::empty();
+        let mut cols = Vec::new();
+        while let Some(k) = cur.next_conv_ordinal() {
+            let prefilled: Option<&[i16]> = if k % 2 == 0 {
+                q.batch_fill_conv_cols(&cur, &mut bs, &mut cols);
+                Some(&cols)
+            } else {
+                None
+            };
+            q.batch_advance_into(
+                &cur,
+                compiled.per_conv[k].as_ref(),
+                prefilled,
+                &mut bs,
+                &mut next,
+            );
+            std::mem::swap(&mut cur, &mut next);
+        }
+        prop_assert!(cur.is_complete());
+        let mut preds = Vec::new();
+        q.batch_checkpoint_predictions_into(&cur, &mut preds);
+        prop_assert_eq!(&preds, &want, "checkpoint chain, threads {}", threads);
+    }
+}
