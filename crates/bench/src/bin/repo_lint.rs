@@ -1,0 +1,245 @@
+//! **repo_lint**: std-only static checks over the workspace sources that
+//! `rustc`/`clippy` cannot express, run in CI's lint job next to `fmt`
+//! and `clippy -D warnings` (see `.github/workflows/ci.yml`).
+//!
+//! Rules (each violation prints `path:line: RULE message`, exit code 1):
+//!
+//! * **R1 safety-comment** — every `unsafe` site (block, `unsafe fn`,
+//!   `unsafe impl`) must have a `// SAFETY:` comment on the same line or
+//!   within the 8 preceding lines. The workspace denies `unsafe_code`
+//!   globally; the few opted-back-in modules (`quantize::{batch, pool,
+//!   compiled}`, `serve::affinity`) carry their proof obligations in
+//!   prose, and this rule keeps them from rotting away.
+//! * **R2 outlined-executors** — `ExecBackend::{add, stash}`
+//!   implementations must be `#[inline(never)]`: they are the outlined
+//!   residual-join executors that profiles and the checkpoint-replay
+//!   cost accounting attribute by frame; silently inlining them folds
+//!   their cost into the neighboring conv and skews every flamegraph.
+//! * **R3 serve-no-unwrap** — no `.unwrap()` / `.expect(` in
+//!   `crates/serve/src` outside `#[cfg(test)]` regions. The serving
+//!   fleet's only sanctioned panic path is the worker unwind boundary;
+//!   everything else must surface typed errors (poisoned locks go
+//!   through `serve::sync`).
+//! * **R4 no-clock-in-kernels** — no `Instant::now()` in the kernel
+//!   inner-loop files (`quantize::{compiled, batch, pool}`,
+//!   `tinytensor::{simd, im2col, stream}`). Timing belongs to the bench
+//!   harness; a stray clock read in a hot loop is a real regression the
+//!   perf gate would only see as noise.
+//!
+//! ```sh
+//! cargo run -p ataman-bench --bin repo_lint
+//! ```
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// How far above an `unsafe` site a `// SAFETY:` comment may sit (R1).
+const SAFETY_WINDOW: usize = 8;
+/// How far above an executor `fn` its attributes are searched (R2).
+const ATTR_WINDOW: usize = 3;
+
+/// Files whose inner loops must stay clock-free (R4), relative to root.
+const KERNEL_FILES: [&str; 6] = [
+    "crates/quantize/src/compiled.rs",
+    "crates/quantize/src/batch.rs",
+    "crates/quantize/src/pool.rs",
+    "crates/tinytensor/src/simd.rs",
+    "crates/tinytensor/src/im2col.rs",
+    "crates/tinytensor/src/stream.rs",
+];
+
+fn main() {
+    let root = repo_root();
+    let mut files = Vec::new();
+    collect_rs(&root, &mut files);
+    files.sort();
+
+    let mut violations = Vec::new();
+    for path in &files {
+        let rel = path
+            .strip_prefix(&root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        // The lint binary itself spells the patterns it hunts for in
+        // string literals and doc comments; scanning it would only lint
+        // this file's own needles.
+        if rel.ends_with("bin/repo_lint.rs") {
+            continue;
+        }
+        let Ok(text) = std::fs::read_to_string(path) else {
+            violations.push(format!("{rel}: unreadable source file"));
+            continue;
+        };
+        let lines: Vec<&str> = text.lines().collect();
+        lint_safety_comments(&rel, &lines, &mut violations);
+        lint_outlined_executors(&rel, &lines, &mut violations);
+        if rel.starts_with("crates/serve/src/") {
+            lint_serve_no_unwrap(&rel, &lines, &mut violations);
+        }
+        if KERNEL_FILES.contains(&rel.as_str()) {
+            lint_no_clock(&rel, &lines, &mut violations);
+        }
+    }
+
+    if violations.is_empty() {
+        println!("repo_lint: {} files clean", files.len());
+        return;
+    }
+    let mut out = String::new();
+    for v in &violations {
+        let _ = writeln!(out, "{v}");
+    }
+    eprint!("{out}");
+    eprintln!("repo_lint: {} violation(s)", violations.len());
+    std::process::exit(1);
+}
+
+/// Workspace root: two levels above this crate's manifest dir.
+fn repo_root() -> PathBuf {
+    let manifest = std::env::var("CARGO_MANIFEST_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("."));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .map(Path::to_path_buf)
+        .unwrap_or(manifest)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == "vendor" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs(&path, out);
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// A code line (comments stripped) that opens an `unsafe` block, fn or
+/// impl. Attribute/lint-name mentions (`unsafe_code`,
+/// `unsafe_op_in_unsafe_fn`) don't count.
+fn is_unsafe_site(line: &str) -> bool {
+    let code = strip_line_comment(line);
+    let mut rest = code;
+    while let Some(i) = rest.find("unsafe") {
+        let before_ok = i == 0
+            || !rest[..i]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = &rest[i + "unsafe".len()..];
+        let after_ok = !after
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        rest = &rest[i + "unsafe".len()..];
+    }
+    false
+}
+
+/// Drop a trailing `//` comment. Good enough for this codebase: the
+/// sources don't put `//` inside string literals on `unsafe` lines.
+fn strip_line_comment(line: &str) -> &str {
+    match line.find("//") {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+fn lint_safety_comments(rel: &str, lines: &[&str], violations: &mut Vec<String>) {
+    for (i, line) in lines.iter().enumerate() {
+        if !is_unsafe_site(line) {
+            continue;
+        }
+        let lo = i.saturating_sub(SAFETY_WINDOW);
+        // An `unsafe fn`'s contract may live in its rustdoc `# Safety`
+        // section instead (the rustdoc convention callers actually see).
+        let covered = lines[lo..=i]
+            .iter()
+            .any(|l| l.contains("SAFETY:") || l.trim() == "/// # Safety");
+        if !covered {
+            violations.push(format!(
+                "{rel}:{}: R1 safety-comment: `unsafe` without a `// SAFETY:` \
+                 comment within the {SAFETY_WINDOW} preceding lines",
+                i + 1
+            ));
+        }
+    }
+}
+
+/// `fn add(&mut self, seg: &AddSegment)` / `fn stash(&mut self, slot:`
+/// with a body (`{`) is an `ExecBackend` executor implementation; the
+/// trait declaration ends in `;` and is exempt.
+fn lint_outlined_executors(rel: &str, lines: &[&str], violations: &mut Vec<String>) {
+    for (i, line) in lines.iter().enumerate() {
+        let code = strip_line_comment(line);
+        let trimmed = code.trim();
+        let is_exec = (trimmed.starts_with("fn add(&mut self, seg: &AddSegment)")
+            || trimmed.starts_with("fn stash(&mut self, slot:"))
+            && trimmed.ends_with('{');
+        if !is_exec {
+            continue;
+        }
+        let lo = i.saturating_sub(ATTR_WINDOW);
+        let outlined = lines[lo..i].iter().any(|l| l.trim() == "#[inline(never)]");
+        if !outlined {
+            violations.push(format!(
+                "{rel}:{}: R2 outlined-executors: backend `{}` executor must \
+                 be `#[inline(never)]` so profiles attribute its frames",
+                i + 1,
+                if trimmed.starts_with("fn add") {
+                    "add"
+                } else {
+                    "stash"
+                },
+            ));
+        }
+    }
+}
+
+fn lint_serve_no_unwrap(rel: &str, lines: &[&str], violations: &mut Vec<String>) {
+    for (i, line) in lines.iter().enumerate() {
+        if line.trim_start().starts_with("#[cfg(test)]") {
+            break; // test modules sit at the tail of every serve file
+        }
+        let code = strip_line_comment(line);
+        for needle in [".unwrap()", ".expect("] {
+            if code.contains(needle) {
+                violations.push(format!(
+                    "{rel}:{}: R3 serve-no-unwrap: `{needle}` outside tests; \
+                     return a typed error (lock poisoning: use serve::sync)",
+                    i + 1
+                ));
+            }
+        }
+    }
+}
+
+fn lint_no_clock(rel: &str, lines: &[&str], violations: &mut Vec<String>) {
+    for (i, line) in lines.iter().enumerate() {
+        if line.trim_start().starts_with("#[cfg(test)]") {
+            break;
+        }
+        if strip_line_comment(line).contains("Instant::now") {
+            violations.push(format!(
+                "{rel}:{}: R4 no-clock-in-kernels: `Instant::now()` in a \
+                 kernel inner-loop file; time in the bench harness instead",
+                i + 1
+            ));
+        }
+    }
+}

@@ -163,6 +163,7 @@ impl ExecBackend for CmsisBackend<'_> {
         });
     }
 
+    #[inline(never)]
     fn add(&mut self, seg: &AddSegment) {
         let a = self.model.add_at(seg.layer_idx);
         let mut stats = Self::interpreter_stats();
@@ -173,6 +174,7 @@ impl ExecBackend for CmsisBackend<'_> {
         });
     }
 
+    #[inline(never)]
     fn stash(&mut self, slot: usize, _len: usize) {
         // Zero-cost: the arena planner aliases the skip branch's buffer.
         self.stash[slot] = self.act.clone();

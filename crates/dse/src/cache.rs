@@ -282,6 +282,17 @@ impl DseEvalCache {
     /// boolean masks `masks` was compiled from.
     pub fn accuracy(&self, model: &QuantModel, masks: &CompiledMasks) -> f32 {
         let view: Vec<Option<&CompiledConv>> = masks.per_conv.iter().map(Option::as_ref).collect();
+        // Debug builds statically verify every compiled stream against the
+        // plan before it reaches the unsafe kernels; release trusts the
+        // deploy-time check ([`Registry::deploy`]) instead.
+        #[cfg(debug_assertions)]
+        for (ordinal, cc) in view.iter().enumerate() {
+            if let Some(cc) = cc {
+                if let Err(e) = self.plan.verify_stream(ordinal, cc) {
+                    panic!("design stream failed static verification: {e}");
+                }
+            }
+        }
         self.accuracy_view(model, &view)
     }
 
@@ -289,6 +300,14 @@ impl DseEvalCache {
     /// streams ([`StreamMemo::design`]) — no owned [`CompiledMasks`] is
     /// assembled per design.
     pub fn accuracy_streams(&self, model: &QuantModel, streams: &[Arc<LayerStream>]) -> f32 {
+        // Debug builds cross-check each memoized stream — tallies *and*
+        // compiled payload — against the plan geometry before evaluation.
+        #[cfg(debug_assertions)]
+        for (ordinal, s) in streams.iter().enumerate() {
+            if let Err(e) = s.verify_consistent(&self.plan, ordinal) {
+                panic!("memoized stream failed static verification: {e}");
+            }
+        }
         let view: Vec<Option<&CompiledConv>> =
             streams.iter().map(|s| s.compiled.as_ref()).collect();
         self.accuracy_view(model, &view)

@@ -123,7 +123,12 @@ const MIN_PAR_ELEMS: usize = 8192;
 /// Images per tile of a conv segment: enough images to fill `TILE_BYTES`
 /// of pair columns, never more than the batch, and — when `threads`
 /// execute — no more than an even share, so every thread gets work.
-fn tile_images(pair_rows: usize, positions: usize, batch: usize, threads: usize) -> usize {
+pub(crate) fn tile_images(
+    pair_rows: usize,
+    positions: usize,
+    batch: usize,
+    threads: usize,
+) -> usize {
     let per_image = pair_rows * 2 * positions * std::mem::size_of::<i16>();
     let mut g = (tile_bytes() / per_image.max(1)).clamp(1, batch.max(1));
     if threads > 1 {
@@ -147,15 +152,18 @@ struct ParArena {
 /// [`ParArena`] behind an [`UnsafeCell`] so the pool closure (a shared
 /// `Fn`) can hand each thread *its own* arena mutably.
 ///
-/// Safety: every access pattern indexes the arena slice by the pool's
+/// SAFETY: every access pattern indexes the arena slice by the pool's
 /// thread index, which is unique per concurrent closure invocation, so no
 /// two threads ever alias one arena.
 struct ArenaCell(UnsafeCell<ParArena>);
 unsafe impl Sync for ArenaCell {}
 
-/// A raw output pointer that may cross into pool threads. Writers hold
-/// disjoint windows (tiles / plane chunks / element ranges), which is what
-/// makes sharing it sound — see each dispatch site.
+/// A raw output pointer that may cross into pool threads.
+///
+/// SAFETY: writers hold disjoint windows (tiles / plane chunks / element
+/// ranges) of the pointee, so no two threads ever write the same element,
+/// and the buffer outlives every dispatch (`pool.run` blocks) — see each
+/// dispatch site.
 #[derive(Clone, Copy)]
 struct SendPtr(*mut i8);
 unsafe impl Send for SendPtr {}
@@ -301,7 +309,7 @@ impl BatchScratch {
                 .arenas
                 .iter()
                 .map(|a| {
-                    // Safety: `&self` — no pool dispatch is live.
+                    // SAFETY: `&self` — no pool dispatch is live.
                     let a = unsafe { &*a.0.get() };
                     (2 * a.rows.len() + 2 * a.pcolt.len() + 4 * a.acc.len()) as u64
                 })
@@ -463,7 +471,7 @@ fn add_join_batched_par(
                 let lo = (tid * chunk).min(n);
                 let hi = ((tid + 1) * chunk).min(n);
                 for i in lo..hi {
-                    // Safety: threads hold disjoint element ranges; `dst`
+                    // SAFETY: threads hold disjoint element ranges; `dst`
                     // outlives the dispatch.
                     unsafe { out.get().add(i).write(a.apply(lhs[i], rhs[i])) };
                 }
@@ -481,7 +489,7 @@ fn add_join_batched_par(
                         for p in 0..pos {
                             let pl = c * plane + b * pos + p;
                             let v = a.apply(lhs[b * seg.len + p * ch + c], rhs[pl]);
-                            // Safety: plane-layout writes are disjoint
+                            // SAFETY: plane-layout writes are disjoint
                             // across channel ranges.
                             unsafe { out.get().add(pl).write(v) };
                         }
@@ -501,7 +509,7 @@ fn add_join_batched_par(
                         for p in 0..pos {
                             let nh = b * seg.len + p * ch + c;
                             let v = a.apply(lhs[c * plane + b * pos + p], rhs[nh]);
-                            // Safety: NHWC writes at stride `ch` are
+                            // SAFETY: NHWC writes at stride `ch` are
                             // disjoint across channel ranges.
                             unsafe { out.get().add(nh).write(v) };
                         }
@@ -660,7 +668,7 @@ fn conv_exec_tiled(
         let cursor = AtomicUsize::new(0);
         let out = SendPtr(dst.as_mut_ptr());
         pool.run(&|tid| {
-            // Safety: `tid` is unique per concurrent invocation — this
+            // SAFETY: `tid` is unique per concurrent invocation — this
             // thread is the arena's only user.
             let arena = unsafe { &mut *arenas[tid].0.get() };
             loop {
@@ -670,7 +678,7 @@ fn conv_exec_tiled(
                 }
                 let (b_lo, b_hi) = (t * g, ((t + 1) * g).min(batch));
                 let (w_lo, w_hi) = (b_lo * positions, b_hi * positions);
-                // Safety (both arms): tiles hold disjoint `[w_lo, w_hi)`
+                // SAFETY: (both arms) tiles hold disjoint `[w_lo, w_hi)`
                 // lane windows at shift 0, so writes are disjoint; `dst`
                 // outlives the dispatch (`pool.run` blocks).
                 match prefilled {
@@ -702,6 +710,8 @@ fn conv_exec_tiled(
                             &mut arena.rows,
                             &mut arena.pcolt[..n_t],
                         );
+                        // SAFETY: disjoint tile windows, per the argument
+                        // at the top of the match.
                         unsafe {
                             conv_forward_pairs_window(
                                 c,
@@ -726,7 +736,7 @@ fn conv_exec_tiled(
 
     match prefilled {
         Some(pc) => {
-            // Safety: whole-buffer window, sole writer.
+            // SAFETY: whole-buffer window, sole writer.
             unsafe {
                 conv_forward_pairs_window(
                     c,
@@ -760,7 +770,7 @@ fn conv_exec_tiled(
                     rows,
                     &mut pcolt[..n_t],
                 );
-                // Safety: sequential tiles, disjoint lane windows, sole
+                // SAFETY: sequential tiles, disjoint lane windows, sole
                 // writer.
                 unsafe {
                     conv_forward_pairs_window(
@@ -887,7 +897,7 @@ impl ExecBackend for BatchBackend<'_, '_> {
                         if lo >= hi {
                             return;
                         }
-                        // Safety: chunks write disjoint output planes
+                        // SAFETY: chunks write disjoint output planes
                         // `[lo·out_plane, hi·out_plane)`; `dst` outlives
                         // the dispatch.
                         let dst_chunk = unsafe {
@@ -1184,6 +1194,7 @@ impl ExecBackend for CkptBackend<'_, '_> {
         self.commit(seg.out_dim);
     }
 
+    #[inline(never)]
     fn add(&mut self, seg: &AddSegment) {
         let a = self.model.add_at(seg.layer_idx);
         let batch = self.out.batch;
@@ -1204,6 +1215,7 @@ impl ExecBackend for CkptBackend<'_, '_> {
         self.out.stashes[seg.slot] = Vec::new();
     }
 
+    #[inline(never)]
     fn stash(&mut self, slot: usize, len: usize) {
         // Record the checkpoint's current activation as resume state: the
         // stash must survive into (clones of) every descendant checkpoint

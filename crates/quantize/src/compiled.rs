@@ -395,7 +395,7 @@ fn apply_stream_scalar(
 /// computes the same two i16×i16 products and their i32 sum; the adds are
 /// the same wrapping i32 additions, regrouped — associative).
 ///
-/// Safety: caller must ensure AVX2 is available; slice bounds match the
+/// SAFETY: caller must ensure AVX2 is available; slice bounds match the
 /// scalar kernel's accesses exactly.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
@@ -408,69 +408,78 @@ unsafe fn apply_stream_avx2(
     acc: &mut [i32],
 ) {
     use std::arch::x86_64::*;
-    let b = acc.len();
-    let n = dx.len();
-    let prefetch = kernel_tuning().prefetch;
-    let wpair = |j: usize| -> i32 {
-        (((w[2 * j + 1] as i16 as u16 as u32) << 16) | (w[2 * j] as i16 as u16 as u32)) as i32
-    };
-    let mut j = 0;
-    let mut ri = 0usize;
-    while j + 2 <= n {
-        let r0i = ri + dx[j] as usize;
-        let r1i = r0i + dx[j + 1] as usize;
-        let r0 = pcolt.as_ptr().add(r0i * 2 * lanes + 2 * p0);
-        let r1 = pcolt.as_ptr().add(r1i * 2 * lanes + 2 * p0);
-        if prefetch && j + 4 <= n {
-            // Next pass's pair rows at this lane window's base — hides the
-            // first-touch miss of each row behind the current pass's MACs.
-            let n0 = r1i + dx[j + 2] as usize;
-            let n1 = n0 + dx[j + 3] as usize;
-            _mm_prefetch::<_MM_HINT_T0>(pcolt.as_ptr().add(n0 * 2 * lanes + 2 * p0) as *const i8);
-            _mm_prefetch::<_MM_HINT_T0>(pcolt.as_ptr().add(n1 * 2 * lanes + 2 * p0) as *const i8);
+    // SAFETY: the caller guarantees AVX2 is available; every pointer access
+    // below matches the scalar kernel's slice indexing exactly, which the
+    // window asserts in `conv_forward_pairs_window` keep in bounds.
+    unsafe {
+        let b = acc.len();
+        let n = dx.len();
+        let prefetch = kernel_tuning().prefetch;
+        let wpair = |j: usize| -> i32 {
+            (((w[2 * j + 1] as i16 as u16 as u32) << 16) | (w[2 * j] as i16 as u16 as u32)) as i32
+        };
+        let mut j = 0;
+        let mut ri = 0usize;
+        while j + 2 <= n {
+            let r0i = ri + dx[j] as usize;
+            let r1i = r0i + dx[j + 1] as usize;
+            let r0 = pcolt.as_ptr().add(r0i * 2 * lanes + 2 * p0);
+            let r1 = pcolt.as_ptr().add(r1i * 2 * lanes + 2 * p0);
+            if prefetch && j + 4 <= n {
+                // Next pass's pair rows at this lane window's base — hides the
+                // first-touch miss of each row behind the current pass's MACs.
+                let n0 = r1i + dx[j + 2] as usize;
+                let n1 = n0 + dx[j + 3] as usize;
+                _mm_prefetch::<_MM_HINT_T0>(
+                    pcolt.as_ptr().add(n0 * 2 * lanes + 2 * p0) as *const i8
+                );
+                _mm_prefetch::<_MM_HINT_T0>(
+                    pcolt.as_ptr().add(n1 * 2 * lanes + 2 * p0) as *const i8
+                );
+            }
+            let wv0 = _mm256_set1_epi32(wpair(j));
+            let wv1 = _mm256_set1_epi32(wpair(j + 1));
+            let mut p = 0usize;
+            while p + 8 <= b {
+                let a0 = _mm256_loadu_si256(r0.add(2 * p) as *const __m256i);
+                let a1 = _mm256_loadu_si256(r1.add(2 * p) as *const __m256i);
+                let accv = _mm256_loadu_si256(acc.as_ptr().add(p) as *const __m256i);
+                let s = _mm256_add_epi32(
+                    accv,
+                    _mm256_add_epi32(_mm256_madd_epi16(a0, wv0), _mm256_madd_epi16(a1, wv1)),
+                );
+                _mm256_storeu_si256(acc.as_mut_ptr().add(p) as *mut __m256i, s);
+                p += 8;
+            }
+            while p < b {
+                let s0 = (*r0.add(2 * p) as i32) * (w[2 * j] as i32)
+                    + (*r0.add(2 * p + 1) as i32) * (w[2 * j + 1] as i32);
+                let s1 = (*r1.add(2 * p) as i32) * (w[2 * j + 2] as i32)
+                    + (*r1.add(2 * p + 1) as i32) * (w[2 * j + 3] as i32);
+                acc[p] = acc[p].wrapping_add(s0).wrapping_add(s1);
+                p += 1;
+            }
+            ri = r1i;
+            j += 2;
         }
-        let wv0 = _mm256_set1_epi32(wpair(j));
-        let wv1 = _mm256_set1_epi32(wpair(j + 1));
-        let mut p = 0usize;
-        while p + 8 <= b {
-            let a0 = _mm256_loadu_si256(r0.add(2 * p) as *const __m256i);
-            let a1 = _mm256_loadu_si256(r1.add(2 * p) as *const __m256i);
-            let accv = _mm256_loadu_si256(acc.as_ptr().add(p) as *const __m256i);
-            let s = _mm256_add_epi32(
-                accv,
-                _mm256_add_epi32(_mm256_madd_epi16(a0, wv0), _mm256_madd_epi16(a1, wv1)),
-            );
-            _mm256_storeu_si256(acc.as_mut_ptr().add(p) as *mut __m256i, s);
-            p += 8;
-        }
-        while p < b {
-            let s0 = (*r0.add(2 * p) as i32) * (w[2 * j] as i32)
-                + (*r0.add(2 * p + 1) as i32) * (w[2 * j + 1] as i32);
-            let s1 = (*r1.add(2 * p) as i32) * (w[2 * j + 2] as i32)
-                + (*r1.add(2 * p + 1) as i32) * (w[2 * j + 3] as i32);
-            acc[p] = acc[p].wrapping_add(s0).wrapping_add(s1);
-            p += 1;
-        }
-        ri = r1i;
-        j += 2;
-    }
-    if j < n {
-        let r0i = ri + dx[j] as usize;
-        let r0 = pcolt.as_ptr().add(r0i * 2 * lanes + 2 * p0);
-        let wv0 = _mm256_set1_epi32(wpair(j));
-        let mut p = 0usize;
-        while p + 8 <= b {
-            let a0 = _mm256_loadu_si256(r0.add(2 * p) as *const __m256i);
-            let accv = _mm256_loadu_si256(acc.as_ptr().add(p) as *const __m256i);
-            let s = _mm256_add_epi32(accv, _mm256_madd_epi16(a0, wv0));
-            _mm256_storeu_si256(acc.as_mut_ptr().add(p) as *mut __m256i, s);
-            p += 8;
-        }
-        while p < b {
-            let s0 = (*r0.add(2 * p) as i32) * (w[2 * j] as i32)
-                + (*r0.add(2 * p + 1) as i32) * (w[2 * j + 1] as i32);
-            acc[p] = acc[p].wrapping_add(s0);
-            p += 1;
+        if j < n {
+            let r0i = ri + dx[j] as usize;
+            let r0 = pcolt.as_ptr().add(r0i * 2 * lanes + 2 * p0);
+            let wv0 = _mm256_set1_epi32(wpair(j));
+            let mut p = 0usize;
+            while p + 8 <= b {
+                let a0 = _mm256_loadu_si256(r0.add(2 * p) as *const __m256i);
+                let accv = _mm256_loadu_si256(acc.as_ptr().add(p) as *const __m256i);
+                let s = _mm256_add_epi32(accv, _mm256_madd_epi16(a0, wv0));
+                _mm256_storeu_si256(acc.as_mut_ptr().add(p) as *mut __m256i, s);
+                p += 8;
+            }
+            while p < b {
+                let s0 = (*r0.add(2 * p) as i32) * (w[2 * j] as i32)
+                    + (*r0.add(2 * p + 1) as i32) * (w[2 * j + 1] as i32);
+                acc[p] = acc[p].wrapping_add(s0);
+                p += 1;
+            }
         }
     }
 }
@@ -482,7 +491,7 @@ unsafe fn apply_stream_avx2(
 /// dot-product accumulate, i.e. exactly the scalar kernel's wrapping
 /// arithmetic.
 ///
-/// Safety: caller must ensure AVX-512F + AVX-512 VNNI are available; slice
+/// SAFETY: caller must ensure AVX-512F + AVX-512 VNNI are available; slice
 /// bounds match the scalar kernel's accesses exactly.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx512f,avx512vnni")]
@@ -495,100 +504,105 @@ unsafe fn apply_stream_vnni(
     acc: &mut [i32],
 ) {
     use std::arch::x86_64::*;
-    let b = acc.len();
-    let n = dx.len();
-    let tuning = kernel_tuning();
-    let wpair = |j: usize| -> i32 {
-        (((w[2 * j + 1] as i16 as u16 as u32) << 16) | (w[2 * j] as i16 as u16 as u32)) as i32
-    };
-    let mut j = 0;
-    let mut ri = 0usize;
-    while j + 4 <= n {
-        let r0i = ri + dx[j] as usize;
-        let r1i = r0i + dx[j + 1] as usize;
-        let r2i = r1i + dx[j + 2] as usize;
-        let r3i = r2i + dx[j + 3] as usize;
-        let row = |i: usize| pcolt.as_ptr().add(i * 2 * lanes + 2 * p0);
-        let (r0, r1, r2, r3) = (row(r0i), row(r1i), row(r2i), row(r3i));
-        if tuning.prefetch && j + 8 <= n {
-            // Next quartet's pair rows at this lane window's base — the
-            // deltas make their addresses one add each.
-            let mut pi = r3i;
-            for k in 0..4 {
-                pi += dx[j + 4 + k] as usize;
-                _mm_prefetch::<_MM_HINT_T0>(row(pi) as *const i8);
+    // SAFETY: the caller guarantees AVX-512F + AVX-512 VNNI are available;
+    // every pointer access below matches the scalar kernel's slice indexing
+    // exactly (in bounds by `conv_forward_pairs_window`'s asserts).
+    unsafe {
+        let b = acc.len();
+        let n = dx.len();
+        let tuning = kernel_tuning();
+        let wpair = |j: usize| -> i32 {
+            (((w[2 * j + 1] as i16 as u16 as u32) << 16) | (w[2 * j] as i16 as u16 as u32)) as i32
+        };
+        let mut j = 0;
+        let mut ri = 0usize;
+        while j + 4 <= n {
+            let r0i = ri + dx[j] as usize;
+            let r1i = r0i + dx[j + 1] as usize;
+            let r2i = r1i + dx[j + 2] as usize;
+            let r3i = r2i + dx[j + 3] as usize;
+            let row = |i: usize| pcolt.as_ptr().add(i * 2 * lanes + 2 * p0);
+            let (r0, r1, r2, r3) = (row(r0i), row(r1i), row(r2i), row(r3i));
+            if tuning.prefetch && j + 8 <= n {
+                // Next quartet's pair rows at this lane window's base — the
+                // deltas make their addresses one add each.
+                let mut pi = r3i;
+                for k in 0..4 {
+                    pi += dx[j + 4 + k] as usize;
+                    _mm_prefetch::<_MM_HINT_T0>(row(pi) as *const i8);
+                }
             }
+            let wv0 = _mm512_set1_epi32(wpair(j));
+            let wv1 = _mm512_set1_epi32(wpair(j + 1));
+            let wv2 = _mm512_set1_epi32(wpair(j + 2));
+            let wv3 = _mm512_set1_epi32(wpair(j + 3));
+            let mut p = 0usize;
+            if tuning.split_chains {
+                // Two independent 2-deep `vpdpwssd` chains joined by one add
+                // instead of one 4-deep serial chain: wrapping adds commute, so
+                // the regroup is bit-exact, and the chains pipeline across
+                // ports instead of serializing on the accumulator.
+                let zero = _mm512_setzero_si512();
+                while p + 16 <= b {
+                    let a0 = _mm512_loadu_si512(r0.add(2 * p) as *const _);
+                    let a1 = _mm512_loadu_si512(r1.add(2 * p) as *const _);
+                    let a2 = _mm512_loadu_si512(r2.add(2 * p) as *const _);
+                    let a3 = _mm512_loadu_si512(r3.add(2 * p) as *const _);
+                    let accv = _mm512_loadu_si512(acc.as_ptr().add(p) as *const _);
+                    let c0 = _mm512_dpwssd_epi32(_mm512_dpwssd_epi32(accv, a0, wv0), a1, wv1);
+                    let c1 = _mm512_dpwssd_epi32(_mm512_dpwssd_epi32(zero, a2, wv2), a3, wv3);
+                    let s = _mm512_add_epi32(c0, c1);
+                    _mm512_storeu_si512(acc.as_mut_ptr().add(p) as *mut _, s);
+                    p += 16;
+                }
+            } else {
+                while p + 16 <= b {
+                    let a0 = _mm512_loadu_si512(r0.add(2 * p) as *const _);
+                    let a1 = _mm512_loadu_si512(r1.add(2 * p) as *const _);
+                    let a2 = _mm512_loadu_si512(r2.add(2 * p) as *const _);
+                    let a3 = _mm512_loadu_si512(r3.add(2 * p) as *const _);
+                    let accv = _mm512_loadu_si512(acc.as_ptr().add(p) as *const _);
+                    let s01 = _mm512_dpwssd_epi32(_mm512_dpwssd_epi32(accv, a0, wv0), a1, wv1);
+                    let s = _mm512_dpwssd_epi32(_mm512_dpwssd_epi32(s01, a2, wv2), a3, wv3);
+                    _mm512_storeu_si512(acc.as_mut_ptr().add(p) as *mut _, s);
+                    p += 16;
+                }
+            }
+            while p < b {
+                let scalar_pair = |r: *const i16, jj: usize| -> i32 {
+                    (*r.add(2 * p) as i32) * (w[2 * jj] as i32)
+                        + (*r.add(2 * p + 1) as i32) * (w[2 * jj + 1] as i32)
+                };
+                acc[p] = acc[p]
+                    .wrapping_add(scalar_pair(r0, j))
+                    .wrapping_add(scalar_pair(r1, j + 1))
+                    .wrapping_add(scalar_pair(r2, j + 2))
+                    .wrapping_add(scalar_pair(r3, j + 3));
+                p += 1;
+            }
+            ri = r3i;
+            j += 4;
         }
-        let wv0 = _mm512_set1_epi32(wpair(j));
-        let wv1 = _mm512_set1_epi32(wpair(j + 1));
-        let wv2 = _mm512_set1_epi32(wpair(j + 2));
-        let wv3 = _mm512_set1_epi32(wpair(j + 3));
-        let mut p = 0usize;
-        if tuning.split_chains {
-            // Two independent 2-deep `vpdpwssd` chains joined by one add
-            // instead of one 4-deep serial chain: wrapping adds commute, so
-            // the regroup is bit-exact, and the chains pipeline across
-            // ports instead of serializing on the accumulator.
-            let zero = _mm512_setzero_si512();
+        while j < n {
+            ri += dx[j] as usize;
+            let r0 = pcolt.as_ptr().add(ri * 2 * lanes + 2 * p0);
+            let wv0 = _mm512_set1_epi32(wpair(j));
+            let mut p = 0usize;
             while p + 16 <= b {
                 let a0 = _mm512_loadu_si512(r0.add(2 * p) as *const _);
-                let a1 = _mm512_loadu_si512(r1.add(2 * p) as *const _);
-                let a2 = _mm512_loadu_si512(r2.add(2 * p) as *const _);
-                let a3 = _mm512_loadu_si512(r3.add(2 * p) as *const _);
                 let accv = _mm512_loadu_si512(acc.as_ptr().add(p) as *const _);
-                let c0 = _mm512_dpwssd_epi32(_mm512_dpwssd_epi32(accv, a0, wv0), a1, wv1);
-                let c1 = _mm512_dpwssd_epi32(_mm512_dpwssd_epi32(zero, a2, wv2), a3, wv3);
-                let s = _mm512_add_epi32(c0, c1);
+                let s = _mm512_dpwssd_epi32(accv, a0, wv0);
                 _mm512_storeu_si512(acc.as_mut_ptr().add(p) as *mut _, s);
                 p += 16;
             }
-        } else {
-            while p + 16 <= b {
-                let a0 = _mm512_loadu_si512(r0.add(2 * p) as *const _);
-                let a1 = _mm512_loadu_si512(r1.add(2 * p) as *const _);
-                let a2 = _mm512_loadu_si512(r2.add(2 * p) as *const _);
-                let a3 = _mm512_loadu_si512(r3.add(2 * p) as *const _);
-                let accv = _mm512_loadu_si512(acc.as_ptr().add(p) as *const _);
-                let s01 = _mm512_dpwssd_epi32(_mm512_dpwssd_epi32(accv, a0, wv0), a1, wv1);
-                let s = _mm512_dpwssd_epi32(_mm512_dpwssd_epi32(s01, a2, wv2), a3, wv3);
-                _mm512_storeu_si512(acc.as_mut_ptr().add(p) as *mut _, s);
-                p += 16;
+            while p < b {
+                let s0 = (*r0.add(2 * p) as i32) * (w[2 * j] as i32)
+                    + (*r0.add(2 * p + 1) as i32) * (w[2 * j + 1] as i32);
+                acc[p] = acc[p].wrapping_add(s0);
+                p += 1;
             }
+            j += 1;
         }
-        while p < b {
-            let scalar_pair = |r: *const i16, jj: usize| -> i32 {
-                (*r.add(2 * p) as i32) * (w[2 * jj] as i32)
-                    + (*r.add(2 * p + 1) as i32) * (w[2 * jj + 1] as i32)
-            };
-            acc[p] = acc[p]
-                .wrapping_add(scalar_pair(r0, j))
-                .wrapping_add(scalar_pair(r1, j + 1))
-                .wrapping_add(scalar_pair(r2, j + 2))
-                .wrapping_add(scalar_pair(r3, j + 3));
-            p += 1;
-        }
-        ri = r3i;
-        j += 4;
-    }
-    while j < n {
-        ri += dx[j] as usize;
-        let r0 = pcolt.as_ptr().add(ri * 2 * lanes + 2 * p0);
-        let wv0 = _mm512_set1_epi32(wpair(j));
-        let mut p = 0usize;
-        while p + 16 <= b {
-            let a0 = _mm512_loadu_si512(r0.add(2 * p) as *const _);
-            let accv = _mm512_loadu_si512(acc.as_ptr().add(p) as *const _);
-            let s = _mm512_dpwssd_epi32(accv, a0, wv0);
-            _mm512_storeu_si512(acc.as_mut_ptr().add(p) as *mut _, s);
-            p += 16;
-        }
-        while p < b {
-            let s0 = (*r0.add(2 * p) as i32) * (w[2 * j] as i32)
-                + (*r0.add(2 * p + 1) as i32) * (w[2 * j + 1] as i32);
-            acc[p] = acc[p].wrapping_add(s0);
-            p += 1;
-        }
-        j += 1;
     }
 }
 
@@ -703,7 +717,7 @@ pub(crate) fn conv_forward_pairs_with_level(
 ) {
     let out_c = c.geom.out_c;
     assert!(output.len() >= out_c * lanes);
-    // Safety: the output covers `out_c` rows of pitch `lanes` and this is
+    // SAFETY: the output covers `out_c` rows of pitch `lanes` and this is
     // the only writer.
     unsafe {
         conv_forward_pairs_window(
@@ -782,7 +796,7 @@ pub(crate) unsafe fn conv_forward_pairs_window(
             match level {
                 SimdLevel::Scalar => apply_stream_scalar(pcolt, colt_lanes, p0, dx, ws, acc),
                 #[cfg(target_arch = "x86_64")]
-                // Safety: `level` only reaches Avx2/Vnni when the features
+                // SAFETY: `level` only reaches Avx2/Vnni when the features
                 // were runtime-detected (`simd_level`/`available_simd_levels`).
                 SimdLevel::Avx2 => unsafe { apply_stream_avx2(pcolt, colt_lanes, p0, dx, ws, acc) },
                 #[cfg(target_arch = "x86_64")]
@@ -792,6 +806,8 @@ pub(crate) unsafe fn conv_forward_pairs_window(
             // Materialized as a slice so the store loop keeps `noalias`
             // (a raw-pointer write loop de-vectorizes the requant — an
             // 11% hit, caught by interleaved A/B).
+            // SAFETY: the caller contract (above) guarantees `output` is
+            // valid and exclusive over exactly these pitched elements.
             let orow = unsafe {
                 std::slice::from_raw_parts_mut(
                     output.add(o * out_pitch + out_base + (p0 - p_lo)),

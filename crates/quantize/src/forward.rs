@@ -361,7 +361,7 @@ impl ExecBackend for RefBackend<'_, '_, '_, '_> {
         self.advance(seg.out_dim);
     }
 
-    #[inline]
+    #[inline(never)]
     fn add(&mut self, seg: &AddSegment) {
         // The reference path is NHWC throughout, so both operands share one
         // layout and the join is plain elementwise two-input requantization.
@@ -378,7 +378,7 @@ impl ExecBackend for RefBackend<'_, '_, '_, '_> {
         self.advance(seg.len);
     }
 
-    #[inline]
+    #[inline(never)]
     fn stash(&mut self, slot: usize, len: usize) {
         let src = if self.in_a {
             &self.act_a[..len]

@@ -31,11 +31,18 @@
 //! [`QuantModel::forward_compiled_scratch`] runs them bit-exactly against
 //! the reference path, optionally reusing cached first-conv columns.
 
+// The workspace denies `unsafe_code`; the three modules implementing the
+// parallel batch path (lifetime-erased pool dispatch, shared-arena cells,
+// SIMD intrinsics) are the only ones allowed back in, and every site must
+// carry a `SAFETY:` comment (enforced by `repo_lint`).
+#[allow(unsafe_code)]
 pub mod batch;
 pub mod calib;
+#[allow(unsafe_code)]
 pub mod compiled;
 pub mod forward;
 pub mod plan;
+#[allow(unsafe_code)]
 pub mod pool;
 pub mod qmodel;
 
@@ -45,7 +52,7 @@ pub use compiled::{simd_level_name, CompiledConv, CompiledMasks};
 pub use forward::{argmax_i8, ForwardScratch, SkipMaskSet};
 pub use plan::{
     AddSegment, ConvSegment, DenseSegment, ExecBackend, ExecPlan, GapSegment, LogitsSegment,
-    PoolSegment, Segment,
+    PlanError, PoolSegment, Segment,
 };
 pub use pool::BatchPool;
 pub use qmodel::{

@@ -42,6 +42,9 @@ use crate::qmodel::{QAdd, QConv, QDense, QLayer, QuantModel};
 use std::ops::Range;
 use tinytensor::shape::ConvGeometry;
 
+pub mod verify;
+pub use verify::PlanError;
+
 /// One convolution segment: the τ-bearing unit of the plan.
 #[derive(Debug, Clone)]
 pub struct ConvSegment {
@@ -403,14 +406,11 @@ impl ExecPlan {
                 QLayer::Add(a) => {
                     let slot = stash_stack.pop().expect("Add without live stash");
                     let (lhs_planar, lhs_dims) = stash_layout[slot];
-                    assert_eq!(
-                        stash_lens[slot], cur_len,
-                        "residual operand length mismatch"
-                    );
+                    // Operand length and planar-dims agreement are verifier
+                    // invariants now (StashLifetime / LayoutChain in
+                    // [`verify`]); only the model-side length is checked
+                    // here, since the plan records the walked length.
                     debug_assert_eq!(a.len, cur_len, "Add length mismatch");
-                    if planar && lhs_planar {
-                        debug_assert_eq!(planar_dims, lhs_dims, "residual planar dims mismatch");
-                    }
                     let (positions, ch) = match (planar, lhs_planar) {
                         (true, _) => planar_dims.expect("planar dims"),
                         (false, true) => lhs_dims.expect("planar dims"),
@@ -439,7 +439,7 @@ impl ExecPlan {
             out_len: cur_len,
             planar: planar.then(|| planar_dims.expect("planar dims")),
         }));
-        Self {
+        let plan = Self {
             segments,
             conv_starts,
             max_act,
@@ -450,7 +450,23 @@ impl ExecPlan {
             input_len,
             input_stashes,
             stash_lens,
+        };
+        // Every lowering self-checks in debug builds: a plan that fails
+        // static verification must never reach an executor. Release builds
+        // skip this (zero hot-path cost); the serving registry re-runs it
+        // at deploy time instead.
+        #[cfg(debug_assertions)]
+        {
+            if let Err(e) = plan.verify() {
+                panic!("lowered plan failed static verification: {e}");
+            }
+            debug_assert_eq!(
+                plan.peak_activation_pair(),
+                model.peak_activation_pair(),
+                "plan stash accounting diverged from the model's peak"
+            );
         }
+        plan
     }
 
     /// The ordered segments (the last is always [`Segment::Logits`]).
@@ -630,7 +646,7 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    fn quantized(seed: u64) -> QuantModel {
+    pub(crate) fn quantized(seed: u64) -> QuantModel {
         let data = cifar10sim::generate(DatasetConfig::tiny(seed));
         let mut rng = StdRng::seed_from_u64(seed);
         let m = tinynn::Sequential::new("p", tinytensor::Shape4::nhwc(1, 32, 32, 3))

@@ -16,6 +16,32 @@
 //! no queues, nothing vendored (rayon stays the fallback idiom reference
 //! only). Workers park between runs, so an idle pool costs nothing but
 //! memory; the pool joins its workers on drop.
+//!
+//! # The unsafe boundary
+//!
+//! This module is one of the few opted back into `unsafe_code` (the
+//! workspace denies it; see DESIGN.md, "Static verification and the
+//! unsafe boundary"). Exactly two obligations are discharged here, each
+//! marked `SAFETY:` at its site and checked by `repo_lint`:
+//!
+//! 1. **`Job: Send`** — a raw `*const dyn Fn(usize) + Sync` crosses into
+//!    worker threads. Sound because the pointee is `Sync` (the `run`
+//!    signature demands it) and `run` blocks on `active == 0` before
+//!    returning, so the pointer never dangles while a worker can
+//!    dereference it.
+//! 2. **The lifetime-erasing `transmute` in [`BatchPool::run`]** — the
+//!    borrowed closure is smuggled as `&'static`. Sound for the same
+//!    reason: erasure is strictly scoped to one generation, and the
+//!    generation cannot outlive the borrow because `run` does not return
+//!    (and the `run_guard` admits no next dispatch) until every worker
+//!    has decremented `active`.
+//!
+//! Both arguments hinge on the generation handshake being lossless: a
+//! worker that ever skipped a generation could still hold the *previous*
+//! generation's erased pointer while `run` believes the dispatch drained.
+//! `worker_loop` therefore asserts `generation == seen + 1` at every job
+//! pickup, and the `sanitizers` CI job runs this module's stress tests
+//! under ThreadSanitizer.
 
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -25,7 +51,7 @@ use std::thread::JoinHandle;
 /// borrowed closure outlives every dereference.
 #[derive(Clone, Copy)]
 struct Job(*const (dyn Fn(usize) + Sync));
-// Safety: the pointee is `Sync` (asserted at construction in `run`) and
+// SAFETY: the pointee is `Sync` (asserted at construction in `run`) and
 // `run` keeps it alive for the whole dispatch.
 unsafe impl Send for Job {}
 
@@ -107,7 +133,7 @@ impl BatchPool {
             return;
         }
         let _guard = self.run_guard.lock().expect("pool run guard");
-        // Safety: erase the borrow's lifetime. The erased reference is
+        // SAFETY: erase the borrow's lifetime. The erased reference is
         // dropped before `run` returns (we block on `active == 0` below),
         // so workers never outlive the closure.
         let f_static: &'static (dyn Fn(usize) + Sync) = unsafe {
@@ -153,13 +179,24 @@ fn worker_loop(shared: &PoolShared, tid: usize) {
                     return;
                 }
                 if st.generation > seen {
+                    // Lossless handshake: `run` holds the guard and blocks
+                    // until `active` drains, so no worker can lag by more
+                    // than one generation. A gap here would mean a worker
+                    // could still be running a *previous* job whose erased
+                    // borrow `run` already considers dead — the exact
+                    // use-after-free the module contract rules out.
+                    assert_eq!(
+                        st.generation,
+                        seen + 1,
+                        "pool worker skipped a dispatch generation"
+                    );
                     seen = st.generation;
                     break st.job.expect("job set with generation");
                 }
                 st = shared.dispatch.wait(st).expect("pool dispatch wait");
             }
         };
-        // Safety: `run` blocks until `active` drains, keeping the closure
+        // SAFETY: `run` blocks until `active` drains, keeping the closure
         // alive and `Sync` for this call.
         unsafe { (*job.0)(tid) };
         let mut st = shared.state.lock().expect("pool state");
@@ -222,5 +259,55 @@ mod tests {
         let pool = BatchPool::new(0);
         assert_eq!(pool.threads(), 1);
         pool.run(&|_| {});
+    }
+
+    /// Rapid dispatch/teardown churn: every iteration builds a fresh pool,
+    /// fires a burst of generations through it, and drops it — the
+    /// spawn → park → dispatch → join edges where a lost wakeup or a
+    /// skipped generation would trip the handshake assert. Run under
+    /// ThreadSanitizer in the `sanitizers` CI job.
+    #[test]
+    fn stress_rebuild_and_burst_dispatch() {
+        for round in 0..25 {
+            let pool = BatchPool::new(2 + round % 3);
+            let hits = AtomicUsize::new(0);
+            for _ in 0..40 {
+                pool.run(&|_tid| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            assert_eq!(hits.load(Ordering::Relaxed), 40 * pool.threads());
+        }
+    }
+
+    /// Concurrent callers sharing one pool must serialize through the run
+    /// guard: dispatches interleave but never tear (each run sees every
+    /// thread exactly once), and the total count conserves.
+    #[test]
+    fn stress_concurrent_callers_serialize() {
+        let pool = BatchPool::new(3);
+        let hits = AtomicUsize::new(0);
+        const CALLERS: usize = 4;
+        const RUNS: usize = 25;
+        std::thread::scope(|s| {
+            for _ in 0..CALLERS {
+                s.spawn(|| {
+                    for _ in 0..RUNS {
+                        let per_thread = [const { AtomicUsize::new(0) }; 3];
+                        pool.run(&|tid| {
+                            per_thread[tid].fetch_add(1, Ordering::Relaxed);
+                            hits.fetch_add(1, Ordering::Relaxed);
+                        });
+                        for (tid, c) in per_thread.iter().enumerate() {
+                            assert_eq!(c.load(Ordering::Relaxed), 1, "torn dispatch: thread {tid}");
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            hits.load(Ordering::Relaxed),
+            CALLERS * RUNS * pool.threads()
+        );
     }
 }

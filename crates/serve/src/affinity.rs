@@ -30,6 +30,9 @@ pub fn pin_current_thread(cpu: usize) -> bool {
     let cpu = cpu % ncpus;
     let mut mask = [0u64; MASK_WORDS];
     mask[cpu / 64] = 1u64 << (cpu % 64);
+    // SAFETY: plain FFI with no pointee lifetime past the call — the mask
+    // is a live stack array whose exact byte size is passed alongside it,
+    // and the kernel only reads it; pid 0 targets the calling thread.
     unsafe { sched_setaffinity(0, std::mem::size_of_val(&mask), mask.as_ptr()) == 0 }
 }
 

@@ -170,7 +170,7 @@ struct ServeBenchReport {
 
 fn median_idx(xs: &[f64]) -> usize {
     let mut idx: Vec<usize> = (0..xs.len()).collect();
-    idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).unwrap());
+    idx.sort_by(|&a, &b| xs[a].total_cmp(&xs[b]));
     idx[xs.len() / 2]
 }
 
@@ -191,16 +191,15 @@ fn bench_config(
     deployed: &[DeployedModel],
     models: &[String],
     inputs: &[Vec<i8>],
-) -> WorkerConfigRow {
+) -> Result<WorkerConfigRow, Box<dyn std::error::Error>> {
     let registry = Registry::new();
     for d in deployed {
-        registry.register(d.clone());
+        registry.deploy(d.clone())?;
     }
     let opts = ServeOptions::builder()
         .max_batch(MAX_BATCH)
         .workers(workers)
-        .build()
-        .expect("bench options are valid");
+        .build()?;
     let gateway = Gateway::start(registry, opts);
 
     // Warm-up: page in code and size per-model scratches on every shard.
@@ -242,7 +241,7 @@ fn bench_config(
         r.latency_p99_ms,
         r.mean_batch_size
     );
-    WorkerConfigRow {
+    Ok(WorkerConfigRow {
         workers,
         intra_batch_threads: 1,
         images_per_sec_cv: coeff_of_variation(&per_rep),
@@ -272,7 +271,7 @@ fn bench_config(
         rollbacks: stats.rollbacks,
         disagreement_rate: stats.disagreement_rate,
         per_rep_images_per_sec: per_rep,
-    }
+    })
 }
 
 /// Informational probe of the shadow path's cost and signal: one worker,
@@ -282,17 +281,16 @@ fn shadow_probe(
     deployed: &[DeployedModel],
     models: &[String],
     inputs: &[Vec<i8>],
-) -> (f64, u64, f64) {
+) -> Result<(f64, u64, f64), Box<dyn std::error::Error>> {
     let registry = Registry::new();
     for d in deployed {
-        registry.register(d.clone());
+        registry.deploy(d.clone())?;
     }
     let opts = ServeOptions::builder()
         .max_batch(MAX_BATCH)
         .workers(1)
         .shadow_rate(4)
-        .build()
-        .expect("probe options are valid");
+        .build()?;
     let gateway = Gateway::start(registry, opts);
     let report = run_closed_loop(
         &gateway,
@@ -315,14 +313,14 @@ fn shadow_probe(
         "shadow probe (rate 4): {:.0} img/s, {} shadow runs, disagreement {:.4}",
         report.images_per_sec, stats.shadow_runs, stats.disagreement_rate
     );
-    (
+    Ok((
         report.images_per_sec,
         stats.shadow_runs,
         stats.disagreement_rate,
-    )
+    ))
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("== BENCH_serve: closed-loop throughput of the ataman-serve fleet ==");
     let mut cfg = cifar10sim::DatasetConfig::paper_default();
     cfg.n_train = 512;
@@ -340,7 +338,7 @@ fn main() {
 
     // Full pipeline → deployment contract for the approximate design.
     let fw = Framework::analyze(&model, &data, AtamanConfig::quick());
-    let dep = fw.deploy(0.25).expect("a quick design deploys");
+    let dep = fw.deploy(0.25)?;
     println!(
         "deployed {} @ taus {:?}: {:.2} ms / {:.3} mJ on-board",
         fw.model_name(),
@@ -411,14 +409,20 @@ fn main() {
     let rows: Vec<WorkerConfigRow> = WORKER_CONFIGS
         .iter()
         .map(|&w| bench_config(w, &deployed, &models, &inputs))
-        .collect();
+        .collect::<Result<_, _>>()?;
     let wall_seconds = t0.elapsed().as_secs_f64() / WORKER_CONFIGS.len() as f64;
 
-    let (probe_ips, probe_runs, probe_disagreement) = shadow_probe(&deployed, &models, &inputs);
+    let (probe_ips, probe_runs, probe_disagreement) = shadow_probe(&deployed, &models, &inputs)?;
 
     let base = &rows[0];
-    let w2 = rows.iter().find(|r| r.workers == 2).expect("w2 row");
-    let w4 = rows.iter().find(|r| r.workers == 4).expect("w4 row");
+    let w2 = rows
+        .iter()
+        .find(|r| r.workers == 2)
+        .ok_or("missing w2 row")?;
+    let w4 = rows
+        .iter()
+        .find(|r| r.workers == 4)
+        .ok_or("missing w4 row")?;
     let scaling_w4 = w4.images_per_sec / base.images_per_sec;
     println!(
         "scaling 1→4 workers: {scaling_w4:.2}× ({:.0}% efficiency){}",
@@ -481,7 +485,8 @@ fn main() {
         approx_contract_latency_ms,
     };
 
-    let json = serde_json::to_string_pretty(&out).expect("report serialization");
-    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+    let json = serde_json::to_string_pretty(&out)?;
+    std::fs::write("BENCH_serve.json", &json)?;
     println!("wrote BENCH_serve.json");
+    Ok(())
 }

@@ -86,6 +86,7 @@ pub use imp::{arm, arm_at, arm_plan, check, check_at, disarm, fires, hits, reset
 #[cfg(feature = "failpoints")]
 mod imp {
     use super::Fault;
+    use crate::sync::lock_unpoisoned;
     use rand::{rngs::StdRng, Rng, SeedableRng};
     use std::collections::BTreeMap;
     use std::sync::Mutex;
@@ -112,7 +113,7 @@ mod imp {
             (0.0..=1.0).contains(&probability),
             "probability must be in [0, 1]"
         );
-        SITES.lock().unwrap().insert(
+        lock_unpoisoned(&SITES).insert(
             site.to_string(),
             Armed {
                 fault,
@@ -159,28 +160,28 @@ mod imp {
 
     /// Disarm one site (its counters are discarded).
     pub fn disarm(site: &str) {
-        SITES.lock().unwrap().remove(site);
+        lock_unpoisoned(&SITES).remove(site);
     }
 
     /// Disarm every site.
     pub fn reset() {
-        SITES.lock().unwrap().clear();
+        lock_unpoisoned(&SITES).clear();
     }
 
     /// Times `site` was hit since arming (0 when unarmed).
     pub fn hits(site: &str) -> u64 {
-        SITES.lock().unwrap().get(site).map_or(0, |a| a.hits)
+        lock_unpoisoned(&SITES).get(site).map_or(0, |a| a.hits)
     }
 
     /// Times `site` fired since arming (0 when unarmed).
     pub fn fires(site: &str) -> u64 {
-        SITES.lock().unwrap().get(site).map_or(0, |a| a.fires)
+        lock_unpoisoned(&SITES).get(site).map_or(0, |a| a.fires)
     }
 
     /// Called by the instrumented sites: decide (deterministically per
     /// hit ordinal) whether the armed fault fires on this hit.
     pub fn check(site: &str) -> Option<Fault> {
-        let mut sites = SITES.lock().unwrap();
+        let mut sites = lock_unpoisoned(&SITES);
         let armed = sites.get_mut(site)?;
         armed.hits += 1;
         if armed.remaining == Some(0) {

@@ -269,8 +269,8 @@ impl Gateway {
             let retune_opts = opts.retune.clone();
             std::thread::spawn(move || loop {
                 {
-                    let stop = ctl.0.lock().expect("control lock");
-                    let (stop, _) = ctl.1.wait_timeout(stop, interval).expect("control lock");
+                    let stop = crate::sync::lock_unpoisoned(&ctl.0);
+                    let (stop, _) = crate::sync::wait_timeout_unpoisoned(&ctl.1, stop, interval);
                     if *stop {
                         return;
                     }
@@ -519,7 +519,7 @@ impl Gateway {
     }
 
     /// The registry being served (live: rollouts via
-    /// [`Registry::register`] take effect for subsequent batches).
+    /// [`Registry::deploy`] take effect for subsequent batches).
     pub fn registry(&self) -> &Registry {
         &self.registry
     }
@@ -632,7 +632,7 @@ impl Gateway {
         // Stop the control thread first: a promotion racing the worker
         // join would be harmless but pointless.
         if let Some(h) = self.controller.take() {
-            *self.ctl.0.lock().expect("control lock") = true;
+            *crate::sync::lock_unpoisoned(&self.ctl.0) = true;
             self.ctl.1.notify_all();
             let _ = h.join();
         }
@@ -705,7 +705,7 @@ mod tests {
         let q = dm.model.clone();
         let masks = dm.masks.clone();
         let reg = Registry::new();
-        reg.register(dm);
+        reg.deploy(dm).unwrap();
         let gw = Gateway::start(
             reg,
             lenient().max_batch(4).workers(1).build().expect("opts"),
@@ -747,7 +747,7 @@ mod tests {
         let q = dm.model.clone();
         let masks = dm.masks.clone();
         let reg = Registry::new();
-        reg.register(dm);
+        reg.deploy(dm).unwrap();
         let gw = Gateway::start(
             reg,
             lenient()
@@ -791,7 +791,7 @@ mod tests {
         let q = quantize_model(&m, &ranges);
         let n_convs = q.conv_indices().len();
         let reg = Registry::new();
-        reg.register(DeployedModel::from_parts(
+        reg.deploy(DeployedModel::from_parts(
             "m",
             q,
             quantize::CompiledMasks::none(n_convs),
@@ -801,7 +801,8 @@ mod tests {
                 energy_mj: 0.001,
                 flash_bytes: 1024,
             },
-        ));
+        ))
+        .unwrap();
         let gw = Gateway::start(
             reg,
             lenient().workers(1).shadow_rate(2).build().expect("opts"),
@@ -837,7 +838,7 @@ mod tests {
         let (dm, data) = deployed("m", 0.0, 81);
         let (cand, _) = deployed("cand", 0.01, 81);
         let reg = Registry::new();
-        reg.register(dm);
+        reg.deploy(dm).unwrap();
         let gw = Gateway::start(
             reg,
             // Park the background controller so this test owns every
@@ -889,7 +890,7 @@ mod tests {
         let (dm, data) = deployed("m", 0.0, 80);
         let (cand, _) = deployed("cand", 0.0, 80);
         let reg = Registry::new();
-        reg.register(dm);
+        reg.deploy(dm).unwrap();
         let gw = Gateway::start(
             reg,
             lenient()
@@ -945,8 +946,8 @@ mod tests {
         let (qa, qb) = (a.model.clone(), b.model.clone());
         let (ma, mb) = (a.masks.clone(), b.masks.clone());
         let reg = Registry::new();
-        reg.register(a);
-        reg.register(b);
+        reg.deploy(a).unwrap();
+        reg.deploy(b).unwrap();
         let gw = Gateway::start(reg, lenient().build().expect("opts"));
         let img = data.test.image(0);
         let ra = gw.submit(Request::image("a", img)).expect("a");
@@ -968,7 +969,7 @@ mod tests {
     fn overload_sheds_with_queue_full_and_reports_peak() {
         let (dm, data) = deployed("m", 0.0, 96);
         let reg = Registry::new();
-        reg.register(dm);
+        reg.deploy(dm).unwrap();
         let gw = Gateway::start(
             reg,
             lenient()
@@ -1015,7 +1016,7 @@ mod tests {
         let q = quantize_model(&m, &ranges);
         let n_convs = q.conv_indices().len();
         let reg = Registry::new();
-        reg.register(DeployedModel::from_parts(
+        reg.deploy(DeployedModel::from_parts(
             "gap",
             q.clone(),
             quantize::CompiledMasks::none(n_convs),
@@ -1025,7 +1026,8 @@ mod tests {
                 energy_mj: 0.001,
                 flash_bytes: 1024,
             },
-        ));
+        ))
+        .unwrap();
         let gw = Gateway::start(
             reg,
             lenient().max_batch(3).workers(1).build().expect("opts"),
@@ -1061,7 +1063,7 @@ mod tests {
         let q = quantize_model(&m, &ranges);
         let n_convs = q.conv_indices().len();
         let reg = Registry::new();
-        reg.register(DeployedModel::from_parts(
+        reg.deploy(DeployedModel::from_parts(
             "resnet",
             q.clone(),
             quantize::CompiledMasks::none(n_convs),
@@ -1071,7 +1073,8 @@ mod tests {
                 energy_mj: 0.001,
                 flash_bytes: 1024,
             },
-        ));
+        ))
+        .unwrap();
         let gw = Gateway::start(
             reg,
             lenient().max_batch(3).workers(1).build().expect("opts"),
@@ -1100,7 +1103,7 @@ mod tests {
     fn closed_admission_is_a_typed_error_not_a_silent_drop() {
         let (dm, data) = deployed("m", 0.0, 98);
         let reg = Registry::new();
-        reg.register(dm);
+        reg.deploy(dm).unwrap();
         let gw = Gateway::start(reg, lenient().build().expect("opts"));
         // Before closing, requests serve normally.
         let rx = gw
@@ -1121,7 +1124,7 @@ mod tests {
     fn unknown_model_is_refused_at_admission() {
         let (dm, data) = deployed("m", 0.0, 94);
         let reg = Registry::new();
-        reg.register(dm);
+        reg.deploy(dm).unwrap();
         let gw = Gateway::start(reg, ServeOptions::default());
         let err = gw
             .submit(Request::image("nope", data.test.image(0)))
@@ -1135,7 +1138,7 @@ mod tests {
         let (dm, data) = deployed("m", 0.0, 95);
         let expected = dm.model.input_shape.item_len();
         let reg = Registry::new();
-        reg.register(dm);
+        reg.deploy(dm).unwrap();
         let gw = Gateway::start(reg, lenient().build().expect("opts"));
         let err = gw
             .submit(Request::quantized("m", vec![0i8; 7]))
@@ -1161,7 +1164,7 @@ mod tests {
         // (batch popped before close, replies sent after).
         let (dm, data) = deployed("m", 0.0, 90);
         let reg = Registry::new();
-        reg.register(dm);
+        reg.deploy(dm).unwrap();
         let gw = Gateway::start(
             reg,
             // This test pins the drain contract, not expiry: debug builds
@@ -1197,7 +1200,7 @@ mod tests {
     fn replies_carry_queued_and_exec_breakdown() {
         let (dm, data) = deployed("m", 0.0, 89);
         let reg = Registry::new();
-        reg.register(dm);
+        reg.deploy(dm).unwrap();
         let gw = Gateway::start(reg, lenient().build().expect("opts"));
         let reply = served(
             gw.submit(Request::image("m", data.test.image(0)))
@@ -1224,7 +1227,7 @@ mod tests {
         // needed. Exercises the *per-request* deadline override.
         let (dm, data) = deployed("m", 0.0, 88);
         let reg = Registry::new();
-        reg.register(dm);
+        reg.deploy(dm).unwrap();
         let gw = Gateway::start(reg, ServeOptions::default());
         let rxs: Vec<_> = (0..4)
             .map(|i| {
@@ -1249,7 +1252,7 @@ mod tests {
     fn contract_derived_deadlines_respect_slack_and_floor() {
         let (dm, data) = deployed("m", 0.0, 87);
         let reg = Registry::new();
-        reg.register(dm);
+        reg.deploy(dm).unwrap();
         // Contract latency 0.1 ms × slack 8 = 0.8 ms, floored at the
         // minimum: the floor keeps normally-served requests from expiring.
         // (Floor raised well above the 50 ms default so a loaded debug
@@ -1282,7 +1285,7 @@ mod tests {
         let (dm, data) = deployed("m", 0.0, 86);
         let (replacement, _) = deployed("m", 0.3, 86);
         let reg = Registry::new();
-        reg.register(dm);
+        reg.deploy(dm).unwrap();
         let gw = Gateway::start(reg, lenient().build().expect("opts"));
         served(
             gw.submit(Request::image("m", data.test.image(0)))
@@ -1290,7 +1293,8 @@ mod tests {
         );
         let old = gw
             .registry()
-            .register(replacement)
+            .deploy(replacement)
+            .unwrap()
             .expect("previous design");
         assert_eq!(old.name, "m");
         served(
@@ -1310,8 +1314,8 @@ mod tests {
         let (hot, data) = deployed("hot", 0.0, 84);
         let (cold, _) = deployed("cold", 0.05, 85);
         let reg = Registry::new();
-        reg.register(hot);
-        reg.register(cold);
+        reg.deploy(hot).unwrap();
+        reg.deploy(cold).unwrap();
         let workers = 4usize;
         let gw = Gateway::start(
             reg,
@@ -1365,7 +1369,7 @@ mod tests {
     fn replica_pinned_model_only_lands_on_its_placement() {
         let (dm, data) = deployed("pinned", 0.0, 83);
         let reg = Registry::new();
-        reg.register(dm.with_replicas(2));
+        reg.deploy(dm.with_replicas(2)).unwrap();
         let workers = 4usize;
         let gw = Gateway::start(
             reg,

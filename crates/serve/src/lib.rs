@@ -61,6 +61,10 @@
 //! consumers — so every kernel improvement multiplies across both the
 //! design-space search and the serving path.
 
+// The workspace denies `unsafe_code`; CPU pinning is the one serve-side
+// module allowed back in (raw `sched_setaffinity`), with a `SAFETY:`
+// comment per site (enforced by `repo_lint`).
+#[allow(unsafe_code)]
 pub mod affinity;
 pub mod canary;
 pub mod coordinator;
@@ -73,6 +77,7 @@ pub mod queue;
 pub mod registry;
 pub mod request;
 pub mod retune;
+pub(crate) mod sync;
 pub mod worker;
 
 pub use canary::{
@@ -88,6 +93,6 @@ pub use queue::{
     AdmissionQueue, Batch, Crashed, Expired, Outcome, Priority, PushError, QueueClosed, QueueFull,
     QueueShed, QueuedRequest, Reply, Shed, Unserved, DEFAULT_MAX_DEPTH,
 };
-pub use registry::{ActiveCanary, CanaryError, CostContract, DeployedModel, Registry};
+pub use registry::{ActiveCanary, CanaryError, CostContract, DeployError, DeployedModel, Registry};
 pub use request::Request;
 pub use retune::{RetuneError, RetuneOptions, RetuneOutcome};

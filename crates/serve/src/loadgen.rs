@@ -257,7 +257,10 @@ pub fn run_closed_loop(gateway: &Gateway, inputs: &[Vec<i8>], cfg: &LoadGenConfi
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("client"))
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+            })
             .collect()
     });
     let wall_seconds = t0.elapsed().as_secs_f64();
@@ -286,7 +289,7 @@ pub fn run_closed_loop(gateway: &Gateway, inputs: &[Vec<i8>], cfg: &LoadGenConfi
         totals.closed += tally.closed;
         totals.dropped_replies += tally.dropped_replies;
     }
-    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    latencies.sort_by(f64::total_cmp);
     queued.sort_unstable();
     execs.sort_unstable();
     let total = latencies.len();
@@ -352,7 +355,7 @@ mod tests {
             .map(|i| q.quantize_input(data.test.image(i)))
             .collect();
         let reg = Registry::new();
-        reg.register(DeployedModel::from_parts(
+        reg.deploy(DeployedModel::from_parts(
             "m",
             q,
             CompiledMasks::none(n_convs),
@@ -362,7 +365,8 @@ mod tests {
                 energy_mj: 0.001,
                 flash_bytes: 1,
             },
-        ));
+        ))
+        .unwrap();
         let gateway = crate::Gateway::start(
             reg,
             ServeOptions::builder()
@@ -431,7 +435,7 @@ mod tests {
             .map(|i| q.quantize_input(data.test.image(i)))
             .collect();
         let reg = Registry::new();
-        reg.register(DeployedModel::from_parts(
+        reg.deploy(DeployedModel::from_parts(
             "m",
             q,
             CompiledMasks::none(n_convs),
@@ -441,7 +445,8 @@ mod tests {
                 energy_mj: 0.001,
                 flash_bytes: 1,
             },
-        ));
+        ))
+        .unwrap();
         let gateway = crate::Gateway::start(
             reg,
             ServeOptions::builder()
@@ -489,7 +494,7 @@ mod tests {
         let n_convs = q.conv_indices().len();
         let inputs = vec![q.quantize_input(data.test.image(0))];
         let reg = Registry::new();
-        reg.register(DeployedModel::from_parts(
+        reg.deploy(DeployedModel::from_parts(
             "m",
             q,
             CompiledMasks::none(n_convs),
@@ -499,7 +504,8 @@ mod tests {
                 energy_mj: 0.001,
                 flash_bytes: 1,
             },
-        ));
+        ))
+        .unwrap();
         // Batch-class traffic against a high-water mark of 1: four clients
         // racing one slot shed constantly, and a 2-attempt budget makes
         // the client-side give-up path fire without any fault injection.

@@ -19,6 +19,7 @@
 //! replay-buffer `Mutex` (touched only on disagreement — off the
 //! agreeing-shadow and non-shadow paths entirely).
 
+use crate::sync::{lock_unpoisoned, read_unpoisoned, write_unpoisoned};
 use serde::Serialize;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -131,10 +132,10 @@ impl Monitor {
 
     /// The stats cell for `model`, created on first touch.
     pub(crate) fn stats(&self, model: &str) -> Arc<ModelStats> {
-        if let Some(s) = self.models.read().unwrap().get(model) {
+        if let Some(s) = read_unpoisoned(&self.models).get(model) {
             return Arc::clone(s);
         }
-        let mut models = self.models.write().unwrap();
+        let mut models = write_unpoisoned(&self.models);
         Arc::clone(models.entry(model.to_string()).or_default())
     }
 
@@ -147,7 +148,7 @@ impl Monitor {
         if disagreed {
             stats.shadow_disagreements.fetch_add(1, Ordering::Relaxed);
             if let Some(sample) = sample {
-                let mut replay = self.replay.lock().unwrap();
+                let mut replay = lock_unpoisoned(&self.replay);
                 let buf = replay.entry(model.to_string()).or_default();
                 if buf.len() >= self.replay_cap {
                     buf.pop_front();
@@ -168,18 +169,14 @@ impl Monitor {
 
     /// Number of replay samples currently buffered for `model`.
     pub(crate) fn replay_len(&self, model: &str) -> usize {
-        self.replay
-            .lock()
-            .unwrap()
+        lock_unpoisoned(&self.replay)
             .get(model)
             .map_or(0, VecDeque::len)
     }
 
     /// Drain the replay buffer for `model` (retune consumes it whole).
     pub(crate) fn drain_replay(&self, model: &str) -> Vec<ReplaySample> {
-        self.replay
-            .lock()
-            .unwrap()
+        lock_unpoisoned(&self.replay)
             .get_mut(model)
             .map(|buf| buf.drain(..).collect())
             .unwrap_or_default()
@@ -220,7 +217,7 @@ impl Monitor {
 
     /// Fleet-wide shadow totals: (runs, disagreements, failures).
     pub(crate) fn shadow_totals(&self) -> (u64, u64, u64) {
-        let models = self.models.read().unwrap();
+        let models = read_unpoisoned(&self.models);
         let mut runs = 0;
         let mut dis = 0;
         let mut fails = 0;

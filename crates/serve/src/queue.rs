@@ -37,6 +37,7 @@
 //! `Admitted → {Ok, Expired, Shed, WorkerCrashed, Closed}` (see
 //! DESIGN.md, "Failure domains and the request lifecycle").
 
+use crate::sync::{lock_unpoisoned, wait_timeout_unpoisoned, wait_unpoisoned};
 use std::collections::VecDeque;
 use std::sync::mpsc::Sender;
 use std::sync::{Condvar, Mutex};
@@ -371,7 +372,7 @@ impl AdmissionQueue {
                 max_depth: self.max_depth,
             }));
         }
-        let mut st = self.state.lock().unwrap();
+        let mut st = lock_unpoisoned(&self.state);
         if st.closed {
             return Err(PushError::Closed(QueueClosed { request }));
         }
@@ -381,9 +382,9 @@ impl AdmissionQueue {
             // youngest batch-class waiter (it resolves to Outcome::Shed —
             // never a dropped channel) and take its slot.
             if request.priority == Priority::Interactive {
-                if let Some(pos) = st.queue.iter().rposition(|r| r.priority == Priority::Batch) {
-                    let victim = st.queue.remove(pos).expect("position just found");
-                    if pos == 0 {
+                let pos = st.queue.iter().rposition(|r| r.priority == Priority::Batch);
+                if let Some(victim) = pos.and_then(|p| st.queue.remove(p)) {
+                    if pos == Some(0) {
                         // The front itself was evicted: its successor's
                         // coalesce window starts now.
                         st.front_since = Some(Instant::now());
@@ -426,17 +427,17 @@ impl AdmissionQueue {
 
     /// Requests currently waiting.
     pub fn len(&self) -> usize {
-        self.state.lock().unwrap().queue.len()
+        lock_unpoisoned(&self.state).queue.len()
     }
 
     /// Largest depth ever observed (until now).
     pub fn peak_depth(&self) -> usize {
-        self.state.lock().unwrap().peak
+        lock_unpoisoned(&self.state).peak
     }
 
     /// Batch-class requests evicted by interactive pushes (until now).
     pub fn shed_evicted(&self) -> u64 {
-        self.state.lock().unwrap().shed_evicted
+        lock_unpoisoned(&self.state).shed_evicted
     }
 
     /// True when no request is waiting.
@@ -448,7 +449,7 @@ impl AdmissionQueue {
     /// calls return `None` once drained, pushes reject with
     /// [`PushError::Closed`]. Parked waiters wake promptly.
     pub fn close(&self) {
-        self.state.lock().unwrap().closed = true;
+        lock_unpoisoned(&self.state).closed = true;
         self.cv.notify_all();
     }
 
@@ -480,11 +481,11 @@ impl AdmissionQueue {
         margin: Duration,
     ) -> Option<Batch> {
         assert!(max_batch >= 1, "max_batch must be at least 1");
-        let mut st = self.state.lock().unwrap();
+        let mut st = lock_unpoisoned(&self.state);
         loop {
             if let Some(front) = st.queue.front() {
                 if st.closed || window.is_zero() {
-                    return Some(Self::coalesce(&mut st, max_batch));
+                    return Self::coalesce(&mut st, max_batch);
                 }
                 let run = {
                     let model = &front.model;
@@ -497,51 +498,52 @@ impl AdmissionQueue {
                 if run >= max_batch || run < st.queue.len() {
                     // Full — or blocked: a different model is queued
                     // behind the run, so it can never grow. Ship now.
-                    return Some(Self::coalesce(&mut st, max_batch));
+                    return Self::coalesce(&mut st, max_batch);
                 }
-                let front = st.queue.front().expect("non-empty");
+                let (submitted, deadline) = match st.queue.front() {
+                    Some(f) => (f.submitted, f.deadline),
+                    None => continue,
+                };
                 // Close at window expiry or when deadline slack runs low,
                 // whichever comes first. The window runs from when this
                 // run reached the front, not from its admission — a
                 // request that waited behind another model's batch gets a
                 // full window once it is actually poppable.
                 let now = Instant::now();
-                let run_front_at = st.front_since.unwrap_or(front.submitted);
+                let run_front_at = st.front_since.unwrap_or(submitted);
                 let window_close = run_front_at + window;
-                let slack_close = front.deadline.checked_sub(margin).unwrap_or(now);
+                let slack_close = deadline.checked_sub(margin).unwrap_or(now);
                 let close_at = window_close.min(slack_close);
                 if now >= close_at {
-                    return Some(Self::coalesce(&mut st, max_batch));
+                    return Self::coalesce(&mut st, max_batch);
                 }
-                let (g, _timeout) = self.cv.wait_timeout(st, close_at - now).unwrap();
+                let (g, _timeout) = wait_timeout_unpoisoned(&self.cv, st, close_at - now);
                 st = g;
             } else {
                 if st.closed {
                     return None;
                 }
-                st = self.cv.wait(st).unwrap();
+                st = wait_unpoisoned(&self.cv, st);
             }
         }
     }
 
     /// Non-blocking pop (tests and opportunistic drains).
     pub fn try_next_batch(&self, max_batch: usize) -> Option<Batch> {
-        let mut st = self.state.lock().unwrap();
-        if st.queue.is_empty() {
-            return None;
-        }
-        Some(Self::coalesce(&mut st, max_batch))
+        let mut st = lock_unpoisoned(&self.state);
+        Self::coalesce(&mut st, max_batch)
     }
 
-    /// Pop the front run of same-model requests, up to `max_batch`.
-    fn coalesce(st: &mut QueueState, max_batch: usize) -> Batch {
+    /// Pop the front run of same-model requests, up to `max_batch`;
+    /// `None` on an empty queue.
+    fn coalesce(st: &mut QueueState, max_batch: usize) -> Option<Batch> {
         assert!(max_batch >= 1, "max_batch must be at least 1");
-        let model = st.queue.front().expect("non-empty").model.clone();
+        let model = st.queue.front()?.model.clone();
         let mut requests = Vec::new();
         while requests.len() < max_batch {
             match st.queue.front() {
                 Some(r) if r.model == model => {
-                    requests.push(st.queue.pop_front().expect("front exists"));
+                    requests.extend(st.queue.pop_front());
                 }
                 _ => break,
             }
@@ -549,7 +551,7 @@ impl AdmissionQueue {
         // Whatever is now at the front just became poppable: its coalesce
         // window starts here.
         st.front_since = (!st.queue.is_empty()).then(Instant::now);
-        Batch { model, requests }
+        Some(Batch { model, requests })
     }
 }
 

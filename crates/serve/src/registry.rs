@@ -2,13 +2,14 @@
 //!
 //! The registry is **shared and live**: workers and the submit path read
 //! it concurrently while a rollout replaces entries in place
-//! ([`Registry::register`] takes `&self`). Entries are `Arc`-swapped —
+//! ([`Registry::deploy`] takes `&self`). Entries are `Arc`-swapped —
 //! a reader that looked up a design keeps a complete, immutable snapshot
 //! of it for the whole batch even if a rollout replaces the name
 //! mid-flight; there is no partially-updated state to observe.
 
 use crate::canary::{CanaryConfig, CanaryEvent, CanaryOutcome, RollbackReason};
-use quantize::{CompiledMasks, QuantModel};
+use crate::sync::{read_unpoisoned, write_unpoisoned};
+use quantize::{CompiledMasks, ExecPlan, PlanError, QuantModel};
 use serde::{Deserialize, Serialize};
 use signif::{SignificanceMap, TauAssignment};
 use std::collections::HashMap;
@@ -136,6 +137,53 @@ impl DeployedModel {
     }
 }
 
+/// Why a deployment was refused at the registry door: the design failed
+/// the static checks every worker would otherwise trust blindly. A
+/// rejected deploy is a typed error on the control plane; the alternative
+/// is a worker panic (and a supervised restart storm) mid-batch.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeployError {
+    /// The model's lowered execution plan failed static verification
+    /// ([`quantize::plan::verify`]) — layout chaining, stash lifetimes,
+    /// scratch extents, checkpoint ranges or compiled delta streams.
+    PlanInvalid(PlanError),
+    /// The compiled mask set's arity disagrees with the model's conv count
+    /// — the masks were compiled for a different architecture.
+    MaskArity {
+        /// Per-conv mask entries supplied.
+        masks: usize,
+        /// Conv segments the lowered plan actually has.
+        convs: usize,
+    },
+}
+
+impl std::fmt::Display for DeployError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeployError::PlanInvalid(e) => write!(f, "execution plan rejected: {e}"),
+            DeployError::MaskArity { masks, convs } => write!(
+                f,
+                "compiled mask set covers {masks} convs but the model lowers to {convs}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DeployError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DeployError::PlanInvalid(e) => Some(e),
+            DeployError::MaskArity { .. } => None,
+        }
+    }
+}
+
+impl From<PlanError> for DeployError {
+    fn from(e: PlanError) -> Self {
+        DeployError::PlanInvalid(e)
+    }
+}
+
 /// Why a canary deployment was refused.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CanaryError {
@@ -148,6 +196,9 @@ pub enum CanaryError {
     /// Candidate and primary disagree on input shape — a canary must be
     /// substitutable for its primary request-for-request.
     InputShapeMismatch,
+    /// The candidate failed the same static verification a primary deploy
+    /// runs ([`Registry::deploy`]).
+    CandidateInvalid(DeployError),
 }
 
 impl std::fmt::Display for CanaryError {
@@ -163,11 +214,19 @@ impl std::fmt::Display for CanaryError {
             CanaryError::InputShapeMismatch => {
                 write!(f, "canary input shape differs from its primary")
             }
+            CanaryError::CandidateInvalid(e) => write!(f, "canary candidate rejected: {e}"),
         }
     }
 }
 
-impl std::error::Error for CanaryError {}
+impl std::error::Error for CanaryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CanaryError::CandidateInvalid(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 /// An in-flight canary: the candidate's versioned name plus the
 /// thresholds it is evaluated under.
@@ -189,7 +248,7 @@ pub struct ActiveCanary {
 
 /// Name-keyed registry of deployed designs, shared by the server workers
 /// and the submit path. Reads take a shared lock and clone an `Arc`;
-/// rollouts ([`Registry::register`]) swap the `Arc` under the write lock —
+/// rollouts ([`Registry::deploy`]) swap the `Arc` under the write lock —
 /// readers always observe a complete design, before or after, never a mix.
 ///
 /// Canary deployments live in a separate **versioned** table: a candidate
@@ -223,14 +282,27 @@ impl Registry {
         Self::default()
     }
 
-    /// Register a deployed design; returns the previous design under the
-    /// same name, if any (rollout replaces in place, concurrently with
-    /// serving — in-flight batches finish on the snapshot they looked up).
-    pub fn register(&self, model: DeployedModel) -> Option<Arc<DeployedModel>> {
-        self.entries
-            .write()
-            .unwrap()
-            .insert(model.name.clone(), Arc::new(model))
+    /// Deploy a design: statically verify it (the model's lowered
+    /// [`ExecPlan`] passes [`quantize::plan::verify`], the compiled mask
+    /// set matches the plan's conv arity, and every compiled stream stays
+    /// inside its conv's extents), then install it. Returns the previous
+    /// design under the same name, if any (rollout replaces in place,
+    /// concurrently with serving — in-flight batches finish on the
+    /// snapshot they looked up).
+    ///
+    /// Verification runs **once per deploy** on the control plane — the
+    /// serving hot path never re-checks. A rejected design is a typed
+    /// [`DeployError`]; nothing is installed.
+    pub fn deploy(&self, model: DeployedModel) -> Result<Option<Arc<DeployedModel>>, DeployError> {
+        verify_deployable(&model)?;
+        Ok(self.install(model))
+    }
+
+    /// Install a design without re-verifying — the shared tail of
+    /// [`Registry::deploy`] and canary promotion (whose candidate was
+    /// verified when it entered the versioned table).
+    fn install(&self, model: DeployedModel) -> Option<Arc<DeployedModel>> {
+        write_unpoisoned(&self.entries).insert(model.name.clone(), Arc::new(model))
     }
 
     /// Look up a deployed design (an immutable snapshot). Resolves both
@@ -238,10 +310,10 @@ impl Registry {
     /// ones, so a request admitted under a canary name always executes
     /// even if the canary rolled back while it queued.
     pub fn get(&self, name: &str) -> Option<Arc<DeployedModel>> {
-        if let Some(e) = self.entries.read().unwrap().get(name) {
+        if let Some(e) = read_unpoisoned(&self.entries).get(name) {
             return Some(Arc::clone(e));
         }
-        self.versions.read().unwrap().get(name).cloned()
+        read_unpoisoned(&self.versions).get(name).cloned()
     }
 
     /// The cheapest deployed design sharing `than`'s family with a
@@ -250,9 +322,7 @@ impl Registry {
     /// the family has no cheaper member.
     pub fn cheaper_same_family(&self, than: &DeployedModel) -> Option<Arc<DeployedModel>> {
         let want_len = than.model.input_shape.item_len();
-        self.entries
-            .read()
-            .unwrap()
+        read_unpoisoned(&self.entries)
             .values()
             .filter(|e| {
                 e.family == than.family
@@ -274,14 +344,14 @@ impl Registry {
 
     /// Registered names, sorted (deterministic listings).
     pub fn names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self.entries.read().unwrap().keys().cloned().collect();
+        let mut names: Vec<String> = read_unpoisoned(&self.entries).keys().cloned().collect();
         names.sort();
         names
     }
 
     /// Number of registered designs.
     pub fn len(&self) -> usize {
-        self.entries.read().unwrap().len()
+        read_unpoisoned(&self.entries).len()
     }
 
     /// True when nothing is registered.
@@ -320,19 +390,19 @@ impl Registry {
         if !(cfg.traffic_fraction > 0.0 && cfg.traffic_fraction <= 1.0) {
             return Err(CanaryError::InvalidTrafficFraction(cfg.traffic_fraction));
         }
-        let base = self
-            .entries
-            .read()
-            .unwrap()
+        let base = read_unpoisoned(&self.entries)
             .get(primary)
             .cloned()
             .ok_or_else(|| CanaryError::UnknownModel(primary.to_string()))?;
         if candidate.model.input_shape.item_len() != base.model.input_shape.item_len() {
             return Err(CanaryError::InputShapeMismatch);
         }
+        // A canary serves real traffic: it passes the same static
+        // verification as a primary deploy before any request routes to it.
+        verify_deployable(&candidate).map_err(CanaryError::CandidateInvalid)?;
         // One canary per primary; the lock is held across the occupancy
         // check and the insert so two racing deploys cannot both win.
-        let mut canaries = self.canaries.write().unwrap();
+        let mut canaries = write_unpoisoned(&self.canaries);
         if canaries.contains_key(primary) {
             return Err(CanaryError::CanaryActive(primary.to_string()));
         }
@@ -340,10 +410,7 @@ impl Registry {
         let canary_name = format!("{primary}@v{version}");
         candidate.name = canary_name.clone();
         candidate.family = base.family.clone();
-        self.versions
-            .write()
-            .unwrap()
-            .insert(canary_name.clone(), Arc::new(candidate));
+        write_unpoisoned(&self.versions).insert(canary_name.clone(), Arc::new(candidate));
         canaries.insert(
             primary.to_string(),
             CanaryState {
@@ -366,7 +433,7 @@ impl Registry {
     /// fraction, `None` otherwise. Deterministic — the same id always
     /// lands on the same side of the split, regardless of thread timing.
     pub fn canary_route(&self, primary: &str, id: u64) -> Option<String> {
-        let canaries = self.canaries.read().unwrap();
+        let canaries = read_unpoisoned(&self.canaries);
         let state = canaries.get(primary)?;
         let h = crate::coordinator::fnv1a(&id.to_le_bytes(), 0x5eed);
         let unit = (h >> 11) as f64 / (1u64 << 53) as f64;
@@ -375,10 +442,7 @@ impl Registry {
 
     /// Active canaries (public view).
     pub fn canary_list(&self) -> Vec<ActiveCanary> {
-        let mut list: Vec<ActiveCanary> = self
-            .canaries
-            .read()
-            .unwrap()
+        let mut list: Vec<ActiveCanary> = read_unpoisoned(&self.canaries)
             .iter()
             .map(|(primary, state)| ActiveCanary {
                 model: primary.clone(),
@@ -392,10 +456,7 @@ impl Registry {
 
     /// Active canaries with their thresholds, for the supervisor tick.
     pub(crate) fn canary_states(&self) -> Vec<(String, String, CanaryConfig)> {
-        let mut list: Vec<(String, String, CanaryConfig)> = self
-            .canaries
-            .read()
-            .unwrap()
+        let mut list: Vec<(String, String, CanaryConfig)> = read_unpoisoned(&self.canaries)
             .iter()
             .map(|(p, s)| (p.clone(), s.canary_name.clone(), s.cfg.clone()))
             .collect();
@@ -408,24 +469,24 @@ impl Registry {
     /// in-flight batches finish on their snapshots) and the canary slot
     /// clears. Returns the event, or `None` when no canary is active.
     pub fn promote_canary(&self, primary: &str) -> Option<CanaryEvent> {
-        let state = self.canaries.write().unwrap().remove(primary)?;
+        let state = write_unpoisoned(&self.canaries).remove(primary)?;
         self.active.fetch_sub(1, Ordering::Relaxed);
-        let candidate = self
-            .versions
-            .read()
-            .unwrap()
+        // Versioned entries are append-only, so the candidate is present;
+        // a promotion with no versioned entry cancels rather than panics.
+        let candidate = read_unpoisoned(&self.versions)
             .get(&state.canary_name)
-            .cloned()
-            .expect("versioned entries are append-only");
+            .cloned()?;
         let mut promoted = (*candidate).clone();
         promoted.name = primary.to_string();
-        self.register(promoted);
+        // The candidate was verified when it entered the versioned table:
+        // promotion is a rename, not a re-deploy.
+        self.install(promoted);
         let event = CanaryEvent {
             model: primary.to_string(),
             canary: state.canary_name,
             outcome: CanaryOutcome::Promoted,
         };
-        self.events.write().unwrap().push(event.clone());
+        write_unpoisoned(&self.events).push(event.clone());
         Some(event)
     }
 
@@ -434,21 +495,43 @@ impl Registry {
     /// request already admitted under the canary name still serves.
     /// Returns the event, or `None` when no canary is active.
     pub fn rollback_canary(&self, primary: &str, reason: RollbackReason) -> Option<CanaryEvent> {
-        let state = self.canaries.write().unwrap().remove(primary)?;
+        let state = write_unpoisoned(&self.canaries).remove(primary)?;
         self.active.fetch_sub(1, Ordering::Relaxed);
         let event = CanaryEvent {
             model: primary.to_string(),
             canary: state.canary_name,
             outcome: CanaryOutcome::RolledBack(reason),
         };
-        self.events.write().unwrap().push(event.clone());
+        write_unpoisoned(&self.events).push(event.clone());
         Some(event)
     }
 
     /// Finished canaries (promotions and rollbacks), in completion order.
     pub fn canary_events(&self) -> Vec<CanaryEvent> {
-        self.events.read().unwrap().clone()
+        read_unpoisoned(&self.events).clone()
     }
+}
+
+/// The static checks a design passes before any worker trusts it: lower
+/// the model's execution plan and run the full verifier, then check the
+/// compiled mask set against the plan — per-conv arity and, for every
+/// compiled stream, the delta/bounds/tally contract
+/// ([`ExecPlan::verify_stream`]).
+fn verify_deployable(model: &DeployedModel) -> Result<(), DeployError> {
+    let plan = ExecPlan::lower(&model.model);
+    plan.verify()?;
+    if model.masks.per_conv.len() != plan.n_convs() {
+        return Err(DeployError::MaskArity {
+            masks: model.masks.per_conv.len(),
+            convs: plan.n_convs(),
+        });
+    }
+    for (ordinal, cc) in model.masks.per_conv.iter().enumerate() {
+        if let Some(cc) = cc {
+            plan.verify_stream(ordinal, cc)?;
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -478,26 +561,30 @@ mod tests {
         let n_convs = q.conv_indices().len();
         let reg = Registry::new();
         assert!(reg.is_empty());
-        let old = reg.register(DeployedModel::from_parts(
-            "m",
-            q.clone(),
-            CompiledMasks::none(n_convs),
-            contract(),
-        ));
+        let old = reg
+            .deploy(DeployedModel::from_parts(
+                "m",
+                q.clone(),
+                CompiledMasks::none(n_convs),
+                contract(),
+            ))
+            .unwrap();
         assert!(old.is_none());
         assert_eq!(reg.len(), 1);
         assert!(reg.get("m").is_some());
         assert!(reg.get("missing").is_none());
         // Rollout: replacing returns the previous design.
-        let replaced = reg.register(DeployedModel::from_parts(
-            "m",
-            q,
-            CompiledMasks::none(n_convs),
-            CostContract {
-                cycles: 2000,
-                ..contract()
-            },
-        ));
+        let replaced = reg
+            .deploy(DeployedModel::from_parts(
+                "m",
+                q,
+                CompiledMasks::none(n_convs),
+                CostContract {
+                    cycles: 2000,
+                    ..contract()
+                },
+            ))
+            .unwrap();
         assert_eq!(replaced.expect("old entry").contract.cycles, 1000);
         assert_eq!(reg.get("m").unwrap().contract.cycles, 2000);
         assert_eq!(reg.names(), vec!["m".to_string()]);
@@ -530,11 +617,11 @@ mod tests {
             .with_family("mini")
         };
         let reg = Registry::new();
-        reg.register(mk("mini-exact", 3.0));
-        reg.register(mk("mini-approx", 1.5));
-        reg.register(mk("mini-tiny", 0.8));
+        reg.deploy(mk("mini-exact", 3.0)).unwrap();
+        reg.deploy(mk("mini-approx", 1.5)).unwrap();
+        reg.deploy(mk("mini-tiny", 0.8)).unwrap();
         // Different family: never a degradation target.
-        reg.register(
+        reg.deploy(
             DeployedModel::from_parts(
                 "other",
                 q.clone(),
@@ -545,7 +632,8 @@ mod tests {
                 },
             )
             .with_family("other-family"),
-        );
+        )
+        .unwrap();
         let exact = reg.get("mini-exact").unwrap();
         let target = reg.cheaper_same_family(&exact).expect("cheaper exists");
         assert_eq!(target.name, "mini-tiny");
@@ -580,9 +668,9 @@ mod tests {
         // were registered in (HashMap iteration order is arbitrary).
         for order in [["mini-b", "mini-a"], ["mini-a", "mini-b"]] {
             let reg = Registry::new();
-            reg.register(mk("mini-exact", 3.0));
+            reg.deploy(mk("mini-exact", 3.0)).unwrap();
             for name in order {
-                reg.register(mk(name, 1.5));
+                reg.deploy(mk(name, 1.5)).unwrap();
             }
             let exact = reg.get("mini-exact").unwrap();
             let target = reg.cheaper_same_family(&exact).expect("cheaper exists");
@@ -598,12 +686,13 @@ mod tests {
         let q = quantized();
         let n_convs = q.conv_indices().len();
         let reg = Registry::new();
-        reg.register(DeployedModel::from_parts(
+        reg.deploy(DeployedModel::from_parts(
             "m",
             q.clone(),
             CompiledMasks::none(n_convs),
             contract(),
-        ));
+        ))
+        .unwrap();
         // Guard rails first.
         assert_eq!(
             reg.deploy_canary(
@@ -680,12 +769,13 @@ mod tests {
         let q = quantized();
         let n_convs = q.conv_indices().len();
         let reg = Registry::new();
-        reg.register(DeployedModel::from_parts(
+        reg.deploy(DeployedModel::from_parts(
             "m",
             q.clone(),
             CompiledMasks::none(n_convs),
             contract(),
-        ));
+        ))
+        .unwrap();
         let cand = DeployedModel::from_parts(
             "c",
             q.clone(),
@@ -749,7 +839,7 @@ mod tests {
             )
         };
         let reg = std::sync::Arc::new(Registry::new());
-        reg.register(mk(1));
+        reg.deploy(mk(1)).unwrap();
         std::thread::scope(|s| {
             let readers: Vec<_> = (0..4)
                 .map(|_| {
@@ -775,7 +865,7 @@ mod tests {
                 let reg = reg.clone();
                 s.spawn(move || {
                     for v in 2..200u64 {
-                        reg.register(mk(v));
+                        reg.deploy(mk(v)).unwrap();
                     }
                 })
             };

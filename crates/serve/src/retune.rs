@@ -132,16 +132,26 @@ pub enum RetuneOutcome {
 /// predictions — retune optimizes *agreement with exact*, not against
 /// unknowable true labels.
 fn replay_dataset(samples: &[ReplaySample], item: Shape4) -> Dataset {
-    let n = samples.len();
-    let mut data = Vec::with_capacity(n * item.h * item.w * item.c);
-    let mut labels = Vec::with_capacity(n);
-    for s in samples {
+    let per = item.item_len();
+    let mut data = Vec::with_capacity(samples.len() * per);
+    let mut labels = Vec::with_capacity(samples.len());
+    // A sample that is not exactly one whole image is dropped rather than
+    // silently misaligning every image after it.
+    for s in samples.iter().filter(|s| s.image.len() == per) {
         data.extend_from_slice(&s.image);
         labels.push(s.label);
     }
-    let images = Tensor::from_vec(Shape4::nhwc(n, item.h, item.w, item.c), data)
-        .expect("replay samples carry whole images");
-    Dataset { images, labels }
+    let shape = Shape4::nhwc(labels.len(), item.h, item.w, item.c);
+    match Tensor::from_vec(shape, data) {
+        Ok(images) => Dataset { images, labels },
+        // Unreachable by construction (every retained sample contributed
+        // exactly `per` elements); an empty eval set degrades to a
+        // no-change retune pass instead of a panic.
+        Err(_) => Dataset {
+            images: Tensor::zeros(Shape4::nhwc(0, item.h, item.w, item.c)),
+            labels: Vec::new(),
+        },
+    }
 }
 
 /// One retune pass for `model`: drain the replay buffer, refine τ over
@@ -254,7 +264,7 @@ mod tests {
         };
         let dm = DeployedModel::from_parts("m", q, masks, contract).with_significance(sig, taus);
         let reg = Registry::new();
-        reg.register(dm);
+        reg.deploy(dm).unwrap();
         (reg, data)
     }
 
@@ -292,12 +302,13 @@ mod tests {
         // A deployment without a significance map is typed-refused.
         let entry = reg.get("m").unwrap();
         let n_convs = entry.model.conv_indices().len();
-        reg.register(DeployedModel::from_parts(
+        reg.deploy(DeployedModel::from_parts(
             "bare",
             (*entry.model).clone(),
             CompiledMasks::none(n_convs),
             entry.contract.clone(),
-        ));
+        ))
+        .unwrap();
         assert_eq!(
             propose(&reg, &monitor, "bare", &opts),
             Err(RetuneError::NoSignificance("bare".into()))

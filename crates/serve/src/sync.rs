@@ -1,0 +1,105 @@
+//! Poison-recovering lock helpers: the serving plane's answer to
+//! `Mutex::lock().unwrap()`.
+//!
+//! A `std` lock is *poisoned* when a thread panics while holding it. The
+//! serving fleet already has a considered story for panicking threads —
+//! the worker unwind boundary catches them, the supervisor restarts them,
+//! and every affected request resolves to a typed outcome — so a poisoned
+//! lock carries no extra information here: the state it guards is either
+//! request bookkeeping (already reconciled by outcome conservation) or
+//! control-plane tables (swapped atomically under the lock, never left
+//! half-written, because every critical section is a handful of reads and
+//! an insert/remove). Propagating the poison as a *second* panic from an
+//! unrelated thread would turn one contained fault into a fleet-wide
+//! crash — exactly what the supervision layer exists to prevent.
+//!
+//! These helpers therefore recover the guard from [`PoisonError`] and
+//! continue. They are the only sanctioned way to take a lock in this
+//! crate: `repo_lint` bans `unwrap()`/`expect()` outside test code in
+//! `serve`, which keeps ad-hoc `.lock().unwrap()` from creeping back.
+
+use std::sync::{
+    Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard, WaitTimeoutResult,
+};
+use std::time::Duration;
+
+/// Lock `m`, recovering the guard if a previous holder panicked.
+pub(crate) fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Read-lock `l`, recovering the guard if a previous writer panicked.
+pub(crate) fn read_unpoisoned<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Write-lock `l`, recovering the guard if a previous writer panicked.
+pub(crate) fn write_unpoisoned<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(|e| e.into_inner())
+}
+
+/// [`Condvar::wait`], recovering the guard across a poisoned re-lock.
+pub(crate) fn wait_unpoisoned<'a, T>(cv: &Condvar, g: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(g).unwrap_or_else(|e| e.into_inner())
+}
+
+/// [`Condvar::wait_timeout`], recovering the guard across a poisoned
+/// re-lock.
+pub(crate) fn wait_timeout_unpoisoned<'a, T>(
+    cv: &Condvar,
+    g: MutexGuard<'a, T>,
+    dur: Duration,
+) -> (MutexGuard<'a, T>, WaitTimeoutResult) {
+    cv.wait_timeout(g, dur).unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex, RwLock};
+
+    #[test]
+    fn locks_recover_from_poison() {
+        let m = Arc::new(Mutex::new(7));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock().unwrap();
+            panic!("poison the mutex");
+        })
+        .join();
+        assert!(m.is_poisoned());
+        assert_eq!(*lock_unpoisoned(&m), 7);
+
+        let l = Arc::new(RwLock::new(3));
+        let l2 = Arc::clone(&l);
+        let _ = std::thread::spawn(move || {
+            let _g = l2.write().unwrap();
+            panic!("poison the rwlock");
+        })
+        .join();
+        assert_eq!(*read_unpoisoned(&l), 3);
+        *write_unpoisoned(&l) += 1;
+        assert_eq!(*read_unpoisoned(&l), 4);
+    }
+
+    #[test]
+    fn condvar_waits_still_wake() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let t = std::thread::spawn(move || {
+            *lock_unpoisoned(&p2.0) = true;
+            p2.1.notify_all();
+        });
+        let mut g = lock_unpoisoned(&pair.0);
+        while !*g {
+            let (ng, _) = wait_timeout_unpoisoned(&pair.1, g, Duration::from_millis(50));
+            g = ng;
+        }
+        drop(g);
+        t.join().unwrap();
+        let g = lock_unpoisoned(&pair.0);
+        let (g, timeout) = wait_timeout_unpoisoned(&pair.1, g, Duration::from_millis(1));
+        assert!(timeout.timed_out());
+        assert!(*g);
+    }
+}

@@ -163,8 +163,19 @@ fn worker_run(ctx: &WorkerCtx) -> WorkerExit {
         ctx.shard.in_flight.fetch_add(n_popped, Ordering::Relaxed);
         ctx.shard.batches.fetch_add(1, Ordering::Relaxed);
         // Submit validated the name; a rollout cannot unregister, only
-        // replace, so the lookup holds.
-        let entry = ctx.registry.get(&batch.model).expect("registered model");
+        // replace, so the lookup holds. If that invariant ever breaks,
+        // resolve the batch instead of panicking the worker — every popped
+        // request still gets its one terminal outcome.
+        let Some(entry) = ctx.registry.get(&batch.model) else {
+            for r in batch.requests {
+                ctx.shard.in_flight.fetch_sub(1, Ordering::Relaxed);
+                let _ = r.reply.send(Outcome::Closed(Unserved {
+                    id: r.id,
+                    model: r.model,
+                }));
+            }
+            continue;
+        };
         let health = ctx.monitor.stats(&batch.model);
         // Deadline enforcement: anything that cannot finish inside its
         // deadline resolves Expired now, without burning worker time.

@@ -76,7 +76,7 @@ fn every_submit_resolves_exactly_once_under_injected_panics() {
     let _guard = chaos_lock();
     let (dm, inputs) = model_and_inputs("m", 11, 0.1);
     let reg = Registry::new();
-    reg.register(dm);
+    reg.deploy(dm).unwrap();
     let gw = Gateway::start(
         reg,
         ServeOptions::builder()
@@ -130,7 +130,7 @@ fn exhausted_restart_budget_abandons_fleet_and_drains_closed() {
     let _guard = chaos_lock();
     let (dm, inputs) = model_and_inputs("m", 12, 0.1);
     let reg = Registry::new();
-    reg.register(dm);
+    reg.deploy(dm).unwrap();
     let gw = Gateway::start(
         reg,
         ServeOptions::builder()
@@ -187,7 +187,7 @@ fn killing_one_worker_of_n_only_fails_its_own_shard() {
     let _guard = chaos_lock();
     let (dm, inputs) = model_and_inputs("m", 18, 0.1);
     let reg = Registry::new();
-    reg.register(dm);
+    reg.deploy(dm).unwrap();
     let workers = 3usize;
     let gw = Gateway::start(
         reg,
@@ -266,7 +266,7 @@ fn stalled_worker_expires_queued_requests_instead_of_serving_late() {
     let _guard = chaos_lock();
     let (dm, inputs) = model_and_inputs("m", 13, 0.1);
     let reg = Registry::new();
-    reg.register(dm);
+    reg.deploy(dm).unwrap();
     let gw = Gateway::start(
         reg,
         ServeOptions::builder()
@@ -328,7 +328,7 @@ fn overload_sheds_batch_class_and_keeps_interactive_p99_under_contract() {
     // suite additionally asserts the measured p99 against it.
     let (dm, inputs) = model_and_inputs("m", 14, 100.0);
     let reg = Registry::new();
-    reg.register(dm);
+    reg.deploy(dm).unwrap();
     let gw = Gateway::start(
         reg,
         ServeOptions::builder()
@@ -433,7 +433,7 @@ fn queue_full_injection_is_counted_by_loadgen_not_retried_forever() {
     let _guard = chaos_lock();
     let (dm, inputs) = model_and_inputs("m", 15, 0.1);
     let reg = Registry::new();
-    reg.register(dm);
+    reg.deploy(dm).unwrap();
     let gw = Gateway::start(
         reg,
         ServeOptions::builder()
@@ -494,8 +494,8 @@ fn shed_batch_request_degrades_to_cheaper_family_member() {
     let (big, inputs) = model_and_inputs("big", 16, 10.0);
     let (small, _) = model_and_inputs("small", 16, 1.0);
     let reg = Registry::new();
-    reg.register(big.with_family("fam"));
-    reg.register(small.with_family("fam"));
+    reg.deploy(big.with_family("fam")).unwrap();
+    reg.deploy(small.with_family("fam")).unwrap();
     let gw = Gateway::start(
         reg,
         ServeOptions::builder()
@@ -589,7 +589,7 @@ fn canary_shard_crash_mid_window_rolls_back_and_loses_no_request() {
     let (dm, inputs) = model_and_inputs("m", 21, 0.1);
     let (cand, _) = model_and_inputs("cand", 22, 0.1);
     let reg = Registry::new();
-    reg.register(dm);
+    reg.deploy(dm).unwrap();
     let gw = Gateway::start(
         reg,
         canary_opts()
@@ -698,7 +698,7 @@ fn disagreement_spike_rolls_back_within_one_evaluation_window() {
         drifting.len()
     );
     let reg = Registry::new();
-    reg.register(dm);
+    reg.deploy(dm).unwrap();
     let gw = Gateway::start(
         reg,
         canary_opts()
@@ -774,7 +774,7 @@ fn shadow_execution_faults_are_counted_and_never_touch_replies() {
     let _guard = chaos_lock();
     let (dm, inputs) = model_and_inputs("m", 24, 0.1);
     let reg = Registry::new();
-    reg.register(dm);
+    reg.deploy(dm).unwrap();
     let gw = Gateway::start(
         reg,
         ServeOptions::builder()
@@ -834,7 +834,7 @@ fn faulted_retune_is_a_typed_error_and_deploys_nothing() {
     let dm = DeployedModel::from_parts("m", q.clone(), heavy_masks, contract(0.1))
         .with_significance(sig, TauAssignment::global(10.0));
     let reg = Registry::new();
-    reg.register(dm);
+    reg.deploy(dm).unwrap();
     let retune_opts = RetuneOptions {
         min_replay: 2,
         ..RetuneOptions::default()
@@ -897,7 +897,7 @@ fn faulted_promotion_skips_the_attempt_and_retries_next_tick() {
     let (dm, inputs) = model_and_inputs("m", 26, 0.1);
     let (cand, _) = model_and_inputs("cand", 27, 0.1);
     let reg = Registry::new();
-    reg.register(dm);
+    reg.deploy(dm).unwrap();
     let gw = Gateway::start(reg, canary_opts().workers(1).build().expect("opts"));
     let cfg = CanaryConfig {
         traffic_fraction: 1.0,
@@ -942,7 +942,7 @@ fn shutdown_drains_cleanly_under_random_faults() {
     let _guard = chaos_lock();
     let (dm, inputs) = model_and_inputs("m", 17, 0.1);
     let reg = Registry::new();
-    reg.register(dm);
+    reg.deploy(dm).unwrap();
     let gw = Gateway::start(
         reg,
         ServeOptions::builder()

@@ -26,7 +26,7 @@
 //! correctness.
 
 use crate::score::{SignificanceMap, TauAssignment};
-use quantize::{CompiledConv, QuantModel};
+use quantize::{CompiledConv, ExecPlan, PlanError, QuantModel};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
@@ -62,6 +62,86 @@ impl LayerStream {
                 .compiled
                 .as_ref()
                 .map_or(0, CompiledConv::resident_bytes)
+    }
+
+    /// Statically verify this stream entry against conv ordinal `ordinal`
+    /// of `plan`: the compiled delta stream satisfies the full stream
+    /// contract ([`ExecPlan::verify_stream`]), the per-channel tallies
+    /// agree with the compiled payload (`kept` = the stream's retained
+    /// counts, `kept_nonzero` = its nonzero weight halves), and the
+    /// `skipped` aggregate balances `out_c · patch − Σ kept`. The tallies
+    /// drive the analytic cost estimators while the stream drives the
+    /// kernels — a divergence means the DSE is pricing a different design
+    /// than it executes.
+    pub fn verify_consistent(&self, plan: &ExecPlan, ordinal: usize) -> Result<(), PlanError> {
+        let stream_err = |detail: String| PlanError::Stream { ordinal, detail };
+        if ordinal >= plan.n_convs() {
+            return Err(stream_err(format!(
+                "layer stream targets conv ordinal {ordinal} of a {}-conv plan",
+                plan.n_convs()
+            )));
+        }
+        let seg = plan.conv_segment(ordinal);
+        let out_c = seg.geom.out_c;
+        let patch = seg.geom.patch_len();
+        if self.kept.len() != out_c || self.kept_nonzero.len() != out_c {
+            return Err(stream_err(format!(
+                "tally arity {} / {} vs out_c {}",
+                self.kept.len(),
+                self.kept_nonzero.len(),
+                out_c
+            )));
+        }
+        for o in 0..out_c {
+            if self.kept_nonzero[o] > self.kept[o] || self.kept[o] as usize > patch {
+                return Err(stream_err(format!(
+                    "channel {o} tallies kept_nonzero {} / kept {} over patch {patch}",
+                    self.kept_nonzero[o], self.kept[o]
+                )));
+            }
+        }
+        let kept_total: u64 = self.kept.iter().map(|&k| k as u64).sum();
+        if self.skipped != (out_c * patch) as u64 - kept_total {
+            return Err(stream_err(format!(
+                "skipped {} does not balance {} total − {} kept",
+                self.skipped,
+                out_c * patch,
+                kept_total
+            )));
+        }
+        match &self.compiled {
+            Some(cc) => {
+                plan.verify_stream(ordinal, cc)?;
+                if cc.retained != self.kept {
+                    return Err(stream_err(
+                        "kept tallies diverge from the compiled stream's retained counts".into(),
+                    ));
+                }
+                // The masked zero-halves must balance: every retained
+                // nonzero product is exactly one nonzero weight half in
+                // the stream payload.
+                for o in 0..out_c {
+                    let (s, e) = (cc.row_offsets[o] as usize, cc.row_offsets[o + 1] as usize);
+                    let nonzero = cc.w[2 * s..2 * e].iter().filter(|&&h| h != 0).count();
+                    if nonzero != self.kept_nonzero[o] as usize {
+                        return Err(stream_err(format!(
+                            "channel {o} streams {nonzero} nonzero halves but tallies {} \
+                             kept_nonzero",
+                            self.kept_nonzero[o]
+                        )));
+                    }
+                }
+            }
+            // Dense dispatch: nothing skipped, every product retained.
+            None => {
+                if self.skipped != 0 || self.kept.iter().any(|&k| k as usize != patch) {
+                    return Err(stream_err(
+                        "dense-dispatch entry tallies skipped products".into(),
+                    ));
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -292,6 +372,65 @@ mod tests {
         for (a, b) in streams.iter().zip(&per_layer) {
             assert!(Arc::ptr_eq(a, b));
         }
+    }
+
+    #[test]
+    fn memoized_streams_verify_against_the_plan() {
+        let (q, sig) = setup();
+        let plan = ExecPlan::lower(&q);
+        let memo = StreamMemo::new(&q, &sig);
+        for tau in [0.0, 0.004, 0.02, 0.5] {
+            let streams = memo.design(&TauAssignment::global(tau));
+            for (k, s) in streams.iter().enumerate() {
+                s.verify_consistent(&plan, k)
+                    .unwrap_or_else(|e| panic!("tau {tau} layer {k}: {e}"));
+            }
+        }
+        // Exact layers (dense dispatch) verify too.
+        for k in 0..memo.n_convs() {
+            memo.layer(k, None).verify_consistent(&plan, k).unwrap();
+        }
+    }
+
+    #[test]
+    fn corrupted_tallies_fire_stream_errors() {
+        let (q, sig) = setup();
+        let plan = ExecPlan::lower(&q);
+        let memo = StreamMemo::new(&q, &sig);
+        let s = memo.layer(0, Some(0.02));
+        assert!(s.compiled.is_some(), "pick a tau that actually skips");
+        let is_stream = |r: Result<(), PlanError>| {
+            assert!(matches!(r, Err(PlanError::Stream { ordinal: 0, .. })));
+        };
+        // kept diverging from the compiled retained counts.
+        let mut bad = LayerStream {
+            tau: s.tau,
+            compiled: s.compiled.clone(),
+            kept: s.kept.clone(),
+            kept_nonzero: s.kept_nonzero.clone(),
+            skipped: s.skipped,
+        };
+        bad.kept[0] += 1;
+        bad.skipped -= 1; // keep the aggregate balanced so the deep check fires
+        is_stream(bad.verify_consistent(&plan, 0));
+        // skipped failing to balance the kept total.
+        let mut bad = LayerStream {
+            tau: s.tau,
+            compiled: s.compiled.clone(),
+            kept: s.kept.clone(),
+            kept_nonzero: s.kept_nonzero.clone(),
+            skipped: s.skipped + 1,
+        };
+        is_stream(bad.verify_consistent(&plan, 0));
+        bad.skipped = s.skipped;
+        // kept_nonzero diverging from the streamed nonzero halves.
+        bad.kept_nonzero[0] = bad.kept[0] + 1; // also violates kept_nonzero ≤ kept
+        is_stream(bad.verify_consistent(&plan, 0));
+        // Ordinal out of plan range.
+        assert!(matches!(
+            s.verify_consistent(&plan, plan.n_convs()),
+            Err(PlanError::Stream { .. })
+        ));
     }
 
     #[test]

@@ -94,6 +94,75 @@ pub fn decode_indices(deltas: &[u8]) -> Vec<usize> {
         .collect()
 }
 
+/// Why a delta stream failed [`check_deltas`] validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeltaStreamError {
+    /// A non-leading delta of 0 — a duplicated index. The encoder never
+    /// produces one: strictly ascending input makes every gap ≥ 1, and
+    /// phantom bridging always leaves a positive final delta.
+    ZeroDelta {
+        /// Entry position of the offending delta.
+        entry: usize,
+    },
+    /// The running index escaped `[0, n_rows)`.
+    OutOfBounds {
+        /// Entry position where the index escaped.
+        entry: usize,
+        /// The decoded (out-of-bounds) index.
+        index: usize,
+        /// The exclusive index bound the stream was checked against.
+        n_rows: usize,
+    },
+}
+
+impl std::fmt::Display for DeltaStreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeltaStreamError::ZeroDelta { entry } => {
+                write!(
+                    f,
+                    "delta stream entry {entry}: zero delta after the first entry"
+                )
+            }
+            DeltaStreamError::OutOfBounds {
+                entry,
+                index,
+                n_rows,
+            } => write!(
+                f,
+                "delta stream entry {entry}: decoded index {index} outside [0, {n_rows})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DeltaStreamError {}
+
+/// Validate a delta stream against its consumer's index space: the decoded
+/// indices must be **strictly ascending** (a 0 delta is legal only at entry
+/// 0 — anywhere else it would duplicate an index) and every decoded index —
+/// phantom bridges included — must stay inside `[0, n_rows)`, the bound a
+/// kernel's running `row += delta` add is trusted with. Returns the entry
+/// count on success. This is the static half of the stream contract;
+/// `quantize::plan`'s verifier calls it per compiled channel.
+pub fn check_deltas(deltas: &[u8], n_rows: usize) -> Result<usize, DeltaStreamError> {
+    let mut row = 0usize;
+    for (entry, &d) in deltas.iter().enumerate() {
+        if entry > 0 && d == 0 {
+            return Err(DeltaStreamError::ZeroDelta { entry });
+        }
+        row += d as usize;
+        if row >= n_rows {
+            return Err(DeltaStreamError::OutOfBounds {
+                entry,
+                index: row,
+                n_rows,
+            });
+        }
+    }
+    Ok(deltas.len())
+}
+
 /// Bytes a delta-encoded stream of `entries` entries occupies with
 /// `payload_bytes` of payload per entry (flash-image accounting shared
 /// with the host stream's `resident_bytes`).
@@ -161,5 +230,52 @@ mod tests {
     fn encoded_bytes_counts_delta_plus_payload() {
         assert_eq!(encoded_bytes(10, 2), 30);
         assert_eq!(encoded_bytes(0, 4), 0);
+    }
+
+    #[test]
+    fn check_deltas_accepts_every_encoder_output() {
+        for idxs in [
+            vec![0usize, 1, 2, 3],
+            vec![3, 7, 200, 255, 256, 511],
+            vec![0],
+            vec![510, 1300],
+            vec![],
+        ] {
+            let mut w = DeltaWriter::new();
+            for &i in &idxs {
+                w.push(i);
+            }
+            let deltas = w.finish();
+            let bound = idxs.last().copied().unwrap_or(0) + 1;
+            assert_eq!(check_deltas(&deltas, bound), Ok(deltas.len()), "{idxs:?}");
+            // The decoded view agrees with what was checked.
+            assert!(decode_indices(&deltas).iter().all(|&i| i < bound));
+        }
+    }
+
+    #[test]
+    fn check_deltas_rejects_zero_delta_past_the_first_entry() {
+        // deltas [2, 0] would decode to [2, 2] — a duplicated index.
+        assert_eq!(
+            check_deltas(&[2, 0], 10),
+            Err(DeltaStreamError::ZeroDelta { entry: 1 })
+        );
+        // A leading 0 is index 0 — legal.
+        assert_eq!(check_deltas(&[0, 3], 10), Ok(2));
+    }
+
+    #[test]
+    fn check_deltas_rejects_escaping_indices() {
+        assert_eq!(
+            check_deltas(&[4, 4], 8),
+            Err(DeltaStreamError::OutOfBounds {
+                entry: 1,
+                index: 8,
+                n_rows: 8
+            })
+        );
+        assert_eq!(check_deltas(&[4, 3], 8), Ok(2));
+        // The empty stream is valid for any bound, including 0.
+        assert_eq!(check_deltas(&[], 0), Ok(0));
     }
 }

@@ -210,12 +210,14 @@ impl ExecBackend for UnpackBackend<'_, '_> {
         self.stats.charge(Event::CallOverhead, 1);
     }
 
+    #[inline(never)]
     fn add(&mut self, seg: &AddSegment) {
         let a = self.engine.model.add_at(seg.layer_idx);
         self.act = add_specialized(a, &self.stash[seg.slot], &self.act, &mut self.stats);
         self.stats.charge(Event::CallOverhead, 1);
     }
 
+    #[inline(never)]
     fn stash(&mut self, slot: usize, _len: usize) {
         self.stash[slot] = self.act.clone();
     }

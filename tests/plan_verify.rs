@@ -1,0 +1,168 @@
+//! Static-verification property: for **any** random model in the open
+//! layer set — chain CNNs over every head shape, residual CNNs over every
+//! stem/block shape — lowering produces an [`quantize::ExecPlan`] that
+//! passes the full `verify()` pass, and every compiled mask stream passes
+//! `verify_stream` against that plan.
+//!
+//! This is the acceptance property of the plan verifier: the verifier
+//! rejects the six mutation classes (unit tests in `quantize::plan::verify`
+//! corrupt plans field-by-field) while accepting everything the lowering
+//! actually emits. A false positive here would panic every debug-mode
+//! lowering in the workspace, so the property doubles as the verifier's
+//! own soundness gate.
+
+use ataman_repro::prelude::*;
+use proptest::prelude::*;
+use quantize::{CompiledMasks, ExecPlan};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tinytensor::Shape4;
+
+/// Random chain CNN over 8×8×2 inputs; `head` sweeps every tail shape the
+/// lowering can emit (pool/GAP/dense epilogues, planar and NHWC endings).
+fn random_model(seed: u64, convs: usize, width: usize, kernel: usize, head: u8) -> Sequential {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut m = Sequential::new("pv", Shape4::nhwc(1, 8, 8, 2));
+    for _ in 0..convs {
+        m = m.conv_relu(width, kernel, &mut rng);
+    }
+    match head % 6 {
+        0 => m.maxpool().dense(4, true, &mut rng),
+        1 => m.global_avg_pool().dense(4, true, &mut rng),
+        2 => m.maxpool().global_avg_pool().dense(4, true, &mut rng),
+        3 => m.dense(4, true, &mut rng),
+        4 => m.global_avg_pool(),
+        _ => m.maxpool(),
+    }
+}
+
+/// Random residual CNN; `stem` 0 stashes the NHWC model input (the
+/// mixed-layout join the verifier's layout walk must accept), `stem` 1
+/// makes every join planar/planar.
+fn random_residual_model(
+    seed: u64,
+    width: usize,
+    stem: u8,
+    blocks: usize,
+    block_convs: usize,
+    head: u8,
+) -> Sequential {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut m = Sequential::new("pvr", Shape4::nhwc(1, 8, 8, 2));
+    let c = if stem % 2 == 1 {
+        m = m.conv_relu(width, 3, &mut rng);
+        width
+    } else {
+        2
+    };
+    for _ in 0..blocks {
+        m = m.residual(|mut b| {
+            for _ in 0..block_convs.saturating_sub(1) {
+                b = b.conv_relu(c, 3, &mut rng);
+            }
+            b.conv(c, 3, &mut rng)
+        });
+    }
+    match head % 3 {
+        0 => m.dense(4, true, &mut rng),
+        1 => m.global_avg_pool().dense(4, true, &mut rng),
+        _ => m.maxpool().global_avg_pool().dense(4, true, &mut rng),
+    }
+}
+
+fn quantized(model: &Sequential, seed: u64) -> QuantModel {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xBEEF);
+    let n = 4;
+    let len = 8 * 8 * 2;
+    let flat: Vec<f32> = (0..n * len).map(|_| rng.gen_range(0.0f32..1.0)).collect();
+    let ds = cifar10sim::Dataset {
+        images: tinytensor::Tensor::from_vec(Shape4::nhwc(n, 8, 8, 2), flat).unwrap(),
+        labels: vec![0; n],
+    };
+    let ranges = calibrate_ranges(model, &ds);
+    quantize_model(model, &ranges)
+}
+
+fn random_masks(q: &QuantModel, seed: u64, skip_mod: u64) -> SkipMaskSet {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xFEED);
+    let n = q.conv_indices().len();
+    let mut masks = SkipMaskSet::none(n);
+    for k in 0..n {
+        let c = q.conv(k);
+        let len = c.geom.out_c * c.patch_len();
+        masks.per_conv[k] = Some(
+            (0..len)
+                .map(|_| rng.gen_range(0u64..skip_mod) == 0)
+                .collect(),
+        );
+    }
+    masks
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every chain model the generator can produce lowers to a plan the
+    /// verifier accepts, with plan-side peak accounting agreeing with the
+    /// model-side definition.
+    #[test]
+    fn chain_models_lower_to_verified_plans(
+        seed in 0u64..5000,
+        convs in 1usize..4,
+        width in 2usize..6,
+        kernel in prop::sample::select(vec![1usize, 3]),
+        head in 0u8..6,
+    ) {
+        let model = random_model(seed, convs, width, kernel, head);
+        let q = quantized(&model, seed);
+        let plan = ExecPlan::lower(&q);
+        prop_assert_eq!(plan.verify(), Ok(()));
+        prop_assert_eq!(plan.peak_activation_pair(), q.peak_activation_pair());
+    }
+
+    /// Every residual model — including input-stash mixed-layout joins and
+    /// nested blocks — lowers to a verified plan.
+    #[test]
+    fn residual_models_lower_to_verified_plans(
+        seed in 0u64..5000,
+        width in 2usize..6,
+        stem in 0u8..2,
+        blocks in 1usize..3,
+        block_convs in 1usize..3,
+        head in 0u8..3,
+    ) {
+        let model = random_residual_model(seed, width, stem, blocks, block_convs, head);
+        let q = quantized(&model, seed);
+        let plan = ExecPlan::lower(&q);
+        prop_assert_eq!(plan.verify(), Ok(()));
+        prop_assert_eq!(plan.peak_activation_pair(), q.peak_activation_pair());
+    }
+
+    /// Every compiled mask stream the compiler emits passes the plan's
+    /// per-stream validation (span table shape, delta monotonicity and
+    /// bounds, retained/zero-half payload consistency).
+    #[test]
+    fn compiled_mask_streams_verify_against_the_plan(
+        seed in 0u64..5000,
+        convs in 1usize..3,
+        width in 2usize..6,
+        stem in 0u8..2,
+        residual in any::<bool>(),
+        skip_mod in 2u64..9,
+    ) {
+        let model = if residual {
+            random_residual_model(seed, width, stem, 1, convs, 1)
+        } else {
+            random_model(seed, convs, width, 3, 0)
+        };
+        let q = quantized(&model, seed);
+        let plan = ExecPlan::lower(&q);
+        let masks = random_masks(&q, seed, skip_mod);
+        let compiled = CompiledMasks::compile(&q, &masks);
+        for (ordinal, cc) in compiled.per_conv.iter().enumerate() {
+            if let Some(cc) = cc {
+                prop_assert_eq!(plan.verify_stream(ordinal, cc), Ok(()));
+            }
+        }
+    }
+}
